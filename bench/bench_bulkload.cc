@@ -1,0 +1,101 @@
+// Experiment E2 — bulkload: the paper claims a SAX+stack bulkload with
+// O(document height) memory against the DOM route's O(document size),
+// at equal or better speed. Series: documents/second and loader stack
+// depth for the streaming path vs. the DOM-then-shred path.
+#include <benchmark/benchmark.h>
+
+#include "common/rng.h"
+#include "common/strings.h"
+#include "monet/bulkload.h"
+#include "monet/database.h"
+#include "xml/parser.h"
+
+namespace dls {
+namespace {
+
+/// A synthetic "article" document with `paragraphs` children.
+std::string MakeDocument(Rng* rng, int paragraphs) {
+  std::string xml = "<article date=\"2001-12-31\">";
+  for (int i = 0; i < paragraphs; ++i) {
+    xml += StrFormat("<para idx=\"%d\"><text>", i);
+    for (int w = 0; w < 12; ++w) {
+      xml += StrFormat("w%llu ",
+                       static_cast<unsigned long long>(rng->Uniform(500)));
+    }
+    xml += "</text><score>0.5</score></para>";
+  }
+  xml += "</article>";
+  return xml;
+}
+
+void BM_StreamingBulkload(benchmark::State& state) {
+  Rng rng(1);
+  std::vector<std::string> docs;
+  for (int i = 0; i < 64; ++i) {
+    docs.push_back(MakeDocument(&rng, static_cast<int>(state.range(0))));
+  }
+  size_t max_depth = 0;
+  size_t associations = 0;
+  for (auto _ : state) {
+    monet::Database db;
+    for (size_t i = 0; i < docs.size(); ++i) {
+      monet::BulkLoader loader(&db, StrFormat("d%zu", i));
+      benchmark::DoNotOptimize(xml::ParseStream(docs[i], &loader).ok());
+      max_depth = std::max(max_depth, loader.max_stack_depth());
+    }
+    associations = db.Stats().associations;
+  }
+  state.counters["docs/s"] = benchmark::Counter(
+      static_cast<double>(state.iterations()) * docs.size(),
+      benchmark::Counter::kIsRate);
+  state.counters["loader_stack_depth"] = static_cast<double>(max_depth);
+  state.counters["associations"] = static_cast<double>(associations);
+}
+BENCHMARK(BM_StreamingBulkload)->Arg(8)->Arg(64)->Arg(512);
+
+void BM_DomThenShred(benchmark::State& state) {
+  Rng rng(1);
+  std::vector<std::string> docs;
+  for (int i = 0; i < 64; ++i) {
+    docs.push_back(MakeDocument(&rng, static_cast<int>(state.range(0))));
+  }
+  size_t max_nodes = 0;  // the DOM's resident footprint, in nodes
+  for (auto _ : state) {
+    monet::Database db;
+    for (size_t i = 0; i < docs.size(); ++i) {
+      Result<xml::Document> doc = xml::Parse(docs[i]);
+      max_nodes = std::max(max_nodes, doc.value().node_count());
+      benchmark::DoNotOptimize(
+          db.InsertDocument(StrFormat("d%zu", i), doc.value()).ok());
+    }
+  }
+  state.counters["docs/s"] = benchmark::Counter(
+      static_cast<double>(state.iterations()) * docs.size(),
+      benchmark::Counter::kIsRate);
+  state.counters["dom_resident_nodes"] = static_cast<double>(max_nodes);
+}
+BENCHMARK(BM_DomThenShred)->Arg(8)->Arg(64)->Arg(512);
+
+/// Incremental insertion into an already-large database: the paper's
+/// "incremental updates ... efficient" claim — insert cost must not
+/// grow with database size.
+void BM_IncrementalInsert(benchmark::State& state) {
+  Rng rng(2);
+  monet::Database db;
+  for (int i = 0; i < state.range(0); ++i) {
+    (void)db.InsertXml(StrFormat("seed%d", i), MakeDocument(&rng, 16));
+  }
+  std::string fresh = MakeDocument(&rng, 16);
+  int counter = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        db.InsertXml(StrFormat("new%d", counter++), fresh).ok());
+  }
+  state.counters["resident_docs"] = static_cast<double>(state.range(0));
+}
+BENCHMARK(BM_IncrementalInsert)->Arg(10)->Arg(100)->Arg(1000);
+
+}  // namespace
+}  // namespace dls
+
+BENCHMARK_MAIN();

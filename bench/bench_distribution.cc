@@ -1,0 +1,104 @@
+// Experiment E4 — shared-nothing scalability of the per-document
+// distributed IR layer: with documents distributed per-document, the
+// critical-path node does ~1/k of the posting work and the only merge
+// cost is k small top-N lists. Prints one row per cluster size.
+#include <cstdio>
+#include <vector>
+
+#include "common/rng.h"
+#include "common/strings.h"
+#include "common/timer.h"
+#include "ir/cluster.h"
+
+namespace dls {
+namespace {
+
+constexpr int kDocs = 4000;
+constexpr int kWordsPerDoc = 60;
+constexpr size_t kVocab = 2500;
+constexpr size_t kFragments = 4;
+constexpr int kQueries = 30;
+
+std::vector<std::pair<std::string, std::string>> MakeCorpus() {
+  Rng rng(4);
+  ZipfSampler zipf(kVocab, 1.1);
+  std::vector<std::pair<std::string, std::string>> corpus;
+  for (int d = 0; d < kDocs; ++d) {
+    std::string body;
+    for (int w = 0; w < kWordsPerDoc; ++w) {
+      body += StrFormat("term%04zu ", zipf.Sample(&rng));
+    }
+    corpus.emplace_back(StrFormat("doc%05d", d), body);
+  }
+  return corpus;
+}
+
+std::vector<std::vector<std::string>> MakeQueries() {
+  Rng rng(5);
+  ZipfSampler zipf(kVocab, 1.1);
+  std::vector<std::vector<std::string>> queries;
+  for (int q = 0; q < kQueries; ++q) {
+    std::vector<std::string> words;
+    for (int w = 0; w < 3; ++w) {
+      words.push_back(StrFormat("term%04zu", zipf.Sample(&rng)));
+    }
+    queries.push_back(std::move(words));
+  }
+  return queries;
+}
+
+}  // namespace
+}  // namespace dls
+
+int main() {
+  using namespace dls;
+
+  auto corpus = MakeCorpus();
+  auto queries = MakeQueries();
+
+  std::printf("E4: distributed top-10, %d docs, %d queries per point\n",
+              kDocs, kQueries);
+  std::printf("%-7s %-16s %-16s %-10s %-10s %-12s %-10s\n", "nodes",
+              "postings_total", "postings_max", "messages", "bytes",
+              "speedup", "exact");
+
+  size_t single_node_work = 0;
+  std::vector<std::vector<ir::ClusterScoredDoc>> reference;
+
+  for (size_t nodes : {1u, 2u, 4u, 8u, 16u}) {
+    ir::ClusterIndex cluster(nodes, kFragments);
+    for (const auto& [url, body] : corpus) cluster.AddDocument(url, body);
+    cluster.Finalize();
+
+    size_t total = 0, max_node = 0, messages = 0, bytes = 0;
+    bool exact = true;
+    std::vector<std::vector<ir::ClusterScoredDoc>> results;
+    for (const auto& q : queries) {
+      ir::ClusterQueryStats stats;
+      results.push_back(cluster.Query(q, 10, kFragments, &stats));
+      total += stats.postings_touched_total;
+      max_node = std::max(max_node, stats.postings_touched_max_node);
+      messages += stats.messages;
+      bytes += stats.bytes_shipped;
+    }
+    if (nodes == 1) {
+      single_node_work = max_node;
+      reference = results;
+    } else {
+      for (size_t q = 0; q < results.size(); ++q) {
+        if (results[q].size() != reference[q].size()) exact = false;
+        for (size_t i = 0; exact && i < results[q].size(); ++i) {
+          if (results[q][i].url != reference[q][i].url) exact = false;
+        }
+      }
+    }
+    std::printf("%-7zu %-16zu %-16zu %-10zu %-10zu %-12.2f %-10s\n", nodes,
+                total, max_node, messages, bytes,
+                static_cast<double>(single_node_work) / max_node,
+                exact ? "yes" : "NO");
+  }
+  std::printf("\n(speedup = critical-path posting work relative to one "
+              "node; 'exact' = ranking identical to the centralized "
+              "one)\n");
+  return 0;
+}

@@ -1,0 +1,84 @@
+// Experiment E6 — FDE token-stack strategies: shared-suffix (Tomita
+// style) vs. naive copying under growing backtracking load. The
+// grammar is the Figs. 6/7 video grammar; the token stream scales with
+// the number of shots and frames per shot (every shot boundary forces
+// a backtrack out of `frame*`).
+#include <benchmark/benchmark.h>
+
+#include "core/grammars.h"
+#include "fg/fde.h"
+
+namespace dls {
+namespace {
+
+/// Registers stub detectors producing `shots` shots of `frames` frames.
+void RegisterStubs(fg::DetectorRegistry* registry, int shots, int frames) {
+  registry->Register("header",
+                     [](const fg::DetectorContext&, std::vector<fg::Token>* out) {
+                       out->push_back(fg::Token::Str("video"));
+                       out->push_back(fg::Token::Str("mpeg"));
+                       return Status::Ok();
+                     });
+  registry->Register(
+      "segment",
+      [shots, frames](const fg::DetectorContext&, std::vector<fg::Token>* out) {
+        for (int s = 0; s < shots; ++s) {
+          out->push_back(fg::Token::Int(s * frames));
+          out->push_back(fg::Token::Int((s + 1) * frames));
+          out->push_back(fg::Token::Str("tennis"));
+        }
+        return Status::Ok();
+      });
+  registry->Register(
+      "tennis",
+      [frames](const fg::DetectorContext& context, std::vector<fg::Token>* out) {
+        int begin = static_cast<int>(context.inputs[1].AsInt());
+        for (int f = 0; f < frames; ++f) {
+          out->push_back(fg::Token::Int(begin + f));
+          out->push_back(fg::Token::Flt(100.0 + f));
+          out->push_back(fg::Token::Flt(250.0 - f));
+          out->push_back(fg::Token::Int(120));
+          out->push_back(fg::Token::Flt(0.9));
+          out->push_back(fg::Token::Flt(0.1));
+        }
+        return Status::Ok();
+      });
+}
+
+void RunParse(benchmark::State& state, bool share_suffixes) {
+  Result<fg::Grammar> grammar = fg::ParseGrammar(core::kVideoGrammar);
+  fg::DetectorRegistry registry;
+  int shots = static_cast<int>(state.range(0));
+  int frames = 12;
+  RegisterStubs(&registry, shots, frames);
+  fg::FdeOptions options;
+  options.share_suffixes = share_suffixes;
+  fg::Fde fde(&grammar.value(), &registry, options);
+
+  for (auto _ : state) {
+    Result<fg::ParseTree> tree =
+        fde.Parse({fg::Token::Url("http://x/match.mpg")});
+    if (!tree.ok()) state.SkipWithError("parse failed");
+    benchmark::DoNotOptimize(tree);
+  }
+  const fg::FdeStats& stats = fde.stats();
+  state.counters["backtracks/parse"] =
+      static_cast<double>(stats.backtracks) / state.iterations();
+  state.counters["tokens_copied/parse"] =
+      static_cast<double>(stats.stack.tokens_copied) / state.iterations();
+  state.counters["cells_alloc/parse"] =
+      static_cast<double>(stats.stack.cells_allocated) / state.iterations();
+  state.counters["tokens/parse"] =
+      static_cast<double>(stats.tokens_pushed) / state.iterations();
+}
+
+void BM_FdeSharedSuffix(benchmark::State& state) { RunParse(state, true); }
+BENCHMARK(BM_FdeSharedSuffix)->Arg(4)->Arg(16)->Arg(64)->Arg(256);
+
+void BM_FdeCopyingStack(benchmark::State& state) { RunParse(state, false); }
+BENCHMARK(BM_FdeCopyingStack)->Arg(4)->Arg(16)->Arg(64)->Arg(256);
+
+}  // namespace
+}  // namespace dls
+
+BENCHMARK_MAIN();

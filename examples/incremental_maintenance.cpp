@@ -1,0 +1,130 @@
+// Index maintenance with the Feature Detector Scheduler: what happens
+// when a detector implementation evolves (the paper's revision / minor
+// / major change classes), measured in detector calls — the cost the
+// FDS saves compared to rebuilding the meta-index.
+//
+// Build & run:  ./build/examples/incremental_maintenance
+#include <cstdio>
+
+#include "core/engine.h"
+#include "core/grammars.h"
+
+namespace {
+
+/// A replacement segmenter: reports the whole video as one "other"
+/// shot (think of it as a regressed shot-boundary detector).
+dls::Status DegenerateSegment(const dls::fg::DetectorContext&,
+                              std::vector<dls::fg::Token>* out) {
+  out->push_back(dls::fg::Token::Int(0));
+  out->push_back(dls::fg::Token::Int(1));
+  out->push_back(dls::fg::Token::Str("other"));
+  return dls::Status::Ok();
+}
+
+}  // namespace
+
+int main() {
+  using namespace dls;
+
+  core::SearchEngine engine;
+  if (Status s = engine.Initialize(synth::kAustralianOpenSchema,
+                                   core::kVideoGrammar);
+      !s.ok()) {
+    std::fprintf(stderr, "init: %s\n", s.ToString().c_str());
+    return 1;
+  }
+  synth::SiteOptions options;
+  options.seed = 99;
+  options.num_players = 8;
+  options.num_articles = 4;
+  options.video_every = 1;  // every profile has a video
+  options.video_shots = 4;
+  options.video_frames_per_shot = 8;
+  Result<synth::Site> site = synth::GenerateSite(options);
+  if (!site.ok() || !engine.PopulateFromSite(site.value()).ok()) {
+    std::fprintf(stderr, "populate failed\n");
+    return 1;
+  }
+  size_t populate_calls = engine.registry().TotalCallCount();
+  std::printf("populated: %zu videos in the meta-index, "
+              "%zu detector calls (the full-rebuild baseline)\n\n",
+              engine.parse_trees().size(), populate_calls);
+
+  auto report = [&](const char* label) {
+    std::printf("%-26s calls: segment=%zu tennis=%zu header=%zu | "
+                "fds: %zu run, %zu unchanged, %zu cascades, "
+                "%zu invalidated\n",
+                label, engine.registry().CallCount("segment"),
+                engine.registry().CallCount("tennis"),
+                engine.registry().CallCount("header"),
+                engine.fds().stats().tasks_run,
+                engine.fds().stats().subtrees_unchanged,
+                engine.fds().stats().cascades,
+                engine.fds().stats().nodes_invalidated);
+  };
+  auto reset = [&]() {
+    engine.registry().ResetCallCounts();
+    engine.fds().ResetStats();
+  };
+
+  // --- Revision (-> 1.0.1): a correction; stored trees stay valid and
+  //     the scheduler does nothing at all. ---
+  reset();
+  Result<fg::ChangeClass> change = engine.fds().UpdateDetector(
+      "segment", DegenerateSegment, fg::DetectorVersion{1, 0, 1});
+  if (!change.ok() || !engine.fds().RunPending().ok()) return 1;
+  report("revision 1.0.1:");
+
+  // --- Minor (-> 1.1.0): data stays answerable, revalidation runs at
+  //     low priority; only segment subtrees are re-parsed. ---
+  reset();
+  change = engine.fds().UpdateDetector("segment", DegenerateSegment,
+                                       fg::DetectorVersion{1, 1, 0});
+  if (!change.ok() || !engine.fds().RunPending().ok()) return 1;
+  report("minor 1.1.0:");
+  {
+    const std::string& url = site.value().videos.begin()->first;
+    fg::ParseTree* tree = engine.parse_trees().Find(url);
+    std::printf("  -> %s now has %zu shot(s) in its meta tree\n",
+                url.c_str(), tree->FindAll("shot").size());
+  }
+
+  // --- Major (-> 2.0.0): stored data unusable now; instances are
+  //     invalidated immediately and revalidated at high priority.
+  //     We reinstall the real segmenter, so the shot structure comes
+  //     back (and the tennis detector re-runs through the cascade). ---
+  reset();
+  fg::DetectorRegistry standard;
+  core::RegisterVideoDetectors(&standard);
+  // Route the standard implementation through the scheduler.
+  core::DetectorEnv* env = &engine.env();
+  (void)env;
+  change = engine.fds().UpdateDetector(
+      "segment",
+      [&engine](const fg::DetectorContext& context,
+                std::vector<fg::Token>* out) {
+        // Delegate to a pristine registry holding the stock segmenter.
+        static fg::DetectorRegistry stock = [] {
+          fg::DetectorRegistry r;
+          core::RegisterVideoDetectors(&r);
+          return r;
+        }();
+        (void)engine;
+        return stock.Invoke("segment", context, out);
+      },
+      fg::DetectorVersion{2, 0, 0});
+  if (!change.ok() || !engine.fds().RunPending().ok()) return 1;
+  report("major 2.0.0:");
+  {
+    const std::string& url = site.value().videos.begin()->first;
+    fg::ParseTree* tree = engine.parse_trees().Find(url);
+    std::printf("  -> %s restored to %zu shot(s)\n", url.c_str(),
+                tree->FindAll("shot").size());
+  }
+
+  std::printf("\nconclusion: maintenance touched only the changed "
+              "detector's subtrees; a full rebuild would have cost %zu "
+              "calls each time.\n",
+              populate_calls);
+  return 0;
+}

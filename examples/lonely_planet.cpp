@@ -1,0 +1,201 @@
+// The paper's second case study: a Lonely Planet-style travel
+// webspace. Demonstrates that the architecture is generic — a new
+// conceptual schema, the same feature grammar and physical level, no
+// engine changes. The documents are authored inline through the
+// webspace docgen (the authoring-tool path, rather than the synthetic
+// site generator).
+//
+// Build & run:  ./build/examples/lonely_planet
+#include <cstdio>
+
+#include "core/engine.h"
+#include "core/grammars.h"
+#include "webspace/docgen.h"
+
+namespace {
+
+constexpr const char kTravelSchema[] = R"schema(
+webspace LonelyPlanet;
+
+class Destination {
+  name: varchar(60);
+  region: varchar(40);
+  climate: varchar(20);
+  guide: Hypertext;
+  clip: Video;
+}
+
+class Attraction {
+  name: varchar(80);
+  kind: varchar(30);
+  description: Hypertext;
+}
+
+association Located_in(Attraction, Destination);
+)schema";
+
+struct DestinationSpec {
+  const char* id;
+  const char* name;
+  const char* region;
+  const char* climate;
+  const char* guide;
+};
+
+struct AttractionSpec {
+  const char* id;
+  const char* name;
+  const char* kind;
+  const char* description;
+  const char* destination;
+};
+
+constexpr DestinationSpec kDestinations[] = {
+    {"dest-melbourne", "Melbourne", "Australia", "temperate",
+     "Famous for the Australian Open tennis and its laneway cafes; "
+     "a paradise for sport and coffee lovers."},
+    {"dest-kyoto", "Kyoto", "Japan", "temperate",
+     "Temples, gardens and traditional tea houses define the old "
+     "imperial capital."},
+    {"dest-nairobi", "Nairobi", "Kenya", "tropical",
+     "Gateway to safari country, with a national park at the city "
+     "edge."},
+};
+
+constexpr AttractionSpec kAttractions[] = {
+    {"attr-mcg", "Melbourne Park", "stadium",
+     "Centre court of the Australian Open grand slam tournament.",
+     "dest-melbourne"},
+    {"attr-laneways", "Laneway cafes", "food",
+     "Espresso culture in narrow arcades.", "dest-melbourne"},
+    {"attr-kinkakuji", "Kinkaku-ji", "temple",
+     "The golden pavilion reflected in its mirror pond.", "dest-kyoto"},
+    {"attr-safari", "Nairobi National Park", "park",
+     "Lions and giraffes in sight of downtown towers.", "dest-nairobi"},
+};
+
+}  // namespace
+
+int main() {
+  using namespace dls;
+
+  core::SearchEngine engine;
+  if (Status s = engine.Initialize(kTravelSchema, core::kVideoGrammar);
+      !s.ok()) {
+    std::fprintf(stderr, "init: %s\n", s.ToString().c_str());
+    return 1;
+  }
+
+  // Author one document per destination (the destination plus its
+  // attractions and Located_in links) — materialized views by hand.
+  for (const DestinationSpec& dest : kDestinations) {
+    webspace::DocumentView view;
+    view.document_url =
+        std::string("http://lp.example/") + dest.id + ".xml";
+
+    webspace::WebObject object;
+    object.cls = "Destination";
+    object.id = dest.id;
+    std::string clip_url =
+        std::string("http://lp.example/video/") + dest.id + ".mpg";
+    object.attributes = {
+        webspace::AttrValue{"name", dest.name, ""},
+        webspace::AttrValue{"region", dest.region, ""},
+        webspace::AttrValue{"climate", dest.climate, ""},
+        webspace::AttrValue{"guide", dest.guide,
+                            std::string("http://lp.example/guide/") +
+                                dest.id + ".html"},
+        webspace::AttrValue{"clip", "", clip_url},
+    };
+    view.objects.push_back(std::move(object));
+
+    // A promotional clip (tennis-court footage for Melbourne, generic
+    // otherwise) so the logical level has something to analyse.
+    cobra::VideoScript script;
+    script.seed = 7 + (&dest - kDestinations);
+    cobra::ShotScript shot;
+    shot.type = std::string(dest.id) == "dest-melbourne"
+                    ? cobra::ShotClass::kTennis
+                    : cobra::ShotClass::kOther;
+    shot.trajectory = cobra::TrajectoryKind::kApproachNet;
+    shot.num_frames = 10;
+    script.shots.push_back(shot);
+    engine.web().AddVideo(clip_url, script);
+
+    for (const AttractionSpec& attraction : kAttractions) {
+      if (std::string(attraction.destination) != dest.id) continue;
+      webspace::WebObject a;
+      a.cls = "Attraction";
+      a.id = attraction.id;
+      a.attributes = {
+          webspace::AttrValue{"name", attraction.name, ""},
+          webspace::AttrValue{"kind", attraction.kind, ""},
+          webspace::AttrValue{"description", attraction.description,
+                              std::string("http://lp.example/attr/") +
+                                  attraction.id + ".html"},
+      };
+      view.objects.push_back(std::move(a));
+      view.associations.push_back(webspace::AssociationInstance{
+          "Located_in", attraction.id, dest.id});
+    }
+
+    Result<xml::Document> doc =
+        webspace::GenerateDocument(engine.schema(), view);
+    if (!doc.ok()) {
+      std::fprintf(stderr, "docgen: %s\n", doc.status().ToString().c_str());
+      return 1;
+    }
+    if (Status s = engine.PopulateDocument(view.document_url, doc.value());
+        !s.ok()) {
+      std::fprintf(stderr, "populate: %s\n", s.ToString().c_str());
+      return 1;
+    }
+  }
+  if (Status s = engine.FinishPopulation(); !s.ok()) {
+    std::fprintf(stderr, "finish: %s\n", s.ToString().c_str());
+    return 1;
+  }
+  std::printf("LonelyPlanet webspace: %zu documents, %zu web-objects, "
+              "%zu media objects analysed\n\n",
+              engine.stats().documents_crawled,
+              engine.stats().objects_retrieved,
+              engine.stats().media_analyzed);
+
+  const char* queries[] = {
+      // Conceptual join: attractions in temperate destinations.
+      R"(select Attraction.name, Destination.name
+         from Attraction, Destination
+         where Located_in(Attraction, Destination)
+           and Destination.climate == "temperate"
+         limit 10)",
+      // Text + concept: destinations whose guide mentions tennis.
+      R"(select Destination.name, Destination.region
+         from Destination
+         where Destination.guide contains "tennis"
+         limit 10)",
+      // Content-based: destinations whose clip shows netplay.
+      R"(select Destination.name, Destination.clip
+         from Destination
+         where Destination.clip event "netplay"
+         limit 10)",
+  };
+  for (const char* text : queries) {
+    std::printf("query:\n%s\n", text);
+    Result<core::QueryResult> result = engine.Execute(text);
+    if (!result.ok()) {
+      std::fprintf(stderr, "query: %s\n",
+                   result.status().ToString().c_str());
+      return 1;
+    }
+    std::printf("answer (%zu rows):\n", result.value().rows.size());
+    for (const core::QueryRow& row : result.value().rows) {
+      std::printf(" ");
+      for (const std::string& value : row.values) {
+        std::printf(" %-28s", value.c_str());
+      }
+      std::printf("\n");
+    }
+    std::printf("\n");
+  }
+  return 0;
+}

@@ -1,0 +1,183 @@
+#include "cobra/audio.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace dls::cobra {
+namespace {
+
+constexpr double kTwoPi = 6.283185307179586;
+
+/// Frames per classification window when measuring energy burstiness.
+constexpr int kStatWindow = 10;
+
+}  // namespace
+
+const char* AudioClassName(AudioClass c) {
+  switch (c) {
+    case AudioClass::kSpeech:
+      return "speech";
+    case AudioClass::kMusic:
+      return "music";
+    case AudioClass::kSilence:
+      return "silence";
+  }
+  return "?";
+}
+
+int AudioScript::TotalSamples() const {
+  double seconds = 0;
+  for (const AudioSegmentScript& segment : segments) {
+    seconds += segment.seconds;
+  }
+  return static_cast<int>(seconds * sample_rate);
+}
+
+SyntheticAudio::SyntheticAudio(AudioScript script)
+    : script_(std::move(script)) {
+  Rng rng(script_.seed);
+  const int rate = script_.sample_rate;
+  for (const AudioSegmentScript& segment : script_.segments) {
+    segment_starts_.push_back(static_cast<int>(samples_.size()));
+    int n = static_cast<int>(segment.seconds * rate);
+    switch (segment.type) {
+      case AudioClass::kSilence:
+        for (int i = 0; i < n; ++i) {
+          samples_.push_back(static_cast<float>(rng.Gaussian() * 0.002));
+        }
+        break;
+      case AudioClass::kMusic: {
+        // A steady three-note chord with slight vibrato.
+        double f0 = 220.0 + rng.Uniform(4) * 55.0;
+        for (int i = 0; i < n; ++i) {
+          double t = static_cast<double>(i) / rate;
+          double v = 0.3 * std::sin(kTwoPi * f0 * t) +
+                     0.2 * std::sin(kTwoPi * f0 * 1.25 * t) +
+                     0.15 * std::sin(kTwoPi * f0 * 1.5 * t);
+          samples_.push_back(static_cast<float>(v));
+        }
+        break;
+      }
+      case AudioClass::kSpeech: {
+        // Syllables: 120-250 ms voiced bursts separated by 40-120 ms
+        // pauses; each burst is band-noise over a pitch pulse.
+        int i = 0;
+        while (i < n) {
+          int burst = rate * (120 + static_cast<int>(rng.Uniform(130))) / 1000;
+          int pause = rate * (40 + static_cast<int>(rng.Uniform(80))) / 1000;
+          double pitch = 90.0 + rng.Uniform(120);
+          for (int k = 0; k < burst && i < n; ++k, ++i) {
+            double t = static_cast<double>(k) / rate;
+            double envelope = std::sin(
+                3.14159265358979 * std::min(1.0, static_cast<double>(k) /
+                                                     burst));
+            double voiced = 0.35 * std::sin(kTwoPi * pitch * t);
+            double noise = 0.25 * rng.Gaussian();
+            samples_.push_back(
+                static_cast<float>(envelope * (voiced + noise)));
+          }
+          for (int k = 0; k < pause && i < n; ++k, ++i) {
+            samples_.push_back(static_cast<float>(rng.Gaussian() * 0.002));
+          }
+        }
+        break;
+      }
+    }
+  }
+}
+
+AudioClass SyntheticAudio::TruthOf(int sample) const {
+  for (size_t i = segment_starts_.size(); i > 0; --i) {
+    if (sample >= segment_starts_[i - 1]) {
+      return script_.segments[i - 1].type;
+    }
+  }
+  return AudioClass::kSilence;
+}
+
+std::vector<AudioFrameFeatures> AnalyzeFrames(
+    const SyntheticAudio& audio, const AudioAnalyzerOptions& options) {
+  std::vector<AudioFrameFeatures> frames;
+  const std::vector<float>& samples = audio.samples();
+  for (size_t start = 0; start + options.frame_samples <= samples.size();
+       start += options.frame_samples) {
+    AudioFrameFeatures f;
+    int crossings = 0;
+    for (int i = 0; i < options.frame_samples; ++i) {
+      double v = samples[start + i];
+      f.energy += v * v;
+      if (i > 0 && (samples[start + i - 1] < 0) != (v < 0)) ++crossings;
+    }
+    f.energy /= options.frame_samples;
+    f.zero_crossings =
+        static_cast<double>(crossings) / options.frame_samples;
+    frames.push_back(f);
+  }
+  return frames;
+}
+
+std::vector<DetectedAudioSegment> SegmentAudio(
+    const SyntheticAudio& audio, const AudioAnalyzerOptions& options) {
+  std::vector<AudioFrameFeatures> frames = AnalyzeFrames(audio, options);
+  // Classify each window of kStatWindow frames, then merge runs.
+  std::vector<AudioClass> window_class;
+  for (size_t w = 0; w * kStatWindow < frames.size(); ++w) {
+    size_t begin = w * kStatWindow;
+    size_t end = std::min(frames.size(), begin + kStatWindow);
+    double mean_energy = 0;
+    int quiet = 0;
+    for (size_t i = begin; i < end; ++i) mean_energy += frames[i].energy;
+    mean_energy /= static_cast<double>(end - begin);
+    for (size_t i = begin; i < end; ++i) {
+      if (frames[i].energy < mean_energy * 0.15) ++quiet;
+    }
+    double dip_ratio = static_cast<double>(quiet) /
+                       static_cast<double>(end - begin);
+    AudioClass type;
+    if (mean_energy < options.silence_energy) {
+      type = AudioClass::kSilence;
+    } else if (dip_ratio > options.speech_dip_ratio) {
+      // Bursty energy with inter-syllable dips: speech.
+      type = AudioClass::kSpeech;
+    } else {
+      type = AudioClass::kMusic;
+    }
+    window_class.push_back(type);
+  }
+
+  // Merge neighbouring windows of the same class into segments.
+  std::vector<DetectedAudioSegment> segments;
+  for (size_t w = 0; w < window_class.size(); ++w) {
+    int begin = static_cast<int>(w * kStatWindow);
+    int end = static_cast<int>(
+        std::min(frames.size(), (w + 1) * static_cast<size_t>(kStatWindow)));
+    if (!segments.empty() && segments.back().type == window_class[w]) {
+      segments.back().end_frame = end;
+    } else {
+      segments.push_back(DetectedAudioSegment{begin, end, window_class[w]});
+    }
+  }
+  // Absorb segments shorter than the minimum into their predecessor.
+  std::vector<DetectedAudioSegment> merged;
+  for (const DetectedAudioSegment& segment : segments) {
+    if (!merged.empty() && segment.end_frame - segment.begin_frame <
+                               options.min_segment_frames) {
+      merged.back().end_frame = segment.end_frame;
+    } else {
+      merged.push_back(segment);
+    }
+  }
+  return merged;
+}
+
+double ClassSeconds(const std::vector<DetectedAudioSegment>& segments,
+                    AudioClass type, const AudioAnalyzerOptions& options,
+                    int sample_rate) {
+  double frames = 0;
+  for (const DetectedAudioSegment& segment : segments) {
+    if (segment.type == type) frames += segment.end_frame - segment.begin_frame;
+  }
+  return frames * options.frame_samples / sample_rate;
+}
+
+}  // namespace dls::cobra

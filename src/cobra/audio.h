@@ -1,0 +1,102 @@
+#ifndef DLS_COBRA_AUDIO_H_
+#define DLS_COBRA_AUDIO_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/rng.h"
+
+namespace dls::cobra {
+
+/// Audio segment classes (interviews are speech with pauses; the site
+/// also serves music jingles).
+enum class AudioClass : uint8_t {
+  kSpeech,
+  kMusic,
+  kSilence,
+};
+
+const char* AudioClassName(AudioClass c);
+
+/// One scripted audio segment.
+struct AudioSegmentScript {
+  AudioClass type = AudioClass::kSpeech;
+  double seconds = 2.0;
+};
+
+/// A scripted audio clip.
+struct AudioScript {
+  uint64_t seed = 1;
+  int sample_rate = 8000;
+  std::vector<AudioSegmentScript> segments;
+
+  int TotalSamples() const;
+};
+
+/// Deterministic synthetic audio (mono float PCM), the stand-in for
+/// the interview recordings of the Australian Open site:
+///  - speech: syllable bursts of modulated noise separated by short
+///    pauses (bursty energy, high zero-crossing variability),
+///  - music: a steady chord of harmonics (sustained energy, stable
+///    low zero-crossing rate),
+///  - silence: low-level noise.
+class SyntheticAudio {
+ public:
+  explicit SyntheticAudio(AudioScript script);
+
+  const AudioScript& script() const { return script_; }
+  int sample_count() const { return static_cast<int>(samples_.size()); }
+  const std::vector<float>& samples() const { return samples_; }
+
+  /// Ground-truth class of the segment containing `sample`.
+  AudioClass TruthOf(int sample) const;
+
+ private:
+  AudioScript script_;
+  std::vector<float> samples_;
+  std::vector<int> segment_starts_;
+};
+
+/// Frame-level acoustic features (the raw->feature step of the COBRA
+/// layering, applied to audio).
+struct AudioFrameFeatures {
+  double energy = 0;          ///< mean squared amplitude
+  double zero_crossings = 0;  ///< rate in [0, 1]
+};
+
+/// Detected, classified audio segment: [begin, end) in frames.
+struct DetectedAudioSegment {
+  int begin_frame = 0;
+  int end_frame = 0;  ///< exclusive
+  AudioClass type = AudioClass::kSilence;
+};
+
+struct AudioAnalyzerOptions {
+  int frame_samples = 160;          ///< 20 ms at 8 kHz
+  double silence_energy = 1e-4;
+  /// Windows (of kStatWindow frames) whose energy dip ratio exceeds
+  /// this are speech (pauses between syllables); below, music.
+  double speech_dip_ratio = 0.2;
+  /// Minimum segment length in frames after smoothing.
+  int min_segment_frames = 10;
+};
+
+/// Computes per-frame features.
+std::vector<AudioFrameFeatures> AnalyzeFrames(
+    const SyntheticAudio& audio, const AudioAnalyzerOptions& options = {});
+
+/// Segments and classifies an audio clip into speech/music/silence
+/// runs — the `audio_segment` detector behind the audio branch of the
+/// feature grammar.
+std::vector<DetectedAudioSegment> SegmentAudio(
+    const SyntheticAudio& audio, const AudioAnalyzerOptions& options = {});
+
+/// Seconds covered by frames of the given class.
+double ClassSeconds(const std::vector<DetectedAudioSegment>& segments,
+                    AudioClass type, const AudioAnalyzerOptions& options = {},
+                    int sample_rate = 8000);
+
+}  // namespace dls::cobra
+
+#endif  // DLS_COBRA_AUDIO_H_

@@ -1,0 +1,73 @@
+#include "cobra/events.h"
+
+#include <map>
+
+namespace dls::cobra {
+
+bool DetectNetplay(const std::vector<PlayerObservation>& track,
+                   const EventRules& rules) {
+  for (const PlayerObservation& obs : track) {
+    if (obs.found && obs.y <= rules.netplay_y) return true;
+  }
+  return false;
+}
+
+std::vector<int> QuantizeTrack(const std::vector<PlayerObservation>& track,
+                               int frame_height) {
+  std::vector<int> symbols;
+  double last_y = -1;
+  for (const PlayerObservation& obs : track) {
+    if (!obs.found) continue;
+    int zone;
+    if (obs.y < frame_height * 0.60) {
+      zone = 0;  // at the net
+    } else if (obs.y < frame_height * 0.80) {
+      zone = 1;  // mid-court
+    } else {
+      zone = 2;  // baseline
+    }
+    int motion = 1;  // still
+    if (last_y >= 0) {
+      double dy = obs.y - last_y;
+      if (dy < -1.5) {
+        motion = 0;  // moving toward the net
+      } else if (dy > 1.5) {
+        motion = 2;  // moving away
+      }
+    }
+    last_y = obs.y;
+    symbols.push_back(zone * 3 + motion);
+  }
+  return symbols;
+}
+
+StrokeRecognizer::StrokeRecognizer(uint64_t seed)
+    : classifier_(/*num_classes=*/3, /*num_states=*/3, kEventSymbols, seed) {}
+
+Status StrokeRecognizer::Train(
+    const std::vector<std::pair<TrajectoryKind, std::vector<int>>>& examples,
+    int iterations) {
+  std::map<TrajectoryKind, std::vector<std::vector<int>>> by_class;
+  for (const auto& [kind, sequence] : examples) {
+    if (sequence.empty()) continue;
+    by_class[kind].push_back(sequence);
+  }
+  for (int c = 0; c < 3; ++c) {
+    TrajectoryKind kind = static_cast<TrajectoryKind>(c);
+    auto it = by_class.find(kind);
+    if (it == by_class.end()) {
+      return Status::InvalidArgument(
+          std::string("no training examples for class ") +
+          TrajectoryKindName(kind));
+    }
+    DLS_RETURN_IF_ERROR(classifier_.TrainClass(c, it->second, iterations));
+  }
+  return Status::Ok();
+}
+
+TrajectoryKind StrokeRecognizer::Classify(
+    const std::vector<int>& observations) const {
+  return static_cast<TrajectoryKind>(classifier_.Classify(observations));
+}
+
+}  // namespace dls::cobra

@@ -1,0 +1,55 @@
+#ifndef DLS_COBRA_EVENTS_H_
+#define DLS_COBRA_EVENTS_H_
+
+#include <vector>
+
+#include "cobra/hmm.h"
+#include "cobra/tracker.h"
+
+namespace dls::cobra {
+
+/// Rule-based event inference over the player track — the C++-level
+/// counterpart of the grammar-level whitebox detectors (the feature
+/// grammar expresses `netplay` as `some[tennis.frame](player.yPos <=
+/// 170.0)`; this function is the same rule for callers outside the
+/// FDE).
+struct EventRules {
+  /// Player mass-centre y at or above (screen coordinates: smaller is
+  /// closer to the net) this value counts as being at the net.
+  double netplay_y = 170.0;
+};
+
+/// True if the player approaches the net in at least one frame.
+bool DetectNetplay(const std::vector<PlayerObservation>& track,
+                   const EventRules& rules = {});
+
+/// Observation alphabet for stochastic event recognition: each frame
+/// is quantised to zone(y) ∈ {net, mid, baseline} × motion(dy) ∈
+/// {toward net, still, away} = 9 symbols.
+inline constexpr int kEventSymbols = 9;
+
+/// Quantises a player track into the HMM observation alphabet.
+/// Frames where the player was not found are skipped.
+std::vector<int> QuantizeTrack(const std::vector<PlayerObservation>& track,
+                               int frame_height);
+
+/// End-to-end stochastic event recogniser: one HMM per
+/// TrajectoryKind, trained on quantised synthetic tracks.
+class StrokeRecognizer {
+ public:
+  explicit StrokeRecognizer(uint64_t seed);
+
+  /// Trains from labelled example tracks.
+  Status Train(
+      const std::vector<std::pair<TrajectoryKind, std::vector<int>>>& examples,
+      int iterations = 20);
+
+  TrajectoryKind Classify(const std::vector<int>& observations) const;
+
+ private:
+  HmmClassifier classifier_;
+};
+
+}  // namespace dls::cobra
+
+#endif  // DLS_COBRA_EVENTS_H_

@@ -1,0 +1,74 @@
+#ifndef DLS_COBRA_FRAME_H_
+#define DLS_COBRA_FRAME_H_
+
+#include <cstdint>
+#include <cstdlib>
+#include <vector>
+
+namespace dls::cobra {
+
+/// An RGB colour.
+struct Rgb {
+  uint8_t r = 0, g = 0, b = 0;
+
+  bool operator==(const Rgb&) const = default;
+
+  /// Manhattan distance in RGB space.
+  int DistanceTo(const Rgb& other) const {
+    return std::abs(int{r} - int{other.r}) + std::abs(int{g} - int{other.g}) +
+           std::abs(int{b} - int{other.b});
+  }
+};
+
+/// One video frame: a dense row-major RGB raster. The raw-data layer of
+/// the COBRA model.
+class Frame {
+ public:
+  Frame(int width, int height)
+      : width_(width), height_(height),
+        pixels_(static_cast<size_t>(width) * height * 3, 0) {}
+
+  int width() const { return width_; }
+  int height() const { return height_; }
+
+  Rgb At(int x, int y) const {
+    size_t i = Index(x, y);
+    return Rgb{pixels_[i], pixels_[i + 1], pixels_[i + 2]};
+  }
+
+  void Set(int x, int y, Rgb c) {
+    size_t i = Index(x, y);
+    pixels_[i] = c.r;
+    pixels_[i + 1] = c.g;
+    pixels_[i + 2] = c.b;
+  }
+
+  void Fill(Rgb c) {
+    for (int y = 0; y < height_; ++y) {
+      for (int x = 0; x < width_; ++x) Set(x, y, c);
+    }
+  }
+
+ private:
+  size_t Index(int x, int y) const {
+    return (static_cast<size_t>(y) * width_ + x) * 3;
+  }
+
+  int width_;
+  int height_;
+  std::vector<uint8_t> pixels_;
+};
+
+/// Abstract frame supplier. The synthetic generator renders frames on
+/// demand so a video never needs to be materialised in memory — the
+/// stand-in for decoding an MPEG stream.
+class FrameSource {
+ public:
+  virtual ~FrameSource() = default;
+  virtual int frame_count() const = 0;
+  virtual Frame GetFrame(int index) const = 0;
+};
+
+}  // namespace dls::cobra
+
+#endif  // DLS_COBRA_FRAME_H_

@@ -1,0 +1,98 @@
+#include "cobra/histogram.h"
+
+#include <cmath>
+
+namespace dls::cobra {
+
+ColorHistogram ColorHistogram::Of(const Frame& frame) {
+  ColorHistogram hist;
+  for (int y = 0; y < frame.height(); ++y) {
+    for (int x = 0; x < frame.width(); ++x) {
+      Rgb c = frame.At(x, y);
+      ++hist.counts_[BinOf(c)];
+      double luma = 0.299 * c.r + 0.587 * c.g + 0.114 * c.b;
+      hist.sum_ += luma;
+      hist.sum_sq_ += luma * luma;
+    }
+  }
+  hist.total_ = static_cast<int64_t>(frame.width()) * frame.height();
+  return hist;
+}
+
+double ColorHistogram::DistanceTo(const ColorHistogram& other) const {
+  if (total_ == 0 || other.total_ == 0) return 0;
+  double distance = 0;
+  for (int bin = 0; bin < kTotalBins; ++bin) {
+    double a = static_cast<double>(counts_[bin]) / total_;
+    double b = static_cast<double>(other.counts_[bin]) / other.total_;
+    distance += std::abs(a - b);
+  }
+  return distance;
+}
+
+int ColorHistogram::DominantBin() const {
+  int best = 0;
+  for (int bin = 1; bin < kTotalBins; ++bin) {
+    if (counts_[bin] > counts_[best]) best = bin;
+  }
+  return best;
+}
+
+double ColorHistogram::Entropy() const {
+  if (total_ == 0) return 0;
+  double entropy = 0;
+  for (int bin = 0; bin < kTotalBins; ++bin) {
+    if (counts_[bin] == 0) continue;
+    double p = static_cast<double>(counts_[bin]) / total_;
+    entropy -= p * std::log2(p);
+  }
+  return entropy;
+}
+
+double ColorHistogram::variance() const {
+  if (total_ == 0) return 0;
+  double m = sum_ / total_;
+  return sum_sq_ / total_ - m * m;
+}
+
+double SkinPixelRatio(const Frame& frame) {
+  int64_t skin = 0;
+  for (int y = 0; y < frame.height(); ++y) {
+    for (int x = 0; x < frame.width(); ++x) {
+      Rgb c = frame.At(x, y);
+      // A pragmatic RGB skin box: warm, red-dominant, mid-bright.
+      if (c.r > 150 && c.r < 245 && c.g > 110 && c.g < 210 && c.b > 90 &&
+          c.b < 180 && c.r > c.g && c.g > c.b) {
+        ++skin;
+      }
+    }
+  }
+  return static_cast<double>(skin) /
+         (static_cast<double>(frame.width()) * frame.height());
+}
+
+double WhitePixelRatio(const Frame& frame) {
+  int64_t white = 0;
+  for (int y = 0; y < frame.height(); ++y) {
+    for (int x = 0; x < frame.width(); ++x) {
+      Rgb c = frame.At(x, y);
+      if (c.r > 228 && c.g > 228 && c.b > 228) ++white;
+    }
+  }
+  return static_cast<double>(white) /
+         (static_cast<double>(frame.width()) * frame.height());
+}
+
+Rgb BinCenter(int bin) {
+  constexpr int kStep = 256 / ColorHistogram::kBinsPerChannel;
+  int bb = bin % ColorHistogram::kBinsPerChannel;
+  int gb = (bin / ColorHistogram::kBinsPerChannel) %
+           ColorHistogram::kBinsPerChannel;
+  int rb = bin / (ColorHistogram::kBinsPerChannel *
+                  ColorHistogram::kBinsPerChannel);
+  return Rgb{static_cast<uint8_t>(rb * kStep + kStep / 2),
+             static_cast<uint8_t>(gb * kStep + kStep / 2),
+             static_cast<uint8_t>(bb * kStep + kStep / 2)};
+}
+
+}  // namespace dls::cobra

@@ -1,0 +1,65 @@
+#ifndef DLS_COBRA_HISTOGRAM_H_
+#define DLS_COBRA_HISTOGRAM_H_
+
+#include <array>
+
+#include "cobra/frame.h"
+
+namespace dls::cobra {
+
+/// 4x4x4-bin RGB colour histogram — the feature behind shot-boundary
+/// detection and dominant-colour classification.
+class ColorHistogram {
+ public:
+  static constexpr int kBinsPerChannel = 4;
+  static constexpr int kTotalBins =
+      kBinsPerChannel * kBinsPerChannel * kBinsPerChannel;
+
+  ColorHistogram() { counts_.fill(0); }
+
+  static ColorHistogram Of(const Frame& frame);
+
+  static int BinOf(Rgb c) {
+    int rb = c.r / (256 / kBinsPerChannel);
+    int gb = c.g / (256 / kBinsPerChannel);
+    int bb = c.b / (256 / kBinsPerChannel);
+    return (rb * kBinsPerChannel + gb) * kBinsPerChannel + bb;
+  }
+
+  int64_t count(int bin) const { return counts_[bin]; }
+  int64_t total() const { return total_; }
+
+  /// Normalised L1 distance in [0, 2].
+  double DistanceTo(const ColorHistogram& other) const;
+
+  /// Index of the fullest bin.
+  int DominantBin() const;
+
+  /// Shannon entropy (bits) of the bin distribution.
+  double Entropy() const;
+
+  /// Mean and variance of pixel intensity (luma approximation),
+  /// accumulated alongside the histogram.
+  double mean() const { return total_ > 0 ? sum_ / total_ : 0; }
+  double variance() const;
+
+ private:
+  std::array<int64_t, kTotalBins> counts_;
+  int64_t total_ = 0;
+  double sum_ = 0;
+  double sum_sq_ = 0;
+};
+
+/// Fraction of pixels within the skin-colour box (the close-up cue).
+double SkinPixelRatio(const Frame& frame);
+
+/// Fraction of near-white pixels (the court-line cue: playing shots
+/// show the white court markings).
+double WhitePixelRatio(const Frame& frame);
+
+/// Representative colour of a histogram bin (its centre).
+Rgb BinCenter(int bin);
+
+}  // namespace dls::cobra
+
+#endif  // DLS_COBRA_HISTOGRAM_H_

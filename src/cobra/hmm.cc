@@ -1,0 +1,252 @@
+#include "cobra/hmm.h"
+
+#include <cassert>
+#include <cmath>
+#include <limits>
+
+namespace dls::cobra {
+namespace {
+
+constexpr double kNegInf = -std::numeric_limits<double>::infinity();
+
+void NormalizeRow(std::vector<double>* row) {
+  double sum = 0;
+  for (double v : *row) sum += v;
+  if (sum <= 0) {
+    double u = 1.0 / row->size();
+    for (double& v : *row) v = u;
+    return;
+  }
+  for (double& v : *row) v /= sum;
+}
+
+}  // namespace
+
+Hmm::Hmm(int num_states, int num_symbols, uint64_t seed)
+    : num_states_(num_states), num_symbols_(num_symbols) {
+  assert(num_states > 0 && num_symbols > 0);
+  Rng rng(seed);
+  a_.assign(num_states, std::vector<double>(num_states));
+  b_.assign(num_states, std::vector<double>(num_symbols));
+  pi_.assign(num_states, 0);
+  for (int i = 0; i < num_states; ++i) {
+    for (int j = 0; j < num_states; ++j) a_[i][j] = 1.0 + rng.NextDouble();
+    NormalizeRow(&a_[i]);
+    for (int k = 0; k < num_symbols; ++k) b_[i][k] = 1.0 + rng.NextDouble();
+    NormalizeRow(&b_[i]);
+    pi_[i] = 1.0 + rng.NextDouble();
+  }
+  NormalizeRow(&pi_);
+}
+
+double Hmm::LogLikelihood(const std::vector<int>& obs) const {
+  if (obs.empty()) return 0;
+  std::vector<double> alpha(num_states_);
+  double log_prob = 0;
+
+  for (int i = 0; i < num_states_; ++i) {
+    alpha[i] = pi_[i] * b_[i][obs[0]];
+  }
+  double scale = 0;
+  for (double v : alpha) scale += v;
+  if (scale <= 0) return kNegInf;
+  for (double& v : alpha) v /= scale;
+  log_prob += std::log(scale);
+
+  std::vector<double> next(num_states_);
+  for (size_t t = 1; t < obs.size(); ++t) {
+    for (int j = 0; j < num_states_; ++j) {
+      double sum = 0;
+      for (int i = 0; i < num_states_; ++i) sum += alpha[i] * a_[i][j];
+      next[j] = sum * b_[j][obs[t]];
+    }
+    scale = 0;
+    for (double v : next) scale += v;
+    if (scale <= 0) return kNegInf;
+    for (int j = 0; j < num_states_; ++j) alpha[j] = next[j] / scale;
+    log_prob += std::log(scale);
+  }
+  return log_prob;
+}
+
+std::vector<int> Hmm::Viterbi(const std::vector<int>& obs) const {
+  if (obs.empty()) return {};
+  const size_t len = obs.size();
+  std::vector<std::vector<double>> delta(len,
+                                         std::vector<double>(num_states_));
+  std::vector<std::vector<int>> psi(len, std::vector<int>(num_states_, 0));
+
+  auto safe_log = [](double v) { return v > 0 ? std::log(v) : kNegInf; };
+
+  for (int i = 0; i < num_states_; ++i) {
+    delta[0][i] = safe_log(pi_[i]) + safe_log(b_[i][obs[0]]);
+  }
+  for (size_t t = 1; t < len; ++t) {
+    for (int j = 0; j < num_states_; ++j) {
+      double best = kNegInf;
+      int arg = 0;
+      for (int i = 0; i < num_states_; ++i) {
+        double v = delta[t - 1][i] + safe_log(a_[i][j]);
+        if (v > best) {
+          best = v;
+          arg = i;
+        }
+      }
+      delta[t][j] = best + safe_log(b_[j][obs[t]]);
+      psi[t][j] = arg;
+    }
+  }
+
+  std::vector<int> states(len);
+  double best = kNegInf;
+  for (int i = 0; i < num_states_; ++i) {
+    if (delta[len - 1][i] > best) {
+      best = delta[len - 1][i];
+      states[len - 1] = i;
+    }
+  }
+  for (size_t t = len - 1; t > 0; --t) {
+    states[t - 1] = psi[t][states[t]];
+  }
+  return states;
+}
+
+Status Hmm::Train(const std::vector<std::vector<int>>& sequences,
+                  int iterations) {
+  for (const auto& seq : sequences) {
+    if (seq.empty()) {
+      return Status::InvalidArgument("empty training sequence");
+    }
+    for (int symbol : seq) {
+      if (symbol < 0 || symbol >= num_symbols_) {
+        return Status::InvalidArgument("observation symbol out of range");
+      }
+    }
+  }
+  if (sequences.empty()) {
+    return Status::InvalidArgument("no training sequences");
+  }
+
+  const double kSmooth = 1e-3;
+  for (int round = 0; round < iterations; ++round) {
+    // Accumulators across sequences.
+    std::vector<std::vector<double>> a_num(
+        num_states_, std::vector<double>(num_states_, kSmooth));
+    std::vector<std::vector<double>> b_num(
+        num_states_, std::vector<double>(num_symbols_, kSmooth));
+    std::vector<double> pi_num(num_states_, kSmooth);
+
+    for (const std::vector<int>& obs : sequences) {
+      const size_t len = obs.size();
+      // Scaled forward.
+      std::vector<std::vector<double>> alpha(len,
+                                             std::vector<double>(num_states_));
+      std::vector<double> scales(len);
+      for (int i = 0; i < num_states_; ++i) {
+        alpha[0][i] = pi_[i] * b_[i][obs[0]];
+      }
+      double scale = 0;
+      for (double v : alpha[0]) scale += v;
+      if (scale <= 0) continue;  // impossible under the current model
+      scales[0] = scale;
+      for (double& v : alpha[0]) v /= scale;
+      bool dead = false;
+      for (size_t t = 1; t < len; ++t) {
+        for (int j = 0; j < num_states_; ++j) {
+          double sum = 0;
+          for (int i = 0; i < num_states_; ++i) {
+            sum += alpha[t - 1][i] * a_[i][j];
+          }
+          alpha[t][j] = sum * b_[j][obs[t]];
+        }
+        scale = 0;
+        for (double v : alpha[t]) scale += v;
+        if (scale <= 0) {
+          dead = true;
+          break;
+        }
+        scales[t] = scale;
+        for (double& v : alpha[t]) v /= scale;
+      }
+      if (dead) continue;
+
+      // Scaled backward.
+      std::vector<std::vector<double>> beta(len,
+                                            std::vector<double>(num_states_));
+      for (int i = 0; i < num_states_; ++i) beta[len - 1][i] = 1.0;
+      for (size_t t = len - 1; t > 0; --t) {
+        for (int i = 0; i < num_states_; ++i) {
+          double sum = 0;
+          for (int j = 0; j < num_states_; ++j) {
+            sum += a_[i][j] * b_[j][obs[t]] * beta[t][j];
+          }
+          beta[t - 1][i] = sum / scales[t];
+        }
+      }
+
+      // Accumulate expected counts.
+      for (int i = 0; i < num_states_; ++i) {
+        double gamma0 = alpha[0][i] * beta[0][i];
+        pi_num[i] += gamma0;
+      }
+      for (size_t t = 0; t < len; ++t) {
+        for (int i = 0; i < num_states_; ++i) {
+          double gamma = alpha[t][i] * beta[t][i];
+          b_num[i][obs[t]] += gamma;
+        }
+      }
+      for (size_t t = 0; t + 1 < len; ++t) {
+        for (int i = 0; i < num_states_; ++i) {
+          for (int j = 0; j < num_states_; ++j) {
+            double xi = alpha[t][i] * a_[i][j] * b_[j][obs[t + 1]] *
+                        beta[t + 1][j] / scales[t + 1];
+            a_num[i][j] += xi;
+          }
+        }
+      }
+    }
+
+    for (int i = 0; i < num_states_; ++i) {
+      NormalizeRow(&a_num[i]);
+      NormalizeRow(&b_num[i]);
+    }
+    NormalizeRow(&pi_num);
+    a_ = std::move(a_num);
+    b_ = std::move(b_num);
+    pi_ = std::move(pi_num);
+  }
+  return Status::Ok();
+}
+
+HmmClassifier::HmmClassifier(int num_classes, int num_states, int num_symbols,
+                             uint64_t seed) {
+  models_.reserve(num_classes);
+  for (int c = 0; c < num_classes; ++c) {
+    models_.emplace_back(num_states, num_symbols,
+                         seed + static_cast<uint64_t>(c) * 7919);
+  }
+}
+
+Status HmmClassifier::TrainClass(int c,
+                                 const std::vector<std::vector<int>>& sequences,
+                                 int iterations) {
+  if (c < 0 || c >= static_cast<int>(models_.size())) {
+    return Status::InvalidArgument("class index out of range");
+  }
+  return models_[c].Train(sequences, iterations);
+}
+
+int HmmClassifier::Classify(const std::vector<int>& observations) const {
+  int best = 0;
+  double best_ll = kNegInf;
+  for (size_t c = 0; c < models_.size(); ++c) {
+    double ll = models_[c].LogLikelihood(observations);
+    if (ll > best_ll) {
+      best_ll = ll;
+      best = static_cast<int>(c);
+    }
+  }
+  return best;
+}
+
+}  // namespace dls::cobra

@@ -1,0 +1,79 @@
+#ifndef DLS_COBRA_HMM_H_
+#define DLS_COBRA_HMM_H_
+
+#include <vector>
+
+#include "common/rng.h"
+#include "common/status.h"
+
+namespace dls::cobra {
+
+/// A discrete hidden Markov model λ = (A, B, π) over integer
+/// observation symbols. Implements the three classical problems the
+/// paper's stochastic event extension relies on ([PJZ01] recognises
+/// tennis strokes with HMMs):
+///   - evaluation: LogLikelihood via the scaled forward algorithm,
+///   - decoding: Viterbi,
+///   - learning: Baum-Welch EM from unlabelled sequences.
+class Hmm {
+ public:
+  /// Uniformly initialised model with slight symmetry-breaking noise.
+  Hmm(int num_states, int num_symbols, uint64_t seed);
+
+  int num_states() const { return num_states_; }
+  int num_symbols() const { return num_symbols_; }
+
+  double transition(int from, int to) const { return a_[from][to]; }
+  double emission(int state, int symbol) const { return b_[state][symbol]; }
+  double initial(int state) const { return pi_[state]; }
+
+  /// Direct parameter access for hand-built models in tests.
+  void SetTransition(const std::vector<std::vector<double>>& a) { a_ = a; }
+  void SetEmission(const std::vector<std::vector<double>>& b) { b_ = b; }
+  void SetInitial(const std::vector<double>& pi) { pi_ = pi; }
+
+  /// log P(observations | λ) via the scaled forward algorithm.
+  /// Returns -inf for an impossible sequence.
+  double LogLikelihood(const std::vector<int>& observations) const;
+
+  /// Most probable state sequence (Viterbi).
+  std::vector<int> Viterbi(const std::vector<int>& observations) const;
+
+  /// Baum-Welch re-estimation over a training set, `iterations` EM
+  /// rounds (with per-round additive smoothing so no probability
+  /// collapses to zero).
+  Status Train(const std::vector<std::vector<int>>& sequences,
+               int iterations);
+
+ private:
+  int num_states_;
+  int num_symbols_;
+  std::vector<std::vector<double>> a_;   // state x state
+  std::vector<std::vector<double>> b_;   // state x symbol
+  std::vector<double> pi_;
+};
+
+/// A bank of per-class HMMs used as a maximum-likelihood classifier —
+/// the COBRA stochastic event-recognition extension.
+class HmmClassifier {
+ public:
+  /// One HMM per class, each with `num_states` states.
+  HmmClassifier(int num_classes, int num_states, int num_symbols,
+                uint64_t seed);
+
+  /// Trains class `c` on its example sequences.
+  Status TrainClass(int c, const std::vector<std::vector<int>>& sequences,
+                    int iterations = 20);
+
+  /// argmax_c log P(observations | λ_c).
+  int Classify(const std::vector<int>& observations) const;
+
+  const Hmm& model(int c) const { return models_[c]; }
+
+ private:
+  std::vector<Hmm> models_;
+};
+
+}  // namespace dls::cobra
+
+#endif  // DLS_COBRA_HMM_H_

@@ -1,0 +1,142 @@
+#include "cobra/shots.h"
+
+#include <algorithm>
+#include <map>
+
+namespace dls::cobra {
+
+std::vector<int> DetectBoundaries(const FrameSource& video,
+                                  const SegmentOptions& options) {
+  std::vector<int> boundaries;
+  if (video.frame_count() == 0) return boundaries;
+  boundaries.push_back(0);
+  ColorHistogram prev = ColorHistogram::Of(video.GetFrame(0));
+  for (int i = 1; i < video.frame_count(); ++i) {
+    ColorHistogram cur = ColorHistogram::Of(video.GetFrame(i));
+    if (prev.DistanceTo(cur) > options.boundary_threshold) {
+      boundaries.push_back(i);
+    }
+    prev = cur;
+  }
+  return boundaries;
+}
+
+namespace {
+
+/// Per-shot classification features, medianised over sampled frames.
+struct ShotFeatures {
+  int dominant_bin = 0;
+  double skin_ratio = 0;
+  double entropy = 0;
+  double variance = 0;
+  double white_ratio = 0;
+};
+
+ShotFeatures SampleShot(const FrameSource& video, int begin, int end,
+                        int samples) {
+  samples = std::max(1, samples);
+  std::vector<int> dominant;
+  std::vector<double> skin, entropy, variance, white;
+  for (int s = 0; s < samples; ++s) {
+    int frame_index =
+        begin + static_cast<int>((static_cast<int64_t>(end - begin) * s +
+                                  (end - begin) / 2) /
+                                 samples);
+    frame_index = std::min(frame_index, end - 1);
+    Frame frame = video.GetFrame(frame_index);
+    ColorHistogram hist = ColorHistogram::Of(frame);
+    dominant.push_back(hist.DominantBin());
+    skin.push_back(SkinPixelRatio(frame));
+    entropy.push_back(hist.Entropy());
+    variance.push_back(hist.variance());
+    white.push_back(WhitePixelRatio(frame));
+  }
+  auto median = [](std::vector<double>* v) {
+    std::sort(v->begin(), v->end());
+    return (*v)[v->size() / 2];
+  };
+  ShotFeatures features;
+  std::sort(dominant.begin(), dominant.end());
+  features.dominant_bin = dominant[dominant.size() / 2];
+  features.skin_ratio = median(&skin);
+  features.entropy = median(&entropy);
+  features.variance = median(&variance);
+  features.white_ratio = median(&white);
+  return features;
+}
+
+}  // namespace
+
+std::vector<DetectedShot> SegmentAndClassify(const FrameSource& video,
+                                             const SegmentOptions& options) {
+  std::vector<DetectedShot> shots;
+  std::vector<int> boundaries = DetectBoundaries(video, options);
+  if (boundaries.empty()) return shots;
+
+  std::vector<ShotFeatures> features;
+  for (size_t i = 0; i < boundaries.size(); ++i) {
+    int begin = boundaries[i];
+    int end = i + 1 < boundaries.size() ? boundaries[i + 1]
+                                        : video.frame_count();
+    DetectedShot shot;
+    shot.begin = begin;
+    shot.end = end;
+    shots.push_back(shot);
+    features.push_back(
+        SampleShot(video, begin, end, options.classify_samples));
+  }
+
+  // Estimate the court colour: the dominant colour occurring most
+  // frequently across the video, weighted by shot duration — play
+  // dominates a match's airtime, so the court colour wins the vote.
+  // Skin-dominated shots are close-ups and high-entropy shots are
+  // audience shots whatever their dominant colour; neither votes for
+  // the court colour (a close-up's dominant bin is its background, an
+  // audience shot's is crowd noise). Only the remaining shots vote,
+  // weighted by duration — play dominates a match's airtime, so the
+  // court colour wins. With no court-like shot at all, nothing is
+  // classified tennis.
+  auto is_closeup = [&](const ShotFeatures& f) {
+    return f.skin_ratio > options.closeup_skin_ratio;
+  };
+  auto is_audience = [&](const ShotFeatures& f) {
+    return f.entropy > options.audience_entropy;
+  };
+  // Court candidates additionally show the white court markings.
+  auto is_court_like = [&](const ShotFeatures& f) {
+    return f.white_ratio >= options.court_line_ratio;
+  };
+  std::map<int, int64_t> dominant_votes;
+  for (size_t i = 0; i < shots.size(); ++i) {
+    if (is_closeup(features[i]) || is_audience(features[i]) ||
+        !is_court_like(features[i])) {
+      continue;
+    }
+    dominant_votes[features[i].dominant_bin] += shots[i].end - shots[i].begin;
+  }
+  int court_bin = -1;
+  int64_t best_votes = 0;
+  for (const auto& [bin, votes] : dominant_votes) {
+    if (votes > best_votes) {
+      best_votes = votes;
+      court_bin = bin;
+    }
+  }
+
+  for (size_t i = 0; i < shots.size(); ++i) {
+    const ShotFeatures& f = features[i];
+    shots[i].dominant_bin = f.dominant_bin;
+    if (is_closeup(f)) {
+      shots[i].type = ShotClass::kCloseup;
+    } else if (is_audience(f)) {
+      shots[i].type = ShotClass::kAudience;
+    } else if (f.dominant_bin == court_bin && is_court_like(f)) {
+      shots[i].type = ShotClass::kTennis;
+    } else {
+      shots[i].type = ShotClass::kOther;
+    }
+  }
+  return shots;
+}
+
+}  // namespace dls::cobra

@@ -1,0 +1,54 @@
+#ifndef DLS_COBRA_SHOTS_H_
+#define DLS_COBRA_SHOTS_H_
+
+#include <vector>
+
+#include "cobra/histogram.h"
+#include "cobra/synth_video.h"
+
+namespace dls::cobra {
+
+/// A detected shot: [begin, end) frame range plus classification.
+struct DetectedShot {
+  int begin = 0;
+  int end = 0;  ///< exclusive
+  ShotClass type = ShotClass::kOther;
+  int dominant_bin = 0;
+};
+
+/// Tuning knobs of the segment detector. Defaults work across all
+/// three court palettes without per-video changes (the generalisation
+/// the paper claims for its dominant-colour scheme).
+struct SegmentOptions {
+  /// Histogram L1 distance above which a boundary is declared.
+  double boundary_threshold = 0.35;
+  /// Skin ratio above which a shot is a close-up.
+  double closeup_skin_ratio = 0.18;
+  /// Histogram entropy above which a shot is an audience shot.
+  double audience_entropy = 4.3;
+  /// Minimum fraction of near-white pixels (court lines) for a shot to
+  /// qualify as a court candidate.
+  double court_line_ratio = 0.006;
+  /// How many evenly spaced frames to sample per shot for
+  /// classification (shot-level features are medians over samples).
+  int classify_samples = 3;
+};
+
+/// Stage 1 of the tennis analysis (the `segment` detector of Fig. 7):
+/// shot-boundary detection via colour-histogram differences between
+/// neighbouring frames, followed by shot classification.
+///
+/// The court colour is not a parameter: it is estimated as the most
+/// frequent dominant colour across all shots, which is what lets the
+/// same detector handle grass, hard and clay courts unchanged.
+std::vector<DetectedShot> SegmentAndClassify(
+    const FrameSource& video, const SegmentOptions& options = {});
+
+/// Shot boundaries only (begin indices of each shot), for tests that
+/// want to check segmentation separately from classification.
+std::vector<int> DetectBoundaries(const FrameSource& video,
+                                  const SegmentOptions& options = {});
+
+}  // namespace dls::cobra
+
+#endif  // DLS_COBRA_SHOTS_H_

@@ -1,0 +1,323 @@
+#include "cobra/synth_video.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+
+namespace dls::cobra {
+namespace {
+
+Rgb PaletteColor(CourtPalette palette) {
+  switch (palette) {
+    case CourtPalette::kGrass:
+      return Rgb{60, 140, 60};
+    case CourtPalette::kHard:
+      return Rgb{40, 110, 150};
+    case CourtPalette::kClay:
+      return Rgb{190, 110, 60};
+  }
+  return Rgb{40, 110, 150};
+}
+
+constexpr Rgb kSkin{208, 162, 130};
+constexpr Rgb kPlayerShirt{220, 40, 40};
+constexpr Rgb kLineWhite{240, 240, 240};
+
+/// Clamps and adds zero-mean noise to one channel.
+uint8_t Noisy(int base, int noise) {
+  int v = base + noise;
+  return static_cast<uint8_t>(std::clamp(v, 0, 255));
+}
+
+}  // namespace
+
+const char* ShotClassName(ShotClass c) {
+  switch (c) {
+    case ShotClass::kTennis:
+      return "tennis";
+    case ShotClass::kCloseup:
+      return "close-up";
+    case ShotClass::kAudience:
+      return "audience";
+    case ShotClass::kOther:
+      return "other";
+  }
+  return "?";
+}
+
+const char* TrajectoryKindName(TrajectoryKind k) {
+  switch (k) {
+    case TrajectoryKind::kBaselineRally:
+      return "baseline-rally";
+    case TrajectoryKind::kApproachNet:
+      return "approach-net";
+    case TrajectoryKind::kServeVolley:
+      return "serve-volley";
+  }
+  return "?";
+}
+
+int VideoScript::TotalFrames() const {
+  int total = 0;
+  for (const ShotScript& shot : shots) total += shot.num_frames;
+  return total;
+}
+
+SyntheticVideo::SyntheticVideo(VideoScript script)
+    : script_(std::move(script)) {
+  shot_starts_.reserve(script_.shots.size());
+  for (const ShotScript& shot : script_.shots) {
+    shot_starts_.push_back(total_frames_);
+    total_frames_ += shot.num_frames;
+  }
+}
+
+SyntheticVideo::Placement SyntheticVideo::Place(int frame_index) const {
+  assert(frame_index >= 0 && frame_index < total_frames_);
+  // Binary search over shot start offsets.
+  int lo = 0, hi = static_cast<int>(shot_starts_.size()) - 1;
+  while (lo < hi) {
+    int mid = (lo + hi + 1) / 2;
+    if (shot_starts_[mid] <= frame_index) {
+      lo = mid;
+    } else {
+      hi = mid - 1;
+    }
+  }
+  return Placement{lo, frame_index - shot_starts_[lo]};
+}
+
+void SyntheticVideo::PlayerPosition(const ShotScript& shot, int shot_index,
+                                    int frame_in_shot, double* x,
+                                    double* y) const {
+  double w = script_.width;
+  double h = script_.height;
+  double t = shot.num_frames > 1
+                 ? static_cast<double>(frame_in_shot) / (shot.num_frames - 1)
+                 : 0.0;
+  // Deterministic per-shot lateral phase.
+  Rng rng(script_.seed * 1000003 + static_cast<uint64_t>(shot_index));
+  double phase = rng.NextDouble() * 6.28318;
+  double lateral = std::sin(t * 6.28318 * 1.5 + phase);
+
+  const double baseline_y = h * 0.88;  // near-player baseline
+  const double net_y = h * 0.50;       // net line
+
+  switch (shot.trajectory) {
+    case TrajectoryKind::kBaselineRally:
+      *x = w * 0.5 + lateral * w * 0.28;
+      *y = baseline_y - std::abs(lateral) * h * 0.04;
+      break;
+    case TrajectoryKind::kApproachNet:
+      *x = w * 0.5 + lateral * w * 0.12 * (1.0 - t);
+      *y = baseline_y + t * (net_y + 8 - baseline_y);
+      break;
+    case TrajectoryKind::kServeVolley: {
+      // Hold at the baseline for the first half, then sprint to the
+      // net — the long hold is what separates it from a plain
+      // approach in the quantised observation stream.
+      double run = t < 0.5 ? 0.0 : (t - 0.5) / 0.5;
+      *x = w * 0.5 + lateral * w * 0.06;
+      *y = baseline_y + run * (net_y + 4 - baseline_y);
+      break;
+    }
+  }
+}
+
+Rgb SyntheticVideo::court_color() const {
+  return PaletteColor(script_.palette);
+}
+
+Frame SyntheticVideo::GetFrame(int index) const {
+  Placement place = Place(index);
+  const ShotScript& shot = script_.shots[place.shot_index];
+  Frame frame(script_.width, script_.height);
+  switch (shot.type) {
+    case ShotClass::kTennis:
+      RenderTennis(&frame, place.shot_index, place.frame_in_shot);
+      break;
+    case ShotClass::kCloseup:
+      RenderCloseup(&frame, place.shot_index, place.frame_in_shot);
+      break;
+    case ShotClass::kAudience:
+      RenderAudience(&frame, place.shot_index, place.frame_in_shot);
+      break;
+    case ShotClass::kOther:
+      RenderOther(&frame, place.shot_index, place.frame_in_shot);
+      break;
+  }
+  return frame;
+}
+
+void SyntheticVideo::RenderTennis(Frame* frame, int shot_index,
+                                  int frame_in_shot) const {
+  const int w = frame->width();
+  const int h = frame->height();
+  Rgb court = PaletteColor(script_.palette);
+  Rng rng(script_.seed ^ (static_cast<uint64_t>(shot_index) << 24 ^
+                          static_cast<uint64_t>(frame_in_shot)));
+
+  // Court background with mild sensor noise.
+  for (int y = 0; y < h; ++y) {
+    for (int x = 0; x < w; ++x) {
+      int n = static_cast<int>(rng.Uniform(13)) - 6;
+      frame->Set(x, y, Rgb{Noisy(court.r, n), Noisy(court.g, n),
+                           Noisy(court.b, n)});
+    }
+  }
+  // Court lines: net at h/2, baselines and sidelines.
+  auto hline = [&](int y) {
+    if (y < 0 || y >= h) return;
+    for (int x = w / 8; x < w - w / 8; ++x) frame->Set(x, y, kLineWhite);
+  };
+  auto vline = [&](int x) {
+    if (x < 0 || x >= w) return;
+    for (int y = h / 4; y < h - h / 32; ++y) frame->Set(x, y, kLineWhite);
+  };
+  hline(h / 2);
+  hline(h / 2 + 1);          // the net is two pixels thick
+  hline(h - h / 12);         // near baseline
+  hline(h / 4);              // far baseline
+  vline(w / 8);
+  vline(w - w / 8);
+
+  // The player: a shirt-coloured ellipse with a skin-coloured head.
+  const ShotScript& shot = script_.shots[shot_index];
+  double px, py;
+  PlayerPosition(shot, shot_index, frame_in_shot, &px, &py);
+  const double body_rx = w / 32.0, body_ry = h / 11.0;
+  for (int y = static_cast<int>(py - body_ry); y <= py + body_ry; ++y) {
+    for (int x = static_cast<int>(px - body_rx); x <= px + body_rx; ++x) {
+      if (x < 0 || x >= w || y < 0 || y >= h) continue;
+      double dx = (x - px) / body_rx, dy = (y - py) / body_ry;
+      if (dx * dx + dy * dy <= 1.0) frame->Set(x, y, kPlayerShirt);
+    }
+  }
+  const double head_r = w / 60.0;
+  double hy = py - body_ry - head_r;
+  for (int y = static_cast<int>(hy - head_r); y <= hy + head_r; ++y) {
+    for (int x = static_cast<int>(px - head_r); x <= px + head_r; ++x) {
+      if (x < 0 || x >= w || y < 0 || y >= h) continue;
+      double dx = x - px, dy = y - hy;
+      if (dx * dx + dy * dy <= head_r * head_r) frame->Set(x, y, kSkin);
+    }
+  }
+}
+
+void SyntheticVideo::RenderCloseup(Frame* frame, int shot_index,
+                                   int frame_in_shot) const {
+  const int w = frame->width();
+  const int h = frame->height();
+  Rng rng(script_.seed ^ (static_cast<uint64_t>(shot_index) << 24 ^
+                          static_cast<uint64_t>(frame_in_shot)) ^
+          0x5151);
+  // Blurred dark background.
+  for (int y = 0; y < h; ++y) {
+    for (int x = 0; x < w; ++x) {
+      int n = static_cast<int>(rng.Uniform(17)) - 8;
+      frame->Set(x, y, Rgb{Noisy(70, n), Noisy(70, n), Noisy(90, n)});
+    }
+  }
+  // A large skin-coloured face filling ~40% of the frame.
+  double cx = w * 0.5 + std::sin(frame_in_shot * 0.2) * w * 0.02;
+  double cy = h * 0.45;
+  double rx = w * 0.22, ry = h * 0.34;
+  for (int y = 0; y < h; ++y) {
+    for (int x = 0; x < w; ++x) {
+      double dx = (x - cx) / rx, dy = (y - cy) / ry;
+      if (dx * dx + dy * dy <= 1.0) {
+        int n = static_cast<int>(rng.Uniform(9)) - 4;
+        frame->Set(x, y,
+                   Rgb{Noisy(kSkin.r, n), Noisy(kSkin.g, n), Noisy(kSkin.b, n)});
+      }
+    }
+  }
+}
+
+void SyntheticVideo::RenderAudience(Frame* frame, int shot_index,
+                                    int frame_in_shot) const {
+  const int w = frame->width();
+  const int h = frame->height();
+  Rng rng(script_.seed ^ (static_cast<uint64_t>(shot_index) << 24 ^
+                          static_cast<uint64_t>(frame_in_shot)) ^
+          0xa0d1);
+  // A crowd: 4x4 blocks of independently random clothing colours —
+  // maximal histogram entropy, no dominant colour.
+  for (int by = 0; by < h; by += 4) {
+    for (int bx = 0; bx < w; bx += 4) {
+      Rgb c{static_cast<uint8_t>(rng.Uniform(256)),
+            static_cast<uint8_t>(rng.Uniform(256)),
+            static_cast<uint8_t>(rng.Uniform(256))};
+      for (int y = by; y < std::min(by + 4, h); ++y) {
+        for (int x = bx; x < std::min(bx + 4, w); ++x) frame->Set(x, y, c);
+      }
+    }
+  }
+}
+
+void SyntheticVideo::RenderOther(Frame* frame, int shot_index,
+                                 int frame_in_shot) const {
+  const int w = frame->width();
+  const int h = frame->height();
+  Rng rng(script_.seed ^ (static_cast<uint64_t>(shot_index) << 24 ^
+                          static_cast<uint64_t>(frame_in_shot)) ^
+          0x07e4);
+  // Studio/graphics content: a bright grey gradient with a logo block
+  // (kept in a brighter intensity band than the close-up background so
+  // the two shot classes have distinct dominant colours).
+  for (int y = 0; y < h; ++y) {
+    for (int x = 0; x < w; ++x) {
+      int g = 165 + (x * 50) / w + static_cast<int>(rng.Uniform(7)) - 3;
+      frame->Set(x, y, Rgb{Noisy(g, 0), Noisy(g, 0), Noisy(g + 10, 0)});
+    }
+  }
+  for (int y = h / 8; y < h / 4; ++y) {
+    for (int x = w / 8; x < w / 3; ++x) frame->Set(x, y, Rgb{210, 180, 40});
+  }
+}
+
+FrameTruth SyntheticVideo::TruthOf(int frame_index) const {
+  Placement place = Place(frame_index);
+  const ShotScript& shot = script_.shots[place.shot_index];
+  FrameTruth truth;
+  truth.shot_index = place.shot_index;
+  truth.shot_class = shot.type;
+  if (shot.type == ShotClass::kTennis) {
+    double x, y;
+    PlayerPosition(shot, place.shot_index, place.frame_in_shot, &x, &y);
+    truth.player_x = x;
+    truth.player_y = y;
+  }
+  return truth;
+}
+
+VideoScript MakeRandomScript(uint64_t seed, int num_shots,
+                             int frames_per_shot, CourtPalette palette) {
+  VideoScript script;
+  script.seed = seed;
+  script.palette = palette;
+  Rng rng(seed);
+  for (int i = 0; i < num_shots; ++i) {
+    ShotScript shot;
+    double roll = rng.NextDouble();
+    if (roll < 0.5) {
+      shot.type = ShotClass::kTennis;
+    } else if (roll < 0.7) {
+      shot.type = ShotClass::kCloseup;
+    } else if (roll < 0.85) {
+      shot.type = ShotClass::kAudience;
+    } else {
+      shot.type = ShotClass::kOther;
+    }
+    shot.num_frames =
+        frames_per_shot + static_cast<int>(rng.Uniform(frames_per_shot / 2 + 1));
+    double troll = rng.NextDouble();
+    shot.trajectory = troll < 0.4   ? TrajectoryKind::kBaselineRally
+                      : troll < 0.8 ? TrajectoryKind::kApproachNet
+                                    : TrajectoryKind::kServeVolley;
+    script.shots.push_back(shot);
+  }
+  return script;
+}
+
+}  // namespace dls::cobra

@@ -1,0 +1,121 @@
+#ifndef DLS_COBRA_SYNTH_VIDEO_H_
+#define DLS_COBRA_SYNTH_VIDEO_H_
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "cobra/frame.h"
+#include "common/rng.h"
+
+namespace dls::cobra {
+
+/// Shot classes of the paper's Fig. 5 classification.
+enum class ShotClass : uint8_t {
+  kTennis,
+  kCloseup,
+  kAudience,
+  kOther,
+};
+
+const char* ShotClassName(ShotClass c);
+
+/// Scripted player behaviour within a tennis shot — these are also the
+/// event classes the HMM recognises.
+enum class TrajectoryKind : uint8_t {
+  kBaselineRally,  ///< stays near the baseline (large y)
+  kApproachNet,    ///< advances from the baseline towards the net
+  kServeVolley,    ///< brief baseline pause, then a fast run to the net
+};
+
+const char* TrajectoryKindName(TrajectoryKind k);
+
+/// Court colour palettes (the generalisation claim: segmentation works
+/// across court classes without retuning).
+enum class CourtPalette : uint8_t {
+  kGrass,   ///< Wimbledon-ish green
+  kHard,    ///< Australian Open blue/green hard court
+  kClay,    ///< Roland Garros orange
+};
+
+/// One scripted shot.
+struct ShotScript {
+  ShotClass type = ShotClass::kTennis;
+  int num_frames = 30;
+  TrajectoryKind trajectory = TrajectoryKind::kBaselineRally;
+};
+
+/// A whole scripted video.
+struct VideoScript {
+  uint64_t seed = 1;
+  int width = 352;
+  int height = 288;
+  CourtPalette palette = CourtPalette::kHard;
+  std::vector<ShotScript> shots;
+
+  int TotalFrames() const;
+};
+
+/// Ground truth for one frame (for detector accuracy tests).
+struct FrameTruth {
+  int shot_index = -1;
+  ShotClass shot_class = ShotClass::kOther;
+  /// Player centre, present only for tennis shots.
+  std::optional<double> player_x;
+  std::optional<double> player_y;
+};
+
+/// Deterministic synthetic tennis video: frames are rendered on demand
+/// from the script (O(1 frame) memory), with pixel noise derived from
+/// (seed, frame index) so re-rendering a frame is reproducible.
+///
+/// Substitution note (DESIGN.md): this replaces the paper's MPEG tennis
+/// footage. The renderer produces the visual properties the detectors
+/// key on — court-coloured playing shots with a dark player blob and
+/// white net line, skin-dominated close-ups, high-entropy audience
+/// shots — with known ground truth.
+class SyntheticVideo : public FrameSource {
+ public:
+  explicit SyntheticVideo(VideoScript script);
+
+  int frame_count() const override { return total_frames_; }
+  Frame GetFrame(int index) const override;
+
+  const VideoScript& script() const { return script_; }
+  FrameTruth TruthOf(int frame_index) const;
+  /// Frame index of the first frame of shot `i`.
+  int ShotStart(int i) const { return shot_starts_[i]; }
+
+  /// The exact court colour the renderer uses (tests compare the
+  /// detector's estimate against it).
+  Rgb court_color() const;
+
+ private:
+  struct Placement {
+    int shot_index;
+    int frame_in_shot;
+  };
+  Placement Place(int frame_index) const;
+  /// Scripted player position within a tennis shot.
+  void PlayerPosition(const ShotScript& shot, int shot_index,
+                      int frame_in_shot, double* x, double* y) const;
+
+  void RenderTennis(Frame* frame, int shot_index, int frame_in_shot) const;
+  void RenderCloseup(Frame* frame, int shot_index, int frame_in_shot) const;
+  void RenderAudience(Frame* frame, int shot_index, int frame_in_shot) const;
+  void RenderOther(Frame* frame, int shot_index, int frame_in_shot) const;
+
+  VideoScript script_;
+  int total_frames_ = 0;
+  std::vector<int> shot_starts_;
+};
+
+/// Generates a random but deterministic video script: `num_shots` shots
+/// with a realistic class mix (~50% tennis) and varied lengths.
+VideoScript MakeRandomScript(uint64_t seed, int num_shots,
+                             int frames_per_shot = 24,
+                             CourtPalette palette = CourtPalette::kHard);
+
+}  // namespace dls::cobra
+
+#endif  // DLS_COBRA_SYNTH_VIDEO_H_

@@ -1,0 +1,167 @@
+#include "cobra/tracker.h"
+
+#include <algorithm>
+#include <cmath>
+#include <map>
+
+#include "cobra/histogram.h"
+
+namespace dls::cobra {
+namespace {
+
+bool IsCourtLine(Rgb c) {
+  return c.r > 215 && c.g > 215 && c.b > 215;
+}
+
+}  // namespace
+
+std::optional<PlayerObservation> SegmentPlayer(const Frame& frame, Rgb court,
+                                               int x0, int y0, int x1, int y1,
+                                               const TrackerOptions& options) {
+  x0 = std::max(0, x0);
+  y0 = std::max(0, y0);
+  x1 = std::min(frame.width(), x1);
+  y1 = std::min(frame.height(), y1);
+
+  double m00 = 0, m10 = 0, m01 = 0;
+  double sxx = 0, syy = 0, sxy = 0;
+  int bx0 = x1, by0 = y1, bx1 = x0, by1 = y0;
+  std::map<int, int> color_votes;
+
+  for (int y = y0; y < y1; ++y) {
+    for (int x = x0; x < x1; ++x) {
+      Rgb c = frame.At(x, y);
+      if (IsCourtLine(c)) continue;
+      if (c.DistanceTo(court) < options.foreground_threshold) continue;
+      m00 += 1;
+      m10 += x;
+      m01 += y;
+      sxx += static_cast<double>(x) * x;
+      syy += static_cast<double>(y) * y;
+      sxy += static_cast<double>(x) * y;
+      bx0 = std::min(bx0, x);
+      by0 = std::min(by0, y);
+      bx1 = std::max(bx1, x);
+      by1 = std::max(by1, y);
+      ++color_votes[ColorHistogram::BinOf(c)];
+    }
+  }
+  if (m00 < options.min_area) return std::nullopt;
+
+  PlayerObservation obs;
+  obs.found = true;
+  obs.area = m00;
+  obs.x = m10 / m00;
+  obs.y = m01 / m00;
+  obs.bbox_x0 = bx0;
+  obs.bbox_y0 = by0;
+  obs.bbox_x1 = bx1;
+  obs.bbox_y1 = by1;
+
+  // Central second moments -> orientation and eccentricity.
+  double mu20 = sxx / m00 - obs.x * obs.x;
+  double mu02 = syy / m00 - obs.y * obs.y;
+  double mu11 = sxy / m00 - obs.x * obs.y;
+  obs.orientation = 0.5 * std::atan2(2.0 * mu11, mu20 - mu02);
+  double common = std::sqrt((mu20 - mu02) * (mu20 - mu02) + 4 * mu11 * mu11);
+  double lambda1 = (mu20 + mu02 + common) / 2;
+  double lambda2 = (mu20 + mu02 - common) / 2;
+  obs.eccentricity =
+      lambda1 > 1e-9 ? std::sqrt(std::max(0.0, 1.0 - lambda2 / lambda1)) : 0;
+
+  int best_bin = 0, best_votes = 0;
+  for (const auto& [bin, votes] : color_votes) {
+    if (votes > best_votes) {
+      best_votes = votes;
+      best_bin = bin;
+    }
+  }
+  obs.dominant = BinCenter(best_bin);
+  return obs;
+}
+
+std::vector<PlayerObservation> TrackPlayer(const FrameSource& video,
+                                           int begin, int end, Rgb court,
+                                           const TrackerOptions& options) {
+  std::vector<PlayerObservation> track;
+  double pred_x = 0, pred_y = 0;
+  double last_x = 0, last_y = 0;
+  bool have_prediction = false;
+  bool have_last = false;
+  double vx = 0, vy = 0;
+
+  for (int i = begin; i < end; ++i) {
+    Frame frame = video.GetFrame(i);
+    std::optional<PlayerObservation> obs;
+    if (have_prediction) {
+      int w = options.search_window;
+      obs = SegmentPlayer(frame, court, static_cast<int>(pred_x) - w,
+                          static_cast<int>(pred_y) - w,
+                          static_cast<int>(pred_x) + w,
+                          static_cast<int>(pred_y) + w, options);
+    }
+    if (!obs) {
+      // Initial (or recovery) full-frame segmentation, coarse-to-fine:
+      // sample on a grid first to locate the blob, then segment its
+      // neighbourhood exactly.
+      double best_x = 0, best_y = 0;
+      int best_hits = 0;
+      const int stride = options.initial_stride;
+      const int cell = 32;
+      for (int cy = 0; cy < frame.height(); cy += cell) {
+        for (int cx = 0; cx < frame.width(); cx += cell) {
+          int hits = 0;
+          for (int y = cy; y < std::min(cy + cell, frame.height());
+               y += stride) {
+            for (int x = cx; x < std::min(cx + cell, frame.width());
+                 x += stride) {
+              Rgb c = frame.At(x, y);
+              if (!IsCourtLine(c) &&
+                  c.DistanceTo(court) >= options.foreground_threshold) {
+                ++hits;
+              }
+            }
+          }
+          if (hits > best_hits) {
+            best_hits = hits;
+            best_x = cx + cell / 2.0;
+            best_y = cy + cell / 2.0;
+          }
+        }
+      }
+      if (best_hits > 0) {
+        int w = options.search_window;
+        obs = SegmentPlayer(frame, court, static_cast<int>(best_x) - w,
+                            static_cast<int>(best_y) - w,
+                            static_cast<int>(best_x) + w,
+                            static_cast<int>(best_y) + w, options);
+      }
+    }
+
+    PlayerObservation final_obs;
+    final_obs.frame = i;
+    if (obs) {
+      final_obs = *obs;
+      final_obs.frame = i;
+      if (have_last) {
+        vx = final_obs.x - last_x;
+        vy = final_obs.y - last_y;
+      }
+      last_x = final_obs.x;
+      last_y = final_obs.y;
+      have_last = true;
+      // Constant-velocity prediction for the next frame's window.
+      pred_x = final_obs.x + vx;
+      pred_y = final_obs.y + vy;
+      have_prediction = true;
+    } else {
+      have_prediction = false;
+      have_last = false;
+      vx = vy = 0;
+    }
+    track.push_back(final_obs);
+  }
+  return track;
+}
+
+}  // namespace dls::cobra

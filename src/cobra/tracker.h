@@ -1,0 +1,62 @@
+#ifndef DLS_COBRA_TRACKER_H_
+#define DLS_COBRA_TRACKER_H_
+
+#include <optional>
+#include <vector>
+
+#include "cobra/frame.h"
+#include "cobra/synth_video.h"
+
+namespace dls::cobra {
+
+/// Shape features of the segmented player blob — the paper's feature
+/// layer output: position, area, bounding box, mass centre,
+/// orientation and eccentricity, plus the blob's dominant colour.
+struct PlayerObservation {
+  int frame = 0;
+  bool found = false;
+  double x = 0;            ///< mass centre x
+  double y = 0;            ///< mass centre y
+  double area = 0;         ///< pixels in the blob
+  int bbox_x0 = 0, bbox_y0 = 0, bbox_x1 = 0, bbox_y1 = 0;
+  double orientation = 0;  ///< radians of the major axis
+  double eccentricity = 0; ///< 0 = circle, -> 1 = elongated
+  Rgb dominant{};
+};
+
+struct TrackerOptions {
+  /// Colour distance from the court estimate above which a pixel is
+  /// foreground.
+  int foreground_threshold = 120;
+  /// Half-size of the local search window around the predicted
+  /// position in subsequent frames.
+  int search_window = 40;
+  /// Blobs smaller than this are noise.
+  int min_area = 20;
+  /// Coarse sampling stride of the initial full-frame segmentation
+  /// (the paper's "initial quadratic segmentation").
+  int initial_stride = 4;
+};
+
+/// The `tennis` detector of Fig. 7: segments and tracks the (near)
+/// player over a shot's frames.
+///
+/// Frame 0 is segmented with a coarse full-frame scan against the
+/// estimated court-colour statistics; each following frame predicts
+/// the player position from the previous two observations and
+/// re-segments only a local window around the prediction.
+///
+/// `court` is the colour estimate from the segment stage.
+std::vector<PlayerObservation> TrackPlayer(const FrameSource& video,
+                                           int begin, int end, Rgb court,
+                                           const TrackerOptions& options = {});
+
+/// Segments the player in a single frame by scanning the given window
+/// (used by TrackPlayer; exposed for unit tests).
+std::optional<PlayerObservation> SegmentPlayer(const Frame& frame, Rgb court,
+                                               int x0, int y0, int x1, int y1,
+                                               const TrackerOptions& options);
+
+}  // namespace dls::cobra
+
+#endif  // DLS_COBRA_TRACKER_H_

@@ -1,0 +1,125 @@
+#ifndef DLS_COMMON_RNG_H_
+#define DLS_COMMON_RNG_H_
+
+#include <cassert>
+#include <cmath>
+#include <cstdint>
+#include <vector>
+
+namespace dls {
+
+/// Deterministic 64-bit PRNG (xoshiro256** seeded via splitmix64).
+///
+/// Every synthetic workload in this repository draws from an explicitly
+/// seeded Rng so experiments and tests are bit-for-bit reproducible.
+class Rng {
+ public:
+  explicit Rng(uint64_t seed) {
+    // splitmix64 expansion of the seed into the xoshiro state.
+    uint64_t x = seed;
+    for (auto& s : state_) {
+      x += 0x9e3779b97f4a7c15ULL;
+      uint64_t z = x;
+      z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+      z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+      s = z ^ (z >> 31);
+    }
+  }
+
+  /// Uniform 64-bit value.
+  uint64_t Next() {
+    const uint64_t result = Rotl(state_[1] * 5, 7) * 9;
+    const uint64_t t = state_[1] << 17;
+    state_[2] ^= state_[0];
+    state_[3] ^= state_[1];
+    state_[1] ^= state_[2];
+    state_[0] ^= state_[3];
+    state_[2] ^= t;
+    state_[3] = Rotl(state_[3], 45);
+    return result;
+  }
+
+  /// Uniform integer in [0, n). Precondition: n > 0.
+  uint64_t Uniform(uint64_t n) {
+    assert(n > 0);
+    // Rejection-free Lemire-style bounded draw is overkill here; modulo
+    // bias is negligible for the n << 2^64 used by the workloads.
+    return Next() % n;
+  }
+
+  /// Uniform integer in [lo, hi] inclusive.
+  int64_t UniformInt(int64_t lo, int64_t hi) {
+    assert(lo <= hi);
+    return lo + static_cast<int64_t>(Uniform(static_cast<uint64_t>(hi - lo + 1)));
+  }
+
+  /// Uniform double in [0, 1).
+  double NextDouble() {
+    return static_cast<double>(Next() >> 11) * (1.0 / 9007199254740992.0);
+  }
+
+  /// Bernoulli trial with success probability p.
+  bool Bernoulli(double p) { return NextDouble() < p; }
+
+  /// Standard normal via Box-Muller.
+  double Gaussian() {
+    double u1 = NextDouble();
+    double u2 = NextDouble();
+    if (u1 < 1e-300) u1 = 1e-300;
+    return std::sqrt(-2.0 * std::log(u1)) * std::cos(6.283185307179586 * u2);
+  }
+
+  /// Fisher-Yates shuffle.
+  template <typename T>
+  void Shuffle(std::vector<T>* v) {
+    for (size_t i = v->size(); i > 1; --i) {
+      std::swap((*v)[i - 1], (*v)[Uniform(i)]);
+    }
+  }
+
+ private:
+  static uint64_t Rotl(uint64_t x, int k) { return (x << k) | (x >> (64 - k)); }
+
+  uint64_t state_[4];
+};
+
+/// Zipfian rank sampler over [0, n): rank r drawn with probability
+/// proportional to 1/(r+1)^theta. Used for synthetic term distributions,
+/// matching the skew of natural-language corpora the paper indexes.
+class ZipfSampler {
+ public:
+  ZipfSampler(size_t n, double theta) : cdf_(n) {
+    assert(n > 0);
+    double sum = 0;
+    for (size_t r = 0; r < n; ++r) {
+      sum += 1.0 / std::pow(static_cast<double>(r + 1), theta);
+      cdf_[r] = sum;
+    }
+    for (size_t r = 0; r < n; ++r) cdf_[r] /= sum;
+  }
+
+  /// Draws a rank in [0, n).
+  size_t Sample(Rng* rng) const {
+    double u = rng->NextDouble();
+    // Binary search the cumulative distribution.
+    size_t lo = 0, hi = cdf_.size() - 1;
+    while (lo < hi) {
+      size_t mid = (lo + hi) / 2;
+      if (cdf_[mid] < u) {
+        lo = mid + 1;
+      } else {
+        hi = mid;
+      }
+    }
+    return lo;
+  }
+
+  size_t size() const { return cdf_.size(); }
+
+ private:
+  std::vector<double> cdf_;
+};
+
+}  // namespace dls
+
+#endif  // DLS_COMMON_RNG_H_

@@ -1,0 +1,137 @@
+#ifndef DLS_COMMON_STATUS_H_
+#define DLS_COMMON_STATUS_H_
+
+#include <cassert>
+#include <optional>
+#include <string>
+#include <utility>
+
+namespace dls {
+
+/// Error categories used across the library. Modelled after the
+/// status-code idiom of storage engines: errors are values, not
+/// exceptions, and cross every public API boundary explicitly.
+enum class StatusCode {
+  kOk = 0,
+  kInvalidArgument,
+  kNotFound,
+  kAlreadyExists,
+  kCorruption,      ///< persistent data failed an integrity check
+  kParseError,      ///< malformed XML / grammar / query text
+  kDetectorFailure, ///< a feature detector rejected or crashed
+  kUnsupported,
+  kInternal,
+};
+
+/// Returns a short stable name ("ok", "parse error", ...) for a code.
+const char* StatusCodeName(StatusCode code);
+
+/// A cheap, copyable success-or-error value.
+///
+/// The OK status carries no allocation; error statuses carry a code and
+/// a human-readable message. Use the factory helpers:
+///
+///   if (!doc.has_root()) return Status::InvalidArgument("empty document");
+class Status {
+ public:
+  /// Constructs an OK status.
+  Status() : code_(StatusCode::kOk) {}
+
+  Status(StatusCode code, std::string message)
+      : code_(code), message_(std::move(message)) {}
+
+  static Status Ok() { return Status(); }
+  static Status InvalidArgument(std::string msg) {
+    return Status(StatusCode::kInvalidArgument, std::move(msg));
+  }
+  static Status NotFound(std::string msg) {
+    return Status(StatusCode::kNotFound, std::move(msg));
+  }
+  static Status AlreadyExists(std::string msg) {
+    return Status(StatusCode::kAlreadyExists, std::move(msg));
+  }
+  static Status Corruption(std::string msg) {
+    return Status(StatusCode::kCorruption, std::move(msg));
+  }
+  static Status ParseError(std::string msg) {
+    return Status(StatusCode::kParseError, std::move(msg));
+  }
+  static Status DetectorFailure(std::string msg) {
+    return Status(StatusCode::kDetectorFailure, std::move(msg));
+  }
+  static Status Unsupported(std::string msg) {
+    return Status(StatusCode::kUnsupported, std::move(msg));
+  }
+  static Status Internal(std::string msg) {
+    return Status(StatusCode::kInternal, std::move(msg));
+  }
+
+  bool ok() const { return code_ == StatusCode::kOk; }
+  StatusCode code() const { return code_; }
+  const std::string& message() const { return message_; }
+
+  /// "ok" or "<code name>: <message>" — for logs and test failures.
+  std::string ToString() const;
+
+ private:
+  StatusCode code_;
+  std::string message_;
+};
+
+/// A value-or-error, the return type of fallible factories.
+///
+///   Result<Document> r = ParseDocument(text);
+///   if (!r.ok()) return r.status();
+///   Document doc = std::move(r).value();
+template <typename T>
+class Result {
+ public:
+  /// Implicit from a value: `return doc;`
+  Result(T value) : status_(Status::Ok()), value_(std::move(value)) {}
+  /// Implicit from an error status: `return Status::ParseError(...)`.
+  Result(Status status) : status_(std::move(status)) {
+    assert(!status_.ok() && "Result from status requires an error");
+  }
+
+  bool ok() const { return status_.ok(); }
+  const Status& status() const { return status_; }
+
+  /// Precondition: ok().
+  const T& value() const& {
+    assert(ok());
+    return *value_;
+  }
+  T& value() & {
+    assert(ok());
+    return *value_;
+  }
+  T&& value() && {
+    assert(ok());
+    return std::move(*value_);
+  }
+
+ private:
+  Status status_;
+  std::optional<T> value_;
+};
+
+}  // namespace dls
+
+/// Propagates an error status out of the enclosing function.
+#define DLS_RETURN_IF_ERROR(expr)                \
+  do {                                           \
+    ::dls::Status _dls_status = (expr);          \
+    if (!_dls_status.ok()) return _dls_status;   \
+  } while (0)
+
+/// Unwraps a Result into `lhs`, propagating errors.
+#define DLS_ASSIGN_OR_RETURN(lhs, expr)          \
+  auto DLS_CONCAT_(_dls_result, __LINE__) = (expr);               \
+  if (!DLS_CONCAT_(_dls_result, __LINE__).ok())                   \
+    return DLS_CONCAT_(_dls_result, __LINE__).status();           \
+  lhs = std::move(DLS_CONCAT_(_dls_result, __LINE__)).value()
+
+#define DLS_CONCAT_(a, b) DLS_CONCAT_IMPL_(a, b)
+#define DLS_CONCAT_IMPL_(a, b) a##b
+
+#endif  // DLS_COMMON_STATUS_H_

@@ -1,0 +1,36 @@
+#ifndef DLS_COMMON_STRINGS_H_
+#define DLS_COMMON_STRINGS_H_
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace dls {
+
+/// Splits `text` on `sep`, keeping empty fields.
+std::vector<std::string> Split(std::string_view text, char sep);
+
+/// Splits on `sep`, dropping empty fields.
+std::vector<std::string> SplitSkipEmpty(std::string_view text, char sep);
+
+/// Joins `parts` with `sep`.
+std::string Join(const std::vector<std::string>& parts, std::string_view sep);
+
+/// Strips ASCII whitespace from both ends.
+std::string_view Trim(std::string_view text);
+
+/// ASCII lower-casing (the IR layer only handles ASCII terms).
+std::string ToLower(std::string_view text);
+
+bool StartsWith(std::string_view text, std::string_view prefix);
+bool EndsWith(std::string_view text, std::string_view suffix);
+
+/// printf-style formatting into a std::string.
+std::string StrFormat(const char* fmt, ...) __attribute__((format(printf, 1, 2)));
+
+/// Escapes &, <, >, ", ' for XML output.
+std::string XmlEscape(std::string_view text);
+
+}  // namespace dls
+
+#endif  // DLS_COMMON_STRINGS_H_

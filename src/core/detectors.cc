@@ -1,0 +1,232 @@
+#include "core/detectors.h"
+
+#include <cmath>
+
+#include "cobra/histogram.h"
+
+namespace dls::core {
+namespace {
+
+using fg::DetectorContext;
+using fg::Token;
+
+DetectorEnv* Env(const DetectorContext& context) {
+  return static_cast<DetectorEnv*>(context.env);
+}
+
+/// header(location): fetches the resource's MIME header and emits
+/// primary and secondary type tokens (Fig. 6).
+Status HeaderDetector(const DetectorContext& context,
+                      std::vector<Token>* out) {
+  DetectorEnv* env = Env(context);
+  if (env == nullptr || env->web == nullptr) {
+    return Status::Internal("header: no virtual web in environment");
+  }
+  if (context.inputs.empty()) {
+    return Status::DetectorFailure("header: missing location input");
+  }
+  const WebResource* res = env->web->Find(context.inputs[0].text());
+  if (res == nullptr) {
+    return Status::DetectorFailure("header: unresolvable location " +
+                                   context.inputs[0].text());
+  }
+  out->push_back(Token::Str(res->mime_primary));
+  out->push_back(Token::Str(res->mime_secondary));
+  return Status::Ok();
+}
+
+const char* GrammarShotType(cobra::ShotClass type) {
+  switch (type) {
+    case cobra::ShotClass::kTennis:
+      return "tennis";
+    case cobra::ShotClass::kCloseup:
+      return "close-up";
+    case cobra::ShotClass::kAudience:
+      return "audience";
+    case cobra::ShotClass::kOther:
+      return "other";
+  }
+  return "other";
+}
+
+/// segment(location): shot boundaries + classification. Emits, per
+/// shot: begin frameNo, end frameNo, type literal.
+Status SegmentDetector(const DetectorContext& context,
+                       std::vector<Token>* out) {
+  DetectorEnv* env = Env(context);
+  const WebResource* res = env->web->Find(context.inputs[0].text());
+  if (res == nullptr || !res->video.has_value()) {
+    return Status::DetectorFailure("segment: no video at " +
+                                   context.inputs[0].text());
+  }
+  const std::string& url = context.inputs[0].text();
+  cobra::SyntheticVideo video(*res->video);
+
+  std::vector<cobra::DetectedShot> shots =
+      cobra::SegmentAndClassify(video, env->segment_options);
+  env->frames_analyzed += static_cast<size_t>(video.frame_count());
+
+  // Estimate the court colour from the modal dominant bin of the shots
+  // classified tennis; the tracker segments against this estimate.
+  std::map<int, int> votes;
+  for (const cobra::DetectedShot& shot : shots) {
+    if (shot.type == cobra::ShotClass::kTennis) ++votes[shot.dominant_bin];
+  }
+  cobra::Rgb court{0, 0, 0};
+  int best = 0;
+  for (const auto& [bin, count] : votes) {
+    if (count > best) {
+      best = count;
+      court = cobra::BinCenter(bin);
+    }
+  }
+  env->shot_cache[url] = shots;
+  env->court_cache[url] = court;
+
+  for (const cobra::DetectedShot& shot : shots) {
+    out->push_back(Token::Int(shot.begin));
+    out->push_back(Token::Int(shot.end));
+    out->push_back(Token::Str(GrammarShotType(shot.type)));
+  }
+  return Status::Ok();
+}
+
+/// tennis(location, begin.frameNo, end.frameNo): tracks the player
+/// through one shot and emits, per frame in which the player was
+/// found: frameNo, xPos, yPos, Area, Ecc, Orient.
+Status TennisDetector(const DetectorContext& context,
+                      std::vector<Token>* out) {
+  DetectorEnv* env = Env(context);
+  if (context.inputs.size() != 3) {
+    return Status::DetectorFailure("tennis: expected 3 inputs");
+  }
+  const std::string& url = context.inputs[0].text();
+  const WebResource* res = env->web->Find(url);
+  if (res == nullptr || !res->video.has_value()) {
+    return Status::DetectorFailure("tennis: no video at " + url);
+  }
+  auto court_it = env->court_cache.find(url);
+  if (court_it == env->court_cache.end()) {
+    return Status::DetectorFailure("tennis: segment has not run for " + url);
+  }
+  int begin = static_cast<int>(context.inputs[1].AsInt());
+  int end = static_cast<int>(context.inputs[2].AsInt());
+
+  cobra::SyntheticVideo video(*res->video);
+  if (begin < 0 || end > video.frame_count() || begin >= end) {
+    return Status::DetectorFailure("tennis: bad shot range");
+  }
+  std::vector<cobra::PlayerObservation> track = cobra::TrackPlayer(
+      video, begin, end, court_it->second, env->tracker_options);
+  env->frames_analyzed += static_cast<size_t>(end - begin);
+
+  for (const cobra::PlayerObservation& obs : track) {
+    if (!obs.found) continue;
+    out->push_back(Token::Int(obs.frame));
+    out->push_back(Token::Flt(obs.x));
+    out->push_back(Token::Flt(obs.y));
+    out->push_back(Token::Int(static_cast<int64_t>(std::lround(obs.area))));
+    out->push_back(Token::Flt(obs.eccentricity));
+    out->push_back(Token::Flt(obs.orientation));
+  }
+  return Status::Ok();
+}
+
+/// parse_html(location): emits title, keyword tokens and anchor
+/// (target url, embedded bit) pairs for the Fig. 14 grammar.
+Status ParseHtmlDetector(const DetectorContext& context,
+                         std::vector<Token>* out) {
+  DetectorEnv* env = Env(context);
+  const WebResource* res = env->web->Find(context.inputs[0].text());
+  if (res == nullptr || !res->page.has_value()) {
+    return Status::DetectorFailure("parse_html: no page at " +
+                                   context.inputs[0].text());
+  }
+  const synth::WebPage& page = *res->page;
+  out->push_back(Token::Str(page.title));
+  for (const std::string& keyword : page.keywords) {
+    out->push_back(Token::Str(keyword));
+  }
+  for (const synth::WebPage::Anchor& anchor : page.anchors) {
+    out->push_back(Token::Url(anchor.href));
+    out->push_back(Token::Bit(anchor.embedded));
+  }
+  return Status::Ok();
+}
+
+/// classify_image(location): renders the synthetic image and applies
+/// the photograph/graphic + portrait heuristic (skin-pixel dominance),
+/// emitting the kind token.
+Status ClassifyImageDetector(const DetectorContext& context,
+                             std::vector<Token>* out) {
+  DetectorEnv* env = Env(context);
+  const std::string& url = context.inputs[0].text();
+  const WebResource* res = env->web->Find(url);
+  if (res == nullptr || res->mime_primary != "image") {
+    return Status::DetectorFailure("classify_image: no image at " + url);
+  }
+  // Render the image content the virtual web models: portraits look
+  // like close-up frames, graphics like studio frames.
+  cobra::VideoScript script;
+  script.seed = 0;
+  for (char c : url) script.seed = script.seed * 131 + static_cast<uint8_t>(c);
+  script.width = 176;
+  script.height = 144;
+  cobra::ShotScript shot;
+  shot.type = res->image_kind == "portrait" ? cobra::ShotClass::kCloseup
+                                            : cobra::ShotClass::kOther;
+  shot.num_frames = 1;
+  script.shots.push_back(shot);
+  cobra::SyntheticVideo image(script);
+  double skin = cobra::SkinPixelRatio(image.GetFrame(0));
+  ++env->frames_analyzed;
+  out->push_back(Token::Str(skin > 0.18 ? "portrait" : "graphic"));
+  return Status::Ok();
+}
+
+/// audio_segment(location): segments an audio clip into speech / music
+/// / silence runs and emits, per segment: begin frame, end frame, kind.
+Status AudioSegmentDetector(const DetectorContext& context,
+                            std::vector<Token>* out) {
+  DetectorEnv* env = Env(context);
+  const WebResource* res = env->web->Find(context.inputs[0].text());
+  if (res == nullptr || !res->audio.has_value()) {
+    return Status::DetectorFailure("audio_segment: no audio at " +
+                                   context.inputs[0].text());
+  }
+  cobra::SyntheticAudio audio(*res->audio);
+  std::vector<cobra::DetectedAudioSegment> segments =
+      cobra::SegmentAudio(audio);
+  for (const cobra::DetectedAudioSegment& segment : segments) {
+    out->push_back(Token::Int(segment.begin_frame));
+    out->push_back(Token::Int(segment.end_frame));
+    out->push_back(Token::Str(cobra::AudioClassName(segment.type)));
+  }
+  return Status::Ok();
+}
+
+Status NoopHook(const DetectorContext&) { return Status::Ok(); }
+
+}  // namespace
+
+void RegisterVideoDetectors(fg::DetectorRegistry* registry) {
+  fg::DetectorVersion v1;  // 1.0.0
+  registry->Register("header", HeaderDetector, v1);
+  // The init/final hooks model the W3C library setup of Fig. 6.
+  registry->RegisterInit("header", NoopHook);
+  registry->RegisterFinal("header", NoopHook);
+  registry->Register("segment", SegmentDetector, v1);
+  registry->Register("tennis", TennisDetector, v1);
+  registry->Register("audio_segment", AudioSegmentDetector, v1);
+}
+
+void RegisterInternetDetectors(fg::DetectorRegistry* registry) {
+  fg::DetectorVersion v1;
+  registry->Register("header", HeaderDetector, v1);
+  registry->RegisterInit("header", NoopHook);
+  registry->RegisterFinal("header", NoopHook);
+  registry->Register("parse_html", ParseHtmlDetector, v1);
+  registry->Register("classify_image", ClassifyImageDetector, v1);
+}
+
+}  // namespace dls::core

@@ -1,0 +1,44 @@
+#ifndef DLS_CORE_DETECTORS_H_
+#define DLS_CORE_DETECTORS_H_
+
+#include <map>
+#include <string>
+
+#include "cobra/shots.h"
+#include "cobra/tracker.h"
+#include "core/virtual_web.h"
+#include "fg/detector.h"
+
+namespace dls::core {
+
+/// Shared environment handed to every detector through
+/// FdeOptions::env. Owns the per-video analysis caches that let the
+/// `tennis` detector reuse the court-colour estimate the `segment`
+/// detector produced.
+struct DetectorEnv {
+  const VirtualWeb* web = nullptr;
+  cobra::SegmentOptions segment_options;
+  cobra::TrackerOptions tracker_options;
+
+  /// Caches keyed by video URL, filled by the segment detector.
+  std::map<std::string, std::vector<cobra::DetectedShot>> shot_cache;
+  std::map<std::string, cobra::Rgb> court_cache;
+
+  /// Counters for experiments.
+  size_t frames_analyzed = 0;
+};
+
+/// Registers the implementations behind grammars/video.fg:
+///   header   — MIME resolution against the virtual web,
+///   segment  — shot segmentation + classification (COBRA stage 1),
+///   tennis   — player segmentation/tracking + shape features.
+/// All registered at version 1.0.0.
+void RegisterVideoDetectors(fg::DetectorRegistry* registry);
+
+/// Registers the implementations behind grammars/internet.fg:
+///   header, parse_html, classify_image.
+void RegisterInternetDetectors(fg::DetectorRegistry* registry);
+
+}  // namespace dls::core
+
+#endif  // DLS_CORE_DETECTORS_H_

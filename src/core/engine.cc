@@ -1,0 +1,589 @@
+#include "core/engine.h"
+
+#include <algorithm>
+#include <map>
+
+#include "common/strings.h"
+#include "ir/index.h"
+#include "ir/tokenizer.h"
+#include "monet/storage.h"
+#include "xml/writer.h"
+
+namespace dls::core {
+namespace {
+
+using monet::Oid;
+using monet::OidSet;
+using monet::RelationId;
+using monet::StepKind;
+
+std::string ClassPath(const std::string& cls) { return "/webspace/" + cls; }
+
+std::string AttrPath(const std::string& cls, const std::string& attr) {
+  return "/webspace/" + cls + "/" + attr;
+}
+
+}  // namespace
+
+SearchEngine::SearchEngine(EngineOptions options)
+    : options_(std::move(options)) {}
+
+Status SearchEngine::Initialize(std::string_view schema_text,
+                                std::string_view grammar_text) {
+  {
+    Result<webspace::Schema> schema = webspace::ParseSchema(schema_text);
+    if (!schema.ok()) return schema.status();
+    schema_ = std::move(schema).value();
+  }
+  {
+    Result<fg::Grammar> grammar = fg::ParseGrammar(grammar_text);
+    if (!grammar.ok()) return grammar.status();
+    grammar_ = std::make_unique<fg::Grammar>(std::move(grammar).value());
+  }
+  instance_ = std::make_unique<webspace::WebspaceInstance>(&schema_);
+  RegisterVideoDetectors(&registry_);
+  env_.web = &web_;
+  options_.fde.env = &env_;
+  fde_ = std::make_unique<fg::Fde>(grammar_.get(), &registry_, options_.fde);
+  fds_ = std::make_unique<fg::Fds>(grammar_.get(), &registry_, &store_,
+                                   fde_.get());
+  ir_ = std::make_unique<ir::ClusterIndex>(options_.ir_nodes,
+                                           options_.ir_fragments);
+  return Status::Ok();
+}
+
+Status SearchEngine::IndexObjectText(const webspace::WebObject& object) {
+  const webspace::ClassDef* cls = schema_.FindClass(object.cls);
+  for (const webspace::AttrValue& value : object.attributes) {
+    const webspace::AttributeDef* attr = cls->FindAttribute(value.attr);
+    if (attr == nullptr) continue;
+    bool textual = attr->type == webspace::AttrType::kHypertext ||
+                   attr->type == webspace::AttrType::kVarchar;
+    if (!textual || value.text.empty()) continue;
+    ir_->AddDocument(object.id + "#" + value.attr, value.text);
+    ++stats_.text_attributes_indexed;
+  }
+  return Status::Ok();
+}
+
+Status SearchEngine::PopulateDocument(const std::string& url,
+                                      const xml::Document& doc) {
+  web_.AddXml(url, xml::Write(doc));
+  ++stats_.documents_crawled;
+  DLS_RETURN_IF_ERROR(concept_db_.InsertDocument(url, doc));
+
+  Result<webspace::DocumentView> view = webspace::RetrieveObjects(schema_, doc);
+  if (!view.ok()) return view.status();
+  DLS_RETURN_IF_ERROR(instance_->Merge(view.value()));
+  for (const webspace::WebObject& object : view.value().objects) {
+    ++stats_.objects_retrieved;
+    DLS_RETURN_IF_ERROR(IndexObjectText(object));
+    // Collect multimedia locations for the logical level.
+    const webspace::ClassDef* cls = schema_.FindClass(object.cls);
+    for (const webspace::AttrValue& value : object.attributes) {
+      const webspace::AttributeDef* attr = cls->FindAttribute(value.attr);
+      bool analyzable = attr != nullptr &&
+                        (attr->type == webspace::AttrType::kVideo ||
+                         attr->type == webspace::AttrType::kAudio);
+      if (analyzable && !value.src.empty()) {
+        pending_media_.insert(value.src);
+      }
+    }
+  }
+  return Status::Ok();
+}
+
+Status SearchEngine::FinishPopulation() {
+  // Logical level: run the feature grammar over every referenced
+  // multimedia object (videos and audio clips alike — the grammar
+  // dispatches on the MIME type).
+  for (const std::string& url : pending_media_) {
+    DLS_RETURN_IF_ERROR(AnalyzeMedia(url));
+  }
+  pending_media_.clear();
+  ir_->Finalize();
+  return Status::Ok();
+}
+
+Status SearchEngine::PopulateFromSite(const synth::Site& site) {
+  // Publish raw multimedia resources first so detectors can fetch them.
+  for (const auto& [url, script] : site.videos) web_.AddVideo(url, script);
+  for (const auto& [url, script] : site.audios) web_.AddAudio(url, script);
+  for (const auto& [url, kind] : site.images) web_.AddImage(url, kind);
+
+  for (const auto& [url, doc] : site.documents) {
+    DLS_RETURN_IF_ERROR(PopulateDocument(url, doc));
+  }
+  return FinishPopulation();
+}
+
+Status SearchEngine::AnalyzeMedia(const std::string& url) {
+  Result<fg::ParseTree> tree = fde_->Parse({fg::Token::Url(url)});
+  if (!tree.ok()) return tree.status();
+  ++stats_.media_analyzed;
+  stats_.frames_analyzed = env_.frames_analyzed;
+  xml::Document meta = tree.value().ToXml();
+  store_.Put(url, std::move(tree).value());
+  if (meta_db_.HasDocument(url)) {
+    return meta_db_.ReplaceDocument(url, meta);
+  }
+  return meta_db_.InsertDocument(url, meta);
+}
+
+Status SearchEngine::SaveState(const std::string& directory) const {
+  DLS_RETURN_IF_ERROR(
+      monet::SaveDatabase(concept_db_, directory + "/concept.db"));
+  return monet::SaveDatabase(meta_db_, directory + "/meta.db");
+}
+
+Status SearchEngine::RestoreState(const std::string& directory) {
+  {
+    Result<std::unique_ptr<monet::Database>> db =
+        monet::LoadDatabase(directory + "/concept.db");
+    if (!db.ok()) return db.status();
+    concept_db_ = std::move(*db.value());
+  }
+  {
+    Result<std::unique_ptr<monet::Database>> db =
+        monet::LoadDatabase(directory + "/meta.db");
+    if (!db.ok()) return db.status();
+    meta_db_ = std::move(*db.value());
+  }
+
+  // Conceptual level: re-derive web-objects and the text index from
+  // the stored materialized views.
+  instance_ = std::make_unique<webspace::WebspaceInstance>(&schema_);
+  ir_ = std::make_unique<ir::ClusterIndex>(options_.ir_nodes,
+                                           options_.ir_fragments);
+  for (const std::string& name : concept_db_.DocumentNames()) {
+    Result<xml::Document> doc = concept_db_.ReconstructDocument(name);
+    if (!doc.ok()) return doc.status();
+    Result<webspace::DocumentView> view =
+        webspace::RetrieveObjects(schema_, doc.value());
+    if (!view.ok()) return view.status();
+    DLS_RETURN_IF_ERROR(instance_->Merge(view.value()));
+    for (const webspace::WebObject& object : view.value().objects) {
+      DLS_RETURN_IF_ERROR(IndexObjectText(object));
+    }
+  }
+  ir_->Finalize();
+
+  // Logical level: rehydrate parse trees from the meta documents so
+  // the FDS can reason over them again.
+  for (const std::string& url : meta_db_.DocumentNames()) {
+    Result<xml::Document> doc = meta_db_.ReconstructDocument(url);
+    if (!doc.ok()) return doc.status();
+    Result<fg::ParseTree> tree = fg::ParseTree::FromXml(*grammar_,
+                                                        doc.value());
+    if (!tree.ok()) return tree.status();
+    store_.Put(url, std::move(tree).value());
+  }
+  return Status::Ok();
+}
+
+std::set<std::string> SearchEngine::MediaWithEvent(
+    const std::string& event) const {
+  std::set<std::string> urls;
+  const monet::SchemaTree& schema = meta_db_.schema();
+  const std::string& start = grammar_->start_symbol();
+
+  for (RelationId rel : schema.AllNodes()) {
+    const monet::SchemaNode& node = schema.node(rel);
+    if (node.kind != StepKind::kPcdata) continue;
+    RelationId parent = node.parent;
+    if (parent == monet::kInvalidRelation ||
+        schema.node(parent).tag != event) {
+      continue;
+    }
+    // Event element oids whose stored outcome is true.
+    OidSet event_oids = monet::HeadsWhereEq(*node.values, "true");
+    if (event_oids.empty()) continue;
+
+    // Find the enclosing start-symbol relation.
+    RelationId mmo_rel = parent;
+    while (mmo_rel != monet::kInvalidRelation &&
+           schema.node(mmo_rel).tag != start) {
+      mmo_rel = schema.node(mmo_rel).parent;
+    }
+    if (mmo_rel == monet::kInvalidRelation) continue;
+
+    OidSet mmo_oids =
+        monet::AncestorsAt(meta_db_, parent, event_oids, mmo_rel);
+
+    // Each start instance carries its location as a leading terminal.
+    RelationId loc_rel =
+        schema.FindChild(mmo_rel, StepKind::kElement, "location");
+    if (loc_rel == monet::kInvalidRelation) continue;
+    RelationId loc_pc =
+        schema.FindChild(loc_rel, StepKind::kPcdata, "PCDATA");
+    if (loc_pc == monet::kInvalidRelation) continue;
+    const monet::SchemaNode& loc_edges = schema.node(loc_rel);
+    const monet::SchemaNode& loc_values = schema.node(loc_pc);
+    for (Oid mmo : mmo_oids) {
+      for (size_t pos : loc_edges.edges->FindHead(mmo)) {
+        Oid loc = loc_edges.edges->tail_oid(pos);
+        size_t vpos = loc_values.values->FindFirst(loc);
+        if (vpos != monet::Bat::kNpos) {
+          urls.insert(loc_values.values->tail_str(vpos));
+        }
+      }
+    }
+  }
+  return urls;
+}
+
+std::set<std::string> SearchEngine::IdsOfClassOids(
+    const std::string& cls, const OidSet& oids) const {
+  std::set<std::string> ids;
+  RelationId rel = concept_db_.schema().Resolve(ClassPath(cls));
+  if (rel == monet::kInvalidRelation) return ids;
+  RelationId id_rel =
+      concept_db_.schema().FindChild(rel, StepKind::kAttribute, "id");
+  if (id_rel == monet::kInvalidRelation) return ids;
+  const monet::Bat& values = *concept_db_.schema().node(id_rel).values;
+  for (Oid oid : oids) {
+    size_t pos = values.FindFirst(oid);
+    if (pos != monet::Bat::kNpos) ids.insert(values.tail_str(pos));
+  }
+  return ids;
+}
+
+std::set<std::string> SearchEngine::AllIds(const std::string& cls) const {
+  std::set<std::string> ids;
+  RelationId rel = concept_db_.schema().Resolve(ClassPath(cls));
+  if (rel == monet::kInvalidRelation) return ids;
+  RelationId id_rel =
+      concept_db_.schema().FindChild(rel, StepKind::kAttribute, "id");
+  if (id_rel == monet::kInvalidRelation) return ids;
+  const monet::Bat& values = *concept_db_.schema().node(id_rel).values;
+  for (size_t i = 0; i < values.size(); ++i) ids.insert(values.tail_str(i));
+  return ids;
+}
+
+std::set<std::string> SearchEngine::EvalPredicate(
+    const webspace::QueryPredicate& pred) const {
+  const std::string path = AttrPath(pred.ref.cls, pred.ref.attr);
+  RelationId attr_rel = concept_db_.schema().Resolve(path);
+
+  switch (pred.kind) {
+    case webspace::QueryPredKind::kEquals:
+    case webspace::QueryPredKind::kNotEquals: {
+      // Equality predicates use the value-index accelerator.
+      OidSet attr_oids = monet::SelectByTextEq(concept_db_, path, pred.value);
+      OidSet class_oids;
+      if (attr_rel != monet::kInvalidRelation) {
+        class_oids = monet::HeadsForTails(
+            *concept_db_.schema().node(attr_rel).edges, attr_oids);
+      }
+      std::set<std::string> ids = IdsOfClassOids(pred.ref.cls, class_oids);
+      if (pred.kind == webspace::QueryPredKind::kEquals) return ids;
+      std::set<std::string> all = AllIds(pred.ref.cls);
+      std::set<std::string> out;
+      std::set_difference(all.begin(), all.end(), ids.begin(), ids.end(),
+                          std::inserter(out, out.begin()));
+      return out;
+    }
+    case webspace::QueryPredKind::kContains: {
+      std::optional<std::string> target = ir::NormalizeWord(pred.value);
+      std::string needle = target.value_or(ToLower(pred.value));
+      OidSet attr_oids = monet::SelectByText(
+          concept_db_, path, [&](const std::string& text) {
+            for (const std::string& token : ir::Tokenize(text)) {
+              std::optional<std::string> norm = ir::NormalizeWord(token);
+              if (norm.has_value() && *norm == needle) return true;
+            }
+            return false;
+          });
+      OidSet class_oids;
+      if (attr_rel != monet::kInvalidRelation) {
+        class_oids = monet::HeadsForTails(
+            *concept_db_.schema().node(attr_rel).edges, attr_oids);
+      }
+      return IdsOfClassOids(pred.ref.cls, class_oids);
+    }
+    case webspace::QueryPredKind::kEvent: {
+      std::set<std::string> urls = MediaWithEvent(pred.value);
+      OidSet attr_oids = monet::SelectByAttribute(
+          concept_db_, path, "src",
+          [&](const std::string& src) { return urls.count(src) > 0; });
+      OidSet class_oids;
+      if (attr_rel != monet::kInvalidRelation) {
+        class_oids = monet::HeadsForTails(
+            *concept_db_.schema().node(attr_rel).edges, attr_oids);
+      }
+      return IdsOfClassOids(pred.ref.cls, class_oids);
+    }
+  }
+  return {};
+}
+
+Result<std::string> SearchEngine::Explain(std::string_view query_text) const {
+  Result<webspace::ConceptualQuery> parsed = webspace::ParseQuery(query_text);
+  if (!parsed.ok()) return parsed.status();
+  const webspace::ConceptualQuery& query = parsed.value();
+  DLS_RETURN_IF_ERROR(webspace::ValidateQuery(query, schema_));
+
+  std::string out = "-- intermediate XML representation --\n";
+  xml::WriteOptions pretty;
+  pretty.pretty = true;
+  out += xml::Write(webspace::QueryToXml(query), pretty);
+  out += "\n-- storage algebra plan --\n";
+
+  int step = 1;
+  auto line = [&](const std::string& text) {
+    out += StrFormat("%2d. ", step++);
+    out += text;
+    out += '\n';
+  };
+
+  for (const std::string& cls : query.from) {
+    line("candidates(" + cls + ") := tails of R(" + ClassPath(cls) +
+         "[id])");
+  }
+  for (const webspace::QueryPredicate& pred : query.predicates) {
+    const std::string path = AttrPath(pred.ref.cls, pred.ref.attr);
+    switch (pred.kind) {
+      case webspace::QueryPredKind::kEquals:
+      case webspace::QueryPredKind::kNotEquals:
+        line("scan R(" + path + "/PCDATA) where text " +
+             (pred.kind == webspace::QueryPredKind::kEquals ? "==" : "!=") +
+             " \"" + pred.value + "\"; hop R(" + path + ").edges up; " +
+             "intersect candidates(" + pred.ref.cls + ")");
+        break;
+      case webspace::QueryPredKind::kContains:
+        line("scan R(" + path + "/PCDATA) where stemmed-word match \"" +
+             pred.value + "\" [stemmer+stopper hook]; hop up; intersect "
+             "candidates(" + pred.ref.cls + ")");
+        break;
+      case webspace::QueryPredKind::kEvent:
+        line("meta probe: R(.../" + pred.value +
+             "/PCDATA) == \"true\"; ancestors to R(/" +
+             grammar_->start_symbol() + "); read R(/" +
+             grammar_->start_symbol() +
+             "/location/PCDATA) -> locations; select R(" + path +
+             "[src]) in locations; hop up; intersect candidates(" +
+             pred.ref.cls + ")");
+        break;
+    }
+  }
+  for (const webspace::QueryJoin& join : query.joins) {
+    line("join pairs := R(/webspace/" + join.assoc + "[from]) align R(" +
+         "/webspace/" + join.assoc + "[to]); bind " + join.from_class +
+         " x " + join.to_class);
+  }
+  for (const webspace::RankClause& rank : query.rank) {
+    size_t read = options_.ir_read_fragments == 0 ? options_.ir_fragments
+                                                  : options_.ir_read_fragments;
+    line(StrFormat("IR hook: stem/stop query, resolve against T; push "
+                   "top-N to %zu nodes reading idf fragments 1..%zu of "
+                   "%zu; merge RES(doc, rank) at the centre",
+                   options_.ir_nodes, read, options_.ir_fragments) +
+         " [rank by " + rank.ref.ToString() + "]");
+  }
+  line(StrFormat("project select list; cut to top-%zu", query.limit));
+  return out;
+}
+
+Result<QueryResult> SearchEngine::Execute(std::string_view query_text) {
+  Result<webspace::ConceptualQuery> parsed = webspace::ParseQuery(query_text);
+  if (!parsed.ok()) return parsed.status();
+  const webspace::ConceptualQuery& query = parsed.value();
+  DLS_RETURN_IF_ERROR(webspace::ValidateQuery(query, schema_));
+
+  // 1. Per-class candidate sets, narrowed by the predicates (each a
+  //    structured scan over the Monet relations).
+  std::map<std::string, std::set<std::string>> allowed;
+  for (const std::string& cls : query.from) allowed[cls] = AllIds(cls);
+  for (const webspace::QueryPredicate& pred : query.predicates) {
+    auto it = allowed.find(pred.ref.cls);
+    if (it == allowed.end()) {
+      return Status::InvalidArgument("predicate on class '" + pred.ref.cls +
+                                     "' not listed in from");
+    }
+    std::set<std::string> matches = EvalPredicate(pred);
+    std::set<std::string> narrowed;
+    std::set_intersection(it->second.begin(), it->second.end(),
+                          matches.begin(), matches.end(),
+                          std::inserter(narrowed, narrowed.begin()));
+    it->second = std::move(narrowed);
+  }
+
+  // 2. Association pairs from the Monet [from]/[to] relations.
+  struct JoinPairs {
+    const webspace::QueryJoin* join;
+    std::vector<std::pair<std::string, std::string>> pairs;
+  };
+  std::vector<JoinPairs> join_pairs;
+  for (const webspace::QueryJoin& join : query.joins) {
+    JoinPairs jp;
+    jp.join = &join;
+    RelationId rel = concept_db_.schema().Resolve("/webspace/" + join.assoc);
+    if (rel != monet::kInvalidRelation) {
+      RelationId from_rel = concept_db_.schema().FindChild(
+          rel, StepKind::kAttribute, "from");
+      RelationId to_rel =
+          concept_db_.schema().FindChild(rel, StepKind::kAttribute, "to");
+      if (from_rel != monet::kInvalidRelation &&
+          to_rel != monet::kInvalidRelation) {
+        const monet::Bat& from_bat =
+            *concept_db_.schema().node(from_rel).values;
+        const monet::Bat& to_bat = *concept_db_.schema().node(to_rel).values;
+        for (size_t i = 0; i < from_bat.size(); ++i) {
+          size_t tpos = to_bat.FindFirst(from_bat.head(i));
+          if (tpos != monet::Bat::kNpos) {
+            jp.pairs.emplace_back(from_bat.tail_str(i),
+                                  to_bat.tail_str(tpos));
+          }
+        }
+      }
+    }
+    join_pairs.push_back(std::move(jp));
+  }
+
+  // 3. Build bindings class by class, extending through joins.
+  using Binding = std::map<std::string, std::string>;
+  std::vector<Binding> bindings;
+  std::set<std::string> bound;
+  for (const std::string& cls : query.from) {
+    std::vector<Binding> next;
+    if (bindings.empty() && bound.empty()) {
+      for (const std::string& id : allowed[cls]) {
+        next.push_back(Binding{{cls, id}});
+      }
+    } else {
+      // Joins connecting `cls` to an already-bound class.
+      std::vector<const JoinPairs*> connecting;
+      for (const JoinPairs& jp : join_pairs) {
+        bool from_bound = bound.count(jp.join->from_class) > 0;
+        bool to_bound = bound.count(jp.join->to_class) > 0;
+        if ((jp.join->from_class == cls && to_bound) ||
+            (jp.join->to_class == cls && from_bound)) {
+          connecting.push_back(&jp);
+        }
+      }
+      for (const Binding& binding : bindings) {
+        std::set<std::string> candidates = allowed[cls];
+        for (const JoinPairs* jp : connecting) {
+          std::set<std::string> linked;
+          if (jp->join->from_class == cls) {
+            const std::string& other = binding.at(jp->join->to_class);
+            for (const auto& [f, t] : jp->pairs) {
+              if (t == other) linked.insert(f);
+            }
+          } else {
+            const std::string& other = binding.at(jp->join->from_class);
+            for (const auto& [f, t] : jp->pairs) {
+              if (f == other) linked.insert(t);
+            }
+          }
+          std::set<std::string> narrowed;
+          std::set_intersection(candidates.begin(), candidates.end(),
+                                linked.begin(), linked.end(),
+                                std::inserter(narrowed, narrowed.begin()));
+          candidates = std::move(narrowed);
+        }
+        for (const std::string& id : candidates) {
+          Binding extended = binding;
+          extended[cls] = id;
+          next.push_back(std::move(extended));
+        }
+      }
+    }
+    bindings = std::move(next);
+    bound.insert(cls);
+  }
+  // Residual joins between classes bound without them.
+  for (const JoinPairs& jp : join_pairs) {
+    std::vector<Binding> kept;
+    for (Binding& binding : bindings) {
+      auto fit = binding.find(jp.join->from_class);
+      auto tit = binding.find(jp.join->to_class);
+      if (fit == binding.end() || tit == binding.end()) {
+        kept.push_back(std::move(binding));
+        continue;
+      }
+      bool ok = false;
+      for (const auto& [f, t] : jp.pairs) {
+        if (f == fit->second && t == tit->second) {
+          ok = true;
+          break;
+        }
+      }
+      if (ok) kept.push_back(std::move(binding));
+    }
+    bindings = std::move(kept);
+  }
+
+  // 4. Ranked clause: distributed top-N over the fragmented index.
+  std::map<std::string, double> scores;
+  if (!query.rank.empty()) {
+    const webspace::RankClause& rank = query.rank.front();
+    size_t read_fragments = options_.ir_read_fragments == 0
+                                ? options_.ir_fragments
+                                : options_.ir_read_fragments;
+    std::vector<ir::ClusterScoredDoc> ranked = ir_->Query(
+        rank.words, /*n=*/bindings.size() + query.limit + 64, read_fragments);
+    std::string suffix = "#" + rank.ref.attr;
+    for (const ir::ClusterScoredDoc& doc : ranked) {
+      if (!EndsWith(doc.url, suffix)) continue;
+      std::string id = doc.url.substr(0, doc.url.size() - suffix.size());
+      const webspace::WebObject* object = instance_->FindObject(id);
+      if (object != nullptr && object->cls == rank.ref.cls) {
+        scores[id] = doc.score;
+      }
+    }
+    std::vector<Binding> kept;
+    for (Binding& binding : bindings) {
+      auto it = binding.find(rank.ref.cls);
+      if (it != binding.end() && scores.count(it->second) > 0) {
+        kept.push_back(std::move(binding));
+      }
+    }
+    bindings = std::move(kept);
+    std::stable_sort(bindings.begin(), bindings.end(),
+                     [&](const Binding& a, const Binding& b) {
+                       return scores.at(a.at(query.rank.front().ref.cls)) >
+                              scores.at(b.at(query.rank.front().ref.cls));
+                     });
+  } else {
+    std::sort(bindings.begin(), bindings.end());
+  }
+  if (bindings.size() > query.limit) bindings.resize(query.limit);
+
+  // 5. Project the select list.
+  QueryResult result;
+  for (const webspace::AttrRef& ref : query.select) {
+    result.columns.push_back(ref.ToString());
+  }
+  for (const Binding& binding : bindings) {
+    QueryRow row;
+    for (const webspace::AttrRef& ref : query.select) {
+      const webspace::WebObject* object =
+          instance_->FindObject(binding.at(ref.cls));
+      std::string value;
+      if (object != nullptr) {
+        const webspace::AttrValue* attr = object->FindAttribute(ref.attr);
+        if (attr != nullptr) {
+          const webspace::AttributeDef* def =
+              schema_.FindClass(ref.cls)->FindAttribute(ref.attr);
+          value = (def != nullptr && webspace::IsMultimedia(def->type) &&
+                   !attr->src.empty())
+                      ? attr->src
+                      : attr->text;
+        }
+      }
+      row.values.push_back(std::move(value));
+    }
+    if (!query.rank.empty()) {
+      auto it = binding.find(query.rank.front().ref.cls);
+      if (it != binding.end()) {
+        auto sit = scores.find(it->second);
+        if (sit != scores.end()) row.score = sit->second;
+      }
+    }
+    result.rows.push_back(std::move(row));
+  }
+  return result;
+}
+
+}  // namespace dls::core

@@ -1,0 +1,169 @@
+#ifndef DLS_CORE_ENGINE_H_
+#define DLS_CORE_ENGINE_H_
+
+#include <memory>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "core/detectors.h"
+#include "core/virtual_web.h"
+#include "fg/fde.h"
+#include "fg/fds.h"
+#include "ir/cluster.h"
+#include "monet/algebra.h"
+#include "monet/database.h"
+#include "synth/site.h"
+#include "webspace/docgen.h"
+#include "webspace/objects.h"
+#include "webspace/query.h"
+
+namespace dls::core {
+
+/// Engine configuration.
+struct EngineOptions {
+  /// Shared-nothing IR nodes (the distributed tf·idf layer).
+  size_t ir_nodes = 4;
+  /// idf-descending fragments per IR node.
+  size_t ir_fragments = 8;
+  /// Fragments actually read per ranked query (cost/quality knob);
+  /// 0 means all.
+  size_t ir_read_fragments = 0;
+  fg::FdeOptions fde;
+};
+
+/// One result row of an integrated query.
+struct QueryRow {
+  std::vector<std::string> values;
+  double score = 0;
+};
+
+struct QueryResult {
+  std::vector<std::string> columns;
+  std::vector<QueryRow> rows;
+};
+
+/// Lifecycle/work counters.
+struct EngineStats {
+  size_t documents_crawled = 0;
+  size_t objects_retrieved = 0;
+  size_t text_attributes_indexed = 0;
+  size_t media_analyzed = 0;  ///< videos + audio clips
+  size_t frames_analyzed = 0;
+};
+
+/// The integrated search engine: the paper's three levels assembled.
+///
+/// Lifecycle:
+///  1. Initialize(schema, grammar)  — modeling the index
+///  2. PopulateFromSite(site)       — populating (crawl + extract + analyse)
+///  3. Execute(query)               — querying
+/// Maintenance runs through fds() between stages 2 and 3.
+///
+/// Conceptual predicates are evaluated as structured scans over the
+/// Monet relations (SelectByText / SelectByAttribute + edge joins);
+/// content predicates reach the COBRA meta-index the FDE produced; the
+/// ranked clause runs on the distributed, fragmented tf·idf layer.
+class SearchEngine {
+ public:
+  explicit SearchEngine(EngineOptions options = EngineOptions());
+
+  /// Parses the webspace schema and the feature grammar, builds the
+  /// FDE/FDS and registers the standard video detectors.
+  Status Initialize(std::string_view schema_text,
+                    std::string_view grammar_text);
+
+  /// Crawls the generated site: stores materialized views in the
+  /// concept database, reconstructs web-objects, feeds text attributes
+  /// to the IR cluster and runs the feature grammar over every video.
+  Status PopulateFromSite(const synth::Site& site);
+
+  /// Generic population path for webspaces not built by the synthetic
+  /// site generator: crawl one materialized-view document (store,
+  /// extract web-objects, index text, remember multimedia locations).
+  /// Call FinishPopulation() once after the last document.
+  Status PopulateDocument(const std::string& url, const xml::Document& doc);
+
+  /// Analyses every multimedia location collected by PopulateDocument
+  /// (their resources must already be in web()) and finalises the IR
+  /// cluster. Idempotent per population round.
+  Status FinishPopulation();
+
+  /// Parses, validates, translates and executes a conceptual query.
+  Result<QueryResult> Execute(std::string_view query_text);
+
+  /// Shows the translation of a query without executing it: the
+  /// intermediate XML representation and the storage-algebra plan
+  /// (which relations are scanned, which edges hopped, where the
+  /// optimization hooks — IR cluster, fragment cut-off, meta-index
+  /// probes — are inserted). Reproduces the paper's "under the hood"
+  /// narrative as an inspectable artefact.
+  Result<std::string> Explain(std::string_view query_text) const;
+
+  // --- access for maintenance, tests and experiments ---
+  VirtualWeb& web() { return web_; }
+  DetectorEnv& env() { return env_; }
+  monet::Database& concept_db() { return concept_db_; }
+  monet::Database& meta_db() { return meta_db_; }
+  const webspace::Schema& schema() const { return schema_; }
+  const fg::Grammar& grammar() const { return *grammar_; }
+  fg::DetectorRegistry& registry() { return registry_; }
+  fg::ParseTreeStore& parse_trees() { return store_; }
+  fg::Fde& fde() { return *fde_; }
+  fg::Fds& fds() { return *fds_; }
+  ir::ClusterIndex& ir_cluster() { return *ir_; }
+  const webspace::WebspaceInstance& instance() const { return *instance_; }
+  const EngineStats& stats() const { return stats_; }
+
+  /// Runs the feature grammar over one multimedia object (video or
+  /// audio location) and refreshes its meta-index document. Also used
+  /// after FDS maintenance or a source change.
+  Status AnalyzeMedia(const std::string& url);
+
+  /// Persists the engine's indexes (concept + meta database) under
+  /// `directory` (two checksummed files).
+  Status SaveState(const std::string& directory) const;
+
+  /// Restores a saved engine: loads both databases, re-derives the
+  /// web-object instance from the stored materialized views, rebuilds
+  /// the text index and rehydrates the FDS parse trees from the meta
+  /// documents. Call on a freshly Initialize()d engine. Raw media
+  /// resources are not persisted; re-publish them into web() before
+  /// running maintenance that re-executes detectors.
+  Status RestoreState(const std::string& directory);
+
+  /// URLs (multimedia object locations) whose meta parse tree contains
+  /// a true instance of the named event — the content-based primitive.
+  std::set<std::string> MediaWithEvent(const std::string& event) const;
+
+ private:
+  Status IndexObjectText(const webspace::WebObject& object);
+  /// ids of all instances of `cls` (from the Monet [id] relation).
+  std::set<std::string> AllIds(const std::string& cls) const;
+  /// Maps class-element oids to their id attribute values.
+  std::set<std::string> IdsOfClassOids(const std::string& cls,
+                                       const monet::OidSet& oids) const;
+  std::set<std::string> EvalPredicate(const webspace::QueryPredicate& pred)
+      const;
+
+  EngineOptions options_;
+  VirtualWeb web_;
+  std::set<std::string> pending_media_;
+  DetectorEnv env_;
+  webspace::Schema schema_;
+  std::unique_ptr<fg::Grammar> grammar_;
+  fg::DetectorRegistry registry_;
+  monet::Database concept_db_;
+  monet::Database meta_db_;
+  std::unique_ptr<webspace::WebspaceInstance> instance_;
+  fg::ParseTreeStore store_;
+  std::unique_ptr<fg::Fde> fde_;
+  std::unique_ptr<fg::Fds> fds_;
+  std::unique_ptr<ir::ClusterIndex> ir_;
+  EngineStats stats_;
+};
+
+}  // namespace dls::core
+
+#endif  // DLS_CORE_ENGINE_H_

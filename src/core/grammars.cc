@@ -1,0 +1,108 @@
+#include "core/grammars.h"
+
+namespace dls::core {
+
+const char kVideoGrammar[] = R"fg(// Tennis video feature grammar (Figs. 6 + 7).
+%start MMO(location);
+
+%detector header(location);
+%detector header.init();
+%detector header.final();
+
+%detector video_type primary == "video";
+
+%atom url;
+
+%atom url location;
+%atom str primary;
+%atom str secondary;
+
+MMO : location header mm_type?;
+header : MIME_type;
+MIME_type : primary secondary;
+mm_type : video_type video;
+
+%detector xml-rpc::segment(location);
+%detector xml-rpc::tennis(location, begin.frameNo, end.frameNo);
+
+%detector netplay some[tennis.frame](
+  player.yPos <= 170.0
+);
+
+%atom flt xPos,yPos,Ecc,Orient;
+%atom int frameNo,Area;
+%atom bit netplay;
+
+video : segment;
+segment : shot*;
+shot : begin end type;
+begin : frameNo;
+end : frameNo;
+type : "tennis" tennis;
+type : "close-up";
+type : "audience";
+type : "other";
+tennis : frame* event;
+frame : frameNo player;
+player : xPos yPos Area Ecc Orient;
+event : netplay;
+
+// --- Audio extension: a second multimedia type added exactly as the
+// --- paper prescribes, through an alternative mm_type rule.
+%detector audio_type primary == "audio";
+%detector xml-rpc::audio_segment(location);
+
+%detector has_speech some[audio_segment.aseg](
+  akind == "speech"
+);
+
+%atom int aframeBegin,aframeEnd;
+%atom str akind;
+%atom bit has_speech;
+
+mm_type : audio_type audio;
+audio : audio_segment;
+audio_segment : aseg* aevent;
+aseg : abegin aend akind;
+abegin : aframeBegin;
+aend : aframeEnd;
+aevent : has_speech;
+)fg";
+
+const char kInternetGrammar[] = R"fg(// Internet feature grammar (Fig. 14, completed).
+%start MMO(location);
+
+%detector header(location);
+%detector header.init();
+%detector header.final();
+
+%detector html_type primary == "text";
+%detector image_type primary == "image";
+
+%detector xml-rpc::parse_html(location);
+%detector xml-rpc::classify_image(location);
+
+%atom url;
+
+%atom url location;
+%atom str primary, secondary;
+%atom str title, word, kind;
+%atom bit embedded;
+
+MMO : location header mm_type?;
+header : MIME_type;
+MIME_type : primary secondary;
+mm_type : html_type html;
+mm_type : image_type image;
+
+html : parse_html;
+parse_html : title? body? anchor*;
+body : &keyword+;
+keyword : word;
+anchor : &MMO embedded;
+
+image : classify_image;
+classify_image : kind;
+)fg";
+
+}  // namespace dls::core

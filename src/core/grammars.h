@@ -1,0 +1,19 @@
+#ifndef DLS_CORE_GRAMMARS_H_
+#define DLS_CORE_GRAMMARS_H_
+
+namespace dls::core {
+
+/// The tennis video feature grammar — Figs. 6 and 7 of the paper,
+/// combined and completed with the close-up/audience alternatives the
+/// prose describes. Kept byte-identical with grammars/video.fg (a test
+/// enforces the files stay in sync with these constants).
+extern const char kVideoGrammar[];
+
+/// The Internet feature grammar — Fig. 14, completed into a runnable
+/// grammar (MIME dispatch to html or image analysis). Mirror of
+/// grammars/internet.fg.
+extern const char kInternetGrammar[];
+
+}  // namespace dls::core
+
+#endif  // DLS_CORE_GRAMMARS_H_

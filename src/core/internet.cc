@@ -1,0 +1,156 @@
+#include "core/internet.h"
+
+#include <deque>
+
+#include "core/grammars.h"
+
+namespace dls::core {
+
+InternetEngine::InternetEngine() = default;
+
+Status InternetEngine::Initialize() {
+  Result<fg::Grammar> grammar = fg::ParseGrammar(kInternetGrammar);
+  if (!grammar.ok()) return grammar.status();
+  grammar_ = std::make_unique<fg::Grammar>(std::move(grammar).value());
+  RegisterInternetDetectors(&registry_);
+  env_.web = &web_;
+  fg::FdeOptions options;
+  options.env = &env_;
+  fde_ = std::make_unique<fg::Fde>(grammar_.get(), &registry_, options);
+  return Status::Ok();
+}
+
+void InternetEngine::LoadSite(const synth::InternetSite& site) {
+  for (const synth::WebPage& page : site.pages) {
+    web_.AddHtml(page.url, page);
+  }
+  for (const auto& [url, kind] : site.images) {
+    web_.AddImage(url, kind);
+  }
+}
+
+Status InternetEngine::Crawl(const std::vector<std::string>& seeds,
+                             size_t max_objects) {
+  std::deque<std::string> frontier(seeds.begin(), seeds.end());
+  std::set<std::string> seen(seeds.begin(), seeds.end());
+
+  while (!frontier.empty() && store_.size() < max_objects) {
+    std::string url = frontier.front();
+    frontier.pop_front();
+    if (store_.Has(url)) continue;
+
+    Result<fg::ParseTree> parsed = fde_->Parse({fg::Token::Url(url)});
+    if (!parsed.ok()) continue;  // dead link / not in L(G): skip
+
+    fg::ParseTree tree = std::move(parsed).value();
+
+    // Harvest the reference structure before storing the tree.
+    for (const fg::ParsedReference& ref : fde_->last_references()) {
+      if (ref.symbol == "MMO") {
+        if (seen.insert(ref.key).second) frontier.push_back(ref.key);
+      } else if (ref.symbol == "keyword") {
+        std::optional<std::string> stem = ir::NormalizeWord(ref.key);
+        if (stem.has_value()) keyword_pages_[*stem].insert(url);
+      }
+    }
+
+    // Embedded images: anchor nodes pair an &MMO reference with the
+    // `embedded` bit.
+    for (fg::PtNodeId anchor : tree.FindAll("anchor")) {
+      std::string target;
+      bool embedded = false;
+      for (fg::PtNodeId child : tree.node(anchor).children) {
+        const fg::PtNode& n = tree.node(child);
+        if (n.kind == fg::PtNode::Kind::kReference) target = n.ref_key;
+        if (n.symbol == "embedded") embedded = n.value.AsBit();
+      }
+      if (embedded && !target.empty()) {
+        embedded_images_[url].insert(target);
+      }
+    }
+
+    // Image classification outcome.
+    std::vector<fg::PtNodeId> kinds = tree.FindAll("kind");
+    if (!kinds.empty()) {
+      image_kinds_[url] = tree.node(kinds.front()).value.text();
+    }
+
+    // Feed the textual retrieval layer: title + keyword bag.
+    {
+      std::string body;
+      for (fg::PtNodeId node : tree.FindAll("title")) {
+        body += tree.node(node).value.text();
+        body += ' ';
+      }
+      for (const fg::ParsedReference& ref : fde_->last_references()) {
+        if (ref.symbol == "keyword") {
+          body += ref.key;
+          body += ' ';
+        }
+      }
+      if (!body.empty()) page_index_.AddDocument(url, body);
+    }
+
+    DLS_RETURN_IF_ERROR(meta_db_.InsertDocument(url, tree.ToXml()));
+    store_.Put(url, std::move(tree));
+  }
+  return Status::Ok();
+}
+
+void InternetEngine::AddSynonyms(const std::string& word,
+                                 const std::vector<std::string>& related) {
+  std::optional<std::string> stem = ir::NormalizeWord(word);
+  if (!stem.has_value()) return;
+  for (const std::string& synonym : related) {
+    std::optional<std::string> other = ir::NormalizeWord(synonym);
+    if (other.has_value()) thesaurus_[*stem].insert(*other);
+  }
+}
+
+std::vector<std::pair<std::string, double>> InternetEngine::RankPages(
+    const std::vector<std::string>& words, size_t n) const {
+  // The index buffers until a batch boundary; queries want everything.
+  page_index_.Flush();
+  std::vector<std::pair<std::string, double>> out;
+  for (const ir::ScoredDoc& doc : page_index_.RankTopN(words, n)) {
+    out.emplace_back(page_index_.url(doc.doc), doc.score);
+  }
+  return out;
+}
+
+std::set<std::string> InternetEngine::PagesWithKeyword(
+    const std::string& word) const {
+  std::optional<std::string> stem = ir::NormalizeWord(word);
+  if (!stem.has_value()) return {};
+  std::set<std::string> stems = {*stem};
+  auto related = thesaurus_.find(*stem);
+  if (related != thesaurus_.end()) {
+    stems.insert(related->second.begin(), related->second.end());
+  }
+  std::set<std::string> pages;
+  for (const std::string& s : stems) {
+    auto it = keyword_pages_.find(s);
+    if (it != keyword_pages_.end()) {
+      pages.insert(it->second.begin(), it->second.end());
+    }
+  }
+  return pages;
+}
+
+std::vector<PortraitHit> InternetEngine::PortraitsNearKeyword(
+    const std::string& word) const {
+  std::vector<PortraitHit> hits;
+  for (const std::string& page : PagesWithKeyword(word)) {
+    auto it = embedded_images_.find(page);
+    if (it == embedded_images_.end()) continue;
+    for (const std::string& image : it->second) {
+      auto kind = image_kinds_.find(image);
+      if (kind != image_kinds_.end() && kind->second == "portrait") {
+        hits.push_back(PortraitHit{image, page});
+      }
+    }
+  }
+  return hits;
+}
+
+}  // namespace dls::core

@@ -1,0 +1,104 @@
+#ifndef DLS_CORE_INTERNET_H_
+#define DLS_CORE_INTERNET_H_
+
+#include <map>
+#include <memory>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "core/detectors.h"
+#include "core/virtual_web.h"
+#include "fg/fde.h"
+#include "fg/fds.h"
+#include "ir/index.h"
+#include "monet/database.h"
+#include "synth/internet.h"
+
+namespace dls::core {
+
+/// Result row of the Fig. 14 demo query.
+struct PortraitHit {
+  std::string image_url;
+  std::string page_url;
+};
+
+/// The unlimited-domain engine: the Internet feature grammar (Fig. 14)
+/// driving a reference-following crawler.
+///
+/// Crawling starts from seed URLs; every parsed page yields &MMO
+/// references (its anchors), which are enqueued until the frontier is
+/// exhausted. Keywords are &keyword references — shared structure
+/// across pages — and feed the text index; images run through the
+/// photograph/portrait classifier. All parse trees land in the meta
+/// database, so queries are again structured scans.
+class InternetEngine {
+ public:
+  InternetEngine();
+
+  /// Parses the Internet grammar and registers its detectors.
+  Status Initialize();
+
+  /// Publishes the synthetic web into the virtual web.
+  void LoadSite(const synth::InternetSite& site);
+
+  /// Crawls from the seed URLs, following references breadth-first.
+  /// `max_objects` bounds the crawl.
+  Status Crawl(const std::vector<std::string>& seeds,
+               size_t max_objects = 10000);
+
+  /// Registers `related` as semantically related to `word` (both sides
+  /// are stemmed). The stand-in for a WordNet-style thesaurus: the
+  /// Fig. 14 demo query asks for keywords "semantically related to"
+  /// a term, which in 2001 meant a synonym-set lookup.
+  void AddSynonyms(const std::string& word,
+                   const std::vector<std::string>& related);
+
+  /// "Show me all portraits embedded in pages containing keywords
+  /// semantically related to `word`" — the word is expanded through
+  /// the thesaurus, then matched by stem.
+  std::vector<PortraitHit> PortraitsNearKeyword(const std::string& word) const;
+
+  /// Pages whose keyword set contains the stem of `word` or of any
+  /// registered synonym.
+  std::set<std::string> PagesWithKeyword(const std::string& word) const;
+
+  /// Ranked full-text page search over titles + keywords ("for the
+  /// unlimited domain it still uses well known textual retrieval
+  /// techniques"): tf·idf top-N, highest first.
+  std::vector<std::pair<std::string, double>> RankPages(
+      const std::vector<std::string>& words, size_t n) const;
+
+  size_t crawled_objects() const { return store_.size(); }
+  size_t unique_keywords() const { return keyword_pages_.size(); }
+  VirtualWeb& web() { return web_; }
+  monet::Database& meta_db() { return meta_db_; }
+  fg::ParseTreeStore& parse_trees() { return store_; }
+  const fg::Grammar& grammar() const { return *grammar_; }
+  fg::Fde& fde() { return *fde_; }
+
+ private:
+  VirtualWeb web_;
+  DetectorEnv env_;
+  std::unique_ptr<fg::Grammar> grammar_;
+  fg::DetectorRegistry registry_;
+  std::unique_ptr<fg::Fde> fde_;
+  fg::ParseTreeStore store_;
+  monet::Database meta_db_;
+  /// stem -> pages containing it (built from &keyword references).
+  std::map<std::string, std::set<std::string>> keyword_pages_;
+  /// stem -> related stems (symmetric closure is the caller's choice).
+  std::map<std::string, std::set<std::string>> thesaurus_;
+  /// page url -> embedded image urls.
+  std::map<std::string, std::set<std::string>> embedded_images_;
+  /// image url -> classified kind.
+  std::map<std::string, std::string> image_kinds_;
+  /// Full-text index over page titles + keywords. Mutable: queries
+  /// flush the pending batch before ranking.
+  mutable ir::TextIndex page_index_;
+};
+
+}  // namespace dls::core
+
+#endif  // DLS_CORE_INTERNET_H_

@@ -1,0 +1,92 @@
+#ifndef DLS_CORE_VIRTUAL_WEB_H_
+#define DLS_CORE_VIRTUAL_WEB_H_
+
+#include <map>
+#include <optional>
+#include <string>
+#include <string_view>
+
+#include "cobra/audio.h"
+#include "cobra/synth_video.h"
+#include "common/status.h"
+#include "synth/internet.h"
+
+namespace dls::core {
+
+/// One addressable resource of the virtual web.
+struct WebResource {
+  std::string mime_primary;
+  std::string mime_secondary;
+  /// Textual body (XML materialized views, HTML page text).
+  std::string body;
+  /// Raw video data, present for video/* resources.
+  std::optional<cobra::VideoScript> video;
+  /// Raw audio data, present for audio/* resources.
+  std::optional<cobra::AudioScript> audio;
+  /// Parsed page structure, present for synthetic HTML pages.
+  std::optional<synth::WebPage> page;
+  /// Synthetic image kind ("portrait"/"graphic"), for image/* resources.
+  std::string image_kind;
+};
+
+/// The stand-in for HTTP + libwww (see DESIGN.md substitutions): maps
+/// URLs to in-memory resources with MIME headers. The Fig. 6 `header`
+/// detector resolves against this; fetch counts are tracked so
+/// experiments can report crawl traffic.
+class VirtualWeb {
+ public:
+  void AddXml(std::string url, std::string body) {
+    WebResource res;
+    res.mime_primary = "text";
+    res.mime_secondary = "xml";
+    res.body = std::move(body);
+    resources_[std::move(url)] = std::move(res);
+  }
+  void AddHtml(std::string url, synth::WebPage page) {
+    WebResource res;
+    res.mime_primary = "text";
+    res.mime_secondary = "html";
+    res.page = std::move(page);
+    resources_[std::move(url)] = std::move(res);
+  }
+  void AddVideo(std::string url, cobra::VideoScript script) {
+    WebResource res;
+    res.mime_primary = "video";
+    res.mime_secondary = "mpeg";
+    res.video = std::move(script);
+    resources_[std::move(url)] = std::move(res);
+  }
+  void AddAudio(std::string url, cobra::AudioScript script) {
+    WebResource res;
+    res.mime_primary = "audio";
+    res.mime_secondary = "wav";
+    res.audio = std::move(script);
+    resources_[std::move(url)] = std::move(res);
+  }
+  void AddImage(std::string url, std::string kind) {
+    WebResource res;
+    res.mime_primary = "image";
+    res.mime_secondary = "jpeg";
+    res.image_kind = std::move(kind);
+    resources_[std::move(url)] = std::move(res);
+  }
+
+  /// nullptr if the URL does not resolve (the detector failure path).
+  const WebResource* Find(std::string_view url) const {
+    auto it = resources_.find(std::string(url));
+    if (it == resources_.end()) return nullptr;
+    ++fetches_;
+    return &it->second;
+  }
+
+  size_t size() const { return resources_.size(); }
+  size_t fetch_count() const { return fetches_; }
+
+ private:
+  std::map<std::string, WebResource> resources_;
+  mutable size_t fetches_ = 0;
+};
+
+}  // namespace dls::core
+
+#endif  // DLS_CORE_VIRTUAL_WEB_H_

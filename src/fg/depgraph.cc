@@ -1,0 +1,137 @@
+#include "fg/depgraph.h"
+
+#include <algorithm>
+
+namespace dls::fg {
+
+DependencyGraph DependencyGraph::Build(const Grammar& grammar) {
+  DependencyGraph graph;
+
+  for (const Rule& rule : grammar.rules()) {
+    // Sibling edges: all pairs of non-literal RHS symbols, stored with
+    // lexicographically smaller name first (undirected).
+    std::vector<std::string> symbols;
+    for (const RhsElement& element : rule.rhs) {
+      if (element.kind != RhsElement::Kind::kLiteral) {
+        symbols.push_back(element.name);
+      }
+    }
+    for (size_t i = 0; i < symbols.size(); ++i) {
+      for (size_t j = i + 1; j < symbols.size(); ++j) {
+        if (symbols[i] == symbols[j]) continue;
+        const std::string& a = std::min(symbols[i], symbols[j]);
+        const std::string& b = std::max(symbols[i], symbols[j]);
+        graph.edges_.insert(DepEdge{a, b, DepKind::kSibling});
+      }
+    }
+
+    // Rule edge: lhs -> last obligatory non-literal symbol; if none is
+    // obligatory, fall back to the last non-literal symbol.
+    const std::string* target = nullptr;
+    const std::string* last_any = nullptr;
+    for (const RhsElement& element : rule.rhs) {
+      if (element.kind == RhsElement::Kind::kLiteral) continue;
+      last_any = &element.name;
+      if (IsObligatory(element.repeat)) target = &element.name;
+    }
+    if (target == nullptr) target = last_any;
+    if (target != nullptr && *target != rule.lhs) {
+      graph.edges_.insert(DepEdge{rule.lhs, *target, DepKind::kRule});
+    }
+  }
+
+  // Parameter edges.
+  for (const auto& [name, decl] : grammar.detectors()) {
+    std::vector<Path> paths = decl.inputs;
+    if (decl.predicate != nullptr) {
+      CollectPredicatePaths(*decl.predicate, &paths);
+    }
+    for (const Path& path : paths) {
+      if (path.empty()) continue;
+      const std::string& target = path.back();
+      if (target != name) {
+        graph.edges_.insert(DepEdge{name, target, DepKind::kParameter});
+      }
+    }
+  }
+  return graph;
+}
+
+bool DependencyGraph::HasEdge(std::string_view from, std::string_view to,
+                              DepKind kind) const {
+  DepEdge probe{std::string(from), std::string(to), kind};
+  if (kind == DepKind::kSibling && probe.from > probe.to) {
+    std::swap(probe.from, probe.to);
+  }
+  return edges_.find(probe) != edges_.end();
+}
+
+std::vector<std::string> DependencyGraph::ParameterDependents(
+    std::string_view symbol) const {
+  std::vector<std::string> out;
+  for (const DepEdge& edge : edges_) {
+    if (edge.kind == DepKind::kParameter && edge.to == symbol) {
+      out.push_back(edge.from);
+    }
+  }
+  return out;
+}
+
+std::vector<std::string> DependencyGraph::DownwardClosure(
+    std::string_view symbol, const Grammar& grammar) const {
+  // Downward = through the production rules: everything derivable from
+  // `symbol`, i.e. the contents of partial parse trees rooted at it.
+  std::set<std::string> seen;
+  std::vector<std::string> frontier{std::string(symbol)};
+  seen.insert(std::string(symbol));
+  while (!frontier.empty()) {
+    std::string cur = std::move(frontier.back());
+    frontier.pop_back();
+    for (const Rule* rule : grammar.RulesFor(cur)) {
+      for (const RhsElement& element : rule->rhs) {
+        if (element.kind == RhsElement::Kind::kLiteral) continue;
+        if (seen.insert(element.name).second) {
+          frontier.push_back(element.name);
+        }
+      }
+    }
+  }
+  return std::vector<std::string>(seen.begin(), seen.end());
+}
+
+std::string DependencyGraph::ToDot(const Grammar& grammar) const {
+  std::string out = "digraph dependencies {\n";
+  for (const std::string& symbol : grammar.AllSymbols()) {
+    const char* shape = "ellipse";
+    switch (grammar.KindOf(symbol)) {
+      case SymbolKind::kDetector:
+        shape = "diamond";
+        break;
+      case SymbolKind::kTerminal:
+        shape = "box";
+        break;
+      default:
+        break;
+    }
+    out += "  \"" + symbol + "\" [shape=" + shape + "];\n";
+  }
+  for (const DepEdge& edge : edges_) {
+    const char* style = "";
+    switch (edge.kind) {
+      case DepKind::kSibling:
+        style = " [dir=none, style=dashed, label=\"sibling\"]";
+        break;
+      case DepKind::kRule:
+        style = " [label=\"rule\"]";
+        break;
+      case DepKind::kParameter:
+        style = " [style=dotted, label=\"parameter\"]";
+        break;
+    }
+    out += "  \"" + edge.from + "\" -> \"" + edge.to + "\"" + style + ";\n";
+  }
+  out += "}\n";
+  return out;
+}
+
+}  // namespace dls::fg

@@ -1,0 +1,70 @@
+#ifndef DLS_FG_DEPGRAPH_H_
+#define DLS_FG_DEPGRAPH_H_
+
+#include <set>
+#include <string>
+#include <vector>
+
+#include "fg/grammar.h"
+
+namespace dls::fg {
+
+/// Edge kinds of the grammar dependency graph (Fig. 8).
+enum class DepKind : uint8_t {
+  kSibling,    ///< symbols sharing a rule's right-hand side (undirected)
+  kRule,       ///< lhs depends on the last obligatory rhs symbol
+  kParameter,  ///< detector depends on its input/predicate paths
+};
+
+struct DepEdge {
+  std::string from;
+  std::string to;
+  DepKind kind;
+
+  bool operator==(const DepEdge&) const = default;
+  bool operator<(const DepEdge& other) const {
+    if (from != other.from) return from < other.from;
+    if (to != other.to) return to < other.to;
+    return kind < other.kind;
+  }
+};
+
+/// The dependency graph the FDS schedules from. Nodes are grammar
+/// symbols; edges are derived mechanically from the production rules
+/// and detector declarations:
+///  1. sibling — every pair of symbols co-occurring in one RHS (stored
+///     once, lexicographically ordered, semantics undirected);
+///  2. rule — lhs -> the last obligatory (lower bound > 0) non-literal
+///     symbol of each alternative;
+///  3. parameter — detector -> final segment of each declared input
+///     path and of each path inside a whitebox predicate.
+class DependencyGraph {
+ public:
+  static DependencyGraph Build(const Grammar& grammar);
+
+  const std::set<DepEdge>& edges() const { return edges_; }
+
+  bool HasEdge(std::string_view from, std::string_view to,
+               DepKind kind) const;
+
+  /// Detectors whose parameter edges point at `symbol` — the set to
+  /// revalidate when a value of `symbol` changes.
+  std::vector<std::string> ParameterDependents(std::string_view symbol) const;
+
+  /// Symbols reachable from `symbol` by following rule edges downward
+  /// (from lhs to rhs) plus the sibling closure — the partial parse
+  /// trees invalidated when `symbol`'s detector changes.
+  std::vector<std::string> DownwardClosure(std::string_view symbol,
+                                           const Grammar& grammar) const;
+
+  /// Graphviz rendering (node shapes by symbol kind, edge styles by
+  /// dependency kind) — reproduces Fig. 8 mechanically.
+  std::string ToDot(const Grammar& grammar) const;
+
+ private:
+  std::set<DepEdge> edges_;
+};
+
+}  // namespace dls::fg
+
+#endif  // DLS_FG_DEPGRAPH_H_

@@ -1,0 +1,124 @@
+#include "fg/detector.h"
+
+namespace dls::fg {
+
+std::optional<DetectorVersion> DetectorRegistry::Register(
+    std::string_view name, DetectorFn fn, DetectorVersion version) {
+  auto it = entries_.find(name);
+  if (it != entries_.end()) {
+    DetectorVersion old = it->second.version;
+    it->second.fn = std::move(fn);
+    it->second.version = version;
+    return old;
+  }
+  Entry entry;
+  entry.fn = std::move(fn);
+  entry.version = version;
+  entries_.emplace(std::string(name), std::move(entry));
+  return std::nullopt;
+}
+
+void DetectorRegistry::RegisterInit(std::string_view name, HookFn fn) {
+  entries_[std::string(name)].init = std::move(fn);
+}
+void DetectorRegistry::RegisterFinal(std::string_view name, HookFn fn) {
+  entries_[std::string(name)].final = std::move(fn);
+}
+void DetectorRegistry::RegisterBegin(std::string_view name, HookFn fn) {
+  entries_[std::string(name)].begin = std::move(fn);
+}
+void DetectorRegistry::RegisterEnd(std::string_view name, HookFn fn) {
+  entries_[std::string(name)].end = std::move(fn);
+}
+
+bool DetectorRegistry::Has(std::string_view name) const {
+  auto it = entries_.find(name);
+  return it != entries_.end() && it->second.fn != nullptr;
+}
+
+Result<DetectorVersion> DetectorRegistry::VersionOf(
+    std::string_view name) const {
+  auto it = entries_.find(name);
+  if (it == entries_.end()) {
+    return Status::NotFound("detector '" + std::string(name) + "'");
+  }
+  return it->second.version;
+}
+
+Status DetectorRegistry::Invoke(std::string_view name,
+                                const DetectorContext& context,
+                                std::vector<Token>* out) {
+  auto it = entries_.find(name);
+  if (it == entries_.end() || it->second.fn == nullptr) {
+    return Status::NotFound("no implementation for detector '" +
+                            std::string(name) + "'");
+  }
+  ++it->second.calls;
+  return it->second.fn(context, out);
+}
+
+namespace {
+Status InvokeHook(const HookFn& hook, const DetectorContext& context) {
+  if (!hook) return Status::Ok();
+  return hook(context);
+}
+}  // namespace
+
+Status DetectorRegistry::InvokeInit(std::string_view name,
+                                    const DetectorContext& context) {
+  auto it = entries_.find(name);
+  return it == entries_.end() ? Status::Ok()
+                              : InvokeHook(it->second.init, context);
+}
+Status DetectorRegistry::InvokeFinal(std::string_view name,
+                                     const DetectorContext& context) {
+  auto it = entries_.find(name);
+  return it == entries_.end() ? Status::Ok()
+                              : InvokeHook(it->second.final, context);
+}
+Status DetectorRegistry::InvokeBegin(std::string_view name,
+                                     const DetectorContext& context) {
+  auto it = entries_.find(name);
+  return it == entries_.end() ? Status::Ok()
+                              : InvokeHook(it->second.begin, context);
+}
+Status DetectorRegistry::InvokeEnd(std::string_view name,
+                                   const DetectorContext& context) {
+  auto it = entries_.find(name);
+  return it == entries_.end() ? Status::Ok()
+                              : InvokeHook(it->second.end, context);
+}
+
+bool DetectorRegistry::HasInit(std::string_view name) const {
+  auto it = entries_.find(name);
+  return it != entries_.end() && it->second.init != nullptr;
+}
+bool DetectorRegistry::HasFinal(std::string_view name) const {
+  auto it = entries_.find(name);
+  return it != entries_.end() && it->second.final != nullptr;
+}
+bool DetectorRegistry::HasBegin(std::string_view name) const {
+  auto it = entries_.find(name);
+  return it != entries_.end() && it->second.begin != nullptr;
+}
+bool DetectorRegistry::HasEnd(std::string_view name) const {
+  auto it = entries_.find(name);
+  return it != entries_.end() && it->second.end != nullptr;
+}
+
+size_t DetectorRegistry::CallCount(std::string_view name) const {
+  auto it = entries_.find(name);
+  return it == entries_.end() ? 0 : it->second.calls;
+}
+
+size_t DetectorRegistry::TotalCallCount() const {
+  size_t total = 0;
+  for (const auto& [name, entry] : entries_) total += entry.calls;
+  return total;
+}
+
+void DetectorRegistry::ResetCallCounts() {
+  for (auto& [name, entry] : entries_) entry.calls = 0;
+}
+
+}  // namespace dls::fg

@@ -1,0 +1,92 @@
+#ifndef DLS_FG_DETECTOR_H_
+#define DLS_FG_DETECTOR_H_
+
+#include <functional>
+#include <map>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/status.h"
+#include "fg/parse_tree.h"
+#include "fg/token.h"
+
+namespace dls::fg {
+
+/// Everything a blackbox detector implementation may look at: its
+/// resolved input values (one Token per declared input path, in
+/// declaration order) and read access to the parse tree built so far.
+struct DetectorContext {
+  std::vector<Token> inputs;
+  const ParseTree* tree = nullptr;
+  PtNodeId node = kInvalidPtNode;
+  /// Opaque environment pointer supplied to the FDE (e.g. the
+  /// VirtualWeb or the video store); detectors downcast it.
+  void* env = nullptr;
+};
+
+/// A blackbox detector implementation. On success it appends its
+/// output tokens (in production order) to `out`; a non-OK status means
+/// the detector rejects the object and the enclosing rule fails.
+using DetectorFn =
+    std::function<Status(const DetectorContext&, std::vector<Token>* out)>;
+
+/// Lifecycle hook (init/final/begin/end). Failures of init abort the
+/// parse; begin/end failures fail the enclosing symbol.
+using HookFn = std::function<Status(const DetectorContext&)>;
+
+/// Registry binding detector symbols to implementations and versions.
+///
+/// External detectors (xml-rpc:: / corba:: / system:: in the grammar)
+/// register exactly like linked ones; the FDE routes their calls
+/// through a simulated RPC boundary that serialises arguments and can
+/// inject failures (see FdeOptions::rpc_failure_every).
+class DetectorRegistry {
+ public:
+  DetectorRegistry() = default;
+
+  /// Registers (or replaces) an implementation. Returns the previous
+  /// version if the detector existed.
+  std::optional<DetectorVersion> Register(std::string_view name, DetectorFn fn,
+                                          DetectorVersion version = {});
+
+  void RegisterInit(std::string_view name, HookFn fn);
+  void RegisterFinal(std::string_view name, HookFn fn);
+  void RegisterBegin(std::string_view name, HookFn fn);
+  void RegisterEnd(std::string_view name, HookFn fn);
+
+  bool Has(std::string_view name) const;
+  Result<DetectorVersion> VersionOf(std::string_view name) const;
+
+  /// Invokes the detector, counting the call.
+  Status Invoke(std::string_view name, const DetectorContext& context,
+                std::vector<Token>* out);
+
+  Status InvokeInit(std::string_view name, const DetectorContext& context);
+  Status InvokeFinal(std::string_view name, const DetectorContext& context);
+  Status InvokeBegin(std::string_view name, const DetectorContext& context);
+  Status InvokeEnd(std::string_view name, const DetectorContext& context);
+  bool HasInit(std::string_view name) const;
+  bool HasFinal(std::string_view name) const;
+  bool HasBegin(std::string_view name) const;
+  bool HasEnd(std::string_view name) const;
+
+  /// Total Invoke() count per detector since construction or
+  /// ResetCallCounts() — the work metric of experiment E5.
+  size_t CallCount(std::string_view name) const;
+  size_t TotalCallCount() const;
+  void ResetCallCounts();
+
+ private:
+  struct Entry {
+    DetectorFn fn;
+    DetectorVersion version;
+    HookFn init, final, begin, end;
+    size_t calls = 0;
+  };
+  std::map<std::string, Entry, std::less<>> entries_;
+};
+
+}  // namespace dls::fg
+
+#endif  // DLS_FG_DETECTOR_H_

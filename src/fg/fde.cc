@@ -1,0 +1,402 @@
+#include "fg/fde.h"
+
+#include <cassert>
+
+#include "common/strings.h"
+
+namespace dls::fg {
+namespace {
+
+/// Three-way comparison semantics for whitebox predicates.
+bool CompareTokens(const Token& value, CmpOp op, const Token& literal) {
+  bool numeric = literal.type() == AtomType::kInt ||
+                 literal.type() == AtomType::kFlt ||
+                 value.type() == AtomType::kInt ||
+                 value.type() == AtomType::kFlt;
+  if (literal.type() == AtomType::kBit || value.type() == AtomType::kBit) {
+    bool equal = value.AsBit() == literal.AsBit();
+    if (op == CmpOp::kEq) return equal;
+    if (op == CmpOp::kNe) return !equal;
+    return false;  // ordering on bits is meaningless
+  }
+  if (numeric) {
+    double a = value.type() == AtomType::kInt
+                   ? static_cast<double>(value.AsInt())
+                   : value.AsFlt();
+    // Non-numeric value text against a numeric literal: parse the text.
+    if (value.type() == AtomType::kStr || value.type() == AtomType::kUrl) {
+      a = std::strtod(value.text().c_str(), nullptr);
+    }
+    double b = literal.type() == AtomType::kInt
+                   ? static_cast<double>(literal.AsInt())
+                   : literal.type() == AtomType::kFlt
+                         ? literal.AsFlt()
+                         : std::strtod(literal.text().c_str(), nullptr);
+    switch (op) {
+      case CmpOp::kEq: return a == b;
+      case CmpOp::kNe: return a != b;
+      case CmpOp::kLt: return a < b;
+      case CmpOp::kLe: return a <= b;
+      case CmpOp::kGt: return a > b;
+      case CmpOp::kGe: return a >= b;
+    }
+  }
+  int cmp = value.text().compare(literal.text());
+  switch (op) {
+    case CmpOp::kEq: return cmp == 0;
+    case CmpOp::kNe: return cmp != 0;
+    case CmpOp::kLt: return cmp < 0;
+    case CmpOp::kLe: return cmp <= 0;
+    case CmpOp::kGt: return cmp > 0;
+    case CmpOp::kGe: return cmp >= 0;
+  }
+  return false;
+}
+
+}  // namespace
+
+Fde::Fde(const Grammar* grammar, DetectorRegistry* registry,
+         FdeOptions options)
+    : grammar_(grammar), registry_(registry), options_(options) {}
+
+Result<ParseTree> Fde::Parse(std::vector<Token> initial_tokens) {
+  ParseTree tree;
+  TokenStack stack(options_.share_suffixes, &stats_.stack);
+  // First declared token must surface first: push in reverse.
+  for (auto it = initial_tokens.rbegin(); it != initial_tokens.rend(); ++it) {
+    stack.Push(std::move(*it));
+  }
+  references_.clear();
+  inited_.clear();
+  budget_exceeded_ = false;
+
+  bool ok = ParseSymbol(&tree, kInvalidPtNode, grammar_->start_symbol(),
+                        &stack);
+  if (budget_exceeded_) {
+    return Status::Internal("FDE step budget exceeded");
+  }
+  if (!ok) {
+    return Status::DetectorFailure("object is not in L(G): start symbol '" +
+                                   grammar_->start_symbol() + "' invalid");
+  }
+  if (!stack.empty()) {
+    return Status::DetectorFailure(
+        StrFormat("parse left %zu unconsumed token(s); first: '%s'",
+                  stack.size(), stack.Top().text().c_str()));
+  }
+
+  // Run final hooks of every detector whose init ran.
+  for (const std::string& name : inited_) {
+    DetectorContext context;
+    context.tree = &tree;
+    context.env = options_.env;
+    Status s = registry_->InvokeFinal(name, context);
+    if (!s.ok()) return s;
+  }
+  return tree;
+}
+
+bool Fde::ParseSymbol(ParseTree* tree, PtNodeId parent,
+                      const std::string& name, TokenStack* stack) {
+  if (++stats_.steps > options_.max_steps) {
+    budget_exceeded_ = true;
+    return false;
+  }
+  if (budget_exceeded_) return false;
+
+  SymbolKind kind = grammar_->KindOf(name);
+  size_t mark = tree->Mark();
+  TokenStack::Snapshot snap = stack->Save();
+
+  auto fail = [&]() {
+    tree->RollbackTo(mark);
+    stack->Restore(snap);
+    ++stats_.backtracks;
+    return false;
+  };
+
+  switch (kind) {
+    case SymbolKind::kTerminal: {
+      if (stack->empty()) return fail();
+      const Token& token = stack->Top();
+      if (!token.Matches(grammar_->atom_type(name))) return fail();
+      PtNodeId node =
+          parent == kInvalidPtNode
+              ? tree->CreateRoot(name, PtNode::Kind::kTerminal)
+              : tree->AppendChild(parent, name, PtNode::Kind::kTerminal);
+      tree->mutable_node(node).value = token;
+      stack->Pop();
+      return true;
+    }
+
+    case SymbolKind::kDetector: {
+      PtNodeId node =
+          parent == kInvalidPtNode
+              ? tree->CreateRoot(name, PtNode::Kind::kDetector)
+              : tree->AppendChild(parent, name, PtNode::Kind::kDetector);
+      const DetectorDecl* decl = grammar_->FindDetector(name);
+      assert(decl != nullptr);
+      if (!ExecuteDetector(tree, node, *decl, stack)) return fail();
+      // Detector rules (if any) consume the tokens it produced.
+      if (!grammar_->RulesFor(name).empty()) {
+        if (!ParseAlternatives(tree, node, name, stack)) return fail();
+      }
+      if (registry_->HasEnd(name)) {
+        DetectorContext context;
+        context.tree = tree;
+        context.node = node;
+        context.env = options_.env;
+        if (!registry_->InvokeEnd(name, context).ok()) return fail();
+      }
+      return true;
+    }
+
+    case SymbolKind::kVariable: {
+      PtNodeId node =
+          parent == kInvalidPtNode
+              ? tree->CreateRoot(name, PtNode::Kind::kVariable)
+              : tree->AppendChild(parent, name, PtNode::Kind::kVariable);
+      if (!ParseAlternatives(tree, node, name, stack)) return fail();
+      return true;
+    }
+
+    case SymbolKind::kUnknown:
+      return fail();
+  }
+  return fail();
+}
+
+bool Fde::ParseAlternatives(ParseTree* tree, PtNodeId self,
+                            const std::string& lhs, TokenStack* stack) {
+  for (const Rule* rule : grammar_->RulesFor(lhs)) {
+    size_t mark = tree->Mark();
+    TokenStack::Snapshot snap = stack->Save();
+    if (ParseRuleBody(tree, self, *rule, stack)) return true;
+    tree->RollbackTo(mark);
+    stack->Restore(snap);
+    ++stats_.backtracks;
+  }
+  return false;
+}
+
+bool Fde::ParseRuleBody(ParseTree* tree, PtNodeId self, const Rule& rule,
+                        TokenStack* stack) {
+  for (const RhsElement& element : rule.rhs) {
+    if (!ParseElement(tree, self, element, stack)) return false;
+  }
+  return true;
+}
+
+bool Fde::ParseElement(ParseTree* tree, PtNodeId parent,
+                       const RhsElement& element, TokenStack* stack) {
+  switch (element.repeat) {
+    case Repeat::kOne:
+      return ParseElementOnce(tree, parent, element, stack);
+    case Repeat::kOptional: {
+      size_t mark = tree->Mark();
+      TokenStack::Snapshot snap = stack->Save();
+      if (!ParseElementOnce(tree, parent, element, stack)) {
+        tree->RollbackTo(mark);
+        stack->Restore(snap);
+        ++stats_.backtracks;
+      }
+      return true;
+    }
+    case Repeat::kStar:
+    case Repeat::kPlus: {
+      size_t count = 0;
+      while (true) {
+        size_t mark = tree->Mark();
+        TokenStack::Snapshot snap = stack->Save();
+        if (!ParseElementOnce(tree, parent, element, stack)) {
+          tree->RollbackTo(mark);
+          stack->Restore(snap);
+          ++stats_.backtracks;
+          break;
+        }
+        ++count;
+        if (budget_exceeded_) return false;
+      }
+      return element.repeat == Repeat::kStar || count >= 1;
+    }
+  }
+  return false;
+}
+
+bool Fde::ParseElementOnce(ParseTree* tree, PtNodeId parent,
+                           const RhsElement& element, TokenStack* stack) {
+  switch (element.kind) {
+    case RhsElement::Kind::kSymbol:
+      return ParseSymbol(tree, parent, element.name, stack);
+    case RhsElement::Kind::kLiteral: {
+      if (stack->empty()) return false;
+      const Token& token = stack->Top();
+      if (token.text() != element.literal) return false;
+      PtNodeId node =
+          tree->AppendChild(parent, element.literal, PtNode::Kind::kLiteral);
+      tree->mutable_node(node).value = Token::Str(element.literal);
+      stack->Pop();
+      return true;
+    }
+    case RhsElement::Kind::kReference: {
+      if (stack->empty()) return false;
+      const Token& token = stack->Top();
+      // Strict type gate: a reference list stops at the first token
+      // that is not keyed like the referenced symbol.
+      std::optional<AtomType> key_type =
+          grammar_->ReferenceKeyType(element.name);
+      if (key_type.has_value() && token.type() != *key_type) return false;
+      PtNodeId node =
+          tree->AppendChild(parent, element.name, PtNode::Kind::kReference);
+      tree->mutable_node(node).ref_key = token.text();
+      references_.push_back(ParsedReference{node, element.name, token.text()});
+      stack->Pop();
+      return true;
+    }
+  }
+  return false;
+}
+
+bool Fde::ExecuteDetector(ParseTree* tree, PtNodeId node,
+                          const DetectorDecl& decl, TokenStack* stack) {
+  DetectorContext context;
+  context.tree = tree;
+  context.node = node;
+  context.env = options_.env;
+
+  // init runs the first time the parser encounters the symbol.
+  if (registry_->HasInit(decl.name) && inited_.count(decl.name) == 0) {
+    if (!registry_->InvokeInit(decl.name, context).ok()) return false;
+    inited_.insert(decl.name);
+  }
+  if (registry_->HasBegin(decl.name)) {
+    if (!registry_->InvokeBegin(decl.name, context).ok()) return false;
+  }
+
+  // Record the implementation version on the node for the FDS.
+  if (Result<DetectorVersion> v = registry_->VersionOf(decl.name); v.ok()) {
+    tree->mutable_node(node).version = v.value();
+  }
+
+  if (decl.IsWhitebox()) {
+    bool outcome = EvalPredicate(*tree, node, *decl.predicate);
+    if (grammar_->IsAtom(decl.name) &&
+        grammar_->atom_type(decl.name) == AtomType::kBit) {
+      // A bit-typed whitebox detector stores its outcome as data; the
+      // parse succeeds either way (netplay in Fig. 7).
+      tree->mutable_node(node).value = Token::Bit(outcome);
+      return true;
+    }
+    // Pure guard (video_type in Fig. 6): failure backtracks.
+    return outcome;
+  }
+
+  // Blackbox: resolve the declared input paths against the tree.
+  for (const Path& path : decl.inputs) {
+    std::vector<PtNodeId> matches = tree->ResolvePath(node, path, false);
+    Token value;
+    if (matches.empty() || !tree->ValueOf(matches.front(), &value)) {
+      return false;  // required input unavailable
+    }
+    context.inputs.push_back(std::move(value));
+  }
+
+  if (decl.protocol != DetectorProtocol::kLinked) {
+    // Simulated RPC boundary: count the call and the serialised
+    // argument bytes; optionally inject a transport failure.
+    ++stats_.rpc_calls;
+    for (const Token& t : context.inputs) {
+      stats_.rpc_bytes += t.text().size();
+    }
+    if (options_.rpc_failure_every > 0 &&
+        stats_.rpc_calls % options_.rpc_failure_every == 0) {
+      return false;
+    }
+  }
+
+  std::vector<Token> outputs;
+  if (!registry_->Invoke(decl.name, context, &outputs).ok()) return false;
+  if (decl.protocol != DetectorProtocol::kLinked) {
+    for (const Token& t : outputs) stats_.rpc_bytes += t.text().size();
+  }
+  stats_.tokens_pushed += outputs.size();
+  for (auto it = outputs.rbegin(); it != outputs.rend(); ++it) {
+    stack->Push(std::move(*it));
+  }
+  return true;
+}
+
+bool Fde::EvalPredicate(const ParseTree& tree, PtNodeId context,
+                        const PredExpr& expr) {
+  switch (expr.kind) {
+    case PredExpr::Kind::kCompare: {
+      std::vector<PtNodeId> matches =
+          tree.ResolvePath(context, expr.path, false);
+      if (matches.empty()) return false;
+      Token value;
+      if (!tree.ValueOf(matches.front(), &value)) return false;
+      return CompareTokens(value, expr.op, expr.literal);
+    }
+    case PredExpr::Kind::kAnd:
+      for (const auto& child : expr.children) {
+        if (!EvalPredicate(tree, context, *child)) return false;
+      }
+      return true;
+    case PredExpr::Kind::kOr:
+      for (const auto& child : expr.children) {
+        if (EvalPredicate(tree, context, *child)) return true;
+      }
+      return false;
+    case PredExpr::Kind::kNot:
+      return !EvalPredicate(tree, context, *expr.children.front());
+    case PredExpr::Kind::kQuantified: {
+      std::vector<PtNodeId> bindings =
+          tree.ResolvePath(context, expr.binding, true);
+      size_t hits = 0;
+      for (PtNodeId bound : bindings) {
+        if (EvalPredicate(tree, bound, *expr.children.front())) ++hits;
+      }
+      switch (expr.quant) {
+        case Quantifier::kSome: return hits >= 1;
+        case Quantifier::kAll: return hits == bindings.size();
+        case Quantifier::kOne: return hits == 1;
+      }
+      return false;
+    }
+  }
+  return false;
+}
+
+Status Fde::ReparseDetectorNode(ParseTree* tree, PtNodeId node) {
+  // Note: node references into the arena are invalidated by appends;
+  // copy what we need up front.
+  if (tree->node(node).kind != PtNode::Kind::kDetector) {
+    return Status::InvalidArgument("node is not a detector instance");
+  }
+  const std::string symbol = tree->node(node).symbol;
+  const DetectorDecl* decl = grammar_->FindDetector(symbol);
+  if (decl == nullptr) {
+    return Status::NotFound("detector '" + symbol + "' not in grammar");
+  }
+
+  tree->ClearChildren(node);
+  tree->mutable_node(node).valid = true;
+  tree->mutable_node(node).value = Token();
+  budget_exceeded_ = false;
+
+  size_t mark = tree->Mark();
+  TokenStack stack(options_.share_suffixes, &stats_.stack);
+  if (!ExecuteDetector(tree, node, *decl, &stack) ||
+      (!grammar_->RulesFor(symbol).empty() &&
+       !ParseAlternatives(tree, node, symbol, &stack)) ||
+      !stack.empty()) {
+    tree->RollbackTo(mark);
+    tree->ClearChildren(node);
+    tree->mutable_node(node).valid = false;
+    return Status::DetectorFailure("incremental parse of '" + symbol +
+                                   "' failed");
+  }
+  return Status::Ok();
+}
+
+}  // namespace dls::fg

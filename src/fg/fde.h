@@ -1,0 +1,105 @@
+#ifndef DLS_FG_FDE_H_
+#define DLS_FG_FDE_H_
+
+#include <set>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "fg/detector.h"
+#include "fg/grammar.h"
+#include "fg/parse_tree.h"
+#include "fg/token_stack.h"
+
+namespace dls::fg {
+
+/// FDE configuration.
+struct FdeOptions {
+  /// Use the shared-suffix (Tomita-style) token stack; false selects
+  /// the naive copying stack (ablation E6).
+  bool share_suffixes = true;
+  /// Hard cap on parse steps, guarding against pathological grammars.
+  size_t max_steps = 50'000'000;
+  /// Opaque environment handed to every detector invocation.
+  void* env = nullptr;
+  /// If > 0, every Nth external (xml-rpc/corba/system) call fails with
+  /// a simulated transport error — exercises the error path the real
+  /// system gets from daemon crashes.
+  size_t rpc_failure_every = 0;
+};
+
+/// Work counters for one or more Parse() runs.
+struct FdeStats {
+  size_t steps = 0;            ///< symbols attempted
+  size_t backtracks = 0;       ///< failed alternatives / repetitions
+  size_t tokens_pushed = 0;    ///< tokens produced by detectors
+  size_t rpc_calls = 0;        ///< external detector invocations
+  size_t rpc_bytes = 0;        ///< serialised argument/result traffic
+  TokenStackStats stack;
+};
+
+/// A reference (&symbol) encountered during a parse: the link structure
+/// of Fig. 14, through which the parse tree becomes a graph.
+struct ParsedReference {
+  PtNodeId node;
+  std::string symbol;  ///< target start symbol (e.g. MMO, keyword)
+  std::string key;     ///< identifying token (e.g. the URL)
+};
+
+/// The Feature Detector Engine: a recursive-descent parser with
+/// backtracking over detector-produced token streams.
+///
+/// The FDE proves the start symbol by walking the production rules
+/// top-down and left-to-right, executing detector symbols as it meets
+/// them; their output tokens are pushed on the (versioned) token stack
+/// and consumed by the terminal symbols of the detector's own rules.
+class Fde {
+ public:
+  Fde(const Grammar* grammar, DetectorRegistry* registry,
+      FdeOptions options = FdeOptions());
+
+  /// Parses one multimedia object. `initial_tokens` is the minimum
+  /// token set of the %start declaration, in declaration order.
+  Result<ParseTree> Parse(std::vector<Token> initial_tokens);
+
+  /// Incremental parse for the FDS: re-executes the detector at `node`
+  /// in an existing tree and re-parses its subtree in place. On failure
+  /// the node is marked invalid and kDetectorFailure returned.
+  Status ReparseDetectorNode(ParseTree* tree, PtNodeId node);
+
+  /// References collected by the most recent Parse().
+  const std::vector<ParsedReference>& last_references() const {
+    return references_;
+  }
+
+  const FdeStats& stats() const { return stats_; }
+  void ResetStats() { stats_ = FdeStats(); }
+
+ private:
+  bool ParseSymbol(ParseTree* tree, PtNodeId parent, const std::string& name,
+                   TokenStack* stack);
+  bool ParseAlternatives(ParseTree* tree, PtNodeId self,
+                         const std::string& lhs, TokenStack* stack);
+  bool ParseRuleBody(ParseTree* tree, PtNodeId self, const Rule& rule,
+                     TokenStack* stack);
+  bool ParseElementOnce(ParseTree* tree, PtNodeId parent,
+                        const RhsElement& element, TokenStack* stack);
+  bool ParseElement(ParseTree* tree, PtNodeId parent,
+                    const RhsElement& element, TokenStack* stack);
+  bool ExecuteDetector(ParseTree* tree, PtNodeId node,
+                       const DetectorDecl& decl, TokenStack* stack);
+  bool EvalPredicate(const ParseTree& tree, PtNodeId context,
+                     const PredExpr& expr);
+
+  const Grammar* grammar_;
+  DetectorRegistry* registry_;
+  FdeOptions options_;
+  FdeStats stats_;
+  std::vector<ParsedReference> references_;
+  std::set<std::string> inited_;
+  bool budget_exceeded_ = false;
+};
+
+}  // namespace dls::fg
+
+#endif  // DLS_FG_FDE_H_

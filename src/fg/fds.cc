@@ -1,0 +1,149 @@
+#include "fg/fds.h"
+
+#include <set>
+
+namespace dls::fg {
+
+std::vector<std::string> ParseTreeStore::Keys() const {
+  std::vector<std::string> out;
+  out.reserve(trees_.size());
+  for (const auto& [key, tree] : trees_) out.push_back(key);
+  return out;
+}
+
+Fds::Fds(const Grammar* grammar, DetectorRegistry* registry,
+         ParseTreeStore* store, Fde* fde)
+    : grammar_(grammar),
+      registry_(registry),
+      store_(store),
+      fde_(fde),
+      graph_(DependencyGraph::Build(*grammar)) {}
+
+void Fds::Schedule(FdsPriority priority, const std::string& key,
+                   const std::string& detector) {
+  queue_.push(FdsTask{priority, key, detector, next_seq_++});
+  ++stats_.tasks_scheduled;
+}
+
+Result<ChangeClass> Fds::UpdateDetector(std::string_view detector,
+                                        DetectorFn fn,
+                                        DetectorVersion new_version) {
+  DLS_ASSIGN_OR_RETURN(DetectorVersion old_version,
+                       registry_->VersionOf(detector));
+  registry_->Register(detector, std::move(fn), new_version);
+  ChangeClass change = ClassifyChange(old_version, new_version);
+  if (change == ChangeClass::kRevision) {
+    // Correction revision: stored parse trees stay valid, nothing to do.
+    return change;
+  }
+
+  FdsPriority priority = change == ChangeClass::kMajor ? FdsPriority::kHigh
+                                                       : FdsPriority::kLow;
+  std::string name(detector);
+  for (const std::string& key : store_->Keys()) {
+    ParseTree* tree = store_->Find(key);
+    std::vector<PtNodeId> instances = tree->FindAll(name);
+    if (instances.empty()) continue;
+    if (change == ChangeClass::kMajor) {
+      // Major: the stored data below each instance is unusable NOW.
+      // Invalidation follows the rule+sibling dependencies downward,
+      // which in tree terms is the whole partial parse tree.
+      for (PtNodeId node : instances) {
+        tree->mutable_node(node).valid = false;
+        stats_.nodes_invalidated += 1 + tree->Descendants(node).size();
+      }
+    }
+    Schedule(priority, key, name);
+  }
+  return change;
+}
+
+Status Fds::OnSourceChanged(
+    const std::string& key,
+    const std::function<bool(const ParseTree&)>& probe,
+    std::vector<Token> initial_tokens) {
+  ParseTree* tree = store_->Find(key);
+  if (tree == nullptr) {
+    return Status::NotFound("no stored parse tree for '" + key + "'");
+  }
+  if (probe(*tree)) return Status::Ok();  // still valid
+  // The whole parse tree is regenerated.
+  ++stats_.full_reparses;
+  Result<ParseTree> reparsed = fde_->Parse(std::move(initial_tokens));
+  if (!reparsed.ok()) {
+    store_->Erase(key);  // object no longer in L(G)
+    return reparsed.status();
+  }
+  store_->Put(key, std::move(reparsed).value());
+  return Status::Ok();
+}
+
+Status Fds::RunTask(const FdsTask& task) {
+  ParseTree* tree = store_->Find(task.object_key);
+  if (tree == nullptr) return Status::Ok();  // object vanished meanwhile
+
+  std::vector<PtNodeId> instances = tree->FindAll(task.detector);
+  for (PtNodeId node : instances) {
+    std::string before = tree->SubtreeSignature(node);
+    Status s = fde_->ReparseDetectorNode(tree, node);
+    ++stats_.tasks_run;
+    if (!s.ok()) {
+      // Step 3 of the paper's procedure: the subtree is invalid; follow
+      // the dependencies upward to the first enclosing detector (or the
+      // start symbol) and revalidate that instead.
+      ++stats_.nodes_invalidated;
+      PtNodeId up = tree->node(node).parent;
+      while (up != kInvalidPtNode &&
+             tree->node(up).kind != PtNode::Kind::kDetector) {
+        up = tree->node(up).parent;
+      }
+      if (up != kInvalidPtNode) {
+        Schedule(task.priority, task.object_key, tree->node(up).symbol);
+      }
+      continue;
+    }
+    std::string after = tree->SubtreeSignature(node);
+    if (after == before) {
+      // Step 2: subtree unchanged — parameter dependents keep their
+      // validity, nothing cascades.
+      ++stats_.subtrees_unchanged;
+      continue;
+    }
+    // The detector's output changed: detectors whose parameters read
+    // symbols produced underneath it must be revalidated.
+    std::set<std::string> produced;
+    produced.insert(task.detector);
+    for (PtNodeId d : tree->Descendants(node)) {
+      produced.insert(tree->node(d).symbol);
+    }
+    std::set<std::string> dependents;
+    for (const std::string& symbol : produced) {
+      for (const std::string& dependent :
+           graph_.ParameterDependents(symbol)) {
+        if (dependent != task.detector) dependents.insert(dependent);
+      }
+    }
+    for (const std::string& dependent : dependents) {
+      if (!tree->FindAll(dependent).empty()) {
+        ++stats_.cascades;
+        Schedule(task.priority, task.object_key, dependent);
+      }
+    }
+  }
+  return Status::Ok();
+}
+
+Status Fds::RunPending() {
+  // Deduplicate (key, detector) pairs that were scheduled repeatedly
+  // before being run.
+  std::set<std::pair<std::string, std::string>> done;
+  while (!queue_.empty()) {
+    FdsTask task = queue_.top();
+    queue_.pop();
+    if (!done.insert({task.object_key, task.detector}).second) continue;
+    DLS_RETURN_IF_ERROR(RunTask(task));
+  }
+  return Status::Ok();
+}
+
+}  // namespace dls::fg

@@ -1,0 +1,122 @@
+#ifndef DLS_FG_FDS_H_
+#define DLS_FG_FDS_H_
+
+#include <functional>
+#include <map>
+#include <queue>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "fg/depgraph.h"
+#include "fg/fde.h"
+
+namespace dls::fg {
+
+/// The meta-index: parse trees of all analysed objects, keyed by the
+/// object identifier (usually the URL from the start token set).
+class ParseTreeStore {
+ public:
+  void Put(std::string key, ParseTree tree) {
+    trees_[std::move(key)] = std::move(tree);
+  }
+  bool Has(const std::string& key) const { return trees_.count(key) > 0; }
+  ParseTree* Find(const std::string& key) {
+    auto it = trees_.find(key);
+    return it == trees_.end() ? nullptr : &it->second;
+  }
+  const ParseTree* Find(const std::string& key) const {
+    auto it = trees_.find(key);
+    return it == trees_.end() ? nullptr : &it->second;
+  }
+  void Erase(const std::string& key) { trees_.erase(key); }
+  size_t size() const { return trees_.size(); }
+  std::vector<std::string> Keys() const;
+
+ private:
+  std::map<std::string, ParseTree> trees_;
+};
+
+/// Priorities of scheduled revalidations. Major revisions make the
+/// stored data unusable and go first; minor revisions leave the data
+/// answerable while the backlog drains.
+enum class FdsPriority : uint8_t { kHigh = 0, kLow = 1 };
+
+/// One scheduled incremental parse.
+struct FdsTask {
+  FdsPriority priority;
+  std::string object_key;
+  std::string detector;  ///< symbol whose instances to revalidate
+  uint64_t seq;          ///< FIFO order within a priority class
+};
+
+/// Work counters (experiment E5).
+struct FdsStats {
+  size_t tasks_scheduled = 0;
+  size_t tasks_run = 0;
+  size_t nodes_invalidated = 0;
+  size_t subtrees_unchanged = 0;  ///< re-runs whose output was identical
+  size_t cascades = 0;            ///< parameter-dependency follow-ups
+  size_t full_reparses = 0;       ///< source-data changes
+};
+
+/// The Feature Detector Scheduler: demand-driven index maintenance.
+///
+/// The FDS owns no analysis logic; it owns the *dependency reasoning*:
+/// given "detector X changed from version A to B" it classifies the
+/// change (revision / minor / major), localises the affected partial
+/// parse trees through the dependency graph, schedules incremental
+/// parses with the right priority, and cascades to parameter-dependent
+/// detectors whose inputs actually changed.
+class Fds {
+ public:
+  Fds(const Grammar* grammar, DetectorRegistry* registry,
+      ParseTreeStore* store, Fde* fde);
+
+  /// Installs a new implementation of `detector` and schedules the
+  /// consequences. Returns the classified change.
+  Result<ChangeClass> UpdateDetector(std::string_view detector, DetectorFn fn,
+                                     DetectorVersion new_version);
+
+  /// Signals that the source object behind `key` changed; per the
+  /// paper a special probe associated with the start symbol decides
+  /// whether the whole stored parse tree is stale. `probe` returns
+  /// true if the stored tree is still valid. A full regeneration needs
+  /// the object's initial token set, supplied by `initial_tokens`.
+  Status OnSourceChanged(const std::string& key,
+                         const std::function<bool(const ParseTree&)>& probe,
+                         std::vector<Token> initial_tokens);
+
+  size_t pending() const { return queue_.size(); }
+
+  /// Drains the queue in priority order, running incremental parses.
+  Status RunPending();
+
+  const FdsStats& stats() const { return stats_; }
+  void ResetStats() { stats_ = FdsStats(); }
+
+ private:
+  struct TaskOrder {
+    bool operator()(const FdsTask& a, const FdsTask& b) const {
+      if (a.priority != b.priority) return a.priority > b.priority;  // min-heap
+      return a.seq > b.seq;
+    }
+  };
+
+  void Schedule(FdsPriority priority, const std::string& key,
+                const std::string& detector);
+  Status RunTask(const FdsTask& task);
+
+  const Grammar* grammar_;
+  DetectorRegistry* registry_;
+  ParseTreeStore* store_;
+  Fde* fde_;
+  DependencyGraph graph_;
+  std::priority_queue<FdsTask, std::vector<FdsTask>, TaskOrder> queue_;
+  uint64_t next_seq_ = 0;
+  FdsStats stats_;
+};
+
+}  // namespace dls::fg
+
+#endif  // DLS_FG_FDS_H_

@@ -1,0 +1,135 @@
+#include "fg/grammar.h"
+
+#include "common/strings.h"
+
+namespace dls::fg {
+
+std::string PathToString(const Path& path) {
+  std::string out;
+  for (size_t i = 0; i < path.size(); ++i) {
+    if (i > 0) out += '.';
+    out += path[i];
+  }
+  return out;
+}
+
+void CollectPredicatePaths(const PredExpr& expr, std::vector<Path>* out) {
+  switch (expr.kind) {
+    case PredExpr::Kind::kCompare:
+      out->push_back(expr.path);
+      break;
+    case PredExpr::Kind::kQuantified:
+      out->push_back(expr.binding);
+      for (const auto& child : expr.children) {
+        CollectPredicatePaths(*child, out);
+      }
+      break;
+    default:
+      for (const auto& child : expr.children) {
+        CollectPredicatePaths(*child, out);
+      }
+  }
+}
+
+SymbolKind Grammar::KindOf(std::string_view symbol) const {
+  std::string key(symbol);
+  if (detectors_.find(key) != detectors_.end()) return SymbolKind::kDetector;
+  if (atoms_.find(key) != atoms_.end()) return SymbolKind::kTerminal;
+  if (rules_by_lhs_.find(key) != rules_by_lhs_.end()) {
+    return SymbolKind::kVariable;
+  }
+  return SymbolKind::kUnknown;
+}
+
+const DetectorDecl* Grammar::FindDetector(std::string_view name) const {
+  auto it = detectors_.find(std::string(name));
+  return it == detectors_.end() ? nullptr : &it->second;
+}
+
+std::vector<const Rule*> Grammar::RulesFor(std::string_view lhs) const {
+  std::vector<const Rule*> out;
+  auto it = rules_by_lhs_.find(std::string(lhs));
+  if (it == rules_by_lhs_.end()) return out;
+  out.reserve(it->second.size());
+  for (size_t index : it->second) out.push_back(&rules_[index]);
+  return out;
+}
+
+std::set<std::string> Grammar::AllSymbols() const {
+  std::set<std::string> out;
+  for (const auto& [name, decl] : detectors_) out.insert(name);
+  for (const auto& [name, type] : atoms_) out.insert(name);
+  for (const Rule& rule : rules_) {
+    out.insert(rule.lhs);
+    for (const RhsElement& element : rule.rhs) {
+      if (element.kind != RhsElement::Kind::kLiteral) out.insert(element.name);
+    }
+  }
+  if (!start_symbol_.empty()) out.insert(start_symbol_);
+  return out;
+}
+
+std::optional<AtomType> Grammar::ReferenceKeyType(
+    std::string_view symbol) const {
+  if (IsAtom(symbol)) return atom_type(symbol);
+  std::vector<const Rule*> rules = RulesFor(symbol);
+  if (rules.empty() || rules.front()->rhs.empty()) return std::nullopt;
+  const RhsElement& first = rules.front()->rhs.front();
+  if (first.kind == RhsElement::Kind::kSymbol && IsAtom(first.name)) {
+    return atom_type(first.name);
+  }
+  return std::nullopt;
+}
+
+Status Grammar::Validate() const {
+  if (start_symbol_.empty()) {
+    return Status::InvalidArgument("grammar has no %start declaration");
+  }
+  if (KindOf(start_symbol_) == SymbolKind::kUnknown) {
+    return Status::InvalidArgument("start symbol '" + start_symbol_ +
+                                   "' is not defined");
+  }
+  for (const Rule& rule : rules_) {
+    // An atom is a terminal: it cannot also appear as a rule LHS unless
+    // it is a detector (whitebox detectors may both compute and store a
+    // value, like `netplay`).
+    if (IsAtom(rule.lhs) && detectors_.find(rule.lhs) == detectors_.end()) {
+      return Status::InvalidArgument("atom '" + rule.lhs +
+                                     "' cannot have production rules");
+    }
+    for (const RhsElement& element : rule.rhs) {
+      if (element.kind == RhsElement::Kind::kLiteral) continue;
+      if (KindOf(element.name) == SymbolKind::kUnknown) {
+        return Status::InvalidArgument("symbol '" + element.name +
+                                       "' in rule for '" + rule.lhs +
+                                       "' is not defined");
+      }
+    }
+  }
+  for (const auto& [name, decl] : detectors_) {
+    for (const Path& path : decl.inputs) {
+      if (path.empty()) {
+        return Status::InvalidArgument("detector '" + name +
+                                       "' has an empty input path");
+      }
+      for (const std::string& segment : path) {
+        if (KindOf(segment) == SymbolKind::kUnknown) {
+          return Status::InvalidArgument(
+              "detector '" + name + "' input path segment '" + segment +
+              "' is not a known symbol");
+        }
+      }
+    }
+  }
+  // Whitebox detectors with a stored value must be bit atoms.
+  for (const auto& [name, decl] : detectors_) {
+    if (decl.IsWhitebox() && IsAtom(name) &&
+        atom_type(name) != AtomType::kBit) {
+      return Status::InvalidArgument("whitebox detector '" + name +
+                                     "' must have atom type bit");
+    }
+  }
+  return Status::Ok();
+}
+
+}  // namespace dls::fg

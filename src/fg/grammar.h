@@ -1,0 +1,196 @@
+#ifndef DLS_FG_GRAMMAR_H_
+#define DLS_FG_GRAMMAR_H_
+
+#include <map>
+#include <memory>
+#include <optional>
+#include <set>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/status.h"
+#include "fg/token.h"
+
+namespace dls::fg {
+
+/// Repetition marker on a right-hand-side element (regular right part
+/// grammar notation, [LaL77]).
+enum class Repeat : uint8_t {
+  kOne,       ///< exactly one
+  kOptional,  ///< ?
+  kStar,      ///< *
+  kPlus,      ///< +
+};
+
+/// True if the element must occur at least once (lower bound > 0).
+inline bool IsObligatory(Repeat r) {
+  return r == Repeat::kOne || r == Repeat::kPlus;
+}
+
+/// One element of a production rule's right-hand side.
+struct RhsElement {
+  enum class Kind : uint8_t {
+    kSymbol,     ///< variable / detector / terminal
+    kLiteral,    ///< "quoted" token text that must match
+    kReference,  ///< &symbol — a link to another parse tree (Fig. 14)
+  };
+  Kind kind = Kind::kSymbol;
+  std::string name;     ///< symbol or reference target
+  std::string literal;  ///< literal text for kLiteral
+  Repeat repeat = Repeat::kOne;
+};
+
+/// A production rule `lhs : rhs ;`. Alternatives are separate Rule
+/// entries sharing the lhs, tried in declaration order.
+struct Rule {
+  std::string lhs;
+  std::vector<RhsElement> rhs;
+};
+
+/// A dotted parse-tree path such as `begin.frameNo`. Paths refer to
+/// preceding symbols relative to the referencing node.
+using Path = std::vector<std::string>;
+
+/// Renders "begin.frameNo".
+std::string PathToString(const Path& path);
+
+/// Comparison operators of whitebox predicates.
+enum class CmpOp : uint8_t { kEq, kNe, kLt, kLe, kGt, kGe };
+
+/// Quantifiers of whitebox predicates.
+enum class Quantifier : uint8_t { kSome, kAll, kOne };
+
+/// Whitebox predicate expression tree.
+struct PredExpr {
+  enum class Kind : uint8_t {
+    kCompare,     ///< path op literal
+    kAnd,
+    kOr,
+    kNot,
+    kQuantified,  ///< quant[binding path]( child )
+  };
+  Kind kind = Kind::kCompare;
+
+  // kCompare:
+  Path path;
+  CmpOp op = CmpOp::kEq;
+  Token literal;
+
+  // kQuantified:
+  Quantifier quant = Quantifier::kSome;
+  Path binding;
+
+  // kAnd/kOr: two or more; kNot/kQuantified: exactly one.
+  std::vector<std::unique_ptr<PredExpr>> children;
+};
+
+/// Collects the final segment of every path mentioned in `expr`
+/// (parameter dependencies of a whitebox detector).
+void CollectPredicatePaths(const PredExpr& expr, std::vector<Path>* out);
+
+/// How a detector implementation is reached.
+enum class DetectorProtocol : uint8_t {
+  kLinked,   ///< compiled into the parser (the Fig. 6 `header` case)
+  kXmlRpc,   ///< external process via XML-RPC (`xml-rpc::segment`)
+  kCorba,    ///< external via CORBA
+  kSystem,   ///< plain system call
+};
+
+/// Declaration of a detector symbol.
+struct DetectorDecl {
+  std::string name;
+  DetectorProtocol protocol = DetectorProtocol::kLinked;
+  /// Blackbox input paths; empty for whitebox detectors.
+  std::vector<Path> inputs;
+  /// Whitebox predicate; null for blackbox detectors.
+  std::unique_ptr<PredExpr> predicate;
+  /// Special lifecycle hooks declared via name.init() etc.
+  bool has_init = false;
+  bool has_final = false;
+  bool has_begin = false;
+  bool has_end = false;
+
+  bool IsWhitebox() const { return predicate != nullptr; }
+};
+
+/// Symbol classification within a grammar.
+enum class SymbolKind : uint8_t {
+  kVariable,
+  kDetector,
+  kTerminal,
+  kUnknown,
+};
+
+/// A parsed and validated feature grammar: the quintuple
+/// G = (V, D, T, S, P) plus atom typing and detector declarations.
+class Grammar {
+ public:
+  Grammar() = default;
+  Grammar(Grammar&&) = default;
+  Grammar& operator=(Grammar&&) = default;
+  Grammar(const Grammar&) = delete;
+  Grammar& operator=(const Grammar&) = delete;
+
+  const std::string& start_symbol() const { return start_symbol_; }
+  /// Minimum initial token set (paths; usually plain names).
+  const std::vector<Path>& start_args() const { return start_args_; }
+
+  SymbolKind KindOf(std::string_view symbol) const;
+
+  bool IsAtom(std::string_view symbol) const {
+    return atoms_.find(std::string(symbol)) != atoms_.end();
+  }
+  AtomType atom_type(std::string_view symbol) const {
+    return atoms_.at(std::string(symbol));
+  }
+
+  const DetectorDecl* FindDetector(std::string_view name) const;
+
+  /// Alternatives for `lhs`, in declaration order (may be empty: e.g.
+  /// whitebox detectors and terminals have no rules).
+  std::vector<const Rule*> RulesFor(std::string_view lhs) const;
+
+  const std::vector<Rule>& rules() const { return rules_; }
+  const std::map<std::string, DetectorDecl>& detectors() const {
+    return detectors_;
+  }
+  const std::map<std::string, AtomType>& atoms() const { return atoms_; }
+
+  /// All symbols mentioned anywhere (for the dependency graph).
+  std::set<std::string> AllSymbols() const;
+
+  /// The atom type identifying instances of `symbol` when referenced
+  /// via `&symbol`: the symbol's own type if it is a terminal,
+  /// otherwise the type of the first terminal element of its first
+  /// rule (e.g. &MMO is keyed by MMO's leading `location` url).
+  /// nullopt if no identifying terminal can be derived — references to
+  /// such symbols consume any token. Reference matching is strict (no
+  /// int->flt or str<->url widening) so that reference lists in rules
+  /// like `body : &keyword+; anchor : &MMO embedded;` terminate at the
+  /// type boundary.
+  std::optional<AtomType> ReferenceKeyType(std::string_view symbol) const;
+
+  /// Structural validation: every RHS symbol resolvable, start symbol
+  /// defined, atoms have no rules, detector paths well-formed.
+  Status Validate() const;
+
+ private:
+  friend class GrammarParser;
+
+  std::string start_symbol_;
+  std::vector<Path> start_args_;
+  std::map<std::string, DetectorDecl> detectors_;
+  std::map<std::string, AtomType> atoms_;
+  std::set<std::string> adts_;  ///< user-declared ADTs (`%atom url;`)
+  std::vector<Rule> rules_;
+  std::map<std::string, std::vector<size_t>> rules_by_lhs_;
+};
+
+/// Parses feature-grammar text (the language of Figs. 6/7/14).
+/// See grammars/*.fg for complete examples.
+Result<Grammar> ParseGrammar(std::string_view text);
+
+}  // namespace dls::fg
+
+#endif  // DLS_FG_GRAMMAR_H_

@@ -1,0 +1,89 @@
+#include "fg/mirror.h"
+
+namespace dls::fg {
+
+MirrorScheduler::MirrorScheduler(const Grammar* grammar,
+                                 DetectorRegistry* registry,
+                                 ParseTreeStore* store, Fde* fde)
+    : grammar_(grammar), registry_(registry), store_(store), fde_(fde) {
+  for (const auto& [name, decl] : grammar_->detectors()) {
+    daemons_.push_back(name);
+  }
+}
+
+Status MirrorScheduler::UpdateDaemon(std::string_view name, DetectorFn fn,
+                                     DetectorVersion version) {
+  if (grammar_->FindDetector(name) == nullptr) {
+    return Status::NotFound("daemon '" + std::string(name) +
+                            "' is not a grammar detector");
+  }
+  registry_->Register(name, std::move(fn), version);
+  return Status::Ok();
+}
+
+std::vector<std::string> MirrorScheduler::GetWork(const std::string& daemon) {
+  ++stats_.get_work_queries;
+  std::vector<std::string> work;
+  Result<DetectorVersion> current = registry_->VersionOf(daemon);
+  for (const std::string& key : store_->Keys()) {
+    ++stats_.objects_scanned;
+    ParseTree* tree = store_->Find(key);
+    std::vector<PtNodeId> instances = tree->FindAll(daemon);
+    if (instances.empty()) continue;
+
+    bool stale = false;
+    // (a) Implementation changed since the stored run.
+    if (current.ok()) {
+      for (PtNodeId node : instances) {
+        if (!(tree->node(node).version == current.value())) {
+          stale = true;
+          break;
+        }
+      }
+    }
+    // (b) The object's tree changed since this daemon last ran here —
+    //     the "did my predecessors run" context check every Mirror
+    //     daemon must embed in its get_work query.
+    auto it = last_run_.find({daemon, key});
+    uint64_t ran_at = it == last_run_.end() ? 0 : it->second;
+    auto mod = modified_at_.find(key);
+    if (mod != modified_at_.end() && mod->second > ran_at) stale = true;
+
+    if (stale) work.push_back(key);
+  }
+  return work;
+}
+
+Status MirrorScheduler::RunToFixpoint(size_t max_rounds) {
+  for (size_t round = 0; round < max_rounds; ++round) {
+    ++stats_.rounds;
+    bool any_work = false;
+    for (const std::string& daemon : daemons_) {
+      std::vector<std::string> work = GetWork(daemon);
+      for (const std::string& key : work) {
+        ParseTree* tree = store_->Find(key);
+        bool changed = false;
+        for (PtNodeId node : tree->FindAll(daemon)) {
+          std::string before = tree->SubtreeSignature(node);
+          // finish_work: the daemon reprocesses its instance in place.
+          Status s = fde_->ReparseDetectorNode(tree, node);
+          ++stats_.work_items;
+          if (!s.ok()) continue;  // a Mirror daemon just skips failures
+          if (tree->SubtreeSignature(node) != before) changed = true;
+        }
+        if (changed) {
+          modified_at_[key] = ++round_clock_;
+        }
+        // finish_work commits after the daemon's own writes, so a
+        // daemon does not re-trigger on its own change — but every
+        // OTHER daemon will, by polling.
+        last_run_[{daemon, key}] = round_clock_;
+        any_work = true;
+      }
+    }
+    if (!any_work) return Status::Ok();
+  }
+  return Status::Internal("Mirror polling did not reach a fixpoint");
+}
+
+}  // namespace dls::fg

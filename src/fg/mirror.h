@@ -1,0 +1,80 @@
+#ifndef DLS_FG_MIRROR_H_
+#define DLS_FG_MIRROR_H_
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "fg/fde.h"
+#include "fg/fds.h"
+
+namespace dls::fg {
+
+/// Work counters of the Mirror baseline (experiment E9).
+struct MirrorStats {
+  size_t get_work_queries = 0;  ///< one per daemon per round
+  size_t objects_scanned = 0;   ///< objects inspected by get_work scans
+  size_t work_items = 0;        ///< re-runs actually performed
+  size_t rounds = 0;            ///< polling rounds until fixpoint
+};
+
+/// A Mirror-style daemon maintenance scheduler — the baseline the
+/// paper contrasts feature grammars against ([VEK98, Vri99]).
+///
+/// In Mirror every extraction algorithm is wrapped in a daemon that
+/// pulls its own work: a `get_work` query scans the stored objects for
+/// instances it should (re)process, runs the algorithm, and commits
+/// with `finish_work`. All pipeline context lives inside each daemon's
+/// get_work query ("each new daemon in the pipe has to check if all
+/// the previous daemons have already been executed"); there is no
+/// shared dependency graph, so after any change the system converges
+/// only by repeated polling rounds in which *every* daemon re-scans
+/// *every* object.
+///
+/// This implementation is functionally equivalent to the FDS (it
+/// converges to the same parse trees — a test asserts this) but pays
+/// the polling cost the paper criticises, which experiment E9
+/// measures: get_work scans are O(daemons × objects × rounds) versus
+/// the FDS's dependency-directed task list.
+class MirrorScheduler {
+ public:
+  /// Daemons are derived from the grammar: one per declared detector.
+  MirrorScheduler(const Grammar* grammar, DetectorRegistry* registry,
+                  ParseTreeStore* store, Fde* fde);
+
+  /// Installs a new implementation (like Fds::UpdateDetector) — but no
+  /// scheduling happens here; the daemons discover the change through
+  /// their next get_work poll.
+  Status UpdateDaemon(std::string_view name, DetectorFn fn,
+                      DetectorVersion version);
+
+  /// Runs polling rounds until no daemon finds work (or the round cap
+  /// is hit, which returns kInternal).
+  Status RunToFixpoint(size_t max_rounds = 64);
+
+  const MirrorStats& stats() const { return stats_; }
+  void ResetStats() { stats_ = MirrorStats(); }
+
+ private:
+  /// get_work for one daemon: scan every object, pick those whose
+  /// instances are stale. Returns object keys with work.
+  std::vector<std::string> GetWork(const std::string& daemon);
+
+  const Grammar* grammar_;
+  DetectorRegistry* registry_;
+  ParseTreeStore* store_;
+  Fde* fde_;
+  std::vector<std::string> daemons_;
+
+  uint64_t round_clock_ = 1;
+  /// object -> round in which its tree last changed.
+  std::map<std::string, uint64_t> modified_at_;
+  /// (daemon, object) -> round of the daemon's last run there.
+  std::map<std::pair<std::string, std::string>, uint64_t> last_run_;
+  MirrorStats stats_;
+};
+
+}  // namespace dls::fg
+
+#endif  // DLS_FG_MIRROR_H_

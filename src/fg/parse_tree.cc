@@ -1,0 +1,326 @@
+#include "fg/parse_tree.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cstdio>
+#include <cstdlib>
+
+#include "common/strings.h"
+
+namespace dls::fg {
+
+std::string DetectorVersion::ToString() const {
+  return StrFormat("%d.%d.%d", major, minor, revision);
+}
+
+ChangeClass ClassifyChange(const DetectorVersion& from,
+                           const DetectorVersion& to) {
+  if (from.major != to.major) return ChangeClass::kMajor;
+  if (from.minor != to.minor) return ChangeClass::kMinor;
+  return ChangeClass::kRevision;
+}
+
+PtNodeId ParseTree::CreateRoot(std::string_view symbol, PtNode::Kind kind) {
+  assert(root_ == kInvalidPtNode);
+  PtNode n;
+  n.kind = kind;
+  n.symbol = std::string(symbol);
+  nodes_.push_back(std::move(n));
+  root_ = 0;
+  return root_;
+}
+
+PtNodeId ParseTree::AppendChild(PtNodeId parent, std::string_view symbol,
+                                PtNode::Kind kind) {
+  PtNode n;
+  n.kind = kind;
+  n.symbol = std::string(symbol);
+  n.parent = parent;
+  nodes_.push_back(std::move(n));
+  PtNodeId id = static_cast<PtNodeId>(nodes_.size() - 1);
+  nodes_[parent].children.push_back(id);
+  return id;
+}
+
+void ParseTree::RollbackTo(size_t mark) {
+  for (size_t i = mark; i < nodes_.size(); ++i) {
+    PtNodeId parent = nodes_[i].parent;
+    if (parent != kInvalidPtNode && parent < mark) {
+      auto& siblings = nodes_[parent].children;
+      siblings.erase(
+          std::remove(siblings.begin(), siblings.end(),
+                      static_cast<PtNodeId>(i)),
+          siblings.end());
+    }
+  }
+  nodes_.resize(mark);
+  if (root_ != kInvalidPtNode && root_ >= mark) root_ = kInvalidPtNode;
+}
+
+void ParseTree::ClearChildren(PtNodeId id) {
+  // Detached subtrees become unreachable; the arena slots are
+  // tombstones (traversals start at the root, so they are never seen).
+  nodes_[id].children.clear();
+}
+
+std::vector<PtNodeId> ParseTree::Descendants(PtNodeId id) const {
+  std::vector<PtNodeId> out;
+  std::vector<PtNodeId> stack(nodes_[id].children.rbegin(),
+                              nodes_[id].children.rend());
+  while (!stack.empty()) {
+    PtNodeId cur = stack.back();
+    stack.pop_back();
+    out.push_back(cur);
+    const auto& children = nodes_[cur].children;
+    for (auto it = children.rbegin(); it != children.rend(); ++it) {
+      stack.push_back(*it);
+    }
+  }
+  return out;
+}
+
+std::vector<PtNodeId> ParseTree::FindDescendants(
+    PtNodeId id, std::string_view symbol) const {
+  std::vector<PtNodeId> out;
+  for (PtNodeId d : Descendants(id)) {
+    if (nodes_[d].symbol == symbol) out.push_back(d);
+  }
+  return out;
+}
+
+std::vector<PtNodeId> ParseTree::FindAll(std::string_view symbol) const {
+  std::vector<PtNodeId> out;
+  if (root_ == kInvalidPtNode) return out;
+  if (nodes_[root_].symbol == symbol) out.push_back(root_);
+  for (PtNodeId d : Descendants(root_)) {
+    if (nodes_[d].symbol == symbol) out.push_back(d);
+  }
+  return out;
+}
+
+bool ParseTree::MatchPathFrom(PtNodeId base, const Path& path, size_t index,
+                              bool all_matches,
+                              std::vector<PtNodeId>* out) const {
+  if (index == path.size()) {
+    out->push_back(base);
+    return true;
+  }
+  bool matched = false;
+  for (PtNodeId d : FindDescendants(base, path[index])) {
+    matched |= MatchPathFrom(d, path, index + 1, all_matches, out);
+    if (matched && !all_matches) return true;
+  }
+  return matched;
+}
+
+std::vector<PtNodeId> ParseTree::ResolvePath(PtNodeId context,
+                                             const Path& path,
+                                             bool all_matches) const {
+  if (path.empty()) return {};
+  for (PtNodeId anchor = context; anchor != kInvalidPtNode;
+       anchor = nodes_[anchor].parent) {
+    std::vector<PtNodeId> out;
+    if (nodes_[anchor].symbol == path[0]) {
+      MatchPathFrom(anchor, path, 1, all_matches, &out);
+    } else {
+      for (PtNodeId base : FindDescendants(anchor, path[0])) {
+        bool matched = MatchPathFrom(base, path, 1, all_matches, &out);
+        if (matched && !all_matches) break;
+      }
+    }
+    if (!out.empty()) return out;
+  }
+  return {};
+}
+
+bool ParseTree::ValueOf(PtNodeId id, Token* out) const {
+  const PtNode& n = nodes_[id];
+  switch (n.kind) {
+    case PtNode::Kind::kTerminal:
+    case PtNode::Kind::kLiteral:
+      *out = n.value;
+      return true;
+    case PtNode::Kind::kReference:
+      *out = Token::Str(n.ref_key);
+      return true;
+    case PtNode::Kind::kDetector:
+      if (!n.value.text().empty() || n.value.type() == AtomType::kBit) {
+        *out = n.value;
+        return true;
+      }
+      [[fallthrough]];
+    case PtNode::Kind::kVariable: {
+      // A composite node answers with its single terminal descendant.
+      const PtNode* found = nullptr;
+      for (PtNodeId d : Descendants(id)) {
+        if (nodes_[d].kind == PtNode::Kind::kTerminal) {
+          if (found != nullptr) return false;  // ambiguous
+          found = &nodes_[d];
+        }
+      }
+      if (found == nullptr) return false;
+      *out = found->value;
+      return true;
+    }
+  }
+  return false;
+}
+
+namespace {
+
+void DumpNode(const ParseTree& tree, PtNodeId id, xml::Document* doc,
+              xml::NodeId parent) {
+  const PtNode& n = tree.node(id);
+  std::string name = n.kind == PtNode::Kind::kLiteral ? "literal" : n.symbol;
+  xml::NodeId self = parent == xml::kInvalidNode
+                         ? doc->CreateRoot(name)
+                         : doc->AppendElement(parent, name);
+  if (n.kind == PtNode::Kind::kDetector) {
+    doc->SetAttribute(self, "version", n.version.ToString());
+    if (!n.valid) doc->SetAttribute(self, "valid", "false");
+  }
+  if (n.kind == PtNode::Kind::kReference) {
+    doc->SetAttribute(self, "ref", n.ref_key);
+    return;
+  }
+  if (n.kind == PtNode::Kind::kTerminal || n.kind == PtNode::Kind::kLiteral ||
+      (n.kind == PtNode::Kind::kDetector && !n.value.text().empty())) {
+    if (!n.value.text().empty()) doc->AppendText(self, n.value.text());
+  }
+  for (PtNodeId child : n.children) DumpNode(tree, child, doc, self);
+}
+
+void SignatureNode(const ParseTree& tree, PtNodeId id, std::string* out) {
+  const PtNode& n = tree.node(id);
+  *out += n.symbol;
+  *out += '=';
+  *out += n.value.text();
+  if (!n.ref_key.empty()) {
+    *out += '&';
+    *out += n.ref_key;
+  }
+  *out += '(';
+  for (PtNodeId child : n.children) SignatureNode(tree, child, out);
+  *out += ')';
+}
+
+}  // namespace
+
+xml::Document ParseTree::ToXml() const {
+  xml::Document doc;
+  if (root_ != kInvalidPtNode) {
+    DumpNode(*this, root_, &doc, xml::kInvalidNode);
+  }
+  return doc;
+}
+
+std::string ParseTree::SubtreeSignature(PtNodeId id) const {
+  std::string out;
+  SignatureNode(*this, id, &out);
+  return out;
+}
+
+namespace {
+
+/// Parses "M.m.r" back into a DetectorVersion; tolerant of absence.
+DetectorVersion VersionFromString(const std::string& text) {
+  DetectorVersion v;
+  std::sscanf(text.c_str(), "%d.%d.%d", &v.major, &v.minor, &v.revision);
+  return v;
+}
+
+Token TokenForTerminal(const Grammar& grammar, const std::string& symbol,
+                       const std::string& text) {
+  switch (grammar.atom_type(symbol)) {
+    case AtomType::kInt:
+      return Token::Int(std::strtoll(text.c_str(), nullptr, 10));
+    case AtomType::kFlt:
+      return Token::Flt(std::strtod(text.c_str(), nullptr));
+    case AtomType::kBit:
+      return Token::Bit(text == "true");
+    case AtomType::kUrl:
+      return Token::Url(text);
+    case AtomType::kStr:
+      return Token::Str(text);
+  }
+  return Token::Str(text);
+}
+
+Status RebuildNode(const Grammar& grammar, const xml::Document& doc,
+                   xml::NodeId src, ParseTree* tree, PtNodeId parent) {
+  const xml::Node& n = doc.node(src);
+  std::string inner = doc.InnerText(src);
+
+  PtNode::Kind kind = PtNode::Kind::kVariable;
+  const std::string* ref = doc.FindAttribute(src, "ref");
+  if (ref != nullptr) {
+    kind = PtNode::Kind::kReference;
+  } else if (n.name == "literal") {
+    kind = PtNode::Kind::kLiteral;
+  } else {
+    switch (grammar.KindOf(n.name)) {
+      case SymbolKind::kDetector:
+        kind = PtNode::Kind::kDetector;
+        break;
+      case SymbolKind::kTerminal:
+        kind = PtNode::Kind::kTerminal;
+        break;
+      case SymbolKind::kVariable:
+        kind = PtNode::Kind::kVariable;
+        break;
+      case SymbolKind::kUnknown:
+        return Status::InvalidArgument("meta document element <" + n.name +
+                                       "> is not a grammar symbol");
+    }
+  }
+
+  PtNodeId self = parent == kInvalidPtNode
+                      ? tree->CreateRoot(n.name, kind)
+                      : tree->AppendChild(parent, n.name, kind);
+  PtNode& node = tree->mutable_node(self);
+  if (kind == PtNode::Kind::kReference) {
+    node.ref_key = *ref;
+    return Status::Ok();
+  }
+  if (kind == PtNode::Kind::kLiteral) {
+    node.value = Token::Str(inner);
+    return Status::Ok();
+  }
+  if (kind == PtNode::Kind::kTerminal) {
+    node.value = TokenForTerminal(grammar, n.name, inner);
+    return Status::Ok();
+  }
+  if (kind == PtNode::Kind::kDetector) {
+    if (const std::string* version = doc.FindAttribute(src, "version")) {
+      node.version = VersionFromString(*version);
+    }
+    if (const std::string* valid = doc.FindAttribute(src, "valid")) {
+      node.valid = *valid != "false";
+    }
+    // A bit-typed whitebox detector stores its outcome as text content.
+    if (grammar.IsAtom(n.name) &&
+        grammar.atom_type(n.name) == AtomType::kBit) {
+      tree->mutable_node(self).value = Token::Bit(inner == "true");
+    }
+  }
+  for (xml::NodeId child : n.children) {
+    if (doc.node(child).kind != xml::NodeKind::kElement) continue;
+    DLS_RETURN_IF_ERROR(RebuildNode(grammar, doc, child, tree, self));
+  }
+  return Status::Ok();
+}
+
+}  // namespace
+
+Result<ParseTree> ParseTree::FromXml(const Grammar& grammar,
+                                     const xml::Document& doc) {
+  if (!doc.has_root()) {
+    return Status::InvalidArgument("empty meta document");
+  }
+  ParseTree tree;
+  DLS_RETURN_IF_ERROR(
+      RebuildNode(grammar, doc, doc.root(), &tree, kInvalidPtNode));
+  return tree;
+}
+
+}  // namespace dls::fg

@@ -1,0 +1,146 @@
+#ifndef DLS_FG_PARSE_TREE_H_
+#define DLS_FG_PARSE_TREE_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "fg/grammar.h"
+#include "fg/token.h"
+#include "xml/tree.h"
+
+namespace dls::fg {
+
+using PtNodeId = uint32_t;
+inline constexpr PtNodeId kInvalidPtNode = 0xffffffffu;
+
+/// Detector implementation version: major.minor.revision, the paper's
+/// three change classes (major = stored data unusable, minor = data
+/// still answerable while revalidation is pending, revision = no
+/// invalidation at all).
+struct DetectorVersion {
+  int major = 1;
+  int minor = 0;
+  int revision = 0;
+
+  bool operator==(const DetectorVersion&) const = default;
+  std::string ToString() const;
+};
+
+/// Change classes derived from a version bump.
+enum class ChangeClass : uint8_t { kRevision, kMinor, kMajor };
+
+ChangeClass ClassifyChange(const DetectorVersion& from,
+                           const DetectorVersion& to);
+
+/// A node of an FDE parse tree.
+struct PtNode {
+  enum class Kind : uint8_t {
+    kVariable,
+    kDetector,
+    kTerminal,
+    kLiteral,
+    kReference,
+  };
+  Kind kind = Kind::kVariable;
+  std::string symbol;
+  /// Terminal value; whitebox detectors with a bit atom also store
+  /// their outcome here.
+  Token value;
+  /// Reference key (&symbol) — the token that identifies the target.
+  std::string ref_key;
+  /// Version of the detector implementation that produced this subtree.
+  DetectorVersion version;
+  /// Cleared by the FDS when the subtree is awaiting revalidation.
+  bool valid = true;
+
+  PtNodeId parent = kInvalidPtNode;
+  std::vector<PtNodeId> children;
+};
+
+/// The parse tree produced by the FDE: every token in its hierarchical
+/// grammar context. Nodes live in an arena; node ids created during a
+/// backtracked attempt are reclaimed by truncation before any external
+/// reference can exist.
+class ParseTree {
+ public:
+  ParseTree() = default;
+  ParseTree(ParseTree&&) = default;
+  ParseTree& operator=(ParseTree&&) = default;
+  ParseTree(const ParseTree&) = delete;
+  ParseTree& operator=(const ParseTree&) = delete;
+
+  PtNodeId CreateRoot(std::string_view symbol, PtNode::Kind kind);
+  PtNodeId AppendChild(PtNodeId parent, std::string_view symbol,
+                       PtNode::Kind kind);
+
+  bool has_root() const { return root_ != kInvalidPtNode; }
+  PtNodeId root() const { return root_; }
+  size_t node_count() const { return nodes_.size(); }
+
+  const PtNode& node(PtNodeId id) const { return nodes_[id]; }
+  PtNode& mutable_node(PtNodeId id) { return nodes_[id]; }
+
+  /// Arena mark for backtracking: everything at or above `mark` is
+  /// discarded and detached from its parent.
+  size_t Mark() const { return nodes_.size(); }
+  void RollbackTo(size_t mark);
+
+  /// Detaches all children of `id` (FDS incremental re-parse). The
+  /// detached arena slots are tombstoned, not reused.
+  void ClearChildren(PtNodeId id);
+
+  /// All live descendants of `id` (excluding `id`) in document order.
+  std::vector<PtNodeId> Descendants(PtNodeId id) const;
+
+  /// Live descendants of `id` with the given symbol, document order.
+  std::vector<PtNodeId> FindDescendants(PtNodeId id,
+                                        std::string_view symbol) const;
+
+  /// All live nodes with the given symbol anywhere in the tree.
+  std::vector<PtNodeId> FindAll(std::string_view symbol) const;
+
+  /// Resolves a dotted path relative to `context` per the feature
+  /// grammar scoping rule: walk from `context` up through its
+  /// ancestors; at the first anchor from which the full path matches
+  /// (the anchor itself or a descendant naming path[0], then successive
+  /// descendants), return the matched nodes. `all_matches` controls
+  /// whether every match of the final segment is returned (quantifier
+  /// bindings) or just the first (detector inputs).
+  std::vector<PtNodeId> ResolvePath(PtNodeId context, const Path& path,
+                                    bool all_matches) const;
+
+  /// The token value of a node: terminals/whitebox bits answer
+  /// directly; variable/detector nodes answer with their single
+  /// terminal descendant if unambiguous. Returns false if no value.
+  bool ValueOf(PtNodeId id, Token* out) const;
+
+  /// Serialises the (live part of the) tree as an XML document:
+  /// symbols become elements, terminal values text content, detector
+  /// versions and validity attributes. This is the form handed to the
+  /// physical level.
+  xml::Document ToXml() const;
+
+  /// A content signature of the subtree at `id` (symbols + values),
+  /// used by the FDS to detect whether a re-run changed anything.
+  std::string SubtreeSignature(PtNodeId id) const;
+
+  /// Inverse of ToXml(): rebuilds a parse tree from its XML dump,
+  /// using `grammar` to restore node kinds and typed terminal values.
+  /// Enables restarting a search engine from the persisted meta
+  /// database with full FDS maintenance capability.
+  static Result<ParseTree> FromXml(const Grammar& grammar,
+                                   const xml::Document& doc);
+
+ private:
+  bool MatchPathFrom(PtNodeId base, const Path& path, size_t index,
+                     bool all_matches, std::vector<PtNodeId>* out) const;
+
+  std::vector<PtNode> nodes_;
+  PtNodeId root_ = kInvalidPtNode;
+};
+
+}  // namespace dls::fg
+
+#endif  // DLS_FG_PARSE_TREE_H_

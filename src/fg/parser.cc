@@ -1,0 +1,526 @@
+#include <cassert>
+#include <cstdlib>
+
+#include "common/strings.h"
+#include "fg/grammar.h"
+
+namespace dls::fg {
+namespace {
+
+/// Lexical token kinds of the feature-grammar DSL.
+enum class LexKind : uint8_t {
+  kIdent,
+  kDirective,  ///< %start, %detector, %atom
+  kNumber,
+  kString,
+  kPunct,      ///< one of : ; ( ) [ ] , . ? * + & |
+  kCmpOp,      ///< == != <= >= < >
+  kColonColon,
+  kEof,
+};
+
+struct Lexeme {
+  LexKind kind;
+  std::string text;
+  int line;
+  bool is_float = false;  // for kNumber
+};
+
+bool IsIdentStart(char c) {
+  return (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') || c == '_';
+}
+bool IsIdentChar(char c) {
+  return IsIdentStart(c) || (c >= '0' && c <= '9') || c == '-';
+}
+bool IsDigit(char c) { return c >= '0' && c <= '9'; }
+
+/// Tokenises the whole grammar text up front (grammar files are small).
+Status Lex(std::string_view text, std::vector<Lexeme>* out) {
+  size_t i = 0;
+  int line = 1;
+  while (i < text.size()) {
+    char c = text[i];
+    if (c == '\n') {
+      ++line;
+      ++i;
+      continue;
+    }
+    if (c == ' ' || c == '\t' || c == '\r') {
+      ++i;
+      continue;
+    }
+    // Comments: '#' or '//' to end of line.
+    if (c == '#' || (c == '/' && i + 1 < text.size() && text[i + 1] == '/')) {
+      while (i < text.size() && text[i] != '\n') ++i;
+      continue;
+    }
+    if (c == '%') {
+      size_t start = ++i;
+      while (i < text.size() && IsIdentChar(text[i])) ++i;
+      out->push_back({LexKind::kDirective,
+                      std::string(text.substr(start, i - start)), line});
+      continue;
+    }
+    if (IsIdentStart(c)) {
+      size_t start = i;
+      while (i < text.size() && IsIdentChar(text[i])) ++i;
+      out->push_back({LexKind::kIdent,
+                      std::string(text.substr(start, i - start)), line});
+      continue;
+    }
+    if (IsDigit(c) || (c == '-' && i + 1 < text.size() && IsDigit(text[i + 1]))) {
+      size_t start = i;
+      if (c == '-') ++i;
+      while (i < text.size() && IsDigit(text[i])) ++i;
+      bool is_float = false;
+      if (i + 1 < text.size() && text[i] == '.' && IsDigit(text[i + 1])) {
+        is_float = true;
+        ++i;
+        while (i < text.size() && IsDigit(text[i])) ++i;
+      }
+      Lexeme lex{LexKind::kNumber, std::string(text.substr(start, i - start)),
+                 line};
+      lex.is_float = is_float;
+      out->push_back(std::move(lex));
+      continue;
+    }
+    if (c == '"') {
+      size_t start = ++i;
+      while (i < text.size() && text[i] != '"') {
+        if (text[i] == '\n') ++line;
+        ++i;
+      }
+      if (i >= text.size()) {
+        return Status::ParseError(
+            StrFormat("line %d: unterminated string literal", line));
+      }
+      out->push_back({LexKind::kString,
+                      std::string(text.substr(start, i - start)), line});
+      ++i;
+      continue;
+    }
+    if (c == ':' && i + 1 < text.size() && text[i + 1] == ':') {
+      out->push_back({LexKind::kColonColon, "::", line});
+      i += 2;
+      continue;
+    }
+    if ((c == '=' || c == '!' || c == '<' || c == '>')) {
+      if (i + 1 < text.size() && text[i + 1] == '=') {
+        out->push_back({LexKind::kCmpOp, std::string(text.substr(i, 2)), line});
+        i += 2;
+        continue;
+      }
+      if (c == '<' || c == '>') {
+        out->push_back({LexKind::kCmpOp, std::string(1, c), line});
+        ++i;
+        continue;
+      }
+      return Status::ParseError(StrFormat("line %d: stray '%c'", line, c));
+    }
+    if (std::string_view(":;()[],.?*+&|").find(c) != std::string_view::npos) {
+      out->push_back({LexKind::kPunct, std::string(1, c), line});
+      ++i;
+      continue;
+    }
+    return Status::ParseError(
+        StrFormat("line %d: unexpected character '%c'", line, c));
+  }
+  out->push_back({LexKind::kEof, "", line});
+  return Status::Ok();
+}
+
+AtomType AtomTypeFor(const std::string& name,
+                     const std::set<std::string>& adts) {
+  AtomType type;
+  if (ParseAtomType(name, &type)) return type;
+  // User-declared ADTs are stored as strings at the physical level.
+  (void)adts;
+  return AtomType::kStr;
+}
+
+}  // namespace
+
+/// Recursive-descent parser over the lexeme stream, accumulating into a
+/// Grammar. Friended by Grammar for direct member access.
+class GrammarParser {
+ public:
+  explicit GrammarParser(std::vector<Lexeme> lexemes)
+      : lexemes_(std::move(lexemes)) {}
+
+  Result<Grammar> Run() {
+    while (!At(LexKind::kEof)) {
+      if (At(LexKind::kDirective)) {
+        DLS_RETURN_IF_ERROR(ParseDirective());
+      } else if (At(LexKind::kIdent)) {
+        DLS_RETURN_IF_ERROR(ParseRule());
+      } else {
+        return Error("expected a declaration or a production rule");
+      }
+    }
+    DLS_RETURN_IF_ERROR(grammar_.Validate());
+    return std::move(grammar_);
+  }
+
+ private:
+  const Lexeme& Cur() const { return lexemes_[pos_]; }
+  bool At(LexKind kind) const { return Cur().kind == kind; }
+  bool AtPunct(char c) const {
+    return Cur().kind == LexKind::kPunct && Cur().text[0] == c;
+  }
+  void Next() { if (!At(LexKind::kEof)) ++pos_; }
+
+  Status Error(const std::string& what) const {
+    return Status::ParseError(
+        StrFormat("line %d: %s (near '%s')", Cur().line, what.c_str(),
+                  Cur().text.c_str()));
+  }
+
+  Status ExpectPunct(char c) {
+    if (!AtPunct(c)) return Error(StrFormat("expected '%c'", c));
+    Next();
+    return Status::Ok();
+  }
+
+  Status ExpectIdent(std::string* out) {
+    if (!At(LexKind::kIdent)) return Error("expected an identifier");
+    *out = Cur().text;
+    Next();
+    return Status::Ok();
+  }
+
+  Status ParsePath(Path* out) {
+    out->clear();
+    std::string segment;
+    DLS_RETURN_IF_ERROR(ExpectIdent(&segment));
+    out->push_back(segment);
+    while (AtPunct('.')) {
+      Next();
+      DLS_RETURN_IF_ERROR(ExpectIdent(&segment));
+      out->push_back(segment);
+    }
+    return Status::Ok();
+  }
+
+  Status ParsePathList(std::vector<Path>* out) {
+    out->clear();
+    if (AtPunct(')')) return Status::Ok();
+    Path path;
+    DLS_RETURN_IF_ERROR(ParsePath(&path));
+    out->push_back(std::move(path));
+    while (AtPunct(',')) {
+      Next();
+      DLS_RETURN_IF_ERROR(ParsePath(&path));
+      out->push_back(std::move(path));
+    }
+    return Status::Ok();
+  }
+
+  Status ParseDirective() {
+    std::string directive = Cur().text;
+    Next();
+    if (directive == "start") return ParseStart();
+    if (directive == "atom") return ParseAtom();
+    if (directive == "detector") return ParseDetector();
+    return Error("unknown directive '%" + directive + "'");
+  }
+
+  Status ParseStart() {
+    DLS_RETURN_IF_ERROR(ExpectIdent(&grammar_.start_symbol_));
+    DLS_RETURN_IF_ERROR(ExpectPunct('('));
+    DLS_RETURN_IF_ERROR(ParsePathList(&grammar_.start_args_));
+    DLS_RETURN_IF_ERROR(ExpectPunct(')'));
+    return ExpectPunct(';');
+  }
+
+  Status ParseAtom() {
+    std::string first;
+    DLS_RETURN_IF_ERROR(ExpectIdent(&first));
+    if (AtPunct(';')) {
+      // `%atom url;` — declares a new ADT.
+      Next();
+      grammar_.adts_.insert(first);
+      return Status::Ok();
+    }
+    // `%atom type name1,name2,...;` — terminal declarations.
+    AtomType type = AtomTypeFor(first, grammar_.adts_);
+    {
+      AtomType builtin;
+      if (!ParseAtomType(first, &builtin) &&
+          grammar_.adts_.find(first) == grammar_.adts_.end()) {
+        return Error("unknown atom type '" + first + "'");
+      }
+    }
+    std::string name;
+    DLS_RETURN_IF_ERROR(ExpectIdent(&name));
+    grammar_.atoms_[name] = type;
+    while (AtPunct(',')) {
+      Next();
+      DLS_RETURN_IF_ERROR(ExpectIdent(&name));
+      grammar_.atoms_[name] = type;
+    }
+    return ExpectPunct(';');
+  }
+
+  Status ParseDetector() {
+    std::string name;
+    DLS_RETURN_IF_ERROR(ExpectIdent(&name));
+
+    DetectorProtocol protocol = DetectorProtocol::kLinked;
+    if (At(LexKind::kColonColon)) {
+      if (name == "xml-rpc") {
+        protocol = DetectorProtocol::kXmlRpc;
+      } else if (name == "corba") {
+        protocol = DetectorProtocol::kCorba;
+      } else if (name == "system") {
+        protocol = DetectorProtocol::kSystem;
+      } else {
+        return Error("unknown detector protocol '" + name + "'");
+      }
+      Next();
+      DLS_RETURN_IF_ERROR(ExpectIdent(&name));
+    }
+
+    // Special lifecycle declaration: `header.init();`
+    if (AtPunct('.')) {
+      Next();
+      std::string phase;
+      DLS_RETURN_IF_ERROR(ExpectIdent(&phase));
+      DLS_RETURN_IF_ERROR(ExpectPunct('('));
+      DLS_RETURN_IF_ERROR(ExpectPunct(')'));
+      DLS_RETURN_IF_ERROR(ExpectPunct(';'));
+      DetectorDecl& decl = grammar_.detectors_[name];
+      decl.name = name;
+      if (phase == "init") {
+        decl.has_init = true;
+      } else if (phase == "final") {
+        decl.has_final = true;
+      } else if (phase == "begin") {
+        decl.has_begin = true;
+      } else if (phase == "end") {
+        decl.has_end = true;
+      } else {
+        return Error("unknown special detector phase '" + phase + "'");
+      }
+      return Status::Ok();
+    }
+
+    DetectorDecl decl;
+    decl.name = name;
+    decl.protocol = protocol;
+
+    if (AtPunct('(')) {
+      // Blackbox: `header(location);`
+      Next();
+      DLS_RETURN_IF_ERROR(ParsePathList(&decl.inputs));
+      DLS_RETURN_IF_ERROR(ExpectPunct(')'));
+    } else {
+      // Whitebox: a predicate, possibly quantified.
+      auto pred = std::make_unique<PredExpr>();
+      DLS_RETURN_IF_ERROR(ParsePredicate(pred.get()));
+      decl.predicate = std::move(pred);
+    }
+    DLS_RETURN_IF_ERROR(ExpectPunct(';'));
+
+    // Merge with any earlier special-phase declarations for this name.
+    auto it = grammar_.detectors_.find(name);
+    if (it != grammar_.detectors_.end()) {
+      decl.has_init = it->second.has_init;
+      decl.has_final = it->second.has_final;
+      decl.has_begin = it->second.has_begin;
+      decl.has_end = it->second.has_end;
+    }
+    grammar_.detectors_[name] = std::move(decl);
+    return Status::Ok();
+  }
+
+  bool AtQuantifier() const {
+    if (!At(LexKind::kIdent)) return false;
+    const std::string& t = Cur().text;
+    if (t != "some" && t != "all" && t != "one") return false;
+    return pos_ + 1 < lexemes_.size() &&
+           lexemes_[pos_ + 1].kind == LexKind::kPunct &&
+           lexemes_[pos_ + 1].text[0] == '[';
+  }
+
+  Status ParsePredicate(PredExpr* out) { return ParseOr(out); }
+
+  Status ParseOr(PredExpr* out) {
+    auto first = std::make_unique<PredExpr>();
+    DLS_RETURN_IF_ERROR(ParseAnd(first.get()));
+    if (!(At(LexKind::kIdent) && Cur().text == "or")) {
+      *out = std::move(*first);
+      return Status::Ok();
+    }
+    out->kind = PredExpr::Kind::kOr;
+    out->children.push_back(std::move(first));
+    while (At(LexKind::kIdent) && Cur().text == "or") {
+      Next();
+      auto child = std::make_unique<PredExpr>();
+      DLS_RETURN_IF_ERROR(ParseAnd(child.get()));
+      out->children.push_back(std::move(child));
+    }
+    return Status::Ok();
+  }
+
+  Status ParseAnd(PredExpr* out) {
+    auto first = std::make_unique<PredExpr>();
+    DLS_RETURN_IF_ERROR(ParseUnary(first.get()));
+    if (!(At(LexKind::kIdent) && Cur().text == "and")) {
+      *out = std::move(*first);
+      return Status::Ok();
+    }
+    out->kind = PredExpr::Kind::kAnd;
+    out->children.push_back(std::move(first));
+    while (At(LexKind::kIdent) && Cur().text == "and") {
+      Next();
+      auto child = std::make_unique<PredExpr>();
+      DLS_RETURN_IF_ERROR(ParseUnary(child.get()));
+      out->children.push_back(std::move(child));
+    }
+    return Status::Ok();
+  }
+
+  Status ParseUnary(PredExpr* out) {
+    if (At(LexKind::kIdent) && Cur().text == "not") {
+      Next();
+      out->kind = PredExpr::Kind::kNot;
+      auto child = std::make_unique<PredExpr>();
+      DLS_RETURN_IF_ERROR(ParseUnary(child.get()));
+      out->children.push_back(std::move(child));
+      return Status::Ok();
+    }
+    if (AtQuantifier()) {
+      const std::string& q = Cur().text;
+      out->kind = PredExpr::Kind::kQuantified;
+      out->quant = q == "some"  ? Quantifier::kSome
+                   : q == "all" ? Quantifier::kAll
+                                : Quantifier::kOne;
+      Next();
+      DLS_RETURN_IF_ERROR(ExpectPunct('['));
+      DLS_RETURN_IF_ERROR(ParsePath(&out->binding));
+      DLS_RETURN_IF_ERROR(ExpectPunct(']'));
+      DLS_RETURN_IF_ERROR(ExpectPunct('('));
+      auto child = std::make_unique<PredExpr>();
+      DLS_RETURN_IF_ERROR(ParsePredicate(child.get()));
+      DLS_RETURN_IF_ERROR(ExpectPunct(')'));
+      out->children.push_back(std::move(child));
+      return Status::Ok();
+    }
+    if (AtPunct('(')) {
+      Next();
+      DLS_RETURN_IF_ERROR(ParsePredicate(out));
+      return ExpectPunct(')');
+    }
+    return ParseCompare(out);
+  }
+
+  Status ParseCompare(PredExpr* out) {
+    out->kind = PredExpr::Kind::kCompare;
+    DLS_RETURN_IF_ERROR(ParsePath(&out->path));
+    if (!At(LexKind::kCmpOp)) return Error("expected a comparison operator");
+    const std::string& op = Cur().text;
+    if (op == "==") {
+      out->op = CmpOp::kEq;
+    } else if (op == "!=") {
+      out->op = CmpOp::kNe;
+    } else if (op == "<") {
+      out->op = CmpOp::kLt;
+    } else if (op == "<=") {
+      out->op = CmpOp::kLe;
+    } else if (op == ">") {
+      out->op = CmpOp::kGt;
+    } else {
+      out->op = CmpOp::kGe;
+    }
+    Next();
+    return ParseLiteralValue(&out->literal);
+  }
+
+  Status ParseLiteralValue(Token* out) {
+    if (At(LexKind::kString)) {
+      *out = Token::Str(Cur().text);
+      Next();
+      return Status::Ok();
+    }
+    if (At(LexKind::kNumber)) {
+      if (Cur().is_float) {
+        *out = Token::Flt(std::strtod(Cur().text.c_str(), nullptr));
+      } else {
+        *out = Token::Int(std::strtoll(Cur().text.c_str(), nullptr, 10));
+      }
+      Next();
+      return Status::Ok();
+    }
+    if (At(LexKind::kIdent) && (Cur().text == "true" || Cur().text == "false")) {
+      *out = Token::Bit(Cur().text == "true");
+      Next();
+      return Status::Ok();
+    }
+    return Error("expected a literal value");
+  }
+
+  Status ParseRule() {
+    std::string lhs;
+    DLS_RETURN_IF_ERROR(ExpectIdent(&lhs));
+    DLS_RETURN_IF_ERROR(ExpectPunct(':'));
+
+    std::vector<RhsElement> rhs;
+    auto flush = [&]() {
+      grammar_.rules_by_lhs_[lhs].push_back(grammar_.rules_.size());
+      grammar_.rules_.push_back(Rule{lhs, std::move(rhs)});
+      rhs.clear();
+    };
+
+    while (!AtPunct(';')) {
+      if (AtPunct('|')) {
+        Next();
+        flush();
+        continue;
+      }
+      RhsElement element;
+      if (At(LexKind::kString)) {
+        element.kind = RhsElement::Kind::kLiteral;
+        element.literal = Cur().text;
+        Next();
+      } else if (AtPunct('&')) {
+        Next();
+        element.kind = RhsElement::Kind::kReference;
+        DLS_RETURN_IF_ERROR(ExpectIdent(&element.name));
+      } else if (At(LexKind::kIdent)) {
+        element.kind = RhsElement::Kind::kSymbol;
+        element.name = Cur().text;
+        Next();
+      } else {
+        return Error("expected a rule element");
+      }
+      if (AtPunct('?')) {
+        element.repeat = Repeat::kOptional;
+        Next();
+      } else if (AtPunct('*')) {
+        element.repeat = Repeat::kStar;
+        Next();
+      } else if (AtPunct('+')) {
+        element.repeat = Repeat::kPlus;
+        Next();
+      }
+      rhs.push_back(std::move(element));
+    }
+    Next();  // ';'
+    flush();
+    return Status::Ok();
+  }
+
+  std::vector<Lexeme> lexemes_;
+  size_t pos_ = 0;
+  Grammar grammar_;
+};
+
+Result<Grammar> ParseGrammar(std::string_view text) {
+  std::vector<Lexeme> lexemes;
+  Status s = Lex(text, &lexemes);
+  if (!s.ok()) return s;
+  GrammarParser parser(std::move(lexemes));
+  return parser.Run();
+}
+
+}  // namespace dls::fg

@@ -1,0 +1,71 @@
+#include "fg/token.h"
+
+#include "common/strings.h"
+
+namespace dls::fg {
+
+const char* AtomTypeName(AtomType type) {
+  switch (type) {
+    case AtomType::kStr:
+      return "str";
+    case AtomType::kInt:
+      return "int";
+    case AtomType::kFlt:
+      return "flt";
+    case AtomType::kBit:
+      return "bit";
+    case AtomType::kUrl:
+      return "url";
+  }
+  return "?";
+}
+
+bool ParseAtomType(std::string_view name, AtomType* out) {
+  if (name == "str") {
+    *out = AtomType::kStr;
+  } else if (name == "int") {
+    *out = AtomType::kInt;
+  } else if (name == "flt") {
+    *out = AtomType::kFlt;
+  } else if (name == "bit") {
+    *out = AtomType::kBit;
+  } else if (name == "url") {
+    *out = AtomType::kUrl;
+  } else {
+    return false;
+  }
+  return true;
+}
+
+Token Token::Int(int64_t v) {
+  Token t(AtomType::kInt, StrFormat("%lld", static_cast<long long>(v)));
+  t.int_ = v;
+  t.flt_ = static_cast<double>(v);
+  return t;
+}
+
+Token Token::Flt(double v) {
+  Token t(AtomType::kFlt, StrFormat("%g", v));
+  t.flt_ = v;
+  return t;
+}
+
+Token Token::Bit(bool v) {
+  Token t(AtomType::kBit, v ? "true" : "false");
+  t.bit_ = v;
+  return t;
+}
+
+bool Token::Matches(AtomType terminal_type) const {
+  if (type_ == terminal_type) return true;
+  // int widens to flt.
+  if (type_ == AtomType::kInt && terminal_type == AtomType::kFlt) return true;
+  // str and url are textually interchangeable.
+  if ((type_ == AtomType::kStr && terminal_type == AtomType::kUrl) ||
+      (type_ == AtomType::kUrl && terminal_type == AtomType::kStr)) {
+    return true;
+  }
+  return false;
+}
+
+}  // namespace dls::fg

@@ -1,0 +1,64 @@
+#ifndef DLS_FG_TOKEN_H_
+#define DLS_FG_TOKEN_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+namespace dls::fg {
+
+/// Abstract data types of feature-grammar atoms (`%atom` declarations).
+/// `url` is the new ADT the paper's Fig. 6 introduces; the physical
+/// level treats it as a string with URL semantics.
+enum class AtomType : uint8_t {
+  kStr,
+  kInt,
+  kFlt,
+  kBit,
+  kUrl,
+};
+
+/// Returns the declaration keyword ("str", "int", ...).
+const char* AtomTypeName(AtomType type);
+
+/// Parses a declaration keyword. Returns false on unknown names.
+bool ParseAtomType(std::string_view name, AtomType* out);
+
+/// A token on the FDE's token stack: a typed value produced by a
+/// detector (or provided in the initial token set) and consumed by the
+/// parser when it matches a terminal.
+class Token {
+ public:
+  Token() : type_(AtomType::kStr) {}
+
+  static Token Str(std::string v) { return Token(AtomType::kStr, std::move(v)); }
+  static Token Url(std::string v) { return Token(AtomType::kUrl, std::move(v)); }
+  static Token Int(int64_t v);
+  static Token Flt(double v);
+  static Token Bit(bool v);
+
+  AtomType type() const { return type_; }
+  /// Canonical text of the value (what the parse tree stores).
+  const std::string& text() const { return text_; }
+
+  int64_t AsInt() const { return int_; }
+  double AsFlt() const { return flt_; }
+  bool AsBit() const { return bit_; }
+
+  /// True if this token can bind a terminal of the given atom type.
+  /// Ints widen to flt; str and url are interchangeable textually.
+  bool Matches(AtomType terminal_type) const;
+
+ private:
+  Token(AtomType type, std::string text) : type_(type), text_(std::move(text)) {}
+
+  AtomType type_;
+  std::string text_;
+  int64_t int_ = 0;
+  double flt_ = 0;
+  bool bit_ = false;
+};
+
+}  // namespace dls::fg
+
+#endif  // DLS_FG_TOKEN_H_

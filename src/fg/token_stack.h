@@ -1,0 +1,132 @@
+#ifndef DLS_FG_TOKEN_STACK_H_
+#define DLS_FG_TOKEN_STACK_H_
+
+#include <cassert>
+#include <memory>
+#include <vector>
+
+#include "fg/token.h"
+
+namespace dls::fg {
+
+/// Resource counters for the two stack strategies (experiment E6).
+struct TokenStackStats {
+  size_t cells_allocated = 0;   ///< shared mode: cons cells created
+  size_t tokens_copied = 0;     ///< copy mode: tokens duplicated by Save()
+  size_t snapshots = 0;
+};
+
+/// The FDE token stack with snapshot/restore for backtracking.
+///
+/// Two strategies, selected at construction:
+///  - shared=true: a persistent cons-list. Saving is O(1) — versions
+///    share suffixes, the paper's Tomita-style stack reuse.
+///  - shared=false: a plain vector; every Save() copies the whole
+///    stack — the naive baseline whose "high burden on both memory
+///    consumption and CPU time" motivates the shared design.
+class TokenStack {
+ public:
+  /// Opaque snapshot handle valid for the stack that produced it.
+  struct Snapshot {
+    std::shared_ptr<void> shared;  // shared mode: the top cell
+    size_t shared_size = 0;
+    std::vector<Token> copy;       // copy mode: full contents
+    bool is_shared = false;
+  };
+
+  explicit TokenStack(bool shared, TokenStackStats* stats = nullptr)
+      : shared_(shared), stats_(stats) {}
+
+  ~TokenStack() { ReleaseChain(std::move(top_)); }
+
+  TokenStack(const TokenStack&) = delete;
+  TokenStack& operator=(const TokenStack&) = delete;
+
+  bool empty() const { return shared_ ? top_ == nullptr : vec_.empty(); }
+
+  /// Number of tokens currently on the stack (O(1) in both modes).
+  size_t size() const { return shared_ ? shared_size_ : vec_.size(); }
+
+  const Token& Top() const {
+    assert(!empty());
+    return shared_ ? top_->token : vec_.back();
+  }
+
+  void Push(Token token) {
+    if (shared_) {
+      top_ = std::make_shared<Cell>(Cell{std::move(token), top_});
+      ++shared_size_;
+      if (stats_ != nullptr) ++stats_->cells_allocated;
+    } else {
+      vec_.push_back(std::move(token));
+    }
+  }
+
+  void Pop() {
+    assert(!empty());
+    if (shared_) {
+      // `old` keeps a reference to the rest of the chain via top_, so
+      // destroying it cannot recurse.
+      std::shared_ptr<Cell> old = std::move(top_);
+      top_ = old->next;
+      --shared_size_;
+    } else {
+      vec_.pop_back();
+    }
+  }
+
+  Snapshot Save() const {
+    if (stats_ != nullptr) ++stats_->snapshots;
+    Snapshot snap;
+    snap.is_shared = shared_;
+    if (shared_) {
+      snap.shared = top_;
+      snap.shared_size = shared_size_;
+    } else {
+      snap.copy = vec_;
+      if (stats_ != nullptr) stats_->tokens_copied += vec_.size();
+    }
+    return snap;
+  }
+
+  void Restore(const Snapshot& snap) {
+    assert(snap.is_shared == shared_);
+    if (shared_) {
+      std::shared_ptr<Cell> target =
+          std::static_pointer_cast<Cell>(snap.shared);
+      if (target != top_) {
+        ReleaseChain(std::move(top_));
+        top_ = std::move(target);
+      }
+      shared_size_ = snap.shared_size;
+    } else {
+      vec_ = snap.copy;
+    }
+  }
+
+ private:
+  struct Cell {
+    Token token;
+    std::shared_ptr<Cell> next;
+  };
+
+  /// Iteratively unlinks a uniquely-owned prefix so that dropping a
+  /// long chain cannot overflow the C++ call stack through recursive
+  /// shared_ptr destruction.
+  static void ReleaseChain(std::shared_ptr<Cell> cell) {
+    while (cell != nullptr && cell.use_count() == 1) {
+      std::shared_ptr<Cell> next = std::move(cell->next);
+      cell = std::move(next);
+    }
+  }
+
+  bool shared_;
+  TokenStackStats* stats_;
+  std::shared_ptr<Cell> top_;
+  size_t shared_size_ = 0;
+  std::vector<Token> vec_;
+};
+
+}  // namespace dls::fg
+
+#endif  // DLS_FG_TOKEN_STACK_H_

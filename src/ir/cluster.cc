@@ -1,0 +1,135 @@
+#include "ir/cluster.h"
+
+#include <algorithm>
+#include <cassert>
+
+namespace dls::ir {
+
+ClusterIndex::ClusterIndex(size_t num_nodes, size_t num_fragments)
+    : ClusterIndex(num_nodes, num_fragments, TextIndex::Options()) {}
+
+ClusterIndex::ClusterIndex(size_t num_nodes, size_t num_fragments,
+                           TextIndex::Options node_options)
+    : num_fragments_(num_fragments == 0 ? 1 : num_fragments) {
+  assert(num_nodes > 0);
+  nodes_.reserve(num_nodes);
+  for (size_t i = 0; i < num_nodes; ++i) {
+    Node node;
+    node.index = std::make_unique<TextIndex>(node_options);
+    nodes_.push_back(std::move(node));
+  }
+}
+
+void ClusterIndex::AddDocument(std::string_view url, std::string_view text) {
+  nodes_[total_docs_ % nodes_.size()].index->AddDocument(url, text);
+  ++total_docs_;
+  finalized_ = false;
+}
+
+void ClusterIndex::Finalize() {
+  global_.df.clear();
+  global_.collection_length = 0;
+  for (Node& node : nodes_) {
+    node.index->Flush();
+    node.fragments =
+        std::make_unique<FragmentedIndex>(node.index.get(), num_fragments_);
+    global_.collection_length += node.index->collection_length();
+    for (TermId t = 0; t < node.index->vocabulary_size(); ++t) {
+      global_.df[node.index->term(t)] += node.index->df(t);
+    }
+  }
+  finalized_ = true;
+}
+
+std::vector<ClusterScoredDoc> ClusterIndex::Query(
+    const std::vector<std::string>& query_words, size_t n,
+    size_t max_fragments, ClusterQueryStats* stats,
+    const RankOptions& options) const {
+  assert(finalized_ && "call Finalize() before Query()");
+  ClusterQueryStats local_stats;
+
+  // Central server: stem/stop the query once and resolve it against the
+  // global vocabulary (the T relation lives centrally).
+  std::vector<std::string> stems;
+  double idf_mass_total = 0;
+  for (const std::string& word : query_words) {
+    // Any node's normaliser is configured identically; use node 0's.
+    std::optional<std::string> norm = nodes_[0].index->NormalizeWord(word);
+    if (!norm) continue;
+    auto it = global_.df.find(*norm);
+    if (it == global_.df.end()) continue;  // not in the vocabulary space
+    stems.push_back(*norm);
+    idf_mass_total += 1.0 / static_cast<double>(it->second);
+  }
+
+  // Push the top-N request (resolved stems) to every node; each node
+  // computes its local top-N with global statistics and the fragment
+  // cut-off, then ships RES(doc, rank) back.
+  std::vector<ClusterScoredDoc> merged;
+  double idf_mass_read_global = 0;
+  bool idf_mass_counted = false;
+  for (const Node& node : nodes_) {
+    local_stats.messages += 2;  // request + response
+    local_stats.bytes_shipped += stems.size() * sizeof(TermId);
+
+    std::unordered_map<DocId, double> scores;
+    size_t node_postings = 0;
+    for (const std::string& stem : stems) {
+      std::optional<TermId> term = node.index->LookupTerm(stem);
+      int32_t global_df = global_.df.at(stem);
+      bool skipped = false;
+      if (term) {
+        if (node.fragments->FragmentOf(*term) >= max_fragments) {
+          skipped = true;
+        } else {
+          for (const Posting& p : node.index->postings(*term)) {
+            ++node_postings;
+            scores[p.doc] +=
+                TermScore(p.tf, global_df, node.index->doc_length(p.doc),
+                          global_.collection_length, options);
+          }
+        }
+      }
+      // Count quality mass once, from the first node's cut-off
+      // decisions: fragmentation is per-node but the idf boundaries
+      // coincide closely; this is the centre's a-priori estimate.
+      if (!idf_mass_counted && !skipped) {
+        idf_mass_read_global += 1.0 / static_cast<double>(global_df);
+      }
+    }
+    idf_mass_counted = true;
+
+    std::vector<ScoredDoc> local;
+    local.reserve(scores.size());
+    for (const auto& [doc, score] : scores) local.push_back({doc, score});
+    std::sort(local.begin(), local.end(),
+              [](const ScoredDoc& a, const ScoredDoc& b) {
+                if (a.score != b.score) return a.score > b.score;
+                return a.doc < b.doc;
+              });
+    if (local.size() > n) local.resize(n);
+
+    for (const ScoredDoc& d : local) {
+      merged.push_back(ClusterScoredDoc{node.index->url(d.doc), d.score});
+      local_stats.bytes_shipped += sizeof(DocId) + sizeof(double);
+    }
+    local_stats.postings_touched_total += node_postings;
+    local_stats.postings_touched_max_node =
+        std::max(local_stats.postings_touched_max_node, node_postings);
+  }
+
+  // Central merge of the per-node top-N lists into the master ranking.
+  std::sort(merged.begin(), merged.end(),
+            [](const ClusterScoredDoc& a, const ClusterScoredDoc& b) {
+              if (a.score != b.score) return a.score > b.score;
+              return a.url < b.url;
+            });
+  if (merged.size() > n) merged.resize(n);
+
+  local_stats.predicted_quality =
+      idf_mass_total > 0 ? idf_mass_read_global / idf_mass_total : 1.0;
+  if (stats != nullptr) *stats = local_stats;
+  return merged;
+}
+
+}  // namespace dls::ir

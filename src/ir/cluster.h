@@ -1,0 +1,86 @@
+#ifndef DLS_IR_CLUSTER_H_
+#define DLS_IR_CLUSTER_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "ir/fragments.h"
+#include "ir/index.h"
+
+namespace dls::ir {
+
+/// A document in a cluster-wide ranking (cluster doc ids are global).
+struct ClusterScoredDoc {
+  std::string url;
+  double score;
+};
+
+/// Traffic/work accounting for one distributed query (experiment E4).
+struct ClusterQueryStats {
+  size_t messages = 0;        ///< request + response per contacted node
+  size_t bytes_shipped = 0;   ///< serialised result tuples over the wire
+  size_t postings_touched_total = 0;
+  size_t postings_touched_max_node = 0;  ///< critical-path work
+  double predicted_quality = 1.0;
+};
+
+/// Shared-nothing distributed full-text index.
+///
+/// Documents are assigned to nodes **per document** (round-robin), as
+/// the paper prescribes; each node owns complete posting information
+/// for its documents, so local rankings merge into the exact global
+/// ranking with no cross-node joins — the property behind the paper's
+/// "almost perfect shared nothing parallelism".
+///
+/// The central server holds the global vocabulary and document
+/// frequencies (term statistics are collection-wide) and pushes the
+/// top-N request with resolved term oids to every node; nodes return
+/// RES(doc-oid, rank)-shaped tuples which the centre merges.
+class ClusterIndex {
+ public:
+  ClusterIndex(size_t num_nodes, size_t num_fragments);
+  ClusterIndex(size_t num_nodes, size_t num_fragments,
+               TextIndex::Options node_options);
+
+  /// Adds a document; the target node is documents-added mod num_nodes.
+  void AddDocument(std::string_view url, std::string_view text);
+
+  /// Flushes all nodes and (re)builds per-node fragmentation and the
+  /// global df table. Must be called before Query.
+  void Finalize();
+
+  size_t num_nodes() const { return nodes_.size(); }
+  size_t document_count() const { return total_docs_; }
+
+  /// Distributed top-N with per-node fragment cut-off.
+  /// max_fragments == num_fragments gives the exact global ranking.
+  std::vector<ClusterScoredDoc> Query(
+      const std::vector<std::string>& query_words, size_t n,
+      size_t max_fragments, ClusterQueryStats* stats = nullptr,
+      const RankOptions& options = {}) const;
+
+ private:
+  struct Node {
+    std::unique_ptr<TextIndex> index;
+    std::unique_ptr<FragmentedIndex> fragments;
+  };
+
+  /// Global ranking needs collection-wide statistics; nodes score with
+  /// these instead of their local ones.
+  struct GlobalStats {
+    // Aggregated per stem: collection-wide df.
+    std::unordered_map<std::string, int32_t> df;
+    int64_t collection_length = 0;
+  };
+
+  size_t num_fragments_;
+  std::vector<Node> nodes_;
+  GlobalStats global_;
+  size_t total_docs_ = 0;
+  bool finalized_ = false;
+};
+
+}  // namespace dls::ir
+
+#endif  // DLS_IR_CLUSTER_H_

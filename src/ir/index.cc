@@ -1,0 +1,128 @@
+#include "ir/index.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "ir/stemmer.h"
+#include "ir/stopwords.h"
+#include "ir/tokenizer.h"
+
+namespace dls::ir {
+
+TextIndex::TextIndex() : TextIndex(Options()) {}
+
+TextIndex::TextIndex(Options options) : options_(options) {}
+
+std::optional<std::string> TextIndex::NormalizeWord(
+    std::string_view word) const {
+  std::string lower;
+  lower.reserve(word.size());
+  for (char c : word) {
+    lower.push_back((c >= 'A' && c <= 'Z') ? static_cast<char>(c - 'A' + 'a')
+                                           : c);
+  }
+  if (options_.stop && IsStopword(lower)) return std::nullopt;
+  if (options_.stem) return PorterStem(lower);
+  return lower;
+}
+
+TermId TextIndex::InternTerm(const std::string& stem) {
+  auto it = term_ids_.find(stem);
+  if (it != term_ids_.end()) return it->second;
+  TermId id = static_cast<TermId>(terms_.size());
+  terms_.push_back(stem);
+  term_ids_.emplace(stem, id);
+  postings_.emplace_back();
+  df_.push_back(0);
+  return id;
+}
+
+DocId TextIndex::AddDocument(std::string_view url, std::string_view text) {
+  DocId doc = static_cast<DocId>(urls_.size());
+  urls_.emplace_back(url);
+  doc_lengths_.push_back(0);
+
+  PendingDoc pending;
+  pending.doc = doc;
+  for (const std::string& token : Tokenize(text)) {
+    std::optional<std::string> norm = NormalizeWord(token);
+    if (!norm) continue;
+    ++pending.counts[InternTerm(*norm)];
+  }
+  pending_.push_back(std::move(pending));
+
+  if (pending_.size() >= options_.flush_batch) Flush();
+  return doc;
+}
+
+void TextIndex::Flush() {
+  for (PendingDoc& doc : pending_) {
+    int64_t len = 0;
+    for (const auto& [term, tf] : doc.counts) {
+      postings_[term].push_back(Posting{doc.doc, tf});
+      ++df_[term];
+      len += tf;
+    }
+    doc_lengths_[doc.doc] = len;
+    collection_length_ += len;
+    ++flushed_docs_;
+  }
+  pending_.clear();
+}
+
+std::optional<TermId> TextIndex::LookupTerm(std::string_view stem) const {
+  auto it = term_ids_.find(std::string(stem));
+  if (it == term_ids_.end()) return std::nullopt;
+  return it->second;
+}
+
+double TermScore(int32_t tf, int32_t df, int64_t doclen,
+                 int64_t collection_length, const RankOptions& options) {
+  if (tf <= 0 || df <= 0 || doclen <= 0 || collection_length <= 0) return 0.0;
+  double lambda = options.lambda;
+  double x = lambda * static_cast<double>(tf) *
+             static_cast<double>(collection_length) /
+             ((1.0 - lambda) * static_cast<double>(df) *
+              static_cast<double>(doclen));
+  return std::log1p(x);
+}
+
+std::vector<ScoredDoc> TextIndex::RankTopN(
+    const std::vector<std::string>& query_words, size_t n,
+    const RankOptions& options) const {
+  std::unordered_map<DocId, double> scores;
+  for (const std::string& word : query_words) {
+    std::optional<std::string> norm = NormalizeWord(word);
+    if (!norm) continue;
+    std::optional<TermId> term = LookupTerm(*norm);
+    if (!term) continue;
+    for (const Posting& p : postings_[*term]) {
+      scores[p.doc] += TermScore(p.tf, df_[*term], doc_lengths_[p.doc],
+                                 collection_length_, options);
+    }
+  }
+
+  std::vector<ScoredDoc> ranked;
+  ranked.reserve(scores.size());
+  for (const auto& [doc, score] : scores) ranked.push_back({doc, score});
+  std::sort(ranked.begin(), ranked.end(),
+            [](const ScoredDoc& a, const ScoredDoc& b) {
+              if (a.score != b.score) return a.score > b.score;
+              return a.doc < b.doc;  // deterministic tie-break
+            });
+  if (ranked.size() > n) ranked.resize(n);
+  return ranked;
+}
+
+std::optional<std::string> NormalizeWord(std::string_view word) {
+  std::string lower;
+  lower.reserve(word.size());
+  for (char c : word) {
+    lower.push_back((c >= 'A' && c <= 'Z') ? static_cast<char>(c - 'A' + 'a')
+                                           : c);
+  }
+  if (IsStopword(lower)) return std::nullopt;
+  return PorterStem(lower);
+}
+
+}  // namespace dls::ir

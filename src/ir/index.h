@@ -1,0 +1,151 @@
+#ifndef DLS_IR_INDEX_H_
+#define DLS_IR_INDEX_H_
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <unordered_map>
+#include <vector>
+
+#include "common/status.h"
+
+namespace dls::ir {
+
+using TermId = uint32_t;
+using DocId = uint32_t;
+inline constexpr TermId kInvalidTerm = 0xffffffffu;
+
+/// One entry of a term's posting list: DT ⋈ TF projected to
+/// (doc, tf) — the pair-oid of the paper's ternary DT relation is the
+/// implicit position of the posting.
+struct Posting {
+  DocId doc;
+  int32_t tf;
+};
+
+/// A scored document in a ranking.
+struct ScoredDoc {
+  DocId doc;
+  double score;
+};
+
+/// Ranking parameters of the Hiemstra-derived tf·idf variant (see
+/// Ranker below).
+struct RankOptions {
+  /// Interpolation weight of the document model (Hiemstra's λ).
+  double lambda = 0.15;
+};
+
+/// The full-text index: an implementation of the paper's five
+/// relations —
+///   T   term-oid -> stemmed term          (vocabulary)
+///   D   doc-oid  -> doc-url               (document index)
+///   DT  (doc-oid, term-oid, pair-oid)     (document term list)
+///   TF  pair-oid -> tf
+///   IDF term-oid -> idf = 1/df
+/// — with DT⋈TF stored clustered by term (posting lists), which is the
+/// layout the fragmented/distributed layers operate on.
+///
+/// Indexing is incremental in the paper's sense: AddDocument buffers
+/// per-document term counts and Flush() (called automatically every
+/// `flush_batch` documents) folds them into the posting lists and
+/// updates df/idf. Queries observe only flushed documents.
+class TextIndex {
+ public:
+  struct Options {
+    /// Fold pending documents into the relations every N additions
+    /// ("every time the storage manager has parsed a certain number of
+    /// document bodies").
+    size_t flush_batch = 32;
+    /// Apply the Porter stemmer before lookup/insert.
+    bool stem = true;
+    /// Drop stopwords.
+    bool stop = true;
+  };
+
+  /// Constructs with default options.
+  TextIndex();
+  explicit TextIndex(Options options);
+
+  /// Registers a document body under `url`; returns its doc id.
+  DocId AddDocument(std::string_view url, std::string_view text);
+
+  /// Folds all buffered documents into the relations.
+  void Flush();
+
+  /// Normalises a raw query word the same way indexing does. Returns
+  /// nullopt for stopwords.
+  std::optional<std::string> NormalizeWord(std::string_view word) const;
+
+  /// T-relation lookup: stem -> term oid.
+  std::optional<TermId> LookupTerm(std::string_view stem) const;
+  const std::string& term(TermId t) const { return terms_[t]; }
+  size_t vocabulary_size() const { return terms_.size(); }
+
+  const std::string& url(DocId d) const { return urls_[d]; }
+  size_t document_count() const { return urls_.size(); }
+  size_t flushed_document_count() const { return flushed_docs_; }
+
+  /// Document frequency / idf (1/df per the paper) of a term.
+  int32_t df(TermId t) const { return df_[t]; }
+  double idf(TermId t) const { return 1.0 / static_cast<double>(df_[t]); }
+
+  const std::vector<Posting>& postings(TermId t) const {
+    return postings_[t];
+  }
+
+  /// Total number of indexed term occurrences in a document.
+  int64_t doc_length(DocId d) const { return doc_lengths_[d]; }
+  /// Σ over documents of doc_length.
+  int64_t collection_length() const { return collection_length_; }
+
+  /// Ranks all flushed documents against the (raw, unstemmed) query
+  /// words and returns the top `n` by descending score. Exact
+  /// evaluation over full posting lists; the fragmented index layers
+  /// cut this cost down.
+  std::vector<ScoredDoc> RankTopN(const std::vector<std::string>& query_words,
+                                  size_t n,
+                                  const RankOptions& options = {}) const;
+
+ private:
+  TermId InternTerm(const std::string& stem);
+
+  Options options_;
+
+  std::vector<std::string> terms_;                       // T
+  std::unordered_map<std::string, TermId> term_ids_;     // T reverse
+  std::vector<std::string> urls_;                        // D
+  std::vector<std::vector<Posting>> postings_;           // DT ⋈ TF
+  std::vector<int32_t> df_;                              // IDF source
+  std::vector<int64_t> doc_lengths_;
+  int64_t collection_length_ = 0;
+  size_t flushed_docs_ = 0;
+
+  /// Buffered (doc, term -> tf) counts awaiting Flush().
+  struct PendingDoc {
+    DocId doc;
+    std::unordered_map<TermId, int32_t> counts;
+  };
+  std::vector<PendingDoc> pending_;
+};
+
+/// Scores one (tf, df, doclen) triple under the Hiemstra-derived model:
+///
+///   score contribution of a matching term =
+///     log(1 + λ·tf·collection_length / ((1-λ)·df·doclen))
+///
+/// which is the monotonic rewrite of Hiemstra's interpolated language
+/// model P(q|d) = Π (1-λ)P(t) + λP(t|d) in which only terms present in
+/// the document contribute — the property that makes idf-ordered
+/// fragment cut-off sound.
+double TermScore(int32_t tf, int32_t df, int64_t doclen,
+                 int64_t collection_length, const RankOptions& options);
+
+/// Standalone stem+stop normalisation with the default pipeline
+/// (lowercase, stopword filter, Porter stem). nullopt for stopwords.
+std::optional<std::string> NormalizeWord(std::string_view word);
+
+}  // namespace dls::ir
+
+#endif  // DLS_IR_INDEX_H_

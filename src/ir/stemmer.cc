@@ -1,0 +1,269 @@
+#include "ir/stemmer.h"
+
+namespace dls::ir {
+namespace {
+
+/// Working buffer for the Porter algorithm. `end` is the index one past
+/// the last character of the current stem; suffix tests operate on
+/// [0, end).
+struct Stem {
+  std::string b;
+  size_t end;  // one past last char
+
+  explicit Stem(std::string_view word) : b(word), end(word.size()) {}
+
+  bool IsConsonant(size_t i) const {
+    switch (b[i]) {
+      case 'a':
+      case 'e':
+      case 'i':
+      case 'o':
+      case 'u':
+        return false;
+      case 'y':
+        return i == 0 ? true : !IsConsonant(i - 1);
+      default:
+        return true;
+    }
+  }
+
+  /// Porter's m(): the number of VC sequences in [0, j].
+  int Measure(size_t j) const {
+    int n = 0;
+    size_t i = 0;
+    // Skip initial consonants.
+    while (true) {
+      if (i > j) return n;
+      if (!IsConsonant(i)) break;
+      ++i;
+    }
+    ++i;
+    while (true) {
+      // Skip vowels.
+      while (true) {
+        if (i > j) return n;
+        if (IsConsonant(i)) break;
+        ++i;
+      }
+      ++i;
+      ++n;
+      // Skip consonants.
+      while (true) {
+        if (i > j) return n;
+        if (!IsConsonant(i)) break;
+        ++i;
+      }
+      ++i;
+    }
+  }
+
+  /// m() for the stem that would remain if the suffix of length
+  /// `suffix_len` were removed.
+  int MeasureWithout(size_t suffix_len) const {
+    return Measure(end - suffix_len - 1);
+  }
+
+  bool HasVowel(size_t up_to_exclusive) const {
+    for (size_t i = 0; i < up_to_exclusive; ++i) {
+      if (!IsConsonant(i)) return true;
+    }
+    return false;
+  }
+
+  bool EndsWith(std::string_view suffix) const {
+    if (suffix.size() > end) return false;
+    for (size_t i = 0; i < suffix.size(); ++i) {
+      if (b[end - suffix.size() + i] != suffix[i]) return false;
+    }
+    return true;
+  }
+
+  /// Double consonant at the stem end (e.g. -tt, -ss).
+  bool DoubleConsonantAtEnd() const {
+    if (end < 2) return false;
+    if (b[end - 1] != b[end - 2]) return false;
+    return IsConsonant(end - 1);
+  }
+
+  /// *o condition: stem ends consonant-vowel-consonant, and the final
+  /// consonant is not w, x or y.
+  bool CvcAtEnd(size_t stem_end) const {
+    if (stem_end < 3) return false;
+    size_t i = stem_end - 1;
+    if (!IsConsonant(i) || IsConsonant(i - 1) || !IsConsonant(i - 2)) {
+      return false;
+    }
+    char c = b[i];
+    return c != 'w' && c != 'x' && c != 'y';
+  }
+
+  void ReplaceSuffix(size_t suffix_len, std::string_view replacement) {
+    end -= suffix_len;
+    for (char c : replacement) {
+      if (end < b.size()) {
+        b[end] = c;
+      } else {
+        b.push_back(c);
+      }
+      ++end;
+    }
+  }
+
+  std::string Result() const { return b.substr(0, end); }
+};
+
+/// If the stem ends with `suffix` and m(stem-without-suffix) > threshold,
+/// replaces the suffix. Returns true if the suffix matched (whether or
+/// not the measure test passed), mirroring Porter's rule-list semantics
+/// where the first matching suffix ends the step.
+bool RuleM(Stem* s, std::string_view suffix, std::string_view replacement,
+           int min_m) {
+  if (!s->EndsWith(suffix)) return false;
+  if (s->MeasureWithout(suffix.size()) > min_m - 1) {
+    s->ReplaceSuffix(suffix.size(), replacement);
+  }
+  return true;
+}
+
+void Step1a(Stem* s) {
+  if (s->EndsWith("sses")) {
+    s->ReplaceSuffix(4, "ss");
+  } else if (s->EndsWith("ies")) {
+    s->ReplaceSuffix(3, "i");
+  } else if (s->EndsWith("ss")) {
+    // keep
+  } else if (s->EndsWith("s")) {
+    s->ReplaceSuffix(1, "");
+  }
+}
+
+void Step1bCleanup(Stem* s) {
+  // After removing -ed/-ing: map at->ate, bl->ble, iz->ize; undouble
+  // final double consonant (not l, s, z); or add e to short CVC stems.
+  if (s->EndsWith("at")) {
+    s->ReplaceSuffix(2, "ate");
+  } else if (s->EndsWith("bl")) {
+    s->ReplaceSuffix(2, "ble");
+  } else if (s->EndsWith("iz")) {
+    s->ReplaceSuffix(2, "ize");
+  } else if (s->DoubleConsonantAtEnd()) {
+    char c = s->b[s->end - 1];
+    if (c != 'l' && c != 's' && c != 'z') s->ReplaceSuffix(1, "");
+  } else if (s->Measure(s->end - 1) == 1 && s->CvcAtEnd(s->end)) {
+    s->ReplaceSuffix(0, "e");
+  }
+}
+
+void Step1b(Stem* s) {
+  if (s->EndsWith("eed")) {
+    if (s->MeasureWithout(3) > 0) s->ReplaceSuffix(3, "ee");
+    return;
+  }
+  if (s->EndsWith("ed")) {
+    if (s->HasVowel(s->end - 2)) {
+      s->ReplaceSuffix(2, "");
+      Step1bCleanup(s);
+    }
+    return;
+  }
+  if (s->EndsWith("ing")) {
+    if (s->HasVowel(s->end - 3)) {
+      s->ReplaceSuffix(3, "");
+      Step1bCleanup(s);
+    }
+  }
+}
+
+void Step1c(Stem* s) {
+  if (s->EndsWith("y") && s->HasVowel(s->end - 1)) {
+    s->ReplaceSuffix(1, "i");
+  }
+}
+
+void Step2(Stem* s) {
+  // (m>0) suffix mappings; ordered by Porter's penultimate-letter table,
+  // first match wins.
+  static constexpr struct {
+    const char* from;
+    const char* to;
+  } kRules[] = {
+      {"ational", "ate"}, {"tional", "tion"}, {"enci", "ence"},
+      {"anci", "ance"},   {"izer", "ize"},    {"abli", "able"},
+      {"alli", "al"},     {"entli", "ent"},   {"eli", "e"},
+      {"ousli", "ous"},   {"ization", "ize"}, {"ation", "ate"},
+      {"ator", "ate"},    {"alism", "al"},    {"iveness", "ive"},
+      {"fulness", "ful"}, {"ousness", "ous"}, {"aliti", "al"},
+      {"iviti", "ive"},   {"biliti", "ble"},
+  };
+  for (const auto& rule : kRules) {
+    if (RuleM(s, rule.from, rule.to, 1)) return;
+  }
+}
+
+void Step3(Stem* s) {
+  static constexpr struct {
+    const char* from;
+    const char* to;
+  } kRules[] = {
+      {"icate", "ic"}, {"ative", ""},  {"alize", "al"}, {"iciti", "ic"},
+      {"ical", "ic"},  {"ful", ""},    {"ness", ""},
+  };
+  for (const auto& rule : kRules) {
+    if (RuleM(s, rule.from, rule.to, 1)) return;
+  }
+}
+
+void Step4(Stem* s) {
+  // (m>1) suffix deletion; -ion requires a preceding s or t.
+  static constexpr const char* kSuffixes[] = {
+      "al",  "ance", "ence", "er",  "ic",  "able", "ible", "ant", "ement",
+      "ment", "ent", "ou",   "ism", "ate", "iti",  "ous",  "ive", "ize",
+  };
+  for (const char* suffix : kSuffixes) {
+    if (s->EndsWith(suffix)) {
+      if (s->MeasureWithout(std::string_view(suffix).size()) > 1) {
+        s->ReplaceSuffix(std::string_view(suffix).size(), "");
+      }
+      return;
+    }
+  }
+  if (s->EndsWith("ion")) {
+    size_t stem_end = s->end - 3;
+    if (stem_end > 0 && (s->b[stem_end - 1] == 's' || s->b[stem_end - 1] == 't') &&
+        s->Measure(stem_end - 1) > 1) {
+      s->ReplaceSuffix(3, "");
+    }
+  }
+}
+
+void Step5a(Stem* s) {
+  if (!s->EndsWith("e")) return;
+  int m = s->MeasureWithout(1);
+  if (m > 1 || (m == 1 && !s->CvcAtEnd(s->end - 1))) {
+    s->ReplaceSuffix(1, "");
+  }
+}
+
+void Step5b(Stem* s) {
+  if (s->EndsWith("ll") && s->Measure(s->end - 1) > 1) {
+    s->ReplaceSuffix(1, "");
+  }
+}
+
+}  // namespace
+
+std::string PorterStem(std::string_view word) {
+  if (word.size() < 3) return std::string(word);
+  Stem s(word);
+  Step1a(&s);
+  Step1b(&s);
+  Step1c(&s);
+  Step2(&s);
+  Step3(&s);
+  Step4(&s);
+  Step5a(&s);
+  Step5b(&s);
+  return s.Result();
+}
+
+}  // namespace dls::ir

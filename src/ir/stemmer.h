@@ -1,0 +1,17 @@
+#ifndef DLS_IR_STEMMER_H_
+#define DLS_IR_STEMMER_H_
+
+#include <string>
+#include <string_view>
+
+namespace dls::ir {
+
+/// Porter's stemming algorithm (Porter, 1980), the stemmer the paper's
+/// term index stores stems through. Complete implementation of steps
+/// 1a, 1b (+cleanup), 1c, 2, 3, 4, 5a and 5b over lowercase ASCII
+/// input. Inputs shorter than 3 characters are returned unchanged.
+std::string PorterStem(std::string_view word);
+
+}  // namespace dls::ir
+
+#endif  // DLS_IR_STEMMER_H_

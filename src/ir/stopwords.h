@@ -1,0 +1,19 @@
+#ifndef DLS_IR_STOPWORDS_H_
+#define DLS_IR_STOPWORDS_H_
+
+#include <string_view>
+
+namespace dls::ir {
+
+/// True if `word` (lowercase) is in the built-in English stopword list.
+/// The list is the classic van Rijsbergen-style set of function words;
+/// the paper's indexer expects stop terms to be filtered before the
+/// term relation is updated.
+bool IsStopword(std::string_view word);
+
+/// Number of entries in the built-in list (for tests).
+size_t StopwordCount();
+
+}  // namespace dls::ir
+
+#endif  // DLS_IR_STOPWORDS_H_

@@ -1,0 +1,18 @@
+#ifndef DLS_IR_TOKENIZER_H_
+#define DLS_IR_TOKENIZER_H_
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace dls::ir {
+
+/// Splits `text` into lowercase ASCII word tokens. A token is a maximal
+/// run of letters or digits that starts with a letter; everything else
+/// is a separator. Tokens of length 1 are kept (the stopper usually
+/// removes them).
+std::vector<std::string> Tokenize(std::string_view text);
+
+}  // namespace dls::ir
+
+#endif  // DLS_IR_TOKENIZER_H_

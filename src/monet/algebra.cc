@@ -1,0 +1,150 @@
+#include "monet/algebra.h"
+
+#include <algorithm>
+#include <unordered_set>
+
+namespace dls::monet {
+
+void Normalize(OidSet* set) {
+  std::sort(set->begin(), set->end());
+  set->erase(std::unique(set->begin(), set->end()), set->end());
+}
+
+OidSet Intersect(const OidSet& a, const OidSet& b) {
+  OidSet out;
+  std::set_intersection(a.begin(), a.end(), b.begin(), b.end(),
+                        std::back_inserter(out));
+  return out;
+}
+
+OidSet Union(const OidSet& a, const OidSet& b) {
+  OidSet out;
+  std::set_union(a.begin(), a.end(), b.begin(), b.end(),
+                 std::back_inserter(out));
+  return out;
+}
+
+OidSet HeadsWhere(const Bat& bat,
+                  const std::function<bool(const std::string&)>& pred) {
+  OidSet out;
+  for (size_t i = 0; i < bat.size(); ++i) {
+    if (pred(bat.tail_str(i))) out.push_back(bat.head(i));
+  }
+  Normalize(&out);
+  return out;
+}
+
+OidSet HeadsWhereEq(const Bat& bat, std::string_view value) {
+  // Equality selections go through the value-index accelerator.
+  OidSet out;
+  for (size_t pos : bat.FindTailStr(std::string(value))) {
+    out.push_back(bat.head(pos));
+  }
+  Normalize(&out);
+  return out;
+}
+
+OidSet HeadsWhereContains(const Bat& bat, std::string_view needle) {
+  return HeadsWhere(bat, [needle](const std::string& s) {
+    return s.find(needle) != std::string::npos;
+  });
+}
+
+OidSet TailsForHeads(const Bat& edges, const OidSet& heads) {
+  OidSet out;
+  for (Oid head : heads) {
+    for (size_t pos : edges.FindHead(head)) {
+      out.push_back(edges.tail_oid(pos));
+    }
+  }
+  Normalize(&out);
+  return out;
+}
+
+OidSet HeadsForTails(const Bat& edges, const OidSet& tails) {
+  std::unordered_set<Oid> wanted(tails.begin(), tails.end());
+  OidSet out;
+  for (size_t i = 0; i < edges.size(); ++i) {
+    if (wanted.count(edges.tail_oid(i))) out.push_back(edges.head(i));
+  }
+  Normalize(&out);
+  return out;
+}
+
+OidSet ScanPath(const Database& db, std::string_view path) {
+  RelationId rel = db.schema().Resolve(path);
+  if (rel == kInvalidRelation) return {};
+  const SchemaNode& node = db.schema().node(rel);
+  OidSet out;
+  switch (node.kind) {
+    case StepKind::kElement:
+      for (size_t i = 0; i < node.edges->size(); ++i) {
+        out.push_back(node.edges->tail_oid(i));
+      }
+      break;
+    case StepKind::kAttribute:
+    case StepKind::kPcdata:
+      for (size_t i = 0; i < node.values->size(); ++i) {
+        out.push_back(node.values->head(i));
+      }
+      break;
+    case StepKind::kRoot:
+      break;
+  }
+  Normalize(&out);
+  return out;
+}
+
+OidSet SelectByText(const Database& db, std::string_view path,
+                    const std::function<bool(const std::string&)>& pred) {
+  RelationId rel = db.schema().Resolve(path);
+  if (rel == kInvalidRelation) return {};
+  RelationId pc = db.schema().FindChild(rel, StepKind::kPcdata, "PCDATA");
+  if (pc == kInvalidRelation) return {};
+  return HeadsWhere(*db.schema().node(pc).values, pred);
+}
+
+OidSet SelectByTextEq(const Database& db, std::string_view path,
+                      std::string_view value) {
+  RelationId rel = db.schema().Resolve(path);
+  if (rel == kInvalidRelation) return {};
+  RelationId pc = db.schema().FindChild(rel, StepKind::kPcdata, "PCDATA");
+  if (pc == kInvalidRelation) return {};
+  return HeadsWhereEq(*db.schema().node(pc).values, value);
+}
+
+OidSet SelectByAttribute(
+    const Database& db, std::string_view path, std::string_view attr,
+    const std::function<bool(const std::string&)>& pred) {
+  RelationId rel = db.schema().Resolve(path);
+  if (rel == kInvalidRelation) return {};
+  RelationId arel = db.schema().FindChild(rel, StepKind::kAttribute, attr);
+  if (arel == kInvalidRelation) return {};
+  return HeadsWhere(*db.schema().node(arel).values, pred);
+}
+
+OidSet AncestorsAt(const Database& db, RelationId from_rel, const OidSet& oids,
+                   RelationId to_rel) {
+  // Build the schema chain from `from_rel` up to `to_rel`.
+  std::vector<RelationId> chain;
+  RelationId cur = from_rel;
+  while (cur != kInvalidRelation && cur != to_rel) {
+    chain.push_back(cur);
+    cur = db.schema().node(cur).parent;
+  }
+  if (cur != to_rel) return {};  // not an ancestor
+
+  OidSet frontier = oids;
+  for (RelationId rel : chain) {
+    const SchemaNode& node = db.schema().node(rel);
+    if (node.kind != StepKind::kElement) {
+      // Attribute/PCDATA oids are already the owning element's oids;
+      // they live one schema level down without an edge hop.
+      continue;
+    }
+    frontier = HeadsForTails(*node.edges, frontier);
+  }
+  return frontier;
+}
+
+}  // namespace dls::monet

@@ -1,0 +1,68 @@
+#ifndef DLS_MONET_ALGEBRA_H_
+#define DLS_MONET_ALGEBRA_H_
+
+#include <functional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "monet/bat.h"
+#include "monet/database.h"
+
+namespace dls::monet {
+
+/// A sorted, deduplicated set of oids — the currency of the algebra.
+using OidSet = std::vector<Oid>;
+
+/// Normalises (sorts + dedups) in place.
+void Normalize(OidSet* set);
+
+OidSet Intersect(const OidSet& a, const OidSet& b);
+OidSet Union(const OidSet& a, const OidSet& b);
+
+/// Heads of all associations in a string BAT whose tail satisfies
+/// `pred`. Full column scan — selection predicates are arbitrary.
+OidSet HeadsWhere(const Bat& bat, const std::function<bool(const std::string&)>& pred);
+
+/// Heads whose string tail equals `value`.
+OidSet HeadsWhereEq(const Bat& bat, std::string_view value);
+
+/// Heads whose string tail contains `needle` (case-sensitive substring).
+OidSet HeadsWhereContains(const Bat& bat, std::string_view needle);
+
+/// Edge navigation: child oids (tails) of the given parent heads.
+OidSet TailsForHeads(const Bat& edges, const OidSet& heads);
+
+/// Edge navigation upward: parent oids (heads) of the given child tails.
+/// Full scan of the edge BAT (no tail index is kept).
+OidSet HeadsForTails(const Bat& edges, const OidSet& tails);
+
+/// All instance oids stored at `path` (PathOf syntax). Empty if the
+/// path does not exist. For element paths these are the element oids;
+/// for attribute/PCDATA paths the owning element oids.
+OidSet ScanPath(const Database& db, std::string_view path);
+
+/// Oids at element path `path` whose direct PCDATA content satisfies
+/// `pred`. The workhorse of content predicates in conceptual queries.
+OidSet SelectByText(const Database& db, std::string_view path,
+                    const std::function<bool(const std::string&)>& pred);
+
+/// Equality fast path of SelectByText: served from the BAT's value
+/// index (hash lookup) instead of a column scan.
+OidSet SelectByTextEq(const Database& db, std::string_view path,
+                      std::string_view value);
+
+/// Oids at element path `path` whose attribute `attr` satisfies `pred`.
+OidSet SelectByAttribute(const Database& db, std::string_view path,
+                         std::string_view attr,
+                         const std::function<bool(const std::string&)>& pred);
+
+/// Ancestor walk: maps each oid at `from_rel` to its ancestor instance
+/// at `to_rel` (which must be a schema-tree ancestor), preserving set
+/// semantics. Returns the ancestors.
+OidSet AncestorsAt(const Database& db, RelationId from_rel, const OidSet& oids,
+                   RelationId to_rel);
+
+}  // namespace dls::monet
+
+#endif  // DLS_MONET_ALGEBRA_H_

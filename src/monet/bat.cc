@@ -1,0 +1,188 @@
+#include "monet/bat.h"
+
+#include <cassert>
+
+namespace dls::monet {
+
+void Bat::AppendOid(Oid head, Oid tail) {
+  assert(type_ == TailType::kOid);
+  heads_.push_back(head);
+  oid_tails_.push_back(tail);
+  IndexAppend(head, heads_.size() - 1);
+}
+
+void Bat::AppendInt(Oid head, int64_t tail) {
+  assert(type_ == TailType::kInt);
+  heads_.push_back(head);
+  int_tails_.push_back(tail);
+  IndexAppend(head, heads_.size() - 1);
+}
+
+void Bat::AppendStr(Oid head, std::string tail) {
+  assert(type_ == TailType::kStr);
+  heads_.push_back(head);
+  str_tails_.push_back(std::move(tail));
+  IndexAppend(head, heads_.size() - 1);
+  TailIndexAppend(str_tails_.back(), heads_.size() - 1);
+}
+
+void Bat::AppendFloat(Oid head, double tail) {
+  assert(type_ == TailType::kFloat);
+  heads_.push_back(head);
+  float_tails_.push_back(tail);
+  IndexAppend(head, heads_.size() - 1);
+}
+
+void Bat::IndexAppend(Oid head, size_t pos) const {
+  if (indexed_) head_index_[head].push_back(pos);
+}
+
+void Bat::EnsureIndex() const {
+  if (indexed_) return;
+  head_index_.clear();
+  head_index_.reserve(heads_.size());
+  for (size_t i = 0; i < heads_.size(); ++i) {
+    head_index_[heads_[i]].push_back(i);
+  }
+  indexed_ = true;
+}
+
+void Bat::TailIndexAppend(const std::string& value, size_t pos) const {
+  if (tail_indexed_) tail_index_[value].push_back(pos);
+}
+
+std::vector<size_t> Bat::FindTailStr(const std::string& value) const {
+  assert(type_ == TailType::kStr);
+  if (!tail_indexed_) {
+    tail_index_.clear();
+    tail_index_.reserve(heads_.size());
+    for (size_t i = 0; i < str_tails_.size(); ++i) {
+      tail_index_[str_tails_[i]].push_back(i);
+    }
+    tail_indexed_ = true;
+  }
+  auto it = tail_index_.find(value);
+  if (it == tail_index_.end()) return {};
+  return it->second;
+}
+
+std::vector<size_t> Bat::FindHead(Oid head) const {
+  EnsureIndex();
+  auto it = head_index_.find(head);
+  if (it == head_index_.end()) return {};
+  return it->second;
+}
+
+bool Bat::ContainsHead(Oid head) const {
+  EnsureIndex();
+  return head_index_.count(head) > 0;
+}
+
+size_t Bat::FindFirst(Oid head) const {
+  EnsureIndex();
+  auto it = head_index_.find(head);
+  if (it == head_index_.end() || it->second.empty()) return kNpos;
+  return it->second.front();
+}
+
+size_t Bat::EraseHeads(const std::vector<Oid>& heads) {
+  std::unordered_map<Oid, bool> doomed;
+  doomed.reserve(heads.size());
+  for (Oid h : heads) doomed[h] = true;
+
+  size_t removed = 0;
+  size_t write = 0;
+  for (size_t read = 0; read < heads_.size(); ++read) {
+    if (doomed.count(heads_[read])) {
+      ++removed;
+      continue;
+    }
+    if (write != read) {
+      heads_[write] = heads_[read];
+      switch (type_) {
+        case TailType::kOid:
+          oid_tails_[write] = oid_tails_[read];
+          break;
+        case TailType::kInt:
+          int_tails_[write] = int_tails_[read];
+          break;
+        case TailType::kStr:
+          str_tails_[write] = std::move(str_tails_[read]);
+          break;
+        case TailType::kFloat:
+          float_tails_[write] = float_tails_[read];
+          break;
+      }
+    }
+    ++write;
+  }
+  heads_.resize(write);
+  switch (type_) {
+    case TailType::kOid:
+      oid_tails_.resize(write);
+      break;
+    case TailType::kInt:
+      int_tails_.resize(write);
+      break;
+    case TailType::kStr:
+      str_tails_.resize(write);
+      break;
+    case TailType::kFloat:
+      float_tails_.resize(write);
+      break;
+  }
+  indexed_ = false;
+  head_index_.clear();
+  tail_indexed_ = false;
+  tail_index_.clear();
+  return removed;
+}
+
+size_t Bat::EraseTailOids(const std::vector<Oid>& tails) {
+  assert(type_ == TailType::kOid);
+  std::unordered_map<Oid, bool> doomed;
+  doomed.reserve(tails.size());
+  for (Oid t : tails) doomed[t] = true;
+
+  size_t removed = 0;
+  size_t write = 0;
+  for (size_t read = 0; read < heads_.size(); ++read) {
+    if (doomed.count(oid_tails_[read])) {
+      ++removed;
+      continue;
+    }
+    if (write != read) {
+      heads_[write] = heads_[read];
+      oid_tails_[write] = oid_tails_[read];
+    }
+    ++write;
+  }
+  heads_.resize(write);
+  oid_tails_.resize(write);
+  indexed_ = false;
+  head_index_.clear();
+  return removed;
+}
+
+size_t Bat::MemoryBytes() const {
+  size_t bytes = heads_.size() * sizeof(Oid);
+  switch (type_) {
+    case TailType::kOid:
+      bytes += oid_tails_.size() * sizeof(Oid);
+      break;
+    case TailType::kInt:
+      bytes += int_tails_.size() * sizeof(int64_t);
+      break;
+    case TailType::kFloat:
+      bytes += float_tails_.size() * sizeof(double);
+      break;
+    case TailType::kStr:
+      for (const std::string& s : str_tails_) {
+        bytes += sizeof(std::string) + s.capacity();
+      }
+      break;
+  }
+  return bytes;
+}
+
+}  // namespace dls::monet

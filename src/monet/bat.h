@@ -1,0 +1,118 @@
+#ifndef DLS_MONET_BAT_H_
+#define DLS_MONET_BAT_H_
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "common/status.h"
+
+namespace dls::monet {
+
+/// Object identifier. Allocated densely per database.
+using Oid = uint64_t;
+inline constexpr Oid kInvalidOid = 0xffffffffffffffffULL;
+
+/// Tail column type of a binary association table.
+///
+/// The paper's associations are pairs in oid×oid ∪ oid×string ∪ oid×int;
+/// we add a float tail for the IR relations (TF/IDF) that the full-text
+/// layer stores in the same engine.
+enum class TailType : uint8_t {
+  kOid,
+  kInt,
+  kStr,
+  kFloat,
+};
+
+/// A Binary Association Table: the Monet storage primitive.
+///
+/// A BAT is an append-ordered sequence of (head, tail) associations with
+/// a fixed tail type. Heads are oids and need not be unique. Insertion
+/// order is preserved and observable (the bulkloader and the
+/// reconstruction algorithm rely on it to pair PCDATA values with their
+/// ranks).
+///
+/// Point lookups by head are served by a lazily built hash index that is
+/// maintained incrementally across subsequent appends and dropped on
+/// deletion (deletes are rare: they only occur during incremental
+/// document replacement).
+class Bat {
+ public:
+  explicit Bat(TailType type) : type_(type) {}
+
+  TailType type() const { return type_; }
+  size_t size() const { return heads_.size(); }
+  bool empty() const { return heads_.empty(); }
+
+  /// Appends an association. The tail accessor used must match type().
+  void AppendOid(Oid head, Oid tail);
+  void AppendInt(Oid head, int64_t tail);
+  void AppendStr(Oid head, std::string tail);
+  void AppendFloat(Oid head, double tail);
+
+  Oid head(size_t i) const { return heads_[i]; }
+  Oid tail_oid(size_t i) const { return oid_tails_[i]; }
+  int64_t tail_int(size_t i) const { return int_tails_[i]; }
+  const std::string& tail_str(size_t i) const { return str_tails_[i]; }
+  double tail_float(size_t i) const { return float_tails_[i]; }
+
+  /// Positions (in insertion order) of all associations with this head.
+  /// Builds the head index on first use.
+  std::vector<size_t> FindHead(Oid head) const;
+
+  /// Positions of all associations whose string tail equals `value`
+  /// (kStr BATs only). This is the "specific accelerator" hook of the
+  /// physical level: a lazily built, incrementally maintained value
+  /// index that turns equality selections into hash lookups instead of
+  /// column scans. Dropped on deletion like the head index.
+  std::vector<size_t> FindTailStr(const std::string& value) const;
+
+  /// True if the value index has been built (for tests/benchmarks).
+  bool tail_indexed() const { return tail_indexed_; }
+
+  /// True if any association has this head.
+  bool ContainsHead(Oid head) const;
+
+  /// First position whose head matches, or npos.
+  static constexpr size_t kNpos = static_cast<size_t>(-1);
+  size_t FindFirst(Oid head) const;
+
+  /// Removes every association whose head is in `heads`. O(n); drops
+  /// the head index. Returns the number of removed associations.
+  size_t EraseHeads(const std::vector<Oid>& heads);
+
+  /// Removes every association whose oid tail is in `tails` (kOid BATs
+  /// only: used to unlink edge tuples pointing at deleted nodes).
+  size_t EraseTailOids(const std::vector<Oid>& tails);
+
+  /// Total bytes of column storage (index excluded) — used by the
+  /// bulkload memory experiment.
+  size_t MemoryBytes() const;
+
+ private:
+  void IndexAppend(Oid head, size_t pos) const;
+  void EnsureIndex() const;
+
+  TailType type_;
+  std::vector<Oid> heads_;
+  std::vector<Oid> oid_tails_;
+  std::vector<int64_t> int_tails_;
+  std::vector<std::string> str_tails_;
+  std::vector<double> float_tails_;
+
+  void TailIndexAppend(const std::string& value, size_t pos) const;
+
+  // Lazily built head -> positions index.
+  mutable std::unordered_map<Oid, std::vector<size_t>> head_index_;
+  mutable bool indexed_ = false;
+  // Lazily built string-tail -> positions index (kStr only).
+  mutable std::unordered_map<std::string, std::vector<size_t>> tail_index_;
+  mutable bool tail_indexed_ = false;
+};
+
+}  // namespace dls::monet
+
+#endif  // DLS_MONET_BAT_H_

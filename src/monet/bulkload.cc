@@ -1,0 +1,79 @@
+#include "monet/bulkload.h"
+
+#include <cassert>
+
+namespace dls::monet {
+
+BulkLoader::BulkLoader(Database* db, std::string doc_name)
+    : db_(db), doc_name_(std::move(doc_name)) {}
+
+void BulkLoader::StartDocument() {
+  stack_.clear();
+  stack_.push_back(Frame{db_->schema().root(), kInvalidOid, 0});
+  max_stack_depth_ = 1;
+}
+
+void BulkLoader::StartElement(std::string_view name,
+                              const std::vector<xml::Attribute>& attributes) {
+  ++event_pos_;
+  Frame& parent = stack_.back();
+  RelationId rel =
+      db_->schema().FindOrCreateChild(parent.relation, StepKind::kElement,
+                                      name);
+  Oid oid = db_->AllocateOid();
+  SchemaNode& node = db_->schema().mutable_node(rel);
+  // Edge association: (parent oid, node oid). The document root hangs
+  // off the virtual "All Documents" node with an invalid parent oid,
+  // mirroring the paper's `sys` relation.
+  node.edges->AppendOid(parent.oid == kInvalidOid ? 0 : parent.oid, oid);
+  node.ranks->AppendInt(oid, parent.next_rank++);
+
+  for (const xml::Attribute& attr : attributes) {
+    RelationId arel =
+        db_->schema().FindOrCreateChild(rel, StepKind::kAttribute, attr.name);
+    db_->schema().mutable_node(arel).values->AppendStr(oid, attr.value);
+  }
+
+  if (record_extents_) {
+    if (node.extents == nullptr) {
+      node.extents = std::make_unique<Bat>(TailType::kInt);
+    }
+    node.extents->AppendInt(oid, event_pos_);  // start position
+  }
+
+  if (stack_.size() == 1) {
+    entry_.root_oid = oid;
+    entry_.root_relation = rel;
+  }
+  stack_.push_back(Frame{rel, oid, 0});
+  max_stack_depth_ = std::max(max_stack_depth_, stack_.size());
+}
+
+void BulkLoader::EndElement(std::string_view /*name*/) {
+  ++event_pos_;
+  if (record_extents_) {
+    const Frame& frame = stack_.back();
+    SchemaNode& node = db_->schema().mutable_node(frame.relation);
+    node.extents->AppendInt(frame.oid, event_pos_);  // end position
+  }
+  stack_.pop_back();
+}
+
+void BulkLoader::Characters(std::string_view text) {
+  ++event_pos_;
+  Frame& frame = stack_.back();
+  assert(frame.oid != kInvalidOid && "characters outside the root");
+  RelationId rel =
+      db_->schema().FindOrCreateChild(frame.relation, StepKind::kPcdata,
+                                      "PCDATA");
+  SchemaNode& node = db_->schema().mutable_node(rel);
+  node.values->AppendStr(frame.oid, std::string(text));
+  node.ranks->AppendInt(frame.oid, frame.next_rank++);
+}
+
+void BulkLoader::EndDocument() {
+  assert(stack_.size() == 1 && "unbalanced events");
+  db_->RegisterDocument(doc_name_, entry_);
+}
+
+}  // namespace dls::monet

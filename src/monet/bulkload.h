@@ -1,0 +1,66 @@
+#ifndef DLS_MONET_BULKLOAD_H_
+#define DLS_MONET_BULKLOAD_H_
+
+#include <string>
+#include <vector>
+
+#include "monet/database.h"
+#include "xml/events.h"
+
+namespace dls::monet {
+
+/// Streaming bulkloader: the paper's SAX+stack algorithm (Figs. 11/12).
+///
+/// The loader consumes SAX events and maintains only a stack of
+/// (schema-tree cursor, oid, child-rank counter) frames — O(document
+/// height) memory, never a DOM. Schema-tree navigation replaces hashing
+/// of complete path strings: extending the current path is one child
+/// lookup on the current schema node, creating the node (and its
+/// relations) on first encounter, which is what makes the mapping
+/// DTD-less and document-dependent at once.
+class BulkLoader : public xml::ContentHandler {
+ public:
+  /// The loader writes into `db`; `doc_name` keys the document registry.
+  BulkLoader(Database* db, std::string doc_name);
+
+  /// Enables extent recording: every element's start/end event
+  /// positions are stored in its relation's `extents` BAT (two int
+  /// tuples per element). Call before StartDocument.
+  void set_record_extents(bool record) { record_extents_ = record; }
+
+  void StartDocument() override;
+  void EndDocument() override;
+  void StartElement(std::string_view name,
+                    const std::vector<xml::Attribute>& attributes) override;
+  void EndElement(std::string_view name) override;
+  void Characters(std::string_view text) override;
+
+  /// Root entry of the loaded document (valid after EndDocument).
+  DocumentEntry entry() const { return entry_; }
+
+  /// High-water mark of the loader's own stack depth — the measured
+  /// counterpart of the O(height) memory claim (experiment E2).
+  size_t max_stack_depth() const { return max_stack_depth_; }
+
+ private:
+  struct Frame {
+    RelationId relation;
+    Oid oid;
+    int next_rank = 0;
+  };
+
+  bool record_extents_ = false;
+  /// Monotonic SAX event position (the textual order of the paper's
+  /// extents; byte offsets are not available from the event stream).
+  int64_t event_pos_ = 0;
+
+  Database* db_;
+  std::string doc_name_;
+  std::vector<Frame> stack_;
+  DocumentEntry entry_;
+  size_t max_stack_depth_ = 0;
+};
+
+}  // namespace dls::monet
+
+#endif  // DLS_MONET_BULKLOAD_H_

@@ -1,0 +1,235 @@
+#include "monet/database.h"
+
+#include <algorithm>
+#include <cassert>
+
+#include "common/strings.h"
+#include "monet/bulkload.h"
+#include "xml/parser.h"
+
+namespace dls::monet {
+namespace {
+
+/// Replays a Document subtree as SAX events (used by InsertDocument so
+/// tree inserts and streaming inserts share one code path).
+void EmitEvents(const xml::Document& doc, xml::NodeId id,
+                xml::ContentHandler* handler) {
+  const xml::Node& n = doc.node(id);
+  if (n.kind == xml::NodeKind::kText) {
+    handler->Characters(n.text);
+    return;
+  }
+  handler->StartElement(n.name, n.attributes);
+  for (xml::NodeId child : n.children) EmitEvents(doc, child, handler);
+  handler->EndElement(n.name);
+}
+
+}  // namespace
+
+void Database::RegisterDocument(const std::string& name, DocumentEntry entry) {
+  documents_[name] = entry;
+}
+
+Status Database::InsertDocument(std::string_view name,
+                                const xml::Document& doc) {
+  if (documents_.find(name) != documents_.end()) {
+    return Status::AlreadyExists("document '" + std::string(name) + "'");
+  }
+  if (!doc.has_root()) {
+    return Status::InvalidArgument("document has no root");
+  }
+  BulkLoader loader(this, std::string(name));
+  loader.set_record_extents(record_extents_);
+  loader.StartDocument();
+  EmitEvents(doc, doc.root(), &loader);
+  loader.EndDocument();
+  return Status::Ok();
+}
+
+Status Database::InsertXml(std::string_view name, std::string_view xml_text) {
+  if (documents_.find(name) != documents_.end()) {
+    return Status::AlreadyExists("document '" + std::string(name) + "'");
+  }
+  BulkLoader loader(this, std::string(name));
+  loader.set_record_extents(record_extents_);
+  return xml::ParseStream(xml_text, &loader);
+}
+
+Result<DocumentEntry> Database::GetDocument(std::string_view name) const {
+  auto it = documents_.find(name);
+  if (it == documents_.end()) {
+    return Status::NotFound("document '" + std::string(name) + "'");
+  }
+  return it->second;
+}
+
+bool Database::HasDocument(std::string_view name) const {
+  return documents_.find(name) != documents_.end();
+}
+
+std::vector<std::string> Database::DocumentNames() const {
+  std::vector<std::string> out;
+  out.reserve(documents_.size());
+  for (const auto& [name, entry] : documents_) out.push_back(name);
+  return out;
+}
+
+namespace {
+
+/// Recursive inverse mapping: materialises (oid, relation) into `out`
+/// under `parent` (or as the root when parent is kInvalidNode).
+void Rebuild(const Database& db, Oid oid, RelationId relation,
+             xml::Document* out, xml::NodeId parent) {
+  const SchemaTree& schema = db.schema();
+  const SchemaNode& rel = schema.node(relation);
+  assert(rel.kind == StepKind::kElement);
+
+  xml::NodeId self = parent == xml::kInvalidNode
+                         ? out->CreateRoot(rel.tag)
+                         : out->AppendElement(parent, rel.tag);
+
+  // Children of all kinds, keyed by stored rank, then rebuilt in order.
+  struct PendingChild {
+    int rank;
+    bool is_text;
+    Oid child_oid;          // element child
+    RelationId child_rel;   // element child
+    std::string text;       // pcdata child
+  };
+  std::vector<PendingChild> pending;
+
+  for (RelationId child_rel : rel.children) {
+    const SchemaNode& child = schema.node(child_rel);
+    switch (child.kind) {
+      case StepKind::kAttribute: {
+        size_t pos = child.values->FindFirst(oid);
+        if (pos != Bat::kNpos) {
+          out->SetAttribute(self, child.tag, child.values->tail_str(pos));
+        }
+        break;
+      }
+      case StepKind::kPcdata: {
+        std::vector<size_t> vals = child.values->FindHead(oid);
+        std::vector<size_t> ranks = child.ranks->FindHead(oid);
+        assert(vals.size() == ranks.size());
+        for (size_t i = 0; i < vals.size(); ++i) {
+          pending.push_back(PendingChild{
+              static_cast<int>(child.ranks->tail_int(ranks[i])), true, 0,
+              kInvalidRelation, child.values->tail_str(vals[i])});
+        }
+        break;
+      }
+      case StepKind::kElement: {
+        for (size_t pos : child.edges->FindHead(oid)) {
+          Oid child_oid = child.edges->tail_oid(pos);
+          size_t rank_pos = child.ranks->FindFirst(child_oid);
+          assert(rank_pos != Bat::kNpos);
+          pending.push_back(PendingChild{
+              static_cast<int>(child.ranks->tail_int(rank_pos)), false,
+              child_oid, child_rel, {}});
+        }
+        break;
+      }
+      case StepKind::kRoot:
+        break;
+    }
+  }
+
+  std::sort(pending.begin(), pending.end(),
+            [](const PendingChild& a, const PendingChild& b) {
+              return a.rank < b.rank;
+            });
+  for (const PendingChild& child : pending) {
+    if (child.is_text) {
+      out->AppendText(self, child.text);
+    } else {
+      Rebuild(db, child.child_oid, child.child_rel, out, self);
+    }
+  }
+}
+
+}  // namespace
+
+Result<xml::Document> Database::ReconstructSubtree(Oid oid,
+                                                   RelationId relation) const {
+  if (relation >= schema_.size() ||
+      schema_.node(relation).kind != StepKind::kElement) {
+    return Status::InvalidArgument("not an element relation");
+  }
+  xml::Document doc;
+  Rebuild(*this, oid, relation, &doc, xml::kInvalidNode);
+  return doc;
+}
+
+Result<xml::Document> Database::ReconstructDocument(
+    std::string_view name) const {
+  DLS_ASSIGN_OR_RETURN(DocumentEntry entry, GetDocument(name));
+  return ReconstructSubtree(entry.root_oid, entry.root_relation);
+}
+
+void Database::CollectSubtree(
+    Oid oid, RelationId relation,
+    std::map<RelationId, std::vector<Oid>>* per_relation) const {
+  (*per_relation)[relation].push_back(oid);
+  const SchemaNode& rel = schema_.node(relation);
+  for (RelationId child_rel : rel.children) {
+    const SchemaNode& child = schema_.node(child_rel);
+    if (child.kind != StepKind::kElement) continue;
+    for (size_t pos : child.edges->FindHead(oid)) {
+      CollectSubtree(child.edges->tail_oid(pos), child_rel, per_relation);
+    }
+  }
+}
+
+Status Database::DeleteDocument(std::string_view name) {
+  auto it = documents_.find(name);
+  if (it == documents_.end()) {
+    return Status::NotFound("document '" + std::string(name) + "'");
+  }
+  std::map<RelationId, std::vector<Oid>> per_relation;
+  CollectSubtree(it->second.root_oid, it->second.root_relation, &per_relation);
+
+  for (const auto& [rel_id, oids] : per_relation) {
+    SchemaNode& rel = schema_.mutable_node(rel_id);
+    rel.edges->EraseTailOids(oids);
+    rel.ranks->EraseHeads(oids);
+    if (rel.extents != nullptr) rel.extents->EraseHeads(oids);
+    for (RelationId child_rel : rel.children) {
+      SchemaNode& child = schema_.mutable_node(child_rel);
+      if (child.kind == StepKind::kAttribute) {
+        child.values->EraseHeads(oids);
+      } else if (child.kind == StepKind::kPcdata) {
+        child.values->EraseHeads(oids);
+        child.ranks->EraseHeads(oids);
+      }
+    }
+  }
+  documents_.erase(it);
+  return Status::Ok();
+}
+
+Status Database::ReplaceDocument(std::string_view name,
+                                 const xml::Document& doc) {
+  if (documents_.find(name) != documents_.end()) {
+    DLS_RETURN_IF_ERROR(DeleteDocument(name));
+  }
+  return InsertDocument(name, doc);
+}
+
+DatabaseStats Database::Stats() const {
+  DatabaseStats stats;
+  stats.documents = documents_.size();
+  stats.relations = schema_.size() - 1;
+  for (RelationId id : schema_.AllNodes()) {
+    const SchemaNode& node = schema_.node(id);
+    for (const Bat* bat : {node.edges.get(), node.ranks.get(),
+                           node.values.get(), node.extents.get()}) {
+      if (bat == nullptr) continue;
+      stats.associations += bat->size();
+      stats.memory_bytes += bat->MemoryBytes();
+    }
+  }
+  return stats;
+}
+
+}  // namespace dls::monet

@@ -1,0 +1,109 @@
+#ifndef DLS_MONET_DATABASE_H_
+#define DLS_MONET_DATABASE_H_
+
+#include <map>
+#include <memory>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/status.h"
+#include "monet/bat.h"
+#include "monet/schema_tree.h"
+#include "xml/tree.h"
+
+namespace dls::monet {
+
+/// Root entry of a stored document.
+struct DocumentEntry {
+  Oid root_oid = kInvalidOid;
+  RelationId root_relation = kInvalidRelation;
+};
+
+/// Aggregate statistics over a database (for experiments and logs).
+struct DatabaseStats {
+  size_t relations = 0;      ///< schema-tree nodes (excluding the root)
+  size_t associations = 0;   ///< total tuples across all BATs
+  size_t documents = 0;
+  size_t memory_bytes = 0;   ///< column storage, indexes excluded
+};
+
+/// The Monet XML database: a schema tree whose nodes own the binary
+/// relations of the Monet transform, plus a document registry.
+///
+/// Thread-compatible (external synchronisation); the reproduction runs
+/// single-threaded per node and models distribution with multiple
+/// Database instances (see ir/cluster.h).
+class Database {
+ public:
+  Database() = default;
+
+  Database(const Database&) = delete;
+  Database& operator=(const Database&) = delete;
+  Database(Database&&) = default;
+  Database& operator=(Database&&) = default;
+
+  /// Allocates a fresh oid (dense, starting at 1; 0 is reserved).
+  Oid AllocateOid() { return next_oid_++; }
+
+  /// When set, subsequent inserts record element extents (see
+  /// BulkLoader::set_record_extents).
+  void set_record_extents(bool record) { record_extents_ = record; }
+  bool record_extents() const { return record_extents_; }
+  Oid peek_next_oid() const { return next_oid_; }
+
+  SchemaTree& schema() { return schema_; }
+  const SchemaTree& schema() const { return schema_; }
+
+  /// Shreds `doc` under the given unique name via the Monet transform.
+  /// Fails with kAlreadyExists if the name is taken.
+  Status InsertDocument(std::string_view name, const xml::Document& doc);
+
+  /// Parses and shreds XML text (streaming: no intermediate tree).
+  Status InsertXml(std::string_view name, std::string_view xml_text);
+
+  /// Registry lookup.
+  Result<DocumentEntry> GetDocument(std::string_view name) const;
+  bool HasDocument(std::string_view name) const;
+  std::vector<std::string> DocumentNames() const;
+
+  /// Inverse Monet transform: rebuilds the stored document. The result
+  /// is isomorphic to the inserted one.
+  Result<xml::Document> ReconstructDocument(std::string_view name) const;
+
+  /// Reconstructs the subtree rooted at (oid, relation).
+  Result<xml::Document> ReconstructSubtree(Oid oid, RelationId relation) const;
+
+  /// Removes a document and all its associations.
+  Status DeleteDocument(std::string_view name);
+
+  /// Replaces a stored document in place (delete + insert).
+  Status ReplaceDocument(std::string_view name, const xml::Document& doc);
+
+  DatabaseStats Stats() const;
+
+  /// Direct relation access for the algebra / IR layers.
+  const SchemaNode& relation(RelationId id) const { return schema_.node(id); }
+
+ private:
+  friend class BulkLoader;
+  friend Status SaveDatabase(const Database& db, const std::string& path);
+  friend Result<std::unique_ptr<Database>> LoadDatabase(
+      const std::string& path);
+
+  void RegisterDocument(const std::string& name, DocumentEntry entry);
+  /// Collects, per relation, the oids of every node in the subtree of
+  /// (oid, relation). Used by deletion.
+  void CollectSubtree(Oid oid, RelationId relation,
+                      std::map<RelationId, std::vector<Oid>>* per_relation)
+      const;
+
+  SchemaTree schema_;
+  Oid next_oid_ = 1;
+  bool record_extents_ = false;
+  std::map<std::string, DocumentEntry, std::less<>> documents_;
+};
+
+}  // namespace dls::monet
+
+#endif  // DLS_MONET_DATABASE_H_

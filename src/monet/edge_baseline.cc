@@ -1,0 +1,91 @@
+#include "monet/edge_baseline.h"
+
+#include <algorithm>
+#include <unordered_set>
+
+namespace dls::monet {
+
+Status EdgeTableStore::InsertDocument(std::string_view /*name*/,
+                                      const xml::Document& doc) {
+  if (!doc.has_root()) return Status::InvalidArgument("no root");
+
+  struct Frame {
+    xml::NodeId node;
+    uint64_t id;
+  };
+  // Iterative pre-order walk assigning ids and emitting edges.
+  std::vector<Frame> stack;
+  uint64_t root_id = next_id_++;
+  edges_.push_back(Edge{0, root_id, doc.node(doc.root()).name});
+  label_index_[doc.node(doc.root()).name].push_back(edges_.size() - 1);
+  stack.push_back(Frame{doc.root(), root_id});
+
+  while (!stack.empty()) {
+    Frame frame = stack.back();
+    stack.pop_back();
+    const xml::Node& n = doc.node(frame.node);
+    for (xml::NodeId child : n.children) {
+      const xml::Node& c = doc.node(child);
+      if (c.kind == xml::NodeKind::kText) {
+        texts_.push_back(TextRow{frame.id, c.text});
+        continue;
+      }
+      uint64_t child_id = next_id_++;
+      edges_.push_back(Edge{frame.id, child_id, c.name});
+      label_index_[c.name].push_back(edges_.size() - 1);
+      stack.push_back(Frame{child, child_id});
+    }
+  }
+  return Status::Ok();
+}
+
+std::vector<uint64_t> EdgeTableStore::EvalPath(
+    const std::vector<std::string>& steps) const {
+  std::vector<uint64_t> frontier;
+  bool first = true;
+  for (const std::string& step : steps) {
+    auto it = label_index_.find(step);
+    if (it == label_index_.end()) return {};
+    std::vector<uint64_t> next;
+    if (first) {
+      // Root step: edges with parent 0 and this label.
+      for (size_t pos : it->second) {
+        ++tuples_touched_;
+        if (edges_[pos].parent == 0) next.push_back(edges_[pos].child);
+      }
+      first = false;
+    } else {
+      std::unordered_set<uint64_t> parents(frontier.begin(), frontier.end());
+      // Label-filtered join: every edge with this label is inspected,
+      // whatever its context — the cost the Monet transform avoids.
+      for (size_t pos : it->second) {
+        ++tuples_touched_;
+        if (parents.count(edges_[pos].parent)) {
+          next.push_back(edges_[pos].child);
+        }
+      }
+    }
+    frontier = std::move(next);
+    if (frontier.empty()) return {};
+  }
+  std::sort(frontier.begin(), frontier.end());
+  return frontier;
+}
+
+std::vector<uint64_t> EdgeTableStore::EvalPathTextContains(
+    const std::vector<std::string>& steps, std::string_view needle) const {
+  std::vector<uint64_t> at_path = EvalPath(steps);
+  std::unordered_set<uint64_t> wanted(at_path.begin(), at_path.end());
+  std::vector<uint64_t> out;
+  for (const TextRow& row : texts_) {
+    ++tuples_touched_;
+    if (wanted.count(row.node) && row.text.find(needle) != std::string::npos) {
+      out.push_back(row.node);
+    }
+  }
+  std::sort(out.begin(), out.end());
+  out.erase(std::unique(out.begin(), out.end()), out.end());
+  return out;
+}
+
+}  // namespace dls::monet

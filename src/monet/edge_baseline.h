@@ -1,0 +1,70 @@
+#ifndef DLS_MONET_EDGE_BASELINE_H_
+#define DLS_MONET_EDGE_BASELINE_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <unordered_map>
+#include <vector>
+
+#include "common/status.h"
+#include "xml/events.h"
+#include "xml/tree.h"
+
+namespace dls::monet {
+
+/// Generic single-edge-table XML mapping: the baseline the paper's
+/// path-clustered Monet transform is compared against (experiment E1).
+///
+/// All parent-child edges of every document land in ONE table with a
+/// label column; attributes and character data in one table each. Path
+/// expressions are evaluated by a cascade of label-filtered joins
+/// instead of a direct relation lookup, so each path step touches every
+/// edge with a matching label regardless of its context — the loss of
+/// "semantic clustering" the paper calls out against mappings of this
+/// family [FK99].
+class EdgeTableStore {
+ public:
+  EdgeTableStore() = default;
+
+  /// Shreds `doc` into the edge/attribute/text tables.
+  Status InsertDocument(std::string_view name, const xml::Document& doc);
+
+  /// Evaluates an absolute path of element steps, e.g.
+  /// "/site/player/profile". Returns the node ids at that path.
+  std::vector<uint64_t> EvalPath(const std::vector<std::string>& steps) const;
+
+  /// Node ids at `steps` whose text contains `needle`.
+  std::vector<uint64_t> EvalPathTextContains(
+      const std::vector<std::string>& steps, std::string_view needle) const;
+
+  size_t edge_count() const { return edges_.size(); }
+
+  /// Number of edge tuples inspected by queries since the last
+  /// ResetCounters() — the work metric reported by experiment E1.
+  size_t tuples_touched() const { return tuples_touched_; }
+  void ResetCounters() { tuples_touched_ = 0; }
+
+ private:
+  struct Edge {
+    uint64_t parent;
+    uint64_t child;
+    std::string label;
+  };
+  struct TextRow {
+    uint64_t node;
+    std::string text;
+  };
+
+  uint64_t next_id_ = 1;
+  std::vector<Edge> edges_;
+  std::vector<TextRow> texts_;
+  /// Label -> positions in edges_ (a label index; without it the
+  /// baseline would be uninterestingly slow rather than representative).
+  std::unordered_map<std::string, std::vector<size_t>> label_index_;
+  mutable size_t tuples_touched_ = 0;
+};
+
+}  // namespace dls::monet
+
+#endif  // DLS_MONET_EDGE_BASELINE_H_

@@ -1,0 +1,128 @@
+#include "monet/schema_tree.h"
+
+#include <cassert>
+
+namespace dls::monet {
+
+SchemaTree::SchemaTree() {
+  auto root = std::make_unique<SchemaNode>();
+  root->kind = StepKind::kRoot;
+  root->tag = "All Documents";
+  nodes_.push_back(std::move(root));
+  child_index_.emplace_back();
+}
+
+std::string SchemaTree::ChildKey(StepKind kind, std::string_view tag) {
+  std::string key;
+  key.push_back(kind == StepKind::kAttribute ? '@'
+                : kind == StepKind::kPcdata  ? '#'
+                                             : '/');
+  key += tag;
+  return key;
+}
+
+RelationId SchemaTree::FindChild(RelationId parent, StepKind kind,
+                                 std::string_view tag) const {
+  const auto& index = child_index_[parent];
+  auto it = index.find(ChildKey(kind, tag));
+  return it == index.end() ? kInvalidRelation : it->second;
+}
+
+RelationId SchemaTree::FindOrCreateChild(RelationId parent, StepKind kind,
+                                         std::string_view tag) {
+  RelationId existing = FindChild(parent, kind, tag);
+  if (existing != kInvalidRelation) return existing;
+
+  auto node = std::make_unique<SchemaNode>();
+  node->kind = kind;
+  node->tag = std::string(tag);
+  node->parent = parent;
+  switch (kind) {
+    case StepKind::kElement:
+      node->edges = std::make_unique<Bat>(TailType::kOid);
+      node->ranks = std::make_unique<Bat>(TailType::kInt);
+      break;
+    case StepKind::kAttribute:
+      node->values = std::make_unique<Bat>(TailType::kStr);
+      break;
+    case StepKind::kPcdata:
+      node->values = std::make_unique<Bat>(TailType::kStr);
+      node->ranks = std::make_unique<Bat>(TailType::kInt);
+      break;
+    case StepKind::kRoot:
+      assert(false && "only one root");
+      break;
+  }
+  RelationId id = static_cast<RelationId>(nodes_.size());
+  nodes_.push_back(std::move(node));
+  child_index_.emplace_back();
+  nodes_[parent]->children.push_back(id);
+  child_index_[parent][ChildKey(kind, tag)] = id;
+  return id;
+}
+
+std::string SchemaTree::PathOf(RelationId id) const {
+  if (id == root()) return "";
+  std::vector<const SchemaNode*> chain;
+  RelationId cur = id;
+  while (cur != root()) {
+    chain.push_back(nodes_[cur].get());
+    cur = nodes_[cur]->parent;
+  }
+  std::string path;
+  for (auto it = chain.rbegin(); it != chain.rend(); ++it) {
+    const SchemaNode* n = *it;
+    switch (n->kind) {
+      case StepKind::kElement:
+        path += '/';
+        path += n->tag;
+        break;
+      case StepKind::kAttribute:
+        path += '[';
+        path += n->tag;
+        path += ']';
+        break;
+      case StepKind::kPcdata:
+        path += "/PCDATA";
+        break;
+      case StepKind::kRoot:
+        break;
+    }
+  }
+  return path;
+}
+
+RelationId SchemaTree::Resolve(std::string_view path) const {
+  RelationId cur = root();
+  size_t i = 0;
+  while (i < path.size()) {
+    if (path[i] == '/') {
+      size_t j = i + 1;
+      while (j < path.size() && path[j] != '/' && path[j] != '[') ++j;
+      std::string_view tag = path.substr(i + 1, j - i - 1);
+      StepKind kind = tag == "PCDATA" ? StepKind::kPcdata : StepKind::kElement;
+      cur = FindChild(cur, kind, tag);
+      if (cur == kInvalidRelation) return kInvalidRelation;
+      i = j;
+    } else if (path[i] == '[') {
+      size_t j = path.find(']', i);
+      if (j == std::string_view::npos) return kInvalidRelation;
+      std::string_view attr = path.substr(i + 1, j - i - 1);
+      cur = FindChild(cur, StepKind::kAttribute, attr);
+      if (cur == kInvalidRelation) return kInvalidRelation;
+      i = j + 1;
+    } else {
+      return kInvalidRelation;
+    }
+  }
+  return cur;
+}
+
+std::vector<RelationId> SchemaTree::AllNodes() const {
+  std::vector<RelationId> out;
+  out.reserve(nodes_.size());
+  for (RelationId i = 0; i < nodes_.size(); ++i) out.push_back(i);
+  return out;
+}
+
+}  // namespace dls::monet

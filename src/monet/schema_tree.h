@@ -1,0 +1,102 @@
+#ifndef DLS_MONET_SCHEMA_TREE_H_
+#define DLS_MONET_SCHEMA_TREE_H_
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <string_view>
+#include <unordered_map>
+#include <vector>
+
+#include "monet/bat.h"
+
+namespace dls::monet {
+
+/// Index of a schema-tree node (== relation id) inside a Database.
+using RelationId = uint32_t;
+inline constexpr RelationId kInvalidRelation = 0xffffffffu;
+
+/// Kind of a path step / schema-tree node.
+enum class StepKind : uint8_t {
+  kRoot,       ///< the virtual "All Documents" node
+  kElement,    ///< /tag step
+  kAttribute,  ///< [attr] step
+  kPcdata,     ///< /PCDATA step (character data)
+};
+
+/// One node of the path summary ("schema tree", Fig. 12): every
+/// distinct root-to-node path in the document collection has exactly
+/// one schema node, and each schema node owns the binary relation(s)
+/// holding all associations of that path type.
+///
+/// Storage layout per kind:
+///  - kElement:  `edges` (parent oid -> node oid) and `ranks`
+///    (node oid -> sibling rank).
+///  - kAttribute: `values` (element oid -> attribute value).
+///  - kPcdata:   `values` (parent element oid -> text) and `ranks`
+///    (parent element oid -> rank), paired by per-head insertion order.
+struct SchemaNode {
+  StepKind kind = StepKind::kElement;
+  /// Element tag, attribute name, or "PCDATA".
+  std::string tag;
+  RelationId parent = kInvalidRelation;
+  std::vector<RelationId> children;
+
+  std::unique_ptr<Bat> edges;
+  std::unique_ptr<Bat> ranks;
+  std::unique_ptr<Bat> values;
+  /// Optional element extents (paper: "we can easily extend the
+  /// bulkload procedure to record extents of elements"): textual
+  /// positions of an element's start and end, encoded as two int
+  /// associations per element oid, appended pairwise (begin, end).
+  /// Allocated lazily by the bulkloader when extent recording is on.
+  std::unique_ptr<Bat> extents;
+};
+
+/// The path summary of a document collection.
+///
+/// Implements the paper's find-or-create navigation: the bulkloader
+/// keeps a cursor into this tree so that extending a path is a single
+/// hash lookup on the current node's children rather than a hash of the
+/// complete path string.
+class SchemaTree {
+ public:
+  SchemaTree();
+
+  RelationId root() const { return 0; }
+  size_t size() const { return nodes_.size(); }
+
+  const SchemaNode& node(RelationId id) const { return *nodes_[id]; }
+  SchemaNode& mutable_node(RelationId id) { return *nodes_[id]; }
+
+  /// Finds the child of `parent` with the given kind+tag, or creates it
+  /// (allocating its relations) if absent.
+  RelationId FindOrCreateChild(RelationId parent, StepKind kind,
+                               std::string_view tag);
+
+  /// Finds an existing child, or kInvalidRelation.
+  RelationId FindChild(RelationId parent, StepKind kind,
+                       std::string_view tag) const;
+
+  /// Renders the paper's path notation for a node, e.g.
+  /// "/image/colors/histogram", "/image[key]", "/image/date/PCDATA".
+  std::string PathOf(RelationId id) const;
+
+  /// Resolves a rendered path back to a relation id, or
+  /// kInvalidRelation. Accepts exactly the PathOf() syntax.
+  RelationId Resolve(std::string_view path) const;
+
+  /// All node ids in creation order (stable across runs).
+  std::vector<RelationId> AllNodes() const;
+
+ private:
+  static std::string ChildKey(StepKind kind, std::string_view tag);
+
+  std::vector<std::unique_ptr<SchemaNode>> nodes_;
+  /// Per-node child lookup: key = kind-tag.
+  std::vector<std::unordered_map<std::string, RelationId>> child_index_;
+};
+
+}  // namespace dls::monet
+
+#endif  // DLS_MONET_SCHEMA_TREE_H_

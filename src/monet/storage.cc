@@ -1,0 +1,306 @@
+#include "monet/storage.h"
+
+#include <cstdint>
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+
+namespace dls::monet {
+namespace {
+
+constexpr char kMagic[8] = {'D', 'L', 'S', 'M', 'O', 'N', 'E', 'T'};
+constexpr uint32_t kFormatVersion = 1;
+
+uint64_t Fnv1a(const std::string& data) {
+  uint64_t hash = 0xcbf29ce484222325ULL;
+  for (unsigned char c : data) {
+    hash ^= c;
+    hash *= 0x100000001b3ULL;
+  }
+  return hash;
+}
+
+/// Append-only little-endian encoder.
+class Writer {
+ public:
+  void U8(uint8_t v) { out_.push_back(static_cast<char>(v)); }
+  void U32(uint32_t v) {
+    for (int i = 0; i < 4; ++i) out_.push_back(static_cast<char>(v >> (8 * i)));
+  }
+  void U64(uint64_t v) {
+    for (int i = 0; i < 8; ++i) out_.push_back(static_cast<char>(v >> (8 * i)));
+  }
+  void I64(int64_t v) { U64(static_cast<uint64_t>(v)); }
+  void F64(double v) {
+    uint64_t bits;
+    static_assert(sizeof(bits) == sizeof(v));
+    std::memcpy(&bits, &v, sizeof(bits));
+    U64(bits);
+  }
+  void Str(const std::string& s) {
+    U64(s.size());
+    out_.append(s);
+  }
+  const std::string& data() const { return out_; }
+
+ private:
+  std::string out_;
+};
+
+/// Bounds-checked little-endian decoder.
+class Reader {
+ public:
+  explicit Reader(std::string data) : data_(std::move(data)) {}
+
+  bool U8(uint8_t* v) {
+    if (pos_ + 1 > data_.size()) return false;
+    *v = static_cast<uint8_t>(data_[pos_++]);
+    return true;
+  }
+  bool U32(uint32_t* v) {
+    if (pos_ + 4 > data_.size()) return false;
+    *v = 0;
+    for (int i = 0; i < 4; ++i) {
+      *v |= static_cast<uint32_t>(static_cast<unsigned char>(data_[pos_++]))
+            << (8 * i);
+    }
+    return true;
+  }
+  bool U64(uint64_t* v) {
+    if (pos_ + 8 > data_.size()) return false;
+    *v = 0;
+    for (int i = 0; i < 8; ++i) {
+      *v |= static_cast<uint64_t>(static_cast<unsigned char>(data_[pos_++]))
+            << (8 * i);
+    }
+    return true;
+  }
+  bool I64(int64_t* v) {
+    uint64_t bits;
+    if (!U64(&bits)) return false;
+    *v = static_cast<int64_t>(bits);
+    return true;
+  }
+  bool F64(double* v) {
+    uint64_t bits;
+    if (!U64(&bits)) return false;
+    std::memcpy(v, &bits, sizeof(*v));
+    return true;
+  }
+  bool Str(std::string* s) {
+    uint64_t len;
+    if (!U64(&len) || pos_ + len > data_.size()) return false;
+    s->assign(data_, pos_, len);
+    pos_ += len;
+    return true;
+  }
+  bool AtEnd() const { return pos_ == data_.size(); }
+  /// Steps back `n` bytes (for one-byte lookahead).
+  void Unread(size_t n) { pos_ -= n; }
+
+ private:
+  std::string data_;
+  size_t pos_ = 0;
+};
+
+void WriteBat(Writer* w, const Bat* bat) {
+  if (bat == nullptr) {
+    w->U8(0);
+    return;
+  }
+  w->U8(1);
+  w->U8(static_cast<uint8_t>(bat->type()));
+  w->U64(bat->size());
+  for (size_t i = 0; i < bat->size(); ++i) {
+    w->U64(bat->head(i));
+    switch (bat->type()) {
+      case TailType::kOid:
+        w->U64(bat->tail_oid(i));
+        break;
+      case TailType::kInt:
+        w->I64(bat->tail_int(i));
+        break;
+      case TailType::kStr:
+        w->Str(bat->tail_str(i));
+        break;
+      case TailType::kFloat:
+        w->F64(bat->tail_float(i));
+        break;
+    }
+  }
+}
+
+bool ReadBatInto(Reader* r, Bat* bat) {
+  uint8_t present;
+  if (!r->U8(&present)) return false;
+  if (present == 0) return true;  // caller keeps its (fresh) BAT
+  uint8_t type;
+  uint64_t size;
+  if (!r->U8(&type) || !r->U64(&size)) return false;
+  if (bat == nullptr || static_cast<TailType>(type) != bat->type()) {
+    return false;
+  }
+  for (uint64_t i = 0; i < size; ++i) {
+    uint64_t head;
+    if (!r->U64(&head)) return false;
+    switch (bat->type()) {
+      case TailType::kOid: {
+        uint64_t v;
+        if (!r->U64(&v)) return false;
+        bat->AppendOid(head, v);
+        break;
+      }
+      case TailType::kInt: {
+        int64_t v;
+        if (!r->I64(&v)) return false;
+        bat->AppendInt(head, v);
+        break;
+      }
+      case TailType::kStr: {
+        std::string v;
+        if (!r->Str(&v)) return false;
+        bat->AppendStr(head, std::move(v));
+        break;
+      }
+      case TailType::kFloat: {
+        double v;
+        if (!r->F64(&v)) return false;
+        bat->AppendFloat(head, v);
+        break;
+      }
+    }
+  }
+  return true;
+}
+
+}  // namespace
+
+Status SaveDatabase(const Database& db, const std::string& path) {
+  Writer payload;
+  payload.U64(db.next_oid_);
+
+  // Schema tree in id order (ids are creation-ordered, so replaying
+  // FindOrCreateChild on load reproduces them exactly).
+  const SchemaTree& schema = db.schema();
+  payload.U64(schema.size());
+  for (RelationId id : schema.AllNodes()) {
+    const SchemaNode& node = schema.node(id);
+    payload.U8(static_cast<uint8_t>(node.kind));
+    payload.Str(node.tag);
+    payload.U32(node.parent == kInvalidRelation ? 0xffffffffu : node.parent);
+    WriteBat(&payload, node.edges.get());
+    WriteBat(&payload, node.ranks.get());
+    WriteBat(&payload, node.values.get());
+    WriteBat(&payload, node.extents.get());
+  }
+
+  payload.U64(db.documents_.size());
+  for (const auto& [name, entry] : db.documents_) {
+    payload.Str(name);
+    payload.U64(entry.root_oid);
+    payload.U32(entry.root_relation);
+  }
+
+  std::string blob(kMagic, sizeof(kMagic));
+  Writer header;
+  header.U32(kFormatVersion);
+  blob += header.data();
+  blob += payload.data();
+  Writer checksum;
+  checksum.U64(Fnv1a(payload.data()));
+  blob += checksum.data();
+
+  std::ofstream file(path, std::ios::binary | std::ios::trunc);
+  if (!file) return Status::Internal("cannot open '" + path + "' for write");
+  file.write(blob.data(), static_cast<std::streamsize>(blob.size()));
+  if (!file) return Status::Internal("short write to '" + path + "'");
+  return Status::Ok();
+}
+
+Result<std::unique_ptr<Database>> LoadDatabase(const std::string& path) {
+  std::ifstream file(path, std::ios::binary);
+  if (!file) return Status::NotFound("cannot open '" + path + "'");
+  std::string blob((std::istreambuf_iterator<char>(file)),
+                   std::istreambuf_iterator<char>());
+
+  if (blob.size() < sizeof(kMagic) + 4 + 8 ||
+      blob.compare(0, sizeof(kMagic), kMagic, sizeof(kMagic)) != 0) {
+    return Status::Corruption("'" + path + "' is not a DLSMONET file");
+  }
+  std::string payload =
+      blob.substr(sizeof(kMagic) + 4, blob.size() - sizeof(kMagic) - 4 - 8);
+  {
+    Reader tail(blob.substr(blob.size() - 8));
+    uint64_t stored;
+    if (!tail.U64(&stored) || stored != Fnv1a(payload)) {
+      return Status::Corruption("checksum mismatch in '" + path + "'");
+    }
+  }
+  {
+    Reader header(blob.substr(sizeof(kMagic), 4));
+    uint32_t version;
+    if (!header.U32(&version) || version != kFormatVersion) {
+      return Status::Unsupported("unknown format version in '" + path + "'");
+    }
+  }
+
+  Reader r(std::move(payload));
+  auto db = std::make_unique<Database>();
+  uint64_t next_oid;
+  if (!r.U64(&next_oid)) return Status::Corruption("truncated header");
+  db->next_oid_ = next_oid;
+
+  uint64_t node_count;
+  if (!r.U64(&node_count)) return Status::Corruption("truncated schema");
+  for (uint64_t i = 0; i < node_count; ++i) {
+    uint8_t kind;
+    std::string tag;
+    uint32_t parent;
+    if (!r.U8(&kind) || !r.Str(&tag) || !r.U32(&parent)) {
+      return Status::Corruption("truncated schema node");
+    }
+    RelationId id;
+    if (i == 0) {
+      id = db->schema().root();  // implicit "All Documents" node
+    } else {
+      id = db->schema().FindOrCreateChild(parent,
+                                          static_cast<StepKind>(kind), tag);
+      if (id != i) return Status::Corruption("schema id replay diverged");
+    }
+    SchemaNode& node = db->schema().mutable_node(id);
+    // Extents are allocated lazily; peek whether the file carries them.
+    if (!ReadBatInto(&r, node.edges.get()) ||
+        !ReadBatInto(&r, node.ranks.get()) ||
+        !ReadBatInto(&r, node.values.get())) {
+      return Status::Corruption("truncated relation data");
+    }
+    {
+      // The extents slot: materialise the BAT only if data is present.
+      uint8_t present;
+      if (!r.U8(&present)) return Status::Corruption("truncated extents");
+      if (present != 0) {
+        r.Unread(1);
+        node.extents = std::make_unique<Bat>(TailType::kInt);
+        if (!ReadBatInto(&r, node.extents.get())) {
+          return Status::Corruption("truncated extents data");
+        }
+      }
+    }
+  }
+
+  uint64_t doc_count;
+  if (!r.U64(&doc_count)) return Status::Corruption("truncated registry");
+  for (uint64_t i = 0; i < doc_count; ++i) {
+    std::string name;
+    uint64_t root_oid;
+    uint32_t root_relation;
+    if (!r.Str(&name) || !r.U64(&root_oid) || !r.U32(&root_relation)) {
+      return Status::Corruption("truncated registry entry");
+    }
+    db->RegisterDocument(name, DocumentEntry{root_oid, root_relation});
+  }
+  if (!r.AtEnd()) return Status::Corruption("trailing bytes");
+  return db;
+}
+
+}  // namespace dls::monet

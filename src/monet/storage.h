@@ -1,0 +1,30 @@
+#ifndef DLS_MONET_STORAGE_H_
+#define DLS_MONET_STORAGE_H_
+
+#include <memory>
+#include <string>
+
+#include "common/status.h"
+#include "monet/database.h"
+
+namespace dls::monet {
+
+/// Persists a database to a single binary file.
+///
+/// Format (little-endian):
+///   magic "DLSMONET" | format version u32 | payload | fnv1a-64 checksum
+/// The payload serialises next-oid, the schema tree in id order (so
+/// reloading recreates identical relation ids), every BAT column and
+/// the document registry. The checksum covers the payload; a mismatch
+/// loads as kCorruption.
+Status SaveDatabase(const Database& db, const std::string& path);
+
+/// Loads a database saved by SaveDatabase. The result is functionally
+/// identical: same relation ids, same associations in the same order,
+/// same document registry, and oid allocation resumes where it left
+/// off.
+Result<std::unique_ptr<Database>> LoadDatabase(const std::string& path);
+
+}  // namespace dls::monet
+
+#endif  // DLS_MONET_STORAGE_H_

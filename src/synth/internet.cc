@@ -1,0 +1,94 @@
+#include "synth/internet.h"
+
+#include <algorithm>
+
+#include "common/strings.h"
+#include "synth/text.h"
+
+namespace dls::synth {
+
+InternetSite GenerateInternet(const InternetOptions& options) {
+  InternetSite site;
+  Rng rng(options.seed);
+  TextModel text(options.seed ^ 0xcafe, options.vocabulary);
+
+  // Image resources first so pages can link to them.
+  std::vector<std::string> portrait_urls;
+  std::vector<std::string> graphic_urls;
+  for (int i = 0; i < options.num_images; ++i) {
+    std::string url = StrFormat("http://web.example/img/%d.jpg", i);
+    bool portrait = rng.NextDouble() < options.portrait_fraction;
+    site.images[url] = portrait ? "portrait" : "graphic";
+    (portrait ? portrait_urls : graphic_urls).push_back(url);
+  }
+
+  const std::vector<std::string> champion_words = {
+      "champion", "winner", "title", "trophy", "grand", "slam"};
+
+  for (int p = 0; p < options.num_pages; ++p) {
+    WebPage page;
+    page.url = StrFormat("http://web.example/page/%d.html", p);
+    bool champion_topic = rng.NextDouble() < options.champion_fraction;
+    page.title = champion_topic ? "Hall of champions " + std::to_string(p)
+                                : "Daily notes " + std::to_string(p);
+    for (size_t k = 0; k < options.keywords_per_page; ++k) {
+      if (champion_topic && rng.Bernoulli(0.15)) {
+        page.keywords.push_back(
+            champion_words[rng.Uniform(champion_words.size())]);
+      } else {
+        page.keywords.push_back(text.Sample(&rng));
+      }
+    }
+    // Anchors: links to other pages plus embedded images. Champion
+    // pages prefer portraits; other pages prefer graphics, with noise.
+    for (int l = 0; l < options.links_per_page; ++l) {
+      WebPage::Anchor anchor;
+      double roll = rng.NextDouble();
+      if (roll < 0.5 && options.num_pages > 1) {
+        anchor.href = StrFormat("http://web.example/page/%d.html",
+                                static_cast<int>(rng.Uniform(
+                                    static_cast<uint64_t>(options.num_pages))));
+        anchor.embedded = false;
+      } else {
+        const auto& preferred =
+            (champion_topic ? portrait_urls : graphic_urls);
+        const auto& fallback =
+            (champion_topic ? graphic_urls : portrait_urls);
+        const auto& pool =
+            (!preferred.empty() && (fallback.empty() || rng.Bernoulli(0.8)))
+                ? preferred
+                : fallback;
+        if (pool.empty()) continue;
+        anchor.href = pool[rng.Uniform(pool.size())];
+        anchor.embedded = true;
+      }
+      page.anchors.push_back(std::move(anchor));
+    }
+
+    bool has_champion_keyword =
+        std::any_of(page.keywords.begin(), page.keywords.end(),
+                    [&](const std::string& word) {
+                      return std::find(champion_words.begin(),
+                                       champion_words.end(),
+                                       word) != champion_words.end();
+                    });
+    if (has_champion_keyword) {
+      for (const WebPage::Anchor& anchor : page.anchors) {
+        if (anchor.embedded && site.images.count(anchor.href) &&
+            site.images.at(anchor.href) == "portrait") {
+          site.champion_portraits.push_back(anchor.href);
+        }
+      }
+    }
+    site.pages.push_back(std::move(page));
+  }
+
+  std::sort(site.champion_portraits.begin(), site.champion_portraits.end());
+  site.champion_portraits.erase(
+      std::unique(site.champion_portraits.begin(),
+                  site.champion_portraits.end()),
+      site.champion_portraits.end());
+  return site;
+}
+
+}  // namespace dls::synth

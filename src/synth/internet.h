@@ -1,0 +1,54 @@
+#ifndef DLS_SYNTH_INTERNET_H_
+#define DLS_SYNTH_INTERNET_H_
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "common/rng.h"
+
+namespace dls::synth {
+
+/// A synthetic HTML page for the Internet-scale grammar of Fig. 14:
+/// title, keyword list (its body after stopping/stemming) and anchors,
+/// some of which embed images.
+struct WebPage {
+  struct Anchor {
+    std::string href;
+    bool embedded = false;  ///< <img> embed vs plain link
+  };
+  std::string url;
+  std::string title;
+  std::vector<std::string> keywords;
+  std::vector<Anchor> anchors;
+};
+
+struct InternetOptions {
+  uint64_t seed = 7;
+  int num_pages = 30;
+  int num_images = 20;
+  size_t vocabulary = 800;
+  size_t keywords_per_page = 40;
+  int links_per_page = 3;
+  /// Fraction of pages on the "champion" topic (they contain the
+  /// topical words and tend to embed portraits).
+  double champion_fraction = 0.3;
+  /// Fraction of images that are portraits (vs graphics).
+  double portrait_fraction = 0.5;
+};
+
+/// A synthetic unlimited-domain web: pages plus image resources with
+/// ground-truth classification ("portrait" / "graphic").
+struct InternetSite {
+  std::vector<WebPage> pages;
+  std::map<std::string, std::string> images;  ///< url -> kind
+  /// Ground truth for the Fig. 14 demo query: portrait images embedded
+  /// in champion-topic pages.
+  std::vector<std::string> champion_portraits;
+};
+
+InternetSite GenerateInternet(const InternetOptions& options);
+
+}  // namespace dls::synth
+
+#endif  // DLS_SYNTH_INTERNET_H_

@@ -1,0 +1,255 @@
+#include "synth/site.h"
+
+#include "common/strings.h"
+#include "synth/text.h"
+#include "webspace/docgen.h"
+
+namespace dls::synth {
+
+const char kAustralianOpenSchema[] = R"schema(
+webspace AustralianOpen;
+
+class Player {
+  name: varchar(50);
+  gender: varchar(10);
+  country: varchar(30);
+  plays: varchar(10);
+  history: Hypertext;
+  picture: Image;
+}
+
+class Profile {
+  document: Uri;
+  video: Video;
+  interview: Audio;
+}
+
+class Article {
+  name: varchar(100);
+  body: Hypertext;
+}
+
+association Is_covered_in(Player, Profile);
+association About(Article, Player);
+)schema";
+
+namespace {
+
+using webspace::AttrValue;
+using webspace::DocumentView;
+using webspace::WebObject;
+
+std::string PlayerHistory(const TextModel& text, Rng* rng,
+                          const SiteOptions& options, const std::string& name,
+                          bool winner) {
+  std::string history = name + " turned professional and ";
+  history += text.MakeBody(rng, options.history_words,
+                           {"tennis", "match", "tournament", "season"});
+  if (winner) {
+    int year = 1991 + static_cast<int>(rng->Uniform(10));
+    history += StrFormat(
+        " Winner of the Australian Open %d after a straight sets final.",
+        year);
+  } else {
+    history += " Reached the quarter finals twice.";
+  }
+  return history;
+}
+
+cobra::VideoScript MakeMatchVideo(Rng* rng, const SiteOptions& options,
+                                  uint64_t video_seed, bool* has_netplay) {
+  cobra::VideoScript script;
+  script.seed = video_seed;
+  script.palette = cobra::CourtPalette::kHard;
+  *has_netplay = false;
+  for (int s = 0; s < options.video_shots; ++s) {
+    cobra::ShotScript shot;
+    double roll = rng->NextDouble();
+    if (roll < 0.55) {
+      shot.type = cobra::ShotClass::kTennis;
+      double troll = rng->NextDouble();
+      shot.trajectory = troll < 0.5
+                            ? cobra::TrajectoryKind::kBaselineRally
+                            : troll < 0.85
+                                  ? cobra::TrajectoryKind::kApproachNet
+                                  : cobra::TrajectoryKind::kServeVolley;
+      if (shot.trajectory != cobra::TrajectoryKind::kBaselineRally) {
+        *has_netplay = true;
+      }
+    } else if (roll < 0.75) {
+      shot.type = cobra::ShotClass::kCloseup;
+    } else if (roll < 0.9) {
+      shot.type = cobra::ShotClass::kAudience;
+    } else {
+      shot.type = cobra::ShotClass::kOther;
+    }
+    shot.num_frames = options.video_frames_per_shot +
+                      static_cast<int>(rng->Uniform(
+                          options.video_frames_per_shot / 3 + 1));
+    script.shots.push_back(shot);
+  }
+  return script;
+}
+
+}  // namespace
+
+Result<Site> GenerateSite(const SiteOptions& options) {
+  Site site;
+  {
+    Result<webspace::Schema> schema = webspace::ParseSchema(
+        kAustralianOpenSchema);
+    if (!schema.ok()) return schema.status();
+    site.schema = std::move(schema).value();
+  }
+
+  Rng rng(options.seed);
+  TextModel text(options.seed ^ 0xbeef, options.vocabulary);
+
+  const auto& female_first = NamePools::FemaleFirst();
+  const auto& male_first = NamePools::MaleFirst();
+  const auto& last_names = NamePools::Last();
+  const auto& countries = NamePools::Countries();
+
+  // ---- Players, profiles and their documents. ----
+  for (int p = 0; p < options.num_players; ++p) {
+    PlayerTruth truth;
+    truth.id = StrFormat("player-%d", p);
+    truth.profile_id = StrFormat("profile-%d", p);
+    bool female = rng.NextDouble() < options.female_fraction;
+    truth.gender = female ? "female" : "male";
+    const auto& first = female ? female_first : male_first;
+    truth.name = first[rng.Uniform(first.size())] + " " +
+                 last_names[p % last_names.size()];
+    truth.country = countries[rng.Uniform(countries.size())];
+    truth.plays = rng.NextDouble() < options.lefty_fraction ? "left" : "right";
+    truth.past_winner = rng.NextDouble() < options.winner_fraction;
+
+    std::string history =
+        PlayerHistory(text, &rng, options, truth.name, truth.past_winner);
+    std::string picture_url = StrFormat("http://ao.example/img/p%d.jpg", p);
+    site.images[picture_url] = "portrait";
+
+    bool has_video = options.video_every > 0 && p % options.video_every == 0;
+    bool has_audio = options.audio_every > 0 && p % options.audio_every == 0;
+    bool netplay = false;
+    if (has_video) {
+      truth.video_url = StrFormat("http://ao.example/video/match%d.mpg", p);
+      site.videos[truth.video_url] =
+          MakeMatchVideo(&rng, options, options.seed * 977 + p, &netplay);
+      truth.video_has_netplay = netplay;
+    }
+    if (has_audio) {
+      truth.audio_url = StrFormat("http://ao.example/audio/clip%d.wav", p);
+      truth.audio_is_interview =
+          rng.NextDouble() < options.interview_fraction;
+      cobra::AudioScript clip;
+      clip.seed = options.seed * 1201 + p;
+      if (truth.audio_is_interview) {
+        // Interviews: question/answer speech with short pauses and an
+        // intro jingle.
+        clip.segments = {
+            cobra::AudioSegmentScript{cobra::AudioClass::kMusic, 1.0},
+            cobra::AudioSegmentScript{cobra::AudioClass::kSpeech, 4.0},
+            cobra::AudioSegmentScript{cobra::AudioClass::kSilence, 0.5},
+            cobra::AudioSegmentScript{cobra::AudioClass::kSpeech, 3.0},
+        };
+      } else {
+        clip.segments = {
+            cobra::AudioSegmentScript{cobra::AudioClass::kMusic, 6.0},
+        };
+      }
+      site.audios[truth.audio_url] = clip;
+    }
+
+    // Player page: the Player object plus its Is_covered_in link.
+    DocumentView player_doc;
+    player_doc.document_url =
+        StrFormat("http://ao.example/players/p%d.xml", p);
+    WebObject player;
+    player.cls = "Player";
+    player.id = truth.id;
+    player.attributes = {
+        AttrValue{"name", truth.name, ""},
+        AttrValue{"gender", truth.gender, ""},
+        AttrValue{"country", truth.country, ""},
+        AttrValue{"plays", truth.plays, ""},
+        AttrValue{"history", history,
+                  StrFormat("http://ao.example/bio/p%d.html", p)},
+        AttrValue{"picture", "", picture_url},
+    };
+    player_doc.objects.push_back(std::move(player));
+    player_doc.associations.push_back(
+        webspace::AssociationInstance{"Is_covered_in", truth.id,
+                                      truth.profile_id});
+    {
+      Result<xml::Document> doc = webspace::GenerateDocument(site.schema,
+                                                             player_doc);
+      if (!doc.ok()) return doc.status();
+      site.documents.emplace_back(player_doc.document_url,
+                                  std::move(doc).value());
+    }
+
+    // Profile page.
+    DocumentView profile_doc;
+    profile_doc.document_url =
+        StrFormat("http://ao.example/profiles/p%d.xml", p);
+    WebObject profile;
+    profile.cls = "Profile";
+    profile.id = truth.profile_id;
+    profile.attributes.push_back(AttrValue{
+        "document", StrFormat("http://ao.example/profiles/p%d.xml", p), ""});
+    if (has_video) {
+      profile.attributes.push_back(AttrValue{"video", "", truth.video_url});
+    }
+    if (has_audio) {
+      profile.attributes.push_back(
+          AttrValue{"interview", "", truth.audio_url});
+    }
+    profile_doc.objects.push_back(std::move(profile));
+    {
+      Result<xml::Document> doc = webspace::GenerateDocument(site.schema,
+                                                             profile_doc);
+      if (!doc.ok()) return doc.status();
+      site.documents.emplace_back(profile_doc.document_url,
+                                  std::move(doc).value());
+    }
+
+    site.players.push_back(std::move(truth));
+  }
+
+  // ---- Articles. ----
+  for (int a = 0; a < options.num_articles; ++a) {
+    const PlayerTruth& subject =
+        site.players[rng.Uniform(site.players.size())];
+    DocumentView article_doc;
+    article_doc.document_url =
+        StrFormat("http://ao.example/news/a%d.xml", a);
+    WebObject article;
+    article.cls = "Article";
+    article.id = StrFormat("article-%d", a);
+    std::string title = subject.name + " " +
+                        (rng.Bernoulli(0.5) ? "advances" : "interviewed");
+    std::string body = text.MakeBody(
+        &rng, options.article_words,
+        {"champion", "tennis", "net", "serve", "title", subject.name});
+    article.attributes = {
+        AttrValue{"name", title, ""},
+        AttrValue{"body", body,
+                  StrFormat("http://ao.example/news/a%d.html", a)},
+    };
+    article_doc.objects.push_back(std::move(article));
+    article_doc.associations.push_back(
+        webspace::AssociationInstance{"About", StrFormat("article-%d", a),
+                                      subject.id});
+    site.article_ids.push_back(StrFormat("article-%d", a));
+    Result<xml::Document> doc = webspace::GenerateDocument(site.schema,
+                                                           article_doc);
+    if (!doc.ok()) return doc.status();
+    site.documents.emplace_back(article_doc.document_url,
+                                std::move(doc).value());
+  }
+
+  return site;
+}
+
+}  // namespace dls::synth

@@ -1,0 +1,82 @@
+#ifndef DLS_SYNTH_SITE_H_
+#define DLS_SYNTH_SITE_H_
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "cobra/audio.h"
+#include "cobra/synth_video.h"
+#include "common/status.h"
+#include "webspace/objects.h"
+#include "webspace/schema.h"
+#include "xml/tree.h"
+
+namespace dls::synth {
+
+/// The webspace schema of the running example (Fig. 3, completed with
+/// the player attributes the Fig. 13 query needs).
+extern const char kAustralianOpenSchema[];
+
+/// Scale knobs of the synthetic Australian Open website.
+struct SiteOptions {
+  uint64_t seed = 42;
+  int num_players = 24;
+  int num_articles = 48;
+  size_t vocabulary = 1500;
+  size_t article_words = 120;
+  size_t history_words = 60;
+  /// Every player gets a profile; every `video_every`-th profile gets a
+  /// match video (video analysis is the expensive part).
+  int video_every = 3;
+  /// Every `audio_every`-th profile carries an interview audio clip
+  /// (the others with audio get a music jingle). 0 disables audio.
+  int audio_every = 2;
+  double interview_fraction = 0.7;
+  int video_shots = 6;
+  int video_frames_per_shot = 12;
+  /// Fraction of players whose history marks them as a past champion.
+  double winner_fraction = 0.35;
+  double female_fraction = 0.5;
+  double lefty_fraction = 0.3;
+};
+
+/// Ground truth for one generated player (what the integrated query
+/// tests assert against).
+struct PlayerTruth {
+  std::string id;
+  std::string name;
+  std::string gender;   // "female" / "male"
+  std::string country;
+  std::string plays;    // "left" / "right"
+  bool past_winner = false;
+  std::string profile_id;
+  std::string video_url;         // empty if the profile has no video
+  bool video_has_netplay = false;
+  std::string audio_url;         // empty if the profile has no audio
+  bool audio_is_interview = false;  ///< speech-dominated clip
+};
+
+/// A generated website: materialized-view XML documents plus the raw
+/// multimedia resources they reference, with full ground truth.
+struct Site {
+  webspace::Schema schema;
+  /// url -> materialized-view document.
+  std::vector<std::pair<std::string, xml::Document>> documents;
+  /// url -> video script (raw multimedia data, rendered on demand).
+  std::map<std::string, cobra::VideoScript> videos;
+  /// url -> audio script.
+  std::map<std::string, cobra::AudioScript> audios;
+  /// url -> synthetic image kind ("portrait" or "graphic").
+  std::map<std::string, std::string> images;
+  std::vector<PlayerTruth> players;
+  /// ids of generated articles (document per article).
+  std::vector<std::string> article_ids;
+};
+
+/// Deterministically generates the whole site.
+Result<Site> GenerateSite(const SiteOptions& options);
+
+}  // namespace dls::synth
+
+#endif  // DLS_SYNTH_SITE_H_

@@ -1,0 +1,101 @@
+#include "synth/text.h"
+
+namespace dls::synth {
+namespace {
+
+constexpr const char* kOnsets[] = {"b",  "br", "c",  "cl", "d",  "dr",
+                                   "f",  "fl", "g",  "gr", "h",  "j",
+                                   "k",  "l",  "m",  "n",  "p",  "pr",
+                                   "r",  "s",  "st", "t",  "tr", "v"};
+constexpr const char* kVowels[] = {"a", "e", "i", "o", "u", "ai", "ou", "ea"};
+constexpr const char* kCodas[] = {"",  "n", "r", "s",  "t",  "l",
+                                  "m", "d", "k", "nd", "st", "rn"};
+
+std::string MakeWord(Rng* rng) {
+  std::string word;
+  int syllables = 2 + static_cast<int>(rng->Uniform(2));
+  for (int s = 0; s < syllables; ++s) {
+    word += kOnsets[rng->Uniform(std::size(kOnsets))];
+    word += kVowels[rng->Uniform(std::size(kVowels))];
+    if (s == syllables - 1) word += kCodas[rng->Uniform(std::size(kCodas))];
+  }
+  return word;
+}
+
+}  // namespace
+
+TextModel::TextModel(uint64_t seed, size_t vocabulary, double theta)
+    : sampler_(vocabulary, theta) {
+  Rng rng(seed);
+  words_.reserve(vocabulary);
+  for (size_t i = 0; i < vocabulary; ++i) {
+    std::string word = MakeWord(&rng);
+    // Keep words unique by suffixing collisions with their rank.
+    for (const std::string& existing : words_) {
+      if (existing == word) {
+        word += std::to_string(i);
+        break;
+      }
+    }
+    words_.push_back(std::move(word));
+  }
+}
+
+const std::string& TextModel::Sample(Rng* rng) const {
+  return words_[sampler_.Sample(rng)];
+}
+
+std::string TextModel::MakeBody(
+    Rng* rng, size_t num_words,
+    const std::vector<std::string>& sprinkle) const {
+  std::string body;
+  for (size_t i = 0; i < num_words; ++i) {
+    if (!body.empty()) body += ' ';
+    if (!sprinkle.empty() && rng->Bernoulli(0.08)) {
+      body += sprinkle[rng->Uniform(sprinkle.size())];
+    } else {
+      body += Sample(rng);
+    }
+  }
+  return body;
+}
+
+const std::vector<std::string>& NamePools::FemaleFirst() {
+  static const std::vector<std::string>* kPool = new std::vector<std::string>{
+      "Monica",  "Serena", "Venus",   "Steffi",  "Martina", "Lindsay",
+      "Jennifer", "Kim",   "Justine", "Amelie",  "Mary",    "Arantxa",
+      "Conchita", "Jana",  "Iva",     "Gabriela", "Anke",   "Magdalena",
+      "Nathalie", "Chanda"};
+  return *kPool;
+}
+
+const std::vector<std::string>& NamePools::MaleFirst() {
+  static const std::vector<std::string>* kPool = new std::vector<std::string>{
+      "Andre",   "Pete",    "Boris",  "Stefan", "Michael", "Jim",
+      "Goran",   "Patrick", "Yevgeny", "Marat", "Gustavo", "Lleyton",
+      "Thomas",  "Richard", "Cedric", "Magnus", "Tim",     "Greg",
+      "Wayne",   "Todd"};
+  return *kPool;
+}
+
+const std::vector<std::string>& NamePools::Last() {
+  static const std::vector<std::string>* kPool = new std::vector<std::string>{
+      "Seles",    "Williams",  "Graf",     "Hingis",    "Davenport",
+      "Capriati", "Clijsters", "Henin",    "Mauresmo",  "Pierce",
+      "Agassi",   "Sampras",   "Becker",   "Edberg",    "Chang",
+      "Courier",  "Ivanisevic", "Rafter",  "Kafelnikov", "Safin",
+      "Kuerten",  "Hewitt",    "Muster",   "Krajicek",  "Pioline",
+      "Norman",   "Henman",    "Rusedski", "Ferreira",  "Martin"};
+  return *kPool;
+}
+
+const std::vector<std::string>& NamePools::Countries() {
+  static const std::vector<std::string>* kPool = new std::vector<std::string>{
+      "USA",     "Germany", "Switzerland", "Belgium", "France",
+      "Croatia", "Australia", "Russia",    "Brazil",  "Austria",
+      "Netherlands", "Sweden", "Britain",  "Spain",   "Argentina",
+      "Czechia"};
+  return *kPool;
+}
+
+}  // namespace dls::synth

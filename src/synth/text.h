@@ -1,0 +1,45 @@
+#ifndef DLS_SYNTH_TEXT_H_
+#define DLS_SYNTH_TEXT_H_
+
+#include <string>
+#include <vector>
+
+#include "common/rng.h"
+
+namespace dls::synth {
+
+/// A deterministic synthetic vocabulary of pronounceable pseudo-words,
+/// sampled Zipfian — the term-frequency skew of natural language that
+/// the IR fragmentation experiments depend on.
+class TextModel {
+ public:
+  /// `vocabulary` pseudo-words; rank r is drawn ∝ 1/(r+1)^theta.
+  TextModel(uint64_t seed, size_t vocabulary, double theta = 1.1);
+
+  const std::string& word(size_t rank) const { return words_[rank]; }
+  size_t vocabulary_size() const { return words_.size(); }
+
+  /// Draws one word.
+  const std::string& Sample(Rng* rng) const;
+
+  /// Generates `num_words` space-separated words, optionally seeded
+  /// with extra topical words mixed in at random positions.
+  std::string MakeBody(Rng* rng, size_t num_words,
+                       const std::vector<std::string>& sprinkle = {}) const;
+
+ private:
+  std::vector<std::string> words_;
+  ZipfSampler sampler_;
+};
+
+/// Name pools for synthetic players (deterministic; index-addressable).
+struct NamePools {
+  static const std::vector<std::string>& FemaleFirst();
+  static const std::vector<std::string>& MaleFirst();
+  static const std::vector<std::string>& Last();
+  static const std::vector<std::string>& Countries();
+};
+
+}  // namespace dls::synth
+
+#endif  // DLS_SYNTH_TEXT_H_

@@ -1,0 +1,128 @@
+#include "webspace/docgen.h"
+
+namespace dls::webspace {
+
+Result<xml::Document> GenerateDocument(const Schema& schema,
+                                       const DocumentView& view) {
+  xml::Document doc;
+  xml::NodeId root = doc.CreateRoot("webspace");
+  doc.SetAttribute(root, "schema", schema.name());
+  doc.SetAttribute(root, "document", view.document_url);
+
+  for (const WebObject& object : view.objects) {
+    const ClassDef* cls = schema.FindClass(object.cls);
+    if (cls == nullptr) {
+      return Status::InvalidArgument("unknown class '" + object.cls + "'");
+    }
+    xml::NodeId node = doc.AppendElement(root, object.cls);
+    doc.SetAttribute(node, "id", object.id);
+    for (const AttrValue& value : object.attributes) {
+      const AttributeDef* attr = cls->FindAttribute(value.attr);
+      if (attr == nullptr) {
+        return Status::InvalidArgument("class '" + object.cls +
+                                       "' has no attribute '" + value.attr +
+                                       "'");
+      }
+      xml::NodeId attr_node = doc.AppendElement(node, value.attr);
+      if (IsMultimedia(attr->type)) {
+        doc.SetAttribute(attr_node, "mm", AttrTypeName(attr->type));
+        doc.SetAttribute(attr_node, "src", value.src);
+        // Hypertext bodies travel inline so the IR layer can index
+        // them without a second fetch.
+        if (attr->type == AttrType::kHypertext && !value.text.empty()) {
+          doc.AppendText(attr_node, value.text);
+        }
+      } else {
+        doc.AppendText(attr_node, value.text);
+      }
+    }
+  }
+  for (const AssociationInstance& assoc : view.associations) {
+    if (schema.FindAssociation(assoc.assoc) == nullptr) {
+      return Status::InvalidArgument("unknown association '" + assoc.assoc +
+                                     "'");
+    }
+    xml::NodeId node = doc.AppendElement(root, assoc.assoc);
+    doc.SetAttribute(node, "from", assoc.from_id);
+    doc.SetAttribute(node, "to", assoc.to_id);
+  }
+  return doc;
+}
+
+Result<DocumentView> RetrieveObjects(const Schema& schema,
+                                     const xml::Document& doc) {
+  if (!doc.has_root()) return Status::InvalidArgument("empty document");
+  const xml::Node& root = doc.node(doc.root());
+  if (root.name != "webspace") {
+    return Status::InvalidArgument("not a webspace document (root <" +
+                                   root.name + ">)");
+  }
+  const std::string* schema_name = doc.FindAttribute(doc.root(), "schema");
+  if (schema_name != nullptr && *schema_name != schema.name()) {
+    return Status::InvalidArgument("document belongs to webspace '" +
+                                   *schema_name + "', expected '" +
+                                   schema.name() + "'");
+  }
+
+  DocumentView view;
+  if (const std::string* url = doc.FindAttribute(doc.root(), "document")) {
+    view.document_url = *url;
+  }
+
+  for (xml::NodeId child : root.children) {
+    const xml::Node& node = doc.node(child);
+    if (node.kind != xml::NodeKind::kElement) continue;
+
+    if (const AssociationDef* assoc = schema.FindAssociation(node.name)) {
+      const std::string* from = doc.FindAttribute(child, "from");
+      const std::string* to = doc.FindAttribute(child, "to");
+      if (from == nullptr || to == nullptr) {
+        return Status::InvalidArgument("association <" + node.name +
+                                       "> lacks from/to");
+      }
+      view.associations.push_back(
+          AssociationInstance{assoc->name, *from, *to});
+      continue;
+    }
+
+    const ClassDef* cls = schema.FindClass(node.name);
+    if (cls == nullptr) {
+      return Status::InvalidArgument("element <" + node.name +
+                                     "> is neither a class nor an "
+                                     "association of the schema");
+    }
+    WebObject object;
+    object.cls = cls->name;
+    const std::string* id = doc.FindAttribute(child, "id");
+    if (id == nullptr) {
+      return Status::InvalidArgument("object <" + node.name + "> lacks id");
+    }
+    object.id = *id;
+
+    for (xml::NodeId attr_node : node.children) {
+      const xml::Node& attr_el = doc.node(attr_node);
+      if (attr_el.kind != xml::NodeKind::kElement) continue;
+      const AttributeDef* attr = cls->FindAttribute(attr_el.name);
+      if (attr == nullptr) {
+        return Status::InvalidArgument("class '" + cls->name +
+                                       "' has no attribute '" + attr_el.name +
+                                       "'");
+      }
+      AttrValue value;
+      value.attr = attr->name;
+      if (IsMultimedia(attr->type)) {
+        if (const std::string* src = doc.FindAttribute(attr_node, "src")) {
+          value.src = *src;
+        }
+        value.text = doc.InnerText(attr_node);
+      } else {
+        value.text = doc.InnerText(attr_node);
+      }
+      object.attributes.push_back(std::move(value));
+    }
+    view.objects.push_back(std::move(object));
+  }
+  return view;
+}
+
+}  // namespace dls::webspace

@@ -1,0 +1,39 @@
+#ifndef DLS_WEBSPACE_DOCGEN_H_
+#define DLS_WEBSPACE_DOCGEN_H_
+
+#include "common/status.h"
+#include "webspace/objects.h"
+#include "webspace/schema.h"
+#include "xml/tree.h"
+
+namespace dls::webspace {
+
+/// The authoring-tool analogue: renders a DocumentView as the XML
+/// materialized-view format the webspace stores. Layout:
+///
+///   <webspace schema="AustralianOpen" document="players/seles.xml">
+///     <Player id="player-17">
+///       <name>Monica Seles</name>
+///       <history mm="Hypertext" src="http://.../seles-bio.html">
+///         ...body text...
+///       </history>
+///       <picture mm="Image" src="http://.../seles.jpg"/>
+///     </Player>
+///     <Is_covered_in from="player-17" to="profile-17"/>
+///   </webspace>
+///
+/// Scalar attributes are elements with text; multimedia attributes
+/// carry `mm` (their declared type) and `src` (the object location).
+/// Validation is strict: unknown classes/attributes are errors.
+Result<xml::Document> GenerateDocument(const Schema& schema,
+                                       const DocumentView& view);
+
+/// The web-object retriever: the inverse of GenerateDocument. Parses a
+/// materialized-view document back into web-objects and association
+/// instances, validating against the schema.
+Result<DocumentView> RetrieveObjects(const Schema& schema,
+                                     const xml::Document& doc);
+
+}  // namespace dls::webspace
+
+#endif  // DLS_WEBSPACE_DOCGEN_H_

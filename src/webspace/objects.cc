@@ -1,0 +1,89 @@
+#include "webspace/objects.h"
+
+#include <algorithm>
+
+namespace dls::webspace {
+
+const AttrValue* WebObject::FindAttribute(std::string_view name) const {
+  for (const AttrValue& value : attributes) {
+    if (value.attr == name) return &value;
+  }
+  return nullptr;
+}
+
+Status WebspaceInstance::Merge(const DocumentView& view) {
+  for (const WebObject& object : view.objects) {
+    if (schema_->FindClass(object.cls) == nullptr) {
+      return Status::InvalidArgument("document '" + view.document_url +
+                                     "' instantiates unknown class '" +
+                                     object.cls + "'");
+    }
+    auto it = objects_.find(object.id);
+    if (it == objects_.end()) {
+      objects_.emplace(object.id, object);
+      continue;
+    }
+    if (it->second.cls != object.cls) {
+      return Status::InvalidArgument("object '" + object.id +
+                                     "' instantiated with two classes");
+    }
+    // Attribute union: a later document may add attributes the first
+    // one did not materialise.
+    for (const AttrValue& value : object.attributes) {
+      if (it->second.FindAttribute(value.attr) == nullptr) {
+        it->second.attributes.push_back(value);
+      }
+    }
+  }
+  for (const AssociationInstance& assoc : view.associations) {
+    if (schema_->FindAssociation(assoc.assoc) == nullptr) {
+      return Status::InvalidArgument("document '" + view.document_url +
+                                     "' instantiates unknown association '" +
+                                     assoc.assoc + "'");
+    }
+    // Deduplicate exact repeats across documents.
+    bool duplicate = false;
+    for (const AssociationInstance& existing : associations_) {
+      if (existing.assoc == assoc.assoc && existing.from_id == assoc.from_id &&
+          existing.to_id == assoc.to_id) {
+        duplicate = true;
+        break;
+      }
+    }
+    if (!duplicate) associations_.push_back(assoc);
+  }
+  return Status::Ok();
+}
+
+const WebObject* WebspaceInstance::FindObject(std::string_view id) const {
+  auto it = objects_.find(id);
+  return it == objects_.end() ? nullptr : &it->second;
+}
+
+std::vector<const WebObject*> WebspaceInstance::ObjectsOfClass(
+    std::string_view cls) const {
+  std::vector<const WebObject*> out;
+  for (const auto& [id, object] : objects_) {
+    if (object.cls == cls) out.push_back(&object);
+  }
+  return out;
+}
+
+std::vector<std::string> WebspaceInstance::Linked(std::string_view assoc,
+                                                  std::string_view from_id,
+                                                  bool reverse) const {
+  std::vector<std::string> out;
+  for (const AssociationInstance& instance : associations_) {
+    if (instance.assoc != assoc) continue;
+    if (!reverse && instance.from_id == from_id) {
+      out.push_back(instance.to_id);
+    } else if (reverse && instance.to_id == from_id) {
+      out.push_back(instance.from_id);
+    }
+  }
+  std::sort(out.begin(), out.end());
+  out.erase(std::unique(out.begin(), out.end()), out.end());
+  return out;
+}
+
+}  // namespace dls::webspace

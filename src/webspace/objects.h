@@ -1,0 +1,81 @@
+#ifndef DLS_WEBSPACE_OBJECTS_H_
+#define DLS_WEBSPACE_OBJECTS_H_
+
+#include <map>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/status.h"
+#include "webspace/schema.h"
+
+namespace dls::webspace {
+
+/// An attribute value of a web-object. Scalar attributes carry their
+/// text; multimedia attributes carry the object's location (URL) plus,
+/// for Hypertext, the inline body text.
+struct AttrValue {
+  std::string attr;
+  std::string text;  ///< scalar value or inline hypertext body
+  std::string src;   ///< location of the multimedia object, if any
+};
+
+/// An instantiation of a class concept inside a document.
+struct WebObject {
+  std::string cls;
+  std::string id;  ///< document-collection-wide object identifier
+  std::vector<AttrValue> attributes;
+
+  const AttrValue* FindAttribute(std::string_view name) const;
+};
+
+/// An instantiation of an association concept.
+struct AssociationInstance {
+  std::string assoc;
+  std::string from_id;
+  std::string to_id;
+};
+
+/// The web-objects and association instances carried by one document —
+/// the materialized view over the webspace schema.
+struct DocumentView {
+  std::string document_url;
+  std::vector<WebObject> objects;
+  std::vector<AssociationInstance> associations;
+};
+
+/// Accumulated conceptual content of a whole webspace, as assembled by
+/// the web-object retriever across documents. Objects with the same id
+/// appearing in several documents are merged (attribute union); this is
+/// precisely the overlap that lets one query combine information from
+/// several documents.
+class WebspaceInstance {
+ public:
+  explicit WebspaceInstance(const Schema* schema) : schema_(schema) {}
+
+  Status Merge(const DocumentView& view);
+
+  const WebObject* FindObject(std::string_view id) const;
+  std::vector<const WebObject*> ObjectsOfClass(std::string_view cls) const;
+  const std::vector<AssociationInstance>& associations() const {
+    return associations_;
+  }
+
+  /// Association partners: ids of `to`-side objects linked from
+  /// `from_id` via `assoc` (or from-side ids if `reverse`).
+  std::vector<std::string> Linked(std::string_view assoc,
+                                  std::string_view from_id,
+                                  bool reverse = false) const;
+
+  size_t object_count() const { return objects_.size(); }
+  const Schema& schema() const { return *schema_; }
+
+ private:
+  const Schema* schema_;
+  std::map<std::string, WebObject, std::less<>> objects_;
+  std::vector<AssociationInstance> associations_;
+};
+
+}  // namespace dls::webspace
+
+#endif  // DLS_WEBSPACE_OBJECTS_H_

@@ -1,0 +1,285 @@
+#include "webspace/query.h"
+
+#include <cctype>
+
+#include "common/strings.h"
+
+namespace dls::webspace {
+namespace {
+
+/// Token scanner for the query language.
+class Scanner {
+ public:
+  explicit Scanner(std::string_view text) : text_(text) {}
+
+  void SkipSpace() {
+    while (pos_ < text_.size() &&
+           std::isspace(static_cast<unsigned char>(text_[pos_]))) {
+      ++pos_;
+    }
+  }
+
+  bool AtEnd() {
+    SkipSpace();
+    return pos_ >= text_.size();
+  }
+
+  /// Case-insensitive keyword probe; consumes on match.
+  bool TryKeyword(std::string_view keyword) {
+    SkipSpace();
+    if (pos_ + keyword.size() > text_.size()) return false;
+    for (size_t i = 0; i < keyword.size(); ++i) {
+      char a = static_cast<char>(
+          std::tolower(static_cast<unsigned char>(text_[pos_ + i])));
+      char b = static_cast<char>(
+          std::tolower(static_cast<unsigned char>(keyword[i])));
+      if (a != b) return false;
+    }
+    // Must not run into a longer identifier.
+    size_t end = pos_ + keyword.size();
+    if (end < text_.size() &&
+        (std::isalnum(static_cast<unsigned char>(text_[end])) ||
+         text_[end] == '_')) {
+      return false;
+    }
+    pos_ = end;
+    return true;
+  }
+
+  bool TryChar(char c) {
+    SkipSpace();
+    if (pos_ < text_.size() && text_[pos_] == c) {
+      ++pos_;
+      return true;
+    }
+    return false;
+  }
+
+  Status ExpectChar(char c) {
+    if (!TryChar(c)) {
+      return Status::ParseError(StrFormat("query: expected '%c'", c));
+    }
+    return Status::Ok();
+  }
+
+  Status Ident(std::string* out) {
+    SkipSpace();
+    size_t start = pos_;
+    while (pos_ < text_.size() &&
+           (std::isalnum(static_cast<unsigned char>(text_[pos_])) ||
+            text_[pos_] == '_')) {
+      ++pos_;
+    }
+    if (pos_ == start) {
+      return Status::ParseError("query: expected an identifier");
+    }
+    *out = std::string(text_.substr(start, pos_ - start));
+    return Status::Ok();
+  }
+
+  Status QuotedString(std::string* out) {
+    SkipSpace();
+    if (pos_ >= text_.size() || text_[pos_] != '"') {
+      return Status::ParseError("query: expected a quoted string");
+    }
+    ++pos_;
+    size_t start = pos_;
+    while (pos_ < text_.size() && text_[pos_] != '"') ++pos_;
+    if (pos_ >= text_.size()) {
+      return Status::ParseError("query: unterminated string");
+    }
+    *out = std::string(text_.substr(start, pos_ - start));
+    ++pos_;
+    return Status::Ok();
+  }
+
+  Status Number(size_t* out) {
+    SkipSpace();
+    size_t start = pos_;
+    while (pos_ < text_.size() &&
+           std::isdigit(static_cast<unsigned char>(text_[pos_]))) {
+      ++pos_;
+    }
+    if (pos_ == start) return Status::ParseError("query: expected a number");
+    *out = static_cast<size_t>(
+        std::atoll(std::string(text_.substr(start, pos_ - start)).c_str()));
+    return Status::Ok();
+  }
+
+ private:
+  std::string_view text_;
+  size_t pos_ = 0;
+};
+
+Status ParseAttrRef(Scanner* scanner, AttrRef* out) {
+  DLS_RETURN_IF_ERROR(scanner->Ident(&out->cls));
+  DLS_RETURN_IF_ERROR(scanner->ExpectChar('.'));
+  return scanner->Ident(&out->attr);
+}
+
+}  // namespace
+
+Result<ConceptualQuery> ParseQuery(std::string_view text) {
+  ConceptualQuery query;
+  Scanner scanner(text);
+
+  if (!scanner.TryKeyword("select")) {
+    return Status::ParseError("query must start with 'select'");
+  }
+  do {
+    AttrRef ref;
+    DLS_RETURN_IF_ERROR(ParseAttrRef(&scanner, &ref));
+    query.select.push_back(std::move(ref));
+  } while (scanner.TryChar(','));
+
+  if (!scanner.TryKeyword("from")) {
+    return Status::ParseError("query lacks 'from'");
+  }
+  do {
+    std::string cls;
+    DLS_RETURN_IF_ERROR(scanner.Ident(&cls));
+    query.from.push_back(std::move(cls));
+  } while (scanner.TryChar(','));
+
+  if (scanner.TryKeyword("where")) {
+    do {
+      // Lookahead: `Name(` is a join; `Name.attr` is a predicate.
+      std::string first;
+      DLS_RETURN_IF_ERROR(scanner.Ident(&first));
+      if (scanner.TryChar('(')) {
+        QueryJoin join;
+        join.assoc = first;
+        DLS_RETURN_IF_ERROR(scanner.Ident(&join.from_class));
+        DLS_RETURN_IF_ERROR(scanner.ExpectChar(','));
+        DLS_RETURN_IF_ERROR(scanner.Ident(&join.to_class));
+        DLS_RETURN_IF_ERROR(scanner.ExpectChar(')'));
+        query.joins.push_back(std::move(join));
+        continue;
+      }
+      QueryPredicate pred;
+      pred.ref.cls = first;
+      DLS_RETURN_IF_ERROR(scanner.ExpectChar('.'));
+      DLS_RETURN_IF_ERROR(scanner.Ident(&pred.ref.attr));
+      if (scanner.TryKeyword("contains")) {
+        pred.kind = QueryPredKind::kContains;
+        DLS_RETURN_IF_ERROR(scanner.QuotedString(&pred.value));
+      } else if (scanner.TryKeyword("event")) {
+        pred.kind = QueryPredKind::kEvent;
+        DLS_RETURN_IF_ERROR(scanner.QuotedString(&pred.value));
+      } else if (scanner.TryChar('=')) {
+        DLS_RETURN_IF_ERROR(scanner.ExpectChar('='));
+        pred.kind = QueryPredKind::kEquals;
+        DLS_RETURN_IF_ERROR(scanner.QuotedString(&pred.value));
+      } else if (scanner.TryChar('!')) {
+        DLS_RETURN_IF_ERROR(scanner.ExpectChar('='));
+        pred.kind = QueryPredKind::kNotEquals;
+        DLS_RETURN_IF_ERROR(scanner.QuotedString(&pred.value));
+      } else {
+        return Status::ParseError(
+            "query: expected ==, !=, 'contains' or 'event' after " +
+            pred.ref.ToString());
+      }
+      query.predicates.push_back(std::move(pred));
+    } while (scanner.TryKeyword("and"));
+  }
+
+  while (scanner.TryKeyword("rank")) {
+    if (!scanner.TryKeyword("by")) {
+      return Status::ParseError("query: expected 'by' after 'rank'");
+    }
+    RankClause rank;
+    DLS_RETURN_IF_ERROR(ParseAttrRef(&scanner, &rank.ref));
+    if (!scanner.TryKeyword("about")) {
+      return Status::ParseError("query: expected 'about' in rank clause");
+    }
+    std::string words;
+    DLS_RETURN_IF_ERROR(scanner.QuotedString(&words));
+    rank.words = SplitSkipEmpty(words, ' ');
+    query.rank.push_back(std::move(rank));
+  }
+
+  if (scanner.TryKeyword("limit")) {
+    DLS_RETURN_IF_ERROR(scanner.Number(&query.limit));
+  }
+
+  if (!scanner.AtEnd()) {
+    return Status::ParseError("query: trailing input");
+  }
+  return query;
+}
+
+Status ValidateQuery(const ConceptualQuery& query, const Schema& schema) {
+  auto check_class = [&](const std::string& cls) -> Status {
+    if (schema.FindClass(cls) == nullptr) {
+      return Status::InvalidArgument("unknown class '" + cls + "'");
+    }
+    return Status::Ok();
+  };
+  auto check_ref = [&](const AttrRef& ref) -> Result<const AttributeDef*> {
+    const ClassDef* cls = schema.FindClass(ref.cls);
+    if (cls == nullptr) {
+      return Status::InvalidArgument("unknown class '" + ref.cls + "'");
+    }
+    const AttributeDef* attr = cls->FindAttribute(ref.attr);
+    if (attr == nullptr) {
+      return Status::InvalidArgument("class '" + ref.cls +
+                                     "' has no attribute '" + ref.attr + "'");
+    }
+    return attr;
+  };
+
+  for (const std::string& cls : query.from) {
+    DLS_RETURN_IF_ERROR(check_class(cls));
+  }
+  for (const AttrRef& ref : query.select) {
+    DLS_ASSIGN_OR_RETURN(const AttributeDef* attr, check_ref(ref));
+    (void)attr;
+  }
+  for (const QueryPredicate& pred : query.predicates) {
+    DLS_ASSIGN_OR_RETURN(const AttributeDef* attr, check_ref(pred.ref));
+    switch (pred.kind) {
+      case QueryPredKind::kContains:
+        if (attr->type != AttrType::kHypertext &&
+            attr->type != AttrType::kVarchar) {
+          return Status::InvalidArgument(
+              "'contains' needs a text attribute: " + pred.ref.ToString());
+        }
+        break;
+      case QueryPredKind::kEvent:
+        if (attr->type != AttrType::kVideo && attr->type != AttrType::kAudio) {
+          return Status::InvalidArgument(
+              "'event' needs a Video or Audio attribute: " +
+              pred.ref.ToString());
+        }
+        break;
+      default:
+        break;
+    }
+  }
+  for (const QueryJoin& join : query.joins) {
+    const AssociationDef* assoc = schema.FindAssociation(join.assoc);
+    if (assoc == nullptr) {
+      return Status::InvalidArgument("unknown association '" + join.assoc +
+                                     "'");
+    }
+    if (assoc->from_class != join.from_class ||
+        assoc->to_class != join.to_class) {
+      return Status::InvalidArgument(
+          "association '" + join.assoc + "' joins (" + assoc->from_class +
+          ", " + assoc->to_class + "), not (" + join.from_class + ", " +
+          join.to_class + ")");
+    }
+  }
+  for (const RankClause& rank : query.rank) {
+    DLS_ASSIGN_OR_RETURN(const AttributeDef* attr, check_ref(rank.ref));
+    if (attr->type != AttrType::kHypertext &&
+        attr->type != AttrType::kVarchar) {
+      return Status::InvalidArgument("'rank by ... about' needs a text "
+                                     "attribute: " +
+                                     rank.ref.ToString());
+    }
+  }
+  return Status::Ok();
+}
+
+}  // namespace dls::webspace

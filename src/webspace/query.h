@@ -1,0 +1,93 @@
+#ifndef DLS_WEBSPACE_QUERY_H_
+#define DLS_WEBSPACE_QUERY_H_
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/status.h"
+#include "webspace/schema.h"
+#include "xml/tree.h"
+
+namespace dls::webspace {
+
+/// A `Class.attribute` reference in a conceptual query.
+struct AttrRef {
+  std::string cls;
+  std::string attr;
+
+  std::string ToString() const { return cls + "." + attr; }
+};
+
+/// Predicate kinds of the conceptual query language. `kContains` is an
+/// exact full-text filter; `kAbout` is the ranked IR predicate (top-N
+/// by tf·idf); `kEvent` reaches into the COBRA meta-index.
+enum class QueryPredKind : uint8_t {
+  kEquals,
+  kNotEquals,
+  kContains,  ///< attribute text contains the stemmed word (filter)
+  kEvent,     ///< multimedia attribute has the named event (e.g. netplay)
+};
+
+struct QueryPredicate {
+  QueryPredKind kind = QueryPredKind::kEquals;
+  AttrRef ref;
+  std::string value;
+};
+
+/// An association join `Assoc(A, B)` in the where clause.
+struct QueryJoin {
+  std::string assoc;
+  std::string from_class;
+  std::string to_class;
+};
+
+/// The ranked IR clause: `rank by Class.attr about "words..."`.
+struct RankClause {
+  AttrRef ref;
+  std::vector<std::string> words;
+};
+
+/// A conceptual query over a webspace (the Fig. 13 query family):
+///
+///   select Player.name, Profile.video
+///   from Player, Profile
+///   where Player.gender == "female"
+///     and Player.plays == "left"
+///     and Player.history contains "Winner"
+///     and Is_covered_in(Player, Profile)
+///     and Profile.video event "netplay"
+///   limit 10
+///
+/// plus an optional `rank by Class.attr about "..."` clause that turns
+/// the result into an IR-ranked top-N instead of a plain filter.
+struct ConceptualQuery {
+  std::vector<AttrRef> select;
+  std::vector<std::string> from;
+  std::vector<QueryPredicate> predicates;
+  std::vector<QueryJoin> joins;
+  std::vector<RankClause> rank;
+  size_t limit = 10;
+};
+
+/// Parses the query language. Keyword matching is case-insensitive;
+/// identifiers are case-sensitive.
+Result<ConceptualQuery> ParseQuery(std::string_view text);
+
+/// The intermediate XML representation of a query ("under the hood of
+/// the system the query is translated into an XML representation,
+/// which in its turn is translated into the query algebra of the
+/// storage engine"). The GUI of [BWZ+01] produced this form directly.
+xml::Document QueryToXml(const ConceptualQuery& query);
+
+/// Inverse of QueryToXml (so stored/submitted XML queries round-trip).
+Result<ConceptualQuery> QueryFromXml(const xml::Document& doc);
+
+/// Validates a parsed query against a schema: classes exist, attributes
+/// exist with compatible types (contains/about need Hypertext or
+/// varchar; event needs Video), joins match association signatures.
+Status ValidateQuery(const ConceptualQuery& query, const Schema& schema);
+
+}  // namespace dls::webspace
+
+#endif  // DLS_WEBSPACE_QUERY_H_

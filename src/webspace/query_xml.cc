@@ -1,0 +1,153 @@
+#include "common/strings.h"
+#include "webspace/query.h"
+
+namespace dls::webspace {
+namespace {
+
+const char* PredKindName(QueryPredKind kind) {
+  switch (kind) {
+    case QueryPredKind::kEquals:
+      return "equals";
+    case QueryPredKind::kNotEquals:
+      return "not-equals";
+    case QueryPredKind::kContains:
+      return "contains";
+    case QueryPredKind::kEvent:
+      return "event";
+  }
+  return "?";
+}
+
+bool ParsePredKind(const std::string& name, QueryPredKind* out) {
+  if (name == "equals") {
+    *out = QueryPredKind::kEquals;
+  } else if (name == "not-equals") {
+    *out = QueryPredKind::kNotEquals;
+  } else if (name == "contains") {
+    *out = QueryPredKind::kContains;
+  } else if (name == "event") {
+    *out = QueryPredKind::kEvent;
+  } else {
+    return false;
+  }
+  return true;
+}
+
+void SetRef(xml::Document* doc, xml::NodeId node, const AttrRef& ref) {
+  doc->SetAttribute(node, "class", ref.cls);
+  doc->SetAttribute(node, "attribute", ref.attr);
+}
+
+Result<AttrRef> GetRef(const xml::Document& doc, xml::NodeId node) {
+  const std::string* cls = doc.FindAttribute(node, "class");
+  const std::string* attr = doc.FindAttribute(node, "attribute");
+  if (cls == nullptr || attr == nullptr) {
+    return Status::ParseError("query xml: element lacks class/attribute");
+  }
+  return AttrRef{*cls, *attr};
+}
+
+}  // namespace
+
+xml::Document QueryToXml(const ConceptualQuery& query) {
+  xml::Document doc;
+  xml::NodeId root = doc.CreateRoot("query");
+  doc.SetAttribute(root, "limit", StrFormat("%zu", query.limit));
+
+  xml::NodeId select = doc.AppendElement(root, "select");
+  for (const AttrRef& ref : query.select) {
+    SetRef(&doc, doc.AppendElement(select, "field"), ref);
+  }
+  xml::NodeId from = doc.AppendElement(root, "from");
+  for (const std::string& cls : query.from) {
+    xml::NodeId node = doc.AppendElement(from, "class");
+    doc.SetAttribute(node, "name", cls);
+  }
+  xml::NodeId where = doc.AppendElement(root, "where");
+  for (const QueryPredicate& pred : query.predicates) {
+    xml::NodeId node = doc.AppendElement(where, "predicate");
+    doc.SetAttribute(node, "kind", PredKindName(pred.kind));
+    SetRef(&doc, node, pred.ref);
+    doc.SetAttribute(node, "value", pred.value);
+  }
+  for (const QueryJoin& join : query.joins) {
+    xml::NodeId node = doc.AppendElement(where, "join");
+    doc.SetAttribute(node, "association", join.assoc);
+    doc.SetAttribute(node, "from", join.from_class);
+    doc.SetAttribute(node, "to", join.to_class);
+  }
+  for (const RankClause& rank : query.rank) {
+    xml::NodeId node = doc.AppendElement(root, "rank");
+    SetRef(&doc, node, rank.ref);
+    doc.SetAttribute(node, "about", Join(rank.words, " "));
+  }
+  return doc;
+}
+
+Result<ConceptualQuery> QueryFromXml(const xml::Document& doc) {
+  if (!doc.has_root() || doc.node(doc.root()).name != "query") {
+    return Status::ParseError("query xml: root must be <query>");
+  }
+  ConceptualQuery query;
+  if (const std::string* limit = doc.FindAttribute(doc.root(), "limit")) {
+    query.limit = static_cast<size_t>(std::atoll(limit->c_str()));
+  }
+
+  xml::NodeId select = doc.FindChild(doc.root(), "select");
+  if (select != xml::kInvalidNode) {
+    for (xml::NodeId field : doc.FindChildren(select, "field")) {
+      DLS_ASSIGN_OR_RETURN(AttrRef ref, GetRef(doc, field));
+      query.select.push_back(std::move(ref));
+    }
+  }
+  xml::NodeId from = doc.FindChild(doc.root(), "from");
+  if (from != xml::kInvalidNode) {
+    for (xml::NodeId cls : doc.FindChildren(from, "class")) {
+      const std::string* name = doc.FindAttribute(cls, "name");
+      if (name == nullptr) {
+        return Status::ParseError("query xml: <class> lacks name");
+      }
+      query.from.push_back(*name);
+    }
+  }
+  xml::NodeId where = doc.FindChild(doc.root(), "where");
+  if (where != xml::kInvalidNode) {
+    for (xml::NodeId node : doc.FindChildren(where, "predicate")) {
+      QueryPredicate pred;
+      const std::string* kind = doc.FindAttribute(node, "kind");
+      const std::string* value = doc.FindAttribute(node, "value");
+      if (kind == nullptr || value == nullptr ||
+          !ParsePredKind(*kind, &pred.kind)) {
+        return Status::ParseError("query xml: malformed <predicate>");
+      }
+      DLS_ASSIGN_OR_RETURN(pred.ref, GetRef(doc, node));
+      pred.value = *value;
+      query.predicates.push_back(std::move(pred));
+    }
+    for (xml::NodeId node : doc.FindChildren(where, "join")) {
+      const std::string* assoc = doc.FindAttribute(node, "association");
+      const std::string* jfrom = doc.FindAttribute(node, "from");
+      const std::string* jto = doc.FindAttribute(node, "to");
+      if (assoc == nullptr || jfrom == nullptr || jto == nullptr) {
+        return Status::ParseError("query xml: malformed <join>");
+      }
+      query.joins.push_back(QueryJoin{*assoc, *jfrom, *jto});
+    }
+  }
+  for (xml::NodeId node : doc.FindChildren(doc.root(), "rank")) {
+    RankClause rank;
+    DLS_ASSIGN_OR_RETURN(rank.ref, GetRef(doc, node));
+    const std::string* about = doc.FindAttribute(node, "about");
+    if (about == nullptr) {
+      return Status::ParseError("query xml: <rank> lacks about");
+    }
+    rank.words = SplitSkipEmpty(*about, ' ');
+    query.rank.push_back(std::move(rank));
+  }
+  if (query.select.empty() || query.from.empty()) {
+    return Status::ParseError("query xml: select/from must be non-empty");
+  }
+  return query;
+}
+
+}  // namespace dls::webspace

@@ -1,0 +1,247 @@
+#include "webspace/schema.h"
+
+#include <cctype>
+
+#include "common/strings.h"
+
+namespace dls::webspace {
+
+const char* AttrTypeName(AttrType type) {
+  switch (type) {
+    case AttrType::kVarchar:
+      return "varchar";
+    case AttrType::kInt:
+      return "int";
+    case AttrType::kUri:
+      return "Uri";
+    case AttrType::kHypertext:
+      return "Hypertext";
+    case AttrType::kVideo:
+      return "Video";
+    case AttrType::kImage:
+      return "Image";
+    case AttrType::kAudio:
+      return "Audio";
+  }
+  return "?";
+}
+
+bool IsMultimedia(AttrType type) {
+  return type == AttrType::kHypertext || type == AttrType::kVideo ||
+         type == AttrType::kImage || type == AttrType::kAudio;
+}
+
+const AttributeDef* ClassDef::FindAttribute(std::string_view attr) const {
+  for (const AttributeDef& a : attributes) {
+    if (a.name == attr) return &a;
+  }
+  return nullptr;
+}
+
+Status Schema::AddClass(ClassDef cls) {
+  if (class_index_.find(cls.name) != class_index_.end()) {
+    return Status::AlreadyExists("class '" + cls.name + "'");
+  }
+  class_index_[cls.name] = classes_.size();
+  classes_.push_back(std::move(cls));
+  return Status::Ok();
+}
+
+Status Schema::AddAssociation(AssociationDef assoc) {
+  if (assoc_index_.find(assoc.name) != assoc_index_.end()) {
+    return Status::AlreadyExists("association '" + assoc.name + "'");
+  }
+  if (FindClass(assoc.from_class) == nullptr) {
+    return Status::InvalidArgument("association '" + assoc.name +
+                                   "' references unknown class '" +
+                                   assoc.from_class + "'");
+  }
+  if (FindClass(assoc.to_class) == nullptr) {
+    return Status::InvalidArgument("association '" + assoc.name +
+                                   "' references unknown class '" +
+                                   assoc.to_class + "'");
+  }
+  assoc_index_[assoc.name] = associations_.size();
+  associations_.push_back(std::move(assoc));
+  return Status::Ok();
+}
+
+const ClassDef* Schema::FindClass(std::string_view name) const {
+  auto it = class_index_.find(name);
+  return it == class_index_.end() ? nullptr : &classes_[it->second];
+}
+
+const AssociationDef* Schema::FindAssociation(std::string_view name) const {
+  auto it = assoc_index_.find(name);
+  return it == assoc_index_.end() ? nullptr : &associations_[it->second];
+}
+
+std::vector<const AssociationDef*> Schema::AssociationsOf(
+    std::string_view cls) const {
+  std::vector<const AssociationDef*> out;
+  for (const AssociationDef& assoc : associations_) {
+    if (assoc.from_class == cls || assoc.to_class == cls) {
+      out.push_back(&assoc);
+    }
+  }
+  return out;
+}
+
+namespace {
+
+/// Minimal cursor for the schema DSL.
+class Cursor {
+ public:
+  explicit Cursor(std::string_view text) : text_(text) {}
+
+  void SkipSpaceAndComments() {
+    while (pos_ < text_.size()) {
+      char c = text_[pos_];
+      if (c == '\n') {
+        ++line_;
+        ++pos_;
+      } else if (c == ' ' || c == '\t' || c == '\r') {
+        ++pos_;
+      } else if (c == '#' || (c == '/' && pos_ + 1 < text_.size() &&
+                              text_[pos_ + 1] == '/')) {
+        while (pos_ < text_.size() && text_[pos_] != '\n') ++pos_;
+      } else {
+        break;
+      }
+    }
+  }
+
+  bool AtEnd() {
+    SkipSpaceAndComments();
+    return pos_ >= text_.size();
+  }
+
+  Status Expect(char c) {
+    SkipSpaceAndComments();
+    if (pos_ >= text_.size() || text_[pos_] != c) {
+      return Status::ParseError(
+          StrFormat("schema line %d: expected '%c'", line_, c));
+    }
+    ++pos_;
+    return Status::Ok();
+  }
+
+  bool TryConsume(char c) {
+    SkipSpaceAndComments();
+    if (pos_ < text_.size() && text_[pos_] == c) {
+      ++pos_;
+      return true;
+    }
+    return false;
+  }
+
+  Status Ident(std::string* out) {
+    SkipSpaceAndComments();
+    size_t start = pos_;
+    while (pos_ < text_.size() &&
+           (std::isalnum(static_cast<unsigned char>(text_[pos_])) ||
+            text_[pos_] == '_')) {
+      ++pos_;
+    }
+    if (pos_ == start) {
+      return Status::ParseError(
+          StrFormat("schema line %d: expected an identifier", line_));
+    }
+    *out = std::string(text_.substr(start, pos_ - start));
+    return Status::Ok();
+  }
+
+  Status Number(int* out) {
+    SkipSpaceAndComments();
+    size_t start = pos_;
+    while (pos_ < text_.size() &&
+           std::isdigit(static_cast<unsigned char>(text_[pos_]))) {
+      ++pos_;
+    }
+    if (pos_ == start) {
+      return Status::ParseError(
+          StrFormat("schema line %d: expected a number", line_));
+    }
+    *out = std::atoi(std::string(text_.substr(start, pos_ - start)).c_str());
+    return Status::Ok();
+  }
+
+  int line() const { return line_; }
+
+ private:
+  std::string_view text_;
+  size_t pos_ = 0;
+  int line_ = 1;
+};
+
+Status ParseAttrType(Cursor* cur, AttributeDef* attr) {
+  std::string type_name;
+  DLS_RETURN_IF_ERROR(cur->Ident(&type_name));
+  if (type_name == "varchar") {
+    attr->type = AttrType::kVarchar;
+    DLS_RETURN_IF_ERROR(cur->Expect('('));
+    DLS_RETURN_IF_ERROR(cur->Number(&attr->varchar_len));
+    return cur->Expect(')');
+  }
+  if (type_name == "int") {
+    attr->type = AttrType::kInt;
+  } else if (type_name == "Uri") {
+    attr->type = AttrType::kUri;
+  } else if (type_name == "Hypertext") {
+    attr->type = AttrType::kHypertext;
+  } else if (type_name == "Video") {
+    attr->type = AttrType::kVideo;
+  } else if (type_name == "Image") {
+    attr->type = AttrType::kImage;
+  } else if (type_name == "Audio") {
+    attr->type = AttrType::kAudio;
+  } else {
+    return Status::ParseError("unknown attribute type '" + type_name + "'");
+  }
+  return Status::Ok();
+}
+
+}  // namespace
+
+Result<Schema> ParseSchema(std::string_view text) {
+  Schema schema;
+  Cursor cur(text);
+  while (!cur.AtEnd()) {
+    std::string keyword;
+    DLS_RETURN_IF_ERROR(cur.Ident(&keyword));
+    if (keyword == "webspace") {
+      std::string name;
+      DLS_RETURN_IF_ERROR(cur.Ident(&name));
+      schema.set_name(name);
+      DLS_RETURN_IF_ERROR(cur.Expect(';'));
+    } else if (keyword == "class") {
+      ClassDef cls;
+      DLS_RETURN_IF_ERROR(cur.Ident(&cls.name));
+      DLS_RETURN_IF_ERROR(cur.Expect('{'));
+      while (!cur.TryConsume('}')) {
+        AttributeDef attr;
+        DLS_RETURN_IF_ERROR(cur.Ident(&attr.name));
+        DLS_RETURN_IF_ERROR(cur.Expect(':'));
+        DLS_RETURN_IF_ERROR(ParseAttrType(&cur, &attr));
+        DLS_RETURN_IF_ERROR(cur.Expect(';'));
+        cls.attributes.push_back(std::move(attr));
+      }
+      DLS_RETURN_IF_ERROR(schema.AddClass(std::move(cls)));
+    } else if (keyword == "association") {
+      AssociationDef assoc;
+      DLS_RETURN_IF_ERROR(cur.Ident(&assoc.name));
+      DLS_RETURN_IF_ERROR(cur.Expect('('));
+      DLS_RETURN_IF_ERROR(cur.Ident(&assoc.from_class));
+      DLS_RETURN_IF_ERROR(cur.Expect(','));
+      DLS_RETURN_IF_ERROR(cur.Ident(&assoc.to_class));
+      DLS_RETURN_IF_ERROR(cur.Expect(')'));
+      DLS_RETURN_IF_ERROR(cur.Expect(';'));
+      DLS_RETURN_IF_ERROR(schema.AddAssociation(std::move(assoc)));
+    } else {
+      return Status::ParseError("unknown schema keyword '" + keyword + "'");
+    }
+  }
+  return schema;
+}
+
+}  // namespace dls::webspace

@@ -1,0 +1,100 @@
+#ifndef DLS_WEBSPACE_SCHEMA_H_
+#define DLS_WEBSPACE_SCHEMA_H_
+
+#include <map>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/status.h"
+
+namespace dls::webspace {
+
+/// Attribute types of the object-oriented webspace data model. The
+/// multimedia types (Hypertext, Video, Image, Audio) are the hooks the
+/// logical level attaches feature grammars to.
+enum class AttrType : uint8_t {
+  kVarchar,
+  kInt,
+  kUri,
+  kHypertext,
+  kVideo,
+  kImage,
+  kAudio,
+};
+
+const char* AttrTypeName(AttrType type);
+bool IsMultimedia(AttrType type);
+
+/// One attribute concept of a class concept.
+struct AttributeDef {
+  std::string name;
+  AttrType type = AttrType::kVarchar;
+  int varchar_len = 0;  ///< for kVarchar, the declared length
+};
+
+/// A class concept: named, with typed attribute concepts.
+struct ClassDef {
+  std::string name;
+  std::vector<AttributeDef> attributes;
+
+  const AttributeDef* FindAttribute(std::string_view attr) const;
+};
+
+/// An association concept over two classes (e.g. Is_covered_in,
+/// About in Fig. 3).
+struct AssociationDef {
+  std::string name;
+  std::string from_class;
+  std::string to_class;
+};
+
+/// The webspace schema: the semantic description of a document
+/// collection. Every stored document is a materialized view over this
+/// schema.
+class Schema {
+ public:
+  Schema() = default;
+
+  const std::string& name() const { return name_; }
+  void set_name(std::string name) { name_ = std::move(name); }
+
+  Status AddClass(ClassDef cls);
+  Status AddAssociation(AssociationDef assoc);
+
+  const ClassDef* FindClass(std::string_view name) const;
+  const AssociationDef* FindAssociation(std::string_view name) const;
+
+  const std::vector<ClassDef>& classes() const { return classes_; }
+  const std::vector<AssociationDef>& associations() const {
+    return associations_;
+  }
+
+  /// Associations whose endpoints include `cls`.
+  std::vector<const AssociationDef*> AssociationsOf(
+      std::string_view cls) const;
+
+ private:
+  std::string name_;
+  std::vector<ClassDef> classes_;
+  std::vector<AssociationDef> associations_;
+  std::map<std::string, size_t, std::less<>> class_index_;
+  std::map<std::string, size_t, std::less<>> assoc_index_;
+};
+
+/// Parses the schema DSL:
+///
+///   webspace AustralianOpen;
+///   class Player {
+///     name: varchar(50);
+///     gender: varchar(10);
+///     history: Hypertext;
+///   }
+///   association Is_covered_in(Player, Profile);
+///
+/// `#` and `//` start comments.
+Result<Schema> ParseSchema(std::string_view text);
+
+}  // namespace dls::webspace
+
+#endif  // DLS_WEBSPACE_SCHEMA_H_

@@ -1,0 +1,25 @@
+#include "xml/events.h"
+
+namespace dls::xml {
+
+void TreeBuilder::StartElement(std::string_view name,
+                               const std::vector<Attribute>& attributes) {
+  NodeId id;
+  if (stack_.empty()) {
+    id = doc_.CreateRoot(name);
+  } else {
+    id = doc_.AppendElement(stack_.back(), name);
+  }
+  for (const Attribute& attr : attributes) {
+    doc_.SetAttribute(id, attr.name, attr.value);
+  }
+  stack_.push_back(id);
+}
+
+void TreeBuilder::EndElement(std::string_view /*name*/) { stack_.pop_back(); }
+
+void TreeBuilder::Characters(std::string_view text) {
+  if (!stack_.empty()) doc_.AppendText(stack_.back(), text);
+}
+
+}  // namespace dls::xml

@@ -1,0 +1,52 @@
+#ifndef DLS_XML_EVENTS_H_
+#define DLS_XML_EVENTS_H_
+
+#include <string_view>
+#include <vector>
+
+#include "xml/tree.h"
+
+namespace dls::xml {
+
+/// SAX-style content handler. The streaming parser invokes these
+/// callbacks in document order; handlers must not retain the
+/// string_views past the callback.
+///
+/// This is the interface the Monet bulkloader consumes: it needs only
+/// O(document height) state (a path stack), never a full tree — the
+/// memory property the paper claims for its bulkload.
+class ContentHandler {
+ public:
+  virtual ~ContentHandler() = default;
+
+  /// Called once before any other event.
+  virtual void StartDocument() {}
+  /// Called once after all other events (only on successful parses).
+  virtual void EndDocument() {}
+
+  virtual void StartElement(std::string_view name,
+                            const std::vector<Attribute>& attributes) = 0;
+  virtual void EndElement(std::string_view name) = 0;
+  /// Character data; may be called multiple times within one element.
+  virtual void Characters(std::string_view text) = 0;
+};
+
+/// ContentHandler that materialises a full Document (the DOM path).
+class TreeBuilder : public ContentHandler {
+ public:
+  void StartElement(std::string_view name,
+                    const std::vector<Attribute>& attributes) override;
+  void EndElement(std::string_view name) override;
+  void Characters(std::string_view text) override;
+
+  /// Moves the built document out. Call once, after parsing succeeds.
+  Document TakeDocument() { return std::move(doc_); }
+
+ private:
+  Document doc_;
+  std::vector<NodeId> stack_;
+};
+
+}  // namespace dls::xml
+
+#endif  // DLS_XML_EVENTS_H_

@@ -1,0 +1,299 @@
+#include "xml/parser.h"
+
+#include <cassert>
+
+#include "common/strings.h"
+
+namespace dls::xml {
+namespace {
+
+bool IsNameStart(char c) {
+  return (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') || c == '_' ||
+         c == ':';
+}
+
+bool IsNameChar(char c) {
+  return IsNameStart(c) || (c >= '0' && c <= '9') || c == '-' || c == '.';
+}
+
+bool IsSpace(char c) {
+  return c == ' ' || c == '\t' || c == '\n' || c == '\r';
+}
+
+/// Cursor over the input with line tracking for error messages.
+class Cursor {
+ public:
+  explicit Cursor(std::string_view text) : text_(text) {}
+
+  bool AtEnd() const { return pos_ >= text_.size(); }
+  char Peek() const { return text_[pos_]; }
+  char PeekAt(size_t offset) const {
+    return pos_ + offset < text_.size() ? text_[pos_ + offset] : '\0';
+  }
+
+  char Advance() {
+    char c = text_[pos_++];
+    if (c == '\n') ++line_;
+    return c;
+  }
+
+  bool Consume(std::string_view token) {
+    if (text_.substr(pos_).substr(0, token.size()) != token) return false;
+    for (size_t i = 0; i < token.size(); ++i) Advance();
+    return true;
+  }
+
+  void SkipSpace() {
+    while (!AtEnd() && IsSpace(Peek())) Advance();
+  }
+
+  size_t pos() const { return pos_; }
+  int line() const { return line_; }
+  std::string_view Slice(size_t from, size_t to) const {
+    return text_.substr(from, to - from);
+  }
+
+  Status Error(const std::string& what) const {
+    return Status::ParseError(
+        StrFormat("line %d: %s", line_, what.c_str()));
+  }
+
+ private:
+  std::string_view text_;
+  size_t pos_ = 0;
+  int line_ = 1;
+};
+
+/// Decodes entity and numeric character references in raw text.
+Status DecodeText(Cursor* cur, std::string_view raw, std::string* out) {
+  out->reserve(out->size() + raw.size());
+  for (size_t i = 0; i < raw.size(); ++i) {
+    if (raw[i] != '&') {
+      out->push_back(raw[i]);
+      continue;
+    }
+    size_t semi = raw.find(';', i + 1);
+    if (semi == std::string_view::npos) {
+      return cur->Error("unterminated entity reference");
+    }
+    std::string_view ent = raw.substr(i + 1, semi - i - 1);
+    if (ent == "amp") {
+      out->push_back('&');
+    } else if (ent == "lt") {
+      out->push_back('<');
+    } else if (ent == "gt") {
+      out->push_back('>');
+    } else if (ent == "quot") {
+      out->push_back('"');
+    } else if (ent == "apos") {
+      out->push_back('\'');
+    } else if (!ent.empty() && ent[0] == '#') {
+      int code = 0;
+      bool ok = false;
+      if (ent.size() > 2 && (ent[1] == 'x' || ent[1] == 'X')) {
+        for (size_t k = 2; k < ent.size(); ++k) {
+          char c = ent[k];
+          int digit;
+          if (c >= '0' && c <= '9') {
+            digit = c - '0';
+          } else if (c >= 'a' && c <= 'f') {
+            digit = c - 'a' + 10;
+          } else if (c >= 'A' && c <= 'F') {
+            digit = c - 'A' + 10;
+          } else {
+            return cur->Error("bad hex character reference");
+          }
+          code = code * 16 + digit;
+          ok = true;
+        }
+      } else {
+        for (size_t k = 1; k < ent.size(); ++k) {
+          char c = ent[k];
+          if (c < '0' || c > '9') {
+            return cur->Error("bad decimal character reference");
+          }
+          code = code * 10 + (c - '0');
+          ok = true;
+        }
+      }
+      if (!ok || code <= 0 || code > 127) {
+        return cur->Error("character reference out of supported ASCII range");
+      }
+      out->push_back(static_cast<char>(code));
+    } else {
+      return cur->Error("unknown entity '&" + std::string(ent) + ";'");
+    }
+    i = semi;
+  }
+  return Status::Ok();
+}
+
+Status ParseName(Cursor* cur, std::string* name) {
+  if (cur->AtEnd() || !IsNameStart(cur->Peek())) {
+    return cur->Error("expected a name");
+  }
+  size_t start = cur->pos();
+  while (!cur->AtEnd() && IsNameChar(cur->Peek())) cur->Advance();
+  *name = std::string(cur->Slice(start, cur->pos()));
+  return Status::Ok();
+}
+
+Status ParseAttributes(Cursor* cur, std::vector<Attribute>* attrs) {
+  attrs->clear();
+  while (true) {
+    cur->SkipSpace();
+    if (cur->AtEnd()) return cur->Error("unterminated start tag");
+    char c = cur->Peek();
+    if (c == '>' || c == '/' || c == '?') return Status::Ok();
+    Attribute attr;
+    DLS_RETURN_IF_ERROR(ParseName(cur, &attr.name));
+    cur->SkipSpace();
+    if (cur->AtEnd() || cur->Peek() != '=') {
+      return cur->Error("expected '=' after attribute name");
+    }
+    cur->Advance();
+    cur->SkipSpace();
+    if (cur->AtEnd() || (cur->Peek() != '"' && cur->Peek() != '\'')) {
+      return cur->Error("expected quoted attribute value");
+    }
+    char quote = cur->Advance();
+    size_t start = cur->pos();
+    while (!cur->AtEnd() && cur->Peek() != quote) {
+      if (cur->Peek() == '<') return cur->Error("'<' in attribute value");
+      cur->Advance();
+    }
+    if (cur->AtEnd()) return cur->Error("unterminated attribute value");
+    std::string_view raw = cur->Slice(start, cur->pos());
+    cur->Advance();  // closing quote
+    DLS_RETURN_IF_ERROR(DecodeText(cur, raw, &attr.value));
+    attrs->push_back(std::move(attr));
+  }
+}
+
+}  // namespace
+
+Status ParseStream(std::string_view text, ContentHandler* handler) {
+  Cursor cur(text);
+  handler->StartDocument();
+
+  std::vector<std::string> open_elements;
+  bool seen_root = false;
+  std::string pending_text;
+
+  auto flush_text = [&]() {
+    if (!pending_text.empty()) {
+      if (!open_elements.empty()) handler->Characters(pending_text);
+      pending_text.clear();
+    }
+  };
+
+  while (!cur.AtEnd()) {
+    if (cur.Peek() != '<') {
+      size_t start = cur.pos();
+      while (!cur.AtEnd() && cur.Peek() != '<') cur.Advance();
+      std::string_view raw = cur.Slice(start, cur.pos());
+      if (open_elements.empty()) {
+        // Only whitespace is allowed outside the root element.
+        if (!Trim(raw).empty()) {
+          return cur.Error("character data outside the root element");
+        }
+        continue;
+      }
+      DLS_RETURN_IF_ERROR(DecodeText(&cur, raw, &pending_text));
+      continue;
+    }
+
+    // Markup.
+    if (cur.Consume("<!--")) {
+      size_t end = text.find("-->", cur.pos());
+      if (end == std::string_view::npos) {
+        return cur.Error("unterminated comment");
+      }
+      while (cur.pos() < end + 3) cur.Advance();
+      continue;
+    }
+    if (cur.Consume("<![CDATA[")) {
+      size_t end = text.find("]]>", cur.pos());
+      if (end == std::string_view::npos) {
+        return cur.Error("unterminated CDATA section");
+      }
+      if (open_elements.empty()) {
+        return cur.Error("CDATA outside the root element");
+      }
+      pending_text += std::string(cur.Slice(cur.pos(), end));
+      while (cur.pos() < end + 3) cur.Advance();
+      continue;
+    }
+    if (cur.PeekAt(1) == '!') {
+      return cur.Error("DTD declarations are not supported (DTD-less mapping)");
+    }
+    if (cur.PeekAt(1) == '?') {
+      size_t end = text.find("?>", cur.pos());
+      if (end == std::string_view::npos) {
+        return cur.Error("unterminated processing instruction");
+      }
+      while (cur.pos() < end + 2) cur.Advance();
+      continue;
+    }
+    if (cur.PeekAt(1) == '/') {
+      flush_text();
+      cur.Advance();
+      cur.Advance();
+      std::string name;
+      DLS_RETURN_IF_ERROR(ParseName(&cur, &name));
+      cur.SkipSpace();
+      if (cur.AtEnd() || cur.Advance() != '>') {
+        return cur.Error("malformed end tag");
+      }
+      if (open_elements.empty() || open_elements.back() != name) {
+        return cur.Error("mismatched end tag </" + name + ">");
+      }
+      open_elements.pop_back();
+      handler->EndElement(name);
+      continue;
+    }
+
+    // Start tag.
+    flush_text();
+    cur.Advance();  // '<'
+    std::string name;
+    DLS_RETURN_IF_ERROR(ParseName(&cur, &name));
+    std::vector<Attribute> attrs;
+    DLS_RETURN_IF_ERROR(ParseAttributes(&cur, &attrs));
+    bool self_closing = false;
+    if (cur.Peek() == '/') {
+      cur.Advance();
+      self_closing = true;
+    }
+    if (cur.AtEnd() || cur.Advance() != '>') {
+      return cur.Error("malformed start tag <" + name + ">");
+    }
+    if (open_elements.empty() && seen_root) {
+      return cur.Error("multiple root elements");
+    }
+    seen_root = true;
+    handler->StartElement(name, attrs);
+    if (self_closing) {
+      handler->EndElement(name);
+    } else {
+      open_elements.push_back(name);
+    }
+  }
+
+  flush_text();
+  if (!open_elements.empty()) {
+    return cur.Error("unclosed element <" + open_elements.back() + ">");
+  }
+  if (!seen_root) return cur.Error("no root element");
+  handler->EndDocument();
+  return Status::Ok();
+}
+
+Result<Document> Parse(std::string_view text) {
+  TreeBuilder builder;
+  Status s = ParseStream(text, &builder);
+  if (!s.ok()) return s;
+  return builder.TakeDocument();
+}
+
+}  // namespace dls::xml

@@ -1,0 +1,28 @@
+#ifndef DLS_XML_PARSER_H_
+#define DLS_XML_PARSER_H_
+
+#include <string_view>
+
+#include "common/status.h"
+#include "xml/events.h"
+#include "xml/tree.h"
+
+namespace dls::xml {
+
+/// Streams SAX events for `text` into `handler`.
+///
+/// Supported XML subset (sufficient for every document the system
+/// produces or ingests): element tags with attributes (single or double
+/// quoted), character data, self-closing tags, `<?...?>` processing
+/// instructions, `<!-- -->` comments, `<![CDATA[...]]>` sections, and
+/// the five predefined entities plus `&#NNN;` / `&#xHH;` numeric
+/// references (ASCII range). DTDs are intentionally rejected: the
+/// physical mapping is DTD-less by design (see DESIGN.md).
+Status ParseStream(std::string_view text, ContentHandler* handler);
+
+/// Parses `text` into a Document tree.
+Result<Document> Parse(std::string_view text);
+
+}  // namespace dls::xml
+
+#endif  // DLS_XML_PARSER_H_

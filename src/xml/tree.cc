@@ -1,0 +1,139 @@
+#include "xml/tree.h"
+
+#include <cassert>
+
+namespace dls::xml {
+
+NodeId Document::AddNode(Node node) {
+  nodes_.push_back(std::move(node));
+  return static_cast<NodeId>(nodes_.size() - 1);
+}
+
+NodeId Document::CreateRoot(std::string_view name) {
+  assert(root_ == kInvalidNode && "document already has a root");
+  Node n;
+  n.kind = NodeKind::kElement;
+  n.name = std::string(name);
+  root_ = AddNode(std::move(n));
+  return root_;
+}
+
+NodeId Document::AppendElement(NodeId parent, std::string_view name) {
+  assert(parent < nodes_.size());
+  Node n;
+  n.kind = NodeKind::kElement;
+  n.name = std::string(name);
+  n.parent = parent;
+  NodeId id = AddNode(std::move(n));
+  nodes_[parent].children.push_back(id);
+  return id;
+}
+
+NodeId Document::AppendText(NodeId parent, std::string_view text) {
+  assert(parent < nodes_.size());
+  Node n;
+  n.kind = NodeKind::kText;
+  n.text = std::string(text);
+  n.parent = parent;
+  NodeId id = AddNode(std::move(n));
+  nodes_[parent].children.push_back(id);
+  return id;
+}
+
+void Document::SetAttribute(NodeId id, std::string_view name,
+                            std::string_view value) {
+  assert(id < nodes_.size());
+  for (Attribute& attr : nodes_[id].attributes) {
+    if (attr.name == name) {
+      attr.value = std::string(value);
+      return;
+    }
+  }
+  nodes_[id].attributes.push_back(
+      Attribute{std::string(name), std::string(value)});
+}
+
+const std::string* Document::FindAttribute(NodeId id,
+                                           std::string_view attr) const {
+  for (const Attribute& a : nodes_[id].attributes) {
+    if (a.name == attr) return &a.value;
+  }
+  return nullptr;
+}
+
+NodeId Document::FindChild(NodeId id, std::string_view name) const {
+  for (NodeId child : nodes_[id].children) {
+    const Node& n = nodes_[child];
+    if (n.kind == NodeKind::kElement && n.name == name) return child;
+  }
+  return kInvalidNode;
+}
+
+std::vector<NodeId> Document::FindChildren(NodeId id,
+                                           std::string_view name) const {
+  std::vector<NodeId> out;
+  for (NodeId child : nodes_[id].children) {
+    const Node& n = nodes_[child];
+    if (n.kind == NodeKind::kElement && n.name == name) out.push_back(child);
+  }
+  return out;
+}
+
+std::string Document::InnerText(NodeId id) const {
+  std::string out;
+  // Iterative DFS preserving document order.
+  std::vector<NodeId> stack = {id};
+  while (!stack.empty()) {
+    NodeId cur = stack.back();
+    stack.pop_back();
+    const Node& n = nodes_[cur];
+    if (n.kind == NodeKind::kText) out += n.text;
+    for (auto it = n.children.rbegin(); it != n.children.rend(); ++it) {
+      stack.push_back(*it);
+    }
+  }
+  return out;
+}
+
+int Document::Rank(NodeId id) const {
+  NodeId parent = nodes_[id].parent;
+  if (parent == kInvalidNode) return 0;
+  const std::vector<NodeId>& siblings = nodes_[parent].children;
+  for (size_t i = 0; i < siblings.size(); ++i) {
+    if (siblings[i] == id) return static_cast<int>(i);
+  }
+  return -1;
+}
+
+bool Document::NodesEqual(const Document& a, NodeId na, const Document& b,
+                          NodeId nb) {
+  const Node& x = a.nodes_[na];
+  const Node& y = b.nodes_[nb];
+  if (x.kind != y.kind || x.name != y.name || x.text != y.text) return false;
+  // Attribute order is insignificant in XML; compare as a set.
+  if (x.attributes.size() != y.attributes.size()) return false;
+  for (const Attribute& ax : x.attributes) {
+    bool found = false;
+    for (const Attribute& ay : y.attributes) {
+      if (ax.name == ay.name) {
+        if (ax.value != ay.value) return false;
+        found = true;
+        break;
+      }
+    }
+    if (!found) return false;
+  }
+  if (x.children.size() != y.children.size()) return false;
+  for (size_t i = 0; i < x.children.size(); ++i) {
+    if (!NodesEqual(a, x.children[i], b, y.children[i])) return false;
+  }
+  return true;
+}
+
+bool Document::IsomorphicTo(const Document& other) const {
+  if (has_root() != other.has_root()) return false;
+  if (!has_root()) return true;
+  return NodesEqual(*this, root_, other, other.root_);
+}
+
+}  // namespace dls::xml

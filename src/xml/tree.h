@@ -1,0 +1,109 @@
+#ifndef DLS_XML_TREE_H_
+#define DLS_XML_TREE_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/status.h"
+
+namespace dls::xml {
+
+/// Index of a node inside its owning Document arena.
+using NodeId = uint32_t;
+inline constexpr NodeId kInvalidNode = 0xffffffffu;
+
+/// Node kinds. Character data is a node of its own (the paper models
+/// PCDATA as a special attribute of dedicated cdata nodes).
+enum class NodeKind : uint8_t {
+  kElement,
+  kText,
+};
+
+/// One XML attribute (name="value"). Order-preserving.
+struct Attribute {
+  std::string name;
+  std::string value;
+};
+
+/// A node of the rooted, ordered tree d = (V, E, r, labelE, labelA, rank)
+/// from the paper's formal definition. `rank` is implicit in the order
+/// of the `children` vector.
+struct Node {
+  NodeKind kind = NodeKind::kElement;
+  /// Element name for kElement; empty for kText.
+  std::string name;
+  /// Character data for kText; empty for kElement.
+  std::string text;
+  std::vector<Attribute> attributes;
+  NodeId parent = kInvalidNode;
+  std::vector<NodeId> children;
+};
+
+/// An XML document: an arena of nodes plus a distinguished root.
+///
+/// Nodes are created through the builder methods and referenced by
+/// NodeId; ids are stable for the lifetime of the document (no erase).
+class Document {
+ public:
+  Document() = default;
+
+  // Movable, not copyable (documents can be large; copy explicitly via
+  // Clone if ever needed).
+  Document(Document&&) = default;
+  Document& operator=(Document&&) = default;
+  Document(const Document&) = delete;
+  Document& operator=(const Document&) = delete;
+
+  /// Creates the root element. Precondition: no root exists yet.
+  NodeId CreateRoot(std::string_view name);
+
+  /// Appends a child element under `parent` and returns its id.
+  NodeId AppendElement(NodeId parent, std::string_view name);
+
+  /// Appends a text node under `parent`.
+  NodeId AppendText(NodeId parent, std::string_view text);
+
+  /// Adds an attribute to an element node.
+  void SetAttribute(NodeId id, std::string_view name, std::string_view value);
+
+  bool has_root() const { return root_ != kInvalidNode; }
+  NodeId root() const { return root_; }
+  size_t node_count() const { return nodes_.size(); }
+
+  const Node& node(NodeId id) const { return nodes_[id]; }
+  Node& mutable_node(NodeId id) { return nodes_[id]; }
+
+  /// Returns the value of `attr` on `id`, or nullptr if absent.
+  const std::string* FindAttribute(NodeId id, std::string_view attr) const;
+
+  /// First child element of `id` named `name`, or kInvalidNode.
+  NodeId FindChild(NodeId id, std::string_view name) const;
+
+  /// All child elements of `id` named `name`.
+  std::vector<NodeId> FindChildren(NodeId id, std::string_view name) const;
+
+  /// Concatenated text of all descendant text nodes of `id`.
+  std::string InnerText(NodeId id) const;
+
+  /// 0-based position among the parent's children (the paper's rank).
+  int Rank(NodeId id) const;
+
+  /// Structural equality (names, attributes, text, order) with `other`.
+  /// Whitespace-only text differences are significant; callers that
+  /// want lenient comparison should normalise first.
+  bool IsomorphicTo(const Document& other) const;
+
+ private:
+  NodeId AddNode(Node node);
+  static bool NodesEqual(const Document& a, NodeId na, const Document& b,
+                         NodeId nb);
+
+  std::vector<Node> nodes_;
+  NodeId root_ = kInvalidNode;
+};
+
+}  // namespace dls::xml
+
+#endif  // DLS_XML_TREE_H_

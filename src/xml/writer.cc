@@ -1,0 +1,74 @@
+#include "xml/writer.h"
+
+#include "common/strings.h"
+
+namespace dls::xml {
+namespace {
+
+void WriteNode(const Document& doc, NodeId id, const WriteOptions& options,
+               int depth, std::string* out) {
+  const Node& n = doc.node(id);
+  if (n.kind == NodeKind::kText) {
+    *out += XmlEscape(n.text);
+    return;
+  }
+
+  auto indent = [&](int d) {
+    if (options.pretty) out->append(static_cast<size_t>(d) * 2, ' ');
+  };
+
+  indent(depth);
+  *out += '<';
+  *out += n.name;
+  for (const Attribute& attr : n.attributes) {
+    *out += ' ';
+    *out += attr.name;
+    *out += "=\"";
+    *out += XmlEscape(attr.value);
+    *out += '"';
+  }
+  if (n.children.empty()) {
+    *out += "/>";
+    if (options.pretty) *out += '\n';
+    return;
+  }
+  *out += '>';
+
+  bool has_element_child = false;
+  for (NodeId child : n.children) {
+    if (doc.node(child).kind == NodeKind::kElement) {
+      has_element_child = true;
+      break;
+    }
+  }
+
+  if (options.pretty && has_element_child) *out += '\n';
+  for (NodeId child : n.children) {
+    if (doc.node(child).kind == NodeKind::kText) {
+      WriteNode(doc, child, options, 0, out);
+    } else {
+      WriteNode(doc, child, options, depth + 1, out);
+    }
+  }
+  if (options.pretty && has_element_child) indent(depth);
+  *out += "</";
+  *out += n.name;
+  *out += '>';
+  if (options.pretty) *out += '\n';
+}
+
+}  // namespace
+
+std::string Write(const Document& doc, const WriteOptions& options) {
+  if (!doc.has_root()) return "";
+  return WriteSubtree(doc, doc.root(), options);
+}
+
+std::string WriteSubtree(const Document& doc, NodeId id,
+                         const WriteOptions& options) {
+  std::string out;
+  WriteNode(doc, id, options, 0, &out);
+  return out;
+}
+
+}  // namespace dls::xml

@@ -1,0 +1,29 @@
+#ifndef DLS_XML_WRITER_H_
+#define DLS_XML_WRITER_H_
+
+#include <string>
+
+#include "xml/tree.h"
+
+namespace dls::xml {
+
+/// Serialisation options.
+struct WriteOptions {
+  /// Indent child elements by two spaces per depth level and put each
+  /// element on its own line. Text nodes are emitted inline.
+  bool pretty = false;
+};
+
+/// Serialises `doc` back to XML text. Round-trips with Parse(): for any
+/// document d, Parse(Write(d)) is isomorphic to d (modulo the
+/// whitespace introduced by pretty-printing, so use pretty=false when
+/// round-tripping).
+std::string Write(const Document& doc, const WriteOptions& options = {});
+
+/// Serialises the subtree rooted at `id`.
+std::string WriteSubtree(const Document& doc, NodeId id,
+                         const WriteOptions& options = {});
+
+}  // namespace dls::xml
+
+#endif  // DLS_XML_WRITER_H_

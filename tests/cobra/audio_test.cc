@@ -1,0 +1,111 @@
+#include "cobra/audio.h"
+
+#include <gtest/gtest.h>
+
+namespace dls::cobra {
+namespace {
+
+AudioScript Mixed(uint64_t seed) {
+  AudioScript script;
+  script.seed = seed;
+  script.segments = {
+      AudioSegmentScript{AudioClass::kSpeech, 3.0},
+      AudioSegmentScript{AudioClass::kMusic, 2.0},
+      AudioSegmentScript{AudioClass::kSilence, 1.0},
+      AudioSegmentScript{AudioClass::kSpeech, 2.0},
+  };
+  return script;
+}
+
+TEST(SyntheticAudioTest, DeterministicAndSized) {
+  SyntheticAudio a(Mixed(3));
+  SyntheticAudio b(Mixed(3));
+  ASSERT_EQ(a.sample_count(), b.sample_count());
+  EXPECT_EQ(a.sample_count(), 8 * 8000);
+  EXPECT_EQ(a.samples(), b.samples());
+}
+
+TEST(SyntheticAudioTest, TruthLookup) {
+  SyntheticAudio audio(Mixed(5));
+  EXPECT_EQ(audio.TruthOf(0), AudioClass::kSpeech);
+  EXPECT_EQ(audio.TruthOf(3 * 8000 + 100), AudioClass::kMusic);
+  EXPECT_EQ(audio.TruthOf(5 * 8000 + 100), AudioClass::kSilence);
+  EXPECT_EQ(audio.TruthOf(6 * 8000 + 100), AudioClass::kSpeech);
+}
+
+TEST(AudioFeaturesTest, SilenceHasLowEnergyMusicSustained) {
+  AudioScript script;
+  script.seed = 7;
+  script.segments = {AudioSegmentScript{AudioClass::kMusic, 1.0},
+                     AudioSegmentScript{AudioClass::kSilence, 1.0}};
+  SyntheticAudio audio(script);
+  std::vector<AudioFrameFeatures> frames = AnalyzeFrames(audio);
+  ASSERT_EQ(frames.size(), 100u);  // 2 s / 20 ms
+  double music_energy = 0, silence_energy = 0;
+  for (size_t i = 0; i < 50; ++i) music_energy += frames[i].energy;
+  for (size_t i = 50; i < 100; ++i) silence_energy += frames[i].energy;
+  EXPECT_GT(music_energy / 50, 100 * silence_energy / 50);
+}
+
+TEST(AudioSegmentationTest, ClassifiesFramesAccurately) {
+  // Frame-level accuracy against ground truth across seeds.
+  AudioAnalyzerOptions options;
+  int correct = 0, total = 0;
+  for (uint64_t seed = 1; seed <= 4; ++seed) {
+    SyntheticAudio audio(Mixed(seed));
+    std::vector<DetectedAudioSegment> segments = SegmentAudio(audio, options);
+    for (const DetectedAudioSegment& segment : segments) {
+      for (int f = segment.begin_frame; f < segment.end_frame; ++f) {
+        ++total;
+        AudioClass truth = audio.TruthOf(f * options.frame_samples +
+                                         options.frame_samples / 2);
+        if (truth == segment.type) ++correct;
+      }
+    }
+  }
+  ASSERT_GT(total, 1000);
+  EXPECT_GT(static_cast<double>(correct) / total, 0.85)
+      << correct << "/" << total;
+}
+
+TEST(AudioSegmentationTest, PureClipsYieldOneDominantSegment) {
+  for (AudioClass type :
+       {AudioClass::kSpeech, AudioClass::kMusic, AudioClass::kSilence}) {
+    AudioScript script;
+    script.seed = 11;
+    script.segments = {AudioSegmentScript{type, 3.0}};
+    SyntheticAudio audio(script);
+    std::vector<DetectedAudioSegment> segments = SegmentAudio(audio);
+    ASSERT_FALSE(segments.empty());
+    // The dominant class (by frames) matches the script.
+    double best = 0;
+    AudioClass dominant = AudioClass::kSilence;
+    for (AudioClass c :
+         {AudioClass::kSpeech, AudioClass::kMusic, AudioClass::kSilence}) {
+      double seconds = ClassSeconds(segments, c);
+      if (seconds > best) {
+        best = seconds;
+        dominant = c;
+      }
+    }
+    EXPECT_EQ(dominant, type) << AudioClassName(type);
+  }
+}
+
+TEST(AudioSegmentationTest, ClassSecondsSumsToClipLength) {
+  SyntheticAudio audio(Mixed(13));
+  std::vector<DetectedAudioSegment> segments = SegmentAudio(audio);
+  double total = ClassSeconds(segments, AudioClass::kSpeech) +
+                 ClassSeconds(segments, AudioClass::kMusic) +
+                 ClassSeconds(segments, AudioClass::kSilence);
+  EXPECT_NEAR(total, 8.0, 0.25);
+}
+
+TEST(AudioSegmentationTest, EmptyClip) {
+  AudioScript script;
+  SyntheticAudio audio(script);
+  EXPECT_TRUE(SegmentAudio(audio).empty());
+}
+
+}  // namespace
+}  // namespace dls::cobra

@@ -1,0 +1,96 @@
+#include "cobra/events.h"
+
+#include <gtest/gtest.h>
+
+#include "cobra/shots.h"
+
+namespace dls::cobra {
+namespace {
+
+std::vector<PlayerObservation> TrackFor(TrajectoryKind kind, uint64_t seed,
+                                        SyntheticVideo* out_video = nullptr) {
+  VideoScript script;
+  script.seed = seed;
+  script.shots = {ShotScript{ShotClass::kTennis, 24, kind}};
+  SyntheticVideo video(script);
+  std::vector<PlayerObservation> track =
+      TrackPlayer(video, 0, video.frame_count(), video.court_color());
+  if (out_video != nullptr) *out_video = SyntheticVideo(script);
+  return track;
+}
+
+TEST(NetplayTest, ApproachNetDetected) {
+  EXPECT_TRUE(DetectNetplay(TrackFor(TrajectoryKind::kApproachNet, 3)));
+  EXPECT_TRUE(DetectNetplay(TrackFor(TrajectoryKind::kServeVolley, 4)));
+}
+
+TEST(NetplayTest, BaselineRallyNotDetected) {
+  EXPECT_FALSE(DetectNetplay(TrackFor(TrajectoryKind::kBaselineRally, 5)));
+}
+
+TEST(NetplayTest, EmptyTrack) {
+  EXPECT_FALSE(DetectNetplay({}));
+  PlayerObservation lost;
+  lost.found = false;
+  lost.y = 0;  // would be "at the net" if found
+  EXPECT_FALSE(DetectNetplay({lost}));
+}
+
+TEST(QuantizeTest, SymbolsInAlphabet) {
+  std::vector<int> symbols =
+      QuantizeTrack(TrackFor(TrajectoryKind::kApproachNet, 7), 288);
+  ASSERT_FALSE(symbols.empty());
+  for (int s : symbols) {
+    EXPECT_GE(s, 0);
+    EXPECT_LT(s, kEventSymbols);
+  }
+}
+
+TEST(QuantizeTest, ApproachShowsTowardNetMotion) {
+  std::vector<int> symbols =
+      QuantizeTrack(TrackFor(TrajectoryKind::kApproachNet, 9), 288);
+  // motion code 0 = toward the net; must appear.
+  bool toward = false;
+  for (int s : symbols) toward |= (s % 3 == 0);
+  EXPECT_TRUE(toward);
+}
+
+TEST(StrokeRecognizerTest, RecognizesTrajectoriesAboveChance) {
+  // Train on quantised synthetic tracks, test on held-out seeds — the
+  // [PJZ01] stroke-recognition experiment in miniature.
+  StrokeRecognizer recognizer(123);
+  std::vector<std::pair<TrajectoryKind, std::vector<int>>> train;
+  for (uint64_t seed = 1; seed <= 6; ++seed) {
+    for (TrajectoryKind kind :
+         {TrajectoryKind::kBaselineRally, TrajectoryKind::kApproachNet,
+          TrajectoryKind::kServeVolley}) {
+      train.emplace_back(kind, QuantizeTrack(TrackFor(kind, seed * 31), 288));
+    }
+  }
+  ASSERT_TRUE(recognizer.Train(train, 15).ok());
+
+  int correct = 0, total = 0;
+  for (uint64_t seed = 100; seed < 106; ++seed) {
+    for (TrajectoryKind kind :
+         {TrajectoryKind::kBaselineRally, TrajectoryKind::kApproachNet,
+          TrajectoryKind::kServeVolley}) {
+      std::vector<int> symbols = QuantizeTrack(TrackFor(kind, seed), 288);
+      if (symbols.empty()) continue;
+      ++total;
+      if (recognizer.Classify(symbols) == kind) ++correct;
+    }
+  }
+  ASSERT_GT(total, 10);
+  EXPECT_GT(static_cast<double>(correct) / total, 0.7)
+      << correct << "/" << total;
+}
+
+TEST(StrokeRecognizerTest, TrainNeedsAllClasses) {
+  StrokeRecognizer recognizer(1);
+  std::vector<std::pair<TrajectoryKind, std::vector<int>>> train = {
+      {TrajectoryKind::kBaselineRally, {0, 1, 2}}};
+  EXPECT_FALSE(recognizer.Train(train).ok());
+}
+
+}  // namespace
+}  // namespace dls::cobra

@@ -1,0 +1,79 @@
+#include "cobra/histogram.h"
+
+#include <gtest/gtest.h>
+
+namespace dls::cobra {
+namespace {
+
+TEST(ColorHistogramTest, UniformFrameHasSingleBin) {
+  Frame frame(32, 32);
+  frame.Fill(Rgb{40, 110, 150});
+  ColorHistogram hist = ColorHistogram::Of(frame);
+  EXPECT_EQ(hist.total(), 32 * 32);
+  EXPECT_EQ(hist.count(hist.DominantBin()), 32 * 32);
+  EXPECT_NEAR(hist.Entropy(), 0.0, 1e-9);
+}
+
+TEST(ColorHistogramTest, DistanceZeroForIdenticalFrames) {
+  Frame frame(16, 16);
+  frame.Fill(Rgb{100, 100, 100});
+  ColorHistogram a = ColorHistogram::Of(frame);
+  ColorHistogram b = ColorHistogram::Of(frame);
+  EXPECT_DOUBLE_EQ(a.DistanceTo(b), 0.0);
+}
+
+TEST(ColorHistogramTest, DistanceMaxForDisjointColors) {
+  Frame black(16, 16);
+  black.Fill(Rgb{0, 0, 0});
+  Frame white(16, 16);
+  white.Fill(Rgb{255, 255, 255});
+  ColorHistogram a = ColorHistogram::Of(black);
+  ColorHistogram b = ColorHistogram::Of(white);
+  EXPECT_DOUBLE_EQ(a.DistanceTo(b), 2.0);
+}
+
+TEST(ColorHistogramTest, EntropyGrowsWithColorVariety) {
+  Frame two(16, 16);
+  for (int y = 0; y < 16; ++y) {
+    for (int x = 0; x < 16; ++x) {
+      two.Set(x, y, x < 8 ? Rgb{0, 0, 0} : Rgb{255, 255, 255});
+    }
+  }
+  Frame many(16, 16);
+  for (int y = 0; y < 16; ++y) {
+    for (int x = 0; x < 16; ++x) {
+      many.Set(x, y,
+               Rgb{static_cast<uint8_t>(x * 16),
+                   static_cast<uint8_t>(y * 16),
+                   static_cast<uint8_t>((x + y) * 8)});
+    }
+  }
+  EXPECT_NEAR(ColorHistogram::Of(two).Entropy(), 1.0, 1e-9);
+  EXPECT_GT(ColorHistogram::Of(many).Entropy(), 3.0);
+}
+
+TEST(ColorHistogramTest, MeanAndVariance) {
+  Frame frame(8, 8);
+  frame.Fill(Rgb{100, 100, 100});
+  ColorHistogram hist = ColorHistogram::Of(frame);
+  EXPECT_NEAR(hist.mean(), 100.0, 1e-6);
+  EXPECT_NEAR(hist.variance(), 0.0, 1e-6);
+}
+
+TEST(SkinRatioTest, SkinFrameScoresHigh) {
+  Frame skin(16, 16);
+  skin.Fill(Rgb{208, 162, 130});
+  EXPECT_DOUBLE_EQ(SkinPixelRatio(skin), 1.0);
+  Frame court(16, 16);
+  court.Fill(Rgb{40, 110, 150});
+  EXPECT_DOUBLE_EQ(SkinPixelRatio(court), 0.0);
+}
+
+TEST(BinCenterTest, RoundTripsThroughBinOf) {
+  for (int bin = 0; bin < ColorHistogram::kTotalBins; ++bin) {
+    EXPECT_EQ(ColorHistogram::BinOf(BinCenter(bin)), bin);
+  }
+}
+
+}  // namespace
+}  // namespace dls::cobra

@@ -1,0 +1,107 @@
+#include "cobra/hmm.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace dls::cobra {
+namespace {
+
+TEST(HmmTest, LikelihoodOfHandBuiltModel) {
+  // Two states, two symbols, deterministic emissions.
+  Hmm hmm(2, 2, 1);
+  hmm.SetInitial({1.0, 0.0});
+  hmm.SetTransition({{0.0, 1.0}, {0.0, 1.0}});  // 0 -> 1 -> 1 -> ...
+  hmm.SetEmission({{1.0, 0.0}, {0.0, 1.0}});    // state i emits symbol i
+
+  // P(0,1,1) = 1 under this model.
+  EXPECT_NEAR(hmm.LogLikelihood({0, 1, 1}), 0.0, 1e-9);
+  // Any sequence starting with symbol 1 is impossible.
+  EXPECT_TRUE(std::isinf(hmm.LogLikelihood({1, 0})));
+}
+
+TEST(HmmTest, ViterbiRecoversStatePath) {
+  Hmm hmm(2, 2, 1);
+  hmm.SetInitial({0.5, 0.5});
+  hmm.SetTransition({{0.9, 0.1}, {0.1, 0.9}});
+  hmm.SetEmission({{0.9, 0.1}, {0.1, 0.9}});
+  std::vector<int> states = hmm.Viterbi({0, 0, 0, 1, 1, 1});
+  EXPECT_EQ(states, (std::vector<int>{0, 0, 0, 1, 1, 1}));
+}
+
+TEST(HmmTest, EmptySequence) {
+  Hmm hmm(2, 3, 1);
+  EXPECT_EQ(hmm.LogLikelihood({}), 0.0);
+  EXPECT_TRUE(hmm.Viterbi({}).empty());
+}
+
+TEST(HmmTest, RowsStayStochasticAfterTraining) {
+  Hmm hmm(3, 4, 7);
+  std::vector<std::vector<int>> data = {
+      {0, 1, 2, 3, 0, 1}, {0, 0, 1, 1, 2, 2, 3, 3}, {3, 2, 1, 0}};
+  ASSERT_TRUE(hmm.Train(data, 10).ok());
+  for (int i = 0; i < 3; ++i) {
+    double a_sum = 0, b_sum = 0;
+    for (int j = 0; j < 3; ++j) a_sum += hmm.transition(i, j);
+    for (int k = 0; k < 4; ++k) b_sum += hmm.emission(i, k);
+    EXPECT_NEAR(a_sum, 1.0, 1e-9);
+    EXPECT_NEAR(b_sum, 1.0, 1e-9);
+  }
+  double pi_sum = 0;
+  for (int i = 0; i < 3; ++i) pi_sum += hmm.initial(i);
+  EXPECT_NEAR(pi_sum, 1.0, 1e-9);
+}
+
+TEST(HmmTest, TrainingIncreasesLikelihood) {
+  std::vector<std::vector<int>> data;
+  // Pattern: long runs of 0 then long runs of 2.
+  for (int s = 0; s < 8; ++s) {
+    std::vector<int> seq;
+    for (int i = 0; i < 10; ++i) seq.push_back(0);
+    for (int i = 0; i < 10; ++i) seq.push_back(2);
+    data.push_back(seq);
+  }
+  Hmm before(2, 3, 5);
+  double ll_before = 0;
+  for (const auto& seq : data) ll_before += before.LogLikelihood(seq);
+  Hmm after = before;
+  ASSERT_TRUE(after.Train(data, 25).ok());
+  double ll_after = 0;
+  for (const auto& seq : data) ll_after += after.LogLikelihood(seq);
+  EXPECT_GT(ll_after, ll_before + 1.0);
+}
+
+TEST(HmmTest, TrainRejectsBadInput) {
+  Hmm hmm(2, 2, 1);
+  EXPECT_FALSE(hmm.Train({}, 5).ok());
+  EXPECT_FALSE(hmm.Train({{}}, 5).ok());
+  EXPECT_FALSE(hmm.Train({{0, 7}}, 5).ok());  // symbol out of range
+}
+
+TEST(HmmClassifierTest, SeparatesTwoPatterns) {
+  // Class 0: alternating symbols; class 1: constant runs.
+  std::vector<std::vector<int>> alternating, constant;
+  for (int s = 0; s < 10; ++s) {
+    std::vector<int> a, c;
+    for (int i = 0; i < 20; ++i) {
+      a.push_back(i % 2);
+      c.push_back(i < 10 ? 0 : 1);
+    }
+    alternating.push_back(a);
+    constant.push_back(c);
+  }
+  HmmClassifier classifier(2, 3, 2, 17);
+  ASSERT_TRUE(classifier.TrainClass(0, alternating, 30).ok());
+  ASSERT_TRUE(classifier.TrainClass(1, constant, 30).ok());
+
+  EXPECT_EQ(classifier.Classify({0, 1, 0, 1, 0, 1, 0, 1, 0, 1}), 0);
+  EXPECT_EQ(classifier.Classify({0, 0, 0, 0, 0, 1, 1, 1, 1, 1}), 1);
+}
+
+TEST(HmmClassifierTest, RejectsBadClassIndex) {
+  HmmClassifier classifier(2, 2, 2, 1);
+  EXPECT_FALSE(classifier.TrainClass(5, {{0, 1}}, 5).ok());
+}
+
+}  // namespace
+}  // namespace dls::cobra

@@ -1,0 +1,73 @@
+// End-to-end property sweep over random video scripts: the detection
+// pipeline (segment -> classify -> track -> netplay) agrees with
+// generator ground truth across seeds and court palettes.
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "cobra/events.h"
+#include "cobra/shots.h"
+#include "cobra/tracker.h"
+
+namespace dls::cobra {
+namespace {
+
+struct SweepCase {
+  uint64_t seed;
+  CourtPalette palette;
+};
+
+class PipelineProperty : public ::testing::TestWithParam<SweepCase> {};
+
+TEST_P(PipelineProperty, NetplayAgreesWithGroundTruth) {
+  VideoScript script = MakeRandomScript(GetParam().seed, 6, 12);
+  script.palette = GetParam().palette;
+  SyntheticVideo video(script);
+
+  std::vector<DetectedShot> shots = SegmentAndClassify(video);
+  for (const DetectedShot& shot : shots) {
+    if (shot.type != ShotClass::kTennis) continue;
+    std::vector<PlayerObservation> track = TrackPlayer(
+        video, shot.begin, shot.end, video.court_color());
+    bool detected = DetectNetplay(track);
+    bool expected = false;
+    for (int f = shot.begin; f < shot.end; ++f) {
+      FrameTruth truth = video.TruthOf(f);
+      if (truth.shot_class == ShotClass::kTennis &&
+          script.shots[truth.shot_index].trajectory !=
+              TrajectoryKind::kBaselineRally) {
+        expected = true;
+      }
+    }
+    EXPECT_EQ(detected, expected)
+        << "seed " << GetParam().seed << " shot [" << shot.begin << ","
+        << shot.end << ")";
+  }
+}
+
+TEST_P(PipelineProperty, EveryFrameCoveredExactlyOnce) {
+  VideoScript script = MakeRandomScript(GetParam().seed, 6, 12);
+  script.palette = GetParam().palette;
+  SyntheticVideo video(script);
+  std::vector<DetectedShot> shots = SegmentAndClassify(video);
+  int covered = 0;
+  int prev_end = 0;
+  for (const DetectedShot& shot : shots) {
+    EXPECT_EQ(shot.begin, prev_end);  // contiguous, no gaps or overlap
+    covered += shot.end - shot.begin;
+    prev_end = shot.end;
+  }
+  EXPECT_EQ(covered, video.frame_count());
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    SeedsAndPalettes, PipelineProperty,
+    ::testing::Values(SweepCase{21, CourtPalette::kHard},
+                      SweepCase{22, CourtPalette::kGrass},
+                      SweepCase{23, CourtPalette::kClay},
+                      SweepCase{24, CourtPalette::kHard},
+                      SweepCase{25, CourtPalette::kGrass},
+                      SweepCase{26, CourtPalette::kClay}));
+
+}  // namespace
+}  // namespace dls::cobra

@@ -1,0 +1,108 @@
+// Reproduces the Figure 5 pipeline: shot segmentation via histogram
+// differences and classification into tennis / close-up / audience /
+// other, measured against the synthetic generator's ground truth.
+#include "cobra/shots.h"
+
+#include <gtest/gtest.h>
+
+namespace dls::cobra {
+namespace {
+
+VideoScript FourShotScript(uint64_t seed) {
+  VideoScript script;
+  script.seed = seed;
+  script.width = 176;  // smaller frames keep the test fast
+  script.height = 144;
+  script.shots = {
+      ShotScript{ShotClass::kTennis, 10, TrajectoryKind::kBaselineRally},
+      ShotScript{ShotClass::kCloseup, 8, TrajectoryKind::kBaselineRally},
+      ShotScript{ShotClass::kTennis, 10, TrajectoryKind::kApproachNet},
+      ShotScript{ShotClass::kAudience, 8, TrajectoryKind::kBaselineRally},
+  };
+  return script;
+}
+
+TEST(ShotSegmentationTest, FindsAllScriptedBoundaries) {
+  SyntheticVideo video(FourShotScript(11));
+  std::vector<int> boundaries = DetectBoundaries(video);
+  ASSERT_EQ(boundaries.size(), 4u);
+  EXPECT_EQ(boundaries[0], 0);
+  EXPECT_EQ(boundaries[1], video.ShotStart(1));
+  EXPECT_EQ(boundaries[2], video.ShotStart(2));
+  EXPECT_EQ(boundaries[3], video.ShotStart(3));
+}
+
+TEST(ShotSegmentationTest, NoSpuriousBoundariesWithinShots) {
+  VideoScript script;
+  script.seed = 5;
+  script.width = 176;
+  script.height = 144;
+  script.shots = {
+      ShotScript{ShotClass::kTennis, 40, TrajectoryKind::kApproachNet}};
+  SyntheticVideo video(script);
+  EXPECT_EQ(DetectBoundaries(video).size(), 1u);
+}
+
+TEST(ShotClassificationTest, MatchesGroundTruthClasses) {
+  SyntheticVideo video(FourShotScript(13));
+  std::vector<DetectedShot> shots = SegmentAndClassify(video);
+  ASSERT_EQ(shots.size(), 4u);
+  EXPECT_EQ(shots[0].type, ShotClass::kTennis);
+  EXPECT_EQ(shots[1].type, ShotClass::kCloseup);
+  EXPECT_EQ(shots[2].type, ShotClass::kTennis);
+  EXPECT_EQ(shots[3].type, ShotClass::kAudience);
+}
+
+class CourtPaletteTest : public ::testing::TestWithParam<CourtPalette> {};
+
+TEST_P(CourtPaletteTest, SegmentationGeneralizesAcrossCourts) {
+  // The paper's claim: analysing dominant colours makes the algorithm
+  // work for different court classes without parameter changes.
+  VideoScript script = FourShotScript(17);
+  script.palette = GetParam();
+  SyntheticVideo video(script);
+  std::vector<DetectedShot> shots = SegmentAndClassify(video);
+  ASSERT_EQ(shots.size(), 4u);
+  EXPECT_EQ(shots[0].type, ShotClass::kTennis);
+  EXPECT_EQ(shots[2].type, ShotClass::kTennis);
+  EXPECT_EQ(shots[1].type, ShotClass::kCloseup);
+}
+
+INSTANTIATE_TEST_SUITE_P(AllPalettes, CourtPaletteTest,
+                         ::testing::Values(CourtPalette::kGrass,
+                                           CourtPalette::kHard,
+                                           CourtPalette::kClay));
+
+TEST(ShotClassificationTest, AccuracyOnRandomScripts) {
+  // Adjacent same-class shots legitimately merge (no histogram
+  // boundary), so accuracy is measured per frame: a frame is correct
+  // when the detected shot covering it has the frame's true class.
+  int correct = 0, total = 0;
+  for (uint64_t seed = 1; seed <= 5; ++seed) {
+    VideoScript script = MakeRandomScript(seed, 8, 10);
+    script.width = 176;
+    script.height = 144;
+    SyntheticVideo video(script);
+    std::vector<DetectedShot> shots = SegmentAndClassify(video);
+    for (const DetectedShot& shot : shots) {
+      for (int frame = shot.begin; frame < shot.end; ++frame) {
+        ++total;
+        if (video.TruthOf(frame).shot_class == shot.type) ++correct;
+      }
+    }
+  }
+  ASSERT_GT(total, 300);
+  EXPECT_GT(static_cast<double>(correct) / total, 0.9)
+      << correct << "/" << total;
+}
+
+TEST(ShotSegmentationTest, EmptyVideo) {
+  VideoScript script;
+  script.shots = {};
+  SyntheticVideo video(script);
+  EXPECT_TRUE(DetectBoundaries(video).empty());
+  EXPECT_TRUE(SegmentAndClassify(video).empty());
+}
+
+}  // namespace
+}  // namespace dls::cobra

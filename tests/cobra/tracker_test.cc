@@ -1,0 +1,98 @@
+#include "cobra/tracker.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace dls::cobra {
+namespace {
+
+VideoScript OneTennisShot(TrajectoryKind trajectory, int frames,
+                          uint64_t seed) {
+  VideoScript script;
+  script.seed = seed;
+  script.shots = {ShotScript{ShotClass::kTennis, frames, trajectory}};
+  return script;
+}
+
+TEST(TrackerTest, TracksBaselinePlayerWithinTolerance) {
+  SyntheticVideo video(OneTennisShot(TrajectoryKind::kBaselineRally, 20, 3));
+  std::vector<PlayerObservation> track =
+      TrackPlayer(video, 0, video.frame_count(), video.court_color());
+  ASSERT_EQ(track.size(), 20u);
+  int found = 0;
+  double err = 0;
+  for (const PlayerObservation& obs : track) {
+    if (!obs.found) continue;
+    ++found;
+    FrameTruth truth = video.TruthOf(obs.frame);
+    err += std::hypot(obs.x - *truth.player_x, obs.y - *truth.player_y);
+  }
+  EXPECT_GE(found, 18);
+  EXPECT_LT(err / found, 12.0);  // mean error under 12 px
+}
+
+TEST(TrackerTest, ApproachNetTrajectoryReachesNetZone) {
+  SyntheticVideo video(OneTennisShot(TrajectoryKind::kApproachNet, 24, 5));
+  std::vector<PlayerObservation> track =
+      TrackPlayer(video, 0, video.frame_count(), video.court_color());
+  double min_y = 1e9, max_y = -1e9;
+  for (const PlayerObservation& obs : track) {
+    if (!obs.found) continue;
+    min_y = std::min(min_y, obs.y);
+    max_y = std::max(max_y, obs.y);
+  }
+  // Starts at the baseline (~253), ends at the net (~152).
+  EXPECT_GT(max_y, 230.0);
+  EXPECT_LT(min_y, 170.0);
+}
+
+TEST(TrackerTest, ShapeFeaturesAreElongatedVertically) {
+  SyntheticVideo video(OneTennisShot(TrajectoryKind::kBaselineRally, 6, 7));
+  std::vector<PlayerObservation> track =
+      TrackPlayer(video, 0, video.frame_count(), video.court_color());
+  ASSERT_FALSE(track.empty());
+  const PlayerObservation& obs = track[2];
+  ASSERT_TRUE(obs.found);
+  EXPECT_GT(obs.area, 100.0);
+  EXPECT_GT(obs.eccentricity, 0.5);  // a standing figure, not a disc
+  // Major axis roughly vertical: |orientation| near pi/2.
+  EXPECT_GT(std::abs(obs.orientation), 1.2);
+  // Bounding box contains the mass centre.
+  EXPECT_GE(obs.x, obs.bbox_x0);
+  EXPECT_LE(obs.x, obs.bbox_x1);
+  EXPECT_GE(obs.y, obs.bbox_y0);
+  EXPECT_LE(obs.y, obs.bbox_y1);
+}
+
+TEST(TrackerTest, DominantColorIsShirtNotCourt) {
+  SyntheticVideo video(OneTennisShot(TrajectoryKind::kBaselineRally, 4, 9));
+  std::vector<PlayerObservation> track =
+      TrackPlayer(video, 0, video.frame_count(), video.court_color());
+  ASSERT_TRUE(track[1].found);
+  // Shirt is red-dominant.
+  EXPECT_GT(track[1].dominant.r, track[1].dominant.g);
+  EXPECT_GT(track[1].dominant.r, track[1].dominant.b);
+}
+
+TEST(SegmentPlayerTest, NoBlobInEmptyWindow) {
+  SyntheticVideo video(OneTennisShot(TrajectoryKind::kBaselineRally, 2, 11));
+  Frame frame = video.GetFrame(0);
+  // Far corner away from the player.
+  TrackerOptions options;
+  std::optional<PlayerObservation> obs =
+      SegmentPlayer(frame, video.court_color(), 0, 0, 40, 40, options);
+  EXPECT_FALSE(obs.has_value());
+}
+
+TEST(SegmentPlayerTest, WindowClampedToFrame) {
+  SyntheticVideo video(OneTennisShot(TrajectoryKind::kBaselineRally, 2, 13));
+  Frame frame = video.GetFrame(0);
+  TrackerOptions options;
+  // Out-of-range window must not crash and may or may not find a blob.
+  SegmentPlayer(frame, video.court_color(), -100, -100, 10000, 10000,
+                options);
+}
+
+}  // namespace
+}  // namespace dls::cobra

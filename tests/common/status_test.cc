@@ -1,0 +1,81 @@
+#include "common/status.h"
+
+#include <gtest/gtest.h>
+
+namespace dls {
+namespace {
+
+TEST(StatusTest, DefaultIsOk) {
+  Status s;
+  EXPECT_TRUE(s.ok());
+  EXPECT_EQ(s.code(), StatusCode::kOk);
+  EXPECT_EQ(s.ToString(), "ok");
+}
+
+TEST(StatusTest, FactoriesCarryCodeAndMessage) {
+  Status s = Status::NotFound("missing thing");
+  EXPECT_FALSE(s.ok());
+  EXPECT_EQ(s.code(), StatusCode::kNotFound);
+  EXPECT_EQ(s.message(), "missing thing");
+  EXPECT_EQ(s.ToString(), "not found: missing thing");
+}
+
+TEST(StatusTest, AllCodesHaveNames) {
+  for (StatusCode code : {StatusCode::kOk, StatusCode::kInvalidArgument,
+                          StatusCode::kNotFound, StatusCode::kAlreadyExists,
+                          StatusCode::kCorruption, StatusCode::kParseError,
+                          StatusCode::kDetectorFailure,
+                          StatusCode::kUnsupported, StatusCode::kInternal}) {
+    EXPECT_STRNE(StatusCodeName(code), "unknown");
+  }
+}
+
+TEST(ResultTest, HoldsValue) {
+  Result<int> r(42);
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r.value(), 42);
+}
+
+TEST(ResultTest, HoldsError) {
+  Result<int> r(Status::ParseError("bad"));
+  EXPECT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kParseError);
+}
+
+TEST(ResultTest, MoveOutValue) {
+  Result<std::string> r(std::string("payload"));
+  std::string v = std::move(r).value();
+  EXPECT_EQ(v, "payload");
+}
+
+Status Fails() { return Status::Corruption("boom"); }
+
+Status Propagates() {
+  DLS_RETURN_IF_ERROR(Fails());
+  return Status::Ok();
+}
+
+TEST(StatusMacrosTest, ReturnIfError) {
+  EXPECT_EQ(Propagates().code(), StatusCode::kCorruption);
+}
+
+Result<int> MakeInt(bool ok) {
+  if (!ok) return Status::Internal("nope");
+  return 7;
+}
+
+Status UsesAssign(bool ok, int* out) {
+  DLS_ASSIGN_OR_RETURN(int v, MakeInt(ok));
+  *out = v;
+  return Status::Ok();
+}
+
+TEST(StatusMacrosTest, AssignOrReturn) {
+  int v = 0;
+  EXPECT_TRUE(UsesAssign(true, &v).ok());
+  EXPECT_EQ(v, 7);
+  EXPECT_EQ(UsesAssign(false, &v).code(), StatusCode::kInternal);
+}
+
+}  // namespace
+}  // namespace dls

@@ -1,0 +1,52 @@
+#include "common/strings.h"
+
+#include <gtest/gtest.h>
+
+namespace dls {
+namespace {
+
+TEST(SplitTest, KeepsEmptyFields) {
+  EXPECT_EQ(Split("a,,b", ','), (std::vector<std::string>{"a", "", "b"}));
+  EXPECT_EQ(Split("", ','), (std::vector<std::string>{""}));
+}
+
+TEST(SplitTest, SkipEmptyDropsBlanks) {
+  EXPECT_EQ(SplitSkipEmpty(",a,,b,", ','),
+            (std::vector<std::string>{"a", "b"}));
+}
+
+TEST(JoinTest, RoundTripsWithSplit) {
+  std::vector<std::string> parts = {"x", "y", "z"};
+  EXPECT_EQ(Split(Join(parts, ","), ','), parts);
+}
+
+TEST(TrimTest, StripsWhitespaceBothEnds) {
+  EXPECT_EQ(Trim("  hello\t\n "), "hello");
+  EXPECT_EQ(Trim("\r\n"), "");
+  EXPECT_EQ(Trim("x"), "x");
+}
+
+TEST(ToLowerTest, AsciiOnly) {
+  EXPECT_EQ(ToLower("MiXeD123"), "mixed123");
+}
+
+TEST(AffixTest, StartsAndEndsWith) {
+  EXPECT_TRUE(StartsWith("monet.xml", "monet"));
+  EXPECT_FALSE(StartsWith("mo", "monet"));
+  EXPECT_TRUE(EndsWith("monet.xml", ".xml"));
+  EXPECT_FALSE(EndsWith("xml", "monet.xml"));
+}
+
+TEST(StrFormatTest, FormatsLikePrintf) {
+  EXPECT_EQ(StrFormat("%d-%s", 42, "ok"), "42-ok");
+  EXPECT_EQ(StrFormat("%.2f", 1.2345), "1.23");
+}
+
+TEST(XmlEscapeTest, EscapesAllFive) {
+  EXPECT_EQ(XmlEscape("<a b=\"c\">&'</a>"),
+            "&lt;a b=&quot;c&quot;&gt;&amp;&apos;&lt;/a&gt;");
+  EXPECT_EQ(XmlEscape("plain"), "plain");
+}
+
+}  // namespace
+}  // namespace dls

@@ -1,0 +1,143 @@
+// Unit tests of the standard detector implementations against the
+// virtual web, outside the full engine.
+#include "core/detectors.h"
+
+#include <gtest/gtest.h>
+
+namespace dls::core {
+namespace {
+
+class DetectorsTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    RegisterVideoDetectors(&registry_);
+    RegisterInternetDetectors(&registry_);
+    env_.web = &web_;
+
+    cobra::VideoScript video;
+    video.seed = 3;
+    video.shots = {
+        cobra::ShotScript{cobra::ShotClass::kTennis, 8,
+                          cobra::TrajectoryKind::kApproachNet},
+        cobra::ShotScript{cobra::ShotClass::kOther, 6,
+                          cobra::TrajectoryKind::kBaselineRally},
+    };
+    web_.AddVideo("http://x/m.mpg", video);
+
+    cobra::AudioScript audio;
+    audio.seed = 4;
+    audio.segments = {
+        cobra::AudioSegmentScript{cobra::AudioClass::kSpeech, 2.0}};
+    web_.AddAudio("http://x/i.wav", audio);
+    web_.AddImage("http://x/p.jpg", "portrait");
+    web_.AddImage("http://x/g.jpg", "graphic");
+  }
+
+  Status Invoke(const std::string& name, const std::string& url,
+                std::vector<fg::Token>* out,
+                std::vector<fg::Token> extra_inputs = {}) {
+    fg::DetectorContext context;
+    context.env = &env_;
+    context.inputs.push_back(fg::Token::Url(url));
+    for (fg::Token& t : extra_inputs) context.inputs.push_back(std::move(t));
+    return registry_.Invoke(name, context, out);
+  }
+
+  VirtualWeb web_;
+  DetectorEnv env_;
+  fg::DetectorRegistry registry_;
+};
+
+TEST_F(DetectorsTest, HeaderResolvesMimeTypes) {
+  std::vector<fg::Token> out;
+  ASSERT_TRUE(Invoke("header", "http://x/m.mpg", &out).ok());
+  ASSERT_EQ(out.size(), 2u);
+  EXPECT_EQ(out[0].text(), "video");
+  EXPECT_EQ(out[1].text(), "mpeg");
+
+  out.clear();
+  ASSERT_TRUE(Invoke("header", "http://x/i.wav", &out).ok());
+  EXPECT_EQ(out[0].text(), "audio");
+}
+
+TEST_F(DetectorsTest, HeaderFailsOnDeadLink) {
+  std::vector<fg::Token> out;
+  Status s = Invoke("header", "http://x/404", &out);
+  EXPECT_EQ(s.code(), StatusCode::kDetectorFailure);
+}
+
+TEST_F(DetectorsTest, SegmentEmitsShotTriplesAndCachesCourt) {
+  std::vector<fg::Token> out;
+  ASSERT_TRUE(Invoke("segment", "http://x/m.mpg", &out).ok());
+  ASSERT_EQ(out.size() % 3, 0u);
+  ASSERT_GE(out.size(), 6u);
+  EXPECT_EQ(out[0].AsInt(), 0);          // first shot begins at frame 0
+  EXPECT_EQ(out[2].text(), "tennis");    // classified correctly
+  EXPECT_TRUE(env_.court_cache.count("http://x/m.mpg"));
+  EXPECT_TRUE(env_.shot_cache.count("http://x/m.mpg"));
+  EXPECT_GT(env_.frames_analyzed, 0u);
+}
+
+TEST_F(DetectorsTest, TennisRequiresSegmentFirst) {
+  std::vector<fg::Token> out;
+  Status s = Invoke("tennis", "http://x/m.mpg", &out,
+                    {fg::Token::Int(0), fg::Token::Int(8)});
+  EXPECT_EQ(s.code(), StatusCode::kDetectorFailure);  // no court estimate yet
+
+  ASSERT_TRUE(Invoke("segment", "http://x/m.mpg", &out).ok());
+  out.clear();
+  ASSERT_TRUE(Invoke("tennis", "http://x/m.mpg", &out,
+                     {fg::Token::Int(0), fg::Token::Int(8)})
+                  .ok());
+  // Six tokens per tracked frame.
+  ASSERT_EQ(out.size() % 6, 0u);
+  EXPECT_GE(out.size() / 6, 6u);
+}
+
+TEST_F(DetectorsTest, TennisRejectsBadRange) {
+  std::vector<fg::Token> out;
+  ASSERT_TRUE(Invoke("segment", "http://x/m.mpg", &out).ok());
+  out.clear();
+  EXPECT_FALSE(Invoke("tennis", "http://x/m.mpg", &out,
+                      {fg::Token::Int(5), fg::Token::Int(2)})
+                   .ok());
+  EXPECT_FALSE(Invoke("tennis", "http://x/m.mpg", &out,
+                      {fg::Token::Int(0), fg::Token::Int(10000)})
+                   .ok());
+}
+
+TEST_F(DetectorsTest, AudioSegmentEmitsKinds) {
+  std::vector<fg::Token> out;
+  ASSERT_TRUE(Invoke("audio_segment", "http://x/i.wav", &out).ok());
+  ASSERT_EQ(out.size() % 3, 0u);
+  bool speech = false;
+  for (size_t i = 2; i < out.size(); i += 3) {
+    if (out[i].text() == "speech") speech = true;
+  }
+  EXPECT_TRUE(speech);
+}
+
+TEST_F(DetectorsTest, AudioSegmentRejectsNonAudio) {
+  std::vector<fg::Token> out;
+  EXPECT_FALSE(Invoke("audio_segment", "http://x/m.mpg", &out).ok());
+}
+
+TEST_F(DetectorsTest, ClassifyImageMeasuresSkin) {
+  std::vector<fg::Token> out;
+  ASSERT_TRUE(Invoke("classify_image", "http://x/p.jpg", &out).ok());
+  ASSERT_EQ(out.size(), 1u);
+  EXPECT_EQ(out[0].text(), "portrait");
+  out.clear();
+  ASSERT_TRUE(Invoke("classify_image", "http://x/g.jpg", &out).ok());
+  EXPECT_EQ(out[0].text(), "graphic");
+}
+
+TEST_F(DetectorsTest, FetchCountTracksWebTraffic) {
+  size_t before = web_.fetch_count();
+  std::vector<fg::Token> out;
+  ASSERT_TRUE(Invoke("header", "http://x/m.mpg", &out).ok());
+  EXPECT_EQ(web_.fetch_count(), before + 1);
+}
+
+}  // namespace
+}  // namespace dls::core

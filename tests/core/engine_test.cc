@@ -1,0 +1,401 @@
+// Integration tests: the full engine lifecycle on the synthetic
+// Australian Open site, culminating in the Figure 13 mixed query
+// checked against generator ground truth.
+#include "core/engine.h"
+
+#include <gtest/gtest.h>
+
+#include "core/grammars.h"
+
+namespace dls::core {
+namespace {
+
+synth::SiteOptions TestSite(uint64_t seed = 42) {
+  synth::SiteOptions options;
+  options.seed = seed;
+  options.num_players = 12;
+  options.num_articles = 20;
+  options.vocabulary = 400;
+  options.video_every = 2;
+  options.video_shots = 4;
+  options.video_frames_per_shot = 8;
+  // Enough lefty female winners to make the Fig. 13 query non-trivial.
+  options.female_fraction = 0.5;
+  options.lefty_fraction = 0.5;
+  options.winner_fraction = 0.5;
+  return options;
+}
+
+class EngineTest : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    engine_ = new SearchEngine();
+    ASSERT_TRUE(
+        engine_->Initialize(synth::kAustralianOpenSchema, kVideoGrammar).ok());
+    Result<synth::Site> site = synth::GenerateSite(TestSite());
+    ASSERT_TRUE(site.ok());
+    site_ = new synth::Site(std::move(site).value());
+    Status s = engine_->PopulateFromSite(*site_);
+    ASSERT_TRUE(s.ok()) << s.ToString();
+  }
+  static void TearDownTestSuite() {
+    delete engine_;
+    delete site_;
+    engine_ = nullptr;
+    site_ = nullptr;
+  }
+
+  static SearchEngine* engine_;
+  static synth::Site* site_;
+};
+
+SearchEngine* EngineTest::engine_ = nullptr;
+synth::Site* EngineTest::site_ = nullptr;
+
+TEST_F(EngineTest, PopulationStats) {
+  const EngineStats& stats = engine_->stats();
+  EXPECT_EQ(stats.documents_crawled, site_->documents.size());
+  EXPECT_EQ(stats.objects_retrieved, 12u * 2 + 20u);
+  EXPECT_EQ(stats.media_analyzed, site_->videos.size() + site_->audios.size());
+  EXPECT_GT(stats.frames_analyzed, 0u);
+  EXPECT_EQ(engine_->concept_db().Stats().documents,
+            site_->documents.size());
+  EXPECT_EQ(engine_->meta_db().Stats().documents,
+            site_->videos.size() + site_->audios.size());
+  EXPECT_EQ(engine_->parse_trees().size(),
+            site_->videos.size() + site_->audios.size());
+}
+
+TEST_F(EngineTest, MediaWithEventMatchesGroundTruth) {
+  std::set<std::string> detected = engine_->MediaWithEvent("netplay");
+  std::set<std::string> expected;
+  for (const synth::PlayerTruth& player : site_->players) {
+    if (player.video_has_netplay) expected.insert(player.video_url);
+  }
+  EXPECT_EQ(detected, expected);
+}
+
+TEST_F(EngineTest, AudioEventMatchesGroundTruth) {
+  // The audio branch of the grammar: speech-dominated clips carry a
+  // true has_speech bit in the meta-index.
+  std::set<std::string> detected = engine_->MediaWithEvent("has_speech");
+  std::set<std::string> expected;
+  for (const synth::PlayerTruth& player : site_->players) {
+    if (player.audio_is_interview) expected.insert(player.audio_url);
+  }
+  EXPECT_EQ(detected, expected);
+}
+
+TEST_F(EngineTest, AudioEventQuery) {
+  Result<QueryResult> r = engine_->Execute(
+      "select Player.name, Profile.interview from Player, Profile "
+      "where Is_covered_in(Player, Profile) "
+      "and Profile.interview event \"has_speech\" limit 50");
+  ASSERT_TRUE(r.ok()) << r.status().ToString();
+  std::set<std::string> expected_names;
+  for (const synth::PlayerTruth& p : site_->players) {
+    if (p.audio_is_interview) expected_names.insert(p.name);
+  }
+  std::set<std::string> got;
+  for (const QueryRow& row : r.value().rows) got.insert(row.values[0]);
+  EXPECT_EQ(got, expected_names);
+}
+
+TEST_F(EngineTest, SimpleConceptualQuery) {
+  Result<QueryResult> r = engine_->Execute(
+      "select Player.name, Player.country from Player "
+      "where Player.gender == \"female\" limit 50");
+  ASSERT_TRUE(r.ok()) << r.status().ToString();
+  size_t expected = 0;
+  for (const synth::PlayerTruth& p : site_->players) {
+    if (p.gender == "female") ++expected;
+  }
+  EXPECT_EQ(r.value().rows.size(), expected);
+  EXPECT_EQ(r.value().columns,
+            (std::vector<std::string>{"Player.name", "Player.country"}));
+}
+
+TEST_F(EngineTest, NotEqualsQuery) {
+  Result<QueryResult> r = engine_->Execute(
+      "select Player.name from Player where Player.gender != \"female\" "
+      "limit 50");
+  ASSERT_TRUE(r.ok());
+  size_t males = 0;
+  for (const synth::PlayerTruth& p : site_->players) {
+    if (p.gender != "female") ++males;
+  }
+  EXPECT_EQ(r.value().rows.size(), males);
+}
+
+TEST_F(EngineTest, ContainsQueryUsesStemming) {
+  // "Winners" stems to the same term as the "Winner" marker phrase.
+  Result<QueryResult> r = engine_->Execute(
+      "select Player.name from Player "
+      "where Player.history contains \"Winners\" limit 50");
+  ASSERT_TRUE(r.ok()) << r.status().ToString();
+  size_t winners = 0;
+  for (const synth::PlayerTruth& p : site_->players) {
+    if (p.past_winner) ++winners;
+  }
+  EXPECT_EQ(r.value().rows.size(), winners);
+}
+
+TEST_F(EngineTest, JoinQuery) {
+  Result<QueryResult> r = engine_->Execute(
+      "select Player.name, Profile.document from Player, Profile "
+      "where Is_covered_in(Player, Profile) limit 50");
+  ASSERT_TRUE(r.ok()) << r.status().ToString();
+  EXPECT_EQ(r.value().rows.size(), 12u);  // every player has a profile
+}
+
+TEST_F(EngineTest, Figure13MixedQuery) {
+  Result<QueryResult> r = engine_->Execute(R"(
+    select Player.name, Profile.video
+    from Player, Profile
+    where Player.gender == "female"
+      and Player.plays == "left"
+      and Player.history contains "Winner"
+      and Is_covered_in(Player, Profile)
+      and Profile.video event "netplay"
+    limit 10
+  )");
+  ASSERT_TRUE(r.ok()) << r.status().ToString();
+
+  std::set<std::string> expected_names;
+  for (const synth::PlayerTruth& p : site_->players) {
+    if (p.gender == "female" && p.plays == "left" && p.past_winner &&
+        p.video_has_netplay) {
+      expected_names.insert(p.name);
+    }
+  }
+  std::set<std::string> got_names;
+  for (const QueryRow& row : r.value().rows) {
+    got_names.insert(row.values[0]);
+    // The selected video column is the object's location.
+    EXPECT_NE(row.values[1].find("http://ao.example/video/"),
+              std::string::npos);
+  }
+  EXPECT_EQ(got_names, expected_names);
+}
+
+TEST_F(EngineTest, RankedQueryReturnsScoredArticles) {
+  Result<QueryResult> r = engine_->Execute(
+      "select Article.name from Article "
+      "rank by Article.body about \"champion\" limit 5");
+  ASSERT_TRUE(r.ok()) << r.status().ToString();
+  ASSERT_FALSE(r.value().rows.empty());
+  EXPECT_LE(r.value().rows.size(), 5u);
+  double prev = 1e18;
+  for (const QueryRow& row : r.value().rows) {
+    EXPECT_GT(row.score, 0.0);
+    EXPECT_LE(row.score, prev);
+    prev = row.score;
+  }
+}
+
+TEST_F(EngineTest, RankedJoinQuery) {
+  // Articles about players, ranked by text relevance.
+  Result<QueryResult> r = engine_->Execute(
+      "select Article.name, Player.name from Article, Player "
+      "where About(Article, Player) "
+      "rank by Article.body about \"tennis champion\" limit 5");
+  ASSERT_TRUE(r.ok()) << r.status().ToString();
+  EXPECT_FALSE(r.value().rows.empty());
+}
+
+TEST_F(EngineTest, QueryValidationErrorsSurface) {
+  EXPECT_FALSE(engine_->Execute("select Coach.name from Coach").ok());
+  EXPECT_FALSE(engine_->Execute("not a query").ok());
+  // Predicate on a class missing from `from`.
+  EXPECT_FALSE(engine_->Execute(
+                        "select Player.name from Player "
+                        "where Profile.document == \"x\"")
+                   .ok());
+}
+
+TEST_F(EngineTest, ExplainShowsTranslation) {
+  Result<std::string> plan = engine_->Explain(R"(
+    select Player.name, Profile.video
+    from Player, Profile
+    where Player.gender == "female"
+      and Is_covered_in(Player, Profile)
+      and Profile.video event "netplay"
+    rank by Player.history about "winner"
+    limit 10
+  )");
+  ASSERT_TRUE(plan.ok()) << plan.status().ToString();
+  const std::string& text = plan.value();
+  // Intermediate XML representation present.
+  EXPECT_NE(text.find("<query"), std::string::npos);
+  EXPECT_NE(text.find("<predicate"), std::string::npos);
+  // Physical relations named.
+  EXPECT_NE(text.find("R(/webspace/Player/gender/PCDATA)"),
+            std::string::npos);
+  EXPECT_NE(text.find("R(/webspace/Is_covered_in[from])"),
+            std::string::npos);
+  // Optimization hooks inserted.
+  EXPECT_NE(text.find("meta probe"), std::string::npos);
+  EXPECT_NE(text.find("IR hook"), std::string::npos);
+  EXPECT_NE(text.find("idf fragments"), std::string::npos);
+}
+
+TEST_F(EngineTest, ExplainValidates) {
+  EXPECT_FALSE(engine_->Explain("select Coach.name from Coach").ok());
+}
+
+TEST_F(EngineTest, ConceptDocumentsRoundTrip) {
+  // The physical level can reproduce any crawled materialized view.
+  const auto& [url, original] = site_->documents.front();
+  Result<xml::Document> back = engine_->concept_db().ReconstructDocument(url);
+  ASSERT_TRUE(back.ok()) << back.status().ToString();
+  EXPECT_TRUE(original.IsomorphicTo(back.value()));
+}
+
+TEST_F(EngineTest, MetaIndexHoldsShotStructure) {
+  ASSERT_FALSE(site_->videos.empty());
+  const std::string& url = site_->videos.begin()->first;
+  fg::ParseTree* tree = engine_->parse_trees().Find(url);
+  ASSERT_NE(tree, nullptr);
+  EXPECT_FALSE(tree->FindAll("shot").empty());
+  // Same structure queryable through the Monet meta database.
+  monet::OidSet shots =
+      monet::ScanPath(engine_->meta_db(),
+                      "/MMO/mm_type/video/segment/shot");
+  EXPECT_FALSE(shots.empty());
+}
+
+TEST(EngineLifecycleTest, IncrementalSiteGrowth) {
+  // The maintenance stage runs concurrently with querying: new
+  // documents can be crawled after the first population round.
+  SearchEngine engine;
+  ASSERT_TRUE(
+      engine.Initialize(synth::kAustralianOpenSchema, kVideoGrammar).ok());
+  synth::SiteOptions options = TestSite(55);
+  options.num_players = 4;
+  options.num_articles = 4;
+  Result<synth::Site> site = synth::GenerateSite(options);
+  ASSERT_TRUE(site.ok());
+  ASSERT_TRUE(engine.PopulateFromSite(site.value()).ok());
+  size_t before = engine.Execute("select Player.name from Player limit 100")
+                      .value()
+                      .rows.size();
+  ASSERT_EQ(before, 4u);
+
+  // A second, disjoint batch arrives later.
+  synth::SiteOptions more = TestSite(56);
+  more.num_players = 3;
+  more.num_articles = 2;
+  Result<synth::Site> extra = synth::GenerateSite(more);
+  ASSERT_TRUE(extra.ok());
+  for (const auto& [url, script] : extra.value().videos) {
+    engine.web().AddVideo("batch2-" + url, script);
+  }
+  for (const auto& [url, script] : extra.value().audios) {
+    engine.web().AddAudio("batch2-" + url, script);
+  }
+  size_t added = 0;
+  for (const auto& [url, doc] : extra.value().documents) {
+    // Rewrite ids/urls to avoid clashing with batch 1.
+    Result<webspace::DocumentView> view =
+        webspace::RetrieveObjects(engine.schema(), doc);
+    ASSERT_TRUE(view.ok());
+    webspace::DocumentView patched = view.value();
+    patched.document_url = "batch2-" + patched.document_url;
+    for (webspace::WebObject& object : patched.objects) {
+      object.id = "batch2-" + object.id;
+      for (webspace::AttrValue& value : object.attributes) {
+        if (!value.src.empty()) value.src = "batch2-" + value.src;
+      }
+    }
+    for (webspace::AssociationInstance& assoc : patched.associations) {
+      assoc.from_id = "batch2-" + assoc.from_id;
+      assoc.to_id = "batch2-" + assoc.to_id;
+    }
+    Result<xml::Document> patched_doc =
+        webspace::GenerateDocument(engine.schema(), patched);
+    ASSERT_TRUE(patched_doc.ok());
+    ASSERT_TRUE(
+        engine.PopulateDocument(patched.document_url, patched_doc.value())
+            .ok());
+    ++added;
+  }
+  ASSERT_GT(added, 0u);
+  ASSERT_TRUE(engine.FinishPopulation().ok());
+
+  EXPECT_EQ(engine.Execute("select Player.name from Player limit 100")
+                .value()
+                .rows.size(),
+            7u);
+  // Ranked queries see both batches (the IR cluster re-finalised):
+  // the distributed index must surface batch-2 articles too.
+  Result<QueryResult> ranked = engine.Execute(
+      "select Article.name from Article "
+      "rank by Article.body about \"tennis\" limit 100");
+  ASSERT_TRUE(ranked.ok());
+  ASSERT_FALSE(ranked.value().rows.empty());
+  std::set<std::string> batch2_titles;
+  for (const std::string& id : extra.value().article_ids) {
+    const webspace::WebObject* object =
+        engine.instance().FindObject("batch2-" + id);
+    if (object != nullptr) {
+      batch2_titles.insert(object->FindAttribute("name")->text);
+    }
+  }
+  bool saw_batch2 = false;
+  for (const QueryRow& row : ranked.value().rows) {
+    if (batch2_titles.count(row.values[0])) saw_batch2 = true;
+  }
+  EXPECT_TRUE(saw_batch2);
+}
+
+TEST(EngineLifecycleTest, InitializeRejectsBadInputs) {
+  SearchEngine engine;
+  EXPECT_FALSE(engine.Initialize("nonsense {", kVideoGrammar).ok());
+  EXPECT_FALSE(
+      engine.Initialize(synth::kAustralianOpenSchema, "%start;").ok());
+}
+
+TEST(EngineLifecycleTest, FdsMaintenanceReanalysesVideos) {
+  SearchEngine engine;
+  ASSERT_TRUE(
+      engine.Initialize(synth::kAustralianOpenSchema, kVideoGrammar).ok());
+  synth::SiteOptions options = TestSite(77);
+  options.num_players = 4;
+  options.num_articles = 2;
+  options.video_every = 2;
+  Result<synth::Site> site = synth::GenerateSite(options);
+  ASSERT_TRUE(site.ok());
+  ASSERT_TRUE(engine.PopulateFromSite(site.value()).ok());
+
+  // A minor revision of the netplay threshold: relax it so every
+  // tracked tennis shot counts as netplay.
+  engine.registry().ResetCallCounts();
+  size_t before = engine.fde().stats().steps;
+  (void)before;
+  Result<fg::ChangeClass> change = engine.fds().UpdateDetector(
+      "segment",
+      [](const fg::DetectorContext& context, std::vector<fg::Token>* out) {
+        // Replacement segmenter: one giant "other" shot.
+        (void)context;
+        out->push_back(fg::Token::Int(0));
+        out->push_back(fg::Token::Int(1));
+        out->push_back(fg::Token::Str("other"));
+        return Status::Ok();
+      },
+      fg::DetectorVersion{1, 1, 0});
+  ASSERT_TRUE(change.ok());
+  EXPECT_EQ(change.value(), fg::ChangeClass::kMinor);
+  ASSERT_TRUE(engine.fds().RunPending().ok());
+  // Incremental: segment re-ran per stored VIDEO tree (audio trees
+  // contain no segment instance), header did not run at all.
+  EXPECT_EQ(engine.registry().CallCount("segment"),
+            site.value().videos.size());
+  EXPECT_EQ(engine.registry().CallCount("header"), 0u);
+  // Meta trees now show the degenerate segmentation.
+  const std::string& url = site.value().videos.begin()->first;
+  fg::ParseTree* tree = engine.parse_trees().Find(url);
+  EXPECT_EQ(tree->FindAll("shot").size(), 1u);
+}
+
+}  // namespace
+}  // namespace dls::core

@@ -1,0 +1,51 @@
+// Keeps grammars/*.fg (the human-facing grammar files) in sync with the
+// constants compiled into the engine, and validates both.
+#include <gtest/gtest.h>
+
+#include <fstream>
+#include <sstream>
+
+#include "core/grammars.h"
+#include "fg/grammar.h"
+
+namespace dls::core {
+namespace {
+
+std::string ReadFile(const std::string& path) {
+  std::ifstream file(path);
+  EXPECT_TRUE(file.good()) << "cannot open " << path;
+  std::ostringstream buffer;
+  buffer << file.rdbuf();
+  return buffer.str();
+}
+
+TEST(GrammarFilesTest, VideoGrammarFileMatchesConstant) {
+  EXPECT_EQ(ReadFile(std::string(DLS_SOURCE_DIR) + "/grammars/video.fg"),
+            std::string(kVideoGrammar));
+}
+
+TEST(GrammarFilesTest, InternetGrammarFileMatchesConstant) {
+  EXPECT_EQ(ReadFile(std::string(DLS_SOURCE_DIR) + "/grammars/internet.fg"),
+            std::string(kInternetGrammar));
+}
+
+TEST(GrammarFilesTest, BothGrammarsValidate) {
+  EXPECT_TRUE(fg::ParseGrammar(kVideoGrammar).ok());
+  EXPECT_TRUE(fg::ParseGrammar(kInternetGrammar).ok());
+}
+
+TEST(GrammarFilesTest, VideoGrammarShape) {
+  Result<fg::Grammar> g = fg::ParseGrammar(kVideoGrammar);
+  ASSERT_TRUE(g.ok());
+  EXPECT_EQ(g.value().start_symbol(), "MMO");
+  // The three media branches of mm_type: video and audio alternatives.
+  EXPECT_EQ(g.value().RulesFor("mm_type").size(), 2u);
+  // Detectors of both media types present.
+  EXPECT_NE(g.value().FindDetector("segment"), nullptr);
+  EXPECT_NE(g.value().FindDetector("audio_segment"), nullptr);
+  EXPECT_NE(g.value().FindDetector("netplay"), nullptr);
+  EXPECT_NE(g.value().FindDetector("has_speech"), nullptr);
+}
+
+}  // namespace
+}  // namespace dls::core

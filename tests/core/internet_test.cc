@@ -1,0 +1,147 @@
+// End-to-end tests of the Internet feature grammar (Fig. 14): crawl by
+// reference following, keyword structure sharing, image classification
+// and the "portraits near 'champion'" query.
+#include "core/internet.h"
+
+#include "monet/algebra.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+namespace dls::core {
+namespace {
+
+synth::InternetOptions SmallWeb() {
+  synth::InternetOptions options;
+  options.seed = 11;
+  options.num_pages = 25;
+  options.num_images = 15;
+  options.keywords_per_page = 25;
+  options.links_per_page = 4;
+  return options;
+}
+
+class InternetEngineTest : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    engine_ = new InternetEngine();
+    ASSERT_TRUE(engine_->Initialize().ok());
+    site_ = new synth::InternetSite(GenerateInternet(SmallWeb()));
+    engine_->LoadSite(*site_);
+    // The generator's champion topic words, as a thesaurus synset.
+    engine_->AddSynonyms(
+        "champion", {"winner", "title", "trophy", "grand", "slam"});
+    // Seed with every page so isolated components are reached too (the
+    // ground truth covers the whole site).
+    std::vector<std::string> seeds;
+    for (const synth::WebPage& page : site_->pages) seeds.push_back(page.url);
+    ASSERT_TRUE(engine_->Crawl(seeds).ok());
+  }
+  static void TearDownTestSuite() {
+    delete engine_;
+    delete site_;
+    engine_ = nullptr;
+    site_ = nullptr;
+  }
+
+  static InternetEngine* engine_;
+  static synth::InternetSite* site_;
+};
+
+InternetEngine* InternetEngineTest::engine_ = nullptr;
+synth::InternetSite* InternetEngineTest::site_ = nullptr;
+
+TEST_F(InternetEngineTest, CrawlReachesPagesAndLinkedImages) {
+  // All pages were seeds; all images referenced by some anchor must
+  // have been reached through &MMO references.
+  EXPECT_GE(engine_->crawled_objects(), site_->pages.size());
+  std::set<std::string> referenced;
+  for (const synth::WebPage& page : site_->pages) {
+    for (const synth::WebPage::Anchor& anchor : page.anchors) {
+      if (site_->images.count(anchor.href)) referenced.insert(anchor.href);
+    }
+  }
+  for (const std::string& image : referenced) {
+    EXPECT_TRUE(engine_->parse_trees().Has(image)) << image;
+  }
+}
+
+TEST_F(InternetEngineTest, PortraitQueryMatchesGroundTruth) {
+  std::vector<PortraitHit> hits = engine_->PortraitsNearKeyword("champion");
+  std::set<std::string> got;
+  for (const PortraitHit& hit : hits) got.insert(hit.image_url);
+  std::set<std::string> expected(site_->champion_portraits.begin(),
+                                 site_->champion_portraits.end());
+  EXPECT_EQ(got, expected);
+}
+
+TEST_F(InternetEngineTest, KeywordLookupIsStemmed) {
+  // "champions" shares a stem with the indexed keyword "champion".
+  EXPECT_EQ(engine_->PagesWithKeyword("champions"),
+            engine_->PagesWithKeyword("champion"));
+  // Stopwords never index pages.
+  EXPECT_TRUE(engine_->PagesWithKeyword("the").empty());
+}
+
+TEST_F(InternetEngineTest, ThesaurusExpandsQuery) {
+  // "winner" is in the champion synset, so querying via the synset
+  // subsumes the direct keyword match.
+  std::set<std::string> winner_pages;
+  for (const synth::WebPage& page : site_->pages) {
+    for (const std::string& kw : page.keywords) {
+      if (kw == "winner") winner_pages.insert(page.url);
+    }
+  }
+  std::set<std::string> champion_pages =
+      engine_->PagesWithKeyword("champion");
+  for (const std::string& url : winner_pages) {
+    EXPECT_TRUE(champion_pages.count(url)) << url;
+  }
+}
+
+TEST_F(InternetEngineTest, RankedPageSearch) {
+  std::vector<std::pair<std::string, double>> ranked =
+      engine_->RankPages({"champion", "trophy"}, 5);
+  ASSERT_FALSE(ranked.empty());
+  // Scores descend.
+  double prev = 1e18;
+  for (const auto& [url, score] : ranked) {
+    EXPECT_GT(score, 0.0);
+    EXPECT_LE(score, prev);
+    prev = score;
+  }
+  // The top page actually contains one of the queried words.
+  std::set<std::string> champion_pages = engine_->PagesWithKeyword("champion");
+  std::set<std::string> trophy_pages = engine_->PagesWithKeyword("trophy");
+  EXPECT_TRUE(champion_pages.count(ranked.front().first) ||
+              trophy_pages.count(ranked.front().first));
+}
+
+TEST_F(InternetEngineTest, MetaDatabaseQueryable) {
+  // Image classifications are queryable as structured paths.
+  monet::OidSet kinds =
+      monet::ScanPath(engine_->meta_db(),
+                      "/MMO/mm_type/image/classify_image/kind");
+  EXPECT_FALSE(kinds.empty());
+}
+
+TEST_F(InternetEngineTest, CrawlBoundRespected) {
+  InternetEngine bounded;
+  ASSERT_TRUE(bounded.Initialize().ok());
+  bounded.LoadSite(*site_);
+  ASSERT_TRUE(
+      bounded.Crawl({site_->pages.front().url}, /*max_objects=*/3).ok());
+  EXPECT_LE(bounded.crawled_objects(), 3u);
+}
+
+TEST_F(InternetEngineTest, DeadLinksSkipped) {
+  InternetEngine engine;
+  ASSERT_TRUE(engine.Initialize().ok());
+  engine.LoadSite(*site_);
+  ASSERT_TRUE(engine.Crawl({"http://web.example/NO_SUCH_PAGE"}).ok());
+  EXPECT_EQ(engine.crawled_objects(), 0u);
+}
+
+}  // namespace
+}  // namespace dls::core

@@ -1,0 +1,144 @@
+// Engine persistence: populate, save, restart into a fresh engine and
+// keep answering the full query mix, including FDS rehydration.
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <filesystem>
+
+#include "core/engine.h"
+#include "core/grammars.h"
+
+namespace dls::core {
+namespace {
+
+constexpr const char kQuery[] = R"(
+  select Player.name, Profile.video
+  from Player, Profile
+  where Player.gender == "female"
+    and Player.history contains "Winner"
+    and Is_covered_in(Player, Profile)
+    and Profile.video event "netplay"
+  limit 10
+)";
+
+class RestoreTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    dir_ = testing::TempDir() + "dls_restore_test";
+    std::filesystem::create_directories(dir_);
+  }
+  void TearDown() override { std::filesystem::remove_all(dir_); }
+
+  synth::SiteOptions Options() {
+    synth::SiteOptions options;
+    options.seed = 31;
+    options.num_players = 8;
+    options.num_articles = 10;
+    options.video_every = 2;
+    options.video_shots = 3;
+    options.video_frames_per_shot = 8;
+    options.winner_fraction = 0.6;
+    return options;
+  }
+
+  std::string dir_;
+};
+
+TEST_F(RestoreTest, QueriesSurviveRestart) {
+  Result<synth::Site> site = synth::GenerateSite(Options());
+  ASSERT_TRUE(site.ok());
+
+  QueryResult original;
+  {
+    SearchEngine engine;
+    ASSERT_TRUE(
+        engine.Initialize(synth::kAustralianOpenSchema, kVideoGrammar).ok());
+    ASSERT_TRUE(engine.PopulateFromSite(site.value()).ok());
+    Result<QueryResult> r = engine.Execute(kQuery);
+    ASSERT_TRUE(r.ok());
+    original = std::move(r).value();
+    ASSERT_TRUE(engine.SaveState(dir_).ok());
+  }  // first engine gone — the "process restart"
+
+  SearchEngine restored;
+  ASSERT_TRUE(
+      restored.Initialize(synth::kAustralianOpenSchema, kVideoGrammar).ok());
+  Status s = restored.RestoreState(dir_);
+  ASSERT_TRUE(s.ok()) << s.ToString();
+
+  // Same conceptual content, same meta-index, same answers.
+  EXPECT_EQ(restored.concept_db().Stats().documents,
+            site.value().documents.size());
+  EXPECT_EQ(restored.parse_trees().size(),
+            site.value().videos.size() + site.value().audios.size());
+
+  Result<QueryResult> again = restored.Execute(kQuery);
+  ASSERT_TRUE(again.ok()) << again.status().ToString();
+  ASSERT_EQ(again.value().rows.size(), original.rows.size());
+  for (size_t i = 0; i < original.rows.size(); ++i) {
+    EXPECT_EQ(again.value().rows[i].values, original.rows[i].values);
+  }
+
+  // Content events intact.
+  std::set<std::string> expected;
+  for (const synth::PlayerTruth& player : site.value().players) {
+    if (player.video_has_netplay) expected.insert(player.video_url);
+  }
+  EXPECT_EQ(restored.MediaWithEvent("netplay"), expected);
+}
+
+TEST_F(RestoreTest, RehydratedTreesSupportMaintenance) {
+  Result<synth::Site> site = synth::GenerateSite(Options());
+  ASSERT_TRUE(site.ok());
+  {
+    SearchEngine engine;
+    ASSERT_TRUE(
+        engine.Initialize(synth::kAustralianOpenSchema, kVideoGrammar).ok());
+    ASSERT_TRUE(engine.PopulateFromSite(site.value()).ok());
+    ASSERT_TRUE(engine.SaveState(dir_).ok());
+  }
+
+  SearchEngine restored;
+  ASSERT_TRUE(
+      restored.Initialize(synth::kAustralianOpenSchema, kVideoGrammar).ok());
+  ASSERT_TRUE(restored.RestoreState(dir_).ok());
+  // Re-publish raw media (not persisted) so detectors can re-run.
+  for (const auto& [url, script] : site.value().videos) {
+    restored.web().AddVideo(url, script);
+  }
+  for (const auto& [url, script] : site.value().audios) {
+    restored.web().AddAudio(url, script);
+  }
+
+  // A minor detector change must revalidate over the REHYDRATED trees.
+  restored.registry().ResetCallCounts();
+  Result<fg::ChangeClass> change = restored.fds().UpdateDetector(
+      "segment",
+      [](const fg::DetectorContext&, std::vector<fg::Token>* out) {
+        out->push_back(fg::Token::Int(0));
+        out->push_back(fg::Token::Int(1));
+        out->push_back(fg::Token::Str("other"));
+        return Status::Ok();
+      },
+      fg::DetectorVersion{1, 1, 0});
+  ASSERT_TRUE(change.ok());
+  ASSERT_TRUE(restored.fds().RunPending().ok());
+  EXPECT_EQ(restored.registry().CallCount("segment"),
+            site.value().videos.size());
+  EXPECT_EQ(restored.registry().CallCount("header"), 0u);
+
+  const std::string& url = site.value().videos.begin()->first;
+  fg::ParseTree* tree = restored.parse_trees().Find(url);
+  ASSERT_NE(tree, nullptr);
+  EXPECT_EQ(tree->FindAll("shot").size(), 1u);
+}
+
+TEST_F(RestoreTest, RestoreFromMissingDirectoryFails) {
+  SearchEngine engine;
+  ASSERT_TRUE(
+      engine.Initialize(synth::kAustralianOpenSchema, kVideoGrammar).ok());
+  EXPECT_FALSE(engine.RestoreState(dir_ + "/nope").ok());
+}
+
+}  // namespace
+}  // namespace dls::core

@@ -1,0 +1,146 @@
+// Architecture generality: a second webspace (the paper's Lonely
+// Planet case study) through the generic population path — different
+// schema, same engine, all three query styles.
+#include <gtest/gtest.h>
+
+#include "core/engine.h"
+#include "core/grammars.h"
+#include "webspace/docgen.h"
+
+namespace dls::core {
+namespace {
+
+constexpr const char kTravelSchema[] = R"schema(
+webspace LonelyPlanet;
+
+class Destination {
+  name: varchar(60);
+  climate: varchar(20);
+  guide: Hypertext;
+  clip: Video;
+}
+
+class Attraction {
+  name: varchar(80);
+  description: Hypertext;
+}
+
+association Located_in(Attraction, Destination);
+)schema";
+
+class SecondWebspaceTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    ASSERT_TRUE(engine_.Initialize(kTravelSchema, kVideoGrammar).ok());
+
+    AddDestination("dest-a", "Melbourne", "temperate",
+                   "tennis capital with the open championship", true);
+    AddDestination("dest-b", "Kyoto", "temperate", "temples and gardens",
+                   false);
+    AddDestination("dest-c", "Nairobi", "tropical", "safari gateway",
+                   false);
+    AddAttraction("attr-1", "Melbourne Park", "centre court of the slam",
+                  "dest-a");
+    AddAttraction("attr-2", "Kinkaku-ji", "the golden pavilion", "dest-b");
+    ASSERT_TRUE(engine_.FinishPopulation().ok());
+  }
+
+  void AddDestination(const std::string& id, const std::string& name,
+                      const std::string& climate, const std::string& guide,
+                      bool tennis_clip) {
+    webspace::DocumentView view;
+    view.document_url = "http://lp.example/" + id + ".xml";
+    webspace::WebObject object;
+    object.cls = "Destination";
+    object.id = id;
+    std::string clip_url = "http://lp.example/video/" + id + ".mpg";
+    object.attributes = {
+        webspace::AttrValue{"name", name, ""},
+        webspace::AttrValue{"climate", climate, ""},
+        webspace::AttrValue{"guide", guide,
+                            "http://lp.example/guide/" + id + ".html"},
+        webspace::AttrValue{"clip", "", clip_url},
+    };
+    view.objects.push_back(std::move(object));
+
+    cobra::VideoScript script;
+    script.seed = 100 + id.size();
+    cobra::ShotScript shot;
+    shot.type = tennis_clip ? cobra::ShotClass::kTennis
+                            : cobra::ShotClass::kOther;
+    shot.trajectory = cobra::TrajectoryKind::kApproachNet;
+    shot.num_frames = 10;
+    script.shots.push_back(shot);
+    engine_.web().AddVideo(clip_url, script);
+
+    // Attractions merged later reference this destination.
+    Result<xml::Document> doc =
+        webspace::GenerateDocument(engine_.schema(), view);
+    ASSERT_TRUE(doc.ok()) << doc.status().ToString();
+    ASSERT_TRUE(engine_.PopulateDocument(view.document_url, doc.value()).ok());
+  }
+
+  void AddAttraction(const std::string& id, const std::string& name,
+                     const std::string& description,
+                     const std::string& destination) {
+    webspace::DocumentView view;
+    view.document_url = "http://lp.example/" + id + ".xml";
+    webspace::WebObject object;
+    object.cls = "Attraction";
+    object.id = id;
+    object.attributes = {
+        webspace::AttrValue{"name", name, ""},
+        webspace::AttrValue{"description", description,
+                            "http://lp.example/attr/" + id + ".html"},
+    };
+    view.objects.push_back(std::move(object));
+    view.associations.push_back(
+        webspace::AssociationInstance{"Located_in", id, destination});
+    Result<xml::Document> doc =
+        webspace::GenerateDocument(engine_.schema(), view);
+    ASSERT_TRUE(doc.ok()) << doc.status().ToString();
+    ASSERT_TRUE(engine_.PopulateDocument(view.document_url, doc.value()).ok());
+  }
+
+  SearchEngine engine_;
+};
+
+TEST_F(SecondWebspaceTest, ConceptualJoin) {
+  Result<QueryResult> r = engine_.Execute(
+      "select Attraction.name, Destination.name "
+      "from Attraction, Destination "
+      "where Located_in(Attraction, Destination) "
+      "and Destination.climate == \"temperate\" limit 10");
+  ASSERT_TRUE(r.ok()) << r.status().ToString();
+  ASSERT_EQ(r.value().rows.size(), 2u);
+}
+
+TEST_F(SecondWebspaceTest, TextPredicate) {
+  Result<QueryResult> r = engine_.Execute(
+      "select Destination.name from Destination "
+      "where Destination.guide contains \"tennis\" limit 10");
+  ASSERT_TRUE(r.ok()) << r.status().ToString();
+  ASSERT_EQ(r.value().rows.size(), 1u);
+  EXPECT_EQ(r.value().rows[0].values[0], "Melbourne");
+}
+
+TEST_F(SecondWebspaceTest, ContentEventPredicate) {
+  Result<QueryResult> r = engine_.Execute(
+      "select Destination.name from Destination "
+      "where Destination.clip event \"netplay\" limit 10");
+  ASSERT_TRUE(r.ok()) << r.status().ToString();
+  ASSERT_EQ(r.value().rows.size(), 1u);
+  EXPECT_EQ(r.value().rows[0].values[0], "Melbourne");
+}
+
+TEST_F(SecondWebspaceTest, RankedQuery) {
+  Result<QueryResult> r = engine_.Execute(
+      "select Destination.name from Destination "
+      "rank by Destination.guide about \"temple garden\" limit 2");
+  ASSERT_TRUE(r.ok()) << r.status().ToString();
+  ASSERT_FALSE(r.value().rows.empty());
+  EXPECT_EQ(r.value().rows[0].values[0], "Kyoto");
+}
+
+}  // namespace
+}  // namespace dls::core

@@ -1,0 +1,131 @@
+// Reproduces Figure 8: the dependency graph of the Fig. 6 grammar
+// fragment with its sibling, rule and parameter edges.
+#include "fg/depgraph.h"
+
+#include <gtest/gtest.h>
+
+namespace dls::fg {
+namespace {
+
+constexpr const char kFig6[] = R"(
+%start MMO(location);
+%detector header(location);
+%detector video_type primary == "video";
+%atom url location;
+%atom str primary, secondary;
+%detector video_body();
+MMO : location header mm_type?;
+header : MIME_type;
+MIME_type : primary secondary;
+mm_type : video_type video;
+video : video_body;
+)";
+
+class DepGraphTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    Result<Grammar> r = ParseGrammar(kFig6);
+    ASSERT_TRUE(r.ok()) << r.status().ToString();
+    grammar_ = std::make_unique<Grammar>(std::move(r).value());
+    graph_ = std::make_unique<DependencyGraph>(
+        DependencyGraph::Build(*grammar_));
+  }
+  std::unique_ptr<Grammar> grammar_;
+  std::unique_ptr<DependencyGraph> graph_;
+};
+
+TEST_F(DepGraphTest, SiblingEdgesFigure8) {
+  // "The header symbol appears together with location and mm_type in a
+  // MMO rule" — all pairs, undirected.
+  EXPECT_TRUE(graph_->HasEdge("header", "location", DepKind::kSibling));
+  EXPECT_TRUE(graph_->HasEdge("location", "header", DepKind::kSibling));
+  EXPECT_TRUE(graph_->HasEdge("header", "mm_type", DepKind::kSibling));
+  EXPECT_TRUE(graph_->HasEdge("location", "mm_type", DepKind::kSibling));
+  EXPECT_TRUE(graph_->HasEdge("primary", "secondary", DepKind::kSibling));
+  EXPECT_TRUE(graph_->HasEdge("video_type", "video", DepKind::kSibling));
+  EXPECT_FALSE(graph_->HasEdge("header", "video", DepKind::kSibling));
+}
+
+TEST_F(DepGraphTest, RuleEdgesFigure8) {
+  // "MMO depends on the validity of header and not on the validity of
+  // mm_type, as it is optional."
+  EXPECT_TRUE(graph_->HasEdge("MMO", "header", DepKind::kRule));
+  EXPECT_FALSE(graph_->HasEdge("MMO", "mm_type", DepKind::kRule));
+  EXPECT_FALSE(graph_->HasEdge("MMO", "location", DepKind::kRule));
+  EXPECT_TRUE(graph_->HasEdge("header", "MIME_type", DepKind::kRule));
+  EXPECT_TRUE(graph_->HasEdge("MIME_type", "secondary", DepKind::kRule));
+  EXPECT_TRUE(graph_->HasEdge("mm_type", "video", DepKind::kRule));
+}
+
+TEST_F(DepGraphTest, ParameterEdgesFigure8) {
+  // "the header detector needs the location as input" and "If the
+  // primary MIME type has changed the video_type detector will become
+  // invalid".
+  EXPECT_TRUE(graph_->HasEdge("header", "location", DepKind::kParameter));
+  EXPECT_TRUE(graph_->HasEdge("video_type", "primary", DepKind::kParameter));
+  EXPECT_FALSE(graph_->HasEdge("video_type", "secondary",
+                               DepKind::kParameter));
+}
+
+TEST_F(DepGraphTest, ParameterDependentsQuery) {
+  std::vector<std::string> deps = graph_->ParameterDependents("primary");
+  ASSERT_EQ(deps.size(), 1u);
+  EXPECT_EQ(deps[0], "video_type");
+  EXPECT_TRUE(graph_->ParameterDependents("secondary").empty());
+}
+
+TEST_F(DepGraphTest, DownwardClosureFollowsRules) {
+  std::vector<std::string> closure =
+      graph_->DownwardClosure("header", *grammar_);
+  // header derives MIME_type -> primary, secondary.
+  EXPECT_NE(std::find(closure.begin(), closure.end(), "MIME_type"),
+            closure.end());
+  EXPECT_NE(std::find(closure.begin(), closure.end(), "primary"),
+            closure.end());
+  EXPECT_NE(std::find(closure.begin(), closure.end(), "secondary"),
+            closure.end());
+  EXPECT_EQ(std::find(closure.begin(), closure.end(), "video"),
+            closure.end());
+}
+
+TEST_F(DepGraphTest, StarOnlyRuleFallsBackToLastSymbol) {
+  constexpr const char kStar[] = R"(
+%start s(x);
+%atom str x;
+s : item*;
+item : x;
+)";
+  Result<Grammar> r = ParseGrammar(kStar);
+  ASSERT_TRUE(r.ok());
+  DependencyGraph g = DependencyGraph::Build(r.value());
+  EXPECT_TRUE(g.HasEdge("s", "item", DepKind::kRule));
+}
+
+TEST_F(DepGraphTest, QuantifiedPredicatePathsBecomeParameters) {
+  constexpr const char kQuant[] = R"(
+%start s(x);
+%atom flt x;
+%atom bit near;
+%detector near some[s.item](x <= 1.0);
+s : item* near;
+item : x;
+)";
+  Result<Grammar> r = ParseGrammar(kQuant);
+  ASSERT_TRUE(r.ok()) << r.status().ToString();
+  DependencyGraph g = DependencyGraph::Build(r.value());
+  EXPECT_TRUE(g.HasEdge("near", "item", DepKind::kParameter));
+  EXPECT_TRUE(g.HasEdge("near", "x", DepKind::kParameter));
+}
+
+TEST_F(DepGraphTest, DotOutputRendersAllEdges) {
+  std::string dot = graph_->ToDot(*grammar_);
+  EXPECT_NE(dot.find("digraph"), std::string::npos);
+  EXPECT_NE(dot.find("\"header\" -> \"location\""), std::string::npos);
+  EXPECT_NE(dot.find("sibling"), std::string::npos);
+  EXPECT_NE(dot.find("parameter"), std::string::npos);
+  EXPECT_NE(dot.find("shape=diamond"), std::string::npos);  // detectors
+  EXPECT_NE(dot.find("shape=box"), std::string::npos);      // atoms
+}
+
+}  // namespace
+}  // namespace dls::fg

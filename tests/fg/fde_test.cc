@@ -1,0 +1,330 @@
+#include "fg/fde.h"
+
+#include <gtest/gtest.h>
+
+#include "xml/writer.h"
+
+namespace dls::fg {
+namespace {
+
+/// A self-contained variant of the Figs. 6/7 grammar with stub
+/// detectors: `header` answers from a fake MIME table, `segment`
+/// produces two shots (one tennis with 3 frames, one other), `tennis`
+/// produces a frame track whose second frame is close to the net.
+constexpr const char kGrammar[] = R"(
+%start MMO(location);
+
+%detector header(location);
+%detector video_type primary == "video";
+%detector xml-rpc::segment(location);
+%detector xml-rpc::tennis(location, begin.frameNo, end.frameNo);
+%detector netplay some[tennis.frame]( player.yPos <= 170.0 );
+
+%atom url;
+%atom url location;
+%atom str primary, secondary;
+%atom flt xPos,yPos,Ecc,Orient;
+%atom int frameNo,Area;
+%atom bit netplay;
+
+MMO : location header mm_type?;
+header : MIME_type;
+MIME_type : primary secondary;
+mm_type : video_type video;
+video : segment;
+segment : shot*;
+shot : begin end type;
+begin : frameNo;
+end : frameNo;
+type : "tennis" tennis;
+type : "other";
+tennis : frame* event;
+frame : frameNo player;
+player : xPos yPos Area Ecc Orient;
+event : netplay;
+)";
+
+void PushFrame(std::vector<Token>* out, int n, double x, double y) {
+  out->push_back(Token::Int(n));
+  out->push_back(Token::Flt(x));
+  out->push_back(Token::Flt(y));
+  out->push_back(Token::Int(120));   // Area
+  out->push_back(Token::Flt(0.9));   // Ecc
+  out->push_back(Token::Flt(0.1));   // Orient
+}
+
+class FdeTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    Result<Grammar> g = ParseGrammar(kGrammar);
+    ASSERT_TRUE(g.ok()) << g.status().ToString();
+    grammar_ = std::make_unique<Grammar>(std::move(g).value());
+
+    registry_.Register(
+        "header",
+        [this](const DetectorContext& context, std::vector<Token>* out) {
+          header_calls_++;
+          const std::string& url = context.inputs.at(0).text();
+          if (url.find(".mpg") != std::string::npos) {
+            out->push_back(Token::Str("video"));
+            out->push_back(Token::Str("mpeg"));
+          } else if (url.find("missing") != std::string::npos) {
+            return Status::DetectorFailure("404");
+          } else {
+            out->push_back(Token::Str("text"));
+            out->push_back(Token::Str("html"));
+          }
+          return Status::Ok();
+        });
+    registry_.Register(
+        "segment",
+        [this](const DetectorContext&, std::vector<Token>* out) {
+          segment_calls_++;
+          // Shot 1: tennis, frames [0, 3).
+          out->push_back(Token::Int(0));
+          out->push_back(Token::Int(3));
+          out->push_back(Token::Str("tennis"));
+          // Shot 2: other, frames [3, 5).
+          out->push_back(Token::Int(3));
+          out->push_back(Token::Int(5));
+          out->push_back(Token::Str("other"));
+          return Status::Ok();
+        });
+    registry_.Register(
+        "tennis",
+        [this](const DetectorContext& context, std::vector<Token>* out) {
+          tennis_calls_++;
+          EXPECT_EQ(context.inputs.size(), 3u);
+          EXPECT_EQ(context.inputs[1].AsInt(), 0);
+          EXPECT_EQ(context.inputs[2].AsInt(), 3);
+          PushFrame(out, 0, 170, 250);
+          PushFrame(out, 1, 172, 160);  // at the net
+          PushFrame(out, 2, 175, 240);
+          return Status::Ok();
+        });
+  }
+
+  Fde MakeFde(FdeOptions options = FdeOptions()) {
+    return Fde(grammar_.get(), &registry_, options);
+  }
+
+  std::unique_ptr<Grammar> grammar_;
+  DetectorRegistry registry_;
+  int header_calls_ = 0;
+  int segment_calls_ = 0;
+  int tennis_calls_ = 0;
+};
+
+TEST_F(FdeTest, ParsesVideoObjectEndToEnd) {
+  Fde fde = MakeFde();
+  Result<ParseTree> r = fde.Parse({Token::Url("http://x/match.mpg")});
+  ASSERT_TRUE(r.ok()) << r.status().ToString();
+  const ParseTree& tree = r.value();
+
+  EXPECT_EQ(header_calls_, 1);
+  EXPECT_EQ(segment_calls_, 1);
+  EXPECT_EQ(tennis_calls_, 1);
+
+  // Structure: two shots, first with 3 frames.
+  EXPECT_EQ(tree.FindAll("shot").size(), 2u);
+  EXPECT_EQ(tree.FindAll("frame").size(), 3u);
+
+  // The netplay whitebox stored true (frame 1 has yPos 160 <= 170).
+  std::vector<PtNodeId> netplay = tree.FindAll("netplay");
+  ASSERT_EQ(netplay.size(), 1u);
+  EXPECT_TRUE(tree.node(netplay[0]).value.AsBit());
+}
+
+TEST_F(FdeTest, NonVideoObjectSkipsOptionalMmType) {
+  Fde fde = MakeFde();
+  Result<ParseTree> r = fde.Parse({Token::Url("http://x/page.html")});
+  ASSERT_TRUE(r.ok()) << r.status().ToString();
+  EXPECT_EQ(segment_calls_, 0);  // video_type guard rejected
+  EXPECT_TRUE(r.value().FindAll("mm_type").empty());
+  EXPECT_EQ(r.value().FindAll("MIME_type").size(), 1u);
+}
+
+TEST_F(FdeTest, DetectorFailureMakesObjectInvalid) {
+  Fde fde = MakeFde();
+  Result<ParseTree> r = fde.Parse({Token::Url("http://x/missing")});
+  EXPECT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kDetectorFailure);
+}
+
+TEST_F(FdeTest, NetplayFalseWhenNoFrameNearNet) {
+  registry_.Register(
+      "tennis", [](const DetectorContext&, std::vector<Token>* out) {
+        PushFrame(out, 0, 170, 250);
+        PushFrame(out, 1, 172, 255);
+        return Status::Ok();
+      });
+  Fde fde = MakeFde();
+  Result<ParseTree> r = fde.Parse({Token::Url("http://x/match.mpg")});
+  ASSERT_TRUE(r.ok()) << r.status().ToString();
+  std::vector<PtNodeId> netplay = r.value().FindAll("netplay");
+  ASSERT_EQ(netplay.size(), 1u);
+  // Bit-typed whitebox detectors record false instead of failing.
+  EXPECT_FALSE(r.value().node(netplay[0]).value.AsBit());
+}
+
+TEST_F(FdeTest, BacktracksAcrossShotBoundaries) {
+  // frame* must not eat the next shot's begin/end tokens even though
+  // ints widen to floats; the Area/type mismatch forces backtracking.
+  registry_.Register(
+      "segment", [](const DetectorContext&, std::vector<Token>* out) {
+        out->push_back(Token::Int(0));
+        out->push_back(Token::Int(2));
+        out->push_back(Token::Str("tennis"));
+        out->push_back(Token::Int(2));
+        out->push_back(Token::Int(9));
+        out->push_back(Token::Str("tennis"));
+        return Status::Ok();
+      });
+  int call = 0;
+  registry_.Register(
+      "tennis", [&call](const DetectorContext&, std::vector<Token>* out) {
+        ++call;
+        PushFrame(out, call * 10, 100, 200);
+        return Status::Ok();
+      });
+  Fde fde = MakeFde();
+  Result<ParseTree> r = fde.Parse({Token::Url("http://x/match.mpg")});
+  ASSERT_TRUE(r.ok()) << r.status().ToString();
+  EXPECT_EQ(r.value().FindAll("shot").size(), 2u);
+  EXPECT_EQ(r.value().FindAll("frame").size(), 2u);
+  EXPECT_EQ(call, 2);
+  EXPECT_GT(fde.stats().backtracks, 0u);
+}
+
+TEST_F(FdeTest, UnconsumedTokensAreAnError) {
+  registry_.Register(
+      "header", [](const DetectorContext&, std::vector<Token>* out) {
+        out->push_back(Token::Str("text"));
+        out->push_back(Token::Str("html"));
+        out->push_back(Token::Str("stray"));
+        return Status::Ok();
+      });
+  Fde fde = MakeFde();
+  Result<ParseTree> r = fde.Parse({Token::Url("http://x/page.html")});
+  EXPECT_FALSE(r.ok());
+  EXPECT_NE(r.status().message().find("unconsumed"), std::string::npos);
+}
+
+TEST_F(FdeTest, DetectorVersionsRecordedOnNodes) {
+  registry_.Register("segment",
+                     [](const DetectorContext&, std::vector<Token>* out) {
+                       out->push_back(Token::Int(0));
+                       out->push_back(Token::Int(1));
+                       out->push_back(Token::Str("other"));
+                       return Status::Ok();
+                     },
+                     DetectorVersion{2, 1, 3});
+  Fde fde = MakeFde();
+  Result<ParseTree> r = fde.Parse({Token::Url("http://x/match.mpg")});
+  ASSERT_TRUE(r.ok()) << r.status().ToString();
+  std::vector<PtNodeId> segments = r.value().FindAll("segment");
+  ASSERT_EQ(segments.size(), 1u);
+  EXPECT_EQ(r.value().node(segments[0]).version.ToString(), "2.1.3");
+}
+
+TEST_F(FdeTest, XmlDumpContainsHierarchyAndValues) {
+  Fde fde = MakeFde();
+  Result<ParseTree> r = fde.Parse({Token::Url("http://x/match.mpg")});
+  ASSERT_TRUE(r.ok());
+  xml::Document doc = r.value().ToXml();
+  std::string out = xml::Write(doc);
+  EXPECT_NE(out.find("<MMO>"), std::string::npos);
+  EXPECT_NE(out.find("<location>http://x/match.mpg</location>"),
+            std::string::npos);
+  EXPECT_NE(out.find("<netplay"), std::string::npos);
+  EXPECT_NE(out.find("version=\"1.0.0\""), std::string::npos);
+}
+
+TEST_F(FdeTest, InitRunsOnceFinalAtEnd) {
+  int inits = 0, finals = 0, begins = 0;
+  registry_.RegisterInit("segment", [&](const DetectorContext&) {
+    ++inits;
+    return Status::Ok();
+  });
+  registry_.RegisterFinal("segment", [&](const DetectorContext&) {
+    ++finals;
+    return Status::Ok();
+  });
+  registry_.RegisterBegin("segment", [&](const DetectorContext&) {
+    ++begins;
+    return Status::Ok();
+  });
+  Fde fde = MakeFde();
+  ASSERT_TRUE(fde.Parse({Token::Url("http://x/match.mpg")}).ok());
+  EXPECT_EQ(inits, 1);
+  EXPECT_EQ(finals, 1);
+  EXPECT_EQ(begins, 1);
+}
+
+TEST_F(FdeTest, InitFailureAbortsDetector) {
+  registry_.RegisterInit("segment", [](const DetectorContext&) {
+    return Status::Internal("no memory");
+  });
+  Fde fde = MakeFde();
+  // mm_type is optional, so the object still parses without video data.
+  Result<ParseTree> r = fde.Parse({Token::Url("http://x/match.mpg")});
+  ASSERT_TRUE(r.ok()) << r.status().ToString();
+  EXPECT_TRUE(r.value().FindAll("segment").empty());
+}
+
+TEST_F(FdeTest, RpcFailureInjection) {
+  FdeOptions options;
+  options.rpc_failure_every = 1;  // every external call fails
+  Fde fde = MakeFde(options);
+  Result<ParseTree> r = fde.Parse({Token::Url("http://x/match.mpg")});
+  // segment is xml-rpc:: — its failure suppresses the optional mm_type.
+  ASSERT_TRUE(r.ok()) << r.status().ToString();
+  EXPECT_TRUE(r.value().FindAll("segment").empty());
+  EXPECT_GT(fde.stats().rpc_calls, 0u);
+}
+
+TEST_F(FdeTest, RpcTrafficCounted) {
+  Fde fde = MakeFde();
+  ASSERT_TRUE(fde.Parse({Token::Url("http://x/match.mpg")}).ok());
+  EXPECT_EQ(fde.stats().rpc_calls, 2u);  // segment + tennis
+  EXPECT_GT(fde.stats().rpc_bytes, 0u);
+}
+
+TEST_F(FdeTest, MissingImplementationFailsSymbol) {
+  DetectorRegistry empty;
+  Fde fde(grammar_.get(), &empty, FdeOptions());
+  Result<ParseTree> r = fde.Parse({Token::Url("http://x/match.mpg")});
+  EXPECT_FALSE(r.ok());  // header is obligatory and unimplemented
+}
+
+TEST_F(FdeTest, CopyingStackModeProducesSameTree) {
+  FdeOptions shared_options;
+  shared_options.share_suffixes = true;
+  FdeOptions copy_options;
+  copy_options.share_suffixes = false;
+
+  Fde shared = MakeFde(shared_options);
+  Result<ParseTree> a = shared.Parse({Token::Url("http://x/match.mpg")});
+  Fde copying = MakeFde(copy_options);
+  Result<ParseTree> b = copying.Parse({Token::Url("http://x/match.mpg")});
+  ASSERT_TRUE(a.ok());
+  ASSERT_TRUE(b.ok());
+  EXPECT_EQ(a.value().SubtreeSignature(a.value().root()),
+            b.value().SubtreeSignature(b.value().root()));
+  // The copying stack duplicated tokens; the shared one did not.
+  EXPECT_GT(copying.stats().stack.tokens_copied, 0u);
+  EXPECT_EQ(shared.stats().stack.tokens_copied, 0u);
+  EXPECT_GT(shared.stats().stack.cells_allocated, 0u);
+}
+
+TEST_F(FdeTest, StepBudgetGuard) {
+  FdeOptions options;
+  options.max_steps = 5;
+  Fde fde = MakeFde(options);
+  Result<ParseTree> r = fde.Parse({Token::Url("http://x/match.mpg")});
+  EXPECT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kInternal);
+}
+
+}  // namespace
+}  // namespace dls::fg

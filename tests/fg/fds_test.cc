@@ -1,0 +1,219 @@
+#include "fg/fds.h"
+
+#include <gtest/gtest.h>
+
+namespace dls::fg {
+namespace {
+
+/// Grammar with a two-stage pipeline: `fetch` produces a mime string,
+/// the `is_text` guard gates `analyze`, which produces a wordcount.
+constexpr const char kGrammar[] = R"(
+%start OBJ(location);
+
+%detector fetch(location);
+%detector is_text mime == "text";
+%detector analyze(location);
+
+%atom url location;
+%atom str mime;
+%atom int wordcount;
+
+OBJ : location fetch body?;
+fetch : mime;
+body : is_text analyze;
+analyze : wordcount;
+)";
+
+class FdsTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    Result<Grammar> g = ParseGrammar(kGrammar);
+    ASSERT_TRUE(g.ok()) << g.status().ToString();
+    grammar_ = std::make_unique<Grammar>(std::move(g).value());
+
+    RegisterFetch("text");
+    RegisterAnalyze(42);
+
+    fde_ = std::make_unique<Fde>(grammar_.get(), &registry_, FdeOptions());
+    fds_ = std::make_unique<Fds>(grammar_.get(), &registry_, &store_,
+                                 fde_.get());
+
+    for (const char* url : {"u1", "u2", "u3"}) {
+      Result<ParseTree> tree = fde_->Parse({Token::Url(url)});
+      ASSERT_TRUE(tree.ok()) << tree.status().ToString();
+      store_.Put(url, std::move(tree).value());
+    }
+    registry_.ResetCallCounts();
+  }
+
+  void RegisterFetch(const std::string& mime,
+                     DetectorVersion version = DetectorVersion()) {
+    registry_.Register(
+        "fetch",
+        [mime](const DetectorContext&, std::vector<Token>* out) {
+          out->push_back(Token::Str(mime));
+          return Status::Ok();
+        },
+        version);
+  }
+  void RegisterAnalyze(int count,
+                       DetectorVersion version = DetectorVersion()) {
+    registry_.Register(
+        "analyze",
+        [count](const DetectorContext&, std::vector<Token>* out) {
+          out->push_back(Token::Int(count));
+          return Status::Ok();
+        },
+        version);
+  }
+
+  DetectorFn FetchFn(const std::string& mime) {
+    return [mime](const DetectorContext&, std::vector<Token>* out) {
+      out->push_back(Token::Str(mime));
+      return Status::Ok();
+    };
+  }
+  DetectorFn AnalyzeFn(int count) {
+    return [count](const DetectorContext&, std::vector<Token>* out) {
+      out->push_back(Token::Int(count));
+      return Status::Ok();
+    };
+  }
+
+  std::unique_ptr<Grammar> grammar_;
+  DetectorRegistry registry_;
+  ParseTreeStore store_;
+  std::unique_ptr<Fde> fde_;
+  std::unique_ptr<Fds> fds_;
+};
+
+TEST_F(FdsTest, RevisionChangeIsFree) {
+  Result<ChangeClass> change = fds_->UpdateDetector(
+      "analyze", AnalyzeFn(42), DetectorVersion{1, 0, 1});
+  ASSERT_TRUE(change.ok());
+  EXPECT_EQ(change.value(), ChangeClass::kRevision);
+  EXPECT_EQ(fds_->pending(), 0u);
+  ASSERT_TRUE(fds_->RunPending().ok());
+  EXPECT_EQ(registry_.CallCount("analyze"), 0u);
+}
+
+TEST_F(FdsTest, MinorChangeRevalidatesOnlyAffectedDetector) {
+  Result<ChangeClass> change = fds_->UpdateDetector(
+      "analyze", AnalyzeFn(100), DetectorVersion{1, 1, 0});
+  ASSERT_TRUE(change.ok());
+  EXPECT_EQ(change.value(), ChangeClass::kMinor);
+  EXPECT_EQ(fds_->pending(), 3u);  // one task per stored object
+  ASSERT_TRUE(fds_->RunPending().ok());
+  // Incremental: analyze re-ran, fetch did not.
+  EXPECT_EQ(registry_.CallCount("analyze"), 3u);
+  EXPECT_EQ(registry_.CallCount("fetch"), 0u);
+
+  // The stored trees now carry the new wordcount.
+  ParseTree* tree = store_.Find("u1");
+  std::vector<PtNodeId> counts = tree->FindAll("wordcount");
+  ASSERT_EQ(counts.size(), 1u);
+  EXPECT_EQ(tree->node(counts[0]).value.AsInt(), 100);
+}
+
+TEST_F(FdsTest, MajorChangeInvalidatesImmediately) {
+  Result<ChangeClass> change = fds_->UpdateDetector(
+      "analyze", AnalyzeFn(7), DetectorVersion{2, 0, 0});
+  ASSERT_TRUE(change.ok());
+  EXPECT_EQ(change.value(), ChangeClass::kMajor);
+  // Before RunPending the data is marked unusable.
+  ParseTree* tree = store_.Find("u1");
+  std::vector<PtNodeId> nodes = tree->FindAll("analyze");
+  ASSERT_EQ(nodes.size(), 1u);
+  EXPECT_FALSE(tree->node(nodes[0]).valid);
+
+  ASSERT_TRUE(fds_->RunPending().ok());
+  EXPECT_TRUE(tree->node(tree->FindAll("analyze")[0]).valid);
+  EXPECT_EQ(tree->node(tree->FindAll("wordcount")[0]).value.AsInt(), 7);
+}
+
+TEST_F(FdsTest, HighPriorityRunsBeforeLow) {
+  ASSERT_TRUE(fds_->UpdateDetector("analyze", AnalyzeFn(1),
+                                   DetectorVersion{1, 1, 0})
+                  .ok());  // low
+  ASSERT_TRUE(fds_->UpdateDetector("fetch", FetchFn("text"),
+                                   DetectorVersion{2, 0, 0})
+                  .ok());  // high
+  // Drain manually one task at a time is not exposed; instead verify
+  // both ran and the final state is consistent.
+  ASSERT_TRUE(fds_->RunPending().ok());
+  EXPECT_GT(registry_.CallCount("fetch"), 0u);
+  EXPECT_GT(registry_.CallCount("analyze"), 0u);
+}
+
+TEST_F(FdsTest, ParameterCascade) {
+  // fetch now reports "image": after revalidating fetch, its changed
+  // `mime` output must cascade into the is_text guard, whose failure
+  // prunes the analysis subtree... but body? is optional, so the object
+  // remains valid without a body.
+  ASSERT_TRUE(fds_->UpdateDetector("fetch", FetchFn("image"),
+                                   DetectorVersion{1, 1, 0})
+                  .ok());
+  ASSERT_TRUE(fds_->RunPending().ok());
+  EXPECT_GT(fds_->stats().cascades, 0u);
+
+  ParseTree* tree = store_.Find("u2");
+  std::vector<PtNodeId> mimes = tree->FindAll("mime");
+  ASSERT_EQ(mimes.size(), 1u);
+  EXPECT_EQ(tree->node(mimes[0]).value.text(), "image");
+}
+
+TEST_F(FdsTest, UnchangedOutputStopsCascade) {
+  // New implementation, identical output: dependents must not re-run.
+  ASSERT_TRUE(fds_->UpdateDetector("fetch", FetchFn("text"),
+                                   DetectorVersion{1, 1, 0})
+                  .ok());
+  ASSERT_TRUE(fds_->RunPending().ok());
+  EXPECT_EQ(fds_->stats().subtrees_unchanged, 3u);
+  EXPECT_EQ(registry_.CallCount("analyze"), 0u);
+}
+
+TEST_F(FdsTest, SourceChangeTriggersFullReparse) {
+  RegisterAnalyze(55);
+  size_t before = registry_.CallCount("fetch");
+  Status s = fds_->OnSourceChanged(
+      "u1", [](const ParseTree&) { return false; },  // probe says stale
+      {Token::Url("u1")});
+  ASSERT_TRUE(s.ok()) << s.ToString();
+  EXPECT_GT(registry_.CallCount("fetch"), before);
+  EXPECT_EQ(fds_->stats().full_reparses, 1u);
+  ParseTree* tree = store_.Find("u1");
+  EXPECT_EQ(tree->node(tree->FindAll("wordcount")[0]).value.AsInt(), 55);
+}
+
+TEST_F(FdsTest, SourceProbeValidMeansNoWork) {
+  Status s = fds_->OnSourceChanged(
+      "u1", [](const ParseTree&) { return true; }, {Token::Url("u1")});
+  ASSERT_TRUE(s.ok());
+  EXPECT_EQ(fds_->stats().full_reparses, 0u);
+  EXPECT_EQ(registry_.CallCount("fetch"), 0u);
+}
+
+TEST_F(FdsTest, UnknownDetectorRejected) {
+  Result<ChangeClass> r = fds_->UpdateDetector(
+      "ghost", AnalyzeFn(1), DetectorVersion{1, 1, 0});
+  EXPECT_FALSE(r.ok());
+}
+
+TEST_F(FdsTest, MissingObjectHandledGracefully) {
+  Status s = fds_->OnSourceChanged(
+      "nope", [](const ParseTree&) { return false; }, {});
+  EXPECT_EQ(s.code(), StatusCode::kNotFound);
+}
+
+TEST(ClassifyChangeTest, ThreeLevels) {
+  DetectorVersion base{1, 2, 3};
+  EXPECT_EQ(ClassifyChange(base, DetectorVersion{1, 2, 4}),
+            ChangeClass::kRevision);
+  EXPECT_EQ(ClassifyChange(base, DetectorVersion{1, 3, 0}),
+            ChangeClass::kMinor);
+  EXPECT_EQ(ClassifyChange(base, DetectorVersion{2, 0, 0}),
+            ChangeClass::kMajor);
+}
+
+}  // namespace
+}  // namespace dls::fg

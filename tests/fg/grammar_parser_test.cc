@@ -1,0 +1,250 @@
+#include <gtest/gtest.h>
+
+#include "fg/grammar.h"
+
+namespace dls::fg {
+namespace {
+
+constexpr const char kFig6[] = R"(
+%start MMO(location);
+
+%detector header(location);
+%detector header.init();
+%detector header.final();
+
+%detector video_type primary == "video";
+
+%atom url;
+
+%atom url location;
+%atom str primary;
+%atom str secondary;
+
+MMO : location header mm_type?;
+header : MIME_type;
+MIME_type : primary secondary;
+mm_type : video_type video;
+video : noop;
+%detector noop();
+)";
+
+TEST(GrammarParserTest, ParsesFigure6Fragment) {
+  Result<Grammar> r = ParseGrammar(kFig6);
+  ASSERT_TRUE(r.ok()) << r.status().ToString();
+  const Grammar& g = r.value();
+  EXPECT_EQ(g.start_symbol(), "MMO");
+  ASSERT_EQ(g.start_args().size(), 1u);
+  EXPECT_EQ(g.start_args()[0], Path{"location"});
+
+  EXPECT_EQ(g.KindOf("MMO"), SymbolKind::kVariable);
+  EXPECT_EQ(g.KindOf("header"), SymbolKind::kDetector);
+  EXPECT_EQ(g.KindOf("location"), SymbolKind::kTerminal);
+  EXPECT_EQ(g.KindOf("unknown"), SymbolKind::kUnknown);
+  EXPECT_EQ(g.atom_type("location"), AtomType::kUrl);
+  EXPECT_EQ(g.atom_type("primary"), AtomType::kStr);
+
+  const DetectorDecl* header = g.FindDetector("header");
+  ASSERT_NE(header, nullptr);
+  EXPECT_FALSE(header->IsWhitebox());
+  EXPECT_TRUE(header->has_init);
+  EXPECT_TRUE(header->has_final);
+  EXPECT_FALSE(header->has_begin);
+  ASSERT_EQ(header->inputs.size(), 1u);
+  EXPECT_EQ(header->inputs[0], Path{"location"});
+
+  const DetectorDecl* video_type = g.FindDetector("video_type");
+  ASSERT_NE(video_type, nullptr);
+  ASSERT_TRUE(video_type->IsWhitebox());
+  EXPECT_EQ(video_type->predicate->kind, PredExpr::Kind::kCompare);
+  EXPECT_EQ(video_type->predicate->path, Path{"primary"});
+  EXPECT_EQ(video_type->predicate->op, CmpOp::kEq);
+  EXPECT_EQ(video_type->predicate->literal.text(), "video");
+}
+
+TEST(GrammarParserTest, OptionalMarkerParsed) {
+  Result<Grammar> r = ParseGrammar(kFig6);
+  ASSERT_TRUE(r.ok());
+  std::vector<const Rule*> rules = r.value().RulesFor("MMO");
+  ASSERT_EQ(rules.size(), 1u);
+  ASSERT_EQ(rules[0]->rhs.size(), 3u);
+  EXPECT_EQ(rules[0]->rhs[2].name, "mm_type");
+  EXPECT_EQ(rules[0]->rhs[2].repeat, Repeat::kOptional);
+  EXPECT_EQ(rules[0]->rhs[0].repeat, Repeat::kOne);
+}
+
+constexpr const char kFig7[] = R"(
+%start video(location);
+%atom url location;
+
+%detector xml-rpc::segment(location);
+%detector xml-rpc::tennis(location, begin.frameNo, end.frameNo);
+
+%detector netplay some[tennis.frame](
+  player.yPos <= 170.0
+);
+
+%atom flt xPos,yPos,Ecc,Orient;
+%atom int frameNo,Area;
+%atom bit netplay;
+
+video : location segment;
+segment : shot*;
+shot : begin end type;
+begin : frameNo;
+end : frameNo;
+type : "tennis" tennis;
+type : "other";
+tennis : frame* event;
+frame : frameNo player;
+player : xPos yPos Area Ecc Orient;
+event : netplay;
+)";
+
+TEST(GrammarParserTest, ParsesFigure7Fragment) {
+  Result<Grammar> r = ParseGrammar(kFig7);
+  ASSERT_TRUE(r.ok()) << r.status().ToString();
+  const Grammar& g = r.value();
+
+  const DetectorDecl* segment = g.FindDetector("segment");
+  ASSERT_NE(segment, nullptr);
+  EXPECT_EQ(segment->protocol, DetectorProtocol::kXmlRpc);
+
+  const DetectorDecl* tennis = g.FindDetector("tennis");
+  ASSERT_NE(tennis, nullptr);
+  ASSERT_EQ(tennis->inputs.size(), 3u);
+  EXPECT_EQ(tennis->inputs[1], (Path{"begin", "frameNo"}));
+
+  const DetectorDecl* netplay = g.FindDetector("netplay");
+  ASSERT_NE(netplay, nullptr);
+  ASSERT_TRUE(netplay->IsWhitebox());
+  EXPECT_EQ(netplay->predicate->kind, PredExpr::Kind::kQuantified);
+  EXPECT_EQ(netplay->predicate->quant, Quantifier::kSome);
+  EXPECT_EQ(netplay->predicate->binding, (Path{"tennis", "frame"}));
+  ASSERT_EQ(netplay->predicate->children.size(), 1u);
+  EXPECT_EQ(netplay->predicate->children[0]->op, CmpOp::kLe);
+  EXPECT_DOUBLE_EQ(netplay->predicate->children[0]->literal.AsFlt(), 170.0);
+
+  // Alternatives for `type`: literal-guarded rules.
+  std::vector<const Rule*> type_rules = g.RulesFor("type");
+  ASSERT_EQ(type_rules.size(), 2u);
+  EXPECT_EQ(type_rules[0]->rhs[0].kind, RhsElement::Kind::kLiteral);
+  EXPECT_EQ(type_rules[0]->rhs[0].literal, "tennis");
+
+  // Repetitions.
+  EXPECT_EQ(g.RulesFor("segment")[0]->rhs[0].repeat, Repeat::kStar);
+  EXPECT_EQ(g.RulesFor("tennis")[0]->rhs[0].repeat, Repeat::kStar);
+  EXPECT_EQ(g.atom_type("netplay"), AtomType::kBit);
+  EXPECT_EQ(g.atom_type("Area"), AtomType::kInt);
+  EXPECT_EQ(g.atom_type("yPos"), AtomType::kFlt);
+}
+
+TEST(GrammarParserTest, ReferencesAndPipeAlternatives) {
+  constexpr const char kRef[] = R"(
+%start html(location);
+%atom url location;
+%atom str word, title;
+html : location title? body?;
+body : &keyword+ | word;
+keyword : word;
+)";
+  Result<Grammar> r = ParseGrammar(kRef);
+  ASSERT_TRUE(r.ok()) << r.status().ToString();
+  std::vector<const Rule*> body_rules = r.value().RulesFor("body");
+  ASSERT_EQ(body_rules.size(), 2u);
+  EXPECT_EQ(body_rules[0]->rhs[0].kind, RhsElement::Kind::kReference);
+  EXPECT_EQ(body_rules[0]->rhs[0].name, "keyword");
+  EXPECT_EQ(body_rules[0]->rhs[0].repeat, Repeat::kPlus);
+  EXPECT_EQ(body_rules[1]->rhs[0].kind, RhsElement::Kind::kSymbol);
+}
+
+TEST(GrammarParserTest, ReferenceKeyTypes) {
+  constexpr const char kRef[] = R"(
+%start MMO(location);
+%atom url location;
+%atom str word;
+%detector fetch(location);
+MMO : location fetch;
+fetch : item*;
+item : &MMO | keyword;
+keyword : word;
+)";
+  Result<Grammar> r = ParseGrammar(kRef);
+  ASSERT_TRUE(r.ok()) << r.status().ToString();
+  EXPECT_EQ(r.value().ReferenceKeyType("MMO"), AtomType::kUrl);
+  EXPECT_EQ(r.value().ReferenceKeyType("keyword"), AtomType::kStr);
+  EXPECT_EQ(r.value().ReferenceKeyType("word"), AtomType::kStr);
+  EXPECT_EQ(r.value().ReferenceKeyType("item"), std::nullopt);
+}
+
+TEST(GrammarParserTest, CommentsIgnored) {
+  constexpr const char kCommented[] = R"(
+// a comment
+%start s(x);  # trailing comment
+%atom str x;
+s : x;
+)";
+  EXPECT_TRUE(ParseGrammar(kCommented).ok());
+}
+
+TEST(GrammarParserTest, RejectsUndefinedSymbol) {
+  Status s = ParseGrammar("%start a(x);\n%atom str x;\na : x missing;")
+                 .status();
+  EXPECT_EQ(s.code(), StatusCode::kInvalidArgument);  // validation stage
+  EXPECT_NE(s.message().find("missing"), std::string::npos);
+}
+
+TEST(GrammarParserTest, RejectsMissingStart) {
+  EXPECT_FALSE(ParseGrammar("%atom str x;\na : x;").ok());
+}
+
+TEST(GrammarParserTest, RejectsUnknownAtomType) {
+  EXPECT_FALSE(ParseGrammar("%start a(x);\n%atom floot x;\na : x;").ok());
+}
+
+TEST(GrammarParserTest, RejectsAtomWithRules) {
+  EXPECT_FALSE(
+      ParseGrammar("%start a(x);\n%atom str x;\na : x;\nx : a;").ok());
+}
+
+TEST(GrammarParserTest, RejectsUnknownProtocol) {
+  EXPECT_FALSE(
+      ParseGrammar("%start a(x);\n%atom str x;\n%detector soap::d(x);\na : x d;")
+          .ok());
+}
+
+TEST(GrammarParserTest, RejectsUnterminatedString) {
+  EXPECT_FALSE(ParseGrammar("%start a(x);\n%atom str x;\na : \"oops;").ok());
+}
+
+TEST(GrammarParserTest, DeclaredAdtDefaultsToString) {
+  constexpr const char kAdt[] = R"(
+%start a(x);
+%atom image;
+%atom image x;
+a : x;
+)";
+  Result<Grammar> r = ParseGrammar(kAdt);
+  ASSERT_TRUE(r.ok()) << r.status().ToString();
+  EXPECT_EQ(r.value().atom_type("x"), AtomType::kStr);
+}
+
+TEST(GrammarParserTest, PredicateBooleanOperators) {
+  constexpr const char kPred[] = R"(
+%start a(x);
+%atom str x;
+%atom flt y;
+%detector guard not (x == "no") and (y > 1.5 or y < -0.5);
+a : x guard;
+)";
+  Result<Grammar> r = ParseGrammar(kPred);
+  ASSERT_TRUE(r.ok()) << r.status().ToString();
+  const DetectorDecl* guard = r.value().FindDetector("guard");
+  ASSERT_TRUE(guard->IsWhitebox());
+  EXPECT_EQ(guard->predicate->kind, PredExpr::Kind::kAnd);
+  ASSERT_EQ(guard->predicate->children.size(), 2u);
+  EXPECT_EQ(guard->predicate->children[0]->kind, PredExpr::Kind::kNot);
+  EXPECT_EQ(guard->predicate->children[1]->kind, PredExpr::Kind::kOr);
+}
+
+}  // namespace
+}  // namespace dls::fg

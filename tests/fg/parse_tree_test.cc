@@ -1,0 +1,157 @@
+#include "fg/parse_tree.h"
+
+#include <gtest/gtest.h>
+
+#include "xml/parser.h"
+#include "xml/writer.h"
+
+namespace dls::fg {
+namespace {
+
+/// Builds the canonical shot tree used across these tests:
+/// video -> shot -> (begin->frameNo, tennis -> frame* -> player->yPos)
+struct TreeFixture {
+  ParseTree tree;
+  PtNodeId video, shot, begin, frame_no, tennis, frame1, frame2;
+
+  TreeFixture() {
+    video = tree.CreateRoot("video", PtNode::Kind::kVariable);
+    shot = tree.AppendChild(video, "shot", PtNode::Kind::kVariable);
+    begin = tree.AppendChild(shot, "begin", PtNode::Kind::kVariable);
+    frame_no = tree.AppendChild(begin, "frameNo", PtNode::Kind::kTerminal);
+    tree.mutable_node(frame_no).value = Token::Int(7);
+    tennis = tree.AppendChild(shot, "tennis", PtNode::Kind::kDetector);
+    frame1 = AddFrame(130.0);
+    frame2 = AddFrame(250.0);
+  }
+
+  PtNodeId AddFrame(double y) {
+    PtNodeId frame = tree.AppendChild(tennis, "frame",
+                                      PtNode::Kind::kVariable);
+    PtNodeId player =
+        tree.AppendChild(frame, "player", PtNode::Kind::kVariable);
+    PtNodeId ypos =
+        tree.AppendChild(player, "yPos", PtNode::Kind::kTerminal);
+    tree.mutable_node(ypos).value = Token::Flt(y);
+    return frame;
+  }
+};
+
+TEST(ParseTreeTest, ResolvePathFromDetectorContext) {
+  TreeFixture f;
+  // From the tennis node, `begin.frameNo` resolves through the shot
+  // ancestor to the preceding begin subtree.
+  std::vector<PtNodeId> hits =
+      f.tree.ResolvePath(f.tennis, Path{"begin", "frameNo"}, false);
+  ASSERT_EQ(hits.size(), 1u);
+  Token value;
+  ASSERT_TRUE(f.tree.ValueOf(hits[0], &value));
+  EXPECT_EQ(value.AsInt(), 7);
+}
+
+TEST(ParseTreeTest, ResolvePathAllMatchesForQuantifiers) {
+  TreeFixture f;
+  // Binding `tennis.frame` from deep inside yields both frames.
+  std::vector<PtNodeId> frames =
+      f.tree.ResolvePath(f.frame1, Path{"tennis", "frame"}, true);
+  EXPECT_EQ(frames.size(), 2u);
+}
+
+TEST(ParseTreeTest, ResolvePathPrefersNearestAnchor) {
+  TreeFixture f;
+  // From frame1's player, `player.yPos` must resolve to frame1's own
+  // value, not frame2's.
+  std::vector<PtNodeId> hits =
+      f.tree.ResolvePath(f.frame1, Path{"player", "yPos"}, false);
+  ASSERT_EQ(hits.size(), 1u);
+  Token value;
+  ASSERT_TRUE(f.tree.ValueOf(hits[0], &value));
+  EXPECT_DOUBLE_EQ(value.AsFlt(), 130.0);
+}
+
+TEST(ParseTreeTest, ResolveUnknownPathEmpty) {
+  TreeFixture f;
+  EXPECT_TRUE(f.tree.ResolvePath(f.tennis, Path{"nothing"}, false).empty());
+  EXPECT_TRUE(f.tree.ResolvePath(f.tennis, Path{}, false).empty());
+}
+
+TEST(ParseTreeTest, ValueOfCompositeWithSingleTerminal) {
+  TreeFixture f;
+  Token value;
+  // `begin` has exactly one terminal below it.
+  ASSERT_TRUE(f.tree.ValueOf(f.begin, &value));
+  EXPECT_EQ(value.AsInt(), 7);
+  // `shot` has several terminals below -> ambiguous.
+  EXPECT_FALSE(f.tree.ValueOf(f.shot, &value));
+}
+
+TEST(ParseTreeTest, RollbackDetachesAndTruncates) {
+  TreeFixture f;
+  size_t mark = f.tree.Mark();
+  f.AddFrame(99.0);
+  EXPECT_EQ(f.tree.FindAll("frame").size(), 3u);
+  f.tree.RollbackTo(mark);
+  EXPECT_EQ(f.tree.FindAll("frame").size(), 2u);
+  EXPECT_EQ(f.tree.node_count(), mark);
+}
+
+TEST(ParseTreeTest, ClearChildrenMakesSubtreeUnreachable) {
+  TreeFixture f;
+  f.tree.ClearChildren(f.tennis);
+  EXPECT_TRUE(f.tree.FindAll("frame").empty());
+  EXPECT_TRUE(f.tree.FindAll("yPos").empty());
+  EXPECT_EQ(f.tree.FindAll("frameNo").size(), 1u);  // outside the cleared part
+}
+
+TEST(ParseTreeTest, XmlRoundTripPreservesStructureAndTypes) {
+  constexpr const char kGrammar[] = R"(
+%start video(frameNo);
+%detector tennis();
+%atom int frameNo;
+%atom flt yPos;
+video : shot;
+shot : begin tennis;
+begin : frameNo;
+tennis : frame*;
+frame : player;
+player : yPos;
+)";
+  Result<Grammar> grammar = ParseGrammar(kGrammar);
+  ASSERT_TRUE(grammar.ok()) << grammar.status().ToString();
+
+  TreeFixture f;
+  f.tree.mutable_node(f.tennis).version = DetectorVersion{2, 1, 0};
+  xml::Document doc = f.tree.ToXml();
+  Result<ParseTree> back = ParseTree::FromXml(grammar.value(), doc);
+  ASSERT_TRUE(back.ok()) << back.status().ToString();
+
+  EXPECT_EQ(back.value().SubtreeSignature(back.value().root()),
+            f.tree.SubtreeSignature(f.tree.root()));
+  // Kinds and typed values restored.
+  std::vector<PtNodeId> tennis_nodes = back.value().FindAll("tennis");
+  ASSERT_EQ(tennis_nodes.size(), 1u);
+  EXPECT_EQ(back.value().node(tennis_nodes[0]).kind,
+            PtNode::Kind::kDetector);
+  EXPECT_EQ(back.value().node(tennis_nodes[0]).version.ToString(), "2.1.0");
+  std::vector<PtNodeId> ypos = back.value().FindAll("yPos");
+  ASSERT_EQ(ypos.size(), 2u);
+  EXPECT_EQ(back.value().node(ypos[0]).value.type(), AtomType::kFlt);
+  EXPECT_DOUBLE_EQ(back.value().node(ypos[0]).value.AsFlt(), 130.0);
+}
+
+TEST(ParseTreeTest, FromXmlRejectsUnknownSymbols) {
+  Result<Grammar> grammar =
+      ParseGrammar("%start a(x);\n%atom str x;\na : x;");
+  ASSERT_TRUE(grammar.ok());
+  Result<xml::Document> doc = xml::Parse("<a><mystery>v</mystery></a>");
+  ASSERT_TRUE(doc.ok());
+  EXPECT_FALSE(ParseTree::FromXml(grammar.value(), doc.value()).ok());
+}
+
+TEST(DetectorVersionTest, ToStringFormat) {
+  EXPECT_EQ((DetectorVersion{3, 14, 15}).ToString(), "3.14.15");
+  EXPECT_EQ(DetectorVersion().ToString(), "1.0.0");
+}
+
+}  // namespace
+}  // namespace dls::fg

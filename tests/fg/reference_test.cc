@@ -1,0 +1,118 @@
+// The reference construct (&symbol, Fig. 14): link structure, key
+// typing and structure sharing at the FDE level.
+#include <gtest/gtest.h>
+
+#include "fg/fde.h"
+
+namespace dls::fg {
+namespace {
+
+constexpr const char kGrammar[] = R"(
+%start page(location);
+
+%detector fetch(location);
+
+%atom url;
+%atom url location;
+%atom str title, word;
+%atom bit embedded;
+
+page : location fetch;
+fetch : title? body? anchor*;
+body : &keyword+;
+keyword : word;
+anchor : &page embedded;
+)";
+
+class ReferenceTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    Result<Grammar> g = ParseGrammar(kGrammar);
+    ASSERT_TRUE(g.ok()) << g.status().ToString();
+    grammar_ = std::make_unique<Grammar>(std::move(g).value());
+  }
+
+  /// Registers a fetch stub pushing the given token stream.
+  void SetFetchOutput(std::vector<Token> tokens) {
+    registry_.Register(
+        "fetch", [tokens](const DetectorContext&, std::vector<Token>* out) {
+          *out = tokens;
+          return Status::Ok();
+        });
+  }
+
+  std::unique_ptr<Grammar> grammar_;
+  DetectorRegistry registry_;
+};
+
+TEST_F(ReferenceTest, KeywordAndPageReferencesCollected) {
+  SetFetchOutput({Token::Str("Welcome"), Token::Str("tennis"),
+                  Token::Str("open"), Token::Url("http://x/next.html"),
+                  Token::Bit(true)});
+  Fde fde(grammar_.get(), &registry_, FdeOptions());
+  Result<ParseTree> tree = fde.Parse({Token::Url("http://x/a.html")});
+  ASSERT_TRUE(tree.ok()) << tree.status().ToString();
+
+  ASSERT_EQ(fde.last_references().size(), 3u);
+  EXPECT_EQ(fde.last_references()[0].symbol, "keyword");
+  EXPECT_EQ(fde.last_references()[0].key, "tennis");
+  EXPECT_EQ(fde.last_references()[1].key, "open");
+  EXPECT_EQ(fde.last_references()[2].symbol, "page");
+  EXPECT_EQ(fde.last_references()[2].key, "http://x/next.html");
+
+  // Reference nodes appear in the tree with their keys.
+  std::vector<PtNodeId> anchors = tree.value().FindAll("anchor");
+  ASSERT_EQ(anchors.size(), 1u);
+}
+
+TEST_F(ReferenceTest, StrictKeyTypingStopsReferenceRuns) {
+  // A url token must NOT be eaten by &keyword+ (str-keyed), and a str
+  // token must not bind &page (url-keyed).
+  SetFetchOutput({Token::Str("Title"), Token::Str("w1"),
+                  Token::Url("http://x/p.html"), Token::Bit(false)});
+  Fde fde(grammar_.get(), &registry_, FdeOptions());
+  Result<ParseTree> tree = fde.Parse({Token::Url("http://x/a.html")});
+  ASSERT_TRUE(tree.ok()) << tree.status().ToString();
+  ASSERT_EQ(fde.last_references().size(), 2u);
+  EXPECT_EQ(fde.last_references()[0].symbol, "keyword");
+  EXPECT_EQ(fde.last_references()[1].symbol, "page");
+}
+
+TEST_F(ReferenceTest, PageWithoutAnchorsOrBody) {
+  SetFetchOutput({Token::Str("Only a title")});
+  Fde fde(grammar_.get(), &registry_, FdeOptions());
+  Result<ParseTree> tree = fde.Parse({Token::Url("http://x/a.html")});
+  ASSERT_TRUE(tree.ok()) << tree.status().ToString();
+  EXPECT_TRUE(fde.last_references().empty());
+}
+
+TEST_F(ReferenceTest, ReferencesSerializedIntoXml) {
+  SetFetchOutput({Token::Str("T"), Token::Str("kw"),
+                  Token::Url("http://x/n.html"), Token::Bit(true)});
+  Fde fde(grammar_.get(), &registry_, FdeOptions());
+  Result<ParseTree> tree = fde.Parse({Token::Url("http://x/a.html")});
+  ASSERT_TRUE(tree.ok());
+  xml::Document doc = tree.value().ToXml();
+  // Reference nodes carry their key as a ref attribute.
+  bool found = false;
+  for (xml::NodeId id = 0; id < doc.node_count(); ++id) {
+    const std::string* ref = doc.FindAttribute(id, "ref");
+    if (ref != nullptr && *ref == "http://x/n.html") found = true;
+  }
+  EXPECT_TRUE(found);
+}
+
+TEST_F(ReferenceTest, SharedKeysAcrossParses) {
+  // Two pages sharing a keyword produce references with identical keys
+  // — the hook for the paper's structure sharing.
+  SetFetchOutput({Token::Str("T"), Token::Str("shared")});
+  Fde fde(grammar_.get(), &registry_, FdeOptions());
+  ASSERT_TRUE(fde.Parse({Token::Url("http://x/1.html")}).ok());
+  std::string key1 = fde.last_references()[0].key;
+  ASSERT_TRUE(fde.Parse({Token::Url("http://x/2.html")}).ok());
+  std::string key2 = fde.last_references()[0].key;
+  EXPECT_EQ(key1, key2);
+}
+
+}  // namespace
+}  // namespace dls::fg

@@ -1,0 +1,116 @@
+#include "fg/token_stack.h"
+
+#include <gtest/gtest.h>
+
+namespace dls::fg {
+namespace {
+
+class TokenStackModeTest : public ::testing::TestWithParam<bool> {};
+
+TEST_P(TokenStackModeTest, PushPopLifo) {
+  TokenStack stack(GetParam());
+  EXPECT_TRUE(stack.empty());
+  stack.Push(Token::Int(1));
+  stack.Push(Token::Int(2));
+  EXPECT_EQ(stack.size(), 2u);
+  EXPECT_EQ(stack.Top().AsInt(), 2);
+  stack.Pop();
+  EXPECT_EQ(stack.Top().AsInt(), 1);
+  stack.Pop();
+  EXPECT_TRUE(stack.empty());
+}
+
+TEST_P(TokenStackModeTest, SaveRestoreRoundTrip) {
+  TokenStack stack(GetParam());
+  stack.Push(Token::Str("a"));
+  stack.Push(Token::Str("b"));
+  TokenStack::Snapshot snap = stack.Save();
+  stack.Pop();
+  stack.Push(Token::Str("c"));
+  stack.Push(Token::Str("d"));
+  stack.Restore(snap);
+  EXPECT_EQ(stack.size(), 2u);
+  EXPECT_EQ(stack.Top().text(), "b");
+  stack.Pop();
+  EXPECT_EQ(stack.Top().text(), "a");
+}
+
+TEST_P(TokenStackModeTest, MultipleSnapshotsIndependent) {
+  TokenStack stack(GetParam());
+  stack.Push(Token::Int(1));
+  TokenStack::Snapshot one = stack.Save();
+  stack.Push(Token::Int(2));
+  TokenStack::Snapshot two = stack.Save();
+  stack.Push(Token::Int(3));
+  stack.Restore(one);
+  EXPECT_EQ(stack.size(), 1u);
+  stack.Restore(two);
+  EXPECT_EQ(stack.size(), 2u);
+  EXPECT_EQ(stack.Top().AsInt(), 2);
+}
+
+TEST_P(TokenStackModeTest, RestoreEmptySnapshot) {
+  TokenStack stack(GetParam());
+  TokenStack::Snapshot empty = stack.Save();
+  stack.Push(Token::Int(9));
+  stack.Restore(empty);
+  EXPECT_TRUE(stack.empty());
+}
+
+INSTANTIATE_TEST_SUITE_P(SharedAndCopying, TokenStackModeTest,
+                         ::testing::Bool());
+
+TEST(TokenStackStatsTest, SharedModeSavesAreFree) {
+  TokenStackStats stats;
+  TokenStack stack(/*shared=*/true, &stats);
+  for (int i = 0; i < 100; ++i) stack.Push(Token::Int(i));
+  for (int i = 0; i < 50; ++i) stack.Save();
+  EXPECT_EQ(stats.tokens_copied, 0u);
+  EXPECT_EQ(stats.cells_allocated, 100u);
+  EXPECT_EQ(stats.snapshots, 50u);
+}
+
+TEST(TokenStackStatsTest, CopyModeSavesCopyEverything) {
+  TokenStackStats stats;
+  TokenStack stack(/*shared=*/false, &stats);
+  for (int i = 0; i < 100; ++i) stack.Push(Token::Int(i));
+  for (int i = 0; i < 50; ++i) stack.Save();
+  EXPECT_EQ(stats.tokens_copied, 5000u);  // 50 snapshots x 100 tokens
+}
+
+TEST(TokenStackDeepTest, LongChainDestructionDoesNotOverflow) {
+  TokenStack stack(/*shared=*/true);
+  for (int i = 0; i < 500000; ++i) stack.Push(Token::Int(i));
+  // Destructor must unlink iteratively.
+}
+
+TEST(TokenStackDeepTest, RestoreDiscardsLongUniquePrefix) {
+  TokenStack stack(/*shared=*/true);
+  TokenStack::Snapshot base = stack.Save();
+  for (int i = 0; i < 300000; ++i) stack.Push(Token::Int(i));
+  stack.Restore(base);
+  EXPECT_TRUE(stack.empty());
+}
+
+TEST(TokenTest, TypedAccessorsAndText) {
+  EXPECT_EQ(Token::Int(-5).text(), "-5");
+  EXPECT_EQ(Token::Int(-5).AsInt(), -5);
+  EXPECT_DOUBLE_EQ(Token::Int(3).AsFlt(), 3.0);
+  EXPECT_EQ(Token::Bit(true).text(), "true");
+  EXPECT_TRUE(Token::Bit(true).AsBit());
+  EXPECT_EQ(Token::Str("x").type(), AtomType::kStr);
+  EXPECT_EQ(Token::Url("u").type(), AtomType::kUrl);
+}
+
+TEST(TokenTest, MatchRules) {
+  EXPECT_TRUE(Token::Int(1).Matches(AtomType::kInt));
+  EXPECT_TRUE(Token::Int(1).Matches(AtomType::kFlt));   // widening
+  EXPECT_FALSE(Token::Flt(1).Matches(AtomType::kInt));  // no narrowing
+  EXPECT_TRUE(Token::Str("s").Matches(AtomType::kUrl));
+  EXPECT_TRUE(Token::Url("u").Matches(AtomType::kStr));
+  EXPECT_FALSE(Token::Str("s").Matches(AtomType::kInt));
+  EXPECT_FALSE(Token::Bit(true).Matches(AtomType::kStr));
+}
+
+}  // namespace
+}  // namespace dls::fg

@@ -1,0 +1,98 @@
+#include "ir/cluster.h"
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "common/strings.h"
+
+namespace dls::ir {
+namespace {
+
+void BuildCorpus(ClusterIndex* cluster, TextIndex* reference, int docs,
+                 uint64_t seed) {
+  Rng rng(seed);
+  ZipfSampler zipf(300, 1.1);
+  for (int d = 0; d < docs; ++d) {
+    std::string body;
+    for (int w = 0; w < 50; ++w) {
+      body += StrFormat("term%03zu ", zipf.Sample(&rng));
+    }
+    std::string url = StrFormat("doc%03d", d);
+    cluster->AddDocument(url, body);
+    if (reference != nullptr) reference->AddDocument(url, body);
+  }
+  cluster->Finalize();
+  if (reference != nullptr) reference->Flush();
+}
+
+TEST(ClusterIndexTest, DistributedMatchesCentralizedRanking) {
+  ClusterIndex cluster(4, 4);
+  TextIndex reference;
+  BuildCorpus(&cluster, &reference, 120, 1);
+
+  std::vector<std::string> query = {"term005", "term050", "term123"};
+  std::vector<ClusterScoredDoc> distributed =
+      cluster.Query(query, 10, /*max_fragments=*/4);
+  std::vector<ScoredDoc> central = reference.RankTopN(query, 10);
+
+  ASSERT_EQ(distributed.size(), central.size());
+  for (size_t i = 0; i < central.size(); ++i) {
+    EXPECT_EQ(distributed[i].url, reference.url(central[i].doc))
+        << "rank " << i;
+    EXPECT_NEAR(distributed[i].score, central[i].score, 1e-9);
+  }
+}
+
+TEST(ClusterIndexTest, SingleNodeEqualsCentralized) {
+  ClusterIndex cluster(1, 4);
+  TextIndex reference;
+  BuildCorpus(&cluster, &reference, 60, 2);
+  std::vector<ClusterScoredDoc> a = cluster.Query({"term010"}, 10, 4);
+  std::vector<ScoredDoc> b = reference.RankTopN({"term010"}, 10);
+  ASSERT_EQ(a.size(), b.size());
+  for (size_t i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(a[i].url, reference.url(b[i].doc));
+  }
+}
+
+TEST(ClusterIndexTest, WorkSpreadsAcrossNodes) {
+  ClusterIndex cluster(8, 2);
+  BuildCorpus(&cluster, nullptr, 400, 3);
+  ClusterQueryStats stats;
+  cluster.Query({"term000", "term001"}, 10, 2, &stats);
+  EXPECT_EQ(stats.messages, 16u);  // request+response per node
+  EXPECT_GT(stats.postings_touched_total, 0u);
+  // Near shared-nothing: the critical-path node does ~1/8 of the work.
+  EXPECT_LT(stats.postings_touched_max_node,
+            stats.postings_touched_total / 8 * 2);
+}
+
+TEST(ClusterIndexTest, FragmentCutOffTradesQuality) {
+  ClusterIndex cluster(4, 8);
+  BuildCorpus(&cluster, nullptr, 400, 4);
+  std::vector<std::string> query;
+  for (int i = 0; i < 10; ++i) query.push_back(StrFormat("term%03d", i * 25));
+
+  ClusterQueryStats full_stats, cut_stats;
+  cluster.Query(query, 10, 8, &full_stats);
+  cluster.Query(query, 10, 2, &cut_stats);
+  EXPECT_LT(cut_stats.postings_touched_total,
+            full_stats.postings_touched_total);
+  EXPECT_LE(cut_stats.predicted_quality, full_stats.predicted_quality);
+  EXPECT_DOUBLE_EQ(full_stats.predicted_quality, 1.0);
+}
+
+TEST(ClusterIndexTest, UnknownQueryTermsYieldEmpty) {
+  ClusterIndex cluster(2, 2);
+  BuildCorpus(&cluster, nullptr, 20, 5);
+  EXPECT_TRUE(cluster.Query({"notaword"}, 10, 2).empty());
+}
+
+TEST(ClusterIndexTest, TopNBoundRespected) {
+  ClusterIndex cluster(4, 2);
+  BuildCorpus(&cluster, nullptr, 100, 6);
+  EXPECT_LE(cluster.Query({"term000"}, 3, 2).size(), 3u);
+}
+
+}  // namespace
+}  // namespace dls::ir

@@ -1,0 +1,187 @@
+#include "ir/fragments.h"
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "common/strings.h"
+
+namespace dls::ir {
+namespace {
+
+/// Builds a corpus with a Zipfian vocabulary so fragment sizes differ
+/// sharply between rare and frequent terms.
+void BuildCorpus(TextIndex* index, int docs, uint64_t seed) {
+  Rng rng(seed);
+  ZipfSampler zipf(400, 1.1);
+  TextIndex::Options unused;
+  (void)unused;
+  for (int d = 0; d < docs; ++d) {
+    std::string body;
+    for (int w = 0; w < 60; ++w) {
+      body += StrFormat("term%03zu ", zipf.Sample(&rng));
+    }
+    index->AddDocument(StrFormat("doc%d", d), body);
+  }
+  index->Flush();
+}
+
+TEST(FragmentedIndexTest, FragmentsOrderedByDescendingIdf) {
+  TextIndex index;
+  BuildCorpus(&index, 200, 1);
+  FragmentedIndex fragments(&index, 8);
+
+  // Property: if term A is rarer than term B (higher idf), A's fragment
+  // index is <= B's.
+  for (TermId a = 0; a < index.vocabulary_size(); ++a) {
+    for (TermId b = 0; b < index.vocabulary_size(); b += 37) {
+      if (index.df(a) < index.df(b)) {
+        EXPECT_LE(fragments.FragmentOf(a), fragments.FragmentOf(b))
+            << index.term(a) << " vs " << index.term(b);
+      }
+    }
+  }
+}
+
+TEST(FragmentedIndexTest, AllFragmentsGiveExactRanking) {
+  TextIndex index;
+  BuildCorpus(&index, 150, 2);
+  FragmentedIndex fragments(&index, 6);
+
+  std::vector<std::string> query = {"term000", "term037", "term199"};
+  std::vector<ScoredDoc> exact = index.RankTopN(query, 10);
+  std::vector<ScoredDoc> full = fragments.RankTopN(query, 10, 6);
+  ASSERT_EQ(exact.size(), full.size());
+  for (size_t i = 0; i < exact.size(); ++i) {
+    EXPECT_EQ(exact[i].doc, full[i].doc);
+    EXPECT_DOUBLE_EQ(exact[i].score, full[i].score);
+  }
+}
+
+TEST(FragmentedIndexTest, CutOffReducesWorkMonotonically) {
+  TextIndex index;
+  BuildCorpus(&index, 300, 3);
+  FragmentedIndex fragments(&index, 8);
+
+  std::vector<std::string> query;
+  for (int i = 0; i < 12; ++i) query.push_back(StrFormat("term%03d", i * 30));
+
+  size_t prev_work = 0;
+  double prev_quality = -1;
+  for (size_t f = 1; f <= 8; ++f) {
+    FragmentQueryStats stats;
+    fragments.RankTopN(query, 10, f, &stats);
+    EXPECT_GE(stats.postings_touched, prev_work);
+    EXPECT_GE(stats.predicted_quality, prev_quality);
+    prev_work = stats.postings_touched;
+    prev_quality = stats.predicted_quality;
+  }
+  EXPECT_DOUBLE_EQ(prev_quality, 1.0);  // all fragments read
+}
+
+TEST(FragmentedIndexTest, SkippedTermsAreTheFrequentOnes) {
+  TextIndex index;
+  BuildCorpus(&index, 300, 4);
+  FragmentedIndex fragments(&index, 8);
+
+  // term000 is the most frequent (Zipf head) -> in the last fragments;
+  // reading only fragment 0 must skip it.
+  FragmentQueryStats stats;
+  fragments.RankTopN({"term000"}, 10, 1, &stats);
+  EXPECT_EQ(stats.terms_evaluated, 0u);
+  EXPECT_EQ(stats.terms_skipped, 1u);
+  EXPECT_EQ(stats.predicted_quality, 0.0);
+}
+
+TEST(FragmentedIndexTest, FragmentSizesRoughlyBalanced) {
+  TextIndex index;
+  BuildCorpus(&index, 300, 5);
+  FragmentedIndex fragments(&index, 6);
+  size_t total = 0;
+  for (size_t f = 0; f < 6; ++f) total += fragments.FragmentPostingCount(f);
+  for (size_t f = 0; f < 6; ++f) {
+    // No fragment more than 3x its fair share (the huge Zipf-head terms
+    // make perfect balance impossible).
+    EXPECT_LT(fragments.FragmentPostingCount(f), total / 6 * 3 + 1000);
+  }
+}
+
+TEST(FragmentedIndexTest, RebuildPicksUpNewDocuments) {
+  TextIndex index;
+  index.AddDocument("d0", "alpha beta");
+  index.Flush();
+  FragmentedIndex fragments(&index, 2);
+  EXPECT_EQ(fragments.RankTopN({"alpha"}, 10, 2).size(), 1u);
+
+  index.AddDocument("d1", "alpha gamma");
+  index.Flush();
+  fragments.Rebuild();
+  EXPECT_EQ(fragments.RankTopN({"alpha"}, 10, 2).size(), 2u);
+}
+
+TEST(FragmentedIndexTest, QualityTargetMeetsPrediction) {
+  TextIndex index;
+  BuildCorpus(&index, 300, 7);
+  FragmentedIndex fragments(&index, 8);
+  std::vector<std::string> query;
+  for (int i = 0; i < 10; ++i) query.push_back(StrFormat("term%03d", i * 37));
+
+  for (double target : {0.3, 0.6, 0.9, 1.0}) {
+    FragmentQueryStats stats;
+    fragments.RankWithQualityTarget(query, 10, target, &stats);
+    EXPECT_GE(stats.predicted_quality, target) << "target " << target;
+  }
+}
+
+TEST(FragmentedIndexTest, QualityTargetReadsAsLittleAsPossible) {
+  TextIndex index;
+  BuildCorpus(&index, 300, 8);
+  FragmentedIndex fragments(&index, 8);
+  std::vector<std::string> query = {"term001", "term000"};
+
+  size_t planned = fragments.PlanCutoff(query, 0.5);
+  ASSERT_GT(planned, 0u);
+  // One fragment fewer misses the target.
+  if (planned > 1) {
+    FragmentQueryStats stats;
+    fragments.RankTopN(query, 10, planned - 1, &stats);
+    EXPECT_LT(stats.predicted_quality, 0.5);
+  }
+}
+
+TEST(FragmentedIndexTest, QualityTargetOneIsExact) {
+  TextIndex index;
+  BuildCorpus(&index, 100, 9);
+  FragmentedIndex fragments(&index, 4);
+  std::vector<std::string> query = {"term000", "term050"};
+  std::vector<ScoredDoc> exact = index.RankTopN(query, 10);
+  std::vector<ScoredDoc> got =
+      fragments.RankWithQualityTarget(query, 10, 1.0);
+  ASSERT_EQ(exact.size(), got.size());
+  for (size_t i = 0; i < exact.size(); ++i) {
+    EXPECT_EQ(exact[i].doc, got[i].doc);
+  }
+}
+
+TEST(FragmentedIndexTest, QualityTargetUnmatchableQuery) {
+  TextIndex index;
+  BuildCorpus(&index, 50, 10);
+  FragmentedIndex fragments(&index, 4);
+  EXPECT_EQ(fragments.PlanCutoff({"absent"}, 0.9), 0u);
+  EXPECT_TRUE(
+      fragments.RankWithQualityTarget({"absent"}, 10, 0.9).empty());
+}
+
+TEST(FragmentedIndexTest, SingleFragmentDegeneratesToExact) {
+  TextIndex index;
+  BuildCorpus(&index, 50, 6);
+  FragmentedIndex fragments(&index, 1);
+  std::vector<ScoredDoc> exact = index.RankTopN({"term001"}, 5);
+  std::vector<ScoredDoc> got = fragments.RankTopN({"term001"}, 5, 1);
+  ASSERT_EQ(exact.size(), got.size());
+  for (size_t i = 0; i < exact.size(); ++i) {
+    EXPECT_EQ(exact[i].doc, got[i].doc);
+  }
+}
+
+}  // namespace
+}  // namespace dls::ir

@@ -1,0 +1,123 @@
+#include "ir/index.h"
+
+#include <gtest/gtest.h>
+
+#include "ir/stopwords.h"
+#include "ir/tokenizer.h"
+
+namespace dls::ir {
+namespace {
+
+TEST(TokenizerTest, SplitsAndLowercases) {
+  EXPECT_EQ(Tokenize("Hello, World! x2"),
+            (std::vector<std::string>{"hello", "world", "x2"}));
+  EXPECT_TRUE(Tokenize("123 456 --").empty());  // tokens start with a letter
+  EXPECT_TRUE(Tokenize("").empty());
+}
+
+TEST(StopwordsTest, CommonWordsStopped) {
+  EXPECT_TRUE(IsStopword("the"));
+  EXPECT_TRUE(IsStopword("and"));
+  EXPECT_FALSE(IsStopword("tennis"));
+  EXPECT_GT(StopwordCount(), 100u);
+}
+
+TEST(TextIndexTest, BuildsFiveRelations) {
+  TextIndex index;
+  index.AddDocument("d0", "the winner plays tennis");
+  index.AddDocument("d1", "tennis matches and tennis players");
+  index.Flush();
+
+  EXPECT_EQ(index.document_count(), 2u);
+  EXPECT_EQ(index.flushed_document_count(), 2u);
+  // "the"/"and" stopped; winner, plai, tenni, match, player in T.
+  std::optional<TermId> tennis = index.LookupTerm("tenni");
+  ASSERT_TRUE(tennis.has_value());
+  EXPECT_EQ(index.df(*tennis), 2);               // in both documents
+  EXPECT_DOUBLE_EQ(index.idf(*tennis), 0.5);     // idf = 1/df
+  ASSERT_EQ(index.postings(*tennis).size(), 2u);
+  // tf of tennis in d1 is 2.
+  int32_t tf_d1 = 0;
+  for (const Posting& p : index.postings(*tennis)) {
+    if (index.url(p.doc) == "d1") tf_d1 = p.tf;
+  }
+  EXPECT_EQ(tf_d1, 2);
+}
+
+TEST(TextIndexTest, QueriesOnlySeeFlushedDocuments) {
+  TextIndex::Options options;
+  options.flush_batch = 100;  // no auto flush
+  TextIndex index(options);
+  index.AddDocument("d0", "unique zebra");
+  EXPECT_TRUE(index.RankTopN({"zebra"}, 10).empty());
+  index.Flush();
+  EXPECT_EQ(index.RankTopN({"zebra"}, 10).size(), 1u);
+}
+
+TEST(TextIndexTest, AutoFlushEveryBatch) {
+  TextIndex::Options options;
+  options.flush_batch = 2;
+  TextIndex index(options);
+  index.AddDocument("d0", "alpha");
+  EXPECT_EQ(index.flushed_document_count(), 0u);
+  index.AddDocument("d1", "alpha beta");
+  EXPECT_EQ(index.flushed_document_count(), 2u);  // batch boundary
+}
+
+TEST(TextIndexTest, RankingPrefersRareTermsAndHigherTf) {
+  TextIndex index;
+  index.AddDocument("about-zebras", "zebra zebra zebra savanna");
+  index.AddDocument("mentions-zebra", "zebra lion lion savanna");
+  index.AddDocument("about-lions", "lion lion lion savanna");
+  index.Flush();
+
+  std::vector<ScoredDoc> ranked = index.RankTopN({"zebra"}, 10);
+  ASSERT_EQ(ranked.size(), 2u);
+  EXPECT_EQ(index.url(ranked[0].doc), "about-zebras");
+  EXPECT_GT(ranked[0].score, ranked[1].score);
+}
+
+TEST(TextIndexTest, MultiTermQueryAccumulates) {
+  TextIndex index;
+  index.AddDocument("both", "zebra lion");
+  index.AddDocument("one", "zebra giraffe");
+  index.Flush();
+  std::vector<ScoredDoc> ranked = index.RankTopN({"zebra", "lion"}, 10);
+  ASSERT_EQ(ranked.size(), 2u);
+  EXPECT_EQ(index.url(ranked[0].doc), "both");
+}
+
+TEST(TextIndexTest, QueryNormalisationMatchesIndexing) {
+  TextIndex index;
+  index.AddDocument("d", "The champions were WINNING tournaments");
+  index.Flush();
+  // Different inflections and case still hit.
+  EXPECT_EQ(index.RankTopN({"champion"}, 10).size(), 1u);
+  EXPECT_EQ(index.RankTopN({"wins", "winning"}, 10).size(), 1u);
+  // Stopwords contribute nothing.
+  EXPECT_TRUE(index.RankTopN({"the", "were"}, 10).empty());
+}
+
+TEST(TextIndexTest, UnknownTermsIgnored) {
+  TextIndex index;
+  index.AddDocument("d", "something");
+  index.Flush();
+  EXPECT_TRUE(index.RankTopN({"absentterm"}, 10).empty());
+}
+
+TEST(TermScoreTest, MonotoneInTfAndRarity) {
+  RankOptions options;
+  double base = TermScore(1, 10, 100, 10000, options);
+  EXPECT_GT(TermScore(5, 10, 100, 10000, options), base);   // higher tf
+  EXPECT_GT(TermScore(1, 2, 100, 10000, options), base);    // rarer term
+  EXPECT_LT(TermScore(1, 10, 1000, 10000, options), base);  // longer doc
+  EXPECT_EQ(TermScore(0, 10, 100, 10000, options), 0.0);
+}
+
+TEST(NormalizeWordTest, StandaloneHelper) {
+  EXPECT_EQ(NormalizeWord("Winners"), "winner");
+  EXPECT_EQ(NormalizeWord("the"), std::nullopt);
+}
+
+}  // namespace
+}  // namespace dls::ir

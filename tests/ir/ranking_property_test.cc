@@ -1,0 +1,63 @@
+// Ranking-model property sweep over the smoothing parameter λ: the
+// Hiemstra-derived score keeps its structural properties at every
+// interpolation weight.
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "common/strings.h"
+#include "ir/fragments.h"
+
+namespace dls::ir {
+namespace {
+
+class LambdaSweep : public ::testing::TestWithParam<double> {};
+
+TEST_P(LambdaSweep, ScoreStructureHolds) {
+  RankOptions options;
+  options.lambda = GetParam();
+  // Monotone in tf.
+  EXPECT_GT(TermScore(5, 10, 100, 10000, options),
+            TermScore(1, 10, 100, 10000, options));
+  // Monotone in rarity.
+  EXPECT_GT(TermScore(1, 2, 100, 10000, options),
+            TermScore(1, 50, 100, 10000, options));
+  // Penalises document length.
+  EXPECT_GT(TermScore(1, 10, 50, 10000, options),
+            TermScore(1, 10, 500, 10000, options));
+  // Non-negative, zero without a match.
+  EXPECT_GT(TermScore(1, 10, 100, 10000, options), 0.0);
+  EXPECT_EQ(TermScore(0, 10, 100, 10000, options), 0.0);
+}
+
+TEST_P(LambdaSweep, RankingConsistentAcrossEvaluationPaths) {
+  RankOptions options;
+  options.lambda = GetParam();
+  TextIndex index;
+  Rng rng(99);
+  ZipfSampler zipf(200, 1.1);
+  for (int d = 0; d < 120; ++d) {
+    std::string body;
+    for (int w = 0; w < 40; ++w) {
+      body += StrFormat("term%03zu ", zipf.Sample(&rng));
+    }
+    index.AddDocument(StrFormat("doc%03d", d), body);
+  }
+  index.Flush();
+  FragmentedIndex fragments(&index, 5);
+
+  std::vector<std::string> query = {"term003", "term040", "term120"};
+  std::vector<ScoredDoc> direct = index.RankTopN(query, 10, options);
+  std::vector<ScoredDoc> via_fragments =
+      fragments.RankTopN(query, 10, 5, nullptr, options);
+  ASSERT_EQ(direct.size(), via_fragments.size());
+  for (size_t i = 0; i < direct.size(); ++i) {
+    EXPECT_EQ(direct[i].doc, via_fragments[i].doc) << "lambda " << GetParam();
+    EXPECT_DOUBLE_EQ(direct[i].score, via_fragments[i].score);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Lambdas, LambdaSweep,
+                         ::testing::Values(0.05, 0.15, 0.3, 0.5, 0.7, 0.9));
+
+}  // namespace
+}  // namespace dls::ir

@@ -1,0 +1,116 @@
+#include "ir/stemmer.h"
+
+#include <gtest/gtest.h>
+
+namespace dls::ir {
+namespace {
+
+struct StemCase {
+  const char* word;
+  const char* stem;
+};
+
+/// Classic vocabulary from Porter's paper and the standard test set.
+class PorterStemTest : public ::testing::TestWithParam<StemCase> {};
+
+TEST_P(PorterStemTest, StemsCorrectly) {
+  EXPECT_EQ(PorterStem(GetParam().word), GetParam().stem)
+      << "input: " << GetParam().word;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Step1a, PorterStemTest,
+    ::testing::Values(StemCase{"caresses", "caress"},
+                      StemCase{"ponies", "poni"}, StemCase{"ties", "ti"},
+                      StemCase{"caress", "caress"}, StemCase{"cats", "cat"}));
+
+INSTANTIATE_TEST_SUITE_P(
+    Step1b, PorterStemTest,
+    ::testing::Values(StemCase{"feed", "feed"}, StemCase{"agreed", "agre"},
+                      StemCase{"plastered", "plaster"},
+                      StemCase{"bled", "bled"}, StemCase{"motoring", "motor"},
+                      StemCase{"sing", "sing"},
+                      StemCase{"conflated", "conflat"},
+                      StemCase{"troubled", "troubl"},
+                      StemCase{"sized", "size"}, StemCase{"hopping", "hop"},
+                      StemCase{"tanned", "tan"}, StemCase{"falling", "fall"},
+                      StemCase{"hissing", "hiss"}, StemCase{"fizzed", "fizz"},
+                      StemCase{"failing", "fail"}, StemCase{"filing", "file"}));
+
+INSTANTIATE_TEST_SUITE_P(
+    Step1c, PorterStemTest,
+    ::testing::Values(StemCase{"happy", "happi"}, StemCase{"sky", "sky"}));
+
+INSTANTIATE_TEST_SUITE_P(
+    Step2, PorterStemTest,
+    ::testing::Values(StemCase{"relational", "relat"},
+                      StemCase{"conditional", "condit"},
+                      StemCase{"rational", "ration"},
+                      StemCase{"valenci", "valenc"},
+                      StemCase{"digitizer", "digit"},
+                      StemCase{"operator", "oper"},
+                      StemCase{"feudalism", "feudal"},
+                      StemCase{"decisiveness", "decis"},
+                      StemCase{"hopefulness", "hope"},
+                      StemCase{"formaliti", "formal"},
+                      StemCase{"sensitiviti", "sensit"}));
+
+INSTANTIATE_TEST_SUITE_P(
+    Step3, PorterStemTest,
+    ::testing::Values(StemCase{"triplicate", "triplic"},
+                      StemCase{"formative", "form"},
+                      StemCase{"formalize", "formal"},
+                      StemCase{"electriciti", "electr"},
+                      StemCase{"electrical", "electr"},
+                      StemCase{"hopeful", "hope"},
+                      StemCase{"goodness", "good"}));
+
+INSTANTIATE_TEST_SUITE_P(
+    Step4, PorterStemTest,
+    ::testing::Values(StemCase{"revival", "reviv"},
+                      StemCase{"allowance", "allow"},
+                      StemCase{"inference", "infer"},
+                      StemCase{"airliner", "airlin"},
+                      StemCase{"adjustable", "adjust"},
+                      StemCase{"defensible", "defens"},
+                      StemCase{"irritant", "irrit"},
+                      StemCase{"replacement", "replac"},
+                      StemCase{"adjustment", "adjust"},
+                      StemCase{"dependent", "depend"},
+                      StemCase{"adoption", "adopt"},
+                      StemCase{"communism", "commun"},
+                      StemCase{"activate", "activ"},
+                      StemCase{"angulariti", "angular"},
+                      StemCase{"homologous", "homolog"},
+                      StemCase{"effective", "effect"},
+                      StemCase{"bowdlerize", "bowdler"}));
+
+INSTANTIATE_TEST_SUITE_P(
+    Step5, PorterStemTest,
+    ::testing::Values(StemCase{"probate", "probat"}, StemCase{"rate", "rate"},
+                      StemCase{"cease", "ceas"},
+                      StemCase{"controll", "control"},
+                      StemCase{"roll", "roll"}));
+
+INSTANTIATE_TEST_SUITE_P(
+    DomainWords, PorterStemTest,
+    ::testing::Values(StemCase{"winner", "winner"},
+                      StemCase{"champion", "champion"},
+                      StemCase{"played", "plai"}, StemCase{"playing", "plai"},
+                      StemCase{"plays", "plai"}));
+
+TEST(PorterStemEdgeTest, ShortWordsUnchanged) {
+  EXPECT_EQ(PorterStem(""), "");
+  EXPECT_EQ(PorterStem("a"), "a");
+  EXPECT_EQ(PorterStem("is"), "is");
+}
+
+TEST(PorterStemEdgeTest, InflectionsShareAStem) {
+  EXPECT_EQ(PorterStem("connect"), PorterStem("connected"));
+  EXPECT_EQ(PorterStem("connect"), PorterStem("connecting"));
+  EXPECT_EQ(PorterStem("connect"), PorterStem("connection"));
+  EXPECT_EQ(PorterStem("connect"), PorterStem("connections"));
+}
+
+}  // namespace
+}  // namespace dls::ir

@@ -1,0 +1,105 @@
+#include "monet/algebra.h"
+
+#include <gtest/gtest.h>
+
+#include "xml/parser.h"
+
+namespace dls::monet {
+namespace {
+
+class AlgebraTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    for (int i = 0; i < 4; ++i) {
+      std::string gender = i % 2 == 0 ? "female" : "male";
+      std::string doc = "<site><player id=\"p" + std::to_string(i) +
+                        "\"><gender>" + gender +
+                        "</gender><bio>winner text here</bio></player></site>";
+      ASSERT_TRUE(db_.InsertXml("doc" + std::to_string(i), doc).ok());
+    }
+  }
+  Database db_;
+};
+
+TEST_F(AlgebraTest, ScanPathCountsInstances) {
+  EXPECT_EQ(ScanPath(db_, "/site").size(), 4u);
+  EXPECT_EQ(ScanPath(db_, "/site/player").size(), 4u);
+  EXPECT_EQ(ScanPath(db_, "/site/player/gender").size(), 4u);
+  EXPECT_TRUE(ScanPath(db_, "/site/nothing").empty());
+}
+
+TEST_F(AlgebraTest, SelectByTextFiltersPcdata) {
+  OidSet females = SelectByText(db_, "/site/player/gender",
+                                [](const std::string& s) {
+                                  return s == "female";
+                                });
+  EXPECT_EQ(females.size(), 2u);
+}
+
+TEST_F(AlgebraTest, SelectByAttributeFiltersValues) {
+  OidSet p2 = SelectByAttribute(db_, "/site/player", "id",
+                                [](const std::string& s) { return s == "p2"; });
+  EXPECT_EQ(p2.size(), 1u);
+}
+
+TEST_F(AlgebraTest, EdgeNavigationUpAndDown) {
+  RelationId gender_rel = db_.schema().Resolve("/site/player/gender");
+  ASSERT_NE(gender_rel, kInvalidRelation);
+  const Bat& edges = *db_.schema().node(gender_rel).edges;
+
+  OidSet gender_oids = ScanPath(db_, "/site/player/gender");
+  OidSet players = HeadsForTails(edges, gender_oids);
+  EXPECT_EQ(players, ScanPath(db_, "/site/player"));
+
+  OidSet back_down = TailsForHeads(edges, players);
+  EXPECT_EQ(back_down, gender_oids);
+}
+
+TEST_F(AlgebraTest, AncestorsAtWalksSchemaChain) {
+  OidSet females = SelectByText(db_, "/site/player/gender",
+                                [](const std::string& s) {
+                                  return s == "female";
+                                });
+  // gender PCDATA heads are the <gender> elements; hop to players.
+  RelationId gender_rel = db_.schema().Resolve("/site/player/gender");
+  RelationId player_rel = db_.schema().Resolve("/site/player");
+  OidSet players = AncestorsAt(db_, gender_rel, females, player_rel);
+  EXPECT_EQ(players.size(), 2u);
+  // Not an ancestor -> empty.
+  RelationId bio_rel = db_.schema().Resolve("/site/player/bio");
+  EXPECT_TRUE(AncestorsAt(db_, gender_rel, females, bio_rel).empty());
+}
+
+TEST_F(AlgebraTest, SelectByTextEqMatchesGenericSelect) {
+  OidSet indexed = SelectByTextEq(db_, "/site/player/gender", "female");
+  OidSet scanned = SelectByText(db_, "/site/player/gender",
+                                [](const std::string& s) {
+                                  return s == "female";
+                                });
+  EXPECT_EQ(indexed, scanned);
+  EXPECT_TRUE(SelectByTextEq(db_, "/site/player/gender", "none").empty());
+  EXPECT_TRUE(SelectByTextEq(db_, "/site/missing", "female").empty());
+}
+
+TEST_F(AlgebraTest, SetOperations) {
+  OidSet a = {1, 2, 3, 5};
+  OidSet b = {2, 3, 4};
+  EXPECT_EQ(Intersect(a, b), (OidSet{2, 3}));
+  EXPECT_EQ(Union(a, b), (OidSet{1, 2, 3, 4, 5}));
+  OidSet dirty = {5, 1, 5, 3};
+  Normalize(&dirty);
+  EXPECT_EQ(dirty, (OidSet{1, 3, 5}));
+}
+
+TEST_F(AlgebraTest, HeadsWhereVariants) {
+  RelationId pc =
+      db_.schema().Resolve("/site/player/gender/PCDATA");
+  ASSERT_NE(pc, kInvalidRelation);
+  const Bat& values = *db_.schema().node(pc).values;
+  EXPECT_EQ(HeadsWhereEq(values, "male").size(), 2u);
+  EXPECT_EQ(HeadsWhereContains(values, "ale").size(), 4u);
+  EXPECT_TRUE(HeadsWhereEq(values, "none").empty());
+}
+
+}  // namespace
+}  // namespace dls::monet

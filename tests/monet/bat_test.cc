@@ -1,0 +1,120 @@
+#include "monet/bat.h"
+
+#include <gtest/gtest.h>
+
+namespace dls::monet {
+namespace {
+
+TEST(BatTest, AppendAndRead) {
+  Bat bat(TailType::kStr);
+  bat.AppendStr(1, "a");
+  bat.AppendStr(2, "b");
+  bat.AppendStr(1, "c");
+  ASSERT_EQ(bat.size(), 3u);
+  EXPECT_EQ(bat.head(0), 1u);
+  EXPECT_EQ(bat.tail_str(2), "c");
+}
+
+TEST(BatTest, FindHeadPreservesInsertionOrder) {
+  Bat bat(TailType::kInt);
+  bat.AppendInt(5, 10);
+  bat.AppendInt(7, 20);
+  bat.AppendInt(5, 30);
+  std::vector<size_t> positions = bat.FindHead(5);
+  ASSERT_EQ(positions.size(), 2u);
+  EXPECT_EQ(bat.tail_int(positions[0]), 10);
+  EXPECT_EQ(bat.tail_int(positions[1]), 30);
+  EXPECT_TRUE(bat.FindHead(99).empty());
+}
+
+TEST(BatTest, IndexStaysConsistentAcrossAppends) {
+  Bat bat(TailType::kOid);
+  bat.AppendOid(1, 100);
+  EXPECT_EQ(bat.FindFirst(1), 0u);  // builds the index
+  bat.AppendOid(1, 200);            // incremental index update
+  std::vector<size_t> positions = bat.FindHead(1);
+  ASSERT_EQ(positions.size(), 2u);
+  EXPECT_EQ(bat.tail_oid(positions[1]), 200u);
+}
+
+TEST(BatTest, ContainsHeadAndFindFirst) {
+  Bat bat(TailType::kFloat);
+  bat.AppendFloat(3, 1.5);
+  EXPECT_TRUE(bat.ContainsHead(3));
+  EXPECT_FALSE(bat.ContainsHead(4));
+  EXPECT_EQ(bat.FindFirst(4), Bat::kNpos);
+}
+
+TEST(BatTest, EraseHeadsRemovesAllMatches) {
+  Bat bat(TailType::kStr);
+  bat.AppendStr(1, "a");
+  bat.AppendStr(2, "b");
+  bat.AppendStr(1, "c");
+  bat.AppendStr(3, "d");
+  EXPECT_EQ(bat.EraseHeads({1}), 2u);
+  ASSERT_EQ(bat.size(), 2u);
+  EXPECT_EQ(bat.tail_str(0), "b");
+  EXPECT_EQ(bat.tail_str(1), "d");
+  EXPECT_FALSE(bat.ContainsHead(1));
+}
+
+TEST(BatTest, EraseTailOidsUnlinksEdges) {
+  Bat edges(TailType::kOid);
+  edges.AppendOid(1, 10);
+  edges.AppendOid(1, 11);
+  edges.AppendOid(2, 12);
+  EXPECT_EQ(edges.EraseTailOids({11, 12}), 2u);
+  ASSERT_EQ(edges.size(), 1u);
+  EXPECT_EQ(edges.tail_oid(0), 10u);
+}
+
+TEST(BatTest, EraseRebuildsIndexLazily) {
+  Bat bat(TailType::kStr);
+  for (Oid i = 0; i < 10; ++i) bat.AppendStr(i, "v");
+  EXPECT_TRUE(bat.ContainsHead(5));
+  bat.EraseHeads({5});
+  EXPECT_FALSE(bat.ContainsHead(5));
+  EXPECT_TRUE(bat.ContainsHead(6));
+}
+
+TEST(BatTest, ValueIndexEqualityLookup) {
+  Bat bat(TailType::kStr);
+  bat.AppendStr(1, "female");
+  bat.AppendStr(2, "male");
+  bat.AppendStr(3, "female");
+  EXPECT_FALSE(bat.tail_indexed());
+  std::vector<size_t> hits = bat.FindTailStr("female");
+  EXPECT_TRUE(bat.tail_indexed());
+  ASSERT_EQ(hits.size(), 2u);
+  EXPECT_EQ(bat.head(hits[0]), 1u);
+  EXPECT_EQ(bat.head(hits[1]), 3u);
+  EXPECT_TRUE(bat.FindTailStr("other").empty());
+}
+
+TEST(BatTest, ValueIndexMaintainedAcrossAppends) {
+  Bat bat(TailType::kStr);
+  bat.AppendStr(1, "x");
+  EXPECT_EQ(bat.FindTailStr("x").size(), 1u);  // builds the index
+  bat.AppendStr(2, "x");                       // incremental update
+  EXPECT_EQ(bat.FindTailStr("x").size(), 2u);
+}
+
+TEST(BatTest, ValueIndexDroppedOnErase) {
+  Bat bat(TailType::kStr);
+  bat.AppendStr(1, "x");
+  bat.AppendStr(2, "x");
+  EXPECT_EQ(bat.FindTailStr("x").size(), 2u);
+  bat.EraseHeads({1});
+  EXPECT_EQ(bat.FindTailStr("x").size(), 1u);  // rebuilt consistently
+  EXPECT_EQ(bat.head(bat.FindTailStr("x")[0]), 2u);
+}
+
+TEST(BatTest, MemoryBytesGrowsWithContent) {
+  Bat bat(TailType::kStr);
+  size_t before = bat.MemoryBytes();
+  bat.AppendStr(1, std::string(100, 'x'));
+  EXPECT_GT(bat.MemoryBytes(), before + 100);
+}
+
+}  // namespace
+}  // namespace dls::monet

@@ -1,0 +1,95 @@
+#include "monet/bulkload.h"
+
+#include <gtest/gtest.h>
+
+#include "common/strings.h"
+#include "xml/parser.h"
+
+namespace dls::monet {
+namespace {
+
+/// Builds a right-leaning document of the given depth.
+std::string DeepDocument(int depth) {
+  std::string xml;
+  for (int i = 0; i < depth; ++i) xml += StrFormat("<n%d>", i);
+  xml += "x";
+  for (int i = depth - 1; i >= 0; --i) xml += StrFormat("</n%d>", i);
+  return xml;
+}
+
+/// Builds a wide flat document with `width` children.
+std::string WideDocument(int width) {
+  std::string xml = "<root>";
+  for (int i = 0; i < width; ++i) xml += "<c>v</c>";
+  xml += "</root>";
+  return xml;
+}
+
+TEST(BulkLoadTest, StackDepthTracksDocumentHeightNotSize) {
+  Database db;
+  {
+    BulkLoader loader(&db, "deep");
+    ASSERT_TRUE(xml::ParseStream(DeepDocument(50), &loader).ok());
+    // Root frame + 50 element frames.
+    EXPECT_EQ(loader.max_stack_depth(), 51u);
+  }
+  {
+    BulkLoader loader(&db, "wide");
+    ASSERT_TRUE(xml::ParseStream(WideDocument(5000), &loader).ok());
+    // O(height): 1 (virtual root) + root + child = 3, despite 5000
+    // children — the paper's bulkload memory property.
+    EXPECT_EQ(loader.max_stack_depth(), 3u);
+  }
+}
+
+TEST(BulkLoadTest, StreamingMatchesTreeInsert) {
+  constexpr const char kDoc[] =
+      "<a x=\"1\"><b>t1</b><c><d>t2</d></c><b>t3</b></a>";
+  Database streaming;
+  ASSERT_TRUE(streaming.InsertXml("doc", kDoc).ok());
+
+  Database via_tree;
+  Result<xml::Document> doc = xml::Parse(kDoc);
+  ASSERT_TRUE(doc.ok());
+  ASSERT_TRUE(via_tree.InsertDocument("doc", doc.value()).ok());
+
+  DatabaseStats a = streaming.Stats();
+  DatabaseStats b = via_tree.Stats();
+  EXPECT_EQ(a.relations, b.relations);
+  EXPECT_EQ(a.associations, b.associations);
+
+  Result<xml::Document> back = streaming.ReconstructDocument("doc");
+  ASSERT_TRUE(back.ok());
+  EXPECT_TRUE(doc.value().IsomorphicTo(back.value()));
+}
+
+TEST(BulkLoadTest, RepeatedSiblingsShareOneRelation) {
+  Database db;
+  ASSERT_TRUE(db.InsertXml("doc", WideDocument(100)).ok());
+  RelationId c = db.schema().Resolve("/root/c");
+  ASSERT_NE(c, kInvalidRelation);
+  EXPECT_EQ(db.schema().node(c).edges->size(), 100u);
+  // 100 <c> elements, one relation — semantic clustering.
+  EXPECT_EQ(db.Stats().relations, 3u);  // /root, /root/c, /root/c/PCDATA
+}
+
+TEST(BulkLoadTest, MalformedInputLeavesNoDocument) {
+  Database db;
+  EXPECT_FALSE(db.InsertXml("bad", "<a><b></a>").ok());
+  EXPECT_FALSE(db.HasDocument("bad"));
+}
+
+TEST(BulkLoadTest, ManyDocumentsBulkload) {
+  Database db;
+  for (int i = 0; i < 200; ++i) {
+    ASSERT_TRUE(
+        db.InsertXml(StrFormat("d%d", i), WideDocument(10)).ok());
+  }
+  EXPECT_EQ(db.Stats().documents, 200u);
+  EXPECT_EQ(db.Stats().relations, 3u);
+  RelationId root = db.schema().Resolve("/root");
+  EXPECT_EQ(db.schema().node(root).edges->size(), 200u);
+}
+
+}  // namespace
+}  // namespace dls::monet

@@ -1,0 +1,73 @@
+#include "monet/edge_baseline.h"
+
+#include <gtest/gtest.h>
+
+#include "monet/algebra.h"
+#include "monet/database.h"
+#include "xml/parser.h"
+
+namespace dls::monet {
+namespace {
+
+constexpr const char kDoc[] =
+    "<site><player><bio>winner</bio></player>"
+    "<article><bio>loser</bio></article></site>";
+
+TEST(EdgeBaselineTest, EvalPathFindsContextualNodes) {
+  EdgeTableStore store;
+  Result<xml::Document> doc = xml::Parse(kDoc);
+  ASSERT_TRUE(doc.ok());
+  ASSERT_TRUE(store.InsertDocument("d", doc.value()).ok());
+
+  // Two <bio> elements exist, but only one under player.
+  EXPECT_EQ(store.EvalPath({"site", "player", "bio"}).size(), 1u);
+  EXPECT_EQ(store.EvalPath({"site", "article", "bio"}).size(), 1u);
+  EXPECT_TRUE(store.EvalPath({"site", "nothing"}).empty());
+}
+
+TEST(EdgeBaselineTest, TextPredicate) {
+  EdgeTableStore store;
+  Result<xml::Document> doc = xml::Parse(kDoc);
+  ASSERT_TRUE(doc.ok());
+  ASSERT_TRUE(store.InsertDocument("d", doc.value()).ok());
+  EXPECT_EQ(
+      store.EvalPathTextContains({"site", "player", "bio"}, "winner").size(),
+      1u);
+  EXPECT_TRUE(
+      store.EvalPathTextContains({"site", "player", "bio"}, "loser").empty());
+}
+
+TEST(EdgeBaselineTest, AgreesWithMonetTransform) {
+  EdgeTableStore store;
+  Database db;
+  for (int i = 0; i < 20; ++i) {
+    std::string xml = "<site><player><bio>text" + std::to_string(i) +
+                      "</bio></player></site>";
+    Result<xml::Document> doc = xml::Parse(xml);
+    ASSERT_TRUE(doc.ok());
+    ASSERT_TRUE(store.InsertDocument("d" + std::to_string(i), doc.value())
+                    .ok());
+    ASSERT_TRUE(db.InsertDocument("d" + std::to_string(i), doc.value()).ok());
+  }
+  EXPECT_EQ(store.EvalPath({"site", "player", "bio"}).size(),
+            ScanPath(db, "/site/player/bio").size());
+}
+
+TEST(EdgeBaselineTest, TouchesMoreTuplesThanContextualStore) {
+  // The baseline must inspect every edge labelled `bio`, whatever its
+  // parent — the cost the path-clustered mapping avoids (claim E1).
+  EdgeTableStore store;
+  for (int i = 0; i < 50; ++i) {
+    Result<xml::Document> doc = xml::Parse(kDoc);
+    ASSERT_TRUE(doc.ok());
+    ASSERT_TRUE(store.InsertDocument("d" + std::to_string(i), doc.value())
+                    .ok());
+  }
+  store.ResetCounters();
+  store.EvalPath({"site", "player", "bio"});
+  // 50 site + 50 player + 100 bio edges inspected (both contexts).
+  EXPECT_EQ(store.tuples_touched(), 200u);
+}
+
+}  // namespace
+}  // namespace dls::monet

@@ -1,0 +1,114 @@
+// The paper's bulkload extension: recording element extents (the
+// textual start/end positions of every element) alongside the path
+// relations.
+#include <gtest/gtest.h>
+
+#include "monet/storage.h"
+#include "monet/bulkload.h"
+#include "monet/database.h"
+#include "xml/parser.h"
+
+namespace dls::monet {
+namespace {
+
+constexpr const char kDoc[] =
+    "<a><b>t1</b><c><d>t2</d></c><b>t3</b></a>";
+
+TEST(ExtentsTest, OffByDefault) {
+  Database db;
+  ASSERT_TRUE(db.InsertXml("d", kDoc).ok());
+  for (RelationId id : db.schema().AllNodes()) {
+    EXPECT_EQ(db.schema().node(id).extents, nullptr);
+  }
+}
+
+TEST(ExtentsTest, RecordsBalancedIntervals) {
+  Database db;
+  db.set_record_extents(true);
+  ASSERT_TRUE(db.InsertXml("d", kDoc).ok());
+
+  // Two tuples (begin, end) per element instance, in insertion order.
+  RelationId b = db.schema().Resolve("/a/b");
+  ASSERT_NE(b, kInvalidRelation);
+  const SchemaNode& node = db.schema().node(b);
+  ASSERT_NE(node.extents, nullptr);
+  ASSERT_EQ(node.extents->size(), 4u);  // 2 <b> elements x (begin,end)
+
+  // Every element's begin precedes its end, and the intervals nest
+  // properly within the parent's.
+  RelationId a = db.schema().Resolve("/a");
+  const Bat& a_extents = *db.schema().node(a).extents;
+  ASSERT_EQ(a_extents.size(), 2u);
+  int64_t a_begin = a_extents.tail_int(0);
+  int64_t a_end = a_extents.tail_int(1);
+  EXPECT_LT(a_begin, a_end);
+  for (size_t i = 0; i < node.extents->size(); i += 2) {
+    int64_t begin = node.extents->tail_int(i);
+    int64_t end = node.extents->tail_int(i + 1);
+    EXPECT_LT(begin, end);
+    EXPECT_GT(begin, a_begin);
+    EXPECT_LT(end, a_end);
+  }
+
+  // Sibling <b> extents are disjoint and ordered.
+  EXPECT_LT(node.extents->tail_int(1), node.extents->tail_int(2));
+}
+
+TEST(ExtentsTest, ExtentsKeyedByElementOid) {
+  Database db;
+  db.set_record_extents(true);
+  ASSERT_TRUE(db.InsertXml("d", kDoc).ok());
+  RelationId c = db.schema().Resolve("/a/c");
+  const SchemaNode& node = db.schema().node(c);
+  ASSERT_NE(node.extents, nullptr);
+  // The head of each extent tuple is the element's oid (same oid as in
+  // the edge relation's tail).
+  EXPECT_EQ(node.extents->head(0), node.edges->tail_oid(0));
+  EXPECT_EQ(node.extents->head(1), node.edges->tail_oid(0));
+}
+
+TEST(ExtentsTest, SurvivesSaveLoad) {
+  std::string path = testing::TempDir() + "dls_extents_test.db";
+  {
+    Database db;
+    db.set_record_extents(true);
+    ASSERT_TRUE(db.InsertXml("d", kDoc).ok());
+    ASSERT_TRUE(SaveDatabase(db, path).ok());
+  }
+  Result<std::unique_ptr<Database>> loaded = LoadDatabase(path);
+  ASSERT_TRUE(loaded.ok()) << loaded.status().ToString();
+  RelationId b = loaded.value()->schema().Resolve("/a/b");
+  const SchemaNode& node = loaded.value()->schema().node(b);
+  ASSERT_NE(node.extents, nullptr);
+  EXPECT_EQ(node.extents->size(), 4u);
+  std::remove(path.c_str());
+}
+
+TEST(ExtentsTest, DeleteErasesExtents) {
+  Database db;
+  db.set_record_extents(true);
+  ASSERT_TRUE(db.InsertXml("d1", kDoc).ok());
+  ASSERT_TRUE(db.InsertXml("d2", kDoc).ok());
+  RelationId b = db.schema().Resolve("/a/b");
+  ASSERT_EQ(db.schema().node(b).extents->size(), 8u);
+  ASSERT_TRUE(db.DeleteDocument("d1").ok());
+  EXPECT_EQ(db.schema().node(b).extents->size(), 4u);
+  // The survivor still reconstructs.
+  EXPECT_TRUE(db.ReconstructDocument("d2").ok());
+}
+
+TEST(ExtentsTest, MixedModeDatabases) {
+  // Extents can be enabled mid-life; earlier documents simply have no
+  // extent tuples.
+  Database db;
+  ASSERT_TRUE(db.InsertXml("plain", kDoc).ok());
+  db.set_record_extents(true);
+  ASSERT_TRUE(db.InsertXml("tracked", kDoc).ok());
+  RelationId a = db.schema().Resolve("/a");
+  const SchemaNode& node = db.schema().node(a);
+  ASSERT_NE(node.extents, nullptr);
+  EXPECT_EQ(node.extents->size(), 2u);  // only the tracked document
+}
+
+}  // namespace
+}  // namespace dls::monet

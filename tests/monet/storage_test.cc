@@ -1,0 +1,149 @@
+#include "monet/storage.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+
+#include "common/strings.h"
+#include "monet/algebra.h"
+#include "xml/parser.h"
+
+namespace dls::monet {
+namespace {
+
+class StorageTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    path_ = testing::TempDir() + "dls_storage_test.db";
+  }
+  void TearDown() override { std::remove(path_.c_str()); }
+
+  std::string path_;
+};
+
+Database MakeSample() {
+  Database db;
+  (void)db.InsertXml("a",
+                     "<image key=\"18934\"><date>999</date>"
+                     "<colors><histogram>0.1 0.2</histogram></colors>"
+                     "</image>");
+  (void)db.InsertXml("b", "<image key=\"2\"><date>1000</date></image>");
+  (void)db.InsertXml("c", "<article><title>t</title></article>");
+  return db;
+}
+
+TEST_F(StorageTest, SaveLoadRoundTrip) {
+  Database db = MakeSample();
+  ASSERT_TRUE(SaveDatabase(db, path_).ok());
+
+  Result<std::unique_ptr<Database>> loaded = LoadDatabase(path_);
+  ASSERT_TRUE(loaded.ok()) << loaded.status().ToString();
+  Database& copy = *loaded.value();
+
+  DatabaseStats before = db.Stats();
+  DatabaseStats after = copy.Stats();
+  EXPECT_EQ(before.relations, after.relations);
+  EXPECT_EQ(before.associations, after.associations);
+  EXPECT_EQ(before.documents, after.documents);
+  EXPECT_EQ(db.peek_next_oid(), copy.peek_next_oid());
+
+  // Every document reconstructs identically.
+  for (const std::string& name : db.DocumentNames()) {
+    Result<xml::Document> original = db.ReconstructDocument(name);
+    Result<xml::Document> reloaded = copy.ReconstructDocument(name);
+    ASSERT_TRUE(original.ok());
+    ASSERT_TRUE(reloaded.ok()) << name << ": "
+                               << reloaded.status().ToString();
+    EXPECT_TRUE(original.value().IsomorphicTo(reloaded.value())) << name;
+  }
+
+  // Relation ids replayed identically.
+  EXPECT_EQ(copy.schema().Resolve("/image/colors/histogram"),
+            db.schema().Resolve("/image/colors/histogram"));
+}
+
+TEST_F(StorageTest, LoadedDatabaseAcceptsNewDocuments) {
+  Database db = MakeSample();
+  ASSERT_TRUE(SaveDatabase(db, path_).ok());
+  Result<std::unique_ptr<Database>> loaded = LoadDatabase(path_);
+  ASSERT_TRUE(loaded.ok());
+  // Oid allocation resumes without collisions: new inserts and path
+  // scans behave as if the process never restarted.
+  ASSERT_TRUE(
+      loaded.value()->InsertXml("d", "<image key=\"3\"/>").ok());
+  EXPECT_EQ(ScanPath(*loaded.value(), "/image").size(), 3u);
+  EXPECT_EQ(
+      SelectByAttribute(*loaded.value(), "/image", "key",
+                        [](const std::string& v) { return v == "3"; })
+          .size(),
+      1u);
+}
+
+TEST_F(StorageTest, EmptyDatabaseRoundTrips) {
+  Database db;
+  ASSERT_TRUE(SaveDatabase(db, path_).ok());
+  Result<std::unique_ptr<Database>> loaded = LoadDatabase(path_);
+  ASSERT_TRUE(loaded.ok()) << loaded.status().ToString();
+  EXPECT_EQ(loaded.value()->Stats().documents, 0u);
+}
+
+TEST_F(StorageTest, MissingFileIsNotFound) {
+  EXPECT_EQ(LoadDatabase(path_ + ".nope").status().code(),
+            StatusCode::kNotFound);
+}
+
+TEST_F(StorageTest, GarbageFileIsCorruption) {
+  std::ofstream(path_, std::ios::binary) << "this is not a database";
+  EXPECT_EQ(LoadDatabase(path_).status().code(), StatusCode::kCorruption);
+}
+
+TEST_F(StorageTest, BitFlipDetectedByChecksum) {
+  Database db = MakeSample();
+  ASSERT_TRUE(SaveDatabase(db, path_).ok());
+  // Flip one byte in the middle of the payload.
+  std::fstream file(path_, std::ios::binary | std::ios::in | std::ios::out);
+  file.seekg(0, std::ios::end);
+  auto size = static_cast<long>(file.tellg());
+  file.seekp(size / 2);
+  char byte;
+  file.seekg(size / 2);
+  file.read(&byte, 1);
+  byte = static_cast<char>(byte ^ 0x40);
+  file.seekp(size / 2);
+  file.write(&byte, 1);
+  file.close();
+  EXPECT_EQ(LoadDatabase(path_).status().code(), StatusCode::kCorruption);
+}
+
+TEST_F(StorageTest, TruncatedFileIsCorruption) {
+  Database db = MakeSample();
+  ASSERT_TRUE(SaveDatabase(db, path_).ok());
+  std::ifstream in(path_, std::ios::binary);
+  std::string blob((std::istreambuf_iterator<char>(in)),
+                   std::istreambuf_iterator<char>());
+  in.close();
+  std::ofstream(path_, std::ios::binary | std::ios::trunc)
+      << blob.substr(0, blob.size() / 2);
+  EXPECT_EQ(LoadDatabase(path_).status().code(), StatusCode::kCorruption);
+}
+
+TEST_F(StorageTest, LargeDatabaseRoundTrip) {
+  Database db;
+  for (int i = 0; i < 100; ++i) {
+    std::string xml = StrFormat(
+        "<doc n=\"%d\"><body>text %d</body><score>%d.5</score></doc>", i, i,
+        i);
+    ASSERT_TRUE(db.InsertXml(StrFormat("d%d", i), xml).ok());
+  }
+  ASSERT_TRUE(SaveDatabase(db, path_).ok());
+  Result<std::unique_ptr<Database>> loaded = LoadDatabase(path_);
+  ASSERT_TRUE(loaded.ok());
+  EXPECT_EQ(loaded.value()->Stats().associations, db.Stats().associations);
+  Result<xml::Document> doc = loaded.value()->ReconstructDocument("d42");
+  ASSERT_TRUE(doc.ok());
+  EXPECT_EQ(doc.value().InnerText(doc.value().root()), "text 4242.5");
+}
+
+}  // namespace
+}  // namespace dls::monet

@@ -1,0 +1,157 @@
+// Reproduces Figures 9-12 of the paper: the Monet transform of the
+// <image> example document — the exact path summary (schema tree), the
+// relation contents and the inverse mapping.
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "monet/database.h"
+#include "xml/parser.h"
+#include "xml/writer.h"
+
+namespace dls::monet {
+namespace {
+
+constexpr const char kExample[] =
+    "<image key=\"18934\" source=\"http://ao.example/seles.jpg\">"
+    "<date>999010530</date>"
+    "<colors>"
+    "<histogram>0.399 0.277 0.344</histogram>"
+    "<saturation>0.390</saturation>"
+    "<version>0.8</version>"
+    "</colors>"
+    "</image>";
+
+class MonetTransformTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    Result<xml::Document> doc = xml::Parse(kExample);
+    ASSERT_TRUE(doc.ok()) << doc.status().ToString();
+    doc_ = std::move(doc).value();
+    ASSERT_TRUE(db_.InsertDocument("example", doc_).ok());
+  }
+
+  xml::Document doc_;
+  Database db_;
+};
+
+TEST_F(MonetTransformTest, PathSummaryMatchesFigure12) {
+  // Figure 12 names 12 relations R1..R12 (element paths, attribute
+  // paths and PCDATA paths).
+  std::set<std::string> paths;
+  for (RelationId id : db_.schema().AllNodes()) {
+    if (id == db_.schema().root()) continue;
+    paths.insert(db_.schema().PathOf(id));
+  }
+  std::set<std::string> expected = {
+      "/image",
+      "/image[key]",
+      "/image[source]",
+      "/image/date",
+      "/image/date/PCDATA",
+      "/image/colors",
+      "/image/colors/histogram",
+      "/image/colors/histogram/PCDATA",
+      "/image/colors/saturation",
+      "/image/colors/saturation/PCDATA",
+      "/image/colors/version",
+      "/image/colors/version/PCDATA",
+  };
+  EXPECT_EQ(paths, expected);
+  EXPECT_EQ(db_.Stats().relations, 12u);
+}
+
+TEST_F(MonetTransformTest, AttributeAssociationsMatchDefinition1) {
+  RelationId key_rel = db_.schema().Resolve("/image[key]");
+  ASSERT_NE(key_rel, kInvalidRelation);
+  const Bat& key = *db_.schema().node(key_rel).values;
+  ASSERT_EQ(key.size(), 1u);
+  EXPECT_EQ(key.tail_str(0), "18934");
+
+  DocumentEntry entry = db_.GetDocument("example").value();
+  EXPECT_EQ(key.head(0), entry.root_oid);  // association (o_image, "18934")
+}
+
+TEST_F(MonetTransformTest, PcdataKeyedByOwningElement) {
+  RelationId pc = db_.schema().Resolve("/image/date/PCDATA");
+  ASSERT_NE(pc, kInvalidRelation);
+  const Bat& values = *db_.schema().node(pc).values;
+  ASSERT_EQ(values.size(), 1u);
+  EXPECT_EQ(values.tail_str(0), "999010530");
+
+  // The head is the <date> element's oid (the paper's insert sequence:
+  // insert(R(image/date/pcdata), <o2, "999010530">)).
+  RelationId date_rel = db_.schema().Resolve("/image/date");
+  const Bat& date_edges = *db_.schema().node(date_rel).edges;
+  ASSERT_EQ(date_edges.size(), 1u);
+  EXPECT_EQ(values.head(0), date_edges.tail_oid(0));
+}
+
+TEST_F(MonetTransformTest, RanksRecordSiblingOrder) {
+  RelationId date_rel = db_.schema().Resolve("/image/date");
+  RelationId colors_rel = db_.schema().Resolve("/image/colors");
+  const SchemaNode& date = db_.schema().node(date_rel);
+  const SchemaNode& colors = db_.schema().node(colors_rel);
+  EXPECT_EQ(date.ranks->tail_int(0), 0);
+  EXPECT_EQ(colors.ranks->tail_int(0), 1);
+}
+
+TEST_F(MonetTransformTest, ResolveRejectsUnknownPaths) {
+  EXPECT_EQ(db_.schema().Resolve("/image/nope"), kInvalidRelation);
+  EXPECT_EQ(db_.schema().Resolve("/image[nope]"), kInvalidRelation);
+  EXPECT_EQ(db_.schema().Resolve("garbage"), kInvalidRelation);
+}
+
+TEST_F(MonetTransformTest, InverseMappingIsIsomorphic) {
+  Result<xml::Document> back = db_.ReconstructDocument("example");
+  ASSERT_TRUE(back.ok()) << back.status().ToString();
+  EXPECT_TRUE(doc_.IsomorphicTo(back.value()))
+      << xml::Write(back.value());
+}
+
+TEST_F(MonetTransformTest, SharedSchemaAcrossDocuments) {
+  // A second document with the same structure adds tuples, not
+  // relations; a different structure extends the schema tree.
+  ASSERT_TRUE(db_.InsertXml("second", kExample).ok());
+  EXPECT_EQ(db_.Stats().relations, 12u);
+  ASSERT_TRUE(db_.InsertXml("third", "<image><extra>1</extra></image>").ok());
+  EXPECT_EQ(db_.Stats().relations, 14u);  // /image/extra + its PCDATA
+}
+
+TEST_F(MonetTransformTest, DeleteRemovesAllAssociations) {
+  DatabaseStats before = db_.Stats();
+  ASSERT_TRUE(db_.InsertXml("victim", kExample).ok());
+  EXPECT_GT(db_.Stats().associations, before.associations);
+  ASSERT_TRUE(db_.DeleteDocument("victim").ok());
+  EXPECT_EQ(db_.Stats().associations, before.associations);
+  EXPECT_FALSE(db_.HasDocument("victim"));
+  // The surviving document still reconstructs.
+  EXPECT_TRUE(db_.ReconstructDocument("example").ok());
+}
+
+TEST_F(MonetTransformTest, ReplaceDocumentUpdatesContent) {
+  ASSERT_TRUE(
+      db_.InsertXml("mutable", "<image><date>1</date></image>").ok());
+  Result<xml::Document> v2 = xml::Parse("<image><date>2</date></image>");
+  ASSERT_TRUE(v2.ok());
+  ASSERT_TRUE(db_.ReplaceDocument("mutable", v2.value()).ok());
+  Result<xml::Document> back = db_.ReconstructDocument("mutable");
+  ASSERT_TRUE(back.ok());
+  EXPECT_TRUE(v2.value().IsomorphicTo(back.value()));
+}
+
+TEST_F(MonetTransformTest, DuplicateInsertRejected) {
+  EXPECT_EQ(db_.InsertDocument("example", doc_).code(),
+            StatusCode::kAlreadyExists);
+}
+
+TEST_F(MonetTransformTest, MixedContentRoundTrip) {
+  constexpr const char kMixed[] = "<p>one<b>two</b>three<b>four</b>five</p>";
+  ASSERT_TRUE(db_.InsertXml("mixed", kMixed).ok());
+  Result<xml::Document> back = db_.ReconstructDocument("mixed");
+  ASSERT_TRUE(back.ok()) << back.status().ToString();
+  EXPECT_EQ(xml::Write(back.value()), kMixed);
+}
+
+}  // namespace
+}  // namespace dls::monet

@@ -1,0 +1,65 @@
+#include "synth/internet.h"
+
+#include <gtest/gtest.h>
+
+namespace dls::synth {
+namespace {
+
+TEST(InternetTest, Deterministic) {
+  InternetOptions options;
+  InternetSite a = GenerateInternet(options);
+  InternetSite b = GenerateInternet(options);
+  ASSERT_EQ(a.pages.size(), b.pages.size());
+  for (size_t i = 0; i < a.pages.size(); ++i) {
+    EXPECT_EQ(a.pages[i].url, b.pages[i].url);
+    EXPECT_EQ(a.pages[i].keywords, b.pages[i].keywords);
+  }
+  EXPECT_EQ(a.champion_portraits, b.champion_portraits);
+}
+
+TEST(InternetTest, CountsMatchOptions) {
+  InternetOptions options;
+  options.num_pages = 12;
+  options.num_images = 9;
+  InternetSite site = GenerateInternet(options);
+  EXPECT_EQ(site.pages.size(), 12u);
+  EXPECT_EQ(site.images.size(), 9u);
+}
+
+TEST(InternetTest, AnchorsResolveToGeneratedResources) {
+  InternetSite site = GenerateInternet(InternetOptions());
+  std::set<std::string> page_urls;
+  for (const WebPage& page : site.pages) page_urls.insert(page.url);
+  for (const WebPage& page : site.pages) {
+    for (const WebPage::Anchor& anchor : page.anchors) {
+      bool is_page = page_urls.count(anchor.href) > 0;
+      bool is_image = site.images.count(anchor.href) > 0;
+      EXPECT_TRUE(is_page || is_image) << anchor.href;
+      if (anchor.embedded) {
+        EXPECT_TRUE(is_image);
+      }
+    }
+  }
+}
+
+TEST(InternetTest, ChampionPortraitGroundTruth) {
+  InternetOptions options;
+  options.num_pages = 40;
+  InternetSite site = GenerateInternet(options);
+  ASSERT_FALSE(site.champion_portraits.empty());
+  for (const std::string& url : site.champion_portraits) {
+    ASSERT_TRUE(site.images.count(url)) << url;
+    EXPECT_EQ(site.images.at(url), "portrait");
+  }
+}
+
+TEST(InternetTest, EveryPageHasTitleAndKeywords) {
+  InternetSite site = GenerateInternet(InternetOptions());
+  for (const WebPage& page : site.pages) {
+    EXPECT_FALSE(page.title.empty());
+    EXPECT_FALSE(page.keywords.empty());
+  }
+}
+
+}  // namespace
+}  // namespace dls::synth

@@ -1,0 +1,125 @@
+#include "synth/site.h"
+#include "synth/text.h"
+
+#include <gtest/gtest.h>
+
+#include <map>
+#include <set>
+
+#include "webspace/docgen.h"
+#include "xml/writer.h"
+
+namespace dls::synth {
+namespace {
+
+SiteOptions SmallSite(uint64_t seed = 42) {
+  SiteOptions options;
+  options.seed = seed;
+  options.num_players = 8;
+  options.num_articles = 10;
+  options.vocabulary = 300;
+  options.video_shots = 3;
+  options.video_frames_per_shot = 6;
+  return options;
+}
+
+TEST(SiteTest, DeterministicForSameSeed) {
+  Result<Site> a = GenerateSite(SmallSite());
+  Result<Site> b = GenerateSite(SmallSite());
+  ASSERT_TRUE(a.ok());
+  ASSERT_TRUE(b.ok());
+  ASSERT_EQ(a.value().documents.size(), b.value().documents.size());
+  for (size_t i = 0; i < a.value().documents.size(); ++i) {
+    EXPECT_EQ(a.value().documents[i].first, b.value().documents[i].first);
+    EXPECT_TRUE(a.value().documents[i].second.IsomorphicTo(
+        b.value().documents[i].second));
+  }
+  ASSERT_EQ(a.value().players.size(), b.value().players.size());
+  for (size_t i = 0; i < a.value().players.size(); ++i) {
+    EXPECT_EQ(a.value().players[i].name, b.value().players[i].name);
+    EXPECT_EQ(a.value().players[i].video_has_netplay,
+              b.value().players[i].video_has_netplay);
+  }
+}
+
+TEST(SiteTest, DocumentCountsMatchOptions) {
+  Result<Site> site = GenerateSite(SmallSite());
+  ASSERT_TRUE(site.ok());
+  // One player page + one profile page per player, one page per article.
+  EXPECT_EQ(site.value().documents.size(), 8u * 2 + 10u);
+  EXPECT_EQ(site.value().players.size(), 8u);
+  EXPECT_EQ(site.value().article_ids.size(), 10u);
+  // Every third profile has a video (video_every = 3).
+  EXPECT_EQ(site.value().videos.size(), 3u);  // players 0, 3, 6
+}
+
+TEST(SiteTest, AllDocumentsValidateAgainstSchema) {
+  Result<Site> site = GenerateSite(SmallSite());
+  ASSERT_TRUE(site.ok());
+  for (const auto& [url, doc] : site.value().documents) {
+    Result<webspace::DocumentView> view =
+        webspace::RetrieveObjects(site.value().schema, doc);
+    EXPECT_TRUE(view.ok()) << url << ": " << view.status().ToString();
+  }
+}
+
+TEST(SiteTest, GroundTruthConsistentWithDocuments) {
+  Result<Site> r = GenerateSite(SmallSite(7));
+  ASSERT_TRUE(r.ok());
+  const Site& site = r.value();
+  for (const PlayerTruth& player : site.players) {
+    bool found = false;
+    for (const auto& [url, doc] : site.documents) {
+      std::string text = xml::Write(doc);
+      if (text.find("id=\"" + player.id + "\"") != std::string::npos &&
+          text.find("<gender>" + player.gender + "</gender>") !=
+              std::string::npos) {
+        found = true;
+        // Past winners carry the marker phrase in their history.
+        bool has_winner = text.find("Winner of the Australian Open") !=
+                          std::string::npos;
+        EXPECT_EQ(has_winner, player.past_winner) << player.id;
+        break;
+      }
+    }
+    EXPECT_TRUE(found) << "no document for " << player.id;
+  }
+}
+
+TEST(SiteTest, VideoGroundTruthMatchesScripts) {
+  Result<Site> r = GenerateSite(SmallSite(9));
+  ASSERT_TRUE(r.ok());
+  for (const PlayerTruth& player : r.value().players) {
+    if (player.video_url.empty()) continue;
+    auto it = r.value().videos.find(player.video_url);
+    ASSERT_NE(it, r.value().videos.end());
+    bool any_net = false;
+    for (const cobra::ShotScript& shot : it->second.shots) {
+      if (shot.type == cobra::ShotClass::kTennis &&
+          shot.trajectory != cobra::TrajectoryKind::kBaselineRally) {
+        any_net = true;
+      }
+    }
+    EXPECT_EQ(any_net, player.video_has_netplay) << player.video_url;
+  }
+}
+
+TEST(SiteTest, TextModelZipfSkew) {
+  TextModel text(1, 500);
+  Rng rng(2);
+  std::map<std::string, int> counts;
+  for (int i = 0; i < 20000; ++i) ++counts[text.Sample(&rng)];
+  // Head word much more frequent than a mid-rank word.
+  EXPECT_GT(counts[text.word(0)], counts[text.word(50)] * 3);
+}
+
+TEST(SiteTest, TextModelWordsUnique) {
+  TextModel text(3, 1000);
+  std::set<std::string> seen;
+  for (size_t i = 0; i < text.vocabulary_size(); ++i) {
+    EXPECT_TRUE(seen.insert(text.word(i)).second) << text.word(i);
+  }
+}
+
+}  // namespace
+}  // namespace dls::synth

@@ -1,0 +1,179 @@
+#include "webspace/docgen.h"
+
+#include <gtest/gtest.h>
+
+#include "synth/site.h"
+#include "xml/parser.h"
+#include "xml/writer.h"
+
+namespace dls::webspace {
+namespace {
+
+class DocgenTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    Result<Schema> r = ParseSchema(synth::kAustralianOpenSchema);
+    ASSERT_TRUE(r.ok());
+    schema_ = std::move(r).value();
+  }
+
+  DocumentView SampleView() {
+    DocumentView view;
+    view.document_url = "http://ao.example/players/seles.xml";
+    WebObject player;
+    player.cls = "Player";
+    player.id = "player-1";
+    player.attributes = {
+        AttrValue{"name", "Monica Seles", ""},
+        AttrValue{"gender", "female", ""},
+        AttrValue{"history", "Winner of the Australian Open 1991",
+                  "http://ao.example/bio/seles.html"},
+        AttrValue{"picture", "", "http://ao.example/img/seles.jpg"},
+    };
+    view.objects.push_back(player);
+    view.associations.push_back(
+        AssociationInstance{"Is_covered_in", "player-1", "profile-1"});
+    return view;
+  }
+
+  Schema schema_;
+};
+
+TEST_F(DocgenTest, GeneratedDocumentStructure) {
+  Result<xml::Document> doc = GenerateDocument(schema_, SampleView());
+  ASSERT_TRUE(doc.ok()) << doc.status().ToString();
+  std::string out = xml::Write(doc.value());
+  EXPECT_NE(out.find("<webspace schema=\"AustralianOpen\""),
+            std::string::npos);
+  EXPECT_NE(out.find("<Player id=\"player-1\">"), std::string::npos);
+  EXPECT_NE(out.find("<name>Monica Seles</name>"), std::string::npos);
+  EXPECT_NE(out.find("mm=\"Hypertext\""), std::string::npos);
+  EXPECT_NE(out.find("<Is_covered_in from=\"player-1\" to=\"profile-1\"/>"),
+            std::string::npos);
+}
+
+TEST_F(DocgenTest, RetrieveInvertsGenerate) {
+  DocumentView view = SampleView();
+  Result<xml::Document> doc = GenerateDocument(schema_, view);
+  ASSERT_TRUE(doc.ok());
+  Result<DocumentView> back = RetrieveObjects(schema_, doc.value());
+  ASSERT_TRUE(back.ok()) << back.status().ToString();
+
+  EXPECT_EQ(back.value().document_url, view.document_url);
+  ASSERT_EQ(back.value().objects.size(), 1u);
+  const WebObject& player = back.value().objects[0];
+  EXPECT_EQ(player.cls, "Player");
+  EXPECT_EQ(player.id, "player-1");
+  EXPECT_EQ(player.FindAttribute("name")->text, "Monica Seles");
+  EXPECT_EQ(player.FindAttribute("picture")->src,
+            "http://ao.example/img/seles.jpg");
+  EXPECT_EQ(player.FindAttribute("history")->text,
+            "Winner of the Australian Open 1991");
+  ASSERT_EQ(back.value().associations.size(), 1u);
+  EXPECT_EQ(back.value().associations[0].assoc, "Is_covered_in");
+}
+
+TEST_F(DocgenTest, GenerateRejectsUnknownClass) {
+  DocumentView view;
+  WebObject ghost;
+  ghost.cls = "Ghost";
+  ghost.id = "g";
+  view.objects.push_back(ghost);
+  EXPECT_FALSE(GenerateDocument(schema_, view).ok());
+}
+
+TEST_F(DocgenTest, GenerateRejectsUnknownAttribute) {
+  DocumentView view;
+  WebObject player;
+  player.cls = "Player";
+  player.id = "p";
+  player.attributes = {AttrValue{"shoe_size", "44", ""}};
+  view.objects.push_back(player);
+  EXPECT_FALSE(GenerateDocument(schema_, view).ok());
+}
+
+TEST_F(DocgenTest, RetrieveRejectsWrongSchema) {
+  Result<xml::Document> doc =
+      xml::Parse("<webspace schema=\"Other\"><Player id=\"p\"/></webspace>");
+  ASSERT_TRUE(doc.ok());
+  EXPECT_FALSE(RetrieveObjects(schema_, doc.value()).ok());
+}
+
+TEST_F(DocgenTest, RetrieveRejectsNonWebspaceRoot) {
+  Result<xml::Document> doc = xml::Parse("<html/>");
+  ASSERT_TRUE(doc.ok());
+  EXPECT_FALSE(RetrieveObjects(schema_, doc.value()).ok());
+}
+
+TEST_F(DocgenTest, RetrieveRejectsObjectWithoutId) {
+  Result<xml::Document> doc = xml::Parse(
+      "<webspace schema=\"AustralianOpen\"><Player/></webspace>");
+  ASSERT_TRUE(doc.ok());
+  EXPECT_FALSE(RetrieveObjects(schema_, doc.value()).ok());
+}
+
+TEST_F(DocgenTest, RetrieveRejectsAssociationWithoutEndpoints) {
+  Result<xml::Document> doc = xml::Parse(
+      "<webspace schema=\"AustralianOpen\">"
+      "<Is_covered_in from=\"a\"/></webspace>");
+  ASSERT_TRUE(doc.ok());
+  EXPECT_FALSE(RetrieveObjects(schema_, doc.value()).ok());
+}
+
+TEST(WebspaceInstanceTest, MergesObjectsAcrossDocuments) {
+  Result<Schema> r = ParseSchema(synth::kAustralianOpenSchema);
+  ASSERT_TRUE(r.ok());
+  Schema schema = std::move(r).value();
+  WebspaceInstance instance(&schema);
+
+  DocumentView a;
+  WebObject p1;
+  p1.cls = "Player";
+  p1.id = "p";
+  p1.attributes = {AttrValue{"name", "Monica Seles", ""}};
+  a.objects.push_back(p1);
+  ASSERT_TRUE(instance.Merge(a).ok());
+
+  DocumentView b;
+  WebObject p2;
+  p2.cls = "Player";
+  p2.id = "p";
+  p2.attributes = {AttrValue{"name", "ignored duplicate", ""},
+                   AttrValue{"gender", "female", ""}};
+  b.objects.push_back(p2);
+  b.associations.push_back(AssociationInstance{"About", "a1", "p"});
+  b.associations.push_back(AssociationInstance{"About", "a1", "p"});
+  ASSERT_TRUE(instance.Merge(b).ok());
+
+  EXPECT_EQ(instance.object_count(), 1u);
+  const WebObject* merged = instance.FindObject("p");
+  ASSERT_NE(merged, nullptr);
+  EXPECT_EQ(merged->FindAttribute("name")->text, "Monica Seles");
+  EXPECT_EQ(merged->FindAttribute("gender")->text, "female");
+  EXPECT_EQ(instance.associations().size(), 1u);  // deduplicated
+  EXPECT_EQ(instance.Linked("About", "a1"), (std::vector<std::string>{"p"}));
+  EXPECT_EQ(instance.Linked("About", "p", /*reverse=*/true),
+            (std::vector<std::string>{"a1"}));
+}
+
+TEST(WebspaceInstanceTest, RejectsClassConflict) {
+  Result<Schema> r = ParseSchema(synth::kAustralianOpenSchema);
+  ASSERT_TRUE(r.ok());
+  Schema schema = std::move(r).value();
+  WebspaceInstance instance(&schema);
+  DocumentView a;
+  WebObject p;
+  p.cls = "Player";
+  p.id = "x";
+  a.objects.push_back(p);
+  ASSERT_TRUE(instance.Merge(a).ok());
+  DocumentView b;
+  WebObject q;
+  q.cls = "Article";
+  q.id = "x";
+  b.objects.push_back(q);
+  EXPECT_FALSE(instance.Merge(b).ok());
+}
+
+}  // namespace
+}  // namespace dls::webspace

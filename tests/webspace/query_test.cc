@@ -1,0 +1,209 @@
+#include "webspace/query.h"
+
+#include <gtest/gtest.h>
+
+#include "synth/site.h"
+#include "xml/parser.h"
+
+namespace dls::webspace {
+namespace {
+
+/// The Figure 13 query in the engine's query language.
+constexpr const char kFig13[] = R"(
+select Player.name, Profile.video
+from Player, Profile
+where Player.gender == "female"
+  and Player.plays == "left"
+  and Player.history contains "Winner"
+  and Is_covered_in(Player, Profile)
+  and Profile.video event "netplay"
+limit 10
+)";
+
+TEST(QueryParserTest, ParsesFigure13Query) {
+  Result<ConceptualQuery> r = ParseQuery(kFig13);
+  ASSERT_TRUE(r.ok()) << r.status().ToString();
+  const ConceptualQuery& q = r.value();
+  ASSERT_EQ(q.select.size(), 2u);
+  EXPECT_EQ(q.select[0].ToString(), "Player.name");
+  EXPECT_EQ(q.select[1].ToString(), "Profile.video");
+  EXPECT_EQ(q.from, (std::vector<std::string>{"Player", "Profile"}));
+  ASSERT_EQ(q.predicates.size(), 4u);
+  EXPECT_EQ(q.predicates[0].kind, QueryPredKind::kEquals);
+  EXPECT_EQ(q.predicates[0].value, "female");
+  EXPECT_EQ(q.predicates[2].kind, QueryPredKind::kContains);
+  EXPECT_EQ(q.predicates[2].value, "Winner");
+  EXPECT_EQ(q.predicates[3].kind, QueryPredKind::kEvent);
+  EXPECT_EQ(q.predicates[3].value, "netplay");
+  ASSERT_EQ(q.joins.size(), 1u);
+  EXPECT_EQ(q.joins[0].assoc, "Is_covered_in");
+  EXPECT_EQ(q.limit, 10u);
+}
+
+TEST(QueryParserTest, RankClause) {
+  Result<ConceptualQuery> r = ParseQuery(
+      "select Article.name from Article "
+      "rank by Article.body about \"champion title\" limit 5");
+  ASSERT_TRUE(r.ok()) << r.status().ToString();
+  ASSERT_EQ(r.value().rank.size(), 1u);
+  EXPECT_EQ(r.value().rank[0].ref.ToString(), "Article.body");
+  EXPECT_EQ(r.value().rank[0].words,
+            (std::vector<std::string>{"champion", "title"}));
+  EXPECT_EQ(r.value().limit, 5u);
+}
+
+TEST(QueryParserTest, NotEquals) {
+  Result<ConceptualQuery> r = ParseQuery(
+      "select Player.name from Player where Player.gender != \"male\"");
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r.value().predicates[0].kind, QueryPredKind::kNotEquals);
+}
+
+TEST(QueryParserTest, KeywordsCaseInsensitive) {
+  EXPECT_TRUE(
+      ParseQuery("SELECT Player.name FROM Player WHERE "
+                 "Player.gender == \"female\" LIMIT 3")
+          .ok());
+}
+
+TEST(QueryParserTest, DefaultLimitIsTen) {
+  Result<ConceptualQuery> r = ParseQuery("select Player.name from Player");
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r.value().limit, 10u);
+}
+
+TEST(QueryParserTest, RejectsMalformedQueries) {
+  EXPECT_FALSE(ParseQuery("").ok());
+  EXPECT_FALSE(ParseQuery("from Player").ok());
+  EXPECT_FALSE(ParseQuery("select Player from Player").ok());  // no .attr
+  EXPECT_FALSE(ParseQuery("select Player.name").ok());         // no from
+  EXPECT_FALSE(
+      ParseQuery("select Player.name from Player where Player.x = \"a\"")
+          .ok());  // single '='
+  EXPECT_FALSE(
+      ParseQuery("select Player.name from Player trailing garbage").ok());
+  EXPECT_FALSE(
+      ParseQuery("select Player.name from Player where Player.x == unquoted")
+          .ok());
+}
+
+class QueryValidationTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    Result<Schema> r = ParseSchema(synth::kAustralianOpenSchema);
+    ASSERT_TRUE(r.ok());
+    schema_ = std::move(r).value();
+  }
+  Status Validate(const std::string& text) {
+    Result<ConceptualQuery> q = ParseQuery(text);
+    if (!q.ok()) return q.status();
+    return ValidateQuery(q.value(), schema_);
+  }
+  Schema schema_;
+};
+
+TEST_F(QueryValidationTest, Figure13Validates) {
+  EXPECT_TRUE(Validate(kFig13).ok());
+}
+
+TEST_F(QueryValidationTest, UnknownClassRejected) {
+  EXPECT_FALSE(Validate("select Coach.name from Coach").ok());
+}
+
+TEST_F(QueryValidationTest, UnknownAttributeRejected) {
+  EXPECT_FALSE(Validate("select Player.ranking from Player").ok());
+}
+
+TEST_F(QueryValidationTest, ContainsNeedsTextAttribute) {
+  EXPECT_FALSE(
+      Validate("select Player.name from Player "
+               "where Player.picture contains \"x\"")
+          .ok());
+  EXPECT_TRUE(
+      Validate("select Player.name from Player "
+               "where Player.name contains \"x\"")
+          .ok());
+}
+
+TEST_F(QueryValidationTest, EventNeedsVideoAttribute) {
+  EXPECT_FALSE(
+      Validate("select Player.name from Player "
+               "where Player.history event \"netplay\"")
+          .ok());
+}
+
+TEST_F(QueryValidationTest, JoinSignatureChecked) {
+  EXPECT_FALSE(
+      Validate("select Player.name from Player, Profile "
+               "where Is_covered_in(Profile, Player)")
+          .ok());
+  EXPECT_FALSE(
+      Validate("select Player.name from Player, Profile "
+               "where Trains_with(Player, Profile)")
+          .ok());
+}
+
+TEST_F(QueryValidationTest, RankNeedsTextAttribute) {
+  EXPECT_FALSE(
+      Validate("select Profile.video from Profile "
+               "rank by Profile.video about \"x\"")
+          .ok());
+}
+
+TEST(QueryXmlTest, RoundTripsThroughXml) {
+  Result<ConceptualQuery> q = ParseQuery(kFig13);
+  ASSERT_TRUE(q.ok());
+  xml::Document doc = QueryToXml(q.value());
+  Result<ConceptualQuery> back = QueryFromXml(doc);
+  ASSERT_TRUE(back.ok()) << back.status().ToString();
+
+  const ConceptualQuery& a = q.value();
+  const ConceptualQuery& b = back.value();
+  ASSERT_EQ(a.select.size(), b.select.size());
+  for (size_t i = 0; i < a.select.size(); ++i) {
+    EXPECT_EQ(a.select[i].ToString(), b.select[i].ToString());
+  }
+  EXPECT_EQ(a.from, b.from);
+  ASSERT_EQ(a.predicates.size(), b.predicates.size());
+  for (size_t i = 0; i < a.predicates.size(); ++i) {
+    EXPECT_EQ(a.predicates[i].kind, b.predicates[i].kind);
+    EXPECT_EQ(a.predicates[i].value, b.predicates[i].value);
+  }
+  ASSERT_EQ(a.joins.size(), b.joins.size());
+  EXPECT_EQ(a.joins[0].assoc, b.joins[0].assoc);
+  EXPECT_EQ(a.limit, b.limit);
+}
+
+TEST(QueryXmlTest, RankClauseRoundTrips) {
+  Result<ConceptualQuery> q = ParseQuery(
+      "select Article.name from Article "
+      "rank by Article.body about \"champion title\" limit 3");
+  ASSERT_TRUE(q.ok());
+  Result<ConceptualQuery> back = QueryFromXml(QueryToXml(q.value()));
+  ASSERT_TRUE(back.ok());
+  ASSERT_EQ(back.value().rank.size(), 1u);
+  EXPECT_EQ(back.value().rank[0].words,
+            (std::vector<std::string>{"champion", "title"}));
+  EXPECT_EQ(back.value().limit, 3u);
+}
+
+TEST(QueryXmlTest, RejectsMalformedXml) {
+  Result<xml::Document> not_query = xml::Parse("<nope/>");
+  ASSERT_TRUE(not_query.ok());
+  EXPECT_FALSE(QueryFromXml(not_query.value()).ok());
+
+  Result<xml::Document> empty = xml::Parse("<query/>");
+  ASSERT_TRUE(empty.ok());
+  EXPECT_FALSE(QueryFromXml(empty.value()).ok());
+
+  Result<xml::Document> bad_pred = xml::Parse(
+      "<query><select><field class=\"A\" attribute=\"x\"/></select>"
+      "<from><class name=\"A\"/></from>"
+      "<where><predicate kind=\"frobnicate\" class=\"A\" "
+      "attribute=\"x\" value=\"v\"/></where></query>");
+  ASSERT_TRUE(bad_pred.ok());
+  EXPECT_FALSE(QueryFromXml(bad_pred.value()).ok());
+}
+
+}  // namespace
+}  // namespace dls::webspace

@@ -1,0 +1,83 @@
+// Reproduces Figure 3: the Australian Open webspace schema fragment.
+#include "webspace/schema.h"
+
+#include <gtest/gtest.h>
+
+#include "synth/site.h"
+
+namespace dls::webspace {
+namespace {
+
+TEST(SchemaParserTest, ParsesFigure3Schema) {
+  Result<Schema> r = ParseSchema(synth::kAustralianOpenSchema);
+  ASSERT_TRUE(r.ok()) << r.status().ToString();
+  const Schema& schema = r.value();
+  EXPECT_EQ(schema.name(), "AustralianOpen");
+
+  const ClassDef* player = schema.FindClass("Player");
+  ASSERT_NE(player, nullptr);
+  const AttributeDef* name = player->FindAttribute("name");
+  ASSERT_NE(name, nullptr);
+  EXPECT_EQ(name->type, AttrType::kVarchar);
+  EXPECT_EQ(name->varchar_len, 50);
+  EXPECT_EQ(player->FindAttribute("history")->type, AttrType::kHypertext);
+  EXPECT_EQ(player->FindAttribute("picture")->type, AttrType::kImage);
+
+  const ClassDef* profile = schema.FindClass("Profile");
+  ASSERT_NE(profile, nullptr);
+  EXPECT_EQ(profile->FindAttribute("document")->type, AttrType::kUri);
+  EXPECT_EQ(profile->FindAttribute("video")->type, AttrType::kVideo);
+
+  const AssociationDef* covered = schema.FindAssociation("Is_covered_in");
+  ASSERT_NE(covered, nullptr);
+  EXPECT_EQ(covered->from_class, "Player");
+  EXPECT_EQ(covered->to_class, "Profile");
+  const AssociationDef* about = schema.FindAssociation("About");
+  ASSERT_NE(about, nullptr);
+  EXPECT_EQ(about->from_class, "Article");
+  EXPECT_EQ(about->to_class, "Player");
+}
+
+TEST(SchemaParserTest, AssociationsOfClass) {
+  Result<Schema> r = ParseSchema(synth::kAustralianOpenSchema);
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r.value().AssociationsOf("Player").size(), 2u);
+  EXPECT_EQ(r.value().AssociationsOf("Profile").size(), 1u);
+  EXPECT_TRUE(r.value().AssociationsOf("Nothing").empty());
+}
+
+TEST(SchemaParserTest, RejectsDuplicateClass) {
+  EXPECT_FALSE(ParseSchema("class A { x: int; }\nclass A { y: int; }").ok());
+}
+
+TEST(SchemaParserTest, RejectsAssociationOverUnknownClass) {
+  Status s = ParseSchema("class A { x: int; }\nassociation R(A, B);").status();
+  EXPECT_FALSE(s.ok());
+  EXPECT_NE(s.message().find("B"), std::string::npos);
+}
+
+TEST(SchemaParserTest, RejectsUnknownType) {
+  EXPECT_FALSE(ParseSchema("class A { x: blob; }").ok());
+}
+
+TEST(SchemaParserTest, RejectsMalformedVarchar) {
+  EXPECT_FALSE(ParseSchema("class A { x: varchar; }").ok());
+  EXPECT_FALSE(ParseSchema("class A { x: varchar(; }").ok());
+}
+
+TEST(SchemaParserTest, CommentsAllowed) {
+  EXPECT_TRUE(ParseSchema("// header\nclass A { # inline\n x: int; }").ok());
+}
+
+TEST(SchemaParserTest, MultimediaPredicate) {
+  EXPECT_TRUE(IsMultimedia(AttrType::kVideo));
+  EXPECT_TRUE(IsMultimedia(AttrType::kHypertext));
+  EXPECT_TRUE(IsMultimedia(AttrType::kImage));
+  EXPECT_TRUE(IsMultimedia(AttrType::kAudio));
+  EXPECT_FALSE(IsMultimedia(AttrType::kVarchar));
+  EXPECT_FALSE(IsMultimedia(AttrType::kInt));
+  EXPECT_FALSE(IsMultimedia(AttrType::kUri));
+}
+
+}  // namespace
+}  // namespace dls::webspace

@@ -1,0 +1,70 @@
+// Robustness sweep: randomly mutated XML never crashes the parser —
+// every input either parses or returns a ParseError, and successful
+// parses always survive a write/parse round trip.
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "xml/parser.h"
+#include "xml/writer.h"
+
+namespace dls::xml {
+namespace {
+
+constexpr const char kBase[] =
+    "<site version=\"1.0\"><player id=\"p1\"><name>Monica "
+    "Seles</name><bio>Winner &amp; champion</bio></player>"
+    "<article ref='a'><![CDATA[raw <stuff>]]><!-- note --></article></site>";
+
+std::string Mutate(Rng* rng, std::string text) {
+  size_t mutations = 1 + rng->Uniform(4);
+  for (size_t m = 0; m < mutations; ++m) {
+    if (text.empty()) break;
+    size_t pos = rng->Uniform(text.size());
+    switch (rng->Uniform(4)) {
+      case 0:  // flip a byte to random printable
+        text[pos] = static_cast<char>(32 + rng->Uniform(95));
+        break;
+      case 1:  // delete a span
+        text.erase(pos, 1 + rng->Uniform(5));
+        break;
+      case 2:  // duplicate a span
+        text.insert(pos, text.substr(pos, 1 + rng->Uniform(8)));
+        break;
+      case 3: {  // inject a metacharacter
+        constexpr const char kMeta[] = {'<', '>', '&', '"', '\'', '/',
+                                        '!', '?', '[', ']'};
+        text.insert(text.begin() + static_cast<long>(pos),
+                    kMeta[rng->Uniform(std::size(kMeta))]);
+        break;
+      }
+    }
+  }
+  return text;
+}
+
+class XmlFuzzTest : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(XmlFuzzTest, NeverCrashesAlwaysClassifies) {
+  Rng rng(GetParam());
+  for (int round = 0; round < 200; ++round) {
+    std::string mutated = Mutate(&rng, kBase);
+    Result<Document> r = Parse(mutated);
+    if (!r.ok()) {
+      EXPECT_EQ(r.status().code(), StatusCode::kParseError) << mutated;
+      continue;
+    }
+    // Accepted inputs must round-trip stably.
+    std::string serialized = Write(r.value());
+    Result<Document> again = Parse(serialized);
+    ASSERT_TRUE(again.ok()) << "accepted input failed reserialization:\n"
+                            << mutated << "\n->\n"
+                            << serialized;
+    EXPECT_TRUE(r.value().IsomorphicTo(again.value())) << mutated;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, XmlFuzzTest,
+                         ::testing::Range<uint64_t>(1, 9));
+
+}  // namespace
+}  // namespace dls::xml

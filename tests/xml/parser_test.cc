@@ -1,0 +1,124 @@
+#include "xml/parser.h"
+
+#include <gtest/gtest.h>
+
+#include "xml/writer.h"
+
+namespace dls::xml {
+namespace {
+
+TEST(XmlParserTest, MinimalDocument) {
+  Result<Document> r = Parse("<root/>");
+  ASSERT_TRUE(r.ok()) << r.status().ToString();
+  const Document& doc = r.value();
+  EXPECT_TRUE(doc.has_root());
+  EXPECT_EQ(doc.node(doc.root()).name, "root");
+  EXPECT_TRUE(doc.node(doc.root()).children.empty());
+}
+
+TEST(XmlParserTest, AttributesBothQuoteStyles) {
+  Result<Document> r = Parse("<a x=\"1\" y='two'/>");
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(*r.value().FindAttribute(r.value().root(), "x"), "1");
+  EXPECT_EQ(*r.value().FindAttribute(r.value().root(), "y"), "two");
+}
+
+TEST(XmlParserTest, NestedElementsAndText) {
+  Result<Document> r = Parse("<a><b>hello</b><c>world</c></a>");
+  ASSERT_TRUE(r.ok());
+  const Document& doc = r.value();
+  EXPECT_EQ(doc.InnerText(doc.root()), "helloworld");
+  NodeId b = doc.FindChild(doc.root(), "b");
+  ASSERT_NE(b, kInvalidNode);
+  EXPECT_EQ(doc.InnerText(b), "hello");
+}
+
+TEST(XmlParserTest, PaperExampleDocument) {
+  // Figure 9 of the paper.
+  constexpr const char kExample[] = R"(
+<image key="18934" source="http://ao.example/seles.jpg">
+  <date> 999010530 </date>
+  <colors>
+    <histogram> 0.399 0.277 0.344 </histogram>
+    <saturation> 0.390 </saturation>
+    <version> 0.8 </version>
+  </colors>
+</image>)";
+  Result<Document> r = Parse(kExample);
+  ASSERT_TRUE(r.ok()) << r.status().ToString();
+  const Document& doc = r.value();
+  EXPECT_EQ(doc.node(doc.root()).name, "image");
+  EXPECT_EQ(*doc.FindAttribute(doc.root(), "key"), "18934");
+  NodeId colors = doc.FindChild(doc.root(), "colors");
+  ASSERT_NE(colors, kInvalidNode);
+  EXPECT_EQ(doc.FindChildren(colors, "histogram").size(), 1u);
+}
+
+TEST(XmlParserTest, EntityDecoding) {
+  Result<Document> r = Parse("<a b=\"&lt;&amp;&gt;\">&quot;&apos;&#65;&#x42;</a>");
+  ASSERT_TRUE(r.ok()) << r.status().ToString();
+  EXPECT_EQ(*r.value().FindAttribute(r.value().root(), "b"), "<&>");
+  EXPECT_EQ(r.value().InnerText(r.value().root()), "\"'AB");
+}
+
+TEST(XmlParserTest, CommentsAndProcessingInstructionsSkipped) {
+  Result<Document> r =
+      Parse("<?xml version=\"1.0\"?><!-- c --><a><!-- inner -->x</a>");
+  ASSERT_TRUE(r.ok()) << r.status().ToString();
+  EXPECT_EQ(r.value().InnerText(r.value().root()), "x");
+}
+
+TEST(XmlParserTest, CdataSectionsArePlainText) {
+  Result<Document> r = Parse("<a><![CDATA[<not> & parsed]]></a>");
+  ASSERT_TRUE(r.ok()) << r.status().ToString();
+  EXPECT_EQ(r.value().InnerText(r.value().root()), "<not> & parsed");
+}
+
+TEST(XmlParserTest, RejectsMismatchedTags) {
+  EXPECT_FALSE(Parse("<a><b></a></b>").ok());
+}
+
+TEST(XmlParserTest, RejectsUnclosedElement) {
+  EXPECT_FALSE(Parse("<a><b>").ok());
+}
+
+TEST(XmlParserTest, RejectsMultipleRoots) {
+  EXPECT_FALSE(Parse("<a/><b/>").ok());
+}
+
+TEST(XmlParserTest, RejectsTextOutsideRoot) {
+  EXPECT_FALSE(Parse("text<a/>").ok());
+}
+
+TEST(XmlParserTest, RejectsDtd) {
+  Status s = Parse("<!DOCTYPE a><a/>").status();
+  EXPECT_EQ(s.code(), StatusCode::kParseError);
+}
+
+TEST(XmlParserTest, RejectsUnknownEntity) {
+  EXPECT_FALSE(Parse("<a>&nope;</a>").ok());
+}
+
+TEST(XmlParserTest, RejectsEmptyInput) {
+  EXPECT_FALSE(Parse("").ok());
+  EXPECT_FALSE(Parse("   \n ").ok());
+}
+
+TEST(XmlParserTest, ErrorsCarryLineNumbers) {
+  Status s = Parse("<a>\n<b>\n</c>\n</a>").status();
+  EXPECT_NE(s.message().find("line 3"), std::string::npos) << s.ToString();
+}
+
+TEST(XmlParserTest, RoundTripThroughWriter) {
+  constexpr const char kDoc[] =
+      "<a x=\"1\"><b>text &amp; more</b><c/><d>t1<e/>t2</d></a>";
+  Result<Document> first = Parse(kDoc);
+  ASSERT_TRUE(first.ok());
+  std::string serialized = Write(first.value());
+  Result<Document> second = Parse(serialized);
+  ASSERT_TRUE(second.ok()) << second.status().ToString();
+  EXPECT_TRUE(first.value().IsomorphicTo(second.value()));
+}
+
+}  // namespace
+}  // namespace dls::xml

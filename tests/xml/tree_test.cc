@@ -1,0 +1,94 @@
+#include "xml/tree.h"
+
+#include <gtest/gtest.h>
+
+namespace dls::xml {
+namespace {
+
+Document MakeSample() {
+  Document doc;
+  NodeId root = doc.CreateRoot("image");
+  doc.SetAttribute(root, "key", "18934");
+  NodeId date = doc.AppendElement(root, "date");
+  doc.AppendText(date, "999010530");
+  NodeId colors = doc.AppendElement(root, "colors");
+  NodeId hist = doc.AppendElement(colors, "histogram");
+  doc.AppendText(hist, "0.399 0.277 0.344");
+  return doc;
+}
+
+TEST(XmlTreeTest, BuildAndNavigate) {
+  Document doc = MakeSample();
+  EXPECT_EQ(doc.node_count(), 6u);
+  NodeId colors = doc.FindChild(doc.root(), "colors");
+  ASSERT_NE(colors, kInvalidNode);
+  EXPECT_EQ(doc.node(colors).parent, doc.root());
+  EXPECT_EQ(doc.FindChild(doc.root(), "nope"), kInvalidNode);
+}
+
+TEST(XmlTreeTest, RankReflectsSiblingOrder) {
+  Document doc = MakeSample();
+  NodeId date = doc.FindChild(doc.root(), "date");
+  NodeId colors = doc.FindChild(doc.root(), "colors");
+  EXPECT_EQ(doc.Rank(date), 0);
+  EXPECT_EQ(doc.Rank(colors), 1);
+  EXPECT_EQ(doc.Rank(doc.root()), 0);
+}
+
+TEST(XmlTreeTest, SetAttributeOverwrites) {
+  Document doc;
+  NodeId root = doc.CreateRoot("a");
+  doc.SetAttribute(root, "k", "1");
+  doc.SetAttribute(root, "k", "2");
+  EXPECT_EQ(*doc.FindAttribute(root, "k"), "2");
+  EXPECT_EQ(doc.node(root).attributes.size(), 1u);
+}
+
+TEST(XmlTreeTest, InnerTextConcatenatesInDocumentOrder) {
+  Document doc;
+  NodeId root = doc.CreateRoot("a");
+  doc.AppendText(root, "x");
+  NodeId b = doc.AppendElement(root, "b");
+  doc.AppendText(b, "y");
+  doc.AppendText(root, "z");
+  EXPECT_EQ(doc.InnerText(doc.root()), "xyz");
+}
+
+TEST(XmlTreeTest, IsomorphismIgnoresAttributeOrder) {
+  Document a;
+  NodeId ra = a.CreateRoot("r");
+  a.SetAttribute(ra, "x", "1");
+  a.SetAttribute(ra, "y", "2");
+  Document b;
+  NodeId rb = b.CreateRoot("r");
+  b.SetAttribute(rb, "y", "2");
+  b.SetAttribute(rb, "x", "1");
+  EXPECT_TRUE(a.IsomorphicTo(b));
+}
+
+TEST(XmlTreeTest, IsomorphismDetectsDifferences) {
+  Document a = MakeSample();
+  Document b = MakeSample();
+  EXPECT_TRUE(a.IsomorphicTo(b));
+  b.SetAttribute(b.root(), "key", "changed");
+  EXPECT_FALSE(a.IsomorphicTo(b));
+
+  Document c = MakeSample();
+  c.AppendElement(c.root(), "extra");
+  EXPECT_FALSE(a.IsomorphicTo(c));
+}
+
+TEST(XmlTreeTest, IsomorphismIsOrderSensitiveForElements) {
+  Document a;
+  NodeId ra = a.CreateRoot("r");
+  a.AppendElement(ra, "x");
+  a.AppendElement(ra, "y");
+  Document b;
+  NodeId rb = b.CreateRoot("r");
+  b.AppendElement(rb, "y");
+  b.AppendElement(rb, "x");
+  EXPECT_FALSE(a.IsomorphicTo(b));
+}
+
+}  // namespace
+}  // namespace dls::xml

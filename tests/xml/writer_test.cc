@@ -1,0 +1,54 @@
+#include "xml/writer.h"
+
+#include <gtest/gtest.h>
+
+#include "xml/parser.h"
+
+namespace dls::xml {
+namespace {
+
+TEST(XmlWriterTest, CompactOutput) {
+  Result<Document> doc = Parse("<a x=\"1\"><b>t</b><c/></a>");
+  ASSERT_TRUE(doc.ok());
+  EXPECT_EQ(Write(doc.value()), "<a x=\"1\"><b>t</b><c/></a>");
+}
+
+TEST(XmlWriterTest, EscapesSpecialCharacters) {
+  Document doc;
+  NodeId root = doc.CreateRoot("a");
+  doc.SetAttribute(root, "q", "say \"hi\" & <bye>");
+  doc.AppendText(root, "1 < 2 & 3 > 2");
+  std::string out = Write(doc);
+  EXPECT_EQ(out,
+            "<a q=\"say &quot;hi&quot; &amp; &lt;bye&gt;\">"
+            "1 &lt; 2 &amp; 3 &gt; 2</a>");
+  // And it survives a round trip.
+  Result<Document> back = Parse(out);
+  ASSERT_TRUE(back.ok());
+  EXPECT_TRUE(doc.IsomorphicTo(back.value()));
+}
+
+TEST(XmlWriterTest, PrettyPrintIndents) {
+  Result<Document> doc = Parse("<a><b><c/></b></a>");
+  ASSERT_TRUE(doc.ok());
+  WriteOptions options;
+  options.pretty = true;
+  std::string out = Write(doc.value(), options);
+  EXPECT_NE(out.find("<a>\n  <b>\n    <c/>\n  </b>\n</a>"), std::string::npos)
+      << out;
+}
+
+TEST(XmlWriterTest, SubtreeSerialization) {
+  Result<Document> doc = Parse("<a><b>inner</b></a>");
+  ASSERT_TRUE(doc.ok());
+  NodeId b = doc.value().FindChild(doc.value().root(), "b");
+  EXPECT_EQ(WriteSubtree(doc.value(), b), "<b>inner</b>");
+}
+
+TEST(XmlWriterTest, EmptyDocument) {
+  Document doc;
+  EXPECT_EQ(Write(doc), "");
+}
+
+}  // namespace
+}  // namespace dls::xml
