@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/bench_fde.cc" "bench/CMakeFiles/bench_fde.dir/bench_fde.cc.o" "gcc" "bench/CMakeFiles/bench_fde.dir/bench_fde.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/dls_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/monet/CMakeFiles/dls_monet.dir/DependInfo.cmake"
+  "/root/repo/build/src/ir/CMakeFiles/dls_ir.dir/DependInfo.cmake"
+  "/root/repo/build/src/fg/CMakeFiles/dls_fg.dir/DependInfo.cmake"
+  "/root/repo/build/src/synth/CMakeFiles/dls_synth.dir/DependInfo.cmake"
+  "/root/repo/build/src/cobra/CMakeFiles/dls_cobra.dir/DependInfo.cmake"
+  "/root/repo/build/src/webspace/CMakeFiles/dls_webspace.dir/DependInfo.cmake"
+  "/root/repo/build/src/xml/CMakeFiles/dls_xml.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/dls_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fde.dir/bench_fde.cc.o"
+  "CMakeFiles/bench_fde.dir/bench_fde.cc.o.d"
+  "bench_fde"
+  "bench_fde.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fde.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

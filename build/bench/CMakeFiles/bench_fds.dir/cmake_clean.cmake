@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fds.dir/bench_fds.cc.o"
+  "CMakeFiles/bench_fds.dir/bench_fds.cc.o.d"
+  "bench_fds"
+  "bench_fds.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fds.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

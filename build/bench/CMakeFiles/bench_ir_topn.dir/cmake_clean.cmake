@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ir_topn.dir/bench_ir_topn.cc.o"
+  "CMakeFiles/bench_ir_topn.dir/bench_ir_topn.cc.o.d"
+  "bench_ir_topn"
+  "bench_ir_topn.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ir_topn.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

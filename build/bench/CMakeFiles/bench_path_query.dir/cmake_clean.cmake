@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_path_query.dir/bench_path_query.cc.o"
+  "CMakeFiles/bench_path_query.dir/bench_path_query.cc.o.d"
+  "bench_path_query"
+  "bench_path_query.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_path_query.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/australian_open.dir/australian_open.cpp.o"
+  "CMakeFiles/australian_open.dir/australian_open.cpp.o.d"
+  "australian_open"
+  "australian_open.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/australian_open.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

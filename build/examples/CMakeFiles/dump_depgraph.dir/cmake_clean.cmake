@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dump_depgraph.dir/dump_depgraph.cpp.o"
+  "CMakeFiles/dump_depgraph.dir/dump_depgraph.cpp.o.d"
+  "dump_depgraph"
+  "dump_depgraph.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dump_depgraph.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

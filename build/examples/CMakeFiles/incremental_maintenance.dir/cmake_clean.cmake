@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/incremental_maintenance.dir/incremental_maintenance.cpp.o"
+  "CMakeFiles/incremental_maintenance.dir/incremental_maintenance.cpp.o.d"
+  "incremental_maintenance"
+  "incremental_maintenance.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/incremental_maintenance.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/internet_search.dir/internet_search.cpp.o"
+  "CMakeFiles/internet_search.dir/internet_search.cpp.o.d"
+  "internet_search"
+  "internet_search.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/internet_search.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

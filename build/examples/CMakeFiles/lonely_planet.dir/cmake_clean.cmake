@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lonely_planet.dir/lonely_planet.cpp.o"
+  "CMakeFiles/lonely_planet.dir/lonely_planet.cpp.o.d"
+  "lonely_planet"
+  "lonely_planet.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lonely_planet.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for lonely_planet.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/xml_shredder.dir/xml_shredder.cpp.o"
+  "CMakeFiles/xml_shredder.dir/xml_shredder.cpp.o.d"
+  "xml_shredder"
+  "xml_shredder.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/xml_shredder.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/cobra/audio.cc" "src/cobra/CMakeFiles/dls_cobra.dir/audio.cc.o" "gcc" "src/cobra/CMakeFiles/dls_cobra.dir/audio.cc.o.d"
+  "/root/repo/src/cobra/events.cc" "src/cobra/CMakeFiles/dls_cobra.dir/events.cc.o" "gcc" "src/cobra/CMakeFiles/dls_cobra.dir/events.cc.o.d"
+  "/root/repo/src/cobra/histogram.cc" "src/cobra/CMakeFiles/dls_cobra.dir/histogram.cc.o" "gcc" "src/cobra/CMakeFiles/dls_cobra.dir/histogram.cc.o.d"
+  "/root/repo/src/cobra/hmm.cc" "src/cobra/CMakeFiles/dls_cobra.dir/hmm.cc.o" "gcc" "src/cobra/CMakeFiles/dls_cobra.dir/hmm.cc.o.d"
+  "/root/repo/src/cobra/shots.cc" "src/cobra/CMakeFiles/dls_cobra.dir/shots.cc.o" "gcc" "src/cobra/CMakeFiles/dls_cobra.dir/shots.cc.o.d"
+  "/root/repo/src/cobra/synth_video.cc" "src/cobra/CMakeFiles/dls_cobra.dir/synth_video.cc.o" "gcc" "src/cobra/CMakeFiles/dls_cobra.dir/synth_video.cc.o.d"
+  "/root/repo/src/cobra/tracker.cc" "src/cobra/CMakeFiles/dls_cobra.dir/tracker.cc.o" "gcc" "src/cobra/CMakeFiles/dls_cobra.dir/tracker.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/dls_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

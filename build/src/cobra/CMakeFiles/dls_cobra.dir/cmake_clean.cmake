@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dls_cobra.dir/audio.cc.o"
+  "CMakeFiles/dls_cobra.dir/audio.cc.o.d"
+  "CMakeFiles/dls_cobra.dir/events.cc.o"
+  "CMakeFiles/dls_cobra.dir/events.cc.o.d"
+  "CMakeFiles/dls_cobra.dir/histogram.cc.o"
+  "CMakeFiles/dls_cobra.dir/histogram.cc.o.d"
+  "CMakeFiles/dls_cobra.dir/hmm.cc.o"
+  "CMakeFiles/dls_cobra.dir/hmm.cc.o.d"
+  "CMakeFiles/dls_cobra.dir/shots.cc.o"
+  "CMakeFiles/dls_cobra.dir/shots.cc.o.d"
+  "CMakeFiles/dls_cobra.dir/synth_video.cc.o"
+  "CMakeFiles/dls_cobra.dir/synth_video.cc.o.d"
+  "CMakeFiles/dls_cobra.dir/tracker.cc.o"
+  "CMakeFiles/dls_cobra.dir/tracker.cc.o.d"
+  "libdls_cobra.a"
+  "libdls_cobra.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dls_cobra.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dls_common.dir/status.cc.o"
+  "CMakeFiles/dls_common.dir/status.cc.o.d"
+  "CMakeFiles/dls_common.dir/strings.cc.o"
+  "CMakeFiles/dls_common.dir/strings.cc.o.d"
+  "libdls_common.a"
+  "libdls_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dls_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

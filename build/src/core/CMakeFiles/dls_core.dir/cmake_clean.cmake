@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dls_core.dir/detectors.cc.o"
+  "CMakeFiles/dls_core.dir/detectors.cc.o.d"
+  "CMakeFiles/dls_core.dir/engine.cc.o"
+  "CMakeFiles/dls_core.dir/engine.cc.o.d"
+  "CMakeFiles/dls_core.dir/grammars.cc.o"
+  "CMakeFiles/dls_core.dir/grammars.cc.o.d"
+  "CMakeFiles/dls_core.dir/internet.cc.o"
+  "CMakeFiles/dls_core.dir/internet.cc.o.d"
+  "libdls_core.a"
+  "libdls_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dls_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

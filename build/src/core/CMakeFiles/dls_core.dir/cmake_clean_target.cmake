@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libdls_core.a"
+)

@@ -1,0 +1,3 @@
+src/core/CMakeFiles/dls_core.dir/grammars.cc.o: \
+ /root/repo/src/core/grammars.cc /usr/include/stdc-predef.h \
+ /root/repo/src/core/grammars.h

@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/fg/depgraph.cc" "src/fg/CMakeFiles/dls_fg.dir/depgraph.cc.o" "gcc" "src/fg/CMakeFiles/dls_fg.dir/depgraph.cc.o.d"
+  "/root/repo/src/fg/detector.cc" "src/fg/CMakeFiles/dls_fg.dir/detector.cc.o" "gcc" "src/fg/CMakeFiles/dls_fg.dir/detector.cc.o.d"
+  "/root/repo/src/fg/fde.cc" "src/fg/CMakeFiles/dls_fg.dir/fde.cc.o" "gcc" "src/fg/CMakeFiles/dls_fg.dir/fde.cc.o.d"
+  "/root/repo/src/fg/fds.cc" "src/fg/CMakeFiles/dls_fg.dir/fds.cc.o" "gcc" "src/fg/CMakeFiles/dls_fg.dir/fds.cc.o.d"
+  "/root/repo/src/fg/grammar.cc" "src/fg/CMakeFiles/dls_fg.dir/grammar.cc.o" "gcc" "src/fg/CMakeFiles/dls_fg.dir/grammar.cc.o.d"
+  "/root/repo/src/fg/mirror.cc" "src/fg/CMakeFiles/dls_fg.dir/mirror.cc.o" "gcc" "src/fg/CMakeFiles/dls_fg.dir/mirror.cc.o.d"
+  "/root/repo/src/fg/parse_tree.cc" "src/fg/CMakeFiles/dls_fg.dir/parse_tree.cc.o" "gcc" "src/fg/CMakeFiles/dls_fg.dir/parse_tree.cc.o.d"
+  "/root/repo/src/fg/parser.cc" "src/fg/CMakeFiles/dls_fg.dir/parser.cc.o" "gcc" "src/fg/CMakeFiles/dls_fg.dir/parser.cc.o.d"
+  "/root/repo/src/fg/token.cc" "src/fg/CMakeFiles/dls_fg.dir/token.cc.o" "gcc" "src/fg/CMakeFiles/dls_fg.dir/token.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/dls_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/xml/CMakeFiles/dls_xml.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,27 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dls_fg.dir/depgraph.cc.o"
+  "CMakeFiles/dls_fg.dir/depgraph.cc.o.d"
+  "CMakeFiles/dls_fg.dir/detector.cc.o"
+  "CMakeFiles/dls_fg.dir/detector.cc.o.d"
+  "CMakeFiles/dls_fg.dir/fde.cc.o"
+  "CMakeFiles/dls_fg.dir/fde.cc.o.d"
+  "CMakeFiles/dls_fg.dir/fds.cc.o"
+  "CMakeFiles/dls_fg.dir/fds.cc.o.d"
+  "CMakeFiles/dls_fg.dir/grammar.cc.o"
+  "CMakeFiles/dls_fg.dir/grammar.cc.o.d"
+  "CMakeFiles/dls_fg.dir/mirror.cc.o"
+  "CMakeFiles/dls_fg.dir/mirror.cc.o.d"
+  "CMakeFiles/dls_fg.dir/parse_tree.cc.o"
+  "CMakeFiles/dls_fg.dir/parse_tree.cc.o.d"
+  "CMakeFiles/dls_fg.dir/parser.cc.o"
+  "CMakeFiles/dls_fg.dir/parser.cc.o.d"
+  "CMakeFiles/dls_fg.dir/token.cc.o"
+  "CMakeFiles/dls_fg.dir/token.cc.o.d"
+  "libdls_fg.a"
+  "libdls_fg.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dls_fg.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

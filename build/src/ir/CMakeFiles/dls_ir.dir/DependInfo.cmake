@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/ir/cluster.cc" "src/ir/CMakeFiles/dls_ir.dir/cluster.cc.o" "gcc" "src/ir/CMakeFiles/dls_ir.dir/cluster.cc.o.d"
+  "/root/repo/src/ir/fragments.cc" "src/ir/CMakeFiles/dls_ir.dir/fragments.cc.o" "gcc" "src/ir/CMakeFiles/dls_ir.dir/fragments.cc.o.d"
+  "/root/repo/src/ir/index.cc" "src/ir/CMakeFiles/dls_ir.dir/index.cc.o" "gcc" "src/ir/CMakeFiles/dls_ir.dir/index.cc.o.d"
+  "/root/repo/src/ir/stemmer.cc" "src/ir/CMakeFiles/dls_ir.dir/stemmer.cc.o" "gcc" "src/ir/CMakeFiles/dls_ir.dir/stemmer.cc.o.d"
+  "/root/repo/src/ir/stopwords.cc" "src/ir/CMakeFiles/dls_ir.dir/stopwords.cc.o" "gcc" "src/ir/CMakeFiles/dls_ir.dir/stopwords.cc.o.d"
+  "/root/repo/src/ir/tokenizer.cc" "src/ir/CMakeFiles/dls_ir.dir/tokenizer.cc.o" "gcc" "src/ir/CMakeFiles/dls_ir.dir/tokenizer.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/dls_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dls_ir.dir/cluster.cc.o"
+  "CMakeFiles/dls_ir.dir/cluster.cc.o.d"
+  "CMakeFiles/dls_ir.dir/fragments.cc.o"
+  "CMakeFiles/dls_ir.dir/fragments.cc.o.d"
+  "CMakeFiles/dls_ir.dir/index.cc.o"
+  "CMakeFiles/dls_ir.dir/index.cc.o.d"
+  "CMakeFiles/dls_ir.dir/stemmer.cc.o"
+  "CMakeFiles/dls_ir.dir/stemmer.cc.o.d"
+  "CMakeFiles/dls_ir.dir/stopwords.cc.o"
+  "CMakeFiles/dls_ir.dir/stopwords.cc.o.d"
+  "CMakeFiles/dls_ir.dir/tokenizer.cc.o"
+  "CMakeFiles/dls_ir.dir/tokenizer.cc.o.d"
+  "libdls_ir.a"
+  "libdls_ir.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dls_ir.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

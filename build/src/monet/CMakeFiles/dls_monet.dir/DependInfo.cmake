@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/monet/algebra.cc" "src/monet/CMakeFiles/dls_monet.dir/algebra.cc.o" "gcc" "src/monet/CMakeFiles/dls_monet.dir/algebra.cc.o.d"
+  "/root/repo/src/monet/bat.cc" "src/monet/CMakeFiles/dls_monet.dir/bat.cc.o" "gcc" "src/monet/CMakeFiles/dls_monet.dir/bat.cc.o.d"
+  "/root/repo/src/monet/bulkload.cc" "src/monet/CMakeFiles/dls_monet.dir/bulkload.cc.o" "gcc" "src/monet/CMakeFiles/dls_monet.dir/bulkload.cc.o.d"
+  "/root/repo/src/monet/database.cc" "src/monet/CMakeFiles/dls_monet.dir/database.cc.o" "gcc" "src/monet/CMakeFiles/dls_monet.dir/database.cc.o.d"
+  "/root/repo/src/monet/edge_baseline.cc" "src/monet/CMakeFiles/dls_monet.dir/edge_baseline.cc.o" "gcc" "src/monet/CMakeFiles/dls_monet.dir/edge_baseline.cc.o.d"
+  "/root/repo/src/monet/schema_tree.cc" "src/monet/CMakeFiles/dls_monet.dir/schema_tree.cc.o" "gcc" "src/monet/CMakeFiles/dls_monet.dir/schema_tree.cc.o.d"
+  "/root/repo/src/monet/storage.cc" "src/monet/CMakeFiles/dls_monet.dir/storage.cc.o" "gcc" "src/monet/CMakeFiles/dls_monet.dir/storage.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/dls_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/xml/CMakeFiles/dls_xml.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

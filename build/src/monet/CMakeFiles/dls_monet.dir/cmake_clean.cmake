@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dls_monet.dir/algebra.cc.o"
+  "CMakeFiles/dls_monet.dir/algebra.cc.o.d"
+  "CMakeFiles/dls_monet.dir/bat.cc.o"
+  "CMakeFiles/dls_monet.dir/bat.cc.o.d"
+  "CMakeFiles/dls_monet.dir/bulkload.cc.o"
+  "CMakeFiles/dls_monet.dir/bulkload.cc.o.d"
+  "CMakeFiles/dls_monet.dir/database.cc.o"
+  "CMakeFiles/dls_monet.dir/database.cc.o.d"
+  "CMakeFiles/dls_monet.dir/edge_baseline.cc.o"
+  "CMakeFiles/dls_monet.dir/edge_baseline.cc.o.d"
+  "CMakeFiles/dls_monet.dir/schema_tree.cc.o"
+  "CMakeFiles/dls_monet.dir/schema_tree.cc.o.d"
+  "CMakeFiles/dls_monet.dir/storage.cc.o"
+  "CMakeFiles/dls_monet.dir/storage.cc.o.d"
+  "libdls_monet.a"
+  "libdls_monet.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dls_monet.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

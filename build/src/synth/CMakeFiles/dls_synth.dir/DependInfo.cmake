@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/synth/internet.cc" "src/synth/CMakeFiles/dls_synth.dir/internet.cc.o" "gcc" "src/synth/CMakeFiles/dls_synth.dir/internet.cc.o.d"
+  "/root/repo/src/synth/site.cc" "src/synth/CMakeFiles/dls_synth.dir/site.cc.o" "gcc" "src/synth/CMakeFiles/dls_synth.dir/site.cc.o.d"
+  "/root/repo/src/synth/text.cc" "src/synth/CMakeFiles/dls_synth.dir/text.cc.o" "gcc" "src/synth/CMakeFiles/dls_synth.dir/text.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/dls_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/xml/CMakeFiles/dls_xml.dir/DependInfo.cmake"
+  "/root/repo/build/src/webspace/CMakeFiles/dls_webspace.dir/DependInfo.cmake"
+  "/root/repo/build/src/cobra/CMakeFiles/dls_cobra.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

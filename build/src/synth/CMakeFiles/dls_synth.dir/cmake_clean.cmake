@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dls_synth.dir/internet.cc.o"
+  "CMakeFiles/dls_synth.dir/internet.cc.o.d"
+  "CMakeFiles/dls_synth.dir/site.cc.o"
+  "CMakeFiles/dls_synth.dir/site.cc.o.d"
+  "CMakeFiles/dls_synth.dir/text.cc.o"
+  "CMakeFiles/dls_synth.dir/text.cc.o.d"
+  "libdls_synth.a"
+  "libdls_synth.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dls_synth.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

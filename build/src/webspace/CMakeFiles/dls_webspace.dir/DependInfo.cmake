@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/webspace/docgen.cc" "src/webspace/CMakeFiles/dls_webspace.dir/docgen.cc.o" "gcc" "src/webspace/CMakeFiles/dls_webspace.dir/docgen.cc.o.d"
+  "/root/repo/src/webspace/objects.cc" "src/webspace/CMakeFiles/dls_webspace.dir/objects.cc.o" "gcc" "src/webspace/CMakeFiles/dls_webspace.dir/objects.cc.o.d"
+  "/root/repo/src/webspace/query.cc" "src/webspace/CMakeFiles/dls_webspace.dir/query.cc.o" "gcc" "src/webspace/CMakeFiles/dls_webspace.dir/query.cc.o.d"
+  "/root/repo/src/webspace/query_xml.cc" "src/webspace/CMakeFiles/dls_webspace.dir/query_xml.cc.o" "gcc" "src/webspace/CMakeFiles/dls_webspace.dir/query_xml.cc.o.d"
+  "/root/repo/src/webspace/schema.cc" "src/webspace/CMakeFiles/dls_webspace.dir/schema.cc.o" "gcc" "src/webspace/CMakeFiles/dls_webspace.dir/schema.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/dls_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/xml/CMakeFiles/dls_xml.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

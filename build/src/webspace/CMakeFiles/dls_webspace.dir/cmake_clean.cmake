@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dls_webspace.dir/docgen.cc.o"
+  "CMakeFiles/dls_webspace.dir/docgen.cc.o.d"
+  "CMakeFiles/dls_webspace.dir/objects.cc.o"
+  "CMakeFiles/dls_webspace.dir/objects.cc.o.d"
+  "CMakeFiles/dls_webspace.dir/query.cc.o"
+  "CMakeFiles/dls_webspace.dir/query.cc.o.d"
+  "CMakeFiles/dls_webspace.dir/query_xml.cc.o"
+  "CMakeFiles/dls_webspace.dir/query_xml.cc.o.d"
+  "CMakeFiles/dls_webspace.dir/schema.cc.o"
+  "CMakeFiles/dls_webspace.dir/schema.cc.o.d"
+  "libdls_webspace.a"
+  "libdls_webspace.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dls_webspace.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

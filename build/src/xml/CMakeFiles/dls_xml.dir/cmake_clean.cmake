@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dls_xml.dir/events.cc.o"
+  "CMakeFiles/dls_xml.dir/events.cc.o.d"
+  "CMakeFiles/dls_xml.dir/parser.cc.o"
+  "CMakeFiles/dls_xml.dir/parser.cc.o.d"
+  "CMakeFiles/dls_xml.dir/tree.cc.o"
+  "CMakeFiles/dls_xml.dir/tree.cc.o.d"
+  "CMakeFiles/dls_xml.dir/writer.cc.o"
+  "CMakeFiles/dls_xml.dir/writer.cc.o.d"
+  "libdls_xml.a"
+  "libdls_xml.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dls_xml.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

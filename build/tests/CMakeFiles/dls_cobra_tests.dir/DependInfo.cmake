@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/cobra/audio_test.cc" "tests/CMakeFiles/dls_cobra_tests.dir/cobra/audio_test.cc.o" "gcc" "tests/CMakeFiles/dls_cobra_tests.dir/cobra/audio_test.cc.o.d"
+  "/root/repo/tests/cobra/events_test.cc" "tests/CMakeFiles/dls_cobra_tests.dir/cobra/events_test.cc.o" "gcc" "tests/CMakeFiles/dls_cobra_tests.dir/cobra/events_test.cc.o.d"
+  "/root/repo/tests/cobra/histogram_test.cc" "tests/CMakeFiles/dls_cobra_tests.dir/cobra/histogram_test.cc.o" "gcc" "tests/CMakeFiles/dls_cobra_tests.dir/cobra/histogram_test.cc.o.d"
+  "/root/repo/tests/cobra/hmm_test.cc" "tests/CMakeFiles/dls_cobra_tests.dir/cobra/hmm_test.cc.o" "gcc" "tests/CMakeFiles/dls_cobra_tests.dir/cobra/hmm_test.cc.o.d"
+  "/root/repo/tests/cobra/pipeline_property_test.cc" "tests/CMakeFiles/dls_cobra_tests.dir/cobra/pipeline_property_test.cc.o" "gcc" "tests/CMakeFiles/dls_cobra_tests.dir/cobra/pipeline_property_test.cc.o.d"
+  "/root/repo/tests/cobra/shots_test.cc" "tests/CMakeFiles/dls_cobra_tests.dir/cobra/shots_test.cc.o" "gcc" "tests/CMakeFiles/dls_cobra_tests.dir/cobra/shots_test.cc.o.d"
+  "/root/repo/tests/cobra/tracker_test.cc" "tests/CMakeFiles/dls_cobra_tests.dir/cobra/tracker_test.cc.o" "gcc" "tests/CMakeFiles/dls_cobra_tests.dir/cobra/tracker_test.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/cobra/CMakeFiles/dls_cobra.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/dls_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dls_cobra_tests.dir/cobra/audio_test.cc.o"
+  "CMakeFiles/dls_cobra_tests.dir/cobra/audio_test.cc.o.d"
+  "CMakeFiles/dls_cobra_tests.dir/cobra/events_test.cc.o"
+  "CMakeFiles/dls_cobra_tests.dir/cobra/events_test.cc.o.d"
+  "CMakeFiles/dls_cobra_tests.dir/cobra/histogram_test.cc.o"
+  "CMakeFiles/dls_cobra_tests.dir/cobra/histogram_test.cc.o.d"
+  "CMakeFiles/dls_cobra_tests.dir/cobra/hmm_test.cc.o"
+  "CMakeFiles/dls_cobra_tests.dir/cobra/hmm_test.cc.o.d"
+  "CMakeFiles/dls_cobra_tests.dir/cobra/pipeline_property_test.cc.o"
+  "CMakeFiles/dls_cobra_tests.dir/cobra/pipeline_property_test.cc.o.d"
+  "CMakeFiles/dls_cobra_tests.dir/cobra/shots_test.cc.o"
+  "CMakeFiles/dls_cobra_tests.dir/cobra/shots_test.cc.o.d"
+  "CMakeFiles/dls_cobra_tests.dir/cobra/tracker_test.cc.o"
+  "CMakeFiles/dls_cobra_tests.dir/cobra/tracker_test.cc.o.d"
+  "dls_cobra_tests"
+  "dls_cobra_tests.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dls_cobra_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

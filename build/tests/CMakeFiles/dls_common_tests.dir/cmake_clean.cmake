@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dls_common_tests.dir/common/rng_test.cc.o"
+  "CMakeFiles/dls_common_tests.dir/common/rng_test.cc.o.d"
+  "CMakeFiles/dls_common_tests.dir/common/status_test.cc.o"
+  "CMakeFiles/dls_common_tests.dir/common/status_test.cc.o.d"
+  "CMakeFiles/dls_common_tests.dir/common/strings_test.cc.o"
+  "CMakeFiles/dls_common_tests.dir/common/strings_test.cc.o.d"
+  "dls_common_tests"
+  "dls_common_tests.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dls_common_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dls_core_tests.dir/core/detectors_test.cc.o"
+  "CMakeFiles/dls_core_tests.dir/core/detectors_test.cc.o.d"
+  "CMakeFiles/dls_core_tests.dir/core/engine_test.cc.o"
+  "CMakeFiles/dls_core_tests.dir/core/engine_test.cc.o.d"
+  "CMakeFiles/dls_core_tests.dir/core/grammar_files_test.cc.o"
+  "CMakeFiles/dls_core_tests.dir/core/grammar_files_test.cc.o.d"
+  "CMakeFiles/dls_core_tests.dir/core/internet_test.cc.o"
+  "CMakeFiles/dls_core_tests.dir/core/internet_test.cc.o.d"
+  "CMakeFiles/dls_core_tests.dir/core/restore_test.cc.o"
+  "CMakeFiles/dls_core_tests.dir/core/restore_test.cc.o.d"
+  "CMakeFiles/dls_core_tests.dir/core/second_webspace_test.cc.o"
+  "CMakeFiles/dls_core_tests.dir/core/second_webspace_test.cc.o.d"
+  "dls_core_tests"
+  "dls_core_tests.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dls_core_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

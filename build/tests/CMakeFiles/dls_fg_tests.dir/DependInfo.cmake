@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/fg/depgraph_test.cc" "tests/CMakeFiles/dls_fg_tests.dir/fg/depgraph_test.cc.o" "gcc" "tests/CMakeFiles/dls_fg_tests.dir/fg/depgraph_test.cc.o.d"
+  "/root/repo/tests/fg/fde_test.cc" "tests/CMakeFiles/dls_fg_tests.dir/fg/fde_test.cc.o" "gcc" "tests/CMakeFiles/dls_fg_tests.dir/fg/fde_test.cc.o.d"
+  "/root/repo/tests/fg/fds_test.cc" "tests/CMakeFiles/dls_fg_tests.dir/fg/fds_test.cc.o" "gcc" "tests/CMakeFiles/dls_fg_tests.dir/fg/fds_test.cc.o.d"
+  "/root/repo/tests/fg/grammar_parser_test.cc" "tests/CMakeFiles/dls_fg_tests.dir/fg/grammar_parser_test.cc.o" "gcc" "tests/CMakeFiles/dls_fg_tests.dir/fg/grammar_parser_test.cc.o.d"
+  "/root/repo/tests/fg/mirror_test.cc" "tests/CMakeFiles/dls_fg_tests.dir/fg/mirror_test.cc.o" "gcc" "tests/CMakeFiles/dls_fg_tests.dir/fg/mirror_test.cc.o.d"
+  "/root/repo/tests/fg/parse_tree_test.cc" "tests/CMakeFiles/dls_fg_tests.dir/fg/parse_tree_test.cc.o" "gcc" "tests/CMakeFiles/dls_fg_tests.dir/fg/parse_tree_test.cc.o.d"
+  "/root/repo/tests/fg/reference_test.cc" "tests/CMakeFiles/dls_fg_tests.dir/fg/reference_test.cc.o" "gcc" "tests/CMakeFiles/dls_fg_tests.dir/fg/reference_test.cc.o.d"
+  "/root/repo/tests/fg/token_stack_test.cc" "tests/CMakeFiles/dls_fg_tests.dir/fg/token_stack_test.cc.o" "gcc" "tests/CMakeFiles/dls_fg_tests.dir/fg/token_stack_test.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/fg/CMakeFiles/dls_fg.dir/DependInfo.cmake"
+  "/root/repo/build/src/xml/CMakeFiles/dls_xml.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/dls_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,25 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dls_fg_tests.dir/fg/depgraph_test.cc.o"
+  "CMakeFiles/dls_fg_tests.dir/fg/depgraph_test.cc.o.d"
+  "CMakeFiles/dls_fg_tests.dir/fg/fde_test.cc.o"
+  "CMakeFiles/dls_fg_tests.dir/fg/fde_test.cc.o.d"
+  "CMakeFiles/dls_fg_tests.dir/fg/fds_test.cc.o"
+  "CMakeFiles/dls_fg_tests.dir/fg/fds_test.cc.o.d"
+  "CMakeFiles/dls_fg_tests.dir/fg/grammar_parser_test.cc.o"
+  "CMakeFiles/dls_fg_tests.dir/fg/grammar_parser_test.cc.o.d"
+  "CMakeFiles/dls_fg_tests.dir/fg/mirror_test.cc.o"
+  "CMakeFiles/dls_fg_tests.dir/fg/mirror_test.cc.o.d"
+  "CMakeFiles/dls_fg_tests.dir/fg/parse_tree_test.cc.o"
+  "CMakeFiles/dls_fg_tests.dir/fg/parse_tree_test.cc.o.d"
+  "CMakeFiles/dls_fg_tests.dir/fg/reference_test.cc.o"
+  "CMakeFiles/dls_fg_tests.dir/fg/reference_test.cc.o.d"
+  "CMakeFiles/dls_fg_tests.dir/fg/token_stack_test.cc.o"
+  "CMakeFiles/dls_fg_tests.dir/fg/token_stack_test.cc.o.d"
+  "dls_fg_tests"
+  "dls_fg_tests.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dls_fg_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

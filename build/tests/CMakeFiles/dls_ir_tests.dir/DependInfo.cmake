@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/ir/cluster_test.cc" "tests/CMakeFiles/dls_ir_tests.dir/ir/cluster_test.cc.o" "gcc" "tests/CMakeFiles/dls_ir_tests.dir/ir/cluster_test.cc.o.d"
+  "/root/repo/tests/ir/fragments_test.cc" "tests/CMakeFiles/dls_ir_tests.dir/ir/fragments_test.cc.o" "gcc" "tests/CMakeFiles/dls_ir_tests.dir/ir/fragments_test.cc.o.d"
+  "/root/repo/tests/ir/index_test.cc" "tests/CMakeFiles/dls_ir_tests.dir/ir/index_test.cc.o" "gcc" "tests/CMakeFiles/dls_ir_tests.dir/ir/index_test.cc.o.d"
+  "/root/repo/tests/ir/ranking_property_test.cc" "tests/CMakeFiles/dls_ir_tests.dir/ir/ranking_property_test.cc.o" "gcc" "tests/CMakeFiles/dls_ir_tests.dir/ir/ranking_property_test.cc.o.d"
+  "/root/repo/tests/ir/stemmer_test.cc" "tests/CMakeFiles/dls_ir_tests.dir/ir/stemmer_test.cc.o" "gcc" "tests/CMakeFiles/dls_ir_tests.dir/ir/stemmer_test.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/ir/CMakeFiles/dls_ir.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/dls_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

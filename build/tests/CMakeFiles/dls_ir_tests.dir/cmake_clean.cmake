@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dls_ir_tests.dir/ir/cluster_test.cc.o"
+  "CMakeFiles/dls_ir_tests.dir/ir/cluster_test.cc.o.d"
+  "CMakeFiles/dls_ir_tests.dir/ir/fragments_test.cc.o"
+  "CMakeFiles/dls_ir_tests.dir/ir/fragments_test.cc.o.d"
+  "CMakeFiles/dls_ir_tests.dir/ir/index_test.cc.o"
+  "CMakeFiles/dls_ir_tests.dir/ir/index_test.cc.o.d"
+  "CMakeFiles/dls_ir_tests.dir/ir/ranking_property_test.cc.o"
+  "CMakeFiles/dls_ir_tests.dir/ir/ranking_property_test.cc.o.d"
+  "CMakeFiles/dls_ir_tests.dir/ir/stemmer_test.cc.o"
+  "CMakeFiles/dls_ir_tests.dir/ir/stemmer_test.cc.o.d"
+  "dls_ir_tests"
+  "dls_ir_tests.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dls_ir_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/monet/algebra_test.cc" "tests/CMakeFiles/dls_monet_tests.dir/monet/algebra_test.cc.o" "gcc" "tests/CMakeFiles/dls_monet_tests.dir/monet/algebra_test.cc.o.d"
+  "/root/repo/tests/monet/bat_test.cc" "tests/CMakeFiles/dls_monet_tests.dir/monet/bat_test.cc.o" "gcc" "tests/CMakeFiles/dls_monet_tests.dir/monet/bat_test.cc.o.d"
+  "/root/repo/tests/monet/bulkload_test.cc" "tests/CMakeFiles/dls_monet_tests.dir/monet/bulkload_test.cc.o" "gcc" "tests/CMakeFiles/dls_monet_tests.dir/monet/bulkload_test.cc.o.d"
+  "/root/repo/tests/monet/edge_baseline_test.cc" "tests/CMakeFiles/dls_monet_tests.dir/monet/edge_baseline_test.cc.o" "gcc" "tests/CMakeFiles/dls_monet_tests.dir/monet/edge_baseline_test.cc.o.d"
+  "/root/repo/tests/monet/extents_test.cc" "tests/CMakeFiles/dls_monet_tests.dir/monet/extents_test.cc.o" "gcc" "tests/CMakeFiles/dls_monet_tests.dir/monet/extents_test.cc.o.d"
+  "/root/repo/tests/monet/roundtrip_property_test.cc" "tests/CMakeFiles/dls_monet_tests.dir/monet/roundtrip_property_test.cc.o" "gcc" "tests/CMakeFiles/dls_monet_tests.dir/monet/roundtrip_property_test.cc.o.d"
+  "/root/repo/tests/monet/storage_test.cc" "tests/CMakeFiles/dls_monet_tests.dir/monet/storage_test.cc.o" "gcc" "tests/CMakeFiles/dls_monet_tests.dir/monet/storage_test.cc.o.d"
+  "/root/repo/tests/monet/transform_test.cc" "tests/CMakeFiles/dls_monet_tests.dir/monet/transform_test.cc.o" "gcc" "tests/CMakeFiles/dls_monet_tests.dir/monet/transform_test.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/monet/CMakeFiles/dls_monet.dir/DependInfo.cmake"
+  "/root/repo/build/src/xml/CMakeFiles/dls_xml.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/dls_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,25 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dls_monet_tests.dir/monet/algebra_test.cc.o"
+  "CMakeFiles/dls_monet_tests.dir/monet/algebra_test.cc.o.d"
+  "CMakeFiles/dls_monet_tests.dir/monet/bat_test.cc.o"
+  "CMakeFiles/dls_monet_tests.dir/monet/bat_test.cc.o.d"
+  "CMakeFiles/dls_monet_tests.dir/monet/bulkload_test.cc.o"
+  "CMakeFiles/dls_monet_tests.dir/monet/bulkload_test.cc.o.d"
+  "CMakeFiles/dls_monet_tests.dir/monet/edge_baseline_test.cc.o"
+  "CMakeFiles/dls_monet_tests.dir/monet/edge_baseline_test.cc.o.d"
+  "CMakeFiles/dls_monet_tests.dir/monet/extents_test.cc.o"
+  "CMakeFiles/dls_monet_tests.dir/monet/extents_test.cc.o.d"
+  "CMakeFiles/dls_monet_tests.dir/monet/roundtrip_property_test.cc.o"
+  "CMakeFiles/dls_monet_tests.dir/monet/roundtrip_property_test.cc.o.d"
+  "CMakeFiles/dls_monet_tests.dir/monet/storage_test.cc.o"
+  "CMakeFiles/dls_monet_tests.dir/monet/storage_test.cc.o.d"
+  "CMakeFiles/dls_monet_tests.dir/monet/transform_test.cc.o"
+  "CMakeFiles/dls_monet_tests.dir/monet/transform_test.cc.o.d"
+  "dls_monet_tests"
+  "dls_monet_tests.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dls_monet_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dls_synth_tests.dir/synth/internet_test.cc.o"
+  "CMakeFiles/dls_synth_tests.dir/synth/internet_test.cc.o.d"
+  "CMakeFiles/dls_synth_tests.dir/synth/site_test.cc.o"
+  "CMakeFiles/dls_synth_tests.dir/synth/site_test.cc.o.d"
+  "dls_synth_tests"
+  "dls_synth_tests.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dls_synth_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/webspace/docgen_test.cc" "tests/CMakeFiles/dls_webspace_tests.dir/webspace/docgen_test.cc.o" "gcc" "tests/CMakeFiles/dls_webspace_tests.dir/webspace/docgen_test.cc.o.d"
+  "/root/repo/tests/webspace/query_test.cc" "tests/CMakeFiles/dls_webspace_tests.dir/webspace/query_test.cc.o" "gcc" "tests/CMakeFiles/dls_webspace_tests.dir/webspace/query_test.cc.o.d"
+  "/root/repo/tests/webspace/schema_test.cc" "tests/CMakeFiles/dls_webspace_tests.dir/webspace/schema_test.cc.o" "gcc" "tests/CMakeFiles/dls_webspace_tests.dir/webspace/schema_test.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/webspace/CMakeFiles/dls_webspace.dir/DependInfo.cmake"
+  "/root/repo/build/src/synth/CMakeFiles/dls_synth.dir/DependInfo.cmake"
+  "/root/repo/build/src/xml/CMakeFiles/dls_xml.dir/DependInfo.cmake"
+  "/root/repo/build/src/cobra/CMakeFiles/dls_cobra.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/dls_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

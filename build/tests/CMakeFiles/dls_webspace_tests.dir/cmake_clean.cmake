@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dls_webspace_tests.dir/webspace/docgen_test.cc.o"
+  "CMakeFiles/dls_webspace_tests.dir/webspace/docgen_test.cc.o.d"
+  "CMakeFiles/dls_webspace_tests.dir/webspace/query_test.cc.o"
+  "CMakeFiles/dls_webspace_tests.dir/webspace/query_test.cc.o.d"
+  "CMakeFiles/dls_webspace_tests.dir/webspace/schema_test.cc.o"
+  "CMakeFiles/dls_webspace_tests.dir/webspace/schema_test.cc.o.d"
+  "dls_webspace_tests"
+  "dls_webspace_tests.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dls_webspace_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/xml/fuzz_test.cc" "tests/CMakeFiles/dls_xml_tests.dir/xml/fuzz_test.cc.o" "gcc" "tests/CMakeFiles/dls_xml_tests.dir/xml/fuzz_test.cc.o.d"
+  "/root/repo/tests/xml/parser_test.cc" "tests/CMakeFiles/dls_xml_tests.dir/xml/parser_test.cc.o" "gcc" "tests/CMakeFiles/dls_xml_tests.dir/xml/parser_test.cc.o.d"
+  "/root/repo/tests/xml/tree_test.cc" "tests/CMakeFiles/dls_xml_tests.dir/xml/tree_test.cc.o" "gcc" "tests/CMakeFiles/dls_xml_tests.dir/xml/tree_test.cc.o.d"
+  "/root/repo/tests/xml/writer_test.cc" "tests/CMakeFiles/dls_xml_tests.dir/xml/writer_test.cc.o" "gcc" "tests/CMakeFiles/dls_xml_tests.dir/xml/writer_test.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/xml/CMakeFiles/dls_xml.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/dls_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dls_xml_tests.dir/xml/fuzz_test.cc.o"
+  "CMakeFiles/dls_xml_tests.dir/xml/fuzz_test.cc.o.d"
+  "CMakeFiles/dls_xml_tests.dir/xml/parser_test.cc.o"
+  "CMakeFiles/dls_xml_tests.dir/xml/parser_test.cc.o.d"
+  "CMakeFiles/dls_xml_tests.dir/xml/tree_test.cc.o"
+  "CMakeFiles/dls_xml_tests.dir/xml/tree_test.cc.o.d"
+  "CMakeFiles/dls_xml_tests.dir/xml/writer_test.cc.o"
+  "CMakeFiles/dls_xml_tests.dir/xml/writer_test.cc.o.d"
+  "dls_xml_tests"
+  "dls_xml_tests.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dls_xml_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

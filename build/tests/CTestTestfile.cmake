@@ -1,0 +1,24 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests
+# Build directory: /root/repo/build/tests
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+add_test(common_tests "/root/repo/build/tests/dls_common_tests")
+set_tests_properties(common_tests PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;10;add_test;/root/repo/tests/CMakeLists.txt;14;dls_test_module;/root/repo/tests/CMakeLists.txt;0;")
+add_test(xml_tests "/root/repo/build/tests/dls_xml_tests")
+set_tests_properties(xml_tests PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;10;add_test;/root/repo/tests/CMakeLists.txt;15;dls_test_module;/root/repo/tests/CMakeLists.txt;0;")
+add_test(monet_tests "/root/repo/build/tests/dls_monet_tests")
+set_tests_properties(monet_tests PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;10;add_test;/root/repo/tests/CMakeLists.txt;16;dls_test_module;/root/repo/tests/CMakeLists.txt;0;")
+add_test(ir_tests "/root/repo/build/tests/dls_ir_tests")
+set_tests_properties(ir_tests PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;10;add_test;/root/repo/tests/CMakeLists.txt;17;dls_test_module;/root/repo/tests/CMakeLists.txt;0;")
+add_test(fg_tests "/root/repo/build/tests/dls_fg_tests")
+set_tests_properties(fg_tests PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;10;add_test;/root/repo/tests/CMakeLists.txt;18;dls_test_module;/root/repo/tests/CMakeLists.txt;0;")
+add_test(cobra_tests "/root/repo/build/tests/dls_cobra_tests")
+set_tests_properties(cobra_tests PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;10;add_test;/root/repo/tests/CMakeLists.txt;19;dls_test_module;/root/repo/tests/CMakeLists.txt;0;")
+add_test(webspace_tests "/root/repo/build/tests/dls_webspace_tests")
+set_tests_properties(webspace_tests PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;10;add_test;/root/repo/tests/CMakeLists.txt;20;dls_test_module;/root/repo/tests/CMakeLists.txt;0;")
+add_test(synth_tests "/root/repo/build/tests/dls_synth_tests")
+set_tests_properties(synth_tests PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;10;add_test;/root/repo/tests/CMakeLists.txt;21;dls_test_module;/root/repo/tests/CMakeLists.txt;0;")
+add_test(core_tests "/root/repo/build/tests/dls_core_tests")
+set_tests_properties(core_tests PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;10;add_test;/root/repo/tests/CMakeLists.txt;22;dls_test_module;/root/repo/tests/CMakeLists.txt;0;")
