@@ -1,0 +1,20 @@
+#!/usr/bin/env bash
+# Repo verification: tier-1 build + tests, then the concurrency tests
+# again under ThreadSanitizer (DLS_SANITIZE=thread) to certify the
+# parallel query engine's frozen-read contract.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+echo "== tier-1: configure, build, ctest =="
+cmake -B build -S .
+cmake --build build -j "$(nproc)"
+(cd build && ctest --output-on-failure -j "$(nproc)")
+
+echo "== TSan: thread pool + parallel query concurrency =="
+cmake -B build-tsan -S . -DDLS_SANITIZE=thread
+cmake --build build-tsan -j "$(nproc)" --target dls_common_tests dls_ir_tests
+./build-tsan/tests/dls_common_tests --gtest_filter='ThreadPool*'
+./build-tsan/tests/dls_ir_tests \
+  --gtest_filter='ParallelQuery*:ScoreAccumulator*'
+
+echo "== all checks passed =="

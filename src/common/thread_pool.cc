@@ -1,0 +1,98 @@
+#include "common/thread_pool.h"
+
+#include <atomic>
+#include <cassert>
+#include <exception>
+#include <memory>
+#include <utility>
+
+namespace dls {
+
+ThreadPool::ThreadPool(size_t num_threads) {
+  if (num_threads == 0) num_threads = 1;
+  workers_.reserve(num_threads);
+  for (size_t i = 0; i < num_threads; ++i) {
+    workers_.emplace_back([this] { WorkerLoop(); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    shutting_down_ = true;
+  }
+  cv_.notify_all();
+  for (std::thread& worker : workers_) worker.join();
+}
+
+void ThreadPool::Enqueue(std::function<void()> task) {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    assert(!shutting_down_ && "Submit on a ThreadPool being destroyed");
+    queue_.push_back(std::move(task));
+  }
+  cv_.notify_one();
+}
+
+void ThreadPool::WorkerLoop() {
+  for (;;) {
+    std::function<void()> task;
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      cv_.wait(lock, [this] { return shutting_down_ || !queue_.empty(); });
+      // Graceful shutdown: only exit once the queue is drained.
+      if (queue_.empty()) return;
+      task = std::move(queue_.front());
+      queue_.pop_front();
+    }
+    // packaged_task captures any exception into its future.
+    task();
+  }
+}
+
+void ThreadPool::ParallelFor(size_t begin, size_t end,
+                             const std::function<void(size_t)>& body) {
+  if (begin >= end) return;
+  size_t items = end - begin;
+  if (items == 1) {
+    body(begin);
+    return;
+  }
+
+  struct LoopState {
+    std::atomic<size_t> next;
+    std::atomic<bool> cancelled{false};
+    std::mutex error_mu;
+    std::exception_ptr error;
+  };
+  auto state = std::make_shared<LoopState>();
+  state->next.store(begin, std::memory_order_relaxed);
+
+  // `body` stays valid for the helpers: the calling thread does not
+  // leave this function until every helper future resolved.
+  auto run = [state, end, &body] {
+    while (!state->cancelled.load(std::memory_order_relaxed)) {
+      size_t i = state->next.fetch_add(1, std::memory_order_relaxed);
+      if (i >= end) return;
+      try {
+        body(i);
+      } catch (...) {
+        std::lock_guard<std::mutex> lock(state->error_mu);
+        if (state->error == nullptr) state->error = std::current_exception();
+        state->cancelled.store(true, std::memory_order_relaxed);
+        return;
+      }
+    }
+  };
+
+  size_t helpers = std::min(workers_.size(), items - 1);
+  std::vector<std::future<void>> pending;
+  pending.reserve(helpers);
+  for (size_t h = 0; h < helpers; ++h) pending.push_back(Submit(run));
+  run();  // the caller claims iterations too
+  for (std::future<void>& f : pending) f.get();
+
+  if (state->error != nullptr) std::rethrow_exception(state->error);
+}
+
+}  // namespace dls

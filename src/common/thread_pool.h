@@ -1,0 +1,73 @@
+#ifndef DLS_COMMON_THREAD_POOL_H_
+#define DLS_COMMON_THREAD_POOL_H_
+
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <functional>
+#include <future>
+#include <mutex>
+#include <thread>
+#include <type_traits>
+#include <vector>
+
+namespace dls {
+
+/// Fixed-size thread pool for intra-query parallelism.
+///
+/// Design goals, in order: determinism of the *results* computed on top
+/// of it (the pool only schedules; callers own result slots), graceful
+/// shutdown (the destructor drains every queued task before joining),
+/// and exception propagation (Submit surfaces exceptions through the
+/// returned future; ParallelFor rethrows the first body exception on
+/// the calling thread).
+///
+/// ParallelFor lets the calling thread participate in the loop, so a
+/// saturated pool — or a ParallelFor issued from inside a pool task —
+/// always makes progress and cannot deadlock.
+class ThreadPool {
+ public:
+  /// Spawns `num_threads` workers (at least one).
+  explicit ThreadPool(size_t num_threads);
+
+  /// Drains the queue, then joins all workers.
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  size_t size() const { return workers_.size(); }
+
+  /// Schedules `fn` and returns a future for its result. An exception
+  /// thrown by `fn` is captured and rethrown from future.get().
+  template <typename F>
+  auto Submit(F&& fn) -> std::future<std::invoke_result_t<std::decay_t<F>>> {
+    using R = std::invoke_result_t<std::decay_t<F>>;
+    auto task =
+        std::make_shared<std::packaged_task<R()>>(std::forward<F>(fn));
+    std::future<R> result = task->get_future();
+    Enqueue([task] { (*task)(); });
+    return result;
+  }
+
+  /// Runs body(i) for every i in [begin, end), distributing iterations
+  /// over the workers *and* the calling thread. Returns when all
+  /// iterations finished. If any body throws, remaining unclaimed
+  /// iterations are abandoned and the first exception is rethrown here.
+  void ParallelFor(size_t begin, size_t end,
+                   const std::function<void(size_t)>& body);
+
+ private:
+  void Enqueue(std::function<void()> task);
+  void WorkerLoop();
+
+  std::vector<std::thread> workers_;
+  std::deque<std::function<void()>> queue_;
+  std::mutex mu_;
+  std::condition_variable cv_;
+  bool shutting_down_ = false;
+};
+
+}  // namespace dls
+
+#endif  // DLS_COMMON_THREAD_POOL_H_

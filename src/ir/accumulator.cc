@@ -1,0 +1,10 @@
+#include "ir/accumulator.h"
+
+namespace dls::ir {
+
+ScoreAccumulator& ScoreAccumulator::ThreadLocal() {
+  static thread_local ScoreAccumulator accumulator;
+  return accumulator;
+}
+
+}  // namespace dls::ir

@@ -2,6 +2,11 @@
 
 #include <algorithm>
 #include <cassert>
+#include <queue>
+
+#include "common/thread_pool.h"
+#include "common/timer.h"
+#include "ir/accumulator.h"
 
 namespace dls::ir {
 
@@ -20,6 +25,26 @@ ClusterIndex::ClusterIndex(size_t num_nodes, size_t num_fragments,
   }
 }
 
+ClusterIndex::~ClusterIndex() = default;
+
+void ClusterIndex::SetExecutor(ThreadPool* pool) {
+  executor_ = pool;
+  if (pool == nullptr) owned_pool_.reset();
+}
+
+void ClusterIndex::EnableParallelism(size_t num_threads) {
+  owned_pool_ = std::make_unique<ThreadPool>(num_threads);
+  executor_ = owned_pool_.get();
+}
+
+void ClusterIndex::ForEachNode(const std::function<void(size_t)>& fn) const {
+  if (executor_ != nullptr && nodes_.size() > 1) {
+    executor_->ParallelFor(0, nodes_.size(), fn);
+  } else {
+    for (size_t i = 0; i < nodes_.size(); ++i) fn(i);
+  }
+}
+
 void ClusterIndex::AddDocument(std::string_view url, std::string_view text) {
   nodes_[total_docs_ % nodes_.size()].index->AddDocument(url, text);
   ++total_docs_;
@@ -27,18 +52,64 @@ void ClusterIndex::AddDocument(std::string_view url, std::string_view text) {
 }
 
 void ClusterIndex::Finalize() {
+  // Per-node flush + fragmentation is shared-nothing work: fan it out.
+  ForEachNode([this](size_t i) {
+    Node& node = nodes_[i];
+    node.index->Flush();
+    if (node.fragments == nullptr) {
+      node.fragments =
+          std::make_unique<FragmentedIndex>(node.index.get(), num_fragments_);
+    } else {
+      node.fragments->Rebuild();
+    }
+  });
+
+  // The global statistics aggregate sequentially in node order so the
+  // df table iteration state is deterministic.
   global_.df.clear();
   global_.collection_length = 0;
   for (Node& node : nodes_) {
-    node.index->Flush();
-    node.fragments =
-        std::make_unique<FragmentedIndex>(node.index.get(), num_fragments_);
     global_.collection_length += node.index->collection_length();
     for (TermId t = 0; t < node.index->vocabulary_size(); ++t) {
       global_.df[node.index->term(t)] += node.index->df(t);
     }
   }
   finalized_ = true;
+}
+
+ClusterIndex::NodeResult ClusterIndex::QueryNode(
+    const Node& node, const std::vector<std::string>& stems,
+    const std::vector<int32_t>& stem_global_df, size_t n, size_t max_fragments,
+    const RankOptions& options) const {
+  Timer timer;
+  NodeResult result;
+  const TextIndex& index = *node.index;
+
+  ScoreAccumulator& scores = ScoreAccumulator::ThreadLocal();
+  scores.Reset(index.document_count());
+  for (size_t i = 0; i < stems.size(); ++i) {
+    std::optional<TermId> term = index.LookupTerm(stems[i]);
+    if (!term) continue;
+    if (node.fragments->FragmentOf(*term) >= max_fragments) continue;
+    int32_t global_df = stem_global_df[i];
+    for (const Posting& p : index.postings(*term)) {
+      ++result.postings_touched;
+      scores.Add(p.doc, TermScore(p.tf, global_df, index.doc_length(p.doc),
+                                  global_.collection_length, options));
+    }
+  }
+
+  // Local selection uses the same (score desc, url asc) order as the
+  // central merge, so the node ships exactly the tuples the merge
+  // needs — tie-breaks cannot depend on node-local doc numbering.
+  std::vector<ScoredDoc> local = scores.ExtractTopN(
+      n, [&index](DocId a, DocId b) { return index.url(a) < index.url(b); });
+  result.top.reserve(local.size());
+  for (const ScoredDoc& d : local) {
+    result.top.push_back(ClusterScoredDoc{index.url(d.doc), d.score});
+  }
+  result.elapsed_us = timer.ElapsedSeconds() * 1e6;
+  return result;
 }
 
 std::vector<ClusterScoredDoc> ClusterIndex::Query(
@@ -51,6 +122,7 @@ std::vector<ClusterScoredDoc> ClusterIndex::Query(
   // Central server: stem/stop the query once and resolve it against the
   // global vocabulary (the T relation lives centrally).
   std::vector<std::string> stems;
+  std::vector<int32_t> stem_global_df;
   double idf_mass_total = 0;
   for (const std::string& word : query_words) {
     // Any node's normaliser is configured identically; use node 0's.
@@ -59,72 +131,81 @@ std::vector<ClusterScoredDoc> ClusterIndex::Query(
     auto it = global_.df.find(*norm);
     if (it == global_.df.end()) continue;  // not in the vocabulary space
     stems.push_back(*norm);
+    stem_global_df.push_back(it->second);
     idf_mass_total += 1.0 / static_cast<double>(it->second);
+  }
+
+  // A-priori quality estimate from the first node's cut-off decisions:
+  // fragmentation is per-node but the idf boundaries coincide closely.
+  // Computed centrally (not in the fan-out) so it is deterministic.
+  double idf_mass_read_global = 0;
+  for (size_t i = 0; i < stems.size(); ++i) {
+    std::optional<TermId> term = nodes_[0].index->LookupTerm(stems[i]);
+    bool skipped =
+        term && nodes_[0].fragments->FragmentOf(*term) >= max_fragments;
+    if (!skipped) {
+      idf_mass_read_global += 1.0 / static_cast<double>(stem_global_df[i]);
+    }
   }
 
   // Push the top-N request (resolved stems) to every node; each node
   // computes its local top-N with global statistics and the fragment
-  // cut-off, then ships RES(doc, rank) back.
-  std::vector<ClusterScoredDoc> merged;
-  double idf_mass_read_global = 0;
-  bool idf_mass_counted = false;
-  for (const Node& node : nodes_) {
+  // cut-off, then ships RES(doc, rank) back. With an executor attached
+  // the nodes evaluate concurrently; result slots are per-node, so the
+  // only synchronisation is the fan-out join itself.
+  std::vector<NodeResult> responses(nodes_.size());
+  ForEachNode([&](size_t i) {
+    responses[i] =
+        QueryNode(nodes_[i], stems, stem_global_df, n, max_fragments, options);
+  });
+
+  for (const NodeResult& response : responses) {
     local_stats.messages += 2;  // request + response
     local_stats.bytes_shipped += stems.size() * sizeof(TermId);
-
-    std::unordered_map<DocId, double> scores;
-    size_t node_postings = 0;
-    for (const std::string& stem : stems) {
-      std::optional<TermId> term = node.index->LookupTerm(stem);
-      int32_t global_df = global_.df.at(stem);
-      bool skipped = false;
-      if (term) {
-        if (node.fragments->FragmentOf(*term) >= max_fragments) {
-          skipped = true;
-        } else {
-          for (const Posting& p : node.index->postings(*term)) {
-            ++node_postings;
-            scores[p.doc] +=
-                TermScore(p.tf, global_df, node.index->doc_length(p.doc),
-                          global_.collection_length, options);
-          }
-        }
-      }
-      // Count quality mass once, from the first node's cut-off
-      // decisions: fragmentation is per-node but the idf boundaries
-      // coincide closely; this is the centre's a-priori estimate.
-      if (!idf_mass_counted && !skipped) {
-        idf_mass_read_global += 1.0 / static_cast<double>(global_df);
-      }
-    }
-    idf_mass_counted = true;
-
-    std::vector<ScoredDoc> local;
-    local.reserve(scores.size());
-    for (const auto& [doc, score] : scores) local.push_back({doc, score});
-    std::sort(local.begin(), local.end(),
-              [](const ScoredDoc& a, const ScoredDoc& b) {
-                if (a.score != b.score) return a.score > b.score;
-                return a.doc < b.doc;
-              });
-    if (local.size() > n) local.resize(n);
-
-    for (const ScoredDoc& d : local) {
-      merged.push_back(ClusterScoredDoc{node.index->url(d.doc), d.score});
-      local_stats.bytes_shipped += sizeof(DocId) + sizeof(double);
-    }
-    local_stats.postings_touched_total += node_postings;
+    local_stats.bytes_shipped +=
+        response.top.size() * (sizeof(DocId) + sizeof(double));
+    local_stats.postings_touched_total += response.postings_touched;
     local_stats.postings_touched_max_node =
-        std::max(local_stats.postings_touched_max_node, node_postings);
+        std::max(local_stats.postings_touched_max_node,
+                 response.postings_touched);
+    local_stats.critical_path_us =
+        std::max(local_stats.critical_path_us, response.elapsed_us);
+    local_stats.total_cpu_us += response.elapsed_us;
   }
 
-  // Central merge of the per-node top-N lists into the master ranking.
-  std::sort(merged.begin(), merged.end(),
-            [](const ClusterScoredDoc& a, const ClusterScoredDoc& b) {
-              if (a.score != b.score) return a.score > b.score;
-              return a.url < b.url;
-            });
-  if (merged.size() > n) merged.resize(n);
+  // Bounded k-way merge of the per-node top-N lists (each sorted by
+  // (score desc, url asc)) into the master ranking. Node id is the
+  // last tie-break so exact (score, url) duplicates across nodes merge
+  // deterministically regardless of evaluation order.
+  struct Cursor {
+    size_t node;
+    size_t pos;
+  };
+  auto better = [&responses](const Cursor& a, const Cursor& b) {
+    const ClusterScoredDoc& da = responses[a.node].top[a.pos];
+    const ClusterScoredDoc& db = responses[b.node].top[b.pos];
+    if (da.score != db.score) return da.score > db.score;
+    if (da.url != db.url) return da.url < db.url;
+    return a.node < b.node;
+  };
+  auto heap_less = [&better](const Cursor& a, const Cursor& b) {
+    return better(b, a);
+  };
+  std::priority_queue<Cursor, std::vector<Cursor>, decltype(heap_less)> heads(
+      heap_less);
+  for (size_t i = 0; i < responses.size(); ++i) {
+    if (!responses[i].top.empty()) heads.push(Cursor{i, 0});
+  }
+  std::vector<ClusterScoredDoc> merged;
+  merged.reserve(std::min(n, static_cast<size_t>(total_docs_)));
+  while (!heads.empty() && merged.size() < n) {
+    Cursor head = heads.top();
+    heads.pop();
+    merged.push_back(std::move(responses[head.node].top[head.pos]));
+    if (head.pos + 1 < responses[head.node].top.size()) {
+      heads.push(Cursor{head.node, head.pos + 1});
+    }
+  }
 
   local_stats.predicted_quality =
       idf_mass_total > 0 ? idf_mass_read_global / idf_mass_total : 1.0;

@@ -1,12 +1,19 @@
 #ifndef DLS_IR_CLUSTER_H_
 #define DLS_IR_CLUSTER_H_
 
+#include <cstdint>
+#include <functional>
 #include <memory>
 #include <string>
+#include <unordered_map>
 #include <vector>
 
 #include "ir/fragments.h"
 #include "ir/index.h"
+
+namespace dls {
+class ThreadPool;
+}  // namespace dls
 
 namespace dls::ir {
 
@@ -21,8 +28,15 @@ struct ClusterQueryStats {
   size_t messages = 0;        ///< request + response per contacted node
   size_t bytes_shipped = 0;   ///< serialised result tuples over the wire
   size_t postings_touched_total = 0;
-  size_t postings_touched_max_node = 0;  ///< critical-path work
+  size_t postings_touched_max_node = 0;  ///< critical-path posting count
   double predicted_quality = 1.0;
+  /// Measured wall-clock of the slowest node's local evaluation — the
+  /// query's critical path under perfect shared-nothing parallelism.
+  double critical_path_us = 0;
+  /// Σ of per-node evaluation wall-clock: the work a single machine
+  /// would have to do. total_cpu_us / critical_path_us is the measured
+  /// shared-nothing speedup bound (E4's headline number).
+  double total_cpu_us = 0;
 };
 
 /// Shared-nothing distributed full-text index.
@@ -36,12 +50,23 @@ struct ClusterQueryStats {
 /// The central server holds the global vocabulary and document
 /// frequencies (term statistics are collection-wide) and pushes the
 /// top-N request with resolved term oids to every node; nodes return
-/// RES(doc-oid, rank)-shaped tuples which the centre merges.
+/// RES(doc-oid, rank)-shaped tuples which the centre merges with a
+/// bounded k-way merge, deterministically ordered by
+/// (score desc, url asc) with node id as the final tie-break.
+///
+/// Execution model: with an executor attached (SetExecutor /
+/// EnableParallelism) the per-node evaluations of Query() and the
+/// per-node rebuilds of Finalize() fan out over the pool; without one
+/// they run sequentially in node order. Both paths produce
+/// bit-identical rankings and stats — parallelism only changes wall
+/// clock. After Finalize() the cluster is frozen for reads: concurrent
+/// Query() calls from any number of threads are safe.
 class ClusterIndex {
  public:
   ClusterIndex(size_t num_nodes, size_t num_fragments);
   ClusterIndex(size_t num_nodes, size_t num_fragments,
                TextIndex::Options node_options);
+  ~ClusterIndex();
 
   /// Adds a document; the target node is documents-added mod num_nodes.
   void AddDocument(std::string_view url, std::string_view text);
@@ -50,8 +75,31 @@ class ClusterIndex {
   /// global df table. Must be called before Query.
   void Finalize();
 
+  /// Uses `pool` (non-owning, may be nullptr for sequential) to fan
+  /// out per-node work in Query()/Finalize().
+  void SetExecutor(ThreadPool* pool);
+
+  /// Convenience: creates and owns an internal pool of `num_threads`
+  /// workers and uses it as the executor.
+  void EnableParallelism(size_t num_threads);
+
   size_t num_nodes() const { return nodes_.size(); }
   size_t document_count() const { return total_docs_; }
+
+  /// Read-only access to one node's local state (tests, benchmarks,
+  /// E4 introspection). Valid after Finalize().
+  const TextIndex& node_index(size_t i) const { return *nodes_[i].index; }
+  const FragmentedIndex& node_fragments(size_t i) const {
+    return *nodes_[i].fragments;
+  }
+  int64_t global_collection_length() const {
+    return global_.collection_length;
+  }
+  /// Collection-wide df of a stem (0 when absent).
+  int32_t global_df(std::string_view stem) const {
+    auto it = global_.df.find(std::string(stem));
+    return it == global_.df.end() ? 0 : it->second;
+  }
 
   /// Distributed top-N with per-node fragment cut-off.
   /// max_fragments == num_fragments gives the exact global ranking.
@@ -74,11 +122,30 @@ class ClusterIndex {
     int64_t collection_length = 0;
   };
 
+  /// One node's answer to the pushed top-N request: its local top-N
+  /// (sorted by score desc, url asc) plus work accounting.
+  struct NodeResult {
+    std::vector<ClusterScoredDoc> top;
+    size_t postings_touched = 0;
+    double elapsed_us = 0;
+  };
+
+  /// Evaluates the resolved query on one node (runs on a pool worker
+  /// or the calling thread; touches only frozen node state).
+  NodeResult QueryNode(const Node& node, const std::vector<std::string>& stems,
+                       const std::vector<int32_t>& stem_global_df, size_t n,
+                       size_t max_fragments, const RankOptions& options) const;
+
+  /// Runs fn(i) for every node, over the executor when attached.
+  void ForEachNode(const std::function<void(size_t)>& fn) const;
+
   size_t num_fragments_;
   std::vector<Node> nodes_;
   GlobalStats global_;
   size_t total_docs_ = 0;
   bool finalized_ = false;
+  ThreadPool* executor_ = nullptr;
+  std::unique_ptr<ThreadPool> owned_pool_;
 };
 
 }  // namespace dls::ir

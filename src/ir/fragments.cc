@@ -2,7 +2,8 @@
 
 #include <algorithm>
 #include <cassert>
-#include <unordered_map>
+
+#include "ir/accumulator.h"
 
 namespace dls::ir {
 
@@ -12,6 +13,7 @@ FragmentedIndex::FragmentedIndex(const TextIndex* base, size_t num_fragments)
 }
 
 void FragmentedIndex::Rebuild() {
+  built_epoch_ = base_->mutation_epoch();
   size_t vocab = base_->vocabulary_size();
   fragment_of_.assign(vocab, 0);
   fragment_postings_.assign(num_fragments_, 0);
@@ -81,11 +83,15 @@ std::vector<ScoredDoc> FragmentedIndex::RankTopN(
     const std::vector<std::string>& query_words, size_t n,
     size_t max_fragments, FragmentQueryStats* stats,
     const RankOptions& options) const {
+  assert(built_epoch_ == base_->mutation_epoch() &&
+         "base TextIndex mutated after Rebuild(); the frozen-for-reads "
+         "contract requires Rebuild() before querying again");
   FragmentQueryStats local_stats;
   double idf_mass_total = 0;
   double idf_mass_read = 0;
 
-  std::unordered_map<DocId, double> scores;
+  ScoreAccumulator& scores = ScoreAccumulator::ThreadLocal();
+  scores.Reset(base_->document_count());
   for (const std::string& word : query_words) {
     std::optional<std::string> norm = base_->NormalizeWord(word);
     if (!norm) continue;
@@ -100,25 +106,16 @@ std::vector<ScoredDoc> FragmentedIndex::RankTopN(
     idf_mass_read += base_->idf(*term);
     for (const Posting& p : base_->postings(*term)) {
       ++local_stats.postings_touched;
-      scores[p.doc] += TermScore(p.tf, base_->df(*term),
-                                 base_->doc_length(p.doc),
-                                 base_->collection_length(), options);
+      scores.Add(p.doc, TermScore(p.tf, base_->df(*term),
+                                  base_->doc_length(p.doc),
+                                  base_->collection_length(), options));
     }
   }
   local_stats.predicted_quality =
       idf_mass_total > 0 ? idf_mass_read / idf_mass_total : 1.0;
   if (stats != nullptr) *stats = local_stats;
 
-  std::vector<ScoredDoc> ranked;
-  ranked.reserve(scores.size());
-  for (const auto& [doc, score] : scores) ranked.push_back({doc, score});
-  std::sort(ranked.begin(), ranked.end(),
-            [](const ScoredDoc& a, const ScoredDoc& b) {
-              if (a.score != b.score) return a.score > b.score;
-              return a.doc < b.doc;
-            });
-  if (ranked.size() > n) ranked.resize(n);
-  return ranked;
+  return scores.ExtractTopN(n);
 }
 
 }  // namespace dls::ir

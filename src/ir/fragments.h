@@ -23,6 +23,13 @@ struct FragmentQueryStats {
 
 /// Horizontally fragmented view of a TextIndex.
 ///
+/// Read-path thread-safety: once built (or Rebuilt) over a frozen
+/// TextIndex, any number of threads may call RankTopN / PlanCutoff /
+/// RankWithQualityTarget concurrently. The constructor and Rebuild()
+/// record the base index's mutation_epoch(); every ranking call
+/// debug-asserts the epoch is unchanged, enforcing the
+/// frozen-after-Finalize contract.
+///
 /// Terms are ordered by DESCENDING idf (rarest first) and the posting
 /// lists are split into `num_fragments` fragments balanced by posting
 /// count. High-idf terms are both the most significant for ranking and
@@ -75,6 +82,7 @@ class FragmentedIndex {
   size_t num_fragments_;
   std::vector<size_t> fragment_of_;        // term -> fragment
   std::vector<size_t> fragment_postings_;  // fragment -> #postings
+  uint64_t built_epoch_ = 0;               // base epoch at Rebuild()
 };
 
 }  // namespace dls::ir

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cmath>
 
+#include "ir/accumulator.h"
 #include "ir/stemmer.h"
 #include "ir/stopwords.h"
 #include "ir/tokenizer.h"
@@ -50,12 +51,15 @@ DocId TextIndex::AddDocument(std::string_view url, std::string_view text) {
     ++pending.counts[InternTerm(*norm)];
   }
   pending_.push_back(std::move(pending));
+  ++mutation_epoch_;
 
   if (pending_.size() >= options_.flush_batch) Flush();
   return doc;
 }
 
 void TextIndex::Flush() {
+  if (pending_.empty()) return;
+  ++mutation_epoch_;
   for (PendingDoc& doc : pending_) {
     int64_t len = 0;
     for (const auto& [term, tf] : doc.counts) {
@@ -71,7 +75,8 @@ void TextIndex::Flush() {
 }
 
 std::optional<TermId> TextIndex::LookupTerm(std::string_view stem) const {
-  auto it = term_ids_.find(std::string(stem));
+  // Heterogeneous lookup: no std::string temporary per probe.
+  auto it = term_ids_.find(stem);
   if (it == term_ids_.end()) return std::nullopt;
   return it->second;
 }
@@ -90,28 +95,20 @@ double TermScore(int32_t tf, int32_t df, int64_t doclen,
 std::vector<ScoredDoc> TextIndex::RankTopN(
     const std::vector<std::string>& query_words, size_t n,
     const RankOptions& options) const {
-  std::unordered_map<DocId, double> scores;
+  ScoreAccumulator& scores = ScoreAccumulator::ThreadLocal();
+  scores.Reset(document_count());
   for (const std::string& word : query_words) {
     std::optional<std::string> norm = NormalizeWord(word);
     if (!norm) continue;
     std::optional<TermId> term = LookupTerm(*norm);
     if (!term) continue;
     for (const Posting& p : postings_[*term]) {
-      scores[p.doc] += TermScore(p.tf, df_[*term], doc_lengths_[p.doc],
-                                 collection_length_, options);
+      scores.Add(p.doc, TermScore(p.tf, df_[*term], doc_lengths_[p.doc],
+                                  collection_length_, options));
     }
   }
-
-  std::vector<ScoredDoc> ranked;
-  ranked.reserve(scores.size());
-  for (const auto& [doc, score] : scores) ranked.push_back({doc, score});
-  std::sort(ranked.begin(), ranked.end(),
-            [](const ScoredDoc& a, const ScoredDoc& b) {
-              if (a.score != b.score) return a.score > b.score;
-              return a.doc < b.doc;  // deterministic tie-break
-            });
-  if (ranked.size() > n) ranked.resize(n);
-  return ranked;
+  // (score desc, doc asc): the deterministic ranking contract.
+  return scores.ExtractTopN(n);
 }
 
 std::optional<std::string> NormalizeWord(std::string_view word) {

@@ -16,6 +16,22 @@ using TermId = uint32_t;
 using DocId = uint32_t;
 inline constexpr TermId kInvalidTerm = 0xffffffffu;
 
+/// Heterogeneous (transparent) string hasher: lets the T-relation
+/// reverse map answer string_view lookups without materialising a
+/// std::string per probe.
+struct TransparentStringHash {
+  using is_transparent = void;
+  size_t operator()(std::string_view s) const noexcept {
+    return std::hash<std::string_view>{}(s);
+  }
+  size_t operator()(const std::string& s) const noexcept {
+    return std::hash<std::string_view>{}(s);
+  }
+  size_t operator()(const char* s) const noexcept {
+    return std::hash<std::string_view>{}(s);
+  }
+};
+
 /// One entry of a term's posting list: DT ⋈ TF projected to
 /// (doc, tf) — the pair-oid of the paper's ternary DT relation is the
 /// implicit position of the posting.
@@ -51,6 +67,15 @@ struct RankOptions {
 /// per-document term counts and Flush() (called automatically every
 /// `flush_batch` documents) folds them into the posting lists and
 /// updates df/idf. Queries observe only flushed documents.
+///
+/// Thread-safety contract (the read path of the parallel execution
+/// engine relies on this): the index is *frozen for reads* once
+/// Flush()/ClusterIndex::Finalize() returns — any number of threads
+/// may then call the const accessors and RankTopN concurrently, as
+/// long as no thread mutates (AddDocument/Flush) at the same time.
+/// Every mutation bumps mutation_epoch(), which read-side views
+/// (FragmentedIndex) record at build time and debug-assert against, so
+/// a mutate-after-freeze bug trips immediately in debug builds.
 class TextIndex {
  public:
   struct Options {
@@ -87,6 +112,10 @@ class TextIndex {
   size_t document_count() const { return urls_.size(); }
   size_t flushed_document_count() const { return flushed_docs_; }
 
+  /// Incremented by every mutation (AddDocument, non-empty Flush).
+  /// Stable epoch == frozen index; see the class comment.
+  uint64_t mutation_epoch() const { return mutation_epoch_; }
+
   /// Document frequency / idf (1/df per the paper) of a term.
   int32_t df(TermId t) const { return df_[t]; }
   double idf(TermId t) const { return 1.0 / static_cast<double>(df_[t]); }
@@ -113,14 +142,19 @@ class TextIndex {
 
   Options options_;
 
-  std::vector<std::string> terms_;                       // T
-  std::unordered_map<std::string, TermId> term_ids_;     // T reverse
-  std::vector<std::string> urls_;                        // D
-  std::vector<std::vector<Posting>> postings_;           // DT ⋈ TF
-  std::vector<int32_t> df_;                              // IDF source
+  std::vector<std::string> terms_;  // T
+  /// T reverse; transparent hash+equality so string_view lookups never
+  /// copy the stem.
+  std::unordered_map<std::string, TermId, TransparentStringHash,
+                     std::equal_to<>>
+      term_ids_;
+  std::vector<std::string> urls_;               // D
+  std::vector<std::vector<Posting>> postings_;  // DT ⋈ TF
+  std::vector<int32_t> df_;                     // IDF source
   std::vector<int64_t> doc_lengths_;
   int64_t collection_length_ = 0;
   size_t flushed_docs_ = 0;
+  uint64_t mutation_epoch_ = 0;
 
   /// Buffered (doc, term -> tf) counts awaiting Flush().
   struct PendingDoc {

@@ -1,0 +1,125 @@
+#include "common/thread_pool.h"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <stdexcept>
+#include <vector>
+
+namespace dls {
+namespace {
+
+TEST(ThreadPoolTest, StartupAndShutdownWithoutWork) {
+  for (size_t threads : {1u, 2u, 4u}) {
+    ThreadPool pool(threads);
+    EXPECT_EQ(pool.size(), threads);
+  }
+}
+
+TEST(ThreadPoolTest, ZeroThreadsClampedToOne) {
+  ThreadPool pool(0);
+  EXPECT_EQ(pool.size(), 1u);
+  EXPECT_EQ(pool.Submit([] { return 7; }).get(), 7);
+}
+
+TEST(ThreadPoolTest, SubmitReturnsResultsThroughFutures) {
+  ThreadPool pool(3);
+  std::vector<std::future<int>> futures;
+  for (int i = 0; i < 50; ++i) {
+    futures.push_back(pool.Submit([i] { return i * i; }));
+  }
+  for (int i = 0; i < 50; ++i) {
+    EXPECT_EQ(futures[i].get(), i * i);
+  }
+}
+
+TEST(ThreadPoolTest, DestructorDrainsQueuedTasks) {
+  std::atomic<int> completed{0};
+  {
+    ThreadPool pool(1);
+    for (int i = 0; i < 20; ++i) {
+      pool.Submit([&completed] {
+        std::this_thread::sleep_for(std::chrono::milliseconds(1));
+        ++completed;
+      });
+    }
+  }  // graceful shutdown: all 20 must have run
+  EXPECT_EQ(completed.load(), 20);
+}
+
+TEST(ThreadPoolTest, SubmitPropagatesExceptions) {
+  ThreadPool pool(2);
+  std::future<int> bad =
+      pool.Submit([]() -> int { throw std::runtime_error("boom"); });
+  EXPECT_THROW(bad.get(), std::runtime_error);
+  // The worker that threw is still usable.
+  EXPECT_EQ(pool.Submit([] { return 1; }).get(), 1);
+}
+
+TEST(ThreadPoolTest, ParallelForEmptyRangeIsNoop) {
+  ThreadPool pool(2);
+  std::atomic<int> calls{0};
+  pool.ParallelFor(5, 5, [&](size_t) { ++calls; });
+  pool.ParallelFor(7, 3, [&](size_t) { ++calls; });
+  EXPECT_EQ(calls.load(), 0);
+}
+
+TEST(ThreadPoolTest, ParallelForSingleElementRunsInline) {
+  ThreadPool pool(2);
+  std::atomic<int> calls{0};
+  size_t seen = 0;
+  pool.ParallelFor(3, 4, [&](size_t i) {
+    ++calls;
+    seen = i;
+  });
+  EXPECT_EQ(calls.load(), 1);
+  EXPECT_EQ(seen, 3u);
+}
+
+TEST(ThreadPoolTest, ParallelForCoversOddSizedRangeExactlyOnce) {
+  ThreadPool pool(4);
+  std::vector<std::atomic<int>> visits(17);
+  pool.ParallelFor(0, 17, [&](size_t i) { ++visits[i]; });
+  for (size_t i = 0; i < visits.size(); ++i) {
+    EXPECT_EQ(visits[i].load(), 1) << "index " << i;
+  }
+}
+
+TEST(ThreadPoolTest, ParallelForRethrowsBodyException) {
+  ThreadPool pool(2);
+  EXPECT_THROW(pool.ParallelFor(0, 100,
+                                [](size_t i) {
+                                  if (i == 13) {
+                                    throw std::runtime_error("unlucky");
+                                  }
+                                }),
+               std::runtime_error);
+}
+
+TEST(ThreadPoolTest, NestedParallelForDoesNotDeadlock) {
+  // A ParallelFor issued from inside a pool task must complete even
+  // when every worker is busy: the issuing task participates itself.
+  ThreadPool pool(2);
+  std::atomic<int> inner_calls{0};
+  std::future<void> outer = pool.Submit([&] {
+    pool.ParallelFor(0, 8, [&](size_t) { ++inner_calls; });
+  });
+  outer.get();
+  EXPECT_EQ(inner_calls.load(), 8);
+}
+
+TEST(ThreadPoolTest, ParallelForFromManyThreadsConcurrently) {
+  ThreadPool pool(3);
+  std::atomic<int> total{0};
+  std::vector<std::thread> callers;
+  for (int t = 0; t < 4; ++t) {
+    callers.emplace_back(
+        [&] { pool.ParallelFor(0, 25, [&](size_t) { ++total; }); });
+  }
+  for (std::thread& caller : callers) caller.join();
+  EXPECT_EQ(total.load(), 100);
+}
+
+}  // namespace
+}  // namespace dls

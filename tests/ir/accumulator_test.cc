@@ -1,0 +1,110 @@
+#include "ir/accumulator.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <vector>
+
+#include "common/rng.h"
+
+namespace dls::ir {
+namespace {
+
+TEST(ScoreAccumulatorTest, AccumulatesAndExtractsInOrder) {
+  ScoreAccumulator acc;
+  acc.Reset(10);
+  acc.Add(3, 1.0);
+  acc.Add(7, 2.5);
+  acc.Add(3, 0.5);  // 3 -> 1.5
+  EXPECT_EQ(acc.touched_count(), 2u);
+
+  std::vector<ScoredDoc> top = acc.ExtractTopN(10);
+  ASSERT_EQ(top.size(), 2u);
+  EXPECT_EQ(top[0].doc, 7u);
+  EXPECT_DOUBLE_EQ(top[0].score, 2.5);
+  EXPECT_EQ(top[1].doc, 3u);
+  EXPECT_DOUBLE_EQ(top[1].score, 1.5);
+}
+
+TEST(ScoreAccumulatorTest, ResetClearsSparsely) {
+  ScoreAccumulator acc;
+  acc.Reset(5);
+  acc.Add(1, 9.0);
+  acc.Reset(5);
+  EXPECT_EQ(acc.touched_count(), 0u);
+  acc.Add(1, 2.0);  // previous 9.0 must be gone
+  std::vector<ScoredDoc> top = acc.ExtractTopN(5);
+  ASSERT_EQ(top.size(), 1u);
+  EXPECT_DOUBLE_EQ(top[0].score, 2.0);
+}
+
+TEST(ScoreAccumulatorTest, TopZeroIsEmpty) {
+  ScoreAccumulator acc;
+  acc.Reset(4);
+  acc.Add(0, 1.0);
+  EXPECT_TRUE(acc.ExtractTopN(0).empty());
+}
+
+TEST(ScoreAccumulatorTest, TiesBreakByDocAscending) {
+  ScoreAccumulator acc;
+  acc.Reset(6);
+  // Touch in shuffled order; equal scores everywhere.
+  for (DocId doc : {4u, 1u, 5u, 0u, 2u}) acc.Add(doc, 3.0);
+  std::vector<ScoredDoc> top = acc.ExtractTopN(3);
+  ASSERT_EQ(top.size(), 3u);
+  EXPECT_EQ(top[0].doc, 0u);
+  EXPECT_EQ(top[1].doc, 1u);
+  EXPECT_EQ(top[2].doc, 2u);
+}
+
+TEST(ScoreAccumulatorTest, CustomTieBreak) {
+  ScoreAccumulator acc;
+  acc.Reset(4);
+  for (DocId doc : {0u, 1u, 2u, 3u}) acc.Add(doc, 1.0);
+  // Reverse tie order: highest doc id first.
+  std::vector<ScoredDoc> top =
+      acc.ExtractTopN(2, [](DocId a, DocId b) { return a > b; });
+  ASSERT_EQ(top.size(), 2u);
+  EXPECT_EQ(top[0].doc, 3u);
+  EXPECT_EQ(top[1].doc, 2u);
+}
+
+TEST(ScoreAccumulatorTest, BoundedHeapMatchesFullSort) {
+  // Property check: the heap-based top-n equals sorting every scored
+  // doc by (score desc, doc asc) and truncating, for random inputs.
+  Rng rng(7);
+  for (int round = 0; round < 20; ++round) {
+    ScoreAccumulator acc;
+    acc.Reset(200);
+    std::vector<double> dense(200, 0.0);
+    size_t adds = 1 + rng.Next() % 300;
+    for (size_t a = 0; a < adds; ++a) {
+      DocId doc = rng.Next() % 200;
+      // Coarse grid so score ties actually happen.
+      double delta = static_cast<double>(rng.Next() % 8);
+      acc.Add(doc, delta);
+      dense[doc] += delta;
+    }
+    std::vector<ScoredDoc> expected;
+    for (DocId d = 0; d < 200; ++d) {
+      if (dense[d] != 0.0) expected.push_back({d, dense[d]});
+    }
+    std::sort(expected.begin(), expected.end(),
+              [](const ScoredDoc& a, const ScoredDoc& b) {
+                if (a.score != b.score) return a.score > b.score;
+                return a.doc < b.doc;
+              });
+    size_t n = 1 + rng.Next() % 20;
+    if (expected.size() > n) expected.resize(n);
+
+    std::vector<ScoredDoc> got = acc.ExtractTopN(n);
+    ASSERT_EQ(got.size(), expected.size()) << "round " << round;
+    for (size_t i = 0; i < got.size(); ++i) {
+      EXPECT_EQ(got[i].doc, expected[i].doc) << "round " << round;
+      EXPECT_EQ(got[i].score, expected[i].score) << "round " << round;
+    }
+  }
+}
+
+}  // namespace
+}  // namespace dls::ir

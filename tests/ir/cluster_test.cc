@@ -94,5 +94,34 @@ TEST(ClusterIndexTest, TopNBoundRespected) {
   EXPECT_LE(cluster.Query({"term000"}, 3, 2).size(), 3u);
 }
 
+TEST(ClusterIndexTest, MergeTieBreakIsDeterministicOnDuplicateScores) {
+  // Nine identical documents spread round-robin across three nodes:
+  // every document gets exactly the same score, so the entire ranking
+  // is tie-breaks. The global contract is (score desc, url asc) — the
+  // result must be the lexicographically first urls regardless of
+  // which node owns which copy or in which order nodes respond.
+  ClusterIndex cluster(3, 2);
+  const char* urls[] = {"pear", "apple", "kiwi", "fig",   "mango",
+                        "date", "plum",  "lime", "grape"};
+  for (const char* url : urls) cluster.AddDocument(url, "zebra savanna");
+  cluster.Finalize();
+
+  std::vector<ClusterScoredDoc> top = cluster.Query({"zebra"}, 5, 2);
+  ASSERT_EQ(top.size(), 5u);
+  const char* expected[] = {"apple", "date", "fig", "grape", "kiwi"};
+  for (size_t i = 0; i < 5; ++i) {
+    EXPECT_EQ(top[i].url, expected[i]) << "rank " << i;
+    EXPECT_EQ(top[i].score, top[0].score) << "scores must all tie";
+  }
+
+  // Same ranking when nodes evaluate concurrently.
+  cluster.EnableParallelism(3);
+  std::vector<ClusterScoredDoc> parallel_top = cluster.Query({"zebra"}, 5, 2);
+  ASSERT_EQ(parallel_top.size(), 5u);
+  for (size_t i = 0; i < 5; ++i) {
+    EXPECT_EQ(parallel_top[i].url, expected[i]) << "rank " << i;
+  }
+}
+
 }  // namespace
 }  // namespace dls::ir
