@@ -1,0 +1,284 @@
+// Scoring-kernel benchmark: the block-structured SoA kernel and
+// WAND-style pruning against the PR-1 accumulator path, measured end
+// to end on the E4-style workload (TextIndex::RankTopN over a Zipf
+// corpus).
+//
+// Variants:
+//   pr1_accumulator — the previous kernel, reproduced verbatim: AoS
+//                     posting vectors scored with TermScore() (divide
+//                     + libm log1p per posting) into the dense
+//                     accumulator with a bounded top-N heap.
+//   scalar          — hoisted term weight + precomputed 1/doclen +
+//                     VecLog1p, one posting at a time.
+//   block           — the same arithmetic strip-mined over SoA posting
+//                     blocks (auto-vectorised straight-line kernel).
+//   block_prune     — block layout + WAND top-N pruning (exact).
+//
+// Also reports the cluster-level pruning effect (postings_touched /
+// blocks_skipped with and without RankOptions::prune).
+//
+// Prints a human table and writes machine-readable JSON (default
+// BENCH_ir_kernel.json, or argv[1]).
+#include <algorithm>
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "common/rng.h"
+#include "common/strings.h"
+#include "common/timer.h"
+#include "ir/accumulator.h"
+#include "ir/cluster.h"
+#include "ir/index.h"
+#include "ir/kernel.h"
+
+namespace dls {
+namespace {
+
+constexpr int kDocs = 8000;
+constexpr int kWordsPerDoc = 80;
+constexpr size_t kVocab = 3000;
+constexpr double kZipfTheta = 1.1;
+constexpr int kQueries = 24;
+constexpr int kTermsPerQuery = 4;
+constexpr size_t kTopN = 10;
+constexpr int kReps = 3;  // best-of wall clock per variant
+constexpr size_t kClusterNodes = 4;
+
+void BuildCorpus(ir::TextIndex* index, ir::ClusterIndex* cluster) {
+  Rng rng(4);
+  ZipfSampler zipf(kVocab, kZipfTheta);
+  for (int d = 0; d < kDocs; ++d) {
+    std::string body;
+    body.reserve(kWordsPerDoc * 9);
+    for (int w = 0; w < kWordsPerDoc; ++w) {
+      body += StrFormat("term%04zu ", zipf.Sample(&rng));
+    }
+    std::string url = StrFormat("doc%05d", d);
+    index->AddDocument(url, body);
+    cluster->AddDocument(url, body);
+  }
+  index->Flush();
+  cluster->Finalize();
+}
+
+std::vector<std::vector<std::string>> MakeQueries() {
+  Rng rng(5);
+  ZipfSampler zipf(kVocab, kZipfTheta);
+  std::vector<std::vector<std::string>> queries;
+  for (int q = 0; q < kQueries; ++q) {
+    std::vector<std::string> words;
+    for (int w = 0; w < kTermsPerQuery; ++w) {
+      words.push_back(StrFormat("term%04zu", zipf.Sample(&rng)));
+    }
+    queries.push_back(std::move(words));
+  }
+  return queries;
+}
+
+/// The PR-1 scoring path, reproduced as the measured baseline: AoS
+/// posting vectors, per-posting TermScore (a divide and a libm log1p),
+/// dense accumulator, bounded top-N heap. Term resolution is shared
+/// with the new paths so the comparison isolates the kernel.
+struct Pr1Baseline {
+  std::vector<std::vector<ir::Posting>> postings;  // AoS copies per term
+
+  explicit Pr1Baseline(const ir::TextIndex& index) {
+    postings.resize(index.vocabulary_size());
+    for (ir::TermId t = 0; t < index.vocabulary_size(); ++t) {
+      const ir::PostingList& list = index.postings(t);
+      postings[t].reserve(list.size());
+      for (const ir::Posting& p : list) postings[t].push_back(p);
+    }
+  }
+
+  std::vector<ir::ScoredDoc> RankTopN(const ir::TextIndex& index,
+                                      const std::vector<std::string>& words,
+                                      size_t n) const {
+    ir::RankOptions options;
+    ir::ScoreAccumulator& scores = ir::ScoreAccumulator::ThreadLocal();
+    scores.Reset(index.document_count());
+    for (ir::TermId term : index.ResolveQuery(words)) {
+      for (const ir::Posting& p : postings[term]) {
+        scores.Add(p.doc,
+                   ir::TermScore(p.tf, index.df(term), index.doc_length(p.doc),
+                                 index.collection_length(), options));
+      }
+    }
+    return scores.ExtractTopN(n);
+  }
+};
+
+template <typename RunQuery>
+double MeasureBatchMs(const std::vector<std::vector<std::string>>& queries,
+                      RunQuery&& run_query) {
+  double best = 1e300;
+  for (int rep = 0; rep < kReps; ++rep) {
+    Timer timer;
+    for (const auto& q : queries) run_query(q);
+    best = std::min(best, timer.ElapsedMillis());
+  }
+  return best;
+}
+
+bool SameDocs(const std::vector<ir::ScoredDoc>& a,
+              const std::vector<ir::ScoredDoc>& b, bool check_scores) {
+  if (a.size() != b.size()) return false;
+  for (size_t i = 0; i < a.size(); ++i) {
+    if (a[i].doc != b[i].doc) return false;
+    if (check_scores && a[i].score != b[i].score) return false;
+  }
+  return true;
+}
+
+}  // namespace
+}  // namespace dls
+
+int main(int argc, char** argv) {
+  using namespace dls;
+  const char* json_path = argc > 1 ? argv[1] : "BENCH_ir_kernel.json";
+
+  ir::TextIndex index;
+  ir::ClusterIndex cluster(kClusterNodes, /*num_fragments=*/4);
+  BuildCorpus(&index, &cluster);
+  auto queries = MakeQueries();
+  Pr1Baseline pr1(index);
+
+  ir::RankOptions scalar;
+  scalar.kernel = ir::ScoreKernel::kScalar;
+  ir::RankOptions block;
+  block.kernel = ir::ScoreKernel::kBlock;
+  ir::RankOptions block_prune = block;
+  block_prune.prune = true;
+
+  std::printf(
+      "scoring kernel: %d docs, %d words/doc, vocab %zu, %d queries x %d "
+      "terms, top %zu\n\n",
+      kDocs, kWordsPerDoc, kVocab, kQueries, kTermsPerQuery, kTopN);
+
+  // Exactness cross-checks before timing: scalar and block must be
+  // bit-identical (docs AND scores); pruning must return the identical
+  // ranking; the PR-1 baseline agrees on the documents (its libm
+  // scores differ from VecLog1p by ulps, so scores are not compared).
+  bool block_exact = true, prune_exact = true, pr1_same_docs = true;
+  for (const auto& q : queries) {
+    std::vector<ir::ScoredDoc> s = index.RankTopN(q, kTopN, scalar);
+    std::vector<ir::ScoredDoc> b = index.RankTopN(q, kTopN, block);
+    std::vector<ir::ScoredDoc> p = index.RankTopN(q, kTopN, block_prune);
+    if (!SameDocs(s, b, /*check_scores=*/true)) block_exact = false;
+    if (!SameDocs(b, p, /*check_scores=*/true)) prune_exact = false;
+    if (!SameDocs(b, pr1.RankTopN(index, q, kTopN), /*check_scores=*/false)) {
+      pr1_same_docs = false;
+    }
+  }
+
+  double pr1_ms = MeasureBatchMs(queries, [&](const auto& q) {
+    pr1.RankTopN(index, q, kTopN);
+  });
+  double scalar_ms = MeasureBatchMs(queries, [&](const auto& q) {
+    index.RankTopN(q, kTopN, scalar);
+  });
+  double block_ms = MeasureBatchMs(queries, [&](const auto& q) {
+    index.RankTopN(q, kTopN, block);
+  });
+  double prune_ms = MeasureBatchMs(queries, [&](const auto& q) {
+    index.RankTopN(q, kTopN, block_prune);
+  });
+
+  struct Row {
+    const char* name;
+    double ms;
+    const char* exact;
+  };
+  Row rows[] = {
+      {"pr1_accumulator", pr1_ms, pr1_same_docs ? "docs" : "NO"},
+      {"scalar", scalar_ms, "ref"},
+      {"block", block_ms, block_exact ? "bits" : "NO"},
+      {"block_prune", prune_ms, prune_exact ? "bits" : "NO"},
+  };
+  std::printf("%-16s %-10s %-12s %-10s %-8s\n", "variant", "batch_ms",
+              "ms/query", "vs_pr1", "exact");
+  for (const Row& r : rows) {
+    std::printf("%-16s %-10.2f %-12.4f %-10.2f %-8s\n", r.name, r.ms,
+                r.ms / kQueries, pr1_ms / r.ms, r.exact);
+  }
+
+  // Cluster-level pruning effect: postings touched and blocks skipped
+  // across the distributed evaluation (sequential => threshold
+  // feedback tightens later nodes).
+  ir::ClusterQueryStats full_stats_sum, prune_stats_sum;
+  bool cluster_exact = true;
+  for (const auto& q : queries) {
+    ir::ClusterQueryStats full_stats, prune_stats;
+    auto full = cluster.Query(q, kTopN, 4, &full_stats);
+    auto pruned = cluster.Query(q, kTopN, 4, &prune_stats, block_prune);
+    if (full.size() != pruned.size()) cluster_exact = false;
+    for (size_t i = 0; i < full.size() && i < pruned.size(); ++i) {
+      if (full[i].url != pruned[i].url || full[i].score != pruned[i].score) {
+        cluster_exact = false;
+      }
+    }
+    full_stats_sum.postings_touched_total += full_stats.postings_touched_total;
+    full_stats_sum.blocks_skipped += full_stats.blocks_skipped;
+    prune_stats_sum.postings_touched_total +=
+        prune_stats.postings_touched_total;
+    prune_stats_sum.blocks_skipped += prune_stats.blocks_skipped;
+  }
+  double touched_ratio =
+      full_stats_sum.postings_touched_total > 0
+          ? static_cast<double>(prune_stats_sum.postings_touched_total) /
+                static_cast<double>(full_stats_sum.postings_touched_total)
+          : 1.0;
+  std::printf(
+      "\ncluster (%zu nodes, sequential threshold feedback): "
+      "postings_touched %zu -> %zu (%.1f%%), blocks_skipped %zu, exact %s\n",
+      kClusterNodes, full_stats_sum.postings_touched_total,
+      prune_stats_sum.postings_touched_total, touched_ratio * 100.0,
+      prune_stats_sum.blocks_skipped, cluster_exact ? "yes" : "NO");
+  std::printf(
+      "(vs_pr1 = wall-clock speedup over the PR-1 accumulator kernel; "
+      "exact: bits = bit-identical docs+scores, docs = same ranking)\n");
+
+  std::FILE* out = std::fopen(json_path, "w");
+  if (out == nullptr) {
+    std::fprintf(stderr, "cannot write %s\n", json_path);
+    return 1;
+  }
+  std::fprintf(
+      out,
+      "{\n"
+      "  \"bench\": \"ir_kernel\",\n"
+      "  \"corpus\": {\"docs\": %d, \"words_per_doc\": %d, \"vocab\": %zu, "
+      "\"zipf_theta\": %.2f, \"queries\": %d, \"terms_per_query\": %d, "
+      "\"top_n\": %zu},\n"
+      "  \"variants\": {\n"
+      "    \"pr1_accumulator_batch_ms\": %.3f,\n"
+      "    \"scalar_batch_ms\": %.3f,\n"
+      "    \"block_batch_ms\": %.3f,\n"
+      "    \"block_prune_batch_ms\": %.3f\n"
+      "  },\n"
+      "  \"speedups\": {\n"
+      "    \"scalar_vs_pr1\": %.3f,\n"
+      "    \"block_vs_pr1\": %.3f,\n"
+      "    \"block_prune_vs_pr1\": %.3f,\n"
+      "    \"block_prune_vs_block\": %.3f\n"
+      "  },\n"
+      "  \"exact\": {\"block_bit_identical\": %s, "
+      "\"prune_bit_identical\": %s, \"pr1_same_docs\": %s, "
+      "\"cluster_prune_identical\": %s},\n"
+      "  \"cluster_pruning\": {\"nodes\": %zu, "
+      "\"postings_touched_full\": %zu, \"postings_touched_pruned\": %zu, "
+      "\"postings_touched_ratio\": %.4f, \"blocks_skipped\": %zu}\n"
+      "}\n",
+      kDocs, kWordsPerDoc, kVocab, kZipfTheta, kQueries, kTermsPerQuery, kTopN,
+      pr1_ms, scalar_ms, block_ms, prune_ms, pr1_ms / scalar_ms,
+      pr1_ms / block_ms, pr1_ms / prune_ms, block_ms / prune_ms,
+      block_exact ? "true" : "false", prune_exact ? "true" : "false",
+      pr1_same_docs ? "true" : "false", cluster_exact ? "true" : "false",
+      kClusterNodes, full_stats_sum.postings_touched_total,
+      prune_stats_sum.postings_touched_total, touched_ratio,
+      prune_stats_sum.blocks_skipped);
+  std::fclose(out);
+  std::printf("wrote %s\n", json_path);
+  return 0;
+}

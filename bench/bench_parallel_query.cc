@@ -80,6 +80,8 @@ std::vector<ir::ClusterScoredDoc> SeedStyleQuery(
     std::optional<std::string> norm =
         cluster.node_index(0).NormalizeWord(word);
     if (!norm) continue;
+    // Match the engine's query semantics: a repeated term scores once.
+    if (std::find(stems.begin(), stems.end(), *norm) != stems.end()) continue;
     if (cluster.global_df(*norm) == 0) continue;
     stems.push_back(*norm);
   }

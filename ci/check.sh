@@ -1,7 +1,9 @@
 #!/usr/bin/env bash
 # Repo verification: tier-1 build + tests, then the concurrency tests
 # again under ThreadSanitizer (DLS_SANITIZE=thread) to certify the
-# parallel query engine's frozen-read contract.
+# parallel query engine's frozen-read contract, then the IR tests under
+# ASan+UBSan (DLS_SANITIZE=address+undefined) to certify the block
+# kernel's raw-pointer loops and WAND cursor arithmetic.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -15,6 +17,12 @@ cmake -B build-tsan -S . -DDLS_SANITIZE=thread
 cmake --build build-tsan -j "$(nproc)" --target dls_common_tests dls_ir_tests
 ./build-tsan/tests/dls_common_tests --gtest_filter='ThreadPool*'
 ./build-tsan/tests/dls_ir_tests \
-  --gtest_filter='ParallelQuery*:ScoreAccumulator*'
+  --gtest_filter='ParallelQuery*:ScoreAccumulator*:Kernel*:Wand*'
+
+echo "== ASan+UBSan: kernel / pruning memory and UB checks =="
+cmake -B build-asan -S . -DDLS_SANITIZE=address+undefined
+cmake --build build-asan -j "$(nproc)" --target dls_common_tests dls_ir_tests
+./build-asan/tests/dls_common_tests
+./build-asan/tests/dls_ir_tests
 
 echo "== all checks passed =="

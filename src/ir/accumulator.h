@@ -28,16 +28,45 @@ namespace dls::ir {
 /// Not thread-safe; use ThreadLocal() to get this thread's pooled
 /// instance. One instance supports one query at a time (no nesting
 /// between Reset() and ExtractTopN()).
+///
+/// Sizing: callers pass the number of documents *they* score — the
+/// cluster path resets per node-local index (ClusterIndex::QueryNode),
+/// so a pooled accumulator on a query worker holds one node's doc
+/// count, not the whole collection's. Because the pool is thread-local
+/// and long-lived, one oversized query would otherwise pin its backing
+/// arrays forever; Reset() therefore shrinks the storage back down
+/// once a sustained run of much smaller requests proves the high-water
+/// mark stale (see kShrinkFactor/kShrinkPatience).
 class ScoreAccumulator {
  public:
+  /// Reset() releases the backing arrays when kShrinkPatience
+  /// consecutive resets requested fewer than backing/kShrinkFactor
+  /// docs: long enough to ignore alternating workloads, aggressive
+  /// enough that a one-off huge query doesn't pin memory for the
+  /// thread's lifetime.
+  static constexpr size_t kShrinkFactor = 8;
+  static constexpr size_t kShrinkPatience = 64;
+
   /// Prepares for a query over documents [0, num_docs): sparsely
-  /// clears the previous query's scores and grows storage if needed.
+  /// clears the previous query's scores, grows storage if needed, and
+  /// shrinks it after a sustained run of far smaller requests.
   void Reset(size_t num_docs) {
     for (DocId doc : touched_) touched_flag_[doc] = 0;
     touched_.clear();
     if (scores_.size() < num_docs) {
       scores_.resize(num_docs, 0.0);
       touched_flag_.resize(num_docs, 0);
+      small_resets_ = 0;
+    } else if (num_docs < scores_.size() / kShrinkFactor) {
+      if (++small_resets_ >= kShrinkPatience) {
+        scores_.assign(num_docs, 0.0);
+        scores_.shrink_to_fit();
+        touched_flag_.assign(num_docs, 0);
+        touched_flag_.shrink_to_fit();
+        small_resets_ = 0;
+      }
+    } else {
+      small_resets_ = 0;
     }
   }
 
@@ -54,6 +83,8 @@ class ScoreAccumulator {
 
   double score(DocId doc) const { return scores_[doc]; }
   size_t touched_count() const { return touched_.size(); }
+  /// Current backing-array size in documents (tests / introspection).
+  size_t backing_docs() const { return scores_.size(); }
 
   /// Top `n` scored docs ordered by (score desc, tie_less asc).
   /// `tie_less(a, b)` orders equal-score documents; it must be a
@@ -100,6 +131,7 @@ class ScoreAccumulator {
   std::vector<double> scores_;
   std::vector<uint8_t> touched_flag_;
   std::vector<DocId> touched_;
+  size_t small_resets_ = 0;  // consecutive resets far below backing size
 };
 
 }  // namespace dls::ir

@@ -7,6 +7,7 @@
 #include "common/thread_pool.h"
 #include "common/timer.h"
 #include "ir/accumulator.h"
+#include "ir/kernel.h"
 
 namespace dls::ir {
 
@@ -80,30 +81,58 @@ void ClusterIndex::Finalize() {
 ClusterIndex::NodeResult ClusterIndex::QueryNode(
     const Node& node, const std::vector<std::string>& stems,
     const std::vector<int32_t>& stem_global_df, size_t n, size_t max_fragments,
-    const RankOptions& options) const {
+    double initial_threshold, const RankOptions& options) const {
   Timer timer;
   NodeResult result;
   const TextIndex& index = *node.index;
 
-  ScoreAccumulator& scores = ScoreAccumulator::ThreadLocal();
-  scores.Reset(index.document_count());
+  // Resolve the pushed stems against the node-local vocabulary and drop
+  // terms behind the fragment cut-off. Scoring uses *global* term
+  // statistics (df, collection length) so the local rankings merge into
+  // the exact global ranking.
+  std::vector<TermId> terms;
+  std::vector<double> weights;
+  terms.reserve(stems.size());
+  weights.reserve(stems.size());
   for (size_t i = 0; i < stems.size(); ++i) {
     std::optional<TermId> term = index.LookupTerm(stems[i]);
     if (!term) continue;
     if (node.fragments->FragmentOf(*term) >= max_fragments) continue;
-    int32_t global_df = stem_global_df[i];
-    for (const Posting& p : index.postings(*term)) {
-      ++result.postings_touched;
-      scores.Add(p.doc, TermScore(p.tf, global_df, index.doc_length(p.doc),
-                                  global_.collection_length, options));
-    }
+    terms.push_back(*term);
+    weights.push_back(
+        TermWeight(stem_global_df[i], global_.collection_length, options));
   }
 
   // Local selection uses the same (score desc, url asc) order as the
   // central merge, so the node ships exactly the tuples the merge
   // needs — tie-breaks cannot depend on node-local doc numbering.
-  std::vector<ScoredDoc> local = scores.ExtractTopN(
-      n, [&index](DocId a, DocId b) { return index.url(a) < index.url(b); });
+  auto url_less = [&index](DocId a, DocId b) {
+    return index.url(a) < index.url(b);
+  };
+
+  std::vector<ScoredDoc> local;
+  if (options.prune) {
+    std::vector<WandTerm> wand_terms;
+    wand_terms.reserve(terms.size());
+    for (size_t i = 0; i < terms.size(); ++i) {
+      wand_terms.push_back(WandTerm{&index.postings(terms[i]), weights[i], i});
+    }
+    WandStats wand_stats;
+    local = WandTopN(wand_terms, index.inv_doc_length_data(),
+                     index.max_inv_doc_length(), n, initial_threshold,
+                     url_less, &wand_stats);
+    result.postings_touched = wand_stats.postings_touched;
+    result.blocks_skipped = wand_stats.blocks_skipped;
+  } else {
+    ScoreAccumulator& scores = ScoreAccumulator::ThreadLocal();
+    scores.Reset(index.document_count());
+    for (size_t i = 0; i < terms.size(); ++i) {
+      result.postings_touched += index.postings(terms[i]).size();
+      ScorePostingList(index.postings(terms[i]), weights[i],
+                       index.inv_doc_length_data(), options.kernel, &scores);
+    }
+    local = scores.ExtractTopN(n, url_less);
+  }
   result.top.reserve(local.size());
   for (const ScoredDoc& d : local) {
     result.top.push_back(ClusterScoredDoc{index.url(d.doc), d.score});
@@ -119,8 +148,10 @@ std::vector<ClusterScoredDoc> ClusterIndex::Query(
   assert(finalized_ && "call Finalize() before Query()");
   ClusterQueryStats local_stats;
 
-  // Central server: stem/stop the query once and resolve it against the
-  // global vocabulary (the T relation lives centrally).
+  // Central server: stem/stop the query once, de-duplicate repeated
+  // stems (each unique term scores once — the TextIndex::ResolveQuery
+  // contract) and resolve against the global vocabulary (the T relation
+  // lives centrally).
   std::vector<std::string> stems;
   std::vector<int32_t> stem_global_df;
   double idf_mass_total = 0;
@@ -128,6 +159,7 @@ std::vector<ClusterScoredDoc> ClusterIndex::Query(
     // Any node's normaliser is configured identically; use node 0's.
     std::optional<std::string> norm = nodes_[0].index->NormalizeWord(word);
     if (!norm) continue;
+    if (std::find(stems.begin(), stems.end(), *norm) != stems.end()) continue;
     auto it = global_.df.find(*norm);
     if (it == global_.df.end()) continue;  // not in the vocabulary space
     stems.push_back(*norm);
@@ -154,10 +186,36 @@ std::vector<ClusterScoredDoc> ClusterIndex::Query(
   // the nodes evaluate concurrently; result slots are per-node, so the
   // only synchronisation is the fan-out join itself.
   std::vector<NodeResult> responses(nodes_.size());
-  ForEachNode([&](size_t i) {
-    responses[i] =
-        QueryNode(nodes_[i], stems, stem_global_df, n, max_fragments, options);
-  });
+  if (options.prune && n > 0 && (executor_ == nullptr || nodes_.size() <= 1)) {
+    // Threshold feedback (sequential execution only): the centre keeps
+    // the n best scores returned so far and pushes the running n-th
+    // best as the next node's starting threshold. Any document scoring
+    // strictly below it provably cannot enter the merged top-N, so
+    // later nodes prune harder. Results are identical to the parallel
+    // fan-out (both exact); only the work stats differ.
+    std::priority_queue<double, std::vector<double>, std::greater<double>>
+        best;
+    double theta = 0.0;
+    for (size_t i = 0; i < nodes_.size(); ++i) {
+      responses[i] = QueryNode(nodes_[i], stems, stem_global_df, n,
+                               max_fragments, theta, options);
+      for (const ClusterScoredDoc& d : responses[i].top) {
+        if (best.size() < n) {
+          best.push(d.score);
+        } else if (d.score > best.top()) {
+          best.pop();
+          best.push(d.score);
+        }
+      }
+      if (best.size() == n) theta = best.top();
+    }
+  } else {
+    ForEachNode([&](size_t i) {
+      responses[i] = QueryNode(nodes_[i], stems, stem_global_df, n,
+                               max_fragments, /*initial_threshold=*/0.0,
+                               options);
+    });
+  }
 
   for (const NodeResult& response : responses) {
     local_stats.messages += 2;  // request + response
@@ -168,6 +226,7 @@ std::vector<ClusterScoredDoc> ClusterIndex::Query(
     local_stats.postings_touched_max_node =
         std::max(local_stats.postings_touched_max_node,
                  response.postings_touched);
+    local_stats.blocks_skipped += response.blocks_skipped;
     local_stats.critical_path_us =
         std::max(local_stats.critical_path_us, response.elapsed_us);
     local_stats.total_cpu_us += response.elapsed_us;

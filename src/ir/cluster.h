@@ -29,6 +29,9 @@ struct ClusterQueryStats {
   size_t bytes_shipped = 0;   ///< serialised result tuples over the wire
   size_t postings_touched_total = 0;
   size_t postings_touched_max_node = 0;  ///< critical-path posting count
+  /// Σ over nodes of posting blocks pruned by WAND (options.prune);
+  /// 0 on the exhaustive path.
+  size_t blocks_skipped = 0;
   double predicted_quality = 1.0;
   /// Measured wall-clock of the slowest node's local evaluation — the
   /// query's critical path under perfect shared-nothing parallelism.
@@ -127,14 +130,20 @@ class ClusterIndex {
   struct NodeResult {
     std::vector<ClusterScoredDoc> top;
     size_t postings_touched = 0;
+    size_t blocks_skipped = 0;
     double elapsed_us = 0;
   };
 
   /// Evaluates the resolved query on one node (runs on a pool worker
   /// or the calling thread; touches only frozen node state).
+  /// `initial_threshold` is the running global n-th best score under
+  /// the sequential threshold-feedback protocol (0 disables it): with
+  /// options.prune the node skips documents strictly below it — they
+  /// provably cannot enter the global merge.
   NodeResult QueryNode(const Node& node, const std::vector<std::string>& stems,
                        const std::vector<int32_t>& stem_global_df, size_t n,
-                       size_t max_fragments, const RankOptions& options) const;
+                       size_t max_fragments, double initial_threshold,
+                       const RankOptions& options) const;
 
   /// Runs fn(i) for every node, over the executor when attached.
   void ForEachNode(const std::function<void(size_t)>& fn) const;

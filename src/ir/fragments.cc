@@ -4,6 +4,7 @@
 #include <cassert>
 
 #include "ir/accumulator.h"
+#include "ir/kernel.h"
 
 namespace dls::ir {
 
@@ -52,16 +53,13 @@ void FragmentedIndex::Rebuild() {
 
 size_t FragmentedIndex::PlanCutoff(
     const std::vector<std::string>& query_words, double min_quality) const {
-  // Per-fragment idf mass of the query's matching terms.
+  // Per-fragment idf mass of the query's matching (de-duplicated)
+  // terms — the same term set RankTopN evaluates.
   std::vector<double> mass(num_fragments_, 0.0);
   double total = 0;
-  for (const std::string& word : query_words) {
-    std::optional<std::string> norm = base_->NormalizeWord(word);
-    if (!norm) continue;
-    std::optional<TermId> term = base_->LookupTerm(*norm);
-    if (!term) continue;
-    mass[fragment_of_[*term]] += base_->idf(*term);
-    total += base_->idf(*term);
+  for (TermId term : base_->ResolveQuery(query_words)) {
+    mass[fragment_of_[term]] += base_->idf(term);
+    total += base_->idf(term);
   }
   if (total <= 0) return 0;  // nothing to evaluate at all
   double acc = 0;
@@ -90,29 +88,51 @@ std::vector<ScoredDoc> FragmentedIndex::RankTopN(
   double idf_mass_total = 0;
   double idf_mass_read = 0;
 
-  ScoreAccumulator& scores = ScoreAccumulator::ThreadLocal();
-  scores.Reset(base_->document_count());
-  for (const std::string& word : query_words) {
-    std::optional<std::string> norm = base_->NormalizeWord(word);
-    if (!norm) continue;
-    std::optional<TermId> term = base_->LookupTerm(*norm);
-    if (!term) continue;
-    idf_mass_total += base_->idf(*term);
-    if (fragment_of_[*term] >= max_fragments) {
+  // Resolve + de-duplicate once, then apply the fragment cut-off.
+  std::vector<TermId> evaluated;
+  for (TermId term : base_->ResolveQuery(query_words)) {
+    idf_mass_total += base_->idf(term);
+    if (fragment_of_[term] >= max_fragments) {
       ++local_stats.terms_skipped;
       continue;
     }
     ++local_stats.terms_evaluated;
-    idf_mass_read += base_->idf(*term);
-    for (const Posting& p : base_->postings(*term)) {
-      ++local_stats.postings_touched;
-      scores.Add(p.doc, TermScore(p.tf, base_->df(*term),
-                                  base_->doc_length(p.doc),
-                                  base_->collection_length(), options));
-    }
+    idf_mass_read += base_->idf(term);
+    evaluated.push_back(term);
   }
   local_stats.predicted_quality =
       idf_mass_total > 0 ? idf_mass_read / idf_mass_total : 1.0;
+
+  if (options.prune) {
+    std::vector<WandTerm> wand_terms;
+    wand_terms.reserve(evaluated.size());
+    for (size_t i = 0; i < evaluated.size(); ++i) {
+      wand_terms.push_back(WandTerm{
+          &base_->postings(evaluated[i]),
+          TermWeight(base_->df(evaluated[i]), base_->collection_length(),
+                     options),
+          i});
+    }
+    WandStats wand_stats;
+    std::vector<ScoredDoc> top = WandTopN(
+        wand_terms, base_->inv_doc_length_data(),
+        base_->max_inv_doc_length(), n, /*initial_threshold=*/0.0,
+        [](DocId a, DocId b) { return a < b; }, &wand_stats);
+    local_stats.postings_touched = wand_stats.postings_touched;
+    local_stats.blocks_skipped = wand_stats.blocks_skipped;
+    if (stats != nullptr) *stats = local_stats;
+    return top;
+  }
+
+  ScoreAccumulator& scores = ScoreAccumulator::ThreadLocal();
+  scores.Reset(base_->document_count());
+  for (TermId term : evaluated) {
+    local_stats.postings_touched += base_->postings(term).size();
+    ScorePostingList(base_->postings(term),
+                     TermWeight(base_->df(term), base_->collection_length(),
+                                options),
+                     base_->inv_doc_length_data(), options.kernel, &scores);
+  }
   if (stats != nullptr) *stats = local_stats;
 
   return scores.ExtractTopN(n);

@@ -11,7 +11,8 @@ namespace dls::ir {
 
 /// Work/quality accounting for a fragment-limited query.
 struct FragmentQueryStats {
-  size_t postings_touched = 0;   ///< TF tuples read
+  size_t postings_touched = 0;   ///< TF tuples read (scored)
+  size_t blocks_skipped = 0;     ///< posting blocks pruned (options.prune)
   size_t terms_evaluated = 0;    ///< query terms whose fragment was read
   size_t terms_skipped = 0;      ///< query terms behind the cut-off
   /// Model-predicted quality in [0,1]: the idf mass of the evaluated

@@ -4,6 +4,7 @@
 #include <cmath>
 
 #include "ir/accumulator.h"
+#include "ir/kernel.h"
 #include "ir/stemmer.h"
 #include "ir/stopwords.h"
 #include "ir/tokenizer.h"
@@ -42,6 +43,7 @@ DocId TextIndex::AddDocument(std::string_view url, std::string_view text) {
   DocId doc = static_cast<DocId>(urls_.size());
   urls_.emplace_back(url);
   doc_lengths_.push_back(0);
+  inv_doc_lengths_.push_back(0.0);
 
   PendingDoc pending;
   pending.doc = doc;
@@ -63,11 +65,16 @@ void TextIndex::Flush() {
   for (PendingDoc& doc : pending_) {
     int64_t len = 0;
     for (const auto& [term, tf] : doc.counts) {
-      postings_[term].push_back(Posting{doc.doc, tf});
+      postings_[term].Append(doc.doc, tf);
       ++df_[term];
       len += tf;
     }
     doc_lengths_[doc.doc] = len;
+    if (len > 0) {
+      double inv = 1.0 / static_cast<double>(len);
+      inv_doc_lengths_[doc.doc] = inv;
+      max_inv_doc_length_ = std::max(max_inv_doc_length_, inv);
+    }
     collection_length_ += len;
     ++flushed_docs_;
   }
@@ -92,20 +99,50 @@ double TermScore(int32_t tf, int32_t df, int64_t doclen,
   return std::log1p(x);
 }
 
-std::vector<ScoredDoc> TextIndex::RankTopN(
-    const std::vector<std::string>& query_words, size_t n,
-    const RankOptions& options) const {
-  ScoreAccumulator& scores = ScoreAccumulator::ThreadLocal();
-  scores.Reset(document_count());
+std::vector<TermId> TextIndex::ResolveQuery(
+    const std::vector<std::string>& query_words) const {
+  std::vector<TermId> terms;
+  terms.reserve(query_words.size());
   for (const std::string& word : query_words) {
     std::optional<std::string> norm = NormalizeWord(word);
     if (!norm) continue;
     std::optional<TermId> term = LookupTerm(*norm);
     if (!term) continue;
-    for (const Posting& p : postings_[*term]) {
-      scores.Add(p.doc, TermScore(p.tf, df_[*term], doc_lengths_[p.doc],
-                                  collection_length_, options));
+    // Queries are a handful of words: a linear duplicate scan beats a
+    // hash set.
+    if (std::find(terms.begin(), terms.end(), *term) == terms.end()) {
+      terms.push_back(*term);
     }
+  }
+  return terms;
+}
+
+std::vector<ScoredDoc> TextIndex::RankTopN(
+    const std::vector<std::string>& query_words, size_t n,
+    const RankOptions& options) const {
+  const std::vector<TermId> terms = ResolveQuery(query_words);
+
+  if (options.prune) {
+    std::vector<WandTerm> wand_terms;
+    wand_terms.reserve(terms.size());
+    for (size_t i = 0; i < terms.size(); ++i) {
+      wand_terms.push_back(WandTerm{
+          &postings_[terms[i]],
+          TermWeight(df_[terms[i]], collection_length_, options), i});
+    }
+    // (score desc, doc asc): the deterministic ranking contract.
+    return WandTopN(wand_terms, inv_doc_lengths_.data(), max_inv_doc_length_,
+                    n, /*initial_threshold=*/0.0,
+                    [](DocId a, DocId b) { return a < b; },
+                    /*stats=*/nullptr);
+  }
+
+  ScoreAccumulator& scores = ScoreAccumulator::ThreadLocal();
+  scores.Reset(document_count());
+  for (TermId term : terms) {
+    ScorePostingList(postings_[term],
+                     TermWeight(df_[term], collection_length_, options),
+                     inv_doc_lengths_.data(), options.kernel, &scores);
   }
   // (score desc, doc asc): the deterministic ranking contract.
   return scores.ExtractTopN(n);

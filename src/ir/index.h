@@ -9,12 +9,9 @@
 #include <vector>
 
 #include "common/status.h"
+#include "ir/postings.h"
 
 namespace dls::ir {
-
-using TermId = uint32_t;
-using DocId = uint32_t;
-inline constexpr TermId kInvalidTerm = 0xffffffffu;
 
 /// Heterogeneous (transparent) string hasher: lets the T-relation
 /// reverse map answer string_view lookups without materialising a
@@ -32,25 +29,42 @@ struct TransparentStringHash {
   }
 };
 
-/// One entry of a term's posting list: DT ⋈ TF projected to
-/// (doc, tf) — the pair-oid of the paper's ternary DT relation is the
-/// implicit position of the posting.
-struct Posting {
-  DocId doc;
-  int32_t tf;
-};
-
 /// A scored document in a ranking.
 struct ScoredDoc {
   DocId doc;
   double score;
 };
 
+/// Which implementation of the posting-scan scoring kernel to run.
+/// Both produce bit-identical scores (same per-posting operations, no
+/// FP contraction); the block mode strip-mines over SoA posting blocks
+/// so the compiler can vectorise the arithmetic.
+enum class ScoreKernel {
+  kScalar,  ///< one posting at a time — the reference order
+  kBlock,   ///< block-at-a-time straight-line kernel (auto-vectorised)
+};
+
+/// Build-level default for ScoreKernel: cmake -DDLS_KERNEL=scalar
+/// defines DLS_KERNEL_SCALAR and flips the whole tree to the reference
+/// kernel (exactness stays testable per call via RankOptions::kernel).
+#if defined(DLS_KERNEL_SCALAR)
+inline constexpr ScoreKernel kDefaultScoreKernel = ScoreKernel::kScalar;
+#else
+inline constexpr ScoreKernel kDefaultScoreKernel = ScoreKernel::kBlock;
+#endif
+
 /// Ranking parameters of the Hiemstra-derived tf·idf variant (see
 /// Ranker below).
 struct RankOptions {
   /// Interpolation weight of the document model (Hiemstra's λ).
   double lambda = 0.15;
+  /// Posting-scan kernel implementation (see ScoreKernel).
+  ScoreKernel kernel = kDefaultScoreKernel;
+  /// WAND-style top-N pruning: skip postings/blocks whose score bound
+  /// cannot enter the current top N. Exact — returns the identical
+  /// ranking (docs and scores) as the exhaustive evaluation — but
+  /// work stats (postings_touched, blocks_skipped) reflect the skips.
+  bool prune = false;
 };
 
 /// The full-text index: an implementation of the paper's five
@@ -120,19 +134,35 @@ class TextIndex {
   int32_t df(TermId t) const { return df_[t]; }
   double idf(TermId t) const { return 1.0 / static_cast<double>(df_[t]); }
 
-  const std::vector<Posting>& postings(TermId t) const {
-    return postings_[t];
-  }
+  const PostingList& postings(TermId t) const { return postings_[t]; }
 
   /// Total number of indexed term occurrences in a document.
   int64_t doc_length(DocId d) const { return doc_lengths_[d]; }
   /// Σ over documents of doc_length.
   int64_t collection_length() const { return collection_length_; }
 
+  /// Precomputed 1/doc_length per document (0 for empty documents):
+  /// the scoring kernel multiplies instead of dividing per posting.
+  const double* inv_doc_length_data() const { return inv_doc_lengths_.data(); }
+  double inv_doc_length(DocId d) const { return inv_doc_lengths_[d]; }
+  /// Largest 1/doc_length of any flushed document — equivalently the
+  /// reciprocal of the shortest document; the WAND score upper bounds
+  /// are evaluated at this point.
+  double max_inv_doc_length() const { return max_inv_doc_length_; }
+
+  /// Normalises every raw query word, resolves it against T, and
+  /// de-duplicates: a repeated query word contributes once (scoring a
+  /// duplicate twice would double-count its postings — see DESIGN.md
+  /// for the chosen semantics). Order of first occurrence is kept, so
+  /// score summation order — and thus FP-exact results — is stable.
+  std::vector<TermId> ResolveQuery(
+      const std::vector<std::string>& query_words) const;
+
   /// Ranks all flushed documents against the (raw, unstemmed) query
   /// words and returns the top `n` by descending score. Exact
   /// evaluation over full posting lists; the fragmented index layers
-  /// cut this cost down.
+  /// cut this cost down, and options.prune skips work that provably
+  /// cannot change the top `n`.
   std::vector<ScoredDoc> RankTopN(const std::vector<std::string>& query_words,
                                   size_t n,
                                   const RankOptions& options = {}) const;
@@ -148,10 +178,12 @@ class TextIndex {
   std::unordered_map<std::string, TermId, TransparentStringHash,
                      std::equal_to<>>
       term_ids_;
-  std::vector<std::string> urls_;               // D
-  std::vector<std::vector<Posting>> postings_;  // DT ⋈ TF
-  std::vector<int32_t> df_;                     // IDF source
+  std::vector<std::string> urls_;    // D
+  std::vector<PostingList> postings_;  // DT ⋈ TF, block-structured SoA
+  std::vector<int32_t> df_;            // IDF source
   std::vector<int64_t> doc_lengths_;
+  std::vector<double> inv_doc_lengths_;  // 1/doc_length (kernel input)
+  double max_inv_doc_length_ = 0.0;      // 1/min doc_length (WAND bounds)
   int64_t collection_length_ = 0;
   size_t flushed_docs_ = 0;
   uint64_t mutation_epoch_ = 0;

@@ -1,0 +1,53 @@
+#include "ir/kernel.h"
+
+namespace dls::ir {
+namespace {
+
+void ScoreScalar(const PostingList& list, double w,
+                 const double* inv_doc_lengths, ScoreAccumulator* acc) {
+  const DocId* docs = list.doc_data();
+  const int32_t* tfs = list.tf_data();
+  const size_t count = list.size();
+  for (size_t i = 0; i < count; ++i) {
+    acc->Add(docs[i], KernelScore(w, tfs[i], inv_doc_lengths[docs[i]]));
+  }
+}
+
+void ScoreBlock(const PostingList& list, double w,
+                const double* inv_doc_lengths, ScoreAccumulator* acc) {
+  const DocId* docs = list.doc_data();
+  const int32_t* tfs = list.tf_data();
+  const size_t num_blocks = list.num_blocks();
+  // Strip-mined straight-line loops over one SoA block at a time: the
+  // gather, the multiplies, and the VecLog1p polynomial each vectorise;
+  // per-element operations are identical to ScoreScalar (and FP
+  // contraction is pinned off), so the scores are bit-identical.
+  double scores[kPostingBlockSize];
+  for (size_t b = 0; b < num_blocks; ++b) {
+    const size_t begin = PostingList::block_begin(b);
+    const size_t count = list.block_end(b) - begin;
+    const DocId* bdocs = docs + begin;
+    const int32_t* btfs = tfs + begin;
+    for (size_t i = 0; i < count; ++i) {
+      scores[i] =
+          VecLog1p((w * static_cast<double>(btfs[i])) * inv_doc_lengths[bdocs[i]]);
+    }
+    for (size_t i = 0; i < count; ++i) {
+      acc->Add(bdocs[i], scores[i]);
+    }
+  }
+}
+
+}  // namespace
+
+void ScorePostingList(const PostingList& list, double w,
+                      const double* inv_doc_lengths, ScoreKernel kernel,
+                      ScoreAccumulator* acc) {
+  if (kernel == ScoreKernel::kBlock) {
+    ScoreBlock(list, w, inv_doc_lengths, acc);
+  } else {
+    ScoreScalar(list, w, inv_doc_lengths, acc);
+  }
+}
+
+}  // namespace dls::ir

@@ -1,0 +1,310 @@
+#ifndef DLS_IR_KERNEL_H_
+#define DLS_IR_KERNEL_H_
+
+#include <algorithm>
+#include <cstdint>
+#include <cstring>
+#include <limits>
+#include <vector>
+
+#include "ir/accumulator.h"
+#include "ir/index.h"
+#include "ir/postings.h"
+
+namespace dls::ir {
+
+/// The posting-scan scoring kernel of the IR stack.
+///
+/// Every ranking path (TextIndex::RankTopN, FragmentedIndex,
+/// ClusterIndex node evaluation) scores a matching posting as
+///
+///   score = log1p(w · tf · (1/doclen)),   w = λ·CL / ((1−λ)·df)
+///
+/// with the per-term constant `w` hoisted out of the loop and the
+/// per-document reciprocal precomputed at Flush(), so the inner loop
+/// is one multiply, one multiply, one log1p — straight-line code the
+/// compiler vectorises over an SoA posting block. The log1p itself is
+/// VecLog1p below: branch-light bit manipulation plus a polynomial,
+/// identical in scalar and vectorised form, so the kScalar and kBlock
+/// kernels return bit-identical scores (ci runs the tree with FP
+/// contraction off; see src/ir/CMakeLists.txt).
+
+/// Hoisted per-term constant w = λ·CL / ((1−λ)·df). Requires df > 0.
+inline double TermWeight(int32_t df, int64_t collection_length,
+                         const RankOptions& options) {
+  return (options.lambda * static_cast<double>(collection_length)) /
+         ((1.0 - options.lambda) * static_cast<double>(df));
+}
+
+/// Vector-friendly log1p for x ≥ 0: no libm call, no data-dependent
+/// branch (the one predicate compiles to a select), so the compiler
+/// can evaluate it across SIMD lanes. Faithful to a few ulp:
+/// u = 1+x is split as u·(1 + r/u) with r the rounding residue, u is
+/// decomposed into m·2^k with m ∈ [√½, √2), and log(m) is the atanh
+/// series 2s(1 + z/3 + z²/5 + …) with s = (m−1)/(m+1), z = s².
+inline double VecLog1p(double x) {
+  const double u = 1.0 + x;
+  const double corr = (x - (u - 1.0)) / u;  // first-order residue term
+
+  uint64_t bits;
+  std::memcpy(&bits, &u, sizeof(bits));
+  int64_t k = static_cast<int64_t>(bits >> 52) - 1023;
+  uint64_t mantissa =
+      (bits & 0x000fffffffffffffULL) | 0x3ff0000000000000ULL;  // m ∈ [1, 2)
+  double m;
+  std::memcpy(&m, &mantissa, sizeof(m));
+  // Re-centre m into [√½, √2) so |s| ≤ √2−1 / √2+1 ≈ 0.1716.
+  const bool fold = m > 1.4142135623730951;
+  m = fold ? m * 0.5 : m;
+  k = fold ? k + 1 : k;
+
+  const double s = (m - 1.0) / (m + 1.0);
+  const double z = s * s;
+  // Σ z^i/(2i+3), i = 0..9 — truncation error ≪ 1 ulp for z ≤ 0.0295.
+  double p = 1.0 / 21.0;
+  p = p * z + 1.0 / 19.0;
+  p = p * z + 1.0 / 17.0;
+  p = p * z + 1.0 / 15.0;
+  p = p * z + 1.0 / 13.0;
+  p = p * z + 1.0 / 11.0;
+  p = p * z + 1.0 / 9.0;
+  p = p * z + 1.0 / 7.0;
+  p = p * z + 1.0 / 5.0;
+  p = p * z + 1.0 / 3.0;
+  const double log_m = 2.0 * s + 2.0 * s * z * p;
+
+  // ln2 split hi/lo (fdlibm): k·hi is exact for |k| < 2^20.
+  const double kLn2Hi = 6.93147180369123816490e-01;
+  const double kLn2Lo = 1.90821492927058770002e-10;
+  const double dk = static_cast<double>(k);
+  return dk * kLn2Hi + (log_m + corr + dk * kLn2Lo);
+}
+
+/// One posting's score contribution from hoisted inputs.
+inline double KernelScore(double w, int32_t tf, double inv_doclen) {
+  return VecLog1p((w * static_cast<double>(tf)) * inv_doclen);
+}
+
+/// True upper bound of KernelScore(w, tf, inv) over tf ≤ max_tf and
+/// inv ≤ max_inv_doclen. The relative margin absorbs the few-ulp error
+/// of VecLog1p (a polynomial kernel is not guaranteed monotone at ulp
+/// granularity), so pruning against this bound is always sound.
+inline double ScoreUpperBound(double w, int32_t max_tf,
+                              double max_inv_doclen) {
+  return KernelScore(w, max_tf, max_inv_doclen) * (1.0 + 1e-12);
+}
+
+/// TAAT kernel entry point: scores every posting of `list` into `acc`
+/// (acc->Add(doc, score) in posting order). kScalar and kBlock produce
+/// bit-identical accumulator contents; kBlock strip-mines over the SoA
+/// blocks so the arithmetic vectorises.
+void ScorePostingList(const PostingList& list, double w,
+                      const double* inv_doc_lengths, ScoreKernel kernel,
+                      ScoreAccumulator* acc);
+
+/// One query term for WandTopN.
+struct WandTerm {
+  const PostingList* list;
+  double w;      ///< hoisted TermWeight of the term
+  size_t order;  ///< position in the resolved (deduplicated) query
+};
+
+/// Work accounting of a pruned evaluation.
+struct WandStats {
+  size_t postings_touched = 0;  ///< postings actually scored
+  size_t blocks_skipped = 0;    ///< whole blocks jumped without reading
+};
+
+/// WAND-style exact top-`n` evaluation over block-structured posting
+/// lists (document-at-a-time with score upper bounds).
+///
+/// Exactness argument: the bounded heap's threshold θ (the n-th best
+/// score so far, or `initial_threshold` from an outer merge) is a
+/// lower bound of the final n-th best score, every skip requires the
+/// candidate's score bound to be *strictly* below θ, and a document
+/// that is scored at all is scored completely, with its term
+/// contributions summed in resolved-query order — exactly the order
+/// the TAAT accumulator adds them. The returned ranking (documents
+/// and scores, ordered by score desc then `tie_less`) is therefore
+/// bit-identical to exhaustive evaluation; only the work differs.
+///
+/// `initial_threshold` implements the cluster's threshold feedback: a
+/// node that starts with the running global n-th best score prunes
+/// documents that provably cannot enter the global merge. Pass 0 for
+/// a standalone evaluation.
+template <typename TieLess>
+std::vector<ScoredDoc> WandTopN(const std::vector<WandTerm>& terms,
+                                const double* inv_doc_lengths,
+                                double max_inv_doclen, size_t n,
+                                double initial_threshold, TieLess tie_less,
+                                WandStats* stats) {
+  std::vector<ScoredDoc> heap;
+  if (n == 0) return heap;
+  auto better = [&tie_less](const ScoredDoc& a, const ScoredDoc& b) {
+    if (a.score != b.score) return a.score > b.score;
+    return tie_less(a.doc, b.doc);
+  };
+
+  struct Cursor {
+    const PostingList* list;
+    double w;
+    double bound;  // list-level score upper bound
+    size_t order;
+    size_t pos = 0;
+    // Lazily cached bound of the block containing pos.
+    size_t bound_block = std::numeric_limits<size_t>::max();
+    double block_bound = 0.0;
+  };
+  std::vector<Cursor> cursors;
+  cursors.reserve(terms.size());
+  for (const WandTerm& t : terms) {
+    if (t.list == nullptr || t.list->empty()) continue;
+    cursors.push_back(Cursor{t.list, t.w,
+                             ScoreUpperBound(t.w, t.list->max_tf(),
+                                             max_inv_doclen),
+                             t.order});
+  }
+
+  WandStats local;
+  auto doc_at = [](const Cursor& c) { return c.list->doc(c.pos); };
+  auto block_bound = [&max_inv_doclen](Cursor& c) {
+    size_t b = c.pos / kPostingBlockSize;
+    if (b != c.bound_block) {
+      c.bound_block = b;
+      c.block_bound =
+          ScoreUpperBound(c.w, c.list->block_meta(b).max_tf, max_inv_doclen);
+    }
+    return c.block_bound;
+  };
+  // (doc asc, order asc): equal-doc cursors end up in resolved-query
+  // order, which makes the per-document summation order deterministic.
+  auto by_doc = [&doc_at](const Cursor& a, const Cursor& b) {
+    DocId da = doc_at(a), db = doc_at(b);
+    if (da != db) return da < db;
+    return a.order < b.order;
+  };
+  auto push_candidate = [&](DocId doc, double score) {
+    ScoredDoc candidate{doc, score};
+    if (heap.size() < n) {
+      heap.push_back(candidate);
+      std::push_heap(heap.begin(), heap.end(), better);
+    } else if (better(candidate, heap.front())) {
+      std::pop_heap(heap.begin(), heap.end(), better);
+      heap.back() = candidate;
+      std::push_heap(heap.begin(), heap.end(), better);
+    }
+  };
+  // Drop exhausted cursors, keep the rest sorted by (doc, order).
+  auto compact = [&]() {
+    cursors.erase(std::remove_if(cursors.begin(), cursors.end(),
+                                 [](const Cursor& c) {
+                                   return c.pos >= c.list->size();
+                                 }),
+                  cursors.end());
+    std::sort(cursors.begin(), cursors.end(), by_doc);
+  };
+  compact();
+
+  constexpr DocId kNoLimit = std::numeric_limits<DocId>::max();
+  while (!cursors.empty()) {
+    const double theta =
+        heap.size() == n ? std::max(initial_threshold, heap.front().score)
+                         : initial_threshold;
+    // Pivot: the shortest cursor prefix whose bound sum could still
+    // reach θ (≥, not >, so score ties stay eligible for the
+    // tie-break). No pivot ⇒ nothing left can enter the heap.
+    double bound_sum = 0.0;
+    size_t pivot = cursors.size();
+    for (size_t i = 0; i < cursors.size(); ++i) {
+      bound_sum += cursors[i].bound;
+      if (bound_sum >= theta) {
+        pivot = i;
+        break;
+      }
+    }
+    if (pivot == cursors.size()) break;
+    const DocId pivot_doc = doc_at(cursors[pivot]);
+
+    if (doc_at(cursors[0]) != pivot_doc) {
+      // Lagging cursors can never contribute below the pivot document:
+      // seek them forward, jumping whole blocks via max_doc metadata.
+      for (size_t i = 0; i < cursors.size() && doc_at(cursors[i]) < pivot_doc;
+           ++i) {
+        Cursor& c = cursors[i];
+        size_t block = c.pos / kPostingBlockSize;
+        const size_t num_blocks = c.list->num_blocks();
+        while (block < num_blocks &&
+               c.list->block_meta(block).max_doc < pivot_doc) {
+          ++block;
+          ++local.blocks_skipped;
+        }
+        if (block >= num_blocks) {
+          c.pos = c.list->size();  // exhausted
+          continue;
+        }
+        size_t p = std::max(c.pos, PostingList::block_begin(block));
+        const size_t end = c.list->block_end(block);
+        while (p < end && c.list->doc(p) < pivot_doc) ++p;
+        c.pos = p;
+      }
+      compact();
+      continue;
+    }
+
+    // Contributor prefix: every cursor positioned on pivot_doc.
+    size_t m = 0;
+    while (m < cursors.size() && doc_at(cursors[m]) == pivot_doc) ++m;
+
+    if (m == 1 && block_bound(cursors[0]) < theta) {
+      // Lone contributor inside a low block: documents up to the next
+      // cursor's position can only be scored by this cursor, so whole
+      // blocks whose bound stays below θ are skipped outright.
+      Cursor& c = cursors[0];
+      const DocId limit = cursors.size() > 1 ? doc_at(cursors[1]) : kNoLimit;
+      while (c.pos < c.list->size() && block_bound(c) < theta &&
+             doc_at(c) < limit) {
+        const size_t block = c.pos / kPostingBlockSize;
+        const size_t end = c.list->block_end(block);
+        if (c.list->block_meta(block).max_doc < limit) {
+          c.pos = end;  // the whole rest of the block is prunable
+          ++local.blocks_skipped;
+        } else {
+          while (c.pos < end && doc_at(c) < limit) ++c.pos;
+          if (c.pos < end) break;  // reached a doc other cursors share
+        }
+      }
+      compact();
+      continue;
+    }
+
+    // Block-max refinement: the pivot document's score is at most the
+    // sum of its contributors' current block bounds.
+    double block_sum = 0.0;
+    for (size_t i = 0; i < m; ++i) block_sum += block_bound(cursors[i]);
+    if (block_sum < theta) {
+      for (size_t i = 0; i < m; ++i) ++cursors[i].pos;
+      compact();
+      continue;
+    }
+
+    // Score the pivot document completely (resolved-query order).
+    double score = 0.0;
+    const double inv_len = inv_doc_lengths[pivot_doc];
+    for (size_t i = 0; i < m; ++i) {
+      score += KernelScore(cursors[i].w, cursors[i].list->tf(cursors[i].pos),
+                           inv_len);
+    }
+    local.postings_touched += m;
+    push_candidate(pivot_doc, score);
+    for (size_t i = 0; i < m; ++i) ++cursors[i].pos;
+    compact();
+  }
+
+  std::sort_heap(heap.begin(), heap.end(), better);  // best first
+  if (stats != nullptr) *stats = local;
+  return heap;
+}
+
+}  // namespace dls::ir
+
+#endif  // DLS_IR_KERNEL_H_

@@ -1,0 +1,121 @@
+#ifndef DLS_IR_POSTINGS_H_
+#define DLS_IR_POSTINGS_H_
+
+#include <algorithm>
+#include <cstddef>
+#include <cstdint>
+#include <iterator>
+#include <vector>
+
+namespace dls::ir {
+
+using TermId = uint32_t;
+using DocId = uint32_t;
+inline constexpr TermId kInvalidTerm = 0xffffffffu;
+
+/// One entry of a term's posting list: DT ⋈ TF projected to
+/// (doc, tf) — the pair-oid of the paper's ternary DT relation is the
+/// implicit position of the posting.
+struct Posting {
+  DocId doc;
+  int32_t tf;
+};
+
+/// Entries per posting block. Blocks are the unit of the vectorised
+/// scoring kernel (one strip-mined inner loop per block) and of
+/// WAND-style skipping (one metadata record per block).
+inline constexpr size_t kPostingBlockSize = 128;
+
+/// Per-block metadata: the score bound of the block derives from
+/// max_tf, and [min_doc, max_doc] lets a cursor seek past whole blocks
+/// without reading a single posting.
+struct PostingBlockMeta {
+  int32_t max_tf = 0;
+  DocId min_doc = 0;
+  DocId max_doc = 0;
+};
+
+/// A term's posting list in block-structured SoA layout: doc ids and
+/// term frequencies live in two separate contiguous arrays (so the
+/// scoring kernel streams them with straight-line auto-vectorisable
+/// code), logically chunked into kPostingBlockSize-entry blocks whose
+/// metadata drives WAND-style pruning. Postings are appended in
+/// ascending doc order (Flush() folds pending documents in insertion
+/// order) — the block doc ranges and cursor seeks rely on that.
+///
+/// Iteration compatibility: begin()/end() yield `Posting` values, so
+/// `for (const Posting& p : list)` keeps working for code that does
+/// not care about the block layout.
+class PostingList {
+ public:
+  void Append(DocId doc, int32_t tf) {
+    if (docs_.size() % kPostingBlockSize == 0) {
+      meta_.push_back(PostingBlockMeta{tf, doc, doc});
+    } else {
+      PostingBlockMeta& m = meta_.back();
+      m.max_tf = std::max(m.max_tf, tf);
+      m.min_doc = std::min(m.min_doc, doc);
+      m.max_doc = std::max(m.max_doc, doc);
+    }
+    docs_.push_back(doc);
+    tfs_.push_back(tf);
+    max_tf_ = std::max(max_tf_, tf);
+  }
+
+  size_t size() const { return docs_.size(); }
+  bool empty() const { return docs_.empty(); }
+
+  DocId doc(size_t i) const { return docs_[i]; }
+  int32_t tf(size_t i) const { return tfs_[i]; }
+  const DocId* doc_data() const { return docs_.data(); }
+  const int32_t* tf_data() const { return tfs_.data(); }
+
+  /// Largest tf anywhere in the list (the term-level score bound).
+  int32_t max_tf() const { return max_tf_; }
+
+  size_t num_blocks() const { return meta_.size(); }
+  const PostingBlockMeta& block_meta(size_t b) const { return meta_[b]; }
+  static constexpr size_t block_begin(size_t b) {
+    return b * kPostingBlockSize;
+  }
+  /// One past the last posting of block `b` (the last block may be
+  /// partially filled).
+  size_t block_end(size_t b) const {
+    return std::min(docs_.size(), (b + 1) * kPostingBlockSize);
+  }
+
+  class ConstIterator {
+   public:
+    using iterator_category = std::input_iterator_tag;
+    using value_type = Posting;
+    using difference_type = ptrdiff_t;
+    using pointer = const Posting*;
+    using reference = Posting;
+
+    ConstIterator(const PostingList* list, size_t i) : list_(list), i_(i) {}
+    Posting operator*() const { return Posting{list_->doc(i_), list_->tf(i_)}; }
+    ConstIterator& operator++() {
+      ++i_;
+      return *this;
+    }
+    bool operator==(const ConstIterator& o) const { return i_ == o.i_; }
+    bool operator!=(const ConstIterator& o) const { return i_ != o.i_; }
+
+   private:
+    const PostingList* list_;
+    size_t i_;
+  };
+
+  ConstIterator begin() const { return ConstIterator(this, 0); }
+  ConstIterator end() const { return ConstIterator(this, docs_.size()); }
+
+ private:
+  std::vector<DocId> docs_;
+  std::vector<int32_t> tfs_;
+  std::vector<PostingBlockMeta> meta_;
+  int32_t max_tf_ = 0;
+};
+
+}  // namespace dls::ir
+
+#endif  // DLS_IR_POSTINGS_H_

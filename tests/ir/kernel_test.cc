@@ -1,0 +1,368 @@
+// Exactness contract of the block-structured scoring kernel and the
+// WAND-style pruned evaluation: the block kernel must be bit-identical
+// to the scalar reference, and pruning must return the identical
+// ranking (documents AND scores) while provably skipping work. The
+// Kernel*/Wand* suites are also run under TSan and ASan+UBSan by
+// ci/check.sh.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <string>
+#include <vector>
+
+#include "common/rng.h"
+#include "common/strings.h"
+#include "common/thread_pool.h"
+#include "ir/accumulator.h"
+#include "ir/cluster.h"
+#include "ir/fragments.h"
+#include "ir/index.h"
+#include "ir/kernel.h"
+
+namespace dls::ir {
+namespace {
+
+TextIndex::Options RawOptions() {
+  TextIndex::Options options;
+  options.stem = false;
+  options.stop = false;
+  return options;
+}
+
+// Zipf-ish synthetic corpus shared by the randomized exactness tests.
+void BuildCorpus(TextIndex* index, int docs, int words_per_doc, size_t vocab,
+                 uint64_t seed) {
+  Rng rng(seed);
+  ZipfSampler zipf(vocab, 1.1);
+  for (int d = 0; d < docs; ++d) {
+    std::string body;
+    for (int w = 0; w < words_per_doc; ++w) {
+      body += StrFormat("term%04zu ", zipf.Sample(&rng));
+    }
+    index->AddDocument(StrFormat("doc%05d", d), body);
+  }
+  index->Flush();
+}
+
+std::vector<std::vector<std::string>> SeededQueries(int count, int words,
+                                                    size_t vocab,
+                                                    uint64_t seed) {
+  Rng rng(seed);
+  ZipfSampler zipf(vocab, 1.1);
+  std::vector<std::vector<std::string>> queries;
+  for (int q = 0; q < count; ++q) {
+    std::vector<std::string> query;
+    for (int w = 0; w < words; ++w) {
+      query.push_back(StrFormat("term%04zu", zipf.Sample(&rng)));
+    }
+    queries.push_back(std::move(query));
+  }
+  return queries;
+}
+
+void ExpectBitIdentical(const std::vector<ScoredDoc>& a,
+                        const std::vector<ScoredDoc>& b,
+                        const std::string& what) {
+  ASSERT_EQ(a.size(), b.size()) << what;
+  for (size_t i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(a[i].doc, b[i].doc) << what << " rank " << i;
+    // Bit-identical, not approximately equal: that is the contract.
+    EXPECT_EQ(a[i].score, b[i].score) << what << " rank " << i;
+  }
+}
+
+TEST(KernelTest, VecLog1pMatchesStdLog1p) {
+  EXPECT_EQ(VecLog1p(0.0), 0.0);
+  Rng rng(7);
+  for (int i = 0; i < 20000; ++i) {
+    // log-uniform over [1e-9, 1e9]: covers every doclen/tf/λ regime the
+    // scoring model can produce.
+    double x = std::exp((rng.NextDouble() * 18.0 - 9.0) * std::log(10.0));
+    double expected = std::log1p(x);
+    EXPECT_NEAR(VecLog1p(x), expected, std::abs(expected) * 1e-14 + 1e-300)
+        << "x = " << x;
+  }
+}
+
+TEST(KernelTest, ScoreUpperBoundDominatesEveryKernelScore) {
+  Rng rng(8);
+  for (int i = 0; i < 2000; ++i) {
+    double w = rng.NextDouble() * 100.0 + 1e-3;
+    int32_t max_tf = static_cast<int32_t>(rng.Uniform(50)) + 1;
+    double max_inv = rng.NextDouble() * 0.5 + 1e-4;
+    double bound = ScoreUpperBound(w, max_tf, max_inv);
+    for (int32_t tf = 1; tf <= max_tf; ++tf) {
+      double inv = rng.NextDouble() * max_inv;
+      EXPECT_LE(KernelScore(w, tf, inv), bound);
+    }
+  }
+}
+
+TEST(KernelTest, BlockKernelBitIdenticalToScalarAcrossSeeds) {
+  for (uint64_t seed : {1u, 2u, 3u}) {
+    TextIndex index(RawOptions());
+    // > kPostingBlockSize docs so common terms span several blocks,
+    // including a ragged final one.
+    BuildCorpus(&index, 700, 40, 300, seed);
+    RankOptions scalar;
+    scalar.kernel = ScoreKernel::kScalar;
+    RankOptions block;
+    block.kernel = ScoreKernel::kBlock;
+    for (const auto& query : SeededQueries(30, 4, 300, seed + 100)) {
+      ExpectBitIdentical(index.RankTopN(query, 10, scalar),
+                         index.RankTopN(query, 10, block),
+                         StrFormat("seed %zu", static_cast<size_t>(seed)));
+    }
+  }
+}
+
+TEST(KernelTest, DuplicateQueryTermsScoreOnce) {
+  TextIndex index(RawOptions());
+  index.AddDocument("a", "apple banana apple");
+  index.AddDocument("b", "apple cherry cherry");
+  index.Flush();
+
+  // ResolveQuery de-duplicates, keeping first-occurrence order.
+  EXPECT_EQ(index.ResolveQuery({"apple", "banana", "apple", "apple"}).size(),
+            2u);
+
+  std::vector<ScoredDoc> once = index.RankTopN({"apple", "banana"}, 10);
+  std::vector<ScoredDoc> dup =
+      index.RankTopN({"apple", "banana", "apple", "banana"}, 10);
+  ExpectBitIdentical(dup, once, "duplicate terms");
+}
+
+TEST(KernelTest, EdgeCases) {
+  TextIndex index(RawOptions());
+  index.AddDocument("a", "apple banana");
+  index.AddDocument("b", "apple cherry");
+  index.Flush();
+  RankOptions prune;
+  prune.prune = true;
+
+  // n = 0.
+  EXPECT_TRUE(index.RankTopN({"apple"}, 0).empty());
+  EXPECT_TRUE(index.RankTopN({"apple"}, 0, prune).empty());
+
+  // n > document_count: every matching document comes back.
+  EXPECT_EQ(index.RankTopN({"apple"}, 100).size(), 2u);
+  EXPECT_EQ(index.RankTopN({"apple"}, 100, prune).size(), 2u);
+
+  // Unknown term: no matches.
+  EXPECT_TRUE(index.RankTopN({"durian"}, 10).empty());
+  EXPECT_TRUE(index.RankTopN({"durian"}, 10, prune).empty());
+
+  // A term interned by a still-pending document has an empty posting
+  // list; both paths must treat it as matching nothing.
+  index.AddDocument("c", "elderberry");
+  EXPECT_TRUE(index.RankTopN({"elderberry"}, 10).empty());
+  EXPECT_TRUE(index.RankTopN({"elderberry"}, 10, prune).empty());
+}
+
+TEST(KernelTest, AllTieScoresBreakByDocAscending) {
+  TextIndex index(RawOptions());
+  // Identical documents -> identical scores; the ranking must fall
+  // back to ascending doc id, under both kernels and under pruning.
+  for (int d = 0; d < 9; ++d) {
+    index.AddDocument(StrFormat("doc%d", d), "same words every time");
+  }
+  index.Flush();
+  for (bool prune : {false, true}) {
+    RankOptions options;
+    options.prune = prune;
+    std::vector<ScoredDoc> top = index.RankTopN({"same", "words"}, 5, options);
+    ASSERT_EQ(top.size(), 5u) << "prune " << prune;
+    for (size_t i = 0; i < top.size(); ++i) {
+      EXPECT_EQ(top[i].doc, static_cast<DocId>(i)) << "prune " << prune;
+      EXPECT_EQ(top[i].score, top[0].score) << "prune " << prune;
+    }
+  }
+}
+
+TEST(KernelTest, AccumulatorShrinksAfterSustainedSmallResets) {
+  ScoreAccumulator acc;
+  acc.Reset(1 << 20);
+  ASSERT_GE(acc.backing_docs(), static_cast<size_t>(1 << 20));
+
+  // A sustained run of far smaller queries releases the high-water
+  // storage; one small query alone must not (hysteresis).
+  acc.Reset(100);
+  EXPECT_GE(acc.backing_docs(), static_cast<size_t>(1 << 20));
+  for (size_t i = 0; i < ScoreAccumulator::kShrinkPatience; ++i) {
+    acc.Reset(100);
+  }
+  EXPECT_LE(acc.backing_docs(), 100u);
+
+  // Still correct after shrinking.
+  acc.Add(3, 1.5);
+  acc.Add(7, 3.0);
+  acc.Add(3, 1.0);
+  std::vector<ScoredDoc> top = acc.ExtractTopN(2);
+  ASSERT_EQ(top.size(), 2u);
+  EXPECT_EQ(top[0].doc, 7u);
+  EXPECT_DOUBLE_EQ(top[0].score, 3.0);
+  EXPECT_EQ(top[1].doc, 3u);
+  EXPECT_DOUBLE_EQ(top[1].score, 2.5);
+
+  // An intervening large reset restarts the patience counter.
+  acc.Reset(1 << 20);
+  acc.Reset(100);
+  EXPECT_GE(acc.backing_docs(), static_cast<size_t>(1 << 20));
+}
+
+TEST(WandTest, PrunedMatchesExhaustiveOnTextIndex) {
+  for (uint64_t seed : {11u, 12u, 13u}) {
+    TextIndex index(RawOptions());
+    BuildCorpus(&index, 800, 40, 300, seed);
+    RankOptions exhaustive;
+    RankOptions pruned;
+    pruned.prune = true;
+    for (size_t n : {1u, 7u, 10u, 50u}) {
+      for (const auto& query : SeededQueries(20, 4, 300, seed + 200)) {
+        ExpectBitIdentical(
+            index.RankTopN(query, n, exhaustive),
+            index.RankTopN(query, n, pruned),
+            StrFormat("seed %zu n %zu", static_cast<size_t>(seed), n));
+      }
+    }
+  }
+}
+
+TEST(WandTest, PrunedMatchesExhaustiveOnFragmentedIndex) {
+  TextIndex index(RawOptions());
+  BuildCorpus(&index, 600, 40, 300, 21);
+  FragmentedIndex fragments(&index, 8);
+  RankOptions pruned;
+  pruned.prune = true;
+  for (size_t cutoff : {2u, 5u, 8u}) {
+    for (const auto& query : SeededQueries(20, 4, 300, 22)) {
+      FragmentQueryStats exhaustive_stats;
+      FragmentQueryStats pruned_stats;
+      std::vector<ScoredDoc> exhaustive =
+          fragments.RankTopN(query, 10, cutoff, &exhaustive_stats);
+      std::vector<ScoredDoc> got =
+          fragments.RankTopN(query, 10, cutoff, &pruned_stats, pruned);
+      ExpectBitIdentical(exhaustive, got, StrFormat("cutoff %zu", cutoff));
+      // Pruning never reads more than the exhaustive scan.
+      EXPECT_LE(pruned_stats.postings_touched,
+                exhaustive_stats.postings_touched);
+      EXPECT_EQ(exhaustive_stats.blocks_skipped, 0u);
+      // The quality model is evaluation-order independent.
+      EXPECT_DOUBLE_EQ(pruned_stats.predicted_quality,
+                       exhaustive_stats.predicted_quality);
+    }
+  }
+}
+
+void ExpectClusterIdentical(const std::vector<ClusterScoredDoc>& a,
+                            const std::vector<ClusterScoredDoc>& b,
+                            const std::string& what) {
+  ASSERT_EQ(a.size(), b.size()) << what;
+  for (size_t i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(a[i].url, b[i].url) << what << " rank " << i;
+    EXPECT_EQ(a[i].score, b[i].score) << what << " rank " << i;
+  }
+}
+
+TEST(WandTest, PrunedMatchesExhaustiveOnClusterSequentialAndParallel) {
+  ClusterIndex cluster(5, 4, RawOptions());
+  Rng rng(31);
+  ZipfSampler zipf(300, 1.1);
+  for (int d = 0; d < 600; ++d) {
+    std::string body;
+    for (int w = 0; w < 40; ++w) {
+      body += StrFormat("term%04zu ", zipf.Sample(&rng));
+    }
+    cluster.AddDocument(StrFormat("doc%05d", d), body);
+  }
+  cluster.Finalize();
+
+  RankOptions pruned;
+  pruned.prune = true;
+  auto queries = SeededQueries(30, 4, 300, 32);
+
+  // Sequential exhaustive is the reference; sequential pruned exercises
+  // the threshold-feedback protocol, parallel pruned the θ0 = 0 path.
+  std::vector<std::vector<ClusterScoredDoc>> expected;
+  for (const auto& q : queries) expected.push_back(cluster.Query(q, 10, 4));
+
+  for (size_t q = 0; q < queries.size(); ++q) {
+    ClusterQueryStats stats;
+    ExpectClusterIdentical(cluster.Query(queries[q], 10, 4, &stats, pruned),
+                           expected[q], StrFormat("seq pruned %zu", q));
+  }
+
+  ThreadPool pool(4);
+  cluster.SetExecutor(&pool);
+  for (size_t q = 0; q < queries.size(); ++q) {
+    ExpectClusterIdentical(cluster.Query(queries[q], 10, 4, nullptr, pruned),
+                           expected[q], StrFormat("par pruned %zu", q));
+  }
+}
+
+TEST(WandTest, PruningSkipsBlocksAndReducesPostingsTouched) {
+  // Engineered skew: a handful of short, high-tf "hot" documents first,
+  // then several blocks' worth of long tf=1 filler. Once the heap holds
+  // the hot documents, every filler block's bound sits below θ and the
+  // lone-cursor fast path skips it without reading a posting.
+  TextIndex index(RawOptions());
+  for (int d = 0; d < 16; ++d) {
+    index.AddDocument(StrFormat("hot%03d", d), "sig sig sig pad");
+  }
+  for (int d = 0; d < 600; ++d) {
+    std::string body = "sig";
+    for (int w = 0; w < 19; ++w) body += StrFormat(" fill%02d", w);
+    index.AddDocument(StrFormat("cold%04d", d), body);
+  }
+  index.Flush();
+
+  FragmentedIndex fragments(&index, 1);
+  RankOptions pruned;
+  pruned.prune = true;
+  FragmentQueryStats exhaustive_stats;
+  FragmentQueryStats pruned_stats;
+  std::vector<ScoredDoc> exhaustive =
+      fragments.RankTopN({"sig"}, 5, 1, &exhaustive_stats);
+  std::vector<ScoredDoc> got =
+      fragments.RankTopN({"sig"}, 5, 1, &pruned_stats, pruned);
+  ExpectBitIdentical(exhaustive, got, "skewed corpus");
+
+  EXPECT_EQ(exhaustive_stats.postings_touched, 616u);
+  EXPECT_GT(pruned_stats.blocks_skipped, 0u);
+  EXPECT_LT(pruned_stats.postings_touched,
+            exhaustive_stats.postings_touched / 2);
+}
+
+TEST(WandTest, ClusterReportsBlockSkipsUnderPruning) {
+  // Enough hot documents that every node's local top-5 fills with them
+  // (round-robin placement: 6 per node) — the per-node θ then exceeds
+  // the filler blocks' bound and they skip.
+  ClusterIndex cluster(3, 1, RawOptions());
+  for (int d = 0; d < 18; ++d) {
+    cluster.AddDocument(StrFormat("hot%03d", d), "sig sig sig pad");
+  }
+  for (int d = 0; d < 1200; ++d) {
+    std::string body = "sig";
+    for (int w = 0; w < 19; ++w) body += StrFormat(" fill%02d", w);
+    cluster.AddDocument(StrFormat("cold%04d", d), body);
+  }
+  cluster.Finalize();
+
+  ClusterQueryStats exhaustive_stats;
+  ClusterQueryStats pruned_stats;
+  RankOptions pruned;
+  pruned.prune = true;
+  std::vector<ClusterScoredDoc> exhaustive =
+      cluster.Query({"sig"}, 5, 1, &exhaustive_stats);
+  std::vector<ClusterScoredDoc> got =
+      cluster.Query({"sig"}, 5, 1, &pruned_stats, pruned);
+  ExpectClusterIdentical(exhaustive, got, "cluster skew");
+
+  EXPECT_EQ(exhaustive_stats.blocks_skipped, 0u);
+  EXPECT_GT(pruned_stats.blocks_skipped, 0u);
+  EXPECT_LT(pruned_stats.postings_touched_total,
+            exhaustive_stats.postings_touched_total);
+}
+
+}  // namespace
+}  // namespace dls::ir
