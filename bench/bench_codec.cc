@@ -1,0 +1,273 @@
+// Compressed posting-block codec benchmark: space and speed of the
+// delta/varint encoding (src/ir/codec.h) on the E4-style Zipf corpus.
+//
+// Space: bytes/posting of the packed blocks against the 8-byte SoA
+// posting (4-byte doc id + 4-byte tf), reported as compression_ratio.
+//
+// Speed:
+//   decode_mpostings_per_s — DecodePackedBlock over every block of
+//                            every list into a stack buffer (the packed
+//                            kernel's extra work per scored block).
+//   scan_mpostings_per_s   — the same traversal reading the SoA arrays
+//                            (what the block kernel pays), so
+//                            decode_vs_scan isolates the decompression
+//                            overhead from the scoring arithmetic.
+// End to end: TextIndex::RankTopN batch time under the packed, block
+// and scalar kernels, exhaustive and pruned — packed_vs_block is the
+// query-level price of scoring from compressed postings.
+//
+// Prints a human table and writes machine-readable JSON (default
+// BENCH_codec.json, or argv[1]). ci/bench_gate.py compares the JSON
+// against the committed baseline.
+#include <algorithm>
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "common/rng.h"
+#include "common/strings.h"
+#include "common/timer.h"
+#include "ir/codec.h"
+#include "ir/index.h"
+#include "ir/kernel.h"
+#include "ir/postings.h"
+
+namespace dls {
+namespace {
+
+// Same corpus shape as bench_ir_kernel so the two JSON reports describe
+// one workload.
+constexpr int kDocs = 8000;
+constexpr int kWordsPerDoc = 80;
+constexpr size_t kVocab = 3000;
+constexpr double kZipfTheta = 1.1;
+constexpr int kQueries = 24;
+constexpr int kTermsPerQuery = 4;
+constexpr size_t kTopN = 10;
+constexpr int kReps = 3;  // best-of wall clock per variant
+
+void BuildCorpus(ir::TextIndex* index) {
+  Rng rng(4);
+  ZipfSampler zipf(kVocab, kZipfTheta);
+  for (int d = 0; d < kDocs; ++d) {
+    std::string body;
+    body.reserve(kWordsPerDoc * 9);
+    for (int w = 0; w < kWordsPerDoc; ++w) {
+      body += StrFormat("term%04zu ", zipf.Sample(&rng));
+    }
+    index->AddDocument(StrFormat("doc%05d", d), body);
+  }
+  index->Flush();
+}
+
+std::vector<std::vector<std::string>> MakeQueries() {
+  Rng rng(5);
+  ZipfSampler zipf(kVocab, kZipfTheta);
+  std::vector<std::vector<std::string>> queries;
+  for (int q = 0; q < kQueries; ++q) {
+    std::vector<std::string> words;
+    for (int w = 0; w < kTermsPerQuery; ++w) {
+      words.push_back(StrFormat("term%04zu", zipf.Sample(&rng)));
+    }
+    queries.push_back(std::move(words));
+  }
+  return queries;
+}
+
+template <typename Body>
+double MeasureMs(Body&& body) {
+  double best = 1e300;
+  for (int rep = 0; rep < kReps; ++rep) {
+    Timer timer;
+    body();
+    best = std::min(best, timer.ElapsedMillis());
+  }
+  return best;
+}
+
+bool BitIdentical(const std::vector<ir::ScoredDoc>& a,
+                  const std::vector<ir::ScoredDoc>& b) {
+  if (a.size() != b.size()) return false;
+  for (size_t i = 0; i < a.size(); ++i) {
+    if (a[i].doc != b[i].doc || a[i].score != b[i].score) return false;
+  }
+  return true;
+}
+
+}  // namespace
+}  // namespace dls
+
+int main(int argc, char** argv) {
+  using namespace dls;
+  const char* json_path = argc > 1 ? argv[1] : "BENCH_codec.json";
+
+  ir::TextIndex index;
+  BuildCorpus(&index);
+  auto queries = MakeQueries();
+
+  // ---- Space: packed vs SoA bytes over the whole inverted file.
+  size_t total_postings = 0;
+  size_t unpacked_bytes = 0;
+  size_t packed_bytes = 0;
+  for (ir::TermId t = 0; t < index.vocabulary_size(); ++t) {
+    const ir::PostingList& list = index.postings(t);
+    total_postings += list.size();
+    unpacked_bytes += list.unpacked_byte_size();
+    packed_bytes += list.packed_byte_size();
+  }
+  const double unpacked_per_posting =
+      static_cast<double>(unpacked_bytes) / static_cast<double>(total_postings);
+  const double packed_per_posting =
+      static_cast<double>(packed_bytes) / static_cast<double>(total_postings);
+  const double compression_ratio = unpacked_per_posting / packed_per_posting;
+
+  std::printf(
+      "codec: %d docs, %d words/doc, vocab %zu -> %zu postings\n"
+      "bytes/posting: unpacked %.2f, packed %.2f (%.2fx smaller)\n\n",
+      kDocs, kWordsPerDoc, kVocab, total_postings, unpacked_per_posting,
+      packed_per_posting, compression_ratio);
+
+  // ---- Raw traversal: decode every packed block vs scan the SoA
+  // arrays, both reduced into a sink so neither loop can be elided.
+  uint64_t sink = 0;
+  double decode_ms = MeasureMs([&] {
+    ir::DocId docs[ir::kPostingBlockSize];
+    int32_t tfs[ir::kPostingBlockSize];
+    uint64_t acc = 0;
+    for (ir::TermId t = 0; t < index.vocabulary_size(); ++t) {
+      const ir::PostingList& list = index.postings(t);
+      for (size_t b = 0; b < list.num_blocks(); ++b) {
+        const size_t n = list.DecodePackedBlock(b, docs, tfs);
+        for (size_t i = 0; i < n; ++i) {
+          acc += docs[i] + static_cast<uint32_t>(tfs[i]);
+        }
+      }
+    }
+    sink += acc;
+  });
+  double scan_ms = MeasureMs([&] {
+    uint64_t acc = 0;
+    for (ir::TermId t = 0; t < index.vocabulary_size(); ++t) {
+      const ir::PostingList& list = index.postings(t);
+      const ir::DocId* docs = list.doc_data();
+      const int32_t* tfs = list.tf_data();
+      for (size_t i = 0; i < list.size(); ++i) {
+        acc += docs[i] + static_cast<uint32_t>(tfs[i]);
+      }
+    }
+    sink += acc;
+  });
+  const double mp = static_cast<double>(total_postings) / 1e3;  // ms -> M/s
+  const double decode_mps = mp / decode_ms;
+  const double scan_mps = mp / scan_ms;
+
+  std::printf("%-22s %-10s %-14s\n", "traversal", "ms", "Mpostings/s");
+  std::printf("%-22s %-10.2f %-14.1f\n", "decode_packed", decode_ms,
+              decode_mps);
+  std::printf("%-22s %-10.2f %-14.1f\n", "scan_soa", scan_ms, scan_mps);
+  std::printf("decode_vs_scan: %.2fx slower (sink %llu)\n\n",
+              scan_mps / decode_mps, static_cast<unsigned long long>(sink));
+
+  // ---- End to end: RankTopN under each kernel, exhaustive and pruned.
+  ir::RankOptions scalar;
+  scalar.kernel = ir::ScoreKernel::kScalar;
+  ir::RankOptions block;
+  block.kernel = ir::ScoreKernel::kBlock;
+  ir::RankOptions packed;
+  packed.kernel = ir::ScoreKernel::kPacked;
+  ir::RankOptions block_prune = block;
+  block_prune.prune = true;
+  ir::RankOptions packed_prune = packed;
+  packed_prune.prune = true;
+
+  bool packed_exact = true;
+  bool packed_prune_exact = true;
+  for (const auto& q : queries) {
+    std::vector<ir::ScoredDoc> reference = index.RankTopN(q, kTopN, scalar);
+    if (!BitIdentical(reference, index.RankTopN(q, kTopN, packed))) {
+      packed_exact = false;
+    }
+    if (!BitIdentical(reference, index.RankTopN(q, kTopN, packed_prune))) {
+      packed_prune_exact = false;
+    }
+  }
+
+  auto batch = [&](const ir::RankOptions& options) {
+    return MeasureMs([&] {
+      for (const auto& q : queries) index.RankTopN(q, kTopN, options);
+    });
+  };
+  double scalar_ms = batch(scalar);
+  double block_ms = batch(block);
+  double packed_ms = batch(packed);
+  double block_prune_ms = batch(block_prune);
+  double packed_prune_ms = batch(packed_prune);
+
+  struct Row {
+    const char* name;
+    double ms;
+    const char* exact;
+  };
+  Row rows[] = {
+      {"scalar", scalar_ms, "ref"},
+      {"block", block_ms, "bits"},
+      {"packed", packed_ms, packed_exact ? "bits" : "NO"},
+      {"block_prune", block_prune_ms, "bits"},
+      {"packed_prune", packed_prune_ms, packed_prune_exact ? "bits" : "NO"},
+  };
+  std::printf("%-16s %-10s %-12s %-10s %-8s\n", "variant", "batch_ms",
+              "ms/query", "vs_block", "exact");
+  for (const Row& r : rows) {
+    std::printf("%-16s %-10.2f %-12.4f %-10.2f %-8s\n", r.name, r.ms,
+                r.ms / kQueries, block_ms / r.ms, r.exact);
+  }
+  std::printf(
+      "(packed_vs_block = query-level cost of scoring from compressed "
+      "postings; exact: bits = bit-identical docs+scores vs scalar)\n");
+
+  std::FILE* out = std::fopen(json_path, "w");
+  if (out == nullptr) {
+    std::fprintf(stderr, "cannot write %s\n", json_path);
+    return 1;
+  }
+  std::fprintf(
+      out,
+      "{\n"
+      "  \"bench\": \"codec\",\n"
+      "  \"corpus\": {\"docs\": %d, \"words_per_doc\": %d, \"vocab\": %zu, "
+      "\"zipf_theta\": %.2f, \"queries\": %d, \"terms_per_query\": %d, "
+      "\"top_n\": %zu, \"postings\": %zu},\n"
+      "  \"space\": {\n"
+      "    \"bytes_per_posting_unpacked\": %.3f,\n"
+      "    \"bytes_per_posting_packed\": %.3f,\n"
+      "    \"compression_ratio\": %.3f\n"
+      "  },\n"
+      "  \"traversal\": {\n"
+      "    \"decode_mpostings_per_s\": %.1f,\n"
+      "    \"scan_mpostings_per_s\": %.1f,\n"
+      "    \"decode_vs_scan\": %.3f\n"
+      "  },\n"
+      "  \"variants\": {\n"
+      "    \"scalar_batch_ms\": %.3f,\n"
+      "    \"block_batch_ms\": %.3f,\n"
+      "    \"packed_batch_ms\": %.3f,\n"
+      "    \"block_prune_batch_ms\": %.3f,\n"
+      "    \"packed_prune_batch_ms\": %.3f\n"
+      "  },\n"
+      "  \"speedups\": {\n"
+      "    \"packed_vs_block\": %.3f,\n"
+      "    \"packed_prune_vs_block_prune\": %.3f\n"
+      "  },\n"
+      "  \"exact\": {\"packed_bit_identical\": %s, "
+      "\"packed_prune_bit_identical\": %s}\n"
+      "}\n",
+      kDocs, kWordsPerDoc, kVocab, kZipfTheta, kQueries, kTermsPerQuery, kTopN,
+      total_postings, unpacked_per_posting, packed_per_posting,
+      compression_ratio, decode_mps, scan_mps, scan_mps / decode_mps,
+      scalar_ms, block_ms, packed_ms, block_prune_ms, packed_prune_ms,
+      block_ms / packed_ms, block_prune_ms / packed_prune_ms,
+      packed_exact ? "true" : "false", packed_prune_exact ? "true" : "false");
+  std::fclose(out);
+  std::printf("wrote %s\n", json_path);
+  return 0;
+}

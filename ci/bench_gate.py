@@ -1,0 +1,150 @@
+#!/usr/bin/env python3
+"""Bench-regression gate: re-run the kernel and codec benchmarks and
+compare against the committed BENCH_*.json baselines.
+
+A metric fails the gate when it regresses by more than --threshold
+(default 15%) in the unfavourable direction:
+
+  *_batch_ms           higher is worse   (> baseline * (1 + t) fails)
+  *_mpostings_per_s    lower is worse    (< baseline * (1 - t) fails)
+  bytes_per_posting_packed  higher is worse
+  compression_ratio    hard floor of 2.0 regardless of baseline
+  exact.*              must be true — a bit-identity miss is never a
+                       timing artefact
+
+Timings are machine-dependent, so the gate compares fresh runs against
+baselines produced on the same class of machine; CI runs it as a
+separate, non-required job (see .github/workflows/ci.yml) and locally
+it sits behind DLS_BENCH_GATE=1 in ci/check.sh.
+"""
+
+import argparse
+import json
+import os
+import subprocess
+import sys
+import tempfile
+
+REPO = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+
+# (bench binary, committed baseline) pairs the gate covers.
+BENCHES = [
+    ("bench_ir_kernel", "BENCH_ir_kernel.json"),
+    ("bench_codec", "BENCH_codec.json"),
+]
+
+COMPRESSION_FLOOR = 2.0
+
+
+def walk(tree, prefix=""):
+    """Flattens a nested JSON object to {'a.b.c': leaf} pairs."""
+    for key, value in tree.items():
+        path = f"{prefix}.{key}" if prefix else key
+        if isinstance(value, dict):
+            yield from walk(value, path)
+        else:
+            yield path, value
+
+
+def classify(path):
+    """Returns 'higher_bad', 'lower_bad', 'exact' or None (ungated)."""
+    leaf = path.rsplit(".", 1)[-1]
+    if path.startswith("exact."):
+        return "exact"
+    if leaf.endswith("_batch_ms"):
+        return "higher_bad"
+    if leaf.endswith("_mpostings_per_s"):
+        return "lower_bad"
+    if leaf == "bytes_per_posting_packed":
+        return "higher_bad"
+    return None
+
+
+def compare(name, baseline, fresh, threshold):
+    """Returns a list of failure strings for one benchmark's JSON."""
+    failures = []
+    base = dict(walk(baseline))
+    new = dict(walk(fresh))
+    for path, base_value in sorted(base.items()):
+        kind = classify(path)
+        if kind is None:
+            continue
+        if path not in new:
+            failures.append(f"{name}: {path} missing from fresh run")
+            continue
+        new_value = new[path]
+        if kind == "exact":
+            status = "ok" if new_value is True else "FAIL"
+            print(f"  {status:4} {path}: {new_value}")
+            if new_value is not True:
+                failures.append(f"{name}: {path} is {new_value}, must be true")
+            continue
+        if base_value <= 0:
+            continue
+        ratio = new_value / base_value
+        if kind == "higher_bad":
+            bad = ratio > 1.0 + threshold
+            direction = "+"
+        else:
+            bad = ratio < 1.0 - threshold
+            direction = "-"
+        delta = (ratio - 1.0) * 100.0
+        status = "FAIL" if bad else "ok"
+        print(f"  {status:4} {path}: {base_value:.3f} -> {new_value:.3f} "
+              f"({delta:+.1f}%)")
+        if bad:
+            failures.append(
+                f"{name}: {path} regressed {delta:+.1f}% "
+                f"(limit {direction}{threshold * 100:.0f}%)")
+    ratio = dict(walk(fresh)).get("space.compression_ratio")
+    if ratio is not None and ratio < COMPRESSION_FLOOR:
+        failures.append(
+            f"{name}: compression_ratio {ratio:.2f} below the "
+            f"{COMPRESSION_FLOOR:.1f}x floor")
+    return failures
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--build-dir", default="build",
+                        help="CMake build directory with the bench binaries")
+    parser.add_argument("--threshold", type=float, default=0.15,
+                        help="allowed fractional regression (default 0.15)")
+    args = parser.parse_args()
+
+    failures = []
+    with tempfile.TemporaryDirectory(prefix="bench_gate_") as tmp:
+        for binary, baseline_name in BENCHES:
+            baseline_path = os.path.join(REPO, baseline_name)
+            binary_path = os.path.join(REPO, args.build_dir, "bench", binary)
+            if not os.path.exists(baseline_path):
+                failures.append(f"{binary}: missing baseline {baseline_name}")
+                continue
+            if not os.path.exists(binary_path):
+                failures.append(f"{binary}: binary not built at {binary_path}")
+                continue
+            fresh_path = os.path.join(tmp, baseline_name)
+            print(f"== {binary} ==")
+            result = subprocess.run([binary_path, fresh_path],
+                                    stdout=subprocess.DEVNULL)
+            if result.returncode != 0:
+                failures.append(f"{binary}: exited {result.returncode}")
+                continue
+            with open(baseline_path) as f:
+                baseline = json.load(f)
+            with open(fresh_path) as f:
+                fresh = json.load(f)
+            failures.extend(compare(binary, baseline, fresh, args.threshold))
+
+    print()
+    if failures:
+        print("bench gate FAILED:")
+        for failure in failures:
+            print(f"  - {failure}")
+        return 1
+    print(f"bench gate passed (threshold {args.threshold * 100:.0f}%)")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

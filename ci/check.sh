@@ -1,28 +1,88 @@
 #!/usr/bin/env bash
-# Repo verification: tier-1 build + tests, then the concurrency tests
-# again under ThreadSanitizer (DLS_SANITIZE=thread) to certify the
-# parallel query engine's frozen-read contract, then the IR tests under
-# ASan+UBSan (DLS_SANITIZE=address+undefined) to certify the block
-# kernel's raw-pointer loops and WAND cursor arithmetic.
+# Repo verification, staged so the CI matrix can run each configuration
+# in its own job while `ci/check.sh` (no argument) stays the one-shot
+# local gate:
+#
+#   ci/check.sh tier1   configure + build + ctest, then the IR suite
+#                       again with DLS_KERNEL=packed so the compressed
+#                       posting codec is the default kernel end to end.
+#   ci/check.sh tsan    DLS_SANITIZE=thread build; the FULL IR suite
+#                       (not a hand-picked filter — new suites must not
+#                       silently skip sanitizer coverage) plus the
+#                       thread-pool tests, then the concurrency-facing
+#                       suites again under the packed kernel.
+#   ci/check.sh asan    DLS_SANITIZE=address+undefined build; full
+#                       common + IR suites, then the IR suite again
+#                       under the packed kernel (the decoder's pointer
+#                       arithmetic is exactly what UBSan should see).
+#   ci/check.sh bench   builds the benchmark binaries and runs
+#                       ci/bench_gate.py against the committed
+#                       BENCH_*.json baselines (>15% regression fails).
+#   ci/check.sh all     tier1 + tsan + asan; bench too when
+#                       DLS_BENCH_GATE=1 (timing is machine-dependent,
+#                       so the gate is opt-in locally and a separate
+#                       non-required job in CI).
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
-echo "== tier-1: configure, build, ctest =="
-cmake -B build -S .
-cmake --build build -j "$(nproc)"
-(cd build && ctest --output-on-failure -j "$(nproc)")
+stage="${1:-all}"
 
-echo "== TSan: thread pool + parallel query concurrency =="
-cmake -B build-tsan -S . -DDLS_SANITIZE=thread
-cmake --build build-tsan -j "$(nproc)" --target dls_common_tests dls_ir_tests
-./build-tsan/tests/dls_common_tests --gtest_filter='ThreadPool*'
-./build-tsan/tests/dls_ir_tests \
-  --gtest_filter='ParallelQuery*:ScoreAccumulator*:Kernel*:Wand*'
+tier1() {
+  echo "== tier-1: configure, build, ctest =="
+  cmake -B build -S .
+  cmake --build build -j "$(nproc)"
+  (cd build && ctest --output-on-failure -j "$(nproc)")
+  echo "== tier-1: IR suite with the packed (compressed) kernel =="
+  DLS_KERNEL=packed ./build/tests/dls_ir_tests
+}
 
-echo "== ASan+UBSan: kernel / pruning memory and UB checks =="
-cmake -B build-asan -S . -DDLS_SANITIZE=address+undefined
-cmake --build build-asan -j "$(nproc)" --target dls_common_tests dls_ir_tests
-./build-asan/tests/dls_common_tests
-./build-asan/tests/dls_ir_tests
+tsan() {
+  echo "== TSan: thread pool + full IR suite =="
+  cmake -B build-tsan -S . -DDLS_SANITIZE=thread
+  cmake --build build-tsan -j "$(nproc)" --target dls_common_tests dls_ir_tests
+  ./build-tsan/tests/dls_common_tests --gtest_filter='ThreadPool*'
+  ./build-tsan/tests/dls_ir_tests
+  echo "== TSan: concurrency suites with the packed kernel =="
+  DLS_KERNEL=packed ./build-tsan/tests/dls_ir_tests \
+    --gtest_filter='ParallelQuery*:Codec*:Kernel*:Wand*'
+}
 
-echo "== all checks passed =="
+asan() {
+  echo "== ASan+UBSan: full common + IR suites =="
+  cmake -B build-asan -S . -DDLS_SANITIZE=address+undefined
+  cmake --build build-asan -j "$(nproc)" --target dls_common_tests dls_ir_tests
+  ./build-asan/tests/dls_common_tests
+  ./build-asan/tests/dls_ir_tests
+  echo "== ASan+UBSan: IR suite with the packed kernel =="
+  DLS_KERNEL=packed ./build-asan/tests/dls_ir_tests
+}
+
+bench() {
+  echo "== bench gate: throughput vs committed baselines =="
+  cmake -B build -S .
+  cmake --build build -j "$(nproc)" --target bench_ir_kernel bench_codec
+  python3 ci/bench_gate.py --build-dir build
+}
+
+case "$stage" in
+  tier1) tier1 ;;
+  tsan) tsan ;;
+  asan) asan ;;
+  bench) bench ;;
+  all)
+    tier1
+    tsan
+    asan
+    if [[ "${DLS_BENCH_GATE:-0}" == "1" ]]; then
+      bench
+    else
+      echo "== bench gate skipped (set DLS_BENCH_GATE=1 to enable) =="
+    fi
+    ;;
+  *)
+    echo "usage: ci/check.sh [tier1|tsan|asan|bench|all]" >&2
+    exit 2
+    ;;
+esac
+
+echo "== checks passed: $stage =="

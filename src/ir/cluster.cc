@@ -120,7 +120,7 @@ ClusterIndex::NodeResult ClusterIndex::QueryNode(
     WandStats wand_stats;
     local = WandTopN(wand_terms, index.inv_doc_length_data(),
                      index.max_inv_doc_length(), n, initial_threshold,
-                     url_less, &wand_stats);
+                     url_less, options.kernel, &wand_stats);
     result.postings_touched = wand_stats.postings_touched;
     result.blocks_skipped = wand_stats.blocks_skipped;
   } else {

@@ -1,0 +1,76 @@
+#include "ir/codec.h"
+
+#include <cassert>
+
+namespace dls::ir {
+
+// tf escape threshold: values below fit one byte, 0xff prefixes a
+// varint of the remainder. tf == 255 round-trips as {0xff, 0x00}.
+namespace {
+constexpr uint8_t kTfEscape = 0xff;
+}  // namespace
+
+void PackedPostingBlocks::Encode(const uint32_t* docs, const int32_t* tfs,
+                                 size_t count, size_t block_size) {
+  assert(block_size > 0);
+  Clear();
+  count_ = count;
+  block_size_ = block_size;
+  doc_bytes_.reserve(count + count / 4);  // mostly 1-byte deltas
+  tf_bytes_.reserve(count);
+  blocks_.reserve((count + block_size - 1) / block_size);
+
+  for (size_t begin = 0; begin < count; begin += block_size) {
+    const size_t end = begin + block_size < count ? begin + block_size : count;
+    blocks_.push_back(BlockOffsets{static_cast<uint32_t>(doc_bytes_.size()),
+                                   static_cast<uint32_t>(tf_bytes_.size())});
+    // First doc id absolute, the rest as gaps to the predecessor.
+    AppendVarint(docs[begin], &doc_bytes_);
+    for (size_t i = begin + 1; i < end; ++i) {
+      assert(docs[i] >= docs[i - 1] && "doc ids must be ascending");
+      AppendVarint(docs[i] - docs[i - 1], &doc_bytes_);
+    }
+    for (size_t i = begin; i < end; ++i) {
+      const uint32_t tf = static_cast<uint32_t>(tfs[i]);
+      if (tf < kTfEscape) {
+        tf_bytes_.push_back(static_cast<uint8_t>(tf));
+      } else {
+        tf_bytes_.push_back(kTfEscape);
+        AppendVarint(tf - kTfEscape, &tf_bytes_);
+      }
+    }
+  }
+}
+
+size_t PackedPostingBlocks::DecodeBlock(size_t block, uint32_t* docs,
+                                        int32_t* tfs) const {
+  assert(block < blocks_.size());
+  const size_t begin = block * block_size_;
+  const size_t n = begin + block_size_ < count_ ? block_size_ : count_ - begin;
+
+  const uint8_t* p = doc_bytes_.data() + blocks_[block].doc_begin;
+  uint32_t doc = 0;
+  p = DecodeVarint(p, &doc);
+  docs[0] = doc;
+  for (size_t i = 1; i < n; ++i) {
+    uint32_t gap;
+    p = DecodeVarint(p, &gap);
+    doc += gap;
+    docs[i] = doc;
+  }
+
+  const uint8_t* q = tf_bytes_.data() + blocks_[block].tf_begin;
+  for (size_t i = 0; i < n; ++i) {
+    const uint8_t byte = *q++;
+    if (byte < kTfEscape) {
+      tfs[i] = byte;
+    } else {
+      uint32_t rest;
+      q = DecodeVarint(q, &rest);
+      tfs[i] = static_cast<int32_t>(kTfEscape + rest);
+    }
+  }
+  return n;
+}
+
+}  // namespace dls::ir

@@ -117,9 +117,10 @@ std::vector<ScoredDoc> FragmentedIndex::RankTopN(
     std::vector<ScoredDoc> top = WandTopN(
         wand_terms, base_->inv_doc_length_data(),
         base_->max_inv_doc_length(), n, /*initial_threshold=*/0.0,
-        [](DocId a, DocId b) { return a < b; }, &wand_stats);
+        [](DocId a, DocId b) { return a < b; }, options.kernel, &wand_stats);
     local_stats.postings_touched = wand_stats.postings_touched;
     local_stats.blocks_skipped = wand_stats.blocks_skipped;
+    local_stats.blocks_decoded = wand_stats.blocks_decoded;
     if (stats != nullptr) *stats = local_stats;
     return top;
   }

@@ -1,7 +1,10 @@
 #include "ir/index.h"
 
 #include <algorithm>
+#include <cassert>
 #include <cmath>
+#include <cstdlib>
+#include <string_view>
 
 #include "ir/accumulator.h"
 #include "ir/kernel.h"
@@ -10,6 +13,20 @@
 #include "ir/tokenizer.h"
 
 namespace dls::ir {
+
+ScoreKernel DefaultScoreKernel() {
+  static const ScoreKernel kernel = [] {
+    const char* env = std::getenv("DLS_KERNEL");
+    if (env != nullptr) {
+      std::string_view v(env);
+      if (v == "scalar") return ScoreKernel::kScalar;
+      if (v == "block") return ScoreKernel::kBlock;
+      if (v == "packed") return ScoreKernel::kPacked;
+    }
+    return kCompiledScoreKernel;
+  }();
+  return kernel;
+}
 
 TextIndex::TextIndex() : TextIndex(Options()) {}
 
@@ -79,6 +96,14 @@ void TextIndex::Flush() {
     ++flushed_docs_;
   }
   pending_.clear();
+  // Re-pack the lists this flush appended to (Pack() is a size-check
+  // no-op on untouched ones), so a frozen index is always packed.
+  for (PostingList& list : postings_) list.Pack();
+}
+
+void TextIndex::ReleaseUnpackedPostings() {
+  assert(pending_.empty() && "Flush() before ReleaseUnpackedPostings()");
+  for (PostingList& list : postings_) list.ReleaseUnpackedPayload();
 }
 
 std::optional<TermId> TextIndex::LookupTerm(std::string_view stem) const {
@@ -133,7 +158,7 @@ std::vector<ScoredDoc> TextIndex::RankTopN(
     // (score desc, doc asc): the deterministic ranking contract.
     return WandTopN(wand_terms, inv_doc_lengths_.data(), max_inv_doc_length_,
                     n, /*initial_threshold=*/0.0,
-                    [](DocId a, DocId b) { return a < b; },
+                    [](DocId a, DocId b) { return a < b; }, options.kernel,
                     /*stats=*/nullptr);
   }
 

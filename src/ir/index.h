@@ -36,22 +36,36 @@ struct ScoredDoc {
 };
 
 /// Which implementation of the posting-scan scoring kernel to run.
-/// Both produce bit-identical scores (same per-posting operations, no
-/// FP contraction); the block mode strip-mines over SoA posting blocks
-/// so the compiler can vectorise the arithmetic.
+/// All three produce bit-identical scores (same per-posting
+/// operations, no FP contraction); the block mode strip-mines over SoA
+/// posting blocks so the compiler can vectorise the arithmetic, and
+/// the packed mode decodes one compressed block (see codec.h) into a
+/// scratch buffer before running the identical strip-mined loop.
 enum class ScoreKernel {
   kScalar,  ///< one posting at a time — the reference order
   kBlock,   ///< block-at-a-time straight-line kernel (auto-vectorised)
+  kPacked,  ///< decode a delta/varint block, then the kBlock loop
 };
 
-/// Build-level default for ScoreKernel: cmake -DDLS_KERNEL=scalar
-/// defines DLS_KERNEL_SCALAR and flips the whole tree to the reference
-/// kernel (exactness stays testable per call via RankOptions::kernel).
+/// Compile-time default for ScoreKernel: cmake -DDLS_KERNEL=scalar or
+/// =packed defines DLS_KERNEL_SCALAR / DLS_KERNEL_PACKED and flips the
+/// whole tree (exactness stays testable per call via
+/// RankOptions::kernel).
 #if defined(DLS_KERNEL_SCALAR)
-inline constexpr ScoreKernel kDefaultScoreKernel = ScoreKernel::kScalar;
+inline constexpr ScoreKernel kCompiledScoreKernel = ScoreKernel::kScalar;
+#elif defined(DLS_KERNEL_PACKED)
+inline constexpr ScoreKernel kCompiledScoreKernel = ScoreKernel::kPacked;
 #else
-inline constexpr ScoreKernel kDefaultScoreKernel = ScoreKernel::kBlock;
+inline constexpr ScoreKernel kCompiledScoreKernel = ScoreKernel::kBlock;
 #endif
+
+/// Runtime default for RankOptions::kernel: the DLS_KERNEL environment
+/// variable ("scalar" | "block" | "packed") when set and valid, else
+/// the compile-time default. Read once per process, so every ranking
+/// path can be flipped to a different kernel for a bisection or a CI
+/// pass without rebuilding. An unknown value falls back to the
+/// compiled default rather than aborting.
+ScoreKernel DefaultScoreKernel();
 
 /// Ranking parameters of the Hiemstra-derived tf·idf variant (see
 /// Ranker below).
@@ -59,7 +73,7 @@ struct RankOptions {
   /// Interpolation weight of the document model (Hiemstra's λ).
   double lambda = 0.15;
   /// Posting-scan kernel implementation (see ScoreKernel).
-  ScoreKernel kernel = kDefaultScoreKernel;
+  ScoreKernel kernel = DefaultScoreKernel();
   /// WAND-style top-N pruning: skip postings/blocks whose score bound
   /// cannot enter the current top N. Exact — returns the identical
   /// ranking (docs and scores) as the exhaustive evaluation — but
@@ -110,8 +124,20 @@ class TextIndex {
   /// Registers a document body under `url`; returns its doc id.
   DocId AddDocument(std::string_view url, std::string_view text);
 
-  /// Folds all buffered documents into the relations.
+  /// Folds all buffered documents into the relations. Also (re)packs
+  /// every touched posting list's delta/varint sidecar (codec.h), so a
+  /// flushed index always supports the packed scoring kernel.
   void Flush();
+
+  /// Frees the uncompressed SoA posting payload of every list, keeping
+  /// the packed encodings and block metadata — the memory footprint of
+  /// DT⋈TF drops to the packed bytes (bench_codec reports the ratio).
+  /// Every ranking path keeps working, reading through the per-block
+  /// decoder regardless of RankOptions::kernel, and stays
+  /// bit-identical. The index must be flushed and becomes immutable:
+  /// adding documents afterwards is a programming error (asserts in
+  /// debug builds).
+  void ReleaseUnpackedPostings();
 
   /// Normalises a raw query word the same way indexing does. Returns
   /// nullopt for stopwords.

@@ -95,9 +95,14 @@ inline double ScoreUpperBound(double w, int32_t max_tf,
 }
 
 /// TAAT kernel entry point: scores every posting of `list` into `acc`
-/// (acc->Add(doc, score) in posting order). kScalar and kBlock produce
+/// (acc->Add(doc, score) in posting order). All kernels produce
 /// bit-identical accumulator contents; kBlock strip-mines over the SoA
-/// blocks so the arithmetic vectorises.
+/// blocks so the arithmetic vectorises, kPacked decodes one
+/// delta/varint block (codec.h) into a stack buffer and then runs the
+/// identical strip-mined loop. A list whose SoA payload was released
+/// (PostingList::ReleaseUnpackedPayload) is scored through the packed
+/// decoder whatever `kernel` says; a list that was never packed falls
+/// back to the block path — both substitutions are bit-identical.
 void ScorePostingList(const PostingList& list, double w,
                       const double* inv_doc_lengths, ScoreKernel kernel,
                       ScoreAccumulator* acc);
@@ -113,6 +118,11 @@ struct WandTerm {
 struct WandStats {
   size_t postings_touched = 0;  ///< postings actually scored
   size_t blocks_skipped = 0;    ///< whole blocks jumped without reading
+  /// Packed blocks decompressed into a cursor's scratch buffer (0 on
+  /// the uncompressed cursors). Skipped blocks are never decoded —
+  /// blocks_decoded + blocks_skipped accounts for the decode work a
+  /// pruned packed evaluation saves.
+  size_t blocks_decoded = 0;
 };
 
 /// WAND-style exact top-`n` evaluation over block-structured posting
@@ -132,12 +142,22 @@ struct WandStats {
 /// node that starts with the running global n-th best score prunes
 /// documents that provably cannot enter the global merge. Pass 0 for
 /// a standalone evaluation.
+///
+/// With `kernel == kPacked` the cursors read doc ids and tfs through a
+/// per-cursor one-block decode cache instead of the SoA arrays: a
+/// block is only decompressed when a posting inside it is actually
+/// examined, so block-level skips (via the uncompressed metadata)
+/// never pay the decode — `stats->blocks_decoded` counts the
+/// decompressions. Cursors over lists that were never packed keep
+/// reading the SoA arrays; lists whose payload was released are read
+/// packed under every kernel. Either way the values are identical, so
+/// the ranking stays bit-identical across kernels.
 template <typename TieLess>
 std::vector<ScoredDoc> WandTopN(const std::vector<WandTerm>& terms,
                                 const double* inv_doc_lengths,
                                 double max_inv_doclen, size_t n,
                                 double initial_threshold, TieLess tie_less,
-                                WandStats* stats) {
+                                ScoreKernel kernel, WandStats* stats) {
   std::vector<ScoredDoc> heap;
   if (n == 0) return heap;
   auto better = [&tie_less](const ScoredDoc& a, const ScoredDoc& b) {
@@ -150,6 +170,8 @@ std::vector<ScoredDoc> WandTopN(const std::vector<WandTerm>& terms,
     double w;
     double bound;  // list-level score upper bound
     size_t order;
+    bool packed;  // read via the decode cache instead of the SoA arrays
+    size_t slot;  // index of this cursor's decode cache (stable under sort)
     size_t pos = 0;
     // Lazily cached bound of the block containing pos.
     size_t bound_block = std::numeric_limits<size_t>::max();
@@ -159,14 +181,50 @@ std::vector<ScoredDoc> WandTopN(const std::vector<WandTerm>& terms,
   cursors.reserve(terms.size());
   for (const WandTerm& t : terms) {
     if (t.list == nullptr || t.list->empty()) continue;
+    const bool packed = (kernel == ScoreKernel::kPacked ||
+                         t.list->payload_released()) &&
+                        t.list->is_packed();
     cursors.push_back(Cursor{t.list, t.w,
                              ScoreUpperBound(t.w, t.list->max_tf(),
                                              max_inv_doclen),
-                             t.order});
+                             t.order, packed, cursors.size()});
   }
 
   WandStats local;
-  auto doc_at = [](const Cursor& c) { return c.list->doc(c.pos); };
+  // One-block decode scratch per cursor, indexed by Cursor::slot so it
+  // survives the (doc, order) re-sorts. Sized only when needed.
+  struct DecodedBlock {
+    size_t block = std::numeric_limits<size_t>::max();
+    DocId docs[kPostingBlockSize];
+    int32_t tfs[kPostingBlockSize];
+  };
+  bool any_packed = false;
+  for (const Cursor& c : cursors) any_packed |= c.packed;
+  std::vector<DecodedBlock> decoded(any_packed ? cursors.size() : 0);
+  auto ensure_decoded = [&](const Cursor& c, size_t block) -> DecodedBlock& {
+    DecodedBlock& d = decoded[c.slot];
+    if (d.block != block) {
+      c.list->DecodePackedBlock(block, d.docs, d.tfs);
+      d.block = block;
+      ++local.blocks_decoded;
+    }
+    return d;
+  };
+  auto doc_at_pos = [&](const Cursor& c, size_t pos) -> DocId {
+    if (c.packed) {
+      return ensure_decoded(c, pos / kPostingBlockSize)
+          .docs[pos % kPostingBlockSize];
+    }
+    return c.list->doc(pos);
+  };
+  auto doc_at = [&](const Cursor& c) { return doc_at_pos(c, c.pos); };
+  auto tf_at = [&](const Cursor& c) -> int32_t {
+    if (c.packed) {
+      return ensure_decoded(c, c.pos / kPostingBlockSize)
+          .tfs[c.pos % kPostingBlockSize];
+    }
+    return c.list->tf(c.pos);
+  };
   auto block_bound = [&max_inv_doclen](Cursor& c) {
     size_t b = c.pos / kPostingBlockSize;
     if (b != c.bound_block) {
@@ -244,7 +302,7 @@ std::vector<ScoredDoc> WandTopN(const std::vector<WandTerm>& terms,
         }
         size_t p = std::max(c.pos, PostingList::block_begin(block));
         const size_t end = c.list->block_end(block);
-        while (p < end && c.list->doc(p) < pivot_doc) ++p;
+        while (p < end && doc_at_pos(c, p) < pivot_doc) ++p;
         c.pos = p;
       }
       compact();
@@ -261,13 +319,19 @@ std::vector<ScoredDoc> WandTopN(const std::vector<WandTerm>& terms,
       // blocks whose bound stays below θ are skipped outright.
       Cursor& c = cursors[0];
       const DocId limit = cursors.size() > 1 ? doc_at(cursors[1]) : kNoLimit;
-      while (c.pos < c.list->size() && block_bound(c) < theta &&
-             doc_at(c) < limit) {
+      // Loop invariant: doc_at(c) < limit (cursor order guarantees it
+      // on entry; every branch below re-establishes or breaks). Skip
+      // decisions consult only the uncompressed block metadata, so a
+      // packed cursor never decodes a block it skips.
+      while (c.pos < c.list->size() && block_bound(c) < theta) {
         const size_t block = c.pos / kPostingBlockSize;
         const size_t end = c.list->block_end(block);
         if (c.list->block_meta(block).max_doc < limit) {
           c.pos = end;  // the whole rest of the block is prunable
           ++local.blocks_skipped;
+        } else if (c.pos == PostingList::block_begin(block) &&
+                   c.list->block_meta(block).min_doc >= limit) {
+          break;  // block opens on a doc other cursors share
         } else {
           while (c.pos < end && doc_at(c) < limit) ++c.pos;
           if (c.pos < end) break;  // reached a doc other cursors share
@@ -291,8 +355,7 @@ std::vector<ScoredDoc> WandTopN(const std::vector<WandTerm>& terms,
     double score = 0.0;
     const double inv_len = inv_doc_lengths[pivot_doc];
     for (size_t i = 0; i < m; ++i) {
-      score += KernelScore(cursors[i].w, cursors[i].list->tf(cursors[i].pos),
-                           inv_len);
+      score += KernelScore(cursors[i].w, tf_at(cursors[i]), inv_len);
     }
     local.postings_touched += m;
     push_candidate(pivot_doc, score);

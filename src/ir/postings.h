@@ -2,10 +2,13 @@
 #define DLS_IR_POSTINGS_H_
 
 #include <algorithm>
+#include <cassert>
 #include <cstddef>
 #include <cstdint>
 #include <iterator>
 #include <vector>
+
+#include "ir/codec.h"
 
 namespace dls::ir {
 
@@ -46,9 +49,18 @@ struct PostingBlockMeta {
 /// Iteration compatibility: begin()/end() yield `Posting` values, so
 /// `for (const Posting& p : list)` keeps working for code that does
 /// not care about the block layout.
+///
+/// Compressed sidecar: Pack() (re)builds a delta/varint encoding of
+/// the current contents (see codec.h) that the packed scoring kernel
+/// decodes block-at-a-time; block metadata stays uncompressed so WAND
+/// skipping never touches the packed bytes. A deployment that commits
+/// to the packed kernel can then ReleaseUnpackedPayload() — the SoA
+/// arrays are freed and every ranking path transparently scores from
+/// the packed blocks (doc()/tf()/iteration become invalid).
 class PostingList {
  public:
   void Append(DocId doc, int32_t tf) {
+    assert(!released_ && "Append after ReleaseUnpackedPayload()");
     if (docs_.size() % kPostingBlockSize == 0) {
       meta_.push_back(PostingBlockMeta{tf, doc, doc});
     } else {
@@ -62,8 +74,8 @@ class PostingList {
     max_tf_ = std::max(max_tf_, tf);
   }
 
-  size_t size() const { return docs_.size(); }
-  bool empty() const { return docs_.empty(); }
+  size_t size() const { return released_ ? packed_.size() : docs_.size(); }
+  bool empty() const { return size() == 0; }
 
   DocId doc(size_t i) const { return docs_[i]; }
   int32_t tf(size_t i) const { return tfs_[i]; }
@@ -81,8 +93,50 @@ class PostingList {
   /// One past the last posting of block `b` (the last block may be
   /// partially filled).
   size_t block_end(size_t b) const {
-    return std::min(docs_.size(), (b + 1) * kPostingBlockSize);
+    return std::min(size(), (b + 1) * kPostingBlockSize);
   }
+
+  /// (Re)builds the packed delta/varint encoding of the current
+  /// contents. No-op when already current (the list is append-only, so
+  /// matching sizes imply matching contents). TextIndex::Flush() packs
+  /// every touched list, keeping frozen indexes packed by default.
+  void Pack() {
+    if (packed_.size() == docs_.size()) return;
+    packed_.Encode(docs_.data(), tfs_.data(), docs_.size(),
+                   kPostingBlockSize);
+  }
+
+  /// True when the packed encoding matches the current contents.
+  bool is_packed() const { return released_ || packed_.size() == docs_.size(); }
+
+  /// Decodes packed block `b` into caller buffers of capacity
+  /// kPostingBlockSize; returns the entry count. Requires is_packed().
+  size_t DecodePackedBlock(size_t b, DocId* docs, int32_t* tfs) const {
+    return packed_.DecodeBlock(b, docs, tfs);
+  }
+
+  /// Frees the uncompressed SoA arrays, keeping the packed encoding
+  /// and the block metadata. Requires is_packed(); afterwards the list
+  /// is immutable and doc()/tf()/doc_data()/tf_data()/iteration are
+  /// invalid — the scoring kernels and WAND cursors detect the release
+  /// and read through DecodePackedBlock() instead (bit-identical).
+  void ReleaseUnpackedPayload() {
+    assert(is_packed() && "Pack() before ReleaseUnpackedPayload()");
+    released_ = true;
+    docs_ = std::vector<DocId>();
+    tfs_ = std::vector<int32_t>();
+  }
+
+  /// True once ReleaseUnpackedPayload() dropped the SoA arrays.
+  bool payload_released() const { return released_; }
+
+  /// Bytes of the uncompressed SoA payload for size accounting (the
+  /// logical size — reported even after the payload was released).
+  size_t unpacked_byte_size() const {
+    return size() * (sizeof(DocId) + sizeof(int32_t));
+  }
+  /// Bytes of the packed encoding (0 until Pack()).
+  size_t packed_byte_size() const { return packed_.byte_size(); }
 
   class ConstIterator {
    public:
@@ -113,7 +167,9 @@ class PostingList {
   std::vector<DocId> docs_;
   std::vector<int32_t> tfs_;
   std::vector<PostingBlockMeta> meta_;
+  PackedPostingBlocks packed_;
   int32_t max_tf_ = 0;
+  bool released_ = false;
 };
 
 }  // namespace dls::ir

@@ -1,0 +1,448 @@
+// Contract of the compressed posting-block codec (src/ir/codec.h):
+// the delta/varint encoding round-trips losslessly at every boundary,
+// and the packed scoring kernel (ScoreKernel::kPacked) returns
+// bit-identical rankings to the block and scalar kernels on every
+// layer — TextIndex, FragmentedIndex, ClusterIndex (sequential and
+// parallel), pruned and exhaustive. The Codec* suites run under TSan
+// and ASan+UBSan via ci/check.sh.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <iterator>
+#include <limits>
+#include <string>
+#include <vector>
+
+#include "common/rng.h"
+#include "common/strings.h"
+#include "common/thread_pool.h"
+#include "ir/cluster.h"
+#include "ir/codec.h"
+#include "ir/fragments.h"
+#include "ir/index.h"
+#include "ir/kernel.h"
+#include "ir/postings.h"
+
+namespace dls::ir {
+namespace {
+
+TextIndex::Options RawOptions() {
+  TextIndex::Options options;
+  options.stem = false;
+  options.stop = false;
+  return options;
+}
+
+void BuildCorpus(TextIndex* index, int docs, int words_per_doc, size_t vocab,
+                 uint64_t seed) {
+  Rng rng(seed);
+  ZipfSampler zipf(vocab, 1.1);
+  for (int d = 0; d < docs; ++d) {
+    std::string body;
+    for (int w = 0; w < words_per_doc; ++w) {
+      body += StrFormat("term%04zu ", zipf.Sample(&rng));
+    }
+    index->AddDocument(StrFormat("doc%05d", d), body);
+  }
+  index->Flush();
+}
+
+std::vector<std::vector<std::string>> SeededQueries(int count, int words,
+                                                    size_t vocab,
+                                                    uint64_t seed) {
+  Rng rng(seed);
+  ZipfSampler zipf(vocab, 1.1);
+  std::vector<std::vector<std::string>> queries;
+  for (int q = 0; q < count; ++q) {
+    std::vector<std::string> query;
+    for (int w = 0; w < words; ++w) {
+      query.push_back(StrFormat("term%04zu", zipf.Sample(&rng)));
+    }
+    queries.push_back(std::move(query));
+  }
+  return queries;
+}
+
+void ExpectBitIdentical(const std::vector<ScoredDoc>& a,
+                        const std::vector<ScoredDoc>& b,
+                        const std::string& what) {
+  ASSERT_EQ(a.size(), b.size()) << what;
+  for (size_t i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(a[i].doc, b[i].doc) << what << " rank " << i;
+    EXPECT_EQ(a[i].score, b[i].score) << what << " rank " << i;
+  }
+}
+
+// Round-trips (docs, tfs) through the codec and compares every block.
+void ExpectRoundTrip(const std::vector<DocId>& docs,
+                     const std::vector<int32_t>& tfs) {
+  ASSERT_EQ(docs.size(), tfs.size());
+  PackedPostingBlocks packed;
+  packed.Encode(docs.data(), tfs.data(), docs.size(), kPostingBlockSize);
+  EXPECT_EQ(packed.size(), docs.size());
+
+  DocId out_docs[kPostingBlockSize];
+  int32_t out_tfs[kPostingBlockSize];
+  size_t i = 0;
+  for (size_t b = 0; b < packed.num_blocks(); ++b) {
+    const size_t n = packed.DecodeBlock(b, out_docs, out_tfs);
+    for (size_t j = 0; j < n; ++j, ++i) {
+      ASSERT_LT(i, docs.size());
+      EXPECT_EQ(out_docs[j], docs[i]) << "posting " << i;
+      EXPECT_EQ(out_tfs[j], tfs[i]) << "posting " << i;
+    }
+  }
+  EXPECT_EQ(i, docs.size());
+}
+
+TEST(CodecTest, VarintRoundTripAtBoundaries) {
+  // One value per LEB128 length class, both sides of each boundary.
+  const uint32_t values[] = {0,
+                             1,
+                             (1u << 7) - 1,
+                             1u << 7,
+                             (1u << 14) - 1,
+                             1u << 14,
+                             (1u << 21) - 1,
+                             1u << 21,
+                             (1u << 28) - 1,
+                             1u << 28,
+                             std::numeric_limits<uint32_t>::max()};
+  const size_t lengths[] = {1, 1, 1, 2, 2, 3, 3, 4, 4, 5, 5};
+  for (size_t i = 0; i < std::size(values); ++i) {
+    std::vector<uint8_t> bytes;
+    AppendVarint(values[i], &bytes);
+    EXPECT_EQ(bytes.size(), lengths[i]) << values[i];
+    uint32_t decoded = 0;
+    const uint8_t* end = DecodeVarint(bytes.data(), &decoded);
+    EXPECT_EQ(decoded, values[i]);
+    EXPECT_EQ(end, bytes.data() + bytes.size()) << values[i];
+  }
+
+  // Concatenated stream decodes value by value.
+  std::vector<uint8_t> stream;
+  for (uint32_t v : values) AppendVarint(v, &stream);
+  const uint8_t* p = stream.data();
+  for (uint32_t v : values) {
+    uint32_t decoded = 0;
+    p = DecodeVarint(p, &decoded);
+    EXPECT_EQ(decoded, v);
+  }
+  EXPECT_EQ(p, stream.data() + stream.size());
+}
+
+TEST(CodecTest, EmptyList) {
+  PackedPostingBlocks packed;
+  packed.Encode(nullptr, nullptr, 0, kPostingBlockSize);
+  EXPECT_EQ(packed.size(), 0u);
+  EXPECT_EQ(packed.num_blocks(), 0u);
+  EXPECT_EQ(packed.byte_size(), 0u);
+
+  PostingList list;
+  list.Pack();
+  EXPECT_TRUE(list.is_packed());
+  EXPECT_TRUE(list.empty());
+}
+
+TEST(CodecTest, SingleEntryBlock) {
+  ExpectRoundTrip({42}, {7});
+  ExpectRoundTrip({0}, {1});
+  ExpectRoundTrip({std::numeric_limits<DocId>::max()}, {1});
+}
+
+TEST(CodecTest, MaximalDocIdGaps) {
+  // Consecutive gaps hit every varint length class; the last posting
+  // lands exactly on the largest representable doc id.
+  const uint32_t gaps[] = {(1u << 7) - 1, 1u << 7,  (1u << 14) - 1,
+                           1u << 14,      (1u << 21) - 1, 1u << 21,
+                           (1u << 28) - 1, 1u << 28};
+  std::vector<DocId> docs = {5};
+  std::vector<int32_t> tfs = {1};
+  for (uint32_t gap : gaps) {
+    docs.push_back(docs.back() + gap);
+    tfs.push_back(static_cast<int32_t>(tfs.size()));
+  }
+  docs.push_back(std::numeric_limits<DocId>::max());
+  tfs.push_back(3);
+  ExpectRoundTrip(docs, tfs);
+}
+
+TEST(CodecTest, TfEscapeBoundaries) {
+  // 255 is the escape byte: 254 packs as one byte, 255 and above as
+  // escape + varint remainder — all must round-trip exactly.
+  std::vector<DocId> docs;
+  std::vector<int32_t> tfs = {1,   2,    127,  128,
+                              254, 255,  256,  1000,
+                              (1 << 22) + 3,   std::numeric_limits<int32_t>::max()};
+  for (size_t i = 0; i < tfs.size(); ++i) docs.push_back(static_cast<DocId>(i));
+  ExpectRoundTrip(docs, tfs);
+}
+
+TEST(CodecTest, RandomizedRoundTrip) {
+  Rng rng(97);
+  // Sizes straddle the block boundary (127/128/129) plus larger ragged
+  // and exact multiples.
+  for (size_t count : {1u, 2u, 127u, 128u, 129u, 640u, 1000u}) {
+    for (int variant = 0; variant < 3; ++variant) {
+      std::vector<DocId> docs;
+      std::vector<int32_t> tfs;
+      uint64_t doc = rng.Uniform(1000);
+      for (size_t i = 0; i < count; ++i) {
+        docs.push_back(static_cast<DocId>(doc));
+        // Mostly small gaps with an occasional huge one; keep the sum
+        // inside 32 bits.
+        uint64_t gap = 1 + rng.Uniform(variant == 0 ? 3 : 200);
+        if (rng.Uniform(37) == 0) gap += rng.Uniform(1u << 20);
+        doc = std::min<uint64_t>(doc + gap,
+                                 std::numeric_limits<DocId>::max());
+        // Mostly small tfs with occasional escape-range outliers.
+        int32_t tf = static_cast<int32_t>(1 + rng.Uniform(5));
+        if (rng.Uniform(11) == 0) {
+          tf = static_cast<int32_t>(250 + rng.Uniform(2000));
+        }
+        tfs.push_back(tf);
+      }
+      ExpectRoundTrip(docs, tfs);
+    }
+  }
+}
+
+TEST(CodecTest, FlushKeepsListsPackedIncrementally) {
+  TextIndex index(RawOptions());
+  BuildCorpus(&index, 300, 30, 200, 41);
+  for (TermId t = 0; t < index.vocabulary_size(); ++t) {
+    EXPECT_TRUE(index.postings(t).is_packed()) << "term " << t;
+  }
+
+  // A second batch appends to existing lists; Flush() must re-pack the
+  // stale encodings, and packed rankings must track the new contents.
+  Rng rng(42);
+  ZipfSampler zipf(200, 1.1);
+  for (int d = 0; d < 150; ++d) {
+    std::string body;
+    for (int w = 0; w < 30; ++w) {
+      body += StrFormat("term%04zu ", zipf.Sample(&rng));
+    }
+    index.AddDocument(StrFormat("extra%04d", d), body);
+  }
+  index.Flush();
+  for (TermId t = 0; t < index.vocabulary_size(); ++t) {
+    const PostingList& list = index.postings(t);
+    EXPECT_TRUE(list.is_packed()) << "term " << t;
+    if (!list.empty()) {
+      EXPECT_GT(list.packed_byte_size(), 0u) << "term " << t;
+    }
+  }
+
+  RankOptions block;
+  block.kernel = ScoreKernel::kBlock;
+  RankOptions packed;
+  packed.kernel = ScoreKernel::kPacked;
+  for (const auto& query : SeededQueries(10, 4, 200, 43)) {
+    ExpectBitIdentical(index.RankTopN(query, 10, block),
+                       index.RankTopN(query, 10, packed), "after re-flush");
+  }
+}
+
+TEST(CodecTest, CompressionRatioOnZipfCorpus) {
+  // The headline claim: packed posting storage is at least 2x smaller
+  // than the SoA arrays on a Zipf corpus (bench_codec measures the
+  // exact ratio; this pins the floor).
+  TextIndex index(RawOptions());
+  BuildCorpus(&index, 1500, 60, 500, 51);
+  size_t unpacked = 0;
+  size_t packed = 0;
+  for (TermId t = 0; t < index.vocabulary_size(); ++t) {
+    unpacked += index.postings(t).unpacked_byte_size();
+    packed += index.postings(t).packed_byte_size();
+  }
+  ASSERT_GT(unpacked, 0u);
+  ASSERT_GT(packed, 0u);
+  EXPECT_GE(unpacked, 2 * packed)
+      << "bytes/posting: unpacked "
+      << static_cast<double>(unpacked) / (unpacked / 8)
+      << " packed " << 8.0 * static_cast<double>(packed) / unpacked;
+}
+
+TEST(CodecTest, ReleaseUnpackedPayloadKeepsEveryKernelIdentical) {
+  TextIndex index(RawOptions());
+  BuildCorpus(&index, 500, 40, 300, 61);
+  auto queries = SeededQueries(15, 4, 300, 62);
+
+  RankOptions variants[6];
+  for (int i = 0; i < 6; ++i) {
+    variants[i].kernel = static_cast<ScoreKernel>(i % 3);
+    variants[i].prune = i >= 3;
+  }
+  std::vector<std::vector<ScoredDoc>> before;
+  for (const auto& q : queries) before.push_back(index.RankTopN(q, 10));
+
+  index.ReleaseUnpackedPostings();
+  for (TermId t = 0; t < index.vocabulary_size(); ++t) {
+    EXPECT_TRUE(index.postings(t).payload_released());
+  }
+
+  // Every kernel x prune combination transparently reads the packed
+  // blocks and stays bit-identical to the pre-release ranking.
+  for (size_t q = 0; q < queries.size(); ++q) {
+    for (const RankOptions& options : variants) {
+      ExpectBitIdentical(
+          index.RankTopN(queries[q], 10, options), before[q],
+          StrFormat("released query %zu kernel %d prune %d", q,
+                    static_cast<int>(options.kernel),
+                    static_cast<int>(options.prune)));
+    }
+  }
+}
+
+TEST(CodecRankingTest, PackedBitIdenticalOnTextIndexAcrossSeeds) {
+  for (uint64_t seed : {71u, 72u, 73u}) {
+    TextIndex index(RawOptions());
+    BuildCorpus(&index, 700, 40, 300, seed);
+    RankOptions scalar;
+    scalar.kernel = ScoreKernel::kScalar;
+    RankOptions packed;
+    packed.kernel = ScoreKernel::kPacked;
+    RankOptions packed_prune = packed;
+    packed_prune.prune = true;
+    for (size_t n : {1u, 10u, 50u}) {
+      for (const auto& query : SeededQueries(20, 4, 300, seed + 100)) {
+        std::vector<ScoredDoc> reference = index.RankTopN(query, n, scalar);
+        ExpectBitIdentical(
+            index.RankTopN(query, n, packed), reference,
+            StrFormat("packed seed %zu n %zu", static_cast<size_t>(seed), n));
+        ExpectBitIdentical(
+            index.RankTopN(query, n, packed_prune), reference,
+            StrFormat("packed+prune seed %zu n %zu",
+                      static_cast<size_t>(seed), n));
+      }
+    }
+  }
+}
+
+TEST(CodecRankingTest, PackedBitIdenticalOnFragmentedIndex) {
+  TextIndex index(RawOptions());
+  BuildCorpus(&index, 600, 40, 300, 81);
+  FragmentedIndex fragments(&index, 8);
+  RankOptions block;
+  block.kernel = ScoreKernel::kBlock;
+  RankOptions packed;
+  packed.kernel = ScoreKernel::kPacked;
+  RankOptions packed_prune = packed;
+  packed_prune.prune = true;
+  for (size_t cutoff : {2u, 5u, 8u}) {
+    for (const auto& query : SeededQueries(15, 4, 300, 82)) {
+      std::vector<ScoredDoc> reference =
+          fragments.RankTopN(query, 10, cutoff, nullptr, block);
+      ExpectBitIdentical(fragments.RankTopN(query, 10, cutoff, nullptr, packed),
+                         reference, StrFormat("packed cutoff %zu", cutoff));
+      FragmentQueryStats stats;
+      ExpectBitIdentical(
+          fragments.RankTopN(query, 10, cutoff, &stats, packed_prune),
+          reference, StrFormat("packed+prune cutoff %zu", cutoff));
+      EXPECT_LE(stats.postings_touched, 40u * 600u);
+    }
+  }
+}
+
+void ExpectClusterIdentical(const std::vector<ClusterScoredDoc>& a,
+                            const std::vector<ClusterScoredDoc>& b,
+                            const std::string& what) {
+  ASSERT_EQ(a.size(), b.size()) << what;
+  for (size_t i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(a[i].url, b[i].url) << what << " rank " << i;
+    EXPECT_EQ(a[i].score, b[i].score) << what << " rank " << i;
+  }
+}
+
+TEST(CodecRankingTest, PackedBitIdenticalOnClusterSequentialAndParallel) {
+  // E4-style corpus over a 5-node cluster: the packed kernel must
+  // reproduce the block kernel's global ranking bit-for-bit in every
+  // execution mode — sequential and parallel, exhaustive and pruned
+  // (sequential pruned exercises threshold feedback).
+  ClusterIndex cluster(5, 4, RawOptions());
+  Rng rng(91);
+  ZipfSampler zipf(300, 1.1);
+  for (int d = 0; d < 600; ++d) {
+    std::string body;
+    for (int w = 0; w < 40; ++w) {
+      body += StrFormat("term%04zu ", zipf.Sample(&rng));
+    }
+    cluster.AddDocument(StrFormat("doc%05d", d), body);
+  }
+  cluster.Finalize();
+
+  RankOptions packed;
+  packed.kernel = ScoreKernel::kPacked;
+  RankOptions packed_prune = packed;
+  packed_prune.prune = true;
+  auto queries = SeededQueries(20, 4, 300, 92);
+
+  std::vector<std::vector<ClusterScoredDoc>> expected;
+  for (const auto& q : queries) expected.push_back(cluster.Query(q, 10, 4));
+
+  for (size_t q = 0; q < queries.size(); ++q) {
+    ExpectClusterIdentical(cluster.Query(queries[q], 10, 4, nullptr, packed),
+                           expected[q], StrFormat("seq packed %zu", q));
+    ExpectClusterIdentical(
+        cluster.Query(queries[q], 10, 4, nullptr, packed_prune), expected[q],
+        StrFormat("seq packed+prune %zu", q));
+  }
+
+  ThreadPool pool(4);
+  cluster.SetExecutor(&pool);
+  for (size_t q = 0; q < queries.size(); ++q) {
+    ExpectClusterIdentical(cluster.Query(queries[q], 10, 4, nullptr, packed),
+                           expected[q], StrFormat("par packed %zu", q));
+    ExpectClusterIdentical(
+        cluster.Query(queries[q], 10, 4, nullptr, packed_prune), expected[q],
+        StrFormat("par packed+prune %zu", q));
+  }
+}
+
+TEST(CodecTest, PrunedPackedSkipsBlocksWithoutDecoding) {
+  // The engineered-skew corpus of WandTest: once the heap holds the hot
+  // documents every filler block prunes on its metadata. With the
+  // packed kernel those skipped blocks must never be decompressed —
+  // blocks_decoded stays strictly below the list's block count.
+  TextIndex index(RawOptions());
+  for (int d = 0; d < 16; ++d) {
+    index.AddDocument(StrFormat("hot%03d", d), "sig sig sig pad");
+  }
+  for (int d = 0; d < 600; ++d) {
+    std::string body = "sig";
+    for (int w = 0; w < 19; ++w) body += StrFormat(" fill%02d", w);
+    index.AddDocument(StrFormat("cold%04d", d), body);
+  }
+  index.Flush();
+  const size_t sig_blocks =
+      index.postings(*index.LookupTerm("sig")).num_blocks();
+  ASSERT_GE(sig_blocks, 4u);
+
+  FragmentedIndex fragments(&index, 1);
+  RankOptions block_prune;
+  block_prune.kernel = ScoreKernel::kBlock;
+  block_prune.prune = true;
+  RankOptions packed_prune;
+  packed_prune.kernel = ScoreKernel::kPacked;
+  packed_prune.prune = true;
+
+  FragmentQueryStats block_stats;
+  FragmentQueryStats packed_stats;
+  std::vector<ScoredDoc> reference =
+      fragments.RankTopN({"sig"}, 5, 1, &block_stats, block_prune);
+  std::vector<ScoredDoc> got =
+      fragments.RankTopN({"sig"}, 5, 1, &packed_stats, packed_prune);
+  ExpectBitIdentical(reference, got, "skewed packed");
+
+  // Same pruning decisions (bounds don't depend on the representation),
+  // decode only where postings were actually examined.
+  EXPECT_EQ(packed_stats.blocks_skipped, block_stats.blocks_skipped);
+  EXPECT_EQ(packed_stats.postings_touched, block_stats.postings_touched);
+  EXPECT_EQ(block_stats.blocks_decoded, 0u);
+  EXPECT_GT(packed_stats.blocks_decoded, 0u);
+  EXPECT_LT(packed_stats.blocks_decoded, sig_blocks);
+}
+
+}  // namespace
+}  // namespace dls::ir
