@@ -1,0 +1,269 @@
+// Shard RPC fan-out benchmark: the cost of moving the cluster's nodes
+// out of process (src/net) against the in-process baseline, on the
+// E4-style Zipf corpus.
+//
+// Variants, all answering the same query batch over the same 4-node
+// cluster:
+//   inprocess        ClusterIndex::Query — function calls, no frames
+//   loopback         RemoteClusterIndex over LoopbackTransport: full
+//                    wire encode/decode, no sockets — the protocol's
+//                    CPU cost in isolation
+//   loopback_batched one QueryRequest frame carries the whole batch
+//   tcp              RemoteClusterIndex over real localhost sockets
+//   tcp_batched      the batch hook over TCP — one round-trip per node
+//
+// Wire traffic (bytes/query, messages/query) comes from the measured
+// ClusterQueryStats of the remote paths. Bit-identity of every remote
+// variant against the in-process ranking is reported under exact.* —
+// ci/bench_gate.py fails the gate if it ever goes false.
+//
+// Prints a human table and writes machine-readable JSON (default
+// BENCH_net.json, or argv[1]).
+#include <algorithm>
+#include <cstdio>
+#include <cstring>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/rng.h"
+#include "common/strings.h"
+#include "common/timer.h"
+#include "ir/cluster.h"
+#include "net/remote_cluster.h"
+#include "net/shard_server.h"
+#include "net/tcp.h"
+#include "net/transport.h"
+
+namespace dls {
+namespace {
+
+constexpr size_t kNodes = 4;
+constexpr size_t kFragments = 4;
+constexpr int kDocs = 4000;
+constexpr int kWordsPerDoc = 60;
+constexpr size_t kVocab = 2000;
+constexpr double kZipfTheta = 1.1;
+constexpr int kQueries = 16;
+constexpr int kTermsPerQuery = 3;
+constexpr size_t kTopN = 10;
+constexpr int kReps = 3;  // best-of wall clock per variant
+
+void BuildCorpus(ir::ClusterIndex* cluster) {
+  Rng rng(4);
+  ZipfSampler zipf(kVocab, kZipfTheta);
+  for (int d = 0; d < kDocs; ++d) {
+    std::string body;
+    body.reserve(kWordsPerDoc * 9);
+    for (int w = 0; w < kWordsPerDoc; ++w) {
+      body += StrFormat("term%04zu ", zipf.Sample(&rng));
+    }
+    cluster->AddDocument(StrFormat("doc%05d", d), body);
+  }
+  cluster->Finalize();
+}
+
+std::vector<std::vector<std::string>> MakeQueries() {
+  Rng rng(5);
+  ZipfSampler zipf(kVocab, kZipfTheta);
+  std::vector<std::vector<std::string>> queries;
+  for (int q = 0; q < kQueries; ++q) {
+    std::vector<std::string> words;
+    for (int w = 0; w < kTermsPerQuery; ++w) {
+      words.push_back(StrFormat("term%04zu", zipf.Sample(&rng)));
+    }
+    queries.push_back(std::move(words));
+  }
+  return queries;
+}
+
+template <typename Body>
+double MeasureMs(Body&& body) {
+  double best = 1e300;
+  for (int rep = 0; rep < kReps; ++rep) {
+    Timer timer;
+    body();
+    best = std::min(best, timer.ElapsedMillis());
+  }
+  return best;
+}
+
+bool BitIdentical(const std::vector<ir::ClusterScoredDoc>& a,
+                  const std::vector<ir::ClusterScoredDoc>& b) {
+  if (a.size() != b.size()) return false;
+  for (size_t i = 0; i < a.size(); ++i) {
+    uint64_t bits_a, bits_b;
+    std::memcpy(&bits_a, &a[i].score, sizeof(bits_a));
+    std::memcpy(&bits_b, &b[i].score, sizeof(bits_b));
+    if (a[i].url != b[i].url || bits_a != bits_b) return false;
+  }
+  return true;
+}
+
+}  // namespace
+}  // namespace dls
+
+int main(int argc, char** argv) {
+  using namespace dls;
+  const char* json_path = argc > 1 ? argv[1] : "BENCH_net.json";
+
+  ir::ClusterIndex cluster(kNodes, kFragments);
+  BuildCorpus(&cluster);
+  auto queries = MakeQueries();
+
+  net::ShardServer server;
+  for (size_t i = 0; i < kNodes; ++i) {
+    server.AddNode(&cluster.node_index(i), &cluster.node_fragments(i));
+  }
+  if (!server.Start(0).ok()) {
+    std::fprintf(stderr, "cannot start shard server\n");
+    return 1;
+  }
+
+  std::vector<std::unique_ptr<net::Transport>> loop_transports;
+  std::vector<std::unique_ptr<net::Transport>> tcp_transports;
+  std::vector<net::RemoteClusterIndex::Shard> loop_shards, tcp_shards;
+  for (size_t i = 0; i < kNodes; ++i) {
+    loop_transports.push_back(
+        std::make_unique<net::LoopbackTransport>(server.Handler()));
+    tcp_transports.push_back(
+        std::make_unique<net::TcpTransport>("127.0.0.1", server.port()));
+    loop_shards.push_back(
+        {loop_transports[i].get(), static_cast<uint32_t>(i)});
+    tcp_shards.push_back({tcp_transports[i].get(), static_cast<uint32_t>(i)});
+  }
+  net::RemoteClusterIndex loopback(std::move(loop_shards));
+  net::RemoteClusterIndex tcp(std::move(tcp_shards));
+  if (!loopback.Connect().ok() || !tcp.Connect().ok()) {
+    std::fprintf(stderr, "connect failed\n");
+    return 1;
+  }
+
+  // ---- Bit-identity of every remote variant vs in-process.
+  bool loopback_exact = true;
+  bool tcp_exact = true;
+  bool batch_exact = true;
+  std::vector<std::vector<ir::ClusterScoredDoc>> reference;
+  for (const auto& q : queries) {
+    reference.push_back(cluster.Query(q, kTopN, kFragments));
+  }
+  auto tcp_batched_results = tcp.QueryBatch(queries, kTopN, kFragments);
+  for (size_t q = 0; q < queries.size(); ++q) {
+    if (!BitIdentical(reference[q],
+                      loopback.Query(queries[q], kTopN, kFragments))) {
+      loopback_exact = false;
+    }
+    if (!BitIdentical(reference[q],
+                      tcp.Query(queries[q], kTopN, kFragments))) {
+      tcp_exact = false;
+    }
+    if (!BitIdentical(reference[q], tcp_batched_results[q])) {
+      batch_exact = false;
+    }
+  }
+
+  // ---- Wire traffic per query, measured on the encoded frames.
+  ir::ClusterQueryStats per_query_stats, batched_stats;
+  for (const auto& q : queries) {
+    ir::ClusterQueryStats stats;
+    loopback.Query(q, kTopN, kFragments, &stats);
+    per_query_stats.messages += stats.messages;
+    per_query_stats.bytes_shipped += stats.bytes_shipped;
+  }
+  loopback.QueryBatch(queries, kTopN, kFragments, &batched_stats);
+  const double bytes_per_query =
+      static_cast<double>(per_query_stats.bytes_shipped) / kQueries;
+  const double messages_per_query =
+      static_cast<double>(per_query_stats.messages) / kQueries;
+  const double batched_bytes_per_query =
+      static_cast<double>(batched_stats.bytes_shipped) / kQueries;
+
+  // ---- Wall clock per variant over the batch.
+  double inprocess_ms = MeasureMs([&] {
+    for (const auto& q : queries) cluster.Query(q, kTopN, kFragments);
+  });
+  double loopback_ms = MeasureMs([&] {
+    for (const auto& q : queries) loopback.Query(q, kTopN, kFragments);
+  });
+  double loopback_batched_ms =
+      MeasureMs([&] { loopback.QueryBatch(queries, kTopN, kFragments); });
+  double tcp_ms = MeasureMs([&] {
+    for (const auto& q : queries) tcp.Query(q, kTopN, kFragments);
+  });
+  double tcp_batched_ms =
+      MeasureMs([&] { tcp.QueryBatch(queries, kTopN, kFragments); });
+
+  std::printf(
+      "net fan-out: %zu nodes, %d docs, %d queries x %d terms, top %zu\n"
+      "wire: %.0f bytes/query, %.1f messages/query "
+      "(batched: %.0f bytes/query)\n\n",
+      kNodes, kDocs, kQueries, kTermsPerQuery, kTopN, bytes_per_query,
+      messages_per_query, batched_bytes_per_query);
+
+  struct Row {
+    const char* name;
+    double ms;
+    bool exact;
+  };
+  Row rows[] = {
+      {"inprocess", inprocess_ms, true},
+      {"loopback", loopback_ms, loopback_exact},
+      {"loopback_batched", loopback_batched_ms, loopback_exact},
+      {"tcp", tcp_ms, tcp_exact},
+      {"tcp_batched", tcp_batched_ms, batch_exact},
+  };
+  std::printf("%-18s %-10s %-12s %-12s %-8s\n", "variant", "batch_ms",
+              "ms/query", "vs_inproc", "exact");
+  for (const Row& r : rows) {
+    std::printf("%-18s %-10.2f %-12.4f %-12.2f %-8s\n", r.name, r.ms,
+                r.ms / kQueries, r.ms / inprocess_ms,
+                r.exact ? "bits" : "NO");
+  }
+  std::printf(
+      "(vs_inproc = protocol+transport overhead factor; exact: bits = "
+      "bit-identical docs+scores vs in-process)\n");
+
+  std::FILE* out = std::fopen(json_path, "w");
+  if (out == nullptr) {
+    std::fprintf(stderr, "cannot write %s\n", json_path);
+    return 1;
+  }
+  std::fprintf(
+      out,
+      "{\n"
+      "  \"bench\": \"net_fanout\",\n"
+      "  \"corpus\": {\"nodes\": %zu, \"fragments\": %zu, \"docs\": %d, "
+      "\"words_per_doc\": %d, \"vocab\": %zu, \"zipf_theta\": %.2f, "
+      "\"queries\": %d, \"terms_per_query\": %d, \"top_n\": %zu},\n"
+      "  \"wire\": {\n"
+      "    \"bytes_per_query\": %.1f,\n"
+      "    \"messages_per_query\": %.2f,\n"
+      "    \"batched_bytes_per_query\": %.1f\n"
+      "  },\n"
+      "  \"variants\": {\n"
+      "    \"inprocess_batch_ms\": %.3f,\n"
+      "    \"loopback_batch_ms\": %.3f,\n"
+      "    \"loopback_batched_batch_ms\": %.3f,\n"
+      "    \"tcp_batch_ms\": %.3f,\n"
+      "    \"tcp_batched_batch_ms\": %.3f\n"
+      "  },\n"
+      "  \"overhead\": {\n"
+      "    \"loopback_vs_inprocess\": %.3f,\n"
+      "    \"tcp_vs_inprocess\": %.3f,\n"
+      "    \"tcp_batched_vs_tcp\": %.3f\n"
+      "  },\n"
+      "  \"exact\": {\"loopback_bit_identical\": %s, "
+      "\"tcp_bit_identical\": %s, \"tcp_batched_bit_identical\": %s}\n"
+      "}\n",
+      kNodes, kFragments, kDocs, kWordsPerDoc, kVocab, kZipfTheta, kQueries,
+      kTermsPerQuery, kTopN, bytes_per_query, messages_per_query,
+      batched_bytes_per_query, inprocess_ms, loopback_ms, loopback_batched_ms,
+      tcp_ms, tcp_batched_ms, loopback_ms / inprocess_ms,
+      tcp_ms / inprocess_ms, tcp_ms > 0 ? tcp_batched_ms / tcp_ms : 0.0,
+      loopback_exact ? "true" : "false", tcp_exact ? "true" : "false",
+      batch_exact ? "true" : "false");
+  std::fclose(out);
+  std::printf("wrote %s\n", json_path);
+  server.Stop();
+  return 0;
+}

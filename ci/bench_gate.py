@@ -1,6 +1,6 @@
 #!/usr/bin/env python3
-"""Bench-regression gate: re-run the kernel and codec benchmarks and
-compare against the committed BENCH_*.json baselines.
+"""Bench-regression gate: re-run the kernel, codec and net fan-out
+benchmarks and compare against the committed BENCH_*.json baselines.
 
 A metric fails the gate when it regresses by more than --threshold
 (default 15%) in the unfavourable direction:
@@ -8,6 +8,7 @@ A metric fails the gate when it regresses by more than --threshold
   *_batch_ms           higher is worse   (> baseline * (1 + t) fails)
   *_mpostings_per_s    lower is worse    (< baseline * (1 - t) fails)
   bytes_per_posting_packed  higher is worse
+  bytes_per_query      higher is worse (wire traffic of a fan-out)
   compression_ratio    hard floor of 2.0 regardless of baseline
   exact.*              must be true — a bit-identity miss is never a
                        timing artefact
@@ -31,6 +32,7 @@ REPO = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
 BENCHES = [
     ("bench_ir_kernel", "BENCH_ir_kernel.json"),
     ("bench_codec", "BENCH_codec.json"),
+    ("bench_net_fanout", "BENCH_net.json"),
 ]
 
 COMPRESSION_FLOOR = 2.0
@@ -56,6 +58,8 @@ def classify(path):
     if leaf.endswith("_mpostings_per_s"):
         return "lower_bad"
     if leaf == "bytes_per_posting_packed":
+        return "higher_bad"
+    if leaf in ("bytes_per_query", "batched_bytes_per_query"):
         return "higher_bad"
     return None
 

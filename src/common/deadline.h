@@ -1,0 +1,58 @@
+#ifndef DLS_COMMON_DEADLINE_H_
+#define DLS_COMMON_DEADLINE_H_
+
+#include <algorithm>
+#include <chrono>
+#include <cstdint>
+
+namespace dls {
+
+/// A point in time a blocking operation must not outlive. The net
+/// layer threads one Deadline through every transport call so a whole
+/// RPC — connect, write, read, retry — shares one time budget instead
+/// of stacking per-step timeouts.
+///
+/// Built on steady_clock (immune to wall-clock jumps). An infinite
+/// deadline never expires; RemainingMillis() clamps into the range
+/// poll(2) accepts, which is what the socket loops feed it to.
+class Deadline {
+ public:
+  /// A deadline that never expires.
+  static Deadline Infinite() { return Deadline(); }
+
+  /// Expires `ms` milliseconds from now (<= 0 is already expired).
+  static Deadline After(int64_t ms) {
+    Deadline d;
+    d.infinite_ = false;
+    d.when_ = Clock::now() + std::chrono::milliseconds(ms);
+    return d;
+  }
+
+  bool infinite() const { return infinite_; }
+
+  bool Expired() const { return !infinite_ && Clock::now() >= when_; }
+
+  /// Milliseconds left, clamped to [0, INT_MAX] — the value to hand to
+  /// poll(2). Infinite deadlines report the clamp ceiling, which for a
+  /// polling loop that re-checks the deadline is indistinguishable
+  /// from forever.
+  int RemainingMillis() const {
+    if (infinite_) return kPollCeilingMs;
+    auto left = std::chrono::duration_cast<std::chrono::milliseconds>(
+                    when_ - Clock::now())
+                    .count();
+    return static_cast<int>(
+        std::clamp<int64_t>(left, 0, kPollCeilingMs));
+  }
+
+ private:
+  using Clock = std::chrono::steady_clock;
+  static constexpr int64_t kPollCeilingMs = 1 << 30;
+
+  bool infinite_ = true;
+  Clock::time_point when_{};
+};
+
+}  // namespace dls
+
+#endif  // DLS_COMMON_DEADLINE_H_

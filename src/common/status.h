@@ -21,6 +21,8 @@ enum class StatusCode {
   kDetectorFailure, ///< a feature detector rejected or crashed
   kUnsupported,
   kInternal,
+  kUnavailable,       ///< a remote peer refused, vanished or misbehaved
+  kDeadlineExceeded,  ///< a blocking operation outlived its Deadline
 };
 
 /// Returns a short stable name ("ok", "parse error", ...) for a code.
@@ -64,6 +66,12 @@ class Status {
   }
   static Status Internal(std::string msg) {
     return Status(StatusCode::kInternal, std::move(msg));
+  }
+  static Status Unavailable(std::string msg) {
+    return Status(StatusCode::kUnavailable, std::move(msg));
+  }
+  static Status DeadlineExceeded(std::string msg) {
+    return Status(StatusCode::kDeadlineExceeded, std::move(msg));
   }
 
   bool ok() const { return code_ == StatusCode::kOk; }

@@ -78,13 +78,13 @@ void ClusterIndex::Finalize() {
   finalized_ = true;
 }
 
-ClusterIndex::NodeResult ClusterIndex::QueryNode(
-    const Node& node, const std::vector<std::string>& stems,
-    const std::vector<int32_t>& stem_global_df, size_t n, size_t max_fragments,
-    double initial_threshold, const RankOptions& options) const {
+ShardResult EvaluateShardQuery(const TextIndex& index,
+                               const FragmentedIndex& fragments,
+                               const ShardQuery& query) {
   Timer timer;
-  NodeResult result;
-  const TextIndex& index = *node.index;
+  ShardResult result;
+  const std::vector<std::string>& stems = query.stems;
+  const RankOptions& options = query.options;
 
   // Resolve the pushed stems against the node-local vocabulary and drop
   // terms behind the fragment cut-off. Scoring uses *global* term
@@ -94,13 +94,17 @@ ClusterIndex::NodeResult ClusterIndex::QueryNode(
   std::vector<double> weights;
   terms.reserve(stems.size());
   weights.reserve(stems.size());
+  result.stem_evaluated.assign(stems.size(), true);
   for (size_t i = 0; i < stems.size(); ++i) {
     std::optional<TermId> term = index.LookupTerm(stems[i]);
-    if (!term) continue;
-    if (node.fragments->FragmentOf(*term) >= max_fragments) continue;
+    if (term && fragments.FragmentOf(*term) >= query.max_fragments) {
+      result.stem_evaluated[i] = false;
+      continue;
+    }
+    if (!term) continue;  // unknown locally; may match on other nodes
     terms.push_back(*term);
-    weights.push_back(
-        TermWeight(stem_global_df[i], global_.collection_length, options));
+    weights.push_back(TermWeight(query.stem_global_df[i],
+                                 query.collection_length, options));
   }
 
   // Local selection uses the same (score desc, url asc) order as the
@@ -119,7 +123,7 @@ ClusterIndex::NodeResult ClusterIndex::QueryNode(
     }
     WandStats wand_stats;
     local = WandTopN(wand_terms, index.inv_doc_length_data(),
-                     index.max_inv_doc_length(), n, initial_threshold,
+                     index.max_inv_doc_length(), query.n, query.threshold,
                      url_less, options.kernel, &wand_stats);
     result.postings_touched = wand_stats.postings_touched;
     result.blocks_skipped = wand_stats.blocks_skipped;
@@ -131,7 +135,7 @@ ClusterIndex::NodeResult ClusterIndex::QueryNode(
       ScorePostingList(index.postings(terms[i]), weights[i],
                        index.inv_doc_length_data(), options.kernel, &scores);
     }
-    local = scores.ExtractTopN(n, url_less);
+    local = scores.ExtractTopN(query.n, url_less);
   }
   result.top.reserve(local.size());
   for (const ScoredDoc& d : local) {
@@ -141,97 +145,9 @@ ClusterIndex::NodeResult ClusterIndex::QueryNode(
   return result;
 }
 
-std::vector<ClusterScoredDoc> ClusterIndex::Query(
-    const std::vector<std::string>& query_words, size_t n,
-    size_t max_fragments, ClusterQueryStats* stats,
-    const RankOptions& options) const {
-  assert(finalized_ && "call Finalize() before Query()");
-  ClusterQueryStats local_stats;
-
-  // Central server: stem/stop the query once, de-duplicate repeated
-  // stems (each unique term scores once — the TextIndex::ResolveQuery
-  // contract) and resolve against the global vocabulary (the T relation
-  // lives centrally).
-  std::vector<std::string> stems;
-  std::vector<int32_t> stem_global_df;
-  double idf_mass_total = 0;
-  for (const std::string& word : query_words) {
-    // Any node's normaliser is configured identically; use node 0's.
-    std::optional<std::string> norm = nodes_[0].index->NormalizeWord(word);
-    if (!norm) continue;
-    if (std::find(stems.begin(), stems.end(), *norm) != stems.end()) continue;
-    auto it = global_.df.find(*norm);
-    if (it == global_.df.end()) continue;  // not in the vocabulary space
-    stems.push_back(*norm);
-    stem_global_df.push_back(it->second);
-    idf_mass_total += 1.0 / static_cast<double>(it->second);
-  }
-
-  // A-priori quality estimate from the first node's cut-off decisions:
-  // fragmentation is per-node but the idf boundaries coincide closely.
-  // Computed centrally (not in the fan-out) so it is deterministic.
-  double idf_mass_read_global = 0;
-  for (size_t i = 0; i < stems.size(); ++i) {
-    std::optional<TermId> term = nodes_[0].index->LookupTerm(stems[i]);
-    bool skipped =
-        term && nodes_[0].fragments->FragmentOf(*term) >= max_fragments;
-    if (!skipped) {
-      idf_mass_read_global += 1.0 / static_cast<double>(stem_global_df[i]);
-    }
-  }
-
-  // Push the top-N request (resolved stems) to every node; each node
-  // computes its local top-N with global statistics and the fragment
-  // cut-off, then ships RES(doc, rank) back. With an executor attached
-  // the nodes evaluate concurrently; result slots are per-node, so the
-  // only synchronisation is the fan-out join itself.
-  std::vector<NodeResult> responses(nodes_.size());
-  if (options.prune && n > 0 && (executor_ == nullptr || nodes_.size() <= 1)) {
-    // Threshold feedback (sequential execution only): the centre keeps
-    // the n best scores returned so far and pushes the running n-th
-    // best as the next node's starting threshold. Any document scoring
-    // strictly below it provably cannot enter the merged top-N, so
-    // later nodes prune harder. Results are identical to the parallel
-    // fan-out (both exact); only the work stats differ.
-    std::priority_queue<double, std::vector<double>, std::greater<double>>
-        best;
-    double theta = 0.0;
-    for (size_t i = 0; i < nodes_.size(); ++i) {
-      responses[i] = QueryNode(nodes_[i], stems, stem_global_df, n,
-                               max_fragments, theta, options);
-      for (const ClusterScoredDoc& d : responses[i].top) {
-        if (best.size() < n) {
-          best.push(d.score);
-        } else if (d.score > best.top()) {
-          best.pop();
-          best.push(d.score);
-        }
-      }
-      if (best.size() == n) theta = best.top();
-    }
-  } else {
-    ForEachNode([&](size_t i) {
-      responses[i] = QueryNode(nodes_[i], stems, stem_global_df, n,
-                               max_fragments, /*initial_threshold=*/0.0,
-                               options);
-    });
-  }
-
-  for (const NodeResult& response : responses) {
-    local_stats.messages += 2;  // request + response
-    local_stats.bytes_shipped += stems.size() * sizeof(TermId);
-    local_stats.bytes_shipped +=
-        response.top.size() * (sizeof(DocId) + sizeof(double));
-    local_stats.postings_touched_total += response.postings_touched;
-    local_stats.postings_touched_max_node =
-        std::max(local_stats.postings_touched_max_node,
-                 response.postings_touched);
-    local_stats.blocks_skipped += response.blocks_skipped;
-    local_stats.critical_path_us =
-        std::max(local_stats.critical_path_us, response.elapsed_us);
-    local_stats.total_cpu_us += response.elapsed_us;
-  }
-
+std::vector<ClusterScoredDoc> MergeShardResults(
+    std::vector<ShardResult>* results, size_t n) {
+  std::vector<ShardResult>& responses = *results;
   // Bounded k-way merge of the per-node top-N lists (each sorted by
   // (score desc, url asc)) into the master ranking. Node id is the
   // last tie-break so exact (score, url) duplicates across nodes merge
@@ -252,11 +168,13 @@ std::vector<ClusterScoredDoc> ClusterIndex::Query(
   };
   std::priority_queue<Cursor, std::vector<Cursor>, decltype(heap_less)> heads(
       heap_less);
+  size_t available = 0;
   for (size_t i = 0; i < responses.size(); ++i) {
+    available += responses[i].top.size();
     if (!responses[i].top.empty()) heads.push(Cursor{i, 0});
   }
   std::vector<ClusterScoredDoc> merged;
-  merged.reserve(std::min(n, static_cast<size_t>(total_docs_)));
+  merged.reserve(std::min(n, available));
   while (!heads.empty() && merged.size() < n) {
     Cursor head = heads.top();
     heads.pop();
@@ -265,6 +183,105 @@ std::vector<ClusterScoredDoc> ClusterIndex::Query(
       heads.push(Cursor{head.node, head.pos + 1});
     }
   }
+  return merged;
+}
+
+std::vector<ClusterScoredDoc> ClusterIndex::Query(
+    const std::vector<std::string>& query_words, size_t n,
+    size_t max_fragments, ClusterQueryStats* stats,
+    const RankOptions& options) const {
+  assert(finalized_ && "call Finalize() before Query()");
+  ClusterQueryStats local_stats;
+
+  // Central server: stem/stop the query once, de-duplicate repeated
+  // stems (each unique term scores once — the TextIndex::ResolveQuery
+  // contract) and resolve against the global vocabulary (the T relation
+  // lives centrally). The resulting ShardQuery is what the remote path
+  // serialises verbatim.
+  ShardQuery request;
+  request.collection_length = global_.collection_length;
+  request.n = n;
+  request.max_fragments = max_fragments;
+  request.options = options;
+  double idf_mass_total = 0;
+  for (const std::string& word : query_words) {
+    // Any node's normaliser is configured identically; use node 0's.
+    std::optional<std::string> norm = nodes_[0].index->NormalizeWord(word);
+    if (!norm) continue;
+    if (std::find(request.stems.begin(), request.stems.end(), *norm) !=
+        request.stems.end()) {
+      continue;
+    }
+    auto it = global_.df.find(*norm);
+    if (it == global_.df.end()) continue;  // not in the vocabulary space
+    request.stems.push_back(*norm);
+    request.stem_global_df.push_back(it->second);
+    idf_mass_total += 1.0 / static_cast<double>(it->second);
+  }
+
+  // Push the top-N request (resolved stems) to every node; each node
+  // computes its local top-N with global statistics and the fragment
+  // cut-off, then ships RES(doc, rank) back. With an executor attached
+  // the nodes evaluate concurrently; result slots are per-node, so the
+  // only synchronisation is the fan-out join itself.
+  std::vector<ShardResult> responses(nodes_.size());
+  if (options.prune && n > 0 && (executor_ == nullptr || nodes_.size() <= 1)) {
+    // Threshold feedback (sequential execution only): the centre keeps
+    // the n best scores returned so far and pushes the running n-th
+    // best as the next node's starting threshold. Any document scoring
+    // strictly below it provably cannot enter the merged top-N, so
+    // later nodes prune harder. Results are identical to the parallel
+    // fan-out (both exact); only the work stats differ.
+    std::priority_queue<double, std::vector<double>, std::greater<double>>
+        best;
+    ShardQuery node_request = request;
+    for (size_t i = 0; i < nodes_.size(); ++i) {
+      responses[i] = EvaluateShardQuery(*nodes_[i].index, *nodes_[i].fragments,
+                                        node_request);
+      for (const ClusterScoredDoc& d : responses[i].top) {
+        if (best.size() < n) {
+          best.push(d.score);
+        } else if (d.score > best.top()) {
+          best.pop();
+          best.push(d.score);
+        }
+      }
+      if (best.size() == n) node_request.threshold = best.top();
+    }
+  } else {
+    ForEachNode([&](size_t i) {
+      responses[i] =
+          EvaluateShardQuery(*nodes_[i].index, *nodes_[i].fragments, request);
+    });
+  }
+
+  // A-priori quality estimate from the first node's cut-off decisions
+  // (reported back as the stem_evaluated mask): fragmentation is
+  // per-node but the idf boundaries coincide closely. The remote path
+  // computes the identical estimate from the same mask on the wire.
+  double idf_mass_read_global = 0;
+  for (size_t i = 0; i < request.stems.size(); ++i) {
+    if (responses.empty() || responses[0].stem_evaluated[i]) {
+      idf_mass_read_global +=
+          1.0 / static_cast<double>(request.stem_global_df[i]);
+    }
+  }
+
+  // The in-process fan-out ships no wire frames: messages and
+  // bytes_shipped stay 0 here. RemoteClusterIndex reports the measured
+  // encoded frame sizes on the loopback and TCP paths.
+  for (const ShardResult& response : responses) {
+    local_stats.postings_touched_total += response.postings_touched;
+    local_stats.postings_touched_max_node =
+        std::max(local_stats.postings_touched_max_node,
+                 static_cast<size_t>(response.postings_touched));
+    local_stats.blocks_skipped += response.blocks_skipped;
+    local_stats.critical_path_us =
+        std::max(local_stats.critical_path_us, response.elapsed_us);
+    local_stats.total_cpu_us += response.elapsed_us;
+  }
+
+  std::vector<ClusterScoredDoc> merged = MergeShardResults(&responses, n);
 
   local_stats.predicted_quality =
       idf_mass_total > 0 ? idf_mass_read_global / idf_mass_total : 1.0;

@@ -23,10 +23,67 @@ struct ClusterScoredDoc {
   double score;
 };
 
+/// The resolved top-N request the central server pushes to one node:
+/// stems already normalised and de-duplicated, term statistics already
+/// global (collection-wide df and collection length), so a node scores
+/// without any cross-node communication. This is exactly the payload
+/// `net/wire` serialises — the in-process fan-out and the remote RPC
+/// path evaluate the same struct through the same function.
+struct ShardQuery {
+  std::vector<std::string> stems;
+  std::vector<int32_t> stem_global_df;  ///< collection-wide df per stem
+  int64_t collection_length = 0;
+  size_t n = 10;
+  size_t max_fragments = 1;
+  /// Running global n-th best score under the sequential
+  /// threshold-feedback protocol (0 disables it): with options.prune
+  /// the node skips documents strictly below it — they provably cannot
+  /// enter the global merge.
+  double threshold = 0.0;
+  RankOptions options;
+};
+
+/// One node's answer to a pushed ShardQuery: its local top-N (sorted
+/// by score desc, url asc — the same order as the central merge) plus
+/// work accounting. RES(url, score) tuples in the paper's terms.
+struct ShardResult {
+  std::vector<ClusterScoredDoc> top;
+  /// Per request stem: false iff the node knows the stem and its
+  /// fragment lies behind the cut-off. Unknown stems stay true — they
+  /// may live on other nodes, so they do not count against the
+  /// a-priori quality estimate.
+  std::vector<bool> stem_evaluated;
+  uint64_t postings_touched = 0;
+  uint64_t blocks_skipped = 0;
+  double elapsed_us = 0;
+};
+
+/// Evaluates a resolved ShardQuery against one node's frozen index and
+/// fragmentation. Thread-safe for concurrent calls (touches only
+/// frozen state). Shared by ClusterIndex's in-process fan-out and by
+/// net/ShardServer — bit-identity of the two paths reduces to both
+/// calling this with identical inputs.
+ShardResult EvaluateShardQuery(const TextIndex& index,
+                               const FragmentedIndex& fragments,
+                               const ShardQuery& query);
+
+/// Bounded k-way merge of per-node top lists (each sorted by score
+/// desc, url asc) into the global top `n`, with the node's position in
+/// `results` as the final tie-break so exact (score, url) duplicates
+/// across nodes merge deterministically regardless of evaluation
+/// order. Consumes the tuples (moves them out of `results`).
+std::vector<ClusterScoredDoc> MergeShardResults(
+    std::vector<ShardResult>* results, size_t n);
+
 /// Traffic/work accounting for one distributed query (experiment E4).
 struct ClusterQueryStats {
-  size_t messages = 0;        ///< request + response per contacted node
-  size_t bytes_shipped = 0;   ///< serialised result tuples over the wire
+  /// Wire frames actually sent + received, and their encoded byte
+  /// size, measured on the serialised `net/wire` frames (retries
+  /// included). The in-process ClusterIndex ships no frames and
+  /// reports 0 for both; RemoteClusterIndex fills them on the
+  /// loopback and TCP paths alike.
+  size_t messages = 0;
+  size_t bytes_shipped = 0;
   size_t postings_touched_total = 0;
   size_t postings_touched_max_node = 0;  ///< critical-path posting count
   /// Σ over nodes of posting blocks pruned by WAND (options.prune);
@@ -124,26 +181,6 @@ class ClusterIndex {
     std::unordered_map<std::string, int32_t> df;
     int64_t collection_length = 0;
   };
-
-  /// One node's answer to the pushed top-N request: its local top-N
-  /// (sorted by score desc, url asc) plus work accounting.
-  struct NodeResult {
-    std::vector<ClusterScoredDoc> top;
-    size_t postings_touched = 0;
-    size_t blocks_skipped = 0;
-    double elapsed_us = 0;
-  };
-
-  /// Evaluates the resolved query on one node (runs on a pool worker
-  /// or the calling thread; touches only frozen node state).
-  /// `initial_threshold` is the running global n-th best score under
-  /// the sequential threshold-feedback protocol (0 disables it): with
-  /// options.prune the node skips documents strictly below it — they
-  /// provably cannot enter the global merge.
-  NodeResult QueryNode(const Node& node, const std::vector<std::string>& stems,
-                       const std::vector<int32_t>& stem_global_df, size_t n,
-                       size_t max_fragments, double initial_threshold,
-                       const RankOptions& options) const;
 
   /// Runs fn(i) for every node, over the executor when attached.
   void ForEachNode(const std::function<void(size_t)>& fn) const;

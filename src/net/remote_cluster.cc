@@ -1,0 +1,312 @@
+#include "net/remote_cluster.h"
+
+#include <algorithm>
+#include <cassert>
+#include <queue>
+
+#include "common/thread_pool.h"
+#include "net/wire.h"
+
+namespace dls::net {
+
+RemoteClusterIndex::RemoteClusterIndex(std::vector<Shard> shards)
+    : RemoteClusterIndex(std::move(shards), Options()) {}
+
+RemoteClusterIndex::RemoteClusterIndex(std::vector<Shard> shards,
+                                       Options options)
+    : shards_(std::move(shards)), options_(options) {
+  assert(!shards_.empty());
+  shard_docs_.assign(shards_.size(), 0);
+}
+
+RemoteClusterIndex::~RemoteClusterIndex() = default;
+
+void RemoteClusterIndex::SetExecutor(ThreadPool* pool) {
+  executor_ = pool;
+  if (pool == nullptr) owned_pool_.reset();
+}
+
+void RemoteClusterIndex::EnableParallelism(size_t num_threads) {
+  owned_pool_ = std::make_unique<ThreadPool>(num_threads);
+  executor_ = owned_pool_.get();
+}
+
+void RemoteClusterIndex::ForEachShard(
+    const std::function<void(size_t)>& fn) const {
+  if (executor_ != nullptr && shards_.size() > 1) {
+    executor_->ParallelFor(0, shards_.size(), fn);
+  } else {
+    for (size_t i = 0; i < shards_.size(); ++i) fn(i);
+  }
+}
+
+int32_t RemoteClusterIndex::global_df(std::string_view stem) const {
+  auto it = global_df_.find(stem);
+  return it == global_df_.end() ? 0 : it->second;
+}
+
+namespace {
+
+/// One request/response exchange with per-attempt deadline and
+/// measured traffic. Every request frame handed to the transport and
+/// every response frame received counts, so retries show up in the
+/// stats instead of hiding.
+Result<std::vector<uint8_t>> Exchange(Transport* transport,
+                                      const std::vector<uint8_t>& frame,
+                                      int timeout_ms, int retries,
+                                      size_t* messages, size_t* bytes) {
+  Status last = Status::Unavailable("no attempts made");
+  for (int attempt = 0; attempt <= retries; ++attempt) {
+    *messages += 1;
+    *bytes += frame.size();
+    Result<std::vector<uint8_t>> response =
+        transport->Call(frame, Deadline::After(timeout_ms));
+    if (response.ok()) {
+      *messages += 1;
+      *bytes += response.value().size();
+      return response;
+    }
+    last = response.status();
+  }
+  return last;
+}
+
+}  // namespace
+
+Status RemoteClusterIndex::Connect() {
+  global_df_.clear();
+  collection_length_ = 0;
+  total_docs_ = 0;
+  for (size_t i = 0; i < shards_.size(); ++i) {
+    StatsRequest request;
+    request.node_id = shards_[i].node_id;
+    size_t messages = 0, bytes = 0;
+    Result<std::vector<uint8_t>> frame =
+        Exchange(shards_[i].transport, EncodeStatsRequest(request),
+                 options_.timeout_ms, options_.retries, &messages, &bytes);
+    if (!frame.ok()) return frame.status();
+    MessageType type;
+    const uint8_t* body = nullptr;
+    size_t body_len = 0;
+    DLS_RETURN_IF_ERROR(DecodeFrame(frame.value(), &type, &body, &body_len));
+    if (type == MessageType::kError) return DecodeError(body, body_len);
+    if (type != MessageType::kStatsResponse) {
+      return Status::Corruption("stats handshake: unexpected frame type");
+    }
+    Result<StatsResponse> stats = DecodeStatsResponse(body, body_len);
+    if (!stats.ok()) return stats.status();
+    // Same aggregation as ClusterIndex::Finalize(): integer sums, so
+    // the resulting global df relation is identical to the in-process
+    // one whatever the shard order.
+    collection_length_ += stats.value().collection_length;
+    shard_docs_[i] = stats.value().document_count;
+    total_docs_ += stats.value().document_count;
+    for (const auto& [term, df] : stats.value().term_dfs) {
+      global_df_[term] += df;
+    }
+  }
+  connected_ = true;
+  return Status::Ok();
+}
+
+ir::ShardQuery RemoteClusterIndex::ResolveQuery(
+    const std::vector<std::string>& query_words, size_t n,
+    size_t max_fragments, const ir::RankOptions& options,
+    double* idf_mass_total) const {
+  // Identical resolution to ClusterIndex::Query: normalise, drop
+  // duplicates, keep only stems of the global vocabulary. The shards
+  // index with the default normalisation pipeline, so the standalone
+  // NormalizeWord is the same function node 0 would apply.
+  ir::ShardQuery request;
+  request.collection_length = collection_length_;
+  request.n = n;
+  request.max_fragments = max_fragments;
+  request.options = options;
+  *idf_mass_total = 0;
+  for (const std::string& word : query_words) {
+    std::optional<std::string> norm = ir::NormalizeWord(word);
+    if (!norm) continue;
+    if (std::find(request.stems.begin(), request.stems.end(), *norm) !=
+        request.stems.end()) {
+      continue;
+    }
+    auto it = global_df_.find(*norm);
+    if (it == global_df_.end()) continue;
+    request.stems.push_back(*norm);
+    request.stem_global_df.push_back(it->second);
+    *idf_mass_total += 1.0 / static_cast<double>(it->second);
+  }
+  return request;
+}
+
+void RemoteClusterIndex::CallShard(size_t shard,
+                                   const std::vector<ir::ShardQuery>& queries,
+                                   ShardOutcome* outcome) const {
+  QueryRequest request;
+  request.node_id = shards_[shard].node_id;
+  request.queries = queries;
+  Result<std::vector<uint8_t>> frame = Exchange(
+      shards_[shard].transport, EncodeQueryRequest(request),
+      options_.timeout_ms, options_.retries, &outcome->messages,
+      &outcome->bytes);
+  if (!frame.ok()) return;  // shard lost: outcome stays !alive
+  MessageType type;
+  const uint8_t* body = nullptr;
+  size_t body_len = 0;
+  if (!DecodeFrame(frame.value(), &type, &body, &body_len).ok()) return;
+  if (type != MessageType::kQueryResponse) return;  // Error frame or junk
+  Result<QueryResponse> response = DecodeQueryResponse(body, body_len);
+  if (!response.ok()) return;
+  // A response that doesn't answer the batch is as lost as no
+  // response: partial merges would silently drop documents.
+  if (response.value().results.size() != queries.size()) return;
+  outcome->results = std::move(response.value().results);
+  outcome->alive = true;
+}
+
+std::vector<RemoteClusterIndex::ShardOutcome> RemoteClusterIndex::FanOut(
+    const std::vector<ir::ShardQuery>& queries) const {
+  std::vector<ShardOutcome> outcomes(shards_.size());
+  ForEachShard(
+      [&](size_t i) { CallShard(i, queries, &outcomes[i]); });
+  return outcomes;
+}
+
+/// The quality estimate multiplies the idf-mass a-priori estimate
+/// (first responding shard's cut-off mask, as in-process uses node
+/// 0's) by the surviving document share — losing a node loses its
+/// share of the collection.
+void RemoteClusterIndex::AggregateStats(
+    const std::vector<ir::ShardQuery>& queries,
+    const std::vector<double>& idf_mass_totals,
+    const std::vector<ShardOutcome>& outcomes,
+    ir::ClusterQueryStats* stats) const {
+  uint64_t alive_docs = 0;
+  const ShardOutcome* first_alive = nullptr;
+  for (size_t i = 0; i < outcomes.size(); ++i) {
+    const ShardOutcome& o = outcomes[i];
+    stats->messages += o.messages;
+    stats->bytes_shipped += o.bytes;
+    if (!o.alive) continue;
+    if (first_alive == nullptr) first_alive = &o;
+    alive_docs += shard_docs_[i];
+    double shard_elapsed = 0;
+    for (const ir::ShardResult& r : o.results) {
+      stats->postings_touched_total += r.postings_touched;
+      stats->postings_touched_max_node =
+          std::max(stats->postings_touched_max_node,
+                   static_cast<size_t>(r.postings_touched));
+      stats->blocks_skipped += r.blocks_skipped;
+      shard_elapsed += r.elapsed_us;
+    }
+    stats->critical_path_us = std::max(stats->critical_path_us, shard_elapsed);
+    stats->total_cpu_us += shard_elapsed;
+  }
+
+  double idf_total = 0, idf_read = 0;
+  for (size_t q = 0; q < queries.size(); ++q) {
+    idf_total += idf_mass_totals[q];
+    if (first_alive == nullptr) continue;
+    const std::vector<bool>& mask = first_alive->results[q].stem_evaluated;
+    for (size_t s = 0; s < queries[q].stems.size(); ++s) {
+      if (s < mask.size() && mask[s]) {
+        idf_read += 1.0 / static_cast<double>(queries[q].stem_global_df[s]);
+      }
+    }
+  }
+  const double idf_quality = idf_total > 0 ? idf_read / idf_total : 1.0;
+  const double alive_share =
+      total_docs_ > 0
+          ? static_cast<double>(alive_docs) / static_cast<double>(total_docs_)
+          : 1.0;
+  stats->predicted_quality = idf_quality * alive_share;
+}
+
+std::vector<ir::ClusterScoredDoc> RemoteClusterIndex::Query(
+    const std::vector<std::string>& query_words, size_t n,
+    size_t max_fragments, ir::ClusterQueryStats* stats,
+    const ir::RankOptions& options) const {
+  assert(connected_ && "call Connect() before Query()");
+  double idf_mass_total = 0;
+  ir::ShardQuery base =
+      ResolveQuery(query_words, n, max_fragments, options, &idf_mass_total);
+
+  std::vector<ShardOutcome> outcomes;
+  if (options.prune && n > 0 &&
+      (executor_ == nullptr || shards_.size() <= 1)) {
+    // Sequential threshold feedback, as in-process: push the running
+    // global n-th best score to later shards. Exact either way — only
+    // the work stats differ from the parallel fan-out.
+    outcomes.resize(shards_.size());
+    std::priority_queue<double, std::vector<double>, std::greater<double>>
+        best;
+    ir::ShardQuery request = base;
+    for (size_t i = 0; i < shards_.size(); ++i) {
+      CallShard(i, {request}, &outcomes[i]);
+      if (!outcomes[i].alive) continue;
+      for (const ir::ClusterScoredDoc& d : outcomes[i].results[0].top) {
+        if (best.size() < n) {
+          best.push(d.score);
+        } else if (d.score > best.top()) {
+          best.pop();
+          best.push(d.score);
+        }
+      }
+      if (best.size() == n) request.threshold = best.top();
+    }
+  } else {
+    outcomes = FanOut({base});
+  }
+
+  ir::ClusterQueryStats local_stats;
+  AggregateStats({base}, {idf_mass_total}, outcomes, &local_stats);
+
+  // Lost shards contribute an empty ShardResult — the merge just never
+  // draws from them.
+  std::vector<ir::ShardResult> responses(shards_.size());
+  for (size_t i = 0; i < outcomes.size(); ++i) {
+    if (outcomes[i].alive) responses[i] = std::move(outcomes[i].results[0]);
+  }
+  std::vector<ir::ClusterScoredDoc> merged =
+      ir::MergeShardResults(&responses, n);
+  if (stats != nullptr) *stats = local_stats;
+  return merged;
+}
+
+std::vector<std::vector<ir::ClusterScoredDoc>> RemoteClusterIndex::QueryBatch(
+    const std::vector<std::vector<std::string>>& queries, size_t n,
+    size_t max_fragments, ir::ClusterQueryStats* stats,
+    const ir::RankOptions& options) const {
+  assert(connected_ && "call Connect() before QueryBatch()");
+  std::vector<ir::ShardQuery> requests;
+  std::vector<double> idf_mass_totals;
+  requests.reserve(queries.size());
+  idf_mass_totals.reserve(queries.size());
+  for (const std::vector<std::string>& words : queries) {
+    double idf_mass_total = 0;
+    requests.push_back(
+        ResolveQuery(words, n, max_fragments, options, &idf_mass_total));
+    idf_mass_totals.push_back(idf_mass_total);
+  }
+
+  std::vector<ShardOutcome> outcomes = FanOut(requests);
+
+  ir::ClusterQueryStats local_stats;
+  AggregateStats(requests, idf_mass_totals, outcomes, &local_stats);
+
+  std::vector<std::vector<ir::ClusterScoredDoc>> merged;
+  merged.reserve(queries.size());
+  for (size_t q = 0; q < requests.size(); ++q) {
+    std::vector<ir::ShardResult> responses(shards_.size());
+    for (size_t i = 0; i < outcomes.size(); ++i) {
+      if (outcomes[i].alive) {
+        responses[i] = std::move(outcomes[i].results[q]);
+      }
+    }
+    merged.push_back(ir::MergeShardResults(&responses, n));
+  }
+  if (stats != nullptr) *stats = local_stats;
+  return merged;
+}
+
+}  // namespace dls::net

@@ -1,0 +1,163 @@
+#ifndef DLS_NET_REMOTE_CLUSTER_H_
+#define DLS_NET_REMOTE_CLUSTER_H_
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <string_view>
+#include <unordered_map>
+#include <vector>
+
+#include "common/status.h"
+#include "ir/cluster.h"
+#include "ir/index.h"
+#include "net/transport.h"
+
+namespace dls {
+class ThreadPool;
+}  // namespace dls
+
+namespace dls::net {
+
+/// The central server of the distributed index, speaking the shard RPC
+/// protocol: the out-of-process mirror of ir::ClusterIndex::Query.
+///
+/// Each shard is a (Transport, node_id) address — one TcpTransport per
+/// remote process, or LoopbackTransports onto an in-process
+/// ShardServer for deterministic tests. Connect() runs the stats
+/// handshake and aggregates every node's (term, df) table into the
+/// global vocabulary, after which Query() resolves, fans out, and
+/// k-way merges exactly like the in-process path — both sides share
+/// ir::EvaluateShardQuery and ir::MergeShardResults, and the wire
+/// round-trips scores bit-exactly, so a healthy cluster returns
+/// bit-identical rankings remote and in-process
+/// (tests/net/remote_cluster_test.cc holds it to that).
+///
+/// Failure semantics: every per-shard call gets Options::timeout_ms,
+/// a failed call is retried Options::retries times (a fresh attempt
+/// reconnects a poisoned TcpTransport connection), and a shard still
+/// failing after that is dropped from the query: the merge proceeds
+/// over the surviving nodes and ClusterQueryStats.predicted_quality
+/// is scaled by the surviving document share — graceful degradation
+/// instead of a failed query. Shard document counts come from the
+/// Connect() handshake.
+///
+/// ClusterQueryStats.messages / bytes_shipped report the *actual
+/// encoded frames*: one message and its byte size per request frame
+/// handed to a transport (retries included) and per response frame
+/// received — identical accounting on loopback and TCP.
+///
+/// Thread-safety: after Connect(), concurrent Query()/QueryBatch()
+/// calls are safe (transports serialise internally; result slots are
+/// per-shard and per-call).
+class RemoteClusterIndex {
+ public:
+  /// One remote node: which transport to dial and which node id it is
+  /// on its server (a ShardServer can host several). Transports are
+  /// non-owning.
+  struct Shard {
+    Transport* transport = nullptr;
+    uint32_t node_id = 0;
+  };
+
+  struct Options {
+    int timeout_ms = 1000;  ///< per-call deadline (each attempt)
+    int retries = 1;        ///< extra attempts after a failed call
+  };
+
+  explicit RemoteClusterIndex(std::vector<Shard> shards);
+  RemoteClusterIndex(std::vector<Shard> shards, Options options);
+  ~RemoteClusterIndex();
+
+  /// Stats handshake: fetches every shard's local statistics and
+  /// aggregates the global df table, collection length and per-shard
+  /// document counts. Fails if any shard is unreachable — a cluster
+  /// that starts degraded is a deployment error, unlike one that
+  /// degrades under load.
+  Status Connect();
+
+  /// Uses `pool` (non-owning, may be nullptr for sequential) to fan
+  /// out per-shard calls.
+  void SetExecutor(ThreadPool* pool);
+
+  /// Creates and owns an internal pool of `num_threads` workers and
+  /// uses it as the executor.
+  void EnableParallelism(size_t num_threads);
+
+  size_t num_shards() const { return shards_.size(); }
+  uint64_t document_count() const { return total_docs_; }
+  int64_t global_collection_length() const { return collection_length_; }
+  /// Collection-wide df of a stem (0 when absent). Valid after
+  /// Connect().
+  int32_t global_df(std::string_view stem) const;
+
+  /// Distributed top-N with per-node fragment cut-off; mirrors
+  /// ClusterIndex::Query (same arguments, same semantics, same
+  /// deterministic merge order).
+  std::vector<ir::ClusterScoredDoc> Query(
+      const std::vector<std::string>& query_words, size_t n,
+      size_t max_fragments, ir::ClusterQueryStats* stats = nullptr,
+      const ir::RankOptions& options = {}) const;
+
+  /// Batched execution: ships the whole batch in ONE request frame per
+  /// shard and gets one response frame back, amortising a round-trip
+  /// per node per query down to one per node. Results are per query,
+  /// in input order, each identical to what Query() on that query
+  /// returns; `stats`, when given, aggregates over the batch.
+  std::vector<std::vector<ir::ClusterScoredDoc>> QueryBatch(
+      const std::vector<std::vector<std::string>>& queries, size_t n,
+      size_t max_fragments, ir::ClusterQueryStats* stats = nullptr,
+      const ir::RankOptions& options = {}) const;
+
+ private:
+  /// Per-shard outcome of one fan-out, with measured wire traffic.
+  struct ShardOutcome {
+    std::vector<ir::ShardResult> results;  // one per query in the batch
+    bool alive = false;
+    size_t messages = 0;
+    size_t bytes = 0;
+  };
+
+  /// Builds the resolved base request: normalised, de-duplicated stems
+  /// with global dfs. Returns the query's total idf mass through
+  /// `idf_mass_total`.
+  ir::ShardQuery ResolveQuery(const std::vector<std::string>& query_words,
+                              size_t n, size_t max_fragments,
+                              const ir::RankOptions& options,
+                              double* idf_mass_total) const;
+
+  /// One shard call with deadline + retries; fills outcome->messages /
+  /// bytes with the frames actually exchanged.
+  void CallShard(size_t shard, const std::vector<ir::ShardQuery>& queries,
+                 ShardOutcome* outcome) const;
+
+  /// Runs fn(i) for every shard, over the executor when attached.
+  void ForEachShard(const std::function<void(size_t)>& fn) const;
+
+  /// Fans the (possibly batched) request out to every shard.
+  std::vector<ShardOutcome> FanOut(
+      const std::vector<ir::ShardQuery>& queries) const;
+
+  /// Folds per-shard outcomes into the E4 stats struct; shared by
+  /// Query and QueryBatch.
+  void AggregateStats(const std::vector<ir::ShardQuery>& queries,
+                      const std::vector<double>& idf_mass_totals,
+                      const std::vector<ShardOutcome>& outcomes,
+                      ir::ClusterQueryStats* stats) const;
+
+  std::vector<Shard> shards_;
+  Options options_;
+  std::unordered_map<std::string, int32_t, ir::TransparentStringHash,
+                     std::equal_to<>>
+      global_df_;
+  int64_t collection_length_ = 0;
+  std::vector<uint64_t> shard_docs_;
+  uint64_t total_docs_ = 0;
+  bool connected_ = false;
+  ThreadPool* executor_ = nullptr;
+  std::unique_ptr<ThreadPool> owned_pool_;
+};
+
+}  // namespace dls::net
+
+#endif  // DLS_NET_REMOTE_CLUSTER_H_

@@ -1,0 +1,214 @@
+#include "net/tcp.h"
+
+#include <errno.h>
+#include <fcntl.h>
+#include <netdb.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <poll.h>
+#include <string.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <utility>
+
+#include "common/strings.h"
+#include "net/wire.h"
+
+namespace dls::net {
+namespace {
+
+Status Errno(const char* what) {
+  return Status::Unavailable(std::string("tcp: ") + what + ": " +
+                             strerror(errno));
+}
+
+/// Polls `fd` for `events` until the deadline; kOk means ready.
+Status PollFor(int fd, short events, Deadline deadline) {
+  for (;;) {
+    struct pollfd pfd;
+    pfd.fd = fd;
+    pfd.events = events;
+    pfd.revents = 0;
+    const int remaining = deadline.RemainingMillis();
+    if (!deadline.infinite() && remaining == 0) {
+      return Status::DeadlineExceeded("tcp: socket wait");
+    }
+    const int rc = poll(&pfd, 1, remaining);
+    if (rc > 0) {
+      // POLLERR/POLLHUP are readiness too: the following read/write
+      // reports the precise error.
+      return Status::Ok();
+    }
+    if (rc == 0) return Status::DeadlineExceeded("tcp: socket wait");
+    if (errno != EINTR) return Errno("poll");
+  }
+}
+
+Status SetNonBlocking(int fd) {
+  const int flags = fcntl(fd, F_GETFL, 0);
+  if (flags < 0 || fcntl(fd, F_SETFL, flags | O_NONBLOCK) < 0) {
+    return Errno("fcntl(O_NONBLOCK)");
+  }
+  return Status::Ok();
+}
+
+}  // namespace
+
+Status WriteAll(int fd, const uint8_t* data, size_t len, Deadline deadline) {
+  size_t sent = 0;
+  while (sent < len) {
+    // MSG_NOSIGNAL: a peer that went away must surface as EPIPE, not
+    // kill the process with SIGPIPE.
+    const ssize_t n = send(fd, data + sent, len - sent, MSG_NOSIGNAL);
+    if (n > 0) {
+      sent += static_cast<size_t>(n);
+      continue;
+    }
+    if (n < 0 && errno == EINTR) continue;
+    if (n < 0 && (errno == EAGAIN || errno == EWOULDBLOCK)) {
+      DLS_RETURN_IF_ERROR(PollFor(fd, POLLOUT, deadline));
+      continue;
+    }
+    return Errno("send");
+  }
+  return Status::Ok();
+}
+
+namespace {
+
+/// Appends exactly `len` bytes from the socket to `out`.
+Status ReadExactly(int fd, size_t len, Deadline deadline,
+                   std::vector<uint8_t>* out) {
+  const size_t start = out->size();
+  out->resize(start + len);
+  size_t got = 0;
+  while (got < len) {
+    const ssize_t n = recv(fd, out->data() + start + got, len - got, 0);
+    if (n > 0) {
+      got += static_cast<size_t>(n);
+      continue;
+    }
+    if (n == 0) {
+      return Status::Unavailable("tcp: peer closed mid-frame");
+    }
+    if (errno == EINTR) continue;
+    if (errno == EAGAIN || errno == EWOULDBLOCK) {
+      DLS_RETURN_IF_ERROR(PollFor(fd, POLLIN, deadline));
+      continue;
+    }
+    return Errno("recv");
+  }
+  return Status::Ok();
+}
+
+}  // namespace
+
+Result<std::vector<uint8_t>> ReadFrame(int fd, Deadline deadline) {
+  std::vector<uint8_t> frame;
+  DLS_RETURN_IF_ERROR(ReadExactly(fd, kFrameHeaderBytes, deadline, &frame));
+  uint32_t payload = 0;
+  for (size_t i = 0; i < kFrameHeaderBytes; ++i) {
+    payload |= static_cast<uint32_t>(frame[i]) << (8 * i);
+  }
+  // Check the prefix before allocating: a corrupt peer must not drive
+  // a multi-gigabyte resize.
+  if (payload > kMaxFramePayloadBytes || payload < 1) {
+    return Status::Corruption("tcp: implausible frame length");
+  }
+  DLS_RETURN_IF_ERROR(ReadExactly(fd, payload, deadline, &frame));
+  return frame;
+}
+
+TcpTransport::TcpTransport(std::string host, uint16_t port)
+    : host_(std::move(host)), port_(port) {}
+
+TcpTransport::~TcpTransport() {
+  std::lock_guard<std::mutex> lock(mu_);
+  CloseLocked();
+}
+
+void TcpTransport::CloseLocked() {
+  if (fd_ >= 0) {
+    close(fd_);
+    fd_ = -1;
+  }
+}
+
+Status TcpTransport::EnsureConnected(Deadline deadline) {
+  if (fd_ >= 0) return Status::Ok();
+
+  struct addrinfo hints;
+  memset(&hints, 0, sizeof(hints));
+  hints.ai_family = AF_UNSPEC;
+  hints.ai_socktype = SOCK_STREAM;
+  struct addrinfo* addrs = nullptr;
+  const int rc = getaddrinfo(host_.c_str(), StrFormat("%u", port_).c_str(),
+                             &hints, &addrs);
+  if (rc != 0) {
+    return Status::Unavailable(std::string("tcp: resolve ") + host_ + ": " +
+                               gai_strerror(rc));
+  }
+
+  Status status = Status::Unavailable("tcp: no addresses for " + host_);
+  for (struct addrinfo* ai = addrs; ai != nullptr; ai = ai->ai_next) {
+    const int fd = socket(ai->ai_family, ai->ai_socktype, ai->ai_protocol);
+    if (fd < 0) {
+      status = Errno("socket");
+      continue;
+    }
+    status = SetNonBlocking(fd);
+    if (status.ok()) {
+      if (connect(fd, ai->ai_addr, ai->ai_addrlen) == 0) {
+        status = Status::Ok();
+      } else if (errno == EINPROGRESS) {
+        // Non-blocking connect: wait for writability, then collect the
+        // outcome from SO_ERROR.
+        status = PollFor(fd, POLLOUT, deadline);
+        if (status.ok()) {
+          int err = 0;
+          socklen_t len = sizeof(err);
+          if (getsockopt(fd, SOL_SOCKET, SO_ERROR, &err, &len) < 0) {
+            status = Errno("getsockopt(SO_ERROR)");
+          } else if (err != 0) {
+            errno = err;
+            status = Errno("connect");
+          }
+        }
+      } else {
+        status = Errno("connect");
+      }
+    }
+    if (status.ok()) {
+      int one = 1;
+      setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+      fd_ = fd;
+      break;
+    }
+    close(fd);
+  }
+  freeaddrinfo(addrs);
+  return status;
+}
+
+Result<std::vector<uint8_t>> TcpTransport::Call(
+    const std::vector<uint8_t>& request_frame, Deadline deadline) {
+  std::lock_guard<std::mutex> lock(mu_);
+  Status status = EnsureConnected(deadline);
+  if (status.ok()) {
+    status = WriteAll(fd_, request_frame.data(), request_frame.size(),
+                      deadline);
+  }
+  if (status.ok()) {
+    Result<std::vector<uint8_t>> response = ReadFrame(fd_, deadline);
+    if (response.ok()) return response;
+    status = response.status();
+  }
+  // Any failure poisons the connection: the request/response pairing
+  // on this socket is lost, so drop it and let the next call (the
+  // retry) start from a clean connect.
+  CloseLocked();
+  return status;
+}
+
+}  // namespace dls::net

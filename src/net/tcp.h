@@ -1,0 +1,59 @@
+#ifndef DLS_NET_TCP_H_
+#define DLS_NET_TCP_H_
+
+#include <cstdint>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "net/transport.h"
+
+namespace dls::net {
+
+/// Frame-level socket helpers shared by TcpTransport and ShardServer.
+/// All three poll(2) a non-blocking fd and honour the deadline; a
+/// peer that closes mid-frame or a garbage length prefix surfaces as
+/// a clean Status. ReadFrame returns the complete frame (length
+/// prefix included), ready for wire.h's DecodeFrame.
+Status WriteAll(int fd, const uint8_t* data, size_t len, Deadline deadline);
+Result<std::vector<uint8_t>> ReadFrame(int fd, Deadline deadline);
+
+/// A Transport over one TCP connection to a ShardServer.
+///
+/// Connects lazily on the first Call() — non-blocking connect(2)
+/// raced against the call's deadline — and keeps the connection for
+/// subsequent calls; any error (timeout, reset, malformed frame)
+/// closes the socket so the next call reconnects, which is what makes
+/// the client's one-retry policy meaningful. TCP_NODELAY is set: the
+/// protocol is strict request/response, and Nagle+delayed-ACK would
+/// add ~40 ms to every query.
+///
+/// Concurrent Call()s serialise on an internal mutex (one in-flight
+/// exchange per connection keeps framing trivial); fan-out
+/// parallelism comes from one TcpTransport per shard, not from
+/// pipelining one socket.
+class TcpTransport : public Transport {
+ public:
+  /// Does not connect; host is resolved with getaddrinfo on first use.
+  TcpTransport(std::string host, uint16_t port);
+  ~TcpTransport() override;
+
+  TcpTransport(const TcpTransport&) = delete;
+  TcpTransport& operator=(const TcpTransport&) = delete;
+
+  Result<std::vector<uint8_t>> Call(const std::vector<uint8_t>& request_frame,
+                                    Deadline deadline) override;
+
+ private:
+  Status EnsureConnected(Deadline deadline);
+  void CloseLocked();
+
+  const std::string host_;
+  const uint16_t port_;
+  std::mutex mu_;
+  int fd_ = -1;
+};
+
+}  // namespace dls::net
+
+#endif  // DLS_NET_TCP_H_

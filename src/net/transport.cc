@@ -1,0 +1,68 @@
+#include "net/transport.h"
+
+#include <algorithm>
+#include <chrono>
+#include <thread>
+#include <utility>
+
+namespace dls::net {
+
+LoopbackTransport::LoopbackTransport(Handler handler)
+    : handler_(std::move(handler)) {}
+
+Result<std::vector<uint8_t>> LoopbackTransport::Call(
+    const std::vector<uint8_t>& request_frame, Deadline deadline) {
+  int delay_ms = 0;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (killed_) return Status::Unavailable("loopback: peer killed");
+    if (fail_calls_ > 0) {
+      --fail_calls_;
+      return Status::Unavailable("loopback: injected failure");
+    }
+    if (delay_calls_ > 0) {
+      --delay_calls_;
+      delay_ms = delay_millis_;
+    }
+  }
+  if (delay_ms > 0) {
+    // A real slow peer burns the caller's whole budget before the
+    // timeout fires; model that, but don't oversleep a short delay.
+    std::this_thread::sleep_for(std::chrono::milliseconds(
+        std::min(delay_ms, deadline.RemainingMillis() + 1)));
+    if (deadline.Expired()) {
+      return Status::DeadlineExceeded("loopback: injected delay");
+    }
+  }
+  if (deadline.Expired()) {
+    return Status::DeadlineExceeded("loopback: deadline expired");
+  }
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    ++dispatched_;
+  }
+  return handler_(request_frame);
+}
+
+void LoopbackTransport::FailCalls(int count) {
+  std::lock_guard<std::mutex> lock(mu_);
+  fail_calls_ = count;
+}
+
+void LoopbackTransport::DelayCalls(int count, int millis) {
+  std::lock_guard<std::mutex> lock(mu_);
+  delay_calls_ = count;
+  delay_millis_ = millis;
+}
+
+void LoopbackTransport::Kill() {
+  std::lock_guard<std::mutex> lock(mu_);
+  killed_ = true;
+}
+
+int LoopbackTransport::dispatched_calls() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return dispatched_;
+}
+
+}  // namespace dls::net

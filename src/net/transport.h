@@ -1,0 +1,80 @@
+#ifndef DLS_NET_TRANSPORT_H_
+#define DLS_NET_TRANSPORT_H_
+
+#include <cstdint>
+#include <functional>
+#include <mutex>
+#include <vector>
+
+#include "common/deadline.h"
+#include "common/status.h"
+
+namespace dls::net {
+
+/// One request/response exchange with a shard endpoint.
+///
+/// The unit of transfer is a complete wire frame (net/wire.h, length
+/// prefix included) in both directions, so frame byte counts — the
+/// ClusterQueryStats.bytes_shipped measurement — are identical across
+/// implementations. Call() blocks until the response frame arrives,
+/// the deadline expires, or the peer fails; errors come back as a
+/// Status (kDeadlineExceeded, kUnavailable, kCorruption), never as a
+/// partial frame.
+///
+/// Implementations must tolerate concurrent Call()s from multiple
+/// threads; they may serialise them internally (TcpTransport holds one
+/// connection and does).
+class Transport {
+ public:
+  virtual ~Transport() = default;
+
+  virtual Result<std::vector<uint8_t>> Call(
+      const std::vector<uint8_t>& request_frame, Deadline deadline) = 0;
+};
+
+/// In-process transport: hands the request frame to a handler function
+/// (typically ShardServer::HandleFrame) on the calling thread.
+/// Deterministic — no sockets, no scheduling — which makes it the
+/// reference endpoint for the bit-identity tests, and the fault hooks
+/// below make it the harness for the failure-semantics tests:
+///
+///   FailCalls(k)       the next k calls return kUnavailable without
+///                      reaching the handler (a dead peer);
+///   DelayCalls(k, ms)  the next k calls stall ms before dispatching
+///                      and return kDeadlineExceeded if that overruns
+///                      the caller's deadline (a slow peer — the
+///                      timeout+retry path);
+///   Kill()             every future call fails (a lost node).
+///
+/// Fault state is internally synchronised; concurrent Call()s are
+/// safe.
+class LoopbackTransport : public Transport {
+ public:
+  using Handler =
+      std::function<Result<std::vector<uint8_t>>(const std::vector<uint8_t>&)>;
+
+  explicit LoopbackTransport(Handler handler);
+
+  Result<std::vector<uint8_t>> Call(const std::vector<uint8_t>& request_frame,
+                                    Deadline deadline) override;
+
+  void FailCalls(int count);
+  void DelayCalls(int count, int millis);
+  void Kill();
+
+  /// Calls that reached the handler (retry accounting in tests).
+  int dispatched_calls() const;
+
+ private:
+  Handler handler_;
+  mutable std::mutex mu_;
+  int fail_calls_ = 0;
+  int delay_calls_ = 0;
+  int delay_millis_ = 0;
+  bool killed_ = false;
+  int dispatched_ = 0;
+};
+
+}  // namespace dls::net
+
+#endif  // DLS_NET_TRANSPORT_H_

@@ -1,0 +1,388 @@
+#include "net/wire.h"
+
+#include <cstring>
+
+#include "ir/codec.h"
+
+namespace dls::net {
+namespace {
+
+// ---- Encoding ------------------------------------------------------
+
+/// Builds one frame: reserves the length prefix, accumulates the
+/// payload, and Finish() patches the prefix. Varint32 is the posting
+/// codec's LEB128 writer (ir/codec.h) verbatim; Varint64 extends the
+/// same scheme to 10 bytes.
+class FrameWriter {
+ public:
+  explicit FrameWriter(MessageType type) {
+    bytes_.resize(kFrameHeaderBytes);
+    U8(static_cast<uint8_t>(type));
+  }
+
+  void U8(uint8_t v) { bytes_.push_back(v); }
+
+  void Varint32(uint32_t v) { ir::AppendVarint(v, &bytes_); }
+
+  void Varint64(uint64_t v) {
+    while (v >= 0x80u) {
+      bytes_.push_back(static_cast<uint8_t>(v | 0x80u));
+      v >>= 7;
+    }
+    bytes_.push_back(static_cast<uint8_t>(v));
+  }
+
+  /// IEEE-754 bit pattern as 8 explicit little-endian bytes —
+  /// endianness-independent and bit-exact.
+  void F64(double v) {
+    uint64_t bits;
+    std::memcpy(&bits, &v, sizeof(bits));
+    for (int i = 0; i < 8; ++i) {
+      bytes_.push_back(static_cast<uint8_t>(bits >> (8 * i)));
+    }
+  }
+
+  void String(const std::string& s) {
+    Varint32(static_cast<uint32_t>(s.size()));
+    bytes_.insert(bytes_.end(), s.begin(), s.end());
+  }
+
+  /// Varint count + packed bitmap, LSB-first within each byte.
+  void BitVector(const std::vector<bool>& bits) {
+    Varint32(static_cast<uint32_t>(bits.size()));
+    uint8_t byte = 0;
+    for (size_t i = 0; i < bits.size(); ++i) {
+      if (bits[i]) byte |= static_cast<uint8_t>(1u << (i % 8));
+      if (i % 8 == 7) {
+        bytes_.push_back(byte);
+        byte = 0;
+      }
+    }
+    if (bits.size() % 8 != 0) bytes_.push_back(byte);
+  }
+
+  std::vector<uint8_t> Finish() {
+    const uint32_t payload = static_cast<uint32_t>(bytes_.size()) -
+                             static_cast<uint32_t>(kFrameHeaderBytes);
+    for (int i = 0; i < 4; ++i) {
+      bytes_[i] = static_cast<uint8_t>(payload >> (8 * i));
+    }
+    return std::move(bytes_);
+  }
+
+ private:
+  std::vector<uint8_t> bytes_;
+};
+
+void WriteShardQuery(const ir::ShardQuery& q, FrameWriter* w) {
+  w->Varint64(q.n);
+  w->Varint64(q.max_fragments);
+  w->F64(q.threshold);
+  w->F64(q.options.lambda);
+  w->U8(static_cast<uint8_t>(q.options.kernel));
+  w->U8(q.options.prune ? 1 : 0);
+  w->Varint64(static_cast<uint64_t>(q.collection_length));
+  w->Varint32(static_cast<uint32_t>(q.stems.size()));
+  for (size_t i = 0; i < q.stems.size(); ++i) {
+    w->String(q.stems[i]);
+    w->Varint32(static_cast<uint32_t>(q.stem_global_df[i]));
+  }
+}
+
+void WriteShardResult(const ir::ShardResult& r, FrameWriter* w) {
+  w->Varint32(static_cast<uint32_t>(r.top.size()));
+  for (const ir::ClusterScoredDoc& d : r.top) {
+    w->String(d.url);
+    w->F64(d.score);
+  }
+  w->Varint64(r.postings_touched);
+  w->Varint64(r.blocks_skipped);
+  w->F64(r.elapsed_us);
+  w->BitVector(r.stem_evaluated);
+}
+
+// ---- Decoding ------------------------------------------------------
+
+/// Bounds-checked cursor over a body span. Every accessor checks the
+/// remaining bytes first and latches `failed()` on violation; after a
+/// failure all further reads return zero values, so decoders can read
+/// straight through and test failed() once at the end.
+class BodyReader {
+ public:
+  BodyReader(const uint8_t* p, size_t len) : p_(p), end_(p + len) {}
+
+  bool failed() const { return failed_; }
+  size_t remaining() const { return static_cast<size_t>(end_ - p_); }
+
+  uint8_t U8() {
+    if (remaining() < 1) return Fail<uint8_t>();
+    return *p_++;
+  }
+
+  uint32_t Varint32() {
+    uint64_t v = Varint(5);
+    if (v > 0xffffffffull) return Fail<uint32_t>();
+    return static_cast<uint32_t>(v);
+  }
+
+  uint64_t Varint64() { return Varint(10); }
+
+  double F64() {
+    if (remaining() < 8) return Fail<double>();
+    uint64_t bits = 0;
+    for (int i = 0; i < 8; ++i) {
+      bits |= static_cast<uint64_t>(p_[i]) << (8 * i);
+    }
+    p_ += 8;
+    double v;
+    std::memcpy(&v, &bits, sizeof(v));
+    return v;
+  }
+
+  std::string String() {
+    uint32_t len = Varint32();
+    if (failed_ || remaining() < len) return (Fail<int>(), std::string());
+    std::string s(reinterpret_cast<const char*>(p_), len);
+    p_ += len;
+    return s;
+  }
+
+  std::vector<bool> BitVector() {
+    uint32_t count = Varint32();
+    const size_t bytes = (static_cast<size_t>(count) + 7) / 8;
+    if (failed_ || remaining() < bytes) {
+      return (Fail<int>(), std::vector<bool>());
+    }
+    std::vector<bool> bits(count);
+    for (uint32_t i = 0; i < count; ++i) {
+      bits[i] = (p_[i / 8] >> (i % 8)) & 1u;
+    }
+    p_ += bytes;
+    return bits;
+  }
+
+  /// Reads an element count and rejects it unless the remaining bytes
+  /// could hold `min_bytes_each` per element — a fuzzer-supplied count
+  /// must never drive an allocation the frame cannot back.
+  uint32_t Count(size_t min_bytes_each) {
+    uint32_t count = Varint32();
+    if (failed_ || static_cast<uint64_t>(count) * min_bytes_each >
+                       remaining()) {
+      return Fail<uint32_t>();
+    }
+    return count;
+  }
+
+ private:
+  template <typename T>
+  T Fail() {
+    failed_ = true;
+    p_ = end_;
+    return T();
+  }
+
+  /// LEB128 with an explicit byte cap: a varint that keeps its
+  /// continuation bit set past `max_bytes` is malformed, not a longer
+  /// loop (the unchecked ir/codec.h decoder trusts its own encoder;
+  /// the wire cannot).
+  uint64_t Varint(int max_bytes) {
+    uint64_t v = 0;
+    for (int i = 0; i < max_bytes; ++i) {
+      if (remaining() < 1) return Fail<uint64_t>();
+      const uint8_t byte = *p_++;
+      v |= static_cast<uint64_t>(byte & 0x7fu) << (7 * i);
+      if ((byte & 0x80u) == 0) return v;
+    }
+    return Fail<uint64_t>();
+  }
+
+  const uint8_t* p_;
+  const uint8_t* end_;
+  bool failed_ = false;
+};
+
+Status Truncated(const char* what) {
+  return Status::Corruption(std::string("wire: malformed ") + what);
+}
+
+bool ReadShardQuery(BodyReader* r, ir::ShardQuery* q) {
+  q->n = r->Varint64();
+  q->max_fragments = r->Varint64();
+  q->threshold = r->F64();
+  q->options.lambda = r->F64();
+  const uint8_t kernel = r->U8();
+  const uint8_t prune = r->U8();
+  q->collection_length = static_cast<int64_t>(r->Varint64());
+  const uint32_t stems = r->Count(/*min_bytes_each=*/2);
+  if (r->failed() || kernel > 2 || prune > 1) return false;
+  q->options.kernel = static_cast<ir::ScoreKernel>(kernel);
+  q->options.prune = prune != 0;
+  q->stems.reserve(stems);
+  q->stem_global_df.reserve(stems);
+  for (uint32_t i = 0; i < stems; ++i) {
+    q->stems.push_back(r->String());
+    const uint32_t df = r->Varint32();
+    // df == 0 would divide by zero in TermWeight; the centre only ever
+    // pushes stems present in the global vocabulary.
+    if (r->failed() || df == 0 || df > 0x7fffffffu) return false;
+    q->stem_global_df.push_back(static_cast<int32_t>(df));
+  }
+  return !r->failed();
+}
+
+bool ReadShardResult(BodyReader* r, ir::ShardResult* out) {
+  const uint32_t docs = r->Count(/*min_bytes_each=*/9);
+  if (r->failed()) return false;
+  out->top.reserve(docs);
+  for (uint32_t i = 0; i < docs; ++i) {
+    ir::ClusterScoredDoc d;
+    d.url = r->String();
+    d.score = r->F64();
+    if (r->failed()) return false;
+    out->top.push_back(std::move(d));
+  }
+  out->postings_touched = r->Varint64();
+  out->blocks_skipped = r->Varint64();
+  out->elapsed_us = r->F64();
+  out->stem_evaluated = r->BitVector();
+  return !r->failed();
+}
+
+}  // namespace
+
+std::vector<uint8_t> EncodeQueryRequest(const QueryRequest& request) {
+  FrameWriter w(MessageType::kQueryRequest);
+  w.Varint32(request.node_id);
+  w.Varint32(static_cast<uint32_t>(request.queries.size()));
+  for (const ir::ShardQuery& q : request.queries) WriteShardQuery(q, &w);
+  return w.Finish();
+}
+
+std::vector<uint8_t> EncodeQueryResponse(const QueryResponse& response) {
+  FrameWriter w(MessageType::kQueryResponse);
+  w.Varint32(response.node_id);
+  w.Varint32(static_cast<uint32_t>(response.results.size()));
+  for (const ir::ShardResult& r : response.results) WriteShardResult(r, &w);
+  return w.Finish();
+}
+
+std::vector<uint8_t> EncodeStatsRequest(const StatsRequest& request) {
+  FrameWriter w(MessageType::kStatsRequest);
+  w.Varint32(request.node_id);
+  return w.Finish();
+}
+
+std::vector<uint8_t> EncodeStatsResponse(const StatsResponse& response) {
+  FrameWriter w(MessageType::kStatsResponse);
+  w.Varint32(response.node_id);
+  w.Varint64(static_cast<uint64_t>(response.collection_length));
+  w.Varint64(response.document_count);
+  w.Varint32(static_cast<uint32_t>(response.term_dfs.size()));
+  for (const auto& [term, df] : response.term_dfs) {
+    w.String(term);
+    w.Varint32(static_cast<uint32_t>(df));
+  }
+  return w.Finish();
+}
+
+std::vector<uint8_t> EncodeError(const Status& status) {
+  FrameWriter w(MessageType::kError);
+  w.Varint32(static_cast<uint32_t>(status.code()));
+  w.String(status.message());
+  return w.Finish();
+}
+
+Status DecodeFrame(const std::vector<uint8_t>& frame, MessageType* type,
+                   const uint8_t** body, size_t* body_len) {
+  if (frame.size() < kFrameHeaderBytes + 1) return Truncated("frame header");
+  uint32_t payload = 0;
+  for (int i = 0; i < 4; ++i) {
+    payload |= static_cast<uint32_t>(frame[i]) << (8 * i);
+  }
+  if (payload > kMaxFramePayloadBytes) return Truncated("frame length");
+  if (static_cast<size_t>(payload) != frame.size() - kFrameHeaderBytes) {
+    return Truncated("frame length");
+  }
+  const uint8_t raw = frame[kFrameHeaderBytes];
+  if (raw < 1 || raw > 5) return Truncated("message type");
+  *type = static_cast<MessageType>(raw);
+  *body = frame.data() + kFrameHeaderBytes + 1;
+  *body_len = payload - 1;
+  return Status::Ok();
+}
+
+Result<QueryRequest> DecodeQueryRequest(const uint8_t* body, size_t len) {
+  BodyReader r(body, len);
+  QueryRequest request;
+  request.node_id = r.Varint32();
+  const uint32_t queries = r.Count(/*min_bytes_each=*/20);
+  if (r.failed()) return Truncated("QueryRequest");
+  request.queries.resize(queries);
+  for (uint32_t i = 0; i < queries; ++i) {
+    if (!ReadShardQuery(&r, &request.queries[i])) {
+      return Truncated("QueryRequest");
+    }
+  }
+  if (r.failed() || r.remaining() != 0) return Truncated("QueryRequest");
+  return request;
+}
+
+Result<QueryResponse> DecodeQueryResponse(const uint8_t* body, size_t len) {
+  BodyReader r(body, len);
+  QueryResponse response;
+  response.node_id = r.Varint32();
+  const uint32_t results = r.Count(/*min_bytes_each=*/12);
+  if (r.failed()) return Truncated("QueryResponse");
+  response.results.resize(results);
+  for (uint32_t i = 0; i < results; ++i) {
+    if (!ReadShardResult(&r, &response.results[i])) {
+      return Truncated("QueryResponse");
+    }
+  }
+  if (r.failed() || r.remaining() != 0) return Truncated("QueryResponse");
+  return response;
+}
+
+Result<StatsRequest> DecodeStatsRequest(const uint8_t* body, size_t len) {
+  BodyReader r(body, len);
+  StatsRequest request;
+  request.node_id = r.Varint32();
+  if (r.failed() || r.remaining() != 0) return Truncated("StatsRequest");
+  return request;
+}
+
+Result<StatsResponse> DecodeStatsResponse(const uint8_t* body, size_t len) {
+  BodyReader r(body, len);
+  StatsResponse response;
+  response.node_id = r.Varint32();
+  response.collection_length = static_cast<int64_t>(r.Varint64());
+  response.document_count = r.Varint64();
+  const uint32_t terms = r.Count(/*min_bytes_each=*/2);
+  if (r.failed()) return Truncated("StatsResponse");
+  response.term_dfs.reserve(terms);
+  for (uint32_t i = 0; i < terms; ++i) {
+    std::string term = r.String();
+    const uint32_t df = r.Varint32();
+    if (r.failed() || df > 0x7fffffffu) return Truncated("StatsResponse");
+    response.term_dfs.emplace_back(std::move(term),
+                                   static_cast<int32_t>(df));
+  }
+  if (r.failed() || r.remaining() != 0) return Truncated("StatsResponse");
+  return response;
+}
+
+Status DecodeError(const uint8_t* body, size_t len) {
+  BodyReader r(body, len);
+  const uint32_t code = r.Varint32();
+  std::string message = r.String();
+  if (r.failed() || r.remaining() != 0) return Truncated("Error frame");
+  // kDeadlineExceeded is the last enumerator; anything past it — or a
+  // nonsensical "ok" error — degrades to kInternal rather than lying.
+  if (code == 0 ||
+      code > static_cast<uint32_t>(StatusCode::kDeadlineExceeded)) {
+    return Status::Internal("peer error: " + message);
+  }
+  return Status(static_cast<StatusCode>(code), std::move(message));
+}
+
+}  // namespace dls::net

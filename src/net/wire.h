@@ -1,0 +1,119 @@
+#ifndef DLS_NET_WIRE_H_
+#define DLS_NET_WIRE_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "common/status.h"
+#include "ir/cluster.h"
+
+namespace dls::net {
+
+/// Framed binary wire format of the shard RPC protocol.
+///
+/// A frame is
+///
+///   [u32 LE payload length][payload]
+///   payload = [u8 MessageType][body]
+///
+/// and the body is a flat LEB128-varint encoding (the same 7-bits-per-
+/// byte scheme as the posting codec, src/ir/codec.h) of one of the
+/// message structs below:
+///
+///   type              body
+///   1 QueryRequest    node_id, then a batch of ShardQuery: per query
+///                     n, max_fragments, threshold(f64), lambda(f64),
+///                     kernel(u8), prune(u8), collection_length, and
+///                     the resolved stems each with its global df
+///   2 QueryResponse   node_id, then one ShardResult per request
+///                     query: RES(url, score(f64)) tuples, work
+///                     accounting, and the stem_evaluated bitmap
+///   3 StatsRequest    node_id — asks a node for its local statistics
+///   4 StatsResponse   node_id, collection_length, document count and
+///                     the full (term, df) table, which is what the
+///                     client aggregates into the global df relation
+///   5 Error           status code + message (the server's reply to a
+///                     frame it cannot parse or serve)
+///
+/// Integers are varints (u32 capped at 5 bytes, u64 at 10); doubles
+/// are their IEEE-754 bit pattern as 8 explicit little-endian bytes,
+/// so scores survive the wire bit-exactly — the remote/in-process
+/// bit-identity contract depends on it. Strings are varint length +
+/// raw bytes.
+///
+/// Decoding never trusts the peer: every read is bounds-checked,
+/// varints reject overlong encodings, counts are validated against the
+/// bytes that could possibly back them, and any violation surfaces as
+/// a clean Status (kCorruption) — a truncated or corrupt frame must
+/// never become UB (tests/net/wire_test.cc fuzzes this).
+
+/// Upper bound a receiver enforces on the payload length before
+/// allocating — a garbage length prefix must not OOM the process.
+inline constexpr uint32_t kMaxFramePayloadBytes = 64u << 20;
+
+/// Bytes of the frame length prefix.
+inline constexpr size_t kFrameHeaderBytes = 4;
+
+enum class MessageType : uint8_t {
+  kQueryRequest = 1,
+  kQueryResponse = 2,
+  kStatsRequest = 3,
+  kStatsResponse = 4,
+  kError = 5,
+};
+
+/// A batch of resolved queries pushed to one node. `node_id` addresses
+/// the node on a server hosting several (a ShardServer is a process;
+/// nodes are its shards).
+struct QueryRequest {
+  uint32_t node_id = 0;
+  std::vector<ir::ShardQuery> queries;
+};
+
+/// One ShardResult per query of the request batch, in request order.
+struct QueryResponse {
+  uint32_t node_id = 0;
+  std::vector<ir::ShardResult> results;
+};
+
+struct StatsRequest {
+  uint32_t node_id = 0;
+};
+
+/// A node's local term statistics — the client-side aggregate over all
+/// nodes reproduces ClusterIndex::Finalize()'s global df relation.
+struct StatsResponse {
+  uint32_t node_id = 0;
+  int64_t collection_length = 0;
+  uint64_t document_count = 0;
+  std::vector<std::pair<std::string, int32_t>> term_dfs;
+};
+
+/// Encoders return a complete frame: length prefix, type byte, body.
+std::vector<uint8_t> EncodeQueryRequest(const QueryRequest& request);
+std::vector<uint8_t> EncodeQueryResponse(const QueryResponse& response);
+std::vector<uint8_t> EncodeStatsRequest(const StatsRequest& request);
+std::vector<uint8_t> EncodeStatsResponse(const StatsResponse& response);
+std::vector<uint8_t> EncodeError(const Status& status);
+
+/// Splits a complete frame into (type, body) after validating the
+/// length prefix against the actual size and the payload cap.
+/// `body`/`body_len` alias into `frame`.
+Status DecodeFrame(const std::vector<uint8_t>& frame, MessageType* type,
+                   const uint8_t** body, size_t* body_len);
+
+/// Body decoders (input: the body span DecodeFrame produced).
+Result<QueryRequest> DecodeQueryRequest(const uint8_t* body, size_t len);
+Result<QueryResponse> DecodeQueryResponse(const uint8_t* body, size_t len);
+Result<StatsRequest> DecodeStatsRequest(const uint8_t* body, size_t len);
+Result<StatsResponse> DecodeStatsResponse(const uint8_t* body, size_t len);
+/// Decodes an Error body into the Status it carries (an error status
+/// even if the peer encoded kOk — an Error frame is never a success).
+Status DecodeError(const uint8_t* body, size_t len);
+
+}  // namespace dls::net
+
+#endif  // DLS_NET_WIRE_H_

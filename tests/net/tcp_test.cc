@@ -1,0 +1,284 @@
+#include "net/tcp.h"
+
+#include <gtest/gtest.h>
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cstring>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "common/rng.h"
+#include "common/strings.h"
+#include "ir/cluster.h"
+#include "net/remote_cluster.h"
+#include "net/shard_server.h"
+#include "net/wire.h"
+
+namespace dls::net {
+namespace {
+
+uint64_t Bits(double v) {
+  uint64_t bits;
+  std::memcpy(&bits, &v, sizeof(bits));
+  return bits;
+}
+
+void BuildCorpus(ir::ClusterIndex* cluster, int docs, uint64_t seed) {
+  Rng rng(seed);
+  ZipfSampler zipf(300, 1.1);
+  for (int d = 0; d < docs; ++d) {
+    std::string body;
+    for (int w = 0; w < 50; ++w) {
+      body += StrFormat("term%03zu ", zipf.Sample(&rng));
+    }
+    cluster->AddDocument(StrFormat("doc%03d", d), body);
+  }
+  cluster->Finalize();
+}
+
+void ExpectSameRanking(const std::vector<ir::ClusterScoredDoc>& got,
+                       const std::vector<ir::ClusterScoredDoc>& want) {
+  ASSERT_EQ(got.size(), want.size());
+  for (size_t i = 0; i < want.size(); ++i) {
+    EXPECT_EQ(got[i].url, want[i].url) << "rank " << i;
+    EXPECT_EQ(Bits(got[i].score), Bits(want[i].score)) << "rank " << i;
+  }
+}
+
+const std::vector<std::vector<std::string>> kQueries = {
+    {"term000", "term001"},
+    {"term005", "term050", "term123"},
+    {"term010"},
+};
+
+/// The cluster's nodes served over real localhost TCP: one ShardServer
+/// process-equivalent hosting all nodes, one TcpTransport per shard.
+struct TcpCluster {
+  TcpCluster(size_t nodes, size_t fragments, int docs, uint64_t seed,
+             RemoteClusterIndex::Options options =
+                 RemoteClusterIndex::Options())
+      : cluster(nodes, fragments) {
+    BuildCorpus(&cluster, docs, seed);
+    for (size_t i = 0; i < nodes; ++i) {
+      server.AddNode(&cluster.node_index(i), &cluster.node_fragments(i));
+    }
+    Status started = server.Start(0);
+    EXPECT_TRUE(started.ok()) << started.ToString();
+    std::vector<RemoteClusterIndex::Shard> shards;
+    for (size_t i = 0; i < nodes; ++i) {
+      transports.push_back(
+          std::make_unique<TcpTransport>("127.0.0.1", server.port()));
+      shards.push_back({transports[i].get(), static_cast<uint32_t>(i)});
+    }
+    remote = std::make_unique<RemoteClusterIndex>(std::move(shards), options);
+  }
+
+  ir::ClusterIndex cluster;
+  ShardServer server;
+  std::vector<std::unique_ptr<TcpTransport>> transports;
+  std::unique_ptr<RemoteClusterIndex> remote;
+};
+
+TEST(TcpTest, BitIdentityOverLocalhost) {
+  TcpCluster fx(4, 4, 120, 1);
+  ASSERT_TRUE(fx.remote->Connect().ok());
+  for (bool prune : {false, true}) {
+    ir::RankOptions options;
+    options.prune = prune;
+    for (size_t max_fragments : {size_t{4}, size_t{2}}) {
+      for (const auto& query : kQueries) {
+        ir::ClusterQueryStats remote_stats, local_stats;
+        ExpectSameRanking(
+            fx.remote->Query(query, 10, max_fragments, &remote_stats,
+                             options),
+            fx.cluster.Query(query, 10, max_fragments, &local_stats,
+                             options));
+        EXPECT_EQ(Bits(remote_stats.predicted_quality),
+                  Bits(local_stats.predicted_quality));
+      }
+    }
+  }
+}
+
+// The transport must not change the accounting: the same query ships
+// byte-identical frames over loopback and TCP.
+TEST(TcpTest, AccountingMatchesLoopback) {
+  TcpCluster fx(4, 4, 120, 1);
+  ASSERT_TRUE(fx.remote->Connect().ok());
+
+  std::vector<std::unique_ptr<LoopbackTransport>> loop_transports;
+  std::vector<RemoteClusterIndex::Shard> loop_shards;
+  for (size_t i = 0; i < 4; ++i) {
+    loop_transports.push_back(
+        std::make_unique<LoopbackTransport>(fx.server.Handler()));
+    loop_shards.push_back(
+        {loop_transports[i].get(), static_cast<uint32_t>(i)});
+  }
+  RemoteClusterIndex loopback(std::move(loop_shards));
+  ASSERT_TRUE(loopback.Connect().ok());
+
+  ir::ClusterQueryStats tcp_stats, loop_stats;
+  ExpectSameRanking(fx.remote->Query(kQueries[1], 10, 4, &tcp_stats),
+                    loopback.Query(kQueries[1], 10, 4, &loop_stats));
+  EXPECT_EQ(tcp_stats.messages, loop_stats.messages);
+  EXPECT_EQ(tcp_stats.bytes_shipped, loop_stats.bytes_shipped);
+}
+
+TEST(TcpTest, QueryBatchOverLocalhost) {
+  TcpCluster fx(4, 4, 120, 1);
+  ASSERT_TRUE(fx.remote->Connect().ok());
+  ir::ClusterQueryStats stats;
+  std::vector<std::vector<ir::ClusterScoredDoc>> batched =
+      fx.remote->QueryBatch(kQueries, 10, 4, &stats);
+  ASSERT_EQ(batched.size(), kQueries.size());
+  for (size_t q = 0; q < kQueries.size(); ++q) {
+    ExpectSameRanking(batched[q], fx.cluster.Query(kQueries[q], 10, 4));
+  }
+  EXPECT_EQ(stats.messages, 2u * 4u);
+}
+
+// Several client threads hammering one RemoteClusterIndex: transports
+// serialise per connection, the server fans connections out over its
+// worker pool. Run under TSan in CI.
+TEST(TcpTest, ConcurrentClientsGetConsistentAnswers) {
+  TcpCluster fx(4, 4, 120, 1);
+  ASSERT_TRUE(fx.remote->Connect().ok());
+
+  std::vector<std::vector<ir::ClusterScoredDoc>> expected;
+  for (const auto& query : kQueries) {
+    expected.push_back(fx.cluster.Query(query, 10, 4));
+  }
+
+  std::vector<std::thread> threads;
+  std::vector<int> mismatches(4, 0);
+  for (int t = 0; t < 4; ++t) {
+    threads.emplace_back([&, t] {
+      for (int iter = 0; iter < 5; ++iter) {
+        for (size_t q = 0; q < kQueries.size(); ++q) {
+          std::vector<ir::ClusterScoredDoc> got =
+              fx.remote->Query(kQueries[q], 10, 4);
+          if (got.size() != expected[q].size()) {
+            ++mismatches[t];
+            continue;
+          }
+          for (size_t i = 0; i < got.size(); ++i) {
+            if (got[i].url != expected[q][i].url ||
+                Bits(got[i].score) != Bits(expected[q][i].score)) {
+              ++mismatches[t];
+            }
+          }
+        }
+      }
+    });
+  }
+  for (std::thread& t : threads) t.join();
+  for (int t = 0; t < 4; ++t) EXPECT_EQ(mismatches[t], 0) << "thread " << t;
+}
+
+TEST(TcpTest, DeadServerDegradesGracefully) {
+  // Two "processes": one hosting nodes 0..2, another hosting node 3.
+  ir::ClusterIndex cluster(4, 4);
+  BuildCorpus(&cluster, 120, 1);
+  ShardServer main_server, doomed_server;
+  for (size_t i = 0; i < 3; ++i) {
+    main_server.AddNode(&cluster.node_index(i), &cluster.node_fragments(i));
+  }
+  doomed_server.AddNode(&cluster.node_index(3), &cluster.node_fragments(3));
+  ASSERT_TRUE(main_server.Start(0).ok());
+  ASSERT_TRUE(doomed_server.Start(0).ok());
+
+  std::vector<std::unique_ptr<TcpTransport>> transports;
+  std::vector<RemoteClusterIndex::Shard> shards;
+  for (size_t i = 0; i < 3; ++i) {
+    transports.push_back(
+        std::make_unique<TcpTransport>("127.0.0.1", main_server.port()));
+    shards.push_back({transports[i].get(), static_cast<uint32_t>(i)});
+  }
+  transports.push_back(
+      std::make_unique<TcpTransport>("127.0.0.1", doomed_server.port()));
+  shards.push_back({transports[3].get(), 0});  // node 0 of its server
+
+  RemoteClusterIndex::Options options;
+  options.timeout_ms = 500;
+  options.retries = 1;
+  RemoteClusterIndex remote(std::move(shards), options);
+  ASSERT_TRUE(remote.Connect().ok());
+
+  // Healthy first, then the second process dies.
+  ExpectSameRanking(remote.Query(kQueries[0], 10, 4),
+                    cluster.Query(kQueries[0], 10, 4));
+  doomed_server.Stop();
+
+  ir::ClusterQueryStats stats;
+  std::vector<ir::ClusterScoredDoc> top =
+      remote.Query(kQueries[0], 10, 4, &stats);
+  EXPECT_FALSE(top.empty());
+  for (const ir::ClusterScoredDoc& d : top) {
+    EXPECT_NE(std::stoi(d.url.substr(3)) % 4, 3)
+        << d.url << " belongs to the dead node";
+  }
+  EXPECT_DOUBLE_EQ(stats.predicted_quality, 0.75);
+}
+
+// Peer-controlled bytes must never take the server down: a garbage
+// length prefix gets an Error frame; a half-frame followed by close is
+// just dropped. Either way the server keeps serving real clients.
+TEST(TcpTest, ServerSurvivesGarbageAndTruncation) {
+  TcpCluster fx(2, 2, 60, 5);
+  ASSERT_TRUE(fx.remote->Connect().ok());
+
+  auto dial = [&]() {
+    const int fd = socket(AF_INET, SOCK_STREAM, 0);
+    EXPECT_GE(fd, 0);
+    struct sockaddr_in addr;
+    memset(&addr, 0, sizeof(addr));
+    addr.sin_family = AF_INET;
+    addr.sin_port = htons(fx.server.port());
+    inet_pton(AF_INET, "127.0.0.1", &addr.sin_addr);
+    EXPECT_EQ(
+        connect(fd, reinterpret_cast<struct sockaddr*>(&addr), sizeof(addr)),
+        0);
+    return fd;
+  };
+
+  {
+    // An implausible length prefix: the server answers with an Error
+    // frame and closes.
+    const int fd = dial();
+    const uint8_t garbage[8] = {0xff, 0xff, 0xff, 0xff, 1, 2, 3, 4};
+    ASSERT_EQ(send(fd, garbage, sizeof(garbage), MSG_NOSIGNAL),
+              static_cast<ssize_t>(sizeof(garbage)));
+    Result<std::vector<uint8_t>> reply =
+        ReadFrame(fd, Deadline::After(2000));
+    ASSERT_TRUE(reply.ok()) << reply.status().ToString();
+    MessageType type;
+    const uint8_t* body = nullptr;
+    size_t body_len = 0;
+    ASSERT_TRUE(DecodeFrame(reply.value(), &type, &body, &body_len).ok());
+    EXPECT_EQ(type, MessageType::kError);
+    close(fd);
+  }
+
+  {
+    // A frame that promises 100 payload bytes and delivers 10, then
+    // hangs up mid-frame.
+    const int fd = dial();
+    uint8_t partial[14] = {100, 0, 0, 0};
+    ASSERT_EQ(send(fd, partial, sizeof(partial), MSG_NOSIGNAL),
+              static_cast<ssize_t>(sizeof(partial)));
+    close(fd);
+  }
+
+  // The server is still alive and still correct.
+  ExpectSameRanking(fx.remote->Query(kQueries[0], 10, 2),
+                    fx.cluster.Query(kQueries[0], 10, 2));
+}
+
+}  // namespace
+}  // namespace dls::net

@@ -1,0 +1,300 @@
+#include "net/wire.h"
+
+#include <gtest/gtest.h>
+
+#include <cstring>
+#include <limits>
+
+#include "common/rng.h"
+
+namespace dls::net {
+namespace {
+
+uint64_t Bits(double v) {
+  uint64_t bits;
+  std::memcpy(&bits, &v, sizeof(bits));
+  return bits;
+}
+
+// Varint byte-length boundaries for 32- and 64-bit values.
+constexpr uint32_t kVarint32Boundaries[] = {
+    0,          1,          127,        128,         16383,
+    16384,      2097151,    2097152,    268435455,   268435456,
+    0x7fffffffu, 0xffffffffu};
+
+constexpr uint64_t kVarint64Boundaries[] = {
+    0, 127, 128, (1ull << 21) - 1, 1ull << 21, (1ull << 35) - 1,
+    1ull << 35, (1ull << 63), std::numeric_limits<uint64_t>::max()};
+
+// Doubles whose bit patterns are easy to get wrong: signed zero,
+// denormals, non-terminating fractions, extremes.
+const double kTrickyDoubles[] = {
+    0.0, -0.0, 1.0 / 3.0, 5e-324, std::numeric_limits<double>::min(),
+    std::numeric_limits<double>::max(), -1.75e300, 3.141592653589793};
+
+ir::ShardQuery MakeQuery(size_t variant) {
+  ir::ShardQuery q;
+  q.n = kVarint64Boundaries[variant % 9];
+  q.max_fragments = kVarint64Boundaries[(variant + 3) % 9];
+  q.threshold = kTrickyDoubles[variant % 8];
+  q.options.lambda = kTrickyDoubles[(variant + 1) % 8];
+  q.options.kernel = static_cast<ir::ScoreKernel>(variant % 3);
+  q.options.prune = variant % 2 == 0;
+  q.collection_length = static_cast<int64_t>(1) << 40;
+  for (size_t i = 0; i < 11; ++i) {
+    q.stems.push_back("stem" + std::to_string(variant) + std::to_string(i));
+    // df must be in [1, INT32_MAX]; clamp the boundary table into it.
+    uint32_t df = kVarint32Boundaries[i];
+    if (df == 0) df = 1;
+    if (df > 0x7fffffffu) df = 0x7fffffffu;
+    q.stem_global_df.push_back(static_cast<int32_t>(df));
+  }
+  return q;
+}
+
+void ExpectSameQuery(const ir::ShardQuery& a, const ir::ShardQuery& b) {
+  EXPECT_EQ(a.n, b.n);
+  EXPECT_EQ(a.max_fragments, b.max_fragments);
+  EXPECT_EQ(Bits(a.threshold), Bits(b.threshold));
+  EXPECT_EQ(Bits(a.options.lambda), Bits(b.options.lambda));
+  EXPECT_EQ(a.options.kernel, b.options.kernel);
+  EXPECT_EQ(a.options.prune, b.options.prune);
+  EXPECT_EQ(a.collection_length, b.collection_length);
+  EXPECT_EQ(a.stems, b.stems);
+  EXPECT_EQ(a.stem_global_df, b.stem_global_df);
+}
+
+TEST(WireTest, QueryRequestRoundTripsVarintBoundaries) {
+  QueryRequest request;
+  request.node_id = 0xffffffffu;
+  for (size_t v = 0; v < 9; ++v) request.queries.push_back(MakeQuery(v));
+
+  std::vector<uint8_t> frame = EncodeQueryRequest(request);
+  MessageType type;
+  const uint8_t* body = nullptr;
+  size_t body_len = 0;
+  ASSERT_TRUE(DecodeFrame(frame, &type, &body, &body_len).ok());
+  ASSERT_EQ(type, MessageType::kQueryRequest);
+
+  Result<QueryRequest> decoded = DecodeQueryRequest(body, body_len);
+  ASSERT_TRUE(decoded.ok()) << decoded.status().ToString();
+  EXPECT_EQ(decoded.value().node_id, request.node_id);
+  ASSERT_EQ(decoded.value().queries.size(), request.queries.size());
+  for (size_t i = 0; i < request.queries.size(); ++i) {
+    ExpectSameQuery(request.queries[i], decoded.value().queries[i]);
+  }
+}
+
+TEST(WireTest, QueryResponseRoundTripsScoresBitExactly) {
+  QueryResponse response;
+  response.node_id = 7;
+  for (size_t v = 0; v < 5; ++v) {
+    ir::ShardResult r;
+    for (size_t d = 0; d < 8; ++d) {
+      r.top.push_back(
+          {v + d == 0 ? "" : "doc" + std::to_string(d), kTrickyDoubles[d]});
+    }
+    r.postings_touched = kVarint64Boundaries[v];
+    r.blocks_skipped = kVarint64Boundaries[8 - v];
+    r.elapsed_us = kTrickyDoubles[v];
+    // Bitmap sizes straddling byte boundaries: 0, 1, 8, 9, 17 bits.
+    const size_t mask_bits[] = {0, 1, 8, 9, 17};
+    for (size_t i = 0; i < mask_bits[v]; ++i) {
+      r.stem_evaluated.push_back((i + v) % 3 != 0);
+    }
+    response.results.push_back(std::move(r));
+  }
+
+  std::vector<uint8_t> frame = EncodeQueryResponse(response);
+  MessageType type;
+  const uint8_t* body = nullptr;
+  size_t body_len = 0;
+  ASSERT_TRUE(DecodeFrame(frame, &type, &body, &body_len).ok());
+  ASSERT_EQ(type, MessageType::kQueryResponse);
+
+  Result<QueryResponse> decoded = DecodeQueryResponse(body, body_len);
+  ASSERT_TRUE(decoded.ok()) << decoded.status().ToString();
+  ASSERT_EQ(decoded.value().results.size(), response.results.size());
+  for (size_t v = 0; v < response.results.size(); ++v) {
+    const ir::ShardResult& a = response.results[v];
+    const ir::ShardResult& b = decoded.value().results[v];
+    ASSERT_EQ(a.top.size(), b.top.size());
+    for (size_t d = 0; d < a.top.size(); ++d) {
+      EXPECT_EQ(a.top[d].url, b.top[d].url);
+      EXPECT_EQ(Bits(a.top[d].score), Bits(b.top[d].score));
+    }
+    EXPECT_EQ(a.postings_touched, b.postings_touched);
+    EXPECT_EQ(a.blocks_skipped, b.blocks_skipped);
+    EXPECT_EQ(Bits(a.elapsed_us), Bits(b.elapsed_us));
+    EXPECT_EQ(a.stem_evaluated, b.stem_evaluated);
+  }
+}
+
+TEST(WireTest, StatsRoundTrip) {
+  StatsRequest request;
+  request.node_id = 3;
+  std::vector<uint8_t> frame = EncodeStatsRequest(request);
+  MessageType type;
+  const uint8_t* body = nullptr;
+  size_t body_len = 0;
+  ASSERT_TRUE(DecodeFrame(frame, &type, &body, &body_len).ok());
+  ASSERT_EQ(type, MessageType::kStatsRequest);
+  Result<StatsRequest> req = DecodeStatsRequest(body, body_len);
+  ASSERT_TRUE(req.ok());
+  EXPECT_EQ(req.value().node_id, 3u);
+
+  StatsResponse response;
+  response.node_id = 3;
+  response.collection_length = (static_cast<int64_t>(1) << 48) + 17;
+  response.document_count = 1234567;
+  for (uint32_t df : kVarint32Boundaries) {
+    if (df == 0 || df > 0x7fffffffu) continue;
+    response.term_dfs.emplace_back("t" + std::to_string(df),
+                                   static_cast<int32_t>(df));
+  }
+  frame = EncodeStatsResponse(response);
+  ASSERT_TRUE(DecodeFrame(frame, &type, &body, &body_len).ok());
+  ASSERT_EQ(type, MessageType::kStatsResponse);
+  Result<StatsResponse> res = DecodeStatsResponse(body, body_len);
+  ASSERT_TRUE(res.ok()) << res.status().ToString();
+  EXPECT_EQ(res.value().collection_length, response.collection_length);
+  EXPECT_EQ(res.value().document_count, response.document_count);
+  EXPECT_EQ(res.value().term_dfs, response.term_dfs);
+}
+
+TEST(WireTest, ErrorRoundTrip) {
+  std::vector<uint8_t> frame =
+      EncodeError(Status::NotFound("no node 9 on this server"));
+  MessageType type;
+  const uint8_t* body = nullptr;
+  size_t body_len = 0;
+  ASSERT_TRUE(DecodeFrame(frame, &type, &body, &body_len).ok());
+  ASSERT_EQ(type, MessageType::kError);
+  Status decoded = DecodeError(body, body_len);
+  EXPECT_EQ(decoded.code(), StatusCode::kNotFound);
+  EXPECT_EQ(decoded.message(), "no node 9 on this server");
+
+  // A peer claiming "ok" inside an Error frame is lying; the decode
+  // must still be an error.
+  frame = EncodeError(Status::Ok());
+  ASSERT_TRUE(DecodeFrame(frame, &type, &body, &body_len).ok());
+  EXPECT_FALSE(DecodeError(body, body_len).ok());
+}
+
+// Every strict prefix of a valid frame must decode to a clean error:
+// the length prefix no longer matches, and a truncated body trips the
+// bounds checks — never UB (ASan/UBSan runs this in CI).
+TEST(WireTest, TruncationAtEveryLengthFailsCleanly) {
+  QueryRequest request;
+  request.node_id = 1;
+  request.queries.push_back(MakeQuery(2));
+  const std::vector<uint8_t> frame = EncodeQueryRequest(request);
+
+  for (size_t len = 0; len < frame.size(); ++len) {
+    std::vector<uint8_t> cut(frame.begin(), frame.begin() + len);
+    MessageType type;
+    const uint8_t* body = nullptr;
+    size_t body_len = 0;
+    EXPECT_FALSE(DecodeFrame(cut, &type, &body, &body_len).ok())
+        << "prefix of " << len << " bytes decoded as a frame";
+  }
+
+  // Body-level truncation, past the (valid) frame header.
+  MessageType type;
+  const uint8_t* body = nullptr;
+  size_t body_len = 0;
+  ASSERT_TRUE(DecodeFrame(frame, &type, &body, &body_len).ok());
+  for (size_t len = 0; len < body_len; ++len) {
+    EXPECT_FALSE(DecodeQueryRequest(body, len).ok())
+        << "truncated body of " << len << " bytes decoded";
+  }
+}
+
+TEST(WireTest, FrameLengthPrefixValidated) {
+  MessageType type;
+  const uint8_t* body = nullptr;
+  size_t body_len = 0;
+
+  // Prefix over the cap.
+  std::vector<uint8_t> frame(kFrameHeaderBytes + 1, 0);
+  const uint32_t huge = kMaxFramePayloadBytes + 1;
+  for (int i = 0; i < 4; ++i) {
+    frame[i] = static_cast<uint8_t>(huge >> (8 * i));
+  }
+  EXPECT_FALSE(DecodeFrame(frame, &type, &body, &body_len).ok());
+
+  // Prefix disagreeing with the actual size.
+  frame = EncodeStatsRequest(StatsRequest{});
+  frame[0] = static_cast<uint8_t>(frame[0] + 1);
+  EXPECT_FALSE(DecodeFrame(frame, &type, &body, &body_len).ok());
+
+  // Unknown message type byte.
+  frame = EncodeStatsRequest(StatsRequest{});
+  frame[kFrameHeaderBytes] = 99;
+  EXPECT_FALSE(DecodeFrame(frame, &type, &body, &body_len).ok());
+}
+
+TEST(WireTest, OverlongVarintRejected) {
+  // node_id as a 6-byte varint: exceeds the 5-byte cap for u32.
+  const uint8_t overlong[] = {0x80, 0x80, 0x80, 0x80, 0x80, 0x01};
+  EXPECT_FALSE(DecodeStatsRequest(overlong, sizeof(overlong)).ok());
+
+  // 5 bytes encoding 2^34: fits the byte cap but overflows u32.
+  const uint8_t too_big[] = {0x80, 0x80, 0x80, 0x80, 0x40};
+  EXPECT_FALSE(DecodeStatsRequest(too_big, sizeof(too_big)).ok());
+}
+
+// A fuzzer-supplied element count must never drive an allocation the
+// frame cannot back: a tiny body claiming 2^28 results fails fast.
+TEST(WireTest, ImplausibleCountsRejectedBeforeAllocation) {
+  std::vector<uint8_t> body;
+  body.push_back(0);  // node_id = 0
+  const uint32_t count = 1u << 28;
+  uint32_t v = count;
+  while (v >= 0x80u) {
+    body.push_back(static_cast<uint8_t>(v | 0x80u));
+    v >>= 7;
+  }
+  body.push_back(static_cast<uint8_t>(v));
+  EXPECT_FALSE(DecodeQueryResponse(body.data(), body.size()).ok());
+  EXPECT_FALSE(DecodeQueryRequest(body.data(), body.size()).ok());
+}
+
+// Random bytes and random mutations of valid frames: every decoder
+// must return, with any status, without crashing. The sanitizer CI
+// stages turn latent UB here into failures.
+TEST(WireTest, RandomBodiesNeverCrashDecoders) {
+  Rng rng(20260805);
+  for (int iter = 0; iter < 2000; ++iter) {
+    std::vector<uint8_t> body(rng.Uniform(96));
+    for (uint8_t& b : body) b = static_cast<uint8_t>(rng.Next());
+    (void)DecodeQueryRequest(body.data(), body.size());
+    (void)DecodeQueryResponse(body.data(), body.size());
+    (void)DecodeStatsRequest(body.data(), body.size());
+    (void)DecodeStatsResponse(body.data(), body.size());
+    (void)DecodeError(body.data(), body.size());
+  }
+}
+
+TEST(WireTest, MutatedValidFramesNeverCrash) {
+  QueryRequest request;
+  request.node_id = 2;
+  request.queries.push_back(MakeQuery(1));
+  request.queries.push_back(MakeQuery(4));
+  const std::vector<uint8_t> frame = EncodeQueryRequest(request);
+
+  Rng rng(7);
+  for (int iter = 0; iter < 2000; ++iter) {
+    std::vector<uint8_t> mutated = frame;
+    mutated[rng.Uniform(mutated.size())] ^=
+        static_cast<uint8_t>(1u << rng.Uniform(8));
+    MessageType type;
+    const uint8_t* body = nullptr;
+    size_t body_len = 0;
+    if (!DecodeFrame(mutated, &type, &body, &body_len).ok()) continue;
+    (void)DecodeQueryRequest(body, body_len);
+  }
+}
+
+}  // namespace
+}  // namespace dls::net
