@@ -34,15 +34,7 @@ TextIndex::TextIndex(Options options) : options_(options) {}
 
 std::optional<std::string> TextIndex::NormalizeWord(
     std::string_view word) const {
-  std::string lower;
-  lower.reserve(word.size());
-  for (char c : word) {
-    lower.push_back((c >= 'A' && c <= 'Z') ? static_cast<char>(c - 'A' + 'a')
-                                           : c);
-  }
-  if (options_.stop && IsStopword(lower)) return std::nullopt;
-  if (options_.stem) return PorterStem(lower);
-  return lower;
+  return NormalizeWordAs(word, options_.stem, options_.stop);
 }
 
 TermId TextIndex::InternTerm(const std::string& stem) {
@@ -173,15 +165,21 @@ std::vector<ScoredDoc> TextIndex::RankTopN(
   return scores.ExtractTopN(n);
 }
 
-std::optional<std::string> NormalizeWord(std::string_view word) {
+std::optional<std::string> NormalizeWordAs(std::string_view word, bool stem,
+                                           bool stop) {
   std::string lower;
   lower.reserve(word.size());
   for (char c : word) {
     lower.push_back((c >= 'A' && c <= 'Z') ? static_cast<char>(c - 'A' + 'a')
                                            : c);
   }
-  if (IsStopword(lower)) return std::nullopt;
-  return PorterStem(lower);
+  if (stop && IsStopword(lower)) return std::nullopt;
+  if (stem) return PorterStem(lower);
+  return lower;
+}
+
+std::optional<std::string> NormalizeWord(std::string_view word) {
+  return NormalizeWordAs(word, /*stem=*/true, /*stop=*/true);
 }
 
 }  // namespace dls::ir

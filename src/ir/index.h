@@ -143,6 +143,9 @@ class TextIndex {
   /// nullopt for stopwords.
   std::optional<std::string> NormalizeWord(std::string_view word) const;
 
+  /// The normalisation/flush configuration this index was built with.
+  const Options& options() const { return options_; }
+
   /// T-relation lookup: stem -> term oid.
   std::optional<TermId> LookupTerm(std::string_view stem) const;
   const std::string& term(TermId t) const { return terms_[t]; }
@@ -233,6 +236,15 @@ class TextIndex {
 /// fragment cut-off sound.
 double TermScore(int32_t tf, int32_t df, int64_t doclen,
                  int64_t collection_length, const RankOptions& options);
+
+/// The configurable normalisation pipeline every index path shares:
+/// lowercase, optionally drop stopwords, optionally Porter-stem.
+/// TextIndex::NormalizeWord applies it with the index's own options;
+/// the remote client (net/remote_cluster.cc) applies it with the
+/// options the shards advertise in the stats handshake, so query
+/// resolution matches indexing whatever the configuration.
+std::optional<std::string> NormalizeWordAs(std::string_view word, bool stem,
+                                           bool stop);
 
 /// Standalone stem+stop normalisation with the default pipeline
 /// (lowercase, stopword filter, Porter stem). nullopt for stopwords.

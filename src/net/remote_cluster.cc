@@ -4,6 +4,7 @@
 #include <cassert>
 #include <queue>
 
+#include "common/strings.h"
 #include "common/thread_pool.h"
 #include "net/wire.h"
 
@@ -95,6 +96,21 @@ Status RemoteClusterIndex::Connect() {
     }
     Result<StatsResponse> stats = DecodeStatsResponse(body, body_len);
     if (!stats.ok()) return stats.status();
+    // Adopt the first shard's normalisation pipeline and hold every
+    // other shard to it: resolving queries through a different
+    // stem/stop configuration than the shards indexed with would
+    // silently break the remote/in-process bit-identity (and recall).
+    if (i == 0) {
+      norm_stem_ = stats.value().stem;
+      norm_stop_ = stats.value().stop;
+    } else if (stats.value().stem != norm_stem_ ||
+               stats.value().stop != norm_stop_) {
+      return Status::InvalidArgument(StrFormat(
+          "shard %zu normalisation (stem=%d stop=%d) disagrees with shard 0 "
+          "(stem=%d stop=%d); all shards must index with one pipeline",
+          i, stats.value().stem ? 1 : 0, stats.value().stop ? 1 : 0,
+          norm_stem_ ? 1 : 0, norm_stop_ ? 1 : 0));
+    }
     // Same aggregation as ClusterIndex::Finalize(): integer sums, so
     // the resulting global df relation is identical to the in-process
     // one whatever the shard order.
@@ -114,9 +130,10 @@ ir::ShardQuery RemoteClusterIndex::ResolveQuery(
     size_t max_fragments, const ir::RankOptions& options,
     double* idf_mass_total) const {
   // Identical resolution to ClusterIndex::Query: normalise, drop
-  // duplicates, keep only stems of the global vocabulary. The shards
-  // index with the default normalisation pipeline, so the standalone
-  // NormalizeWord is the same function node 0 would apply.
+  // duplicates, keep only stems of the global vocabulary. The
+  // stem/stop flags come from the Connect() handshake, so this is the
+  // same pipeline node 0's index->NormalizeWord applies in-process —
+  // whatever configuration the shards were built with.
   ir::ShardQuery request;
   request.collection_length = collection_length_;
   request.n = n;
@@ -124,7 +141,8 @@ ir::ShardQuery RemoteClusterIndex::ResolveQuery(
   request.options = options;
   *idf_mass_total = 0;
   for (const std::string& word : query_words) {
-    std::optional<std::string> norm = ir::NormalizeWord(word);
+    std::optional<std::string> norm =
+        ir::NormalizeWordAs(word, norm_stem_, norm_stop_);
     if (!norm) continue;
     if (std::find(request.stems.begin(), request.stems.end(), *norm) !=
         request.stems.end()) {
@@ -145,8 +163,13 @@ void RemoteClusterIndex::CallShard(size_t shard,
   QueryRequest request;
   request.node_id = shards_[shard].node_id;
   request.queries = queries;
+  Result<std::vector<uint8_t>> encoded = EncodeQueryRequest(request);
+  // A batch too large for one frame never reaches the wire; the shard
+  // counts as lost (every shard fails identically, so the query comes
+  // back empty with predicted_quality 0 rather than half-shipped).
+  if (!encoded.ok()) return;
   Result<std::vector<uint8_t>> frame = Exchange(
-      shards_[shard].transport, EncodeQueryRequest(request),
+      shards_[shard].transport, encoded.value(),
       options_.timeout_ms, options_.retries, &outcome->messages,
       &outcome->bytes);
   if (!frame.ok()) return;  // shard lost: outcome stays !alive

@@ -71,9 +71,13 @@ class RemoteClusterIndex {
 
   /// Stats handshake: fetches every shard's local statistics and
   /// aggregates the global df table, collection length and per-shard
-  /// document counts. Fails if any shard is unreachable — a cluster
-  /// that starts degraded is a deployment error, unlike one that
-  /// degrades under load.
+  /// document counts. Also adopts the shards' advertised normalisation
+  /// configuration (stem/stop) for query resolution, and fails with
+  /// kInvalidArgument if the shards disagree among themselves — a
+  /// mixed-pipeline cluster would silently resolve different stems
+  /// than its nodes indexed. Fails if any shard is unreachable — a
+  /// cluster that starts degraded is a deployment error, unlike one
+  /// that degrades under load.
   Status Connect();
 
   /// Uses `pool` (non-owning, may be nullptr for sequential) to fan
@@ -153,6 +157,10 @@ class RemoteClusterIndex {
   int64_t collection_length_ = 0;
   std::vector<uint64_t> shard_docs_;
   uint64_t total_docs_ = 0;
+  /// Normalisation pipeline the shards advertised in the handshake;
+  /// ResolveQuery must match it or recall silently breaks.
+  bool norm_stem_ = true;
+  bool norm_stop_ = true;
   bool connected_ = false;
   ThreadPool* executor_ = nullptr;
   std::unique_ptr<ThreadPool> owned_pool_;

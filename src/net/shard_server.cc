@@ -7,6 +7,8 @@
 #include <sys/socket.h>
 #include <unistd.h>
 
+#include <algorithm>
+
 #include "common/strings.h"
 #include "ir/fragments.h"
 #include "ir/index.h"
@@ -61,7 +63,9 @@ Result<std::vector<uint8_t>> ShardServer::HandleFrame(
         response.results.push_back(
             ir::EvaluateShardQuery(*node.index, *node.fragments, query));
       }
-      return EncodeQueryResponse(response);
+      Result<std::vector<uint8_t>> encoded = EncodeQueryResponse(response);
+      if (!encoded.ok()) return EncodeError(encoded.status());
+      return encoded;
     }
     case MessageType::kStatsRequest: {
       Result<StatsRequest> request = DecodeStatsRequest(body, body_len);
@@ -73,13 +77,20 @@ Result<std::vector<uint8_t>> ShardServer::HandleFrame(
       const ir::TextIndex& index = *nodes_[request.value().node_id].index;
       StatsResponse response;
       response.node_id = request.value().node_id;
+      response.stem = index.options().stem;
+      response.stop = index.options().stop;
       response.collection_length = index.collection_length();
       response.document_count = index.flushed_document_count();
       response.term_dfs.reserve(index.vocabulary_size());
       for (ir::TermId t = 0; t < index.vocabulary_size(); ++t) {
         response.term_dfs.emplace_back(index.term(t), index.df(t));
       }
-      return EncodeStatsResponse(response);
+      // A vocabulary too large for one frame is a clear protocol-level
+      // error (the encoder names the cap), not "corruption" at the
+      // client.
+      Result<std::vector<uint8_t>> encoded = EncodeStatsResponse(response);
+      if (!encoded.ok()) return EncodeError(encoded.status());
+      return encoded;
     }
     case MessageType::kQueryResponse:
     case MessageType::kStatsResponse:
@@ -145,13 +156,25 @@ void ShardServer::AcceptLoop() {
     if (rc <= 0) continue;  // timeout tick or EINTR: re-check the flag
     const int conn = accept(listen_fd_, nullptr, nullptr);
     if (conn < 0) continue;
+    // Accepted sockets MUST be non-blocking: ReadFrame/WriteAll only
+    // honour their deadlines through the EAGAIN->poll path, so a
+    // blocking fd would let a peer that stalls mid-frame pin a worker
+    // forever (and wedge Stop()).
+    if (!SetNonBlocking(conn).ok()) {
+      close(conn);
+      continue;
+    }
+    {
+      std::lock_guard<std::mutex> lock(conns_mu_);
+      conn_fds_.push_back(conn);
+    }
     // One worker per connection; excess connections queue inside the
     // pool until a worker frees up.
     workers_->Submit([this, conn] { ServeConnection(conn); });
   }
 }
 
-void ShardServer::ServeConnection(int fd) const {
+void ShardServer::ServeConnection(int fd) {
   while (!stopping_.load(std::memory_order_relaxed)) {
     // Idle wait in stop-flag ticks; only once bytes arrive does the
     // per-frame read budget start.
@@ -186,6 +209,10 @@ void ShardServer::ServeConnection(int fd) const {
       break;
     }
   }
+  // Deregister before closing, under the lock: Stop() must never
+  // shutdown(2) an fd number the kernel has already recycled.
+  std::lock_guard<std::mutex> lock(conns_mu_);
+  conn_fds_.erase(std::find(conn_fds_.begin(), conn_fds_.end(), fd));
   close(fd);
 }
 
@@ -193,8 +220,15 @@ void ShardServer::Stop() {
   if (listen_fd_ < 0) return;
   stopping_.store(true, std::memory_order_relaxed);
   if (accept_thread_.joinable()) accept_thread_.join();
-  // Pool teardown waits for in-flight connection handlers, which exit
-  // within one stop-poll tick.
+  // Wake workers parked in a mid-frame read/write poll: shutdown makes
+  // their recv/send return immediately, so teardown is bounded by a
+  // stop-poll tick, not by the 30 s frame budget. The worker still
+  // owns the close.
+  {
+    std::lock_guard<std::mutex> lock(conns_mu_);
+    for (int fd : conn_fds_) shutdown(fd, SHUT_RDWR);
+  }
+  // Pool teardown waits for in-flight connection handlers.
   workers_.reset();
   close(listen_fd_);
   listen_fd_ = -1;

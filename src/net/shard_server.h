@@ -4,6 +4,7 @@
 #include <atomic>
 #include <cstdint>
 #include <memory>
+#include <mutex>
 #include <thread>
 #include <vector>
 
@@ -79,7 +80,7 @@ class ShardServer {
   };
 
   void AcceptLoop();
-  void ServeConnection(int fd) const;
+  void ServeConnection(int fd);
 
   std::vector<Node> nodes_;
   const size_t num_workers_;
@@ -88,6 +89,12 @@ class ShardServer {
   std::atomic<bool> stopping_{false};
   int listen_fd_ = -1;
   uint16_t port_ = 0;
+  /// Accepted fds still being served (non-blocking; registered by the
+  /// accept loop, closed and deregistered by their worker). Stop()
+  /// shutdown(2)s them so a worker parked in a mid-frame poll wakes
+  /// immediately instead of running out its frame-read budget.
+  std::mutex conns_mu_;
+  std::vector<int> conn_fds_;
 };
 
 }  // namespace dls::net

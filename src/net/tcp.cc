@@ -45,6 +45,8 @@ Status PollFor(int fd, short events, Deadline deadline) {
   }
 }
 
+}  // namespace
+
 Status SetNonBlocking(int fd) {
   const int flags = fcntl(fd, F_GETFL, 0);
   if (flags < 0 || fcntl(fd, F_SETFL, flags | O_NONBLOCK) < 0) {
@@ -52,8 +54,6 @@ Status SetNonBlocking(int fd) {
   }
   return Status::Ok();
 }
-
-}  // namespace
 
 Status WriteAll(int fd, const uint8_t* data, size_t len, Deadline deadline) {
   size_t sent = 0;
@@ -135,9 +135,12 @@ void TcpTransport::CloseLocked() {
   }
 }
 
-Status TcpTransport::EnsureConnected(Deadline deadline) {
-  if (fd_ >= 0) return Status::Ok();
-
+Status TcpTransport::ResolveLocked() {
+  if (!resolved_.empty()) return Status::Ok();
+  // Blocking and unbounded by the call deadline (getaddrinfo has no
+  // portable timeout) — which is why the results are cached: only the
+  // very first connect can stall on a slow resolver; numeric hosts
+  // (the common "127.0.0.1" case) never block at all.
   struct addrinfo hints;
   memset(&hints, 0, sizeof(hints));
   hints.ai_family = AF_UNSPEC;
@@ -149,17 +152,35 @@ Status TcpTransport::EnsureConnected(Deadline deadline) {
     return Status::Unavailable(std::string("tcp: resolve ") + host_ + ": " +
                                gai_strerror(rc));
   }
+  for (struct addrinfo* ai = addrs; ai != nullptr; ai = ai->ai_next) {
+    if (ai->ai_addrlen > sizeof(struct sockaddr_storage)) continue;
+    struct sockaddr_storage ss;
+    memset(&ss, 0, sizeof(ss));
+    memcpy(&ss, ai->ai_addr, ai->ai_addrlen);
+    resolved_.emplace_back(ss, ai->ai_addrlen);
+  }
+  freeaddrinfo(addrs);
+  if (resolved_.empty()) {
+    return Status::Unavailable("tcp: no addresses for " + host_);
+  }
+  return Status::Ok();
+}
+
+Status TcpTransport::EnsureConnected(Deadline deadline) {
+  if (fd_ >= 0) return Status::Ok();
+  DLS_RETURN_IF_ERROR(ResolveLocked());
 
   Status status = Status::Unavailable("tcp: no addresses for " + host_);
-  for (struct addrinfo* ai = addrs; ai != nullptr; ai = ai->ai_next) {
-    const int fd = socket(ai->ai_family, ai->ai_socktype, ai->ai_protocol);
+  for (const auto& [ss, ss_len] : resolved_) {
+    const int fd = socket(ss.ss_family, SOCK_STREAM, 0);
     if (fd < 0) {
       status = Errno("socket");
       continue;
     }
     status = SetNonBlocking(fd);
     if (status.ok()) {
-      if (connect(fd, ai->ai_addr, ai->ai_addrlen) == 0) {
+      if (connect(fd, reinterpret_cast<const struct sockaddr*>(&ss),
+                  ss_len) == 0) {
         status = Status::Ok();
       } else if (errno == EINPROGRESS) {
         // Non-blocking connect: wait for writability, then collect the
@@ -187,7 +208,6 @@ Status TcpTransport::EnsureConnected(Deadline deadline) {
     }
     close(fd);
   }
-  freeaddrinfo(addrs);
   return status;
 }
 

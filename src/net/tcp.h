@@ -1,9 +1,12 @@
 #ifndef DLS_NET_TCP_H_
 #define DLS_NET_TCP_H_
 
+#include <sys/socket.h>
+
 #include <cstdint>
 #include <mutex>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "net/transport.h"
@@ -11,10 +14,13 @@
 namespace dls::net {
 
 /// Frame-level socket helpers shared by TcpTransport and ShardServer.
-/// All three poll(2) a non-blocking fd and honour the deadline; a
+/// WriteAll/ReadFrame poll(2) a non-blocking fd and honour the
+/// deadline — the fd MUST be non-blocking (SetNonBlocking below), or
+/// recv/send block past the deadline and never reach the poll path; a
 /// peer that closes mid-frame or a garbage length prefix surfaces as
 /// a clean Status. ReadFrame returns the complete frame (length
 /// prefix included), ready for wire.h's DecodeFrame.
+Status SetNonBlocking(int fd);
 Status WriteAll(int fd, const uint8_t* data, size_t len, Deadline deadline);
 Result<std::vector<uint8_t>> ReadFrame(int fd, Deadline deadline);
 
@@ -32,6 +38,13 @@ Result<std::vector<uint8_t>> ReadFrame(int fd, Deadline deadline);
 /// exchange per connection keeps framing trivial); fan-out
 /// parallelism comes from one TcpTransport per shard, not from
 /// pipelining one socket.
+///
+/// Name resolution: the host is resolved with a blocking getaddrinfo
+/// on the first connect only — that one call is NOT bounded by the
+/// deadline (there is no portable timed resolver) — and the resolved
+/// addresses are cached for the transport's lifetime, so reconnects
+/// and retries never re-enter the resolver while holding the call
+/// mutex. A shard's address changing requires a new TcpTransport.
 class TcpTransport : public Transport {
  public:
   /// Does not connect; host is resolved with getaddrinfo on first use.
@@ -46,12 +59,16 @@ class TcpTransport : public Transport {
 
  private:
   Status EnsureConnected(Deadline deadline);
+  Status ResolveLocked();
   void CloseLocked();
 
   const std::string host_;
   const uint16_t port_;
   std::mutex mu_;
   int fd_ = -1;
+  /// Cached getaddrinfo results (family-tagged sockaddrs), filled by
+  /// the first successful resolution.
+  std::vector<std::pair<struct sockaddr_storage, socklen_t>> resolved_;
 };
 
 }  // namespace dls::net

@@ -2,10 +2,53 @@
 
 #include <cstring>
 
+#include "common/strings.h"
 #include "ir/codec.h"
 
 namespace dls::net {
 namespace {
+
+/// Error-frame messages are truncated to this, which keeps EncodeError
+/// infallible: an Error frame always fits the payload cap.
+constexpr size_t kMaxErrorMessageBytes = 1024;
+
+/// Stable wire values for status codes. The C++ StatusCode enum may be
+/// reordered or extended; these values may not — they are what mixed-
+/// version peers agree on. A wire value this build doesn't know
+/// degrades to kInternal on decode (see DecodeError) instead of being
+/// misread as a neighbouring code.
+uint32_t StatusCodeToWire(StatusCode code) {
+  switch (code) {
+    case StatusCode::kOk: return 0;
+    case StatusCode::kInvalidArgument: return 1;
+    case StatusCode::kNotFound: return 2;
+    case StatusCode::kAlreadyExists: return 3;
+    case StatusCode::kCorruption: return 4;
+    case StatusCode::kParseError: return 5;
+    case StatusCode::kDetectorFailure: return 6;
+    case StatusCode::kUnsupported: return 7;
+    case StatusCode::kInternal: return 8;
+    case StatusCode::kUnavailable: return 9;
+    case StatusCode::kDeadlineExceeded: return 10;
+  }
+  return 8;  // unreachable with a valid enum; ship kInternal
+}
+
+bool StatusCodeFromWire(uint32_t wire, StatusCode* code) {
+  switch (wire) {
+    case 1: *code = StatusCode::kInvalidArgument; return true;
+    case 2: *code = StatusCode::kNotFound; return true;
+    case 3: *code = StatusCode::kAlreadyExists; return true;
+    case 4: *code = StatusCode::kCorruption; return true;
+    case 5: *code = StatusCode::kParseError; return true;
+    case 6: *code = StatusCode::kDetectorFailure; return true;
+    case 7: *code = StatusCode::kUnsupported; return true;
+    case 8: *code = StatusCode::kInternal; return true;
+    case 9: *code = StatusCode::kUnavailable; return true;
+    case 10: *code = StatusCode::kDeadlineExceeded; return true;
+    default: return false;  // incl. 0: an Error frame is never "ok"
+  }
+}
 
 // ---- Encoding ------------------------------------------------------
 
@@ -61,9 +104,19 @@ class FrameWriter {
     if (bits.size() % 8 != 0) bytes_.push_back(byte);
   }
 
-  std::vector<uint8_t> Finish() {
-    const uint32_t payload = static_cast<uint32_t>(bytes_.size()) -
-                             static_cast<uint32_t>(kFrameHeaderBytes);
+  /// Patches the length prefix. Refuses a frame the receiver would
+  /// reject: without this check a >64 MiB message (a huge vocabulary
+  /// in EncodeStatsResponse) would be shipped, truncated to u32, and
+  /// surface on the peer as a misleading "malformed frame length".
+  Result<std::vector<uint8_t>> Finish() {
+    const size_t size = bytes_.size() - kFrameHeaderBytes;
+    if (size > kMaxFramePayloadBytes) {
+      return Status::Unsupported(
+          StrFormat("wire: encoded payload of %zu bytes exceeds the %u-byte "
+                    "frame cap",
+                    size, kMaxFramePayloadBytes));
+    }
+    const uint32_t payload = static_cast<uint32_t>(size);
     for (int i = 0; i < 4; ++i) {
       bytes_[i] = static_cast<uint8_t>(payload >> (8 * i));
     }
@@ -250,7 +303,7 @@ bool ReadShardResult(BodyReader* r, ir::ShardResult* out) {
 
 }  // namespace
 
-std::vector<uint8_t> EncodeQueryRequest(const QueryRequest& request) {
+Result<std::vector<uint8_t>> EncodeQueryRequest(const QueryRequest& request) {
   FrameWriter w(MessageType::kQueryRequest);
   w.Varint32(request.node_id);
   w.Varint32(static_cast<uint32_t>(request.queries.size()));
@@ -258,7 +311,8 @@ std::vector<uint8_t> EncodeQueryRequest(const QueryRequest& request) {
   return w.Finish();
 }
 
-std::vector<uint8_t> EncodeQueryResponse(const QueryResponse& response) {
+Result<std::vector<uint8_t>> EncodeQueryResponse(
+    const QueryResponse& response) {
   FrameWriter w(MessageType::kQueryResponse);
   w.Varint32(response.node_id);
   w.Varint32(static_cast<uint32_t>(response.results.size()));
@@ -269,12 +323,15 @@ std::vector<uint8_t> EncodeQueryResponse(const QueryResponse& response) {
 std::vector<uint8_t> EncodeStatsRequest(const StatsRequest& request) {
   FrameWriter w(MessageType::kStatsRequest);
   w.Varint32(request.node_id);
-  return w.Finish();
+  return std::move(w.Finish()).value();  // bounded: always fits
 }
 
-std::vector<uint8_t> EncodeStatsResponse(const StatsResponse& response) {
+Result<std::vector<uint8_t>> EncodeStatsResponse(
+    const StatsResponse& response) {
   FrameWriter w(MessageType::kStatsResponse);
   w.Varint32(response.node_id);
+  w.U8(static_cast<uint8_t>((response.stem ? 1u : 0u) |
+                            (response.stop ? 2u : 0u)));
   w.Varint64(static_cast<uint64_t>(response.collection_length));
   w.Varint64(response.document_count);
   w.Varint32(static_cast<uint32_t>(response.term_dfs.size()));
@@ -287,9 +344,9 @@ std::vector<uint8_t> EncodeStatsResponse(const StatsResponse& response) {
 
 std::vector<uint8_t> EncodeError(const Status& status) {
   FrameWriter w(MessageType::kError);
-  w.Varint32(static_cast<uint32_t>(status.code()));
-  w.String(status.message());
-  return w.Finish();
+  w.Varint32(StatusCodeToWire(status.code()));
+  w.String(status.message().substr(0, kMaxErrorMessageBytes));
+  return std::move(w.Finish()).value();  // bounded by the truncation
 }
 
 Status DecodeFrame(const std::vector<uint8_t>& frame, MessageType* type,
@@ -355,6 +412,10 @@ Result<StatsResponse> DecodeStatsResponse(const uint8_t* body, size_t len) {
   BodyReader r(body, len);
   StatsResponse response;
   response.node_id = r.Varint32();
+  const uint8_t norm_flags = r.U8();
+  if (r.failed() || norm_flags > 3) return Truncated("StatsResponse");
+  response.stem = (norm_flags & 1u) != 0;
+  response.stop = (norm_flags & 2u) != 0;
   response.collection_length = static_cast<int64_t>(r.Varint64());
   response.document_count = r.Varint64();
   const uint32_t terms = r.Count(/*min_bytes_each=*/2);
@@ -373,16 +434,16 @@ Result<StatsResponse> DecodeStatsResponse(const uint8_t* body, size_t len) {
 
 Status DecodeError(const uint8_t* body, size_t len) {
   BodyReader r(body, len);
-  const uint32_t code = r.Varint32();
+  const uint32_t wire_code = r.Varint32();
   std::string message = r.String();
   if (r.failed() || r.remaining() != 0) return Truncated("Error frame");
-  // kDeadlineExceeded is the last enumerator; anything past it — or a
+  // A wire value this build doesn't know — a newer peer's code, or a
   // nonsensical "ok" error — degrades to kInternal rather than lying.
-  if (code == 0 ||
-      code > static_cast<uint32_t>(StatusCode::kDeadlineExceeded)) {
+  StatusCode code;
+  if (!StatusCodeFromWire(wire_code, &code)) {
     return Status::Internal("peer error: " + message);
   }
-  return Status(static_cast<StatusCode>(code), std::move(message));
+  return Status(code, std::move(message));
 }
 
 }  // namespace dls::net

@@ -32,11 +32,17 @@ namespace dls::net {
 ///                     query: RES(url, score(f64)) tuples, work
 ///                     accounting, and the stem_evaluated bitmap
 ///   3 StatsRequest    node_id — asks a node for its local statistics
-///   4 StatsResponse   node_id, collection_length, document count and
-///                     the full (term, df) table, which is what the
-///                     client aggregates into the global df relation
+///   4 StatsResponse   node_id, the node's normalisation flags
+///                     (stem/stop), collection_length, document count
+///                     and the full (term, df) table, which is what
+///                     the client aggregates into the global df
+///                     relation
 ///   5 Error           status code + message (the server's reply to a
-///                     frame it cannot parse or serve)
+///                     frame it cannot parse or serve). Codes travel
+///                     as stable wire values (see wire.cc) that are
+///                     independent of the C++ StatusCode enum order;
+///                     a value this build doesn't know degrades to
+///                     kInternal instead of being misread.
 ///
 /// Integers are varints (u32 capped at 5 bytes, u64 at 10); doubles
 /// are their IEEE-754 bit pattern as 8 explicit little-endian bytes,
@@ -50,8 +56,14 @@ namespace dls::net {
 /// a clean Status (kCorruption) — a truncated or corrupt frame must
 /// never become UB (tests/net/wire_test.cc fuzzes this).
 
-/// Upper bound a receiver enforces on the payload length before
-/// allocating — a garbage length prefix must not OOM the process.
+/// Upper bound BOTH sides enforce on the payload length: a receiver
+/// rejects a larger prefix before allocating (a garbage length must
+/// not OOM the process), and the fallible encoders refuse to build a
+/// larger frame (kUnsupported) instead of shipping one the peer would
+/// misdiagnose as corruption. In practice only EncodeStatsResponse
+/// can get here — it carries the full (term, df) table, so a node's
+/// vocabulary is capped at roughly kMaxFramePayloadBytes / (stem
+/// length + 3) terms, a few million for English-like vocabularies.
 inline constexpr uint32_t kMaxFramePayloadBytes = 64u << 20;
 
 /// Bytes of the frame length prefix.
@@ -84,19 +96,31 @@ struct StatsRequest {
 };
 
 /// A node's local term statistics — the client-side aggregate over all
-/// nodes reproduces ClusterIndex::Finalize()'s global df relation.
+/// nodes reproduces ClusterIndex::Finalize()'s global df relation —
+/// plus the normalisation configuration its index was built with, so
+/// the client resolves query words through the identical pipeline
+/// (and can refuse a cluster whose shards disagree).
 struct StatsResponse {
   uint32_t node_id = 0;
+  bool stem = true;  ///< Porter stemming applied at indexing time
+  bool stop = true;  ///< stopwords dropped at indexing time
   int64_t collection_length = 0;
   uint64_t document_count = 0;
   std::vector<std::pair<std::string, int32_t>> term_dfs;
 };
 
 /// Encoders return a complete frame: length prefix, type byte, body.
-std::vector<uint8_t> EncodeQueryRequest(const QueryRequest& request);
-std::vector<uint8_t> EncodeQueryResponse(const QueryResponse& response);
+/// The unbounded messages are fallible: a frame whose payload would
+/// exceed kMaxFramePayloadBytes is refused with kUnsupported (naming
+/// the cap) rather than emitted for the peer to reject as corruption.
+/// StatsRequest and Error frames are bounded by construction (Error
+/// messages are truncated to fit) and stay infallible.
+Result<std::vector<uint8_t>> EncodeQueryRequest(const QueryRequest& request);
+Result<std::vector<uint8_t>> EncodeQueryResponse(
+    const QueryResponse& response);
 std::vector<uint8_t> EncodeStatsRequest(const StatsRequest& request);
-std::vector<uint8_t> EncodeStatsResponse(const StatsResponse& response);
+Result<std::vector<uint8_t>> EncodeStatsResponse(
+    const StatsResponse& response);
 std::vector<uint8_t> EncodeError(const Status& status);
 
 /// Splits a complete frame into (type, body) after validating the

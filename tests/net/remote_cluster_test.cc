@@ -274,5 +274,66 @@ TEST(RemoteClusterTest, CorruptResponseDegradesCleanly) {
   EXPECT_DOUBLE_EQ(stats.predicted_quality, 0.5);
 }
 
+// Shards built with a NON-default normalisation pipeline: the client
+// must resolve queries through the configuration the shards advertise
+// in the stats handshake, not the standalone default (which would stem
+// "running" -> "run" and silently break bit-identity and recall).
+TEST(RemoteClusterTest, NonDefaultNormalizationStaysBitIdentical) {
+  ir::TextIndex::Options node_options;
+  node_options.stem = false;
+  node_options.stop = false;
+  ir::ClusterIndex cluster(2, 2, node_options);
+  const char* bodies[] = {
+      "running the marathon route", "run the shorter route today",
+      "runner profiles and the routes", "running routes running again",
+      "the quick runner ran", "marathon training schedule"};
+  for (size_t d = 0; d < 6; ++d) {
+    cluster.AddDocument(StrFormat("doc%03zu", d), bodies[d]);
+  }
+  cluster.Finalize();
+
+  ShardServer server;
+  std::vector<std::unique_ptr<LoopbackTransport>> transports;
+  std::vector<RemoteClusterIndex::Shard> shards;
+  for (size_t i = 0; i < 2; ++i) {
+    server.AddNode(&cluster.node_index(i), &cluster.node_fragments(i));
+    transports.push_back(std::make_unique<LoopbackTransport>(server.Handler()));
+    shards.push_back({transports[i].get(), static_cast<uint32_t>(i)});
+  }
+  RemoteClusterIndex remote(std::move(shards));
+  ASSERT_TRUE(remote.Connect().ok());
+
+  // "Running" exercises lowercasing without stemming; "the" is only a
+  // term at all because stopwords are kept.
+  const std::vector<std::vector<std::string>> queries = {
+      {"Running", "route"}, {"the"}, {"runner", "marathon", "runner"}};
+  for (const auto& query : queries) {
+    ExpectSameRanking(remote.Query(query, 10, 2),
+                      cluster.Query(query, 10, 2));
+  }
+  EXPECT_EQ(remote.global_df("the"), cluster.global_df("the"));
+  EXPECT_EQ(remote.global_df("running"), cluster.global_df("running"));
+}
+
+// A cluster whose shards disagree on the normalisation pipeline cannot
+// resolve queries consistently for all of them; Connect() must refuse
+// it instead of silently favouring one shard's configuration.
+TEST(RemoteClusterTest, ConnectRejectsMixedNormalization) {
+  ir::TextIndex::Options no_stem;
+  no_stem.stem = false;
+  ir::ClusterIndex stemmed(1, 2), unstemmed(1, 2, no_stem);
+  BuildCorpus(&stemmed, 20, 7);
+  BuildCorpus(&unstemmed, 20, 7);
+
+  ShardServer server;
+  server.AddNode(&stemmed.node_index(0), &stemmed.node_fragments(0));
+  server.AddNode(&unstemmed.node_index(0), &unstemmed.node_fragments(0));
+  LoopbackTransport t0(server.Handler()), t1(server.Handler());
+  RemoteClusterIndex remote({{&t0, 0}, {&t1, 1}});
+  Status status = remote.Connect();
+  EXPECT_FALSE(status.ok());
+  EXPECT_EQ(status.code(), StatusCode::kInvalidArgument);
+}
+
 }  // namespace
 }  // namespace dls::net

@@ -7,6 +7,7 @@
 #include <sys/socket.h>
 #include <unistd.h>
 
+#include <chrono>
 #include <cstring>
 #include <memory>
 #include <string>
@@ -278,6 +279,46 @@ TEST(TcpTest, ServerSurvivesGarbageAndTruncation) {
   // The server is still alive and still correct.
   ExpectSameRanking(fx.remote->Query(kQueries[0], 10, 2),
                     fx.cluster.Query(kQueries[0], 10, 2));
+}
+
+// A peer that delivers one byte of a frame and then stalls must not
+// pin a worker forever or wedge shutdown. Accepted sockets are
+// non-blocking (the mid-frame read honours its deadline instead of
+// blocking in recv), and Stop() shutdown(2)s live connections, so
+// teardown completes promptly even with every worker parked on a
+// stalled peer — before the fix this test hung in Stop().
+TEST(TcpTest, StalledMidFramePeersDoNotWedgeStop) {
+  TcpCluster fx(2, 2, 60, 5);
+  ASSERT_TRUE(fx.remote->Connect().ok());
+
+  // More stalled connections than the server has workers: each sends a
+  // plausible length prefix plus one payload byte, then goes silent.
+  std::vector<int> stalled;
+  for (int i = 0; i < 10; ++i) {
+    const int fd = socket(AF_INET, SOCK_STREAM, 0);
+    ASSERT_GE(fd, 0);
+    struct sockaddr_in addr;
+    memset(&addr, 0, sizeof(addr));
+    addr.sin_family = AF_INET;
+    addr.sin_port = htons(fx.server.port());
+    inet_pton(AF_INET, "127.0.0.1", &addr.sin_addr);
+    ASSERT_EQ(
+        connect(fd, reinterpret_cast<struct sockaddr*>(&addr), sizeof(addr)),
+        0);
+    const uint8_t partial[5] = {100, 0, 0, 0, 1};
+    ASSERT_EQ(send(fd, partial, sizeof(partial), MSG_NOSIGNAL),
+              static_cast<ssize_t>(sizeof(partial)));
+    stalled.push_back(fd);
+  }
+  // Let the accept loop hand the stalled connections to workers.
+  std::this_thread::sleep_for(std::chrono::milliseconds(200));
+
+  const auto start = std::chrono::steady_clock::now();
+  fx.server.Stop();
+  const auto elapsed = std::chrono::steady_clock::now() - start;
+  EXPECT_LT(elapsed, std::chrono::seconds(10))
+      << "Stop() waited on stalled peers";
+  for (int fd : stalled) close(fd);
 }
 
 }  // namespace

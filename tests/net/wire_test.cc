@@ -69,7 +69,7 @@ TEST(WireTest, QueryRequestRoundTripsVarintBoundaries) {
   request.node_id = 0xffffffffu;
   for (size_t v = 0; v < 9; ++v) request.queries.push_back(MakeQuery(v));
 
-  std::vector<uint8_t> frame = EncodeQueryRequest(request);
+  std::vector<uint8_t> frame = EncodeQueryRequest(request).value();
   MessageType type;
   const uint8_t* body = nullptr;
   size_t body_len = 0;
@@ -105,7 +105,7 @@ TEST(WireTest, QueryResponseRoundTripsScoresBitExactly) {
     response.results.push_back(std::move(r));
   }
 
-  std::vector<uint8_t> frame = EncodeQueryResponse(response);
+  std::vector<uint8_t> frame = EncodeQueryResponse(response).value();
   MessageType type;
   const uint8_t* body = nullptr;
   size_t body_len = 0;
@@ -145,6 +145,8 @@ TEST(WireTest, StatsRoundTrip) {
 
   StatsResponse response;
   response.node_id = 3;
+  response.stem = false;  // non-default: the flags must round-trip
+  response.stop = true;
   response.collection_length = (static_cast<int64_t>(1) << 48) + 17;
   response.document_count = 1234567;
   for (uint32_t df : kVarint32Boundaries) {
@@ -152,11 +154,13 @@ TEST(WireTest, StatsRoundTrip) {
     response.term_dfs.emplace_back("t" + std::to_string(df),
                                    static_cast<int32_t>(df));
   }
-  frame = EncodeStatsResponse(response);
+  frame = EncodeStatsResponse(response).value();
   ASSERT_TRUE(DecodeFrame(frame, &type, &body, &body_len).ok());
   ASSERT_EQ(type, MessageType::kStatsResponse);
   Result<StatsResponse> res = DecodeStatsResponse(body, body_len);
   ASSERT_TRUE(res.ok()) << res.status().ToString();
+  EXPECT_EQ(res.value().stem, response.stem);
+  EXPECT_EQ(res.value().stop, response.stop);
   EXPECT_EQ(res.value().collection_length, response.collection_length);
   EXPECT_EQ(res.value().document_count, response.document_count);
   EXPECT_EQ(res.value().term_dfs, response.term_dfs);
@@ -181,6 +185,60 @@ TEST(WireTest, ErrorRoundTrip) {
   EXPECT_FALSE(DecodeError(body, body_len).ok());
 }
 
+// The Error frame's code values are a stable wire contract, not the
+// C++ enum ordering: every current code must round-trip, and a value
+// this build doesn't know must degrade to kInternal, not be misread.
+TEST(WireTest, ErrorCodesAreStableWireValues) {
+  const StatusCode codes[] = {
+      StatusCode::kInvalidArgument, StatusCode::kNotFound,
+      StatusCode::kAlreadyExists,   StatusCode::kCorruption,
+      StatusCode::kParseError,      StatusCode::kDetectorFailure,
+      StatusCode::kUnsupported,     StatusCode::kInternal,
+      StatusCode::kUnavailable,     StatusCode::kDeadlineExceeded};
+  for (StatusCode code : codes) {
+    std::vector<uint8_t> frame = EncodeError(Status(code, "m"));
+    MessageType type;
+    const uint8_t* body = nullptr;
+    size_t body_len = 0;
+    ASSERT_TRUE(DecodeFrame(frame, &type, &body, &body_len).ok());
+    EXPECT_EQ(DecodeError(body, body_len).code(), code);
+  }
+
+  // A hand-built body carrying wire code 200 ("from the future").
+  std::vector<uint8_t> body = {0xc8, 0x01, 3, 'b', 'a', 'd'};
+  Status decoded = DecodeError(body.data(), body.size());
+  EXPECT_EQ(decoded.code(), StatusCode::kInternal);
+  EXPECT_NE(decoded.message().find("bad"), std::string::npos);
+}
+
+// An encoder must refuse a frame the receiver would reject instead of
+// shipping it: before this check a >64 MiB stats response (a huge
+// vocabulary) surfaced on the peer as a misleading kCorruption.
+TEST(WireTest, OversizePayloadRefusedAtEncodeTime) {
+  StatsResponse stats;
+  stats.term_dfs.emplace_back(std::string(kMaxFramePayloadBytes, 't'), 1);
+  Result<std::vector<uint8_t>> frame = EncodeStatsResponse(stats);
+  ASSERT_FALSE(frame.ok());
+  EXPECT_EQ(frame.status().code(), StatusCode::kUnsupported);
+
+  QueryResponse response;
+  ir::ShardResult r;
+  r.top.push_back({std::string(kMaxFramePayloadBytes, 'u'), 1.0});
+  response.results.push_back(std::move(r));
+  frame = EncodeQueryResponse(response);
+  ASSERT_FALSE(frame.ok());
+  EXPECT_EQ(frame.status().code(), StatusCode::kUnsupported);
+
+  // The error itself crosses the wire fine (message truncated to fit).
+  std::vector<uint8_t> error =
+      EncodeError(Status::Internal(std::string(1 << 20, 'x')));
+  MessageType type;
+  const uint8_t* body = nullptr;
+  size_t body_len = 0;
+  ASSERT_TRUE(DecodeFrame(error, &type, &body, &body_len).ok());
+  EXPECT_EQ(DecodeError(body, body_len).code(), StatusCode::kInternal);
+}
+
 // Every strict prefix of a valid frame must decode to a clean error:
 // the length prefix no longer matches, and a truncated body trips the
 // bounds checks — never UB (ASan/UBSan runs this in CI).
@@ -188,7 +246,7 @@ TEST(WireTest, TruncationAtEveryLengthFailsCleanly) {
   QueryRequest request;
   request.node_id = 1;
   request.queries.push_back(MakeQuery(2));
-  const std::vector<uint8_t> frame = EncodeQueryRequest(request);
+  const std::vector<uint8_t> frame = EncodeQueryRequest(request).value();
 
   for (size_t len = 0; len < frame.size(); ++len) {
     std::vector<uint8_t> cut(frame.begin(), frame.begin() + len);
@@ -281,7 +339,7 @@ TEST(WireTest, MutatedValidFramesNeverCrash) {
   request.node_id = 2;
   request.queries.push_back(MakeQuery(1));
   request.queries.push_back(MakeQuery(4));
-  const std::vector<uint8_t> frame = EncodeQueryRequest(request);
+  const std::vector<uint8_t> frame = EncodeQueryRequest(request).value();
 
   Rng rng(7);
   for (int iter = 0; iter < 2000; ++iter) {
