@@ -1,0 +1,314 @@
+// Serving-frontend load sweep: closed-loop clients against one
+// Frontend over the in-process cluster, at two offered loads:
+//
+//   cached    capacity-matched clients, a hot query set, a real cache —
+//             the steady state a production frontend should sit in
+//   overload  ~8x more clients than workers, the cache deliberately
+//             crippled — the regime where admission control, the
+//             batcher and degradation earn their keep
+//
+// The contract under load, reported under exact.* for ci/bench_gate.py:
+//   bit_identical        every answered query matches a direct
+//                        ClusterIndex::Query at its effective cut-off
+//   p99_within_deadline  overload p99 admitted latency stays under 2x
+//                        the request deadline (shedding bounds the tail)
+//   sheds_under_overload load shedding actually engages at overload
+//   zero_failures        no unexpected status ever comes back
+//
+// Latency figures are load-dependent by design, so the numeric leaves
+// deliberately avoid the gate's `_batch_ms` regression suffix — the
+// gated serving signals are the exact.* booleans and the shed-rate
+// floor.
+//
+// Prints a human table and writes machine-readable JSON (default
+// BENCH_serve.json, or argv[1]).
+#include <atomic>
+#include <cstdio>
+#include <cstring>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "common/rng.h"
+#include "common/strings.h"
+#include "common/timer.h"
+#include "ir/cluster.h"
+#include "serve/backend.h"
+#include "serve/frontend.h"
+
+namespace dls {
+namespace {
+
+constexpr size_t kNodes = 4;
+constexpr size_t kFragments = 4;
+constexpr int kDocs = 4000;
+constexpr int kWordsPerDoc = 60;
+constexpr size_t kVocab = 2000;
+constexpr double kZipfTheta = 1.1;
+constexpr int kQueryPool = 16;
+constexpr int kTermsPerQuery = 3;
+constexpr size_t kTopN = 10;
+
+constexpr size_t kWorkers = 2;
+constexpr uint32_t kDeadlineMs = 100;
+
+void BuildCorpus(ir::ClusterIndex* cluster) {
+  Rng rng(4);
+  ZipfSampler zipf(kVocab, kZipfTheta);
+  for (int d = 0; d < kDocs; ++d) {
+    std::string body;
+    body.reserve(kWordsPerDoc * 9);
+    for (int w = 0; w < kWordsPerDoc; ++w) {
+      body += StrFormat("term%04zu ", zipf.Sample(&rng));
+    }
+    cluster->AddDocument(StrFormat("doc%05d", d), body);
+  }
+  cluster->Finalize();
+}
+
+std::vector<std::vector<std::string>> MakeQueries() {
+  Rng rng(5);
+  ZipfSampler zipf(kVocab, kZipfTheta);
+  std::vector<std::vector<std::string>> queries;
+  for (int q = 0; q < kQueryPool; ++q) {
+    std::vector<std::string> words;
+    for (int w = 0; w < kTermsPerQuery; ++w) {
+      words.push_back(StrFormat("term%04zu", zipf.Sample(&rng)));
+    }
+    queries.push_back(std::move(words));
+  }
+  return queries;
+}
+
+bool BitIdentical(const std::vector<ir::ClusterScoredDoc>& a,
+                  const std::vector<ir::ClusterScoredDoc>& b) {
+  if (a.size() != b.size()) return false;
+  for (size_t i = 0; i < a.size(); ++i) {
+    uint64_t bits_a, bits_b;
+    std::memcpy(&bits_a, &a[i].score, sizeof(bits_a));
+    std::memcpy(&bits_b, &b[i].score, sizeof(bits_b));
+    if (a[i].url != b[i].url || bits_a != bits_b) return false;
+  }
+  return true;
+}
+
+struct LevelResult {
+  int clients = 0;
+  double wall_s = 0;
+  uint64_t answered = 0;
+  uint64_t shed = 0;
+  uint64_t wrong_rankings = 0;
+  uint64_t bad_statuses = 0;
+  serve::ServeStats stats;
+
+  double qps() const { return wall_s > 0 ? answered / wall_s : 0; }
+  double shed_rate() const {
+    const uint64_t total = answered + shed;
+    return total > 0 ? static_cast<double>(shed) / total : 0;
+  }
+  double cache_hit_rate() const {
+    const uint64_t lookups = stats.cache_hits + stats.cache_misses;
+    return lookups > 0 ? static_cast<double>(stats.cache_hits) / lookups : 0;
+  }
+  double degraded_share() const {
+    return stats.completed > 0
+               ? static_cast<double>(stats.degraded) / stats.submitted
+               : 0;
+  }
+  double avg_batch() const {
+    return stats.batches > 0
+               ? static_cast<double>(stats.batched_queries) / stats.batches
+               : 0;
+  }
+};
+
+/// Closed loop: `clients` threads issue queries back to back (a shed
+/// answer is an immediate retry opportunity — the client just moves
+/// on), `iters` submissions each.
+LevelResult RunLevel(const serve::Backend& backend,
+                     const serve::FrontendOptions& options, int clients,
+                     int iters,
+                     const std::vector<std::vector<std::string>>& queries,
+                     const std::vector<std::vector<ir::ClusterScoredDoc>>&
+                         expected_full,
+                     const std::vector<std::vector<ir::ClusterScoredDoc>>&
+                         expected_degraded) {
+  serve::Frontend frontend(&backend, options);
+  std::atomic<uint64_t> answered{0}, shed{0}, wrong{0}, bad{0};
+
+  Timer timer;
+  std::vector<std::thread> threads;
+  for (int t = 0; t < clients; ++t) {
+    threads.emplace_back([&, t] {
+      for (int i = 0; i < iters; ++i) {
+        const size_t qi = (t * 7 + i) % queries.size();
+        serve::SearchQuery query;
+        query.words = queries[qi];
+        query.n = kTopN;
+        query.max_fragments = kFragments;
+        query.options.prune = true;
+        serve::SearchResult result = frontend.Search(query);
+        if (result.status.ok()) {
+          const auto& want =
+              result.degraded ? expected_degraded[qi] : expected_full[qi];
+          if (!BitIdentical(result.results, want)) wrong.fetch_add(1);
+          answered.fetch_add(1);
+        } else if (result.status.code() == StatusCode::kUnavailable ||
+                   result.status.code() == StatusCode::kDeadlineExceeded) {
+          shed.fetch_add(1);
+        } else {
+          bad.fetch_add(1);
+        }
+      }
+    });
+  }
+  for (std::thread& thread : threads) thread.join();
+
+  LevelResult level;
+  level.clients = clients;
+  level.wall_s = timer.ElapsedMillis() / 1000.0;
+  level.answered = answered.load();
+  level.shed = shed.load();
+  level.wrong_rankings = wrong.load();
+  level.bad_statuses = bad.load();
+  level.stats = frontend.Stats();
+  return level;
+}
+
+void PrintLevel(const char* name, const LevelResult& level) {
+  std::printf(
+      "%-9s %3d clients  %9.0f qps  p50 %6llu us  p99 %6llu us  "
+      "shed %5.1f%%  cache %5.1f%%  degraded %5.1f%%  batch %.2f\n",
+      name, level.clients, level.qps(),
+      static_cast<unsigned long long>(level.stats.latency.p50),
+      static_cast<unsigned long long>(level.stats.latency.p99),
+      level.shed_rate() * 100.0, level.cache_hit_rate() * 100.0,
+      level.degraded_share() * 100.0, level.avg_batch());
+}
+
+}  // namespace
+}  // namespace dls
+
+int main(int argc, char** argv) {
+  using namespace dls;
+  const char* json_path = argc > 1 ? argv[1] : "BENCH_serve.json";
+
+  ir::ClusterIndex cluster(kNodes, kFragments);
+  BuildCorpus(&cluster);
+  cluster.EnableParallelism(2);
+  const auto queries = MakeQueries();
+
+  ir::RankOptions rank;
+  rank.prune = true;
+  std::vector<std::vector<ir::ClusterScoredDoc>> expected_full;
+  std::vector<std::vector<ir::ClusterScoredDoc>> expected_degraded;
+  for (const auto& q : queries) {
+    expected_full.push_back(cluster.Query(q, kTopN, kFragments, nullptr, rank));
+    expected_degraded.push_back(
+        cluster.Query(q, kTopN, kFragments / 2, nullptr, rank));
+  }
+
+  serve::LocalBackend backend(&cluster);
+
+  // Capacity-matched: as many clients as workers, a real cache.
+  serve::FrontendOptions cached_options;
+  cached_options.num_workers = kWorkers;
+  cached_options.max_batch = 8;
+  cached_options.max_queue = 16;
+  cached_options.degrade_watermark = 8;
+  cached_options.default_deadline_ms = kDeadlineMs;
+  LevelResult cached =
+      RunLevel(backend, cached_options, /*clients=*/kWorkers, /*iters=*/2000,
+               queries, expected_full, expected_degraded);
+
+  // Overload: ~8x capacity, the cache crippled to one entry so nearly
+  // every submission wants real backend work — admission control and
+  // degradation must hold the line.
+  serve::FrontendOptions overload_options;
+  overload_options.num_workers = kWorkers;
+  overload_options.max_batch = 2;
+  overload_options.max_queue = 8;
+  overload_options.degrade_watermark = 4;
+  overload_options.default_deadline_ms = kDeadlineMs;
+  overload_options.cache_entries = 1;
+  overload_options.cache_shards = 1;
+  LevelResult overload =
+      RunLevel(backend, overload_options, /*clients=*/16, /*iters=*/300,
+               queries, expected_full, expected_degraded);
+
+  const bool bit_identical =
+      cached.wrong_rankings == 0 && overload.wrong_rankings == 0;
+  const bool zero_failures =
+      cached.bad_statuses == 0 && overload.bad_statuses == 0;
+  const bool sheds_under_overload =
+      overload.stats.shed_queue_full + overload.stats.shed_deadline > 0;
+  const bool p99_within_deadline =
+      overload.stats.latency.p99 <= uint64_t{kDeadlineMs} * 1000 * 2;
+
+  std::printf(
+      "serve load sweep: %zu nodes, %d docs, %d hot queries, top %zu, "
+      "%zu workers, %u ms deadline\n\n",
+      kNodes, kDocs, kQueryPool, kTopN, kWorkers, kDeadlineMs);
+  PrintLevel("cached", cached);
+  PrintLevel("overload", overload);
+  std::printf(
+      "\nexact: bit_identical=%s p99_within_deadline=%s "
+      "sheds_under_overload=%s zero_failures=%s\n",
+      bit_identical ? "true" : "false", p99_within_deadline ? "true" : "false",
+      sheds_under_overload ? "true" : "false",
+      zero_failures ? "true" : "false");
+
+  std::FILE* out = std::fopen(json_path, "w");
+  if (out == nullptr) {
+    std::fprintf(stderr, "cannot write %s\n", json_path);
+    return 1;
+  }
+  std::fprintf(
+      out,
+      "{\n"
+      "  \"bench\": \"serve\",\n"
+      "  \"corpus\": {\"nodes\": %zu, \"fragments\": %zu, \"docs\": %d, "
+      "\"words_per_doc\": %d, \"vocab\": %zu, \"zipf_theta\": %.2f, "
+      "\"query_pool\": %d, \"terms_per_query\": %d, \"top_n\": %zu},\n"
+      "  \"frontend\": {\"workers\": %zu, \"deadline_ms\": %u},\n"
+      "  \"cached\": {\n"
+      "    \"clients\": %d,\n"
+      "    \"qps\": %.0f,\n"
+      "    \"p50_us\": %llu,\n"
+      "    \"p95_us\": %llu,\n"
+      "    \"p99_us\": %llu,\n"
+      "    \"shed_rate\": %.4f,\n"
+      "    \"cache_hit_rate\": %.4f\n"
+      "  },\n"
+      "  \"overload\": {\n"
+      "    \"clients\": %d,\n"
+      "    \"qps\": %.0f,\n"
+      "    \"p50_us\": %llu,\n"
+      "    \"p95_us\": %llu,\n"
+      "    \"p99_us\": %llu,\n"
+      "    \"shed_rate\": %.4f,\n"
+      "    \"degraded_share\": %.4f,\n"
+      "    \"avg_batch\": %.2f\n"
+      "  },\n"
+      "  \"exact\": {\"bit_identical\": %s, \"p99_within_deadline\": %s, "
+      "\"sheds_under_overload\": %s, \"zero_failures\": %s}\n"
+      "}\n",
+      kNodes, kFragments, kDocs, kWordsPerDoc, kVocab, kZipfTheta, kQueryPool,
+      kTermsPerQuery, kTopN, kWorkers, kDeadlineMs, cached.clients,
+      cached.qps(), static_cast<unsigned long long>(cached.stats.latency.p50),
+      static_cast<unsigned long long>(cached.stats.latency.p95),
+      static_cast<unsigned long long>(cached.stats.latency.p99),
+      cached.shed_rate(), cached.cache_hit_rate(), overload.clients,
+      overload.qps(),
+      static_cast<unsigned long long>(overload.stats.latency.p50),
+      static_cast<unsigned long long>(overload.stats.latency.p95),
+      static_cast<unsigned long long>(overload.stats.latency.p99),
+      overload.shed_rate(), overload.degraded_share(), overload.avg_batch(),
+      bit_identical ? "true" : "false", p99_within_deadline ? "true" : "false",
+      sheds_under_overload ? "true" : "false",
+      zero_failures ? "true" : "false");
+  std::fclose(out);
+  std::printf("wrote %s\n", json_path);
+  return (bit_identical && zero_failures) ? 0 : 1;
+}

@@ -10,8 +10,17 @@ A metric fails the gate when it regresses by more than --threshold
   bytes_per_posting_packed  higher is worse
   bytes_per_query      higher is worse (wire traffic of a fan-out)
   compression_ratio    hard floor of 2.0 regardless of baseline
+  overload.shed_rate   hard floor of 0.02 — the serving frontend must
+                       actually shed at overload, not queue unboundedly
   exact.*              must be true — a bit-identity miss is never a
-                       timing artefact
+                       timing artefact (for bench_serve this covers
+                       bit_identical, p99_within_deadline,
+                       sheds_under_overload and zero_failures)
+
+Serving latency under load is deliberately NOT ratio-gated: bench_serve
+emits its timings as `*_us` leaves (not `*_batch_ms`) because queue
+waits are load- and machine-dependent; its gated signals are the
+exact.* booleans and the shed-rate floor.
 
 Timings are machine-dependent, so the gate compares fresh runs against
 baselines produced on the same class of machine; CI runs it as a
@@ -33,9 +42,11 @@ BENCHES = [
     ("bench_ir_kernel", "BENCH_ir_kernel.json"),
     ("bench_codec", "BENCH_codec.json"),
     ("bench_net_fanout", "BENCH_net.json"),
+    ("bench_serve", "BENCH_serve.json"),
 ]
 
 COMPRESSION_FLOOR = 2.0
+SHED_RATE_FLOOR = 0.02
 
 
 def walk(tree, prefix=""):
@@ -100,11 +111,17 @@ def compare(name, baseline, fresh, threshold):
             failures.append(
                 f"{name}: {path} regressed {delta:+.1f}% "
                 f"(limit {direction}{threshold * 100:.0f}%)")
-    ratio = dict(walk(fresh)).get("space.compression_ratio")
+    fresh_flat = dict(walk(fresh))
+    ratio = fresh_flat.get("space.compression_ratio")
     if ratio is not None and ratio < COMPRESSION_FLOOR:
         failures.append(
             f"{name}: compression_ratio {ratio:.2f} below the "
             f"{COMPRESSION_FLOOR:.1f}x floor")
+    shed_rate = fresh_flat.get("overload.shed_rate")
+    if shed_rate is not None and shed_rate < SHED_RATE_FLOOR:
+        failures.append(
+            f"{name}: overload.shed_rate {shed_rate:.3f} below the "
+            f"{SHED_RATE_FLOOR:.2f} floor — shedding did not engage")
     return failures
 
 

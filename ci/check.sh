@@ -3,21 +3,24 @@
 # in its own job while `ci/check.sh` (no argument) stays the one-shot
 # local gate:
 #
-#   ci/check.sh tier1   configure + build + ctest, then the IR and net
-#                       suites again with DLS_KERNEL=packed so the
-#                       compressed posting codec is the default kernel
-#                       end to end (the net suite re-proves remote/
-#                       in-process bit-identity under it).
-#   ci/check.sh tsan    DLS_SANITIZE=thread build; the FULL IR and net
-#                       suites (not a hand-picked filter — new suites
-#                       must not silently skip sanitizer coverage) plus
-#                       the thread-pool tests, then the concurrency-
-#                       facing suites again under the packed kernel.
+#   ci/check.sh tier1   configure + build + ctest, then the IR, net and
+#                       serve suites again with DLS_KERNEL=packed so
+#                       the compressed posting codec is the default
+#                       kernel end to end (the net and serve suites
+#                       re-prove remote/in-process and cached/uncached
+#                       bit-identity under it).
+#   ci/check.sh tsan    DLS_SANITIZE=thread build; the FULL IR, net and
+#                       serve suites (not a hand-picked filter — new
+#                       suites must not silently skip sanitizer
+#                       coverage) plus the thread-pool tests, then the
+#                       concurrency-facing suites again under the
+#                       packed kernel (shared-θ and the serving
+#                       frontend are the racy paths that earn this).
 #   ci/check.sh asan    DLS_SANITIZE=address+undefined build; full
-#                       common + IR + net suites, then IR + net again
-#                       under the packed kernel (the wire decoder's
-#                       peer-controlled pointer arithmetic is exactly
-#                       what ASan/UBSan should see).
+#                       common + IR + net + serve suites, then IR + net
+#                       + serve again under the packed kernel (the wire
+#                       decoder's peer-controlled pointer arithmetic is
+#                       exactly what ASan/UBSan should see).
 #   ci/check.sh bench   builds the benchmark binaries and runs
 #                       ci/bench_gate.py against the committed
 #                       BENCH_*.json baselines (>15% regression fails).
@@ -35,44 +38,51 @@ tier1() {
   cmake -B build -S .
   cmake --build build -j "$(nproc)"
   (cd build && ctest --output-on-failure -j "$(nproc)")
-  echo "== tier-1: IR + net suites with the packed (compressed) kernel =="
+  echo "== tier-1: IR + net + serve suites with the packed (compressed) kernel =="
   DLS_KERNEL=packed ./build/tests/dls_ir_tests
   DLS_KERNEL=packed ./build/tests/dls_net_tests
+  DLS_KERNEL=packed ./build/tests/dls_serve_tests
 }
 
 tsan() {
-  echo "== TSan: thread pool + full IR + net suites =="
+  echo "== TSan: thread pool + histogram + full IR + net + serve suites =="
   cmake -B build-tsan -S . -DDLS_SANITIZE=thread
   cmake --build build-tsan -j "$(nproc)" \
-    --target dls_common_tests dls_ir_tests dls_net_tests
-  ./build-tsan/tests/dls_common_tests --gtest_filter='ThreadPool*'
+    --target dls_common_tests dls_ir_tests dls_net_tests dls_serve_tests
+  ./build-tsan/tests/dls_common_tests \
+    --gtest_filter='ThreadPool*:LatencyHistogram*'
   ./build-tsan/tests/dls_ir_tests
   ./build-tsan/tests/dls_net_tests
+  ./build-tsan/tests/dls_serve_tests
   echo "== TSan: concurrency suites with the packed kernel =="
   DLS_KERNEL=packed ./build-tsan/tests/dls_ir_tests \
-    --gtest_filter='ParallelQuery*:Codec*:Kernel*:Wand*'
+    --gtest_filter='ParallelQuery*:Codec*:Kernel*:Wand*:SharedThreshold*'
   DLS_KERNEL=packed ./build-tsan/tests/dls_net_tests \
     --gtest_filter='TcpTest*:RemoteClusterTest*'
+  DLS_KERNEL=packed ./build-tsan/tests/dls_serve_tests \
+    --gtest_filter='ServeConcurrencyTest*:FrontendTest*'
 }
 
 asan() {
-  echo "== ASan+UBSan: full common + IR + net suites =="
+  echo "== ASan+UBSan: full common + IR + net + serve suites =="
   cmake -B build-asan -S . -DDLS_SANITIZE=address+undefined
   cmake --build build-asan -j "$(nproc)" \
-    --target dls_common_tests dls_ir_tests dls_net_tests
+    --target dls_common_tests dls_ir_tests dls_net_tests dls_serve_tests
   ./build-asan/tests/dls_common_tests
   ./build-asan/tests/dls_ir_tests
   ./build-asan/tests/dls_net_tests
-  echo "== ASan+UBSan: IR + net suites with the packed kernel =="
+  ./build-asan/tests/dls_serve_tests
+  echo "== ASan+UBSan: IR + net + serve suites with the packed kernel =="
   DLS_KERNEL=packed ./build-asan/tests/dls_ir_tests
   DLS_KERNEL=packed ./build-asan/tests/dls_net_tests
+  DLS_KERNEL=packed ./build-asan/tests/dls_serve_tests
 }
 
 bench() {
   echo "== bench gate: throughput vs committed baselines =="
   cmake -B build -S .
   cmake --build build -j "$(nproc)" \
-    --target bench_ir_kernel bench_codec bench_net_fanout
+    --target bench_ir_kernel bench_codec bench_net_fanout bench_serve
   python3 ci/bench_gate.py --build-dir build
 }
 

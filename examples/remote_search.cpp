@@ -1,25 +1,68 @@
-// Distributed search over the shard RPC layer (src/net): host a
-// 4-node cluster behind TCP ShardServers on localhost, dial them with
-// a RemoteClusterIndex, and show that the remote ranking is
-// bit-identical to the in-process one — then kill a server and watch
-// the query degrade gracefully instead of failing.
+// Distributed search, end to end: a 4-node cluster behind TCP
+// ShardServers on localhost, a RemoteClusterIndex dialling them, and a
+// serving Frontend (src/serve) standing in front of it all behind its
+// own FrontendServer wire endpoint — the paper's deployment picture in
+// one process:
+//
+//   client --SearchRequest--> FrontendServer -> Frontend
+//     (admission / batcher / result cache)
+//       -> RemoteClusterIndex --QueryRequest--> ShardServers -> nodes
+//
+// The walkthrough shows the full ladder: bit-identical remote ranking,
+// a cache miss then a cache hit on the same wire query, an overload
+// burst that gets load-shed with kUnavailable + retry-after, the
+// ServeStats frame, batched fan-out, and finally graceful degradation
+// when a shard machine dies.
 //
 // In a real deployment each ShardServer is its own process/machine and
-// the client dials four different hosts; two servers in one process
-// keep the example self-contained while still giving us one to kill.
+// the FrontendServer a third; one process keeps the example
+// self-contained while still exercising every wire hop.
 //
 // Build & run:  ./build/examples/remote_search
+#include <atomic>
 #include <cstdio>
 #include <memory>
 #include <string>
+#include <thread>
 #include <vector>
 
+#include "common/deadline.h"
 #include "common/rng.h"
 #include "common/strings.h"
 #include "ir/cluster.h"
 #include "net/remote_cluster.h"
 #include "net/shard_server.h"
 #include "net/tcp.h"
+#include "net/wire.h"
+#include "serve/backend.h"
+#include "serve/frontend.h"
+#include "serve/frontend_server.h"
+
+namespace {
+
+/// One SearchRequest/SearchResponse exchange with a FrontendServer.
+dls::Result<dls::net::SearchResponse> SearchOverWire(
+    dls::net::Transport* transport, const dls::net::SearchRequest& request) {
+  using namespace dls;
+  Result<std::vector<uint8_t>> frame = net::EncodeSearchRequest(request);
+  if (!frame.ok()) return frame.status();
+  Result<std::vector<uint8_t>> reply =
+      transport->Call(frame.value(), Deadline::After(5000));
+  if (!reply.ok()) return reply.status();
+  net::MessageType type;
+  const uint8_t* body = nullptr;
+  size_t body_len = 0;
+  if (Status s = net::DecodeFrame(reply.value(), &type, &body, &body_len);
+      !s.ok()) {
+    return s;
+  }
+  if (type != net::MessageType::kSearchResponse) {
+    return Status::Internal("unexpected frame type");
+  }
+  return net::DecodeSearchResponse(body, body_len);
+}
+
+}  // namespace
 
 int main() {
   using namespace dls;
@@ -93,6 +136,111 @@ int main() {
     std::printf("  %zu. %-24s %.6f  %s\n", i + 1, over_wire[i].url.c_str(),
                 over_wire[i].score, same ? "== in-process" : "MISMATCH");
   }
+
+  // ---- Stand the serving frontend in front of the remote cluster and
+  // put it on the wire too. A deliberately tiny frontend — one worker,
+  // a one-deep queue — so overload is easy to provoke.
+  serve::RemoteBackend backend(&remote);
+  serve::FrontendOptions frontend_options;
+  frontend_options.num_workers = 1;
+  frontend_options.max_batch = 4;
+  frontend_options.max_queue = 1;
+  frontend_options.degrade_watermark = 0;
+  serve::Frontend frontend(&backend, frontend_options);
+  serve::FrontendServer frontend_server(&frontend);
+  if (Status s = frontend_server.Start(0); !s.ok()) {
+    std::fprintf(stderr, "frontend start: %s\n", s.ToString().c_str());
+    return 1;
+  }
+  std::printf("\nfrontend server on 127.0.0.1:%u\n", frontend_server.port());
+
+  net::TcpTransport frontend_dial("127.0.0.1", frontend_server.port());
+  net::SearchRequest request;
+  request.words = query;
+  request.n = 5;
+  request.max_fragments = 4;
+
+  // First exchange evaluates through the whole ladder; the repeat is
+  // answered from the epoch-keyed result cache, bit-identical.
+  auto first = SearchOverWire(&frontend_dial, request);
+  auto second = SearchOverWire(&frontend_dial, request);
+  if (!first.ok() || !second.ok()) {
+    std::fprintf(stderr, "frontend search failed\n");
+    return 1;
+  }
+  bool cached_same = second.value().results.size() == over_wire.size();
+  for (size_t i = 0; cached_same && i < over_wire.size(); ++i) {
+    cached_same = second.value().results[i].url == over_wire[i].url &&
+                  second.value().results[i].score == over_wire[i].score;
+  }
+  std::printf("search #1: cache_hit=%s   search #2: cache_hit=%s (%s)\n",
+              first.value().cache_hit ? "true" : "false",
+              second.value().cache_hit ? "true" : "false",
+              cached_same ? "bit-identical to the direct ranking"
+                          : "MISMATCH");
+
+  // ---- Overload: six impatient clients, each on its own connection,
+  // all with fresh (uncacheable) queries against the 1-worker/1-queue
+  // frontend. The ones that cannot be admitted are shed *now* with
+  // kUnavailable and a retry-after hint — bounded latency instead of
+  // an unbounded queue.
+  std::atomic<int> answered{0}, shed{0};
+  std::atomic<uint32_t> retry_hint{0};
+  for (int round = 0; round < 20 && shed.load() == 0; ++round) {
+    std::vector<std::thread> clients;
+    for (int c = 0; c < 6; ++c) {
+      clients.emplace_back([&, round, c] {
+        net::TcpTransport dial("127.0.0.1", frontend_server.port());
+        net::SearchRequest burst;
+        burst.words = {StrFormat("term%03d", (round * 6 + c) % 500),
+                       StrFormat("term%03d", (round * 6 + c + 250) % 500)};
+        burst.n = 5;
+        burst.max_fragments = 4;
+        auto response = SearchOverWire(&dial, burst);
+        if (!response.ok()) return;
+        if (response.value().status.ok()) {
+          answered.fetch_add(1);
+        } else if (response.value().status.code() ==
+                   StatusCode::kUnavailable) {
+          shed.fetch_add(1);
+          retry_hint.store(response.value().retry_after_ms);
+        }
+      });
+    }
+    for (std::thread& client : clients) client.join();
+  }
+  std::printf("overload burst: %d answered, %d shed kUnavailable "
+              "(retry-after hint %u ms)\n",
+              answered.load(), shed.load(), retry_hint.load());
+
+  // ---- The operator's view, over the same wire: a ServeStats frame.
+  auto stats_reply = frontend_dial.Call(
+      net::EncodeServeStatsRequest(net::ServeStatsRequest{}),
+      Deadline::After(5000));
+  if (stats_reply.ok()) {
+    net::MessageType type;
+    const uint8_t* body = nullptr;
+    size_t body_len = 0;
+    if (net::DecodeFrame(stats_reply.value(), &type, &body, &body_len).ok() &&
+        type == net::MessageType::kServeStatsResponse) {
+      auto serve_stats = net::DecodeServeStatsResponse(body, body_len);
+      if (serve_stats.ok()) {
+        std::printf(
+            "serve stats: %llu submitted, %llu completed, %llu cache hits, "
+            "%llu shed, p99 %llu us\n",
+            static_cast<unsigned long long>(serve_stats.value().submitted),
+            static_cast<unsigned long long>(serve_stats.value().completed),
+            static_cast<unsigned long long>(serve_stats.value().cache_hits),
+            static_cast<unsigned long long>(
+                serve_stats.value().shed_queue_full +
+                serve_stats.value().shed_deadline),
+            static_cast<unsigned long long>(
+                serve_stats.value().latency_p99_us));
+      }
+    }
+  }
+  frontend_server.Stop();
+  frontend.Stop();
 
   // ---- Batched execution: the whole workload in one frame per node.
   std::vector<std::vector<std::string>> workload = {

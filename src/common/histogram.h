@@ -1,0 +1,132 @@
+#ifndef DLS_COMMON_HISTOGRAM_H_
+#define DLS_COMMON_HISTOGRAM_H_
+
+#include <algorithm>
+#include <array>
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+
+namespace dls {
+
+/// Lock-free log-linear latency histogram (HDR-style): values bucket by
+/// their power-of-two magnitude with 8 linear sub-buckets per octave,
+/// so relative resolution stays ~12% from microseconds to minutes while
+/// the whole table is 43 octaves x 8 counters. Record() is a single
+/// relaxed atomic increment — safe from any number of threads with no
+/// coordination — which is what lets the serving frontend account every
+/// request on the hot path.
+///
+/// Snapshot() reads the counters without stopping writers; a snapshot
+/// taken under concurrent Record()s is a consistent-enough view for
+/// operational stats (each counter is atomic, the set is not). The
+/// reported percentile is the *upper bound* of the bucket holding the
+/// rank — a conservative p99 never understates the tail.
+class LatencyHistogram {
+ public:
+  LatencyHistogram() = default;
+  LatencyHistogram(const LatencyHistogram&) = delete;
+  LatencyHistogram& operator=(const LatencyHistogram&) = delete;
+
+  /// Records one measurement (any non-negative unit; the serving layer
+  /// feeds microseconds). Values beyond the last octave clamp into it.
+  void Record(uint64_t value) {
+    buckets_[BucketOf(value)].fetch_add(1, std::memory_order_relaxed);
+    count_.fetch_add(1, std::memory_order_relaxed);
+    sum_.fetch_add(value, std::memory_order_relaxed);
+  }
+
+  /// Point-in-time view with the quantiles the stats block exports.
+  struct Snapshot {
+    uint64_t count = 0;
+    uint64_t sum = 0;
+    double mean = 0;
+    uint64_t p50 = 0;
+    uint64_t p95 = 0;
+    uint64_t p99 = 0;
+    uint64_t max = 0;  ///< upper bound of the highest non-empty bucket
+  };
+
+  Snapshot TakeSnapshot() const {
+    std::array<uint64_t, kBuckets> counts;
+    uint64_t total = 0;
+    for (size_t i = 0; i < kBuckets; ++i) {
+      counts[i] = buckets_[i].load(std::memory_order_relaxed);
+      total += counts[i];
+    }
+    Snapshot snap;
+    snap.count = total;
+    snap.sum = sum_.load(std::memory_order_relaxed);
+    snap.mean = total > 0 ? static_cast<double>(snap.sum) /
+                                static_cast<double>(total)
+                          : 0.0;
+    if (total == 0) return snap;
+    snap.p50 = PercentileFrom(counts, total, 0.50);
+    snap.p95 = PercentileFrom(counts, total, 0.95);
+    snap.p99 = PercentileFrom(counts, total, 0.99);
+    for (size_t i = kBuckets; i-- > 0;) {
+      if (counts[i] > 0) {
+        snap.max = BucketUpperBound(i);
+        break;
+      }
+    }
+    return snap;
+  }
+
+  uint64_t count() const { return count_.load(std::memory_order_relaxed); }
+
+  /// Zeroes every counter. Not atomic with respect to concurrent
+  /// Record()s — callers quiesce writers first (tests do).
+  void Reset() {
+    for (auto& b : buckets_) b.store(0, std::memory_order_relaxed);
+    count_.store(0, std::memory_order_relaxed);
+    sum_.store(0, std::memory_order_relaxed);
+  }
+
+ private:
+  static constexpr size_t kSubBits = 3;  // 8 linear sub-buckets/octave
+  static constexpr size_t kSubBuckets = size_t{1} << kSubBits;
+  static constexpr size_t kOctaves = 43;  // values up to ~2^42 (~50 days of us)
+  static constexpr size_t kBuckets = kOctaves * kSubBuckets;
+
+  /// Values < kSubBuckets land exactly (octave 0 is linear); larger
+  /// values index by (floor(log2 v), next kSubBits mantissa bits).
+  static size_t BucketOf(uint64_t v) {
+    if (v < kSubBuckets) return static_cast<size_t>(v);
+    const int exp = 63 - __builtin_clzll(v);
+    const size_t octave = std::min<size_t>(exp, kOctaves - 1);
+    const size_t sub =
+        static_cast<size_t>(v >> (octave - kSubBits)) & (kSubBuckets - 1);
+    return octave * kSubBuckets + sub;
+  }
+
+  /// Largest value mapping into bucket i (the conservative quantile).
+  static uint64_t BucketUpperBound(size_t i) {
+    const size_t octave = i / kSubBuckets;
+    const size_t sub = i % kSubBuckets;
+    if (octave == 0) return sub;  // exact small values
+    const uint64_t base = uint64_t{1} << octave;
+    const uint64_t width = base >> kSubBits;
+    return base + (sub + 1) * width - 1;
+  }
+
+  static uint64_t PercentileFrom(const std::array<uint64_t, kBuckets>& counts,
+                                 uint64_t total, double q) {
+    const uint64_t rank =
+        std::max<uint64_t>(1, static_cast<uint64_t>(q * total + 0.5));
+    uint64_t seen = 0;
+    for (size_t i = 0; i < kBuckets; ++i) {
+      seen += counts[i];
+      if (seen >= rank) return BucketUpperBound(i);
+    }
+    return BucketUpperBound(kBuckets - 1);
+  }
+
+  std::array<std::atomic<uint64_t>, kBuckets> buckets_{};
+  std::atomic<uint64_t> count_{0};
+  std::atomic<uint64_t> sum_{0};
+};
+
+}  // namespace dls
+
+#endif  // DLS_COMMON_HISTOGRAM_H_

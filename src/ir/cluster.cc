@@ -81,6 +81,13 @@ void ClusterIndex::Finalize() {
 ShardResult EvaluateShardQuery(const TextIndex& index,
                                const FragmentedIndex& fragments,
                                const ShardQuery& query) {
+  return EvaluateShardQuery(index, fragments, query, nullptr);
+}
+
+ShardResult EvaluateShardQuery(const TextIndex& index,
+                               const FragmentedIndex& fragments,
+                               const ShardQuery& query,
+                               std::atomic<double>* shared_theta) {
   Timer timer;
   ShardResult result;
   const std::vector<std::string>& stems = query.stems;
@@ -124,7 +131,7 @@ ShardResult EvaluateShardQuery(const TextIndex& index,
     WandStats wand_stats;
     local = WandTopN(wand_terms, index.inv_doc_length_data(),
                      index.max_inv_doc_length(), query.n, query.threshold,
-                     url_less, options.kernel, &wand_stats);
+                     url_less, options.kernel, &wand_stats, shared_theta);
     result.postings_touched = wand_stats.postings_touched;
     result.blocks_skipped = wand_stats.blocks_skipped;
   } else {
@@ -225,7 +232,20 @@ std::vector<ClusterScoredDoc> ClusterIndex::Query(
   // the nodes evaluate concurrently; result slots are per-node, so the
   // only synchronisation is the fan-out join itself.
   std::vector<ShardResult> responses(nodes_.size());
-  if (options.prune && n > 0 && (executor_ == nullptr || nodes_.size() <= 1)) {
+  if (options.prune && options.shared_threshold && n > 0) {
+    // Live threshold feedback (RankOptions::shared_threshold): all
+    // nodes — concurrent under an executor, in order without one —
+    // prune against one atomic θ that each publishes its running n-th
+    // best into (monotone max inside WandTopN). The merged ranking is
+    // identical to the sequential-feedback and exhaustive paths; the
+    // per-node work stats become schedule-dependent.
+    std::atomic<double> shared_theta{0.0};
+    ForEachNode([&](size_t i) {
+      responses[i] = EvaluateShardQuery(*nodes_[i].index, *nodes_[i].fragments,
+                                        request, &shared_theta);
+    });
+  } else if (options.prune && n > 0 &&
+             (executor_ == nullptr || nodes_.size() <= 1)) {
     // Threshold feedback (sequential execution only): the centre keeps
     // the n best scores returned so far and pushes the running n-th
     // best as the next node's starting threshold. Any document scoring

@@ -1,6 +1,7 @@
 #ifndef DLS_IR_CLUSTER_H_
 #define DLS_IR_CLUSTER_H_
 
+#include <atomic>
 #include <cstdint>
 #include <functional>
 #include <memory>
@@ -66,6 +67,16 @@ struct ShardResult {
 ShardResult EvaluateShardQuery(const TextIndex& index,
                                const FragmentedIndex& fragments,
                                const ShardQuery& query);
+
+/// As above, but with the live threshold-feedback channel of
+/// RankOptions::shared_threshold: when `shared_theta` is non-null and
+/// the query prunes, the WAND evaluation reads the cluster-wide θ
+/// every iteration and publishes its own running n-th best into it
+/// (monotone max). Passing nullptr is the plain overload.
+ShardResult EvaluateShardQuery(const TextIndex& index,
+                               const FragmentedIndex& fragments,
+                               const ShardQuery& query,
+                               std::atomic<double>* shared_theta);
 
 /// Bounded k-way merge of per-node top lists (each sorted by score
 /// desc, url asc) into the global top `n`, with the node's position in
@@ -145,6 +156,19 @@ class ClusterIndex {
 
   size_t num_nodes() const { return nodes_.size(); }
   size_t document_count() const { return total_docs_; }
+  size_t num_fragments() const { return num_fragments_; }
+
+  /// Cluster-wide mutation epoch: the sum of every node's
+  /// TextIndex::mutation_epoch(). Any AddDocument/Flush anywhere in
+  /// the cluster changes it, so a cached result keyed by this value is
+  /// provably derived from the current frozen state — the invalidation
+  /// key of the serving layer's result cache (src/serve). Stable while
+  /// the cluster is frozen for reads.
+  uint64_t mutation_epoch() const {
+    uint64_t sum = 0;
+    for (const Node& node : nodes_) sum += node.index->mutation_epoch();
+    return sum;
+  }
 
   /// Read-only access to one node's local state (tests, benchmarks,
   /// E4 introspection). Valid after Finalize().

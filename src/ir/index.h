@@ -79,6 +79,16 @@ struct RankOptions {
   /// ranking (docs and scores) as the exhaustive evaluation — but
   /// work stats (postings_touched, blocks_skipped) reflect the skips.
   bool prune = false;
+  /// With prune, share one atomic threshold θ (monotone max) across the
+  /// concurrently evaluating nodes of ClusterIndex::Query: each node
+  /// publishes its running n-th best score and prunes against the
+  /// cluster-wide max. The merged ranking stays exact (every published
+  /// value is a lower bound of the final global n-th best) but the work
+  /// stats become timing-dependent — the trade the ROADMAP names. An
+  /// in-process execution policy: ignored by single-index rankings and
+  /// not part of the wire query contract (remote nodes are separate
+  /// processes; RemoteClusterIndex keeps its sequential feedback path).
+  bool shared_threshold = false;
 };
 
 /// The full-text index: an implementation of the paper's five

@@ -2,6 +2,7 @@
 #define DLS_IR_KERNEL_H_
 
 #include <algorithm>
+#include <atomic>
 #include <cstdint>
 #include <cstring>
 #include <limits>
@@ -143,6 +144,18 @@ struct WandStats {
 /// documents that provably cannot enter the global merge. Pass 0 for
 /// a standalone evaluation.
 ///
+/// `shared_theta`, when non-null, is the live variant of the same
+/// feedback for *concurrent* node evaluations
+/// (RankOptions::shared_threshold): every iteration prunes against
+/// max(local θ, shared θ), and whenever the local heap fills or its
+/// n-th best rises the new value is published monotonically
+/// (compare-exchange max). Soundness is unchanged — any published
+/// value is some node's running n-th best local score, and the n-th
+/// best of a superset can only be larger, so the shared value is
+/// always a lower bound of the final *global* n-th best; skips remain
+/// strictly-below-θ. The returned ranking is exact; only
+/// postings_touched / blocks_skipped become schedule-dependent.
+///
 /// With `kernel == kPacked` the cursors read doc ids and tfs through a
 /// per-cursor one-block decode cache instead of the SoA arrays: a
 /// block is only decompressed when a posting inside it is actually
@@ -157,7 +170,8 @@ std::vector<ScoredDoc> WandTopN(const std::vector<WandTerm>& terms,
                                 const double* inv_doc_lengths,
                                 double max_inv_doclen, size_t n,
                                 double initial_threshold, TieLess tie_less,
-                                ScoreKernel kernel, WandStats* stats) {
+                                ScoreKernel kernel, WandStats* stats,
+                                std::atomic<double>* shared_theta = nullptr) {
   std::vector<ScoredDoc> heap;
   if (n == 0) return heap;
   auto better = [&tie_less](const ScoredDoc& a, const ScoredDoc& b) {
@@ -241,15 +255,29 @@ std::vector<ScoredDoc> WandTopN(const std::vector<WandTerm>& terms,
     if (da != db) return da < db;
     return a.order < b.order;
   };
+  // Monotone-max publication of the local n-th best (the shared
+  // threshold-feedback protocol). Relaxed ordering suffices: the value
+  // is a standalone double used only as a pruning bound, and any
+  // stale read just prunes a little less.
+  auto publish_theta = [&]() {
+    if (shared_theta == nullptr || heap.size() < n) return;
+    const double mine = heap.front().score;
+    double seen = shared_theta->load(std::memory_order_relaxed);
+    while (mine > seen && !shared_theta->compare_exchange_weak(
+                              seen, mine, std::memory_order_relaxed)) {
+    }
+  };
   auto push_candidate = [&](DocId doc, double score) {
     ScoredDoc candidate{doc, score};
     if (heap.size() < n) {
       heap.push_back(candidate);
       std::push_heap(heap.begin(), heap.end(), better);
+      publish_theta();  // no-op until the heap fills
     } else if (better(candidate, heap.front())) {
       std::pop_heap(heap.begin(), heap.end(), better);
       heap.back() = candidate;
       std::push_heap(heap.begin(), heap.end(), better);
+      publish_theta();
     }
   };
   // Drop exhausted cursors, keep the rest sorted by (doc, order).
@@ -265,9 +293,13 @@ std::vector<ScoredDoc> WandTopN(const std::vector<WandTerm>& terms,
 
   constexpr DocId kNoLimit = std::numeric_limits<DocId>::max();
   while (!cursors.empty()) {
-    const double theta =
+    double theta =
         heap.size() == n ? std::max(initial_threshold, heap.front().score)
                          : initial_threshold;
+    if (shared_theta != nullptr) {
+      theta = std::max(theta,
+                       shared_theta->load(std::memory_order_relaxed));
+    }
     // Pivot: the shortest cursor prefix whose bound sum could still
     // reach θ (≥, not >, so score ties stay eligible for the
     // tie-break). No pivot ⇒ nothing left can enter the heap.

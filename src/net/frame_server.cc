@@ -1,0 +1,165 @@
+#include "net/frame_server.h"
+
+#include <errno.h>
+#include <netinet/in.h>
+#include <poll.h>
+#include <string.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <algorithm>
+
+#include "net/tcp.h"
+#include "net/wire.h"
+
+namespace dls::net {
+namespace {
+
+/// How long a worker blocks in poll() before re-checking the stop
+/// flag — bounds both Stop() latency and idle-connection wake-ups.
+constexpr int kStopPollMillis = 50;
+
+/// Budget for draining one frame once its first byte arrived; a peer
+/// that stalls mid-frame must not pin a worker forever.
+constexpr int kFrameReadMillis = 30'000;
+
+}  // namespace
+
+FrameServer::FrameServer(size_t num_workers) : num_workers_(num_workers) {}
+
+FrameServer::~FrameServer() { Stop(); }
+
+LoopbackTransport::Handler FrameServer::Handler() const {
+  return [this](const std::vector<uint8_t>& frame) {
+    return HandleFrame(frame);
+  };
+}
+
+Status FrameServer::Start(uint16_t port) {
+  if (listen_fd_ >= 0) {
+    return Status::AlreadyExists("frame server already started");
+  }
+  const int fd = socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) {
+    return Status::Unavailable(std::string("socket: ") + strerror(errno));
+  }
+  int one = 1;
+  setsockopt(fd, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+
+  struct sockaddr_in addr;
+  memset(&addr, 0, sizeof(addr));
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(INADDR_ANY);
+  addr.sin_port = htons(port);
+  if (bind(fd, reinterpret_cast<struct sockaddr*>(&addr), sizeof(addr)) < 0 ||
+      listen(fd, 64) < 0) {
+    Status status =
+        Status::Unavailable(std::string("bind/listen: ") + strerror(errno));
+    close(fd);
+    return status;
+  }
+  socklen_t addr_len = sizeof(addr);
+  if (getsockname(fd, reinterpret_cast<struct sockaddr*>(&addr), &addr_len) <
+      0) {
+    Status status =
+        Status::Unavailable(std::string("getsockname: ") + strerror(errno));
+    close(fd);
+    return status;
+  }
+  port_ = ntohs(addr.sin_port);
+  listen_fd_ = fd;
+  stopping_.store(false, std::memory_order_relaxed);
+  workers_ = std::make_unique<ThreadPool>(num_workers_);
+  accept_thread_ = std::thread([this] { AcceptLoop(); });
+  return Status::Ok();
+}
+
+void FrameServer::AcceptLoop() {
+  while (!stopping_.load(std::memory_order_relaxed)) {
+    struct pollfd pfd;
+    pfd.fd = listen_fd_;
+    pfd.events = POLLIN;
+    pfd.revents = 0;
+    const int rc = poll(&pfd, 1, kStopPollMillis);
+    if (rc <= 0) continue;  // timeout tick or EINTR: re-check the flag
+    const int conn = accept(listen_fd_, nullptr, nullptr);
+    if (conn < 0) continue;
+    // Accepted sockets MUST be non-blocking: ReadFrame/WriteAll only
+    // honour their deadlines through the EAGAIN->poll path, so a
+    // blocking fd would let a peer that stalls mid-frame pin a worker
+    // forever (and wedge Stop()).
+    if (!SetNonBlocking(conn).ok()) {
+      close(conn);
+      continue;
+    }
+    {
+      std::lock_guard<std::mutex> lock(conns_mu_);
+      conn_fds_.push_back(conn);
+    }
+    // One worker per connection; excess connections queue inside the
+    // pool until a worker frees up.
+    workers_->Submit([this, conn] { ServeConnection(conn); });
+  }
+}
+
+void FrameServer::ServeConnection(int fd) {
+  while (!stopping_.load(std::memory_order_relaxed)) {
+    // Idle wait in stop-flag ticks; only once bytes arrive does the
+    // per-frame read budget start.
+    struct pollfd pfd;
+    pfd.fd = fd;
+    pfd.events = POLLIN;
+    pfd.revents = 0;
+    const int rc = poll(&pfd, 1, kStopPollMillis);
+    if (rc == 0) continue;
+    if (rc < 0) {
+      if (errno == EINTR) continue;
+      break;
+    }
+    Result<std::vector<uint8_t>> frame =
+        ReadFrame(fd, Deadline::After(kFrameReadMillis));
+    if (!frame.ok()) {
+      // EOF, reset, or a frame too corrupt to delimit. Answer what can
+      // still be answered (a garbage length prefix gets the error
+      // frame; a vanished peer gets nothing) and drop the connection.
+      if (frame.status().code() == StatusCode::kCorruption) {
+        std::vector<uint8_t> error = EncodeError(frame.status());
+        WriteAll(fd, error.data(), error.size(),
+                 Deadline::After(kFrameReadMillis));
+      }
+      break;
+    }
+    Result<std::vector<uint8_t>> response = HandleFrame(frame.value());
+    if (!response.ok()) break;
+    if (!WriteAll(fd, response.value().data(), response.value().size(),
+                  Deadline::After(kFrameReadMillis))
+             .ok()) {
+      break;
+    }
+  }
+  // Deregister before closing, under the lock: Stop() must never
+  // shutdown(2) an fd number the kernel has already recycled.
+  std::lock_guard<std::mutex> lock(conns_mu_);
+  conn_fds_.erase(std::find(conn_fds_.begin(), conn_fds_.end(), fd));
+  close(fd);
+}
+
+void FrameServer::Stop() {
+  if (listen_fd_ < 0) return;
+  stopping_.store(true, std::memory_order_relaxed);
+  if (accept_thread_.joinable()) accept_thread_.join();
+  // Wake workers parked in a mid-frame read/write poll: shutdown makes
+  // their recv/send return immediately, so teardown is bounded by a
+  // stop-poll tick, not by the 30 s frame budget. The worker still
+  // owns the close.
+  {
+    std::lock_guard<std::mutex> lock(conns_mu_);
+    for (int fd : conn_fds_) shutdown(fd, SHUT_RDWR);
+  }
+  // Pool teardown waits for in-flight connection handlers.
+  workers_.reset();
+  close(listen_fd_);
+  listen_fd_ = -1;
+}
+
+}  // namespace dls::net

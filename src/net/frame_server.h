@@ -1,0 +1,92 @@
+#ifndef DLS_NET_FRAME_SERVER_H_
+#define DLS_NET_FRAME_SERVER_H_
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "common/status.h"
+#include "common/thread_pool.h"
+#include "net/transport.h"
+
+namespace dls::net {
+
+/// The reusable server half of the wire protocol: a listening TCP
+/// socket, an accept loop, and a worker pool that answers one request
+/// frame with one response frame per connection, in order per
+/// connection and concurrently across connections. What the frames
+/// *mean* is the derived class's business — ShardServer answers shard
+/// queries, serve::FrontendServer answers client searches — this class
+/// owns only the transport mechanics both share.
+///
+/// Two ways to serve:
+///   - HandleFrame() is the pure protocol entry point: one request
+///     frame in, one response frame out. Implementations must be
+///     thread-safe (workers call it concurrently). LoopbackTransport
+///     wraps it directly for deterministic in-process use.
+///   - Start(port) binds a listening TCP socket (port 0 picks an
+///     ephemeral port, see port()) and serves each accepted connection
+///     on a dls::ThreadPool worker.
+///
+/// Failure semantics: a frame the handler cannot parse or address gets
+/// an Error frame in reply and the connection is closed (after a bad
+/// frame the byte stream may be out of sync — resynchronising is the
+/// client's reconnect). The server itself never dies from peer input.
+///
+/// Lifetime: derived destructors MUST call Stop() first — the base
+/// destructor also calls it as a backstop, but by then the derived
+/// part is gone, and an in-flight connection worker must never reach a
+/// destroyed HandleFrame override.
+class FrameServer {
+ public:
+  /// `num_workers` bounds concurrently served TCP connections; the
+  /// pool is only spun up by Start().
+  explicit FrameServer(size_t num_workers);
+  virtual ~FrameServer();
+
+  FrameServer(const FrameServer&) = delete;
+  FrameServer& operator=(const FrameServer&) = delete;
+
+  /// Answers one request frame. Malformed or unserviceable requests
+  /// yield an encoded Error frame, not a failed Result — the transport
+  /// delivered fine; the protocol-level answer is the error.
+  virtual Result<std::vector<uint8_t>> HandleFrame(
+      const std::vector<uint8_t>& frame) const = 0;
+
+  /// A LoopbackTransport handler bound to HandleFrame.
+  LoopbackTransport::Handler Handler() const;
+
+  /// Binds 0.0.0.0:`port` (0 = ephemeral) and starts the accept loop.
+  Status Start(uint16_t port);
+
+  /// The bound port (valid after a successful Start).
+  uint16_t port() const { return port_; }
+
+  /// Stops accepting, wakes per-connection workers, joins everything.
+  /// Idempotent; derived destructors run it before their state dies.
+  void Stop();
+
+ private:
+  void AcceptLoop();
+  void ServeConnection(int fd);
+
+  const size_t num_workers_;
+  std::unique_ptr<ThreadPool> workers_;
+  std::thread accept_thread_;
+  std::atomic<bool> stopping_{false};
+  int listen_fd_ = -1;
+  uint16_t port_ = 0;
+  /// Accepted fds still being served (non-blocking; registered by the
+  /// accept loop, closed and deregistered by their worker). Stop()
+  /// shutdown(2)s them so a worker parked in a mid-frame poll wakes
+  /// immediately instead of running out its frame-read budget.
+  std::mutex conns_mu_;
+  std::vector<int> conn_fds_;
+};
+
+}  // namespace dls::net
+
+#endif  // DLS_NET_FRAME_SERVER_H_

@@ -78,6 +78,7 @@ Status RemoteClusterIndex::Connect() {
   global_df_.clear();
   collection_length_ = 0;
   total_docs_ = 0;
+  cluster_epoch_ = 0;
   for (size_t i = 0; i < shards_.size(); ++i) {
     StatsRequest request;
     request.node_id = shards_[i].node_id;
@@ -117,6 +118,7 @@ Status RemoteClusterIndex::Connect() {
     collection_length_ += stats.value().collection_length;
     shard_docs_[i] = stats.value().document_count;
     total_docs_ += stats.value().document_count;
+    cluster_epoch_ += stats.value().mutation_epoch;
     for (const auto& [term, df] : stats.value().term_dfs) {
       global_df_[term] += df;
     }

@@ -91,6 +91,16 @@ class RemoteClusterIndex {
   size_t num_shards() const { return shards_.size(); }
   uint64_t document_count() const { return total_docs_; }
   int64_t global_collection_length() const { return collection_length_; }
+  /// Cluster-wide mutation epoch: the sum of every shard's
+  /// mutation_epoch() at Connect() time — the remote mirror of
+  /// ClusterIndex::mutation_epoch(), and the serving layer's cache
+  /// invalidation key. A reindexed shard is observed by re-running
+  /// Connect().
+  uint64_t cluster_epoch() const { return cluster_epoch_; }
+  /// Normalisation pipeline adopted from the handshake; the serving
+  /// layer normalises cache keys through the identical pipeline.
+  bool norm_stem() const { return norm_stem_; }
+  bool norm_stop() const { return norm_stop_; }
   /// Collection-wide df of a stem (0 when absent). Valid after
   /// Connect().
   int32_t global_df(std::string_view stem) const;
@@ -157,6 +167,7 @@ class RemoteClusterIndex {
   int64_t collection_length_ = 0;
   std::vector<uint64_t> shard_docs_;
   uint64_t total_docs_ = 0;
+  uint64_t cluster_epoch_ = 0;
   /// Normalisation pipeline the shards advertised in the handshake;
   /// ResolveQuery must match it or recall silently breaks.
   bool norm_stem_ = true;

@@ -1,17 +1,12 @@
 #ifndef DLS_NET_SHARD_SERVER_H_
 #define DLS_NET_SHARD_SERVER_H_
 
-#include <atomic>
 #include <cstdint>
-#include <memory>
-#include <mutex>
-#include <thread>
 #include <vector>
 
 #include "common/status.h"
-#include "common/thread_pool.h"
 #include "ir/cluster.h"
-#include "net/transport.h"
+#include "net/frame_server.h"
 
 namespace dls::net {
 
@@ -23,29 +18,17 @@ namespace dls::net {
 /// its position in AddNode() order, which must match the node_id the
 /// client's shard list uses.
 ///
-/// Two ways to serve:
-///   - HandleFrame() is the pure protocol entry point: one request
-///     frame in, one response frame out, thread-safe (it only reads
-///     frozen state). LoopbackTransport wraps it directly for
-///     in-process use.
-///   - Start(port) binds a listening TCP socket (port 0 picks an
-///     ephemeral port, see port()) and serves each accepted
-///     connection on a dls::ThreadPool worker: frames are answered in
-///     order per connection, concurrently across connections.
-///
-/// Failure semantics: a frame the server cannot parse or address gets
-/// an Error frame in reply and the connection is closed (after a bad
-/// frame the byte stream may be out of sync — resynchronising is the
-/// client's reconnect). The server itself never dies from peer input.
-class ShardServer {
+/// The transport mechanics (listen/accept/worker pool, frame framing,
+/// Error-frame failure semantics) live in the shared FrameServer base;
+/// this class supplies only the protocol: QueryRequest evaluation over
+/// the hosted nodes and the StatsRequest handshake. HandleFrame() is
+/// thread-safe — it only reads frozen state.
+class ShardServer : public FrameServer {
  public:
   /// `num_workers` bounds concurrently served TCP connections; the
   /// pool is only spun up by Start().
   explicit ShardServer(size_t num_workers = 8);
-  ~ShardServer();
-
-  ShardServer(const ShardServer&) = delete;
-  ShardServer& operator=(const ShardServer&) = delete;
+  ~ShardServer() override;
 
   /// Registers the next node (non-owning; must stay alive and frozen
   /// while the server runs). Returns its node id.
@@ -54,24 +37,8 @@ class ShardServer {
 
   size_t num_nodes() const { return nodes_.size(); }
 
-  /// Answers one request frame. Malformed or unserviceable requests
-  /// yield an encoded Error frame, not a failed Result — the transport
-  /// delivered fine; the protocol-level answer is the error.
   Result<std::vector<uint8_t>> HandleFrame(
-      const std::vector<uint8_t>& frame) const;
-
-  /// A LoopbackTransport handler bound to HandleFrame.
-  LoopbackTransport::Handler Handler() const;
-
-  /// Binds 0.0.0.0:`port` (0 = ephemeral) and starts the accept loop.
-  Status Start(uint16_t port);
-
-  /// The bound port (valid after a successful Start).
-  uint16_t port() const { return port_; }
-
-  /// Stops accepting, wakes per-connection workers, joins everything.
-  /// Idempotent; also run by the destructor.
-  void Stop();
+      const std::vector<uint8_t>& frame) const override;
 
  private:
   struct Node {
@@ -79,22 +46,7 @@ class ShardServer {
     const ir::FragmentedIndex* fragments;
   };
 
-  void AcceptLoop();
-  void ServeConnection(int fd);
-
   std::vector<Node> nodes_;
-  const size_t num_workers_;
-  std::unique_ptr<ThreadPool> workers_;
-  std::thread accept_thread_;
-  std::atomic<bool> stopping_{false};
-  int listen_fd_ = -1;
-  uint16_t port_ = 0;
-  /// Accepted fds still being served (non-blocking; registered by the
-  /// accept loop, closed and deregistered by their worker). Stop()
-  /// shutdown(2)s them so a worker parked in a mid-frame poll wakes
-  /// immediately instead of running out its frame-read budget.
-  std::mutex conns_mu_;
-  std::vector<int> conn_fds_;
 };
 
 }  // namespace dls::net

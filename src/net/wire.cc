@@ -334,6 +334,7 @@ Result<std::vector<uint8_t>> EncodeStatsResponse(
                             (response.stop ? 2u : 0u)));
   w.Varint64(static_cast<uint64_t>(response.collection_length));
   w.Varint64(response.document_count);
+  w.Varint64(response.mutation_epoch);
   w.Varint32(static_cast<uint32_t>(response.term_dfs.size()));
   for (const auto& [term, df] : response.term_dfs) {
     w.String(term);
@@ -349,6 +350,70 @@ std::vector<uint8_t> EncodeError(const Status& status) {
   return std::move(w.Finish()).value();  // bounded by the truncation
 }
 
+Result<std::vector<uint8_t>> EncodeSearchRequest(
+    const SearchRequest& request) {
+  FrameWriter w(MessageType::kSearchRequest);
+  w.Varint32(static_cast<uint32_t>(request.words.size()));
+  for (const std::string& word : request.words) w.String(word);
+  w.Varint64(request.n);
+  w.Varint64(request.max_fragments);
+  w.Varint32(request.deadline_ms);
+  w.F64(request.options.lambda);
+  w.U8(static_cast<uint8_t>(request.options.kernel));
+  w.U8(request.options.prune ? 1 : 0);
+  // options.shared_threshold is an in-process execution policy, not
+  // part of the wire query contract — deliberately not encoded.
+  return w.Finish();
+}
+
+Result<std::vector<uint8_t>> EncodeSearchResponse(
+    const SearchResponse& response) {
+  FrameWriter w(MessageType::kSearchResponse);
+  w.Varint32(StatusCodeToWire(response.status.code()));
+  w.String(response.status.message().substr(0, kMaxErrorMessageBytes));
+  w.Varint32(response.retry_after_ms);
+  w.U8(static_cast<uint8_t>((response.cache_hit ? 1u : 0u) |
+                            (response.degraded ? 2u : 0u)));
+  w.F64(response.predicted_quality);
+  w.Varint32(static_cast<uint32_t>(response.results.size()));
+  for (const ir::ClusterScoredDoc& d : response.results) {
+    w.String(d.url);
+    w.F64(d.score);
+  }
+  return w.Finish();
+}
+
+std::vector<uint8_t> EncodeServeStatsRequest(const ServeStatsRequest&) {
+  FrameWriter w(MessageType::kServeStatsRequest);
+  return std::move(w.Finish()).value();  // empty body: always fits
+}
+
+std::vector<uint8_t> EncodeServeStatsResponse(
+    const ServeStatsResponse& response) {
+  FrameWriter w(MessageType::kServeStatsResponse);
+  w.Varint64(response.submitted);
+  w.Varint64(response.admitted);
+  w.Varint64(response.completed);
+  w.Varint64(response.cache_hits);
+  w.Varint64(response.cache_misses);
+  w.Varint64(response.cache_evictions);
+  w.Varint64(response.shed_queue_full);
+  w.Varint64(response.shed_deadline);
+  w.Varint64(response.expired_in_queue);
+  w.Varint64(response.degraded);
+  w.Varint64(response.batches);
+  w.Varint64(response.batched_queries);
+  w.Varint64(response.queue_depth);
+  w.Varint64(response.epoch);
+  w.Varint64(response.latency_count);
+  w.F64(response.latency_mean_us);
+  w.Varint64(response.latency_p50_us);
+  w.Varint64(response.latency_p95_us);
+  w.Varint64(response.latency_p99_us);
+  w.Varint64(response.latency_max_us);
+  return std::move(w.Finish()).value();  // flat scalars: always fits
+}
+
 Status DecodeFrame(const std::vector<uint8_t>& frame, MessageType* type,
                    const uint8_t** body, size_t* body_len) {
   if (frame.size() < kFrameHeaderBytes + 1) return Truncated("frame header");
@@ -361,7 +426,7 @@ Status DecodeFrame(const std::vector<uint8_t>& frame, MessageType* type,
     return Truncated("frame length");
   }
   const uint8_t raw = frame[kFrameHeaderBytes];
-  if (raw < 1 || raw > 5) return Truncated("message type");
+  if (raw < 1 || raw > 9) return Truncated("message type");
   *type = static_cast<MessageType>(raw);
   *body = frame.data() + kFrameHeaderBytes + 1;
   *body_len = payload - 1;
@@ -418,6 +483,7 @@ Result<StatsResponse> DecodeStatsResponse(const uint8_t* body, size_t len) {
   response.stop = (norm_flags & 2u) != 0;
   response.collection_length = static_cast<int64_t>(r.Varint64());
   response.document_count = r.Varint64();
+  response.mutation_epoch = r.Varint64();
   const uint32_t terms = r.Count(/*min_bytes_each=*/2);
   if (r.failed()) return Truncated("StatsResponse");
   response.term_dfs.reserve(terms);
@@ -429,6 +495,103 @@ Result<StatsResponse> DecodeStatsResponse(const uint8_t* body, size_t len) {
                                    static_cast<int32_t>(df));
   }
   if (r.failed() || r.remaining() != 0) return Truncated("StatsResponse");
+  return response;
+}
+
+Result<SearchRequest> DecodeSearchRequest(const uint8_t* body, size_t len) {
+  BodyReader r(body, len);
+  SearchRequest request;
+  const uint32_t words = r.Count(/*min_bytes_each=*/1);
+  if (r.failed()) return Truncated("SearchRequest");
+  request.words.reserve(words);
+  for (uint32_t i = 0; i < words; ++i) {
+    request.words.push_back(r.String());
+    if (r.failed()) return Truncated("SearchRequest");
+  }
+  request.n = r.Varint64();
+  request.max_fragments = r.Varint64();
+  request.deadline_ms = r.Varint32();
+  request.options.lambda = r.F64();
+  const uint8_t kernel = r.U8();
+  const uint8_t prune = r.U8();
+  if (r.failed() || kernel > 2 || prune > 1 || r.remaining() != 0) {
+    return Truncated("SearchRequest");
+  }
+  request.options.kernel = static_cast<ir::ScoreKernel>(kernel);
+  request.options.prune = prune != 0;
+  return request;
+}
+
+Result<SearchResponse> DecodeSearchResponse(const uint8_t* body, size_t len) {
+  BodyReader r(body, len);
+  SearchResponse response;
+  const uint32_t wire_code = r.Varint32();
+  std::string message = r.String();
+  if (r.failed()) return Truncated("SearchResponse");
+  if (wire_code == 0) {
+    response.status = Status::Ok();
+  } else {
+    StatusCode code;
+    // An unknown code (a newer peer's) degrades to kInternal: still an
+    // unanswered query, never misread as a neighbouring code.
+    response.status = StatusCodeFromWire(wire_code, &code)
+                          ? Status(code, std::move(message))
+                          : Status::Internal("peer error: " + message);
+  }
+  response.retry_after_ms = r.Varint32();
+  const uint8_t flags = r.U8();
+  if (r.failed() || flags > 3) return Truncated("SearchResponse");
+  response.cache_hit = (flags & 1u) != 0;
+  response.degraded = (flags & 2u) != 0;
+  response.predicted_quality = r.F64();
+  const uint32_t docs = r.Count(/*min_bytes_each=*/9);
+  if (r.failed()) return Truncated("SearchResponse");
+  response.results.reserve(docs);
+  for (uint32_t i = 0; i < docs; ++i) {
+    ir::ClusterScoredDoc d;
+    d.url = r.String();
+    d.score = r.F64();
+    if (r.failed()) return Truncated("SearchResponse");
+    response.results.push_back(std::move(d));
+  }
+  if (r.failed() || r.remaining() != 0) return Truncated("SearchResponse");
+  return response;
+}
+
+Result<ServeStatsRequest> DecodeServeStatsRequest(const uint8_t* body,
+                                                  size_t len) {
+  BodyReader r(body, len);
+  if (r.failed() || r.remaining() != 0) return Truncated("ServeStatsRequest");
+  return ServeStatsRequest{};
+}
+
+Result<ServeStatsResponse> DecodeServeStatsResponse(const uint8_t* body,
+                                                    size_t len) {
+  BodyReader r(body, len);
+  ServeStatsResponse response;
+  response.submitted = r.Varint64();
+  response.admitted = r.Varint64();
+  response.completed = r.Varint64();
+  response.cache_hits = r.Varint64();
+  response.cache_misses = r.Varint64();
+  response.cache_evictions = r.Varint64();
+  response.shed_queue_full = r.Varint64();
+  response.shed_deadline = r.Varint64();
+  response.expired_in_queue = r.Varint64();
+  response.degraded = r.Varint64();
+  response.batches = r.Varint64();
+  response.batched_queries = r.Varint64();
+  response.queue_depth = r.Varint64();
+  response.epoch = r.Varint64();
+  response.latency_count = r.Varint64();
+  response.latency_mean_us = r.F64();
+  response.latency_p50_us = r.Varint64();
+  response.latency_p95_us = r.Varint64();
+  response.latency_p99_us = r.Varint64();
+  response.latency_max_us = r.Varint64();
+  if (r.failed() || r.remaining() != 0) {
+    return Truncated("ServeStatsResponse");
+  }
   return response;
 }
 

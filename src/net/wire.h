@@ -43,6 +43,20 @@ namespace dls::net {
 ///                     independent of the C++ StatusCode enum order;
 ///                     a value this build doesn't know degrades to
 ///                     kInternal instead of being misread.
+///   6 SearchRequest   a client query for the serving frontend
+///                     (src/serve): raw unnormalised words, n,
+///                     max_fragments, a deadline budget in ms and the
+///                     RankOptions — the frontend normalises, caches,
+///                     batches and schedules; the client never speaks
+///                     to shards directly.
+///   7 SearchResponse  the frontend's answer: an admission status
+///                     (kUnavailable = shed, with a retry-after hint),
+///                     cache-hit/degraded flags, predicted quality and
+///                     the ranked RES(url, score) tuples.
+///   8 ServeStatsRequest   asks a FrontendServer for its ServeStats.
+///   9 ServeStatsResponse  the serve-side stats block: queue depth,
+///                     admission/shed/cache counters and the
+///                     p50/p95/p99 latency quantiles.
 ///
 /// Integers are varints (u32 capped at 5 bytes, u64 at 10); doubles
 /// are their IEEE-754 bit pattern as 8 explicit little-endian bytes,
@@ -75,6 +89,10 @@ enum class MessageType : uint8_t {
   kStatsRequest = 3,
   kStatsResponse = 4,
   kError = 5,
+  kSearchRequest = 6,
+  kSearchResponse = 7,
+  kServeStatsRequest = 8,
+  kServeStatsResponse = 9,
 };
 
 /// A batch of resolved queries pushed to one node. `node_id` addresses
@@ -106,7 +124,70 @@ struct StatsResponse {
   bool stop = true;  ///< stopwords dropped at indexing time
   int64_t collection_length = 0;
   uint64_t document_count = 0;
+  /// The node index's mutation_epoch() at handshake time. The client
+  /// sums these into a cluster epoch — the invalidation key the
+  /// serving layer's result cache uses (stale after any reindex).
+  uint64_t mutation_epoch = 0;
   std::vector<std::pair<std::string, int32_t>> term_dfs;
+};
+
+/// A client query for the serving frontend. Words are raw — the
+/// frontend normalises them with the pipeline its backend advertises,
+/// exactly as the central server does — and `deadline_ms` is the
+/// client's whole-request budget (0 = the frontend's default); the
+/// frontend rejects at admission (kUnavailable in the response status)
+/// any request it provably cannot answer in time.
+/// RankOptions::shared_threshold is an in-process execution policy and
+/// deliberately not part of the wire contract.
+struct SearchRequest {
+  std::vector<std::string> words;
+  uint64_t n = 10;
+  uint64_t max_fragments = 1;
+  uint32_t deadline_ms = 0;
+  ir::RankOptions options;
+};
+
+/// The frontend's answer. `status` is kOk for an answered query and an
+/// error for a shed one (kUnavailable with `retry_after_ms` when the
+/// queue or deadline budget rejects at admission, kDeadlineExceeded
+/// when the request expired while queued). Shedding is a protocol-
+/// level answer, not a transport failure — the connection stays up.
+struct SearchResponse {
+  Status status;
+  uint32_t retry_after_ms = 0;
+  bool cache_hit = false;
+  bool degraded = false;
+  double predicted_quality = 1.0;
+  std::vector<ir::ClusterScoredDoc> results;
+};
+
+struct ServeStatsRequest {};
+
+/// Wire form of serve::ServeStats (the domain struct lives in
+/// src/serve/serve_stats.h; this is its stable wire projection).
+/// Latency quantiles are bucket upper bounds in microseconds from the
+/// frontend's admission-to-completion histogram.
+struct ServeStatsResponse {
+  uint64_t submitted = 0;
+  uint64_t admitted = 0;
+  uint64_t completed = 0;
+  uint64_t cache_hits = 0;
+  uint64_t cache_misses = 0;
+  uint64_t cache_evictions = 0;
+  uint64_t shed_queue_full = 0;
+  uint64_t shed_deadline = 0;
+  uint64_t expired_in_queue = 0;
+  uint64_t degraded = 0;
+  uint64_t batches = 0;
+  uint64_t batched_queries = 0;
+  uint64_t queue_depth = 0;
+  uint64_t epoch = 0;
+  uint64_t latency_count = 0;
+  double latency_mean_us = 0;
+  uint64_t latency_p50_us = 0;
+  uint64_t latency_p95_us = 0;
+  uint64_t latency_p99_us = 0;
+  uint64_t latency_max_us = 0;
 };
 
 /// Encoders return a complete frame: length prefix, type byte, body.
@@ -122,6 +203,12 @@ std::vector<uint8_t> EncodeStatsRequest(const StatsRequest& request);
 Result<std::vector<uint8_t>> EncodeStatsResponse(
     const StatsResponse& response);
 std::vector<uint8_t> EncodeError(const Status& status);
+Result<std::vector<uint8_t>> EncodeSearchRequest(const SearchRequest& request);
+Result<std::vector<uint8_t>> EncodeSearchResponse(
+    const SearchResponse& response);
+std::vector<uint8_t> EncodeServeStatsRequest(const ServeStatsRequest& request);
+std::vector<uint8_t> EncodeServeStatsResponse(
+    const ServeStatsResponse& response);  ///< bounded: always fits
 
 /// Splits a complete frame into (type, body) after validating the
 /// length prefix against the actual size and the payload cap.
@@ -134,6 +221,12 @@ Result<QueryRequest> DecodeQueryRequest(const uint8_t* body, size_t len);
 Result<QueryResponse> DecodeQueryResponse(const uint8_t* body, size_t len);
 Result<StatsRequest> DecodeStatsRequest(const uint8_t* body, size_t len);
 Result<StatsResponse> DecodeStatsResponse(const uint8_t* body, size_t len);
+Result<SearchRequest> DecodeSearchRequest(const uint8_t* body, size_t len);
+Result<SearchResponse> DecodeSearchResponse(const uint8_t* body, size_t len);
+Result<ServeStatsRequest> DecodeServeStatsRequest(const uint8_t* body,
+                                                  size_t len);
+Result<ServeStatsResponse> DecodeServeStatsResponse(const uint8_t* body,
+                                                    size_t len);
 /// Decodes an Error body into the Status it carries (an error status
 /// even if the peer encoded kOk — an Error frame is never a success).
 Status DecodeError(const uint8_t* body, size_t len);

@@ -1,0 +1,33 @@
+#include "serve/backend.h"
+
+#include <algorithm>
+
+namespace dls::serve {
+
+std::vector<std::vector<ir::ClusterScoredDoc>> LocalBackend::QueryBatch(
+    const std::vector<std::vector<std::string>>& queries, size_t n,
+    size_t max_fragments, ir::ClusterQueryStats* stats,
+    const ir::RankOptions& options) const {
+  std::vector<std::vector<ir::ClusterScoredDoc>> results;
+  results.reserve(queries.size());
+  ir::ClusterQueryStats batch;
+  batch.predicted_quality = 1.0;
+  for (const std::vector<std::string>& words : queries) {
+    ir::ClusterQueryStats one;
+    results.push_back(cluster_->Query(words, n, max_fragments, &one, options));
+    batch.messages += one.messages;
+    batch.bytes_shipped += one.bytes_shipped;
+    batch.postings_touched_total += one.postings_touched_total;
+    batch.postings_touched_max_node = std::max(
+        batch.postings_touched_max_node, one.postings_touched_max_node);
+    batch.blocks_skipped += one.blocks_skipped;
+    batch.predicted_quality =
+        std::min(batch.predicted_quality, one.predicted_quality);
+    batch.critical_path_us += one.critical_path_us;
+    batch.total_cpu_us += one.total_cpu_us;
+  }
+  if (stats != nullptr) *stats = batch;
+  return results;
+}
+
+}  // namespace dls::serve

@@ -1,0 +1,104 @@
+#ifndef DLS_SERVE_BACKEND_H_
+#define DLS_SERVE_BACKEND_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "ir/cluster.h"
+#include "net/remote_cluster.h"
+
+namespace dls::serve {
+
+/// What the serving frontend needs from an index cluster, and nothing
+/// more: batched evaluation, the mutation epoch its result cache keys
+/// on, and the normalisation pipeline it must mirror when building
+/// cache keys. Both concrete clusters — in-process ir::ClusterIndex
+/// and out-of-process net::RemoteClusterIndex — satisfy it through the
+/// adapters below, which is what lets tests/serve hold the frontend to
+/// bit-identity against either backend.
+///
+/// Implementations must tolerate concurrent QueryBatch() calls (both
+/// clusters do once frozen/connected).
+class Backend {
+ public:
+  virtual ~Backend() = default;
+
+  /// Cluster-wide mutation epoch — the cache invalidation key. Any
+  /// reindex anywhere in the cluster must change it.
+  virtual uint64_t Epoch() const = 0;
+
+  /// Normalisation pipeline the backend resolves queries with; the
+  /// frontend builds cache keys through the identical pipeline so two
+  /// spellings of one resolved query share a cache entry.
+  virtual bool NormStem() const = 0;
+  virtual bool NormStop() const = 0;
+
+  /// Evaluates a batch of queries under one (n, max_fragments,
+  /// options) policy; results are per query, in input order, each
+  /// identical to a direct single-query evaluation. `stats`, when
+  /// given, aggregates over the batch.
+  virtual std::vector<std::vector<ir::ClusterScoredDoc>> QueryBatch(
+      const std::vector<std::vector<std::string>>& queries, size_t n,
+      size_t max_fragments, ir::ClusterQueryStats* stats,
+      const ir::RankOptions& options) const = 0;
+};
+
+/// Adapter over the in-process cluster. Batches evaluate as a
+/// sequential loop of ClusterIndex::Query (per-query node fan-out
+/// still parallelises through the cluster's executor); batch stats
+/// sum the work counters, take the conservative minimum of the
+/// per-query quality estimates, and sum critical paths (the queries
+/// really do run back to back).
+class LocalBackend final : public Backend {
+ public:
+  /// Non-owning; `cluster` must outlive the backend and be finalized.
+  explicit LocalBackend(const ir::ClusterIndex* cluster)
+      : cluster_(cluster) {}
+
+  uint64_t Epoch() const override { return cluster_->mutation_epoch(); }
+  bool NormStem() const override {
+    return cluster_->node_index(0).options().stem;
+  }
+  bool NormStop() const override {
+    return cluster_->node_index(0).options().stop;
+  }
+
+  std::vector<std::vector<ir::ClusterScoredDoc>> QueryBatch(
+      const std::vector<std::vector<std::string>>& queries, size_t n,
+      size_t max_fragments, ir::ClusterQueryStats* stats,
+      const ir::RankOptions& options) const override;
+
+ private:
+  const ir::ClusterIndex* cluster_;
+};
+
+/// Adapter over the remote cluster: QueryBatch ships the whole batch
+/// in one frame per shard, which is exactly the amortisation the
+/// frontend's dynamic batcher exists to exploit. The epoch is the one
+/// aggregated at Connect() time — observing a reindexed shard takes a
+/// re-Connect, which is the remote deployment's epoch-bump event.
+class RemoteBackend final : public Backend {
+ public:
+  /// Non-owning; `cluster` must outlive the backend and be connected.
+  explicit RemoteBackend(const net::RemoteClusterIndex* cluster)
+      : cluster_(cluster) {}
+
+  uint64_t Epoch() const override { return cluster_->cluster_epoch(); }
+  bool NormStem() const override { return cluster_->norm_stem(); }
+  bool NormStop() const override { return cluster_->norm_stop(); }
+
+  std::vector<std::vector<ir::ClusterScoredDoc>> QueryBatch(
+      const std::vector<std::vector<std::string>>& queries, size_t n,
+      size_t max_fragments, ir::ClusterQueryStats* stats,
+      const ir::RankOptions& options) const override {
+    return cluster_->QueryBatch(queries, n, max_fragments, stats, options);
+  }
+
+ private:
+  const net::RemoteClusterIndex* cluster_;
+};
+
+}  // namespace dls::serve
+
+#endif  // DLS_SERVE_BACKEND_H_

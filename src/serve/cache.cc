@@ -1,0 +1,75 @@
+#include "serve/cache.h"
+
+#include <algorithm>
+#include <functional>
+
+namespace dls::serve {
+
+ResultCache::ResultCache(size_t capacity, size_t num_shards)
+    : per_shard_capacity_(
+          std::max<size_t>(1, capacity / std::max<size_t>(1, num_shards))) {
+  shards_.reserve(std::max<size_t>(1, num_shards));
+  for (size_t i = 0; i < std::max<size_t>(1, num_shards); ++i) {
+    shards_.push_back(std::make_unique<Shard>());
+  }
+}
+
+ResultCache::Shard& ResultCache::ShardFor(const std::string& key) {
+  return *shards_[std::hash<std::string>{}(key) % shards_.size()];
+}
+
+bool ResultCache::Lookup(const std::string& key, uint64_t epoch,
+                         CachedResult* out) {
+  Shard& shard = ShardFor(key);
+  std::lock_guard<std::mutex> lock(shard.mu);
+  auto it = shard.index.find(key);
+  if (it == shard.index.end()) {
+    misses_.fetch_add(1, std::memory_order_relaxed);
+    return false;
+  }
+  if (it->second->epoch != epoch) {
+    // The index mutated since this ranking was computed: the entry can
+    // never be served again (epochs are monotone), so reclaim the slot
+    // now instead of waiting for LRU pressure.
+    shard.lru.erase(it->second);
+    shard.index.erase(it);
+    evictions_.fetch_add(1, std::memory_order_relaxed);
+    misses_.fetch_add(1, std::memory_order_relaxed);
+    return false;
+  }
+  shard.lru.splice(shard.lru.begin(), shard.lru, it->second);
+  *out = it->second->value;
+  hits_.fetch_add(1, std::memory_order_relaxed);
+  return true;
+}
+
+void ResultCache::Insert(const std::string& key, uint64_t epoch,
+                         CachedResult value) {
+  Shard& shard = ShardFor(key);
+  std::lock_guard<std::mutex> lock(shard.mu);
+  auto it = shard.index.find(key);
+  if (it != shard.index.end()) {
+    it->second->epoch = epoch;
+    it->second->value = std::move(value);
+    shard.lru.splice(shard.lru.begin(), shard.lru, it->second);
+    return;
+  }
+  if (shard.lru.size() >= per_shard_capacity_) {
+    shard.index.erase(shard.lru.back().key);
+    shard.lru.pop_back();
+    evictions_.fetch_add(1, std::memory_order_relaxed);
+  }
+  shard.lru.push_front(Entry{key, epoch, std::move(value)});
+  shard.index[key] = shard.lru.begin();
+}
+
+size_t ResultCache::size() const {
+  size_t total = 0;
+  for (const std::unique_ptr<Shard>& shard : shards_) {
+    std::lock_guard<std::mutex> lock(shard->mu);
+    total += shard->lru.size();
+  }
+  return total;
+}
+
+}  // namespace dls::serve

@@ -1,0 +1,94 @@
+#ifndef DLS_SERVE_CACHE_H_
+#define DLS_SERVE_CACHE_H_
+
+#include <atomic>
+#include <cstdint>
+#include <list>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "ir/cluster.h"
+
+namespace dls::serve {
+
+/// What one cache entry answers with: the ranking plus the metadata a
+/// cached response must reproduce (a degraded answer stays marked
+/// degraded on a hit).
+struct CachedResult {
+  std::vector<ir::ClusterScoredDoc> results;
+  double predicted_quality = 1.0;
+  bool degraded = false;
+};
+
+/// Epoch-keyed sharded-LRU result cache.
+///
+/// Correctness contract: a Lookup(key, epoch) hit proves the entry was
+/// inserted under the same backend mutation epoch, i.e. derived from
+/// the identical frozen index state — so serving it is bit-identical
+/// to re-evaluating. An entry whose epoch mismatches is dead (any
+/// reindex anywhere changed the cluster epoch); it is evicted on touch
+/// and the lookup counts as a miss. There is no TTL: index state, not
+/// time, is what invalidates a ranking.
+///
+/// Concurrency: the key space is split over `num_shards` independently
+/// locked LRU shards (shard = hash of key), so concurrent lookups
+/// contend only within a shard. Counters are relaxed atomics; Stats
+/// reads them without stopping traffic.
+class ResultCache {
+ public:
+  /// `capacity` is the total entry budget, split evenly over the
+  /// shards (each shard holds at least one entry). `num_shards` is
+  /// clamped to at least 1.
+  explicit ResultCache(size_t capacity, size_t num_shards = 8);
+
+  ResultCache(const ResultCache&) = delete;
+  ResultCache& operator=(const ResultCache&) = delete;
+
+  /// On hit, copies the entry into `*out`, promotes it to
+  /// most-recently-used and returns true. A stale-epoch entry is
+  /// evicted and reported as a miss.
+  bool Lookup(const std::string& key, uint64_t epoch, CachedResult* out);
+
+  /// Inserts (or overwrites) the entry under `epoch`, evicting the
+  /// shard's least-recently-used entry when at capacity.
+  void Insert(const std::string& key, uint64_t epoch, CachedResult value);
+
+  uint64_t hits() const { return hits_.load(std::memory_order_relaxed); }
+  uint64_t misses() const { return misses_.load(std::memory_order_relaxed); }
+  uint64_t evictions() const {
+    return evictions_.load(std::memory_order_relaxed);
+  }
+
+  /// Entries currently cached (sums shard sizes; a racy but monotone-
+  /// consistent snapshot).
+  size_t size() const;
+
+ private:
+  struct Entry {
+    std::string key;
+    uint64_t epoch = 0;
+    CachedResult value;
+  };
+
+  struct Shard {
+    std::mutex mu;
+    /// Front = most recently used; evict from the back.
+    std::list<Entry> lru;
+    std::unordered_map<std::string, std::list<Entry>::iterator> index;
+  };
+
+  Shard& ShardFor(const std::string& key);
+
+  const size_t per_shard_capacity_;
+  std::vector<std::unique_ptr<Shard>> shards_;
+  std::atomic<uint64_t> hits_{0};
+  std::atomic<uint64_t> misses_{0};
+  std::atomic<uint64_t> evictions_{0};
+};
+
+}  // namespace dls::serve
+
+#endif  // DLS_SERVE_CACHE_H_

@@ -1,0 +1,342 @@
+#include "serve/frontend.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstring>
+#include <optional>
+#include <unordered_map>
+#include <utility>
+
+#include "common/strings.h"
+#include "ir/index.h"
+
+namespace dls::serve {
+namespace {
+
+using SteadyClock = std::chrono::steady_clock;
+
+uint64_t MicrosSince(SteadyClock::time_point start) {
+  return static_cast<uint64_t>(
+      std::chrono::duration_cast<std::chrono::microseconds>(
+          SteadyClock::now() - start)
+          .count());
+}
+
+}  // namespace
+
+Frontend::Frontend(const Backend* backend, FrontendOptions options)
+    : backend_(backend),
+      options_(options),
+      cache_(options.cache_entries, options.cache_shards) {
+  workers_.reserve(std::max<size_t>(1, options_.num_workers));
+  for (size_t i = 0; i < std::max<size_t>(1, options_.num_workers); ++i) {
+    workers_.emplace_back([this] { WorkerLoop(); });
+  }
+}
+
+Frontend::~Frontend() { Stop(); }
+
+bool Frontend::Compatible(const Pending& a, const Pending& b) {
+  return a.n == b.n && a.max_fragments == b.max_fragments &&
+         a.options.lambda == b.options.lambda &&
+         a.options.kernel == b.options.kernel &&
+         a.options.prune == b.options.prune &&
+         a.options.shared_threshold == b.options.shared_threshold;
+}
+
+std::string Frontend::CacheKey(const std::vector<std::string>& stems,
+                               size_t n, size_t max_fragments,
+                               const ir::RankOptions& options) const {
+  // Resolved stems in first-occurrence order ('\x1f'-separated — the
+  // separator cannot appear in a normalised stem), then the ranking
+  // policy. Two word lists that resolve to the same stem sequence
+  // provably evaluate to the same ranking, so they share the entry.
+  std::string key;
+  for (const std::string& stem : stems) {
+    key += stem;
+    key += '\x1f';
+  }
+  key += '\x1e';
+  uint64_t lambda_bits;
+  std::memcpy(&lambda_bits, &options.lambda, sizeof(lambda_bits));
+  key += StrFormat("%zu|%zu|%llu", n, max_fragments,
+                   static_cast<unsigned long long>(lambda_bits));
+  return key;
+}
+
+uint32_t Frontend::EstimateWaitMsLocked(size_t depth) const {
+  if (ewma_batch_us_ <= 0) return 0;
+  // Batches ahead of a request admitted at `depth`, spread over the
+  // workers; +1 for the batch it will ride itself.
+  const double batches_ahead =
+      std::floor(static_cast<double>(depth) /
+                 static_cast<double>(std::max<size_t>(1, options_.max_batch)));
+  const double wait_us =
+      ewma_batch_us_ * (batches_ahead + 1.0) /
+      static_cast<double>(std::max<size_t>(1, options_.num_workers));
+  return static_cast<uint32_t>(wait_us / 1000.0) + 1;
+}
+
+SearchResult Frontend::Search(const SearchQuery& query) {
+  submitted_.fetch_add(1, std::memory_order_relaxed);
+  const auto admitted_at = SteadyClock::now();
+  const int64_t budget_ms = query.deadline_ms != 0
+                                ? query.deadline_ms
+                                : options_.default_deadline_ms;
+  Deadline deadline = Deadline::After(budget_ms);
+
+  // Resolve the cache key through the backend's own normalisation
+  // pipeline (stems, de-duped, first-occurrence order — mirrors what
+  // the cluster's query resolution will do with the raw words).
+  const bool stem = backend_->NormStem();
+  const bool stop = backend_->NormStop();
+  std::vector<std::string> stems;
+  for (const std::string& word : query.words) {
+    std::optional<std::string> norm = ir::NormalizeWordAs(word, stem, stop);
+    if (!norm) continue;
+    if (std::find(stems.begin(), stems.end(), *norm) != stems.end()) continue;
+    stems.push_back(std::move(*norm));
+  }
+
+  // Graceful degradation: past the watermark, answer cheaper (lower
+  // fragment cut-off, honest predicted_quality) instead of slower.
+  size_t effective_fragments = std::max<size_t>(1, query.max_fragments);
+  bool degraded = false;
+  if (options_.degrade_watermark > 0 && effective_fragments > 1) {
+    size_t depth;
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      depth = queue_.size();
+    }
+    if (depth >= options_.degrade_watermark) {
+      effective_fragments = std::max<size_t>(1, effective_fragments / 2);
+      degraded = true;
+      degraded_.fetch_add(1, std::memory_order_relaxed);
+    }
+  }
+
+  const std::string key =
+      CacheKey(stems, query.n, effective_fragments, query.options);
+  const uint64_t epoch = backend_->Epoch();
+  CachedResult cached;
+  if (cache_.Lookup(key, epoch, &cached)) {
+    SearchResult result;
+    result.cache_hit = true;
+    result.degraded = cached.degraded || degraded;
+    result.predicted_quality = cached.predicted_quality;
+    result.results = std::move(cached.results);
+    completed_.fetch_add(1, std::memory_order_relaxed);
+    latency_.Record(MicrosSince(admitted_at));
+    return result;
+  }
+
+  // Admission gate: shed *now* anything that provably cannot be
+  // answered in budget, instead of queueing it to die.
+  std::future<SearchResult> future;
+  {
+    std::unique_lock<std::mutex> lock(mu_);
+    if (stopping_) {
+      SearchResult result;
+      result.status = Status::Unavailable("frontend stopped");
+      shed_queue_full_.fetch_add(1, std::memory_order_relaxed);
+      return result;
+    }
+    if (queue_.size() >= options_.max_queue) {
+      SearchResult result;
+      result.retry_after_ms = EstimateWaitMsLocked(queue_.size());
+      result.status = Status::Unavailable(
+          StrFormat("admission queue full (%zu); retry in ~%u ms",
+                    queue_.size(), result.retry_after_ms));
+      shed_queue_full_.fetch_add(1, std::memory_order_relaxed);
+      return result;
+    }
+    if (deadline.Expired()) {
+      SearchResult result;
+      result.status =
+          Status::DeadlineExceeded("deadline expired before admission");
+      shed_deadline_.fetch_add(1, std::memory_order_relaxed);
+      return result;
+    }
+    const uint32_t est_wait_ms = EstimateWaitMsLocked(queue_.size());
+    if (static_cast<int64_t>(est_wait_ms) > budget_ms) {
+      SearchResult result;
+      result.retry_after_ms = est_wait_ms;
+      result.status = Status::Unavailable(
+          StrFormat("predicted queue wait ~%u ms exceeds the %lld ms "
+                    "deadline",
+                    est_wait_ms, static_cast<long long>(budget_ms)));
+      shed_deadline_.fetch_add(1, std::memory_order_relaxed);
+      return result;
+    }
+
+    auto pending = std::make_unique<Pending>();
+    pending->words = query.words;
+    pending->cache_key = key;
+    pending->n = query.n;
+    pending->max_fragments = effective_fragments;
+    pending->options = query.options;
+    pending->degraded = degraded;
+    pending->deadline = deadline;
+    pending->admitted_at = admitted_at;
+    future = pending->promise.get_future();
+    queue_.push_back(std::move(pending));
+    admitted_.fetch_add(1, std::memory_order_relaxed);
+  }
+  cv_.notify_all();
+  return future.get();
+}
+
+void Frontend::WorkerLoop() {
+  while (true) {
+    std::vector<std::unique_ptr<Pending>> batch;
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      cv_.wait(lock, [this] { return stopping_ || !queue_.empty(); });
+      if (stopping_ && queue_.empty()) return;
+      if (queue_.empty()) continue;
+      batch.push_back(std::move(queue_.front()));
+      queue_.pop_front();
+
+      // Coalescing window: collect compatible queued queries, waiting
+      // max_batch_wait_us after the first for stragglers. Shipping a
+      // short batch early beats holding the first request hostage.
+      const auto window_end =
+          SteadyClock::now() +
+          std::chrono::microseconds(options_.max_batch_wait_us);
+      while (batch.size() < options_.max_batch && !stopping_) {
+        for (auto it = queue_.begin();
+             it != queue_.end() && batch.size() < options_.max_batch;) {
+          if (Compatible(*batch.front(), **it)) {
+            batch.push_back(std::move(*it));
+            it = queue_.erase(it);
+          } else {
+            ++it;
+          }
+        }
+        if (batch.size() >= options_.max_batch) break;
+        if (SteadyClock::now() >= window_end) break;
+        cv_.wait_until(lock, window_end);
+      }
+    }
+    cv_.notify_all();  // leftovers may suit another worker
+    ExecuteBatch(std::move(batch));
+  }
+}
+
+void Frontend::RecordCompletion(const Pending& pending) {
+  completed_.fetch_add(1, std::memory_order_relaxed);
+  latency_.Record(MicrosSince(pending.admitted_at));
+}
+
+void Frontend::ExecuteBatch(std::vector<std::unique_ptr<Pending>> batch) {
+  // A request that expired while queued is answered without touching
+  // the backend — its client already gave up; evaluating it would
+  // steal capacity from requests that can still make their deadline.
+  std::vector<std::unique_ptr<Pending>> live;
+  live.reserve(batch.size());
+  for (std::unique_ptr<Pending>& pending : batch) {
+    if (pending->deadline.Expired()) {
+      expired_in_queue_.fetch_add(1, std::memory_order_relaxed);
+      SearchResult result;
+      result.status = Status::DeadlineExceeded("expired while queued");
+      pending->promise.set_value(std::move(result));
+    } else {
+      live.push_back(std::move(pending));
+    }
+  }
+  if (live.empty()) return;
+
+  // Duplicate resolved queries inside the batch evaluate once.
+  std::vector<size_t> slot(live.size());
+  std::vector<size_t> unique;
+  std::unordered_map<std::string, size_t> by_key;
+  for (size_t i = 0; i < live.size(); ++i) {
+    auto [it, inserted] = by_key.try_emplace(live[i]->cache_key, unique.size());
+    if (inserted) unique.push_back(i);
+    slot[i] = it->second;
+  }
+  std::vector<std::vector<std::string>> queries;
+  queries.reserve(unique.size());
+  for (size_t u : unique) queries.push_back(live[u]->words);
+
+  // The epoch is read *before* the evaluation: the results are derived
+  // from at least this epoch's state, so caching them under it can
+  // only under-serve (a concurrent reindex bumps the epoch and the
+  // entries die), never serve stale rankings.
+  const uint64_t epoch = backend_->Epoch();
+  const Pending& policy = *live.front();
+  ir::ClusterQueryStats stats;
+  const auto eval_start = SteadyClock::now();
+  std::vector<std::vector<ir::ClusterScoredDoc>> rankings =
+      backend_->QueryBatch(queries, policy.n, policy.max_fragments, &stats,
+                           policy.options);
+  const uint64_t eval_us = MicrosSince(eval_start);
+
+  batches_.fetch_add(1, std::memory_order_relaxed);
+  batched_queries_.fetch_add(live.size(), std::memory_order_relaxed);
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    ewma_batch_us_ = ewma_batch_us_ <= 0
+                         ? static_cast<double>(eval_us)
+                         : 0.8 * ewma_batch_us_ + 0.2 * eval_us;
+  }
+
+  for (size_t u = 0; u < unique.size(); ++u) {
+    CachedResult entry;
+    entry.results = rankings[u];
+    entry.predicted_quality = stats.predicted_quality;
+    entry.degraded = live[unique[u]]->degraded;
+    cache_.Insert(live[unique[u]]->cache_key, epoch, std::move(entry));
+  }
+  for (size_t i = 0; i < live.size(); ++i) {
+    SearchResult result;
+    result.degraded = live[i]->degraded;
+    // Batch-aggregate estimate (the conservative minimum over the
+    // batch on the local path; the remote path reports one figure per
+    // fan-out) — per-query attribution would need per-query stats
+    // plumbing through QueryBatch.
+    result.predicted_quality = stats.predicted_quality;
+    result.results = rankings[slot[i]];
+    RecordCompletion(*live[i]);
+    live[i]->promise.set_value(std::move(result));
+  }
+}
+
+ServeStats Frontend::Stats() const {
+  ServeStats stats;
+  stats.submitted = submitted_.load(std::memory_order_relaxed);
+  stats.admitted = admitted_.load(std::memory_order_relaxed);
+  stats.completed = completed_.load(std::memory_order_relaxed);
+  stats.cache_hits = cache_.hits();
+  stats.cache_misses = cache_.misses();
+  stats.cache_evictions = cache_.evictions();
+  stats.shed_queue_full = shed_queue_full_.load(std::memory_order_relaxed);
+  stats.shed_deadline = shed_deadline_.load(std::memory_order_relaxed);
+  stats.expired_in_queue = expired_in_queue_.load(std::memory_order_relaxed);
+  stats.degraded = degraded_.load(std::memory_order_relaxed);
+  stats.batches = batches_.load(std::memory_order_relaxed);
+  stats.batched_queries = batched_queries_.load(std::memory_order_relaxed);
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    stats.queue_depth = queue_.size();
+  }
+  stats.epoch = backend_->Epoch();
+  stats.latency = latency_.TakeSnapshot();
+  return stats;
+}
+
+void Frontend::Stop() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (stopping_) return;
+    stopping_ = true;
+  }
+  cv_.notify_all();
+  // Workers drain the queue before exiting, so every admitted request
+  // still gets its answer.
+  for (std::thread& worker : workers_) {
+    if (worker.joinable()) worker.join();
+  }
+}
+
+}  // namespace dls::serve

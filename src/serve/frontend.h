@@ -1,0 +1,191 @@
+#ifndef DLS_SERVE_FRONTEND_H_
+#define DLS_SERVE_FRONTEND_H_
+
+#include <atomic>
+#include <chrono>
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <future>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "common/deadline.h"
+#include "common/histogram.h"
+#include "common/status.h"
+#include "ir/cluster.h"
+#include "serve/backend.h"
+#include "serve/cache.h"
+#include "serve/serve_stats.h"
+
+namespace dls::serve {
+
+/// Tuning knobs of one Frontend. The defaults serve a small cluster
+/// sensibly; the benchmark and the overload tests pick adversarial
+/// values on purpose.
+struct FrontendOptions {
+  /// Admission bound: a Search() arriving while this many requests are
+  /// queued is shed with kUnavailable (never blocks unboundedly).
+  size_t max_queue = 256;
+
+  /// Batch-evaluation workers. Each pops coalesced batches off the
+  /// queue and drives one backend QueryBatch call at a time.
+  size_t num_workers = 2;
+
+  /// Dynamic batcher policy: a worker coalesces up to `max_batch`
+  /// compatible queued queries, waiting at most `max_batch_wait_us`
+  /// after the first for stragglers. Compatible = identical
+  /// (n, effective max_fragments, RankOptions) — the batch ships under
+  /// one policy.
+  size_t max_batch = 8;
+  int64_t max_batch_wait_us = 200;
+
+  /// Whole-request budget for queries that don't bring their own
+  /// (SearchQuery::deadline_ms == 0).
+  int64_t default_deadline_ms = 1000;
+
+  /// Result cache: total entries and lock shards.
+  size_t cache_entries = 1024;
+  size_t cache_shards = 8;
+
+  /// Graceful degradation: at or above this queue depth the frontend
+  /// halves the requested fragment cut-off (floor 1) before admitting,
+  /// so predicted_quality degrades *before* shedding starts. 0
+  /// disables degradation.
+  size_t degrade_watermark = 16;
+};
+
+/// One client query, in raw words — the frontend normalises them with
+/// the pipeline its backend advertises. `deadline_ms` 0 adopts
+/// FrontendOptions::default_deadline_ms.
+struct SearchQuery {
+  std::vector<std::string> words;
+  size_t n = 10;
+  size_t max_fragments = 1;
+  uint32_t deadline_ms = 0;
+  ir::RankOptions options;
+};
+
+/// The frontend's answer. An answered query has status kOk and a
+/// ranking bit-identical to a direct cluster Query at the effective
+/// (possibly degraded) cut-off; a shed one has kUnavailable (with a
+/// retry-after hint) or kDeadlineExceeded and no ranking.
+struct SearchResult {
+  Status status = Status::Ok();
+  uint32_t retry_after_ms = 0;
+  bool cache_hit = false;
+  bool degraded = false;
+  double predicted_quality = 1.0;
+  std::vector<ir::ClusterScoredDoc> results;
+};
+
+/// The query serving frontend: what stands between clients and a
+/// cluster in the paper's deployment picture. Pipeline per Search():
+///
+///   degrade?  -> cache lookup -> admission gate -> queue ->
+///   batcher   -> backend QueryBatch -> cache fill -> reply
+///
+/// - **Admission** is where load is shed: a full queue or a deadline
+///   the EWMA service-time model says cannot be met rejects *now* with
+///   kUnavailable + retry-after, instead of letting the request rot in
+///   the queue past its budget. Requests that expire while queued are
+///   answered kDeadlineExceeded without touching the backend.
+/// - **Degradation** kicks in first: past the queue-depth watermark
+///   the fragment cut-off halves, so answers get cheaper (lower
+///   predicted_quality, honest `degraded` flag) while staying exact
+///   for their cut-off — quality degrades before availability does.
+/// - **Batching** coalesces compatible queued queries into one backend
+///   QueryBatch (one frame per shard on the remote path). Duplicate
+///   resolved queries inside a batch evaluate once.
+/// - **Caching** keys on the *resolved* query (normalised, de-duped
+///   stems — two spellings share an entry) plus the ranking policy,
+///   and on the backend's mutation epoch: any reindex invalidates, and
+///   a hit is provably bit-identical to re-evaluating.
+///
+/// Thread-safety: Search() and Stats() are safe from any number of
+/// threads; the blocking happens on the caller's thread (a server
+/// wraps Search in its own connection workers, see FrontendServer).
+class Frontend {
+ public:
+  /// `backend` is non-owning and must outlive the frontend.
+  explicit Frontend(const Backend* backend, FrontendOptions options = {});
+  ~Frontend();
+
+  Frontend(const Frontend&) = delete;
+  Frontend& operator=(const Frontend&) = delete;
+
+  /// Answers or sheds one query; blocks the calling thread until the
+  /// answer is ready (bounded by the deadline plus one batch).
+  SearchResult Search(const SearchQuery& query);
+
+  /// Point-in-time operational stats.
+  ServeStats Stats() const;
+
+  /// Drains the queue, joins the workers. Search() calls arriving
+  /// after Stop() are shed with kUnavailable. Idempotent; the
+  /// destructor runs it.
+  void Stop();
+
+ private:
+  struct Pending {
+    std::vector<std::string> words;  ///< raw words for the backend
+    std::string cache_key;
+    size_t n = 10;
+    size_t max_fragments = 1;  ///< effective (possibly degraded)
+    ir::RankOptions options;
+    bool degraded = false;
+    Deadline deadline;
+    std::chrono::steady_clock::time_point admitted_at;
+    std::promise<SearchResult> promise;
+  };
+
+  /// Same batch policy? Only then can two requests ship in one
+  /// backend QueryBatch call.
+  static bool Compatible(const Pending& a, const Pending& b);
+
+  /// Cache key of the resolved query + ranking policy. Kernel and
+  /// prune are deliberately excluded: all kernels and both pruning
+  /// modes are bit-identical by contract, so they may share entries.
+  std::string CacheKey(const std::vector<std::string>& stems, size_t n,
+                       size_t max_fragments,
+                       const ir::RankOptions& options) const;
+
+  /// Expected queue wait at the given depth from the EWMA batch
+  /// service time (0 until the first batch completes). Called with
+  /// mu_ held.
+  uint32_t EstimateWaitMsLocked(size_t depth) const;
+
+  void WorkerLoop();
+  void ExecuteBatch(std::vector<std::unique_ptr<Pending>> batch);
+  void RecordCompletion(const Pending& pending);
+
+  const Backend* backend_;
+  const FrontendOptions options_;
+  mutable ResultCache cache_;
+
+  mutable std::mutex mu_;
+  std::condition_variable cv_;
+  std::deque<std::unique_ptr<Pending>> queue_;
+  bool stopping_ = false;
+  /// EWMA of one backend QueryBatch wall-clock (µs); guarded by mu_.
+  double ewma_batch_us_ = 0;
+  std::vector<std::thread> workers_;
+
+  std::atomic<uint64_t> submitted_{0};
+  std::atomic<uint64_t> admitted_{0};
+  std::atomic<uint64_t> completed_{0};
+  std::atomic<uint64_t> shed_queue_full_{0};
+  std::atomic<uint64_t> shed_deadline_{0};
+  std::atomic<uint64_t> expired_in_queue_{0};
+  std::atomic<uint64_t> degraded_{0};
+  std::atomic<uint64_t> batches_{0};
+  std::atomic<uint64_t> batched_queries_{0};
+  LatencyHistogram latency_;
+};
+
+}  // namespace dls::serve
+
+#endif  // DLS_SERVE_FRONTEND_H_

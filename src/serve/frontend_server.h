@@ -1,0 +1,44 @@
+#ifndef DLS_SERVE_FRONTEND_SERVER_H_
+#define DLS_SERVE_FRONTEND_SERVER_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "common/status.h"
+#include "net/frame_server.h"
+#include "serve/frontend.h"
+
+namespace dls::serve {
+
+/// The wire endpoint of a Frontend: clients speak SearchRequest /
+/// ServeStatsRequest frames (net/wire types 6 and 8) to this server
+/// the same way the cluster's centre speaks QueryRequest to a
+/// ShardServer — same framing, same Error-frame failure semantics,
+/// same FrameServer transport mechanics underneath.
+///
+/// A shed query is a *successful* exchange whose SearchResponse
+/// carries kUnavailable/kDeadlineExceeded and a retry-after hint; the
+/// connection stays up. Error frames are reserved for requests the
+/// server cannot parse or does not serve (shard-protocol frames get a
+/// redirect-shaped kUnsupported).
+///
+/// Each connection worker blocks inside Frontend::Search for its
+/// in-flight request (bounded by the request deadline), so
+/// `num_workers` bounds concurrently *served connections*, while the
+/// frontend's admission queue bounds the requests behind them.
+class FrontendServer : public net::FrameServer {
+ public:
+  /// `frontend` is non-owning and must outlive the server.
+  explicit FrontendServer(Frontend* frontend, size_t num_workers = 8);
+  ~FrontendServer() override;
+
+  Result<std::vector<uint8_t>> HandleFrame(
+      const std::vector<uint8_t>& frame) const override;
+
+ private:
+  Frontend* frontend_;
+};
+
+}  // namespace dls::serve
+
+#endif  // DLS_SERVE_FRONTEND_SERVER_H_

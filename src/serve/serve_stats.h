@@ -1,0 +1,49 @@
+#ifndef DLS_SERVE_SERVE_STATS_H_
+#define DLS_SERVE_SERVE_STATS_H_
+
+#include <cstdint>
+
+#include "common/histogram.h"
+
+namespace dls::serve {
+
+/// Operational counters of one Frontend, sampled by Frontend::Stats().
+/// Monotone counters since construction plus the instantaneous queue
+/// depth and a latency snapshot; net/wire projects this onto the
+/// ServeStatsResponse frame (type 9) byte-for-byte, so a remote
+/// operator reads the same block an in-process caller does.
+struct ServeStats {
+  // ---- admission ----------------------------------------------------
+  uint64_t submitted = 0;  ///< Search() calls, before any gate
+  uint64_t admitted = 0;   ///< entered the queue (not shed, not cached)
+  uint64_t completed = 0;  ///< answered with a ranking (cache or backend)
+
+  // ---- cache --------------------------------------------------------
+  uint64_t cache_hits = 0;
+  uint64_t cache_misses = 0;
+  uint64_t cache_evictions = 0;  ///< capacity + stale-epoch evictions
+
+  // ---- shedding -----------------------------------------------------
+  uint64_t shed_queue_full = 0;    ///< kUnavailable: queue at max_queue
+  uint64_t shed_deadline = 0;      ///< kUnavailable/kDeadlineExceeded at
+                                   ///< admission (budget provably blown)
+  uint64_t expired_in_queue = 0;   ///< admitted but expired before eval
+
+  // ---- degradation / batching --------------------------------------
+  uint64_t degraded = 0;         ///< answered with a lowered cut-off
+  uint64_t batches = 0;          ///< backend QueryBatch calls
+  uint64_t batched_queries = 0;  ///< queries carried by those calls
+
+  // ---- instantaneous ------------------------------------------------
+  uint64_t queue_depth = 0;  ///< queued requests at sample time
+  uint64_t epoch = 0;        ///< backend mutation epoch at sample time
+
+  /// Admission-to-completion latency of completed requests
+  /// (microseconds; shed requests are not recorded — shedding is the
+  /// mechanism that keeps this distribution bounded).
+  LatencyHistogram::Snapshot latency;
+};
+
+}  // namespace dls::serve
+
+#endif  // DLS_SERVE_SERVE_STATS_H_

@@ -1,0 +1,86 @@
+#include "common/histogram.h"
+
+#include <gtest/gtest.h>
+
+#include <thread>
+#include <vector>
+
+namespace dls {
+namespace {
+
+TEST(LatencyHistogramTest, SmallValuesAreExact) {
+  LatencyHistogram h;
+  // Octave 0 is linear: 0..7 each land in their own bucket.
+  for (uint64_t v = 0; v < 8; ++v) h.Record(v);
+  LatencyHistogram::Snapshot snap = h.TakeSnapshot();
+  EXPECT_EQ(snap.count, 8u);
+  EXPECT_EQ(snap.sum, 28u);
+  EXPECT_DOUBLE_EQ(snap.mean, 3.5);
+  EXPECT_EQ(snap.p50, 3u);  // rank 4 of 8 -> value 3, exact
+  EXPECT_EQ(snap.max, 7u);
+}
+
+TEST(LatencyHistogramTest, PercentilesAreConservativeUpperBounds) {
+  LatencyHistogram h;
+  for (uint64_t v = 1; v <= 1000; ++v) h.Record(v);
+  LatencyHistogram::Snapshot snap = h.TakeSnapshot();
+  EXPECT_EQ(snap.count, 1000u);
+  // The reported quantile is the upper bound of the bucket holding the
+  // rank: never below the true value, within one sub-bucket (~12.5%)
+  // above it.
+  EXPECT_GE(snap.p50, 500u);
+  EXPECT_LE(snap.p50, 563u);
+  EXPECT_GE(snap.p95, 950u);
+  EXPECT_LE(snap.p95, 1069u);
+  EXPECT_GE(snap.p99, 990u);
+  EXPECT_LE(snap.p99, 1114u);
+  EXPECT_GE(snap.max, 1000u);
+  EXPECT_LE(snap.max, 1087u);
+  EXPECT_LE(snap.p50, snap.p95);
+  EXPECT_LE(snap.p95, snap.p99);
+  EXPECT_LE(snap.p99, snap.max);
+}
+
+TEST(LatencyHistogramTest, HugeValuesClampIntoLastOctave) {
+  LatencyHistogram h;
+  h.Record(~uint64_t{0});
+  h.Record(uint64_t{1} << 60);
+  LatencyHistogram::Snapshot snap = h.TakeSnapshot();
+  EXPECT_EQ(snap.count, 2u);
+  EXPECT_GT(snap.max, 0u);
+  EXPECT_GE(snap.p99, snap.p50);
+}
+
+TEST(LatencyHistogramTest, ResetZeroesEverything) {
+  LatencyHistogram h;
+  for (uint64_t v = 0; v < 100; ++v) h.Record(v);
+  h.Reset();
+  LatencyHistogram::Snapshot snap = h.TakeSnapshot();
+  EXPECT_EQ(snap.count, 0u);
+  EXPECT_EQ(snap.sum, 0u);
+  EXPECT_EQ(snap.p50, 0u);
+  EXPECT_EQ(snap.max, 0u);
+}
+
+// The property the serving frontend relies on: Record() from many
+// threads with no external synchronisation loses nothing (relaxed
+// atomics; TSan runs this file through ci/check.sh's thread stage).
+TEST(LatencyHistogramTest, ConcurrentRecordsLoseNothing) {
+  LatencyHistogram h;
+  constexpr int kThreads = 8;
+  constexpr uint64_t kPerThread = 20000;
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&h, t] {
+      for (uint64_t i = 0; i < kPerThread; ++i) {
+        h.Record((t * kPerThread + i) % 5000);
+      }
+    });
+  }
+  for (std::thread& thread : threads) thread.join();
+  LatencyHistogram::Snapshot snap = h.TakeSnapshot();
+  EXPECT_EQ(snap.count, kThreads * kPerThread);
+}
+
+}  // namespace
+}  // namespace dls

@@ -1,0 +1,204 @@
+// Exactness and thread-safety of RankOptions::shared_threshold: one
+// atomic θ shared (monotone max) across the concurrently evaluating
+// nodes of ClusterIndex::Query. The merged ranking must be
+// bit-identical to both the sequential threshold-feedback path and the
+// exhaustive evaluation — only the work accounting may differ, and
+// only downward (θ can only make skips legal, never extra work).
+// ci/check.sh runs this suite under ThreadSanitizer.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <thread>
+#include <vector>
+
+#include "common/rng.h"
+#include "common/strings.h"
+#include "common/thread_pool.h"
+#include "ir/cluster.h"
+#include "ir/index.h"
+
+namespace dls::ir {
+namespace {
+
+void BuildCorpus(ClusterIndex* cluster, int docs, uint64_t seed) {
+  Rng rng(seed);
+  ZipfSampler zipf(400, 1.1);
+  for (int d = 0; d < docs; ++d) {
+    std::string body;
+    for (int w = 0; w < 50; ++w) {
+      body += StrFormat("term%03zu ", zipf.Sample(&rng));
+    }
+    cluster->AddDocument(StrFormat("doc%04d", d), body);
+  }
+  cluster->Finalize();
+}
+
+std::vector<std::vector<std::string>> SeededQueries(int count, uint64_t seed) {
+  Rng rng(seed);
+  ZipfSampler zipf(400, 1.1);
+  std::vector<std::vector<std::string>> queries;
+  for (int q = 0; q < count; ++q) {
+    std::vector<std::string> words;
+    for (int w = 0; w < 3; ++w) {
+      words.push_back(StrFormat("term%03zu", zipf.Sample(&rng)));
+    }
+    queries.push_back(std::move(words));
+  }
+  return queries;
+}
+
+void ExpectIdentical(const std::vector<ClusterScoredDoc>& a,
+                     const std::vector<ClusterScoredDoc>& b, size_t q) {
+  ASSERT_EQ(a.size(), b.size()) << "query " << q;
+  for (size_t i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(a[i].url, b[i].url) << "query " << q << " rank " << i;
+    EXPECT_EQ(a[i].score, b[i].score) << "query " << q << " rank " << i;
+  }
+}
+
+RankOptions Exhaustive() {
+  RankOptions options;
+  options.prune = false;
+  return options;
+}
+
+RankOptions SequentialPruned() {
+  RankOptions options;
+  options.prune = true;
+  return options;
+}
+
+RankOptions SharedTheta() {
+  RankOptions options;
+  options.prune = true;
+  options.shared_threshold = true;
+  return options;
+}
+
+// The exactness argument under test: every θ a node publishes is its
+// running local n-th best, which is a lower bound of the final global
+// n-th best (the global top N draws from a superset of every node's
+// candidates), and the evaluation skips only scores *strictly below*
+// θ — so no document of the true global top N is ever skipped,
+// whatever the publication interleaving.
+TEST(SharedThresholdTest, ParallelSharedThetaMatchesSequentialAndExhaustive) {
+  ClusterIndex cluster(7, 4);
+  BuildCorpus(&cluster, 600, 71);
+  auto queries = SeededQueries(80, 72);
+
+  std::vector<std::vector<ClusterScoredDoc>> expected;
+  for (const auto& q : queries) {
+    expected.push_back(cluster.Query(q, 10, 4, nullptr, Exhaustive()));
+  }
+  // Sequential feedback is already held to exhaustive elsewhere; pin
+  // it here too so a failure names the diverging path.
+  for (size_t q = 0; q < queries.size(); ++q) {
+    ExpectIdentical(cluster.Query(queries[q], 10, 4, nullptr,
+                                  SequentialPruned()),
+                    expected[q], q);
+  }
+
+  ThreadPool pool(4);
+  cluster.SetExecutor(&pool);
+  for (size_t q = 0; q < queries.size(); ++q) {
+    ClusterQueryStats stats;
+    ExpectIdentical(cluster.Query(queries[q], 10, 4, &stats, SharedTheta()),
+                    expected[q], q);
+  }
+}
+
+// Timing changes which skips happen, never the answer: many repeats of
+// one query under the pool must stay bit-identical even though the
+// work stats are free to differ run to run.
+TEST(SharedThresholdTest, RepeatedRunsStayBitIdenticalDespiteRacyTheta) {
+  ClusterIndex cluster(8, 2);
+  BuildCorpus(&cluster, 500, 81);
+  cluster.EnableParallelism(4);
+  auto queries = SeededQueries(5, 82);
+
+  for (size_t q = 0; q < queries.size(); ++q) {
+    const std::vector<ClusterScoredDoc> expected =
+        cluster.Query(queries[q], 10, 2, nullptr, Exhaustive());
+    for (int run = 0; run < 25; ++run) {
+      ExpectIdentical(cluster.Query(queries[q], 10, 2, nullptr, SharedTheta()),
+                      expected, q);
+    }
+  }
+}
+
+// θ only licenses skips: the shared-θ evaluation can never touch more
+// postings than the exhaustive one, and never fewer than zero blocks
+// of accounting sanity.
+TEST(SharedThresholdTest, SharedThetaNeverDoesMoreWorkThanExhaustive) {
+  ClusterIndex cluster(5, 4);
+  BuildCorpus(&cluster, 400, 91);
+  cluster.EnableParallelism(3);
+
+  for (const auto& q : SeededQueries(30, 92)) {
+    ClusterQueryStats exhaustive_stats;
+    cluster.Query(q, 10, 4, &exhaustive_stats, Exhaustive());
+    ClusterQueryStats shared_stats;
+    cluster.Query(q, 10, 4, &shared_stats, SharedTheta());
+    EXPECT_LE(shared_stats.postings_touched_total,
+              exhaustive_stats.postings_touched_total);
+  }
+}
+
+// The TSan target: client threads hammer one frozen cluster with
+// shared-θ queries — the atomic θ is the only cross-node shared write
+// during evaluation, and it must be race-free and answer-invisible.
+TEST(SharedThresholdTest, ConcurrentSharedThetaQueriesAreRaceFree) {
+  ClusterIndex cluster(4, 4);
+  BuildCorpus(&cluster, 300, 101);
+  cluster.EnableParallelism(4);
+
+  auto queries = SeededQueries(16, 102);
+  std::vector<std::vector<ClusterScoredDoc>> expected;
+  for (const auto& q : queries) {
+    expected.push_back(cluster.Query(q, 10, 4, nullptr, Exhaustive()));
+  }
+
+  std::vector<std::thread> clients;
+  std::atomic<int> failures{0};
+  for (int t = 0; t < 4; ++t) {
+    clients.emplace_back([&] {
+      for (size_t q = 0; q < queries.size(); ++q) {
+        std::vector<ClusterScoredDoc> got =
+            cluster.Query(queries[q], 10, 4, nullptr, SharedTheta());
+        if (got.size() != expected[q].size()) {
+          ++failures;
+          continue;
+        }
+        for (size_t i = 0; i < got.size(); ++i) {
+          if (got[i].url != expected[q][i].url ||
+              got[i].score != expected[q][i].score) {
+            ++failures;
+          }
+        }
+      }
+    });
+  }
+  for (std::thread& client : clients) client.join();
+  EXPECT_EQ(failures.load(), 0);
+}
+
+// The flag is an in-process execution policy: without prune it must be
+// inert, and with a single node it degenerates to plain WAND.
+TEST(SharedThresholdTest, InertWithoutPruneAndOnSingleNode) {
+  ClusterIndex cluster(1, 2);
+  BuildCorpus(&cluster, 150, 111);
+  cluster.EnableParallelism(2);
+
+  RankOptions no_prune = Exhaustive();
+  no_prune.shared_threshold = true;  // must change nothing
+  for (const auto& q : SeededQueries(10, 112)) {
+    const std::vector<ClusterScoredDoc> expected =
+        cluster.Query(q, 5, 2, nullptr, Exhaustive());
+    ExpectIdentical(cluster.Query(q, 5, 2, nullptr, no_prune), expected, 0);
+    ExpectIdentical(cluster.Query(q, 5, 2, nullptr, SharedTheta()), expected,
+                    0);
+  }
+}
+
+}  // namespace
+}  // namespace dls::ir

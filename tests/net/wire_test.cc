@@ -166,6 +166,154 @@ TEST(WireTest, StatsRoundTrip) {
   EXPECT_EQ(res.value().term_dfs, response.term_dfs);
 }
 
+TEST(WireTest, StatsResponseCarriesMutationEpoch) {
+  StatsResponse response;
+  response.node_id = 1;
+  response.mutation_epoch = (uint64_t{1} << 40) + 99;
+  std::vector<uint8_t> frame = EncodeStatsResponse(response).value();
+  MessageType type;
+  const uint8_t* body = nullptr;
+  size_t body_len = 0;
+  ASSERT_TRUE(DecodeFrame(frame, &type, &body, &body_len).ok());
+  Result<StatsResponse> decoded = DecodeStatsResponse(body, body_len);
+  ASSERT_TRUE(decoded.ok()) << decoded.status().ToString();
+  EXPECT_EQ(decoded.value().mutation_epoch, response.mutation_epoch);
+}
+
+TEST(WireTest, SearchRequestRoundTrips) {
+  SearchRequest request;
+  request.words = {"Flexible", "", "digital", "library", "search"};
+  request.n = kVarint64Boundaries[4];
+  request.max_fragments = 7;
+  request.deadline_ms = 0xffffffffu;
+  request.options.lambda = kTrickyDoubles[2];
+  request.options.kernel = ir::ScoreKernel::kPacked;
+  request.options.prune = true;
+  // An execution policy, not a wire field: must NOT survive the trip.
+  request.options.shared_threshold = true;
+
+  std::vector<uint8_t> frame = EncodeSearchRequest(request).value();
+  MessageType type;
+  const uint8_t* body = nullptr;
+  size_t body_len = 0;
+  ASSERT_TRUE(DecodeFrame(frame, &type, &body, &body_len).ok());
+  ASSERT_EQ(type, MessageType::kSearchRequest);
+  Result<SearchRequest> decoded = DecodeSearchRequest(body, body_len);
+  ASSERT_TRUE(decoded.ok()) << decoded.status().ToString();
+  EXPECT_EQ(decoded.value().words, request.words);
+  EXPECT_EQ(decoded.value().n, request.n);
+  EXPECT_EQ(decoded.value().max_fragments, request.max_fragments);
+  EXPECT_EQ(decoded.value().deadline_ms, request.deadline_ms);
+  EXPECT_EQ(Bits(decoded.value().options.lambda),
+            Bits(request.options.lambda));
+  EXPECT_EQ(decoded.value().options.kernel, request.options.kernel);
+  EXPECT_EQ(decoded.value().options.prune, request.options.prune);
+  EXPECT_FALSE(decoded.value().options.shared_threshold);
+}
+
+TEST(WireTest, SearchResponseRoundTripsAnswersAndSheds) {
+  // An answered query: ranking + flags + quality, scores bit-exact.
+  SearchResponse answered;
+  answered.cache_hit = true;
+  answered.degraded = true;
+  answered.predicted_quality = kTrickyDoubles[2];
+  for (size_t d = 0; d < 6; ++d) {
+    answered.results.push_back(
+        {d == 0 ? "" : "doc" + std::to_string(d), kTrickyDoubles[d]});
+  }
+  std::vector<uint8_t> frame = EncodeSearchResponse(answered).value();
+  MessageType type;
+  const uint8_t* body = nullptr;
+  size_t body_len = 0;
+  ASSERT_TRUE(DecodeFrame(frame, &type, &body, &body_len).ok());
+  ASSERT_EQ(type, MessageType::kSearchResponse);
+  Result<SearchResponse> decoded = DecodeSearchResponse(body, body_len);
+  ASSERT_TRUE(decoded.ok()) << decoded.status().ToString();
+  EXPECT_TRUE(decoded.value().status.ok());
+  EXPECT_TRUE(decoded.value().cache_hit);
+  EXPECT_TRUE(decoded.value().degraded);
+  EXPECT_EQ(Bits(decoded.value().predicted_quality),
+            Bits(answered.predicted_quality));
+  ASSERT_EQ(decoded.value().results.size(), answered.results.size());
+  for (size_t d = 0; d < answered.results.size(); ++d) {
+    EXPECT_EQ(decoded.value().results[d].url, answered.results[d].url);
+    EXPECT_EQ(Bits(decoded.value().results[d].score),
+              Bits(answered.results[d].score));
+  }
+
+  // A shed query: the protocol-level answer, not a transport failure.
+  SearchResponse shed;
+  shed.status = Status::Unavailable("queue full");
+  shed.retry_after_ms = 250;
+  frame = EncodeSearchResponse(shed).value();
+  ASSERT_TRUE(DecodeFrame(frame, &type, &body, &body_len).ok());
+  decoded = DecodeSearchResponse(body, body_len);
+  ASSERT_TRUE(decoded.ok()) << decoded.status().ToString();
+  EXPECT_EQ(decoded.value().status.code(), StatusCode::kUnavailable);
+  EXPECT_EQ(decoded.value().status.message(), "queue full");
+  EXPECT_EQ(decoded.value().retry_after_ms, 250u);
+  EXPECT_TRUE(decoded.value().results.empty());
+}
+
+TEST(WireTest, ServeStatsRoundTrip) {
+  std::vector<uint8_t> frame = EncodeServeStatsRequest(ServeStatsRequest{});
+  MessageType type;
+  const uint8_t* body = nullptr;
+  size_t body_len = 0;
+  ASSERT_TRUE(DecodeFrame(frame, &type, &body, &body_len).ok());
+  ASSERT_EQ(type, MessageType::kServeStatsRequest);
+  EXPECT_TRUE(DecodeServeStatsRequest(body, body_len).ok());
+
+  ServeStatsResponse response;
+  response.submitted = kVarint64Boundaries[7];
+  response.admitted = 2;
+  response.completed = 3;
+  response.cache_hits = 4;
+  response.cache_misses = 5;
+  response.cache_evictions = 6;
+  response.shed_queue_full = 7;
+  response.shed_deadline = 8;
+  response.expired_in_queue = 9;
+  response.degraded = 10;
+  response.batches = 11;
+  response.batched_queries = 12;
+  response.queue_depth = 13;
+  response.epoch = kVarint64Boundaries[8];
+  response.latency_count = 14;
+  response.latency_mean_us = kTrickyDoubles[3];
+  response.latency_p50_us = 15;
+  response.latency_p95_us = 16;
+  response.latency_p99_us = 17;
+  response.latency_max_us = kVarint64Boundaries[6];
+  frame = EncodeServeStatsResponse(response);
+  ASSERT_TRUE(DecodeFrame(frame, &type, &body, &body_len).ok());
+  ASSERT_EQ(type, MessageType::kServeStatsResponse);
+  Result<ServeStatsResponse> decoded =
+      DecodeServeStatsResponse(body, body_len);
+  ASSERT_TRUE(decoded.ok()) << decoded.status().ToString();
+  EXPECT_EQ(decoded.value().submitted, response.submitted);
+  EXPECT_EQ(decoded.value().admitted, response.admitted);
+  EXPECT_EQ(decoded.value().completed, response.completed);
+  EXPECT_EQ(decoded.value().cache_hits, response.cache_hits);
+  EXPECT_EQ(decoded.value().cache_misses, response.cache_misses);
+  EXPECT_EQ(decoded.value().cache_evictions, response.cache_evictions);
+  EXPECT_EQ(decoded.value().shed_queue_full, response.shed_queue_full);
+  EXPECT_EQ(decoded.value().shed_deadline, response.shed_deadline);
+  EXPECT_EQ(decoded.value().expired_in_queue, response.expired_in_queue);
+  EXPECT_EQ(decoded.value().degraded, response.degraded);
+  EXPECT_EQ(decoded.value().batches, response.batches);
+  EXPECT_EQ(decoded.value().batched_queries, response.batched_queries);
+  EXPECT_EQ(decoded.value().queue_depth, response.queue_depth);
+  EXPECT_EQ(decoded.value().epoch, response.epoch);
+  EXPECT_EQ(decoded.value().latency_count, response.latency_count);
+  EXPECT_EQ(Bits(decoded.value().latency_mean_us),
+            Bits(response.latency_mean_us));
+  EXPECT_EQ(decoded.value().latency_p50_us, response.latency_p50_us);
+  EXPECT_EQ(decoded.value().latency_p95_us, response.latency_p95_us);
+  EXPECT_EQ(decoded.value().latency_p99_us, response.latency_p99_us);
+  EXPECT_EQ(decoded.value().latency_max_us, response.latency_max_us);
+}
+
 TEST(WireTest, ErrorRoundTrip) {
   std::vector<uint8_t> frame =
       EncodeError(Status::NotFound("no node 9 on this server"));
@@ -330,7 +478,41 @@ TEST(WireTest, RandomBodiesNeverCrashDecoders) {
     (void)DecodeQueryResponse(body.data(), body.size());
     (void)DecodeStatsRequest(body.data(), body.size());
     (void)DecodeStatsResponse(body.data(), body.size());
+    (void)DecodeSearchRequest(body.data(), body.size());
+    (void)DecodeSearchResponse(body.data(), body.size());
+    (void)DecodeServeStatsRequest(body.data(), body.size());
+    (void)DecodeServeStatsResponse(body.data(), body.size());
     (void)DecodeError(body.data(), body.size());
+  }
+}
+
+// Truncation sweep over the serve messages too: every strict prefix of
+// a valid body must fail cleanly (the ASan/UBSan stages run this).
+TEST(WireTest, SearchBodiesTruncateCleanly) {
+  SearchRequest request;
+  request.words = {"two", "words"};
+  request.options.prune = true;
+  std::vector<uint8_t> frame = EncodeSearchRequest(request).value();
+  MessageType type;
+  const uint8_t* body = nullptr;
+  size_t body_len = 0;
+  ASSERT_TRUE(DecodeFrame(frame, &type, &body, &body_len).ok());
+  for (size_t len = 0; len < body_len; ++len) {
+    EXPECT_FALSE(DecodeSearchRequest(body, len).ok());
+  }
+
+  SearchResponse response;
+  response.results.push_back({"doc", 1.5});
+  frame = EncodeSearchResponse(response).value();
+  ASSERT_TRUE(DecodeFrame(frame, &type, &body, &body_len).ok());
+  for (size_t len = 0; len < body_len; ++len) {
+    EXPECT_FALSE(DecodeSearchResponse(body, len).ok());
+  }
+
+  frame = EncodeServeStatsResponse(ServeStatsResponse{});
+  ASSERT_TRUE(DecodeFrame(frame, &type, &body, &body_len).ok());
+  for (size_t len = 0; len < body_len; ++len) {
+    EXPECT_FALSE(DecodeServeStatsResponse(body, len).ok());
   }
 }
 

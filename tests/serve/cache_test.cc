@@ -1,0 +1,117 @@
+#include "serve/cache.h"
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <thread>
+#include <vector>
+
+namespace dls::serve {
+namespace {
+
+CachedResult MakeResult(const std::string& url, double score) {
+  CachedResult result;
+  result.results.push_back({url, score});
+  return result;
+}
+
+TEST(ResultCacheTest, MissThenHitThenPayloadIntact) {
+  ResultCache cache(/*capacity=*/8, /*num_shards=*/2);
+  CachedResult out;
+  EXPECT_FALSE(cache.Lookup("q1", 1, &out));
+  EXPECT_EQ(cache.misses(), 1u);
+
+  CachedResult in = MakeResult("doc1", 0.5);
+  in.predicted_quality = 0.75;
+  in.degraded = true;
+  cache.Insert("q1", 1, in);
+  ASSERT_TRUE(cache.Lookup("q1", 1, &out));
+  EXPECT_EQ(cache.hits(), 1u);
+  ASSERT_EQ(out.results.size(), 1u);
+  EXPECT_EQ(out.results[0].url, "doc1");
+  EXPECT_EQ(out.results[0].score, 0.5);
+  EXPECT_EQ(out.predicted_quality, 0.75);
+  EXPECT_TRUE(out.degraded);
+}
+
+// The correctness core: an entry from another epoch must never be
+// served — the index mutated, so the cached ranking is unprovable.
+TEST(ResultCacheTest, EpochMismatchEvictsInsteadOfServing) {
+  ResultCache cache(8, 1);
+  cache.Insert("q", /*epoch=*/1, MakeResult("old", 1.0));
+  CachedResult out;
+  EXPECT_FALSE(cache.Lookup("q", /*epoch=*/2, &out));
+  EXPECT_EQ(cache.misses(), 1u);
+  EXPECT_EQ(cache.evictions(), 1u);  // the slot is reclaimed on touch
+  EXPECT_EQ(cache.size(), 0u);
+
+  // Re-inserting under the new epoch serves again.
+  cache.Insert("q", 2, MakeResult("new", 2.0));
+  ASSERT_TRUE(cache.Lookup("q", 2, &out));
+  EXPECT_EQ(out.results[0].url, "new");
+}
+
+TEST(ResultCacheTest, LruEvictsColdestWithinShard) {
+  ResultCache cache(/*capacity=*/3, /*num_shards=*/1);
+  cache.Insert("a", 1, MakeResult("a", 1));
+  cache.Insert("b", 1, MakeResult("b", 2));
+  cache.Insert("c", 1, MakeResult("c", 3));
+  CachedResult out;
+  // Touch "a" so "b" is now the coldest.
+  ASSERT_TRUE(cache.Lookup("a", 1, &out));
+  cache.Insert("d", 1, MakeResult("d", 4));
+  EXPECT_EQ(cache.evictions(), 1u);
+  EXPECT_TRUE(cache.Lookup("a", 1, &out));
+  EXPECT_FALSE(cache.Lookup("b", 1, &out));
+  EXPECT_TRUE(cache.Lookup("c", 1, &out));
+  EXPECT_TRUE(cache.Lookup("d", 1, &out));
+}
+
+TEST(ResultCacheTest, InsertOverwritesAndRefreshesEpoch) {
+  ResultCache cache(4, 1);
+  cache.Insert("q", 1, MakeResult("v1", 1));
+  cache.Insert("q", 2, MakeResult("v2", 2));
+  EXPECT_EQ(cache.size(), 1u);
+  CachedResult out;
+  EXPECT_FALSE(cache.Lookup("q", 1, &out));  // old epoch is gone
+  // The overwrite's eviction-on-stale-touch reclaimed the slot; insert
+  // again under epoch 2 and hit it.
+  cache.Insert("q", 2, MakeResult("v2", 2));
+  ASSERT_TRUE(cache.Lookup("q", 2, &out));
+  EXPECT_EQ(out.results[0].url, "v2");
+}
+
+TEST(ResultCacheTest, CapacityFloorsAtOneEntryPerShard) {
+  ResultCache cache(/*capacity=*/0, /*num_shards=*/4);
+  cache.Insert("q", 1, MakeResult("doc", 1));
+  CachedResult out;
+  EXPECT_TRUE(cache.Lookup("q", 1, &out));
+}
+
+// TSan target: concurrent hits, misses, inserts and stale-epoch
+// evictions over a deliberately tiny key space and capacity.
+TEST(ResultCacheTest, ConcurrentHammeringIsRaceFree) {
+  ResultCache cache(/*capacity=*/16, /*num_shards=*/4);
+  constexpr int kThreads = 8;
+  constexpr int kOpsPerThread = 5000;
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&cache, t] {
+      for (int i = 0; i < kOpsPerThread; ++i) {
+        const std::string key = "q" + std::to_string((t + i) % 24);
+        const uint64_t epoch = 1 + (i / 1000) % 3;  // epochs churn
+        CachedResult out;
+        if (!cache.Lookup(key, epoch, &out)) {
+          cache.Insert(key, epoch, MakeResult(key, i));
+        }
+      }
+    });
+  }
+  for (std::thread& thread : threads) thread.join();
+  EXPECT_EQ(cache.hits() + cache.misses(),
+            static_cast<uint64_t>(kThreads) * kOpsPerThread);
+  EXPECT_LE(cache.size(), 16u);
+}
+
+}  // namespace
+}  // namespace dls::serve
