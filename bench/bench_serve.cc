@@ -1,11 +1,18 @@
-// Serving-frontend load sweep: closed-loop clients against one
-// Frontend over the in-process cluster, at two offered loads:
+// Serving-frontend load sweep: clients against one Frontend over the
+// in-process cluster (documents and queries drawn from the shared
+// synth::SyntheticCorpus generator), at three offered loads:
 //
-//   cached    capacity-matched clients, a hot query set, a real cache —
-//             the steady state a production frontend should sit in
-//   overload  ~8x more clients than workers, the cache deliberately
-//             crippled — the regime where admission control, the
-//             batcher and degradation earn their keep
+//   cached    capacity-matched closed-loop clients, a hot query set, a
+//             real cache — the steady state a production frontend
+//             should sit in
+//   overload  ~8x more closed-loop clients than workers, the cache
+//             deliberately crippled — the regime where admission
+//             control, the batcher and degradation earn their keep
+//   open_loop requests issued on a fixed schedule (start + k/qps, with
+//             catch-up) regardless of completions — arrival pressure
+//             does not politely wait for the previous answer, so queue
+//             growth and shedding reflect offered load, not client
+//             count
 //
 // The contract under load, reported under exact.* for ci/bench_gate.py:
 //   bit_identical        every answered query matches a direct
@@ -18,11 +25,13 @@
 // Latency figures are load-dependent by design, so the numeric leaves
 // deliberately avoid the gate's `_batch_ms` regression suffix — the
 // gated serving signals are the exact.* booleans and the shed-rate
-// floor.
+// floor. The open-loop level in particular gates nothing numeric: its
+// latencies are a function of the offered rate vs this machine.
 //
 // Prints a human table and writes machine-readable JSON (default
 // BENCH_serve.json, or argv[1]).
 #include <atomic>
+#include <chrono>
 #include <cstdio>
 #include <cstring>
 #include <memory>
@@ -30,12 +39,12 @@
 #include <thread>
 #include <vector>
 
-#include "common/rng.h"
 #include "common/strings.h"
 #include "common/timer.h"
 #include "ir/cluster.h"
 #include "serve/backend.h"
 #include "serve/frontend.h"
+#include "synth/corpus.h"
 
 namespace dls {
 namespace {
@@ -53,30 +62,40 @@ constexpr size_t kTopN = 10;
 constexpr size_t kWorkers = 2;
 constexpr uint32_t kDeadlineMs = 100;
 
-void BuildCorpus(ir::ClusterIndex* cluster) {
-  Rng rng(4);
-  ZipfSampler zipf(kVocab, kZipfTheta);
-  for (int d = 0; d < kDocs; ++d) {
-    std::string body;
-    body.reserve(kWordsPerDoc * 9);
-    for (int w = 0; w < kWordsPerDoc; ++w) {
-      body += StrFormat("term%04zu ", zipf.Sample(&rng));
-    }
-    cluster->AddDocument(StrFormat("doc%05d", d), body);
-  }
+// Open-loop level: requests fired on a fixed schedule.
+constexpr int kOpenClients = 8;
+constexpr double kOpenQps = 400.0;
+constexpr int kOpenRequests = 1600;
+constexpr uint64_t kOpenQueryBase = 1000;  // fresh ids, disjoint pool
+// One distinct query per request: open-loop load should exercise the
+// backend, not replay the cache.
+constexpr int kOpenQueryPool = kOpenRequests;
+
+synth::CorpusSpec ServeSpec() {
+  synth::CorpusSpec spec;
+  spec.seed = 4;
+  spec.documents = kDocs;
+  spec.words_per_doc = kWordsPerDoc;
+  spec.vocabulary = kVocab;
+  spec.zipf_theta = kZipfTheta;
+  return spec;
+}
+
+void BuildCorpus(const synth::SyntheticCorpus& corpus,
+                 ir::ClusterIndex* cluster) {
+  corpus.ForEach(0, corpus.spec().documents,
+                 [&](size_t, const std::string& url, const std::string& body) {
+                   cluster->AddDocument(url, body);
+                 });
   cluster->Finalize();
 }
 
-std::vector<std::vector<std::string>> MakeQueries() {
-  Rng rng(5);
-  ZipfSampler zipf(kVocab, kZipfTheta);
+std::vector<std::vector<std::string>> MakeQueries(
+    const synth::SyntheticCorpus& corpus, uint64_t base, int count) {
   std::vector<std::vector<std::string>> queries;
-  for (int q = 0; q < kQueryPool; ++q) {
-    std::vector<std::string> words;
-    for (int w = 0; w < kTermsPerQuery; ++w) {
-      words.push_back(StrFormat("term%04zu", zipf.Sample(&rng)));
-    }
-    queries.push_back(std::move(words));
+  for (int q = 0; q < count; ++q) {
+    queries.push_back(corpus.Query(base + static_cast<uint64_t>(q),
+                                   kTermsPerQuery));
   }
   return queries;
 }
@@ -176,6 +195,66 @@ LevelResult RunLevel(const serve::Backend& backend,
   return level;
 }
 
+/// Open loop: request k is due at start + k/qps whether or not any
+/// earlier request has completed. Client t owns slots t, t+C, t+2C...
+/// and sleeps until each slot's absolute due time — a client that
+/// falls behind (its previous Search outlasted C/qps) issues
+/// immediately and catches up, so offered load is a property of the
+/// schedule, not of service times.
+LevelResult RunOpenLevel(const serve::Backend& backend,
+                         const serve::FrontendOptions& options,
+                         const std::vector<std::vector<std::string>>& queries,
+                         const std::vector<std::vector<ir::ClusterScoredDoc>>&
+                             expected_full,
+                         const std::vector<std::vector<ir::ClusterScoredDoc>>&
+                             expected_degraded) {
+  serve::Frontend frontend(&backend, options);
+  std::atomic<uint64_t> answered{0}, shed{0}, wrong{0}, bad{0};
+
+  const auto start = std::chrono::steady_clock::now();
+  Timer timer;
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kOpenClients; ++t) {
+    threads.emplace_back([&, t] {
+      for (int k = t; k < kOpenRequests; k += kOpenClients) {
+        std::this_thread::sleep_until(
+            start + std::chrono::duration_cast<
+                        std::chrono::steady_clock::duration>(
+                        std::chrono::duration<double>(k / kOpenQps)));
+        const size_t qi = static_cast<size_t>(k) % queries.size();
+        serve::SearchQuery query;
+        query.words = queries[qi];
+        query.n = kTopN;
+        query.max_fragments = kFragments;
+        query.options.prune = true;
+        serve::SearchResult result = frontend.Search(query);
+        if (result.status.ok()) {
+          const auto& want =
+              result.degraded ? expected_degraded[qi] : expected_full[qi];
+          if (!BitIdentical(result.results, want)) wrong.fetch_add(1);
+          answered.fetch_add(1);
+        } else if (result.status.code() == StatusCode::kUnavailable ||
+                   result.status.code() == StatusCode::kDeadlineExceeded) {
+          shed.fetch_add(1);
+        } else {
+          bad.fetch_add(1);
+        }
+      }
+    });
+  }
+  for (std::thread& thread : threads) thread.join();
+
+  LevelResult level;
+  level.clients = kOpenClients;
+  level.wall_s = timer.ElapsedMillis() / 1000.0;
+  level.answered = answered.load();
+  level.shed = shed.load();
+  level.wrong_rankings = wrong.load();
+  level.bad_statuses = bad.load();
+  level.stats = frontend.Stats();
+  return level;
+}
+
 void PrintLevel(const char* name, const LevelResult& level) {
   std::printf(
       "%-9s %3d clients  %9.0f qps  p50 %6llu us  p99 %6llu us  "
@@ -194,10 +273,12 @@ int main(int argc, char** argv) {
   using namespace dls;
   const char* json_path = argc > 1 ? argv[1] : "BENCH_serve.json";
 
+  const synth::SyntheticCorpus corpus(ServeSpec());
   ir::ClusterIndex cluster(kNodes, kFragments);
-  BuildCorpus(&cluster);
+  BuildCorpus(corpus, &cluster);
   cluster.EnableParallelism(2);
-  const auto queries = MakeQueries();
+  const auto queries = MakeQueries(corpus, 0, kQueryPool);
+  const auto open_queries = MakeQueries(corpus, kOpenQueryBase, kOpenQueryPool);
 
   ir::RankOptions rank;
   rank.prune = true;
@@ -206,6 +287,13 @@ int main(int argc, char** argv) {
   for (const auto& q : queries) {
     expected_full.push_back(cluster.Query(q, kTopN, kFragments, nullptr, rank));
     expected_degraded.push_back(
+        cluster.Query(q, kTopN, kFragments / 2, nullptr, rank));
+  }
+  std::vector<std::vector<ir::ClusterScoredDoc>> open_full;
+  std::vector<std::vector<ir::ClusterScoredDoc>> open_degraded;
+  for (const auto& q : open_queries) {
+    open_full.push_back(cluster.Query(q, kTopN, kFragments, nullptr, rank));
+    open_degraded.push_back(
         cluster.Query(q, kTopN, kFragments / 2, nullptr, rank));
   }
 
@@ -237,10 +325,23 @@ int main(int argc, char** argv) {
       RunLevel(backend, overload_options, /*clients=*/16, /*iters=*/300,
                queries, expected_full, expected_degraded);
 
-  const bool bit_identical =
-      cached.wrong_rankings == 0 && overload.wrong_rankings == 0;
-  const bool zero_failures =
-      cached.bad_statuses == 0 && overload.bad_statuses == 0;
+  // Open loop: a fresh query pool (no pre-warmed cache entries), the
+  // steady-state frontend configuration, arrivals on the clock.
+  serve::FrontendOptions open_options;
+  open_options.num_workers = kWorkers;
+  open_options.max_batch = 8;
+  open_options.max_queue = 16;
+  open_options.degrade_watermark = 8;
+  open_options.default_deadline_ms = kDeadlineMs;
+  LevelResult open_loop = RunOpenLevel(backend, open_options, open_queries,
+                                       open_full, open_degraded);
+
+  const bool bit_identical = cached.wrong_rankings == 0 &&
+                             overload.wrong_rankings == 0 &&
+                             open_loop.wrong_rankings == 0;
+  const bool zero_failures = cached.bad_statuses == 0 &&
+                             overload.bad_statuses == 0 &&
+                             open_loop.bad_statuses == 0;
   const bool sheds_under_overload =
       overload.stats.shed_queue_full + overload.stats.shed_deadline > 0;
   const bool p99_within_deadline =
@@ -252,6 +353,9 @@ int main(int argc, char** argv) {
       kNodes, kDocs, kQueryPool, kTopN, kWorkers, kDeadlineMs);
   PrintLevel("cached", cached);
   PrintLevel("overload", overload);
+  PrintLevel("open", open_loop);
+  std::printf("open loop: offered %.0f qps, achieved %.0f qps over %.1f s\n",
+              kOpenQps, open_loop.qps(), open_loop.wall_s);
   std::printf(
       "\nexact: bit_identical=%s p99_within_deadline=%s "
       "sheds_under_overload=%s zero_failures=%s\n",
@@ -291,6 +395,18 @@ int main(int argc, char** argv) {
       "    \"degraded_share\": %.4f,\n"
       "    \"avg_batch\": %.2f\n"
       "  },\n"
+      "  \"open_loop\": {\n"
+      "    \"clients\": %d,\n"
+      "    \"offered_qps\": %.0f,\n"
+      "    \"requests\": %d,\n"
+      "    \"achieved_qps\": %.0f,\n"
+      "    \"p50_us\": %llu,\n"
+      "    \"p95_us\": %llu,\n"
+      "    \"p99_us\": %llu,\n"
+      "    \"shed_rate\": %.4f,\n"
+      "    \"degraded_share\": %.4f,\n"
+      "    \"cache_hit_rate\": %.4f\n"
+      "  },\n"
       "  \"exact\": {\"bit_identical\": %s, \"p99_within_deadline\": %s, "
       "\"sheds_under_overload\": %s, \"zero_failures\": %s}\n"
       "}\n",
@@ -305,6 +421,12 @@ int main(int argc, char** argv) {
       static_cast<unsigned long long>(overload.stats.latency.p95),
       static_cast<unsigned long long>(overload.stats.latency.p99),
       overload.shed_rate(), overload.degraded_share(), overload.avg_batch(),
+      open_loop.clients, kOpenQps, kOpenRequests, open_loop.qps(),
+      static_cast<unsigned long long>(open_loop.stats.latency.p50),
+      static_cast<unsigned long long>(open_loop.stats.latency.p95),
+      static_cast<unsigned long long>(open_loop.stats.latency.p99),
+      open_loop.shed_rate(), open_loop.degraded_share(),
+      open_loop.cache_hit_rate(),
       bit_identical ? "true" : "false", p99_within_deadline ? "true" : "false",
       sheds_under_overload ? "true" : "false",
       zero_failures ? "true" : "false");

@@ -56,7 +56,7 @@ tsan() {
   ./build-tsan/tests/dls_serve_tests
   echo "== TSan: concurrency suites with the packed kernel =="
   DLS_KERNEL=packed ./build-tsan/tests/dls_ir_tests \
-    --gtest_filter='ParallelQuery*:Codec*:Kernel*:Wand*:SharedThreshold*'
+    --gtest_filter='ParallelQuery*:Codec*:Kernel*:Wand*:SharedThreshold*:Segment*'
   DLS_KERNEL=packed ./build-tsan/tests/dls_net_tests \
     --gtest_filter='TcpTest*:RemoteClusterTest*'
   DLS_KERNEL=packed ./build-tsan/tests/dls_serve_tests \
@@ -82,7 +82,8 @@ bench() {
   echo "== bench gate: throughput vs committed baselines =="
   cmake -B build -S .
   cmake --build build -j "$(nproc)" \
-    --target bench_ir_kernel bench_codec bench_net_fanout bench_serve
+    --target bench_ir_kernel bench_codec bench_net_fanout bench_serve \
+    bench_segment
   python3 ci/bench_gate.py --build-dir build
 }
 

@@ -1,0 +1,62 @@
+#ifndef DLS_COMMON_CHECKSUM_H_
+#define DLS_COMMON_CHECKSUM_H_
+
+#include <array>
+#include <cstddef>
+#include <cstdint>
+
+namespace dls {
+
+/// Incremental CRC-32 (IEEE 802.3, polynomial 0xEDB88320, the zlib
+/// convention). Used by the on-disk segment format (ir/segment.h) to
+/// verify every section before any of its bytes are trusted; a
+/// mismatch is reported as kCorruption, never acted on.
+///
+/// Not cryptographic: a CRC catches torn writes, truncation and bit
+/// rot, not a deliberately crafted file. Structural validation in the
+/// segment loader covers the hostile case.
+class Crc32 {
+ public:
+  void Update(const void* data, size_t len) {
+    const uint8_t* p = static_cast<const uint8_t*>(data);
+    uint32_t crc = state_;
+    for (size_t i = 0; i < len; ++i) {
+      crc = (crc >> 8) ^ Table()[(crc ^ p[i]) & 0xffu];
+    }
+    state_ = crc;
+  }
+
+  /// The CRC of everything Update()ed so far.
+  uint32_t value() const { return state_ ^ 0xffffffffu; }
+
+  void Reset() { state_ = 0xffffffffu; }
+
+  /// One-shot convenience.
+  static uint32_t Of(const void* data, size_t len) {
+    Crc32 crc;
+    crc.Update(data, len);
+    return crc.value();
+  }
+
+ private:
+  static const std::array<uint32_t, 256>& Table() {
+    static const std::array<uint32_t, 256> table = [] {
+      std::array<uint32_t, 256> t{};
+      for (uint32_t i = 0; i < 256; ++i) {
+        uint32_t c = i;
+        for (int k = 0; k < 8; ++k) {
+          c = (c & 1u) ? 0xedb88320u ^ (c >> 1) : (c >> 1);
+        }
+        t[i] = c;
+      }
+      return t;
+    }();
+    return table;
+  }
+
+  uint32_t state_ = 0xffffffffu;
+};
+
+}  // namespace dls
+
+#endif  // DLS_COMMON_CHECKSUM_H_

@@ -1,0 +1,59 @@
+#include "common/mmap.h"
+
+#include <fcntl.h>
+#include <sys/mman.h>
+#include <sys/stat.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+
+namespace dls {
+
+Result<MappedFile> MappedFile::Open(const std::string& path) {
+  const int fd = ::open(path.c_str(), O_RDONLY | O_CLOEXEC);
+  if (fd < 0) {
+    return Status::NotFound("open '" + path + "': " + std::strerror(errno));
+  }
+  struct stat st;
+  if (::fstat(fd, &st) != 0) {
+    const int err = errno;
+    ::close(fd);
+    return Status::Internal("fstat '" + path + "': " + std::strerror(err));
+  }
+  if (!S_ISREG(st.st_mode)) {
+    ::close(fd);
+    return Status::InvalidArgument("'" + path + "' is not a regular file");
+  }
+
+  MappedFile file;
+  file.size_ = static_cast<size_t>(st.st_size);
+  if (file.size_ > 0) {
+    void* addr =
+        ::mmap(nullptr, file.size_, PROT_READ, MAP_PRIVATE, fd, /*offset=*/0);
+    if (addr == MAP_FAILED) {
+      const int err = errno;
+      ::close(fd);
+      return Status::Internal("mmap '" + path + "': " + std::strerror(err));
+    }
+    file.data_ = static_cast<const uint8_t*>(addr);
+  }
+  // The mapping pins the file; the descriptor is no longer needed.
+  ::close(fd);
+  return file;
+}
+
+void MappedFile::AdviseSequential() const {
+  if (data_ == nullptr) return;
+  ::madvise(const_cast<uint8_t*>(data_), size_, MADV_SEQUENTIAL);
+}
+
+void MappedFile::Unmap() {
+  if (data_ != nullptr) {
+    ::munmap(const_cast<uint8_t*>(data_), size_);
+    data_ = nullptr;
+    size_ = 0;
+  }
+}
+
+}  // namespace dls

@@ -1,0 +1,64 @@
+#ifndef DLS_COMMON_MMAP_H_
+#define DLS_COMMON_MMAP_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+
+#include "common/status.h"
+
+namespace dls {
+
+/// A read-only memory-mapped file (RAII). The mapping is PROT_READ /
+/// MAP_PRIVATE: the kernel pages bytes in on first touch and may evict
+/// them under memory pressure — the property the segment serving path
+/// (ir/segment.h) leans on to serve corpora bigger than RAM with the
+/// page cache acting as a second cache tier.
+///
+/// Movable, not copyable. data() stays valid for the lifetime of the
+/// object, so long-lived borrowers (TextIndex's borrowed-bytes mode)
+/// keep a shared_ptr to the MappedFile alongside their raw views.
+class MappedFile {
+ public:
+  /// Maps `path` read-only. An empty file maps to {nullptr, 0}.
+  static Result<MappedFile> Open(const std::string& path);
+
+  MappedFile() = default;
+  ~MappedFile() { Unmap(); }
+
+  MappedFile(MappedFile&& other) noexcept
+      : data_(other.data_), size_(other.size_) {
+    other.data_ = nullptr;
+    other.size_ = 0;
+  }
+  MappedFile& operator=(MappedFile&& other) noexcept {
+    if (this != &other) {
+      Unmap();
+      data_ = other.data_;
+      size_ = other.size_;
+      other.data_ = nullptr;
+      other.size_ = 0;
+    }
+    return *this;
+  }
+  MappedFile(const MappedFile&) = delete;
+  MappedFile& operator=(const MappedFile&) = delete;
+
+  const uint8_t* data() const { return data_; }
+  size_t size() const { return size_; }
+
+  /// Hints the kernel that the whole mapping is about to be read front
+  /// to back (madvise MADV_SEQUENTIAL) — used by verifying loads,
+  /// which checksum every section in one pass.
+  void AdviseSequential() const;
+
+ private:
+  void Unmap();
+
+  const uint8_t* data_ = nullptr;
+  size_t size_ = 0;
+};
+
+}  // namespace dls
+
+#endif  // DLS_COMMON_MMAP_H_

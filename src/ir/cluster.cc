@@ -4,6 +4,7 @@
 #include <cassert>
 #include <queue>
 
+#include "common/strings.h"
 #include "common/thread_pool.h"
 #include "common/timer.h"
 #include "ir/accumulator.h"
@@ -76,6 +77,53 @@ void ClusterIndex::Finalize() {
     }
   }
   finalized_ = true;
+}
+
+std::string ClusterIndex::SegmentPath(const std::string& prefix, size_t node) {
+  return StrFormat("%s.node%zu.seg", prefix.c_str(), node);
+}
+
+Status ClusterIndex::FlushToDisk(const std::string& path_prefix) const {
+  if (!finalized_) {
+    return Status::InvalidArgument("FlushToDisk requires a finalized cluster");
+  }
+  for (size_t i = 0; i < nodes_.size(); ++i) {
+    DLS_RETURN_IF_ERROR(nodes_[i].index->FlushToDisk(SegmentPath(path_prefix, i)));
+  }
+  return Status::Ok();
+}
+
+Result<std::unique_ptr<ClusterIndex>> ClusterIndex::LoadFromSegments(
+    const std::vector<std::string>& paths, size_t num_fragments,
+    const SegmentLoadOptions& load_options) {
+  if (paths.empty()) {
+    return Status::InvalidArgument("LoadFromSegments needs at least one path");
+  }
+  auto cluster = std::unique_ptr<ClusterIndex>(
+      new ClusterIndex(paths.size(), num_fragments));
+  size_t total_docs = 0;
+  for (size_t i = 0; i < paths.size(); ++i) {
+    DLS_ASSIGN_OR_RETURN(cluster->nodes_[i].index,
+                         TextIndex::LoadFromSegment(paths[i], load_options));
+    total_docs += cluster->nodes_[i].index->flushed_document_count();
+  }
+  cluster->total_docs_ = total_docs;
+  // Finalize rebuilds fragmentation and the global df table; the
+  // per-node Flush() inside is a no-op on loaded (frozen) indexes.
+  cluster->Finalize();
+  return cluster;
+}
+
+size_t ClusterIndex::bytes_resident() const {
+  size_t bytes = 0;
+  for (const Node& node : nodes_) bytes += node.index->bytes_resident();
+  return bytes;
+}
+
+size_t ClusterIndex::bytes_mapped() const {
+  size_t bytes = 0;
+  for (const Node& node : nodes_) bytes += node.index->bytes_mapped();
+  return bytes;
 }
 
 ShardResult EvaluateShardQuery(const TextIndex& index,

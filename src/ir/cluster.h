@@ -192,6 +192,28 @@ class ClusterIndex {
       size_t max_fragments, ClusterQueryStats* stats = nullptr,
       const RankOptions& options = {}) const;
 
+  /// Writes every node's index as a segment file (ir/segment.h) named
+  /// SegmentPath(path_prefix, i). Requires a finalized cluster.
+  Status FlushToDisk(const std::string& path_prefix) const;
+
+  /// Restores a cluster from per-node segment files: each path loads
+  /// into one node (mmap-served, see TextIndex::LoadFromSegment),
+  /// fragmentation is rebuilt and the global statistics re-aggregated,
+  /// so Query() serves immediately — no document ever re-parsed. The
+  /// loaded cluster is frozen: AddDocument is a programming error.
+  static Result<std::unique_ptr<ClusterIndex>> LoadFromSegments(
+      const std::vector<std::string>& paths, size_t num_fragments,
+      const SegmentLoadOptions& load_options = {});
+
+  /// "<prefix>.node<i>.seg" — the naming convention FlushToDisk and
+  /// LoadFromSegments share.
+  static std::string SegmentPath(const std::string& prefix, size_t node);
+
+  /// Σ over nodes of TextIndex::bytes_resident() / bytes_mapped() —
+  /// the heap-vs-mmap footprint split the serving stats surface.
+  size_t bytes_resident() const;
+  size_t bytes_mapped() const;
+
  private:
   struct Node {
     std::unique_ptr<TextIndex> index;

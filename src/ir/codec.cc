@@ -44,11 +44,12 @@ void PackedPostingBlocks::Encode(const uint32_t* docs, const int32_t* tfs,
 
 size_t PackedPostingBlocks::DecodeBlock(size_t block, uint32_t* docs,
                                         int32_t* tfs) const {
-  assert(block < blocks_.size());
+  assert(block < num_blocks());
   const size_t begin = block * block_size_;
   const size_t n = begin + block_size_ < count_ ? block_size_ : count_ - begin;
 
-  const uint8_t* p = doc_bytes_.data() + blocks_[block].doc_begin;
+  const BlockOffsets* offsets = block_offsets();
+  const uint8_t* p = doc_stream() + offsets[block].doc_begin;
   uint32_t doc = 0;
   p = DecodeVarint(p, &doc);
   docs[0] = doc;
@@ -59,7 +60,7 @@ size_t PackedPostingBlocks::DecodeBlock(size_t block, uint32_t* docs,
     docs[i] = doc;
   }
 
-  const uint8_t* q = tf_bytes_.data() + blocks_[block].tf_begin;
+  const uint8_t* q = tf_stream() + offsets[block].tf_begin;
   for (size_t i = 0; i < n; ++i) {
     const uint8_t byte = *q++;
     if (byte < kTfEscape) {

@@ -53,13 +53,36 @@ inline const uint8_t* DecodeVarint(const uint8_t* p, uint32_t* value) {
 /// The packed form of one posting list: two byte streams (delta/varint
 /// doc ids, escape-coded tfs) plus per-block start offsets so any
 /// block decodes independently of the ones before it.
+///
+/// Storage has two modes sharing one read path:
+///   owned    — Encode() fills the internal vectors (the heap sidecar
+///              TextIndex::Flush() builds);
+///   borrowed — BorrowEncoded() points the same logical streams at
+///              externally owned bytes, e.g. an mmap'd segment file
+///              (ir/segment.h). Nothing is copied; the borrower must
+///              keep the backing storage alive and must have validated
+///              the bytes (offsets in range, streams well-formed) —
+///              the segment loader does both before handing views out.
+/// DecodeBlock() is identical either way, which is what makes mmap
+/// serving bit-identical to heap serving.
 class PackedPostingBlocks {
  public:
-  /// Discards any previous encoding.
+  struct BlockOffsets {
+    uint32_t doc_begin;  ///< offset of the block's first byte in the doc stream
+    uint32_t tf_begin;   ///< offset of the block's first byte in the tf stream
+  };
+
+  /// Discards any previous encoding (owned or borrowed).
   void Clear() {
     doc_bytes_.clear();
     tf_bytes_.clear();
     blocks_.clear();
+    doc_view_ = nullptr;
+    tf_view_ = nullptr;
+    blocks_view_ = nullptr;
+    doc_view_len_ = 0;
+    tf_view_len_ = 0;
+    num_blocks_view_ = 0;
     count_ = 0;
     block_size_ = 0;
   }
@@ -69,29 +92,83 @@ class PackedPostingBlocks {
   void Encode(const uint32_t* docs, const int32_t* tfs, size_t count,
               size_t block_size);
 
+  /// Points this object at an existing encoding owned elsewhere.
+  /// Replaces the previous encoding without copying a byte. The caller
+  /// guarantees the pointed-to storage outlives this object and that
+  /// the encoding is structurally valid for (`count`, `block_size`).
+  void BorrowEncoded(const uint8_t* doc_bytes, size_t doc_bytes_len,
+                     const uint8_t* tf_bytes, size_t tf_bytes_len,
+                     const BlockOffsets* blocks, size_t num_blocks,
+                     size_t count, size_t block_size) {
+    Clear();
+    doc_view_ = doc_bytes;
+    doc_view_len_ = doc_bytes_len;
+    tf_view_ = tf_bytes;
+    tf_view_len_ = tf_bytes_len;
+    blocks_view_ = blocks;
+    num_blocks_view_ = num_blocks;
+    count_ = count;
+    block_size_ = block_size;
+  }
+
   /// Decodes block `block` into `docs`/`tfs` (capacity >= the block
   /// size passed to Encode); returns the number of postings decoded
   /// (the last block may be ragged).
   size_t DecodeBlock(size_t block, uint32_t* docs, int32_t* tfs) const;
 
   size_t size() const { return count_; }
-  size_t num_blocks() const { return blocks_.size(); }
+  size_t num_blocks() const {
+    return borrowed() ? num_blocks_view_ : blocks_.size();
+  }
+  size_t block_size() const { return block_size_; }
 
-  /// Total bytes of the packed representation (payload + offsets).
+  /// True when the encoding lives in externally owned storage.
+  bool borrowed() const { return blocks_view_ != nullptr; }
+
+  // Raw views of the encoding, identical in both modes — what the
+  // segment writer serialises and the bench suite sizes.
+  const uint8_t* doc_stream() const {
+    return borrowed() ? doc_view_ : doc_bytes_.data();
+  }
+  size_t doc_stream_size() const {
+    return borrowed() ? doc_view_len_ : doc_bytes_.size();
+  }
+  const uint8_t* tf_stream() const {
+    return borrowed() ? tf_view_ : tf_bytes_.data();
+  }
+  size_t tf_stream_size() const {
+    return borrowed() ? tf_view_len_ : tf_bytes_.size();
+  }
+  const BlockOffsets* block_offsets() const {
+    return borrowed() ? blocks_view_ : blocks_.data();
+  }
+
+  /// Total bytes of the packed representation (payload + offsets),
+  /// wherever they live.
   size_t byte_size() const {
-    return doc_bytes_.size() + tf_bytes_.size() +
-           blocks_.size() * sizeof(BlockOffsets);
+    return doc_stream_size() + tf_stream_size() +
+           num_blocks() * sizeof(BlockOffsets);
+  }
+
+  /// Heap bytes owned by this object (0 in borrowed mode — the payload
+  /// is someone else's mapping). The bytes_resident()/bytes_mapped()
+  /// split reports through this.
+  size_t resident_byte_size() const {
+    return doc_bytes_.capacity() + tf_bytes_.capacity() +
+           blocks_.capacity() * sizeof(BlockOffsets);
   }
 
  private:
-  struct BlockOffsets {
-    uint32_t doc_begin;  ///< offset of the block's first byte in doc_bytes_
-    uint32_t tf_begin;   ///< offset of the block's first byte in tf_bytes_
-  };
-
   std::vector<uint8_t> doc_bytes_;
   std::vector<uint8_t> tf_bytes_;
   std::vector<BlockOffsets> blocks_;
+  // Borrowed-mode views (null when owned). See BorrowEncoded().
+  const uint8_t* doc_view_ = nullptr;
+  const uint8_t* tf_view_ = nullptr;
+  const BlockOffsets* blocks_view_ = nullptr;
+  size_t doc_view_len_ = 0;
+  size_t tf_view_len_ = 0;
+  size_t num_blocks_view_ = 0;
   size_t count_ = 0;
   size_t block_size_ = 0;
 };

@@ -6,6 +6,7 @@
 #include <cstdlib>
 #include <string_view>
 
+#include "common/mmap.h"
 #include "ir/accumulator.h"
 #include "ir/kernel.h"
 #include "ir/stemmer.h"
@@ -49,6 +50,8 @@ TermId TextIndex::InternTerm(const std::string& stem) {
 }
 
 DocId TextIndex::AddDocument(std::string_view url, std::string_view text) {
+  assert(segment_ == nullptr &&
+         "an index loaded from a segment is immutable");
   DocId doc = static_cast<DocId>(urls_.size());
   urls_.emplace_back(url);
   doc_lengths_.push_back(0);
@@ -96,6 +99,32 @@ void TextIndex::Flush() {
 void TextIndex::ReleaseUnpackedPostings() {
   assert(pending_.empty() && "Flush() before ReleaseUnpackedPostings()");
   for (PostingList& list : postings_) list.ReleaseUnpackedPayload();
+}
+
+size_t TextIndex::bytes_resident() const {
+  // Approximate: vector capacities plus string heap allocations (SSO
+  // strings counted at sizeof only) plus a flat per-entry estimate for
+  // the unordered_map nodes. Good to a few percent, which is all the
+  // heap-vs-mmap split needs.
+  auto string_bytes = [](const std::string& s) {
+    return sizeof(std::string) +
+           (s.capacity() > sizeof(std::string) ? s.capacity() : 0);
+  };
+  size_t bytes = 0;
+  for (const std::string& t : terms_) bytes += string_bytes(t);
+  for (const std::string& u : urls_) bytes += string_bytes(u);
+  bytes += term_ids_.size() * 64;  // node + bucket estimate
+  for (const PostingList& list : postings_) {
+    bytes += sizeof(PostingList) + list.resident_byte_size();
+  }
+  bytes += df_.capacity() * sizeof(int32_t);
+  bytes += doc_lengths_.capacity() * sizeof(int64_t);
+  bytes += inv_doc_lengths_.capacity() * sizeof(double);
+  return bytes;
+}
+
+size_t TextIndex::bytes_mapped() const {
+  return segment_ != nullptr ? segment_->size() : 0;
 }
 
 std::optional<TermId> TextIndex::LookupTerm(std::string_view stem) const {
@@ -148,7 +177,7 @@ std::vector<ScoredDoc> TextIndex::RankTopN(
           TermWeight(df_[terms[i]], collection_length_, options), i});
     }
     // (score desc, doc asc): the deterministic ranking contract.
-    return WandTopN(wand_terms, inv_doc_lengths_.data(), max_inv_doc_length_,
+    return WandTopN(wand_terms, inv_doc_length_data(), max_inv_doc_length_,
                     n, /*initial_threshold=*/0.0,
                     [](DocId a, DocId b) { return a < b; }, options.kernel,
                     /*stats=*/nullptr);
@@ -159,7 +188,7 @@ std::vector<ScoredDoc> TextIndex::RankTopN(
   for (TermId term : terms) {
     ScorePostingList(postings_[term],
                      TermWeight(df_[term], collection_length_, options),
-                     inv_doc_lengths_.data(), options.kernel, &scores);
+                     inv_doc_length_data(), options.kernel, &scores);
   }
   // (score desc, doc asc): the deterministic ranking contract.
   return scores.ExtractTopN(n);

@@ -2,6 +2,7 @@
 #define DLS_IR_INDEX_H_
 
 #include <cstdint>
+#include <memory>
 #include <optional>
 #include <string>
 #include <string_view>
@@ -10,6 +11,10 @@
 
 #include "common/status.h"
 #include "ir/postings.h"
+
+namespace dls {
+class MappedFile;
+}  // namespace dls
 
 namespace dls::ir {
 
@@ -58,6 +63,21 @@ inline constexpr ScoreKernel kCompiledScoreKernel = ScoreKernel::kPacked;
 #else
 inline constexpr ScoreKernel kCompiledScoreKernel = ScoreKernel::kBlock;
 #endif
+
+/// How LoadFromSegment treats the file's payload sections.
+struct SegmentLoadOptions {
+  /// Verify every section checksum and structurally validate the
+  /// packed streams (offsets in range, varints well-formed, doc ids
+  /// ascending and < doc_count, block metadata consistent) before any
+  /// byte is served. One sequential pass over the file — still orders
+  /// of magnitude cheaper than a rebuild (bench_segment measures it).
+  /// Turning this off skips the *payload* passes (header, section
+  /// table and metadata sections are always validated) so load time
+  /// and initial page-ins stay O(metadata) for corpora bigger than
+  /// RAM; only do that for files you trust — an unvalidated hostile
+  /// payload can make the block decoder read out of bounds.
+  bool verify = true;
+};
 
 /// Runtime default for RankOptions::kernel: the DLS_KERNEL environment
 /// variable ("scalar" | "block" | "packed") when set and valid, else
@@ -149,6 +169,40 @@ class TextIndex {
   /// debug builds).
   void ReleaseUnpackedPostings();
 
+  /// Serialises the frozen index (Flush()ed, so every list is packed)
+  /// into the versioned segment file format of ir/segment.h:
+  /// checksummed sections holding the term dictionary, document
+  /// tables, per-block offsets/metadata and the packed delta/varint
+  /// streams. The file round-trips bit-exactly: LoadFromSegment()
+  /// serves the identical rankings. Works on released and on loaded
+  /// indexes too (re-save), since only the packed sidecar is written.
+  Status FlushToDisk(const std::string& path) const;
+
+  /// Maps a segment written by FlushToDisk() and serves straight from
+  /// the mapping: posting payloads, block offsets/metadata and the
+  /// per-document length tables stay in the file (borrowed-bytes mode,
+  /// see PostingList::AdoptPackedView); only the term dictionary and
+  /// URL table are materialised on the heap. The loaded index is
+  /// frozen: AddDocument/Flush are programming errors (assert).
+  /// Corrupt or truncated files are rejected with kCorruption (or
+  /// kUnsupported for a format this build cannot read) before any
+  /// byte is trusted.
+  static Result<std::unique_ptr<TextIndex>> LoadFromSegment(
+      const std::string& path, const SegmentLoadOptions& load_options = {});
+
+  /// True when this index serves from an mmap'd segment.
+  bool loaded_from_segment() const { return segment_ != nullptr; }
+
+  /// Approximate heap footprint of the index structures this object
+  /// owns (posting payloads until released, packed sidecars, term and
+  /// URL tables, document stats). Borrowed segment bytes are excluded.
+  size_t bytes_resident() const;
+  /// Bytes of the backing segment mapping (0 for heap-built indexes).
+  /// Resident-on-demand: the kernel pages them in on first touch and
+  /// may evict them under pressure, so bytes_mapped() is a ceiling,
+  /// not a working-set measurement.
+  size_t bytes_mapped() const;
+
   /// Normalises a raw query word the same way indexing does. Returns
   /// nullopt for stopwords.
   std::optional<std::string> NormalizeWord(std::string_view word) const;
@@ -176,14 +230,23 @@ class TextIndex {
   const PostingList& postings(TermId t) const { return postings_[t]; }
 
   /// Total number of indexed term occurrences in a document.
-  int64_t doc_length(DocId d) const { return doc_lengths_[d]; }
+  int64_t doc_length(DocId d) const { return doc_length_data()[d]; }
   /// Σ over documents of doc_length.
   int64_t collection_length() const { return collection_length_; }
 
+  /// Per-document lengths; points into the segment mapping for a
+  /// loaded index, into the heap vector otherwise.
+  const int64_t* doc_length_data() const {
+    return doc_lengths_view_ != nullptr ? doc_lengths_view_
+                                        : doc_lengths_.data();
+  }
   /// Precomputed 1/doc_length per document (0 for empty documents):
   /// the scoring kernel multiplies instead of dividing per posting.
-  const double* inv_doc_length_data() const { return inv_doc_lengths_.data(); }
-  double inv_doc_length(DocId d) const { return inv_doc_lengths_[d]; }
+  const double* inv_doc_length_data() const {
+    return inv_doc_lengths_view_ != nullptr ? inv_doc_lengths_view_
+                                            : inv_doc_lengths_.data();
+  }
+  double inv_doc_length(DocId d) const { return inv_doc_length_data()[d]; }
   /// Largest 1/doc_length of any flushed document — equivalently the
   /// reciprocal of the shortest document; the WAND score upper bounds
   /// are evaluated at this point.
@@ -222,10 +285,17 @@ class TextIndex {
   std::vector<int32_t> df_;            // IDF source
   std::vector<int64_t> doc_lengths_;
   std::vector<double> inv_doc_lengths_;  // 1/doc_length (kernel input)
+  /// Borrowed per-document tables of a loaded index: they point into
+  /// segment_'s mapping and the heap vectors above stay empty.
+  const int64_t* doc_lengths_view_ = nullptr;
+  const double* inv_doc_lengths_view_ = nullptr;
   double max_inv_doc_length_ = 0.0;      // 1/min doc_length (WAND bounds)
   int64_t collection_length_ = 0;
   size_t flushed_docs_ = 0;
   uint64_t mutation_epoch_ = 0;
+  /// Keeps the mmap'd segment alive for every borrowed view above and
+  /// in the posting lists. Null for heap-built indexes.
+  std::shared_ptr<MappedFile> segment_;
 
   /// Buffered (doc, term -> tf) counts awaiting Flush().
   struct PendingDoc {

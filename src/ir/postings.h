@@ -85,8 +85,17 @@ class PostingList {
   /// Largest tf anywhere in the list (the term-level score bound).
   int32_t max_tf() const { return max_tf_; }
 
-  size_t num_blocks() const { return meta_.size(); }
-  const PostingBlockMeta& block_meta(size_t b) const { return meta_[b]; }
+  size_t num_blocks() const {
+    return meta_view_ != nullptr ? packed_.num_blocks() : meta_.size();
+  }
+  const PostingBlockMeta& block_meta(size_t b) const {
+    return meta_view_ != nullptr ? meta_view_[b] : meta_[b];
+  }
+  /// The contiguous block-metadata array (what the segment writer
+  /// serialises); null when the list has no blocks.
+  const PostingBlockMeta* block_meta_data() const {
+    return meta_view_ != nullptr ? meta_view_ : meta_.data();
+  }
   static constexpr size_t block_begin(size_t b) {
     return b * kPostingBlockSize;
   }
@@ -101,7 +110,7 @@ class PostingList {
   /// matching sizes imply matching contents). TextIndex::Flush() packs
   /// every touched list, keeping frozen indexes packed by default.
   void Pack() {
-    if (packed_.size() == docs_.size()) return;
+    if (released_ || packed_.size() == docs_.size()) return;
     packed_.Encode(docs_.data(), tfs_.data(), docs_.size(),
                    kPostingBlockSize);
   }
@@ -130,6 +139,36 @@ class PostingList {
   /// True once ReleaseUnpackedPayload() dropped the SoA arrays.
   bool payload_released() const { return released_; }
 
+  /// Points this list at a packed encoding and block metadata owned
+  /// elsewhere — the borrowed-bytes mode of the segment loader
+  /// (ir/segment.h): `meta` and the packed streams live inside an
+  /// mmap'd file that the owning TextIndex keeps alive. The list
+  /// behaves exactly like one that was packed and released on the heap
+  /// (payload_released() is true, every ranking path reads through
+  /// DecodePackedBlock()), so mmap serving is bit-identical by
+  /// construction. The caller must have validated the encoding; the
+  /// segment loader rejects the file with kCorruption before any view
+  /// is handed out.
+  void AdoptPackedView(const PostingBlockMeta* meta, size_t num_blocks,
+                       const PackedPostingBlocks::BlockOffsets* offsets,
+                       const uint8_t* doc_bytes, size_t doc_bytes_len,
+                       const uint8_t* tf_bytes, size_t tf_bytes_len,
+                       size_t count, int32_t max_tf) {
+    assert(docs_.empty() && "AdoptPackedView on a non-empty list");
+    packed_.BorrowEncoded(doc_bytes, doc_bytes_len, tf_bytes, tf_bytes_len,
+                          offsets, num_blocks, count, kPostingBlockSize);
+    meta_view_ = meta;
+    max_tf_ = max_tf;
+    released_ = true;
+  }
+
+  /// Access to the packed sidecar (the segment writer serialises its
+  /// raw streams). Requires is_packed().
+  const PackedPostingBlocks& packed_blocks() const {
+    assert(is_packed());
+    return packed_;
+  }
+
   /// Bytes of the uncompressed SoA payload for size accounting (the
   /// logical size — reported even after the payload was released).
   size_t unpacked_byte_size() const {
@@ -137,6 +176,19 @@ class PostingList {
   }
   /// Bytes of the packed encoding (0 until Pack()).
   size_t packed_byte_size() const { return packed_.byte_size(); }
+  /// Heap bytes this list owns right now: the SoA arrays until
+  /// released, owned packed streams and block metadata — borrowed
+  /// views (mmap'd segments) count as 0 here and show up in the owning
+  /// index's bytes_mapped() instead.
+  size_t resident_byte_size() const {
+    size_t bytes = packed_.resident_byte_size() +
+                   meta_.capacity() * sizeof(PostingBlockMeta);
+    if (!released_) {
+      bytes += docs_.capacity() * sizeof(DocId) +
+               tfs_.capacity() * sizeof(int32_t);
+    }
+    return bytes;
+  }
 
   class ConstIterator {
    public:
@@ -167,6 +219,8 @@ class PostingList {
   std::vector<DocId> docs_;
   std::vector<int32_t> tfs_;
   std::vector<PostingBlockMeta> meta_;
+  /// Borrowed block metadata (AdoptPackedView); null when meta_ owns it.
+  const PostingBlockMeta* meta_view_ = nullptr;
   PackedPostingBlocks packed_;
   int32_t max_tf_ = 0;
   bool released_ = false;

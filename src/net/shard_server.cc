@@ -17,6 +17,19 @@ uint32_t ShardServer::AddNode(const ir::TextIndex* index,
   return static_cast<uint32_t>(nodes_.size() - 1);
 }
 
+Result<uint32_t> ShardServer::AddNodeFromSegment(
+    const std::string& path, size_t num_fragments,
+    const ir::SegmentLoadOptions& load_options) {
+  DLS_ASSIGN_OR_RETURN(std::unique_ptr<ir::TextIndex> index,
+                       ir::TextIndex::LoadFromSegment(path, load_options));
+  auto fragments =
+      std::make_unique<ir::FragmentedIndex>(index.get(), num_fragments);
+  const uint32_t id = AddNode(index.get(), fragments.get());
+  owned_indexes_.push_back(std::move(index));
+  owned_fragments_.push_back(std::move(fragments));
+  return id;
+}
+
 Result<std::vector<uint8_t>> ShardServer::HandleFrame(
     const std::vector<uint8_t>& frame) const {
   MessageType type;

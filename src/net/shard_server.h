@@ -2,6 +2,8 @@
 #define DLS_NET_SHARD_SERVER_H_
 
 #include <cstdint>
+#include <memory>
+#include <string>
 #include <vector>
 
 #include "common/status.h"
@@ -35,6 +37,15 @@ class ShardServer : public FrameServer {
   uint32_t AddNode(const ir::TextIndex* index,
                    const ir::FragmentedIndex* fragments);
 
+  /// Cold-start path: loads a segment file (ir/segment.h) straight
+  /// into the next node id — mmap-served, no rebuild, so a shard
+  /// process restart is bounded by segment validation, not indexing.
+  /// The server owns the loaded index and its fragmentation. Returns
+  /// the node id, or the loader's kCorruption/kUnsupported error.
+  Result<uint32_t> AddNodeFromSegment(
+      const std::string& path, size_t num_fragments,
+      const ir::SegmentLoadOptions& load_options = {});
+
   size_t num_nodes() const { return nodes_.size(); }
 
   Result<std::vector<uint8_t>> HandleFrame(
@@ -47,6 +58,11 @@ class ShardServer : public FrameServer {
   };
 
   std::vector<Node> nodes_;
+  /// Storage behind AddNodeFromSegment nodes (AddNode nodes stay
+  /// caller-owned). Never shrinks while the server lives, so the raw
+  /// pointers in nodes_ stay valid.
+  std::vector<std::unique_ptr<ir::TextIndex>> owned_indexes_;
+  std::vector<std::unique_ptr<ir::FragmentedIndex>> owned_fragments_;
 };
 
 }  // namespace dls::net

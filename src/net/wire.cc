@@ -405,6 +405,8 @@ std::vector<uint8_t> EncodeServeStatsResponse(
   w.Varint64(response.batched_queries);
   w.Varint64(response.queue_depth);
   w.Varint64(response.epoch);
+  w.Varint64(response.bytes_resident);
+  w.Varint64(response.bytes_mapped);
   w.Varint64(response.latency_count);
   w.F64(response.latency_mean_us);
   w.Varint64(response.latency_p50_us);
@@ -583,6 +585,8 @@ Result<ServeStatsResponse> DecodeServeStatsResponse(const uint8_t* body,
   response.batched_queries = r.Varint64();
   response.queue_depth = r.Varint64();
   response.epoch = r.Varint64();
+  response.bytes_resident = r.Varint64();
+  response.bytes_mapped = r.Varint64();
   response.latency_count = r.Varint64();
   response.latency_mean_us = r.F64();
   response.latency_p50_us = r.Varint64();

@@ -182,6 +182,8 @@ struct ServeStatsResponse {
   uint64_t batched_queries = 0;
   uint64_t queue_depth = 0;
   uint64_t epoch = 0;
+  uint64_t bytes_resident = 0;
+  uint64_t bytes_mapped = 0;
   uint64_t latency_count = 0;
   double latency_mean_us = 0;
   uint64_t latency_p50_us = 0;

@@ -42,6 +42,13 @@ class Backend {
       const std::vector<std::vector<std::string>>& queries, size_t n,
       size_t max_fragments, ir::ClusterQueryStats* stats,
       const ir::RankOptions& options) const = 0;
+
+  /// Index footprint split (ir::ClusterIndex::bytes_resident/_mapped):
+  /// heap bytes vs mmap'd segment bytes. Defaults to 0/0 for backends
+  /// that cannot see their index memory (a remote cluster's footprint
+  /// lives in the shard processes).
+  virtual uint64_t BytesResident() const { return 0; }
+  virtual uint64_t BytesMapped() const { return 0; }
 };
 
 /// Adapter over the in-process cluster. Batches evaluate as a
@@ -68,6 +75,11 @@ class LocalBackend final : public Backend {
       const std::vector<std::vector<std::string>>& queries, size_t n,
       size_t max_fragments, ir::ClusterQueryStats* stats,
       const ir::RankOptions& options) const override;
+
+  uint64_t BytesResident() const override {
+    return cluster_->bytes_resident();
+  }
+  uint64_t BytesMapped() const override { return cluster_->bytes_mapped(); }
 
  private:
   const ir::ClusterIndex* cluster_;

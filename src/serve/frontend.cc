@@ -321,6 +321,8 @@ ServeStats Frontend::Stats() const {
     stats.queue_depth = queue_.size();
   }
   stats.epoch = backend_->Epoch();
+  stats.bytes_resident = backend_->BytesResident();
+  stats.bytes_mapped = backend_->BytesMapped();
   stats.latency = latency_.TakeSnapshot();
   return stats;
 }

@@ -65,6 +65,8 @@ Result<std::vector<uint8_t>> FrontendServer::HandleFrame(
       response.batched_queries = stats.batched_queries;
       response.queue_depth = stats.queue_depth;
       response.epoch = stats.epoch;
+      response.bytes_resident = stats.bytes_resident;
+      response.bytes_mapped = stats.bytes_mapped;
       response.latency_count = stats.latency.count;
       response.latency_mean_us = stats.latency.mean;
       response.latency_p50_us = stats.latency.p50;

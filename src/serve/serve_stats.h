@@ -38,6 +38,10 @@ struct ServeStats {
   uint64_t queue_depth = 0;  ///< queued requests at sample time
   uint64_t epoch = 0;        ///< backend mutation epoch at sample time
 
+  // ---- index footprint (Backend::BytesResident/BytesMapped) --------
+  uint64_t bytes_resident = 0;  ///< heap bytes of the backing index
+  uint64_t bytes_mapped = 0;    ///< mmap'd segment bytes (0 = heap-built)
+
   /// Admission-to-completion latency of completed requests
   /// (microseconds; shed requests are not recorded — shedding is the
   /// mechanism that keeps this distribution bounded).

@@ -1,0 +1,68 @@
+#include "synth/corpus.h"
+
+#include <cassert>
+
+#include "common/strings.h"
+
+namespace dls::synth {
+
+SyntheticCorpus::SyntheticCorpus(const CorpusSpec& spec)
+    : spec_(spec), sampler_(spec.vocabulary, spec.zipf_theta) {
+  assert(spec.vocabulary > 0);
+  words_.reserve(spec_.vocabulary);
+  for (size_t r = 0; r < spec_.vocabulary; ++r) {
+    // Stable, stem/stop-neutral tokens: "tNNNNN" lower-cases to itself
+    // and survives the Porter stemmer unchanged, so the indexed
+    // vocabulary equals the generated one under any normalisation.
+    words_.push_back(StrFormat("t%05zu", r));
+  }
+}
+
+Rng SyntheticCorpus::DocRng(size_t doc) const {
+  // Seed-mixing keeps per-document streams independent of iteration
+  // order (splitmix inside Rng decorrelates nearby seeds).
+  return Rng(spec_.seed * 0x9e3779b97f4a7c15ULL + doc);
+}
+
+std::string SyntheticCorpus::Url(size_t doc) const {
+  return StrFormat("synth://corpus/%llu/%zu",
+                   static_cast<unsigned long long>(spec_.seed), doc);
+}
+
+std::string SyntheticCorpus::Body(size_t doc) const {
+  Rng rng = DocRng(doc);
+  std::string body;
+  body.reserve(spec_.words_per_doc * 8);
+  for (size_t w = 0; w < spec_.words_per_doc; ++w) {
+    if (w > 0) body.push_back(' ');
+    body += words_[sampler_.Sample(&rng)];
+  }
+  return body;
+}
+
+void SyntheticCorpus::ForEach(
+    size_t begin, size_t end,
+    const std::function<void(size_t, const std::string&, const std::string&)>&
+        fn) const {
+  for (size_t doc = begin; doc < end; ++doc) {
+    fn(doc, Url(doc), Body(doc));
+  }
+}
+
+std::vector<std::string> SyntheticCorpus::Query(uint64_t id,
+                                                size_t terms) const {
+  // A distinct seed stream from the documents' (offset by a constant),
+  // so query ids never alias document contents.
+  Rng rng(spec_.seed * 0x9e3779b97f4a7c15ULL + 0x517cc1b727220a95ULL + id);
+  std::vector<std::string> query;
+  query.reserve(terms);
+  while (query.size() < terms && query.size() < spec_.vocabulary) {
+    const std::string& word = words_[sampler_.Sample(&rng)];
+    bool seen = false;
+    for (const std::string& q : query) seen = seen || q == word;
+    if (!seen) query.push_back(word);
+  }
+  return query;
+}
+
+}  // namespace dls::synth

@@ -1,0 +1,72 @@
+#ifndef DLS_SYNTH_CORPUS_H_
+#define DLS_SYNTH_CORPUS_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "common/rng.h"
+
+namespace dls::synth {
+
+/// Shape of a deterministic synthetic text corpus. Everything derives
+/// from `seed`, so CI regenerates the corpus from five numbers instead
+/// of storing a multi-hundred-megabyte artifact — the million-doc
+/// scale bench_segment runs at exists only transiently.
+struct CorpusSpec {
+  uint64_t seed = 42;
+  size_t documents = 1'000'000;
+  size_t words_per_doc = 40;   ///< exact count, not a mean
+  size_t vocabulary = 2'000;   ///< distinct words, Zipf-ranked
+  double zipf_theta = 1.1;     ///< natural-language frequency skew
+};
+
+/// A deterministic synthetic corpus, addressable by document id.
+///
+/// Each document's words are drawn from a per-document RNG seeded by
+/// (spec.seed, doc), so document `d` has identical contents whether the
+/// corpus is streamed front to back, sharded across builders, or a
+/// single document is regenerated in isolation — the property that
+/// lets a test re-derive exactly what a million-doc build indexed.
+///
+/// Doubles as the open-loop load generator of bench_serve: Query()
+/// draws deterministic query term sets from the same vocabulary with
+/// an id-seeded RNG, so an offered-load schedule is reproducible too.
+class SyntheticCorpus {
+ public:
+  explicit SyntheticCorpus(const CorpusSpec& spec);
+
+  const CorpusSpec& spec() const { return spec_; }
+
+  /// Canonical URL of document `doc`.
+  std::string Url(size_t doc) const;
+
+  /// Body of document `doc`: spec.words_per_doc space-separated words.
+  std::string Body(size_t doc) const;
+
+  /// Streams documents [begin, end) through `fn(doc, url, body)` —
+  /// the indexing loop of bench_segment without materialising
+  /// hundreds of megabytes of text.
+  void ForEach(size_t begin, size_t end,
+               const std::function<void(size_t, const std::string&,
+                                        const std::string&)>& fn) const;
+
+  /// Deterministic query `id`: `terms` distinct words, Zipf-drawn from
+  /// the corpus vocabulary (so query skew matches document skew).
+  std::vector<std::string> Query(uint64_t id, size_t terms) const;
+
+  const std::string& word(size_t rank) const { return words_[rank]; }
+
+ private:
+  Rng DocRng(size_t doc) const;
+
+  CorpusSpec spec_;
+  std::vector<std::string> words_;  ///< rank-ordered vocabulary
+  ZipfSampler sampler_;
+};
+
+}  // namespace dls::synth
+
+#endif  // DLS_SYNTH_CORPUS_H_

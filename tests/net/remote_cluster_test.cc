@@ -2,6 +2,7 @@
 
 #include <gtest/gtest.h>
 
+#include <cstdio>
 #include <cstring>
 #include <memory>
 #include <string>
@@ -313,6 +314,48 @@ TEST(RemoteClusterTest, NonDefaultNormalizationStaysBitIdentical) {
   }
   EXPECT_EQ(remote.global_df("the"), cluster.global_df("the"));
   EXPECT_EQ(remote.global_df("running"), cluster.global_df("running"));
+}
+
+// Cold start from disk: shards hosted via AddNodeFromSegment (mmap,
+// no heap rebuild) must be indistinguishable on the wire from shards
+// wrapping the live in-process indexes they were flushed from.
+TEST(RemoteClusterTest, SegmentLoadedShardsServeBitIdentically) {
+  LoopbackCluster fx(3, 4, 120, 9);
+  ASSERT_TRUE(fx.remote->Connect().ok());
+
+  const std::string prefix = testing::TempDir() + "remote_cluster_segments";
+  ASSERT_TRUE(fx.cluster.FlushToDisk(prefix).ok());
+
+  ShardServer loaded_server;
+  std::vector<std::unique_ptr<LoopbackTransport>> transports;
+  std::vector<RemoteClusterIndex::Shard> shards;
+  std::vector<std::string> paths;
+  for (size_t i = 0; i < 3; ++i) {
+    paths.push_back(ir::ClusterIndex::SegmentPath(prefix, i));
+    Result<uint32_t> id = loaded_server.AddNodeFromSegment(paths[i], 4);
+    ASSERT_TRUE(id.ok()) << id.status().ToString();
+    EXPECT_EQ(id.value(), static_cast<uint32_t>(i));
+    transports.push_back(
+        std::make_unique<LoopbackTransport>(loaded_server.Handler()));
+    shards.push_back({transports[i].get(), static_cast<uint32_t>(i)});
+  }
+  RemoteClusterIndex loaded_remote(std::move(shards));
+  ASSERT_TRUE(loaded_remote.Connect().ok());
+  EXPECT_EQ(loaded_remote.document_count(), fx.cluster.document_count());
+  EXPECT_EQ(loaded_remote.global_collection_length(),
+            fx.cluster.global_collection_length());
+
+  for (bool prune : {false, true}) {
+    ir::RankOptions options;
+    options.prune = prune;
+    for (const auto& query : kQueries) {
+      ExpectSameRanking(loaded_remote.Query(query, 10, 4, nullptr, options),
+                        fx.cluster.Query(query, 10, 4, nullptr, options));
+    }
+  }
+  // A missing segment is a startup error, not a crash.
+  EXPECT_FALSE(loaded_server.AddNodeFromSegment(prefix + ".nope", 4).ok());
+  for (const std::string& p : paths) std::remove(p.c_str());
 }
 
 // A cluster whose shards disagree on the normalisation pipeline cannot

@@ -279,6 +279,8 @@ TEST(WireTest, ServeStatsRoundTrip) {
   response.batched_queries = 12;
   response.queue_depth = 13;
   response.epoch = kVarint64Boundaries[8];
+  response.bytes_resident = kVarint64Boundaries[5];
+  response.bytes_mapped = kVarint64Boundaries[4];
   response.latency_count = 14;
   response.latency_mean_us = kTrickyDoubles[3];
   response.latency_p50_us = 15;
@@ -305,6 +307,8 @@ TEST(WireTest, ServeStatsRoundTrip) {
   EXPECT_EQ(decoded.value().batched_queries, response.batched_queries);
   EXPECT_EQ(decoded.value().queue_depth, response.queue_depth);
   EXPECT_EQ(decoded.value().epoch, response.epoch);
+  EXPECT_EQ(decoded.value().bytes_resident, response.bytes_resident);
+  EXPECT_EQ(decoded.value().bytes_mapped, response.bytes_mapped);
   EXPECT_EQ(decoded.value().latency_count, response.latency_count);
   EXPECT_EQ(Bits(decoded.value().latency_mean_us),
             Bits(response.latency_mean_us));

@@ -9,6 +9,7 @@
 
 #include <chrono>
 #include <condition_variable>
+#include <cstdio>
 #include <functional>
 #include <future>
 #include <memory>
@@ -539,6 +540,48 @@ TEST(FrontendTest, RemoteBackendStaysBitIdenticalAndCaches) {
       ExpectIdentical(again.results, expected, q);
     }
   }
+}
+
+// An operator watching ServeStats must be able to tell heap from
+// mapped memory: a heap-built cluster reports zero mapped bytes; one
+// cold-started from segment files reports the mapping and answers
+// identically.
+TEST(FrontendTest, StatsSplitResidentFromMappedBytes) {
+  ir::ClusterIndex cluster(2, 4);
+  BuildCorpus(&cluster, 200, 131);
+  LocalBackend heap_backend(&cluster);
+  Frontend heap_frontend(&heap_backend);
+  const ServeStats heap_stats = heap_frontend.Stats();
+  EXPECT_GT(heap_stats.bytes_resident, 0u);
+  EXPECT_EQ(heap_stats.bytes_mapped, 0u);
+
+  const std::string prefix = testing::TempDir() + "frontend_segments";
+  ASSERT_TRUE(cluster.FlushToDisk(prefix).ok());
+  std::vector<std::string> paths;
+  for (size_t i = 0; i < 2; ++i) {
+    paths.push_back(ir::ClusterIndex::SegmentPath(prefix, i));
+  }
+  Result<std::unique_ptr<ir::ClusterIndex>> loaded =
+      ir::ClusterIndex::LoadFromSegments(paths, 4);
+  ASSERT_TRUE(loaded.ok()) << loaded.status().ToString();
+
+  LocalBackend backend(loaded.value().get());
+  Frontend frontend(&backend);
+  const ServeStats stats = frontend.Stats();
+  EXPECT_GT(stats.bytes_mapped, 0u);
+  EXPECT_GT(stats.bytes_resident, 0u);
+  EXPECT_LT(stats.bytes_resident, heap_stats.bytes_resident);
+
+  auto queries = SeededQueries(5, 132);
+  for (size_t q = 0; q < queries.size(); ++q) {
+    SearchQuery query;
+    query.words = queries[q];
+    query.max_fragments = 4;
+    SearchResult got = frontend.Search(query);
+    ASSERT_TRUE(got.status.ok()) << got.status.message();
+    ExpectIdentical(got.results, cluster.Query(queries[q], 10, 4), q);
+  }
+  for (const std::string& p : paths) std::remove(p.c_str());
 }
 
 TEST(FrontendTest, StopShedsNewSearchesAndIsIdempotent) {
