@@ -20,6 +20,11 @@ A metric fails the gate when it regresses by more than --threshold
                        by an order of magnitude (the ratio is machine-
                        independent enough to gate; the raw seconds are
                        not, so they stay ungated)
+  speedups.prune_vs_block  floor of 1.0 — the auto-planned pruned
+                       evaluation must win wall-clock against the
+                       exhaustive block scan, not just touch fewer
+                       postings. A timing ratio, so a miss is
+                       retryable like the other timing gates.
   exact.*              must be true — a bit-identity miss is never a
                        timing artefact (for bench_serve this covers
                        bit_identical, p99_within_deadline,
@@ -71,6 +76,10 @@ SHED_RATE_FLOOR = 0.02
 # magnitude, or persistence is not paying its way.
 DISK_BYTES_PER_POSTING_CEILING = 3.0
 LOAD_SPEEDUP_FLOOR = 10.0
+# Pruning must pay for itself in wall-clock, not only in work counters.
+# A timing ratio (both sides measured in the same run), so a miss is
+# retryable, unlike the deterministic floors above.
+PRUNE_VS_BLOCK_FLOOR = 1.0
 
 # Re-runs allowed when only timing ratios regressed (noise is one-sided:
 # contention can't make a run faster, so one clean attempt is decisive).
@@ -166,6 +175,12 @@ def compare(name, baseline, fresh, threshold):
         hard.append(
             f"{name}: cold_start.speedup_load_vs_rebuild {speedup:.1f}x "
             f"below the {LOAD_SPEEDUP_FLOOR:.0f}x floor")
+    prune_speedup = fresh_flat.get("speedups.prune_vs_block")
+    if prune_speedup is not None and prune_speedup < PRUNE_VS_BLOCK_FLOOR:
+        timing.append(
+            f"{name}: speedups.prune_vs_block {prune_speedup:.3f} below "
+            f"the {PRUNE_VS_BLOCK_FLOOR:.1f} floor — pruning lost "
+            f"wall-clock to the exhaustive scan")
     return timing, hard
 
 

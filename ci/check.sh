@@ -56,7 +56,7 @@ tsan() {
   ./build-tsan/tests/dls_serve_tests
   echo "== TSan: concurrency suites with the packed kernel =="
   DLS_KERNEL=packed ./build-tsan/tests/dls_ir_tests \
-    --gtest_filter='ParallelQuery*:Codec*:Kernel*:Wand*:SharedThreshold*:Segment*'
+    --gtest_filter='ParallelQuery*:Codec*:Kernel*:Wand*:SharedThreshold*:Segment*:Strategy*:Hybrid*'
   DLS_KERNEL=packed ./build-tsan/tests/dls_net_tests \
     --gtest_filter='TcpTest*:RemoteClusterTest*'
   DLS_KERNEL=packed ./build-tsan/tests/dls_serve_tests \

@@ -145,10 +145,12 @@ ShardResult EvaluateShardQuery(const TextIndex& index,
   // terms behind the fragment cut-off. Scoring uses *global* term
   // statistics (df, collection length) so the local rankings merge into
   // the exact global ranking.
-  std::vector<TermId> terms;
-  std::vector<double> weights;
-  terms.reserve(stems.size());
-  weights.reserve(stems.size());
+  // Scoring (the weight) *and* the canonical evaluation order / cost
+  // model (the df) both use the global statistics — every node must
+  // partition and order the query identically or the per-document
+  // summation orders would diverge across nodes and strategies.
+  std::vector<EvalTerm> eval_terms;
+  eval_terms.reserve(stems.size());
   result.stem_evaluated.assign(stems.size(), true);
   for (size_t i = 0; i < stems.size(); ++i) {
     std::optional<TermId> term = index.LookupTerm(stems[i]);
@@ -157,41 +159,35 @@ ShardResult EvaluateShardQuery(const TextIndex& index,
       continue;
     }
     if (!term) continue;  // unknown locally; may match on other nodes
-    terms.push_back(*term);
-    weights.push_back(TermWeight(query.stem_global_df[i],
-                                 query.collection_length, options));
+    eval_terms.push_back(
+        EvalTerm{&index.postings(*term),
+                 TermWeight(query.stem_global_df[i], query.collection_length,
+                            options),
+                 query.stem_global_df[i]});
   }
 
   // Local selection uses the same (score desc, url asc) order as the
   // central merge, so the node ships exactly the tuples the merge
   // needs — tie-breaks cannot depend on node-local doc numbering.
-  auto url_less = [&index](DocId a, DocId b) {
-    return index.url(a) < index.url(b);
-  };
+  // ErasedTieLess keeps the call on the hot pre-instantiated
+  // evaluators; the indirection only runs on heap tie decisions.
+  const ErasedTieLess url_less{
+      [](const void* ctx, DocId a, DocId b) {
+        const TextIndex& idx = *static_cast<const TextIndex*>(ctx);
+        return idx.url(a) < idx.url(b);
+      },
+      &index};
 
-  std::vector<ScoredDoc> local;
-  if (options.prune) {
-    std::vector<WandTerm> wand_terms;
-    wand_terms.reserve(terms.size());
-    for (size_t i = 0; i < terms.size(); ++i) {
-      wand_terms.push_back(WandTerm{&index.postings(terms[i]), weights[i], i});
-    }
-    WandStats wand_stats;
-    local = WandTopN(wand_terms, index.inv_doc_length_data(),
-                     index.max_inv_doc_length(), query.n, query.threshold,
-                     url_less, options.kernel, &wand_stats, shared_theta);
-    result.postings_touched = wand_stats.postings_touched;
-    result.blocks_skipped = wand_stats.blocks_skipped;
-  } else {
-    ScoreAccumulator& scores = ScoreAccumulator::ThreadLocal();
-    scores.Reset(index.document_count());
-    for (size_t i = 0; i < terms.size(); ++i) {
-      result.postings_touched += index.postings(terms[i]).size();
-      ScorePostingList(index.postings(terms[i]), weights[i],
-                       index.inv_doc_length_data(), options.kernel, &scores);
-    }
-    local = scores.ExtractTopN(query.n, url_less);
-  }
+  RankStats rank_stats;
+  std::vector<ScoredDoc> local = EvaluateTopN(
+      std::move(eval_terms), index.document_count(),
+      index.inv_doc_length_data(), index.max_inv_doc_length(), query.n,
+      query.threshold, url_less, options, &rank_stats, shared_theta);
+  result.postings_touched = rank_stats.postings_touched;
+  result.blocks_skipped = rank_stats.blocks_skipped;
+  result.blocks_decoded = rank_stats.blocks_decoded;
+  result.pivot_iterations = rank_stats.pivot_iterations;
+  result.cursor_advances = rank_stats.cursor_advances;
   result.top.reserve(local.size());
   for (const ScoredDoc& d : local) {
     result.top.push_back(ClusterScoredDoc{index.url(d.doc), d.score});
@@ -344,6 +340,9 @@ std::vector<ClusterScoredDoc> ClusterIndex::Query(
         std::max(local_stats.postings_touched_max_node,
                  static_cast<size_t>(response.postings_touched));
     local_stats.blocks_skipped += response.blocks_skipped;
+    local_stats.blocks_decoded += response.blocks_decoded;
+    local_stats.pivot_iterations += response.pivot_iterations;
+    local_stats.cursor_advances += response.cursor_advances;
     local_stats.critical_path_us =
         std::max(local_stats.critical_path_us, response.elapsed_us);
     local_stats.total_cpu_us += response.elapsed_us;

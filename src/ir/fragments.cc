@@ -103,40 +103,26 @@ std::vector<ScoredDoc> FragmentedIndex::RankTopN(
   local_stats.predicted_quality =
       idf_mass_total > 0 ? idf_mass_read / idf_mass_total : 1.0;
 
-  if (options.prune) {
-    std::vector<WandTerm> wand_terms;
-    wand_terms.reserve(evaluated.size());
-    for (size_t i = 0; i < evaluated.size(); ++i) {
-      wand_terms.push_back(WandTerm{
-          &base_->postings(evaluated[i]),
-          TermWeight(base_->df(evaluated[i]), base_->collection_length(),
-                     options),
-          i});
-    }
-    WandStats wand_stats;
-    std::vector<ScoredDoc> top = WandTopN(
-        wand_terms, base_->inv_doc_length_data(),
-        base_->max_inv_doc_length(), n, /*initial_threshold=*/0.0,
-        [](DocId a, DocId b) { return a < b; }, options.kernel, &wand_stats);
-    local_stats.postings_touched = wand_stats.postings_touched;
-    local_stats.blocks_skipped = wand_stats.blocks_skipped;
-    local_stats.blocks_decoded = wand_stats.blocks_decoded;
-    if (stats != nullptr) *stats = local_stats;
-    return top;
-  }
-
-  ScoreAccumulator& scores = ScoreAccumulator::ThreadLocal();
-  scores.Reset(base_->document_count());
+  std::vector<EvalTerm> eval_terms;
+  eval_terms.reserve(evaluated.size());
   for (TermId term : evaluated) {
-    local_stats.postings_touched += base_->postings(term).size();
-    ScorePostingList(base_->postings(term),
-                     TermWeight(base_->df(term), base_->collection_length(),
-                                options),
-                     base_->inv_doc_length_data(), options.kernel, &scores);
+    eval_terms.push_back(EvalTerm{
+        &base_->postings(term),
+        TermWeight(base_->df(term), base_->collection_length(), options),
+        base_->df(term)});
   }
+  RankStats rank_stats;
+  std::vector<ScoredDoc> top = EvaluateTopN(
+      std::move(eval_terms), base_->document_count(),
+      base_->inv_doc_length_data(), base_->max_inv_doc_length(), n,
+      /*initial_threshold=*/0.0, DocIdTieLess{}, options, &rank_stats);
+  local_stats.postings_touched = rank_stats.postings_touched;
+  local_stats.blocks_skipped = rank_stats.blocks_skipped;
+  local_stats.blocks_decoded = rank_stats.blocks_decoded;
+  local_stats.pivot_iterations = rank_stats.pivot_iterations;
+  local_stats.cursor_advances = rank_stats.cursor_advances;
   if (stats != nullptr) *stats = local_stats;
-
-  return scores.ExtractTopN(n);
+  return top;
 }
 
 }  // namespace dls::ir

@@ -13,9 +13,14 @@ namespace dls::ir {
 struct FragmentQueryStats {
   size_t postings_touched = 0;   ///< TF tuples read (scored)
   size_t blocks_skipped = 0;     ///< posting blocks pruned (options.prune)
-  /// Packed posting blocks decompressed by the WAND cursors (pruned
+  /// Packed posting blocks decompressed by the pruning cursors (pruned
   /// packed evaluation only) — skipped blocks never decode.
   size_t blocks_decoded = 0;
+  /// DAAT outer-loop iterations of the pruning evaluators (pivot
+  /// selections / candidate docs examined); 0 for exhaustive TAAT.
+  size_t pivot_iterations = 0;
+  /// Cursor repositionings of the pruning evaluators; 0 for TAAT.
+  size_t cursor_advances = 0;
   size_t terms_evaluated = 0;    ///< query terms whose fragment was read
   size_t terms_skipped = 0;      ///< query terms behind the cut-off
   /// Model-predicted quality in [0,1]: the idf mass of the evaluated

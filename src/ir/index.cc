@@ -92,8 +92,13 @@ void TextIndex::Flush() {
   }
   pending_.clear();
   // Re-pack the lists this flush appended to (Pack() is a size-check
-  // no-op on untouched ones), so a frozen index is always packed.
-  for (PostingList& list : postings_) list.Pack();
+  // no-op on untouched ones, FinalizeBlockBounds only keys blocks the
+  // flush grew), so a frozen index is always packed and always carries
+  // the block-max score keys the pruning evaluators skip with.
+  for (PostingList& list : postings_) {
+    list.Pack();
+    list.FinalizeBlockBounds(inv_doc_lengths_.data());
+  }
 }
 
 void TextIndex::ReleaseUnpackedPostings() {
@@ -166,32 +171,27 @@ std::vector<TermId> TextIndex::ResolveQuery(
 std::vector<ScoredDoc> TextIndex::RankTopN(
     const std::vector<std::string>& query_words, size_t n,
     const RankOptions& options) const {
+  return RankTopN(query_words, n, options, /*stats=*/nullptr);
+}
+
+std::vector<ScoredDoc> TextIndex::RankTopN(
+    const std::vector<std::string>& query_words, size_t n,
+    const RankOptions& options, RankStats* stats) const {
   const std::vector<TermId> terms = ResolveQuery(query_words);
-
-  if (options.prune) {
-    std::vector<WandTerm> wand_terms;
-    wand_terms.reserve(terms.size());
-    for (size_t i = 0; i < terms.size(); ++i) {
-      wand_terms.push_back(WandTerm{
-          &postings_[terms[i]],
-          TermWeight(df_[terms[i]], collection_length_, options), i});
-    }
-    // (score desc, doc asc): the deterministic ranking contract.
-    return WandTopN(wand_terms, inv_doc_length_data(), max_inv_doc_length_,
-                    n, /*initial_threshold=*/0.0,
-                    [](DocId a, DocId b) { return a < b; }, options.kernel,
-                    /*stats=*/nullptr);
-  }
-
-  ScoreAccumulator& scores = ScoreAccumulator::ThreadLocal();
-  scores.Reset(document_count());
+  std::vector<EvalTerm> eval_terms;
+  eval_terms.reserve(terms.size());
   for (TermId term : terms) {
-    ScorePostingList(postings_[term],
-                     TermWeight(df_[term], collection_length_, options),
-                     inv_doc_length_data(), options.kernel, &scores);
+    eval_terms.push_back(
+        EvalTerm{&postings_[term],
+                 TermWeight(df_[term], collection_length_, options),
+                 df_[term]});
   }
   // (score desc, doc asc): the deterministic ranking contract.
-  return scores.ExtractTopN(n);
+  // DocIdTieLess picks the hot pre-instantiated evaluators.
+  return EvaluateTopN(std::move(eval_terms), document_count(),
+                      inv_doc_length_data(), max_inv_doc_length_, n,
+                      /*initial_threshold=*/0.0, DocIdTieLess{}, options,
+                      stats);
 }
 
 std::optional<std::string> NormalizeWordAs(std::string_view word, bool stem,

@@ -79,6 +79,36 @@ struct SegmentLoadOptions {
   bool verify = true;
 };
 
+/// Which evaluation strategy a ranked query runs under
+/// (RankOptions::strategy). Every strategy returns the bit-identical
+/// ranking — same documents, same scores — they differ only in how
+/// much work they do and how it is shaped:
+///
+///   kTaat    term-at-a-time: the exhaustive accumulator scan with the
+///            vectorised block kernel. Reads every posting; fastest
+///            per posting, no pruning.
+///   kWand    document-at-a-time WAND with block-max bounds: skips
+///            postings and whole blocks that provably cannot enter the
+///            top N. Wins when the threshold rises quickly (rare
+///            terms, small N).
+///   kHybrid  TAAT over the high-df terms (vectorised, into the pooled
+///            accumulator, seeding a strong initial θ), then a DAAT
+///            pass over the rare tail against that θ — the branchy
+///            loop only ever sees short lists.
+///   kAuto    a per-query cost model picks one of the above from the
+///            query's df profile and N (see PlanStrategy in
+///            ir/kernel.h). Without RankOptions::prune it always
+///            plans kTaat, preserving the historical default.
+enum class RankStrategy : uint8_t {
+  kAuto = 0,
+  kTaat = 1,
+  kWand = 2,
+  kHybrid = 3,
+};
+
+/// Work accounting of a ranked evaluation (defined in ir/kernel.h).
+struct RankStats;
+
 /// Runtime default for RankOptions::kernel: the DLS_KERNEL environment
 /// variable ("scalar" | "block" | "packed") when set and valid, else
 /// the compile-time default. Read once per process, so every ranking
@@ -109,6 +139,11 @@ struct RankOptions {
   /// not part of the wire query contract (remote nodes are separate
   /// processes; RemoteClusterIndex keeps its sequential feedback path).
   bool shared_threshold = false;
+  /// Evaluation strategy (see RankStrategy). kAuto defers to the
+  /// per-query cost model when `prune` is set and to the exhaustive
+  /// TAAT scan otherwise; an explicit kTaat/kWand/kHybrid forces that
+  /// evaluation regardless of `prune`. All choices are bit-identical.
+  RankStrategy strategy = RankStrategy::kAuto;
 };
 
 /// The full-text index: an implementation of the paper's five
@@ -268,6 +303,13 @@ class TextIndex {
   std::vector<ScoredDoc> RankTopN(const std::vector<std::string>& query_words,
                                   size_t n,
                                   const RankOptions& options = {}) const;
+
+  /// As above, reporting the evaluation's work accounting (postings
+  /// touched, blocks skipped/decoded, pivot iterations, cursor
+  /// advances — see RankStats in ir/kernel.h) through `stats`.
+  std::vector<ScoredDoc> RankTopN(const std::vector<std::string>& query_words,
+                                  size_t n, const RankOptions& options,
+                                  RankStats* stats) const;
 
  private:
   TermId InternTerm(const std::string& stem);

@@ -6,6 +6,7 @@
 #include <cstdint>
 #include <cstring>
 #include <limits>
+#include <queue>
 #include <vector>
 
 #include "ir/accumulator.h"
@@ -29,6 +30,15 @@ namespace dls::ir {
 /// identical in scalar and vectorised form, so the kScalar and kBlock
 /// kernels return bit-identical scores (ci runs the tree with FP
 /// contraction off; see src/ir/CMakeLists.txt).
+///
+/// On top of the kernel sit the evaluation strategies
+/// (RankOptions::strategy): the exhaustive TAAT scan, the pruning DAAT
+/// WAND loop, and the hybrid TAAT/DAAT evaluator, all dispatched
+/// through EvaluateTopN at the bottom of this header. Every strategy
+/// sums a document's term contributions in the same canonical order
+/// (df desc, resolved position asc), which makes them bit-identical —
+/// FP addition commutes but does not associate, so the summation order
+/// is part of the exactness contract.
 
 /// Hoisted per-term constant w = λ·CL / ((1−λ)·df). Requires df > 0.
 inline double TermWeight(int32_t df, int64_t collection_length,
@@ -95,6 +105,19 @@ inline double ScoreUpperBound(double w, int32_t max_tf,
   return KernelScore(w, max_tf, max_inv_doclen) * (1.0 + 1e-12);
 }
 
+/// Score upper bound from a precomputed block key (PostingBlockMeta::
+/// score_key = round-up-to-float max over the block of tf·(1/doclen)).
+/// For every posting in the block, tf·inv ≤ key, and IEEE
+/// multiplication by w > 0 is monotone under round-to-nearest, so
+/// fl(w·tf·inv) ≤ fl(w·key); the relative margin absorbs VecLog1p's
+/// few-ulp non-monotonicity exactly as in ScoreUpperBound. Tighter
+/// than the (max_tf, max_inv_doclen) product bound because the key
+/// folds in the actual document lengths of the block — and one
+/// multiply cheaper per skip test.
+inline double ScoreUpperBoundFromKey(double w, float score_key) {
+  return VecLog1p(w * static_cast<double>(score_key)) * (1.0 + 1e-12);
+}
+
 /// TAAT kernel entry point: scores every posting of `list` into `acc`
 /// (acc->Add(doc, score) in posting order). All kernels produce
 /// bit-identical accumulator contents; kBlock strip-mines over the SoA
@@ -108,15 +131,34 @@ void ScorePostingList(const PostingList& list, double w,
                       const double* inv_doc_lengths, ScoreKernel kernel,
                       ScoreAccumulator* acc);
 
+/// First index in [lo, hi) with docs[i] ≥ target — galloping search:
+/// exponential probe from `lo`, then binary search inside the bracketed
+/// window. O(log gap) where the linear scan it replaces was O(gap);
+/// when the cursor barely moves (gap ≤ 1) it costs one compare, so
+/// dense cursors lose nothing.
+inline size_t GallopLowerBound(const DocId* docs, size_t lo, size_t hi,
+                               DocId target) {
+  if (lo >= hi || docs[lo] >= target) return lo;
+  size_t step = 1;
+  size_t prev = lo;  // invariant: docs[prev] < target
+  while (prev + step < hi && docs[prev + step] < target) {
+    prev += step;
+    step <<= 1;
+  }
+  const size_t upper = prev + step < hi ? prev + step + 1 : hi;
+  return static_cast<size_t>(
+      std::lower_bound(docs + prev + 1, docs + upper, target) - docs);
+}
+
 /// One query term for WandTopN.
 struct WandTerm {
   const PostingList* list;
   double w;      ///< hoisted TermWeight of the term
-  size_t order;  ///< position in the resolved (deduplicated) query
+  size_t order;  ///< position in the canonical evaluation order
 };
 
-/// Work accounting of a pruned evaluation.
-struct WandStats {
+/// Work accounting of a ranked evaluation, shared by every strategy.
+struct RankStats {
   size_t postings_touched = 0;  ///< postings actually scored
   size_t blocks_skipped = 0;    ///< whole blocks jumped without reading
   /// Packed blocks decompressed into a cursor's scratch buffer (0 on
@@ -124,6 +166,35 @@ struct WandStats {
   /// blocks_decoded + blocks_skipped accounts for the decode work a
   /// pruned packed evaluation saves.
   size_t blocks_decoded = 0;
+  /// DAAT outer-loop iterations: pivot selections of the WAND loop,
+  /// candidate documents examined by the hybrid rare pass. 0 under
+  /// kTaat — the exhaustive scan has no pivots.
+  size_t pivot_iterations = 0;
+  /// Cursor repositionings: galloped seeks, batched-run advances and
+  /// single-posting steps. 0 under kTaat.
+  size_t cursor_advances = 0;
+};
+/// Historical name from before the hybrid evaluator existed; the WAND
+/// loop reports through the shared RankStats now.
+using WandStats = RankStats;
+
+/// Named tie-break comparators. The strategy evaluators below are
+/// function templates over the tie order; kernel.cc explicitly
+/// instantiates them for these two types with the scoring kernel's
+/// hot-loop flags (-O3, vectorisation, fp-contract off), and the
+/// extern-template declarations at the bottom of this header stop
+/// every other TU from stamping its own copy at whatever optimisation
+/// level it happens to build with. Callers pass DocIdTieLess for the
+/// standard (score desc, doc asc) contract, or wrap a contextful
+/// order (the cluster's URL tie-break) in ErasedTieLess — the
+/// indirect call only runs on heap decisions, never in scoring loops.
+struct DocIdTieLess {
+  bool operator()(DocId a, DocId b) const { return a < b; }
+};
+struct ErasedTieLess {
+  bool (*fn)(const void* ctx, DocId a, DocId b);
+  const void* ctx;
+  bool operator()(DocId a, DocId b) const { return fn(ctx, a, b); }
 };
 
 /// WAND-style exact top-`n` evaluation over block-structured posting
@@ -134,10 +205,32 @@ struct WandStats {
 /// lower bound of the final n-th best score, every skip requires the
 /// candidate's score bound to be *strictly* below θ, and a document
 /// that is scored at all is scored completely, with its term
-/// contributions summed in resolved-query order — exactly the order
-/// the TAAT accumulator adds them. The returned ranking (documents
-/// and scores, ordered by score desc then `tie_less`) is therefore
-/// bit-identical to exhaustive evaluation; only the work differs.
+/// contributions summed in canonical evaluation order (WandTerm::order
+/// asc) — exactly the order the TAAT accumulator adds them. The
+/// returned ranking (documents and scores, ordered by score desc then
+/// `tie_less`) is therefore bit-identical to exhaustive evaluation;
+/// only the work differs.
+///
+/// Bounds come from the precomputed per-block score keys
+/// (PostingBlockMeta::score_key) when the lists carry them — one
+/// multiply and a VecLog1p per block, no metadata recomputation, no
+/// decode — with the (max_tf, max_inv_doclen) product bound as the
+/// fallback for hand-built lists that were never finalised.
+///
+/// Work shape: cursors form a small (doc, order)-sorted array; lagging
+/// cursors seek with block skips plus galloping within the target
+/// block, and when a pivot survives its block-max bound check the loop
+/// drops into *scan mode* for one block-bounded window: every live
+/// cursor contributes its postings with doc ≤ the min of the live
+/// cursors' current block max_docs, added straight into the pooled
+/// accumulator with the same strip-mined loop shape as the TAAT
+/// kernel (strips processed in canonical order, so each document's
+/// summation order is the reference's), and the newly touched suffix
+/// of the accumulator is offered to the heap. The un-prunable mass is
+/// therefore scored at vectorised-scan rates instead of paying the
+/// pivot machinery per document, while the skip paths still jump
+/// whole blocks wherever θ bites. Extra window documents are scored
+/// exactly and simply rejected by the heap.
 ///
 /// `initial_threshold` implements the cluster's threshold feedback: a
 /// node that starts with the running global n-th best score prunes
@@ -167,13 +260,21 @@ struct WandStats {
 /// the ranking stays bit-identical across kernels.
 template <typename TieLess>
 std::vector<ScoredDoc> WandTopN(const std::vector<WandTerm>& terms,
+                                size_t num_docs,
                                 const double* inv_doc_lengths,
                                 double max_inv_doclen, size_t n,
                                 double initial_threshold, TieLess tie_less,
-                                ScoreKernel kernel, WandStats* stats,
+                                ScoreKernel kernel, RankStats* stats,
                                 std::atomic<double>* shared_theta = nullptr) {
   std::vector<ScoredDoc> heap;
-  if (n == 0) return heap;
+  if (n == 0) {
+    if (stats != nullptr) *stats = RankStats{};
+    return heap;
+  }
+  // Scan-mode windows complete documents in the pooled accumulator;
+  // the heap stays the result, the accumulator is scratch.
+  ScoreAccumulator& acc = ScoreAccumulator::ThreadLocal();
+  acc.Reset(num_docs);
   auto better = [&tie_less](const ScoredDoc& a, const ScoredDoc& b) {
     if (a.score != b.score) return a.score > b.score;
     return tie_less(a.doc, b.doc);
@@ -185,12 +286,21 @@ std::vector<ScoredDoc> WandTopN(const std::vector<WandTerm>& terms,
     double bound;  // list-level score upper bound
     size_t order;
     bool packed;  // read via the decode cache instead of the SoA arrays
-    size_t slot;  // index of this cursor's decode cache (stable under sort)
+    bool keyed;   // per-block score keys available (block-max bounds)
+    size_t slot;  // index of this cursor's decode cache
     size_t pos = 0;
+    // Cached doc at pos; kExhausted once the list runs out. The cursor
+    // array is NEVER re-sorted — it stays in canonical (order asc)
+    // position for the whole evaluation, so equal-doc work always
+    // visits cursors in canonical order by plain array order, and the
+    // per-iteration sort/compact machinery of a doc-sorted design is
+    // gone entirely.
+    DocId cur = 0;
     // Lazily cached bound of the block containing pos.
     size_t bound_block = std::numeric_limits<size_t>::max();
     double block_bound = 0.0;
   };
+  constexpr DocId kExhausted = std::numeric_limits<DocId>::max();
   std::vector<Cursor> cursors;
   cursors.reserve(terms.size());
   for (const WandTerm& t : terms) {
@@ -198,15 +308,17 @@ std::vector<ScoredDoc> WandTopN(const std::vector<WandTerm>& terms,
     const bool packed = (kernel == ScoreKernel::kPacked ||
                          t.list->payload_released()) &&
                         t.list->is_packed();
-    cursors.push_back(Cursor{t.list, t.w,
-                             ScoreUpperBound(t.w, t.list->max_tf(),
-                                             max_inv_doclen),
-                             t.order, packed, cursors.size()});
+    const bool keyed = t.list->has_block_bounds();
+    const double bound =
+        keyed ? ScoreUpperBoundFromKey(t.w, t.list->max_score_key())
+              : ScoreUpperBound(t.w, t.list->max_tf(), max_inv_doclen);
+    cursors.push_back(
+        Cursor{t.list, t.w, bound, t.order, packed, keyed, cursors.size()});
   }
 
-  WandStats local;
-  // One-block decode scratch per cursor, indexed by Cursor::slot so it
-  // survives the (doc, order) re-sorts. Sized only when needed.
+  RankStats local;
+  // One-block decode scratch per cursor, indexed by Cursor::slot.
+  // Sized only when needed.
   struct DecodedBlock {
     size_t block = std::numeric_limits<size_t>::max();
     DocId docs[kPostingBlockSize];
@@ -232,28 +344,44 @@ std::vector<ScoredDoc> WandTopN(const std::vector<WandTerm>& terms,
     return c.list->doc(pos);
   };
   auto doc_at = [&](const Cursor& c) { return doc_at_pos(c, c.pos); };
-  auto tf_at = [&](const Cursor& c) -> int32_t {
-    if (c.packed) {
-      return ensure_decoded(c, c.pos / kPostingBlockSize)
-          .tfs[c.pos % kPostingBlockSize];
-    }
-    return c.list->tf(c.pos);
-  };
   auto block_bound = [&max_inv_doclen](Cursor& c) {
     size_t b = c.pos / kPostingBlockSize;
     if (b != c.bound_block) {
       c.bound_block = b;
-      c.block_bound =
-          ScoreUpperBound(c.w, c.list->block_meta(b).max_tf, max_inv_doclen);
+      const PostingBlockMeta& m = c.list->block_meta(b);
+      c.block_bound = c.keyed
+                          ? ScoreUpperBoundFromKey(c.w, m.score_key)
+                          : ScoreUpperBound(c.w, m.max_tf, max_inv_doclen);
     }
     return c.block_bound;
   };
-  // (doc asc, order asc): equal-doc cursors end up in resolved-query
-  // order, which makes the per-document summation order deterministic.
-  auto by_doc = [&doc_at](const Cursor& a, const Cursor& b) {
-    DocId da = doc_at(a), db = doc_at(b);
-    if (da != db) return da < db;
-    return a.order < b.order;
+  // Seeks `c` to its first posting with doc ≥ target: whole blocks are
+  // jumped via max_doc metadata (never decoded), then the position
+  // gallops within the final block.
+  auto seek_cursor = [&](Cursor& c, DocId target) {
+    ++local.cursor_advances;
+    size_t block = c.pos / kPostingBlockSize;
+    const size_t num_blocks = c.list->num_blocks();
+    while (block < num_blocks && c.list->block_meta(block).max_doc < target) {
+      ++block;
+      ++local.blocks_skipped;
+    }
+    if (block >= num_blocks) {
+      c.pos = c.list->size();  // exhausted
+      c.cur = kExhausted;
+      return;
+    }
+    const size_t begin = std::max(c.pos, PostingList::block_begin(block));
+    const size_t end = c.list->block_end(block);
+    if (c.packed) {
+      const DecodedBlock& d = ensure_decoded(c, block);
+      const size_t base = PostingList::block_begin(block);
+      c.pos =
+          base + GallopLowerBound(d.docs, begin - base, end - base, target);
+    } else {
+      c.pos = GallopLowerBound(c.list->doc_data(), begin, end, target);
+    }
+    c.cur = c.pos < c.list->size() ? doc_at(c) : kExhausted;
   };
   // Monotone-max publication of the local n-th best (the shared
   // threshold-feedback protocol). Relaxed ordering suffices: the value
@@ -280,19 +408,26 @@ std::vector<ScoredDoc> WandTopN(const std::vector<WandTerm>& terms,
       publish_theta();
     }
   };
-  // Drop exhausted cursors, keep the rest sorted by (doc, order).
-  auto compact = [&]() {
-    cursors.erase(std::remove_if(cursors.begin(), cursors.end(),
-                                 [](const Cursor& c) {
-                                   return c.pos >= c.list->size();
-                                 }),
-                  cursors.end());
-    std::sort(cursors.begin(), cursors.end(), by_doc);
-  };
-  compact();
+  for (Cursor& c : cursors) c.cur = doc_at(c);
 
-  constexpr DocId kNoLimit = std::numeric_limits<DocId>::max();
-  while (!cursors.empty()) {
+  // Scan-mode scratch: one block of strip scores (two-pass like
+  // ScoreBlock, so the multiplies and the VecLog1p polynomial
+  // vectorise).
+  double strip_scores[kPostingBlockSize];
+
+  // Pivot-density tracker for the scoring-mode choice below: a streak
+  // of near-adjacent pivots means θ is not skipping documents and the
+  // amortised window scan is the cheaper way through this region;
+  // isolated pivots are cheaper scored individually. Either mode sums
+  // a document's contributions in canonical order, so the choice
+  // affects only work, never the ranking.
+  DocId scored_through = 0;   // exclusive: docs < this are settled
+  unsigned dense_streak = 0;  // consecutive near-adjacent pivots
+  constexpr DocId kDenseGap = 16;
+  constexpr unsigned kDenseStreak = 4;
+
+  while (true) {
+    ++local.pivot_iterations;
     double theta =
         heap.size() == n ? std::max(initial_threshold, heap.front().score)
                          : initial_threshold;
@@ -300,61 +435,69 @@ std::vector<ScoredDoc> WandTopN(const std::vector<WandTerm>& terms,
       theta = std::max(theta,
                        shared_theta->load(std::memory_order_relaxed));
     }
-    // Pivot: the shortest cursor prefix whose bound sum could still
-    // reach θ (≥, not >, so score ties stay eligible for the
-    // tie-break). No pivot ⇒ nothing left can enter the heap.
+    // Pivot: the smallest document whose doc-ascending cursor-bound
+    // prefix sum could still reach θ (≥, not >, so score ties stay
+    // eligible for the tie-break), found with layered min-scans over
+    // the order-fixed array — equal-doc bounds accumulate in array
+    // (canonical) order, exactly the (doc, order)-sorted traversal.
+    // No pivot ⇒ nothing left can enter the heap.
+    DocId layer = kExhausted;
+    for (const Cursor& c : cursors) layer = std::min(layer, c.cur);
+    if (layer == kExhausted) break;  // every cursor exhausted
+    const DocId min_doc = layer;
     double bound_sum = 0.0;
-    size_t pivot = cursors.size();
-    for (size_t i = 0; i < cursors.size(); ++i) {
-      bound_sum += cursors[i].bound;
-      if (bound_sum >= theta) {
-        pivot = i;
-        break;
+    DocId pivot_doc = kExhausted;
+    while (layer != kExhausted && pivot_doc == kExhausted) {
+      DocId next = kExhausted;
+      for (const Cursor& c : cursors) {
+        if (c.cur == layer) {
+          bound_sum += c.bound;
+          if (bound_sum >= theta) {
+            pivot_doc = layer;
+            break;
+          }
+        } else if (c.cur > layer && c.cur < next) {
+          next = c.cur;
+        }
       }
+      layer = next;
     }
-    if (pivot == cursors.size()) break;
-    const DocId pivot_doc = doc_at(cursors[pivot]);
+    if (pivot_doc == kExhausted) break;
 
-    if (doc_at(cursors[0]) != pivot_doc) {
+    if (min_doc != pivot_doc) {
       // Lagging cursors can never contribute below the pivot document:
-      // seek them forward, jumping whole blocks via max_doc metadata.
-      for (size_t i = 0; i < cursors.size() && doc_at(cursors[i]) < pivot_doc;
-           ++i) {
-        Cursor& c = cursors[i];
-        size_t block = c.pos / kPostingBlockSize;
-        const size_t num_blocks = c.list->num_blocks();
-        while (block < num_blocks &&
-               c.list->block_meta(block).max_doc < pivot_doc) {
-          ++block;
-          ++local.blocks_skipped;
-        }
-        if (block >= num_blocks) {
-          c.pos = c.list->size();  // exhausted
-          continue;
-        }
-        size_t p = std::max(c.pos, PostingList::block_begin(block));
-        const size_t end = c.list->block_end(block);
-        while (p < end && doc_at_pos(c, p) < pivot_doc) ++p;
-        c.pos = p;
+      // seek them forward (block skips + gallop).
+      for (Cursor& c : cursors) {
+        if (c.cur < pivot_doc) seek_cursor(c, pivot_doc);
       }
-      compact();
       continue;
     }
 
-    // Contributor prefix: every cursor positioned on pivot_doc.
+    // Contributors: every cursor positioned on pivot_doc. `limit` is
+    // the smallest non-contributor doc — the first point where the
+    // contributor set changes.
     size_t m = 0;
-    while (m < cursors.size() && doc_at(cursors[m]) == pivot_doc) ++m;
+    Cursor* sole = nullptr;
+    DocId limit = kExhausted;
+    for (Cursor& c : cursors) {
+      if (c.cur == pivot_doc) {
+        ++m;
+        sole = &c;
+      } else if (c.cur < limit) {
+        limit = c.cur;
+      }
+    }
 
-    if (m == 1 && block_bound(cursors[0]) < theta) {
+    if (m == 1 && block_bound(*sole) < theta) {
       // Lone contributor inside a low block: documents up to the next
       // cursor's position can only be scored by this cursor, so whole
-      // blocks whose bound stays below θ are skipped outright.
-      Cursor& c = cursors[0];
-      const DocId limit = cursors.size() > 1 ? doc_at(cursors[1]) : kNoLimit;
-      // Loop invariant: doc_at(c) < limit (cursor order guarantees it
-      // on entry; every branch below re-establishes or breaks). Skip
-      // decisions consult only the uncompressed block metadata, so a
-      // packed cursor never decodes a block it skips.
+      // blocks whose block-max score key stays below θ are skipped
+      // outright. Skip decisions consult only the uncompressed block
+      // metadata, so a packed cursor never decodes a block it skips.
+      Cursor& c = *sole;
+      // Loop invariant: doc_at(c) < limit (contributor selection
+      // guarantees it on entry; every branch below re-establishes or
+      // breaks).
       while (c.pos < c.list->size() && block_bound(c) < theta) {
         const size_t block = c.pos / kPostingBlockSize;
         const size_t end = c.list->block_end(block);
@@ -365,40 +508,556 @@ std::vector<ScoredDoc> WandTopN(const std::vector<WandTerm>& terms,
                    c.list->block_meta(block).min_doc >= limit) {
           break;  // block opens on a doc other cursors share
         } else {
-          while (c.pos < end && doc_at(c) < limit) ++c.pos;
+          ++local.cursor_advances;
+          if (c.packed) {
+            const DecodedBlock& d = ensure_decoded(c, block);
+            const size_t base = PostingList::block_begin(block);
+            c.pos = base + GallopLowerBound(d.docs, c.pos - base, end - base,
+                                            limit);
+          } else {
+            c.pos = GallopLowerBound(c.list->doc_data(), c.pos, end, limit);
+          }
           if (c.pos < end) break;  // reached a doc other cursors share
         }
       }
-      compact();
+      c.cur = c.pos < c.list->size() ? doc_at(c) : kExhausted;
       continue;
     }
 
     // Block-max refinement: the pivot document's score is at most the
-    // sum of its contributors' current block bounds.
+    // sum of its contributors' current block bounds. When that sum
+    // stays below θ the same bound rejects every document up to the
+    // first point where it changes — the next non-contributor's doc
+    // (different contributor set) or a contributor's block boundary
+    // (different block bound) — so the contributors seek there in one
+    // jump instead of stepping a document at a time.
     double block_sum = 0.0;
-    for (size_t i = 0; i < m; ++i) block_sum += block_bound(cursors[i]);
+    for (Cursor& c : cursors) {
+      if (c.cur == pivot_doc) block_sum += block_bound(c);
+    }
     if (block_sum < theta) {
-      for (size_t i = 0; i < m; ++i) ++cursors[i].pos;
-      compact();
+      DocId jump = limit;
+      for (const Cursor& c : cursors) {
+        if (c.cur == pivot_doc) {
+          const size_t block = c.pos / kPostingBlockSize;
+          jump = std::min(
+              jump,
+              static_cast<DocId>(c.list->block_meta(block).max_doc + 1));
+        }
+      }
+      for (Cursor& c : cursors) {
+        if (c.cur == pivot_doc) seek_cursor(c, jump);
+      }
       continue;
     }
 
-    // Score the pivot document completely (resolved-query order).
-    double score = 0.0;
-    const double inv_len = inv_doc_lengths[pivot_doc];
-    for (size_t i = 0; i < m; ++i) {
-      score += KernelScore(cursors[i].w, tf_at(cursors[i]), inv_len);
+    // θ failed to prune the pivot document, so it must be scored.
+    // Two modes, chosen by pivot density:
+    //
+    //  - per-document: sum exactly the pivot's contributions
+    //    (contributors are already positioned on it) in array
+    //    (canonical) order, offer, and step each contributor one
+    //    posting. Cheapest when θ skips most documents — nothing
+    //    beyond the pivot is touched.
+    //  - scan-mode window (below): when pivots arrive back-to-back
+    //    the per-document bookkeeping costs more than the scoring, so
+    //    score one block-bounded window at vectorised-scan rates.
+    const bool near = pivot_doc < scored_through + kDenseGap;
+    dense_streak = near ? dense_streak + 1 : 0;
+    if (dense_streak < kDenseStreak) {
+      double score = 0.0;
+      for (Cursor& c : cursors) {
+        if (c.cur != pivot_doc) continue;
+        int32_t tf;
+        if (c.packed) {
+          tf = ensure_decoded(c, c.pos / kPostingBlockSize)
+                   .tfs[c.pos % kPostingBlockSize];
+        } else {
+          tf = c.list->tf(c.pos);
+        }
+        score += VecLog1p((c.w * static_cast<double>(tf)) *
+                          inv_doc_lengths[pivot_doc]);
+        ++local.postings_touched;
+        ++c.pos;
+        ++local.cursor_advances;
+        c.cur = c.pos < c.list->size() ? doc_at(c) : kExhausted;
+      }
+      push_candidate(pivot_doc, score);
+      scored_through = pivot_doc + 1;
+      continue;
     }
-    local.postings_touched += m;
-    push_candidate(pivot_doc, score);
-    for (size_t i = 0; i < m; ++i) ++cursors[i].pos;
-    compact();
+
+    // Scan-mode window: θ failed to prune this pivot, so score one
+    // block-bounded window at vectorised-scan rates instead of paying
+    // the pivot machinery per document. run_last is the min of the
+    // live cursors' current block max_docs, so every cursor's
+    // window-strip lies inside its already-positioned block, and a
+    // document ≤ run_last receives *all* of its remaining
+    // contributions this window (later cursor positions hold strictly
+    // larger docs; positions passed by earlier skips were proven
+    // unable to reach θ and stay below every live cursor). Strips are
+    // added into the pooled accumulator in array (canonical)
+    // processing order — a document's summation sequence is exactly
+    // the TAAT reference's — and the newly touched suffix is offered
+    // to the heap, raising θ for the skip paths of later iterations.
+    // Positions only ever advance, so no posting is scored twice;
+    // window documents beyond the pivot are exact and the heap simply
+    // rejects the ones that do not qualify.
+    DocId run_last = kExhausted;
+    for (const Cursor& c : cursors) {
+      if (c.cur == kExhausted) continue;
+      run_last = std::min(
+          run_last, c.list->block_meta(c.pos / kPostingBlockSize).max_doc);
+    }
+    const size_t touched_before = acc.touched().size();
+    for (Cursor& c : cursors) {
+      if (c.cur > run_last) continue;  // exhausted or beyond the window
+      const size_t block = c.pos / kPostingBlockSize;
+      const size_t base = PostingList::block_begin(block);
+      const size_t end = c.list->block_end(block);
+      const DocId* docs;
+      const int32_t* tfs;
+      if (c.packed) {
+        const DecodedBlock& d = ensure_decoded(c, block);
+        docs = d.docs + (c.pos - base);
+        tfs = d.tfs + (c.pos - base);
+      } else {
+        docs = c.list->doc_data() + c.pos;
+        tfs = c.list->tf_data() + c.pos;
+      }
+      const size_t len =
+          GallopLowerBound(docs, 0, end - c.pos, run_last + 1);
+      const double w = c.w;
+      for (size_t j = 0; j < len; ++j) {
+        strip_scores[j] = VecLog1p((w * static_cast<double>(tfs[j])) *
+                                   inv_doc_lengths[docs[j]]);
+      }
+      for (size_t j = 0; j < len; ++j) acc.Add(docs[j], strip_scores[j]);
+      local.postings_touched += len;
+      c.pos += len;
+      ++local.cursor_advances;
+      c.cur = c.pos < c.list->size() ? doc_at(c) : kExhausted;
+    }
+    const std::vector<DocId>& touched = acc.touched();
+    for (size_t i = touched_before; i < touched.size(); ++i) {
+      push_candidate(touched[i], acc.score(touched[i]));
+    }
+    scored_through = run_last + 1;
   }
 
   std::sort_heap(heap.begin(), heap.end(), better);  // best first
   if (stats != nullptr) *stats = local;
   return heap;
 }
+
+/// One query term for the strategy-dispatched evaluators
+/// (EvaluateTopN / HybridTopN): posting list, hoisted weight, and the
+/// df the canonical order and the cost model use — node-local df for
+/// single-index rankings, collection-wide df on the cluster path (the
+/// same statistics the weight was computed with).
+struct EvalTerm {
+  const PostingList* list;
+  double w;        ///< hoisted TermWeight of the term
+  int32_t df = 0;  ///< document frequency (ordering + cost model input)
+};
+
+/// Terms with df ≤ document_count / kRareDfDivisor count as "rare" for
+/// the cost model and the hybrid split: their posting lists are short
+/// enough that the branchy DAAT loop is cheap, and partially skipping
+/// them is where pruning saves wall-clock. High-df terms are the
+/// opposite — cheap per posting under the vectorised scan, expensive
+/// to skip.
+inline constexpr size_t kRareDfDivisor = 32;
+
+/// Cap on the number of phase-1 partial scores the hybrid evaluator
+/// offers when seeding θ. Seeding from a strided sample is sound —
+/// the n-th best of *any* subset of the partials is still a lower
+/// bound of the final n-th best — and keeps the seeding pass O(cap)
+/// instead of O(touched documents), which on dense queries would cost
+/// more than the rare tail it buys skips in.
+inline constexpr size_t kThetaSeedOffers = 1024;
+
+/// Number of high-df terms in a (df desc)-sorted term array — the
+/// TAAT/DAAT split point of the hybrid evaluator. Because the terms
+/// are sorted, the high-df terms are exactly the prefix, so scoring
+/// them first keeps the per-document summation in canonical order.
+inline size_t HybridSplit(const EvalTerm* terms, size_t count,
+                          size_t num_docs) {
+  const size_t rare_cut = num_docs / kRareDfDivisor;
+  size_t split = 0;
+  while (split < count &&
+         static_cast<size_t>(terms[split].df) > rare_cut) {
+    ++split;
+  }
+  return split;
+}
+
+/// WAND's per-candidate machinery (pivot selection, galloped seeks,
+/// per-document scoring) costs roughly this many vectorised-scan
+/// posting visits. The planner sends a query to kWand only when the
+/// rare lists — whose postings bound the candidate count — are at
+/// least this much shorter than the whole query, so the machinery is
+/// provably cheaper than the scan it replaces. Measured on
+/// bench_ir_kernel's per-strategy tables (~40-70 ns per pivot vs
+/// ~6 ns per scanned posting).
+inline constexpr size_t kWandCandidateFactor = 8;
+
+/// Largest number of long (above the rare cut) cursors a query may
+/// have and still be sent to kWand — see PlanStrategy.
+inline constexpr size_t kWandMaxDenseCursors = 2;
+
+/// kHybrid needs the rare tail to carry at least 1/this of the query's
+/// postings before its θ-seeding and candidate bookkeeping pay off;
+/// thinner tails ride the exhaustive scan — see PlanStrategy.
+inline constexpr size_t kHybridRareShareDivisor = 4;
+
+/// The per-query cost model behind RankStrategy::kAuto with
+/// RankOptions::prune: picks the evaluation strategy from the query's
+/// posting-length profile and the requested depth. `terms` must be
+/// sorted df desc (EvaluateTopN's canonical order).
+///
+///   - deep top-N (n within a factor of the corpus) ⇒ kTaat: θ stays
+///     low, skip tests keep failing, the exhaustive scan wins.
+///   - tiny query (total postings ≪ corpus) ⇒ kTaat: the whole scan
+///     costs less than any evaluator's per-candidate bookkeeping.
+///   - no rare tail ⇒ kTaat: every list is long; pruning saves little
+///     and the DAAT loop costs per-document branching.
+///   - all rare ⇒ kWand: short lists, θ rises fast, block skips pay.
+///   - rare lists ≪ total (kWandCandidateFactor) with at most
+///     kWandMaxDenseCursors long cursors ⇒ kWand: θ is set by the rare
+///     contributors, so the long lists gallop between their documents
+///     instead of being scanned — the pruning jackpot.
+///   - heavy rare tail (≥ 1/kHybridRareShareDivisor of the postings)
+///     behind long lists ⇒ kHybrid: vectorised TAAT over the long
+///     lists seeds θ, the branchy loop only ever sees the short ones.
+///   - otherwise ⇒ kTaat: whatever pruning could save is smaller than
+///     the machinery it would buy it with.
+inline RankStrategy PlanStrategy(const EvalTerm* terms, size_t count,
+                                 size_t n, size_t num_docs) {
+  if (count == 0) return RankStrategy::kTaat;
+  if (n * 8 >= num_docs) return RankStrategy::kTaat;
+  size_t total = 0;
+  for (size_t i = 0; i < count; ++i) {
+    total += terms[i].list == nullptr ? 0 : terms[i].list->size();
+  }
+  if (total * 4 <= num_docs) return RankStrategy::kTaat;
+  const size_t split = HybridSplit(terms, count, num_docs);
+  if (split == count) return RankStrategy::kTaat;
+  size_t rare = 0;
+  for (size_t i = split; i < count; ++i) {
+    rare += terms[i].list == nullptr ? 0 : terms[i].list->size();
+  }
+  if (split == 0) return RankStrategy::kWand;  // every list is short
+  // Selective query: candidates are bounded by the short lists and the
+  // few long cursors gallop between them — but only while the long
+  // cursors' summed bounds stay below θ. Each additional long cursor
+  // adds its full bound to every pivot's prefix sum, so past
+  // kWandMaxDenseCursors the sum clears θ almost everywhere, the DAAT
+  // loop degenerates into an interleaved scan, and the exhaustive
+  // vectorised scan is simply faster.
+  if (rare * kWandCandidateFactor <= total) {
+    return split <= kWandMaxDenseCursors ? RankStrategy::kWand
+                                         : RankStrategy::kTaat;
+  }
+  // Heavy rare tail behind long lists: TAAT the long prefix to seed θ,
+  // DAAT only the short tail. A thin tail isn't worth the hybrid's
+  // seeding and candidate bookkeeping — scan it.
+  return rare * kHybridRareShareDivisor >= total ? RankStrategy::kHybrid
+                                                 : RankStrategy::kTaat;
+}
+
+/// Hybrid TAAT/DAAT exact top-`n`: phase 1 scores the high-df prefix
+/// terms[0, split) with the vectorised TAAT kernel into the pooled
+/// accumulator and seeds θ with the n-th best of a strided sample of
+/// the partial scores (sound: contributions are non-negative, so a
+/// partial score is a lower bound of that document's final score, and
+/// the n-th best of any subset of lower bounds is a lower bound of
+/// the final n-th best — see kThetaSeedOffers). Phase 2 runs a DAAT pass over the
+/// rare tail terms[split, ...): each candidate document's upper bound
+/// is its exact accumulated partial plus its rare contributors' block
+/// key bounds; documents that cannot reach θ are left incomplete,
+/// everything else is completed *into the accumulator* — contributions
+/// append in cursor (canonical) order, so a completed document's
+/// summation sequence is exactly the exhaustive reference's. Phase 3
+/// extracts the top n from the accumulator.
+///
+/// Exactness of the extraction: a document left incomplete satisfied
+/// partial ≤ bound < θ strictly, and θ is only ever raised once n
+/// completed-or-final scores ≥ θ exist (or `initial_threshold`, which
+/// the cluster only feeds after n global candidates exist), so an
+/// incomplete document can never displace a true top-n document — the
+/// extracted ranking is bit-identical to the exhaustive one. The same
+/// argument as WandTopN's covers `initial_threshold` and the shared-θ
+/// publication protocol (published values are n-th bests of completed
+/// scores, hence lower bounds of the final global n-th best).
+template <typename TieLess>
+std::vector<ScoredDoc> HybridTopN(const std::vector<EvalTerm>& terms,
+                                  size_t split, size_t num_docs,
+                                  const double* inv_doc_lengths,
+                                  double max_inv_doclen, size_t n,
+                                  double initial_threshold, TieLess tie_less,
+                                  ScoreKernel kernel, RankStats* stats,
+                                  std::atomic<double>* shared_theta =
+                                      nullptr) {
+  RankStats local;
+  if (n == 0) {
+    if (stats != nullptr) *stats = local;
+    return {};
+  }
+  ScoreAccumulator& acc = ScoreAccumulator::ThreadLocal();
+  acc.Reset(num_docs);
+
+  // Phase 1: vectorised TAAT over the high-df prefix.
+  for (size_t i = 0; i < split; ++i) {
+    if (terms[i].list == nullptr) continue;
+    local.postings_touched += terms[i].list->size();
+    ScorePostingList(*terms[i].list, terms[i].w, inv_doc_lengths, kernel,
+                     &acc);
+  }
+
+  // Running n-th best of completed (phase-2) and lower-bound (phase-1
+  // partial) scores — the θ the rare pass prunes against.
+  std::priority_queue<double, std::vector<double>, std::greater<double>>
+      theta_heap;
+  auto offer_theta = [&](double score) {
+    if (theta_heap.size() < n) {
+      theta_heap.push(score);
+    } else if (score > theta_heap.top()) {
+      theta_heap.pop();
+      theta_heap.push(score);
+    } else {
+      return;
+    }
+    if (shared_theta != nullptr && theta_heap.size() == n) {
+      const double mine = theta_heap.top();
+      double seen = shared_theta->load(std::memory_order_relaxed);
+      while (mine > seen && !shared_theta->compare_exchange_weak(
+                                seen, mine, std::memory_order_relaxed)) {
+      }
+    }
+  };
+  // Seed θ from a strided sample of the phase-1 partials (sound: the
+  // n-th best of any subset of lower bounds is a lower bound of the
+  // final n-th best; a sparser sample only weakens the seed, never
+  // breaks a skip). Skipped entirely when there is no rare tail to
+  // prune and no peer waiting on a shared-θ publication.
+  bool rare_tail = shared_theta != nullptr;
+  for (size_t i = split; i < terms.size() && !rare_tail; ++i) {
+    rare_tail = terms[i].list != nullptr && !terms[i].list->empty();
+  }
+  if (rare_tail) {
+    const std::vector<DocId>& touched = acc.touched();
+    const size_t stride = touched.size() > kThetaSeedOffers
+                              ? touched.size() / kThetaSeedOffers
+                              : 1;
+    for (size_t i = 0; i < touched.size(); i += stride) {
+      offer_theta(acc.score(touched[i]));
+    }
+  }
+  auto current_theta = [&]() {
+    double theta = theta_heap.size() == n
+                       ? std::max(initial_threshold, theta_heap.top())
+                       : initial_threshold;
+    if (shared_theta != nullptr) {
+      theta = std::max(theta,
+                       shared_theta->load(std::memory_order_relaxed));
+    }
+    return theta;
+  };
+
+  // Phase 2: DAAT over the rare tail. The lists here are short by
+  // construction (the cost model splits at df ≤ corpus/32), so a
+  // plain doc-at-a-time walk with per-document bound checks is cheap;
+  // the saving is every skipped completion, bought by the θ phase 1
+  // seeded.
+  struct Cursor {
+    const PostingList* list;
+    double w;
+    size_t order;
+    bool packed;
+    bool keyed;
+    size_t slot;
+    size_t pos = 0;
+    size_t bound_block = std::numeric_limits<size_t>::max();
+    double block_bound = 0.0;
+  };
+  std::vector<Cursor> cursors;
+  cursors.reserve(terms.size() - split);
+  for (size_t i = split; i < terms.size(); ++i) {
+    const EvalTerm& t = terms[i];
+    if (t.list == nullptr || t.list->empty()) continue;
+    const bool packed = (kernel == ScoreKernel::kPacked ||
+                         t.list->payload_released()) &&
+                        t.list->is_packed();
+    cursors.push_back(Cursor{t.list, t.w, i, packed,
+                             t.list->has_block_bounds(), cursors.size()});
+  }
+  struct DecodedBlock {
+    size_t block = std::numeric_limits<size_t>::max();
+    DocId docs[kPostingBlockSize];
+    int32_t tfs[kPostingBlockSize];
+  };
+  bool any_packed = false;
+  for (const Cursor& c : cursors) any_packed |= c.packed;
+  std::vector<DecodedBlock> decoded(any_packed ? cursors.size() : 0);
+  auto ensure_decoded = [&](const Cursor& c, size_t block) -> DecodedBlock& {
+    DecodedBlock& d = decoded[c.slot];
+    if (d.block != block) {
+      c.list->DecodePackedBlock(block, d.docs, d.tfs);
+      d.block = block;
+      ++local.blocks_decoded;
+    }
+    return d;
+  };
+  auto doc_at = [&](const Cursor& c) -> DocId {
+    if (c.packed) {
+      return ensure_decoded(c, c.pos / kPostingBlockSize)
+          .docs[c.pos % kPostingBlockSize];
+    }
+    return c.list->doc(c.pos);
+  };
+  auto tf_at = [&](const Cursor& c) -> int32_t {
+    if (c.packed) {
+      return ensure_decoded(c, c.pos / kPostingBlockSize)
+          .tfs[c.pos % kPostingBlockSize];
+    }
+    return c.list->tf(c.pos);
+  };
+  auto block_bound = [&max_inv_doclen](Cursor& c) {
+    size_t b = c.pos / kPostingBlockSize;
+    if (b != c.bound_block) {
+      c.bound_block = b;
+      const PostingBlockMeta& m = c.list->block_meta(b);
+      c.block_bound = c.keyed
+                          ? ScoreUpperBoundFromKey(c.w, m.score_key)
+                          : ScoreUpperBound(c.w, m.max_tf, max_inv_doclen);
+    }
+    return c.block_bound;
+  };
+  auto by_doc = [&doc_at](const Cursor& a, const Cursor& b) {
+    DocId da = doc_at(a), db = doc_at(b);
+    if (da != db) return da < db;
+    return a.order < b.order;
+  };
+  auto compact = [&]() {
+    cursors.erase(std::remove_if(cursors.begin(), cursors.end(),
+                                 [](const Cursor& c) {
+                                   return c.pos >= c.list->size();
+                                 }),
+                  cursors.end());
+    std::sort(cursors.begin(), cursors.end(), by_doc);
+  };
+  compact();
+
+  while (!cursors.empty()) {
+    ++local.pivot_iterations;
+    const DocId d = doc_at(cursors[0]);
+    size_t m = 1;
+    while (m < cursors.size() && doc_at(cursors[m]) == d) ++m;
+    const double theta = current_theta();
+    double bound = acc.ScoreOrZero(d);
+    for (size_t i = 0; i < m; ++i) bound += block_bound(cursors[i]);
+    if (bound >= theta) {
+      // Complete the document: rare contributions append to the
+      // accumulator in cursor (canonical) order, reproducing the
+      // exhaustive reference's per-document summation sequence.
+      const double inv_len = inv_doc_lengths[d];
+      for (size_t i = 0; i < m; ++i) {
+        acc.Add(d, KernelScore(cursors[i].w, tf_at(cursors[i]), inv_len));
+      }
+      local.postings_touched += m;
+      offer_theta(acc.score(d));
+    }
+    for (size_t i = 0; i < m; ++i) {
+      ++cursors[i].pos;
+      ++local.cursor_advances;
+    }
+    compact();
+  }
+
+  if (stats != nullptr) *stats = local;
+  return acc.ExtractTopN(n, tie_less);
+}
+
+/// Strategy-dispatched exact top-`n` — the single entry point every
+/// ranking path (TextIndex::RankTopN, FragmentedIndex::RankTopN,
+/// EvaluateShardQuery) funnels through. Sorts the resolved terms into
+/// the canonical evaluation order (df desc, resolved position asc —
+/// std::stable_sort keeps resolved order on df ties), resolves
+/// RankStrategy::kAuto through PlanStrategy (kTaat when
+/// !options.prune, preserving the historical default), and runs the
+/// chosen evaluator. Because every strategy sums each document's
+/// contributions in the canonical order, the returned ranking is
+/// bit-identical across strategies, kernels and storage modes; only
+/// `stats` differs.
+template <typename TieLess>
+std::vector<ScoredDoc> EvaluateTopN(std::vector<EvalTerm> terms,
+                                    size_t num_docs,
+                                    const double* inv_doc_lengths,
+                                    double max_inv_doclen, size_t n,
+                                    double initial_threshold, TieLess tie_less,
+                                    const RankOptions& options,
+                                    RankStats* stats,
+                                    std::atomic<double>* shared_theta =
+                                        nullptr) {
+  std::stable_sort(terms.begin(), terms.end(),
+                   [](const EvalTerm& a, const EvalTerm& b) {
+                     return a.df > b.df;
+                   });
+  RankStrategy strategy = options.strategy;
+  if (strategy == RankStrategy::kAuto) {
+    strategy = options.prune
+                   ? PlanStrategy(terms.data(), terms.size(), n, num_docs)
+                   : RankStrategy::kTaat;
+  }
+  switch (strategy) {
+    case RankStrategy::kWand: {
+      std::vector<WandTerm> wand_terms;
+      wand_terms.reserve(terms.size());
+      for (size_t i = 0; i < terms.size(); ++i) {
+        wand_terms.push_back(WandTerm{terms[i].list, terms[i].w, i});
+      }
+      return WandTopN(wand_terms, num_docs, inv_doc_lengths, max_inv_doclen,
+                      n, initial_threshold, tie_less, options.kernel, stats,
+                      shared_theta);
+    }
+    case RankStrategy::kHybrid:
+      return HybridTopN(terms,
+                        HybridSplit(terms.data(), terms.size(), num_docs),
+                        num_docs, inv_doc_lengths, max_inv_doclen, n,
+                        initial_threshold, tie_less, options.kernel, stats,
+                        shared_theta);
+    default: {  // kTaat (and kAuto, already resolved above)
+      RankStats local;
+      ScoreAccumulator& acc = ScoreAccumulator::ThreadLocal();
+      acc.Reset(num_docs);
+      for (const EvalTerm& t : terms) {
+        if (t.list == nullptr) continue;
+        local.postings_touched += t.list->size();
+        ScorePostingList(*t.list, t.w, inv_doc_lengths, options.kernel,
+                         &acc);
+      }
+      if (stats != nullptr) *stats = local;
+      return acc.ExtractTopN(n, tie_less);
+    }
+  }
+}
+
+// Hot single instantiations (definitions in kernel.cc; rationale at
+// DocIdTieLess above). A custom comparator type still works — it just
+// instantiates locally.
+#define DLS_IR_EVAL_INSTANTIATIONS(EXTERN, TIE)                             \
+  EXTERN template std::vector<ScoredDoc> WandTopN<TIE>(                     \
+      const std::vector<WandTerm>&, size_t, const double*, double, size_t,  \
+      double, TIE, ScoreKernel, RankStats*, std::atomic<double>*);          \
+  EXTERN template std::vector<ScoredDoc> HybridTopN<TIE>(                   \
+      const std::vector<EvalTerm>&, size_t, size_t, const double*, double,  \
+      size_t, double, TIE, ScoreKernel, RankStats*, std::atomic<double>*);  \
+  EXTERN template std::vector<ScoredDoc> EvaluateTopN<TIE>(                 \
+      std::vector<EvalTerm>, size_t, const double*, double, size_t, double, \
+      TIE, const RankOptions&, RankStats*, std::atomic<double>*)
+DLS_IR_EVAL_INSTANTIATIONS(extern, DocIdTieLess);
+DLS_IR_EVAL_INSTANTIATIONS(extern, ErasedTieLess);
 
 }  // namespace dls::ir
 

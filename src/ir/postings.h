@@ -3,9 +3,11 @@
 
 #include <algorithm>
 #include <cassert>
+#include <cmath>
 #include <cstddef>
 #include <cstdint>
 #include <iterator>
+#include <limits>
 #include <vector>
 
 #include "ir/codec.h"
@@ -29,13 +31,36 @@ struct Posting {
 /// WAND-style skipping (one metadata record per block).
 inline constexpr size_t kPostingBlockSize = 128;
 
-/// Per-block metadata: the score bound of the block derives from
-/// max_tf, and [min_doc, max_doc] lets a cursor seek past whole blocks
-/// without reading a single posting.
+/// Smallest float ≥ x for finite x ≥ 0: the cast rounds to nearest,
+/// so nudge one ulp up when it rounded down. Used for the per-block
+/// score keys — a bound stored in float must never under-state the
+/// double it summarises, or pruning against it would drop documents.
+/// Deterministic, so write → load → re-save keeps segment bytes exact.
+inline float RoundUpToFloat(double x) {
+  float f = static_cast<float>(x);
+  if (static_cast<double>(f) < x) {
+    f = std::nextafterf(f, std::numeric_limits<float>::infinity());
+  }
+  return f;
+}
+
+/// Per-block metadata: [min_doc, max_doc] lets a cursor seek past
+/// whole blocks without reading a single posting, and score_key is the
+/// precomputed block-max score bound — max over the block's postings
+/// of tf·(1/doclen), rounded UP to float (RoundUpToFloat). The key
+/// folds the per-document length in, so it is strictly tighter than
+/// the max_tf × max_inv_doclen product bound, and it is independent of
+/// the query-time parameters (λ, df): the pruning bound of a block
+/// under term weight w is VecLog1p(w·score_key)·(1+ε), one multiply
+/// and one float compare per skip test, no decode. Computed by
+/// PostingList::FinalizeBlockBounds at Flush() time and carried
+/// through the segment format (v2); max_tf stays for the segment
+/// verifier and size accounting.
 struct PostingBlockMeta {
   int32_t max_tf = 0;
   DocId min_doc = 0;
   DocId max_doc = 0;
+  float score_key = 0.0f;
 };
 
 /// A term's posting list in block-structured SoA layout: doc ids and
@@ -84,6 +109,43 @@ class PostingList {
 
   /// Largest tf anywhere in the list (the term-level score bound).
   int32_t max_tf() const { return max_tf_; }
+
+  /// (Re)computes the per-block score keys (PostingBlockMeta::
+  /// score_key) from the per-document length table. Append-only lists
+  /// only ever extend the last block, so blocks already covered by a
+  /// previous call keep their keys; the call is a no-op when nothing
+  /// was appended since. TextIndex::Flush() runs this next to Pack(),
+  /// after the flush loop has set every appended document's length —
+  /// the keys need 1/doclen of every posting's document.
+  void FinalizeBlockBounds(const double* inv_doc_lengths) {
+    assert(!released_ && "FinalizeBlockBounds after ReleaseUnpackedPayload()");
+    if (keyed_postings_ == docs_.size()) return;
+    for (size_t b = keyed_postings_ / kPostingBlockSize; b < meta_.size();
+         ++b) {
+      float key = 0.0f;
+      const size_t end = block_end(b);
+      for (size_t i = block_begin(b); i < end; ++i) {
+        key = std::max(key, RoundUpToFloat(static_cast<double>(tfs_[i]) *
+                                           inv_doc_lengths[docs_[i]]));
+      }
+      meta_[b].score_key = key;
+    }
+    keyed_postings_ = docs_.size();
+    max_score_key_ = 0.0f;
+    for (const PostingBlockMeta& m : meta_) {
+      max_score_key_ = std::max(max_score_key_, m.score_key);
+    }
+  }
+
+  /// True when every posting is covered by the block score keys —
+  /// guaranteed after Flush() (heap indexes) and for loaded segments
+  /// (the v2 format carries the keys). Rankers fall back to the
+  /// (max_tf, max_inv_doclen) bound on lists that were never
+  /// finalised, so hand-built lists stay correct, just less prunable.
+  bool has_block_bounds() const { return keyed_postings_ == size(); }
+
+  /// Largest score_key of any block (the list-level score bound).
+  float max_score_key() const { return max_score_key_; }
 
   size_t num_blocks() const {
     return meta_view_ != nullptr ? packed_.num_blocks() : meta_.size();
@@ -160,6 +222,13 @@ class PostingList {
     meta_view_ = meta;
     max_tf_ = max_tf;
     released_ = true;
+    // The borrowed metadata carries the per-block score keys (segment
+    // format v2); only the list-level max is re-derived.
+    max_score_key_ = 0.0f;
+    for (size_t b = 0; b < num_blocks; ++b) {
+      max_score_key_ = std::max(max_score_key_, meta[b].score_key);
+    }
+    keyed_postings_ = count;
   }
 
   /// Access to the packed sidecar (the segment writer serialises its
@@ -223,6 +292,9 @@ class PostingList {
   const PostingBlockMeta* meta_view_ = nullptr;
   PackedPostingBlocks packed_;
   int32_t max_tf_ = 0;
+  /// Postings covered by FinalizeBlockBounds (== size() when current).
+  size_t keyed_postings_ = 0;
+  float max_score_key_ = 0.0f;
   bool released_ = false;
 };
 

@@ -19,8 +19,8 @@ namespace {
 
 // The borrowed sections are served by casting mapped bytes to these
 // types — their layout is the file format, so pin it down.
-static_assert(sizeof(PostingBlockMeta) == 12 && alignof(PostingBlockMeta) <= 8,
-              "BlockMeta section layout");
+static_assert(sizeof(PostingBlockMeta) == 16 && alignof(PostingBlockMeta) <= 8,
+              "BlockMeta section layout (v2: +score_key)");
 static_assert(sizeof(PackedPostingBlocks::BlockOffsets) == 8 &&
                   alignof(PackedPostingBlocks::BlockOffsets) <= 8,
               "BlockOffsets section layout");
@@ -316,7 +316,8 @@ constexpr uint8_t kTfEscape = 0xff;
 Status VerifyTermPostings(const TermRecord& r, const uint8_t* doc_stream,
                           const uint8_t* tf_stream,
                           const PackedPostingBlocks::BlockOffsets* offsets,
-                          const PostingBlockMeta* meta, uint64_t doc_count,
+                          const PostingBlockMeta* meta,
+                          const double* inv_doc_lengths, uint64_t doc_count,
                           size_t term) {
   auto corrupt = [term](const char* what) {
     return Status::Corruption(
@@ -344,6 +345,7 @@ Status VerifyTermPostings(const TermRecord& r, const uint8_t* doc_stream,
     const uint8_t* p_end = doc_stream + doc_end;
     uint64_t doc = 0;
     uint32_t first = 0, last = 0;
+    uint32_t block_docs[kPostingBlockSize];
     for (uint64_t i = 0; i < n; ++i) {
       uint32_t v;
       p = CheckedVarint32(p, p_end, &v);
@@ -352,6 +354,7 @@ Status VerifyTermPostings(const TermRecord& r, const uint8_t* doc_stream,
       if (doc >= doc_count) return corrupt("doc id out of range");
       if (i == 0) first = static_cast<uint32_t>(doc);
       last = static_cast<uint32_t>(doc);
+      block_docs[i] = static_cast<uint32_t>(doc);
     }
     if (p != p_end) return corrupt("doc stream length mismatch");
     if (b > 0 && first < prev_last_doc) return corrupt("blocks not ascending");
@@ -361,6 +364,7 @@ Status VerifyTermPostings(const TermRecord& r, const uint8_t* doc_stream,
     const uint8_t* q = tf_stream + offsets[b].tf_begin;
     const uint8_t* q_end = tf_stream + tf_end;
     int32_t block_max_tf = 0;
+    float block_key = 0.0f;
     for (uint64_t i = 0; i < n; ++i) {
       if (q == q_end) return corrupt("tf stream truncated");
       const uint8_t byte = *q++;
@@ -375,15 +379,24 @@ Status VerifyTermPostings(const TermRecord& r, const uint8_t* doc_stream,
         tf = kTfEscape + rest;
       }
       block_max_tf = std::max(block_max_tf, static_cast<int32_t>(tf));
+      block_key = std::max(
+          block_key, RoundUpToFloat(static_cast<double>(tf) *
+                                    inv_doc_lengths[block_docs[i]]));
     }
     if (q != q_end) return corrupt("tf stream length mismatch");
 
-    // Metadata drives WAND skipping; wrong metadata would silently
-    // break ranking exactness, so it is part of the contract.
+    // Metadata drives the pruning evaluators' skip decisions; wrong
+    // metadata would silently break ranking exactness (a too-small
+    // score_key makes a "sound" bound unsound), so all of it — the
+    // doc range, max_tf, and the block-max score key, bit for bit —
+    // is part of the contract.
     const PostingBlockMeta& m = meta[b];
     if (m.min_doc != first || m.max_doc != last ||
         m.max_tf != block_max_tf) {
       return corrupt("block metadata inconsistent with contents");
+    }
+    if (std::memcmp(&m.score_key, &block_key, sizeof(float)) != 0) {
+      return corrupt("block score key inconsistent with contents");
     }
     term_max_tf = std::max(term_max_tf, block_max_tf);
   }
@@ -416,6 +429,13 @@ Status TextIndex::FlushToDisk(const std::string& path) const {
   for (const PostingList& list : postings_) {
     if (!list.is_packed()) {
       return Status::InvalidArgument("FlushToDisk requires packed postings");
+    }
+    if (!list.has_block_bounds()) {
+      // v2 carries the block-max score keys; a list without them would
+      // serialise zeros and make every loaded bound unsound.
+      return Status::InvalidArgument(
+          "FlushToDisk requires finalised block bounds (Flush() computes "
+          "them)");
     }
     h.total_postings += list.size();
     h.total_blocks += list.num_blocks();
@@ -713,7 +733,8 @@ Result<std::unique_ptr<TextIndex>> TextIndex::LoadFromSegment(
         DLS_RETURN_IF_ERROR(VerifyTermPostings(
             r, doc_section + r.doc_begin, tf_section + r.tf_begin,
             all_offsets + r.block_begin, all_meta + r.block_begin,
-            h.doc_count, static_cast<size_t>(t)));
+            index->inv_doc_lengths_view_, h.doc_count,
+            static_cast<size_t>(t)));
       }
 
       index->df_.push_back(static_cast<int32_t>(r.count));

@@ -9,9 +9,16 @@
 
 namespace dls::ir {
 
-/// On-disk segment format (version 1) — the persistent form of one
+/// On-disk segment format (version 2) — the persistent form of one
 /// frozen TextIndex, written by TextIndex::FlushToDisk() and served
 /// straight off mmap by TextIndex::LoadFromSegment().
+///
+/// Version history: v2 widened PostingBlockMeta from 12 to 16 bytes,
+/// adding the per-block `score_key` upper bound the pruning
+/// evaluators skip with (ir/kernel.h) — block-max pruning decisions
+/// read only this borrowed metadata, so a skipped block is a page
+/// never faulted in. v1 files are rejected as kUnsupported (rewrite
+/// with the current builder); there is no in-place upgrade path.
 ///
 /// Layout (all integers little-endian; every section 8-byte aligned,
 /// zero-padded between sections):
@@ -63,7 +70,7 @@ namespace dls::ir {
 
 inline constexpr uint8_t kSegmentMagic[8] = {'D', 'L', 'S', 'S',
                                              'E', 'G', '0', '1'};
-inline constexpr uint32_t kSegmentVersion = 1;
+inline constexpr uint32_t kSegmentVersion = 2;
 inline constexpr size_t kSegmentHeaderBytes = 88;
 inline constexpr size_t kSegmentSectionCount = 9;
 inline constexpr size_t kSegmentSectionEntryBytes = 20;  // offset, len, crc

@@ -222,6 +222,9 @@ void RemoteClusterIndex::AggregateStats(
           std::max(stats->postings_touched_max_node,
                    static_cast<size_t>(r.postings_touched));
       stats->blocks_skipped += r.blocks_skipped;
+      stats->blocks_decoded += r.blocks_decoded;
+      stats->pivot_iterations += r.pivot_iterations;
+      stats->cursor_advances += r.cursor_advances;
       shard_elapsed += r.elapsed_us;
     }
     stats->critical_path_us = std::max(stats->critical_path_us, shard_elapsed);

@@ -54,6 +54,17 @@ Result<std::vector<uint8_t>> ShardServer::HandleFrame(
       for (const ir::ShardQuery& query : req.queries) {
         response.results.push_back(
             ir::EvaluateShardQuery(*node.index, *node.fragments, query));
+        const ir::ShardResult& r = response.results.back();
+        node.work->postings_touched.fetch_add(r.postings_touched,
+                                              std::memory_order_relaxed);
+        node.work->blocks_skipped.fetch_add(r.blocks_skipped,
+                                            std::memory_order_relaxed);
+        node.work->blocks_decoded.fetch_add(r.blocks_decoded,
+                                            std::memory_order_relaxed);
+        node.work->pivot_iterations.fetch_add(r.pivot_iterations,
+                                              std::memory_order_relaxed);
+        node.work->cursor_advances.fetch_add(r.cursor_advances,
+                                             std::memory_order_relaxed);
       }
       Result<std::vector<uint8_t>> encoded = EncodeQueryResponse(response);
       if (!encoded.ok()) return EncodeError(encoded.status());
@@ -74,6 +85,18 @@ Result<std::vector<uint8_t>> ShardServer::HandleFrame(
       response.collection_length = index.collection_length();
       response.document_count = index.flushed_document_count();
       response.mutation_epoch = index.mutation_epoch();
+      const Node::WorkCounters& work =
+          *nodes_[request.value().node_id].work;
+      response.postings_touched =
+          work.postings_touched.load(std::memory_order_relaxed);
+      response.blocks_skipped =
+          work.blocks_skipped.load(std::memory_order_relaxed);
+      response.blocks_decoded =
+          work.blocks_decoded.load(std::memory_order_relaxed);
+      response.pivot_iterations =
+          work.pivot_iterations.load(std::memory_order_relaxed);
+      response.cursor_advances =
+          work.cursor_advances.load(std::memory_order_relaxed);
       response.term_dfs.reserve(index.vocabulary_size());
       for (ir::TermId t = 0; t < index.vocabulary_size(); ++t) {
         response.term_dfs.emplace_back(index.term(t), index.df(t));

@@ -1,6 +1,7 @@
 #ifndef DLS_NET_SHARD_SERVER_H_
 #define DLS_NET_SHARD_SERVER_H_
 
+#include <atomic>
 #include <cstdint>
 #include <memory>
 #include <string>
@@ -55,6 +56,21 @@ class ShardServer : public FrameServer {
   struct Node {
     const ir::TextIndex* index;
     const ir::FragmentedIndex* fragments;
+    /// Cumulative per-node evaluation work (ir::RankStats summed over
+    /// every served query) — reported in StatsResponse so remote work
+    /// accounting stays comparable with the in-process
+    /// ClusterQueryStats. Relaxed atomics: independent monotone
+    /// counters read for monitoring, not for synchronisation.
+    struct WorkCounters {
+      std::atomic<uint64_t> postings_touched{0};
+      std::atomic<uint64_t> blocks_skipped{0};
+      std::atomic<uint64_t> blocks_decoded{0};
+      std::atomic<uint64_t> pivot_iterations{0};
+      std::atomic<uint64_t> cursor_advances{0};
+    };
+    /// unique_ptr so Node stays movable (vector growth).
+    std::unique_ptr<WorkCounters> work =
+        std::make_unique<WorkCounters>();
   };
 
   std::vector<Node> nodes_;

@@ -134,6 +134,7 @@ void WriteShardQuery(const ir::ShardQuery& q, FrameWriter* w) {
   w->F64(q.options.lambda);
   w->U8(static_cast<uint8_t>(q.options.kernel));
   w->U8(q.options.prune ? 1 : 0);
+  w->U8(static_cast<uint8_t>(q.options.strategy));
   w->Varint64(static_cast<uint64_t>(q.collection_length));
   w->Varint32(static_cast<uint32_t>(q.stems.size()));
   for (size_t i = 0; i < q.stems.size(); ++i) {
@@ -150,6 +151,9 @@ void WriteShardResult(const ir::ShardResult& r, FrameWriter* w) {
   }
   w->Varint64(r.postings_touched);
   w->Varint64(r.blocks_skipped);
+  w->Varint64(r.blocks_decoded);
+  w->Varint64(r.pivot_iterations);
+  w->Varint64(r.cursor_advances);
   w->F64(r.elapsed_us);
   w->BitVector(r.stem_evaluated);
 }
@@ -265,11 +269,13 @@ bool ReadShardQuery(BodyReader* r, ir::ShardQuery* q) {
   q->options.lambda = r->F64();
   const uint8_t kernel = r->U8();
   const uint8_t prune = r->U8();
+  const uint8_t strategy = r->U8();
   q->collection_length = static_cast<int64_t>(r->Varint64());
   const uint32_t stems = r->Count(/*min_bytes_each=*/2);
-  if (r->failed() || kernel > 2 || prune > 1) return false;
+  if (r->failed() || kernel > 2 || prune > 1 || strategy > 3) return false;
   q->options.kernel = static_cast<ir::ScoreKernel>(kernel);
   q->options.prune = prune != 0;
+  q->options.strategy = static_cast<ir::RankStrategy>(strategy);
   q->stems.reserve(stems);
   q->stem_global_df.reserve(stems);
   for (uint32_t i = 0; i < stems; ++i) {
@@ -296,6 +302,9 @@ bool ReadShardResult(BodyReader* r, ir::ShardResult* out) {
   }
   out->postings_touched = r->Varint64();
   out->blocks_skipped = r->Varint64();
+  out->blocks_decoded = r->Varint64();
+  out->pivot_iterations = r->Varint64();
+  out->cursor_advances = r->Varint64();
   out->elapsed_us = r->F64();
   out->stem_evaluated = r->BitVector();
   return !r->failed();
@@ -335,6 +344,11 @@ Result<std::vector<uint8_t>> EncodeStatsResponse(
   w.Varint64(static_cast<uint64_t>(response.collection_length));
   w.Varint64(response.document_count);
   w.Varint64(response.mutation_epoch);
+  w.Varint64(response.postings_touched);
+  w.Varint64(response.blocks_skipped);
+  w.Varint64(response.blocks_decoded);
+  w.Varint64(response.pivot_iterations);
+  w.Varint64(response.cursor_advances);
   w.Varint32(static_cast<uint32_t>(response.term_dfs.size()));
   for (const auto& [term, df] : response.term_dfs) {
     w.String(term);
@@ -361,6 +375,7 @@ Result<std::vector<uint8_t>> EncodeSearchRequest(
   w.F64(request.options.lambda);
   w.U8(static_cast<uint8_t>(request.options.kernel));
   w.U8(request.options.prune ? 1 : 0);
+  w.U8(static_cast<uint8_t>(request.options.strategy));
   // options.shared_threshold is an in-process execution policy, not
   // part of the wire query contract — deliberately not encoded.
   return w.Finish();
@@ -486,6 +501,11 @@ Result<StatsResponse> DecodeStatsResponse(const uint8_t* body, size_t len) {
   response.collection_length = static_cast<int64_t>(r.Varint64());
   response.document_count = r.Varint64();
   response.mutation_epoch = r.Varint64();
+  response.postings_touched = r.Varint64();
+  response.blocks_skipped = r.Varint64();
+  response.blocks_decoded = r.Varint64();
+  response.pivot_iterations = r.Varint64();
+  response.cursor_advances = r.Varint64();
   const uint32_t terms = r.Count(/*min_bytes_each=*/2);
   if (r.failed()) return Truncated("StatsResponse");
   response.term_dfs.reserve(terms);
@@ -516,11 +536,14 @@ Result<SearchRequest> DecodeSearchRequest(const uint8_t* body, size_t len) {
   request.options.lambda = r.F64();
   const uint8_t kernel = r.U8();
   const uint8_t prune = r.U8();
-  if (r.failed() || kernel > 2 || prune > 1 || r.remaining() != 0) {
+  const uint8_t strategy = r.U8();
+  if (r.failed() || kernel > 2 || prune > 1 || strategy > 3 ||
+      r.remaining() != 0) {
     return Truncated("SearchRequest");
   }
   request.options.kernel = static_cast<ir::ScoreKernel>(kernel);
   request.options.prune = prune != 0;
+  request.options.strategy = static_cast<ir::RankStrategy>(strategy);
   return request;
 }
 

@@ -26,8 +26,9 @@ namespace dls::net {
 ///   type              body
 ///   1 QueryRequest    node_id, then a batch of ShardQuery: per query
 ///                     n, max_fragments, threshold(f64), lambda(f64),
-///                     kernel(u8), prune(u8), collection_length, and
-///                     the resolved stems each with its global df
+///                     kernel(u8), prune(u8), strategy(u8),
+///                     collection_length, and the resolved stems each
+///                     with its global df
 ///   2 QueryResponse   node_id, then one ShardResult per request
 ///                     query: RES(url, score(f64)) tuples, work
 ///                     accounting, and the stem_evaluated bitmap
@@ -128,6 +129,16 @@ struct StatsResponse {
   /// sums these into a cluster epoch — the invalidation key the
   /// serving layer's result cache uses (stale after any reindex).
   uint64_t mutation_epoch = 0;
+  /// Cumulative work accounting (ir::RankStats) over every query this
+  /// server has evaluated against the node since it started — the
+  /// remote counterpart of summing ClusterQueryStats across queries,
+  /// so in-process and remote work stay comparable without shipping a
+  /// frame per probe.
+  uint64_t postings_touched = 0;
+  uint64_t blocks_skipped = 0;
+  uint64_t blocks_decoded = 0;
+  uint64_t pivot_iterations = 0;
+  uint64_t cursor_advances = 0;
   std::vector<std::pair<std::string, int32_t>> term_dfs;
 };
 

@@ -41,6 +41,7 @@ bool Frontend::Compatible(const Pending& a, const Pending& b) {
          a.options.lambda == b.options.lambda &&
          a.options.kernel == b.options.kernel &&
          a.options.prune == b.options.prune &&
+         a.options.strategy == b.options.strategy &&
          a.options.shared_threshold == b.options.shared_threshold;
 }
 

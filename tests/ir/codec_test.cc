@@ -420,12 +420,16 @@ TEST(CodecTest, PrunedPackedSkipsBlocksWithoutDecoding) {
   ASSERT_GE(sig_blocks, 4u);
 
   FragmentedIndex fragments(&index, 1);
+  // Force WAND: the auto planner would (correctly) pick TAAT for this
+  // single hot term, but the test asserts DAAT decode-cache behaviour.
   RankOptions block_prune;
   block_prune.kernel = ScoreKernel::kBlock;
   block_prune.prune = true;
+  block_prune.strategy = RankStrategy::kWand;
   RankOptions packed_prune;
   packed_prune.kernel = ScoreKernel::kPacked;
   packed_prune.prune = true;
+  packed_prune.strategy = RankStrategy::kWand;
 
   FragmentQueryStats block_stats;
   FragmentQueryStats packed_stats;

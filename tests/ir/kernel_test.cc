@@ -317,8 +317,11 @@ TEST(WandTest, PruningSkipsBlocksAndReducesPostingsTouched) {
   index.Flush();
 
   FragmentedIndex fragments(&index, 1);
+  // Force WAND: the auto planner would pick TAAT for this lone term —
+  // the test asserts the DAAT skip machinery specifically.
   RankOptions pruned;
   pruned.prune = true;
+  pruned.strategy = RankStrategy::kWand;
   FragmentQueryStats exhaustive_stats;
   FragmentQueryStats pruned_stats;
   std::vector<ScoredDoc> exhaustive =
@@ -352,6 +355,7 @@ TEST(WandTest, ClusterReportsBlockSkipsUnderPruning) {
   ClusterQueryStats pruned_stats;
   RankOptions pruned;
   pruned.prune = true;
+  pruned.strategy = RankStrategy::kWand;
   std::vector<ClusterScoredDoc> exhaustive =
       cluster.Query({"sig"}, 5, 1, &exhaustive_stats);
   std::vector<ClusterScoredDoc> got =

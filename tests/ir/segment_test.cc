@@ -10,6 +10,7 @@
 #include "ir/segment.h"
 
 #include <gtest/gtest.h>
+#include <unistd.h>
 
 #include <cstdio>
 #include <fstream>
@@ -75,7 +76,11 @@ void ExpectBitIdentical(const std::vector<ScoredDoc>& a,
 }
 
 std::string TempPath(const std::string& name) {
-  return testing::TempDir() + "dls_segment_test_" + name;
+  // Per-process uniqueness: two concurrent runs of this suite (e.g. a
+  // sanitizer build alongside a release build) must not truncate a
+  // file the other still has mmapped — that is a SIGBUS, not a fail.
+  return testing::TempDir() + "dls_segment_test_" +
+         std::to_string(static_cast<long>(::getpid())) + "_" + name;
 }
 
 std::vector<uint8_t> ReadFileBytes(const std::string& path) {

@@ -1,0 +1,386 @@
+// Bit-identity contract of RankOptions::strategy: every evaluation
+// strategy — TAAT, WAND, hybrid TAAT/DAAT and the auto cost model —
+// must return the identical ranking (documents AND scores) as the
+// exhaustive scalar reference, on every index shape (Text, Fragmented,
+// Cluster), execution mode (sequential, parallel), storage mode (heap,
+// mmap-served segment) and kernel. The Strategy*/Hybrid* suites are
+// also run under TSan and ASan+UBSan by ci/check.sh.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstdio>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "common/rng.h"
+#include "common/strings.h"
+#include "common/thread_pool.h"
+#include "ir/cluster.h"
+#include "ir/fragments.h"
+#include "ir/index.h"
+#include "ir/kernel.h"
+
+namespace dls::ir {
+namespace {
+
+TextIndex::Options RawOptions() {
+  TextIndex::Options options;
+  options.stem = false;
+  options.stop = false;
+  return options;
+}
+
+void BuildCorpus(TextIndex* index, int docs, int words_per_doc, size_t vocab,
+                 uint64_t seed) {
+  Rng rng(seed);
+  ZipfSampler zipf(vocab, 1.1);
+  for (int d = 0; d < docs; ++d) {
+    std::string body;
+    for (int w = 0; w < words_per_doc; ++w) {
+      body += StrFormat("term%04zu ", zipf.Sample(&rng));
+    }
+    index->AddDocument(StrFormat("doc%05d", d), body);
+  }
+  index->Flush();
+}
+
+std::vector<std::vector<std::string>> SeededQueries(int count, int words,
+                                                    size_t vocab,
+                                                    uint64_t seed) {
+  Rng rng(seed);
+  ZipfSampler zipf(vocab, 1.1);
+  std::vector<std::vector<std::string>> queries;
+  for (int q = 0; q < count; ++q) {
+    std::vector<std::string> query;
+    for (int w = 0; w < words; ++w) {
+      query.push_back(StrFormat("term%04zu", zipf.Sample(&rng)));
+    }
+    queries.push_back(std::move(query));
+  }
+  return queries;
+}
+
+void ExpectBitIdentical(const std::vector<ScoredDoc>& a,
+                        const std::vector<ScoredDoc>& b,
+                        const std::string& what) {
+  ASSERT_EQ(a.size(), b.size()) << what;
+  for (size_t i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(a[i].doc, b[i].doc) << what << " rank " << i;
+    EXPECT_EQ(a[i].score, b[i].score) << what << " rank " << i;
+  }
+}
+
+void ExpectClusterIdentical(const std::vector<ClusterScoredDoc>& a,
+                            const std::vector<ClusterScoredDoc>& b,
+                            const std::string& what) {
+  ASSERT_EQ(a.size(), b.size()) << what;
+  for (size_t i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(a[i].url, b[i].url) << what << " rank " << i;
+    EXPECT_EQ(a[i].score, b[i].score) << what << " rank " << i;
+  }
+}
+
+const RankStrategy kAllStrategies[] = {RankStrategy::kAuto,
+                                       RankStrategy::kTaat,
+                                       RankStrategy::kWand,
+                                       RankStrategy::kHybrid};
+
+const char* StrategyName(RankStrategy s) {
+  switch (s) {
+    case RankStrategy::kAuto:
+      return "auto";
+    case RankStrategy::kTaat:
+      return "taat";
+    case RankStrategy::kWand:
+      return "wand";
+    case RankStrategy::kHybrid:
+      return "hybrid";
+  }
+  return "?";
+}
+
+TEST(StrategyTest, AllStrategiesBitIdenticalOnTextIndex) {
+  for (uint64_t seed : {201u, 202u}) {
+    TextIndex index(RawOptions());
+    BuildCorpus(&index, 800, 40, 300, seed);
+    RankOptions exhaustive;
+    exhaustive.kernel = ScoreKernel::kScalar;
+    for (size_t n : {1u, 10u, 50u}) {
+      for (const auto& query : SeededQueries(15, 4, 300, seed + 100)) {
+        const std::vector<ScoredDoc> expected =
+            index.RankTopN(query, n, exhaustive);
+        for (RankStrategy strategy : kAllStrategies) {
+          for (ScoreKernel kernel : {ScoreKernel::kScalar, ScoreKernel::kBlock,
+                                     ScoreKernel::kPacked}) {
+            RankOptions options;
+            options.kernel = kernel;
+            options.prune = true;
+            options.strategy = strategy;
+            ExpectBitIdentical(
+                index.RankTopN(query, n, options), expected,
+                StrFormat("seed %zu n %zu strategy %s kernel %d",
+                          static_cast<size_t>(seed), n, StrategyName(strategy),
+                          static_cast<int>(kernel)));
+          }
+        }
+      }
+    }
+  }
+}
+
+TEST(StrategyTest, AllStrategiesBitIdenticalOnFragmentedIndex) {
+  TextIndex index(RawOptions());
+  BuildCorpus(&index, 600, 40, 300, 211);
+  FragmentedIndex fragments(&index, 8);
+  for (size_t cutoff : {2u, 5u, 8u}) {
+    for (const auto& query : SeededQueries(12, 4, 300, 212)) {
+      const std::vector<ScoredDoc> expected =
+          fragments.RankTopN(query, 10, cutoff);
+      for (RankStrategy strategy : kAllStrategies) {
+        RankOptions options;
+        options.prune = true;
+        options.strategy = strategy;
+        FragmentQueryStats stats;
+        ExpectBitIdentical(fragments.RankTopN(query, 10, cutoff, &stats,
+                                              options),
+                           expected,
+                           StrFormat("cutoff %zu strategy %s", cutoff,
+                                     StrategyName(strategy)));
+        // Any strategy reads at most what the exhaustive scan reads.
+        EXPECT_LE(stats.postings_touched, 40u * 600u);
+      }
+    }
+  }
+}
+
+TEST(StrategyTest, AllStrategiesBitIdenticalOnClusterSequentialAndParallel) {
+  ClusterIndex cluster(5, 4, RawOptions());
+  Rng rng(221);
+  ZipfSampler zipf(300, 1.1);
+  for (int d = 0; d < 600; ++d) {
+    std::string body;
+    for (int w = 0; w < 40; ++w) {
+      body += StrFormat("term%04zu ", zipf.Sample(&rng));
+    }
+    cluster.AddDocument(StrFormat("doc%05d", d), body);
+  }
+  cluster.Finalize();
+
+  auto queries = SeededQueries(15, 4, 300, 222);
+  std::vector<std::vector<ClusterScoredDoc>> expected;
+  for (const auto& q : queries) expected.push_back(cluster.Query(q, 10, 4));
+
+  // Sequential exercises the threshold-feedback protocol (a later node
+  // starts from an earlier node's n-th best); parallel the θ0 = 0 path.
+  for (int parallel = 0; parallel < 2; ++parallel) {
+    ThreadPool pool(4);
+    if (parallel) cluster.SetExecutor(&pool);
+    for (RankStrategy strategy : kAllStrategies) {
+      RankOptions options;
+      options.prune = true;
+      options.strategy = strategy;
+      for (size_t q = 0; q < queries.size(); ++q) {
+        ExpectClusterIdentical(
+            cluster.Query(queries[q], 10, 4, nullptr, options), expected[q],
+            StrFormat("%s strategy %s query %zu",
+                      parallel ? "par" : "seq", StrategyName(strategy), q));
+      }
+    }
+    if (parallel) cluster.SetExecutor(nullptr);
+  }
+}
+
+TEST(StrategyTest, AllStrategiesBitIdenticalOnMmapSegment) {
+  TextIndex index(RawOptions());
+  BuildCorpus(&index, 700, 40, 300, 231);
+  auto queries = SeededQueries(15, 4, 300, 232);
+  std::vector<std::vector<ScoredDoc>> expected;
+  for (const auto& q : queries) expected.push_back(index.RankTopN(q, 10));
+
+  const std::string path =
+      testing::TempDir() + "/strategy_mmap_segment.dls";
+  ASSERT_TRUE(index.FlushToDisk(path).ok());
+  Result<std::unique_ptr<TextIndex>> loaded = TextIndex::LoadFromSegment(path);
+  ASSERT_TRUE(loaded.ok()) << loaded.status().ToString();
+
+  // The mmap-served index carries the v2 per-block score keys straight
+  // from the file; every strategy must rank identically off them.
+  for (RankStrategy strategy : kAllStrategies) {
+    RankOptions options;
+    options.prune = true;
+    options.strategy = strategy;
+    for (size_t q = 0; q < queries.size(); ++q) {
+      ExpectBitIdentical(loaded.value()->RankTopN(queries[q], 10, options),
+                         expected[q],
+                         StrFormat("mmap strategy %s query %zu",
+                                   StrategyName(strategy), q));
+    }
+  }
+  std::remove(path.c_str());
+}
+
+// The lone-contributor regression the v2 keyed bound exists for: filler
+// documents with a HIGHER tf than the hot documents but much longer
+// bodies. The pre-v2 bound (block max_tf × collection-wide max inverse
+// length) pairs the filler's tf with the hot documents' short length
+// and lands ABOVE θ — it would decode every filler block. The keyed
+// bound is the block's real max of tf/doclen, far below θ, so every
+// filler block skips without a decode.
+TEST(StrategyTest, LoneContributorKeyedBoundSkipsWhereUnkeyedBoundCannot) {
+  TextIndex index(RawOptions());
+  for (int d = 0; d < 16; ++d) {
+    index.AddDocument(StrFormat("hot%03d", d), "sig sig sig pad");
+  }
+  for (int d = 0; d < 600; ++d) {
+    std::string body = "sig sig sig sig";  // tf = 4 > hot tf = 3
+    for (int w = 0; w < 96; ++w) body += StrFormat(" fill%02d", w % 20);
+    index.AddDocument(StrFormat("cold%04d", d), body);
+  }
+  index.Flush();
+
+  FragmentedIndex fragments(&index, 1);
+  RankOptions pruned;
+  pruned.prune = true;
+  pruned.strategy = RankStrategy::kWand;
+  FragmentQueryStats exhaustive_stats;
+  FragmentQueryStats pruned_stats;
+  std::vector<ScoredDoc> exhaustive =
+      fragments.RankTopN({"sig"}, 5, 1, &exhaustive_stats);
+  std::vector<ScoredDoc> got =
+      fragments.RankTopN({"sig"}, 5, 1, &pruned_stats, pruned);
+  ExpectBitIdentical(exhaustive, got, "keyed lone contributor");
+  ASSERT_EQ(got.size(), 5u);
+
+  // The unkeyed bound provably could not have skipped: it dominates θ.
+  const TermId sig = *index.LookupTerm("sig");
+  const double w = TermWeight(index.df(sig), index.collection_length(), pruned);
+  const double theta = got.back().score;
+  EXPECT_GT(ScoreUpperBound(w, /*max_tf=*/4, index.max_inv_doc_length()),
+            theta);
+  // The keyed bound did skip — and never read a filler posting.
+  EXPECT_GT(pruned_stats.blocks_skipped, 0u);
+  EXPECT_LT(pruned_stats.postings_touched,
+            exhaustive_stats.postings_touched / 2);
+}
+
+// Hybrid work shape: the dense term is scored TAAT (no pivots), the
+// rare tail DAAT against the accumulator-seeded θ — pivot iterations
+// and cursor advances accrue, and total reads never exceed exhaustive.
+TEST(HybridTest, HybridAccruesPivotStatsAndNeverReadsMore) {
+  TextIndex index(RawOptions());
+  Rng rng(241);
+  for (int d = 0; d < 800; ++d) {
+    std::string body = "dense";  // df = 800: always above the rare cut
+    for (int w = 0; w < 19; ++w) {
+      body += StrFormat(" term%04zu", rng.Uniform(300));
+    }
+    if (d % 97 == 0) body += " needle";  // df ≈ 9: rare tail
+    index.AddDocument(StrFormat("doc%05d", d), body);
+  }
+  index.Flush();
+  FragmentedIndex fragments(&index, 1);
+
+  FragmentQueryStats exhaustive_stats;
+  std::vector<ScoredDoc> expected =
+      fragments.RankTopN({"dense", "needle"}, 10, 1, &exhaustive_stats);
+
+  RankOptions hybrid;
+  hybrid.prune = true;
+  hybrid.strategy = RankStrategy::kHybrid;
+  FragmentQueryStats hybrid_stats;
+  ExpectBitIdentical(
+      fragments.RankTopN({"dense", "needle"}, 10, 1, &hybrid_stats, hybrid),
+      expected, "hybrid dense+needle");
+  EXPECT_GT(hybrid_stats.pivot_iterations, 0u);
+  EXPECT_GT(hybrid_stats.cursor_advances, 0u);
+  EXPECT_LE(hybrid_stats.postings_touched, exhaustive_stats.postings_touched);
+  EXPECT_EQ(exhaustive_stats.pivot_iterations, 0u);
+}
+
+// The auto planner's contract is *which* evaluation runs, never what it
+// returns; spot-check its decisions through the work-stats shape.
+TEST(HybridTest, AutoPlannerPicksTaatForDenseAndDaatForRare) {
+  TextIndex index(RawOptions());
+  Rng rng(251);
+  for (int d = 0; d < 800; ++d) {
+    std::string body = "dense";
+    for (int w = 0; w < 19; ++w) {
+      body += StrFormat(" term%04zu", rng.Uniform(300));
+    }
+    if (d % 97 == 0) body += " needle";
+    index.AddDocument(StrFormat("doc%05d", d), body);
+  }
+  index.Flush();
+  FragmentedIndex fragments(&index, 1);
+
+  RankOptions auto_prune;
+  auto_prune.prune = true;  // strategy stays kAuto
+
+  // All-dense query → TAAT: no pivots.
+  FragmentQueryStats dense_stats;
+  fragments.RankTopN({"dense"}, 10, 1, &dense_stats, auto_prune);
+  EXPECT_EQ(dense_stats.pivot_iterations, 0u);
+
+  // Dense + rare → hybrid: pivots over the rare tail only.
+  FragmentQueryStats mixed_stats;
+  fragments.RankTopN({"dense", "needle"}, 10, 1, &mixed_stats, auto_prune);
+  EXPECT_GT(mixed_stats.pivot_iterations, 0u);
+  EXPECT_LT(mixed_stats.pivot_iterations, 20u);  // df(needle) ≈ 9 pivots
+}
+
+// TSan target: hybrid under the cluster's shared atomic θ. Client
+// threads hammer one frozen cluster; the shared θ publication from the
+// hybrid TAAT phase and the DAAT rare pass must be race-free and
+// answer-invisible.
+TEST(HybridTest, ConcurrentSharedThetaHybridIsRaceFreeAndExact) {
+  ClusterIndex cluster(4, 4, RawOptions());
+  Rng rng(261);
+  ZipfSampler zipf(300, 1.1);
+  for (int d = 0; d < 400; ++d) {
+    std::string body;
+    for (int w = 0; w < 40; ++w) {
+      body += StrFormat("term%04zu ", zipf.Sample(&rng));
+    }
+    cluster.AddDocument(StrFormat("doc%05d", d), body);
+  }
+  cluster.Finalize();
+  cluster.EnableParallelism(4);
+
+  auto queries = SeededQueries(12, 4, 300, 262);
+  std::vector<std::vector<ClusterScoredDoc>> expected;
+  for (const auto& q : queries) {
+    expected.push_back(cluster.Query(q, 10, 4));
+  }
+
+  RankOptions shared_hybrid;
+  shared_hybrid.prune = true;
+  shared_hybrid.shared_threshold = true;
+  shared_hybrid.strategy = RankStrategy::kHybrid;
+
+  std::vector<std::thread> clients;
+  std::atomic<int> failures{0};
+  for (int t = 0; t < 4; ++t) {
+    clients.emplace_back([&] {
+      for (size_t q = 0; q < queries.size(); ++q) {
+        std::vector<ClusterScoredDoc> got =
+            cluster.Query(queries[q], 10, 4, nullptr, shared_hybrid);
+        if (got.size() != expected[q].size()) {
+          ++failures;
+          continue;
+        }
+        for (size_t i = 0; i < got.size(); ++i) {
+          if (got[i].url != expected[q][i].url ||
+              got[i].score != expected[q][i].score) {
+            ++failures;
+          }
+        }
+      }
+    });
+  }
+  for (std::thread& client : clients) client.join();
+  EXPECT_EQ(failures.load(), 0);
+}
+
+}  // namespace
+}  // namespace dls::ir

@@ -40,6 +40,7 @@ ir::ShardQuery MakeQuery(size_t variant) {
   q.options.lambda = kTrickyDoubles[(variant + 1) % 8];
   q.options.kernel = static_cast<ir::ScoreKernel>(variant % 3);
   q.options.prune = variant % 2 == 0;
+  q.options.strategy = static_cast<ir::RankStrategy>(variant % 4);
   q.collection_length = static_cast<int64_t>(1) << 40;
   for (size_t i = 0; i < 11; ++i) {
     q.stems.push_back("stem" + std::to_string(variant) + std::to_string(i));
@@ -59,6 +60,7 @@ void ExpectSameQuery(const ir::ShardQuery& a, const ir::ShardQuery& b) {
   EXPECT_EQ(Bits(a.options.lambda), Bits(b.options.lambda));
   EXPECT_EQ(a.options.kernel, b.options.kernel);
   EXPECT_EQ(a.options.prune, b.options.prune);
+  EXPECT_EQ(a.options.strategy, b.options.strategy);
   EXPECT_EQ(a.collection_length, b.collection_length);
   EXPECT_EQ(a.stems, b.stems);
   EXPECT_EQ(a.stem_global_df, b.stem_global_df);
@@ -96,6 +98,9 @@ TEST(WireTest, QueryResponseRoundTripsScoresBitExactly) {
     }
     r.postings_touched = kVarint64Boundaries[v];
     r.blocks_skipped = kVarint64Boundaries[8 - v];
+    r.blocks_decoded = kVarint64Boundaries[(v + 2) % 9];
+    r.pivot_iterations = kVarint64Boundaries[(v + 4) % 9];
+    r.cursor_advances = kVarint64Boundaries[(v + 6) % 9];
     r.elapsed_us = kTrickyDoubles[v];
     // Bitmap sizes straddling byte boundaries: 0, 1, 8, 9, 17 bits.
     const size_t mask_bits[] = {0, 1, 8, 9, 17};
@@ -125,6 +130,9 @@ TEST(WireTest, QueryResponseRoundTripsScoresBitExactly) {
     }
     EXPECT_EQ(a.postings_touched, b.postings_touched);
     EXPECT_EQ(a.blocks_skipped, b.blocks_skipped);
+    EXPECT_EQ(a.blocks_decoded, b.blocks_decoded);
+    EXPECT_EQ(a.pivot_iterations, b.pivot_iterations);
+    EXPECT_EQ(a.cursor_advances, b.cursor_advances);
     EXPECT_EQ(Bits(a.elapsed_us), Bits(b.elapsed_us));
     EXPECT_EQ(a.stem_evaluated, b.stem_evaluated);
   }
@@ -149,6 +157,11 @@ TEST(WireTest, StatsRoundTrip) {
   response.stop = true;
   response.collection_length = (static_cast<int64_t>(1) << 48) + 17;
   response.document_count = 1234567;
+  response.postings_touched = kVarint64Boundaries[3];
+  response.blocks_skipped = kVarint64Boundaries[5];
+  response.blocks_decoded = kVarint64Boundaries[7];
+  response.pivot_iterations = kVarint64Boundaries[2];
+  response.cursor_advances = kVarint64Boundaries[6];
   for (uint32_t df : kVarint32Boundaries) {
     if (df == 0 || df > 0x7fffffffu) continue;
     response.term_dfs.emplace_back("t" + std::to_string(df),
@@ -163,6 +176,11 @@ TEST(WireTest, StatsRoundTrip) {
   EXPECT_EQ(res.value().stop, response.stop);
   EXPECT_EQ(res.value().collection_length, response.collection_length);
   EXPECT_EQ(res.value().document_count, response.document_count);
+  EXPECT_EQ(res.value().postings_touched, response.postings_touched);
+  EXPECT_EQ(res.value().blocks_skipped, response.blocks_skipped);
+  EXPECT_EQ(res.value().blocks_decoded, response.blocks_decoded);
+  EXPECT_EQ(res.value().pivot_iterations, response.pivot_iterations);
+  EXPECT_EQ(res.value().cursor_advances, response.cursor_advances);
   EXPECT_EQ(res.value().term_dfs, response.term_dfs);
 }
 
@@ -189,6 +207,7 @@ TEST(WireTest, SearchRequestRoundTrips) {
   request.options.lambda = kTrickyDoubles[2];
   request.options.kernel = ir::ScoreKernel::kPacked;
   request.options.prune = true;
+  request.options.strategy = ir::RankStrategy::kHybrid;
   // An execution policy, not a wire field: must NOT survive the trip.
   request.options.shared_threshold = true;
 
@@ -208,6 +227,7 @@ TEST(WireTest, SearchRequestRoundTrips) {
             Bits(request.options.lambda));
   EXPECT_EQ(decoded.value().options.kernel, request.options.kernel);
   EXPECT_EQ(decoded.value().options.prune, request.options.prune);
+  EXPECT_EQ(decoded.value().options.strategy, request.options.strategy);
   EXPECT_FALSE(decoded.value().options.shared_threshold);
 }
 
