@@ -17,6 +17,15 @@
 // variant against the in-process ranking is reported under exact.* —
 // ci/bench_gate.py fails the gate if it ever goes false.
 //
+// The replica section runs the same cluster behind 2 loopback replicas
+// per shard and measures per-query latency percentiles in three
+// states: healthy (also primes the adaptive hedge budget window),
+// one_slow (replica 0 of every shard delayed 10x the healthy median —
+// hedging plus health rerouting must keep p99 within 2x the healthy
+// p99, gated as replica.one_slow.p99_over_healthy_p99), and one_dead
+// (replica 0 killed under a cold router — failover must keep answers
+// whole). Both degraded states must stay bit-identical to in-process.
+//
 // Prints a human table and writes machine-readable JSON (default
 // BENCH_net.json, or argv[1]).
 #include <algorithm>
@@ -98,6 +107,55 @@ bool BitIdentical(const std::vector<ir::ClusterScoredDoc>& a,
     if (a[i].url != b[i].url || bits_a != bits_b) return false;
   }
   return true;
+}
+
+constexpr size_t kReplicasPerShard = 2;
+constexpr int kReplicaRounds = 400;  // per-query latency samples/state
+
+double Percentile(std::vector<double> samples, double q) {
+  if (samples.empty()) return 0.0;
+  std::sort(samples.begin(), samples.end());
+  const double pos = q * static_cast<double>(samples.size() - 1);
+  return samples[static_cast<size_t>(pos + 0.5)];
+}
+
+/// One replica-scenario pass: kReplicaRounds queries cycled from the
+/// batch, each individually timed and bit-checked against `reference`.
+struct ReplicaRun {
+  double p50_ms = 0.0;
+  double p99_ms = 0.0;
+  double hedge_rate = 0.0;  // hedges per shard exchange
+  uint64_t hedge_wins = 0;
+  uint64_t failovers = 0;
+  bool exact = true;
+};
+
+ReplicaRun RunReplicaRounds(
+    net::RemoteClusterIndex* remote,
+    const std::vector<std::vector<std::string>>& queries,
+    const std::vector<std::vector<ir::ClusterScoredDoc>>& reference) {
+  ReplicaRun run;
+  const net::RemoteClusterIndex::ReplicaCounters before =
+      remote->replica_counters();
+  std::vector<double> latencies;
+  latencies.reserve(kReplicaRounds);
+  for (int round = 0; round < kReplicaRounds; ++round) {
+    const size_t q = static_cast<size_t>(round) % queries.size();
+    Timer timer;
+    auto results = remote->Query(queries[q], kTopN, kFragments);
+    latencies.push_back(timer.ElapsedMillis());
+    if (!BitIdentical(reference[q], results)) run.exact = false;
+  }
+  const net::RemoteClusterIndex::ReplicaCounters after =
+      remote->replica_counters();
+  run.p50_ms = Percentile(latencies, 0.50);
+  run.p99_ms = Percentile(latencies, 0.99);
+  run.hedge_rate = static_cast<double>(after.hedges_fired -
+                                       before.hedges_fired) /
+                   static_cast<double>(kReplicaRounds * kNodes);
+  run.hedge_wins = after.hedge_wins - before.hedge_wins;
+  run.failovers = after.failovers - before.failovers;
+  return run;
 }
 
 }  // namespace
@@ -193,6 +251,57 @@ int main(int argc, char** argv) {
   double tcp_batched_ms =
       MeasureMs([&] { tcp.QueryBatch(queries, kTopN, kFragments); });
 
+  // ---- Replica scenarios: 2 loopback replicas per shard.
+  std::vector<std::vector<std::unique_ptr<net::LoopbackTransport>>>
+      replica_transports(kNodes);
+  std::vector<net::RemoteClusterIndex::ReplicaSet> replica_sets(kNodes);
+  for (size_t i = 0; i < kNodes; ++i) {
+    for (size_t r = 0; r < kReplicasPerShard; ++r) {
+      replica_transports[i].push_back(
+          std::make_unique<net::LoopbackTransport>(server.Handler()));
+      replica_sets[i].replicas.push_back(
+          {replica_transports[i][r].get(), static_cast<uint32_t>(i)});
+    }
+  }
+  ReplicaRun healthy, one_slow, one_dead;
+  int slow_delay_ms = 0;
+  {
+    net::RemoteClusterIndex replicated(
+        std::vector<net::RemoteClusterIndex::ReplicaSet>(replica_sets), {});
+    if (!replicated.Connect().ok()) {
+      std::fprintf(stderr, "replica connect failed\n");
+      return 1;
+    }
+    // Healthy pass doubles as hedge-budget priming: the rolling window
+    // fills with real exchange latencies, so one_slow runs against an
+    // adaptive p95 budget, not a guess.
+    healthy = RunReplicaRounds(&replicated, queries, reference);
+    slow_delay_ms = std::max(1, static_cast<int>(healthy.p50_ms * 10.0 + 0.5));
+    for (size_t i = 0; i < kNodes; ++i) {
+      replica_transports[i][0]->SetLatency(slow_delay_ms);
+    }
+    one_slow = RunReplicaRounds(&replicated, queries, reference);
+    // ~RemoteClusterIndex drains hedge losers still sleeping on the
+    // slowed transports.
+  }
+  {
+    // Fresh router (cold health state) so the dead primary is actually
+    // tried: every shard's first exchange must fail over.
+    net::RemoteClusterIndex replicated(
+        std::vector<net::RemoteClusterIndex::ReplicaSet>(replica_sets), {});
+    for (size_t i = 0; i < kNodes; ++i) {
+      replica_transports[i][0]->SetLatency(0);
+    }
+    if (!replicated.Connect().ok()) {
+      std::fprintf(stderr, "replica reconnect failed\n");
+      return 1;
+    }
+    for (size_t i = 0; i < kNodes; ++i) replica_transports[i][0]->Kill();
+    one_dead = RunReplicaRounds(&replicated, queries, reference);
+  }
+  const double p99_over_healthy =
+      healthy.p99_ms > 0 ? one_slow.p99_ms / healthy.p99_ms : 0.0;
+
   std::printf(
       "net fan-out: %zu nodes, %d docs, %d queries x %d terms, top %zu\n"
       "wire: %.0f bytes/query, %.1f messages/query "
@@ -223,6 +332,30 @@ int main(int argc, char** argv) {
       "(vs_inproc = protocol+transport overhead factor; exact: bits = "
       "bit-identical docs+scores vs in-process)\n");
 
+  std::printf(
+      "\nreplica sets: %zu replicas/shard over loopback, %d rounds/state\n"
+      "%-10s %-10s %-10s %-12s %-12s %-8s\n",
+      kReplicasPerShard, kReplicaRounds, "state", "p50_ms", "p99_ms",
+      "hedge_rate", "failovers", "exact");
+  struct ReplicaRow {
+    const char* name;
+    const ReplicaRun* run;
+  };
+  ReplicaRow replica_rows[] = {
+      {"healthy", &healthy}, {"one_slow", &one_slow}, {"one_dead", &one_dead}};
+  for (const ReplicaRow& r : replica_rows) {
+    std::printf("%-10s %-10.4f %-10.4f %-12.3f %-12llu %-8s\n", r.name,
+                r.run->p50_ms, r.run->p99_ms, r.run->hedge_rate,
+                static_cast<unsigned long long>(r.run->failovers),
+                r.run->exact ? "bits" : "NO");
+  }
+  std::printf(
+      "(one_slow: replica 0 of every shard delayed %d ms = 10x healthy "
+      "median; p99 %.2fx healthy p99, %llu hedge wins. one_dead: replica 0 "
+      "killed under a cold router.)\n",
+      slow_delay_ms, p99_over_healthy,
+      static_cast<unsigned long long>(one_slow.hedge_wins));
+
   std::FILE* out = std::fopen(json_path, "w");
   if (out == nullptr) {
     std::fprintf(stderr, "cannot write %s\n", json_path);
@@ -252,16 +385,36 @@ int main(int argc, char** argv) {
       "    \"tcp_vs_inprocess\": %.3f,\n"
       "    \"tcp_batched_vs_tcp\": %.3f\n"
       "  },\n"
+      "  \"replica\": {\n"
+      "    \"replicas_per_shard\": %zu,\n"
+      "    \"rounds_per_state\": %d,\n"
+      "    \"healthy\": {\"p50_ms\": %.4f, \"p99_ms\": %.4f, "
+      "\"hedge_rate\": %.4f},\n"
+      "    \"one_slow\": {\"delay_ms\": %d, \"p50_ms\": %.4f, "
+      "\"p99_ms\": %.4f, \"p99_over_healthy_p99\": %.3f, "
+      "\"hedge_rate\": %.4f, \"hedge_wins\": %llu},\n"
+      "    \"one_dead\": {\"p50_ms\": %.4f, \"p99_ms\": %.4f, "
+      "\"failovers\": %llu}\n"
+      "  },\n"
       "  \"exact\": {\"loopback_bit_identical\": %s, "
-      "\"tcp_bit_identical\": %s, \"tcp_batched_bit_identical\": %s}\n"
+      "\"tcp_bit_identical\": %s, \"tcp_batched_bit_identical\": %s, "
+      "\"replica_hedged_bit_identical\": %s, "
+      "\"replica_failover_bit_identical\": %s}\n"
       "}\n",
       kNodes, kFragments, kDocs, kWordsPerDoc, kVocab, kZipfTheta, kQueries,
       kTermsPerQuery, kTopN, bytes_per_query, messages_per_query,
       batched_bytes_per_query, inprocess_ms, loopback_ms, loopback_batched_ms,
       tcp_ms, tcp_batched_ms, loopback_ms / inprocess_ms,
       tcp_ms / inprocess_ms, tcp_ms > 0 ? tcp_batched_ms / tcp_ms : 0.0,
+      kReplicasPerShard, kReplicaRounds, healthy.p50_ms, healthy.p99_ms,
+      healthy.hedge_rate, slow_delay_ms, one_slow.p50_ms, one_slow.p99_ms,
+      p99_over_healthy, one_slow.hedge_rate,
+      static_cast<unsigned long long>(one_slow.hedge_wins), one_dead.p50_ms,
+      one_dead.p99_ms, static_cast<unsigned long long>(one_dead.failovers),
       loopback_exact ? "true" : "false", tcp_exact ? "true" : "false",
-      batch_exact ? "true" : "false");
+      batch_exact ? "true" : "false",
+      (healthy.exact && one_slow.exact) ? "true" : "false",
+      one_dead.exact ? "true" : "false");
   std::fclose(out);
   std::printf("wrote %s\n", json_path);
   server.Stop();

@@ -25,6 +25,17 @@ A metric fails the gate when it regresses by more than --threshold
                        exhaustive block scan, not just touch fewer
                        postings. A timing ratio, so a miss is
                        retryable like the other timing gates.
+  *.hedge_rate         ceiling of 0.25 — hedges are supposed to be the
+                       tail-latency exception; a router hedging a
+                       quarter of its shard exchanges is burning
+                       replica capacity, whatever the latency looks
+                       like. Timing-sensitive, so retryable.
+  replica.one_slow.p99_over_healthy_p99  ceiling of 2.0 — with one
+                       replica per shard delayed 10x the healthy
+                       median, hedging plus health rerouting must hold
+                       p99 within twice the healthy p99 (the headline
+                       claim of the replica layer). A timing ratio of
+                       the same run, so a miss is retryable.
   exact.*              must be true — a bit-identity miss is never a
                        timing artefact (for bench_serve this covers
                        bit_identical, p99_within_deadline,
@@ -80,6 +91,12 @@ LOAD_SPEEDUP_FLOOR = 10.0
 # A timing ratio (both sides measured in the same run), so a miss is
 # retryable, unlike the deterministic floors above.
 PRUNE_VS_BLOCK_FLOOR = 1.0
+
+# Replica routing: hedges must stay the exception, and one slow replica
+# must not be allowed to double tail latency. Both are timing-sensitive,
+# so misses are retryable.
+HEDGE_RATE_CEILING = 0.25
+SLOW_REPLICA_P99_CEILING = 2.0
 
 # Re-runs allowed when only timing ratios regressed (noise is one-sided:
 # contention can't make a run faster, so one clean attempt is decisive).
@@ -181,6 +198,19 @@ def compare(name, baseline, fresh, threshold):
             f"{name}: speedups.prune_vs_block {prune_speedup:.3f} below "
             f"the {PRUNE_VS_BLOCK_FLOOR:.1f} floor — pruning lost "
             f"wall-clock to the exhaustive scan")
+    for path, value in sorted(fresh_flat.items()):
+        if path.rsplit(".", 1)[-1] == "hedge_rate" and \
+                value > HEDGE_RATE_CEILING:
+            timing.append(
+                f"{name}: {path} {value:.3f} above the "
+                f"{HEDGE_RATE_CEILING:.2f} ceiling — hedging is no longer "
+                f"the exception")
+    slow_p99 = fresh_flat.get("replica.one_slow.p99_over_healthy_p99")
+    if slow_p99 is not None and slow_p99 > SLOW_REPLICA_P99_CEILING:
+        timing.append(
+            f"{name}: replica.one_slow.p99_over_healthy_p99 {slow_p99:.2f} "
+            f"above the {SLOW_REPLICA_P99_CEILING:.1f} ceiling — one slow "
+            f"replica leaked into tail latency")
     return timing, hard
 
 
@@ -190,10 +220,16 @@ def main():
                         help="CMake build directory with the bench binaries")
     parser.add_argument("--threshold", type=float, default=0.15,
                         help="allowed fractional regression (default 0.15)")
+    parser.add_argument("--out-dir", default=None,
+                        help="keep the fresh BENCH_*.json files here "
+                             "(default: a temp dir discarded on exit) — CI "
+                             "uploads them as the bench job's artifact")
     args = parser.parse_args()
 
     failures = []
     with tempfile.TemporaryDirectory(prefix="bench_gate_") as tmp:
+        out_dir = args.out_dir or tmp
+        os.makedirs(out_dir, exist_ok=True)
         for binary, baseline_name in BENCHES:
             baseline_path = os.path.join(REPO, baseline_name)
             binary_path = os.path.join(REPO, args.build_dir, "bench", binary)
@@ -203,7 +239,7 @@ def main():
             if not os.path.exists(binary_path):
                 failures.append(f"{binary}: binary not built at {binary_path}")
                 continue
-            fresh_path = os.path.join(tmp, baseline_name)
+            fresh_path = os.path.join(out_dir, baseline_name)
             with open(baseline_path) as f:
                 baseline = json.load(f)
             for attempt in range(1, MAX_ATTEMPTS + 1):

@@ -21,10 +21,18 @@
 #                       + serve again under the packed kernel (the wire
 #                       decoder's peer-controlled pointer arithmetic is
 #                       exactly what ASan/UBSan should see).
+#   ci/check.sh faults  fault-injection stage: the net replica/fault
+#                       suites and the serve fault suite under a
+#                       deterministic randomized fault schedule, once
+#                       per seed in DLS_FAULT_SEEDS (default "1 7 42"),
+#                       then the same schedule under the packed kernel.
+#                       Every seed must keep every answer bit-identical
+#                       at full quality — failover and hedging are only
+#                       allowed to hide faults, never to change results.
 #   ci/check.sh bench   builds the benchmark binaries and runs
 #                       ci/bench_gate.py against the committed
 #                       BENCH_*.json baselines (>15% regression fails).
-#   ci/check.sh all     tier1 + tsan + asan; bench too when
+#   ci/check.sh all     tier1 + tsan + asan + faults; bench too when
 #                       DLS_BENCH_GATE=1 (timing is machine-dependent,
 #                       so the gate is opt-in locally and a separate
 #                       non-required job in CI).
@@ -58,9 +66,26 @@ tsan() {
   DLS_KERNEL=packed ./build-tsan/tests/dls_ir_tests \
     --gtest_filter='ParallelQuery*:Codec*:Kernel*:Wand*:SharedThreshold*:Segment*:Strategy*:Hybrid*'
   DLS_KERNEL=packed ./build-tsan/tests/dls_net_tests \
-    --gtest_filter='TcpTest*:RemoteClusterTest*'
+    --gtest_filter='TcpTest*:RemoteClusterTest*:ReplicaTest*:FaultScheduleTest*'
   DLS_KERNEL=packed ./build-tsan/tests/dls_serve_tests \
-    --gtest_filter='ServeConcurrencyTest*:FrontendTest*'
+    --gtest_filter='ServeConcurrencyTest*:FrontendTest*:ServeFaultInjectionTest*'
+}
+
+faults() {
+  echo "== fault injection: replica failover + hedging under a seeded schedule =="
+  cmake -B build -S .
+  cmake --build build -j "$(nproc)" --target dls_net_tests dls_serve_tests
+  local filter='ReplicaTest*:FaultScheduleTest*:ServeFaultInjectionTest*'
+  for seed in ${DLS_FAULT_SEEDS:-1 7 42}; do
+    echo "== fault schedule, seed $seed =="
+    DLS_FAULT_SEED="$seed" ./build/tests/dls_net_tests \
+      --gtest_filter="$filter"
+    DLS_FAULT_SEED="$seed" ./build/tests/dls_serve_tests \
+      --gtest_filter="$filter"
+  done
+  echo "== fault schedule under the packed kernel, seed 1 =="
+  DLS_KERNEL=packed ./build/tests/dls_net_tests --gtest_filter="$filter"
+  DLS_KERNEL=packed ./build/tests/dls_serve_tests --gtest_filter="$filter"
 }
 
 asan() {
@@ -84,18 +109,23 @@ bench() {
   cmake --build build -j "$(nproc)" \
     --target bench_ir_kernel bench_codec bench_net_fanout bench_serve \
     bench_segment
-  python3 ci/bench_gate.py --build-dir build
+  # DLS_BENCH_OUT_DIR keeps the fresh JSONs (CI uploads them as the
+  # bench job's artifact); unset, they die with the gate's temp dir.
+  python3 ci/bench_gate.py --build-dir build \
+    ${DLS_BENCH_OUT_DIR:+--out-dir "$DLS_BENCH_OUT_DIR"}
 }
 
 case "$stage" in
   tier1) tier1 ;;
   tsan) tsan ;;
   asan) asan ;;
+  faults) faults ;;
   bench) bench ;;
   all)
     tier1
     tsan
     asan
+    faults
     if [[ "${DLS_BENCH_GATE:-0}" == "1" ]]; then
       bench
     else
@@ -103,7 +133,7 @@ case "$stage" in
     fi
     ;;
   *)
-    echo "usage: ci/check.sh [tier1|tsan|asan|bench|all]" >&2
+    echo "usage: ci/check.sh [tier1|tsan|asan|faults|bench|all]" >&2
     exit 2
     ;;
 esac

@@ -296,25 +296,85 @@ int main() {
   frontend_server.Stop();
   frontend.Stop();
 
-  // ---- Batched execution: the whole workload in one frame per node.
+  // ---- Batched execution: the whole workload in one frame per node,
+  // with per-rider attribution — each query in the batch reports its
+  // own work and quality, not a share of one batch-wide aggregate.
   std::vector<std::vector<std::string>> workload = {
       query, {"term001"}, {"term010", "term200"}};
   ir::ClusterQueryStats batch_stats;
-  remote.QueryBatch(workload, 5, 4, &batch_stats);
+  std::vector<ir::ClusterQueryStats> per_query;
+  remote.QueryBatch(workload, 5, 4, &batch_stats, {}, &per_query);
   std::printf("\nbatch of %zu queries: %zu messages (vs %zu one-by-one)\n",
               workload.size(), batch_stats.messages,
               workload.size() * stats.messages);
+  for (size_t q = 0; q < workload.size(); ++q) {
+    std::printf("  rider %zu: %zu terms, %zu postings touched, "
+                "quality %.2f\n",
+                q, workload[q].size(), per_query[q].postings_touched_total,
+                per_query[q].predicted_quality);
+  }
 
-  // ---- Take the second machine down: the query still answers from
-  // the surviving shards, and predicted_quality reports the lost
-  // document share instead of the client reporting an error.
+  // ---- Replication: a backup machine also hosting node 3, and a
+  // router that knows shard 3 has two replicas. Health-aware routing
+  // sends traffic to the faster one; hedging fires a backup request
+  // when an exchange blows its latency budget; failover retries
+  // elsewhere on errors. Replicas serve identical content, so none of
+  // that can change a ranking — only hide faults.
+  net::ShardServer backup;
+  backup.AddNode(&cluster.node_index(3), &cluster.node_fragments(3));
+  if (Status s = backup.Start(0); !s.ok()) {
+    std::fprintf(stderr, "backup start: %s\n", s.ToString().c_str());
+    return 1;
+  }
+  std::vector<std::unique_ptr<net::TcpTransport>> replica_dials;
+  std::vector<net::RemoteClusterIndex::ReplicaSet> replica_sets(4);
+  for (size_t i = 0; i < 3; ++i) {
+    replica_dials.push_back(
+        std::make_unique<net::TcpTransport>("127.0.0.1", server.port()));
+    replica_sets[i].replicas.push_back(
+        {replica_dials.back().get(), static_cast<uint32_t>(i)});
+  }
+  replica_dials.push_back(
+      std::make_unique<net::TcpTransport>("127.0.0.1", doomed.port()));
+  replica_sets[3].replicas.push_back({replica_dials.back().get(), 0});
+  replica_dials.push_back(
+      std::make_unique<net::TcpTransport>("127.0.0.1", backup.port()));
+  replica_sets[3].replicas.push_back({replica_dials.back().get(), 0});
+  net::RemoteClusterIndex replicated(std::move(replica_sets), options);
+  if (Status s = replicated.Connect(); !s.ok()) {
+    std::fprintf(stderr, "replicated connect: %s\n", s.ToString().c_str());
+    return 1;
+  }
+  std::printf("\nreplicated shard 3 on 127.0.0.1:%u and :%u\n", doomed.port(),
+              backup.port());
+
+  // ---- Take the second machine down. The unreplicated router can
+  // only degrade: it answers from the surviving shards and
+  // predicted_quality reports the lost document share. The replicated
+  // router fails over to the backup and nothing is lost.
   doomed.Stop();
   ir::ClusterQueryStats degraded_stats;
   std::vector<ir::ClusterScoredDoc> degraded =
       remote.Query(query, 5, 4, &degraded_stats);
-  std::printf("\nafter losing the 1-node server: %zu results, "
-              "predicted quality %.2f\n",
+  std::printf("\nafter losing the 1-node server:\n"
+              "  unreplicated: %zu results, predicted quality %.2f\n",
               degraded.size(), degraded_stats.predicted_quality);
 
-  return 0;
+  ir::ClusterQueryStats replicated_stats;
+  std::vector<ir::ClusterScoredDoc> survived =
+      replicated.Query(query, 5, 4, &replicated_stats);
+  bool replica_same = survived.size() == over_wire.size();
+  for (size_t i = 0; replica_same && i < survived.size(); ++i) {
+    replica_same = survived[i].url == over_wire[i].url &&
+                   survived[i].score == over_wire[i].score;
+  }
+  std::printf("  replicated:   %zu results, predicted quality %.2f, "
+              "%zu failover(s) — %s\n",
+              survived.size(), replicated_stats.predicted_quality,
+              replicated_stats.failovers,
+              replica_same ? "ranking identical to before the failure"
+                           : "MISMATCH");
+  backup.Stop();
+
+  return replica_same ? 0 : 1;
 }

@@ -115,6 +115,13 @@ struct ClusterQueryStats {
   size_t pivot_iterations = 0;
   /// Σ over nodes of cursor repositionings (RankStats).
   size_t cursor_advances = 0;
+  /// Replica routing events of the remote path (0 in-process and on
+  /// single-replica shards that never fail): hedged shard calls fired
+  /// past the latency budget, hedges whose answer arrived first, and
+  /// attempts moved to a different replica after a failure.
+  size_t hedges_fired = 0;
+  size_t hedge_wins = 0;
+  size_t failovers = 0;
   double predicted_quality = 1.0;
   /// Measured wall-clock of the slowest node's local evaluation — the
   /// query's critical path under perfect shared-nothing parallelism.

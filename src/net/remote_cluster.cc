@@ -2,25 +2,100 @@
 
 #include <algorithm>
 #include <cassert>
+#include <chrono>
+#include <numeric>
 #include <queue>
+#include <thread>
+#include <utility>
 
 #include "common/strings.h"
 #include "common/thread_pool.h"
+#include "common/timer.h"
 #include "net/wire.h"
 
 namespace dls::net {
+
+namespace {
+
+/// One attempt's classified outcome. `frame` is ok iff a well-formed
+/// non-Error frame arrived; `bytes` is the size of whatever response
+/// frame was received (0 when the transport itself failed), so wire
+/// accounting charges error frames and corrupt frames like the real
+/// traffic they are.
+struct Attempt {
+  Result<std::vector<uint8_t>> frame;
+  size_t bytes = 0;
+};
+
+/// Collapses a raw transport result into pass/fail: a transport error,
+/// an undecodable frame, or a peer Error frame are all *failed
+/// attempts* — eligible for retry and replica failover — while any
+/// well-formed non-Error frame is the attempt's answer (the caller
+/// still checks the type).
+Attempt ClassifyResponse(Result<std::vector<uint8_t>> raw) {
+  if (!raw.ok()) return {std::move(raw), 0};
+  const size_t bytes = raw.value().size();
+  MessageType type;
+  const uint8_t* body = nullptr;
+  size_t body_len = 0;
+  Status decoded = DecodeFrame(raw.value(), &type, &body, &body_len);
+  if (!decoded.ok()) return {std::move(decoded), bytes};
+  if (type == MessageType::kError) return {DecodeError(body, body_len), bytes};
+  return {std::move(raw), bytes};
+}
+
+}  // namespace
+
+/// Completion channel between a caller and its async attempts. Heap-
+/// allocated and shared: a hedge loser finishing after the caller
+/// returned writes into this, not into the caller's stack.
+struct RemoteClusterIndex::HedgedCall {
+  std::mutex mu;
+  std::condition_variable cv;
+  struct Done {
+    Result<std::vector<uint8_t>> frame = Status::Unavailable("pending");
+    size_t bytes = 0;
+    size_t replica = 0;
+    bool is_hedge = false;
+  };
+  std::vector<Done> done;
+};
 
 RemoteClusterIndex::RemoteClusterIndex(std::vector<Shard> shards)
     : RemoteClusterIndex(std::move(shards), Options()) {}
 
 RemoteClusterIndex::RemoteClusterIndex(std::vector<Shard> shards,
                                        Options options)
+    : RemoteClusterIndex(
+          [&shards] {
+            std::vector<ReplicaSet> sets(shards.size());
+            for (size_t i = 0; i < shards.size(); ++i) {
+              sets[i].replicas.push_back(shards[i]);
+            }
+            return sets;
+          }(),
+          options) {}
+
+RemoteClusterIndex::RemoteClusterIndex(std::vector<ReplicaSet> shards,
+                                       Options options)
     : shards_(std::move(shards)), options_(options) {
   assert(!shards_.empty());
   shard_docs_.assign(shards_.size(), 0);
+  shard_state_.reserve(shards_.size());
+  for (const ReplicaSet& set : shards_) {
+    assert(!set.replicas.empty());
+    auto state = std::make_unique<ShardState>();
+    state->health.resize(set.replicas.size());
+    shard_state_.push_back(std::move(state));
+  }
 }
 
-RemoteClusterIndex::~RemoteClusterIndex() = default;
+RemoteClusterIndex::~RemoteClusterIndex() {
+  // Hedge losers still hold `this` (they record replica health); the
+  // index must not die under them.
+  std::unique_lock<std::mutex> lock(inflight_mu_);
+  inflight_cv_.wait(lock, [this] { return inflight_ == 0; });
+}
 
 void RemoteClusterIndex::SetExecutor(ThreadPool* pool) {
   executor_ = pool;
@@ -46,33 +121,232 @@ int32_t RemoteClusterIndex::global_df(std::string_view stem) const {
   return it == global_df_.end() ? 0 : it->second;
 }
 
-namespace {
-
-/// One request/response exchange with per-attempt deadline and
-/// measured traffic. Every request frame handed to the transport and
-/// every response frame received counts, so retries show up in the
-/// stats instead of hiding.
-Result<std::vector<uint8_t>> Exchange(Transport* transport,
-                                      const std::vector<uint8_t>& frame,
-                                      int timeout_ms, int retries,
-                                      size_t* messages, size_t* bytes) {
-  Status last = Status::Unavailable("no attempts made");
-  for (int attempt = 0; attempt <= retries; ++attempt) {
-    *messages += 1;
-    *bytes += frame.size();
-    Result<std::vector<uint8_t>> response =
-        transport->Call(frame, Deadline::After(timeout_ms));
-    if (response.ok()) {
-      *messages += 1;
-      *bytes += response.value().size();
-      return response;
-    }
-    last = response.status();
-  }
-  return last;
+RemoteClusterIndex::ReplicaCounters RemoteClusterIndex::replica_counters()
+    const {
+  ReplicaCounters counters;
+  counters.hedges_fired = hedges_fired_.load(std::memory_order_relaxed);
+  counters.hedge_wins = hedge_wins_.load(std::memory_order_relaxed);
+  counters.failovers = failovers_.load(std::memory_order_relaxed);
+  counters.replica_errors = replica_errors_.load(std::memory_order_relaxed);
+  return counters;
 }
 
-}  // namespace
+std::vector<size_t> RemoteClusterIndex::HealthOrder(size_t shard) const {
+  const size_t n = shards_[shard].replicas.size();
+  std::vector<size_t> order(n);
+  std::iota(order.begin(), order.end(), 0);
+  if (n < 2) return order;
+  // Score = smoothed latency plus an error-rate penalty priced at one
+  // timeout (that is what a failed attempt costs the caller). A
+  // never-sampled replica scores 0 and keeps its configured position —
+  // fresh replicas get probed first, in deterministic order.
+  std::vector<double> score(n);
+  {
+    ShardState& state = *shard_state_[shard];
+    std::lock_guard<std::mutex> lock(state.mu);
+    for (size_t r = 0; r < n; ++r) {
+      const ReplicaHealth& h = state.health[r];
+      score[r] = h.ewma_latency_us +
+                 h.ewma_error * static_cast<double>(options_.timeout_ms) * 1e3;
+    }
+  }
+  std::stable_sort(order.begin(), order.end(),
+                   [&score](size_t a, size_t b) { return score[a] < score[b]; });
+  return order;
+}
+
+int64_t RemoteClusterIndex::HedgeBudgetUs(size_t shard) const {
+  if (!options_.hedge || shards_[shard].replicas.size() < 2) return -1;
+  if (options_.hedge_budget_us > 0) return options_.hedge_budget_us;
+  ShardState& state = *shard_state_[shard];
+  std::lock_guard<std::mutex> lock(state.mu);
+  if (state.window_count < options_.hedge_min_samples) return -1;
+  std::array<uint32_t, 64> window = state.window_us;
+  const size_t count = state.window_count;
+  const double q = std::clamp(options_.hedge_quantile, 0.0, 1.0);
+  const size_t k = static_cast<size_t>(q * static_cast<double>(count - 1));
+  std::nth_element(window.begin(), window.begin() + k, window.begin() + count);
+  return std::max<int64_t>(window[k], options_.hedge_budget_floor_us);
+}
+
+void RemoteClusterIndex::RecordCallOutcome(size_t shard, size_t replica,
+                                           bool ok, double elapsed_us) const {
+  if (!ok) replica_errors_.fetch_add(1, std::memory_order_relaxed);
+  ShardState& state = *shard_state_[shard];
+  std::lock_guard<std::mutex> lock(state.mu);
+  ReplicaHealth& h = state.health[replica];
+  const double a = options_.ewma_alpha;
+  if (ok) {
+    h.ewma_latency_us = h.ewma_latency_us <= 0
+                            ? elapsed_us
+                            : (1 - a) * h.ewma_latency_us + a * elapsed_us;
+  }
+  h.ewma_error =
+      h.samples == 0 ? (ok ? 0.0 : 1.0)
+                     : (1 - a) * h.ewma_error + a * (ok ? 0.0 : 1.0);
+  h.samples += 1;
+}
+
+void RemoteClusterIndex::RecordExchangeLatency(size_t shard,
+                                               double elapsed_us) const {
+  const uint32_t clamped = static_cast<uint32_t>(
+      std::min(elapsed_us, 4e9));
+  ShardState& state = *shard_state_[shard];
+  std::lock_guard<std::mutex> lock(state.mu);
+  state.window_us[state.window_next] = clamped;
+  state.window_next = (state.window_next + 1) % state.window_us.size();
+  state.window_count = std::min(state.window_count + 1, state.window_us.size());
+}
+
+void RemoteClusterIndex::StartAsyncAttempt(
+    size_t shard, size_t replica,
+    std::shared_ptr<const std::vector<uint8_t>> frame, bool is_hedge,
+    std::shared_ptr<HedgedCall> state) const {
+  {
+    std::lock_guard<std::mutex> lock(inflight_mu_);
+    ++inflight_;
+  }
+  Transport* transport = shards_[shard].replicas[replica].transport;
+  const int timeout_ms = options_.timeout_ms;
+  std::thread([this, shard, replica, transport, timeout_ms,
+               frame = std::move(frame), is_hedge, state = std::move(state)] {
+    Timer timer;
+    Attempt attempt = ClassifyResponse(
+        transport->Call(*frame, Deadline::After(timeout_ms)));
+    RecordCallOutcome(shard, replica, attempt.frame.ok(),
+                      timer.ElapsedMillis() * 1e3);
+    {
+      std::lock_guard<std::mutex> lock(state->mu);
+      state->done.push_back({std::move(attempt.frame), attempt.bytes, replica,
+                             is_hedge});
+    }
+    state->cv.notify_all();
+    {
+      // Notify under the lock: the destructor destroys this cv the
+      // moment its wait observes inflight_ == 0, and it can only
+      // observe that after we release the mutex.
+      std::lock_guard<std::mutex> lock(inflight_mu_);
+      --inflight_;
+      inflight_cv_.notify_all();
+    }
+  }).detach();
+}
+
+Result<std::vector<uint8_t>> RemoteClusterIndex::HedgedExchange(
+    size_t shard,
+    const std::vector<std::shared_ptr<const std::vector<uint8_t>>>& frames,
+    ExchangeTelemetry* t) const {
+  // The attempt walk: replicas healthiest-first, the whole order
+  // repeated for each retry pass. A single-replica shard degenerates
+  // to the old retry loop exactly.
+  const std::vector<size_t> order = HealthOrder(shard);
+  std::vector<size_t> seq;
+  seq.reserve(order.size() * static_cast<size_t>(options_.retries + 1));
+  for (int pass = 0; pass <= options_.retries; ++pass) {
+    for (size_t r : order) seq.push_back(r);
+  }
+
+  Timer exchange_timer;
+  Status last = Status::Unavailable("no replica answered");
+  size_t next = 0;
+  const int64_t budget_us = HedgeBudgetUs(shard);
+
+  if (budget_us < 0) {
+    // Hedging not armed: walk the sequence synchronously — no spawned
+    // threads, identical cost profile to the pre-replica code.
+    while (next < seq.size()) {
+      const size_t replica = seq[next++];
+      t->messages += 1;
+      t->bytes += frames[replica]->size();
+      Timer call_timer;
+      Attempt attempt = ClassifyResponse(
+          shards_[shard].replicas[replica].transport->Call(
+              *frames[replica], Deadline::After(options_.timeout_ms)));
+      if (attempt.bytes > 0) {
+        t->messages += 1;
+        t->bytes += attempt.bytes;
+      }
+      RecordCallOutcome(shard, replica, attempt.frame.ok(),
+                        call_timer.ElapsedMillis() * 1e3);
+      if (attempt.frame.ok()) {
+        RecordExchangeLatency(shard, exchange_timer.ElapsedMillis() * 1e3);
+        return std::move(attempt.frame);
+      }
+      last = attempt.frame.status();
+      if (next < seq.size() && seq[next] != replica) {
+        t->failovers += 1;
+        failovers_.fetch_add(1, std::memory_order_relaxed);
+      }
+    }
+    return last;
+  }
+
+  // Hedged path: attempts run on registered async threads so the
+  // caller can fire the next replica while the first is still in
+  // flight. At most two attempts outstanding; first well-formed answer
+  // wins; losers land in `state` (heap-shared) and only update health.
+  auto state = std::make_shared<HedgedCall>();
+  size_t outstanding = 0;
+  auto launch = [&](bool is_hedge) {
+    const size_t replica = seq[next++];
+    t->messages += 1;
+    t->bytes += frames[replica]->size();
+    ++outstanding;
+    StartAsyncAttempt(shard, replica, frames[replica], is_hedge, state);
+  };
+  launch(/*is_hedge=*/false);
+
+  size_t consumed = 0;
+  std::unique_lock<std::mutex> lock(state->mu);
+  while (true) {
+    if (state->done.size() == consumed) {
+      if (outstanding == 0) return last;  // walk exhausted, all failed
+      if (next < seq.size() && outstanding < 2) {
+        const bool completed = state->cv.wait_for(
+            lock, std::chrono::microseconds(budget_us),
+            [&] { return state->done.size() > consumed; });
+        if (!completed) {
+          // Budget blown: hedge to the next replica in the walk.
+          lock.unlock();
+          launch(/*is_hedge=*/true);
+          lock.lock();
+          t->hedges_fired += 1;
+          hedges_fired_.fetch_add(1, std::memory_order_relaxed);
+          continue;
+        }
+      } else {
+        state->cv.wait(lock,
+                       [&] { return state->done.size() > consumed; });
+      }
+    }
+    HedgedCall::Done& done = state->done[consumed++];
+    --outstanding;
+    if (done.bytes > 0) {
+      t->messages += 1;
+      t->bytes += done.bytes;
+    }
+    if (done.frame.ok()) {
+      if (done.is_hedge) {
+        t->hedge_wins += 1;
+        hedge_wins_.fetch_add(1, std::memory_order_relaxed);
+      }
+      RecordExchangeLatency(shard, exchange_timer.ElapsedMillis() * 1e3);
+      return std::move(done.frame);
+    }
+    last = done.frame.status();
+    if (next < seq.size() && outstanding < 2) {
+      const size_t failed_replica = done.replica;
+      const size_t replacement = seq[next];
+      lock.unlock();
+      launch(/*is_hedge=*/false);
+      lock.lock();
+      if (replacement != failed_replica) {
+        t->failovers += 1;
+        failovers_.fetch_add(1, std::memory_order_relaxed);
+      }
+    }
+  }
+}
 
 Status RemoteClusterIndex::Connect() {
   global_df_.clear();
@@ -80,46 +354,81 @@ Status RemoteClusterIndex::Connect() {
   total_docs_ = 0;
   cluster_epoch_ = 0;
   for (size_t i = 0; i < shards_.size(); ++i) {
-    StatsRequest request;
-    request.node_id = shards_[i].node_id;
-    size_t messages = 0, bytes = 0;
-    Result<std::vector<uint8_t>> frame =
-        Exchange(shards_[i].transport, EncodeStatsRequest(request),
-                 options_.timeout_ms, options_.retries, &messages, &bytes);
-    if (!frame.ok()) return frame.status();
-    MessageType type;
-    const uint8_t* body = nullptr;
-    size_t body_len = 0;
-    DLS_RETURN_IF_ERROR(DecodeFrame(frame.value(), &type, &body, &body_len));
-    if (type == MessageType::kError) return DecodeError(body, body_len);
-    if (type != MessageType::kStatsResponse) {
-      return Status::Corruption("stats handshake: unexpected frame type");
+    const std::vector<Shard>& replicas = shards_[i].replicas;
+    StatsResponse adopted;
+    for (size_t r = 0; r < replicas.size(); ++r) {
+      // Per replica, no failover: Connect() is the deployment check
+      // and every replica must answer for itself.
+      StatsRequest request;
+      request.node_id = replicas[r].node_id;
+      const std::vector<uint8_t> frame = EncodeStatsRequest(request);
+      Result<std::vector<uint8_t>> response =
+          Status::Unavailable("no attempts made");
+      for (int attempt = 0; attempt <= options_.retries; ++attempt) {
+        Attempt a = ClassifyResponse(replicas[r].transport->Call(
+            frame, Deadline::After(options_.timeout_ms)));
+        response = std::move(a.frame);
+        if (response.ok()) break;
+      }
+      if (!response.ok()) return response.status();
+      MessageType type;
+      const uint8_t* body = nullptr;
+      size_t body_len = 0;
+      DLS_RETURN_IF_ERROR(
+          DecodeFrame(response.value(), &type, &body, &body_len));
+      if (type != MessageType::kStatsResponse) {
+        return Status::Corruption("stats handshake: unexpected frame type");
+      }
+      Result<StatsResponse> stats = DecodeStatsResponse(body, body_len);
+      if (!stats.ok()) return stats.status();
+      // Adopt the first shard's normalisation pipeline and hold every
+      // other shard (and replica) to it: resolving queries through a
+      // different stem/stop configuration than the shards indexed with
+      // would silently break the remote/in-process bit-identity (and
+      // recall).
+      if (i == 0 && r == 0) {
+        norm_stem_ = stats.value().stem;
+        norm_stop_ = stats.value().stop;
+      } else if (stats.value().stem != norm_stem_ ||
+                 stats.value().stop != norm_stop_) {
+        return Status::InvalidArgument(StrFormat(
+            "shard %zu replica %zu normalisation (stem=%d stop=%d) disagrees "
+            "with shard 0 (stem=%d stop=%d); all shards must index with one "
+            "pipeline",
+            i, r, stats.value().stem ? 1 : 0, stats.value().stop ? 1 : 0,
+            norm_stem_ ? 1 : 0, norm_stop_ ? 1 : 0));
+      }
+      if (r == 0) {
+        adopted = std::move(stats).value();
+        continue;
+      }
+      // Replicas of one shard must serve the same frozen node — that
+      // identity is what makes failover/hedging exactness-safe, so the
+      // cheap invariants are checked up front rather than trusted.
+      if (stats.value().document_count != adopted.document_count ||
+          stats.value().collection_length != adopted.collection_length ||
+          stats.value().mutation_epoch != adopted.mutation_epoch) {
+        return Status::InvalidArgument(StrFormat(
+            "shard %zu replica %zu (docs=%llu len=%lld epoch=%llu) disagrees "
+            "with replica 0 (docs=%llu len=%lld epoch=%llu); replicas must "
+            "serve identical node content",
+            i, r,
+            static_cast<unsigned long long>(stats.value().document_count),
+            static_cast<long long>(stats.value().collection_length),
+            static_cast<unsigned long long>(stats.value().mutation_epoch),
+            static_cast<unsigned long long>(adopted.document_count),
+            static_cast<long long>(adopted.collection_length),
+            static_cast<unsigned long long>(adopted.mutation_epoch)));
+      }
     }
-    Result<StatsResponse> stats = DecodeStatsResponse(body, body_len);
-    if (!stats.ok()) return stats.status();
-    // Adopt the first shard's normalisation pipeline and hold every
-    // other shard to it: resolving queries through a different
-    // stem/stop configuration than the shards indexed with would
-    // silently break the remote/in-process bit-identity (and recall).
-    if (i == 0) {
-      norm_stem_ = stats.value().stem;
-      norm_stop_ = stats.value().stop;
-    } else if (stats.value().stem != norm_stem_ ||
-               stats.value().stop != norm_stop_) {
-      return Status::InvalidArgument(StrFormat(
-          "shard %zu normalisation (stem=%d stop=%d) disagrees with shard 0 "
-          "(stem=%d stop=%d); all shards must index with one pipeline",
-          i, stats.value().stem ? 1 : 0, stats.value().stop ? 1 : 0,
-          norm_stem_ ? 1 : 0, norm_stop_ ? 1 : 0));
-    }
-    // Same aggregation as ClusterIndex::Finalize(): integer sums, so
-    // the resulting global df relation is identical to the in-process
-    // one whatever the shard order.
-    collection_length_ += stats.value().collection_length;
-    shard_docs_[i] = stats.value().document_count;
-    total_docs_ += stats.value().document_count;
-    cluster_epoch_ += stats.value().mutation_epoch;
-    for (const auto& [term, df] : stats.value().term_dfs) {
+    // Same aggregation as ClusterIndex::Finalize(): integer sums over
+    // one replica per shard, so the resulting global df relation is
+    // identical to the in-process one whatever the shard order.
+    collection_length_ += adopted.collection_length;
+    shard_docs_[i] = adopted.document_count;
+    total_docs_ += adopted.document_count;
+    cluster_epoch_ += adopted.mutation_epoch;
+    for (const auto& [term, df] : adopted.term_dfs) {
       global_df_[term] += df;
     }
   }
@@ -162,24 +471,48 @@ ir::ShardQuery RemoteClusterIndex::ResolveQuery(
 void RemoteClusterIndex::CallShard(size_t shard,
                                    const std::vector<ir::ShardQuery>& queries,
                                    ShardOutcome* outcome) const {
-  QueryRequest request;
-  request.node_id = shards_[shard].node_id;
-  request.queries = queries;
-  Result<std::vector<uint8_t>> encoded = EncodeQueryRequest(request);
-  // A batch too large for one frame never reaches the wire; the shard
-  // counts as lost (every shard fails identically, so the query comes
-  // back empty with predicted_quality 0 rather than half-shipped).
-  if (!encoded.ok()) return;
-  Result<std::vector<uint8_t>> frame = Exchange(
-      shards_[shard].transport, encoded.value(),
-      options_.timeout_ms, options_.retries, &outcome->messages,
-      &outcome->bytes);
+  const std::vector<Shard>& replicas = shards_[shard].replicas;
+  // One encoded frame per replica — replicas may address the node
+  // under different node ids on different servers, but replicas
+  // sharing an id share the encoding.
+  std::vector<std::shared_ptr<const std::vector<uint8_t>>> frames(
+      replicas.size());
+  std::unordered_map<uint32_t, std::shared_ptr<const std::vector<uint8_t>>>
+      by_node;
+  for (size_t r = 0; r < replicas.size(); ++r) {
+    auto it = by_node.find(replicas[r].node_id);
+    if (it == by_node.end()) {
+      QueryRequest request;
+      request.node_id = replicas[r].node_id;
+      request.queries = queries;
+      Result<std::vector<uint8_t>> encoded = EncodeQueryRequest(request);
+      // A batch too large for one frame never reaches the wire; the
+      // shard counts as lost (every shard fails identically, so the
+      // query comes back empty with predicted_quality 0 rather than
+      // half-shipped).
+      if (!encoded.ok()) return;
+      it = by_node
+               .emplace(replicas[r].node_id,
+                        std::make_shared<const std::vector<uint8_t>>(
+                            std::move(encoded).value()))
+               .first;
+    }
+    frames[r] = it->second;
+  }
+  ExchangeTelemetry telemetry;
+  Result<std::vector<uint8_t>> frame =
+      HedgedExchange(shard, frames, &telemetry);
+  outcome->messages += telemetry.messages;
+  outcome->bytes += telemetry.bytes;
+  outcome->hedges_fired += telemetry.hedges_fired;
+  outcome->hedge_wins += telemetry.hedge_wins;
+  outcome->failovers += telemetry.failovers;
   if (!frame.ok()) return;  // shard lost: outcome stays !alive
   MessageType type;
   const uint8_t* body = nullptr;
   size_t body_len = 0;
   if (!DecodeFrame(frame.value(), &type, &body, &body_len).ok()) return;
-  if (type != MessageType::kQueryResponse) return;  // Error frame or junk
+  if (type != MessageType::kQueryResponse) return;  // junk frame type
   Result<QueryResponse> response = DecodeQueryResponse(body, body_len);
   if (!response.ok()) return;
   // A response that doesn't answer the batch is as lost as no
@@ -205,18 +538,26 @@ void RemoteClusterIndex::AggregateStats(
     const std::vector<ir::ShardQuery>& queries,
     const std::vector<double>& idf_mass_totals,
     const std::vector<ShardOutcome>& outcomes,
-    ir::ClusterQueryStats* stats) const {
+    ir::ClusterQueryStats* stats,
+    std::vector<ir::ClusterQueryStats>* per_query) const {
+  if (per_query != nullptr) {
+    per_query->assign(queries.size(), ir::ClusterQueryStats());
+  }
   uint64_t alive_docs = 0;
   const ShardOutcome* first_alive = nullptr;
   for (size_t i = 0; i < outcomes.size(); ++i) {
     const ShardOutcome& o = outcomes[i];
     stats->messages += o.messages;
     stats->bytes_shipped += o.bytes;
+    stats->hedges_fired += o.hedges_fired;
+    stats->hedge_wins += o.hedge_wins;
+    stats->failovers += o.failovers;
     if (!o.alive) continue;
     if (first_alive == nullptr) first_alive = &o;
     alive_docs += shard_docs_[i];
     double shard_elapsed = 0;
-    for (const ir::ShardResult& r : o.results) {
+    for (size_t q = 0; q < o.results.size(); ++q) {
+      const ir::ShardResult& r = o.results[q];
       stats->postings_touched_total += r.postings_touched;
       stats->postings_touched_max_node =
           std::max(stats->postings_touched_max_node,
@@ -226,27 +567,52 @@ void RemoteClusterIndex::AggregateStats(
       stats->pivot_iterations += r.pivot_iterations;
       stats->cursor_advances += r.cursor_advances;
       shard_elapsed += r.elapsed_us;
+      if (per_query != nullptr) {
+        // Per-rider attribution: each query's own work counters and
+        // its own critical path (slowest node *for this query*). Wire
+        // traffic and routing events stay exchange-level — a batch
+        // ships one frame, there is no per-rider share of it.
+        ir::ClusterQueryStats& pq = (*per_query)[q];
+        pq.postings_touched_total += r.postings_touched;
+        pq.postings_touched_max_node =
+            std::max(pq.postings_touched_max_node,
+                     static_cast<size_t>(r.postings_touched));
+        pq.blocks_skipped += r.blocks_skipped;
+        pq.blocks_decoded += r.blocks_decoded;
+        pq.pivot_iterations += r.pivot_iterations;
+        pq.cursor_advances += r.cursor_advances;
+        pq.critical_path_us = std::max(pq.critical_path_us, r.elapsed_us);
+        pq.total_cpu_us += r.elapsed_us;
+      }
     }
     stats->critical_path_us = std::max(stats->critical_path_us, shard_elapsed);
     stats->total_cpu_us += shard_elapsed;
   }
 
-  double idf_total = 0, idf_read = 0;
-  for (size_t q = 0; q < queries.size(); ++q) {
-    idf_total += idf_mass_totals[q];
-    if (first_alive == nullptr) continue;
-    const std::vector<bool>& mask = first_alive->results[q].stem_evaluated;
-    for (size_t s = 0; s < queries[q].stems.size(); ++s) {
-      if (s < mask.size() && mask[s]) {
-        idf_read += 1.0 / static_cast<double>(queries[q].stem_global_df[s]);
-      }
-    }
-  }
-  const double idf_quality = idf_total > 0 ? idf_read / idf_total : 1.0;
   const double alive_share =
       total_docs_ > 0
           ? static_cast<double>(alive_docs) / static_cast<double>(total_docs_)
           : 1.0;
+  double idf_total = 0, idf_read = 0;
+  for (size_t q = 0; q < queries.size(); ++q) {
+    idf_total += idf_mass_totals[q];
+    double idf_read_q = 0;
+    if (first_alive != nullptr) {
+      const std::vector<bool>& mask = first_alive->results[q].stem_evaluated;
+      for (size_t s = 0; s < queries[q].stems.size(); ++s) {
+        if (s < mask.size() && mask[s]) {
+          idf_read_q += 1.0 / static_cast<double>(queries[q].stem_global_df[s]);
+        }
+      }
+    }
+    idf_read += idf_read_q;
+    if (per_query != nullptr) {
+      const double quality_q =
+          idf_mass_totals[q] > 0 ? idf_read_q / idf_mass_totals[q] : 1.0;
+      (*per_query)[q].predicted_quality = quality_q * alive_share;
+    }
+  }
+  const double idf_quality = idf_total > 0 ? idf_read / idf_total : 1.0;
   stats->predicted_quality = idf_quality * alive_share;
 }
 
@@ -287,7 +653,8 @@ std::vector<ir::ClusterScoredDoc> RemoteClusterIndex::Query(
   }
 
   ir::ClusterQueryStats local_stats;
-  AggregateStats({base}, {idf_mass_total}, outcomes, &local_stats);
+  AggregateStats({base}, {idf_mass_total}, outcomes, &local_stats,
+                 /*per_query=*/nullptr);
 
   // Lost shards contribute an empty ShardResult — the merge just never
   // draws from them.
@@ -304,7 +671,8 @@ std::vector<ir::ClusterScoredDoc> RemoteClusterIndex::Query(
 std::vector<std::vector<ir::ClusterScoredDoc>> RemoteClusterIndex::QueryBatch(
     const std::vector<std::vector<std::string>>& queries, size_t n,
     size_t max_fragments, ir::ClusterQueryStats* stats,
-    const ir::RankOptions& options) const {
+    const ir::RankOptions& options,
+    std::vector<ir::ClusterQueryStats>* per_query_stats) const {
   assert(connected_ && "call Connect() before QueryBatch()");
   std::vector<ir::ShardQuery> requests;
   std::vector<double> idf_mass_totals;
@@ -320,7 +688,8 @@ std::vector<std::vector<ir::ClusterScoredDoc>> RemoteClusterIndex::QueryBatch(
   std::vector<ShardOutcome> outcomes = FanOut(requests);
 
   ir::ClusterQueryStats local_stats;
-  AggregateStats(requests, idf_mass_totals, outcomes, &local_stats);
+  AggregateStats(requests, idf_mass_totals, outcomes, &local_stats,
+                 per_query_stats);
 
   std::vector<std::vector<ir::ClusterScoredDoc>> merged;
   merged.reserve(queries.size());

@@ -1,8 +1,12 @@
 #ifndef DLS_NET_REMOTE_CLUSTER_H_
 #define DLS_NET_REMOTE_CLUSTER_H_
 
+#include <array>
+#include <atomic>
+#include <condition_variable>
 #include <cstdint>
 #include <memory>
+#include <mutex>
 #include <string>
 #include <string_view>
 #include <unordered_map>
@@ -22,62 +26,129 @@ namespace dls::net {
 /// The central server of the distributed index, speaking the shard RPC
 /// protocol: the out-of-process mirror of ir::ClusterIndex::Query.
 ///
-/// Each shard is a (Transport, node_id) address — one TcpTransport per
-/// remote process, or LoopbackTransports onto an in-process
-/// ShardServer for deterministic tests. Connect() runs the stats
-/// handshake and aggregates every node's (term, df) table into the
-/// global vocabulary, after which Query() resolves, fans out, and
-/// k-way merges exactly like the in-process path — both sides share
-/// ir::EvaluateShardQuery and ir::MergeShardResults, and the wire
-/// round-trips scores bit-exactly, so a healthy cluster returns
+/// Each shard is a *replica set*: one or more (Transport, node_id)
+/// addresses serving byte-identical copies of the same node — one
+/// TcpTransport per remote process, or LoopbackTransports onto an
+/// in-process ShardServer for deterministic tests. Connect() runs the
+/// stats handshake against every replica (all must be reachable and
+/// agree — a cluster that *starts* degraded or inconsistent is a
+/// deployment error) and aggregates every shard's (term, df) table
+/// into the global vocabulary, after which Query() resolves, fans out,
+/// and k-way merges exactly like the in-process path — both sides
+/// share ir::EvaluateShardQuery and ir::MergeShardResults, and the
+/// wire round-trips scores bit-exactly, so a healthy cluster returns
 /// bit-identical rankings remote and in-process
 /// (tests/net/remote_cluster_test.cc holds it to that).
 ///
-/// Failure semantics: every per-shard call gets Options::timeout_ms,
-/// a failed call is retried Options::retries times (a fresh attempt
-/// reconnects a poisoned TcpTransport connection), and a shard still
-/// failing after that is dropped from the query: the merge proceeds
-/// over the surviving nodes and ClusterQueryStats.predicted_quality
-/// is scaled by the surviving document share — graceful degradation
-/// instead of a failed query. Shard document counts come from the
-/// Connect() handshake.
+/// Replica routing: every shard call walks the shard's replicas in
+/// health order — ascending EWMA latency, penalised by EWMA error rate
+/// — and the whole walk repeats Options::retries extra times, so a
+/// single-replica shard degenerates to the old timeout+retry loop. A
+/// failed attempt (transport error, undecodable frame, or an Error
+/// frame from the peer) *fails over* to the next replica in the walk.
+/// Because rankings are bit-identical across replicas, failover and
+/// hedging cannot change an answer — only whether one arrives, and how
+/// fast.
+///
+/// Hedging: once a shard's latency window is primed, an attempt that
+/// outlives the rolling p95 budget fires the next replica in the walk
+/// without cancelling the first; the first well-formed answer wins and
+/// the loser is ignored (its late completion only updates replica
+/// health). At most two attempts are in flight per call. The
+/// destructor waits for stray losers, so no call outlives the index.
+///
+/// Failure semantics: every attempt gets Options::timeout_ms (a fresh
+/// attempt reconnects a poisoned TcpTransport connection), and a shard
+/// whose walk is exhausted is dropped from the query: the merge
+/// proceeds over the surviving nodes and
+/// ClusterQueryStats.predicted_quality is scaled by the surviving
+/// document share — graceful degradation instead of a failed query.
+/// Shard document counts come from the Connect() handshake.
 ///
 /// ClusterQueryStats.messages / bytes_shipped report the *actual
 /// encoded frames*: one message and its byte size per request frame
-/// handed to a transport (retries included) and per response frame
-/// received — identical accounting on loopback and TCP.
+/// handed to a transport (retries and hedges included) and per
+/// response frame received — identical accounting on loopback and TCP.
+/// A hedge loser's response that lands after the winner was taken is
+/// not counted (nobody read it).
 ///
 /// Thread-safety: after Connect(), concurrent Query()/QueryBatch()
 /// calls are safe (transports serialise internally; result slots are
-/// per-shard and per-call).
+/// per-shard and per-call; health state is internally locked).
 class RemoteClusterIndex {
  public:
-  /// One remote node: which transport to dial and which node id it is
-  /// on its server (a ShardServer can host several). Transports are
+  /// One remote replica: which transport to dial and which node id it
+  /// is on its server (a ShardServer can host several). Transports are
   /// non-owning.
   struct Shard {
     Transport* transport = nullptr;
     uint32_t node_id = 0;
   };
 
-  struct Options {
-    int timeout_ms = 1000;  ///< per-call deadline (each attempt)
-    int retries = 1;        ///< extra attempts after a failed call
+  /// One shard's replica set. Every replica must serve the same frozen
+  /// node content (same documents, same index options) — that is what
+  /// makes failover and hedging exactness-safe; Connect() cross-checks
+  /// the replicas' advertised statistics against each other.
+  struct ReplicaSet {
+    std::vector<Shard> replicas;
   };
 
+  struct Options {
+    int timeout_ms = 1000;  ///< per-attempt deadline
+    /// Extra passes over the health-ordered replica walk after the
+    /// first all fails; with one replica this is exactly the old
+    /// per-shard retry count.
+    int retries = 1;
+
+    // ---- hedging ---------------------------------------------------
+    /// Master switch for tail-latency hedging (failover is always on).
+    bool hedge = true;
+    /// The budget tracks this quantile of the shard's rolling window
+    /// of successful call latencies.
+    double hedge_quantile = 0.95;
+    /// Window samples required before the rolling budget arms — until
+    /// then nothing hedges, keeping cold-start behaviour (and the
+    /// message accounting of deterministic tests) identical to the
+    /// pre-replica code.
+    size_t hedge_min_samples = 32;
+    /// The budget never drops below this, so micro-benchmark-fast
+    /// shards don't hedge on scheduler noise.
+    int64_t hedge_budget_floor_us = 200;
+    /// Fixed budget override in µs (0 = rolling p95). Tests use this
+    /// to make hedges fire deterministically without priming.
+    int64_t hedge_budget_us = 0;
+
+    // ---- health model ----------------------------------------------
+    /// EWMA smoothing for per-replica latency and error rate.
+    double ewma_alpha = 0.2;
+  };
+
+  /// Cumulative routing counters since construction (relaxed reads —
+  /// monitoring, not synchronisation).
+  struct ReplicaCounters {
+    uint64_t hedges_fired = 0;   ///< attempts launched past the budget
+    uint64_t hedge_wins = 0;     ///< hedged attempts that answered first
+    uint64_t failovers = 0;      ///< failures moved to another replica
+    uint64_t replica_errors = 0; ///< failed attempts, all causes
+  };
+
+  /// Single-replica convenience: each Shard becomes a one-replica set.
   explicit RemoteClusterIndex(std::vector<Shard> shards);
   RemoteClusterIndex(std::vector<Shard> shards, Options options);
+  RemoteClusterIndex(std::vector<ReplicaSet> shards, Options options);
+  /// Waits for in-flight hedge losers before tearing down.
   ~RemoteClusterIndex();
 
-  /// Stats handshake: fetches every shard's local statistics and
+  /// Stats handshake: fetches every replica's local statistics,
   /// aggregates the global df table, collection length and per-shard
-  /// document counts. Also adopts the shards' advertised normalisation
-  /// configuration (stem/stop) for query resolution, and fails with
-  /// kInvalidArgument if the shards disagree among themselves — a
-  /// mixed-pipeline cluster would silently resolve different stems
-  /// than its nodes indexed. Fails if any shard is unreachable — a
-  /// cluster that starts degraded is a deployment error, unlike one
-  /// that degrades under load.
+  /// document counts, and holds each shard's replicas to identical
+  /// document counts / collection lengths / epochs. Also adopts the
+  /// shards' advertised normalisation configuration (stem/stop) for
+  /// query resolution, and fails with kInvalidArgument if the shards
+  /// disagree among themselves — a mixed-pipeline cluster would
+  /// silently resolve different stems than its nodes indexed. Fails if
+  /// any replica is unreachable — a cluster that starts degraded is a
+  /// deployment error, unlike one that degrades under load.
   Status Connect();
 
   /// Uses `pool` (non-owning, may be nullptr for sequential) to fan
@@ -89,6 +160,9 @@ class RemoteClusterIndex {
   void EnableParallelism(size_t num_threads);
 
   size_t num_shards() const { return shards_.size(); }
+  size_t num_replicas(size_t shard) const {
+    return shards_[shard].replicas.size();
+  }
   uint64_t document_count() const { return total_docs_; }
   int64_t global_collection_length() const { return collection_length_; }
   /// Cluster-wide mutation epoch: the sum of every shard's
@@ -105,6 +179,8 @@ class RemoteClusterIndex {
   /// Connect().
   int32_t global_df(std::string_view stem) const;
 
+  ReplicaCounters replica_counters() const;
+
   /// Distributed top-N with per-node fragment cut-off; mirrors
   /// ClusterIndex::Query (same arguments, same semantics, same
   /// deterministic merge order).
@@ -117,20 +193,61 @@ class RemoteClusterIndex {
   /// shard and gets one response frame back, amortising a round-trip
   /// per node per query down to one per node. Results are per query,
   /// in input order, each identical to what Query() on that query
-  /// returns; `stats`, when given, aggregates over the batch.
+  /// returns; `stats`, when given, aggregates over the batch, and
+  /// `per_query_stats`, when given, is filled with one entry per query
+  /// attributing that rider's own work, latency and quality (wire
+  /// traffic and routing events are exchange-level and stay in the
+  /// aggregate).
   std::vector<std::vector<ir::ClusterScoredDoc>> QueryBatch(
       const std::vector<std::vector<std::string>>& queries, size_t n,
       size_t max_fragments, ir::ClusterQueryStats* stats = nullptr,
-      const ir::RankOptions& options = {}) const;
+      const ir::RankOptions& options = {},
+      std::vector<ir::ClusterQueryStats>* per_query_stats = nullptr) const;
 
  private:
-  /// Per-shard outcome of one fan-out, with measured wire traffic.
+  /// Per-shard outcome of one fan-out, with measured wire traffic and
+  /// routing events.
   struct ShardOutcome {
     std::vector<ir::ShardResult> results;  // one per query in the batch
     bool alive = false;
     size_t messages = 0;
     size_t bytes = 0;
+    size_t hedges_fired = 0;
+    size_t hedge_wins = 0;
+    size_t failovers = 0;
   };
+
+  /// Wire/routing accounting of one exchange (Connect and CallShard
+  /// fold it into their own books).
+  struct ExchangeTelemetry {
+    size_t messages = 0;
+    size_t bytes = 0;
+    size_t hedges_fired = 0;
+    size_t hedge_wins = 0;
+    size_t failovers = 0;
+  };
+
+  /// Per-replica health, EWMA-smoothed; guarded by ShardState::mu.
+  struct ReplicaHealth {
+    double ewma_latency_us = 0;  ///< successful-call latency (0 = none yet)
+    double ewma_error = 0;       ///< failure indicator in [0, 1]
+    uint64_t samples = 0;
+  };
+
+  /// Mutable routing state of one shard.
+  struct ShardState {
+    mutable std::mutex mu;
+    std::vector<ReplicaHealth> health;
+    /// Rolling window of end-to-end successful exchange latencies (the
+    /// winner's time, so hedges keep the budget honest instead of a
+    /// slow replica inflating it); source of the hedge budget.
+    std::array<uint32_t, 64> window_us{};
+    size_t window_count = 0;
+    size_t window_next = 0;
+  };
+
+  /// Completion channel between a caller and its async attempts.
+  struct HedgedCall;
 
   /// Builds the resolved base request: normalised, de-duplicated stems
   /// with global dfs. Returns the query's total idf mass through
@@ -140,7 +257,30 @@ class RemoteClusterIndex {
                               const ir::RankOptions& options,
                               double* idf_mass_total) const;
 
-  /// One shard call with deadline + retries; fills outcome->messages /
+  /// Replica indices of `shard`, healthiest first.
+  std::vector<size_t> HealthOrder(size_t shard) const;
+  /// Hedge budget in µs, or -1 when hedging is not armed for the
+  /// shard (disabled, single replica, or window not primed).
+  int64_t HedgeBudgetUs(size_t shard) const;
+  void RecordCallOutcome(size_t shard, size_t replica, bool ok,
+                         double elapsed_us) const;
+  void RecordExchangeLatency(size_t shard, double elapsed_us) const;
+
+  /// One shard exchange over the replica walk: failover on failed
+  /// attempts, hedging past the budget. `frames` holds one request
+  /// frame per replica (replicas may address different node ids).
+  /// Returns the winning well-formed non-Error frame.
+  Result<std::vector<uint8_t>> HedgedExchange(
+      size_t shard,
+      const std::vector<std::shared_ptr<const std::vector<uint8_t>>>& frames,
+      ExchangeTelemetry* telemetry) const;
+
+  /// Launches one attempt on a detached (but inflight-counted) thread.
+  void StartAsyncAttempt(size_t shard, size_t replica,
+                         std::shared_ptr<const std::vector<uint8_t>> frame,
+                         bool is_hedge, std::shared_ptr<HedgedCall> state) const;
+
+  /// One shard call over the replica walk; fills outcome->messages /
   /// bytes with the frames actually exchanged.
   void CallShard(size_t shard, const std::vector<ir::ShardQuery>& queries,
                  ShardOutcome* outcome) const;
@@ -153,13 +293,15 @@ class RemoteClusterIndex {
       const std::vector<ir::ShardQuery>& queries) const;
 
   /// Folds per-shard outcomes into the E4 stats struct; shared by
-  /// Query and QueryBatch.
+  /// Query and QueryBatch. `per_query`, when non-null, gets one entry
+  /// per query with that rider's own work/latency/quality attribution.
   void AggregateStats(const std::vector<ir::ShardQuery>& queries,
                       const std::vector<double>& idf_mass_totals,
                       const std::vector<ShardOutcome>& outcomes,
-                      ir::ClusterQueryStats* stats) const;
+                      ir::ClusterQueryStats* stats,
+                      std::vector<ir::ClusterQueryStats>* per_query) const;
 
-  std::vector<Shard> shards_;
+  std::vector<ReplicaSet> shards_;
   Options options_;
   std::unordered_map<std::string, int32_t, ir::TransparentStringHash,
                      std::equal_to<>>
@@ -175,6 +317,21 @@ class RemoteClusterIndex {
   bool connected_ = false;
   ThreadPool* executor_ = nullptr;
   std::unique_ptr<ThreadPool> owned_pool_;
+
+  /// Routing state, one per shard (pointer-stable: ShardState holds a
+  /// mutex).
+  std::vector<std::unique_ptr<ShardState>> shard_state_;
+
+  mutable std::atomic<uint64_t> hedges_fired_{0};
+  mutable std::atomic<uint64_t> hedge_wins_{0};
+  mutable std::atomic<uint64_t> failovers_{0};
+  mutable std::atomic<uint64_t> replica_errors_{0};
+
+  /// Async attempts still running (hedge losers included); the
+  /// destructor blocks until it drains so no attempt outlives `this`.
+  mutable std::mutex inflight_mu_;
+  mutable std::condition_variable inflight_cv_;
+  mutable size_t inflight_ = 0;
 };
 
 }  // namespace dls::net

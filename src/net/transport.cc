@@ -5,6 +5,8 @@
 #include <thread>
 #include <utility>
 
+#include "net/wire.h"
+
 namespace dls::net {
 
 LoopbackTransport::LoopbackTransport(Handler handler)
@@ -13,6 +15,8 @@ LoopbackTransport::LoopbackTransport(Handler handler)
 Result<std::vector<uint8_t>> LoopbackTransport::Call(
     const std::vector<uint8_t>& request_frame, Deadline deadline) {
   int delay_ms = 0;
+  bool error_frame = false;
+  bool truncate = false;
   {
     std::lock_guard<std::mutex> lock(mu_);
     if (killed_) return Status::Unavailable("loopback: peer killed");
@@ -20,9 +24,18 @@ Result<std::vector<uint8_t>> LoopbackTransport::Call(
       --fail_calls_;
       return Status::Unavailable("loopback: injected failure");
     }
+    if (error_frame_calls_ > 0) {
+      --error_frame_calls_;
+      error_frame = true;
+    }
     if (delay_calls_ > 0) {
       --delay_calls_;
       delay_ms = delay_millis_;
+    }
+    delay_ms += latency_millis_;
+    if (truncate_calls_ > 0) {
+      --truncate_calls_;
+      truncate = true;
     }
   }
   if (delay_ms > 0) {
@@ -37,11 +50,24 @@ Result<std::vector<uint8_t>> LoopbackTransport::Call(
   if (deadline.Expired()) {
     return Status::DeadlineExceeded("loopback: deadline expired");
   }
+  if (error_frame) {
+    // The peer is reachable but refusing: a complete, well-formed
+    // Error frame — the failover path a draining replica exercises.
+    return EncodeError(Status::Unavailable("loopback: injected error frame"));
+  }
   {
     std::lock_guard<std::mutex> lock(mu_);
     ++dispatched_;
   }
-  return handler_(request_frame);
+  Result<std::vector<uint8_t>> response = handler_(request_frame);
+  if (truncate && response.ok()) {
+    // A peer killed mid-frame: the caller sees a length prefix that
+    // promises more bytes than arrive.
+    std::vector<uint8_t> half = response.value();
+    half.resize(half.size() / 2);
+    return half;
+  }
+  return response;
 }
 
 void LoopbackTransport::FailCalls(int count) {
@@ -53,6 +79,21 @@ void LoopbackTransport::DelayCalls(int count, int millis) {
   std::lock_guard<std::mutex> lock(mu_);
   delay_calls_ = count;
   delay_millis_ = millis;
+}
+
+void LoopbackTransport::ErrorFrameCalls(int count) {
+  std::lock_guard<std::mutex> lock(mu_);
+  error_frame_calls_ = count;
+}
+
+void LoopbackTransport::TruncateCalls(int count) {
+  std::lock_guard<std::mutex> lock(mu_);
+  truncate_calls_ = count;
+}
+
+void LoopbackTransport::SetLatency(int millis) {
+  std::lock_guard<std::mutex> lock(mu_);
+  latency_millis_ = millis;
 }
 
 void LoopbackTransport::Kill() {

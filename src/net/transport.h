@@ -38,13 +38,23 @@ class Transport {
 /// reference endpoint for the bit-identity tests, and the fault hooks
 /// below make it the harness for the failure-semantics tests:
 ///
-///   FailCalls(k)       the next k calls return kUnavailable without
-///                      reaching the handler (a dead peer);
-///   DelayCalls(k, ms)  the next k calls stall ms before dispatching
-///                      and return kDeadlineExceeded if that overruns
-///                      the caller's deadline (a slow peer — the
-///                      timeout+retry path);
-///   Kill()             every future call fails (a lost node).
+///   FailCalls(k)        the next k calls return kUnavailable without
+///                       reaching the handler (a dead peer);
+///   DelayCalls(k, ms)   the next k calls stall ms before dispatching
+///                       and return kDeadlineExceeded if that overruns
+///                       the caller's deadline (a slow peer — the
+///                       timeout+retry path);
+///   ErrorFrameCalls(k)  the next k calls answer a well-formed
+///                       kUnavailable Error *frame* without reaching
+///                       the handler (a peer that is up but refusing —
+///                       overloaded, draining, restarting);
+///   TruncateCalls(k)    the next k calls dispatch but return only the
+///                       first half of the response frame (a peer
+///                       killed mid-frame);
+///   SetLatency(ms)      every future call stalls ms before
+///                       dispatching (a persistently slow peer — the
+///                       hedging path; 0 clears it);
+///   Kill()              every future call fails (a lost node).
 ///
 /// Fault state is internally synchronised; concurrent Call()s are
 /// safe.
@@ -60,6 +70,9 @@ class LoopbackTransport : public Transport {
 
   void FailCalls(int count);
   void DelayCalls(int count, int millis);
+  void ErrorFrameCalls(int count);
+  void TruncateCalls(int count);
+  void SetLatency(int millis);
   void Kill();
 
   /// Calls that reached the handler (retry accounting in tests).
@@ -71,6 +84,9 @@ class LoopbackTransport : public Transport {
   int fail_calls_ = 0;
   int delay_calls_ = 0;
   int delay_millis_ = 0;
+  int error_frame_calls_ = 0;
+  int truncate_calls_ = 0;
+  int latency_millis_ = 0;
   bool killed_ = false;
   int dispatched_ = 0;
 };

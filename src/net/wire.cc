@@ -428,6 +428,9 @@ std::vector<uint8_t> EncodeServeStatsResponse(
   w.Varint64(response.latency_p95_us);
   w.Varint64(response.latency_p99_us);
   w.Varint64(response.latency_max_us);
+  w.Varint64(response.hedges_fired);
+  w.Varint64(response.hedge_wins);
+  w.Varint64(response.failovers);
   return std::move(w.Finish()).value();  // flat scalars: always fits
 }
 
@@ -616,6 +619,9 @@ Result<ServeStatsResponse> DecodeServeStatsResponse(const uint8_t* body,
   response.latency_p95_us = r.Varint64();
   response.latency_p99_us = r.Varint64();
   response.latency_max_us = r.Varint64();
+  response.hedges_fired = r.Varint64();
+  response.hedge_wins = r.Varint64();
+  response.failovers = r.Varint64();
   if (r.failed() || r.remaining() != 0) {
     return Truncated("ServeStatsResponse");
   }

@@ -201,6 +201,12 @@ struct ServeStatsResponse {
   uint64_t latency_p95_us = 0;
   uint64_t latency_p99_us = 0;
   uint64_t latency_max_us = 0;
+  /// Replica routing (serve::ServeStats, fed by the backend's
+  /// RemoteClusterIndex counters): hedged shard calls, hedges that
+  /// answered first, and failed attempts moved to another replica.
+  uint64_t hedges_fired = 0;
+  uint64_t hedge_wins = 0;
+  uint64_t failovers = 0;
 };
 
 /// Encoders return a complete frame: length prefix, type byte, body.

@@ -7,9 +7,14 @@ namespace dls::serve {
 std::vector<std::vector<ir::ClusterScoredDoc>> LocalBackend::QueryBatch(
     const std::vector<std::vector<std::string>>& queries, size_t n,
     size_t max_fragments, ir::ClusterQueryStats* stats,
+    std::vector<ir::ClusterQueryStats>* per_query_stats,
     const ir::RankOptions& options) const {
   std::vector<std::vector<ir::ClusterScoredDoc>> results;
   results.reserve(queries.size());
+  if (per_query_stats != nullptr) {
+    per_query_stats->clear();
+    per_query_stats->reserve(queries.size());
+  }
   ir::ClusterQueryStats batch;
   batch.predicted_quality = 1.0;
   for (const std::vector<std::string>& words : queries) {
@@ -25,6 +30,9 @@ std::vector<std::vector<ir::ClusterScoredDoc>> LocalBackend::QueryBatch(
         std::min(batch.predicted_quality, one.predicted_quality);
     batch.critical_path_us += one.critical_path_us;
     batch.total_cpu_us += one.total_cpu_us;
+    // The local path evaluates queries one by one, so per-rider
+    // attribution is just each query's own stats block.
+    if (per_query_stats != nullptr) per_query_stats->push_back(one);
   }
   if (stats != nullptr) *stats = batch;
   return results;

@@ -37,10 +37,14 @@ class Backend {
   /// Evaluates a batch of queries under one (n, max_fragments,
   /// options) policy; results are per query, in input order, each
   /// identical to a direct single-query evaluation. `stats`, when
-  /// given, aggregates over the batch.
+  /// given, aggregates over the batch; `per_query_stats`, when given,
+  /// is filled with one entry per query attributing that rider's own
+  /// work, latency and quality (wire traffic and replica routing
+  /// events are batch-level and stay in the aggregate).
   virtual std::vector<std::vector<ir::ClusterScoredDoc>> QueryBatch(
       const std::vector<std::vector<std::string>>& queries, size_t n,
       size_t max_fragments, ir::ClusterQueryStats* stats,
+      std::vector<ir::ClusterQueryStats>* per_query_stats,
       const ir::RankOptions& options) const = 0;
 
   /// Index footprint split (ir::ClusterIndex::bytes_resident/_mapped):
@@ -74,6 +78,7 @@ class LocalBackend final : public Backend {
   std::vector<std::vector<ir::ClusterScoredDoc>> QueryBatch(
       const std::vector<std::vector<std::string>>& queries, size_t n,
       size_t max_fragments, ir::ClusterQueryStats* stats,
+      std::vector<ir::ClusterQueryStats>* per_query_stats,
       const ir::RankOptions& options) const override;
 
   uint64_t BytesResident() const override {
@@ -103,8 +108,10 @@ class RemoteBackend final : public Backend {
   std::vector<std::vector<ir::ClusterScoredDoc>> QueryBatch(
       const std::vector<std::vector<std::string>>& queries, size_t n,
       size_t max_fragments, ir::ClusterQueryStats* stats,
+      std::vector<ir::ClusterQueryStats>* per_query_stats,
       const ir::RankOptions& options) const override {
-    return cluster_->QueryBatch(queries, n, max_fragments, stats, options);
+    return cluster_->QueryBatch(queries, n, max_fragments, stats, options,
+                                per_query_stats);
   }
 
  private:

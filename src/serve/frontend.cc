@@ -267,14 +267,18 @@ void Frontend::ExecuteBatch(std::vector<std::unique_ptr<Pending>> batch) {
   const uint64_t epoch = backend_->Epoch();
   const Pending& policy = *live.front();
   ir::ClusterQueryStats stats;
+  std::vector<ir::ClusterQueryStats> per_query;
   const auto eval_start = SteadyClock::now();
   std::vector<std::vector<ir::ClusterScoredDoc>> rankings =
       backend_->QueryBatch(queries, policy.n, policy.max_fragments, &stats,
-                           policy.options);
+                           &per_query, policy.options);
   const uint64_t eval_us = MicrosSince(eval_start);
 
   batches_.fetch_add(1, std::memory_order_relaxed);
   batched_queries_.fetch_add(live.size(), std::memory_order_relaxed);
+  hedges_fired_.fetch_add(stats.hedges_fired, std::memory_order_relaxed);
+  hedge_wins_.fetch_add(stats.hedge_wins, std::memory_order_relaxed);
+  failovers_.fetch_add(stats.failovers, std::memory_order_relaxed);
   {
     std::lock_guard<std::mutex> lock(mu_);
     ewma_batch_us_ = ewma_batch_us_ <= 0
@@ -282,21 +286,25 @@ void Frontend::ExecuteBatch(std::vector<std::unique_ptr<Pending>> batch) {
                          : 0.8 * ewma_batch_us_ + 0.2 * eval_us;
   }
 
+  // Per-rider quality attribution: each unique query carries its own
+  // stats block, so two riders sharing a batch no longer share one
+  // batch-aggregate figure (the fallback stays the aggregate for
+  // backends that don't fill the vector).
+  auto rider_quality = [&](size_t u) {
+    return u < per_query.size() ? per_query[u].predicted_quality
+                                : stats.predicted_quality;
+  };
   for (size_t u = 0; u < unique.size(); ++u) {
     CachedResult entry;
     entry.results = rankings[u];
-    entry.predicted_quality = stats.predicted_quality;
+    entry.predicted_quality = rider_quality(u);
     entry.degraded = live[unique[u]]->degraded;
     cache_.Insert(live[unique[u]]->cache_key, epoch, std::move(entry));
   }
   for (size_t i = 0; i < live.size(); ++i) {
     SearchResult result;
     result.degraded = live[i]->degraded;
-    // Batch-aggregate estimate (the conservative minimum over the
-    // batch on the local path; the remote path reports one figure per
-    // fan-out) — per-query attribution would need per-query stats
-    // plumbing through QueryBatch.
-    result.predicted_quality = stats.predicted_quality;
+    result.predicted_quality = rider_quality(slot[i]);
     result.results = rankings[slot[i]];
     RecordCompletion(*live[i]);
     live[i]->promise.set_value(std::move(result));
@@ -317,6 +325,9 @@ ServeStats Frontend::Stats() const {
   stats.degraded = degraded_.load(std::memory_order_relaxed);
   stats.batches = batches_.load(std::memory_order_relaxed);
   stats.batched_queries = batched_queries_.load(std::memory_order_relaxed);
+  stats.hedges_fired = hedges_fired_.load(std::memory_order_relaxed);
+  stats.hedge_wins = hedge_wins_.load(std::memory_order_relaxed);
+  stats.failovers = failovers_.load(std::memory_order_relaxed);
   {
     std::lock_guard<std::mutex> lock(mu_);
     stats.queue_depth = queue_.size();

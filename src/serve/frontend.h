@@ -183,6 +183,11 @@ class Frontend {
   std::atomic<uint64_t> degraded_{0};
   std::atomic<uint64_t> batches_{0};
   std::atomic<uint64_t> batched_queries_{0};
+  /// Replica routing events reported by the backend's batch stats
+  /// (0 on local backends).
+  std::atomic<uint64_t> hedges_fired_{0};
+  std::atomic<uint64_t> hedge_wins_{0};
+  std::atomic<uint64_t> failovers_{0};
   LatencyHistogram latency_;
 };
 

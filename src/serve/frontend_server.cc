@@ -73,6 +73,9 @@ Result<std::vector<uint8_t>> FrontendServer::HandleFrame(
       response.latency_p95_us = stats.latency.p95;
       response.latency_p99_us = stats.latency.p99;
       response.latency_max_us = stats.latency.max;
+      response.hedges_fired = stats.hedges_fired;
+      response.hedge_wins = stats.hedge_wins;
+      response.failovers = stats.failovers;
       return net::EncodeServeStatsResponse(response);
     }
     case net::MessageType::kQueryRequest:

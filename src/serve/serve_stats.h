@@ -34,6 +34,11 @@ struct ServeStats {
   uint64_t batches = 0;          ///< backend QueryBatch calls
   uint64_t batched_queries = 0;  ///< queries carried by those calls
 
+  // ---- replica routing (remote backends; 0 in-process) -------------
+  uint64_t hedges_fired = 0;  ///< shard calls hedged past the budget
+  uint64_t hedge_wins = 0;    ///< hedged calls whose answer won
+  uint64_t failovers = 0;     ///< failed attempts moved to another replica
+
   // ---- instantaneous ------------------------------------------------
   uint64_t queue_depth = 0;  ///< queued requests at sample time
   uint64_t epoch = 0;        ///< backend mutation epoch at sample time

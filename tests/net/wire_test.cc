@@ -307,6 +307,9 @@ TEST(WireTest, ServeStatsRoundTrip) {
   response.latency_p95_us = 16;
   response.latency_p99_us = 17;
   response.latency_max_us = kVarint64Boundaries[6];
+  response.hedges_fired = 18;
+  response.hedge_wins = 19;
+  response.failovers = kVarint64Boundaries[3];
   frame = EncodeServeStatsResponse(response);
   ASSERT_TRUE(DecodeFrame(frame, &type, &body, &body_len).ok());
   ASSERT_EQ(type, MessageType::kServeStatsResponse);
@@ -336,6 +339,9 @@ TEST(WireTest, ServeStatsRoundTrip) {
   EXPECT_EQ(decoded.value().latency_p95_us, response.latency_p95_us);
   EXPECT_EQ(decoded.value().latency_p99_us, response.latency_p99_us);
   EXPECT_EQ(decoded.value().latency_max_us, response.latency_max_us);
+  EXPECT_EQ(decoded.value().hedges_fired, response.hedges_fired);
+  EXPECT_EQ(decoded.value().hedge_wins, response.hedge_wins);
+  EXPECT_EQ(decoded.value().failovers, response.failovers);
 }
 
 TEST(WireTest, ErrorRoundTrip) {

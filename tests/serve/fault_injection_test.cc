@@ -1,0 +1,218 @@
+// The full serving stack under replica faults: Frontend -> RemoteBackend
+// -> RemoteClusterIndex over replica sets whose primary replicas take a
+// deterministic seeded fault schedule (kills, delays, error frames,
+// truncated frames) while the backups stay healthy. The contract under
+// test is end-to-end exactness-safety: every kOk answer the frontend
+// returns — through batching, caching, degradation, failover, and
+// hedging — is bit-identical to a direct in-process cluster query, at
+// full predicted quality, and the replica routing events surface in
+// ServeStats. Seeded from DLS_FAULT_SEED like the net-layer schedule
+// (ci/check.sh faults runs both under several seeds).
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+#include <cstring>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "common/rng.h"
+#include "common/strings.h"
+#include "ir/cluster.h"
+#include "net/remote_cluster.h"
+#include "net/shard_server.h"
+#include "net/transport.h"
+#include "serve/backend.h"
+#include "serve/frontend.h"
+
+namespace dls::serve {
+namespace {
+
+uint64_t Bits(double v) {
+  uint64_t bits;
+  std::memcpy(&bits, &v, sizeof(bits));
+  return bits;
+}
+
+void BuildCorpus(ir::ClusterIndex* cluster, int docs, uint64_t seed) {
+  Rng rng(seed);
+  ZipfSampler zipf(300, 1.1);
+  for (int d = 0; d < docs; ++d) {
+    std::string body;
+    for (int w = 0; w < 50; ++w) {
+      body += StrFormat("term%03zu ", zipf.Sample(&rng));
+    }
+    cluster->AddDocument(StrFormat("doc%03d", d), body);
+  }
+  cluster->Finalize();
+}
+
+uint64_t FaultSeed() {
+  const char* env = std::getenv("DLS_FAULT_SEED");
+  if (env == nullptr || *env == '\0') return 1;
+  return std::strtoull(env, nullptr, 10);
+}
+
+/// Frontend over a replicated remote cluster: 3 shards × 2 loopback
+/// replicas onto one ShardServer, faults injectable per replica.
+struct ServedReplicatedCluster {
+  explicit ServedReplicatedCluster(net::RemoteClusterIndex::Options net_options,
+                                   FrontendOptions frontend_options = {})
+      : cluster(3, 4) {
+    BuildCorpus(&cluster, 200, 131);
+    std::vector<net::RemoteClusterIndex::ReplicaSet> sets(3);
+    transports.resize(3);
+    for (size_t i = 0; i < 3; ++i) {
+      server.AddNode(&cluster.node_index(i), &cluster.node_fragments(i));
+    }
+    for (size_t i = 0; i < 3; ++i) {
+      for (size_t r = 0; r < 2; ++r) {
+        transports[i].push_back(
+            std::make_unique<net::LoopbackTransport>(server.Handler()));
+        sets[i].replicas.push_back(
+            {transports[i][r].get(), static_cast<uint32_t>(i)});
+      }
+    }
+    remote =
+        std::make_unique<net::RemoteClusterIndex>(std::move(sets), net_options);
+    EXPECT_TRUE(remote->Connect().ok());
+    backend = std::make_unique<RemoteBackend>(remote.get());
+    frontend = std::make_unique<Frontend>(backend.get(), frontend_options);
+  }
+
+  ir::ClusterIndex cluster;
+  net::ShardServer server;
+  std::vector<std::vector<std::unique_ptr<net::LoopbackTransport>>> transports;
+  std::unique_ptr<net::RemoteClusterIndex> remote;
+  std::unique_ptr<RemoteBackend> backend;
+  std::unique_ptr<Frontend> frontend;
+};
+
+void ExpectIdentical(const std::vector<ir::ClusterScoredDoc>& got,
+                     const std::vector<ir::ClusterScoredDoc>& want,
+                     int round) {
+  ASSERT_EQ(got.size(), want.size()) << "round " << round;
+  for (size_t i = 0; i < want.size(); ++i) {
+    EXPECT_EQ(got[i].url, want[i].url) << "round " << round << " rank " << i;
+    EXPECT_EQ(Bits(got[i].score), Bits(want[i].score))
+        << "round " << round << " rank " << i;
+  }
+}
+
+TEST(ServeFaultInjectionTest, SeededScheduleStaysBitIdenticalEndToEnd) {
+  net::RemoteClusterIndex::Options net_options;
+  net_options.timeout_ms = 50;
+  net_options.retries = 1;
+  net_options.hedge_budget_us = 5000;  // hedging live during the schedule
+  FrontendOptions frontend_options;
+  frontend_options.default_deadline_ms = 5000;
+  frontend_options.degrade_watermark = 0;  // answers stay full-cut-off
+  ServedReplicatedCluster fx(net_options, frontend_options);
+
+  Rng rng(FaultSeed());
+  for (int round = 0; round < 24; ++round) {
+    const size_t shard = rng.Next() % 3;
+    net::LoopbackTransport* victim = fx.transports[shard][0].get();
+    switch (rng.Next() % 5) {
+      case 0:
+        victim->FailCalls(1 + static_cast<int>(rng.Next() % 2));
+        break;
+      case 1:
+        victim->DelayCalls(1, 10 + static_cast<int>(rng.Next() % 60));
+        break;
+      case 2:
+        victim->ErrorFrameCalls(1 + static_cast<int>(rng.Next() % 2));
+        break;
+      case 3:
+        victim->TruncateCalls(1);
+        break;
+      default:
+        break;  // a healthy round between faults
+    }
+    // Distinct query per round: cache hits would bypass the backend
+    // and never exercise the fault.
+    SearchQuery query;
+    query.words = {StrFormat("term%03d", round),
+                   StrFormat("term%03d", (round * 7 + 1) % 300)};
+    query.n = 10;
+    query.max_fragments = 4;
+    SearchResult answer = fx.frontend->Search(query);
+    ASSERT_TRUE(answer.status.ok())
+        << "round " << round << ": " << answer.status.message();
+    EXPECT_FALSE(answer.degraded);
+    EXPECT_EQ(Bits(answer.predicted_quality), Bits(1.0)) << "round " << round;
+    ExpectIdentical(answer.results,
+                    fx.cluster.Query(query.words, 10, 4, nullptr, {}), round);
+  }
+}
+
+TEST(ServeFaultInjectionTest, ReplicaCountersSurfaceInServeStats) {
+  net::RemoteClusterIndex::Options net_options;
+  net_options.timeout_ms = 200;
+  net_options.retries = 1;
+  ServedReplicatedCluster fx(net_options);
+
+  // Kill every primary: the first query fails over on all three
+  // shards, and those events must be visible in ServeStats. Later
+  // queries route straight to the healthy backup (the error EWMA has
+  // priced the dead primary out), so the count stays at exactly 3.
+  for (auto& shard : fx.transports) shard[0]->Kill();
+  for (int round = 0; round < 3; ++round) {
+    SearchQuery query;
+    query.words = {StrFormat("term%03d", 10 + round)};
+    query.max_fragments = 4;
+    SearchResult answer = fx.frontend->Search(query);
+    ASSERT_TRUE(answer.status.ok()) << answer.status.message();
+    EXPECT_EQ(Bits(answer.predicted_quality), Bits(1.0));
+    ExpectIdentical(answer.results,
+                    fx.cluster.Query(query.words, 10, 4, nullptr, {}), round);
+  }
+  const ServeStats stats = fx.frontend->Stats();
+  EXPECT_EQ(stats.failovers, 3u);  // one per shard, then health-routed
+  EXPECT_EQ(stats.hedges_fired, 0u);
+}
+
+// Concurrent clients against a cluster whose primaries keep taking
+// hedge-provoking latency: batching, the result cache, hedge races and
+// their late losers all overlap, and every kOk answer must still be
+// exact. (TSan runs this suite.)
+TEST(ServeFaultInjectionTest, ConcurrentClientsSurviveSlowPrimaries) {
+  net::RemoteClusterIndex::Options net_options;
+  net_options.timeout_ms = 5000;
+  net_options.hedge_budget_us = 1000;
+  FrontendOptions frontend_options;
+  frontend_options.default_deadline_ms = 5000;
+  frontend_options.degrade_watermark = 0;
+  ServedReplicatedCluster fx(net_options, frontend_options);
+  for (auto& shard : fx.transports) shard[0]->SetLatency(8);
+
+  constexpr int kThreads = 4;
+  constexpr int kRounds = 6;
+  std::vector<std::thread> clients;
+  clients.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    clients.emplace_back([&fx, t] {
+      for (int round = 0; round < kRounds; ++round) {
+        SearchQuery query;
+        query.words = {StrFormat("term%03d", (t * kRounds + round) % 300)};
+        query.n = 10;
+        query.max_fragments = 4;
+        SearchResult answer = fx.frontend->Search(query);
+        ASSERT_TRUE(answer.status.ok()) << answer.status.message();
+        EXPECT_EQ(Bits(answer.predicted_quality), Bits(1.0));
+        ExpectIdentical(answer.results,
+                        fx.cluster.Query(query.words, 10, 4, nullptr, {}),
+                        round);
+      }
+    });
+  }
+  for (auto& client : clients) client.join();
+  const ServeStats stats = fx.frontend->Stats();
+  EXPECT_EQ(stats.completed, static_cast<uint64_t>(kThreads * kRounds));
+  // With 8ms primaries against a 1ms budget, backend batches hedge.
+  EXPECT_GT(stats.hedges_fired, 0u);
+}
+
+}  // namespace
+}  // namespace dls::serve

@@ -82,6 +82,7 @@ class GatedBackend final : public Backend {
   std::vector<std::vector<ir::ClusterScoredDoc>> QueryBatch(
       const std::vector<std::vector<std::string>>& queries, size_t n,
       size_t max_fragments, ir::ClusterQueryStats* stats,
+      std::vector<ir::ClusterQueryStats>* per_query_stats,
       const ir::RankOptions& options) const override {
     {
       std::unique_lock<std::mutex> lock(mu_);
@@ -90,7 +91,8 @@ class GatedBackend final : public Backend {
       cv_.notify_all();
       cv_.wait(lock, [this] { return open_; });
     }
-    return inner_->QueryBatch(queries, n, max_fragments, stats, options);
+    return inner_->QueryBatch(queries, n, max_fragments, stats,
+                              per_query_stats, options);
   }
 
   void Open() {
@@ -133,9 +135,11 @@ class SlowBackend final : public Backend {
   std::vector<std::vector<ir::ClusterScoredDoc>> QueryBatch(
       const std::vector<std::vector<std::string>>& queries, size_t n,
       size_t max_fragments, ir::ClusterQueryStats* stats,
+      std::vector<ir::ClusterQueryStats>* per_query_stats,
       const ir::RankOptions& options) const override {
     std::this_thread::sleep_for(std::chrono::milliseconds(millis_));
-    return inner_->QueryBatch(queries, n, max_fragments, stats, options);
+    return inner_->QueryBatch(queries, n, max_fragments, stats,
+                              per_query_stats, options);
   }
 
  private:
