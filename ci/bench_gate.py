@@ -36,6 +36,14 @@ A metric fails the gate when it regresses by more than --threshold
                        p99 within twice the healthy p99 (the headline
                        claim of the replica layer). A timing ratio of
                        the same run, so a miss is retryable.
+  ingest.p50_merge_over_quiesced  ceiling of 3.0 — the *median* query
+                       must not feel a concurrent background merge:
+                       readers answer off pinned snapshots and never
+                       block on the writer. Timing ratio, retryable.
+  ingest.p99_merge_over_quiesced  ceiling of 30.0 — the tail may pay
+                       for the merge's CPU burst (on a single core a
+                       query can wait out whole merge timeslices), but
+                       boundedly. Timing ratio, retryable.
   exact.*              must be true — a bit-identity miss is never a
                        timing artefact (for bench_serve this covers
                        bit_identical, p99_within_deadline,
@@ -77,6 +85,7 @@ BENCHES = [
     ("bench_net_fanout", "BENCH_net.json"),
     ("bench_serve", "BENCH_serve.json"),
     ("bench_segment", "BENCH_segment.json"),
+    ("bench_ingest", "BENCH_ingest.json"),
 ]
 
 COMPRESSION_FLOOR = 2.0
@@ -97,6 +106,13 @@ PRUNE_VS_BLOCK_FLOOR = 1.0
 # so misses are retryable.
 HEDGE_RATE_CEILING = 0.25
 SLOW_REPLICA_P99_CEILING = 2.0
+
+# Live ingestion: a background merge must not move the median query
+# (readers never block on the writer — pinned snapshots) and may tax
+# the tail only boundedly, even when merge and queries share one core.
+# Timing ratios of one run, so misses are retryable.
+INGEST_P50_MERGE_CEILING = 3.0
+INGEST_P99_MERGE_CEILING = 30.0
 
 # Re-runs allowed when only timing ratios regressed (noise is one-sided:
 # contention can't make a run faster, so one clean attempt is decisive).
@@ -211,6 +227,18 @@ def compare(name, baseline, fresh, threshold):
             f"{name}: replica.one_slow.p99_over_healthy_p99 {slow_p99:.2f} "
             f"above the {SLOW_REPLICA_P99_CEILING:.1f} ceiling — one slow "
             f"replica leaked into tail latency")
+    merge_p50 = fresh_flat.get("ingest.p50_merge_over_quiesced")
+    if merge_p50 is not None and merge_p50 > INGEST_P50_MERGE_CEILING:
+        timing.append(
+            f"{name}: ingest.p50_merge_over_quiesced {merge_p50:.2f} above "
+            f"the {INGEST_P50_MERGE_CEILING:.1f} ceiling — the merge moved "
+            f"the median query")
+    merge_p99 = fresh_flat.get("ingest.p99_merge_over_quiesced")
+    if merge_p99 is not None and merge_p99 > INGEST_P99_MERGE_CEILING:
+        timing.append(
+            f"{name}: ingest.p99_merge_over_quiesced {merge_p99:.2f} above "
+            f"the {INGEST_P99_MERGE_CEILING:.1f} ceiling — merging is "
+            f"drowning the query tail")
     return timing, hard
 
 

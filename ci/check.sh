@@ -3,32 +3,38 @@
 # in its own job while `ci/check.sh` (no argument) stays the one-shot
 # local gate:
 #
-#   ci/check.sh tier1   configure + build + ctest, then the IR, net and
-#                       serve suites again with DLS_KERNEL=packed so
-#                       the compressed posting codec is the default
-#                       kernel end to end (the net and serve suites
-#                       re-prove remote/in-process and cached/uncached
+#   ci/check.sh tier1   configure + build + ctest, then the IR, net,
+#                       serve and ingest suites again with
+#                       DLS_KERNEL=packed so the compressed posting
+#                       codec is the default kernel end to end (the net
+#                       and serve suites re-prove remote/in-process and
+#                       cached/uncached bit-identity under it; the
+#                       ingest suite re-proves delta-vs-rebuild
 #                       bit-identity under it).
-#   ci/check.sh tsan    DLS_SANITIZE=thread build; the FULL IR, net and
-#                       serve suites (not a hand-picked filter — new
-#                       suites must not silently skip sanitizer
-#                       coverage) plus the thread-pool tests, then the
-#                       concurrency-facing suites again under the
-#                       packed kernel (shared-θ and the serving
-#                       frontend are the racy paths that earn this).
+#   ci/check.sh tsan    DLS_SANITIZE=thread build; the FULL IR, net,
+#                       serve and ingest suites (not a hand-picked
+#                       filter — new suites must not silently skip
+#                       sanitizer coverage) plus the thread-pool tests,
+#                       then the concurrency-facing suites again under
+#                       the packed kernel (shared-θ, the serving
+#                       frontend and the live mutate-while-query path
+#                       are the racy paths that earn this).
 #   ci/check.sh asan    DLS_SANITIZE=address+undefined build; full
-#                       common + IR + net + serve suites, then IR + net
-#                       + serve again under the packed kernel (the wire
+#                       common + IR + net + serve + ingest suites, then
+#                       each again under the packed kernel (the wire
 #                       decoder's peer-controlled pointer arithmetic is
 #                       exactly what ASan/UBSan should see).
 #   ci/check.sh faults  fault-injection stage: the net replica/fault
-#                       suites and the serve fault suite under a
-#                       deterministic randomized fault schedule, once
-#                       per seed in DLS_FAULT_SEEDS (default "1 7 42"),
-#                       then the same schedule under the packed kernel.
+#                       suites, the serve fault suite and the live
+#                       mutate-while-query suite under a deterministic
+#                       randomized schedule, once per seed in
+#                       DLS_FAULT_SEEDS (default "1 7 42"), then the
+#                       same schedule under the packed kernel.
 #                       Every seed must keep every answer bit-identical
 #                       at full quality — failover and hedging are only
-#                       allowed to hide faults, never to change results.
+#                       allowed to hide faults, never to change results,
+#                       and readers racing the writer must always see a
+#                       consistent pinned epoch.
 #   ci/check.sh bench   builds the benchmark binaries and runs
 #                       ci/bench_gate.py against the committed
 #                       BENCH_*.json baselines (>15% regression fails).
@@ -46,61 +52,75 @@ tier1() {
   cmake -B build -S .
   cmake --build build -j "$(nproc)"
   (cd build && ctest --output-on-failure -j "$(nproc)")
-  echo "== tier-1: IR + net + serve suites with the packed (compressed) kernel =="
+  echo "== tier-1: IR + net + serve + ingest suites with the packed (compressed) kernel =="
   DLS_KERNEL=packed ./build/tests/dls_ir_tests
   DLS_KERNEL=packed ./build/tests/dls_net_tests
   DLS_KERNEL=packed ./build/tests/dls_serve_tests
+  DLS_KERNEL=packed ./build/tests/dls_ingest_tests
 }
 
 tsan() {
-  echo "== TSan: thread pool + histogram + full IR + net + serve suites =="
+  echo "== TSan: thread pool + histogram + full IR + net + serve + ingest suites =="
   cmake -B build-tsan -S . -DDLS_SANITIZE=thread
   cmake --build build-tsan -j "$(nproc)" \
-    --target dls_common_tests dls_ir_tests dls_net_tests dls_serve_tests
+    --target dls_common_tests dls_ir_tests dls_net_tests dls_serve_tests \
+    dls_ingest_tests
   ./build-tsan/tests/dls_common_tests \
     --gtest_filter='ThreadPool*:LatencyHistogram*'
   ./build-tsan/tests/dls_ir_tests
   ./build-tsan/tests/dls_net_tests
   ./build-tsan/tests/dls_serve_tests
+  ./build-tsan/tests/dls_ingest_tests
   echo "== TSan: concurrency suites with the packed kernel =="
   DLS_KERNEL=packed ./build-tsan/tests/dls_ir_tests \
     --gtest_filter='ParallelQuery*:Codec*:Kernel*:Wand*:SharedThreshold*:Segment*:Strategy*:Hybrid*'
   DLS_KERNEL=packed ./build-tsan/tests/dls_net_tests \
-    --gtest_filter='TcpTest*:RemoteClusterTest*:ReplicaTest*:FaultScheduleTest*'
+    --gtest_filter='TcpTest*:RemoteClusterTest*:ReplicaTest*:FaultScheduleTest*:LiveClusterTest*'
   DLS_KERNEL=packed ./build-tsan/tests/dls_serve_tests \
-    --gtest_filter='ServeConcurrencyTest*:FrontendTest*:ServeFaultInjectionTest*'
+    --gtest_filter='ServeConcurrencyTest*:FrontendTest*:ServeFaultInjectionTest*:WarmCacheTest*'
+  DLS_KERNEL=packed ./build-tsan/tests/dls_ingest_tests \
+    --gtest_filter='LiveConcurrencyTest*'
 }
 
 faults() {
-  echo "== fault injection: replica failover + hedging under a seeded schedule =="
+  echo "== fault injection: replica failover + hedging + live churn under a seeded schedule =="
   cmake -B build -S .
-  cmake --build build -j "$(nproc)" --target dls_net_tests dls_serve_tests
+  cmake --build build -j "$(nproc)" \
+    --target dls_net_tests dls_serve_tests dls_ingest_tests
   local filter='ReplicaTest*:FaultScheduleTest*:ServeFaultInjectionTest*'
+  local live_filter='LiveConcurrencyTest*'
   for seed in ${DLS_FAULT_SEEDS:-1 7 42}; do
     echo "== fault schedule, seed $seed =="
     DLS_FAULT_SEED="$seed" ./build/tests/dls_net_tests \
       --gtest_filter="$filter"
     DLS_FAULT_SEED="$seed" ./build/tests/dls_serve_tests \
       --gtest_filter="$filter"
+    DLS_FAULT_SEED="$seed" ./build/tests/dls_ingest_tests \
+      --gtest_filter="$live_filter"
   done
   echo "== fault schedule under the packed kernel, seed 1 =="
   DLS_KERNEL=packed ./build/tests/dls_net_tests --gtest_filter="$filter"
   DLS_KERNEL=packed ./build/tests/dls_serve_tests --gtest_filter="$filter"
+  DLS_KERNEL=packed ./build/tests/dls_ingest_tests \
+    --gtest_filter="$live_filter"
 }
 
 asan() {
-  echo "== ASan+UBSan: full common + IR + net + serve suites =="
+  echo "== ASan+UBSan: full common + IR + net + serve + ingest suites =="
   cmake -B build-asan -S . -DDLS_SANITIZE=address+undefined
   cmake --build build-asan -j "$(nproc)" \
-    --target dls_common_tests dls_ir_tests dls_net_tests dls_serve_tests
+    --target dls_common_tests dls_ir_tests dls_net_tests dls_serve_tests \
+    dls_ingest_tests
   ./build-asan/tests/dls_common_tests
   ./build-asan/tests/dls_ir_tests
   ./build-asan/tests/dls_net_tests
   ./build-asan/tests/dls_serve_tests
-  echo "== ASan+UBSan: IR + net + serve suites with the packed kernel =="
+  ./build-asan/tests/dls_ingest_tests
+  echo "== ASan+UBSan: IR + net + serve + ingest suites with the packed kernel =="
   DLS_KERNEL=packed ./build-asan/tests/dls_ir_tests
   DLS_KERNEL=packed ./build-asan/tests/dls_net_tests
   DLS_KERNEL=packed ./build-asan/tests/dls_serve_tests
+  DLS_KERNEL=packed ./build-asan/tests/dls_ingest_tests
 }
 
 bench() {
@@ -108,7 +128,7 @@ bench() {
   cmake -B build -S .
   cmake --build build -j "$(nproc)" \
     --target bench_ir_kernel bench_codec bench_net_fanout bench_serve \
-    bench_segment
+    bench_segment bench_ingest
   # DLS_BENCH_OUT_DIR keeps the fresh JSONs (CI uploads them as the
   # bench job's artifact); unset, they die with the gate's temp dir.
   python3 ci/bench_gate.py --build-dir build \

@@ -65,7 +65,7 @@ DocId TextIndex::AddDocument(std::string_view url, std::string_view text) {
     ++pending.counts[InternTerm(*norm)];
   }
   pending_.push_back(std::move(pending));
-  ++mutation_epoch_;
+  mutation_epoch_.fetch_add(1, std::memory_order_release);
 
   if (pending_.size() >= options_.flush_batch) Flush();
   return doc;
@@ -73,7 +73,7 @@ DocId TextIndex::AddDocument(std::string_view url, std::string_view text) {
 
 void TextIndex::Flush() {
   if (pending_.empty()) return;
-  ++mutation_epoch_;
+  mutation_epoch_.fetch_add(1, std::memory_order_release);
   for (PendingDoc& doc : pending_) {
     int64_t len = 0;
     for (const auto& [term, tf] : doc.counts) {

@@ -1,6 +1,7 @@
 #ifndef DLS_IR_INDEX_H_
 #define DLS_IR_INDEX_H_
 
+#include <atomic>
 #include <cstdint>
 #include <memory>
 #include <optional>
@@ -255,8 +256,12 @@ class TextIndex {
   size_t flushed_document_count() const { return flushed_docs_; }
 
   /// Incremented by every mutation (AddDocument, non-empty Flush).
-  /// Stable epoch == frozen index; see the class comment.
-  uint64_t mutation_epoch() const { return mutation_epoch_; }
+  /// Stable epoch == frozen index; see the class comment. Atomic so an
+  /// observer thread (the serve-layer warmer) may poll it while another
+  /// thread mutates; the index data itself is still single-writer.
+  uint64_t mutation_epoch() const {
+    return mutation_epoch_.load(std::memory_order_acquire);
+  }
 
   /// Document frequency / idf (1/df per the paper) of a term.
   int32_t df(TermId t) const { return df_[t]; }
@@ -334,7 +339,7 @@ class TextIndex {
   double max_inv_doc_length_ = 0.0;      // 1/min doc_length (WAND bounds)
   int64_t collection_length_ = 0;
   size_t flushed_docs_ = 0;
-  uint64_t mutation_epoch_ = 0;
+  std::atomic<uint64_t> mutation_epoch_{0};
   /// Keeps the mmap'd segment alive for every borrowed view above and
   /// in the posting lists. Null for heap-built indexes.
   std::shared_ptr<MappedFile> segment_;

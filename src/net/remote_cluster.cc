@@ -117,6 +117,7 @@ void RemoteClusterIndex::ForEachShard(
 }
 
 int32_t RemoteClusterIndex::global_df(std::string_view stem) const {
+  std::shared_lock<std::shared_mutex> lock(stats_mu_);
   auto it = global_df_.find(stem);
   return it == global_df_.end() ? 0 : it->second;
 }
@@ -349,10 +350,35 @@ Result<std::vector<uint8_t>> RemoteClusterIndex::HedgedExchange(
 }
 
 Status RemoteClusterIndex::Connect() {
-  global_df_.clear();
-  collection_length_ = 0;
-  total_docs_ = 0;
-  cluster_epoch_ = 0;
+  Status status = ConnectInternal();
+  if (status.ok()) {
+    connected_ = true;
+    stats_dirty_.store(false, std::memory_order_release);
+  }
+  return status;
+}
+
+void RemoteClusterIndex::RefreshStatsIfStale() const {
+  if (!stats_dirty_.exchange(false, std::memory_order_acq_rel)) return;
+  if (!ConnectInternal().ok()) {
+    // Handshake failed: query on the stale aggregates (the shards
+    // still answer with whatever state they have) and let the next
+    // query retry the refresh.
+    stats_dirty_.store(true, std::memory_order_release);
+  }
+}
+
+Status RemoteClusterIndex::ConnectInternal() const {
+  // Phase 1, unlocked: run the handshake against every replica and
+  // build the new aggregates locally — network I/O must not stall
+  // concurrent queries holding shared stats locks.
+  decltype(global_df_) new_global_df;
+  int64_t new_collection_length = 0;
+  std::vector<uint64_t> new_shard_docs(shards_.size(), 0);
+  uint64_t new_total_docs = 0;
+  uint64_t new_cluster_epoch = 0;
+  bool new_stem = true;
+  bool new_stop = true;
   for (size_t i = 0; i < shards_.size(); ++i) {
     const std::vector<Shard>& replicas = shards_[i].replicas;
     StatsResponse adopted;
@@ -387,16 +413,16 @@ Status RemoteClusterIndex::Connect() {
       // would silently break the remote/in-process bit-identity (and
       // recall).
       if (i == 0 && r == 0) {
-        norm_stem_ = stats.value().stem;
-        norm_stop_ = stats.value().stop;
-      } else if (stats.value().stem != norm_stem_ ||
-                 stats.value().stop != norm_stop_) {
+        new_stem = stats.value().stem;
+        new_stop = stats.value().stop;
+      } else if (stats.value().stem != new_stem ||
+                 stats.value().stop != new_stop) {
         return Status::InvalidArgument(StrFormat(
             "shard %zu replica %zu normalisation (stem=%d stop=%d) disagrees "
             "with shard 0 (stem=%d stop=%d); all shards must index with one "
             "pipeline",
             i, r, stats.value().stem ? 1 : 0, stats.value().stop ? 1 : 0,
-            norm_stem_ ? 1 : 0, norm_stop_ ? 1 : 0));
+            new_stem ? 1 : 0, new_stop ? 1 : 0));
       }
       if (r == 0) {
         adopted = std::move(stats).value();
@@ -424,15 +450,162 @@ Status RemoteClusterIndex::Connect() {
     // Same aggregation as ClusterIndex::Finalize(): integer sums over
     // one replica per shard, so the resulting global df relation is
     // identical to the in-process one whatever the shard order.
-    collection_length_ += adopted.collection_length;
-    shard_docs_[i] = adopted.document_count;
-    total_docs_ += adopted.document_count;
-    cluster_epoch_ += adopted.mutation_epoch;
+    new_collection_length += adopted.collection_length;
+    new_shard_docs[i] = adopted.document_count;
+    new_total_docs += adopted.document_count;
+    new_cluster_epoch += adopted.mutation_epoch;
     for (const auto& [term, df] : adopted.term_dfs) {
-      global_df_[term] += df;
+      new_global_df[term] += df;
     }
   }
-  connected_ = true;
+  // Phase 2: commit the new aggregates atomically with respect to the
+  // readers — a query resolves against either the old or the new
+  // handshake, never a mix.
+  std::unique_lock<std::shared_mutex> lock(stats_mu_);
+  global_df_ = std::move(new_global_df);
+  collection_length_ = new_collection_length;
+  shard_docs_ = std::move(new_shard_docs);
+  total_docs_ = new_total_docs;
+  cluster_epoch_ = new_cluster_epoch;
+  norm_stem_ = new_stem;
+  norm_stop_ = new_stop;
+  return Status::Ok();
+}
+
+size_t RemoteClusterIndex::ShardForUrl(std::string_view url) const {
+  // FNV-1a, 64-bit: stable across runs and processes, so a document's
+  // insert and delete always route to the same shard.
+  uint64_t h = 14695981039346656037ull;
+  for (const char c : url) {
+    h ^= static_cast<uint8_t>(c);
+    h *= 1099511628211ull;
+  }
+  return static_cast<size_t>(h % shards_.size());
+}
+
+Result<std::vector<uint8_t>> RemoteClusterIndex::MutateReplica(
+    const Shard& replica, const std::vector<uint8_t>& frame) const {
+  Result<std::vector<uint8_t>> response =
+      Status::Unavailable("no attempts made");
+  for (int attempt = 0; attempt <= options_.retries; ++attempt) {
+    Attempt a = ClassifyResponse(
+        replica.transport->Call(frame, Deadline::After(options_.timeout_ms)));
+    response = std::move(a.frame);
+    if (response.ok()) break;
+  }
+  return response;
+}
+
+Result<uint64_t> RemoteClusterIndex::Insert(std::string_view url,
+                                            std::string_view text) {
+  const size_t shard = ShardForUrl(url);
+  uint64_t doc_id = 0;
+  uint64_t epoch = 0;
+  const std::vector<Shard>& replicas = shards_[shard].replicas;
+  for (size_t r = 0; r < replicas.size(); ++r) {
+    InsertRequest request;
+    request.node_id = replicas[r].node_id;
+    request.url = std::string(url);
+    request.text = std::string(text);
+    DLS_ASSIGN_OR_RETURN(const std::vector<uint8_t> frame,
+                         EncodeInsertRequest(request));
+    DLS_ASSIGN_OR_RETURN(const std::vector<uint8_t> answer,
+                         MutateReplica(replicas[r], frame));
+    MessageType type;
+    const uint8_t* body = nullptr;
+    size_t body_len = 0;
+    DLS_RETURN_IF_ERROR(DecodeFrame(answer, &type, &body, &body_len));
+    if (type != MessageType::kInsertResponse) {
+      return Status::Corruption("insert: unexpected frame type");
+    }
+    DLS_ASSIGN_OR_RETURN(const InsertResponse response,
+                         DecodeInsertResponse(body, body_len));
+    if (r == 0) {
+      doc_id = response.doc_id;
+      epoch = response.epoch;
+    } else if (response.doc_id != doc_id || response.epoch != epoch) {
+      return Status::Internal(StrFormat(
+          "shard %zu replica %zu diverged on insert (id=%llu epoch=%llu vs "
+          "id=%llu epoch=%llu); replicas no longer serve identical content",
+          shard, r, static_cast<unsigned long long>(response.doc_id),
+          static_cast<unsigned long long>(response.epoch),
+          static_cast<unsigned long long>(doc_id),
+          static_cast<unsigned long long>(epoch)));
+    }
+  }
+  stats_dirty_.store(true, std::memory_order_release);
+  return doc_id;
+}
+
+Result<bool> RemoteClusterIndex::Delete(std::string_view url) {
+  const size_t shard = ShardForUrl(url);
+  bool found = false;
+  uint64_t epoch = 0;
+  const std::vector<Shard>& replicas = shards_[shard].replicas;
+  for (size_t r = 0; r < replicas.size(); ++r) {
+    DeleteRequest request;
+    request.node_id = replicas[r].node_id;
+    request.url = std::string(url);
+    DLS_ASSIGN_OR_RETURN(const std::vector<uint8_t> frame,
+                         EncodeDeleteRequest(request));
+    DLS_ASSIGN_OR_RETURN(const std::vector<uint8_t> answer,
+                         MutateReplica(replicas[r], frame));
+    MessageType type;
+    const uint8_t* body = nullptr;
+    size_t body_len = 0;
+    DLS_RETURN_IF_ERROR(DecodeFrame(answer, &type, &body, &body_len));
+    if (type != MessageType::kDeleteResponse) {
+      return Status::Corruption("delete: unexpected frame type");
+    }
+    DLS_ASSIGN_OR_RETURN(const DeleteResponse response,
+                         DecodeDeleteResponse(body, body_len));
+    if (r == 0) {
+      found = response.found;
+      epoch = response.epoch;
+    } else if (response.found != found || response.epoch != epoch) {
+      return Status::Internal(StrFormat(
+          "shard %zu replica %zu diverged on delete (found=%d epoch=%llu vs "
+          "found=%d epoch=%llu); replicas no longer serve identical content",
+          shard, r, response.found ? 1 : 0,
+          static_cast<unsigned long long>(response.epoch), found ? 1 : 0,
+          static_cast<unsigned long long>(epoch)));
+    }
+  }
+  if (found) stats_dirty_.store(true, std::memory_order_release);
+  return found;
+}
+
+Status RemoteClusterIndex::MergeAll() {
+  for (size_t i = 0; i < shards_.size(); ++i) {
+    const std::vector<Shard>& replicas = shards_[i].replicas;
+    uint64_t epoch = 0;
+    for (size_t r = 0; r < replicas.size(); ++r) {
+      MergeRequest request;
+      request.node_id = replicas[r].node_id;
+      const std::vector<uint8_t> frame = EncodeMergeRequest(request);
+      DLS_ASSIGN_OR_RETURN(const std::vector<uint8_t> answer,
+                           MutateReplica(replicas[r], frame));
+      MessageType type;
+      const uint8_t* body = nullptr;
+      size_t body_len = 0;
+      DLS_RETURN_IF_ERROR(DecodeFrame(answer, &type, &body, &body_len));
+      if (type != MessageType::kMergeResponse) {
+        return Status::Corruption("merge: unexpected frame type");
+      }
+      DLS_ASSIGN_OR_RETURN(const MergeResponse response,
+                           DecodeMergeResponse(body, body_len));
+      if (r == 0) {
+        epoch = response.epoch;
+      } else if (response.epoch != epoch) {
+        return Status::Internal(StrFormat(
+            "shard %zu replica %zu diverged on merge (epoch=%llu vs %llu); "
+            "replicas no longer serve identical content",
+            i, r, static_cast<unsigned long long>(response.epoch),
+            static_cast<unsigned long long>(epoch)));
+      }
+    }
+  }
+  stats_dirty_.store(true, std::memory_order_release);
   return Status::Ok();
 }
 
@@ -621,6 +794,10 @@ std::vector<ir::ClusterScoredDoc> RemoteClusterIndex::Query(
     size_t max_fragments, ir::ClusterQueryStats* stats,
     const ir::RankOptions& options) const {
   assert(connected_ && "call Connect() before Query()");
+  RefreshStatsIfStale();
+  // Shared for the whole query: resolution and stats aggregation see
+  // one handshake, never a mid-refresh mix.
+  std::shared_lock<std::shared_mutex> stats_lock(stats_mu_);
   double idf_mass_total = 0;
   ir::ShardQuery base =
       ResolveQuery(query_words, n, max_fragments, options, &idf_mass_total);
@@ -674,6 +851,8 @@ std::vector<std::vector<ir::ClusterScoredDoc>> RemoteClusterIndex::QueryBatch(
     const ir::RankOptions& options,
     std::vector<ir::ClusterQueryStats>* per_query_stats) const {
   assert(connected_ && "call Connect() before QueryBatch()");
+  RefreshStatsIfStale();
+  std::shared_lock<std::shared_mutex> stats_lock(stats_mu_);
   std::vector<ir::ShardQuery> requests;
   std::vector<double> idf_mass_totals;
   requests.reserve(queries.size());

@@ -7,6 +7,7 @@
 #include <cstdint>
 #include <memory>
 #include <mutex>
+#include <shared_mutex>
 #include <string>
 #include <string_view>
 #include <unordered_map>
@@ -163,23 +164,75 @@ class RemoteClusterIndex {
   size_t num_replicas(size_t shard) const {
     return shards_[shard].replicas.size();
   }
-  uint64_t document_count() const { return total_docs_; }
-  int64_t global_collection_length() const { return collection_length_; }
+  uint64_t document_count() const {
+    std::shared_lock<std::shared_mutex> lock(stats_mu_);
+    return total_docs_;
+  }
+  int64_t global_collection_length() const {
+    std::shared_lock<std::shared_mutex> lock(stats_mu_);
+    return collection_length_;
+  }
   /// Cluster-wide mutation epoch: the sum of every shard's
-  /// mutation_epoch() at Connect() time — the remote mirror of
+  /// mutation_epoch() at handshake time — the remote mirror of
   /// ClusterIndex::mutation_epoch(), and the serving layer's cache
-  /// invalidation key. A reindexed shard is observed by re-running
-  /// Connect().
-  uint64_t cluster_epoch() const { return cluster_epoch_; }
+  /// invalidation key. A reindexed or mutated shard is observed by
+  /// re-running Connect() (or automatically by the first query after
+  /// a routed mutation staled the statistics).
+  uint64_t cluster_epoch() const {
+    std::shared_lock<std::shared_mutex> lock(stats_mu_);
+    return cluster_epoch_;
+  }
   /// Normalisation pipeline adopted from the handshake; the serving
   /// layer normalises cache keys through the identical pipeline.
-  bool norm_stem() const { return norm_stem_; }
-  bool norm_stop() const { return norm_stop_; }
+  bool norm_stem() const {
+    std::shared_lock<std::shared_mutex> lock(stats_mu_);
+    return norm_stem_;
+  }
+  bool norm_stop() const {
+    std::shared_lock<std::shared_mutex> lock(stats_mu_);
+    return norm_stop_;
+  }
   /// Collection-wide df of a stem (0 when absent). Valid after
   /// Connect().
   int32_t global_df(std::string_view stem) const;
 
   ReplicaCounters replica_counters() const;
+
+  // ---- live ingestion routing ---------------------------------------
+  // When the shards host live nodes (ShardServer::AddLiveNode), the
+  // centre routes mutations to the shard that owns the url — a stable
+  // FNV-1a hash of the url modulo the shard count, so a document's
+  // insert and delete always land on the same node — and applies each
+  // mutation on EVERY replica of that shard, holding their returned
+  // epochs (and assigned ids) to agreement: replicas stay bit-identical
+  // copies, which is what keeps failover and hedging exactness-safe.
+  // Mutations are never hedged or failed over (they are not idempotent;
+  // a replica that cannot be reached leaves the set diverged and the
+  // call reports it). Any successful mutation marks the cached global
+  // statistics stale; the next Query()/QueryBatch() re-runs the stats
+  // handshake before resolving, so a quiesced query is bit-identical to
+  // a from-scratch rebuild at the cluster's current epoch.
+
+  /// The shard owning `url` under the mutation routing hash.
+  size_t ShardForUrl(std::string_view url) const;
+
+  /// Inserts (url, text) on every replica of the owning shard; returns
+  /// the assigned global document id (identical across replicas).
+  Result<uint64_t> Insert(std::string_view url, std::string_view text);
+
+  /// Tombstones the live document named `url` on every replica of the
+  /// owning shard. Returns whether a live document was found.
+  Result<bool> Delete(std::string_view url);
+
+  /// Asks every replica of every shard to pack its delta tier into a
+  /// frozen run. Queries keep serving off pinned snapshots throughout.
+  Status MergeAll();
+
+  /// True when a mutation has staled the cached global statistics and
+  /// the next query will re-run the stats handshake first.
+  bool stats_stale() const {
+    return stats_dirty_.load(std::memory_order_acquire);
+  }
 
   /// Distributed top-N with per-node fragment cut-off; mirrors
   /// ClusterIndex::Query (same arguments, same semantics, same
@@ -249,6 +302,23 @@ class RemoteClusterIndex {
   /// Completion channel between a caller and its async attempts.
   struct HedgedCall;
 
+  /// The stats handshake body; writes the (mutable) aggregate fields
+  /// under a unique stats_mu_ lock, so it is safe against concurrent
+  /// queries reading them under shared locks.
+  Status ConnectInternal() const;
+
+  /// Re-runs the handshake iff a mutation staled the aggregates. A
+  /// failed refresh re-arms the dirty flag and the query proceeds on
+  /// the stale statistics (degraded, still exact *per shard state at
+  /// resolve time* — the next query retries).
+  void RefreshStatsIfStale() const;
+
+  /// One non-hedged, non-failover exchange with a specific replica
+  /// (mutations must hit every replica, not any one of them); retries
+  /// the same replica Options::retries times like Connect() does.
+  Result<std::vector<uint8_t>> MutateReplica(
+      const Shard& replica, const std::vector<uint8_t>& frame) const;
+
   /// Builds the resolved base request: normalised, de-duplicated stems
   /// with global dfs. Returns the query's total idf mass through
   /// `idf_mass_total`.
@@ -303,18 +373,24 @@ class RemoteClusterIndex {
 
   std::vector<ReplicaSet> shards_;
   Options options_;
-  std::unordered_map<std::string, int32_t, ir::TransparentStringHash,
-                     std::equal_to<>>
+  /// Guards the handshake aggregates below: queries read them under a
+  /// shared lock, the (re-)handshake rewrites them under a unique one.
+  /// Mutations themselves never take it — they only flip stats_dirty_.
+  mutable std::shared_mutex stats_mu_;
+  mutable std::unordered_map<std::string, int32_t, ir::TransparentStringHash,
+                             std::equal_to<>>
       global_df_;
-  int64_t collection_length_ = 0;
-  std::vector<uint64_t> shard_docs_;
-  uint64_t total_docs_ = 0;
-  uint64_t cluster_epoch_ = 0;
+  mutable int64_t collection_length_ = 0;
+  mutable std::vector<uint64_t> shard_docs_;
+  mutable uint64_t total_docs_ = 0;
+  mutable uint64_t cluster_epoch_ = 0;
   /// Normalisation pipeline the shards advertised in the handshake;
   /// ResolveQuery must match it or recall silently breaks.
-  bool norm_stem_ = true;
-  bool norm_stop_ = true;
+  mutable bool norm_stem_ = true;
+  mutable bool norm_stop_ = true;
   bool connected_ = false;
+  /// Set by any successful mutation; cleared by the re-handshake.
+  mutable std::atomic<bool> stats_dirty_{false};
   ThreadPool* executor_ = nullptr;
   std::unique_ptr<ThreadPool> owned_pool_;
 

@@ -1,5 +1,7 @@
 #include "net/shard_server.h"
 
+#include <algorithm>
+
 #include "common/strings.h"
 #include "ir/fragments.h"
 #include "ir/index.h"
@@ -30,6 +32,13 @@ Result<uint32_t> ShardServer::AddNodeFromSegment(
   return id;
 }
 
+uint32_t ShardServer::AddLiveNode(ingest::LiveIndex* live) {
+  Node node{nullptr, nullptr};
+  node.live = live;
+  nodes_.push_back(std::move(node));
+  return static_cast<uint32_t>(nodes_.size() - 1);
+}
+
 Result<std::vector<uint8_t>> ShardServer::HandleFrame(
     const std::vector<uint8_t>& frame) const {
   MessageType type;
@@ -51,9 +60,16 @@ Result<std::vector<uint8_t>> ShardServer::HandleFrame(
       QueryResponse response;
       response.node_id = req.node_id;
       response.results.reserve(req.queries.size());
+      // A live node pins one snapshot for the whole batch, so every
+      // rider sees the same epoch.
+      std::shared_ptr<const ingest::LiveIndex::Snapshot> snapshot;
+      if (node.live != nullptr) snapshot = node.live->Pin();
       for (const ir::ShardQuery& query : req.queries) {
         response.results.push_back(
-            ir::EvaluateShardQuery(*node.index, *node.fragments, query));
+            snapshot != nullptr
+                ? ingest::EvaluateLiveShardQuery(*snapshot, query)
+                : ir::EvaluateShardQuery(*node.index, *node.fragments,
+                                         query));
         const ir::ShardResult& r = response.results.back();
         node.work->postings_touched.fetch_add(r.postings_touched,
                                               std::memory_order_relaxed);
@@ -77,16 +93,40 @@ Result<std::vector<uint8_t>> ShardServer::HandleFrame(
         return EncodeError(Status::NotFound(
             StrFormat("no node %u on this server", request.value().node_id)));
       }
-      const ir::TextIndex& index = *nodes_[request.value().node_id].index;
+      const Node& node = nodes_[request.value().node_id];
       StatsResponse response;
       response.node_id = request.value().node_id;
+      if (node.live != nullptr) {
+        // One pinned snapshot answers the whole handshake, so document
+        // count, collection length, epoch and the df table are all
+        // consistent at one epoch even while mutations land.
+        std::shared_ptr<const ingest::LiveIndex::Snapshot> snapshot =
+            node.live->Pin();
+        response.stem = node.live->options().node.stem;
+        response.stop = node.live->options().node.stop;
+        response.collection_length = snapshot->collection_length();
+        response.document_count = snapshot->live_docs();
+        response.mutation_epoch = snapshot->epoch();
+        std::unordered_map<std::string, int32_t> dfs =
+            snapshot->EffectiveDfTable();
+        response.term_dfs.reserve(dfs.size());
+        for (auto& [term, df] : dfs) {
+          response.term_dfs.emplace_back(term, df);
+        }
+        // The client only sums dfs, but a deterministic frame makes
+        // byte-level accounting reproducible across runs.
+        std::sort(response.term_dfs.begin(), response.term_dfs.end());
+        Result<std::vector<uint8_t>> encoded = EncodeStatsResponse(response);
+        if (!encoded.ok()) return EncodeError(encoded.status());
+        return encoded;
+      }
+      const ir::TextIndex& index = *node.index;
       response.stem = index.options().stem;
       response.stop = index.options().stop;
       response.collection_length = index.collection_length();
       response.document_count = index.flushed_document_count();
       response.mutation_epoch = index.mutation_epoch();
-      const Node::WorkCounters& work =
-          *nodes_[request.value().node_id].work;
+      const Node::WorkCounters& work = *node.work;
       response.postings_touched =
           work.postings_touched.load(std::memory_order_relaxed);
       response.blocks_skipped =
@@ -108,6 +148,69 @@ Result<std::vector<uint8_t>> ShardServer::HandleFrame(
       if (!encoded.ok()) return EncodeError(encoded.status());
       return encoded;
     }
+    case MessageType::kInsertRequest: {
+      Result<InsertRequest> request = DecodeInsertRequest(body, body_len);
+      if (!request.ok()) return EncodeError(request.status());
+      const InsertRequest& req = request.value();
+      if (req.node_id >= nodes_.size()) {
+        return EncodeError(Status::NotFound(
+            StrFormat("no node %u on this server", req.node_id)));
+      }
+      ingest::LiveIndex* live = nodes_[req.node_id].live;
+      if (live == nullptr) {
+        return EncodeError(Status::Unsupported(
+            StrFormat("node %u is frozen; mutations need a live node",
+                      req.node_id)));
+      }
+      Result<uint64_t> id = live->Insert(req.url, req.text);
+      if (!id.ok()) return EncodeError(id.status());
+      InsertResponse response;
+      response.node_id = req.node_id;
+      response.doc_id = id.value();
+      response.epoch = live->epoch();
+      return EncodeInsertResponse(response);
+    }
+    case MessageType::kDeleteRequest: {
+      Result<DeleteRequest> request = DecodeDeleteRequest(body, body_len);
+      if (!request.ok()) return EncodeError(request.status());
+      const DeleteRequest& req = request.value();
+      if (req.node_id >= nodes_.size()) {
+        return EncodeError(Status::NotFound(
+            StrFormat("no node %u on this server", req.node_id)));
+      }
+      ingest::LiveIndex* live = nodes_[req.node_id].live;
+      if (live == nullptr) {
+        return EncodeError(Status::Unsupported(
+            StrFormat("node %u is frozen; mutations need a live node",
+                      req.node_id)));
+      }
+      DeleteResponse response;
+      response.node_id = req.node_id;
+      response.found = live->Delete(req.url);
+      response.epoch = live->epoch();
+      return EncodeDeleteResponse(response);
+    }
+    case MessageType::kMergeRequest: {
+      Result<MergeRequest> request = DecodeMergeRequest(body, body_len);
+      if (!request.ok()) return EncodeError(request.status());
+      const MergeRequest& req = request.value();
+      if (req.node_id >= nodes_.size()) {
+        return EncodeError(Status::NotFound(
+            StrFormat("no node %u on this server", req.node_id)));
+      }
+      ingest::LiveIndex* live = nodes_[req.node_id].live;
+      if (live == nullptr) {
+        return EncodeError(Status::Unsupported(
+            StrFormat("node %u is frozen; mutations need a live node",
+                      req.node_id)));
+      }
+      live->Merge();
+      MergeResponse response;
+      response.node_id = req.node_id;
+      response.epoch = live->epoch();
+      response.merges = live->merges();
+      return EncodeMergeResponse(response);
+    }
     case MessageType::kSearchRequest:
     case MessageType::kServeStatsRequest:
       // Serving-frontend messages (src/serve). A shard never answers
@@ -120,6 +223,9 @@ Result<std::vector<uint8_t>> ShardServer::HandleFrame(
     case MessageType::kStatsResponse:
     case MessageType::kSearchResponse:
     case MessageType::kServeStatsResponse:
+    case MessageType::kInsertResponse:
+    case MessageType::kDeleteResponse:
+    case MessageType::kMergeResponse:
     case MessageType::kError:
       return EncodeError(
           Status::InvalidArgument("server received a response-type frame"));

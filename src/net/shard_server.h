@@ -8,6 +8,7 @@
 #include <vector>
 
 #include "common/status.h"
+#include "ingest/live_index.h"
 #include "ir/cluster.h"
 #include "net/frame_server.h"
 
@@ -21,11 +22,19 @@ namespace dls::net {
 /// its position in AddNode() order, which must match the node_id the
 /// client's shard list uses.
 ///
+/// A node may instead be *live* (AddLiveNode): an ingest::LiveIndex
+/// that additionally accepts the mutation frames (Insert/Delete/Merge)
+/// and answers queries and the stats handshake from an epoch-pinned
+/// snapshot — document counts, collection length, the df table and the
+/// advertised mutation_epoch all come from one consistent epoch.
+///
 /// The transport mechanics (listen/accept/worker pool, frame framing,
 /// Error-frame failure semantics) live in the shared FrameServer base;
 /// this class supplies only the protocol: QueryRequest evaluation over
 /// the hosted nodes and the StatsRequest handshake. HandleFrame() is
-/// thread-safe — it only reads frozen state.
+/// thread-safe — frozen nodes are read-only, and a LiveIndex is
+/// internally synchronised (lock-free pinned reads, serialised
+/// mutations).
 class ShardServer : public FrameServer {
  public:
   /// `num_workers` bounds concurrently served TCP connections; the
@@ -47,6 +56,11 @@ class ShardServer : public FrameServer {
       const std::string& path, size_t num_fragments,
       const ir::SegmentLoadOptions& load_options = {});
 
+  /// Registers a live (mutable) node backed by `live` (non-owning;
+  /// must outlive the server). The node serves query and stats frames
+  /// from epoch-pinned snapshots and accepts the mutation frames.
+  uint32_t AddLiveNode(ingest::LiveIndex* live);
+
   size_t num_nodes() const { return nodes_.size(); }
 
   Result<std::vector<uint8_t>> HandleFrame(
@@ -56,6 +70,11 @@ class ShardServer : public FrameServer {
   struct Node {
     const ir::TextIndex* index;
     const ir::FragmentedIndex* fragments;
+    /// Non-null for live nodes; index/fragments are then null. The
+    /// pointer is to a mutable LiveIndex even though HandleFrame is
+    /// const — the LiveIndex is internally synchronised and mutation
+    /// frames are part of its protocol, not the server's state.
+    ingest::LiveIndex* live = nullptr;
     /// Cumulative per-node evaluation work (ir::RankStats summed over
     /// every served query) — reported in StatsResponse so remote work
     /// accounting stays comparable with the in-process

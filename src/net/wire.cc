@@ -431,6 +431,54 @@ std::vector<uint8_t> EncodeServeStatsResponse(
   w.Varint64(response.hedges_fired);
   w.Varint64(response.hedge_wins);
   w.Varint64(response.failovers);
+  w.Varint64(response.epoch_changes);
+  w.Varint64(response.cache_warmed);
+  w.Varint64(response.stale_served);
+  return std::move(w.Finish()).value();  // flat scalars: always fits
+}
+
+Result<std::vector<uint8_t>> EncodeInsertRequest(const InsertRequest& request) {
+  FrameWriter w(MessageType::kInsertRequest);
+  w.Varint32(request.node_id);
+  w.String(request.url);
+  w.String(request.text);
+  return w.Finish();
+}
+
+std::vector<uint8_t> EncodeInsertResponse(const InsertResponse& response) {
+  FrameWriter w(MessageType::kInsertResponse);
+  w.Varint32(response.node_id);
+  w.Varint64(response.doc_id);
+  w.Varint64(response.epoch);
+  return std::move(w.Finish()).value();  // flat scalars: always fits
+}
+
+Result<std::vector<uint8_t>> EncodeDeleteRequest(const DeleteRequest& request) {
+  FrameWriter w(MessageType::kDeleteRequest);
+  w.Varint32(request.node_id);
+  w.String(request.url);
+  return w.Finish();
+}
+
+std::vector<uint8_t> EncodeDeleteResponse(const DeleteResponse& response) {
+  FrameWriter w(MessageType::kDeleteResponse);
+  w.Varint32(response.node_id);
+  w.U8(response.found ? 1 : 0);
+  w.Varint64(response.epoch);
+  return std::move(w.Finish()).value();  // flat scalars: always fits
+}
+
+std::vector<uint8_t> EncodeMergeRequest(const MergeRequest& request) {
+  FrameWriter w(MessageType::kMergeRequest);
+  w.Varint32(request.node_id);
+  return std::move(w.Finish()).value();  // flat scalars: always fits
+}
+
+std::vector<uint8_t> EncodeMergeResponse(const MergeResponse& response) {
+  FrameWriter w(MessageType::kMergeResponse);
+  w.Varint32(response.node_id);
+  w.Varint64(response.epoch);
+  w.Varint64(response.merges);
   return std::move(w.Finish()).value();  // flat scalars: always fits
 }
 
@@ -446,7 +494,7 @@ Status DecodeFrame(const std::vector<uint8_t>& frame, MessageType* type,
     return Truncated("frame length");
   }
   const uint8_t raw = frame[kFrameHeaderBytes];
-  if (raw < 1 || raw > 9) return Truncated("message type");
+  if (raw < 1 || raw > 15) return Truncated("message type");
   *type = static_cast<MessageType>(raw);
   *body = frame.data() + kFrameHeaderBytes + 1;
   *body_len = payload - 1;
@@ -622,9 +670,72 @@ Result<ServeStatsResponse> DecodeServeStatsResponse(const uint8_t* body,
   response.hedges_fired = r.Varint64();
   response.hedge_wins = r.Varint64();
   response.failovers = r.Varint64();
+  response.epoch_changes = r.Varint64();
+  response.cache_warmed = r.Varint64();
+  response.stale_served = r.Varint64();
   if (r.failed() || r.remaining() != 0) {
     return Truncated("ServeStatsResponse");
   }
+  return response;
+}
+
+Result<InsertRequest> DecodeInsertRequest(const uint8_t* body, size_t len) {
+  BodyReader r(body, len);
+  InsertRequest request;
+  request.node_id = r.Varint32();
+  request.url = r.String();
+  request.text = r.String();
+  if (r.failed() || r.remaining() != 0) return Truncated("InsertRequest");
+  return request;
+}
+
+Result<InsertResponse> DecodeInsertResponse(const uint8_t* body, size_t len) {
+  BodyReader r(body, len);
+  InsertResponse response;
+  response.node_id = r.Varint32();
+  response.doc_id = r.Varint64();
+  response.epoch = r.Varint64();
+  if (r.failed() || r.remaining() != 0) return Truncated("InsertResponse");
+  return response;
+}
+
+Result<DeleteRequest> DecodeDeleteRequest(const uint8_t* body, size_t len) {
+  BodyReader r(body, len);
+  DeleteRequest request;
+  request.node_id = r.Varint32();
+  request.url = r.String();
+  if (r.failed() || r.remaining() != 0) return Truncated("DeleteRequest");
+  return request;
+}
+
+Result<DeleteResponse> DecodeDeleteResponse(const uint8_t* body, size_t len) {
+  BodyReader r(body, len);
+  DeleteResponse response;
+  response.node_id = r.Varint32();
+  const uint8_t found = r.U8();
+  response.epoch = r.Varint64();
+  if (r.failed() || found > 1 || r.remaining() != 0) {
+    return Truncated("DeleteResponse");
+  }
+  response.found = found != 0;
+  return response;
+}
+
+Result<MergeRequest> DecodeMergeRequest(const uint8_t* body, size_t len) {
+  BodyReader r(body, len);
+  MergeRequest request;
+  request.node_id = r.Varint32();
+  if (r.failed() || r.remaining() != 0) return Truncated("MergeRequest");
+  return request;
+}
+
+Result<MergeResponse> DecodeMergeResponse(const uint8_t* body, size_t len) {
+  BodyReader r(body, len);
+  MergeResponse response;
+  response.node_id = r.Varint32();
+  response.epoch = r.Varint64();
+  response.merges = r.Varint64();
+  if (r.failed() || r.remaining() != 0) return Truncated("MergeResponse");
   return response;
 }
 

@@ -58,6 +58,19 @@ namespace dls::net {
 ///   9 ServeStatsResponse  the serve-side stats block: queue depth,
 ///                     admission/shed/cache counters and the
 ///                     p50/p95/p99 latency quantiles.
+///   10 InsertRequest  live ingestion (src/ingest): adds a document
+///                     (url, text) to the LiveIndex behind a *live*
+///                     node. Frozen nodes answer kUnsupported.
+///   11 InsertResponse the assigned global document id and the epoch
+///                     the mutation published.
+///   12 DeleteRequest  tombstones the live document named `url`.
+///   13 DeleteResponse whether a live document was found, and the new
+///                     epoch (unchanged when not found).
+///   14 MergeRequest   asks a live node to pack its delta tier into a
+///                     frozen run (synchronous; queries keep serving
+///                     off pinned snapshots throughout).
+///   15 MergeResponse  the post-merge epoch and the node's cumulative
+///                     merge count.
 ///
 /// Integers are varints (u32 capped at 5 bytes, u64 at 10); doubles
 /// are their IEEE-754 bit pattern as 8 explicit little-endian bytes,
@@ -94,6 +107,12 @@ enum class MessageType : uint8_t {
   kSearchResponse = 7,
   kServeStatsRequest = 8,
   kServeStatsResponse = 9,
+  kInsertRequest = 10,
+  kInsertResponse = 11,
+  kDeleteRequest = 12,
+  kDeleteResponse = 13,
+  kMergeRequest = 14,
+  kMergeResponse = 15,
 };
 
 /// A batch of resolved queries pushed to one node. `node_id` addresses
@@ -172,6 +191,42 @@ struct SearchResponse {
   std::vector<ir::ClusterScoredDoc> results;
 };
 
+/// Live-ingestion mutations (src/ingest). A mutation frame addresses
+/// one node like a query does; the node must have been registered live
+/// (ShardServer::AddLiveNode) — frozen nodes refuse with kUnsupported.
+struct InsertRequest {
+  uint32_t node_id = 0;
+  std::string url;
+  std::string text;
+};
+
+struct InsertResponse {
+  uint32_t node_id = 0;
+  uint64_t doc_id = 0;  ///< assigned global id (insertion order)
+  uint64_t epoch = 0;   ///< the epoch this insert published
+};
+
+struct DeleteRequest {
+  uint32_t node_id = 0;
+  std::string url;
+};
+
+struct DeleteResponse {
+  uint32_t node_id = 0;
+  bool found = false;  ///< a live document had the url and was hidden
+  uint64_t epoch = 0;  ///< current epoch (bumped iff found)
+};
+
+struct MergeRequest {
+  uint32_t node_id = 0;
+};
+
+struct MergeResponse {
+  uint32_t node_id = 0;
+  uint64_t epoch = 0;   ///< the epoch the merge swap published
+  uint64_t merges = 0;  ///< cumulative merges on the node
+};
+
 struct ServeStatsRequest {};
 
 /// Wire form of serve::ServeStats (the domain struct lives in
@@ -207,6 +262,12 @@ struct ServeStatsResponse {
   uint64_t hedges_fired = 0;
   uint64_t hedge_wins = 0;
   uint64_t failovers = 0;
+  /// Live warm path (serve::ServeStats): backend epoch bumps the
+  /// frontend's warmer observed, hot keys it re-evaluated under the
+  /// new epoch, and answers served flagged-stale while it ran.
+  uint64_t epoch_changes = 0;
+  uint64_t cache_warmed = 0;
+  uint64_t stale_served = 0;
 };
 
 /// Encoders return a complete frame: length prefix, type byte, body.
@@ -228,6 +289,14 @@ Result<std::vector<uint8_t>> EncodeSearchResponse(
 std::vector<uint8_t> EncodeServeStatsRequest(const ServeStatsRequest& request);
 std::vector<uint8_t> EncodeServeStatsResponse(
     const ServeStatsResponse& response);  ///< bounded: always fits
+/// Mutation frames: the requests carry caller-sized strings and are
+/// fallible like the query frames; the responses are flat scalars.
+Result<std::vector<uint8_t>> EncodeInsertRequest(const InsertRequest& request);
+std::vector<uint8_t> EncodeInsertResponse(const InsertResponse& response);
+Result<std::vector<uint8_t>> EncodeDeleteRequest(const DeleteRequest& request);
+std::vector<uint8_t> EncodeDeleteResponse(const DeleteResponse& response);
+std::vector<uint8_t> EncodeMergeRequest(const MergeRequest& request);
+std::vector<uint8_t> EncodeMergeResponse(const MergeResponse& response);
 
 /// Splits a complete frame into (type, body) after validating the
 /// length prefix against the actual size and the payload cap.
@@ -246,6 +315,12 @@ Result<ServeStatsRequest> DecodeServeStatsRequest(const uint8_t* body,
                                                   size_t len);
 Result<ServeStatsResponse> DecodeServeStatsResponse(const uint8_t* body,
                                                     size_t len);
+Result<InsertRequest> DecodeInsertRequest(const uint8_t* body, size_t len);
+Result<InsertResponse> DecodeInsertResponse(const uint8_t* body, size_t len);
+Result<DeleteRequest> DecodeDeleteRequest(const uint8_t* body, size_t len);
+Result<DeleteResponse> DecodeDeleteResponse(const uint8_t* body, size_t len);
+Result<MergeRequest> DecodeMergeRequest(const uint8_t* body, size_t len);
+Result<MergeResponse> DecodeMergeResponse(const uint8_t* body, size_t len);
 /// Decodes an Error body into the Status it carries (an error status
 /// even if the peer encoded kOk — an Error frame is never a success).
 Status DecodeError(const uint8_t* body, size_t len);

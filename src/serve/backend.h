@@ -5,6 +5,7 @@
 #include <string>
 #include <vector>
 
+#include "ingest/live_index.h"
 #include "ir/cluster.h"
 #include "net/remote_cluster.h"
 
@@ -116,6 +117,37 @@ class RemoteBackend final : public Backend {
 
  private:
   const net::RemoteClusterIndex* cluster_;
+};
+
+/// Adapter over a live-ingestion index (ingest::LiveIndex): the
+/// backend whose epoch actually moves while serving. One snapshot is
+/// pinned per QueryBatch — every query in the batch answers from the
+/// identical epoch, and a concurrent insert/delete/merge never tears a
+/// batch. Epoch() is the live epoch, which bumps on every mutation;
+/// that is exactly the signal the frontend's warmer watches to re-run
+/// hot keys after a merge.
+class LiveBackend final : public Backend {
+ public:
+  /// Non-owning; `live` must outlive the backend.
+  explicit LiveBackend(const ingest::LiveIndex* live) : live_(live) {}
+
+  uint64_t Epoch() const override { return live_->epoch(); }
+  bool NormStem() const override { return live_->options().node.stem; }
+  bool NormStop() const override { return live_->options().node.stop; }
+
+  std::vector<std::vector<ir::ClusterScoredDoc>> QueryBatch(
+      const std::vector<std::vector<std::string>>& queries, size_t n,
+      size_t max_fragments, ir::ClusterQueryStats* stats,
+      std::vector<ir::ClusterQueryStats>* per_query_stats,
+      const ir::RankOptions& options) const override;
+
+  uint64_t BytesResident() const override {
+    return live_->Stats().bytes_resident;
+  }
+  uint64_t BytesMapped() const override { return live_->Stats().bytes_mapped; }
+
+ private:
+  const ingest::LiveIndex* live_;
 };
 
 }  // namespace dls::serve

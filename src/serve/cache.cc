@@ -20,6 +20,16 @@ ResultCache::Shard& ResultCache::ShardFor(const std::string& key) {
 
 bool ResultCache::Lookup(const std::string& key, uint64_t epoch,
                          CachedResult* out) {
+  bool stale = false;
+  // stale_epoch == epoch degenerates to the strict contract: the only
+  // epoch an entry may be served under is the current one.
+  return LookupAllowStale(key, epoch, epoch, out, &stale);
+}
+
+bool ResultCache::LookupAllowStale(const std::string& key, uint64_t epoch,
+                                   uint64_t stale_epoch, CachedResult* out,
+                                   bool* stale) {
+  *stale = false;
   Shard& shard = ShardFor(key);
   std::lock_guard<std::mutex> lock(shard.mu);
   auto it = shard.index.find(key);
@@ -27,10 +37,11 @@ bool ResultCache::Lookup(const std::string& key, uint64_t epoch,
     misses_.fetch_add(1, std::memory_order_relaxed);
     return false;
   }
-  if (it->second->epoch != epoch) {
-    // The index mutated since this ranking was computed: the entry can
-    // never be served again (epochs are monotone), so reclaim the slot
-    // now instead of waiting for LRU pressure.
+  if (it->second->epoch != epoch && it->second->epoch != stale_epoch) {
+    // The index mutated since this ranking was computed and no warmer
+    // claims the entry's epoch: it can never be served again (epochs
+    // are monotone), so reclaim the slot now instead of waiting for
+    // LRU pressure.
     shard.lru.erase(it->second);
     shard.index.erase(it);
     evictions_.fetch_add(1, std::memory_order_relaxed);
@@ -39,7 +50,12 @@ bool ResultCache::Lookup(const std::string& key, uint64_t epoch,
   }
   shard.lru.splice(shard.lru.begin(), shard.lru, it->second);
   *out = it->second->value;
-  hits_.fetch_add(1, std::memory_order_relaxed);
+  if (it->second->epoch == epoch) {
+    hits_.fetch_add(1, std::memory_order_relaxed);
+  } else {
+    *stale = true;
+    stale_hits_.fetch_add(1, std::memory_order_relaxed);
+  }
   return true;
 }
 

@@ -33,6 +33,14 @@ struct CachedResult {
 /// and the lookup counts as a miss. There is no TTL: index state, not
 /// time, is what invalidates a ranking.
 ///
+/// Stale-while-warming (LookupAllowStale) is the one sanctioned
+/// exception: while the frontend's warmer is re-evaluating hot keys
+/// after an epoch bump, an entry still pinned to the *warming-from*
+/// epoch may be served — explicitly flagged stale — instead of being
+/// evicted, so a live-ingestion epoch bump does not stampede every
+/// cached query onto the backend at once. Entries at any other
+/// mismatched epoch still die on touch.
+///
 /// Concurrency: the key space is split over `num_shards` independently
 /// locked LRU shards (shard = hash of key), so concurrent lookups
 /// contend only within a shard. Counters are relaxed atomics; Stats
@@ -52,6 +60,15 @@ class ResultCache {
   /// evicted and reported as a miss.
   bool Lookup(const std::string& key, uint64_t epoch, CachedResult* out);
 
+  /// Like Lookup, but an entry whose pinned epoch equals `stale_epoch`
+  /// (the epoch the warmer is re-running hot keys from) is served with
+  /// `*stale = true` and *kept* — the warmer will overwrite it under
+  /// the new epoch shortly. A fresh hit sets `*stale = false`; any
+  /// other epoch mismatch evicts as usual. Stale serves count in
+  /// stale_hits(), not hits().
+  bool LookupAllowStale(const std::string& key, uint64_t epoch,
+                        uint64_t stale_epoch, CachedResult* out, bool* stale);
+
   /// Inserts (or overwrites) the entry under `epoch`, evicting the
   /// shard's least-recently-used entry when at capacity.
   void Insert(const std::string& key, uint64_t epoch, CachedResult value);
@@ -60,6 +77,9 @@ class ResultCache {
   uint64_t misses() const { return misses_.load(std::memory_order_relaxed); }
   uint64_t evictions() const {
     return evictions_.load(std::memory_order_relaxed);
+  }
+  uint64_t stale_hits() const {
+    return stale_hits_.load(std::memory_order_relaxed);
   }
 
   /// Entries currently cached (sums shard sizes; a racy but monotone-
@@ -87,6 +107,7 @@ class ResultCache {
   std::atomic<uint64_t> hits_{0};
   std::atomic<uint64_t> misses_{0};
   std::atomic<uint64_t> evictions_{0};
+  std::atomic<uint64_t> stale_hits_{0};
 };
 
 }  // namespace dls::serve

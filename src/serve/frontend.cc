@@ -32,6 +32,9 @@ Frontend::Frontend(const Backend* backend, FrontendOptions options)
   for (size_t i = 0; i < std::max<size_t>(1, options_.num_workers); ++i) {
     workers_.emplace_back([this] { WorkerLoop(); });
   }
+  if (options_.warm_top_k > 0) {
+    warmer_ = std::thread([this] { WarmerLoop(); });
+  }
 }
 
 Frontend::~Frontend() { Stop(); }
@@ -118,14 +121,31 @@ SearchResult Frontend::Search(const SearchQuery& query) {
 
   const std::string key =
       CacheKey(stems, query.n, effective_fragments, query.options);
+  RecordHotKey(key, query, effective_fragments, degraded);
   const uint64_t epoch = backend_->Epoch();
   CachedResult cached;
-  if (cache_.Lookup(key, epoch, &cached)) {
+  bool stale = false;
+  bool hit;
+  if (options_.serve_stale_while_warming &&
+      warming_.load(std::memory_order_acquire)) {
+    // The warmer is re-evaluating hot keys for this very epoch bump:
+    // an entry still pinned to the epoch it bumped *from* is exact for
+    // that snapshot and about to be refreshed — serve it flagged stale
+    // rather than stampeding the backend cold.
+    hit = cache_.LookupAllowStale(
+        key, epoch, warming_from_.load(std::memory_order_acquire), &cached,
+        &stale);
+  } else {
+    hit = cache_.Lookup(key, epoch, &cached);
+  }
+  if (hit) {
     SearchResult result;
     result.cache_hit = true;
+    result.stale = stale;
     result.degraded = cached.degraded || degraded;
     result.predicted_quality = cached.predicted_quality;
     result.results = std::move(cached.results);
+    if (stale) stale_served_.fetch_add(1, std::memory_order_relaxed);
     completed_.fetch_add(1, std::memory_order_relaxed);
     latency_.Record(MicrosSince(admitted_at));
     return result;
@@ -229,6 +249,101 @@ void Frontend::RecordCompletion(const Pending& pending) {
   latency_.Record(MicrosSince(pending.admitted_at));
 }
 
+void Frontend::RecordHotKey(const std::string& key, const SearchQuery& query,
+                            size_t effective_fragments, bool degraded) {
+  if (options_.warm_top_k == 0) return;
+  std::lock_guard<std::mutex> lock(hot_mu_);
+  auto [it, inserted] = hot_.try_emplace(key);
+  if (inserted) {
+    it->second.key = key;
+    it->second.words = query.words;
+    it->second.n = query.n;
+    it->second.max_fragments = effective_fragments;
+    it->second.options = query.options;
+    it->second.degraded = degraded;
+  }
+  it->second.count += 1;
+
+  // Bounded tracker: on overflow, decay every count by half and drop
+  // the keys that reach zero — sustained demand survives the halving,
+  // one-off queries age out. (Approximates heavy-hitters well enough
+  // for a warm set.)
+  const size_t bound = std::max<size_t>(64, 8 * options_.warm_top_k);
+  if (hot_.size() > bound) {
+    for (auto hot_it = hot_.begin(); hot_it != hot_.end();) {
+      hot_it->second.count /= 2;
+      if (hot_it->second.count == 0) {
+        hot_it = hot_.erase(hot_it);
+      } else {
+        ++hot_it;
+      }
+    }
+  }
+}
+
+void Frontend::WarmerLoop() {
+  uint64_t last_epoch = backend_->Epoch();
+  while (true) {
+    {
+      std::unique_lock<std::mutex> lock(warm_mu_);
+      warm_cv_.wait_for(lock,
+                        std::chrono::milliseconds(
+                            std::max<int64_t>(1, options_.warm_poll_ms)),
+                        [this] { return warm_stop_; });
+      if (warm_stop_) return;
+    }
+    const uint64_t current = backend_->Epoch();
+    if (current == last_epoch) continue;
+    epoch_changes_.fetch_add(1, std::memory_order_relaxed);
+
+    // The hottest keys by demand count, snapshotted outside the
+    // evaluation loop (new traffic keeps recording meanwhile).
+    std::vector<HotKey> top;
+    {
+      std::lock_guard<std::mutex> lock(hot_mu_);
+      top.reserve(hot_.size());
+      for (const auto& [key, hk] : hot_) top.push_back(hk);
+    }
+    std::sort(top.begin(), top.end(), [](const HotKey& a, const HotKey& b) {
+      return a.count != b.count ? a.count > b.count : a.key < b.key;
+    });
+    if (top.size() > options_.warm_top_k) top.resize(options_.warm_top_k);
+
+    // Stale-while-warming window: only entries pinned to the epoch we
+    // are warming *from* qualify — anything older stays dead. The flag
+    // drops before last_epoch advances, so the window closes the
+    // moment the warm set is refreshed.
+    warming_from_.store(last_epoch, std::memory_order_release);
+    warming_.store(true, std::memory_order_release);
+    for (const HotKey& hk : top) {
+      // Epoch before evaluation, exactly like ExecuteBatch: results
+      // derive from at least this epoch's state, so caching under it
+      // can only under-serve, never serve a stale ranking as fresh.
+      const uint64_t epoch = backend_->Epoch();
+      ir::ClusterQueryStats stats;
+      std::vector<ir::ClusterQueryStats> per_query;
+      std::vector<std::vector<ir::ClusterScoredDoc>> rankings =
+          backend_->QueryBatch({hk.words}, hk.n, hk.max_fragments, &stats,
+                               &per_query, hk.options);
+      if (rankings.empty()) continue;
+      CachedResult entry;
+      entry.results = std::move(rankings[0]);
+      entry.predicted_quality = per_query.empty()
+                                    ? stats.predicted_quality
+                                    : per_query[0].predicted_quality;
+      entry.degraded = hk.degraded;
+      cache_.Insert(hk.key, epoch, std::move(entry));
+      cache_warmed_.fetch_add(1, std::memory_order_relaxed);
+      {
+        std::lock_guard<std::mutex> lock(warm_mu_);
+        if (warm_stop_) break;  // Stop() must not wait out a long warm
+      }
+    }
+    warming_.store(false, std::memory_order_release);
+    last_epoch = current;
+  }
+}
+
 void Frontend::ExecuteBatch(std::vector<std::unique_ptr<Pending>> batch) {
   // A request that expired while queued is answered without touching
   // the backend — its client already gave up; evaluating it would
@@ -328,6 +443,9 @@ ServeStats Frontend::Stats() const {
   stats.hedges_fired = hedges_fired_.load(std::memory_order_relaxed);
   stats.hedge_wins = hedge_wins_.load(std::memory_order_relaxed);
   stats.failovers = failovers_.load(std::memory_order_relaxed);
+  stats.epoch_changes = epoch_changes_.load(std::memory_order_relaxed);
+  stats.cache_warmed = cache_warmed_.load(std::memory_order_relaxed);
+  stats.stale_served = stale_served_.load(std::memory_order_relaxed);
   {
     std::lock_guard<std::mutex> lock(mu_);
     stats.queue_depth = queue_.size();
@@ -346,11 +464,17 @@ void Frontend::Stop() {
     stopping_ = true;
   }
   cv_.notify_all();
+  {
+    std::lock_guard<std::mutex> lock(warm_mu_);
+    warm_stop_ = true;
+  }
+  warm_cv_.notify_all();
   // Workers drain the queue before exiting, so every admitted request
   // still gets its answer.
   for (std::thread& worker : workers_) {
     if (worker.joinable()) worker.join();
   }
+  if (warmer_.joinable()) warmer_.join();
 }
 
 }  // namespace dls::serve

@@ -11,6 +11,7 @@
 #include <mutex>
 #include <string>
 #include <thread>
+#include <unordered_map>
 #include <vector>
 
 #include "common/deadline.h"
@@ -56,6 +57,21 @@ struct FrontendOptions {
   /// so predicted_quality degrades *before* shedding starts. 0
   /// disables degradation.
   size_t degrade_watermark = 16;
+
+  /// Cache warming after an epoch bump (live-ingestion merges): a
+  /// background warmer polls the backend epoch and, on a change,
+  /// re-evaluates the `warm_top_k` hottest cache keys under the new
+  /// epoch. While it runs, requests for entries still pinned to the
+  /// warming-from epoch are served stale (flagged) instead of
+  /// stampeding the backend cold. 0 disables the warmer — the cache
+  /// then falls back to strict evict-on-mismatch.
+  size_t warm_top_k = 8;
+  /// Epoch poll cadence of the warmer thread.
+  int64_t warm_poll_ms = 5;
+  /// Serve flagged-stale answers from the warming-from epoch while the
+  /// warmer is re-evaluating. Off, an epoch bump makes every cached
+  /// query a miss until re-evaluated (the pre-warming behaviour).
+  bool serve_stale_while_warming = true;
 };
 
 /// One client query, in raw words — the frontend normalises them with
@@ -78,6 +94,10 @@ struct SearchResult {
   uint32_t retry_after_ms = 0;
   bool cache_hit = false;
   bool degraded = false;
+  /// Served from the warming-from epoch while the warmer re-evaluates
+  /// (stale-while-warming); the ranking is exact for the *previous*
+  /// epoch, not the current one.
+  bool stale = false;
   double predicted_quality = 1.0;
   std::vector<ir::ClusterScoredDoc> results;
 };
@@ -104,6 +124,12 @@ struct SearchResult {
 ///   stems — two spellings share an entry) plus the ranking policy,
 ///   and on the backend's mutation epoch: any reindex invalidates, and
 ///   a hit is provably bit-identical to re-evaluating.
+/// - **Warming** (live backends): a background thread watches the
+///   backend epoch; when a live merge or mutation bumps it, the top-K
+///   hottest keys are re-evaluated under the new epoch before demand
+///   arrives, and meanwhile entries from the immediately preceding
+///   epoch are served flagged-stale — an epoch bump costs K warm
+///   evaluations instead of a cold stampede of every cached query.
 ///
 /// Thread-safety: Search() and Stats() are safe from any number of
 /// threads; the blocking happens on the caller's thread (a server
@@ -162,6 +188,30 @@ class Frontend {
   void ExecuteBatch(std::vector<std::unique_ptr<Pending>> batch);
   void RecordCompletion(const Pending& pending);
 
+  /// One remembered hot cache key: everything needed to re-evaluate it
+  /// through the backend after an epoch bump, plus its demand count.
+  struct HotKey {
+    std::string key;
+    std::vector<std::string> words;  ///< raw words, re-resolved on warm
+    size_t n = 10;
+    size_t max_fragments = 1;
+    ir::RankOptions options;
+    bool degraded = false;
+    uint64_t count = 0;
+  };
+
+  /// Bumps the demand counter of `key` (recorded on every Search that
+  /// reaches the cache, hit or miss — the hottest keys are exactly the
+  /// ones hitting). The tracker is bounded: past ~8x warm_top_k
+  /// entries, counts decay by half and cold keys fall out.
+  void RecordHotKey(const std::string& key, const SearchQuery& query,
+                    size_t effective_fragments, bool degraded);
+
+  /// The warmer thread: polls the backend epoch; on a bump, re-runs
+  /// the hottest keys through the backend and refreshes their cache
+  /// entries under the new epoch, serving stale meanwhile.
+  void WarmerLoop();
+
   const Backend* backend_;
   const FrontendOptions options_;
   mutable ResultCache cache_;
@@ -189,6 +239,21 @@ class Frontend {
   std::atomic<uint64_t> hedge_wins_{0};
   std::atomic<uint64_t> failovers_{0};
   LatencyHistogram latency_;
+
+  /// ---- warm path (see FrontendOptions::warm_top_k) ----------------
+  mutable std::mutex hot_mu_;
+  std::unordered_map<std::string, HotKey> hot_;  ///< guarded by hot_mu_
+  std::mutex warm_mu_;
+  std::condition_variable warm_cv_;
+  bool warm_stop_ = false;  ///< guarded by warm_mu_
+  std::thread warmer_;
+  /// True while the warmer re-evaluates hot keys; lookups may then
+  /// serve entries pinned to warming_from_ flagged stale.
+  std::atomic<bool> warming_{false};
+  std::atomic<uint64_t> warming_from_{0};
+  std::atomic<uint64_t> epoch_changes_{0};
+  std::atomic<uint64_t> cache_warmed_{0};
+  std::atomic<uint64_t> stale_served_{0};
 };
 
 }  // namespace dls::serve

@@ -76,10 +76,16 @@ Result<std::vector<uint8_t>> FrontendServer::HandleFrame(
       response.hedges_fired = stats.hedges_fired;
       response.hedge_wins = stats.hedge_wins;
       response.failovers = stats.failovers;
+      response.epoch_changes = stats.epoch_changes;
+      response.cache_warmed = stats.cache_warmed;
+      response.stale_served = stats.stale_served;
       return net::EncodeServeStatsResponse(response);
     }
     case net::MessageType::kQueryRequest:
     case net::MessageType::kStatsRequest:
+    case net::MessageType::kInsertRequest:
+    case net::MessageType::kDeleteRequest:
+    case net::MessageType::kMergeRequest:
       return net::EncodeError(Status::Unsupported(
           "frontend server does not serve shard frames; connect to a "
           "ShardServer"));
@@ -87,6 +93,9 @@ Result<std::vector<uint8_t>> FrontendServer::HandleFrame(
     case net::MessageType::kStatsResponse:
     case net::MessageType::kSearchResponse:
     case net::MessageType::kServeStatsResponse:
+    case net::MessageType::kInsertResponse:
+    case net::MessageType::kDeleteResponse:
+    case net::MessageType::kMergeResponse:
     case net::MessageType::kError:
       return net::EncodeError(
           Status::InvalidArgument("server received a response-type frame"));

@@ -39,6 +39,12 @@ struct ServeStats {
   uint64_t hedge_wins = 0;    ///< hedged calls whose answer won
   uint64_t failovers = 0;     ///< failed attempts moved to another replica
 
+  // ---- live warm path (epoch-bump handling; 0 with the warmer off) --
+  uint64_t epoch_changes = 0;  ///< backend epoch bumps the warmer saw
+  uint64_t cache_warmed = 0;   ///< hot keys re-evaluated under a new epoch
+  uint64_t stale_served = 0;   ///< answers served from the warming-from
+                               ///< epoch while the warmer ran
+
   // ---- instantaneous ------------------------------------------------
   uint64_t queue_depth = 0;  ///< queued requests at sample time
   uint64_t epoch = 0;        ///< backend mutation epoch at sample time

@@ -1,0 +1,410 @@
+// Exactness tests of the live-ingestion subsystem: every snapshot's
+// ranking must be bit-identical to a from-scratch TextIndex rebuilt
+// over exactly the documents live at that epoch — across kernels
+// (scalar/block/packed), pruned and exhaustive, forced strategies,
+// sequentially and from parallel readers, through deletes and merges.
+
+#include "ingest/live_index.h"
+
+#include <gtest/gtest.h>
+#include <sys/stat.h>
+#include <unistd.h>
+
+#include <atomic>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "common/rng.h"
+#include "common/strings.h"
+#include "ir/index.h"
+
+namespace dls::ingest {
+namespace {
+
+struct ShadowDoc {
+  std::string url;
+  std::string text;
+  bool alive = true;
+};
+
+std::string MakeBody(Rng* rng, ZipfSampler* zipf, size_t words) {
+  std::string body;
+  for (size_t i = 0; i < words; ++i) {
+    if (!body.empty()) body += ' ';
+    body += StrFormat("term%03zu", zipf->Sample(rng));
+  }
+  return body;
+}
+
+/// The reference: a plain TextIndex over the live documents in
+/// insertion (global id) order — what a full reindex at this epoch
+/// would have produced.
+std::unique_ptr<ir::TextIndex> RebuildLive(
+    const std::vector<ShadowDoc>& docs) {
+  ir::TextIndex::Options opts;
+  opts.flush_batch = docs.size() + 2;
+  auto index = std::make_unique<ir::TextIndex>(opts);
+  for (const ShadowDoc& d : docs) {
+    if (d.alive) index->AddDocument(d.url, d.text);
+  }
+  index->Flush();
+  return index;
+}
+
+void ExpectBitIdentical(const LiveIndex::Snapshot& snap,
+                        const ir::TextIndex& rebuild,
+                        const std::vector<std::string>& query, size_t n,
+                        const ir::RankOptions& options, const char* what) {
+  std::vector<ir::ScoredDoc> want = rebuild.RankTopN(query, n, options);
+  std::vector<LiveScoredDoc> got = snap.Query(query, n, options);
+  ASSERT_EQ(want.size(), got.size()) << what;
+  for (size_t i = 0; i < want.size(); ++i) {
+    EXPECT_EQ(rebuild.url(want[i].doc), got[i].url) << what << " rank " << i;
+    // Bit-identical, not approximately equal: that is the contract.
+    EXPECT_EQ(want[i].score, got[i].score) << what << " rank " << i;
+  }
+}
+
+/// Every (kernel × pruning) configuration plus the forced strategies —
+/// the sweep each checkpoint of the randomized schedule runs.
+std::vector<std::pair<std::string, ir::RankOptions>> ConfigSweep() {
+  std::vector<std::pair<std::string, ir::RankOptions>> configs;
+  const std::pair<std::string, ir::ScoreKernel> kernels[] = {
+      {"scalar", ir::ScoreKernel::kScalar},
+      {"block", ir::ScoreKernel::kBlock},
+      {"packed", ir::ScoreKernel::kPacked},
+  };
+  for (const auto& [kname, kernel] : kernels) {
+    for (bool prune : {false, true}) {
+      ir::RankOptions o;
+      o.kernel = kernel;
+      o.prune = prune;
+      configs.emplace_back(kname + (prune ? "+prune" : "+exhaustive"), o);
+    }
+  }
+  for (ir::RankStrategy s :
+       {ir::RankStrategy::kWand, ir::RankStrategy::kHybrid}) {
+    ir::RankOptions o;
+    o.prune = true;
+    o.strategy = s;
+    configs.emplace_back(
+        s == ir::RankStrategy::kWand ? "forced-wand" : "forced-hybrid", o);
+  }
+  return configs;
+}
+
+std::string TempDirPath(const std::string& name) {
+  std::string dir = testing::TempDir() + "dls_live_test_" +
+                    std::to_string(static_cast<long>(::getpid())) + "_" +
+                    name;
+  ::mkdir(dir.c_str(), 0755);
+  return dir;
+}
+
+TEST(LiveIndexTest, InsertIsVisibleImmediately) {
+  LiveIndex live;
+  Result<uint64_t> id = live.Insert("u0", "alpha beta gamma");
+  ASSERT_TRUE(id.ok());
+  EXPECT_EQ(0u, id.value());
+  std::vector<LiveScoredDoc> top = live.Query({"alpha"}, 10);
+  ASSERT_EQ(1u, top.size());
+  EXPECT_EQ("u0", top[0].url);
+  EXPECT_EQ(1u, live.epoch());
+}
+
+TEST(LiveIndexTest, DuplicateLiveUrlIsRejected) {
+  LiveIndex live;
+  ASSERT_TRUE(live.Insert("u0", "alpha").ok());
+  Result<uint64_t> dup = live.Insert("u0", "beta");
+  ASSERT_FALSE(dup.ok());
+  EXPECT_EQ(StatusCode::kAlreadyExists, dup.status().code());
+}
+
+TEST(LiveIndexTest, DeleteHidesDocumentAndStatistics) {
+  LiveIndex live;
+  ASSERT_TRUE(live.Insert("u0", "alpha beta").ok());
+  ASSERT_TRUE(live.Insert("u1", "alpha gamma").ok());
+  ASSERT_TRUE(live.Delete("u0"));
+  EXPECT_FALSE(live.Delete("u0"));  // already dead
+  EXPECT_FALSE(live.Delete("nope"));
+  std::shared_ptr<const LiveIndex::Snapshot> snap = live.Pin();
+  EXPECT_EQ(1u, snap->live_docs());
+  EXPECT_EQ(1, snap->EffectiveDf("alpha"));
+  EXPECT_EQ(0, snap->EffectiveDf("beta"));  // only holder tombstoned
+  std::vector<LiveScoredDoc> top = snap->Query({"alpha"}, 10);
+  ASSERT_EQ(1u, top.size());
+  EXPECT_EQ("u1", top[0].url);
+  // The effective vocabulary omits dead-only stems like a rebuild's.
+  auto table = snap->EffectiveDfTable();
+  EXPECT_EQ(0u, table.count(*ir::NormalizeWord("beta")));
+}
+
+TEST(LiveIndexTest, ReinsertAfterDeleteGetsFreshIdentity) {
+  LiveIndex live;
+  ASSERT_TRUE(live.Insert("u0", "alpha").ok());
+  ASSERT_TRUE(live.Delete("u0"));
+  Result<uint64_t> again = live.Insert("u0", "alpha beta");
+  ASSERT_TRUE(again.ok());
+  EXPECT_EQ(1u, again.value());
+  std::vector<LiveScoredDoc> top = live.Query({"beta"}, 10);
+  ASSERT_EQ(1u, top.size());
+  EXPECT_EQ("u0", top[0].url);
+  EXPECT_EQ(1u, top[0].id);
+}
+
+TEST(LiveIndexTest, EpochIsMonotonePerMutation) {
+  LiveIndex live;
+  EXPECT_EQ(0u, live.epoch());
+  ASSERT_TRUE(live.Insert("u0", "alpha").ok());
+  EXPECT_EQ(1u, live.epoch());
+  ASSERT_TRUE(live.Delete("u0"));
+  EXPECT_EQ(2u, live.epoch());
+  live.Merge();  // even an effectively-empty merge is an epoch
+  EXPECT_EQ(3u, live.epoch());
+  live.Merge();
+  EXPECT_EQ(4u, live.epoch());
+}
+
+TEST(LiveBitIdentityTest, RandomizedScheduleSequential) {
+  Rng rng(20260808);
+  ZipfSampler zipf(200, 1.1);
+  LiveIndexOptions opts;
+  opts.delta_seal_docs = 16;
+  LiveIndex live(opts);
+  std::vector<ShadowDoc> docs;
+  std::vector<size_t> live_ids;  // indexes into docs with alive = true
+
+  const auto configs = ConfigSweep();
+  size_t next_url = 0;
+  for (size_t step = 0; step < 240; ++step) {
+    const double roll = rng.NextDouble();
+    if (roll < 0.62 || live_ids.empty()) {
+      std::string url = StrFormat("doc-%04zu", next_url++);
+      std::string body = MakeBody(&rng, &zipf, 8 + rng.Uniform(20));
+      ASSERT_TRUE(live.Insert(url, body).ok());
+      live_ids.push_back(docs.size());
+      docs.push_back(ShadowDoc{std::move(url), std::move(body)});
+    } else if (roll < 0.82) {
+      const size_t pick = rng.Uniform(live_ids.size());
+      const size_t victim = live_ids[pick];
+      ASSERT_TRUE(live.Delete(docs[victim].url));
+      docs[victim].alive = false;
+      live_ids[pick] = live_ids.back();
+      live_ids.pop_back();
+    } else if (roll < 0.87) {
+      live.Merge();
+    }
+
+    if (step % 30 != 29) continue;
+    // Checkpoint: full configuration sweep against one rebuild.
+    std::shared_ptr<const LiveIndex::Snapshot> snap = live.Pin();
+    std::unique_ptr<ir::TextIndex> rebuild = RebuildLive(docs);
+    std::vector<std::string> query;
+    const size_t qlen = 1 + rng.Uniform(4);
+    for (size_t i = 0; i < qlen; ++i) {
+      query.push_back(StrFormat("term%03zu", zipf.Sample(&rng)));
+    }
+    const size_t n = 1 + rng.Uniform(20);
+    for (const auto& [name, options] : configs) {
+      ExpectBitIdentical(*snap, *rebuild, query, n, options,
+                         StrFormat("step %zu %s", step, name.c_str())
+                             .c_str());
+      if (::testing::Test::HasFailure()) return;
+    }
+  }
+}
+
+TEST(LiveBitIdentityTest, ParallelPinnedReadersSurviveMutationsAndMerge) {
+  Rng rng(7);
+  ZipfSampler zipf(120, 1.1);
+  LiveIndexOptions opts;
+  opts.delta_seal_docs = 8;
+  LiveIndex live(opts);
+  std::vector<ShadowDoc> docs;
+  for (size_t i = 0; i < 60; ++i) {
+    std::string url = StrFormat("doc-%04zu", i);
+    std::string body = MakeBody(&rng, &zipf, 12);
+    ASSERT_TRUE(live.Insert(url, body).ok());
+    docs.push_back(ShadowDoc{std::move(url), std::move(body)});
+  }
+  for (size_t i = 0; i < 60; i += 7) {
+    ASSERT_TRUE(live.Delete(docs[i].url));
+    docs[i].alive = false;
+  }
+
+  // Pin the epoch, precompute the expected rankings from a rebuild,
+  // then hammer the pinned snapshot from parallel readers while a
+  // mutator inserts, deletes and merges underneath them. Readers
+  // pinned to the old epoch must stay bit-identical throughout.
+  std::shared_ptr<const LiveIndex::Snapshot> snap = live.Pin();
+  std::unique_ptr<ir::TextIndex> rebuild = RebuildLive(docs);
+  const std::vector<std::vector<std::string>> queries = {
+      {"term000"}, {"term001", "term005"}, {"term002", "term010", "term040"},
+      {"term003", "term000"}};
+  const auto configs = ConfigSweep();
+
+  std::atomic<bool> stop{false};
+  std::atomic<int> failures{0};
+  std::vector<std::thread> readers;
+  for (size_t t = 0; t < 3; ++t) {
+    readers.emplace_back([&, t] {
+      Rng local(100 + t);
+      while (!stop.load(std::memory_order_relaxed)) {
+        const auto& query = queries[local.Uniform(queries.size())];
+        const auto& config = configs[local.Uniform(configs.size())];
+        std::vector<ir::ScoredDoc> want =
+            rebuild->RankTopN(query, 10, config.second);
+        std::vector<LiveScoredDoc> got =
+            snap->Query(query, 10, config.second);
+        if (want.size() != got.size()) {
+          failures.fetch_add(1);
+          continue;
+        }
+        for (size_t i = 0; i < want.size(); ++i) {
+          if (rebuild->url(want[i].doc) != got[i].url ||
+              want[i].score != got[i].score) {
+            failures.fetch_add(1);
+          }
+        }
+      }
+    });
+  }
+  // Mutator: new inserts, deletes of new documents, and merges — the
+  // pinned snapshot must not notice any of it.
+  for (size_t i = 0; i < 40; ++i) {
+    std::string url = StrFormat("new-%04zu", i);
+    ASSERT_TRUE(live.Insert(url, MakeBody(&rng, &zipf, 12)).ok());
+    if (i % 5 == 4) {
+      ASSERT_TRUE(live.Delete(url));
+    }
+    if (i % 16 == 15) live.Merge();
+  }
+  live.Merge();
+  stop.store(true);
+  for (std::thread& t : readers) t.join();
+  EXPECT_EQ(0, failures.load());
+}
+
+TEST(LiveMergeTest, MergePacksDeltasAndPreservesRanking) {
+  Rng rng(11);
+  ZipfSampler zipf(80, 1.1);
+  LiveIndexOptions opts;
+  opts.delta_seal_docs = 8;
+  LiveIndex live(opts);
+  std::vector<ShadowDoc> docs;
+  for (size_t i = 0; i < 50; ++i) {
+    std::string url = StrFormat("doc-%04zu", i);
+    std::string body = MakeBody(&rng, &zipf, 10);
+    ASSERT_TRUE(live.Insert(url, body).ok());
+    docs.push_back(ShadowDoc{std::move(url), std::move(body)});
+  }
+  for (size_t i = 1; i < 50; i += 9) {
+    ASSERT_TRUE(live.Delete(docs[i].url));
+    docs[i].alive = false;
+  }
+  const LiveIndexStats before = live.Stats();
+  EXPECT_GT(before.delta_parts, 1u);
+  EXPECT_GT(before.tombstones, 0u);
+
+  std::shared_ptr<const LiveIndex::Snapshot> pinned = live.Pin();
+  std::vector<LiveScoredDoc> pinned_before =
+      pinned->Query({"term000", "term004"}, 10);
+
+  live.Merge();
+
+  // Merged: one frozen run, tombstoned documents physically gone.
+  const LiveIndexStats after = live.Stats();
+  EXPECT_EQ(1u, after.parts);
+  EXPECT_EQ(0u, after.delta_parts);
+  EXPECT_EQ(0u, after.tombstones);  // reversed with the dropped docs
+  EXPECT_EQ(before.live_docs, after.live_docs);
+  EXPECT_EQ(before.collection_length, after.collection_length);
+
+  // The pinned pre-merge reader is unharmed...
+  std::vector<LiveScoredDoc> pinned_after =
+      pinned->Query({"term000", "term004"}, 10);
+  ASSERT_EQ(pinned_before.size(), pinned_after.size());
+  for (size_t i = 0; i < pinned_before.size(); ++i) {
+    EXPECT_EQ(pinned_before[i].url, pinned_after[i].url);
+    EXPECT_EQ(pinned_before[i].score, pinned_after[i].score);
+  }
+  // ...and the post-merge epoch still matches a rebuild bit for bit.
+  std::unique_ptr<ir::TextIndex> rebuild = RebuildLive(docs);
+  for (const auto& [name, options] : ConfigSweep()) {
+    ExpectBitIdentical(*live.Pin(), *rebuild, {"term000", "term004"}, 10,
+                       options, name.c_str());
+  }
+}
+
+TEST(LiveMergeTest, OnDiskRunsServeOffMmap) {
+  Rng rng(13);
+  ZipfSampler zipf(60, 1.1);
+  LiveIndexOptions opts;
+  opts.delta_seal_docs = 8;
+  opts.segment_dir = TempDirPath("runs");
+  LiveIndex live(opts);
+  std::vector<ShadowDoc> docs;
+  for (size_t i = 0; i < 30; ++i) {
+    std::string url = StrFormat("doc-%04zu", i);
+    std::string body = MakeBody(&rng, &zipf, 10);
+    ASSERT_TRUE(live.Insert(url, body).ok());
+    docs.push_back(ShadowDoc{std::move(url), std::move(body)});
+  }
+  live.Merge();
+  std::shared_ptr<const LiveIndex::Snapshot> snap = live.Pin();
+  ASSERT_EQ(1u, snap->parts().size());
+  EXPECT_TRUE(snap->parts()[0]->frozen);
+  EXPECT_TRUE(snap->parts()[0]->index->loaded_from_segment());
+  EXPECT_GT(live.Stats().bytes_mapped, 0u);
+  std::unique_ptr<ir::TextIndex> rebuild = RebuildLive(docs);
+  for (const auto& [name, options] : ConfigSweep()) {
+    ExpectBitIdentical(*snap, *rebuild, {"term000", "term002"}, 10, options,
+                       name.c_str());
+  }
+  // A second wave of inserts + merge appends a second run.
+  for (size_t i = 30; i < 45; ++i) {
+    std::string url = StrFormat("doc-%04zu", i);
+    std::string body = MakeBody(&rng, &zipf, 10);
+    ASSERT_TRUE(live.Insert(url, body).ok());
+    docs.push_back(ShadowDoc{std::move(url), std::move(body)});
+  }
+  live.Merge();
+  snap = live.Pin();
+  ASSERT_EQ(2u, snap->parts().size());
+  rebuild = RebuildLive(docs);
+  ExpectBitIdentical(*snap, *rebuild, {"term000", "term002"}, 10,
+                     ir::RankOptions{}, "two-runs");
+}
+
+TEST(LiveMergeTest, BackgroundThreadMergesUnderInsertLoad) {
+  Rng rng(17);
+  ZipfSampler zipf(60, 1.1);
+  LiveIndexOptions opts;
+  opts.delta_seal_docs = 8;
+  opts.auto_merge_docs = 24;
+  opts.merge_poll_ms = 1;
+  LiveIndex live(opts);
+  std::vector<ShadowDoc> docs;
+  for (size_t i = 0; i < 90; ++i) {
+    std::string url = StrFormat("doc-%04zu", i);
+    std::string body = MakeBody(&rng, &zipf, 8);
+    ASSERT_TRUE(live.Insert(url, body).ok());
+    docs.push_back(ShadowDoc{std::move(url), std::move(body)});
+    // Queries keep serving while the background thread merges.
+    std::vector<LiveScoredDoc> top = live.Query({"term000"}, 5);
+    (void)top;
+  }
+  // The background thread must have packed the early deltas.
+  for (int spin = 0; spin < 500 && live.merges() == 0; ++spin) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(2));
+  }
+  EXPECT_GT(live.merges(), 0u);
+  std::unique_ptr<ir::TextIndex> rebuild = RebuildLive(docs);
+  ExpectBitIdentical(*live.Pin(), *rebuild, {"term000", "term003"}, 10,
+                     ir::RankOptions{}, "post-auto-merge");
+}
+
+}  // namespace
+}  // namespace dls::ingest

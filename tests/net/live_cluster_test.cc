@@ -1,0 +1,339 @@
+// Live ingestion over the wire: mutation frames (Insert/Delete/Merge),
+// ShardServer live nodes, RemoteClusterIndex url-hash routing with
+// replica agreement, and the end-to-end exactness contract — a remote
+// query after mutations (which re-runs the stats handshake) is
+// bit-identical to manually rebuilding each shard's live documents
+// from scratch and running the in-process shard evaluation + merge.
+
+#include <gtest/gtest.h>
+
+#include <cstring>
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "common/rng.h"
+#include "common/strings.h"
+#include "ingest/live_index.h"
+#include "ir/cluster.h"
+#include "ir/fragments.h"
+#include "ir/index.h"
+#include "ir/tokenizer.h"
+#include "net/remote_cluster.h"
+#include "net/shard_server.h"
+#include "net/transport.h"
+#include "net/wire.h"
+
+namespace dls::net {
+namespace {
+
+uint64_t Bits(double v) {
+  uint64_t bits;
+  std::memcpy(&bits, &v, sizeof(bits));
+  return bits;
+}
+
+TEST(LiveWireTest, MutationFramesRoundTrip) {
+  InsertRequest insert{3, "http://a/b", "some document text here"};
+  Result<std::vector<uint8_t>> frame = EncodeInsertRequest(insert);
+  ASSERT_TRUE(frame.ok());
+  MessageType type;
+  const uint8_t* body = nullptr;
+  size_t body_len = 0;
+  ASSERT_TRUE(DecodeFrame(frame.value(), &type, &body, &body_len).ok());
+  ASSERT_EQ(type, MessageType::kInsertRequest);
+  Result<InsertRequest> decoded = DecodeInsertRequest(body, body_len);
+  ASSERT_TRUE(decoded.ok());
+  EXPECT_EQ(decoded.value().node_id, 3u);
+  EXPECT_EQ(decoded.value().url, insert.url);
+  EXPECT_EQ(decoded.value().text, insert.text);
+
+  InsertResponse ins_resp{3, 12345678901234ull, 42};
+  std::vector<uint8_t> f2 = EncodeInsertResponse(ins_resp);
+  ASSERT_TRUE(DecodeFrame(f2, &type, &body, &body_len).ok());
+  ASSERT_EQ(type, MessageType::kInsertResponse);
+  Result<InsertResponse> d2 = DecodeInsertResponse(body, body_len);
+  ASSERT_TRUE(d2.ok());
+  EXPECT_EQ(d2.value().doc_id, ins_resp.doc_id);
+  EXPECT_EQ(d2.value().epoch, ins_resp.epoch);
+
+  DeleteRequest del{1, "http://a/b"};
+  Result<std::vector<uint8_t>> f3 = EncodeDeleteRequest(del);
+  ASSERT_TRUE(f3.ok());
+  ASSERT_TRUE(DecodeFrame(f3.value(), &type, &body, &body_len).ok());
+  ASSERT_EQ(type, MessageType::kDeleteRequest);
+  Result<DeleteRequest> d3 = DecodeDeleteRequest(body, body_len);
+  ASSERT_TRUE(d3.ok());
+  EXPECT_EQ(d3.value().url, del.url);
+
+  DeleteResponse del_resp{1, true, 43};
+  std::vector<uint8_t> f4 = EncodeDeleteResponse(del_resp);
+  ASSERT_TRUE(DecodeFrame(f4, &type, &body, &body_len).ok());
+  ASSERT_EQ(type, MessageType::kDeleteResponse);
+  Result<DeleteResponse> d4 = DecodeDeleteResponse(body, body_len);
+  ASSERT_TRUE(d4.ok());
+  EXPECT_TRUE(d4.value().found);
+  EXPECT_EQ(d4.value().epoch, 43u);
+
+  MergeRequest merge{2};
+  std::vector<uint8_t> f5 = EncodeMergeRequest(merge);
+  ASSERT_TRUE(DecodeFrame(f5, &type, &body, &body_len).ok());
+  ASSERT_EQ(type, MessageType::kMergeRequest);
+  ASSERT_TRUE(DecodeMergeRequest(body, body_len).ok());
+
+  MergeResponse merge_resp{2, 44, 7};
+  std::vector<uint8_t> f6 = EncodeMergeResponse(merge_resp);
+  ASSERT_TRUE(DecodeFrame(f6, &type, &body, &body_len).ok());
+  ASSERT_EQ(type, MessageType::kMergeResponse);
+  Result<MergeResponse> d6 = DecodeMergeResponse(body, body_len);
+  ASSERT_TRUE(d6.ok());
+  EXPECT_EQ(d6.value().epoch, 44u);
+  EXPECT_EQ(d6.value().merges, 7u);
+
+  // Truncated mutation bodies surface as clean corruption, like every
+  // other frame.
+  EXPECT_FALSE(DecodeInsertRequest(frame.value().data() + 5, 2).ok());
+  EXPECT_FALSE(DecodeDeleteResponse(f4.data() + 5, 1).ok());
+}
+
+/// `num_shards` live shards, each `num_replicas` LiveIndex copies
+/// hosted as nodes on one ShardServer, dialled over loopback.
+struct LiveLoopbackCluster {
+  LiveLoopbackCluster(size_t num_shards, size_t num_replicas,
+                      size_t delta_seal_docs = 8)
+      : num_replicas_(num_replicas) {
+    std::vector<RemoteClusterIndex::ReplicaSet> sets(num_shards);
+    for (size_t s = 0; s < num_shards; ++s) {
+      for (size_t r = 0; r < num_replicas; ++r) {
+        ingest::LiveIndexOptions options;
+        options.delta_seal_docs = delta_seal_docs;
+        lives.push_back(std::make_unique<ingest::LiveIndex>(options));
+        const uint32_t node_id = server.AddLiveNode(lives.back().get());
+        transports.push_back(
+            std::make_unique<LoopbackTransport>(server.Handler()));
+        sets[s].replicas.push_back({transports.back().get(), node_id});
+      }
+    }
+    RemoteClusterIndex::Options options;
+    options.hedge = false;  // deterministic frames for this test
+    remote = std::make_unique<RemoteClusterIndex>(std::move(sets), options);
+  }
+
+  /// The LiveIndex behind replica `r` of shard `s` (s-major layout).
+  ingest::LiveIndex& live(size_t s, size_t r) {
+    return *lives[s * num_replicas_ + r];
+  }
+
+  size_t num_replicas_;
+  ShardServer server;
+  std::vector<std::unique_ptr<ingest::LiveIndex>> lives;
+  std::vector<std::unique_ptr<LoopbackTransport>> transports;
+  std::unique_ptr<RemoteClusterIndex> remote;
+};
+
+/// The from-scratch reference: partitions the live documents by the
+/// centre's routing hash, rebuilds one TextIndex per shard, aggregates
+/// global statistics exactly as the handshake does, and runs the
+/// in-process shard evaluation + merge.
+std::vector<ir::ClusterScoredDoc> RebuildReference(
+    const RemoteClusterIndex& remote,
+    const std::vector<std::pair<std::string, std::string>>& live_docs,
+    const std::vector<std::string>& words, size_t n, size_t max_fragments,
+    size_t num_fragments) {
+  const size_t shards = remote.num_shards();
+  std::vector<std::unique_ptr<ir::TextIndex>> indexes;
+  for (size_t s = 0; s < shards; ++s) {
+    ir::TextIndex::Options options;
+    options.flush_batch = live_docs.size() + 2;
+    indexes.push_back(std::make_unique<ir::TextIndex>(options));
+  }
+  for (const auto& [url, text] : live_docs) {
+    indexes[remote.ShardForUrl(url)]->AddDocument(url, text);
+  }
+  int64_t collection_length = 0;
+  for (auto& index : indexes) {
+    index->Flush();
+    collection_length += index->collection_length();
+  }
+
+  ir::ShardQuery query;
+  query.n = n;
+  query.max_fragments = max_fragments;
+  query.collection_length = collection_length;
+  for (const std::string& word : words) {
+    std::optional<std::string> stem = ir::NormalizeWordAs(word, true, true);
+    if (!stem) continue;
+    if (std::find(query.stems.begin(), query.stems.end(), *stem) !=
+        query.stems.end()) {
+      continue;
+    }
+    int32_t df = 0;
+    for (auto& index : indexes) {
+      std::optional<ir::TermId> t = index->LookupTerm(*stem);
+      if (t) df += index->df(*t);
+    }
+    if (df == 0) continue;
+    query.stems.push_back(*stem);
+    query.stem_global_df.push_back(df);
+  }
+
+  std::vector<ir::ShardResult> results(shards);
+  for (size_t s = 0; s < shards; ++s) {
+    ir::FragmentedIndex fragments(indexes[s].get(), num_fragments);
+    results[s] = ir::EvaluateShardQuery(*indexes[s], fragments, query);
+  }
+  return ir::MergeShardResults(&results, n);
+}
+
+std::string MakeBody(Rng* rng, ZipfSampler* zipf, size_t words) {
+  std::string body;
+  for (size_t i = 0; i < words; ++i) {
+    if (!body.empty()) body += ' ';
+    body += StrFormat("term%03zu", zipf->Sample(rng));
+  }
+  return body;
+}
+
+TEST(LiveClusterTest, FrozenNodeRefusesMutations) {
+  ir::TextIndex index;
+  index.AddDocument("doc0", "hello world");
+  index.Flush();
+  ir::FragmentedIndex fragments(&index, 2);
+  ShardServer server;
+  server.AddNode(&index, &fragments);
+  LoopbackTransport transport(server.Handler());
+  RemoteClusterIndex remote({{&transport, 0}});
+  ASSERT_TRUE(remote.Connect().ok());
+  Result<uint64_t> inserted = remote.Insert("doc1", "new text");
+  ASSERT_FALSE(inserted.ok());
+  EXPECT_EQ(inserted.status().code(), StatusCode::kUnsupported);
+}
+
+TEST(LiveClusterTest, MutationsRouteByUrlHashAndSearchIsBitIdentical) {
+  LiveLoopbackCluster fx(/*num_shards=*/3, /*num_replicas=*/1);
+  ASSERT_TRUE(fx.remote->Connect().ok());
+  EXPECT_EQ(fx.remote->document_count(), 0u);
+
+  Rng rng(20260808);
+  ZipfSampler zipf(150, 1.1);
+  std::vector<std::pair<std::string, std::string>> live_docs;
+  std::vector<size_t> expect_docs(3, 0);
+  for (size_t d = 0; d < 60; ++d) {
+    const std::string url = StrFormat("http://site/%04zu", d);
+    const std::string text = MakeBody(&rng, &zipf, 20);
+    Result<uint64_t> id = fx.remote->Insert(url, text);
+    ASSERT_TRUE(id.ok()) << id.status().message();
+    live_docs.emplace_back(url, text);
+    // Routing check: exactly the owning shard's LiveIndex grew.
+    const size_t owner = fx.remote->ShardForUrl(url);
+    expect_docs[owner] += 1;
+    for (size_t s = 0; s < 3; ++s) {
+      EXPECT_EQ(fx.live(s, 0).Pin()->live_docs(), expect_docs[s]);
+    }
+  }
+  // Delete a third of them through the centre.
+  for (size_t d = 0; d < 60; d += 3) {
+    Result<bool> found = fx.remote->Delete(live_docs[d].first);
+    ASSERT_TRUE(found.ok());
+    EXPECT_TRUE(found.value());
+  }
+  std::vector<std::pair<std::string, std::string>> survivors;
+  for (size_t d = 0; d < live_docs.size(); ++d) {
+    if (d % 3 != 0) survivors.push_back(live_docs[d]);
+  }
+
+  // Deleting a url nobody has reports found == false on every shard.
+  Result<bool> missing = fx.remote->Delete("http://site/none");
+  ASSERT_TRUE(missing.ok());
+  EXPECT_FALSE(missing.value());
+
+  // The first query re-runs the stats handshake (mutations staled it).
+  EXPECT_TRUE(fx.remote->stats_stale());
+  const std::vector<std::vector<std::string>> queries = {
+      {"term000", "term001"},
+      {"term004", "term020", "term077"},
+      {"term002"},
+  };
+  for (const auto& words : queries) {
+    std::vector<ir::ClusterScoredDoc> got =
+        fx.remote->Query(words, 10, /*max_fragments=*/4);
+    std::vector<ir::ClusterScoredDoc> want = RebuildReference(
+        *fx.remote, survivors, words, 10, /*max_fragments=*/4,
+        /*num_fragments=*/4);
+    ASSERT_EQ(got.size(), want.size());
+    for (size_t i = 0; i < want.size(); ++i) {
+      EXPECT_EQ(got[i].url, want[i].url) << "rank " << i;
+      EXPECT_EQ(Bits(got[i].score), Bits(want[i].score)) << "rank " << i;
+    }
+  }
+  EXPECT_FALSE(fx.remote->stats_stale());
+  EXPECT_EQ(fx.remote->document_count(), survivors.size());
+
+  // After MergeAll every shard serves one frozen run; the fragment
+  // cut-off now applies exactly like the rebuild's, so a truncated
+  // fan-out stays bit-identical too.
+  ASSERT_TRUE(fx.remote->MergeAll().ok());
+  for (const auto& words : queries) {
+    std::vector<ir::ClusterScoredDoc> got =
+        fx.remote->Query(words, 10, /*max_fragments=*/2);
+    std::vector<ir::ClusterScoredDoc> want = RebuildReference(
+        *fx.remote, survivors, words, 10, /*max_fragments=*/2,
+        /*num_fragments=*/4);
+    ASSERT_EQ(got.size(), want.size());
+    for (size_t i = 0; i < want.size(); ++i) {
+      EXPECT_EQ(got[i].url, want[i].url) << "rank " << i;
+      EXPECT_EQ(Bits(got[i].score), Bits(want[i].score)) << "rank " << i;
+    }
+  }
+}
+
+TEST(LiveClusterTest, MutationsKeepReplicasIdentical) {
+  LiveLoopbackCluster fx(/*num_shards=*/2, /*num_replicas=*/2);
+  ASSERT_TRUE(fx.remote->Connect().ok());
+
+  Rng rng(7);
+  ZipfSampler zipf(100, 1.1);
+  for (size_t d = 0; d < 30; ++d) {
+    ASSERT_TRUE(
+        fx.remote->Insert(StrFormat("u%04zu", d), MakeBody(&rng, &zipf, 12))
+            .ok());
+  }
+  for (size_t d = 0; d < 30; d += 4) {
+    ASSERT_TRUE(fx.remote->Delete(StrFormat("u%04zu", d)).ok());
+  }
+  ASSERT_TRUE(fx.remote->MergeAll().ok());
+
+  // Both replicas of each shard applied the same mutation sequence:
+  // same epoch, same live set, bit-identical local rankings.
+  for (size_t s = 0; s < 2; ++s) {
+    auto snap0 = fx.live(s, 0).Pin();
+    auto snap1 = fx.live(s, 1).Pin();
+    EXPECT_EQ(snap0->epoch(), snap1->epoch());
+    EXPECT_EQ(snap0->live_docs(), snap1->live_docs());
+    EXPECT_EQ(snap0->collection_length(), snap1->collection_length());
+    std::vector<ingest::LiveScoredDoc> top0 =
+        snap0->Query({"term000", "term001"}, 8);
+    std::vector<ingest::LiveScoredDoc> top1 =
+        snap1->Query({"term000", "term001"}, 8);
+    ASSERT_EQ(top0.size(), top1.size());
+    for (size_t i = 0; i < top0.size(); ++i) {
+      EXPECT_EQ(top0[i].url, top1[i].url);
+      EXPECT_EQ(Bits(top0[i].score), Bits(top1[i].score));
+    }
+  }
+
+  // A replica that cannot be reached leaves the mutation incomplete
+  // and the caller is told, rather than the set silently diverging.
+  fx.transports[1]->Kill();
+  const size_t victim_shard = fx.remote->ShardForUrl("victim");
+  Result<uint64_t> id = fx.remote->Insert("victim", "text");
+  if (victim_shard == 0) {
+    EXPECT_FALSE(id.ok());
+  } else {
+    EXPECT_TRUE(id.ok());
+  }
+}
+
+}  // namespace
+}  // namespace dls::net

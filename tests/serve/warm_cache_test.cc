@@ -1,0 +1,254 @@
+// The warm path's contract: a live-ingestion epoch bump must not turn
+// into a cold stampede. The warmer re-evaluates the hottest cache keys
+// under the new epoch; while it runs, entries from the immediately
+// preceding epoch are served flagged-stale without touching the
+// backend; and once it finishes, the hot keys hit fresh — bit-identical
+// to re-evaluating at the new epoch.
+#include <gtest/gtest.h>
+
+#include <chrono>
+#include <condition_variable>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "common/rng.h"
+#include "common/strings.h"
+#include "ingest/live_index.h"
+#include "ir/cluster.h"
+#include "serve/backend.h"
+#include "serve/frontend.h"
+
+namespace dls::serve {
+namespace {
+
+std::unique_ptr<ingest::LiveIndex> MakeLive(int docs, uint64_t seed) {
+  ingest::LiveIndexOptions options;
+  options.delta_seal_docs = 16;
+  options.num_fragments = 4;
+  auto live = std::make_unique<ingest::LiveIndex>(options);
+  Rng rng(seed);
+  ZipfSampler zipf(300, 1.1);
+  for (int d = 0; d < docs; ++d) {
+    std::string body;
+    for (int w = 0; w < 40; ++w) {
+      body += StrFormat("term%03zu ", zipf.Sample(&rng));
+    }
+    EXPECT_TRUE(live->Insert(StrFormat("doc%03d", d), body).ok());
+  }
+  return live;
+}
+
+void ExpectIdentical(const std::vector<ir::ClusterScoredDoc>& got,
+                     const std::vector<ingest::LiveScoredDoc>& want) {
+  ASSERT_EQ(got.size(), want.size());
+  for (size_t i = 0; i < got.size(); ++i) {
+    EXPECT_EQ(got[i].url, want[i].url) << "rank " << i;
+    EXPECT_EQ(got[i].score, want[i].score) << "rank " << i;
+  }
+}
+
+/// Polls `done` until it holds or ~5 s elapse; the warmer runs on its
+/// own cadence, so tests wait for its counters instead of sleeping a
+/// guessed amount.
+template <typename Pred>
+bool WaitFor(Pred done) {
+  const auto give_up =
+      std::chrono::steady_clock::now() + std::chrono::seconds(5);
+  while (!done()) {
+    if (std::chrono::steady_clock::now() > give_up) return false;
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+  return true;
+}
+
+/// Delegating backend whose QueryBatch blocks while the gate is
+/// closed: holds the warmer mid-warm so the stale-while-warming window
+/// stays open for as long as the test needs to probe it. The wait is
+/// bounded so a failing test cannot deadlock the frontend's Stop().
+class GatedLiveBackend final : public Backend {
+ public:
+  explicit GatedLiveBackend(const Backend* inner) : inner_(inner) {}
+
+  uint64_t Epoch() const override { return inner_->Epoch(); }
+  bool NormStem() const override { return inner_->NormStem(); }
+  bool NormStop() const override { return inner_->NormStop(); }
+
+  std::vector<std::vector<ir::ClusterScoredDoc>> QueryBatch(
+      const std::vector<std::vector<std::string>>& queries, size_t n,
+      size_t max_fragments, ir::ClusterQueryStats* stats,
+      std::vector<ir::ClusterQueryStats>* per_query_stats,
+      const ir::RankOptions& options) const override {
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      ++entered_;
+      cv_.notify_all();
+      cv_.wait_for(lock, std::chrono::seconds(10), [this] { return open_; });
+    }
+    return inner_->QueryBatch(queries, n, max_fragments, stats,
+                              per_query_stats, options);
+  }
+
+  void Close() {
+    std::lock_guard<std::mutex> lock(mu_);
+    open_ = false;
+  }
+
+  void Open() {
+    std::lock_guard<std::mutex> lock(mu_);
+    open_ = true;
+    cv_.notify_all();
+  }
+
+  /// Blocks until `count` QueryBatch calls have started.
+  bool AwaitEntered(int count) const {
+    std::unique_lock<std::mutex> lock(mu_);
+    return cv_.wait_for(lock, std::chrono::seconds(5),
+                        [this, count] { return entered_ >= count; });
+  }
+
+  int entered() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return entered_;
+  }
+
+ private:
+  const Backend* inner_;
+  mutable std::mutex mu_;
+  mutable std::condition_variable cv_;
+  mutable int entered_ = 0;
+  mutable bool open_ = true;
+};
+
+TEST(WarmCacheTest, WarmerRefreshesHotKeysAfterEpochBump) {
+  std::unique_ptr<ingest::LiveIndex> live = MakeLive(60, /*seed=*/11);
+  LiveBackend backend(live.get());
+  FrontendOptions options;
+  options.num_workers = 1;
+  options.warm_top_k = 4;
+  options.warm_poll_ms = 1;
+  Frontend frontend(&backend, options);
+
+  const std::vector<std::string> hot_a = {"term001", "term002"};
+  const std::vector<std::string> hot_b = {"term003", "term005", "term008"};
+  for (const auto& words : {hot_a, hot_b}) {
+    SearchQuery query;
+    query.words = words;
+    query.n = 10;
+    query.max_fragments = 4;
+    SearchResult miss = frontend.Search(query);
+    ASSERT_TRUE(miss.status.ok());
+    EXPECT_FALSE(miss.cache_hit);
+    SearchResult hit = frontend.Search(query);
+    ASSERT_TRUE(hit.status.ok());
+    EXPECT_TRUE(hit.cache_hit);
+  }
+
+  ASSERT_TRUE(live->Insert("fresh-doc", "term001 term042 term099").ok());
+  ASSERT_TRUE(WaitFor([&] {
+    const ServeStats stats = frontend.Stats();
+    return stats.epoch_changes >= 1 && stats.cache_warmed >= 2;
+  })) << "warmer never refreshed the hot keys";
+
+  // The warmed entries answer demand for the new epoch from cache —
+  // no new backend batch — and bit-identical to a direct evaluation
+  // of the live index at this epoch.
+  const uint64_t batches_before = frontend.Stats().batches;
+  for (const auto& words : {hot_a, hot_b}) {
+    SearchQuery query;
+    query.words = words;
+    query.n = 10;
+    query.max_fragments = 4;
+    SearchResult warmed = frontend.Search(query);
+    ASSERT_TRUE(warmed.status.ok());
+    EXPECT_TRUE(warmed.cache_hit);
+    EXPECT_FALSE(warmed.stale);
+    ExpectIdentical(warmed.results, live->Query(words, 10));
+  }
+  EXPECT_EQ(frontend.Stats().batches, batches_before);
+}
+
+TEST(WarmCacheTest, ServesStaleWhileWarmingInsteadOfStampeding) {
+  std::unique_ptr<ingest::LiveIndex> live = MakeLive(60, /*seed=*/13);
+  LiveBackend inner(live.get());
+  GatedLiveBackend backend(&inner);
+  FrontendOptions options;
+  options.num_workers = 1;
+  options.warm_top_k = 2;
+  options.warm_poll_ms = 1;
+  Frontend frontend(&backend, options);
+
+  SearchQuery query;
+  query.words = {"term001", "term004"};
+  query.n = 10;
+  query.max_fragments = 4;
+  SearchResult filled = frontend.Search(query);
+  ASSERT_TRUE(filled.status.ok());
+  const std::vector<ingest::LiveScoredDoc> old_ranking =
+      live->Query(query.words, query.n);
+  ExpectIdentical(filled.results, old_ranking);
+  const int entered_before = backend.entered();
+
+  // Hold the warmer inside its re-evaluation: the moment it enters the
+  // backend, the warming window is provably open.
+  backend.Close();
+  ASSERT_TRUE(live->Insert("fresh-doc", "term001 term042 term077").ok());
+  ASSERT_TRUE(backend.AwaitEntered(entered_before + 1))
+      << "warmer never started re-evaluating";
+
+  // Demand during warming: served from the previous epoch, flagged
+  // stale, without a single backend call — the stampede the strict
+  // evict-on-mismatch contract would have caused.
+  SearchResult stale = frontend.Search(query);
+  ASSERT_TRUE(stale.status.ok());
+  EXPECT_TRUE(stale.cache_hit);
+  EXPECT_TRUE(stale.stale);
+  ExpectIdentical(stale.results, old_ranking);
+  EXPECT_EQ(backend.entered(), entered_before + 1);
+  EXPECT_GE(frontend.Stats().stale_served, 1u);
+
+  // Release the warmer; once it lands the refreshed entry, the same
+  // query hits fresh and matches a from-scratch evaluation at the new
+  // epoch.
+  backend.Open();
+  ASSERT_TRUE(WaitFor([&] { return frontend.Stats().cache_warmed >= 1; }));
+  ASSERT_TRUE(WaitFor([&] {
+    SearchResult fresh = frontend.Search(query);
+    return fresh.cache_hit && !fresh.stale;
+  })) << "hot key never came back fresh after warming";
+  SearchResult fresh = frontend.Search(query);
+  ASSERT_TRUE(fresh.status.ok());
+  EXPECT_TRUE(fresh.cache_hit);
+  EXPECT_FALSE(fresh.stale);
+  ExpectIdentical(fresh.results, live->Query(query.words, query.n));
+}
+
+TEST(WarmCacheTest, StrictModeStillEvictsOnEpochBump) {
+  std::unique_ptr<ingest::LiveIndex> live = MakeLive(40, /*seed=*/17);
+  LiveBackend backend(live.get());
+  FrontendOptions options;
+  options.num_workers = 1;
+  options.warm_top_k = 0;  // warmer off: the pre-warming contract
+  Frontend frontend(&backend, options);
+
+  SearchQuery query;
+  query.words = {"term002", "term006"};
+  query.n = 10;
+  query.max_fragments = 4;
+  ASSERT_TRUE(frontend.Search(query).status.ok());
+  SearchResult hit = frontend.Search(query);
+  EXPECT_TRUE(hit.cache_hit);
+
+  ASSERT_TRUE(live->Insert("fresh-doc", "term002 term050").ok());
+  SearchResult after = frontend.Search(query);
+  ASSERT_TRUE(after.status.ok());
+  EXPECT_FALSE(after.cache_hit);  // evicted on touch, re-evaluated
+  EXPECT_FALSE(after.stale);
+  ExpectIdentical(after.results, live->Query(query.words, query.n));
+  EXPECT_EQ(frontend.Stats().epoch_changes, 0u);
+}
+
+}  // namespace
+}  // namespace dls::serve
