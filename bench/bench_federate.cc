@@ -1,0 +1,315 @@
+// Federated mediation benchmark: the same three-level query answered
+// two ways over one synthetic corpus —
+//
+//   federated    the mediator's plan: filters cheapest/most-selective
+//                first, surviving candidates pushed down into ranked
+//                text evaluation as per-node bitmaps (n = 10)
+//   post_filter  the paper-naive baseline: evaluate every backend
+//                exhaustively, rank the WHOLE cluster (n = all docs,
+//                the only way post-filtering can guarantee a full
+//                top 10), intersect afterwards
+//
+// Four query mixes (text_only, text+webspace, text+cobra, all_three)
+// sweep how much of the work the non-text levels can strip away.
+//
+// Gated signals for ci/bench_gate.py:
+//   exact.federated_matches_post_filter   every federated ranking is
+//       bit-identical (urls and scores) to its post-filter oracle —
+//       the exactness contract of RankOptions::doc_filter end to end
+//   speedups.filtered_vs_post_filter      all_three wall-clock ratio;
+//       floor 1.0 — pushdown must pay for itself, not just look tidy
+//
+// The raw per-mix timings are reported but deliberately not gated
+// (machine-dependent); the ratio and the boolean are the contract.
+//
+// Prints a human table and writes machine-readable JSON (default
+// BENCH_federate.json, or argv[1]).
+#include <algorithm>
+#include <cstdio>
+#include <cstring>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/rng.h"
+#include "common/strings.h"
+#include "common/timer.h"
+#include "federate/backend.h"
+#include "federate/executor.h"
+#include "federate/query_lang.h"
+#include "ir/cluster.h"
+#include "webspace/objects.h"
+#include "webspace/schema.h"
+
+namespace dls {
+namespace {
+
+constexpr size_t kEntities = 6000;
+constexpr size_t kDocsPerEntity = 2;
+constexpr size_t kVocab = 3000;
+constexpr int kWordsPerDoc = 30;
+constexpr size_t kNodes = 4;
+constexpr size_t kFragments = 4;
+constexpr size_t kTopN = 10;
+constexpr int kQueries = 15;
+constexpr int kTermsPerQuery = 3;
+constexpr int kTopics = 40;      // topic=K keeps ~1/40 of entities
+constexpr double kMinLen = 5.0;  // rally >= 5s keeps ~half the rallies
+
+constexpr const char kSchema[] = R"(
+webspace Bench;
+class Article {
+  topic: varchar(20);
+  score: varchar(10);
+}
+)";
+
+std::string EntityId(size_t e) { return StrFormat("obj%05zu", e); }
+
+std::string EntityOf(const std::string& url) {
+  return url.substr(0, url.find('#'));
+}
+
+struct Corpus {
+  Corpus() : cluster(kNodes, kFragments) {
+    Result<webspace::Schema> s = webspace::ParseSchema(kSchema);
+    if (!s.ok()) std::abort();
+    schema = std::move(s).value();
+    instance = std::make_unique<webspace::WebspaceInstance>(&schema);
+
+    Rng rng(42);
+    ZipfSampler zipf(kVocab, 1.1);
+    webspace::DocumentView view;
+    view.document_url = "bench/corpus";
+    std::vector<federate::CobraEvent> events;
+    for (size_t e = 0; e < kEntities; ++e) {
+      const std::string id = EntityId(e);
+      for (size_t d = 0; d < kDocsPerEntity; ++d) {
+        std::string body;
+        for (int w = 0; w < kWordsPerDoc; ++w) {
+          body += StrFormat("term%04zu ", zipf.Sample(&rng));
+        }
+        cluster.AddDocument(StrFormat("%s#f%zu", id.c_str(), d), body);
+      }
+      webspace::WebObject o;
+      o.cls = "Article";
+      o.id = id;
+      o.attributes = {
+          {"topic", StrFormat("topic%02zu", e % kTopics), ""},
+          {"score", StrFormat("%zu", rng.Next() % 100), ""}};
+      view.objects.push_back(std::move(o));
+      // A quarter of the entities contain a rally of 0..10s; half of
+      // those survive the min_len=5s cut.
+      if (rng.Next() % 4 == 0) {
+        events.push_back({id, "rally", static_cast<double>(rng.Next() % 100) / 10.0});
+      }
+      if (rng.Next() % 8 == 0) {
+        events.push_back({id, "ace", static_cast<double>(rng.Next() % 30) / 10.0});
+      }
+    }
+    if (!instance->Merge(view).ok()) std::abort();
+    cluster.Finalize();
+    cluster.EnableParallelism(kNodes);
+
+    text = std::make_unique<federate::TextBackend>(&cluster);
+    web = std::make_unique<federate::WebspaceBackend>(instance.get());
+    cobra = std::make_unique<federate::CobraBackend>(std::move(events));
+    mediator = std::make_unique<federate::Mediator>(
+        federate::BackendSet{text.get(), web.get(), cobra.get()});
+  }
+
+  std::vector<std::string> QueryWords(uint64_t id) const {
+    Rng rng(id * 2654435761u + 17);
+    ZipfSampler zipf(kVocab, 1.1);
+    std::vector<std::string> words;
+    while (words.size() < kTermsPerQuery) {
+      std::string w = StrFormat("term%04zu", zipf.Sample(&rng));
+      if (std::find(words.begin(), words.end(), w) == words.end()) {
+        words.push_back(std::move(w));
+      }
+    }
+    return words;
+  }
+
+  webspace::Schema schema;
+  std::unique_ptr<webspace::WebspaceInstance> instance;
+  ir::ClusterIndex cluster;
+  std::unique_ptr<federate::TextBackend> text;
+  std::unique_ptr<federate::WebspaceBackend> web;
+  std::unique_ptr<federate::CobraBackend> cobra;
+  std::unique_ptr<federate::Mediator> mediator;
+};
+
+struct Mix {
+  const char* name;
+  bool with_webspace;
+  bool with_cobra;
+};
+
+struct MixResult {
+  double federated_ms = 0;
+  double post_filter_ms = 0;
+  size_t candidates = 0;  // mean surviving entities per query
+  bool exact = true;
+};
+
+/// The non-text conjuncts of mix `m` for query q, as query-language
+/// text (rotating the topic so different queries hit different slices).
+std::string FilterClause(const Mix& m, int q) {
+  std::string clause;
+  if (m.with_webspace) {
+    clause += StrFormat(" AND webspace(class=Article, topic=topic%02d)",
+                        q % kTopics);
+  }
+  if (m.with_cobra) {
+    clause += StrFormat(" AND cobra(event=rally, min_len=%.0fs)", kMinLen);
+  }
+  return clause;
+}
+
+MixResult RunMix(const Corpus& corpus, const Mix& mix) {
+  MixResult result;
+  size_t total_candidates = 0;
+  for (int q = 0; q < kQueries; ++q) {
+    const std::vector<std::string> words = corpus.QueryWords(q);
+    std::string text_pred = "text(\"";
+    for (size_t i = 0; i < words.size(); ++i) {
+      if (i != 0) text_pred += ' ';
+      text_pred += words[i];
+    }
+    text_pred += "\")";
+    const std::string query = text_pred + FilterClause(mix, q);
+
+    // Federated: parse once outside the clock (the serve layer parses
+    // at admission, amortised by the cache), execute planned.
+    Result<federate::FederatedQuery> parsed =
+        federate::ParseFederatedQuery(query);
+    if (!parsed.ok()) std::abort();
+    ir::RankOptions options;
+    options.prune = true;
+    Timer fed_timer;
+    Result<std::vector<ir::ClusterScoredDoc>> federated =
+        corpus.mediator->Execute(parsed.value(), kTopN, kFragments, options);
+    result.federated_ms += fed_timer.ElapsedMillis();
+    if (!federated.ok()) std::abort();
+
+    // Post-filter oracle: exhaustive filters, exhaustive deep ranking,
+    // intersect afterwards.
+    Timer post_timer;
+    bool have_filter = false;
+    federate::CandidateSet survivors;
+    auto apply = [&](const federate::FederateBackend& b, const char* pred) {
+      Result<federate::FederatedQuery> p = federate::ParseFederatedQuery(pred);
+      if (!p.ok()) std::abort();
+      Result<federate::CandidateSet> set = b.EvalFilter(p.value().root.pred);
+      if (!set.ok()) std::abort();
+      survivors = have_filter
+                      ? federate::IntersectSets(survivors, set.value())
+                      : std::move(set).value();
+      have_filter = true;
+    };
+    if (mix.with_webspace) {
+      apply(*corpus.web,
+            StrFormat("webspace(class=Article, topic=topic%02d)", q % kTopics)
+                .c_str());
+    }
+    if (mix.with_cobra) {
+      apply(*corpus.cobra,
+            StrFormat("cobra(event=rally, min_len=%.0fs)", kMinLen).c_str());
+    }
+    std::vector<ir::ClusterScoredDoc> ranked = corpus.cluster.Query(
+        words, kEntities * kDocsPerEntity, kFragments, nullptr, options);
+    std::vector<ir::ClusterScoredDoc> reference;
+    for (ir::ClusterScoredDoc& d : ranked) {
+      if (!have_filter || std::binary_search(survivors.begin(),
+                                             survivors.end(),
+                                             EntityOf(d.url))) {
+        reference.push_back(std::move(d));
+        if (reference.size() == kTopN) break;
+      }
+    }
+    result.post_filter_ms += post_timer.ElapsedMillis();
+
+    total_candidates += have_filter ? survivors.size() : kEntities;
+    if (federated.value().size() != reference.size()) {
+      result.exact = false;
+    } else {
+      for (size_t i = 0; i < reference.size(); ++i) {
+        uint64_t a, b;
+        std::memcpy(&a, &federated.value()[i].score, sizeof(a));
+        std::memcpy(&b, &reference[i].score, sizeof(b));
+        if (federated.value()[i].url != reference[i].url || a != b) {
+          result.exact = false;
+        }
+      }
+    }
+  }
+  result.candidates = total_candidates / kQueries;
+  return result;
+}
+
+}  // namespace
+}  // namespace dls
+
+int main(int argc, char** argv) {
+  using namespace dls;
+  const char* json_path = argc > 1 ? argv[1] : "BENCH_federate.json";
+
+  std::printf("building corpus: %zu entities x %zu docs, vocab %zu...\n",
+              kEntities, kDocsPerEntity, kVocab);
+  Corpus corpus;
+
+  const Mix mixes[] = {
+      {"text_only", false, false},
+      {"text_webspace", true, false},
+      {"text_cobra", false, true},
+      {"all_three", true, true},
+  };
+  MixResult results[4];
+  bool all_exact = true;
+  std::printf("%-14s %12s %14s %12s %6s\n", "mix", "federated_ms",
+              "post_filter_ms", "candidates", "exact");
+  for (size_t m = 0; m < 4; ++m) {
+    results[m] = RunMix(corpus, mixes[m]);
+    all_exact = all_exact && results[m].exact;
+    std::printf("%-14s %12.2f %14.2f %12zu %6s\n", mixes[m].name,
+                results[m].federated_ms, results[m].post_filter_ms,
+                results[m].candidates, results[m].exact ? "true" : "false");
+  }
+  const double speedup =
+      results[3].federated_ms > 0
+          ? results[3].post_filter_ms / results[3].federated_ms
+          : 0.0;
+  std::printf("\nall_three filtered_vs_post_filter speedup: %.2fx\n", speedup);
+
+  std::FILE* out = std::fopen(json_path, "w");
+  if (out == nullptr) {
+    std::fprintf(stderr, "cannot write %s\n", json_path);
+    return 1;
+  }
+  std::fprintf(
+      out,
+      "{\n"
+      "  \"bench\": \"federate\",\n"
+      "  \"corpus\": {\"entities\": %zu, \"docs_per_entity\": %zu, "
+      "\"vocab\": %zu, \"words_per_doc\": %d, \"nodes\": %zu, "
+      "\"fragments\": %zu, \"queries\": %d, \"terms_per_query\": %d, "
+      "\"top_n\": %zu},\n",
+      kEntities, kDocsPerEntity, kVocab, kWordsPerDoc, kNodes, kFragments,
+      kQueries, kTermsPerQuery, kTopN);
+  for (size_t m = 0; m < 4; ++m) {
+    std::fprintf(out,
+                 "  \"%s\": {\"federated_ms\": %.3f, \"post_filter_ms\": "
+                 "%.3f, \"mean_candidates\": %zu},\n",
+                 mixes[m].name, results[m].federated_ms,
+                 results[m].post_filter_ms, results[m].candidates);
+  }
+  std::fprintf(out,
+               "  \"speedups\": {\"filtered_vs_post_filter\": %.3f},\n"
+               "  \"exact\": {\"federated_matches_post_filter\": %s}\n"
+               "}\n",
+               speedup, all_exact ? "true" : "false");
+  std::fclose(out);
+  std::printf("wrote %s\n", json_path);
+  return all_exact ? 0 : 1;
+}

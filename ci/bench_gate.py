@@ -25,6 +25,13 @@ A metric fails the gate when it regresses by more than --threshold
                        exhaustive block scan, not just touch fewer
                        postings. A timing ratio, so a miss is
                        retryable like the other timing gates.
+  speedups.filtered_vs_post_filter  floor of 1.0 — the federated
+                       mediator's candidate pushdown must answer the
+                       all-three-levels mix faster than ranking the
+                       whole cluster and intersecting afterwards
+                       (bench_federate; exactness rides separately on
+                       exact.federated_matches_post_filter). Timing
+                       ratio, retryable.
   *.hedge_rate         ceiling of 0.25 — hedges are supposed to be the
                        tail-latency exception; a router hedging a
                        quarter of its shard exchanges is burning
@@ -86,6 +93,7 @@ BENCHES = [
     ("bench_serve", "BENCH_serve.json"),
     ("bench_segment", "BENCH_segment.json"),
     ("bench_ingest", "BENCH_ingest.json"),
+    ("bench_federate", "BENCH_federate.json"),
 ]
 
 COMPRESSION_FLOOR = 2.0
@@ -100,6 +108,11 @@ LOAD_SPEEDUP_FLOOR = 10.0
 # A timing ratio (both sides measured in the same run), so a miss is
 # retryable, unlike the deterministic floors above.
 PRUNE_VS_BLOCK_FLOOR = 1.0
+
+# Federated candidate pushdown must beat the exhaustive
+# rank-everything-then-intersect baseline in wall-clock on the
+# all-three-levels mix. Same-run timing ratio, so retryable.
+FILTERED_VS_POST_FILTER_FLOOR = 1.0
 
 # Replica routing: hedges must stay the exception, and one slow replica
 # must not be allowed to double tail latency. Both are timing-sensitive,
@@ -214,6 +227,14 @@ def compare(name, baseline, fresh, threshold):
             f"{name}: speedups.prune_vs_block {prune_speedup:.3f} below "
             f"the {PRUNE_VS_BLOCK_FLOOR:.1f} floor — pruning lost "
             f"wall-clock to the exhaustive scan")
+    pushdown_speedup = fresh_flat.get("speedups.filtered_vs_post_filter")
+    if pushdown_speedup is not None and \
+            pushdown_speedup < FILTERED_VS_POST_FILTER_FLOOR:
+        timing.append(
+            f"{name}: speedups.filtered_vs_post_filter "
+            f"{pushdown_speedup:.3f} below the "
+            f"{FILTERED_VS_POST_FILTER_FLOOR:.1f} floor — candidate "
+            f"pushdown lost wall-clock to rank-then-intersect")
     for path, value in sorted(fresh_flat.items()):
         if path.rsplit(".", 1)[-1] == "hedge_rate" and \
                 value > HEDGE_RATE_CEILING:

@@ -4,7 +4,7 @@
 # local gate:
 #
 #   ci/check.sh tier1   configure + build + ctest, then the IR, net,
-#                       serve and ingest suites again with
+#                       serve, ingest and federate suites again with
 #                       DLS_KERNEL=packed so the compressed posting
 #                       codec is the default kernel end to end (the net
 #                       and serve suites re-prove remote/in-process and
@@ -12,13 +12,15 @@
 #                       ingest suite re-proves delta-vs-rebuild
 #                       bit-identity under it).
 #   ci/check.sh tsan    DLS_SANITIZE=thread build; the FULL IR, net,
-#                       serve and ingest suites (not a hand-picked
+#                       serve, ingest and federate suites (not a hand-picked
 #                       filter — new suites must not silently skip
 #                       sanitizer coverage) plus the thread-pool tests,
 #                       then the concurrency-facing suites again under
 #                       the packed kernel (shared-θ, the serving
 #                       frontend and the live mutate-while-query path
-#                       are the racy paths that earn this).
+#                       are the racy paths that earn this, plus the
+#                       mediator's parallel OR fan-out and packed-
+#                       payload candidate filters).
 #   ci/check.sh asan    DLS_SANITIZE=address+undefined build; full
 #                       common + IR + net + serve + ingest suites, then
 #                       each again under the packed kernel (the wire
@@ -52,11 +54,12 @@ tier1() {
   cmake -B build -S .
   cmake --build build -j "$(nproc)"
   (cd build && ctest --output-on-failure -j "$(nproc)")
-  echo "== tier-1: IR + net + serve + ingest suites with the packed (compressed) kernel =="
+  echo "== tier-1: IR + net + serve + ingest + federate suites with the packed (compressed) kernel =="
   DLS_KERNEL=packed ./build/tests/dls_ir_tests
   DLS_KERNEL=packed ./build/tests/dls_net_tests
   DLS_KERNEL=packed ./build/tests/dls_serve_tests
   DLS_KERNEL=packed ./build/tests/dls_ingest_tests
+  DLS_KERNEL=packed ./build/tests/dls_federate_tests
 }
 
 tsan() {
@@ -64,13 +67,14 @@ tsan() {
   cmake -B build-tsan -S . -DDLS_SANITIZE=thread
   cmake --build build-tsan -j "$(nproc)" \
     --target dls_common_tests dls_ir_tests dls_net_tests dls_serve_tests \
-    dls_ingest_tests
+    dls_ingest_tests dls_federate_tests
   ./build-tsan/tests/dls_common_tests \
     --gtest_filter='ThreadPool*:LatencyHistogram*'
   ./build-tsan/tests/dls_ir_tests
   ./build-tsan/tests/dls_net_tests
   ./build-tsan/tests/dls_serve_tests
   ./build-tsan/tests/dls_ingest_tests
+  ./build-tsan/tests/dls_federate_tests
   echo "== TSan: concurrency suites with the packed kernel =="
   DLS_KERNEL=packed ./build-tsan/tests/dls_ir_tests \
     --gtest_filter='ParallelQuery*:Codec*:Kernel*:Wand*:SharedThreshold*:Segment*:Strategy*:Hybrid*'
@@ -80,6 +84,13 @@ tsan() {
     --gtest_filter='ServeConcurrencyTest*:FrontendTest*:ServeFaultInjectionTest*:WarmCacheTest*'
   DLS_KERNEL=packed ./build-tsan/tests/dls_ingest_tests \
     --gtest_filter='LiveConcurrencyTest*'
+  # Parallel OR fan-out + candidate pushdown over packed (released-
+  # payload) posting lists: the mediator's racy path under the racy
+  # codec.
+  DLS_KERNEL=packed ./build-tsan/tests/dls_federate_tests \
+    --gtest_filter='MediatorTest*'
+  DLS_KERNEL=packed ./build-tsan/tests/dls_ir_tests \
+    --gtest_filter='DocFilterTest*:*ClusterDocFilterTest*'
 }
 
 faults() {
@@ -110,17 +121,19 @@ asan() {
   cmake -B build-asan -S . -DDLS_SANITIZE=address+undefined
   cmake --build build-asan -j "$(nproc)" \
     --target dls_common_tests dls_ir_tests dls_net_tests dls_serve_tests \
-    dls_ingest_tests
+    dls_ingest_tests dls_federate_tests
   ./build-asan/tests/dls_common_tests
   ./build-asan/tests/dls_ir_tests
   ./build-asan/tests/dls_net_tests
   ./build-asan/tests/dls_serve_tests
   ./build-asan/tests/dls_ingest_tests
-  echo "== ASan+UBSan: IR + net + serve + ingest suites with the packed kernel =="
+  ./build-asan/tests/dls_federate_tests
+  echo "== ASan+UBSan: IR + net + serve + ingest + federate suites with the packed kernel =="
   DLS_KERNEL=packed ./build-asan/tests/dls_ir_tests
   DLS_KERNEL=packed ./build-asan/tests/dls_net_tests
   DLS_KERNEL=packed ./build-asan/tests/dls_serve_tests
   DLS_KERNEL=packed ./build-asan/tests/dls_ingest_tests
+  DLS_KERNEL=packed ./build-asan/tests/dls_federate_tests
 }
 
 bench() {
@@ -128,7 +141,7 @@ bench() {
   cmake -B build -S .
   cmake --build build -j "$(nproc)" \
     --target bench_ir_kernel bench_codec bench_net_fanout bench_serve \
-    bench_segment bench_ingest
+    bench_segment bench_ingest bench_federate
   # DLS_BENCH_OUT_DIR keeps the fresh JSONs (CI uploads them as the
   # bench job's artifact); unset, they die with the gate's temp dir.
   python3 ci/bench_gate.py --build-dir build \

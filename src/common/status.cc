@@ -26,6 +26,8 @@ const char* StatusCodeName(StatusCode code) {
       return "unavailable";
     case StatusCode::kDeadlineExceeded:
       return "deadline exceeded";
+    case StatusCode::kFeatureUnsupported:
+      return "feature unsupported";
   }
   return "unknown";
 }

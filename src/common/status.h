@@ -23,6 +23,12 @@ enum class StatusCode {
   kInternal,
   kUnavailable,       ///< a remote peer refused, vanished or misbehaved
   kDeadlineExceeded,  ///< a blocking operation outlived its Deadline
+  /// A peer sent a well-formed frame using a protocol feature this
+  /// build does not implement (e.g. a SearchRequest extension from a
+  /// newer version). Distinct from kCorruption — the bytes are fine,
+  /// the speaker is just newer — and from kUnsupported, which covers
+  /// locally unsupported operations rather than wire-feature skew.
+  kFeatureUnsupported,
 };
 
 /// Returns a short stable name ("ok", "parse error", ...) for a code.
@@ -63,6 +69,9 @@ class Status {
   }
   static Status Unsupported(std::string msg) {
     return Status(StatusCode::kUnsupported, std::move(msg));
+  }
+  static Status FeatureUnsupported(std::string msg) {
+    return Status(StatusCode::kFeatureUnsupported, std::move(msg));
   }
   static Status Internal(std::string msg) {
     return Status(StatusCode::kInternal, std::move(msg));

@@ -540,10 +540,18 @@ Result<QueryResult> SearchEngine::Execute(std::string_view query_text) {
       }
     }
     bindings = std::move(kept);
+    // Score descending, whole-binding ascending on ties: equal-score
+    // bindings otherwise keep whatever order the join produced, which
+    // is not a contract — the federated mediator and the tests pin
+    // result order bit-for-bit.
     std::stable_sort(bindings.begin(), bindings.end(),
                      [&](const Binding& a, const Binding& b) {
-                       return scores.at(a.at(query.rank.front().ref.cls)) >
-                              scores.at(b.at(query.rank.front().ref.cls));
+                       const double sa =
+                           scores.at(a.at(query.rank.front().ref.cls));
+                       const double sb =
+                           scores.at(b.at(query.rank.front().ref.cls));
+                       if (sa != sb) return sa > sb;
+                       return a < b;
                      });
   } else {
     std::sort(bindings.begin(), bindings.end());

@@ -1,0 +1,220 @@
+#include "federate/executor.h"
+
+#include <algorithm>
+#include <cassert>
+#include <chrono>
+#include <cstdarg>
+#include <cstdio>
+#include <future>
+#include <optional>
+
+namespace dls::federate {
+
+namespace {
+
+double NowUs() {
+  return static_cast<double>(
+             std::chrono::duration_cast<std::chrono::nanoseconds>(
+                 std::chrono::steady_clock::now().time_since_epoch())
+                 .count()) /
+         1e3;
+}
+
+void CollectKinds(const QueryNode& node, bool kinds[3]) {
+  if (node.kind == QueryNode::Kind::kPred) {
+    kinds[static_cast<size_t>(node.pred.kind)] = true;
+    return;
+  }
+  for (const QueryNode& child : node.children) CollectKinds(child, kinds);
+}
+
+/// "text" / "webspace" / "cobra" for a pure step, "mixed" for an OR
+/// group spanning levels.
+std::string StepBackendName(const QueryNode& node) {
+  bool kinds[3] = {false, false, false};
+  CollectKinds(node, kinds);
+  const int count = kinds[0] + kinds[1] + kinds[2];
+  if (count != 1) return "mixed";
+  if (kinds[0]) return "text";
+  if (kinds[1]) return "webspace";
+  return "cobra";
+}
+
+void AppendF(std::string* out, const char* fmt, ...) {
+  char buf[128];
+  va_list args;
+  va_start(args, fmt);
+  std::vsnprintf(buf, sizeof(buf), fmt, args);
+  va_end(args);
+  *out += buf;
+}
+
+}  // namespace
+
+Result<CandidateSet> Mediator::EvalNode(const QueryNode& node,
+                                        bool parallel) const {
+  switch (node.kind) {
+    case QueryNode::Kind::kPred: {
+      const FederateBackend* backend = backends_.ForKind(node.pred.kind);
+      if (backend == nullptr) {
+        return Status::InvalidArgument("no backend for predicate level");
+      }
+      return backend->EvalFilter(node.pred);
+    }
+    case QueryNode::Kind::kAnd: {
+      // Children in source order with empty-set short-circuit (the
+      // planner only reorders *top-level* conjuncts; nested groups are
+      // small and source order keeps them predictable).
+      std::optional<CandidateSet> running;
+      for (const QueryNode& child : node.children) {
+        DLS_ASSIGN_OR_RETURN(CandidateSet s, EvalNode(child, parallel));
+        running = running.has_value() ? IntersectSets(*running, std::move(s))
+                                      : std::move(s);
+        if (running->empty()) break;
+      }
+      return std::move(running).value_or(CandidateSet{});
+    }
+    case QueryNode::Kind::kOr: {
+      // Independent branches fan out on the pool; results combine in
+      // child order, and set union is order-insensitive anyway, so
+      // parallel and sequential execution return identical sets. Only
+      // the top OR level parallelises — nested groups evaluate inline
+      // in the worker, so a small pool can never deadlock on nested
+      // futures.
+      std::vector<Result<CandidateSet>> parts;
+      if (parallel && pool_ != nullptr && node.children.size() > 1) {
+        std::vector<std::future<Result<CandidateSet>>> futures;
+        futures.reserve(node.children.size());
+        for (const QueryNode& child : node.children) {
+          futures.push_back(pool_->Submit(
+              [this, &child]() { return EvalNode(child, /*parallel=*/false); }));
+        }
+        parts.reserve(futures.size());
+        for (std::future<Result<CandidateSet>>& f : futures) {
+          parts.push_back(f.get());
+        }
+      } else {
+        parts.reserve(node.children.size());
+        for (const QueryNode& child : node.children) {
+          parts.push_back(EvalNode(child, parallel));
+        }
+      }
+      CandidateSet out;
+      for (Result<CandidateSet>& part : parts) {
+        if (!part.ok()) return part.status();
+        out = UnionSets(out, std::move(part).value());
+      }
+      return out;
+    }
+  }
+  return Status::Internal("corrupt query node");
+}
+
+Result<std::vector<ir::ClusterScoredDoc>> Mediator::Execute(
+    const FederatedQuery& query, size_t n, size_t max_fragments,
+    const ir::RankOptions& options, FederatedStats* stats) const {
+  assert(options.doc_filter == nullptr &&
+         "the mediator owns candidate pushdown");
+  DLS_ASSIGN_OR_RETURN(Plan plan, BuildPlan(query, backends_));
+
+  FederatedStats local;
+  FederatedStats& out = stats != nullptr ? *stats : local;
+  out = FederatedStats{};
+
+  // Filters in plan order, intersecting as we go; once the running set
+  // is empty no later filter (or the ranked leg) can resurrect a
+  // candidate, so the rest short-circuits.
+  std::optional<CandidateSet> running;
+  for (const PlanStep& step : plan.steps) {
+    StepTiming timing;
+    timing.description = federate::ToString(step.node);
+    timing.backend = StepBackendName(step.node);
+    if (running.has_value() && running->empty()) {
+      timing.skipped = true;
+      out.steps.push_back(std::move(timing));
+      continue;
+    }
+    const double start = NowUs();
+    DLS_ASSIGN_OR_RETURN(CandidateSet s, EvalNode(step.node, /*parallel=*/true));
+    running = running.has_value() ? IntersectSets(*running, std::move(s))
+                                  : std::move(s);
+    timing.elapsed_us = NowUs() - start;
+    timing.candidates = running->size();
+    if (timing.backend == "webspace") out.webspace_us += timing.elapsed_us;
+    if (timing.backend == "cobra") out.cobra_us += timing.elapsed_us;
+    if (timing.backend == "text") out.text_us += timing.elapsed_us;
+    out.steps.push_back(std::move(timing));
+  }
+  out.filter_candidates = running.has_value() ? running->size() : 0;
+
+  std::vector<ir::ClusterScoredDoc> results;
+  if (plan.has_ranker) {
+    if (backends_.text == nullptr) {
+      return Status::InvalidArgument("no backend attached for level 'text'");
+    }
+    const std::vector<std::string> words = SplitQueryWords(plan.ranker.text);
+    const double start = NowUs();
+    if (running.has_value()) {
+      const ir::ClusterDocFilter filter =
+          backends_.text->BuildFilter(*running);
+      for (const ir::DocFilter& node_bits : filter.per_node) {
+        out.filter_docs += node_bits.count();
+      }
+      out.pushdown = true;
+      results = backends_.text->cluster().Query(words, n, max_fragments,
+                                                &out.text_stats, options,
+                                                &filter);
+    } else {
+      results = backends_.text->cluster().Query(words, n, max_fragments,
+                                                &out.text_stats, options);
+    }
+    out.text_us += NowUs() - start;
+  } else {
+    // Filters only: the surviving entities' documents, score 0, url
+    // ascending — a deterministic boolean result set. Without a text
+    // backend the entity ids themselves stand in for urls.
+    std::vector<std::string> urls =
+        backends_.text != nullptr ? backends_.text->DocsOfEntities(*running)
+                                  : *running;
+    if (urls.size() > n) urls.resize(n);
+    results.reserve(urls.size());
+    for (std::string& url : urls) {
+      results.push_back(ir::ClusterScoredDoc{std::move(url), 0.0});
+    }
+  }
+
+  // Render the executed plan with live counts — this is the string an
+  // operator sees in ServeStats.
+  std::string rendered;
+  for (const StepTiming& timing : out.steps) {
+    if (!rendered.empty()) rendered += " -> ";
+    rendered += timing.description;
+    if (timing.skipped) {
+      rendered += "[skipped]";
+    } else {
+      AppendF(&rendered, "[%zu ids, %.0fus]", timing.candidates,
+              timing.elapsed_us);
+    }
+  }
+  if (plan.has_ranker) {
+    if (!rendered.empty()) rendered += " -> ";
+    rendered += "rank ";
+    rendered += federate::ToString(plan.ranker);
+    if (out.pushdown) {
+      AppendF(&rendered, " with pushdown[%zu docs]", out.filter_docs);
+    }
+  } else {
+    AppendF(&rendered, " -> collect docs[%zu]", results.size());
+  }
+  out.plan = std::move(rendered);
+  return results;
+}
+
+Result<std::vector<ir::ClusterScoredDoc>> Mediator::ExecuteString(
+    std::string_view query, size_t n, size_t max_fragments,
+    const ir::RankOptions& options, FederatedStats* stats) const {
+  DLS_ASSIGN_OR_RETURN(FederatedQuery parsed, ParseFederatedQuery(query));
+  return Execute(parsed, n, max_fragments, options, stats);
+}
+
+}  // namespace dls::federate

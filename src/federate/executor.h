@@ -1,0 +1,96 @@
+#ifndef DLS_FEDERATE_EXECUTOR_H_
+#define DLS_FEDERATE_EXECUTOR_H_
+
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "common/thread_pool.h"
+#include "federate/backend.h"
+#include "federate/planner.h"
+#include "federate/query_lang.h"
+#include "ir/cluster.h"
+
+namespace dls::federate {
+
+/// Per-step execution accounting, surfaced through ServeStats so an
+/// operator can see where a federated query spent its time.
+struct StepTiming {
+  std::string description;  ///< canonical predicate / group rendering
+  std::string backend;      ///< "text", "webspace", "cobra" or "mixed"
+  double elapsed_us = 0.0;
+  size_t candidates = 0;  ///< surviving entities after this step
+  bool skipped = false;   ///< short-circuited (running set already empty)
+};
+
+/// What one federated execution did.
+struct FederatedStats {
+  /// The executed plan with live counts attached, e.g.
+  ///   "cobra(event=rally)[sel=0.03, 12 ids, 80us] -> rank
+  ///    text(\"net play\") with pushdown[17 docs]".
+  std::string plan;
+  std::vector<StepTiming> steps;
+  size_t filter_candidates = 0;  ///< entities surviving all filters
+  size_t filter_docs = 0;        ///< bits set in the pushed-down bitmap
+  bool pushdown = false;         ///< ranking ran under a candidate bitmap
+  double text_us = 0.0;          ///< ranked-text wall time
+  double webspace_us = 0.0;      ///< total webspace filter wall time
+  double cobra_us = 0.0;         ///< total cobra filter wall time
+  ir::ClusterQueryStats text_stats;
+};
+
+/// The federated query mediator: plans a parsed query over the three
+/// backends and executes it — filters first (cheapest/most-selective
+/// order, empty-set short-circuit, OR branches fanned out on the
+/// thread pool), then ranked text evaluation with the surviving
+/// candidate set pushed down as per-node bitmaps.
+///
+/// Exactness contract: the returned ranking is bit-identical to
+/// evaluating every backend exhaustively, intersecting the candidate
+/// sets, and post-filtering an exhaustive text ranking — the pushdown
+/// and the step ordering are pure work-savers (tests/federate pins
+/// this). Queries with no text() predicate return the candidate
+/// entities' documents with score 0, url-ascending.
+///
+/// Thread-safe for concurrent Execute() calls: backends are read-only
+/// and the pool is only used via Submit().
+class Mediator {
+ public:
+  /// Non-owning backends; `pool` may be nullptr for fully sequential
+  /// execution (OR branches then evaluate in child order inline).
+  explicit Mediator(BackendSet backends, ThreadPool* pool = nullptr)
+      : backends_(backends), pool_(pool) {}
+
+  /// Executes a parsed query. `n`, `max_fragments`, `options` shape
+  /// the ranked-text leg exactly as ClusterIndex::Query does;
+  /// options.doc_filter must be null (the mediator owns pushdown).
+  Result<std::vector<ir::ClusterScoredDoc>> Execute(
+      const FederatedQuery& query, size_t n, size_t max_fragments,
+      const ir::RankOptions& options = {},
+      FederatedStats* stats = nullptr) const;
+
+  /// Parse + Execute in one step (the serve-layer entry point).
+  Result<std::vector<ir::ClusterScoredDoc>> ExecuteString(
+      std::string_view query, size_t n, size_t max_fragments,
+      const ir::RankOptions& options = {},
+      FederatedStats* stats = nullptr) const;
+
+  const BackendSet& backends() const { return backends_; }
+
+ private:
+  /// Evaluates a filter node to its sorted entity set. When `parallel`
+  /// and a pool is attached, OR children run on the pool (each branch
+  /// then evaluates strictly inline, so a one-worker pool cannot
+  /// deadlock on nested futures); results combine by set union, which
+  /// is order-insensitive, so parallel and sequential evaluation are
+  /// identical. Callers of Execute() must not themselves be workers of
+  /// the attached pool.
+  Result<CandidateSet> EvalNode(const QueryNode& node, bool parallel) const;
+
+  BackendSet backends_;
+  ThreadPool* pool_;
+};
+
+}  // namespace dls::federate
+
+#endif  // DLS_FEDERATE_EXECUTOR_H_

@@ -1,0 +1,57 @@
+#ifndef DLS_FEDERATE_PLANNER_H_
+#define DLS_FEDERATE_PLANNER_H_
+
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "federate/backend.h"
+#include "federate/query_lang.h"
+
+namespace dls::federate {
+
+/// One filter step of a plan: a top-level conjunct (a predicate or an
+/// OR group) with the planner's estimates attached.
+struct PlanStep {
+  QueryNode node;
+  double selectivity = 1.0;  ///< estimated surviving fraction
+  double cost = 0.0;         ///< estimated evaluation cost (advisory)
+};
+
+/// An executable mediation plan. The executor runs `steps` in order,
+/// intersecting candidate sets and short-circuiting on empty, then —
+/// when has_ranker — pushes the surviving set down into ranked text
+/// evaluation.
+struct Plan {
+  bool has_ranker = false;
+  Predicate ranker;             ///< the unique top-level text() conjunct
+  std::vector<PlanStep> steps;  ///< filters, cheapest/most-selective first
+
+  /// Human-readable rendering, e.g.
+  ///   "cobra(event=rally, min_len>=5s)[sel=0.03] -> webspace(...)
+  ///    [sel=0.25] -> rank text(\"net play\") with pushdown".
+  /// Surfaces in ServeStats so operators can see why a federated query
+  /// was cheap or expensive.
+  std::string ToString() const;
+};
+
+/// Builds a plan for `query` over `backends`:
+///
+///  - Flattens the top-level conjunction. The unique top-level text()
+///    conjunct (at most one allowed) becomes the ranking predicate;
+///    every other conjunct — including OR groups and any text()
+///    nested inside them, which acts as a boolean contains-a-stem
+///    filter — becomes a filter step.
+///  - Validates every leaf predicate against its backend (missing
+///    backend or Accepts() failure => kInvalidArgument).
+///  - Orders filter steps by (selectivity asc, cost asc, source order)
+///    so the cheapest, most selective predicate shrinks the candidate
+///    set first. Estimates: sel(pred) from the backend, sel(AND) = min
+///    over children, sel(OR) = capped sum over children.
+///
+/// Pure function of (query, backends) — deterministic, no evaluation.
+Result<Plan> BuildPlan(const FederatedQuery& query, const BackendSet& backends);
+
+}  // namespace dls::federate
+
+#endif  // DLS_FEDERATE_PLANNER_H_

@@ -1,0 +1,504 @@
+#include "federate/query_lang.h"
+
+#include <cctype>
+#include <cstdio>
+#include <cstdlib>
+
+namespace dls::federate {
+namespace {
+
+/// Token kinds of the hand-rolled lexer. Keywords (text, webspace,
+/// cobra, AND, OR) stay kIdent here; the parser matches them
+/// case-insensitively so the lexer has no reserved-word table.
+enum class Tok : uint8_t {
+  kEnd,
+  kIdent,
+  kString,
+  kNumber,
+  kLParen,
+  kRParen,
+  kComma,
+  kDot,
+  kEq,       // =
+  kNotEq,    // !=
+  kTilde,    // ~
+  kGe,       // >=
+};
+
+struct Token {
+  Tok kind = Tok::kEnd;
+  size_t pos = 0;       ///< byte offset of the first character
+  std::string text;     ///< ident spelling or decoded string payload
+  double number = 0.0;  ///< kNumber value (in the written unit)
+  uint8_t unit = 0;     ///< kNumber: 0 none, 1 's', 2 'ms'
+};
+
+Status ErrAt(size_t pos, const std::string& message) {
+  char prefix[48];
+  std::snprintf(prefix, sizeof(prefix), "federated query, byte %zu: ", pos);
+  return Status::ParseError(prefix + message);
+}
+
+bool IdentStart(unsigned char c) { return std::isalpha(c) != 0 || c == '_'; }
+bool IdentChar(unsigned char c) { return std::isalnum(c) != 0 || c == '_'; }
+
+bool IsIdentShaped(std::string_view s) {
+  if (s.empty() || !IdentStart(static_cast<unsigned char>(s[0]))) return false;
+  for (char c : s) {
+    if (!IdentChar(static_cast<unsigned char>(c))) return false;
+  }
+  return true;
+}
+
+bool KeywordIs(const Token& token, std::string_view keyword) {
+  if (token.kind != Tok::kIdent) return false;
+  if (token.text.size() != keyword.size()) return false;
+  for (size_t i = 0; i < keyword.size(); ++i) {
+    if (std::tolower(static_cast<unsigned char>(token.text[i])) !=
+        keyword[i]) {
+      return false;
+    }
+  }
+  return true;
+}
+
+/// One-token-lookahead lexer over the bounded input. Every byte is
+/// classified; anything unexpected is a positioned kParseError, never
+/// a skip — truncating the input at any byte can only produce "cut a
+/// token short" or "query ended inside ..." style errors (fuzzed).
+class Lexer {
+ public:
+  explicit Lexer(std::string_view input) : input_(input) {}
+
+  /// Lexes the next token into `out`.
+  Status Next(Token* out) {
+    while (pos_ < input_.size() &&
+           std::isspace(static_cast<unsigned char>(input_[pos_])) != 0) {
+      ++pos_;
+    }
+    out->pos = pos_;
+    out->text.clear();
+    out->number = 0.0;
+    out->unit = 0;
+    if (pos_ >= input_.size()) {
+      out->kind = Tok::kEnd;
+      return Status::Ok();
+    }
+    const unsigned char c = static_cast<unsigned char>(input_[pos_]);
+    switch (c) {
+      case '(': out->kind = Tok::kLParen; ++pos_; return Status::Ok();
+      case ')': out->kind = Tok::kRParen; ++pos_; return Status::Ok();
+      case ',': out->kind = Tok::kComma; ++pos_; return Status::Ok();
+      case '.': out->kind = Tok::kDot; ++pos_; return Status::Ok();
+      case '=': out->kind = Tok::kEq; ++pos_; return Status::Ok();
+      case '~': out->kind = Tok::kTilde; ++pos_; return Status::Ok();
+      case '!':
+        if (pos_ + 1 >= input_.size() || input_[pos_ + 1] != '=') {
+          return ErrAt(pos_, "expected '=' after '!'");
+        }
+        out->kind = Tok::kNotEq;
+        pos_ += 2;
+        return Status::Ok();
+      case '>':
+        if (pos_ + 1 >= input_.size() || input_[pos_ + 1] != '=') {
+          return ErrAt(pos_, "expected '=' after '>'");
+        }
+        out->kind = Tok::kGe;
+        pos_ += 2;
+        return Status::Ok();
+      case '"': return LexString(out);
+      default: break;
+    }
+    if (std::isdigit(c) != 0) return LexNumber(out);
+    if (IdentStart(c)) return LexIdent(out);
+    return ErrAt(pos_, "unexpected character");
+  }
+
+ private:
+  Status LexString(Token* out) {
+    out->kind = Tok::kString;
+    ++pos_;  // opening quote
+    while (pos_ < input_.size()) {
+      const unsigned char c = static_cast<unsigned char>(input_[pos_]);
+      if (c == '"') {
+        ++pos_;
+        return Status::Ok();
+      }
+      if (c == '\\') {
+        if (pos_ + 1 >= input_.size()) {
+          return ErrAt(pos_, "query ended inside a string escape");
+        }
+        const char esc = input_[pos_ + 1];
+        if (esc != '"' && esc != '\\') {
+          return ErrAt(pos_, "unknown string escape (only \\\" and \\\\)");
+        }
+        out->text.push_back(esc);
+        pos_ += 2;
+        continue;
+      }
+      if (c < 0x20) {
+        return ErrAt(pos_, "control byte inside a string");
+      }
+      out->text.push_back(static_cast<char>(c));
+      ++pos_;
+    }
+    return ErrAt(out->pos, "query ended inside a string");
+  }
+
+  Status LexNumber(Token* out) {
+    out->kind = Tok::kNumber;
+    const size_t begin = pos_;
+    while (pos_ < input_.size() &&
+           std::isdigit(static_cast<unsigned char>(input_[pos_])) != 0) {
+      ++pos_;
+    }
+    if (pos_ < input_.size() && input_[pos_] == '.') {
+      if (pos_ + 1 >= input_.size() ||
+          std::isdigit(static_cast<unsigned char>(input_[pos_ + 1])) == 0) {
+        return ErrAt(pos_, "expected digits after the decimal point");
+      }
+      ++pos_;
+      while (pos_ < input_.size() &&
+             std::isdigit(static_cast<unsigned char>(input_[pos_])) != 0) {
+        ++pos_;
+      }
+    }
+    // strtod on a bounded, digits-and-one-dot lexeme: cannot fail.
+    const std::string lexeme(input_.substr(begin, pos_ - begin));
+    out->number = std::strtod(lexeme.c_str(), nullptr);
+    // Optional duration unit glued to the digits: 5s, 200ms.
+    const size_t unit_begin = pos_;
+    while (pos_ < input_.size() &&
+           IdentChar(static_cast<unsigned char>(input_[pos_]))) {
+      ++pos_;
+    }
+    const std::string_view unit = input_.substr(unit_begin, pos_ - unit_begin);
+    if (unit.empty()) {
+      out->unit = 0;
+    } else if (unit == "s") {
+      out->unit = 1;
+    } else if (unit == "ms") {
+      out->unit = 2;
+    } else {
+      return ErrAt(unit_begin, "unknown duration unit (use 's' or 'ms')");
+    }
+    return Status::Ok();
+  }
+
+  Status LexIdent(Token* out) {
+    out->kind = Tok::kIdent;
+    const size_t begin = pos_;
+    while (pos_ < input_.size() &&
+           IdentChar(static_cast<unsigned char>(input_[pos_]))) {
+      ++pos_;
+    }
+    out->text.assign(input_.substr(begin, pos_ - begin));
+    return Status::Ok();
+  }
+
+  std::string_view input_;
+  size_t pos_ = 0;
+};
+
+/// Recursive-descent parser with explicit depth and size budgets.
+class Parser {
+ public:
+  explicit Parser(std::string_view input) : lexer_(input) {}
+
+  Result<FederatedQuery> Parse() {
+    DLS_RETURN_IF_ERROR(Advance());
+    FederatedQuery query;
+    DLS_ASSIGN_OR_RETURN(query.root, ParseOr(/*depth=*/0));
+    if (cur_.kind != Tok::kEnd) {
+      return ErrAt(cur_.pos, "trailing input after the query");
+    }
+    return query;
+  }
+
+ private:
+  Status Advance() { return lexer_.Next(&cur_); }
+
+  Status Expect(Tok kind, const char* what) {
+    if (cur_.kind != kind) return ErrAt(cur_.pos, std::string("expected ") + what);
+    return Advance();
+  }
+
+  Result<QueryNode> ParseOr(size_t depth) {
+    QueryNode node;
+    DLS_ASSIGN_OR_RETURN(QueryNode first, ParseAnd(depth));
+    if (!KeywordIs(cur_, "or")) return first;
+    node.kind = QueryNode::Kind::kOr;
+    node.children.push_back(std::move(first));
+    while (KeywordIs(cur_, "or")) {
+      DLS_RETURN_IF_ERROR(Advance());
+      DLS_ASSIGN_OR_RETURN(QueryNode next, ParseAnd(depth));
+      node.children.push_back(std::move(next));
+    }
+    return node;
+  }
+
+  Result<QueryNode> ParseAnd(size_t depth) {
+    QueryNode node;
+    DLS_ASSIGN_OR_RETURN(QueryNode first, ParseUnary(depth));
+    if (!KeywordIs(cur_, "and")) return first;
+    node.kind = QueryNode::Kind::kAnd;
+    node.children.push_back(std::move(first));
+    while (KeywordIs(cur_, "and")) {
+      DLS_RETURN_IF_ERROR(Advance());
+      DLS_ASSIGN_OR_RETURN(QueryNode next, ParseUnary(depth));
+      node.children.push_back(std::move(next));
+    }
+    return node;
+  }
+
+  Result<QueryNode> ParseUnary(size_t depth) {
+    if (depth >= kMaxDepth) {
+      return ErrAt(cur_.pos, "query nests too deep");
+    }
+    if (cur_.kind == Tok::kLParen) {
+      DLS_RETURN_IF_ERROR(Advance());
+      DLS_ASSIGN_OR_RETURN(QueryNode inner, ParseOr(depth + 1));
+      DLS_RETURN_IF_ERROR(Expect(Tok::kRParen, "')'"));
+      return inner;
+    }
+    return ParsePredicate();
+  }
+
+  Result<QueryNode> ParsePredicate() {
+    if (cur_.kind != Tok::kIdent) {
+      return ErrAt(cur_.pos, "expected a predicate (text/webspace/cobra)");
+    }
+    if (++predicates_ > kMaxPredicates) {
+      return ErrAt(cur_.pos, "too many predicates");
+    }
+    QueryNode node;
+    node.kind = QueryNode::Kind::kPred;
+    if (KeywordIs(cur_, "text")) {
+      node.pred.kind = PredKind::kText;
+      DLS_RETURN_IF_ERROR(Advance());
+      DLS_RETURN_IF_ERROR(Expect(Tok::kLParen, "'(' after text"));
+      if (cur_.kind != Tok::kString) {
+        return ErrAt(cur_.pos, "text() takes one quoted string");
+      }
+      if (cur_.text.empty()) {
+        return ErrAt(cur_.pos, "text() query must not be empty");
+      }
+      node.pred.text = std::move(cur_.text);
+      DLS_RETURN_IF_ERROR(Advance());
+      DLS_RETURN_IF_ERROR(Expect(Tok::kRParen, "')' after the text string"));
+      return node;
+    }
+    const bool webspace = KeywordIs(cur_, "webspace");
+    if (!webspace && !KeywordIs(cur_, "cobra")) {
+      return ErrAt(cur_.pos, "unknown predicate '" + cur_.text +
+                                 "' (expected text/webspace/cobra)");
+    }
+    const size_t pred_pos = cur_.pos;
+    node.pred.kind = webspace ? PredKind::kWebspace : PredKind::kCobra;
+    DLS_RETURN_IF_ERROR(Advance());
+    DLS_RETURN_IF_ERROR(Expect(Tok::kLParen, "'(' after the predicate name"));
+    while (true) {
+      if (node.pred.constraints.size() >= kMaxConstraints) {
+        return ErrAt(cur_.pos, "too many constraints in one predicate");
+      }
+      DLS_ASSIGN_OR_RETURN(Constraint constraint, ParseConstraint(webspace));
+      node.pred.constraints.push_back(std::move(constraint));
+      if (cur_.kind == Tok::kComma) {
+        DLS_RETURN_IF_ERROR(Advance());
+        continue;
+      }
+      break;
+    }
+    DLS_RETURN_IF_ERROR(Expect(Tok::kRParen, "')' after the constraints"));
+    DLS_RETURN_IF_ERROR(ValidatePredicate(node.pred, webspace, pred_pos));
+    return node;
+  }
+
+  Result<Constraint> ParseConstraint(bool webspace) {
+    Constraint constraint;
+    if (cur_.kind != Tok::kIdent) {
+      return ErrAt(cur_.pos, "expected a constraint path");
+    }
+    constraint.path = std::move(cur_.text);
+    DLS_RETURN_IF_ERROR(Advance());
+    size_t segments = 1;
+    while (cur_.kind == Tok::kDot) {
+      DLS_RETURN_IF_ERROR(Advance());
+      if (cur_.kind != Tok::kIdent) {
+        return ErrAt(cur_.pos, "expected an attribute after '.'");
+      }
+      if (++segments > 2) {
+        return ErrAt(cur_.pos, "paths may have at most two steps");
+      }
+      if (!webspace) {
+        return ErrAt(cur_.pos, "cobra constraints take single-step paths");
+      }
+      constraint.path += '.';
+      constraint.path += cur_.text;
+      DLS_RETURN_IF_ERROR(Advance());
+    }
+    switch (cur_.kind) {
+      case Tok::kEq: constraint.op = ConstraintOp::kEq; break;
+      case Tok::kNotEq: constraint.op = ConstraintOp::kNotEq; break;
+      case Tok::kTilde: constraint.op = ConstraintOp::kContains; break;
+      case Tok::kGe: constraint.op = ConstraintOp::kAtLeast; break;
+      default:
+        return ErrAt(cur_.pos, "expected '=', '!=', '~' or '>='");
+    }
+    const size_t op_pos = cur_.pos;
+    DLS_RETURN_IF_ERROR(Advance());
+    if (cur_.kind == Tok::kNumber) {
+      constraint.numeric = true;
+      constraint.number = cur_.number;
+      constraint.unit = cur_.unit;
+      if (constraint.op == ConstraintOp::kContains) {
+        return ErrAt(op_pos, "'~' needs a string value");
+      }
+    } else if (cur_.kind == Tok::kString || cur_.kind == Tok::kIdent) {
+      constraint.value = std::move(cur_.text);
+      if (constraint.op == ConstraintOp::kAtLeast) {
+        return ErrAt(op_pos, "'>=' needs a numeric value");
+      }
+    } else {
+      return ErrAt(cur_.pos, "expected a constraint value");
+    }
+    DLS_RETURN_IF_ERROR(Advance());
+    return constraint;
+  }
+
+  /// Per-predicate semantic checks the backends rely on.
+  Status ValidatePredicate(const Predicate& pred, bool webspace,
+                           size_t pos) {
+    const std::string_view anchor = webspace ? "class" : "event";
+    size_t anchors = 0;
+    for (const Constraint& c : pred.constraints) {
+      if (c.path == anchor) {
+        ++anchors;
+        if (c.op != ConstraintOp::kEq || c.numeric || c.value.empty()) {
+          return ErrAt(pos, std::string(anchor) +
+                                " must be '=' a non-empty name");
+        }
+      }
+      if (!webspace && c.path == "min_len" && !c.numeric) {
+        return ErrAt(pos, "min_len needs a numeric value");
+      }
+    }
+    if (anchors != 1) {
+      return ErrAt(pos, std::string(webspace ? "webspace()" : "cobra()") +
+                            " needs exactly one " + std::string(anchor) +
+                            "= constraint");
+    }
+    return Status::Ok();
+  }
+
+  Lexer lexer_;
+  Token cur_;
+  size_t predicates_ = 0;
+};
+
+void AppendQuoted(std::string_view s, std::string* out) {
+  out->push_back('"');
+  for (char c : s) {
+    if (c == '"' || c == '\\') out->push_back('\\');
+    out->push_back(c);
+  }
+  out->push_back('"');
+}
+
+void AppendNumber(const Constraint& c, std::string* out) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%g", c.number);
+  *out += buf;
+  if (c.unit == 1) *out += 's';
+  if (c.unit == 2) *out += "ms";
+}
+
+void AppendConstraint(const Constraint& c, std::string* out) {
+  *out += c.path;
+  switch (c.op) {
+    case ConstraintOp::kEq: *out += '='; break;
+    case ConstraintOp::kNotEq: *out += "!="; break;
+    case ConstraintOp::kContains: *out += '~'; break;
+    case ConstraintOp::kAtLeast: *out += ">="; break;
+  }
+  if (c.numeric) {
+    AppendNumber(c, out);
+  } else if (IsIdentShaped(c.value)) {
+    *out += c.value;  // bare and quoted ident-shaped values unify
+  } else {
+    AppendQuoted(c.value, out);
+  }
+}
+
+void AppendNode(const QueryNode& node, std::string* out) {
+  switch (node.kind) {
+    case QueryNode::Kind::kPred:
+      *out += ToString(node.pred);
+      return;
+    case QueryNode::Kind::kAnd:
+      for (size_t i = 0; i < node.children.size(); ++i) {
+        if (i > 0) *out += " AND ";
+        const bool parens =
+            node.children[i].kind == QueryNode::Kind::kOr;
+        if (parens) *out += '(';
+        AppendNode(node.children[i], out);
+        if (parens) *out += ')';
+      }
+      return;
+    case QueryNode::Kind::kOr:
+      for (size_t i = 0; i < node.children.size(); ++i) {
+        if (i > 0) *out += " OR ";
+        AppendNode(node.children[i], out);
+      }
+      return;
+  }
+}
+
+}  // namespace
+
+Result<FederatedQuery> ParseFederatedQuery(std::string_view input) {
+  if (input.size() > kMaxQueryBytes) {
+    return Status::ParseError("federated query exceeds the size limit");
+  }
+  return Parser(input).Parse();
+}
+
+std::string ToString(const Predicate& pred) {
+  std::string out;
+  switch (pred.kind) {
+    case PredKind::kText:
+      out = "text(";
+      AppendQuoted(pred.text, &out);
+      out += ')';
+      return out;
+    case PredKind::kWebspace: out = "webspace("; break;
+    case PredKind::kCobra: out = "cobra("; break;
+  }
+  for (size_t i = 0; i < pred.constraints.size(); ++i) {
+    if (i > 0) out += ", ";
+    AppendConstraint(pred.constraints[i], &out);
+  }
+  out += ')';
+  return out;
+}
+
+std::string ToString(const QueryNode& node) {
+  std::string out;
+  AppendNode(node, &out);
+  return out;
+}
+
+std::string ToString(const FederatedQuery& query) {
+  return ToString(query.root);
+}
+
+size_t CountPredicates(const QueryNode& node) {
+  if (node.kind == QueryNode::Kind::kPred) return 1;
+  size_t count = 0;
+  for (const QueryNode& child : node.children) {
+    count += CountPredicates(child);
+  }
+  return count;
+}
+
+}  // namespace dls::federate

@@ -1,0 +1,125 @@
+#ifndef DLS_FEDERATE_QUERY_LANG_H_
+#define DLS_FEDERATE_QUERY_LANG_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/status.h"
+
+namespace dls::federate {
+
+/// The structured federated query language — the one string a
+/// SearchRequest carries to address all three paper levels at once:
+///
+///   text("tennis net play") AND webspace(class=Article,
+///     author.name~"Smith") AND cobra(event=rally, min_len=5s)
+///
+/// Grammar (EBNF; see DESIGN.md "Federated mediation"):
+///
+///   query      := or_expr
+///   or_expr    := and_expr { OR and_expr }
+///   and_expr   := unary { AND unary }
+///   unary      := predicate | '(' or_expr ')'
+///   predicate  := 'text' '(' STRING ')'
+///              | 'webspace' '(' constraint { ',' constraint } ')'
+///              | 'cobra' '(' constraint { ',' constraint } ')'
+///   constraint := path op value
+///   path       := IDENT { '.' IDENT }
+///   op         := '=' | '!=' | '~' | '>='
+///   value      := STRING | IDENT | NUMBER [ 's' | 'ms' ]
+///
+/// Keywords (text/webspace/cobra/AND/OR) are case-insensitive; AND
+/// binds tighter than OR. Strings are double-quoted; backslash
+/// escapes a quote or a backslash. The parser is a hand-rolled lexer plus recursive-descent
+/// parser with the segment-format hostility discipline: every limit
+/// below is enforced before any allocation proportional to claimed
+/// sizes, truncation at any byte yields a clean kParseError (fuzzed in
+/// tests/federate), and no input can recurse past kMaxDepth.
+
+/// Hostile-input bounds. A legitimate query is a human-typed line;
+/// anything brushing these limits is garbage or an attack.
+inline constexpr size_t kMaxQueryBytes = 64 * 1024;
+inline constexpr size_t kMaxDepth = 32;          ///< '(' nesting
+inline constexpr size_t kMaxPredicates = 256;    ///< per query
+inline constexpr size_t kMaxConstraints = 64;    ///< per predicate
+
+/// Which backend a predicate addresses.
+enum class PredKind : uint8_t {
+  kText,      ///< ranked full-text (serve::Backend / ClusterIndex)
+  kWebspace,  ///< conceptual constraints over the webspace instance
+  kCobra,     ///< precomputed COBRA event/object tables
+};
+
+/// Comparison operator of a webspace/cobra constraint.
+enum class ConstraintOp : uint8_t {
+  kEq,        ///< '='   exact attribute / key match
+  kNotEq,     ///< '!='  negation within the class
+  kContains,  ///< '~'   word-contains (stemmed token match)
+  kAtLeast,   ///< '>='  numeric lower bound
+};
+
+/// One `path op value` inside webspace(...) or cobra(...). A one-step
+/// path ("name") constrains the object's own attribute; a two-step
+/// path ("author.name") follows the association named by the first
+/// step and constrains the linked object's attribute.
+struct Constraint {
+  std::string path;
+  ConstraintOp op = ConstraintOp::kEq;
+  /// Raw value for string/ident values; empty for numeric ones.
+  std::string value;
+  /// Parsed numeric value (durations normalised to seconds).
+  double number = 0.0;
+  bool numeric = false;
+  /// Duration unit as written: 0 none (bare number), 1 's', 2 'ms' —
+  /// kept so ToString() renders the query back canonically.
+  uint8_t unit = 0;
+
+  /// Numeric value in seconds (bare numbers count as seconds).
+  double seconds() const { return unit == 2 ? number / 1000.0 : number; }
+};
+
+/// One leaf predicate of the query AST.
+struct Predicate {
+  PredKind kind = PredKind::kText;
+  std::string text;                     ///< kText: the quoted query words
+  std::vector<Constraint> constraints;  ///< kWebspace / kCobra
+};
+
+/// A node of the typed AST. kAnd/kOr nodes have ≥ 2 children in
+/// source order; kPred nodes hold the predicate and no children.
+struct QueryNode {
+  enum class Kind : uint8_t { kPred, kAnd, kOr };
+  Kind kind = Kind::kPred;
+  Predicate pred;
+  std::vector<QueryNode> children;
+};
+
+/// A parsed federated query.
+struct FederatedQuery {
+  QueryNode root;
+};
+
+/// Parses and validates a federated query. Returns kParseError with a
+/// position-annotated message for any syntax violation, over-limit
+/// input, unknown predicate/operator, or semantically invalid
+/// predicate (webspace without class=, cobra without event=, numeric
+/// operator on a string, path deeper than two steps).
+Result<FederatedQuery> ParseFederatedQuery(std::string_view input);
+
+/// Canonical rendering of a query (normalised spacing, upper-case
+/// connectives, minimal parentheses — children of OR under AND are
+/// parenthesised). Parse(ToString(q)) reproduces the identical AST,
+/// and two queries differing only in whitespace/keyword case render
+/// identically — the property the serve cache keys on.
+std::string ToString(const FederatedQuery& query);
+std::string ToString(const QueryNode& node);
+std::string ToString(const Predicate& pred);
+
+/// Number of kPred leaves under `node` (plan sizing, tests).
+size_t CountPredicates(const QueryNode& node);
+
+}  // namespace dls::federate
+
+#endif  // DLS_FEDERATE_QUERY_LANG_H_

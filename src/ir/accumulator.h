@@ -102,6 +102,17 @@ class ScoreAccumulator {
   /// docs, so the result is a deterministic total order.
   template <typename TieLess>
   std::vector<ScoredDoc> ExtractTopN(size_t n, TieLess tie_less) const {
+    return ExtractTopN(n, tie_less, /*filter=*/nullptr);
+  }
+
+  /// As above, restricted to documents in `filter` (null = all): the
+  /// extraction half of the doc_filter pushdown contract. Skipping a
+  /// document at extraction time is exactly post-filtering — scores of
+  /// kept documents are untouched — so filtered extraction is
+  /// trivially bit-identical to exhaustive-then-filter.
+  template <typename TieLess>
+  std::vector<ScoredDoc> ExtractTopN(size_t n, TieLess tie_less,
+                                     const DocFilter* filter) const {
     std::vector<ScoredDoc> heap;
     if (n == 0) return heap;
     auto better = [&tie_less](const ScoredDoc& a, const ScoredDoc& b) {
@@ -112,6 +123,7 @@ class ScoreAccumulator {
     // element kept so far — the one any new candidate must beat.
     heap.reserve(std::min(n, touched_.size()));
     for (DocId doc : touched_) {
+      if (filter != nullptr && !filter->Contains(doc)) continue;
       ScoredDoc candidate{doc, scores_[doc]};
       if (heap.size() < n) {
         heap.push_back(candidate);

@@ -241,8 +241,34 @@ std::vector<ClusterScoredDoc> ClusterIndex::Query(
     const std::vector<std::string>& query_words, size_t n,
     size_t max_fragments, ClusterQueryStats* stats,
     const RankOptions& options) const {
+  return Query(query_words, n, max_fragments, stats, options,
+               /*filter=*/nullptr);
+}
+
+std::vector<ClusterScoredDoc> ClusterIndex::Query(
+    const std::vector<std::string>& query_words, size_t n,
+    size_t max_fragments, ClusterQueryStats* stats,
+    const RankOptions& options, const ClusterDocFilter* filter) const {
   assert(finalized_ && "call Finalize() before Query()");
+  assert(options.doc_filter == nullptr &&
+         "cluster queries take per-node bitmaps via ClusterDocFilter");
+  assert((filter == nullptr || filter->per_node.size() == nodes_.size()) &&
+         "ClusterDocFilter needs one bitmap per node");
   ClusterQueryStats local_stats;
+  // Per-node dispatch: stamps node i's bitmap into the pushed options
+  // (doc ids are node-local) — the only difference from the unfiltered
+  // fan-out.
+  const auto eval_node = [&](size_t i, const ShardQuery& base,
+                             std::atomic<double>* theta) {
+    if (filter == nullptr) {
+      return EvaluateShardQuery(*nodes_[i].index, *nodes_[i].fragments, base,
+                                theta);
+    }
+    ShardQuery node_query = base;
+    node_query.options.doc_filter = &filter->per_node[i];
+    return EvaluateShardQuery(*nodes_[i].index, *nodes_[i].fragments,
+                              node_query, theta);
+  };
 
   // Central server: stem/stop the query once, de-duplicate repeated
   // stems (each unique term scores once — the TextIndex::ResolveQuery
@@ -285,8 +311,7 @@ std::vector<ClusterScoredDoc> ClusterIndex::Query(
     // per-node work stats become schedule-dependent.
     std::atomic<double> shared_theta{0.0};
     ForEachNode([&](size_t i) {
-      responses[i] = EvaluateShardQuery(*nodes_[i].index, *nodes_[i].fragments,
-                                        request, &shared_theta);
+      responses[i] = eval_node(i, request, &shared_theta);
     });
   } else if (options.prune && n > 0 &&
              (executor_ == nullptr || nodes_.size() <= 1)) {
@@ -300,8 +325,7 @@ std::vector<ClusterScoredDoc> ClusterIndex::Query(
         best;
     ShardQuery node_request = request;
     for (size_t i = 0; i < nodes_.size(); ++i) {
-      responses[i] = EvaluateShardQuery(*nodes_[i].index, *nodes_[i].fragments,
-                                        node_request);
+      responses[i] = eval_node(i, node_request, nullptr);
       for (const ClusterScoredDoc& d : responses[i].top) {
         if (best.size() < n) {
           best.push(d.score);
@@ -313,10 +337,7 @@ std::vector<ClusterScoredDoc> ClusterIndex::Query(
       if (best.size() == n) node_request.threshold = best.top();
     }
   } else {
-    ForEachNode([&](size_t i) {
-      responses[i] =
-          EvaluateShardQuery(*nodes_[i].index, *nodes_[i].fragments, request);
-    });
+    ForEachNode([&](size_t i) { responses[i] = eval_node(i, request, nullptr); });
   }
 
   // A-priori quality estimate from the first node's cut-off decisions

@@ -94,6 +94,15 @@ ShardResult EvaluateShardQuery(const TextIndex& index,
 std::vector<ClusterScoredDoc> MergeShardResults(
     std::vector<ShardResult>* results, size_t n);
 
+/// Per-node candidate bitmaps for ClusterIndex::Query pushdown: entry
+/// i indexes node i's local doc-id space (doc ids are node-local, so
+/// one global bitmap cannot exist). Built by the federated executor
+/// from a candidate url set; in-process only — the remote shard
+/// protocol never carries filters (see RankOptions::doc_filter).
+struct ClusterDocFilter {
+  std::vector<DocFilter> per_node;
+};
+
 /// Traffic/work accounting for one distributed query (experiment E4).
 struct ClusterQueryStats {
   /// Wire frames actually sent + received, and their encoded byte
@@ -213,6 +222,18 @@ class ClusterIndex {
       const std::vector<std::string>& query_words, size_t n,
       size_t max_fragments, ClusterQueryStats* stats = nullptr,
       const RankOptions& options = {}) const;
+
+  /// As above with candidate pushdown: node i evaluates under
+  /// filter->per_node[i] (RankOptions::doc_filter semantics). The
+  /// merged ranking is bit-identical to querying without the filter
+  /// and keeping only filtered documents. `filter`, when non-null,
+  /// must hold exactly num_nodes() bitmaps and outlive the call;
+  /// options.doc_filter must be null (the per-node bitmaps replace
+  /// it). Null `filter` is the plain overload.
+  std::vector<ClusterScoredDoc> Query(
+      const std::vector<std::string>& query_words, size_t n,
+      size_t max_fragments, ClusterQueryStats* stats,
+      const RankOptions& options, const ClusterDocFilter* filter) const;
 
   /// Writes every node's index as a segment file (ir/segment.h) named
   /// SegmentPath(path_prefix, i). Requires a finalized cluster.

@@ -110,6 +110,43 @@ enum class RankStrategy : uint8_t {
 /// Work accounting of a ranked evaluation (defined in ir/kernel.h).
 struct RankStats;
 
+/// Immutable-after-build bitmap over node-local doc ids: the candidate
+/// set a federated plan pushes down into text evaluation
+/// (RankOptions::doc_filter). A filtered ranking returns exactly the
+/// documents of the exhaustive ranking that are in the filter, with
+/// bit-identical scores — a document's score depends only on its own
+/// postings, every strategy still sums its contributions in the
+/// canonical order, and the pruning thresholds are fed only from
+/// filtered documents, so they stay lower bounds of the filtered n-th
+/// best.
+class DocFilter {
+ public:
+  DocFilter() = default;
+  /// An empty bitmap over documents [0, num_docs).
+  explicit DocFilter(size_t num_docs)
+      : num_docs_(num_docs), words_((num_docs + 63) / 64, 0) {}
+
+  void Set(DocId doc) {
+    uint64_t& word = words_[doc >> 6];
+    const uint64_t bit = uint64_t{1} << (doc & 63);
+    count_ += (word & bit) == 0 ? 1 : 0;
+    word |= bit;
+  }
+
+  bool Contains(DocId doc) const {
+    return doc < num_docs_ && ((words_[doc >> 6] >> (doc & 63)) & 1) != 0;
+  }
+
+  size_t num_docs() const { return num_docs_; }
+  /// Number of distinct documents Set().
+  size_t count() const { return count_; }
+
+ private:
+  size_t num_docs_ = 0;
+  size_t count_ = 0;
+  std::vector<uint64_t> words_;
+};
+
 /// Runtime default for RankOptions::kernel: the DLS_KERNEL environment
 /// variable ("scalar" | "block" | "packed") when set and valid, else
 /// the compile-time default. Read once per process, so every ranking
@@ -145,6 +182,15 @@ struct RankOptions {
   /// TAAT scan otherwise; an explicit kTaat/kWand/kHybrid forces that
   /// evaluation regardless of `prune`. All choices are bit-identical.
   RankStrategy strategy = RankStrategy::kAuto;
+  /// Candidate-set pushdown (non-owning; null = no filter): restrict
+  /// the ranking to documents in this node-local bitmap. The result is
+  /// bit-identical to evaluating exhaustively and then dropping
+  /// documents outside the filter (see DocFilter). Like
+  /// shared_threshold, this is an in-process execution policy, not
+  /// part of the wire query contract — doc ids are node-local, so the
+  /// federated executor builds one bitmap per node (ClusterDocFilter)
+  /// and the remote shard path never carries one.
+  const DocFilter* doc_filter = nullptr;
 };
 
 /// The full-text index: an implementation of the paper's five

@@ -258,6 +258,16 @@ struct ErasedTieLess {
 /// reading the SoA arrays; lists whose payload was released are read
 /// packed under every kernel. Either way the values are identical, so
 /// the ranking stays bit-identical across kernels.
+///
+/// `filter` (RankOptions::doc_filter; null = no filter) restricts the
+/// ranking to the filtered documents, bit-identically to
+/// exhaustive-then-filter: only filtered documents enter the heap, so
+/// θ is the n-th best *filtered* score seen so far — a lower bound of
+/// the final filtered n-th best — and every skip still requires a
+/// bound strictly below θ. A pivot outside the filter is stepped over
+/// without being scored (a pure work saving: its score influences
+/// nothing); scan-mode windows score it exactly and the heap gate
+/// simply never sees it.
 template <typename TieLess>
 std::vector<ScoredDoc> WandTopN(const std::vector<WandTerm>& terms,
                                 size_t num_docs,
@@ -265,7 +275,8 @@ std::vector<ScoredDoc> WandTopN(const std::vector<WandTerm>& terms,
                                 double max_inv_doclen, size_t n,
                                 double initial_threshold, TieLess tie_less,
                                 ScoreKernel kernel, RankStats* stats,
-                                std::atomic<double>* shared_theta = nullptr) {
+                                std::atomic<double>* shared_theta = nullptr,
+                                const DocFilter* filter = nullptr) {
   std::vector<ScoredDoc> heap;
   if (n == 0) {
     if (stats != nullptr) *stats = RankStats{};
@@ -396,6 +407,7 @@ std::vector<ScoredDoc> WandTopN(const std::vector<WandTerm>& terms,
     }
   };
   auto push_candidate = [&](DocId doc, double score) {
+    if (filter != nullptr && !filter->Contains(doc)) return;
     ScoredDoc candidate{doc, score};
     if (heap.size() < n) {
       heap.push_back(candidate);
@@ -565,24 +577,31 @@ std::vector<ScoredDoc> WandTopN(const std::vector<WandTerm>& terms,
     const bool near = pivot_doc < scored_through + kDenseGap;
     dense_streak = near ? dense_streak + 1 : 0;
     if (dense_streak < kDenseStreak) {
+      // A pivot outside the filter contributes to nothing: step its
+      // contributors past it without reading tfs. Scoring it and
+      // letting push_candidate reject it would be identical in result,
+      // just wasted work.
+      const bool scored = filter == nullptr || filter->Contains(pivot_doc);
       double score = 0.0;
       for (Cursor& c : cursors) {
         if (c.cur != pivot_doc) continue;
-        int32_t tf;
-        if (c.packed) {
-          tf = ensure_decoded(c, c.pos / kPostingBlockSize)
-                   .tfs[c.pos % kPostingBlockSize];
-        } else {
-          tf = c.list->tf(c.pos);
+        if (scored) {
+          int32_t tf;
+          if (c.packed) {
+            tf = ensure_decoded(c, c.pos / kPostingBlockSize)
+                     .tfs[c.pos % kPostingBlockSize];
+          } else {
+            tf = c.list->tf(c.pos);
+          }
+          score += VecLog1p((c.w * static_cast<double>(tf)) *
+                            inv_doc_lengths[pivot_doc]);
+          ++local.postings_touched;
         }
-        score += VecLog1p((c.w * static_cast<double>(tf)) *
-                          inv_doc_lengths[pivot_doc]);
-        ++local.postings_touched;
         ++c.pos;
         ++local.cursor_advances;
         c.cur = c.pos < c.list->size() ? doc_at(c) : kExhausted;
       }
-      push_candidate(pivot_doc, score);
+      if (scored) push_candidate(pivot_doc, score);
       scored_through = pivot_doc + 1;
       continue;
     }
@@ -790,6 +809,15 @@ inline RankStrategy PlanStrategy(const EvalTerm* terms, size_t count,
 /// argument as WandTopN's covers `initial_threshold` and the shared-θ
 /// publication protocol (published values are n-th bests of completed
 /// scores, hence lower bounds of the final global n-th best).
+///
+/// `filter` (RankOptions::doc_filter; null = no filter): θ offers —
+/// including the phase-1 partial-score seeding — are restricted to
+/// filtered documents (an unfiltered document's partial is *not* a
+/// lower bound of any filtered final score, so offering it could
+/// over-raise θ and wrongly prune a filtered document), candidates
+/// outside the filter skip the bound check and completion entirely,
+/// and the extraction is filtered. The result is bit-identical to
+/// exhaustive-then-filter.
 template <typename TieLess>
 std::vector<ScoredDoc> HybridTopN(const std::vector<EvalTerm>& terms,
                                   size_t split, size_t num_docs,
@@ -797,8 +825,8 @@ std::vector<ScoredDoc> HybridTopN(const std::vector<EvalTerm>& terms,
                                   double max_inv_doclen, size_t n,
                                   double initial_threshold, TieLess tie_less,
                                   ScoreKernel kernel, RankStats* stats,
-                                  std::atomic<double>* shared_theta =
-                                      nullptr) {
+                                  std::atomic<double>* shared_theta = nullptr,
+                                  const DocFilter* filter = nullptr) {
   RankStats local;
   if (n == 0) {
     if (stats != nullptr) *stats = local;
@@ -851,6 +879,7 @@ std::vector<ScoredDoc> HybridTopN(const std::vector<EvalTerm>& terms,
                               ? touched.size() / kThetaSeedOffers
                               : 1;
     for (size_t i = 0; i < touched.size(); i += stride) {
+      if (filter != nullptr && !filter->Contains(touched[i])) continue;
       offer_theta(acc.score(touched[i]));
     }
   }
@@ -954,19 +983,23 @@ std::vector<ScoredDoc> HybridTopN(const std::vector<EvalTerm>& terms,
     const DocId d = doc_at(cursors[0]);
     size_t m = 1;
     while (m < cursors.size() && doc_at(cursors[m]) == d) ++m;
-    const double theta = current_theta();
-    double bound = acc.ScoreOrZero(d);
-    for (size_t i = 0; i < m; ++i) bound += block_bound(cursors[i]);
-    if (bound >= theta) {
-      // Complete the document: rare contributions append to the
-      // accumulator in cursor (canonical) order, reproducing the
-      // exhaustive reference's per-document summation sequence.
-      const double inv_len = inv_doc_lengths[d];
-      for (size_t i = 0; i < m; ++i) {
-        acc.Add(d, KernelScore(cursors[i].w, tf_at(cursors[i]), inv_len));
+    // A candidate outside the filter can neither enter the result nor
+    // feed θ — its cursors step over it without any scoring.
+    if (filter == nullptr || filter->Contains(d)) {
+      const double theta = current_theta();
+      double bound = acc.ScoreOrZero(d);
+      for (size_t i = 0; i < m; ++i) bound += block_bound(cursors[i]);
+      if (bound >= theta) {
+        // Complete the document: rare contributions append to the
+        // accumulator in cursor (canonical) order, reproducing the
+        // exhaustive reference's per-document summation sequence.
+        const double inv_len = inv_doc_lengths[d];
+        for (size_t i = 0; i < m; ++i) {
+          acc.Add(d, KernelScore(cursors[i].w, tf_at(cursors[i]), inv_len));
+        }
+        local.postings_touched += m;
+        offer_theta(acc.score(d));
       }
-      local.postings_touched += m;
-      offer_theta(acc.score(d));
     }
     for (size_t i = 0; i < m; ++i) {
       ++cursors[i].pos;
@@ -976,7 +1009,7 @@ std::vector<ScoredDoc> HybridTopN(const std::vector<EvalTerm>& terms,
   }
 
   if (stats != nullptr) *stats = local;
-  return acc.ExtractTopN(n, tie_less);
+  return acc.ExtractTopN(n, tie_less, filter);
 }
 
 /// Strategy-dispatched exact top-`n` — the single entry point every
@@ -1019,15 +1052,18 @@ std::vector<ScoredDoc> EvaluateTopN(std::vector<EvalTerm> terms,
       }
       return WandTopN(wand_terms, num_docs, inv_doc_lengths, max_inv_doclen,
                       n, initial_threshold, tie_less, options.kernel, stats,
-                      shared_theta);
+                      shared_theta, options.doc_filter);
     }
     case RankStrategy::kHybrid:
       return HybridTopN(terms,
                         HybridSplit(terms.data(), terms.size(), num_docs),
                         num_docs, inv_doc_lengths, max_inv_doclen, n,
                         initial_threshold, tie_less, options.kernel, stats,
-                        shared_theta);
+                        shared_theta, options.doc_filter);
     default: {  // kTaat (and kAuto, already resolved above)
+      // The exhaustive scan scores everything; the doc_filter applies
+      // at extraction, which *is* post-filtering — the reference the
+      // pruning strategies are proved bit-identical against.
       RankStats local;
       ScoreAccumulator& acc = ScoreAccumulator::ThreadLocal();
       acc.Reset(num_docs);
@@ -1038,7 +1074,7 @@ std::vector<ScoredDoc> EvaluateTopN(std::vector<EvalTerm> terms,
                          &acc);
       }
       if (stats != nullptr) *stats = local;
-      return acc.ExtractTopN(n, tie_less);
+      return acc.ExtractTopN(n, tie_less, options.doc_filter);
     }
   }
 }
@@ -1049,10 +1085,12 @@ std::vector<ScoredDoc> EvaluateTopN(std::vector<EvalTerm> terms,
 #define DLS_IR_EVAL_INSTANTIATIONS(EXTERN, TIE)                             \
   EXTERN template std::vector<ScoredDoc> WandTopN<TIE>(                     \
       const std::vector<WandTerm>&, size_t, const double*, double, size_t,  \
-      double, TIE, ScoreKernel, RankStats*, std::atomic<double>*);          \
+      double, TIE, ScoreKernel, RankStats*, std::atomic<double>*,           \
+      const DocFilter*);                                                    \
   EXTERN template std::vector<ScoredDoc> HybridTopN<TIE>(                   \
       const std::vector<EvalTerm>&, size_t, size_t, const double*, double,  \
-      size_t, double, TIE, ScoreKernel, RankStats*, std::atomic<double>*);  \
+      size_t, double, TIE, ScoreKernel, RankStats*, std::atomic<double>*,   \
+      const DocFilter*);                                                    \
   EXTERN template std::vector<ScoredDoc> EvaluateTopN<TIE>(                 \
       std::vector<EvalTerm>, size_t, const double*, double, size_t, double, \
       TIE, const RankOptions&, RankStats*, std::atomic<double>*)

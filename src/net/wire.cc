@@ -30,6 +30,7 @@ uint32_t StatusCodeToWire(StatusCode code) {
     case StatusCode::kInternal: return 8;
     case StatusCode::kUnavailable: return 9;
     case StatusCode::kDeadlineExceeded: return 10;
+    case StatusCode::kFeatureUnsupported: return 11;
   }
   return 8;  // unreachable with a valid enum; ship kInternal
 }
@@ -46,6 +47,7 @@ bool StatusCodeFromWire(uint32_t wire, StatusCode* code) {
     case 8: *code = StatusCode::kInternal; return true;
     case 9: *code = StatusCode::kUnavailable; return true;
     case 10: *code = StatusCode::kDeadlineExceeded; return true;
+    case 11: *code = StatusCode::kFeatureUnsupported; return true;
     default: return false;  // incl. 0: an Error frame is never "ok"
   }
 }
@@ -376,8 +378,16 @@ Result<std::vector<uint8_t>> EncodeSearchRequest(
   w.U8(static_cast<uint8_t>(request.options.kernel));
   w.U8(request.options.prune ? 1 : 0);
   w.U8(static_cast<uint8_t>(request.options.strategy));
-  // options.shared_threshold is an in-process execution policy, not
-  // part of the wire query contract — deliberately not encoded.
+  // options.shared_threshold and options.doc_filter are in-process
+  // execution policy, not part of the wire query contract —
+  // deliberately not encoded.
+  if (!request.structured.empty()) {
+    // Versioned trailing extension (see the struct comment): absent
+    // entirely for plain word queries, so pre-extension peers still
+    // interoperate on those.
+    w.U8(1);  // ext_version
+    w.String(request.structured);
+  }
   return w.Finish();
 }
 
@@ -394,6 +404,10 @@ Result<std::vector<uint8_t>> EncodeSearchResponse(
   for (const ir::ClusterScoredDoc& d : response.results) {
     w.String(d.url);
     w.F64(d.score);
+  }
+  if (!response.plan.empty()) {
+    w.U8(1);  // ext_version (same scheme as SearchRequest)
+    w.String(response.plan);
   }
   return w.Finish();
 }
@@ -434,7 +448,13 @@ std::vector<uint8_t> EncodeServeStatsResponse(
   w.Varint64(response.epoch_changes);
   w.Varint64(response.cache_warmed);
   w.Varint64(response.stale_served);
-  return std::move(w.Finish()).value();  // flat scalars: always fits
+  w.Varint64(response.federated_queries);
+  w.Varint64(response.federated_filter_docs);
+  w.Varint64(response.federated_text_us);
+  w.Varint64(response.federated_webspace_us);
+  w.Varint64(response.federated_cobra_us);
+  w.String(response.last_federated_plan.substr(0, kMaxErrorMessageBytes));
+  return std::move(w.Finish()).value();  // scalars + bounded plan: fits
 }
 
 Result<std::vector<uint8_t>> EncodeInsertRequest(const InsertRequest& request) {
@@ -588,13 +608,29 @@ Result<SearchRequest> DecodeSearchRequest(const uint8_t* body, size_t len) {
   const uint8_t kernel = r.U8();
   const uint8_t prune = r.U8();
   const uint8_t strategy = r.U8();
-  if (r.failed() || kernel > 2 || prune > 1 || strategy > 3 ||
-      r.remaining() != 0) {
+  if (r.failed() || kernel > 2 || prune > 1 || strategy > 3) {
     return Truncated("SearchRequest");
   }
   request.options.kernel = static_cast<ir::ScoreKernel>(kernel);
   request.options.prune = prune != 0;
   request.options.strategy = static_cast<ir::RankStrategy>(strategy);
+  if (r.remaining() != 0) {
+    // Versioned trailing extension. Version 1 carries the structured
+    // federated query; anything newer is a well-formed frame from a
+    // future peer — kFeatureUnsupported, not corruption.
+    const uint8_t ext_version = r.U8();
+    if (r.failed() || ext_version == 0) return Truncated("SearchRequest");
+    if (ext_version > 1) {
+      return Status::FeatureUnsupported(StrFormat(
+          "SearchRequest extension version %u from a newer peer (this "
+          "build speaks up to 1)",
+          ext_version));
+    }
+    request.structured = r.String();
+    if (r.failed() || request.structured.empty() || r.remaining() != 0) {
+      return Truncated("SearchRequest");
+    }
+  }
   return request;
 }
 
@@ -630,7 +666,21 @@ Result<SearchResponse> DecodeSearchResponse(const uint8_t* body, size_t len) {
     if (r.failed()) return Truncated("SearchResponse");
     response.results.push_back(std::move(d));
   }
-  if (r.failed() || r.remaining() != 0) return Truncated("SearchResponse");
+  if (r.failed()) return Truncated("SearchResponse");
+  if (r.remaining() != 0) {
+    const uint8_t ext_version = r.U8();
+    if (r.failed() || ext_version == 0) return Truncated("SearchResponse");
+    if (ext_version > 1) {
+      return Status::FeatureUnsupported(StrFormat(
+          "SearchResponse extension version %u from a newer peer (this "
+          "build speaks up to 1)",
+          ext_version));
+    }
+    response.plan = r.String();
+    if (r.failed() || response.plan.empty() || r.remaining() != 0) {
+      return Truncated("SearchResponse");
+    }
+  }
   return response;
 }
 
@@ -673,8 +723,19 @@ Result<ServeStatsResponse> DecodeServeStatsResponse(const uint8_t* body,
   response.epoch_changes = r.Varint64();
   response.cache_warmed = r.Varint64();
   response.stale_served = r.Varint64();
-  if (r.failed() || r.remaining() != 0) {
-    return Truncated("ServeStatsResponse");
+  if (r.failed()) return Truncated("ServeStatsResponse");
+  if (r.remaining() != 0) {
+    // Federated-mediation block — absent in frames from pre-federation
+    // servers, which simply report zeros.
+    response.federated_queries = r.Varint64();
+    response.federated_filter_docs = r.Varint64();
+    response.federated_text_us = r.Varint64();
+    response.federated_webspace_us = r.Varint64();
+    response.federated_cobra_us = r.Varint64();
+    response.last_federated_plan = r.String();
+    if (r.failed() || r.remaining() != 0) {
+      return Truncated("ServeStatsResponse");
+    }
   }
   return response;
 }

@@ -175,6 +175,14 @@ struct SearchRequest {
   uint64_t max_fragments = 1;
   uint32_t deadline_ms = 0;
   ir::RankOptions options;
+  /// Federated query (src/federate query language), empty for a plain
+  /// word query. Carried in a *versioned trailing extension*: encoders
+  /// append [u8 ext_version=1][string] only when non-empty, so old
+  /// frames (no extension bytes) still decode, and an old decoder
+  /// rejects extended frames cleanly rather than misparsing them. A
+  /// decoder seeing ext_version > 1 answers kFeatureUnsupported — the
+  /// peer is from the future, the bytes are not corrupt.
+  std::string structured;
 };
 
 /// The frontend's answer. `status` is kOk for an answered query and an
@@ -189,6 +197,9 @@ struct SearchResponse {
   bool degraded = false;
   double predicted_quality = 1.0;
   std::vector<ir::ClusterScoredDoc> results;
+  /// Executed federation plan (empty for plain word queries). Same
+  /// versioned-trailing-extension scheme as SearchRequest::structured.
+  std::string plan;
 };
 
 /// Live-ingestion mutations (src/ingest). A mutation frame addresses
@@ -268,6 +279,17 @@ struct ServeStatsResponse {
   uint64_t epoch_changes = 0;
   uint64_t cache_warmed = 0;
   uint64_t stale_served = 0;
+  /// Federated mediation (serve::ServeStats): queries answered through
+  /// the mediator, bitmap bits pushed down into ranking, per-backend
+  /// wall time, and the most recent executed plan. New servers always
+  /// emit the block; a decoder reading an old peer's frame (no bytes
+  /// left) leaves it zeroed.
+  uint64_t federated_queries = 0;
+  uint64_t federated_filter_docs = 0;
+  uint64_t federated_text_us = 0;
+  uint64_t federated_webspace_us = 0;
+  uint64_t federated_cobra_us = 0;
+  std::string last_federated_plan;
 };
 
 /// Encoders return a complete frame: length prefix, type byte, body.

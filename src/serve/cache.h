@@ -21,6 +21,9 @@ struct CachedResult {
   std::vector<ir::ClusterScoredDoc> results;
   double predicted_quality = 1.0;
   bool degraded = false;
+  /// Executed federation plan (empty for plain word queries) — a hit
+  /// reproduces the plan the original evaluation ran.
+  std::string plan;
 };
 
 /// Epoch-keyed sharded-LRU result cache.

@@ -8,6 +8,8 @@
 #include <utility>
 
 #include "common/strings.h"
+#include "federate/executor.h"
+#include "federate/query_lang.h"
 #include "ir/index.h"
 
 namespace dls::serve {
@@ -40,6 +42,11 @@ Frontend::Frontend(const Backend* backend, FrontendOptions options)
 Frontend::~Frontend() { Stop(); }
 
 bool Frontend::Compatible(const Pending& a, const Pending& b) {
+  // Federated queries only coalesce with the *same* canonical query —
+  // a mediator evaluation cannot carry a second, different plan the
+  // way a QueryBatch carries a second word list. Plain word queries
+  // (both structured empty) batch as before.
+  if (a.structured != b.structured) return false;
   return a.n == b.n && a.max_fragments == b.max_fragments &&
          a.options.lambda == b.options.lambda &&
          a.options.kernel == b.options.kernel &&
@@ -89,17 +96,46 @@ SearchResult Frontend::Search(const SearchQuery& query) {
                                 : options_.default_deadline_ms;
   Deadline deadline = Deadline::After(budget_ms);
 
-  // Resolve the cache key through the backend's own normalisation
-  // pipeline (stems, de-duped, first-occurrence order — mirrors what
-  // the cluster's query resolution will do with the raw words).
-  const bool stem = backend_->NormStem();
-  const bool stop = backend_->NormStop();
+  // Federated queries parse (and are refused) *before* they cost any
+  // admission capacity; the canonical rendering of the AST keys the
+  // cache, so two spellings differing in whitespace/keyword case share
+  // one entry. Plain word queries resolve their cache key through the
+  // backend's own normalisation pipeline (stems, de-duped,
+  // first-occurrence order — mirrors what the cluster's query
+  // resolution will do with the raw words).
+  const bool federated = !query.structured.empty();
+  std::string canonical;
   std::vector<std::string> stems;
-  for (const std::string& word : query.words) {
-    std::optional<std::string> norm = ir::NormalizeWordAs(word, stem, stop);
-    if (!norm) continue;
-    if (std::find(stems.begin(), stems.end(), *norm) != stems.end()) continue;
-    stems.push_back(std::move(*norm));
+  if (federated) {
+    if (mediator_ == nullptr) {
+      SearchResult result;
+      result.status =
+          Status::Unsupported("no federated mediator attached");
+      return result;
+    }
+    Result<federate::FederatedQuery> parsed =
+        federate::ParseFederatedQuery(query.structured);
+    if (!parsed.ok()) {
+      SearchResult result;
+      result.status = parsed.status();
+      return result;
+    }
+    canonical = federate::ToString(parsed.value());
+    // '\x02' cannot appear in a normalised stem, so the pseudo-stem
+    // keeps federated keys disjoint from every word-query key.
+    stems.push_back("\x02federated");
+    stems.push_back(canonical);
+  } else {
+    const bool stem = backend_->NormStem();
+    const bool stop = backend_->NormStop();
+    for (const std::string& word : query.words) {
+      std::optional<std::string> norm = ir::NormalizeWordAs(word, stem, stop);
+      if (!norm) continue;
+      if (std::find(stems.begin(), stems.end(), *norm) != stems.end()) {
+        continue;
+      }
+      stems.push_back(std::move(*norm));
+    }
   }
 
   // Graceful degradation: past the watermark, answer cheaper (lower
@@ -121,7 +157,9 @@ SearchResult Frontend::Search(const SearchQuery& query) {
 
   const std::string key =
       CacheKey(stems, query.n, effective_fragments, query.options);
-  RecordHotKey(key, query, effective_fragments, degraded);
+  // The warmer re-evaluates through Backend::QueryBatch, which cannot
+  // run a federation plan — federated keys stay out of the hot set.
+  if (!federated) RecordHotKey(key, query, effective_fragments, degraded);
   const uint64_t epoch = backend_->Epoch();
   CachedResult cached;
   bool stale = false;
@@ -145,6 +183,7 @@ SearchResult Frontend::Search(const SearchQuery& query) {
     result.degraded = cached.degraded || degraded;
     result.predicted_quality = cached.predicted_quality;
     result.results = std::move(cached.results);
+    result.plan = std::move(cached.plan);
     if (stale) stale_served_.fetch_add(1, std::memory_order_relaxed);
     completed_.fetch_add(1, std::memory_order_relaxed);
     latency_.Record(MicrosSince(admitted_at));
@@ -192,6 +231,7 @@ SearchResult Frontend::Search(const SearchQuery& query) {
 
     auto pending = std::make_unique<Pending>();
     pending->words = query.words;
+    pending->structured = canonical;
     pending->cache_key = key;
     pending->n = query.n;
     pending->max_fragments = effective_fragments;
@@ -362,6 +402,11 @@ void Frontend::ExecuteBatch(std::vector<std::unique_ptr<Pending>> batch) {
   }
   if (live.empty()) return;
 
+  if (!live.front()->structured.empty()) {
+    ExecuteFederatedBatch(live);
+    return;
+  }
+
   // Duplicate resolved queries inside the batch evaluate once.
   std::vector<size_t> slot(live.size());
   std::vector<size_t> unique;
@@ -426,6 +471,71 @@ void Frontend::ExecuteBatch(std::vector<std::unique_ptr<Pending>> batch) {
   }
 }
 
+void Frontend::ExecuteFederatedBatch(
+    std::vector<std::unique_ptr<Pending>>& live) {
+  // Compatible() admits only identical canonical queries under one
+  // policy into a federated batch, so one mediator evaluation answers
+  // every rider (the in-batch analogue of the duplicate-key dedup on
+  // the word path).
+  const Pending& policy = *live.front();
+  const uint64_t epoch = backend_->Epoch();
+  federate::FederatedStats fstats;
+  const auto eval_start = SteadyClock::now();
+  Result<std::vector<ir::ClusterScoredDoc>> ranked =
+      mediator_->ExecuteString(policy.structured, policy.n,
+                               policy.max_fragments, policy.options, &fstats);
+  const uint64_t eval_us = MicrosSince(eval_start);
+
+  batches_.fetch_add(1, std::memory_order_relaxed);
+  batched_queries_.fetch_add(live.size(), std::memory_order_relaxed);
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    ewma_batch_us_ = ewma_batch_us_ <= 0
+                         ? static_cast<double>(eval_us)
+                         : 0.8 * ewma_batch_us_ + 0.2 * eval_us;
+  }
+
+  if (!ranked.ok()) {
+    for (std::unique_ptr<Pending>& pending : live) {
+      SearchResult result;
+      result.status = ranked.status();
+      pending->promise.set_value(std::move(result));
+    }
+    return;
+  }
+
+  federated_queries_.fetch_add(live.size(), std::memory_order_relaxed);
+  federated_filter_docs_.fetch_add(fstats.filter_docs,
+                                   std::memory_order_relaxed);
+  federated_text_us_.fetch_add(static_cast<uint64_t>(fstats.text_us),
+                               std::memory_order_relaxed);
+  federated_webspace_us_.fetch_add(static_cast<uint64_t>(fstats.webspace_us),
+                                   std::memory_order_relaxed);
+  federated_cobra_us_.fetch_add(static_cast<uint64_t>(fstats.cobra_us),
+                                std::memory_order_relaxed);
+  {
+    std::lock_guard<std::mutex> lock(plan_mu_);
+    last_federated_plan_ = fstats.plan;
+  }
+
+  CachedResult entry;
+  entry.results = ranked.value();
+  entry.predicted_quality = fstats.text_stats.predicted_quality;
+  entry.degraded = policy.degraded;
+  entry.plan = fstats.plan;
+  cache_.Insert(policy.cache_key, epoch, std::move(entry));
+
+  for (std::unique_ptr<Pending>& pending : live) {
+    SearchResult result;
+    result.degraded = pending->degraded;
+    result.predicted_quality = fstats.text_stats.predicted_quality;
+    result.results = ranked.value();
+    result.plan = fstats.plan;
+    RecordCompletion(*pending);
+    pending->promise.set_value(std::move(result));
+  }
+}
+
 ServeStats Frontend::Stats() const {
   ServeStats stats;
   stats.submitted = submitted_.load(std::memory_order_relaxed);
@@ -446,6 +556,20 @@ ServeStats Frontend::Stats() const {
   stats.epoch_changes = epoch_changes_.load(std::memory_order_relaxed);
   stats.cache_warmed = cache_warmed_.load(std::memory_order_relaxed);
   stats.stale_served = stale_served_.load(std::memory_order_relaxed);
+  stats.federated_queries =
+      federated_queries_.load(std::memory_order_relaxed);
+  stats.federated_filter_docs =
+      federated_filter_docs_.load(std::memory_order_relaxed);
+  stats.federated_text_us =
+      federated_text_us_.load(std::memory_order_relaxed);
+  stats.federated_webspace_us =
+      federated_webspace_us_.load(std::memory_order_relaxed);
+  stats.federated_cobra_us =
+      federated_cobra_us_.load(std::memory_order_relaxed);
+  {
+    std::lock_guard<std::mutex> lock(plan_mu_);
+    stats.last_federated_plan = last_federated_plan_;
+  }
   {
     std::lock_guard<std::mutex> lock(mu_);
     stats.queue_depth = queue_.size();

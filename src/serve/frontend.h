@@ -22,6 +22,10 @@
 #include "serve/cache.h"
 #include "serve/serve_stats.h"
 
+namespace dls::federate {
+class Mediator;
+}  // namespace dls::federate
+
 namespace dls::serve {
 
 /// Tuning knobs of one Frontend. The defaults serve a small cluster
@@ -83,6 +87,11 @@ struct SearchQuery {
   size_t max_fragments = 1;
   uint32_t deadline_ms = 0;
   ir::RankOptions options;
+  /// Federated query string (src/federate query language). When
+  /// non-empty, `words` is ignored and the query runs through the
+  /// attached Mediator — still behind the same admission gate, queue,
+  /// degradation and result cache as a plain word query.
+  std::string structured;
 };
 
 /// The frontend's answer. An answered query has status kOk and a
@@ -100,6 +109,11 @@ struct SearchResult {
   bool stale = false;
   double predicted_quality = 1.0;
   std::vector<ir::ClusterScoredDoc> results;
+  /// Executed federation plan (federated queries only): which filters
+  /// ran in which order, surviving candidate counts, and whether the
+  /// ranked leg used pushdown. Cached answers reproduce the plan of
+  /// the evaluation that filled the entry.
+  std::string plan;
 };
 
 /// The query serving frontend: what stands between clients and a
@@ -143,6 +157,13 @@ class Frontend {
   Frontend(const Frontend&) = delete;
   Frontend& operator=(const Frontend&) = delete;
 
+  /// Attaches the federated query mediator (non-owning, must outlive
+  /// the frontend). Call during setup, before serving traffic; without
+  /// one, federated queries are refused with kUnsupported.
+  void AttachMediator(const federate::Mediator* mediator) {
+    mediator_ = mediator;
+  }
+
   /// Answers or sheds one query; blocks the calling thread until the
   /// answer is ready (bounded by the deadline plus one batch).
   SearchResult Search(const SearchQuery& query);
@@ -158,6 +179,11 @@ class Frontend {
  private:
   struct Pending {
     std::vector<std::string> words;  ///< raw words for the backend
+    /// Canonical federated query (ToString of the parsed AST); empty
+    /// for plain word queries. Canonicalisation happens at admission,
+    /// so two spellings of one federated query share a cache entry and
+    /// can ride one batch slot.
+    std::string structured;
     std::string cache_key;
     size_t n = 10;
     size_t max_fragments = 1;  ///< effective (possibly degraded)
@@ -186,6 +212,10 @@ class Frontend {
 
   void WorkerLoop();
   void ExecuteBatch(std::vector<std::unique_ptr<Pending>> batch);
+  /// Federated leg of ExecuteBatch: one mediator evaluation answering
+  /// every rider (Compatible() only coalesces identical federated
+  /// queries, so the batch is one logical query).
+  void ExecuteFederatedBatch(std::vector<std::unique_ptr<Pending>>& live);
   void RecordCompletion(const Pending& pending);
 
   /// One remembered hot cache key: everything needed to re-evaluate it
@@ -214,6 +244,8 @@ class Frontend {
 
   const Backend* backend_;
   const FrontendOptions options_;
+  /// Federated query mediator; null until AttachMediator().
+  const federate::Mediator* mediator_ = nullptr;
   mutable ResultCache cache_;
 
   mutable std::mutex mu_;
@@ -238,6 +270,14 @@ class Frontend {
   std::atomic<uint64_t> hedges_fired_{0};
   std::atomic<uint64_t> hedge_wins_{0};
   std::atomic<uint64_t> failovers_{0};
+  /// ---- federated mediation ----------------------------------------
+  std::atomic<uint64_t> federated_queries_{0};
+  std::atomic<uint64_t> federated_filter_docs_{0};
+  std::atomic<uint64_t> federated_text_us_{0};
+  std::atomic<uint64_t> federated_webspace_us_{0};
+  std::atomic<uint64_t> federated_cobra_us_{0};
+  mutable std::mutex plan_mu_;
+  std::string last_federated_plan_;  ///< guarded by plan_mu_
   LatencyHistogram latency_;
 
   /// ---- warm path (see FrontendOptions::warm_top_k) ----------------

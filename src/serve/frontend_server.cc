@@ -31,6 +31,7 @@ Result<std::vector<uint8_t>> FrontendServer::HandleFrame(
       query.max_fragments = static_cast<size_t>(request.value().max_fragments);
       query.deadline_ms = request.value().deadline_ms;
       query.options = request.value().options;
+      query.structured = std::move(request.value().structured);
       SearchResult answer = frontend_->Search(query);
 
       net::SearchResponse response;
@@ -40,6 +41,7 @@ Result<std::vector<uint8_t>> FrontendServer::HandleFrame(
       response.degraded = answer.degraded;
       response.predicted_quality = answer.predicted_quality;
       response.results = std::move(answer.results);
+      response.plan = std::move(answer.plan);
       Result<std::vector<uint8_t>> encoded =
           net::EncodeSearchResponse(response);
       if (!encoded.ok()) return net::EncodeError(encoded.status());
@@ -79,6 +81,12 @@ Result<std::vector<uint8_t>> FrontendServer::HandleFrame(
       response.epoch_changes = stats.epoch_changes;
       response.cache_warmed = stats.cache_warmed;
       response.stale_served = stats.stale_served;
+      response.federated_queries = stats.federated_queries;
+      response.federated_filter_docs = stats.federated_filter_docs;
+      response.federated_text_us = stats.federated_text_us;
+      response.federated_webspace_us = stats.federated_webspace_us;
+      response.federated_cobra_us = stats.federated_cobra_us;
+      response.last_federated_plan = stats.last_federated_plan;
       return net::EncodeServeStatsResponse(response);
     }
     case net::MessageType::kQueryRequest:

@@ -2,6 +2,7 @@
 #define DLS_SERVE_SERVE_STATS_H_
 
 #include <cstdint>
+#include <string>
 
 #include "common/histogram.h"
 
@@ -44,6 +45,14 @@ struct ServeStats {
   uint64_t cache_warmed = 0;   ///< hot keys re-evaluated under a new epoch
   uint64_t stale_served = 0;   ///< answers served from the warming-from
                                ///< epoch while the warmer ran
+
+  // ---- federated mediation (0 / empty without a mediator) -----------
+  uint64_t federated_queries = 0;     ///< answered through the mediator
+  uint64_t federated_filter_docs = 0; ///< bitmap bits pushed into ranking
+  uint64_t federated_text_us = 0;     ///< ranked-text wall time
+  uint64_t federated_webspace_us = 0; ///< webspace filter wall time
+  uint64_t federated_cobra_us = 0;    ///< cobra filter wall time
+  std::string last_federated_plan;    ///< most recent executed plan
 
   // ---- instantaneous ------------------------------------------------
   uint64_t queue_depth = 0;  ///< queued requests at sample time

@@ -1,0 +1,320 @@
+#include "federate/query_lang.h"
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+namespace dls::federate {
+namespace {
+
+Result<FederatedQuery> Parse(std::string_view s) {
+  return ParseFederatedQuery(s);
+}
+
+FederatedQuery MustParse(std::string_view s) {
+  Result<FederatedQuery> r = Parse(s);
+  EXPECT_TRUE(r.ok()) << "input: " << s << " -> " << r.status().ToString();
+  return r.ok() ? std::move(r).value() : FederatedQuery{};
+}
+
+void ExpectParseError(std::string_view s, const char* fragment = nullptr) {
+  Result<FederatedQuery> r = Parse(s);
+  ASSERT_FALSE(r.ok()) << "input unexpectedly parsed: " << s;
+  EXPECT_EQ(r.status().code(), StatusCode::kParseError) << s;
+  if (fragment != nullptr) {
+    EXPECT_NE(r.status().message().find(fragment), std::string::npos)
+        << "message '" << r.status().message() << "' lacks '" << fragment
+        << "'";
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Golden parse trees, one per grammar production.
+
+TEST(QueryLangTest, TextPredicate) {
+  const FederatedQuery q = MustParse("text(\"tennis net play\")");
+  ASSERT_EQ(q.root.kind, QueryNode::Kind::kPred);
+  EXPECT_EQ(q.root.pred.kind, PredKind::kText);
+  EXPECT_EQ(q.root.pred.text, "tennis net play");
+  EXPECT_TRUE(q.root.pred.constraints.empty());
+  EXPECT_EQ(CountPredicates(q.root), 1u);
+}
+
+TEST(QueryLangTest, TextStringEscapes) {
+  const FederatedQuery q = MustParse(R"(text("say \"hi\" \\ done"))");
+  ASSERT_EQ(q.root.kind, QueryNode::Kind::kPred);
+  EXPECT_EQ(q.root.pred.text, "say \"hi\" \\ done");
+}
+
+TEST(QueryLangTest, WebspaceEveryOperator) {
+  const FederatedQuery q = MustParse(
+      "webspace(class=Article, author.name~\"Smith\", status!=draft, "
+      "pages>=12, title=\"Net Play\")");
+  ASSERT_EQ(q.root.kind, QueryNode::Kind::kPred);
+  const Predicate& p = q.root.pred;
+  EXPECT_EQ(p.kind, PredKind::kWebspace);
+  ASSERT_EQ(p.constraints.size(), 5u);
+
+  EXPECT_EQ(p.constraints[0].path, "class");
+  EXPECT_EQ(p.constraints[0].op, ConstraintOp::kEq);
+  EXPECT_EQ(p.constraints[0].value, "Article");
+  EXPECT_FALSE(p.constraints[0].numeric);
+
+  EXPECT_EQ(p.constraints[1].path, "author.name");
+  EXPECT_EQ(p.constraints[1].op, ConstraintOp::kContains);
+  EXPECT_EQ(p.constraints[1].value, "Smith");
+
+  EXPECT_EQ(p.constraints[2].path, "status");
+  EXPECT_EQ(p.constraints[2].op, ConstraintOp::kNotEq);
+  EXPECT_EQ(p.constraints[2].value, "draft");
+
+  EXPECT_EQ(p.constraints[3].path, "pages");
+  EXPECT_EQ(p.constraints[3].op, ConstraintOp::kAtLeast);
+  EXPECT_TRUE(p.constraints[3].numeric);
+  EXPECT_DOUBLE_EQ(p.constraints[3].number, 12.0);
+
+  EXPECT_EQ(p.constraints[4].path, "title");
+  EXPECT_EQ(p.constraints[4].value, "Net Play");
+}
+
+TEST(QueryLangTest, CobraDurations) {
+  const FederatedQuery q =
+      MustParse("cobra(event=rally, min_len=5s) AND "
+                "cobra(event=serve, min_len>=1500ms) AND "
+                "cobra(event=ace, min_len=2.5)");
+  ASSERT_EQ(q.root.kind, QueryNode::Kind::kAnd);
+  ASSERT_EQ(q.root.children.size(), 3u);
+  const Constraint& sec = q.root.children[0].pred.constraints[1];
+  EXPECT_TRUE(sec.numeric);
+  EXPECT_EQ(sec.unit, 1);
+  EXPECT_DOUBLE_EQ(sec.seconds(), 5.0);
+  const Constraint& ms = q.root.children[1].pred.constraints[1];
+  EXPECT_EQ(ms.unit, 2);
+  EXPECT_DOUBLE_EQ(ms.seconds(), 1.5);
+  const Constraint& bare = q.root.children[2].pred.constraints[1];
+  EXPECT_EQ(bare.unit, 0);
+  EXPECT_DOUBLE_EQ(bare.seconds(), 2.5);
+}
+
+TEST(QueryLangTest, AndFlattens) {
+  const FederatedQuery q = MustParse(
+      "text(\"a\") AND webspace(class=B) AND cobra(event=c)");
+  ASSERT_EQ(q.root.kind, QueryNode::Kind::kAnd);
+  ASSERT_EQ(q.root.children.size(), 3u);
+  EXPECT_EQ(q.root.children[0].pred.kind, PredKind::kText);
+  EXPECT_EQ(q.root.children[1].pred.kind, PredKind::kWebspace);
+  EXPECT_EQ(q.root.children[2].pred.kind, PredKind::kCobra);
+  EXPECT_EQ(CountPredicates(q.root), 3u);
+}
+
+TEST(QueryLangTest, OrFlattensAndBindsLooserThanAnd) {
+  // a OR b AND c  ==  a OR (b AND c)
+  const FederatedQuery q = MustParse(
+      "cobra(event=a) OR cobra(event=b) AND cobra(event=c)");
+  ASSERT_EQ(q.root.kind, QueryNode::Kind::kOr);
+  ASSERT_EQ(q.root.children.size(), 2u);
+  EXPECT_EQ(q.root.children[0].kind, QueryNode::Kind::kPred);
+  ASSERT_EQ(q.root.children[1].kind, QueryNode::Kind::kAnd);
+  EXPECT_EQ(q.root.children[1].children.size(), 2u);
+}
+
+TEST(QueryLangTest, ParensOverridePrecedence) {
+  const FederatedQuery q = MustParse(
+      "text(\"t\") AND (webspace(class=A) OR cobra(event=e))");
+  ASSERT_EQ(q.root.kind, QueryNode::Kind::kAnd);
+  ASSERT_EQ(q.root.children.size(), 2u);
+  ASSERT_EQ(q.root.children[1].kind, QueryNode::Kind::kOr);
+  EXPECT_EQ(q.root.children[1].children.size(), 2u);
+}
+
+TEST(QueryLangTest, KeywordsCaseInsensitive) {
+  const FederatedQuery a =
+      MustParse("TEXT(\"x\") and WEBSPACE(class=C) Or CoBrA(event=e)");
+  const FederatedQuery b =
+      MustParse("text(\"x\") AND webspace(class=C) OR cobra(event=e)");
+  EXPECT_EQ(ToString(a), ToString(b));
+}
+
+// ---------------------------------------------------------------------------
+// Canonical rendering: the serve cache-key property.
+
+TEST(QueryLangTest, CanonicalFormNormalisesSpellings) {
+  const char* spellings[] = {
+      "text(\"net play\")AND webspace( class = Article ,author.name~\"S\" )",
+      "  text(\"net play\")  and  webspace(class=Article,author.name~\"S\")",
+      "text(\"net play\") AND webspace(class=\"Article\", author.name~\"S\")",
+  };
+  const std::string canonical = ToString(MustParse(spellings[0]));
+  for (const char* s : spellings) {
+    EXPECT_EQ(ToString(MustParse(s)), canonical) << s;
+  }
+  EXPECT_EQ(canonical,
+            "text(\"net play\") AND webspace(class=Article, "
+            "author.name~S)");
+}
+
+TEST(QueryLangTest, CanonicalFormIsAFixedPoint) {
+  const char* inputs[] = {
+      "text(\"a b\")",
+      "cobra(event=rally, min_len=5s)",
+      "cobra(event=rally, min_len>=1500ms) OR webspace(class=A)",
+      "text(\"t\") AND (webspace(class=A) OR cobra(event=e)) AND "
+      "cobra(event=f)",
+      "(cobra(event=a) OR cobra(event=b)) OR cobra(event=c)",
+      "(cobra(event=a) AND cobra(event=b)) AND cobra(event=c)",
+      "webspace(class=A, x!=\"not ident\", y>=2.5)",
+  };
+  for (const char* input : inputs) {
+    const std::string once = ToString(MustParse(input));
+    const std::string twice = ToString(MustParse(once));
+    EXPECT_EQ(once, twice) << input;
+  }
+}
+
+TEST(QueryLangTest, AndReparenthesisesOrChildren) {
+  const std::string canonical = ToString(MustParse(
+      "text(\"t\") AND (webspace(class=A) OR cobra(event=e))"));
+  EXPECT_EQ(canonical,
+            "text(\"t\") AND (webspace(class=A) OR cobra(event=e))");
+}
+
+// ---------------------------------------------------------------------------
+// Hostile input: every rejection is a clean kParseError.
+
+TEST(QueryLangTest, RejectsSyntaxErrors) {
+  ExpectParseError("", "expected a predicate");
+  ExpectParseError("   ");
+  ExpectParseError("frobnicate(\"x\")", "unknown predicate");
+  ExpectParseError("text()", "quoted string");
+  ExpectParseError("text(\"\")", "must not be empty");
+  ExpectParseError("text(\"a\") text(\"b\")", "trailing input");
+  ExpectParseError("(text(\"a\")", "')'");
+  ExpectParseError("text(\"a\") AND", "expected a predicate");
+  ExpectParseError("webspace(class=A,)", "constraint path");
+  ExpectParseError("text(\"a\") @", "unexpected character");
+  ExpectParseError("webspace(class!A)");
+  ExpectParseError("webspace(class>A)", "expected '='");
+  ExpectParseError("webspace(class=A) !", "expected '='");
+}
+
+TEST(QueryLangTest, RejectsStringViolations) {
+  ExpectParseError("text(\"unterminated", "inside a string");
+  ExpectParseError("text(\"bad \\x escape\")", "unknown string escape");
+  ExpectParseError("text(\"dangling \\", "string escape");
+  ExpectParseError(std::string("text(\"ctrl \x01 byte\")"), "control byte");
+}
+
+TEST(QueryLangTest, RejectsNumberViolations) {
+  ExpectParseError("cobra(event=e, min_len=5.)", "decimal point");
+  ExpectParseError("cobra(event=e, min_len=5x)", "duration unit");
+  ExpectParseError("cobra(event=e, min_len>=\"five\")", "numeric value");
+  ExpectParseError("webspace(class=A, name~5)", "string value");
+}
+
+TEST(QueryLangTest, RejectsSemanticViolations) {
+  ExpectParseError("webspace(name=bob)", "exactly one class=");
+  ExpectParseError("webspace(class=A, class=B)", "exactly one class=");
+  ExpectParseError("webspace(class!=A)", "class");
+  ExpectParseError("webspace(class=7)", "class");
+  ExpectParseError("cobra(min_len=5s)", "exactly one event=");
+  ExpectParseError("cobra(event=a, length=b, event=c)", "exactly one event=");
+  ExpectParseError("cobra(event=e, track.len=5)", "single-step");
+  ExpectParseError("webspace(class=A, a.b.c=d)", "at most two steps");
+  ExpectParseError("cobra(event=e, min_len~\"5\")");
+}
+
+TEST(QueryLangTest, EnforcesLimits) {
+  // Size cap: one byte over kMaxQueryBytes.
+  std::string big = "text(\"";
+  big += std::string(kMaxQueryBytes, 'a');
+  big += "\")";
+  ExpectParseError(big, "size limit");
+
+  // Depth cap: kMaxDepth + 1 nested parens.
+  std::string deep(kMaxDepth + 1, '(');
+  deep += "text(\"a\")";
+  deep += std::string(kMaxDepth + 1, ')');
+  ExpectParseError(deep, "nests too deep");
+  // ... while kMaxDepth - 1 parens (depth stays under the cap) parse.
+  std::string ok_deep(kMaxDepth - 1, '(');
+  ok_deep += "text(\"a\")";
+  ok_deep += std::string(kMaxDepth - 1, ')');
+  EXPECT_TRUE(Parse(ok_deep).ok());
+
+  // Predicate cap.
+  std::string many = "text(\"a\")";
+  for (size_t i = 0; i < kMaxPredicates; ++i) many += " AND text(\"a\")";
+  ExpectParseError(many, "too many predicates");
+
+  // Constraint cap.
+  std::string fat = "webspace(class=A";
+  for (size_t i = 0; i < kMaxConstraints; ++i) fat += ", x=y";
+  fat += ")";
+  ExpectParseError(fat, "too many constraints");
+}
+
+// ---------------------------------------------------------------------------
+// Fuzz: truncation at every byte, token soup, byte mutation. The
+// parser must return ok or kParseError — never crash, never another
+// code (run under ASan/UBSan in ci/check.sh).
+
+void ExpectCleanOutcome(std::string_view input) {
+  Result<FederatedQuery> r = Parse(input);
+  if (!r.ok()) {
+    EXPECT_EQ(r.status().code(), StatusCode::kParseError)
+        << "input: " << input;
+  }
+}
+
+TEST(QueryLangFuzzTest, TruncationAtEveryByte) {
+  const std::string query =
+      "text(\"net \\\"play\\\" 99\") AND (webspace(class=Article, "
+      "author.name~\"Smith\", pages>=12, status!=draft) OR "
+      "cobra(event=rally, min_len=1500ms)) AND cobra(event=serve, "
+      "min_len>=2.5s)";
+  ASSERT_TRUE(Parse(query).ok());
+  for (size_t cut = 0; cut < query.size(); ++cut) {
+    ExpectCleanOutcome(std::string_view(query).substr(0, cut));
+  }
+}
+
+TEST(QueryLangFuzzTest, TokenSoup) {
+  const char* tokens[] = {"text",  "webspace", "cobra", "AND", "OR",
+                          "(",     ")",        ",",     ".",   "=",
+                          "!=",    "~",        ">=",    "\"x\"", "5s",
+                          "name",  "class",    "event", "12",  "\"",
+                          "\\",    "!",        ">",     "3.5", "ms"};
+  // Deterministic LCG — no real randomness in tests.
+  uint64_t state = 0x2545F4914F6CDD1DULL;
+  auto next = [&state](size_t bound) {
+    state = state * 6364136223846793005ULL + 1442695040888963407ULL;
+    return static_cast<size_t>((state >> 33) % bound);
+  };
+  for (int round = 0; round < 500; ++round) {
+    std::string soup;
+    const size_t len = 1 + next(20);
+    for (size_t i = 0; i < len; ++i) {
+      soup += tokens[next(sizeof(tokens) / sizeof(tokens[0]))];
+      if (next(2) == 0) soup += ' ';
+    }
+    ExpectCleanOutcome(soup);
+  }
+}
+
+TEST(QueryLangFuzzTest, ByteMutation) {
+  const std::string base =
+      "text(\"net play\") AND webspace(class=Article, author.name~\"S\") "
+      "AND cobra(event=rally, min_len=5s)";
+  ASSERT_TRUE(Parse(base).ok());
+  for (size_t i = 0; i < base.size(); ++i) {
+    for (char mutant : {'\0', '(', ')', '"', '\\', '~', 'z', '\x7f'}) {
+      std::string mutated = base;
+      mutated[i] = mutant;
+      ExpectCleanOutcome(mutated);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace dls::federate

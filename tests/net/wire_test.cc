@@ -539,11 +539,155 @@ TEST(WireTest, SearchBodiesTruncateCleanly) {
     EXPECT_FALSE(DecodeSearchResponse(body, len).ok());
   }
 
+  // ServeStatsResponse carries a tolerantly-decoded trailing federated
+  // block: exactly one strict prefix — the pre-federated boundary an
+  // old peer would send — decodes fine (with zeros); all others fail.
   frame = EncodeServeStatsResponse(ServeStatsResponse{});
   ASSERT_TRUE(DecodeFrame(frame, &type, &body, &body_len).ok());
+  std::vector<size_t> ok_lengths;
   for (size_t len = 0; len < body_len; ++len) {
-    EXPECT_FALSE(DecodeServeStatsResponse(body, len).ok());
+    if (DecodeServeStatsResponse(body, len).ok()) ok_lengths.push_back(len);
   }
+  ASSERT_EQ(ok_lengths.size(), 1u);
+  Result<ServeStatsResponse> old_peer =
+      DecodeServeStatsResponse(body, ok_lengths[0]);
+  ASSERT_TRUE(old_peer.ok());
+  EXPECT_EQ(old_peer.value().federated_queries, 0u);
+  EXPECT_EQ(old_peer.value().federated_filter_docs, 0u);
+  EXPECT_TRUE(old_peer.value().last_federated_plan.empty());
+}
+
+// The versioned trailing extension carrying the federated query: a
+// request without one encodes byte-compatibly with old peers, one with
+// it round-trips, and a claimed version from the future is rejected
+// with kFeatureUnsupported — distinguishable from corruption.
+TEST(WireTest, SearchRequestStructuredExtensionRoundTrips) {
+  SearchRequest request;
+  request.words = {};
+  request.n = 10;
+  request.max_fragments = 4;
+  request.structured =
+      "text(\"net play\") AND webspace(class=Article, author.name~\"Smith\") "
+      "AND cobra(event=rally, min_len=5s)";
+  std::vector<uint8_t> frame = EncodeSearchRequest(request).value();
+  MessageType type;
+  const uint8_t* body = nullptr;
+  size_t body_len = 0;
+  ASSERT_TRUE(DecodeFrame(frame, &type, &body, &body_len).ok());
+  Result<SearchRequest> decoded = DecodeSearchRequest(body, body_len);
+  ASSERT_TRUE(decoded.ok()) << decoded.status().ToString();
+  EXPECT_EQ(decoded.value().structured, request.structured);
+
+  // No structured query => no extension bytes: the frame is identical
+  // to what a build predating the extension would emit.
+  SearchRequest plain = request;
+  plain.structured.clear();
+  plain.words = {"net", "play"};
+  SearchRequest with_empty = plain;
+  std::vector<uint8_t> a = EncodeSearchRequest(plain).value();
+  std::vector<uint8_t> b = EncodeSearchRequest(with_empty).value();
+  EXPECT_EQ(a, b);
+  ASSERT_TRUE(DecodeFrame(a, &type, &body, &body_len).ok());
+  decoded = DecodeSearchRequest(body, body_len);
+  ASSERT_TRUE(decoded.ok());
+  EXPECT_TRUE(decoded.value().structured.empty());
+}
+
+TEST(WireTest, SearchRequestFromTheFutureRejectedAsUnsupported) {
+  SearchRequest request;
+  request.structured = "text(\"a\")";
+  std::vector<uint8_t> frame = EncodeSearchRequest(request).value();
+  MessageType type;
+  const uint8_t* body = nullptr;
+  size_t body_len = 0;
+  ASSERT_TRUE(DecodeFrame(frame, &type, &body, &body_len).ok());
+
+  // The extension tail is [u8 version][varint len][payload]; patch the
+  // version byte to 2 — a frame from a newer peer.
+  std::vector<uint8_t> future(body, body + body_len);
+  const size_t version_at = future.size() - request.structured.size() - 2;
+  ASSERT_EQ(future[version_at], 1);
+  future[version_at] = 2;
+  Result<SearchRequest> decoded =
+      DecodeSearchRequest(future.data(), future.size());
+  ASSERT_FALSE(decoded.ok());
+  EXPECT_EQ(decoded.status().code(), StatusCode::kFeatureUnsupported);
+  EXPECT_NE(decoded.status().message().find("newer peer"), std::string::npos);
+
+  // Version 0 is never emitted: that's corruption, not the future.
+  std::vector<uint8_t> zero(body, body + body_len);
+  zero[version_at] = 0;
+  decoded = DecodeSearchRequest(zero.data(), zero.size());
+  ASSERT_FALSE(decoded.ok());
+  EXPECT_EQ(decoded.status().code(), StatusCode::kCorruption);
+
+  // Truncation inside the extension fails cleanly at every byte.
+  // (Cutting at version_at exactly is the extension-free old-peer
+  // frame, which decodes fine by design.)
+  EXPECT_TRUE(DecodeSearchRequest(body, version_at).ok());
+  for (size_t len = version_at + 1; len < future.size(); ++len) {
+    EXPECT_FALSE(DecodeSearchRequest(body, len).ok()) << len;
+  }
+}
+
+TEST(WireTest, SearchResponsePlanExtensionRoundTrips) {
+  SearchResponse response;
+  response.results.push_back({"p1#bio", 1.25});
+  response.plan = "cobra(event=rally)[sel=0.03] -> rank text(\"net\")";
+  std::vector<uint8_t> frame = EncodeSearchResponse(response).value();
+  MessageType type;
+  const uint8_t* body = nullptr;
+  size_t body_len = 0;
+  ASSERT_TRUE(DecodeFrame(frame, &type, &body, &body_len).ok());
+  Result<SearchResponse> decoded = DecodeSearchResponse(body, body_len);
+  ASSERT_TRUE(decoded.ok()) << decoded.status().ToString();
+  EXPECT_EQ(decoded.value().plan, response.plan);
+
+  response.plan.clear();
+  frame = EncodeSearchResponse(response).value();
+  ASSERT_TRUE(DecodeFrame(frame, &type, &body, &body_len).ok());
+  decoded = DecodeSearchResponse(body, body_len);
+  ASSERT_TRUE(decoded.ok());
+  EXPECT_TRUE(decoded.value().plan.empty());
+}
+
+TEST(WireTest, ServeStatsFederatedBlockRoundTrips) {
+  ServeStatsResponse response;
+  response.federated_queries = kVarint64Boundaries[4];
+  response.federated_filter_docs = 123;
+  response.federated_text_us = kVarint64Boundaries[5];
+  response.federated_webspace_us = 77;
+  response.federated_cobra_us = 88;
+  response.last_federated_plan =
+      "webspace(class=Player)[sel=0.7, 4 ids, 12us] -> collect docs[9]";
+  std::vector<uint8_t> frame = EncodeServeStatsResponse(response);
+  MessageType type;
+  const uint8_t* body = nullptr;
+  size_t body_len = 0;
+  ASSERT_TRUE(DecodeFrame(frame, &type, &body, &body_len).ok());
+  Result<ServeStatsResponse> decoded =
+      DecodeServeStatsResponse(body, body_len);
+  ASSERT_TRUE(decoded.ok()) << decoded.status().ToString();
+  EXPECT_EQ(decoded.value().federated_queries, response.federated_queries);
+  EXPECT_EQ(decoded.value().federated_filter_docs,
+            response.federated_filter_docs);
+  EXPECT_EQ(decoded.value().federated_text_us, response.federated_text_us);
+  EXPECT_EQ(decoded.value().federated_webspace_us,
+            response.federated_webspace_us);
+  EXPECT_EQ(decoded.value().federated_cobra_us, response.federated_cobra_us);
+  EXPECT_EQ(decoded.value().last_federated_plan, response.last_federated_plan);
+}
+
+TEST(WireTest, FeatureUnsupportedErrorFrameRoundTrips) {
+  std::vector<uint8_t> frame = EncodeError(
+      Status::FeatureUnsupported("query from the future"));
+  MessageType type;
+  const uint8_t* body = nullptr;
+  size_t body_len = 0;
+  ASSERT_TRUE(DecodeFrame(frame, &type, &body, &body_len).ok());
+  Status decoded = DecodeError(body, body_len);
+  EXPECT_EQ(decoded.code(), StatusCode::kFeatureUnsupported);
+  EXPECT_EQ(decoded.message(), "query from the future");
 }
 
 TEST(WireTest, MutatedValidFramesNeverCrash) {
