@@ -1,7 +1,6 @@
 #include "federate/backend.h"
 
 #include <algorithm>
-#include <cassert>
 #include <cctype>
 #include <cstdlib>
 #include <map>
@@ -353,6 +352,17 @@ TextBackend::TextBackend(const ir::ClusterIndex* cluster)
   cap_.cost_per_candidate = 8.0;
 }
 
+Status TextBackend::CheckFrozen() const {
+  const uint64_t now = cluster_->mutation_epoch();
+  if (now != frozen_epoch_) {
+    return Status::Unavailable(
+        "text backend snapshot is stale: the cluster mutated since the "
+        "mediator was built (epoch " + std::to_string(frozen_epoch_) +
+        " -> " + std::to_string(now) + "); rebuild the federated backends");
+  }
+  return Status::Ok();
+}
+
 size_t TextBackend::FindEntity(std::string_view id) const {
   const auto it =
       std::lower_bound(entity_ids_.begin(), entity_ids_.end(), id);
@@ -387,8 +397,7 @@ double TextBackend::EstimateSelectivity(const Predicate& pred) const {
 
 Result<CandidateSet> TextBackend::EvalFilter(const Predicate& pred) const {
   DLS_RETURN_IF_ERROR(Accepts(pred));
-  assert(cluster_->mutation_epoch() == frozen_epoch_ &&
-         "TextBackend used after cluster mutation");
+  DLS_RETURN_IF_ERROR(CheckFrozen());
   std::vector<std::string> matched;
   for (size_t i = 0; i < cluster_->num_nodes(); ++i) {
     const ir::TextIndex& index = cluster_->node_index(i);
@@ -417,6 +426,11 @@ ir::ClusterDocFilter TextBackend::BuildFilter(
   for (size_t i = 0; i < cluster_->num_nodes(); ++i) {
     filter.per_node.emplace_back(cluster_->node_index(i).document_count());
   }
+  // The snapshot's DocRefs and the bitmaps' universes come from
+  // *different* reads of the per-node document counts; DocFilter::Set
+  // drops any ref a concurrent mutation pushed past a bitmap's range
+  // instead of writing out of bounds (callers gate on CheckFrozen, so
+  // this only shields the race window inside one evaluation).
   for (const std::string& id : candidates) {
     const size_t e = FindEntity(id);
     if (e == static_cast<size_t>(-1)) continue;
@@ -442,12 +456,11 @@ std::vector<std::string> TextBackend::DocsOfEntities(
   return urls;
 }
 
-std::vector<ir::ClusterScoredDoc> TextBackend::Rank(
+Result<std::vector<ir::ClusterScoredDoc>> TextBackend::Rank(
     const std::vector<std::string>& words, size_t n, size_t max_fragments,
     const ir::RankOptions& options, const CandidateSet* filter,
     ir::ClusterQueryStats* stats) const {
-  assert(cluster_->mutation_epoch() == frozen_epoch_ &&
-         "TextBackend used after cluster mutation");
+  DLS_RETURN_IF_ERROR(CheckFrozen());
   if (filter == nullptr) {
     return cluster_->Query(words, n, max_fragments, stats, options);
   }

@@ -138,13 +138,22 @@ class CobraBackend : public FederateBackend {
 /// surviving candidates down into ranking as per-node bitmaps.
 ///
 /// The backend snapshots the cluster's entity table at construction
-/// and is only valid while the cluster stays frozen (its mutation
-/// epoch is captured and asserted on use).
+/// and is only valid while the cluster stays frozen: the mutation
+/// epoch is captured and re-checked on every evaluation (CheckFrozen),
+/// so a cluster mutated by live ingestion yields kUnavailable — in
+/// release builds too — instead of evaluating against a stale
+/// snapshot.
 class TextBackend : public FederateBackend {
  public:
   explicit TextBackend(const ir::ClusterIndex* cluster);
 
   const BackendCapability& capability() const override { return cap_; }
+
+  /// kUnavailable when the cluster's mutation epoch moved past the
+  /// snapshot this backend was built from (rebuild the backend to
+  /// serve the new epoch); Ok while the snapshot is still exact.
+  Status CheckFrozen() const;
+
   Status Accepts(const Predicate& pred) const override;
   double EstimateSelectivity(const Predicate& pred) const override;
   /// Entities with at least one document containing at least one
@@ -156,8 +165,9 @@ class TextBackend : public FederateBackend {
   /// nullptr ranks the whole cluster; otherwise only documents whose
   /// entity is in the (sorted) set are scored — bit-identical to
   /// ranking everything and discarding non-candidates (see
-  /// RankOptions::doc_filter).
-  std::vector<ir::ClusterScoredDoc> Rank(
+  /// RankOptions::doc_filter). Fails with CheckFrozen()'s status when
+  /// the cluster mutated since construction.
+  Result<std::vector<ir::ClusterScoredDoc>> Rank(
       const std::vector<std::string>& words, size_t n, size_t max_fragments,
       const ir::RankOptions& options, const CandidateSet* filter,
       ir::ClusterQueryStats* stats) const;

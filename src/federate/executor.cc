@@ -116,6 +116,13 @@ Result<std::vector<ir::ClusterScoredDoc>> Mediator::Execute(
   assert(options.doc_filter == nullptr &&
          "the mediator owns candidate pushdown");
   DLS_ASSIGN_OR_RETURN(Plan plan, BuildPlan(query, backends_));
+  // The text backend's entity snapshot must still match the cluster —
+  // checked here (not just asserted) so live ingestion under a stale
+  // mediator is a clean kUnavailable in release builds, never an
+  // evaluation over dangling DocRefs.
+  if (backends_.text != nullptr) {
+    DLS_RETURN_IF_ERROR(backends_.text->CheckFrozen());
+  }
 
   FederatedStats local;
   FederatedStats& out = stats != nullptr ? *stats : local;

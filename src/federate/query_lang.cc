@@ -28,7 +28,9 @@ enum class Tok : uint8_t {
 struct Token {
   Tok kind = Tok::kEnd;
   size_t pos = 0;       ///< byte offset of the first character
-  std::string text;     ///< ident spelling or decoded string payload
+  /// Ident spelling, decoded string payload, or — for kNumber — the
+  /// zero-stripped source lexeme (see NormalizeNumberLexeme).
+  std::string text;
   double number = 0.0;  ///< kNumber value (in the written unit)
   uint8_t unit = 0;     ///< kNumber: 0 none, 1 's', 2 'ms'
 };
@@ -48,6 +50,29 @@ bool IsIdentShaped(std::string_view s) {
     if (!IdentChar(static_cast<unsigned char>(c))) return false;
   }
   return true;
+}
+
+/// Strips redundant zeros from a digits[.digits] lexeme ("007" -> "7",
+/// "1.50" -> "1.5", "5.0" -> "5", "0.0" -> "0"). Pure string surgery —
+/// no round-trip through double — so spelling variants of one value
+/// canonicalise identically at any precision.
+std::string NormalizeNumberLexeme(std::string_view s) {
+  const size_t dot = s.find('.');
+  std::string_view ip = dot == std::string_view::npos ? s : s.substr(0, dot);
+  std::string_view fp =
+      dot == std::string_view::npos ? std::string_view{} : s.substr(dot + 1);
+  size_t lead = 0;
+  while (lead + 1 < ip.size() && ip[lead] == '0') ++lead;
+  ip = ip.substr(lead);
+  size_t frac = fp.size();
+  while (frac > 0 && fp[frac - 1] == '0') --frac;
+  fp = fp.substr(0, frac);
+  std::string out(ip);
+  if (!fp.empty()) {
+    out += '.';
+    out += fp;
+  }
+  return out;
 }
 
 bool KeywordIs(const Token& token, std::string_view keyword) {
@@ -166,6 +191,7 @@ class Lexer {
     // strtod on a bounded, digits-and-one-dot lexeme: cannot fail.
     const std::string lexeme(input_.substr(begin, pos_ - begin));
     out->number = std::strtod(lexeme.c_str(), nullptr);
+    out->text = NormalizeNumberLexeme(lexeme);
     // Optional duration unit glued to the digits: 5s, 200ms.
     const size_t unit_begin = pos_;
     while (pos_ < input_.size() &&
@@ -350,6 +376,7 @@ class Parser {
     if (cur_.kind == Tok::kNumber) {
       constraint.numeric = true;
       constraint.number = cur_.number;
+      constraint.lexeme = std::move(cur_.text);
       constraint.unit = cur_.unit;
       if (constraint.op == ConstraintOp::kContains) {
         return ErrAt(op_pos, "'~' needs a string value");
@@ -405,10 +432,29 @@ void AppendQuoted(std::string_view s, std::string* out) {
   out->push_back('"');
 }
 
-void AppendNumber(const Constraint& c, std::string* out) {
-  char buf[32];
-  std::snprintf(buf, sizeof(buf), "%g", c.number);
+/// Shortest fixed-notation spelling that strtod()s back to exactly
+/// `v`. The grammar has no exponent form, so "%g" (which renders
+/// 1000000 as "1e+06" and truncates to 6 significant digits) would
+/// break the parse/render fixed point. Only the fallback path for
+/// constraints built in code — parsed constraints carry their source
+/// lexeme.
+void AppendPlainDouble(double v, std::string* out) {
+  // Worst case: ~309 integer digits (DBL_MAX) + '.' + 340 fractional
+  // digits (enough for the smallest subnormals) + NUL.
+  char buf[704];
+  for (int prec = 0; prec <= 340; ++prec) {
+    std::snprintf(buf, sizeof(buf), "%.*f", prec, v);
+    if (std::strtod(buf, nullptr) == v) break;
+  }
   *out += buf;
+}
+
+void AppendNumber(const Constraint& c, std::string* out) {
+  if (!c.lexeme.empty()) {
+    *out += c.lexeme;
+  } else {
+    AppendPlainDouble(c.number, out);
+  }
   if (c.unit == 1) *out += 's';
   if (c.unit == 2) *out += "ms";
 }

@@ -71,6 +71,14 @@ struct Constraint {
   std::string value;
   /// Parsed numeric value (durations normalised to seconds).
   double number = 0.0;
+  /// Source spelling of a numeric value, normalised only by stripping
+  /// redundant zeros ("007.2500" -> "7.25"). ToString() renders this
+  /// string verbatim, so the parse/render fixed point holds at any
+  /// magnitude or precision — "%g"-style formatting would emit
+  /// exponent notation ("1e+06") the grammar cannot read back and
+  /// keep only 6 significant digits. Empty for programmatically-built
+  /// constraints; those render from `number` in plain fixed notation.
+  std::string lexeme;
   bool numeric = false;
   /// Duration unit as written: 0 none (bare number), 1 's', 2 'ms' —
   /// kept so ToString() renders the query back canonically.

@@ -126,7 +126,13 @@ class DocFilter {
   explicit DocFilter(size_t num_docs)
       : num_docs_(num_docs), words_((num_docs + 63) / 64, 0) {}
 
+  /// Sets `doc`'s bit. Ids outside [0, num_docs) are ignored, matching
+  /// Contains(): a federated snapshot can hold DocRefs to documents a
+  /// live node ingested after this bitmap's universe was fixed, and an
+  /// unrepresentable candidate can only be dropped from the filter —
+  /// writing its bit would corrupt memory past words_.
   void Set(DocId doc) {
+    if (doc >= num_docs_) return;
     uint64_t& word = words_[doc >> 6];
     const uint64_t bit = uint64_t{1} << (doc & 63);
     count_ += (word & bit) == 0 ? 1 : 0;

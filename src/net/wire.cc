@@ -448,12 +448,30 @@ std::vector<uint8_t> EncodeServeStatsResponse(
   w.Varint64(response.epoch_changes);
   w.Varint64(response.cache_warmed);
   w.Varint64(response.stale_served);
-  w.Varint64(response.federated_queries);
-  w.Varint64(response.federated_filter_docs);
-  w.Varint64(response.federated_text_us);
-  w.Varint64(response.federated_webspace_us);
-  w.Varint64(response.federated_cobra_us);
-  w.String(response.last_federated_plan.substr(0, kMaxErrorMessageBytes));
+  // Federated-mediation block: a versioned trailing extension (same
+  // scheme as SearchRequest), emitted only once the server has
+  // actually served federated traffic. An all-zero block encodes
+  // byte-identically to a pre-federation frame, so an old client
+  // keeps decoding an upgraded server's stats until the first
+  // federated query lands — after that it sees trailing bytes and
+  // fails closed (it cannot be taught kFeatureUnsupported
+  // retroactively; that residual skew is the documented limit of
+  // old-reader compatibility here).
+  const bool federated_block =
+      response.federated_queries != 0 || response.federated_filter_docs != 0 ||
+      response.federated_text_us != 0 ||
+      response.federated_webspace_us != 0 ||
+      response.federated_cobra_us != 0 ||
+      !response.last_federated_plan.empty();
+  if (federated_block) {
+    w.U8(1);  // ext_version
+    w.Varint64(response.federated_queries);
+    w.Varint64(response.federated_filter_docs);
+    w.Varint64(response.federated_text_us);
+    w.Varint64(response.federated_webspace_us);
+    w.Varint64(response.federated_cobra_us);
+    w.String(response.last_federated_plan.substr(0, kMaxErrorMessageBytes));
+  }
   return std::move(w.Finish()).value();  // scalars + bounded plan: fits
 }
 
@@ -725,8 +743,19 @@ Result<ServeStatsResponse> DecodeServeStatsResponse(const uint8_t* body,
   response.stale_served = r.Varint64();
   if (r.failed()) return Truncated("ServeStatsResponse");
   if (r.remaining() != 0) {
-    // Federated-mediation block — absent in frames from pre-federation
-    // servers, which simply report zeros.
+    // Versioned trailing federated-mediation block — absent in frames
+    // from pre-federation servers (and from upgraded servers that have
+    // served no federated traffic yet), which simply report zeros.
+    // Version 1 is this build's; anything newer is a well-formed frame
+    // from a future peer — kFeatureUnsupported, not corruption.
+    const uint8_t ext_version = r.U8();
+    if (r.failed() || ext_version == 0) return Truncated("ServeStatsResponse");
+    if (ext_version > 1) {
+      return Status::FeatureUnsupported(StrFormat(
+          "ServeStatsResponse extension version %u from a newer peer (this "
+          "build speaks up to 1)",
+          ext_version));
+    }
     response.federated_queries = r.Varint64();
     response.federated_filter_docs = r.Varint64();
     response.federated_text_us = r.Varint64();

@@ -281,9 +281,16 @@ struct ServeStatsResponse {
   uint64_t stale_served = 0;
   /// Federated mediation (serve::ServeStats): queries answered through
   /// the mediator, bitmap bits pushed down into ranking, per-backend
-  /// wall time, and the most recent executed plan. New servers always
-  /// emit the block; a decoder reading an old peer's frame (no bytes
-  /// left) leaves it zeroed.
+  /// wall time, and the most recent executed plan. Carried as a
+  /// versioned trailing extension ([u8 ext_version=1][fields]) emitted
+  /// only when some field is non-zero, so an idle upgraded server
+  /// still encodes byte-identically to a pre-federation build; a
+  /// decoder reading an old peer's frame (no bytes left) leaves the
+  /// block zeroed, and ext_version > 1 decodes to kFeatureUnsupported.
+  /// Compatibility is otherwise new-reader/old-writer: once federated
+  /// traffic exists, a pre-extension client rejects the frame as
+  /// truncated — it predates the version scheme and cannot be taught
+  /// a cleaner signal.
   uint64_t federated_queries = 0;
   uint64_t federated_filter_docs = 0;
   uint64_t federated_text_us = 0;

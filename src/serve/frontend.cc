@@ -107,10 +107,16 @@ SearchResult Frontend::Search(const SearchQuery& query) {
   std::string canonical;
   std::vector<std::string> stems;
   if (federated) {
+    // A refusal here is still a definitive answer: count it completed
+    // (with its latency) so submitted_ keeps reconciling with
+    // completed_ + shed + expired and rejected federated queries stay
+    // visible in the histogram.
     if (mediator_ == nullptr) {
       SearchResult result;
       result.status =
           Status::Unsupported("no federated mediator attached");
+      completed_.fetch_add(1, std::memory_order_relaxed);
+      latency_.Record(MicrosSince(admitted_at));
       return result;
     }
     Result<federate::FederatedQuery> parsed =
@@ -118,6 +124,8 @@ SearchResult Frontend::Search(const SearchQuery& query) {
     if (!parsed.ok()) {
       SearchResult result;
       result.status = parsed.status();
+      completed_.fetch_add(1, std::memory_order_relaxed);
+      latency_.Record(MicrosSince(admitted_at));
       return result;
     }
     canonical = federate::ToString(parsed.value());
@@ -496,9 +504,13 @@ void Frontend::ExecuteFederatedBatch(
   }
 
   if (!ranked.ok()) {
+    // Failed riders still completed their trip through the queue:
+    // record them so the latency histogram sees federated failures and
+    // submitted_ reconciles with completed_ + shed.
     for (std::unique_ptr<Pending>& pending : live) {
       SearchResult result;
       result.status = ranked.status();
+      RecordCompletion(*pending);
       pending->promise.set_value(std::move(result));
     }
     return;

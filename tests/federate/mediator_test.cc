@@ -346,6 +346,36 @@ TEST_F(MediatorTest, PureTextQueryRanksWithoutPushdown) {
   }
 }
 
+// The text backend snapshots the cluster's entity table; if the
+// cluster mutates afterwards (live ingestion), evaluation must refuse
+// with a clean kUnavailable — in release builds too, where the old
+// assert would have compiled out and left the stale snapshot to build
+// out-of-range candidate bitmaps.
+TEST_F(MediatorTest, StaleTextSnapshotRefusedAfterClusterMutation) {
+  Mediator mediator(Backends());
+  ASSERT_TRUE(text_->CheckFrozen().ok());
+
+  cluster_->AddDocument("p9#bio", "late arrival net play");
+
+  EXPECT_FALSE(text_->CheckFrozen().ok());
+  Result<std::vector<ir::ClusterScoredDoc>> r = mediator.ExecuteString(
+      "text(\"net\") AND cobra(event=rally, min_len=5s)", 10, 2);
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kUnavailable);
+  EXPECT_NE(r.status().message().find("stale"), std::string::npos);
+
+  // Direct backend entry points refuse the same way.
+  const FederatedQuery q = ParseFederatedQuery("text(\"net\")").value();
+  EXPECT_FALSE(text_->EvalFilter(q.root.pred).ok());
+  EXPECT_FALSE(text_->Rank({"net"}, 10, 2, {}, nullptr, nullptr).ok());
+
+  // A backend rebuilt against the mutated cluster serves again.
+  cluster_->Finalize();
+  TextBackend rebuilt(cluster_.get());
+  EXPECT_TRUE(rebuilt.CheckFrozen().ok());
+  EXPECT_TRUE(rebuilt.Rank({"net"}, 10, 2, {}, nullptr, nullptr).ok());
+}
+
 TEST_F(MediatorTest, DisjunctionOfAllThreeLevels) {
   // OR across levels: union of candidate sets, then ranked by the
   // separate top-level text conjunct.

@@ -172,6 +172,75 @@ TEST(QueryLangTest, CanonicalFormIsAFixedPoint) {
   }
 }
 
+// "%g"-style rendering would turn 1000000 into "1e+06" (which the
+// lexer cannot read back — 'e' lexes as a duration unit) and 1234567
+// into "1.23457e+06" (silent value corruption at 6 significant
+// digits). The canonical form must instead carry the source digits,
+// because the frontend re-parses its own rendering at execution time.
+TEST(QueryLangTest, NumbersRenderLosslesslyAtAnyMagnitude) {
+  const struct {
+    const char* input;
+    const char* canonical;
+  } cases[] = {
+      {"webspace(class=City, population>=1000000)", nullptr},
+      {"webspace(class=City, population>=1234567)", nullptr},
+      {"webspace(class=C, x>=0.00001)", nullptr},
+      // More digits than a double resolves: kept verbatim anyway.
+      {"webspace(class=C, x>=123456789012345678901)", nullptr},
+      {"webspace(class=C, x>=3.141592653589793238462643)", nullptr},
+      {"cobra(event=e, min_len=1500000ms)", nullptr},
+      {"cobra(event=e, min_len>=0.001s)", nullptr},
+      // Redundant zeros are the one spelling difference numbers may
+      // have; stripping them is exact string surgery, so variants
+      // still share a canonical form (and a serve cache entry).
+      {"webspace(class=C, x>=007.2500)", "webspace(class=C, x>=7.25)"},
+      {"webspace(class=C, x>=0.0)", "webspace(class=C, x>=0)"},
+      {"webspace(class=C, x>=000)", "webspace(class=C, x>=0)"},
+  };
+  for (const auto& c : cases) {
+    const FederatedQuery q = MustParse(c.input);
+    const std::string canonical = ToString(q);
+    EXPECT_EQ(canonical, c.canonical != nullptr ? c.canonical : c.input)
+        << c.input;
+    // Re-parsing the rendering reproduces value and spelling: the
+    // fixed point the frontend's execute-the-canonical-string path
+    // depends on.
+    const FederatedQuery again = MustParse(canonical);
+    EXPECT_EQ(ToString(again), canonical) << c.input;
+    const Constraint& before = q.root.pred.constraints.back();
+    const Constraint& after = again.root.pred.constraints.back();
+    EXPECT_EQ(before.lexeme, after.lexeme) << c.input;
+    EXPECT_EQ(before.number, after.number) << c.input;
+    EXPECT_EQ(before.unit, after.unit) << c.input;
+  }
+}
+
+TEST(QueryLangTest, ProgrammaticNumbersRenderInPlainFixedNotation) {
+  // ASTs built in code carry no source lexeme; rendering falls back to
+  // the shortest fixed-notation spelling that round-trips the double.
+  Predicate pred;
+  pred.kind = PredKind::kWebspace;
+  Constraint anchor;
+  anchor.path = "class";
+  anchor.value = "City";
+  Constraint c;
+  c.path = "population";
+  c.op = ConstraintOp::kAtLeast;
+  c.numeric = true;
+  c.number = 1234567.0;
+  pred.constraints = {anchor, c};
+  EXPECT_EQ(ToString(pred), "webspace(class=City, population>=1234567)");
+
+  pred.constraints[1].number = 2.5;
+  EXPECT_EQ(ToString(pred), "webspace(class=City, population>=2.5)");
+
+  pred.constraints[1].number = 1e-7;
+  const std::string tiny = ToString(pred);
+  EXPECT_EQ(tiny, "webspace(class=City, population>=0.0000001)");
+  const FederatedQuery q = MustParse(tiny);
+  EXPECT_EQ(q.root.pred.constraints[1].number, 1e-7);
+}
+
 TEST(QueryLangTest, AndReparenthesisesOrChildren) {
   const std::string canonical = ToString(MustParse(
       "text(\"t\") AND (webspace(class=A) OR cobra(event=e))"));

@@ -109,7 +109,12 @@ TEST(LiveConcurrencyTest, RandomizedMutateWhileQueryBitIdentity) {
   for (size_t t = 0; t < 2; ++t) {
     readers.emplace_back([&, t] {
       Rng local(seed * 31 + t);
-      while (!done.load(std::memory_order_acquire)) {
+      // do-while: `done` gates re-entry, not the first iteration, so
+      // every reader performs at least one pinned-snapshot check even
+      // when a single-CPU schedule runs the whole mutator before the
+      // readers ever get on core (a post-`done` check is still valid —
+      // it just pins the final epoch).
+      do {
         std::shared_ptr<const LiveIndex::Snapshot> snap = live.Pin();
         const size_t epoch = snap->epoch();
         std::vector<Op> prefix;
@@ -137,7 +142,7 @@ TEST(LiveConcurrencyTest, RandomizedMutateWhileQueryBitIdentity) {
         }
         if (!ok) failures.fetch_add(1);
         checks.fetch_add(1);
-      }
+      } while (!done.load(std::memory_order_acquire));
     });
   }
 

@@ -143,6 +143,27 @@ TEST(DocFilterTest, EmptyAndFullFilters) {
                     index.RankTopN(query, 10), "full filter");
 }
 
+// Set() ignores ids outside the bitmap's universe instead of writing
+// past words_ — a federated snapshot can hold DocRefs a live node's
+// later ingestion pushed beyond the per-node document counts (run
+// under ASan in CI, which would catch the old out-of-bounds write).
+TEST(DocFilterTest, SetIgnoresOutOfRangeDocs) {
+  DocFilter filter(65);
+  filter.Set(64);                        // last valid id (second word)
+  filter.Set(65);                        // one past the end
+  filter.Set(1000);                      // far past the end
+  filter.Set(static_cast<DocId>(-1));    // hostile extreme
+  EXPECT_EQ(filter.count(), 1u);
+  EXPECT_TRUE(filter.Contains(64));
+  EXPECT_FALSE(filter.Contains(65));
+  EXPECT_FALSE(filter.Contains(1000));
+
+  DocFilter empty(0);
+  empty.Set(0);
+  EXPECT_EQ(empty.count(), 0u);
+  EXPECT_FALSE(empty.Contains(0));
+}
+
 TEST(DocFilterTest, PackedReleasedPayloadsMatch) {
   // Two identical corpora; one drops its unpacked SoA arrays so every
   // ranking path reads through DecodePackedBlock(). The filtered

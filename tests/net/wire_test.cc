@@ -539,10 +539,14 @@ TEST(WireTest, SearchBodiesTruncateCleanly) {
     EXPECT_FALSE(DecodeSearchResponse(body, len).ok());
   }
 
-  // ServeStatsResponse carries a tolerantly-decoded trailing federated
-  // block: exactly one strict prefix — the pre-federated boundary an
-  // old peer would send — decodes fine (with zeros); all others fail.
-  frame = EncodeServeStatsResponse(ServeStatsResponse{});
+  // ServeStatsResponse carries a versioned trailing federated block:
+  // with federated traffic present, exactly one strict prefix — the
+  // pre-federated boundary an old peer would send — decodes fine (with
+  // zeros); every cut inside the extension fails.
+  ServeStatsResponse with_federated;
+  with_federated.federated_queries = 3;
+  with_federated.last_federated_plan = "cobra(event=rally)[1 ids, 9us]";
+  frame = EncodeServeStatsResponse(with_federated);
   ASSERT_TRUE(DecodeFrame(frame, &type, &body, &body_len).ok());
   std::vector<size_t> ok_lengths;
   for (size_t len = 0; len < body_len; ++len) {
@@ -555,6 +559,18 @@ TEST(WireTest, SearchBodiesTruncateCleanly) {
   EXPECT_EQ(old_peer.value().federated_queries, 0u);
   EXPECT_EQ(old_peer.value().federated_filter_docs, 0u);
   EXPECT_TRUE(old_peer.value().last_federated_plan.empty());
+
+  // No federated traffic => no extension bytes: an idle upgraded
+  // server's frame is byte-identical to a pre-federation one, so old
+  // clients keep decoding it.
+  frame = EncodeServeStatsResponse(ServeStatsResponse{});
+  size_t zero_len = 0;
+  ASSERT_TRUE(DecodeFrame(frame, &type, &body, &zero_len).ok());
+  EXPECT_EQ(zero_len, ok_lengths[0]);
+  EXPECT_TRUE(DecodeServeStatsResponse(body, zero_len).ok());
+  for (size_t len = 0; len < zero_len; ++len) {
+    EXPECT_FALSE(DecodeServeStatsResponse(body, len).ok()) << len;
+  }
 }
 
 // The versioned trailing extension carrying the federated query: a
@@ -676,6 +692,42 @@ TEST(WireTest, ServeStatsFederatedBlockRoundTrips) {
             response.federated_webspace_us);
   EXPECT_EQ(decoded.value().federated_cobra_us, response.federated_cobra_us);
   EXPECT_EQ(decoded.value().last_federated_plan, response.last_federated_plan);
+}
+
+TEST(WireTest, ServeStatsFromTheFutureRejectedAsUnsupported) {
+  ServeStatsResponse response;
+  response.federated_queries = 7;
+  std::vector<uint8_t> frame = EncodeServeStatsResponse(response);
+  MessageType type;
+  const uint8_t* body = nullptr;
+  size_t body_len = 0;
+  ASSERT_TRUE(DecodeFrame(frame, &type, &body, &body_len).ok());
+
+  // Locate the extension's version byte: the pre-federated boundary is
+  // the unique strict prefix that decodes.
+  size_t version_at = body_len;
+  for (size_t len = 0; len < body_len; ++len) {
+    if (DecodeServeStatsResponse(body, len).ok()) {
+      version_at = len;
+      break;
+    }
+  }
+  ASSERT_LT(version_at, body_len);
+  std::vector<uint8_t> patched(body, body + body_len);
+  ASSERT_EQ(patched[version_at], 1);
+
+  patched[version_at] = 2;  // a frame from a newer peer
+  Result<ServeStatsResponse> decoded =
+      DecodeServeStatsResponse(patched.data(), patched.size());
+  ASSERT_FALSE(decoded.ok());
+  EXPECT_EQ(decoded.status().code(), StatusCode::kFeatureUnsupported);
+  EXPECT_NE(decoded.status().message().find("newer peer"), std::string::npos);
+
+  // Version 0 is never emitted: that's corruption, not the future.
+  patched[version_at] = 0;
+  decoded = DecodeServeStatsResponse(patched.data(), patched.size());
+  ASSERT_FALSE(decoded.ok());
+  EXPECT_EQ(decoded.status().code(), StatusCode::kCorruption);
 }
 
 TEST(WireTest, FeatureUnsupportedErrorFrameRoundTrips) {

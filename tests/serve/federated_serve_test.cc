@@ -244,6 +244,62 @@ TEST(FederatedServeTest, ServeStatsSurfaceTheFederatedCountersAndPlan) {
   EXPECT_EQ(stats.federated_queries, 1u);
 }
 
+TEST(FederatedServeTest, LargeNumbersSurviveCanonicalisationOverTheWire) {
+  FederatedStack fx;
+  net::LoopbackTransport transport(fx.server->Handler());
+
+  // The canonical rendering is what the mediator actually executes; a
+  // seven-digit literal must re-parse (scientific notation would be
+  // admitted and then fail at execution).
+  net::SearchRequest request;
+  request.structured = "text(\"net\") AND cobra(event=rally, min_len=5000000s)";
+  request.n = 10;
+  request.max_fragments = 2;
+  net::SearchResponse response = Exchange(&transport, request);
+  ASSERT_TRUE(response.status.ok()) << response.status.message();
+  EXPECT_TRUE(response.results.empty());  // no rally lasts 5000000s
+
+  net::ServeStatsResponse stats = FetchStats(&transport);
+  EXPECT_EQ(stats.submitted, 1u);
+  EXPECT_EQ(stats.completed, 1u);
+}
+
+TEST(FederatedServeTest, RefusalsCountAsCompletions) {
+  // A parse error is a definitive answer: submitted and completed stay
+  // reconciled and the refusal lands in the latency histogram.
+  {
+    FederatedStack fx;
+    net::LoopbackTransport transport(fx.server->Handler());
+    net::SearchRequest request;
+    request.structured = "text(\"unterminated";
+    EXPECT_EQ(Exchange(&transport, request).status.code(),
+              StatusCode::kParseError);
+    net::ServeStatsResponse stats = FetchStats(&transport);
+    EXPECT_EQ(stats.submitted, 1u);
+    EXPECT_EQ(stats.completed, 1u);
+    EXPECT_EQ(stats.latency_count, 1u);
+  }
+
+  // Same for the no-mediator refusal.
+  {
+    ir::ClusterIndex cluster(2, 2);
+    cluster.AddDocument("d1", "alpha beta");
+    cluster.Finalize();
+    LocalBackend backend(&cluster);
+    Frontend frontend(&backend);  // no AttachMediator
+    FrontendServer server(&frontend);
+    net::LoopbackTransport transport(server.Handler());
+    net::SearchRequest request;
+    request.structured = "text(\"alpha\")";
+    EXPECT_EQ(Exchange(&transport, request).status.code(),
+              StatusCode::kUnsupported);
+    net::ServeStatsResponse stats = FetchStats(&transport);
+    EXPECT_EQ(stats.submitted, 1u);
+    EXPECT_EQ(stats.completed, 1u);
+    EXPECT_EQ(stats.latency_count, 1u);
+  }
+}
+
 TEST(FederatedServeTest, ParseErrorIsAProtocolAnswer) {
   FederatedStack fx;
   net::LoopbackTransport transport(fx.server->Handler());
